@@ -1,0 +1,245 @@
+(* Benchmark harness.
+
+   Part 1 regenerates the paper's evaluation artifacts — the per-theorem
+   experiment tables and Table 1 (the paper's only table) — exactly as
+   `rbvc experiments` does.
+
+   Part 2 times the computational kernels with Bechamel: one Test.make
+   per kernel (LP solve, Wolfe min-norm point, FISTA Lp projection,
+   delta*, Psi(Y) feasibility, Tverberg search, OM(f) broadcast, Bracha
+   reliable broadcast, and the two consensus algorithms end-to-end). *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: the paper's tables                                          *)
+
+let reproduce_tables () =
+  Format.printf "==================================================@.";
+  Format.printf " Reproduction of paper results (tables & theorems)@.";
+  Format.printf "==================================================@.";
+  let tables = Experiments.run_all () in
+  List.iter (Experiments.print Format.std_formatter) tables;
+  let failed = List.filter (fun t -> not t.Experiments.all_ok) tables in
+  if failed = [] then
+    Format.printf "@.All %d experiments reproduced the paper's claims.@.@."
+      (List.length tables)
+  else
+    Format.printf "@.MISMATCHES: %s@.@."
+      (String.concat ", " (List.map (fun t -> t.Experiments.id) failed))
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: kernel micro-benchmarks                                     *)
+
+let rng = Rng.create 20_160_711
+
+(* Pre-generated workloads (construction excluded from timing). *)
+
+let lp_workload rows cols =
+  (* a bounded, feasible random LP *)
+  let constraints =
+    List.init rows (fun _ ->
+        Lp.( <= )
+          (Array.init cols (fun _ -> Rng.uniform rng ~lo:(-1.) ~hi:1.))
+          (Rng.uniform rng ~lo:1. ~hi:2.))
+    @ [ Lp.( <= ) (Array.make cols 1.) 10. ]
+  in
+  let objective = Array.init cols (fun _ -> Rng.uniform rng ~lo:0. ~hi:1.) in
+  (objective, constraints)
+
+let bench_lp ~rows ~cols =
+  let objective, constraints = lp_workload rows cols in
+  Test.make
+    ~name:(Printf.sprintf "lp_solve %dx%d" rows cols)
+    (Staged.stage (fun () ->
+         ignore
+           (Lp.solve ~maximize:true ~nvars:cols ~objective constraints)))
+
+let bench_minnorm ~n ~d =
+  let pts = Rng.cloud rng ~n ~dim:d ~lo:(-1.) ~hi:1. in
+  let q = Vec.make d 2. in
+  Test.make
+    ~name:(Printf.sprintf "minnorm n=%d d=%d" n d)
+    (Staged.stage (fun () -> ignore (Minnorm.dist2_to_hull pts q)))
+
+let bench_lp_project ~n ~d ~p =
+  let pts = Array.of_list (Rng.cloud rng ~n ~dim:d ~lo:(-1.) ~hi:1.) in
+  let q = Vec.make d 2. in
+  Test.make
+    ~name:(Printf.sprintf "lp_project p=%g n=%d d=%d" p n d)
+    (Staged.stage (fun () -> ignore (Frank_wolfe.lp_project ~p pts q)))
+
+let bench_delta_star ~d =
+  let s = Rng.simplex_vertices rng ~dim:d in
+  Test.make
+    ~name:(Printf.sprintf "delta_star simplex d=%d (closed form)" d)
+    (Staged.stage (fun () -> ignore (Delta_hull.delta_star ~p:2. ~f:1 s)))
+
+let bench_delta_star_iter ~n ~d =
+  let s = Rng.cloud rng ~n ~dim:d ~lo:0. ~hi:1. in
+  Test.make
+    ~name:(Printf.sprintf "delta_star iterative n=%d d=%d" n d)
+    (Staged.stage (fun () ->
+         ignore
+           (Delta_hull.delta_star ~iters:200 ~restarts:0 ~force_iterative:true
+              ~p:2. ~f:1 s)))
+
+let bench_psi ~d =
+  let y = Witnesses.thm3_inputs ~d ~gamma:1. ~eps:0.5 in
+  Test.make
+    ~name:(Printf.sprintf "psi_feasibility (thm3) d=%d" d)
+    (Staged.stage (fun () ->
+         ignore (K_hull.feasible_point ~d (K_hull.psi_region ~k:2 ~f:1 y))))
+
+let bench_tverberg ~n ~d ~f =
+  let pts = Rng.cloud rng ~n ~dim:d ~lo:0. ~hi:1. in
+  Test.make
+    ~name:(Printf.sprintf "tverberg n=%d d=%d f=%d" n d f)
+    (Staged.stage (fun () -> ignore (Tverberg.tverberg_point ~f pts)))
+
+let bench_gamma ~n ~d ~f =
+  let pts = Rng.cloud rng ~n ~dim:d ~lo:0. ~hi:1. in
+  Test.make
+    ~name:(Printf.sprintf "gamma_point n=%d d=%d f=%d" n d f)
+    (Staged.stage (fun () -> ignore (Tverberg.gamma_point ~f pts)))
+
+let bench_om ~n ~f =
+  let inputs = Array.init n (fun i -> Vec.make 3 (float_of_int i)) in
+  Test.make
+    ~name:(Printf.sprintf "om_broadcast_all n=%d f=%d" n f)
+    (Staged.stage (fun () ->
+         ignore
+           (Om.broadcast_all ~n ~f ~inputs ~default:(Vec.zero 3)
+              ~compare:Vec.compare_lex ())))
+
+let bench_bracha ~n ~f =
+  let inputs = Array.init n (fun i -> Vec.make 3 (float_of_int i)) in
+  Test.make
+    ~name:(Printf.sprintf "bracha_rbc n=%d f=%d" n f)
+    (Staged.stage (fun () ->
+         ignore (Bracha.broadcast_all ~n ~f ~inputs ~compare:Vec.compare_lex ())))
+
+let bench_algo_exact ~n ~d ~f ~validity ~label =
+  let inst = Problem.random_instance (Rng.split rng) ~n ~f ~d ~faulty:[ n - 1 ] in
+  Test.make
+    ~name:(Printf.sprintf "algo_exact %s n=%d d=%d f=%d" label n d f)
+    (Staged.stage (fun () -> ignore (Algo_exact.run inst ~validity ())))
+
+let bench_algo_async ~n ~d ~f =
+  let inst = Problem.random_instance (Rng.split rng) ~n ~f ~d ~faulty:[ n - 1 ] in
+  Test.make
+    ~name:(Printf.sprintf "algo_async input-dep n=%d d=%d f=%d" n d f)
+    (Staged.stage (fun () ->
+         ignore
+           (Algo_async.run inst
+              ~validity:(Problem.Input_dependent { p = 2. })
+              ~rounds:3 ~adversary:`Silent ())))
+
+let bench_polygon_inter ~n =
+  let polys =
+    List.init n (fun i ->
+        Polygon.of_points
+          (Rng.cloud rng ~n:6 ~dim:2 ~lo:(0.1 *. float_of_int i) ~hi:(2. +. (0.1 *. float_of_int i))))
+  in
+  Test.make
+    ~name:(Printf.sprintf "polygon_inter_all k=%d" n)
+    (Staged.stage (fun () -> ignore (Polygon.inter_all polys)))
+
+let bench_exact_lp () =
+  let d = 3 in
+  let y = Witnesses.thm3_inputs ~d ~gamma:1. ~eps:0.5 in
+  let nvars, free, rows =
+    K_hull.region_rows ~d (K_hull.psi_region ~k:2 ~f:1 y)
+  in
+  let exact_rows = Exact_lp.of_float_rows rows in
+  Test.make ~name:"exact_lp psi(thm3) d=3"
+    (Staged.stage (fun () ->
+         ignore (Exact_lp.is_feasible ~free ~nvars exact_rows)))
+
+let bench_iterative ~rounds =
+  let inst = Problem.random_instance (Rng.split rng) ~n:5 ~f:1 ~d:3 ~faulty:[ 4 ] in
+  Test.make
+    ~name:(Printf.sprintf "algo_iterative rounds=%d n=5 d=3" rounds)
+    (Staged.stage (fun () -> ignore (Algo_iterative.run inst ~rounds ())))
+
+let bench_hull_consensus () =
+  let inst = Problem.random_instance (Rng.split rng) ~n:5 ~f:1 ~d:2 ~faulty:[ 4 ] in
+  Test.make ~name:"hull_consensus n=5 d=2"
+    (Staged.stage (fun () -> ignore (Hull_consensus.run inst ())))
+
+let tests =
+  [
+    bench_lp ~rows:20 ~cols:20;
+    bench_lp ~rows:60 ~cols:60;
+    bench_lp ~rows:120 ~cols:120;
+    bench_minnorm ~n:8 ~d:4;
+    bench_minnorm ~n:32 ~d:8;
+    bench_lp_project ~n:8 ~d:4 ~p:3.;
+    bench_delta_star ~d:3;
+    bench_delta_star ~d:6;
+    bench_delta_star_iter ~n:4 ~d:4;
+    bench_psi ~d:3;
+    bench_psi ~d:5;
+    bench_tverberg ~n:5 ~d:2 ~f:1;
+    bench_tverberg ~n:7 ~d:2 ~f:2;
+    bench_gamma ~n:7 ~d:3 ~f:1;
+    bench_om ~n:4 ~f:1;
+    bench_om ~n:7 ~f:2;
+    bench_om ~n:10 ~f:2;
+    bench_bracha ~n:4 ~f:1;
+    bench_bracha ~n:7 ~f:2;
+    bench_algo_exact ~n:5 ~d:3 ~f:1 ~validity:Problem.Standard ~label:"standard";
+    bench_algo_exact ~n:4 ~d:3 ~f:1
+      ~validity:(Problem.Input_dependent { p = 2. })
+      ~label:"input-dep";
+    bench_algo_exact ~n:5 ~d:3 ~f:1 ~validity:(Problem.K_relaxed 2) ~label:"2-relaxed";
+    bench_algo_async ~n:4 ~d:2 ~f:1;
+    bench_polygon_inter ~n:4;
+    bench_polygon_inter ~n:10;
+    bench_exact_lp ();
+    bench_iterative ~rounds:10;
+    bench_hull_consensus ();
+  ]
+
+let run_benchmarks () =
+  Format.printf "==================================================@.";
+  Format.printf " Kernel micro-benchmarks (Bechamel)@.";
+  Format.printf "==================================================@.";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:(Some 100) ()
+  in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  Format.printf "%-45s %15s %10s@." "benchmark" "time/run" "r^2";
+  Format.printf "%s@." (String.make 72 '-');
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg instances elt in
+          let result = Analyze.one ols Instance.monotonic_clock raw in
+          let estimate =
+            match Analyze.OLS.estimates result with
+            | Some (e :: _) -> e
+            | _ -> nan
+          in
+          let r2 =
+            match Analyze.OLS.r_square result with Some r -> r | None -> nan
+          in
+          let pretty t =
+            if t >= 1e9 then Printf.sprintf "%.3f s" (t /. 1e9)
+            else if t >= 1e6 then Printf.sprintf "%.3f ms" (t /. 1e6)
+            else if t >= 1e3 then Printf.sprintf "%.3f us" (t /. 1e3)
+            else Printf.sprintf "%.1f ns" t
+          in
+          Format.printf "%-45s %15s %10.4f@." (Test.Elt.name elt)
+            (pretty estimate) r2)
+        (Test.elements test))
+    tests
+
+let () =
+  reproduce_tables ();
+  run_benchmarks ()

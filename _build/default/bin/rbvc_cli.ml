@@ -1,0 +1,337 @@
+(* Command-line interface to the Relaxed Byzantine Vector Consensus
+   reproduction: run single consensus instances, the full experiment
+   suite, or inspect the paper's lower-bound witnesses. *)
+
+open Cmdliner
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+(* ---------------- experiments ---------------- *)
+
+let experiments_cmd =
+  let only =
+    Arg.(
+      value & opt_all string []
+      & info [ "only" ] ~docv:"ID"
+          ~doc:
+            "Run only the given experiment id (repeatable). Known ids: E0-E19 \
+             and table1.")
+  in
+  let csv_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"DIR"
+          ~doc:"Also write each experiment's table as DIR/<id>.csv.")
+  in
+  let run seed only csv_dir =
+    let ids = if only = [] then Experiments.ids else only in
+    let tables = List.map (Experiments.run ~seed) ids in
+    List.iter (Experiments.print Format.std_formatter) tables;
+    (match csv_dir with
+    | None -> ()
+    | Some dir ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        List.iter
+          (fun t ->
+            let path = Filename.concat dir (t.Experiments.id ^ ".csv") in
+            let oc = open_out path in
+            output_string oc (Experiments.to_csv t);
+            close_out oc;
+            Format.printf "wrote %s@." path)
+          tables);
+    let failed = List.filter (fun t -> not t.Experiments.all_ok) tables in
+    if failed = [] then begin
+      Format.printf "@.All %d experiments reproduced the paper's claims.@."
+        (List.length tables);
+      0
+    end
+    else begin
+      Format.printf "@.%d experiment(s) did NOT reproduce: %s@."
+        (List.length failed)
+        (String.concat ", " (List.map (fun t -> t.Experiments.id) failed));
+      1
+    end
+  in
+  let term = Term.(const run $ seed_arg $ only $ csv_dir) in
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:
+         "Reproduce the paper's results: one experiment per theorem plus \
+          Table 1 (see DESIGN.md for the index).")
+    term
+
+(* ---------------- run ---------------- *)
+
+let validity_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "standard" ] -> Ok Problem.Standard
+    | [ "k"; k ] -> (
+        match int_of_string_opt k with
+        | Some k when k >= 1 -> Ok (Problem.K_relaxed k)
+        | _ -> Error (`Msg "k must be a positive integer"))
+    | [ "delta"; d; p ] -> (
+        match (float_of_string_opt d, float_of_string_opt p) with
+        | Some delta, Some p when delta >= 0. && p >= 1. ->
+            Ok (Problem.Delta_p { delta; p })
+        | _ -> Error (`Msg "expected delta:<delta>:<p>"))
+    | [ "input-dep"; p ] -> (
+        match float_of_string_opt p with
+        | Some p when p >= 1. -> Ok (Problem.Input_dependent { p })
+        | _ -> Error (`Msg "expected input-dep:<p>"))
+    | _ ->
+        Error
+          (`Msg
+            "validity is one of: standard | k:<k> | delta:<delta>:<p> | \
+             input-dep:<p>")
+  in
+  let print ppf v = Problem.pp_validity ppf v in
+  Arg.conv (parse, print)
+
+let run_cmd =
+  let n = Arg.(value & opt int 5 & info [ "n" ] ~doc:"Number of processes.") in
+  let f = Arg.(value & opt int 1 & info [ "f" ] ~doc:"Fault bound.") in
+  let d = Arg.(value & opt int 3 & info [ "d" ] ~doc:"Input dimension.") in
+  let validity =
+    Arg.(
+      value
+      & opt validity_conv Problem.Standard
+      & info [ "validity" ] ~docv:"V"
+          ~doc:
+            "Validity condition: standard, k:<k>, delta:<delta>:<p>, or \
+             input-dep:<p>.")
+  in
+  let async =
+    Arg.(
+      value & flag
+      & info [ "async" ]
+          ~doc:"Asynchronous system (approximate consensus) instead of \
+                synchronous (exact).")
+  in
+  let eps =
+    Arg.(
+      value & opt float 0.05
+      & info [ "eps" ] ~doc:"Agreement tolerance for --async.")
+  in
+  let nfaulty =
+    Arg.(
+      value & opt int 1
+      & info [ "faulty" ] ~doc:"Number of actually-faulty processes (<= f).")
+  in
+  let run seed n f d validity async eps nfaulty =
+    let rng = Rng.create seed in
+    let faulty = List.init (Int.min nfaulty f) (fun i -> n - 1 - i) in
+    let inst = Problem.random_instance rng ~n ~f ~d ~faulty in
+    Format.printf "Instance: n=%d f=%d d=%d faulty=[%s], validity=%a@." n f d
+      (String.concat "," (List.map string_of_int faulty))
+      Problem.pp_validity validity;
+    Array.iteri
+      (fun i v -> Format.printf "  input %d%s = %a@." i
+          (if Problem.is_faulty inst i then " (faulty)" else "")
+          Vec.pp v)
+      inst.Problem.inputs;
+    let out =
+      if async then
+        Runner.run_async inst ~validity ~eps
+          ~policy:(Async.Random_order seed) ~adversary:(`Skew 5.) ()
+      else
+        Runner.run_sync inst ~validity
+          ~corrupt:(fun src ~dst ~commander:_ ~path:_ v ->
+            Vec.axpy (0.25 *. float_of_int ((src + dst) mod 3)) (Vec.ones d) v)
+          ()
+    in
+    List.iteri
+      (fun i o -> Format.printf "  output %d = %a@." i Vec.pp o)
+      out.Runner.honest_outputs;
+    Format.printf "%a@." Runner.pp out;
+    if Runner.ok out then 0 else 1
+  in
+  let term =
+    Term.(const run $ seed_arg $ n $ f $ d $ validity $ async $ eps $ nfaulty)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Run one consensus instance end-to-end over the simulator, with a \
+          Byzantine adversary, and grade the outcome.")
+    term
+
+(* ---------------- witness ---------------- *)
+
+let witness_cmd =
+  let which =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("thm3", `T3); ("thm4", `T4); ("thm5", `T5);
+                            ("thm6", `T6) ])) None
+      & info [] ~docv:"THEOREM" ~doc:"One of: thm3, thm4, thm5, thm6.")
+  in
+  let d = Arg.(value & opt int 3 & info [ "d" ] ~doc:"Dimension (>= 3).") in
+  let run which d =
+    let print_inputs inputs =
+      List.iteri
+        (fun i v -> Format.printf "  s%d = %a@." (i + 1) Vec.pp v)
+        inputs
+    in
+    (match which with
+    | `T3 ->
+        let y = Witnesses.thm3_inputs ~d ~gamma:1. ~eps:0.5 in
+        Format.printf
+          "Theorem 3 witness (k=2, f=1, n=%d, gamma=1, eps=0.5):@." (d + 1);
+        print_inputs y;
+        let empty =
+          K_hull.feasible_point ~d (K_hull.psi_region ~k:2 ~f:1 y) = None
+        in
+        Format.printf "Psi(Y) empty (LP certificate): %b@." empty
+    | `T4 ->
+        let y = Witnesses.thm4_inputs ~d ~gamma:1. ~eps:0.2 in
+        Format.printf "Theorem 4 witness (k=2, f=1, n=%d):@." (d + 2);
+        print_inputs y;
+        let r1 = Witnesses.thm4_psi_region ~k:2 ~observer:0 y in
+        let r2 = Witnesses.thm4_psi_region ~k:2 ~observer:1 y in
+        (match (K_hull.coord_range ~d r1 0, K_hull.coord_range ~d r2 0) with
+        | Some (lo1, hi1), Some (lo2, hi2) ->
+            Format.printf
+              "coord 0: Psi1 in [%g, %g], Psi2 in [%g, %g] => separation %g \
+               >= 2 eps = %g@."
+              lo1 hi1 lo2 hi2 (lo1 -. hi2) 0.4
+        | _ -> Format.printf "unexpected empty region@.")
+    | `T5 ->
+        let delta = 0.1 in
+        let y = Witnesses.thm5_inputs ~d ~x:1. ~delta in
+        Format.printf "Theorem 5 witness ((delta,inf), f=1, n=%d, x=1):@."
+          (d + 1);
+        print_inputs y;
+        let empty =
+          Delta_hull.inf_region_point ~d
+            (Delta_hull.gamma_inf_region ~delta ~f:1 y)
+          = None
+        in
+        Format.printf
+          "output region empty at delta=%g (< x/2d = %g): %b@." delta
+          (1. /. (2. *. float_of_int d))
+          empty
+    | `T6 ->
+        let delta = 0.05 in
+        let y = Witnesses.thm6_inputs ~d ~x:1. ~delta ~eps:0.2 in
+        Format.printf "Theorem 6 witness ((delta,inf), f=1, n=%d):@." (d + 2);
+        print_inputs y;
+        let r1 = Witnesses.thm6_inf_region ~delta ~observer:0 y in
+        let r2 = Witnesses.thm6_inf_region ~delta ~observer:1 y in
+        (match
+           ( Delta_hull.inf_region_coord_range ~d r1 0,
+             Delta_hull.inf_region_coord_range ~d r2 0 )
+         with
+        | Some (lo1, _), Some (_, hi2) ->
+            Format.printf "coord 0 separation: %g > eps = 0.2@." (lo1 -. hi2)
+        | _ -> Format.printf "unexpected empty region@."));
+    0
+  in
+  let term = Term.(const run $ which $ d) in
+  Cmd.v
+    (Cmd.info "witness"
+       ~doc:
+         "Print a lower-bound witness construction and its LP certificate.")
+    term
+
+(* ---------------- bounds ---------------- *)
+
+let bounds_cmd =
+  let d = Arg.(value & opt int 3 & info [ "d" ] ~doc:"Input dimension.") in
+  let f = Arg.(value & opt int 1 & info [ "f" ] ~doc:"Fault bound.") in
+  let run d f =
+    Format.printf "Tight process-count bounds for d=%d, f=%d:@." d f;
+    Format.printf "  exact BVC (sync):              n >= %d@."
+      (Bounds.exact_bvc_min_n ~d ~f);
+    Format.printf "  approximate BVC (async):       n >= %d@."
+      (Bounds.approx_bvc_min_n ~d ~f);
+    Format.printf "  k-relaxed exact,  k = 1:       n >= %d@."
+      (Bounds.k_relaxed_exact_min_n ~d ~f ~k:1);
+    if d >= 2 then
+      Format.printf "  k-relaxed exact,  2<=k<=d:     n >= %d@."
+        (Bounds.k_relaxed_exact_min_n ~d ~f ~k:(Int.min 2 d));
+    Format.printf "  (delta,p) exact, const delta:  n >= %d@."
+      (Bounds.const_delta_exact_min_n ~d ~f);
+    Format.printf "  input-dependent delta:         n >= %d@."
+      (Bounds.input_dependent_min_n ~f);
+    if f >= 1 && (3 * f) + 1 <= (d + 1) * f then begin
+      Format.printf "Input-dependent delta upper bounds (Table 1):@.";
+      List.iter
+        (fun n ->
+          if n >= (3 * f) + 1 && n <= (d + 1) * f then
+            Format.printf "  n = %d: delta* < %s@." n
+              (Bounds.table1_cell ~n ~f ~d))
+        (List.init ((d + 1) * f) (fun i -> i + 1))
+    end;
+    0
+  in
+  let term = Term.(const run $ d $ f) in
+  Cmd.v
+    (Cmd.info "bounds"
+       ~doc: "Print the paper's tight bounds for a given dimension and fault \
+              budget.")
+    term
+
+(* ---------------- save / replay ---------------- *)
+
+let save_cmd =
+  let path =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"Output JSON path.")
+  in
+  let n = Arg.(value & opt int 5 & info [ "n" ] ~doc:"Number of processes.") in
+  let f = Arg.(value & opt int 1 & info [ "f" ] ~doc:"Fault bound.") in
+  let d = Arg.(value & opt int 3 & info [ "d" ] ~doc:"Input dimension.") in
+  let run seed path n f d =
+    let rng = Rng.create seed in
+    let inst = Problem.random_instance rng ~n ~f ~d ~faulty:[ n - 1 ] in
+    Persist.save_instance path inst;
+    Format.printf "wrote %s (n=%d f=%d d=%d)@." path n f d;
+    0
+  in
+  Cmd.v
+    (Cmd.info "save"
+       ~doc:"Generate a random instance and save it as JSON (floats are \
+             bit-exact, so replays reproduce executions).")
+    Term.(const run $ seed_arg $ path $ n $ f $ d)
+
+let replay_cmd =
+  let path =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"Instance JSON written by the save command.")
+  in
+  let validity =
+    Arg.(
+      value
+      & opt validity_conv (Problem.Input_dependent { p = 2. })
+      & info [ "validity" ] ~docv:"V" ~doc:"Validity condition.")
+  in
+  let run path validity =
+    match Persist.load_instance path with
+    | Error e ->
+        Format.eprintf "cannot load %s: %s@." path e;
+        1
+    | Ok inst ->
+        Format.printf "replaying %s: n=%d f=%d d=%d@." path inst.Problem.n
+          inst.Problem.f inst.Problem.d;
+        let out = Runner.run_sync inst ~validity () in
+        Format.printf "%a@." Runner.pp out;
+        if Runner.ok out then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Load a saved instance and re-run the synchronous algorithm on \
+             it (deterministic: identical outputs every time).")
+    Term.(const run $ path $ validity)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "rbvc" ~version:"1.0.0"
+       ~doc:
+         "Relaxed Byzantine Vector Consensus (Xiang & Vaidya, SPAA 2016) — \
+          reproduction toolkit.")
+    [ experiments_cmd; run_cmd; witness_cmd; bounds_cmd; save_cmd; replay_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,1 @@
+examples/algorithm_comparison.ml: Adversary Algo_iterative Array Format Hull Hull_consensus List Polygon Problem Rng Runner Trace Vec

@@ -1,0 +1,1 @@
+examples/async_swarm.ml: Async Bounds Format List Problem Rng Runner String Vec

@@ -1,0 +1,1 @@
+examples/lower_bound_gallery.ml: Delta_hull Format K_hull List Tverberg Vec Witnesses

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bounds Format Problem Rng Runner Vec

@@ -1,0 +1,1 @@
+examples/schedule_hunt.ml: Array Async Explore Format List Option String

@@ -1,0 +1,1 @@
+examples/sensor_fusion.ml: Array Bounds Format Hull List Problem Rng Runner Vec

@@ -1,0 +1,86 @@
+(* A gallery of the paper's impossibility witnesses, each rendered as an
+   explicit input matrix together with the machine-checked certificate
+   that no algorithm could have produced a valid output (or could not
+   have satisfied epsilon-agreement).
+
+   Run with:  dune exec examples/lower_bound_gallery.exe *)
+
+let print_inputs inputs =
+  List.iteri (fun i v -> Format.printf "   s%d = %a@." (i + 1) Vec.pp v) inputs
+
+let () =
+  let d = 4 in
+  Format.printf "== Lower-bound witness gallery (d = %d) ==@." d;
+
+  Format.printf
+    "@.-- Theorem 3: k-relaxed exact BVC, k = 2, f = 1, n = d+1 = %d --@."
+    (d + 1);
+  let y3 = Witnesses.thm3_inputs ~d ~gamma:1. ~eps:0.5 in
+  print_inputs y3;
+  let psi = K_hull.psi_region ~k:2 ~f:1 y3 in
+  Format.printf
+    "   Psi(Y) = intersection of H_2(T) over all %d-subsets: %s@."
+    d
+    (match K_hull.feasible_point ~d psi with
+    | None -> "EMPTY (LP infeasibility certificate) — no valid output exists"
+    | Some p -> Format.asprintf "non-empty?! %a" Vec.pp p);
+
+  Format.printf
+    "@.-- Theorem 4: async k-relaxed, k = 2, f = 1, n = d+2 = %d --@." (d + 2);
+  let y4 = Witnesses.thm4_inputs ~d ~gamma:1. ~eps:0.2 in
+  print_inputs y4;
+  let r1 = Witnesses.thm4_psi_region ~k:2 ~observer:0 y4 in
+  let r2 = Witnesses.thm4_psi_region ~k:2 ~observer:1 y4 in
+  (match (K_hull.coord_range ~d r1 0, K_hull.coord_range ~d r2 0) with
+  | Some (lo1, _), Some (_, hi2) ->
+      Format.printf
+        "   process 1 must output coord0 >= %.2f, process 2 must output \
+         coord0 <= %.2f:@.   disagreement >= %.2f > 2 eps = %.2f — \
+         eps-agreement impossible@."
+        lo1 hi2 (lo1 -. hi2) 0.4
+  | _ -> assert false);
+
+  Format.printf
+    "@.-- Theorem 5: (delta,inf)-relaxed exact, f = 1, n = d+1 = %d --@."
+    (d + 1);
+  let delta = 0.1 in
+  let y5 = Witnesses.thm5_inputs ~d ~x:1. ~delta in
+  print_inputs y5;
+  Format.printf
+    "   with delta = %.2f < x/2d = %.3f the output region is %s@." delta
+    (1. /. (2. *. float_of_int d))
+    (match
+       Delta_hull.inf_region_point ~d
+         (Delta_hull.gamma_inf_region ~delta ~f:1 y5)
+     with
+    | None -> "EMPTY — constant-delta relaxation does not reduce n"
+    | Some _ -> "non-empty?!");
+
+  Format.printf
+    "@.-- Theorem 6: async (delta,inf)-relaxed, f = 1, n = d+2 = %d --@."
+    (d + 2);
+  let delta6 = 0.05 in
+  let y6 = Witnesses.thm6_inputs ~d ~x:1. ~delta:delta6 ~eps:0.2 in
+  print_inputs y6;
+  let q1 = Witnesses.thm6_inf_region ~delta:delta6 ~observer:0 y6 in
+  let q2 = Witnesses.thm6_inf_region ~delta:delta6 ~observer:1 y6 in
+  (match
+     ( Delta_hull.inf_region_coord_range ~d q1 0,
+       Delta_hull.inf_region_coord_range ~d q2 0 )
+   with
+  | Some (lo1, _), Some (_, hi2) ->
+      Format.printf
+        "   coord0 separation between processes 1 and 2: %.3f > eps = 0.2 — \
+         eps-agreement impossible@."
+        (lo1 -. hi2)
+  | _ -> assert false);
+
+  Format.printf
+    "@.-- Tverberg tightness (Section 8): n = (d+1)f points can fail --@.";
+  let mc = Tverberg.moment_curve_points ~d:2 ~n:3 in
+  Format.printf "   moment-curve points in the plane (d=2, f=1, n=3):@.";
+  print_inputs mc;
+  Format.printf "   Tverberg partition into 2 parts: %s@."
+    (match Tverberg.tverberg_partition ~parts:2 mc with
+    | None -> "none exists — Gamma(Y) empty, matching the (d+1)f bound"
+    | Some _ -> "found?!")

@@ -1,0 +1,1 @@
+lib/broadcast/bracha.ml: Array Async Hashtbl List

@@ -1,0 +1,1 @@
+lib/broadcast/bracha.mli: Adversary Async

@@ -1,0 +1,1 @@
+lib/broadcast/om.ml: Adversary Array Hashtbl List Option Stdlib Sync

@@ -1,0 +1,1 @@
+lib/broadcast/om.mli: Trace

@@ -1,0 +1,93 @@
+type 'v msg =
+  | Initial of { originator : int; value : 'v }
+  | Echo of { originator : int; value : 'v }
+  | Ready of { originator : int; value : 'v }
+
+(* Per-(process, originator) instance state. Sender sets are tracked per
+   value so a Byzantine originator equivocating cannot assemble a quorum
+   from mixed values. *)
+type 'v instance = {
+  mutable echoed : bool;
+  mutable readied : bool;
+  mutable delivered : 'v option;
+  echo_senders : ('v * int, unit) Hashtbl.t;  (* (value, sender) present *)
+  ready_senders : ('v * int, unit) Hashtbl.t;
+}
+
+let fresh_instance () =
+  {
+    echoed = false;
+    readied = false;
+    delivered = None;
+    echo_senders = Hashtbl.create 17;
+    ready_senders = Hashtbl.create 17;
+  }
+
+let count_for tbl ~compare v =
+  Hashtbl.fold
+    (fun (v', _) () acc -> if compare v v' = 0 then acc + 1 else acc)
+    tbl 0
+
+let broadcast_all ~n ~f ~inputs ?(faulty = []) ?adversary ?policy ?max_steps
+    ~compare () =
+  if Array.length inputs <> n then
+    invalid_arg "Bracha.broadcast_all: need n inputs";
+  if n < (3 * f) + 1 then
+    invalid_arg "Bracha.broadcast_all: requires n >= 3f + 1";
+  let echo_quorum = ((n + f) / 2) + 1 in
+  let ready_from_echo = echo_quorum in
+  let ready_amplify = f + 1 in
+  let deliver_quorum = (2 * f) + 1 in
+  let instances = Array.init n (fun _ -> Array.init n (fun _ -> fresh_instance ())) in
+  let everyone = List.init n (fun i -> i) in
+  let to_all m = List.map (fun dst -> (dst, m)) everyone in
+  let make_actor me =
+    let inst o = instances.(me).(o) in
+    let start () = to_all (Initial { originator = me; value = inputs.(me) }) in
+    let on_message ~src msg =
+      match msg with
+      | Initial { originator; value } ->
+          (* Only the originator itself may introduce its value. *)
+          if src <> originator then []
+          else begin
+            let st = inst originator in
+            if st.echoed then []
+            else begin
+              st.echoed <- true;
+              to_all (Echo { originator; value })
+            end
+          end
+      | Echo { originator; value } ->
+          let st = inst originator in
+          Hashtbl.replace st.echo_senders (value, src) ();
+          if
+            (not st.readied)
+            && count_for st.echo_senders ~compare value >= ready_from_echo
+          then begin
+            st.readied <- true;
+            to_all (Ready { originator; value })
+          end
+          else []
+      | Ready { originator; value } ->
+          let st = inst originator in
+          Hashtbl.replace st.ready_senders (value, src) ();
+          let c = count_for st.ready_senders ~compare value in
+          let out =
+            if (not st.readied) && c >= ready_amplify then begin
+              st.readied <- true;
+              to_all (Ready { originator; value })
+            end
+            else []
+          in
+          if st.delivered = None && c >= deliver_quorum then
+            st.delivered <- Some value;
+          out
+    in
+    { Async.start; on_message }
+  in
+  let actors = Array.init n make_actor in
+  let outcome = Async.run ~n ~actors ~faulty ?adversary ?policy ?max_steps () in
+  let deliveries =
+    Array.init n (fun p -> Array.init n (fun o -> instances.(p).(o).delivered))
+  in
+  (deliveries, outcome)

@@ -1,0 +1,35 @@
+(** Bracha's asynchronous reliable broadcast (Bracha 1987) over the
+    asynchronous simulator — the primitive "[4]" that the paper's
+    Relaxed Verified Averaging algorithm builds on (Section 10).
+
+    Guarantees for [n >= 3f + 1] under a fair scheduler:
+    - {b Validity}: if the originator is non-faulty, every non-faulty
+      process eventually delivers its value;
+    - {b Agreement (totality)}: if one non-faulty process delivers [v]
+      from originator [o], every non-faulty process delivers [v] from
+      [o]; no two non-faulty processes deliver different values for the
+      same originator.
+
+    Quorums: ECHO on first INITIAL; READY on [ceil((n+f+1)/2)] matching
+    ECHOs or [f+1] matching READYs; deliver on [2f+1] matching READYs. *)
+
+type 'v msg =
+  | Initial of { originator : int; value : 'v }
+  | Echo of { originator : int; value : 'v }
+  | Ready of { originator : int; value : 'v }
+
+val broadcast_all :
+  n:int ->
+  f:int ->
+  inputs:'v array ->
+  ?faulty:int list ->
+  ?adversary:'v msg Adversary.t ->
+  ?policy:Async.policy ->
+  ?max_steps:int ->
+  compare:('v -> 'v -> int) ->
+  unit ->
+  'v option array array * Async.outcome
+(** Every process RB-broadcasts its input. [result.(p).(o)] is the value
+    process [p] delivered for originator [o] ([None] if undelivered when
+    the run ended). With non-faulty [o], all non-faulty [p] deliver
+    [inputs.(o)]. *)

@@ -1,0 +1,175 @@
+type 'v entry = { commander : int; path : int list; value : 'v }
+type 'v corruption = dst:int -> commander:int -> path:int list -> 'v -> 'v
+
+let majority ~compare ~default values =
+  let sorted = List.sort compare values in
+  let total = List.length sorted in
+  let rec scan best best_count current count = function
+    | [] ->
+        let best, best_count =
+          if count > best_count then (current, count) else (best, best_count)
+        in
+        (best, best_count)
+    | v :: rest -> (
+        match current with
+        | Some c when compare c v = 0 -> scan best best_count current (count + 1) rest
+        | _ ->
+            let best, best_count =
+              if count > best_count then (current, count) else (best, best_count)
+            in
+            scan best best_count (Some v) 1 rest)
+  in
+  match scan None 0 None 0 sorted with
+  | Some v, c when 2 * c > total -> v
+  | _ -> default
+
+(* Per-process protocol state. *)
+type 'v state = {
+  me : int;
+  n : int;
+  f : int;
+  store : (int * int list, 'v) Hashtbl.t;  (** (commander, path) -> value *)
+  mutable to_relay : 'v entry list;  (** received last round, |path| = round *)
+  own : (int * 'v) list;  (** commanders this process plays, with values *)
+}
+
+let valid_entry st ~round ~src e =
+  let len = List.length e.path in
+  len = round + 1
+  && (match List.rev e.path with last :: _ -> last = src | [] -> false)
+  && (match e.path with c :: _ -> c = e.commander | [] -> false)
+  && (not (List.mem st.me e.path))
+  && List.length (List.sort_uniq Stdlib.compare e.path) = len
+  && List.for_all (fun q -> q >= 0 && q < st.n) e.path
+
+let make_actor st =
+  let send ~round =
+    if round = 0 then
+      List.concat_map
+        (fun (c, v) ->
+          assert (c = st.me);
+          List.filter_map
+            (fun dst ->
+              if dst = st.me then None
+              else Some (dst, [ { commander = c; path = [ c ]; value = v } ]))
+            (List.init st.n (fun i -> i)))
+        st.own
+    else if round <= st.f then begin
+      let entries = st.to_relay in
+      st.to_relay <- [];
+      (* group relays by destination *)
+      let boxes = Array.make st.n [] in
+      List.iter
+        (fun e ->
+          let path' = e.path @ [ st.me ] in
+          for dst = 0 to st.n - 1 do
+            if dst <> st.me && not (List.mem dst path') then
+              boxes.(dst) <- { e with path = path' } :: boxes.(dst)
+          done)
+        entries;
+      List.filter_map
+        (fun dst ->
+          match boxes.(dst) with [] -> None | es -> Some (dst, List.rev es))
+        (List.init st.n (fun i -> i))
+    end
+    else []
+  in
+  let recv ~round batch =
+    List.iter
+      (fun (src, entries) ->
+        List.iter
+          (fun e ->
+            if valid_entry st ~round ~src e then begin
+              let key = (e.commander, e.path) in
+              if not (Hashtbl.mem st.store key) then begin
+                Hashtbl.add st.store key e.value;
+                if round < st.f then st.to_relay <- e :: st.to_relay
+              end
+            end)
+          entries)
+      batch
+  in
+  { Sync.send; recv }
+
+let decide st ~compare ~default ~commander =
+  match List.assoc_opt commander st.own with
+  | Some v -> v
+  | None ->
+      let rec compute path =
+        let stored =
+          Option.value
+            (Hashtbl.find_opt st.store (commander, path))
+            ~default
+        in
+        if List.length path = st.f + 1 then stored
+        else begin
+          let children =
+            List.filter_map
+              (fun q ->
+                if q = st.me || List.mem q path then None
+                else Some (compute (path @ [ q ])))
+              (List.init st.n (fun i -> i))
+          in
+          majority ~compare ~default (stored :: children)
+        end
+      in
+      compute [ commander ]
+
+let run_protocol ~n ~f ~commanders ?(faulty = []) ?corrupt ()
+    =
+  if n < 1 then invalid_arg "Om: n must be positive";
+  if f < 0 || f >= n then invalid_arg "Om: need 0 <= f < n";
+  let states =
+    Array.init n (fun me ->
+        {
+          me;
+          n;
+          f;
+          store = Hashtbl.create 97;
+          to_relay = [];
+          own =
+            List.filter_map
+              (fun (c, v) -> if c = me then Some (c, v) else None)
+              commanders;
+        })
+  in
+  let actors = Array.map make_actor states in
+  let adversary =
+    match corrupt with
+    | None -> Adversary.honest
+    | Some corrupt ->
+        fun ~round:_ ~src ~dst msg ->
+          Option.map
+            (List.map (fun e ->
+                 {
+                   e with
+                   value =
+                     (corrupt src) ~dst ~commander:e.commander ~path:e.path
+                       e.value;
+                 }))
+            msg
+  in
+  let trace = Sync.run ~n ~rounds:(f + 1) ~actors ~faulty ~adversary () in
+  (states, trace)
+
+let broadcast ~n ~f ~commander ~value ?faulty ?corrupt ~default ~compare () =
+  let states, trace =
+    run_protocol ~n ~f
+      ~commanders:[ (commander, value) ]
+      ?faulty ?corrupt ()
+  in
+  (Array.map (fun st -> decide st ~compare ~default ~commander) states, trace)
+
+let broadcast_all ~n ~f ~inputs ?faulty ?corrupt ~default ~compare () =
+  if Array.length inputs <> n then invalid_arg "Om.broadcast_all: need n inputs";
+  let commanders = Array.to_list (Array.mapi (fun c v -> (c, v)) inputs) in
+  let states, trace =
+    run_protocol ~n ~f ~commanders ?faulty ?corrupt ()
+  in
+  let decisions =
+    Array.map
+      (fun st ->
+        Array.init n (fun commander -> decide st ~compare ~default ~commander))
+      states
+  in
+  (decisions, trace)

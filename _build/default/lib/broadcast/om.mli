@@ -1,0 +1,55 @@
+(** Byzantine broadcast: the recursive Oral Messages algorithm OM(f) of
+    Lamport, Shostak and Pease, run over the synchronous simulator.
+
+    This is "any Byzantine broadcast algorithm, such as [12]" invoked by
+    Step 1 of algorithm ALGO (Section 9): for [n >= 3f + 1] every
+    non-faulty process decides the same value for each commander
+    (Agreement), equal to the commander's input when the commander is
+    non-faulty (Validity). Messages carry their relay path; process [p]
+    evaluates the classic recursive majority over the path tree.
+
+    Complexity is O(n^f) messages per commander — exactly the textbook
+    algorithm, practical for the paper's small-n regimes. *)
+
+type 'v entry = { commander : int; path : int list; value : 'v }
+(** One in-flight relay: [value] as vouched for by the chain [path]
+    (commander first, most recent relayer last). *)
+
+type 'v corruption = dst:int -> commander:int -> path:int list -> 'v -> 'v
+(** Value corruption applied by a faulty relayer, per destination —
+    equivocation at the value level. Identity = faulty-but-obedient, the
+    restricted adversary of the paper's necessity proofs. *)
+
+val broadcast :
+  n:int ->
+  f:int ->
+  commander:int ->
+  value:'v ->
+  ?faulty:int list ->
+  ?corrupt:(int -> 'v corruption) ->
+  default:'v ->
+  compare:('v -> 'v -> int) ->
+  unit ->
+  'v array * Trace.t
+(** One commander broadcasting one value: returns each process's decided
+    value (index = process id; the commander decides its own input). *)
+
+val broadcast_all :
+  n:int ->
+  f:int ->
+  inputs:'v array ->
+  ?faulty:int list ->
+  ?corrupt:(int -> 'v corruption) ->
+  default:'v ->
+  compare:('v -> 'v -> int) ->
+  unit ->
+  'v array array * Trace.t
+(** All processes broadcast their inputs simultaneously (one executor
+    run, messages tagged by commander). [result.(p).(c)] is process
+    [p]'s decision for commander [c] — the multiset [S] of ALGO Step 1
+    as seen by [p]. Agreement guarantees rows of non-faulty processes
+    are identical when [n >= 3f + 1]. *)
+
+val majority : compare:('v -> 'v -> int) -> default:'v -> 'v list -> 'v
+(** Strict majority value, or [default] when none exists (ties
+    included) — the OM reduction step, exposed for tests. *)

@@ -1,0 +1,1 @@
+lib/core/algo_async.ml: Adversary Algo_exact Array Async Hashtbl List Marshal Multiset Option Problem Vec

@@ -1,0 +1,1 @@
+lib/core/algo_async.mli: Async Problem Vec

@@ -1,0 +1,1 @@
+lib/core/algo_exact.ml: Array Delta_hull Float K_hull List Om Option Problem Scalar_consensus Trace Tverberg Vec

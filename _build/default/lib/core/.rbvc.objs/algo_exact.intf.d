@@ -1,0 +1,1 @@
+lib/core/algo_exact.mli: Om Problem Trace Vec

@@ -1,0 +1,1 @@
+lib/core/algo_iterative.ml: Array Float Fun List Problem Sync Trace Tverberg Vec

@@ -1,0 +1,1 @@
+lib/core/algo_iterative.mli: Adversary Problem Trace Vec

@@ -1,0 +1,1 @@
+lib/core/algo_k1_async.ml: Algo_async Array Async Float List Option Problem Trace Vec

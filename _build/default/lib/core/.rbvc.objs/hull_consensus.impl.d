@@ -1,0 +1,1 @@
+lib/core/hull_consensus.ml: Array Delta_hull List Om Polygon Problem Trace Vec

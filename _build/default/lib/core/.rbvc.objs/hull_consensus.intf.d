@@ -1,0 +1,1 @@
+lib/core/hull_consensus.mli: Om Polygon Problem Trace Vec

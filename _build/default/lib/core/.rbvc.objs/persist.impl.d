@@ -1,0 +1,1 @@
+lib/core/persist.ml: Array Buffer Char Float List Printf Problem Result String Vec

@@ -1,0 +1,1 @@
+lib/core/problem.ml: Array Bounds Format List Rng Vec

@@ -1,0 +1,1 @@
+lib/core/runner.ml: Algo_async Algo_exact Array Async Bounds Float Format List Problem Trace Validity Vec

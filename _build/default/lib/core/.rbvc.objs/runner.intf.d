@@ -1,0 +1,1 @@
+lib/core/runner.mli: Async Format Om Problem Validity Vec

@@ -1,0 +1,1 @@
+lib/core/scalar_consensus.ml: Array Float List Om

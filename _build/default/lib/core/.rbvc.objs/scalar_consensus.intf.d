@@ -1,0 +1,1 @@
+lib/core/scalar_consensus.mli: Om Trace

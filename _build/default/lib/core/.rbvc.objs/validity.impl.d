@@ -1,0 +1,1 @@
+lib/core/validity.ml: Array Bounds Float Format Hull K_hull List Printf Vec

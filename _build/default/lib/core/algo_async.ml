@@ -1,0 +1,349 @@
+type payload = { value : Vec.t; justification : int list }
+
+type key = int * int (* round, originator *)
+
+type msg =
+  | Initial of { key : key; payload : payload }
+  | Echo of { key : key; payload : payload }
+  | Ready of { key : key; payload : payload }
+
+type report = {
+  outputs : Vec.t option array;
+  delta_used : float array;
+  rounds : int;
+  outcome : Async.outcome;
+}
+
+let rounds_for_eps ~n ~f ~eps ~initial_spread =
+  if eps <= 0. then invalid_arg "Algo_async.rounds_for_eps: eps must be > 0";
+  if f = 0 then 1
+  else begin
+    let gamma = float_of_int f /. float_of_int (n - f) in
+    let rec go r spread =
+      if spread <= eps || r >= 60 then r else go (r + 1) (spread *. gamma)
+    in
+    go 1 initial_spread
+  end
+
+let payload_compare a b =
+  let c = Vec.compare_lex a.value b.value in
+  if c <> 0 then c else compare a.justification b.justification
+
+(* Reliable-broadcast bookkeeping for one (round, originator) instance. *)
+type rb_inst = {
+  mutable echoed : bool;
+  mutable readied : bool;
+  mutable rb_delivered : bool;
+  mutable echoes : (payload * int) list;  (* (payload, sender) *)
+  mutable readies : (payload * int) list;
+}
+
+type proc = {
+  me : int;
+  n : int;
+  f : int;
+  total_rounds : int;
+  greedy : bool;
+      (** Byzantine-but-verifiable: picks the admissible justification
+          set whose value is farthest from the crowd, instead of the
+          canonical one. Receivers still verify it — this is the
+          strongest behaviour the verification layer permits. *)
+  validity : Problem.validity;
+  rb : (key, rb_inst) Hashtbl.t;
+  verified : (key, Vec.t) Hashtbl.t;
+  mutable pending : (key * payload) list;  (* delivered, not yet verified *)
+  mutable my_round : int;  (* last round index broadcast *)
+  mutable decided : Vec.t option;
+  mutable delta_used : float;
+}
+
+let rb_instance p k =
+  match Hashtbl.find_opt p.rb k with
+  | Some i -> i
+  | None ->
+      let i =
+        {
+          echoed = false;
+          readied = false;
+          rb_delivered = false;
+          echoes = [];
+          readies = [];
+        }
+      in
+      Hashtbl.add p.rb k i;
+      i
+
+let count_matching payload entries =
+  (* distinct senders vouching for exactly this payload *)
+  List.length
+    (List.sort_uniq compare
+       (List.filter_map
+          (fun (pl, s) -> if payload_compare pl payload = 0 then Some s else None)
+          entries))
+
+(* The deterministic combination rule of Definition 12, shared by the
+   sender (to compute) and every receiver (to verify). Memoized: all
+   verifiers of the same (round, justified values) recompute the same
+   thing. *)
+let make_combine ~validity ~f =
+  let cache : (string, (Vec.t * float) option) Hashtbl.t = Hashtbl.create 64 in
+  fun ~round (vals : Vec.t list) ->
+    if round >= 2 then Some (Vec.centroid vals, 0.)
+    else begin
+      let digest = Marshal.to_string (round, vals) [] in
+      match Hashtbl.find_opt cache digest with
+      | Some r -> r
+      | None ->
+          let r = Algo_exact.choose_output ~validity ~f vals in
+          Hashtbl.add cache digest r;
+          r
+    end
+
+let run (inst : Problem.instance) ~validity ~rounds ?policy
+    ?(adversary = `Obedient) ?max_steps () =
+  let { Problem.n; f; d; inputs; faulty } = inst in
+  if rounds < 1 then invalid_arg "Algo_async.run: need rounds >= 1";
+  if n < (3 * f) + 1 then invalid_arg "Algo_async.run: requires n >= 3f + 1";
+  let combine = make_combine ~validity ~f in
+  let echo_quorum = ((n + f) / 2) + 1 in
+  let ready_amplify = f + 1 in
+  let deliver_quorum = (2 * f) + 1 in
+  let everyone = List.init n (fun i -> i) in
+  let procs =
+    Array.init n (fun me ->
+        {
+          me;
+          n;
+          f;
+          total_rounds = rounds;
+          greedy = (adversary = `Greedy && List.mem me faulty);
+          validity;
+          rb = Hashtbl.create 97;
+          verified = Hashtbl.create 97;
+          pending = [];
+          my_round = 0;
+          decided = None;
+          delta_used = 0.;
+        })
+  in
+  let to_all m = List.map (fun dst -> (dst, m)) everyone in
+
+  (* Can (round, payload) be verified from p's verified table right now?
+     Returns [Some (Ok value)] (valid), [Some (Error ())] (provably
+     bogus), or [None] (prerequisites still missing). *)
+  let try_verify p ((t, _q), payload) =
+    if t = 0 then
+      (* any input claim is legitimate *)
+      if payload.justification = [] then Some (Ok payload.value)
+      else Some (Error ())
+    else begin
+      let just = payload.justification in
+      let sorted = List.sort_uniq compare just in
+      if
+        List.length just <> n - f
+        || List.length sorted <> n - f
+        || List.exists (fun j -> j < 0 || j >= n) sorted
+      then Some (Error ())
+      else begin
+        let prereqs =
+          List.map (fun j -> Hashtbl.find_opt p.verified (t - 1, j)) sorted
+        in
+        if List.exists Option.is_none prereqs then None
+        else begin
+          let vals = List.map Option.get prereqs in
+          match combine ~round:t vals with
+          | Some (expected, _) when Vec.equal ~eps:1e-9 expected payload.value
+            ->
+              Some (Ok payload.value)
+          | Some _ | None -> Some (Error ())
+        end
+      end
+    end
+  in
+
+  (* Progress: broadcast the next round's value / decide, as long as
+     enough verified values of the current round exist. Returns sends. *)
+  let rec try_advance p =
+    if p.decided <> None || p.my_round >= p.total_rounds then []
+    else begin
+      let r = p.my_round in
+      let avail =
+        List.filter_map
+          (fun q ->
+            Option.map (fun v -> (q, v)) (Hashtbl.find_opt p.verified (r, q)))
+          everyone
+      in
+      if List.length avail < n - f then []
+      else begin
+        let pick_canonical () = List.filteri (fun i _ -> i < n - f) avail in
+        let used =
+          if not p.greedy then pick_canonical ()
+          else begin
+            (* the farthest admissible choice from the crowd's mean *)
+            let mean = Vec.centroid (List.map snd avail) in
+            let candidates =
+              Multiset.choose_indices (List.length avail) (n - f)
+            in
+            let score idxs =
+              let sel = List.map (List.nth avail) idxs in
+              match combine ~round:(r + 1) (List.map snd sel) with
+              | Some (v, _) -> Some (Vec.dist2 v mean, sel)
+              | None -> None
+            in
+            match List.filter_map score candidates with
+            | [] -> pick_canonical ()
+            | scored ->
+                snd
+                  (List.fold_left
+                     (fun (bs, bsel) (sc, sel) ->
+                       if sc > bs then (sc, sel) else (bs, bsel))
+                     (List.hd scored) (List.tl scored))
+          end
+        in
+        let just = List.map fst used in
+        let vals = List.map snd used in
+        match combine ~round:(r + 1) vals with
+        | None -> [] (* required region empty: cannot proceed *)
+        | Some (next, delta) ->
+            if r + 1 = 1 then p.delta_used <- delta;
+            if r + 1 = p.total_rounds then begin
+              p.decided <- Some next;
+              []
+            end
+            else begin
+              p.my_round <- r + 1;
+              let payload = { value = next; justification = just } in
+              to_all (Initial { key = (r + 1, p.me); payload })
+              @ try_advance p
+            end
+      end
+    end
+  in
+
+  let drain_pending p =
+    let sends = ref [] in
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      let still = ref [] in
+      List.iter
+        (fun entry ->
+          match try_verify p entry with
+          | None -> still := entry :: !still
+          | Some (Error ()) -> ()
+          | Some (Ok value) ->
+              let (t, q), _ = entry in
+              if not (Hashtbl.mem p.verified (t, q)) then begin
+                Hashtbl.add p.verified (t, q) value;
+                progress := true
+              end)
+        p.pending;
+      p.pending <- List.rev !still;
+      if !progress then sends := !sends @ try_advance p
+    done;
+    !sends
+  in
+
+  let on_rb_delivery p key payload =
+    p.pending <- (key, payload) :: p.pending;
+    drain_pending p
+  in
+
+  let handle p ~src msg =
+    match msg with
+    | Initial { key = (_, originator) as key; payload } ->
+        if src <> originator then []
+        else begin
+          let i = rb_instance p key in
+          if i.echoed then []
+          else begin
+            i.echoed <- true;
+            to_all (Echo { key; payload })
+          end
+        end
+    | Echo { key; payload } ->
+        let i = rb_instance p key in
+        i.echoes <- (payload, src) :: i.echoes;
+        if (not i.readied) && count_matching payload i.echoes >= echo_quorum
+        then begin
+          i.readied <- true;
+          to_all (Ready { key; payload })
+        end
+        else []
+    | Ready { key; payload } ->
+        let i = rb_instance p key in
+        i.readies <- (payload, src) :: i.readies;
+        let c = count_matching payload i.readies in
+        let out =
+          if (not i.readied) && c >= ready_amplify then begin
+            i.readied <- true;
+            to_all (Ready { key; payload })
+          end
+          else []
+        in
+        if (not i.rb_delivered) && c >= deliver_quorum then begin
+          i.rb_delivered <- true;
+          out @ on_rb_delivery p key payload
+        end
+        else out
+  in
+
+  let make_actor me =
+    let p = procs.(me) in
+    {
+      Async.start =
+        (fun () ->
+          let payload = { value = inputs.(me); justification = [] } in
+          to_all (Initial { key = (0, me); payload }));
+      on_message = (fun ~src msg -> handle p ~src msg);
+    }
+  in
+  let actors =
+    Array.init n (fun me ->
+        if List.mem me faulty && adversary = `Silent then
+          { Async.start = (fun () -> []); on_message = (fun ~src:_ _ -> []) }
+        else make_actor me)
+  in
+  let net_adversary =
+    match adversary with
+    | `Obedient | `Silent | `Greedy -> Adversary.honest
+    | `Garbage ->
+        fun ~round:_ ~src ~dst:_ m ->
+          (* corrupt own round >= 1 values: verification will reject *)
+          Option.map
+            (function
+              | Initial { key = (t, o); payload } when o = src && t >= 1 ->
+                  Initial
+                    {
+                      key = (t, o);
+                      payload =
+                        {
+                          payload with
+                          value =
+                            Vec.add (Vec.scale 3. payload.value) (Vec.ones d);
+                        };
+                    }
+              | other -> other)
+            m
+    | `Skew s ->
+        fun ~round:_ ~src ~dst:_ m ->
+          Option.map
+            (function
+              | Initial { key = (0, o); payload } when o = src ->
+                  Initial
+                    {
+                      key = (0, o);
+                      payload = { payload with value = Vec.scale s payload.value };
+                    }
+              | other -> other)
+            m
+  in
+  let outcome =
+    Async.run ~n ~actors ~faulty ~adversary:net_adversary ?policy ?max_steps ()
+  in
+  {
+    outputs = Array.map (fun p -> p.decided) procs;
+    delta_used = Array.map (fun p -> p.delta_used) procs;
+    rounds;
+    outcome;
+  }

@@ -1,0 +1,65 @@
+(** The Relaxed Verified Averaging algorithm (Section 10) for
+    asynchronous systems — and, with [validity = Standard], the plain
+    Verified Averaging / approximate-BVC baseline it modifies.
+
+    Structure (one single asynchronous execution; reliable broadcast is
+    Bracha's protocol, instanced per (round, originator)):
+
+    - {b Round 0}: every process RB-broadcasts its input.
+    - {b Round 1} (Definition 12, [t = 0] case): once a process has
+      verified [n - f] round-0 values [X], it picks the deterministic
+      point of [intersection over C subseteq X, |C| = |X| - f of
+      H_(delta,p)(C)] with the smallest workable delta — i.e.
+      {!Algo_exact.choose_output} on [X] — and RB-broadcasts it together
+      with the *justification* (the ids whose values it used).
+    - {b Rounds t >= 2} (Definition 12, [t > 0] case): the average of
+      [n - f] verified round-(t-1) values, again with justification.
+    - {b Verification} (the "Verified" in Verified Averaging, [15]):
+      every received round-t value is checked by recomputing the claimed
+      combination from the already-verified round-(t-1) values; anything
+      that does not reproduce is discarded, so a Byzantine process can
+      bias *which* admissible value it sends but cannot inject an
+      invalid one. Round-0 claims are arbitrary (an input is an input) —
+      the [|X| - f]-subset intersection of round 1 is what protects
+      validity, exactly as in Theorem 15's proof.
+    - {b Decision}: after [rounds] averaging rounds; epsilon-agreement
+      follows from the overlap argument — any two justification sets of
+      size [n - f] share [n - 2f] members, so per-coordinate spread
+      contracts by [f / (n - f)] per round.
+
+    [rounds_for_eps] computes the round budget from that contraction
+    rate. *)
+
+type report = {
+  outputs : Vec.t option array;
+      (** decided value per process ([None] = did not decide, e.g. a
+          crashed faulty process) *)
+  delta_used : float array;  (** round-1 relaxation per process *)
+  rounds : int;
+  outcome : Async.outcome;
+}
+
+val rounds_for_eps :
+  n:int -> f:int -> eps:float -> initial_spread:float -> int
+(** Smallest [R >= 1] with [initial_spread * (f/(n-f))^(R-1) <= eps]
+    (capped at 60; [1] when [f = 0]). *)
+
+val run :
+  Problem.instance ->
+  validity:Problem.validity ->
+  rounds:int ->
+  ?policy:Async.policy ->
+  ?adversary:
+    [ `Obedient | `Silent | `Garbage | `Skew of float | `Greedy ] ->
+  ?max_steps:int ->
+  unit ->
+  report
+(** Full execution. Adversaries: [`Obedient] follows the protocol
+    (restricted adversary of the necessity proofs); [`Silent] crashes
+    from the start; [`Garbage] sends unverifiable values (scaled noise) —
+    discarded by verification, so it degrades to silence; [`Skew s]
+    biases its *input* claim by factor [s] but then behaves (legitimate
+    behaviour the subset-intersection must absorb); [`Greedy] follows the
+    protocol but always selects the *admissible* justification set whose
+    combined value is farthest from the crowd — the strongest behaviour
+    the verification layer cannot reject. *)

@@ -1,0 +1,72 @@
+type report = {
+  outputs : Vec.t option array;
+  delta_used : float array;
+  views : Vec.t array array;
+  trace : Trace.t;
+}
+
+let coordinatewise_median ~f s =
+  match s with
+  | [] -> invalid_arg "Algo_exact: empty view"
+  | v :: _ ->
+      let d = Vec.dim v in
+      Vec.init d (fun i ->
+          Scalar_consensus.trimmed_median ~f (List.map (fun u -> u.(i)) s))
+
+let choose_output ~validity ~f s =
+  match s with
+  | [] -> None
+  | v :: _ -> (
+      let d = Vec.dim v in
+      match validity with
+      | Problem.Standard ->
+          Option.map (fun pt -> (pt, 0.)) (Tverberg.gamma_point ~f s)
+      | Problem.K_relaxed 1 -> Some (coordinatewise_median ~f s, 0.)
+      | Problem.K_relaxed k -> (
+          (* Gamma(S) is a subset of Psi(S) (H(T) is inside H_k(T)), and
+             is non-empty whenever n >= (d+1)f+1 — so the cheap exact-BVC
+             point serves, exactly as in the sufficiency proof of
+             Theorem 3. Fall back to the full Psi LP otherwise. *)
+          match Tverberg.gamma_point ~f s with
+          | Some pt -> Some (pt, 0.)
+          | None ->
+              Option.map
+                (fun pt -> (pt, 0.))
+                (K_hull.feasible_point ~d (K_hull.psi_region ~k ~f s)))
+      | Problem.Delta_p { delta; p } -> (
+          match Tverberg.gamma_point ~f s with
+          | Some pt -> Some (pt, 0.)
+          | None ->
+              if p = Float.infinity then
+                Option.map
+                  (fun pt -> (pt, delta))
+                  (Delta_hull.inf_region_point ~d
+                     (Delta_hull.gamma_inf_region ~delta ~f s))
+              else
+                let r = Delta_hull.delta_star ~p ~f s in
+                if r.Delta_hull.value <= delta +. 1e-9 then
+                  Some (r.Delta_hull.point, r.Delta_hull.value)
+                else None)
+      | Problem.Input_dependent { p } ->
+          let r = Delta_hull.delta_star ~p ~f s in
+          Some (r.Delta_hull.point, r.Delta_hull.value))
+
+let run (inst : Problem.instance) ~validity ?corrupt () =
+  let { Problem.n; f; d; inputs; faulty } = inst in
+  (* Step 1: Byzantine broadcast of every input. *)
+  let views, trace =
+    Om.broadcast_all ~n ~f ~inputs ~faulty ?corrupt ~default:(Vec.zero d)
+      ~compare:Vec.compare_lex ()
+  in
+  (* Step 2: identical deterministic choice at every process. *)
+  let outputs = Array.make n None in
+  let delta_used = Array.make n 0. in
+  Array.iteri
+    (fun p view ->
+      match choose_output ~validity ~f (Array.to_list view) with
+      | Some (pt, delta) ->
+          outputs.(p) <- Some pt;
+          delta_used.(p) <- delta
+      | None -> outputs.(p) <- None)
+    views;
+  { outputs; delta_used; views; trace }

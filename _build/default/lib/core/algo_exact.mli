@@ -1,0 +1,55 @@
+(** Algorithm ALGO (Section 9) for synchronous systems, in all four
+    validity flavours.
+
+    Step 1: every process Byzantine-broadcasts its d-dimensional input
+    (via {!Om}); all non-faulty processes then hold the identical
+    multiset [S].
+
+    Step 2: each process applies the same deterministic choice function
+    to its copy of [S]:
+    - {b Standard}: a point of [Gamma(S)] (by the joint LP; requires
+      [n >= (d+1)f + 1] for non-emptiness — Theorem 1);
+    - {b K_relaxed 1}: coordinate-wise scalar consensus rule
+      (trimmed median; Section 5.3);
+    - {b K_relaxed k, k >= 2}: a point of
+      [Psi(S) = intersection of H_k(T)] (Theorem 3);
+    - {b Delta_p (delta, p)} (constant delta): a point whose worst-case
+      Lp distance to any (|S|-f)-subset hull is at most [delta]
+      (via [Gamma] when available, the exact L-infinity LP for p = inf,
+      or the delta* optimizer otherwise);
+    - {b Input_dependent p}: the delta*-minimizing point — ALGO Step 2
+      exactly as printed.
+
+    Agreement holds because the choice function is deterministic and all
+    non-faulty views are identical; Validity holds by construction of the
+    chosen point; Termination is [f + 1] rounds of OM. *)
+
+type report = {
+  outputs : Vec.t option array;
+      (** per process: the decision, or [None] when the required region
+          was empty (the algorithm cannot decide — used to witness
+          sub-threshold [n]) *)
+  delta_used : float array;
+      (** per process: the relaxation actually used (0 when a
+          [Gamma]-point existed; [delta*(S)] for input-dependent) *)
+  views : Vec.t array array;  (** row p = the multiset S as decided by p *)
+  trace : Trace.t;
+}
+
+val choose_output :
+  validity:Problem.validity ->
+  f:int ->
+  Vec.t list ->
+  (Vec.t * float) option
+(** Step 2 in isolation: the deterministic choice on a view [S].
+    Returns the point and the relaxation used. Exposed for tests and for
+    the asynchronous algorithm's round-0 verification. *)
+
+val run :
+  Problem.instance ->
+  validity:Problem.validity ->
+  ?corrupt:(int -> Vec.t Om.corruption) ->
+  unit ->
+  report
+(** Full execution over the simulator. [corrupt] drives the Byzantine
+    processes' lies during Step 1 (default: faulty-but-obedient). *)

@@ -1,0 +1,71 @@
+type report = {
+  outputs : Vec.t array;
+  spread_history : float list;
+  trace : Trace.t;
+}
+
+let spread values =
+  let arr = Array.of_list values in
+  let m = ref 0. in
+  Array.iteri
+    (fun i u ->
+      Array.iteri
+        (fun j v -> if j > i then m := Float.max !m (Vec.dist_inf u v))
+        arr)
+    arr;
+  !m
+
+let run (inst : Problem.instance) ~rounds ?adversary () =
+  let { Problem.n; f; d; inputs; faulty } = inst in
+  if rounds < 0 then invalid_arg "Algo_iterative.run: negative rounds";
+  if n < ((d + 1) * f) + 1 then
+    invalid_arg "Algo_iterative.run: requires n >= (d+1)f + 1";
+  let values = Array.map Vec.copy inputs in
+  let honest p = not (List.mem p faulty) in
+  let honest_values () =
+    List.filter_map
+      (fun p -> if honest p then Some values.(p) else None)
+      (List.init n Fun.id)
+  in
+  let history = ref [ spread (honest_values ()) ] in
+  let everyone = List.init n (fun i -> i) in
+  let actors =
+    Array.init n (fun me ->
+        {
+          Sync.send =
+            (fun ~round:_ ->
+              List.map (fun dst -> (dst, Vec.copy values.(me))) everyone);
+          recv =
+            (fun ~round:_ batch ->
+              (* Use exactly what arrived (>= n - f values when faulty
+                 processes stay silent). The safe point exists whenever
+                 at least (d+1)f + 1 values arrive (Tverberg); with
+                 n >= (d+2)f + 1 that holds even under crashes, which is
+                 why the iterative family needs the larger bound. When
+                 the region is empty the process holds its value (safe:
+                 validity is preserved; progress resumes when enough
+                 values arrive). *)
+              let received = List.map snd batch in
+              if List.length received >= ((d + 1) * f) + 1 then
+                match Tverberg.gamma_point ~f received with
+                | Some safe -> values.(me) <- Vec.lerp 0.5 values.(me) safe
+                | None -> ()
+              else ())
+        })
+  in
+  (* run one round at a time so we can record the honest spread *)
+  let trace = Trace.create () in
+  for _ = 1 to rounds do
+    let t = Sync.run ~n ~rounds:1 ~actors ~faulty ?adversary () in
+    trace.Trace.rounds <- trace.Trace.rounds + t.Trace.rounds;
+    trace.Trace.messages_sent <-
+      trace.Trace.messages_sent + t.Trace.messages_sent;
+    trace.Trace.messages_delivered <-
+      trace.Trace.messages_delivered + t.Trace.messages_delivered;
+    trace.Trace.messages_dropped <-
+      trace.Trace.messages_dropped + t.Trace.messages_dropped;
+    trace.Trace.messages_corrupted <-
+      trace.Trace.messages_corrupted + t.Trace.messages_corrupted;
+    history := spread (honest_values ()) :: !history
+  done;
+  { outputs = values; spread_history = List.rev !history; trace }

@@ -1,0 +1,41 @@
+(** Iterative Byzantine vector consensus (the algorithm family of the
+    paper's reference [18], Vaidya 2014, specialized to complete
+    graphs): no Byzantine broadcast, no message relaying — each round
+    every process sends its current value directly to everyone and moves
+    toward a *safe point* of what it received.
+
+    The safe point is a point of [Gamma(received)] — the intersection of
+    the hulls of all (n-f)-subsets — which is guaranteed to lie in the
+    convex hull of the values received from non-faulty processes no
+    matter which f values were fabricated. Moving halfway toward it
+    therefore preserves validity inductively, and contraction of the
+    honest values' spread follows empirically (reference [18] proves
+    sufficient conditions; this simulator measures the contraction —
+    see experiment E16).
+
+    Requires [n >= (d+1)f + 1] so the safe point exists when every
+    process sends (Tverberg); tolerating *silent* faulty processes needs
+    [n >= (d+2)f + 1] (only [n - f] values arrive, and the safe point
+    must still exist among them) — the same gap between the exact and
+    iterative/asynchronous bounds the literature reports. A process
+    whose safe region is momentarily empty holds its value, which
+    preserves validity. *)
+
+type report = {
+  outputs : Vec.t array;  (** value of each process after the last round *)
+  spread_history : float list;
+      (** max pairwise L-inf distance among honest values, per round
+          (index 0 = initial inputs) *)
+  trace : Trace.t;
+}
+
+val run :
+  Problem.instance ->
+  rounds:int ->
+  ?adversary:Vec.t Adversary.t ->
+  unit ->
+  report
+(** Executes [rounds] iterations over the synchronous simulator.
+    The adversary intercepts the faulty processes' value messages
+    (equivocation per destination allowed, as in iterative algorithms'
+    threat model). *)

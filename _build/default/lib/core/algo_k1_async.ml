@@ -1,0 +1,64 @@
+type report = {
+  outputs : Vec.t option array;
+  rounds : int;
+  messages : int;
+}
+
+let run (inst : Problem.instance) ~eps ?policy ?adversary ?rounds () =
+  let { Problem.n; f; d; inputs; faulty } = inst in
+  if n < (3 * f) + 1 then
+    invalid_arg "Algo_k1_async.run: requires n >= 3f + 1";
+  let honest_inputs = Problem.honest_inputs inst in
+  let rounds =
+    match rounds with
+    | Some r -> r
+    | None ->
+        let spread =
+          match honest_inputs with
+          | [] | [ _ ] -> 1.
+          | pts ->
+              let arr = Array.of_list pts in
+              let m = ref 0. in
+              Array.iteri
+                (fun i u ->
+                  Array.iteri
+                    (fun j v ->
+                      if j > i then m := Float.max !m (Vec.dist_inf u v))
+                    arr)
+                arr;
+              !m
+        in
+        Algo_async.rounds_for_eps ~n ~f ~eps ~initial_spread:(spread +. 1e-6)
+  in
+  let messages = ref 0 in
+  (* one scalar consensus per coordinate *)
+  let coordinate_outputs =
+    List.init d (fun coord ->
+        let sub =
+          Problem.make ~n ~f ~d:1
+            ~inputs:
+              (Array.to_list
+                 (Array.map (fun v -> Vec.of_list [ v.(coord) ]) inputs))
+            ~faulty
+        in
+        let r =
+          Algo_async.run sub ~validity:Problem.Standard ~rounds ?policy
+            ?adversary ()
+        in
+        messages :=
+          !messages
+          + r.Algo_async.outcome.Async.trace.Trace.messages_delivered;
+        r.Algo_async.outputs)
+  in
+  let outputs =
+    Array.init n (fun p ->
+        let coords =
+          List.map (fun per_coord -> per_coord.(p)) coordinate_outputs
+        in
+        if List.exists Option.is_none coords then None
+        else
+          Some
+            (Vec.of_list
+               (List.map (fun o -> (Option.get o).(0)) coords)))
+  in
+  { outputs; rounds; messages = !messages }

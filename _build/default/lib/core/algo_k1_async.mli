@@ -1,0 +1,31 @@
+(** The asynchronous k = 1 reduction (Section 5.3): 1-relaxed
+    approximate BVC solved coordinate-by-coordinate with asynchronous
+    scalar approximate consensus, at [n >= 3f + 1] — no dependence on
+    the dimension [d] at all.
+
+    Each coordinate runs {!Algo_async} on a 1-dimensional sub-instance
+    with standard validity: for scalars the [Gamma] of any [m >= 2f+1]
+    values is the non-empty interval between the (f+1)-th smallest and
+    (f+1)-th largest, so the round-1 safe region always exists with
+    [n - f >= 2f + 1] verified values. The reassembled vector satisfies
+    1-relaxed validity (Definition 8 with k = 1): every coordinate lies
+    in the honest coordinate range. *)
+
+type report = {
+  outputs : Vec.t option array;
+      (** per process: the reassembled decision ([None] if any
+          coordinate failed to decide) *)
+  rounds : int;  (** rounds used per coordinate *)
+  messages : int;  (** total deliveries across all coordinate runs *)
+}
+
+val run :
+  Problem.instance ->
+  eps:float ->
+  ?policy:Async.policy ->
+  ?adversary:
+    [ `Obedient | `Silent | `Garbage | `Skew of float | `Greedy ] ->
+  ?rounds:int ->
+  unit ->
+  report
+(** Requires [n >= 3f + 1] only. *)

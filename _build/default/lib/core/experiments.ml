@@ -1,0 +1,1208 @@
+type table = {
+  id : string;
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+  all_ok : bool;
+}
+
+let fmt = Printf.sprintf
+let f3 x = fmt "%.3f" x
+let f4 x = fmt "%.4f" x
+let yn b = if b then "yes" else "NO"
+
+let scaled_corruption d src ~dst ~commander:_ ~path:_ v =
+  (* deterministic per-edge lie: scale + shift, different per destination *)
+  Vec.axpy (0.25 *. float_of_int ((src + (2 * dst)) mod 5)) (Vec.ones d) v
+
+(* ------------------------------------------------------------------ *)
+(* E0: scalar Byzantine consensus baseline (d = 1 / k = 1 reduction)   *)
+
+let e0 ~seed () =
+  let rng = Rng.create seed in
+  let configs = [ (4, 1); (5, 1); (7, 2) ] in
+  let rows =
+    List.map
+      (fun (n, f) ->
+        let trials = 5 in
+        let ok = ref true in
+        for _ = 1 to trials do
+          let inputs = Array.init n (fun _ -> Rng.uniform rng ~lo:0. ~hi:10.) in
+          let faulty = [ n - 1 ] in
+          let corrupt _src ~dst ~commander:_ ~path:_ v =
+            v +. float_of_int dst
+          in
+          let decisions, _ =
+            Scalar_consensus.run ~n ~f ~inputs ~faulty ~corrupt ()
+          in
+          let honest = List.filter (fun p -> p < n - 1) (List.init n Fun.id) in
+          let outs = List.map (fun p -> decisions.(p)) honest in
+          let all_equal =
+            List.for_all (fun v -> Float.abs (v -. List.hd outs) < 1e-12) outs
+          in
+          let ins = List.map (fun p -> inputs.(p)) honest in
+          let lo = List.fold_left Float.min infinity ins in
+          let hi = List.fold_left Float.max neg_infinity ins in
+          let valid =
+            List.for_all (fun v -> v >= lo -. 1e-12 && v <= hi +. 1e-12) outs
+          in
+          if not (all_equal && valid) then ok := false
+        done;
+        ( [ string_of_int n; string_of_int f; string_of_int trials; yn !ok ],
+          !ok ))
+      configs
+  in
+  {
+    id = "E0";
+    title = "Scalar Byzantine consensus baseline (n >= 3f+1; Section 5.3 k=1)";
+    header = [ "n"; "f"; "trials"; "agreement+validity" ];
+    rows = List.map fst rows;
+    notes =
+      [
+        "OM(f) broadcast of scalar inputs + trimmed-median rule; adversary \
+         equivocates per destination.";
+      ];
+    all_ok = List.for_all snd rows;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E1: Theorem 1 — exact BVC at n = (d+1)f+1; stuck at n = (d+1)f      *)
+
+let e1 ~seed () =
+  let rng = Rng.create (seed + 1) in
+  let suff =
+    List.map
+      (fun (d, f) ->
+        let n = Bounds.exact_bvc_min_n ~d ~f in
+        let faulty = List.init f (fun i -> n - 1 - i) in
+        let inst = Problem.random_instance rng ~n ~f ~d ~faulty in
+        let out =
+          Runner.run_sync inst ~validity:Problem.Standard
+            ~corrupt:(scaled_corruption d) ()
+        in
+        let ok = Runner.ok out in
+        ( [ string_of_int d; string_of_int f; string_of_int n;
+            "sufficiency"; yn ok ],
+          ok ))
+      [ (2, 1); (3, 1); (2, 2) ]
+  in
+  let nec =
+    (* n = (d+1)f = 4, d = 3, f = 1: a simplex view has empty Gamma, so
+       the Standard algorithm cannot decide — the Tverberg-tight
+       configuration of Section 8. *)
+    let d = 3 and f = 1 in
+    let n = 4 in
+    let inputs = Rng.simplex_vertices rng ~dim:d in
+    let inst = Problem.make ~n ~f ~d ~inputs ~faulty:[] in
+    let r = Algo_exact.run inst ~validity:Problem.Standard () in
+    let undecided = Array.for_all (fun o -> o = None) r.Algo_exact.outputs in
+    ( [ string_of_int d; string_of_int f; string_of_int n;
+        "necessity (stuck)"; yn undecided ],
+      undecided )
+  in
+  let rows = suff @ [ nec ] in
+  {
+    id = "E1";
+    title = "Theorem 1: exact BVC solvable iff n >= max(3f+1,(d+1)f+1) (sync)";
+    header = [ "d"; "f"; "n"; "direction"; "ok" ];
+    rows = List.map fst rows;
+    notes =
+      [
+        "Sufficiency: ALGO with Gamma-point choice under an equivocating \
+         adversary.";
+        "Necessity: at n = (d+1)f affinely independent inputs make \
+         Gamma(S) empty (Tverberg tightness), so no valid output exists.";
+      ];
+    all_ok = List.for_all snd rows;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E2: Theorem 3 necessity — the eps/gamma witness makes Psi(Y) empty  *)
+
+let e2 ~seed:_ () =
+  let gamma = 1.0 and eps = 0.5 in
+  let rows =
+    List.map
+      (fun d ->
+        let y = Witnesses.thm3_inputs ~d ~gamma ~eps in
+        let empty =
+          K_hull.feasible_point ~d (K_hull.psi_region ~k:2 ~f:1 y) = None
+        in
+        (* Observation-level checks on sub-regions, as in the proof. *)
+        let region_of dset t = [ (dset, t) ] in
+        let except i = List.filteri (fun j _ -> j <> i) y in
+        let obs1 =
+          (* D = {0,1}, T = Y - {s_{d+1}}: coord 0 >= 0 *)
+          match
+            K_hull.coord_range ~d (region_of [ 0; 1 ] (except d)) 0
+          with
+          | Some (lo, _) -> lo >= -1e-7
+          | None -> false
+        in
+        let obs3 =
+          (* D = {0,1}, T = Y - {s_1}: coord 0 <= 0 *)
+          match K_hull.coord_range ~d (region_of [ 0; 1 ] (except 0)) 0 with
+          | Some (_, hi) -> hi <= 1e-7
+          | None -> false
+        in
+        let obs4 =
+          (* D = {d-2,d-1}, T = Y - {s_{d+1}}: coord d-1 >= eps *)
+          match
+            K_hull.coord_range ~d (region_of [ d - 2; d - 1 ] (except d)) (d - 1)
+          with
+          | Some (lo, _) -> lo >= eps -. 1e-7
+          | None -> false
+        in
+        let ok = empty && obs1 && obs3 && obs4 in
+        ( [ string_of_int d; string_of_int (d + 1); yn empty; yn obs1;
+            yn obs3; yn obs4; yn ok ],
+          ok ))
+      [ 3; 4; 5; 6 ]
+  in
+  {
+    id = "E2";
+    title =
+      "Theorem 3 necessity: witness matrix (gamma=1, eps=0.5) gives empty \
+       Psi(Y), k=2, f=1, n=d+1";
+    header =
+      [ "d"; "n"; "Psi empty"; "obs1 c0>=0"; "obs3 c0<=0"; "obs4 cd>=eps";
+        "ok" ];
+    rows = List.map fst rows;
+    notes =
+      [
+        "Psi(Y) emptiness certified by joint-LP infeasibility; the three \
+         observation columns replay the proof's sub-arguments as \
+         coordinate-range LPs.";
+      ];
+    all_ok = List.for_all snd rows;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E3: Theorem 3 sufficiency — k-relaxed exact BVC at n = (d+1)f+1     *)
+
+let e3 ~seed () =
+  let rng = Rng.create (seed + 3) in
+  let configs = [ (3, 2, 1); (4, 2, 1); (4, 3, 1); (3, 2, 2) ] in
+  let rows =
+    List.map
+      (fun (d, k, f) ->
+        let n = Bounds.k_relaxed_exact_min_n ~d ~f ~k in
+        let faulty = List.init f (fun i -> i) in
+        let inst = Problem.random_instance rng ~n ~f ~d ~faulty in
+        let out =
+          Runner.run_sync inst
+            ~validity:(Problem.K_relaxed k)
+            ~corrupt:(scaled_corruption d) ()
+        in
+        let ok = Runner.ok out in
+        ( [ string_of_int d; string_of_int k; string_of_int f;
+            string_of_int n; yn ok ],
+          ok ))
+      configs
+  in
+  {
+    id = "E3";
+    title = "Theorem 3 sufficiency: k-relaxed exact BVC at n = (d+1)f+1";
+    header = [ "d"; "k"; "f"; "n"; "agreement+validity+termination" ];
+    rows = List.map fst rows;
+    notes = [ "Output chosen in Psi(S) by joint LP; equivocating adversary." ];
+    all_ok = List.for_all snd rows;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E4: Theorem 4 necessity — async witness forces 2eps disagreement    *)
+
+let e4 ~seed:_ () =
+  let gamma = 1.0 and eps = 0.2 in
+  let rows =
+    List.map
+      (fun d ->
+        let y = Witnesses.thm4_inputs ~d ~gamma ~eps in
+        let r1 = Witnesses.thm4_psi_region ~k:2 ~observer:0 y in
+        let r2 = Witnesses.thm4_psi_region ~k:2 ~observer:1 y in
+        match (K_hull.coord_range ~d r1 0, K_hull.coord_range ~d r2 0) with
+        | Some (lo1, _), Some (_, hi2) ->
+            let sep = lo1 -. hi2 in
+            let ok = sep >= (2. *. eps) -. 1e-7 in
+            ( [ string_of_int d; string_of_int (d + 2); f3 lo1; f3 hi2;
+                f3 sep; f3 (2. *. eps); yn ok ],
+              ok )
+        | _ ->
+            ([ string_of_int d; string_of_int (d + 2); "-"; "-"; "-"; "-";
+               "NO" ],
+             false))
+      [ 3; 4; 5 ]
+  in
+  {
+    id = "E4";
+    title =
+      "Theorem 4 necessity: at n = d+2 the output regions of processes 1 \
+       and 2 are >= 2eps apart (L-inf), violating eps-agreement";
+    header =
+      [ "d"; "n"; "min c0(Psi1)"; "max c0(Psi2)"; "separation"; "2eps"; "ok" ];
+    rows = List.map fst rows;
+    notes = [ "Witness: gamma = 1, eps = 0.2 (so 2eps < gamma)." ];
+    all_ok = List.for_all snd rows;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E5: Theorems 2/4/6 sufficiency — async approximate BVC              *)
+
+let e5 ~seed () =
+  let rng = Rng.create (seed + 5) in
+  let eps = 0.05 in
+  let cases =
+    [
+      (2, 1, `Skew 8., Async.Random_order 11, "skew/random");
+      (2, 1, `Silent, Async.Fifo, "silent/fifo");
+      (3, 1, `Garbage, Async.Delay { victims = [ 0 ]; slack = 50 },
+       "garbage/delay");
+      (3, 1, `Skew 8., Async.Random_order 7, "skew/random");
+    ]
+  in
+  let rows =
+    List.map
+      (fun (d, f, adversary, policy, label) ->
+        let n = Bounds.approx_bvc_min_n ~d ~f in
+        let inst = Problem.random_instance rng ~n ~f ~d ~faulty:[ n - 1 ] in
+        let out =
+          Runner.run_async inst ~validity:Problem.Standard ~eps ~policy
+            ~adversary ()
+        in
+        let ok = Runner.ok out in
+        ( [ string_of_int d; string_of_int f; string_of_int n; label; yn ok ],
+          ok ))
+      cases
+  in
+  {
+    id = "E5";
+    title =
+      "Theorem 2 sufficiency: async approximate BVC at n = (d+2)f+1 \
+       (Verified Averaging, standard validity)";
+    header = [ "d"; "f"; "n"; "adversary/scheduler"; "ok" ];
+    rows = List.map fst rows;
+    notes =
+      [
+        "eps = 0.05; rounds from the f/(n-f) contraction bound; all three \
+         conditions checked.";
+      ];
+    all_ok = List.for_all snd rows;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E6: Theorem 5 necessity — (delta,inf) witness + exact crossover     *)
+
+let e6 ~seed:_ () =
+  let x = 1.0 in
+  let rows =
+    List.map
+      (fun d ->
+        let threshold = x /. (2. *. float_of_int d) in
+        let delta_small = 0.8 *. threshold in
+        let y = Witnesses.thm5_inputs ~d ~x ~delta:delta_small in
+        let empty_at d_test =
+          Delta_hull.inf_region_point ~d
+            (Delta_hull.gamma_inf_region ~delta:d_test ~f:1 y)
+          = None
+        in
+        let empty_small = empty_at delta_small in
+        let feasible_large = not (empty_at (1.2 *. threshold)) in
+        (* bisect the crossover *)
+        let lo = ref 0. and hi = ref (2. *. threshold) in
+        for _ = 1 to 40 do
+          let mid = (!lo +. !hi) /. 2. in
+          if empty_at mid then lo := mid else hi := mid
+        done;
+        let crossover = (!lo +. !hi) /. 2. in
+        let ok =
+          empty_small && feasible_large
+          && Float.abs (crossover -. threshold) < 1e-6
+        in
+        ( [ string_of_int d; f4 delta_small; yn empty_small;
+            f4 crossover; f4 threshold; yn ok ],
+          ok ))
+      [ 2; 3; 4; 5 ]
+  in
+  {
+    id = "E6";
+    title =
+      "Theorem 5 necessity: diag(x) witness at n = d+1 is infeasible for \
+       delta < x/2d; measured feasibility crossover matches x/2d exactly";
+    header =
+      [ "d"; "delta tested"; "empty"; "measured crossover"; "x/2d"; "ok" ];
+    rows = List.map fst rows;
+    notes = [ "x = 1; emptiness is exact LP infeasibility." ];
+    all_ok = List.for_all snd rows;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E7: Tverberg's theorem and its tightness (Section 8)                *)
+
+let e7 ~seed () =
+  let rng = Rng.create (seed + 7) in
+  let rows =
+    List.map
+      (fun (d, f) ->
+        let n_ok = ((d + 1) * f) + 1 in
+        let trials = 5 in
+        let found = ref true in
+        for _ = 1 to trials do
+          let pts = Rng.cloud rng ~n:n_ok ~dim:d ~lo:0. ~hi:1. in
+          if Tverberg.tverberg_point ~f pts = None then found := false
+        done;
+        let mc = Tverberg.moment_curve_points ~d ~n:(n_ok - 1) in
+        let tight = Tverberg.tverberg_point ~f mc = None in
+        let ok = !found && tight in
+        ( [ string_of_int d; string_of_int f; string_of_int n_ok;
+            yn !found; string_of_int (n_ok - 1); yn tight; yn ok ],
+          ok ))
+      [ (2, 1); (2, 2); (3, 1) ]
+  in
+  {
+    id = "E7";
+    title =
+      "Tverberg (Thm 7) + tightness: (d+1)f+1 random points always \
+       partition; (d+1)f moment-curve points never do";
+    header =
+      [ "d"; "f"; "n"; "partition found"; "n tight"; "no partition"; "ok" ];
+    rows = List.map fst rows;
+    notes = [ "Partition search is exhaustive; certificates by LP." ];
+    all_ok = List.for_all snd rows;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E8: Lemma 13 — delta* of a simplex equals its inradius              *)
+
+let e8 ~seed () =
+  let rng = Rng.create (seed + 8) in
+  let rows =
+    List.map
+      (fun d ->
+        let trials = 3 in
+        let worst = ref 0. in
+        let heron_err = ref 0. in
+        for _ = 1 to trials do
+          let s = Rng.simplex_vertices rng ~dim:d in
+          let r_closed, _ = Option.get (Delta_hull.incenter_value s) in
+          let r_opt =
+            Delta_hull.delta_star ~iters:3000 ~restarts:2 ~force_iterative:true
+              ~p:2. ~f:1 s
+          in
+          let err = Float.abs (r_opt.Delta_hull.value -. r_closed) /. r_closed in
+          worst := Float.max !worst err;
+          if d = 2 then begin
+            match s with
+            | [ a; b; c ] ->
+                let h = Hull2d.triangle_inradius a b c in
+                heron_err :=
+                  Float.max !heron_err (Float.abs (h -. r_closed) /. r_closed)
+            | _ -> ()
+          end
+        done;
+        let ok = !worst < 5e-3 && (d <> 2 || !heron_err < 1e-9) in
+        ( [ string_of_int d; string_of_int trials; fmt "%.2e" !worst;
+            (if d = 2 then fmt "%.2e" !heron_err else "-"); yn ok ],
+          ok ))
+      [ 2; 3; 4; 5 ]
+  in
+  {
+    id = "E8";
+    title =
+      "Lemma 13: delta*(simplex) = inradius — subgradient optimizer vs \
+       closed form (and Heron, d = 2)";
+    header = [ "d"; "trials"; "max rel err (optimizer)"; "Heron err"; "ok" ];
+    rows = List.map fst rows;
+    notes =
+      [ "Optimizer forced to ignore the closed form; errors are relative." ];
+    all_ok = List.for_all snd rows;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Shared: adversarial-faulty-set bound ratio for Theorems 9/12, Conj 1 *)
+
+let worst_ratio ~f ~bound_of s delta_star_value =
+  (* max over faulty sets F (|F| = f) of delta* / bound(S \ F) *)
+  let arr = Array.of_list s in
+  let n = Array.length arr in
+  let faulty_sets = Multiset.choose_indices n f in
+  List.fold_left
+    (fun acc fset ->
+      let honest =
+        List.filteri (fun i _ -> not (List.mem i fset)) (Array.to_list arr)
+      in
+      Float.max acc (delta_star_value /. bound_of honest))
+    0. faulty_sets
+
+let e9 ~seed () =
+  let rng = Rng.create (seed + 9) in
+  let rows =
+    List.map
+      (fun d ->
+        let n = d + 1 in
+        let trials = 20 in
+        let max_r_min = ref 0. and max_r_max = ref 0. in
+        for _ = 1 to trials do
+          let s = Rng.cloud rng ~n ~dim:d ~lo:0. ~hi:1. in
+          let r = Delta_hull.delta_star ~p:2. ~f:1 s in
+          let v = r.Delta_hull.value in
+          (* bound a: min-edge over ALL of S, halved (Theorem 9 part 1) *)
+          let ra = v /. (Bounds.min_edge s /. 2.) in
+          (* bound b: max-edge over honest inputs / (n-2), worst faulty *)
+          let rb =
+            worst_ratio ~f:1
+              ~bound_of:(fun honest ->
+                Bounds.max_edge honest /. float_of_int (n - 2))
+              s v
+          in
+          max_r_min := Float.max !max_r_min ra;
+          max_r_max := Float.max !max_r_max rb
+        done;
+        let ok = !max_r_min < 1. && !max_r_max < 1. in
+        ( [ string_of_int d; string_of_int n; string_of_int trials;
+            f3 !max_r_min; f3 !max_r_max; yn ok ],
+          ok ))
+      [ 3; 4; 5; 6 ]
+  in
+  {
+    id = "E9";
+    title =
+      "Theorem 9 (f=1, n=d+1): delta* < min-edge/2 and < max-edge+/(n-2), \
+       faulty process chosen adversarially";
+    header =
+      [ "d"; "n"; "trials"; "max delta*/(min-edge/2)";
+        "max delta*/(max-edge+/(n-2))"; "ok" ];
+    rows = List.map fst rows;
+    notes =
+      [
+        "delta* is exact (incenter closed form / Gamma LP); ratios must \
+         stay strictly below 1.";
+      ];
+    all_ok = List.for_all snd rows;
+  }
+
+let e10 ~seed () =
+  let rng = Rng.create (seed + 10) in
+  let d = 3 and f = 2 in
+  let n = (d + 1) * f in
+  let trials = 3 in
+  let rows =
+    List.init trials (fun t ->
+        let s = Rng.cloud rng ~n ~dim:d ~lo:0. ~hi:1. in
+        let r = Delta_hull.delta_star ~iters:800 ~restarts:2 ~p:2. ~f s in
+        let ratio =
+          worst_ratio ~f
+            ~bound_of:(fun honest ->
+              Bounds.max_edge honest /. float_of_int (d - 1))
+            s r.Delta_hull.value
+        in
+        let ok = ratio < 1. in
+        ( [ string_of_int (t + 1); string_of_int n; f4 r.Delta_hull.value;
+            f3 ratio; yn ok ],
+          ok ))
+  in
+  {
+    id = "E10";
+    title =
+      "Theorem 12 (f=2, d=3, n=(d+1)f=8): delta* < max-edge+/(d-1), \
+       faulty pair chosen adversarially";
+    header = [ "trial"; "n"; "delta* (upper bd)"; "max ratio"; "ok" ];
+    rows = List.map fst rows;
+    notes =
+      [
+        "delta* from the subgradient optimizer is a certified upper \
+         bound, which is the direction the theorem needs.";
+      ];
+    all_ok = List.for_all snd rows;
+  }
+
+let e11 ~seed () =
+  let rng = Rng.create (seed + 11) in
+  let d = 4 and f = 2 in
+  let rows =
+    List.map
+      (fun n ->
+        let trials = 3 in
+        let maxratio = ref 0. in
+        for _ = 1 to trials do
+          let s = Rng.cloud rng ~n ~dim:d ~lo:0. ~hi:1. in
+          let r = Delta_hull.delta_star ~iters:800 ~restarts:2 ~p:2. ~f s in
+          let ratio =
+            worst_ratio ~f
+              ~bound_of:(fun honest -> Bounds.conj1_bound ~n ~f ~max_edge:(Bounds.max_edge honest))
+              s r.Delta_hull.value
+          in
+          maxratio := Float.max !maxratio ratio
+        done;
+        let ok = !maxratio < 1. in
+        ( [ string_of_int n; string_of_int (n / f); string_of_int trials;
+            f3 !maxratio; yn ok ],
+          ok ))
+      [ 7; 8; 9 ]
+  in
+  {
+    id = "E11";
+    title =
+      "Conjecture 1 (d=4, f=2, 3f+1 <= n < (d+1)f): delta* < \
+       max-edge+/(floor(n/f)-2) — empirical support";
+    header = [ "n"; "floor(n/f)"; "trials"; "max ratio"; "ok" ];
+    rows = List.map fst rows;
+    notes = [ "A conjecture in the paper; we report empirical ratios only." ];
+    all_ok = List.for_all snd rows;
+  }
+
+let e12 ~seed () =
+  let rng = Rng.create (seed + 12) in
+  let ps = [ 2.; 3.; Float.infinity ] in
+  let rows =
+    List.concat_map
+      (fun d ->
+        let n = d + 1 in
+        let s = Rng.cloud rng ~n ~dim:d ~lo:0. ~hi:1. in
+        let v2 = (Delta_hull.delta_star ~p:2. ~f:1 s).Delta_hull.value in
+        List.map
+          (fun p ->
+            let vp =
+              if p = 2. then v2
+              else
+                (Delta_hull.delta_star ~eps:1e-6 ~iters:300 ~restarts:1 ~p ~f:1 s)
+                  .Delta_hull.value
+            in
+            let ratio =
+              worst_ratio ~f:1
+                ~bound_of:(fun honest ->
+                  Bounds.holder_factor ~d ~p
+                  /. float_of_int (n - 2)
+                  *. Bounds.max_edge ~p honest)
+                s vp
+            in
+            let mono = vp <= v2 *. 1.01 +. 1e-6 in
+            let ok = ratio < 1. && mono in
+            let p_str = if p = Float.infinity then "inf" else fmt "%g" p in
+            ( [ string_of_int d; p_str; f4 vp; f4 v2; yn mono; f3 ratio;
+                yn ok ],
+              ok ))
+          ps)
+      [ 3; 4 ]
+  in
+  {
+    id = "E12";
+    title =
+      "Theorem 14 (Lp): delta*_p <= delta*_2 and delta*_p < d^(1/2-1/p) * \
+       kappa * max-edge+_p (f=1, n=d+1)";
+    header =
+      [ "d"; "p"; "delta*_p"; "delta*_2"; "p-monotone"; "max ratio"; "ok" ];
+    rows = List.map fst rows;
+    notes =
+      [ "p = inf via the exact min-max LP; 2 < p < inf via FISTA Lp projections." ];
+    all_ok = List.for_all snd rows;
+  }
+
+let e13 ~seed () =
+  let rng = Rng.create (seed + 13) in
+  let d = 4 and f = 1 in
+  let eps = 0.05 in
+  let rows =
+    List.map
+      (fun n ->
+        let inst = Problem.random_instance rng ~n ~f ~d ~faulty:[ n - 1 ] in
+        let out =
+          Runner.run_async inst
+            ~validity:(Problem.Input_dependent { p = 2. })
+            ~eps
+            ~policy:(Async.Random_order 17)
+            ~adversary:(`Skew 6.) ()
+        in
+        let honest_inputs = Problem.honest_inputs inst in
+        let dist =
+          List.fold_left
+            (fun a o -> Float.max a (Hull.dist_p ~p:2. honest_inputs o))
+            0. out.Runner.honest_outputs
+        in
+        let kappa =
+          match Bounds.kappa2 ~n:(n - f) ~f ~d with
+          | `Proved k -> (k, "proved")
+          | `Conjectured k -> (k, "conjectured")
+        in
+        let bound = fst kappa *. Bounds.max_edge honest_inputs in
+        let ok = Runner.ok out && dist < bound in
+        ( [ string_of_int n; string_of_int (n - f); f4 dist; f4 bound;
+            snd kappa; yn (Runner.ok out); yn ok ],
+          ok ))
+      [ 5; 6 ]
+  in
+  {
+    id = "E13";
+    title =
+      "Theorem 15 (async, input-dependent delta): validity within \
+       kappa(n-f,f,d,2) * max-edge+ plus eps-agreement, below the \
+       standard (d+2)f+1 threshold";
+    header =
+      [ "n"; "n-f"; "max dist to H(N)"; "bound"; "kappa status";
+        "run checks"; "ok" ];
+    rows = List.map fst rows;
+    notes =
+      [
+        "d = 4, f = 1, so the standard async bound would need n >= 7; the \
+         relaxed algorithm runs at n = 5, 6.";
+      ];
+    all_ok = List.for_all snd rows;
+  }
+
+let e14 ~seed:_ () =
+  let d = 2 and f = 1 in
+  let mk n =
+    (* distinct, non-default honest inputs: when equivocation forces a
+       majority tie, OM's default (the origin) differs from every honest
+       input, so corrupted views are observably different *)
+    let inputs =
+      List.init n (fun i -> Vec.scale (float_of_int (i + 2)) (Vec.ones d))
+    in
+    Problem.make ~n ~f ~d ~inputs ~faulty:[ n - 1 ]
+  in
+  (* The faulty process broadcasts its own input honestly but lies when
+     relaying the honest processes' values. At n = 3 each lieutenant then
+     faces a 1-vs-1 tie about the other's input and falls back to OM's
+     default, so the two honest views — and hence the deterministic
+     outputs — split. At n = 4 the honest 2-vs-1 relay majority absorbs
+     the same lies and agreement survives. *)
+  let corrupt src ~dst ~commander ~path:_ v =
+    if commander = src then v
+    else Vec.axpy (10. *. float_of_int (dst + 1)) (Vec.ones d) v
+  in
+  let run n =
+    let inst = mk n in
+    let out =
+      Runner.run_sync inst ~validity:(Problem.Input_dependent { p = 2. })
+        ~corrupt ()
+    in
+    List.assoc "agreement" out.Runner.checks
+  in
+  let broken = run 3 in
+  let fine = run 4 in
+  let ok = (not broken.Validity.ok) && fine.Validity.ok in
+  {
+    id = "E14";
+    title =
+      "Lemma 10: input-dependent (delta,p)-consensus impossible at n <= \
+       3f — equivocation splits n = 3 but not n = 4";
+    header = [ "n"; "agreement" ];
+    rows =
+      [
+        [ "3"; (if broken.Validity.ok then "holds (unexpected)" else "violated (as proved)") ];
+        [ "4"; (if fine.Validity.ok then "holds" else "VIOLATED (bug)") ];
+      ];
+    notes =
+      [
+        "Realizes the three-scenario indistinguishability argument as an \
+         execution: the same equivocation strategy that is fatal at n = 3f \
+         is absorbed at n = 3f + 1.";
+      ];
+    all_ok = ok;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E15: exact rational re-verification of the LP certificates          *)
+
+let e15 ~seed:_ () =
+  let rows = ref [] in
+  let record name float_feasible exact_feasible expect_empty =
+    let ok =
+      float_feasible = exact_feasible && exact_feasible = not expect_empty
+    in
+    rows :=
+      ( [ name;
+          (if expect_empty then "empty" else "non-empty");
+          yn (not float_feasible = expect_empty);
+          yn (not exact_feasible = expect_empty);
+          yn ok ],
+        ok )
+      :: !rows
+  in
+  (* Theorem 3's Psi(Y): empty for the witness, non-empty for a benign set *)
+  List.iter
+    (fun d ->
+      let y = Witnesses.thm3_inputs ~d ~gamma:1.0 ~eps:0.5 in
+      let nvars, free, lp_rows =
+        K_hull.region_rows ~d (K_hull.psi_region ~k:2 ~f:1 y)
+      in
+      let ff, ef = Exact_lp.check_agrees_with_float ~free ~nvars lp_rows in
+      record (fmt "Thm3 Psi(Y) d=%d" d) ff ef true)
+    [ 3; 4 ];
+  let benign =
+    [ Vec.of_list [ 0.; 0.; 0. ]; Vec.of_list [ 1.; 0.; 0. ];
+      Vec.of_list [ 0.; 1.; 0. ]; Vec.of_list [ 0.; 0.; 1. ];
+      Vec.of_list [ 0.25; 0.25; 0.25 ] ]
+  in
+  let nvars, free, lp_rows =
+    K_hull.region_rows ~d:3 (K_hull.psi_region ~k:2 ~f:1 benign)
+  in
+  let ff, ef = Exact_lp.check_agrees_with_float ~free ~nvars lp_rows in
+  record "benign Psi(S) d=3 n=5" ff ef false;
+  (* Theorem 5's (delta,inf) region at delta just below and above x/2d.
+     0.125 and 2^-3-ish values are exact dyadics, so the crossover check
+     is exact. *)
+  let d = 4 in
+  let x = 1.0 in
+  List.iter
+    (fun (delta, expect_empty) ->
+      let y = Witnesses.thm5_inputs ~d ~x ~delta:0.0625 in
+      let nvars, free, lp_rows =
+        Delta_hull.inf_region_rows ~d
+          (Delta_hull.gamma_inf_region ~delta ~f:1 y)
+      in
+      let ff, ef = Exact_lp.check_agrees_with_float ~free ~nvars lp_rows in
+      record
+        (fmt "Thm5 region d=%d delta=%g" d delta)
+        ff ef expect_empty)
+    [ (0.121, true); (0.125, false) ];
+  let rows = List.rev !rows in
+  {
+    id = "E15";
+    title =
+      "Exact rational certificates: the impossibility LPs re-decided with        bigint rationals and Bland's rule (no tolerances) agree with the        float solver";
+    header = [ "system"; "expected"; "float"; "exact"; "ok" ];
+    rows = List.map fst rows;
+    notes =
+      [
+        "Witness entries are dyadic, so the float systems convert to the          exact systems losslessly. At the Theorem 5 threshold delta = x/2d          = 0.125 the region becomes (exactly) non-empty.";
+      ];
+    all_ok = List.for_all snd rows;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E16: iterative BVC convergence series (figure-like artifact)        *)
+
+let e16 ~seed () =
+  let rng = Rng.create (seed + 16) in
+  let d = 3 and f = 1 in
+  let n = ((d + 1) * f) + 1 in
+  let inst = Problem.random_instance rng ~n ~f ~d ~faulty:[ n - 1 ] in
+  let adversary =
+    Adversary.corrupt (fun ~round ~dst v ->
+        Vec.axpy (0.3 *. float_of_int ((round + dst) mod 4)) (Vec.ones d) v)
+  in
+  let rounds = 16 in
+  let r = Algo_iterative.run inst ~rounds ~adversary () in
+  let hist = Array.of_list r.Algo_iterative.spread_history in
+  let monotone = ref true in
+  for i = 1 to Array.length hist - 1 do
+    if hist.(i) > hist.(i - 1) +. 1e-9 then monotone := false
+  done;
+  let final = hist.(Array.length hist - 1) in
+  let hi = Problem.honest_inputs inst in
+  let valid =
+    List.for_all
+      (fun p -> Hull.dist_p ~p:2. hi r.Algo_iterative.outputs.(p) < 1e-6)
+      (Problem.honest_ids inst)
+  in
+  let ok = !monotone && final < 1e-3 && valid in
+  let rows =
+    List.filter_map
+      (fun i ->
+        if i mod 2 = 0 && i < Array.length hist then
+          Some [ string_of_int i; fmt "%.6f" hist.(i) ]
+        else None)
+      (List.init (Array.length hist) Fun.id)
+  in
+  {
+    id = "E16";
+    title =
+      "Iterative BVC (reference [18] family): honest-value spread per        round under an equivocating adversary (d=3, f=1, n=5)";
+    header = [ "round"; "honest spread (L-inf)" ];
+    rows;
+    notes =
+      [
+        fmt
+          "monotone contraction: %b; final spread %.2e; validity (within            initial honest hull): %b"
+          !monotone final valid;
+      ];
+    all_ok = ok;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E17: message complexity scaling (figure-like artifact)              *)
+
+let e17 ~seed:_ () =
+  let om_row n f =
+    let inputs = Array.init n (fun i -> Vec.make 2 (float_of_int i)) in
+    let _, tr =
+      Om.broadcast_all ~n ~f ~inputs ~default:(Vec.zero 2)
+        ~compare:Vec.compare_lex ()
+    in
+    (n, f, tr.Trace.messages_delivered)
+  in
+  let bracha_row n f =
+    let inputs = Array.init n (fun i -> Vec.make 2 (float_of_int i)) in
+    let _, out = Bracha.broadcast_all ~n ~f ~inputs ~compare:Vec.compare_lex () in
+    (n, f, out.Async.trace.Trace.messages_delivered)
+  in
+  let om = List.map (fun (n, f) -> om_row n f) [ (4, 1); (7, 1); (7, 2); (10, 2) ] in
+  let rb = List.map (fun (n, f) -> bracha_row n f) [ (4, 1); (7, 2); (10, 3) ] in
+  (* sanity of the shapes: OM grows superlinearly with f; Bracha ~ n^3 *)
+  let om_4_1 = (fun (_, _, m) -> m) (List.nth om 0) in
+  let om_7_1 = (fun (_, _, m) -> m) (List.nth om 1) in
+  let om_7_2 = (fun (_, _, m) -> m) (List.nth om 2) in
+  let ok = om_7_2 > om_7_1 && om_7_1 > om_4_1 in
+  {
+    id = "E17";
+    title =
+      "Message complexity of the broadcast substrates (batched messages        delivered, all-to-all broadcast)";
+    header = [ "protocol"; "n"; "f"; "messages" ];
+    rows =
+      List.map
+        (fun (n, f, m) ->
+          [ "OM(f)"; string_of_int n; string_of_int f; string_of_int m ])
+        om
+      @ List.map
+          (fun (n, f, m) ->
+            [ "Bracha"; string_of_int n; string_of_int f; string_of_int m ])
+          rb;
+    notes =
+      [
+        "OM(f) relays along paths (O(n^f) entries batched per edge);          Bracha is O(n^2) per instance, n instances.";
+      ];
+    all_ok = ok;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E18: convex hull consensus (references [15, 16])                    *)
+
+let e18 ~seed () =
+  let rng = Rng.create (seed + 18) in
+  let rows =
+    List.map
+      (fun trial ->
+        let n = 5 and f = 1 and d = 2 in
+        let inst = Problem.random_instance rng ~n ~f ~d ~faulty:[ trial mod n ] in
+        let corrupt _src ~dst ~commander:_ ~path:_ v =
+          Vec.axpy (0.4 *. float_of_int (dst + 1)) (Vec.ones d) v
+        in
+        let r = Hull_consensus.run inst ~corrupt () in
+        let honest = Problem.honest_ids inst in
+        let polys =
+          List.filter_map (fun p -> r.Hull_consensus.outputs.(p)) honest
+        in
+        let decided = List.length polys = List.length honest in
+        let agree =
+          match polys with
+          | [] -> false
+          | p0 :: rest -> List.for_all (Polygon.equal p0) rest
+        in
+        let valid =
+          let hh = Polygon.of_points (Problem.honest_inputs inst) in
+          List.for_all (fun p -> Polygon.subset p hh) polys
+        in
+        let area = match polys with [] -> 0. | p :: _ -> Polygon.area p in
+        let ok = decided && agree && valid in
+        ( [ string_of_int (trial + 1); yn decided; yn agree; yn valid;
+            fmt "%.4f" area; yn ok ],
+          ok ))
+      [ 0; 1; 2 ]
+  in
+  {
+    id = "E18";
+    title =
+      "Convex Hull Consensus (refs [15,16], d=2): all honest processes        agree on the identical polytope Gamma(S), inside the honest hull";
+    header = [ "trial"; "terminated"; "agree"; "valid"; "area"; "ok" ];
+    rows = List.map fst rows;
+    notes =
+      [ "Output polytopes computed exactly by convex polygon clipping." ];
+    all_ok = List.for_all snd rows;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E19: the strongest verifiable async adversary (greedy selection)    *)
+
+let e19 ~seed () =
+  let rng = Rng.create (seed + 19) in
+  let d = 3 and f = 1 and n = 6 in
+  let eps = 0.05 in
+  let inst = Problem.random_instance rng ~n ~f ~d ~faulty:[ n - 1 ] in
+  let hi = Problem.honest_inputs inst in
+  let spread0 = Bounds.max_edge ~p:Float.infinity hi in
+  let rounds =
+    Algo_async.rounds_for_eps ~n ~f ~eps
+      ~initial_spread:((2. *. Bounds.max_edge hi) +. spread0)
+  in
+  let run adversary =
+    let r =
+      Algo_async.run inst ~validity:Problem.Standard ~rounds
+        ~policy:(Async.Random_order (seed + 1)) ~adversary ()
+    in
+    let outs =
+      List.filter_map
+        (fun p -> r.Algo_async.outputs.(p))
+        (Problem.honest_ids inst)
+    in
+    let agree = (Validity.eps_agreement ~eps outs).Validity.ok in
+    let valid = (Validity.standard_validity ~honest_inputs:hi outs).Validity.ok in
+    (List.length outs, agree, valid)
+  in
+  let rows =
+    List.map
+      (fun (label, adv) ->
+        let decided, agree, valid = run adv in
+        let ok = decided = n - 1 && agree && valid in
+        ( [ label; string_of_int decided; yn agree; yn valid; yn ok ], ok ))
+      [ ("obedient", `Obedient); ("greedy", `Greedy); ("skew 10x", `Skew 10.) ]
+  in
+  {
+    id = "E19";
+    title =
+      "Strongest verifiable async adversary: greedy justification        selection cannot break eps-agreement or validity (Verified        Averaging's safety net)";
+    header = [ "adversary"; "decided"; "eps-agreement"; "validity"; "ok" ];
+    rows = List.map fst rows;
+    notes =
+      [
+        "The greedy faulty process always broadcasts the admissible value          farthest from the crowd; verification forces it to stay within          the protocol's reachable set, so the contraction argument still          applies.";
+      ];
+    all_ok = List.for_all snd rows;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E20: ratio distributions per Table 1 regime (figure-like artifact)  *)
+
+let e20 ~seed () =
+  let regimes =
+    [ (5, 1, 4, 10); (4, 1, 3, 10); (5, 1, 5, 10); (8, 2, 3, 3) ]
+  in
+  let rows =
+    List.map
+      (fun (n, f, d, trials) ->
+        let regime = Sweeps.regime_of ~n ~f ~d in
+        let iters = if f = 1 then 1200 else 500 in
+        let s = Sweeps.measure ~iters ~trials ~seed:(seed + n + d) regime in
+        let ok = s.Stats.max < 1. in
+        ( [ fmt "n=%d f=%d d=%d" n f d; string_of_int trials;
+            f3 s.Stats.mean; f3 s.Stats.p50; f3 s.Stats.p90; f3 s.Stats.max;
+            yn ok ],
+          ok ))
+      regimes
+  in
+  {
+    id = "E20";
+    title =
+      "delta*/bound ratio distributions per Table 1 regime (uniform        random inputs, faulty set adversarial per sample)";
+    header = [ "regime"; "trials"; "mean"; "p50"; "p90"; "max"; "< 1" ];
+    rows = List.map fst rows;
+    notes =
+      [
+        "Distributional view of the Table 1 reproduction: the proved          bounds leave substantial headroom on random inputs.";
+      ];
+    all_ok = List.for_all snd rows;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E21: adversarial input search — how tight are the bounds?           *)
+
+let e21 ~seed () =
+  let rows =
+    List.map
+      (fun (n, f, d, steps) ->
+        let regime = Sweeps.regime_of ~n ~f ~d in
+        let iters = if f = 1 then 1200 else 400 in
+        let best, _ =
+          Sweeps.adversarial_search ~iters ~steps ~seed:(seed + (2 * n) + d)
+            regime
+        in
+        let ok = best < 1. in
+        ( [ fmt "n=%d f=%d d=%d" n f d; string_of_int steps; f3 best; yn ok ],
+          ok ))
+      [ (4, 1, 3, 60); (5, 1, 4, 60); (8, 2, 3, 12) ]
+  in
+  {
+    id = "E21";
+    title =
+      "Adversarial input search (hill climbing on the input        configuration): the worst ratio found still respects the bound";
+    header = [ "regime"; "search steps"; "best ratio found"; "< 1" ];
+    rows = List.map fst rows;
+    notes =
+      [
+        "Hill climbing pushes delta*/bound well above the random-input          p90 (e.g. near-equilateral simplices for Theorem 9) but, as          proved, never reaches 1.";
+      ];
+    all_ok = List.for_all snd rows;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E22: the asynchronous k = 1 reduction is dimension-independent      *)
+
+let e22 ~seed () =
+  let rng = Rng.create (seed + 22) in
+  let eps = 0.05 in
+  let rows =
+    List.map
+      (fun d ->
+        let n = 4 and f = 1 in
+        let inst = Problem.random_instance rng ~n ~f ~d ~faulty:[ 3 ] in
+        let r =
+          Algo_k1_async.run inst ~eps
+            ~policy:(Async.Random_order (seed + d))
+            ~adversary:(`Skew 6.) ()
+        in
+        let honest = Problem.honest_ids inst in
+        let outs =
+          List.filter_map (fun p -> r.Algo_k1_async.outputs.(p)) honest
+        in
+        let agree = (Validity.eps_agreement ~eps outs).Validity.ok in
+        let valid =
+          (Validity.k_relaxed_validity ~k:1
+             ~honest_inputs:(Problem.honest_inputs inst)
+             outs)
+            .Validity.ok
+        in
+        let ok = List.length outs = 3 && agree && valid in
+        ( [ string_of_int d; string_of_int n; yn agree; yn valid;
+            string_of_int r.Algo_k1_async.messages; yn ok ],
+          ok ))
+      [ 2; 5; 9 ]
+  in
+  {
+    id = "E22";
+    title =
+      "Section 5.3 asynchronous k=1 reduction: 1-relaxed approximate BVC        at n = 3f+1 = 4 regardless of dimension (per-coordinate async        scalar consensus)";
+    header = [ "d"; "n"; "eps-agreement"; "1-relaxed validity";
+               "messages"; "ok" ];
+    rows = List.map fst rows;
+    notes =
+      [
+        "The standard vector bound would require n >= (d+2)f+1 — already          11 processes at d = 9; the k=1 relaxation runs at 4.";
+      ];
+    all_ok = List.for_all snd rows;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: the paper's summary of upper bounds, with measured ratios  *)
+
+let table1 ~seed () =
+  let rng = Rng.create (seed + 100) in
+  let measure ~d ~f ~n ~trials ~iters ~bound_of =
+    let maxratio = ref 0. in
+    for _ = 1 to trials do
+      let s = Rng.cloud rng ~n ~dim:d ~lo:0. ~hi:1. in
+      let r = Delta_hull.delta_star ~iters ~restarts:2 ~p:2. ~f s in
+      maxratio :=
+        Float.max !maxratio (worst_ratio ~f ~bound_of s r.Delta_hull.value)
+    done;
+    !maxratio
+  in
+  (* cell 1: f = 1, n = (d+1)f — Theorem 9 (full min(.,.) bound) *)
+  let d1 = 4 in
+  let c1 =
+    measure ~d:d1 ~f:1 ~n:(d1 + 1) ~trials:12 ~iters:2000
+      ~bound_of:(fun honest ->
+        (* min-edge part of Thm 9 uses ALL of S; using honest-only is
+           only larger, so bounding by the honest pair is conservative
+           in the other direction — take the theorem's exact form: the
+           caller passes honest inputs, so use max-edge+/(n-2) and add
+           the min-edge/2 part over honest inputs (>= over S). *)
+        Float.min
+          (Bounds.min_edge honest /. 2.)
+          (Bounds.max_edge honest /. float_of_int (d1 + 1 - 2)))
+  in
+  (* cell 2: f >= 2, n = (d+1)f — Theorem 12 *)
+  let d2 = 3 and f2 = 2 in
+  let c2 =
+    measure ~d:d2 ~f:f2 ~n:((d2 + 1) * f2) ~trials:2 ~iters:700
+      ~bound_of:(fun honest ->
+        Bounds.max_edge honest /. float_of_int (d2 - 1))
+  in
+  (* cell 3: f = 1, 3f+1 <= n < (d+1)f — Conjecture 1 *)
+  let d3 = 5 in
+  let c3 =
+    measure ~d:d3 ~f:1 ~n:5 ~trials:6 ~iters:1500 ~bound_of:(fun honest ->
+        Bounds.conj1_bound ~n:5 ~f:1 ~max_edge:(Bounds.max_edge honest))
+  in
+  (* cell 4: f >= 2, 3f+1 <= n < (d+1)f — Conjecture 1 *)
+  let d4 = 4 and f4' = 2 in
+  let c4 =
+    measure ~d:d4 ~f:f4' ~n:8 ~trials:2 ~iters:700 ~bound_of:(fun honest ->
+        Bounds.conj1_bound ~n:8 ~f:f4' ~max_edge:(Bounds.max_edge honest))
+  in
+  let ok = c1 < 1. && c2 < 1. && c3 < 1. && c4 < 1. in
+  {
+    id = "table1";
+    title =
+      "Table 1 (Section 9.2.3): summary of input-dependent delta upper \
+       bounds — paper formula vs measured max delta*/bound ratio";
+    header = [ "regime"; "paper bound"; "status"; "measured max ratio"; "< 1" ];
+    rows =
+      [
+        [ fmt "f=1, n=(d+1)f (d=%d)" d1;
+          "min(min-edge/2, max-edge+/(n-2))"; "Theorem 9"; f3 c1;
+          yn (c1 < 1.) ];
+        [ fmt "f>=2, n=(d+1)f (d=%d,f=%d)" d2 f2; "max-edge+/(d-1)";
+          "Theorem 12"; f3 c2; yn (c2 < 1.) ];
+        [ fmt "f=1, 3f+1<=n<(d+1)f (d=%d,n=5)" d3;
+          "max-edge+/(floor(n/f)-2)"; "Conjecture 1"; f3 c3; yn (c3 < 1.) ];
+        [ fmt "f>=2, 3f+1<=n<(d+1)f (d=%d,f=%d,n=8)" d4 f4';
+          "max-edge+/(floor(n/f)-2)"; "Conjecture 1"; f3 c4; yn (c4 < 1.) ];
+      ];
+    notes =
+      [
+        "Ratios are measured over uniform random inputs with the faulty \
+         set chosen adversarially per sample; the paper proves (or \
+         conjectures) every ratio < 1.";
+      ];
+    all_ok = ok;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let registry : (string * (seed:int -> unit -> table)) list =
+  [
+    ("E0", e0); ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5);
+    ("E6", e6); ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10);
+    ("E11", e11); ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15);
+    ("E16", e16); ("E17", e17); ("E18", e18); ("E19", e19); ("E20", e20);
+    ("E21", e21); ("E22", e22);
+    ("table1", table1);
+  ]
+
+let ids = List.map fst registry
+
+let run ?(seed = 42) id =
+  match List.assoc_opt id registry with
+  | Some f -> f ~seed ()
+  | None -> invalid_arg (fmt "Experiments.run: unknown id %S" id)
+
+let run_all ?(seed = 42) () = List.map (fun (_, f) -> f ~seed ()) registry
+
+let print ppf t =
+  let widths =
+    List.fold_left
+      (fun acc row ->
+        List.map2 (fun w cell -> Int.max w (String.length cell)) acc row)
+      (List.map String.length t.header)
+      t.rows
+  in
+  let pad cell w = cell ^ String.make (w - String.length cell) ' ' in
+  let line row =
+    String.concat "  " (List.map2 pad row widths)
+  in
+  Format.fprintf ppf "@.== %s: %s@." t.id t.title;
+  Format.fprintf ppf "   %s@." (line t.header);
+  Format.fprintf ppf "   %s@."
+    (String.concat "  " (List.map (fun w -> String.make w '-') widths));
+  List.iter (fun row -> Format.fprintf ppf "   %s@." (line row)) t.rows;
+  List.iter (fun n -> Format.fprintf ppf "   note: %s@." n) t.notes;
+  Format.fprintf ppf "   verdict: %s@."
+    (if t.all_ok then "REPRODUCED" else "MISMATCH")
+
+let csv_escape cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let to_csv t =
+  let buf = Buffer.create 256 in
+  let row cells =
+    Buffer.add_string buf (String.concat "," (List.map csv_escape cells));
+    Buffer.add_char buf '\n'
+  in
+  row t.header;
+  List.iter row t.rows;
+  List.iter (fun n -> Buffer.add_string buf ("# " ^ n ^ "\n")) t.notes;
+  Buffer.add_string buf
+    ("# verdict: " ^ (if t.all_ok then "REPRODUCED" else "MISMATCH") ^ "\n");
+  Buffer.contents buf

@@ -1,0 +1,31 @@
+(** The reproduction suite: one experiment per theorem/claim of the
+    paper, plus the regeneration of Table 1 (see DESIGN.md for the
+    experiment index and EXPERIMENTS.md for recorded results).
+
+    Every experiment is deterministic (seeded) and returns a {!table}
+    whose [all_ok] summarises whether the paper's claim was observed.
+    [run_all] executes the whole suite in order. *)
+
+type table = {
+  id : string;  (** e.g. "E2" or "table1" *)
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+  all_ok : bool;
+}
+
+val ids : string list
+(** All experiment ids in execution order. *)
+
+val run : ?seed:int -> string -> table
+(** Run one experiment by id. @raise Invalid_argument on unknown ids. *)
+
+val run_all : ?seed:int -> unit -> table list
+
+val print : Format.formatter -> table -> unit
+(** Pretty-print with aligned columns, title, notes, and verdict. *)
+
+val to_csv : table -> string
+(** The table as CSV (header row first; notes and verdict as trailing
+    comment lines) — for downstream plotting. *)

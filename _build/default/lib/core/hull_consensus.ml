@@ -1,0 +1,31 @@
+type report = {
+  outputs : Polygon.t option array;
+  views : Vec.t array array;
+  trace : Trace.t;
+}
+
+let gamma_polygon ~f s =
+  List.iter
+    (fun v ->
+      if Vec.dim v <> 2 then
+        invalid_arg "Hull_consensus.gamma_polygon: 2-d points required")
+    s;
+  let subsets = Delta_hull.subsets_minus_f ~f s in
+  Polygon.inter_all (List.map Polygon.of_points subsets)
+
+let run (inst : Problem.instance) ?corrupt () =
+  let { Problem.n; f; d; inputs; faulty } = inst in
+  if d <> 2 then
+    invalid_arg "Hull_consensus.run: exact polytope output requires d = 2";
+  let views, trace =
+    Om.broadcast_all ~n ~f ~inputs ~faulty ?corrupt ~default:(Vec.zero d)
+      ~compare:Vec.compare_lex ()
+  in
+  let outputs =
+    Array.map
+      (fun view ->
+        let poly = gamma_polygon ~f (Array.to_list view) in
+        if Polygon.is_empty poly then None else Some poly)
+      views
+  in
+  { outputs; views; trace }

@@ -1,0 +1,34 @@
+(** Convex Hull Consensus (Tseng & Vaidya — the paper's references [15]
+    and [16]): non-faulty processes agree on an identical convex
+    *polytope* that lies within the convex hull of the non-faulty inputs
+    and is as large as the fault pattern allows — namely [Gamma(S)], the
+    intersection of the hulls of all (n-f)-subsets of the broadcast
+    multiset.
+
+    This is the generalized problem the paper's Related Work discusses;
+    its optimal synchronous algorithm is Step 1 of ALGO (Byzantine
+    broadcast) followed by a deterministic computation of [Gamma(S)].
+    We compute the output polytope exactly in the plane (d = 2, via
+    convex-polygon intersection) and support arbitrary d with a point
+    representative ({!Tverberg.gamma_point}). Requires
+    [n >= max(3f+1, (d+1)f+1)] for a non-empty output. *)
+
+type report = {
+  outputs : Polygon.t option array;
+      (** per process: the agreed polytope ([None] only below the
+          process-count threshold, where [Gamma] may be empty) *)
+  views : Vec.t array array;
+  trace : Trace.t;
+}
+
+val gamma_polygon : f:int -> Vec.t list -> Polygon.t
+(** [Gamma(S)] for 2-d points, exactly: the intersection of the convex
+    hulls of all (|S|-f)-subsets. May be empty. *)
+
+val run :
+  Problem.instance ->
+  ?corrupt:(int -> Vec.t Om.corruption) ->
+  unit ->
+  report
+(** Full synchronous execution for d = 2 instances.
+    @raise Invalid_argument if [instance.d <> 2]. *)

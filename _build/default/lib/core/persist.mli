@@ -1,0 +1,34 @@
+(** Save and load problem instances and experiment artifacts as JSON
+    (a minimal self-contained writer/parser — no external dependencies),
+    so runs can be archived, shared, and replayed bit-for-bit.
+
+    The JSON dialect is deliberately small: objects, arrays, strings,
+    floats, ints, booleans, null. Floats are printed with "%.17g" so
+    every IEEE double round-trips exactly — replays reproduce the
+    original executions. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+val to_string : json -> string
+val of_string : string -> (json, string) result
+(** Parse; [Error msg] with position information on malformed input. *)
+
+val member : string -> json -> json option
+(** Object field lookup. *)
+
+(** {1 Instances} *)
+
+val instance_to_json : Problem.instance -> json
+val instance_of_json : json -> (Problem.instance, string) result
+
+val save_instance : string -> Problem.instance -> unit
+(** Write to a file path. *)
+
+val load_instance : string -> (Problem.instance, string) result

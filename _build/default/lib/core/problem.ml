@@ -1,0 +1,64 @@
+type system = Synchronous | Asynchronous
+
+type validity =
+  | Standard
+  | K_relaxed of int
+  | Delta_p of { delta : float; p : float }
+  | Input_dependent of { p : float }
+
+type instance = {
+  n : int;
+  f : int;
+  d : int;
+  inputs : Vec.t array;
+  faulty : int list;
+}
+
+let make ~n ~f ~d ~inputs ~faulty =
+  if n < 2 then invalid_arg "Problem.make: need n >= 2";
+  if f < 0 then invalid_arg "Problem.make: need f >= 0";
+  if f >= n then invalid_arg "Problem.make: need f < n";
+  if d < 1 then invalid_arg "Problem.make: need d >= 1";
+  if List.length inputs <> n then
+    invalid_arg "Problem.make: need exactly n inputs";
+  List.iter
+    (fun v ->
+      if Vec.dim v <> d then invalid_arg "Problem.make: input dimension mismatch")
+    inputs;
+  if List.length faulty > f then
+    invalid_arg "Problem.make: more than f faulty processes";
+  List.iter
+    (fun p ->
+      if p < 0 || p >= n then invalid_arg "Problem.make: faulty id out of range")
+    faulty;
+  if List.length (List.sort_uniq compare faulty) <> List.length faulty then
+    invalid_arg "Problem.make: duplicate faulty ids";
+  { n; f; d; inputs = Array.of_list inputs; faulty }
+
+let is_faulty t p = List.mem p t.faulty
+
+let honest_ids t =
+  List.filter (fun p -> not (is_faulty t p)) (List.init t.n (fun i -> i))
+
+let honest_inputs t = List.map (fun p -> t.inputs.(p)) (honest_ids t)
+
+let required_n system validity ~d ~f =
+  match (system, validity) with
+  | Synchronous, Standard -> Bounds.exact_bvc_min_n ~d ~f
+  | Asynchronous, Standard -> Bounds.approx_bvc_min_n ~d ~f
+  | Synchronous, K_relaxed k -> Bounds.k_relaxed_exact_min_n ~d ~f ~k
+  | Asynchronous, K_relaxed k -> Bounds.k_relaxed_approx_min_n ~d ~f ~k
+  | Synchronous, Delta_p _ -> Bounds.const_delta_exact_min_n ~d ~f
+  | Asynchronous, Delta_p _ -> Bounds.const_delta_approx_min_n ~d ~f
+  | (Synchronous | Asynchronous), Input_dependent _ ->
+      Bounds.input_dependent_min_n ~f
+
+let random_instance ?(lo = 0.) ?(hi = 1.) rng ~n ~f ~d ~faulty =
+  make ~n ~f ~d ~inputs:(Rng.cloud rng ~n ~dim:d ~lo ~hi) ~faulty
+
+let pp_validity ppf = function
+  | Standard -> Format.fprintf ppf "standard"
+  | K_relaxed k -> Format.fprintf ppf "%d-relaxed" k
+  | Delta_p { delta; p } -> Format.fprintf ppf "(%g,%g)-relaxed" delta p
+  | Input_dependent { p } ->
+      Format.fprintf ppf "(delta*,%g)-relaxed (input-dependent)" p

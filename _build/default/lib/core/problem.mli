@@ -1,0 +1,54 @@
+(** Problem statements: which consensus variant is being solved, under
+    which validity condition (Definitions 7-11 of the paper), on which
+    instance. *)
+
+type system = Synchronous | Asynchronous
+
+type validity =
+  | Standard
+      (** output in [H(N)], the hull of non-faulty inputs (Section 4) *)
+  | K_relaxed of int
+      (** output in [H_k(N)] (Definitions 7/8) *)
+  | Delta_p of { delta : float; p : float }
+      (** output in [H_(delta,p)(N)], constant delta (Definitions 10/11) *)
+  | Input_dependent of { p : float }
+      (** output within an input-dependent delta of [H(N)] (Section 9):
+          the algorithm minimizes delta itself *)
+
+type instance = {
+  n : int;  (** number of processes *)
+  f : int;  (** upper bound on Byzantine processes *)
+  d : int;  (** input dimension *)
+  inputs : Vec.t array;  (** length n; the would-be input of each process *)
+  faulty : int list;  (** actual faulty ids, |faulty| <= f *)
+}
+
+val make :
+  n:int -> f:int -> d:int -> inputs:Vec.t list -> faulty:int list -> instance
+(** Validates and builds an instance ([0 <= f < n] enforced).
+    @raise Invalid_argument on inconsistent sizes, dimensions, ids, or
+    more than [f] faulty processes. *)
+
+val honest_inputs : instance -> Vec.t list
+(** Inputs of the non-faulty processes (the multiset [N]/[I]), in
+    process-id order. *)
+
+val is_faulty : instance -> int -> bool
+val honest_ids : instance -> int list
+
+val required_n : system -> validity -> d:int -> f:int -> int
+(** The paper's tight bound on [n] for the given problem (Theorems 1-6,
+    Lemma 10 and Section 5.3). For [Input_dependent] this is [3f + 1]. *)
+
+val random_instance :
+  ?lo:float ->
+  ?hi:float ->
+  Rng.t ->
+  n:int ->
+  f:int ->
+  d:int ->
+  faulty:int list ->
+  instance
+(** Uniform box inputs; faulty ids as given. *)
+
+val pp_validity : Format.formatter -> validity -> unit

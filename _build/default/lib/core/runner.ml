@@ -1,0 +1,127 @@
+type outcome = {
+  instance : Problem.instance;
+  honest_outputs : Vec.t list;
+  decided : bool list;
+  delta_used : float;
+  checks : (string * Validity.check) list;
+  messages : int;
+}
+
+let ok t = Validity.all_ok (List.map snd t.checks)
+
+(* The validity check matching the problem's validity condition. For
+   input-dependent delta the allowance is the paper's bound (Table 1)
+   when (n, f, d) is in its domain, and otherwise the check degrades to
+   "within the measured delta actually used" (reported, not asserted). *)
+let validity_check ~system ~validity ~(inst : Problem.instance) ~delta_used
+    honest_outputs =
+  let honest_inputs = Problem.honest_inputs inst in
+  match validity with
+  | Problem.Standard -> Validity.standard_validity ~honest_inputs honest_outputs
+  | Problem.K_relaxed k ->
+      Validity.k_relaxed_validity ~k ~honest_inputs honest_outputs
+  | Problem.Delta_p { delta; p } ->
+      Validity.delta_p_validity ~delta ~p ~honest_inputs honest_outputs
+  | Problem.Input_dependent { p } -> (
+      let eff_n =
+        match system with
+        | Problem.Synchronous -> inst.Problem.n
+        | Problem.Asynchronous -> inst.Problem.n - inst.Problem.f
+      in
+      let kappa =
+        if
+          inst.Problem.f >= 1
+          && eff_n >= (3 * inst.Problem.f) + 1
+          && eff_n <= (inst.Problem.d + 1) * inst.Problem.f
+        then
+          match Bounds.kappa2 ~n:eff_n ~f:inst.Problem.f ~d:inst.Problem.d with
+          | `Proved k | `Conjectured k ->
+              Some (Bounds.holder_factor ~d:inst.Problem.d ~p:(Float.max p 2.) *. k)
+        else None
+      in
+      match kappa with
+      | Some kappa ->
+          Validity.input_dependent_validity ~p ~kappa ~honest_inputs
+            honest_outputs
+      | None ->
+          Validity.delta_p_validity ~delta:(delta_used +. 1e-9) ~p ~honest_inputs
+            honest_outputs)
+
+let assemble ~system ~validity ~inst ~outputs ~delta_used ~messages ~eps =
+  let honest = Problem.honest_ids inst in
+  let honest_outputs = List.filter_map (fun p -> outputs.(p)) honest in
+  let decided = List.map (fun p -> outputs.(p) <> None) honest in
+  let agreement_check =
+    match system with
+    | Problem.Synchronous -> ("agreement", Validity.agreement honest_outputs)
+    | Problem.Asynchronous ->
+        ("eps-agreement", Validity.eps_agreement ~eps honest_outputs)
+  in
+  let checks =
+    [
+      agreement_check;
+      ( "validity",
+        validity_check ~system ~validity ~inst ~delta_used honest_outputs );
+      ("termination", Validity.termination ~decided);
+    ]
+  in
+  { instance = inst; honest_outputs; decided; delta_used; checks; messages }
+
+let run_sync inst ~validity ?corrupt () =
+  let r = Algo_exact.run inst ~validity ?corrupt () in
+  let honest = Problem.honest_ids inst in
+  let delta_used =
+    List.fold_left
+      (fun acc p -> Float.max acc r.Algo_exact.delta_used.(p))
+      0. honest
+  in
+  assemble ~system:Problem.Synchronous ~validity ~inst
+    ~outputs:r.Algo_exact.outputs ~delta_used
+    ~messages:r.Algo_exact.trace.Trace.messages_delivered ~eps:0.
+
+let run_async inst ~validity ~eps ?policy ?adversary ?rounds () =
+  let honest_inputs = Problem.honest_inputs inst in
+  let rounds =
+    match rounds with
+    | Some r -> r
+    | None ->
+        let base_spread =
+          match honest_inputs with
+          | [] | [ _ ] -> 1.
+          | pts ->
+              let arr = Array.of_list pts in
+              let m = ref 0. in
+              Array.iteri
+                (fun i u ->
+                  Array.iteri
+                    (fun j v -> if j > i then m := Float.max !m (Vec.dist_inf u v))
+                    arr)
+                arr;
+              !m
+        in
+        let allowance =
+          match honest_inputs with
+          | _ :: _ :: _ -> 2. *. Bounds.max_edge honest_inputs
+          | _ -> 0.
+        in
+        Algo_async.rounds_for_eps ~n:inst.Problem.n ~f:inst.Problem.f ~eps
+          ~initial_spread:(base_spread +. allowance +. 1e-6)
+  in
+  let r = Algo_async.run inst ~validity ~rounds ?policy ?adversary () in
+  let honest = Problem.honest_ids inst in
+  let delta_used =
+    List.fold_left
+      (fun acc p -> Float.max acc r.Algo_async.delta_used.(p))
+      0. honest
+  in
+  assemble ~system:Problem.Asynchronous ~validity ~inst
+    ~outputs:r.Algo_async.outputs ~delta_used
+    ~messages:r.Algo_async.outcome.Async.trace.Trace.messages_delivered ~eps
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>n=%d f=%d d=%d msgs=%d delta=%.4g@,%a@]"
+    t.instance.Problem.n t.instance.Problem.f t.instance.Problem.d t.messages
+    t.delta_used
+    (Format.pp_print_list (fun ppf (name, c) ->
+         Format.fprintf ppf "%-14s %a" name Validity.pp c))
+    t.checks

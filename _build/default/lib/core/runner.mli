@@ -1,0 +1,43 @@
+(** End-to-end orchestration: build an instance, run the right algorithm
+    for the (system, validity) pair, and grade the execution against
+    every condition of the corresponding Definition (7-11).
+
+    This is the API the examples, the experiment harness and the
+    integration tests share. *)
+
+type outcome = {
+  instance : Problem.instance;
+  honest_outputs : Vec.t list;  (** decisions of non-faulty processes *)
+  decided : bool list;  (** per non-faulty process *)
+  delta_used : float;  (** max relaxation used by any honest process *)
+  checks : (string * Validity.check) list;
+      (** named condition checks: agreement / validity / termination *)
+  messages : int;  (** total messages delivered *)
+}
+
+val ok : outcome -> bool
+(** All checks passed. *)
+
+val run_sync :
+  Problem.instance ->
+  validity:Problem.validity ->
+  ?corrupt:(int -> Vec.t Om.corruption) ->
+  unit ->
+  outcome
+(** Synchronous exact consensus (agreement must be exact). *)
+
+val run_async :
+  Problem.instance ->
+  validity:Problem.validity ->
+  eps:float ->
+  ?policy:Async.policy ->
+  ?adversary:
+    [ `Obedient | `Silent | `Garbage | `Skew of float | `Greedy ] ->
+  ?rounds:int ->
+  unit ->
+  outcome
+(** Asynchronous approximate consensus ([eps]-agreement). [rounds]
+    defaults to {!Algo_async.rounds_for_eps} on the honest input spread
+    (plus the relaxation allowance). *)
+
+val pp : Format.formatter -> outcome -> unit

@@ -1,0 +1,17 @@
+let trimmed_median ~f values =
+  let sorted = List.sort Float.compare values in
+  let m = List.length sorted in
+  if m < (2 * f) + 1 then
+    invalid_arg "Scalar_consensus.trimmed_median: need at least 2f+1 values";
+  let trimmed = List.filteri (fun i _ -> i >= f && i < m - f) sorted in
+  List.nth trimmed ((List.length trimmed - 1) / 2)
+
+let run ~n ~f ~inputs ?faulty ?corrupt () =
+  if n < (3 * f) + 1 then
+    invalid_arg "Scalar_consensus.run: requires n >= 3f + 1";
+  let decisions, trace =
+    Om.broadcast_all ~n ~f ~inputs ?faulty ?corrupt ~default:0.
+      ~compare:Float.compare ()
+  in
+  ( Array.map (fun row -> trimmed_median ~f (Array.to_list row)) decisions,
+    trace )

@@ -1,0 +1,30 @@
+(** Synchronous exact Byzantine consensus on scalar inputs, for
+    [n >= 3f + 1] — the classical problem ([7]/[12]) the paper reduces to
+    in two places:
+
+    - [d = 1]: (delta,p)-relaxed consensus degenerates to it (Theorem 5's
+      base case);
+    - [k = 1]: 1-relaxed consensus is solved coordinate-wise by scalar
+      consensus (Section 5.3).
+
+    Implementation: every process OM-broadcasts its input; all non-faulty
+    processes then hold the identical multiset and apply the same
+    deterministic trimmed-median rule (discard the [f] lowest and [f]
+    highest, take the median of the rest), whose result always lies in
+    the interval spanned by the non-faulty inputs. *)
+
+val trimmed_median : f:int -> float list -> float
+(** The decision rule, exposed for tests: sort, drop f from each end,
+    median of the remainder (lower median for even counts).
+    @raise Invalid_argument if fewer than [2f + 1] values. *)
+
+val run :
+  n:int ->
+  f:int ->
+  inputs:float array ->
+  ?faulty:int list ->
+  ?corrupt:(int -> float Om.corruption) ->
+  unit ->
+  float array * Trace.t
+(** Full protocol: returns each process's decision. Non-faulty decisions
+    are identical and lie within [min, max] of non-faulty inputs. *)

@@ -1,0 +1,86 @@
+type check = { ok : bool; margin : float; detail : string }
+
+let max_pairwise_inf outputs =
+  let arr = Array.of_list outputs in
+  let n = Array.length arr in
+  let m = ref 0. in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      m := Float.max !m (Vec.dist_inf arr.(i) arr.(j))
+    done
+  done;
+  !m
+
+let agreement ?(eps = 1e-9) outputs =
+  match outputs with
+  | [] -> { ok = false; margin = neg_infinity; detail = "no outputs" }
+  | _ ->
+      let spread = max_pairwise_inf outputs in
+      {
+        ok = spread <= eps;
+        margin = eps -. spread;
+        detail = Printf.sprintf "max pairwise L-inf spread %.3g" spread;
+      }
+
+let eps_agreement ~eps outputs =
+  match outputs with
+  | [] -> { ok = false; margin = neg_infinity; detail = "no outputs" }
+  | _ ->
+      let spread = max_pairwise_inf outputs in
+      {
+        ok = spread <= eps +. 1e-12;
+        margin = eps -. spread;
+        detail = Printf.sprintf "spread %.3g vs eps %.3g" spread eps;
+      }
+
+let worst_distance ~p ~honest_inputs outputs =
+  List.fold_left
+    (fun acc out -> Float.max acc (Hull.dist_p ~p honest_inputs out))
+    0. outputs
+
+let standard_validity ~honest_inputs outputs =
+  let worst = worst_distance ~p:2. ~honest_inputs outputs in
+  {
+    ok = worst <= 1e-7;
+    margin = -.worst;
+    detail = Printf.sprintf "max dist2 to H(N) = %.3g" worst;
+  }
+
+let k_relaxed_validity ~k ~honest_inputs outputs =
+  let bad =
+    List.filter (fun o -> not (K_hull.mem ~eps:1e-7 ~k honest_inputs o)) outputs
+  in
+  {
+    ok = bad = [];
+    margin = (if bad = [] then 0. else -1.);
+    detail =
+      Printf.sprintf "%d/%d outputs outside H_%d(N)" (List.length bad)
+        (List.length outputs) k;
+  }
+
+let delta_p_validity ~delta ~p ~honest_inputs outputs =
+  let worst = worst_distance ~p ~honest_inputs outputs in
+  {
+    ok = worst <= delta +. 1e-7;
+    margin = delta -. worst;
+    detail = Printf.sprintf "max dist_p to H(N) = %.3g vs delta %.3g" worst delta;
+  }
+
+let input_dependent_validity ~p ~kappa ~honest_inputs outputs =
+  let allowance = kappa *. Bounds.max_edge ~p honest_inputs in
+  delta_p_validity ~delta:allowance ~p ~honest_inputs outputs
+
+let termination ~decided =
+  let undecided = List.length (List.filter not decided) in
+  {
+    ok = undecided = 0;
+    margin = (if undecided = 0 then 0. else -.float_of_int undecided);
+    detail = Printf.sprintf "%d/%d undecided" undecided (List.length decided);
+  }
+
+let all_ok checks = List.for_all (fun c -> c.ok) checks
+
+let pp ppf c =
+  Format.fprintf ppf "%s (margin %.3g: %s)"
+    (if c.ok then "OK" else "FAIL")
+    c.margin c.detail

@@ -1,0 +1,48 @@
+(** Condition checkers for every consensus definition in the paper
+    (Definitions 7-11): given the honest inputs and the honest outputs,
+    decide Agreement / epsilon-Agreement / the four Validity variants,
+    and report quantitative margins for the experiment tables. *)
+
+type check = {
+  ok : bool;
+  margin : float;
+      (** how comfortably the condition holds: distance to violation
+          (positive = satisfied; for distances, [slack = allowance -
+          measured]). *)
+  detail : string;
+}
+
+val agreement : ?eps:float -> Vec.t list -> check
+(** Exact agreement: all outputs identical within [eps] (default 1e-9);
+    margin is [eps - max pairwise L-inf distance]. *)
+
+val eps_agreement : eps:float -> Vec.t list -> check
+(** Definition 8/11 condition 1: every coordinate of any two outputs
+    within [eps]; margin is [eps - max pairwise L-inf distance]. *)
+
+val standard_validity : honest_inputs:Vec.t list -> Vec.t list -> check
+(** Outputs in [H(N)]; margin is [-max over outputs of dist2 to hull]. *)
+
+val k_relaxed_validity :
+  k:int -> honest_inputs:Vec.t list -> Vec.t list -> check
+(** Outputs in [H_k(N)] (Definition 6 membership per output). *)
+
+val delta_p_validity :
+  delta:float -> p:float -> honest_inputs:Vec.t list -> Vec.t list -> check
+(** Outputs within Lp distance [delta] of [H(N)]; margin is
+    [delta - max measured distance]. *)
+
+val input_dependent_validity :
+  p:float ->
+  kappa:float ->
+  honest_inputs:Vec.t list ->
+  Vec.t list ->
+  check
+(** Section 9 validity: outputs within [kappa * max-edge+] of [H(N)]
+    in Lp, where max-edge+ is over honest inputs. *)
+
+val termination : decided:bool list -> check
+(** All processes decided. *)
+
+val all_ok : check list -> bool
+val pp : Format.formatter -> check -> unit

@@ -1,0 +1,1 @@
+lib/exact/bigint.ml: Array Buffer Format Printf Stdlib String

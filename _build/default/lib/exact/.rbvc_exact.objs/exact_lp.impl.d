@@ -1,0 +1,1 @@
+lib/exact/exact_lp.ml: Array List Lp Option Ratio

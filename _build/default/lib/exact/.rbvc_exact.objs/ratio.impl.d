@@ -1,0 +1,1 @@
+lib/exact/ratio.ml: Bigint Float Format Int64

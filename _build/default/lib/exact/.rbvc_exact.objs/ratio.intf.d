@@ -1,0 +1,1 @@
+lib/exact/ratio.mli: Bigint Format

@@ -1,0 +1,297 @@
+(* Sign-magnitude, little-endian limbs in base 10^9. Limb products fit
+   native 63-bit ints (10^18 < 2^62). The zero value has sign 0 and an
+   empty magnitude; magnitudes never have trailing zero limbs. *)
+
+let base = 1_000_000_000
+
+type t = { sign : int; mag : int array }
+
+let zero = { sign = 0; mag = [||] }
+
+let normalize sign mag =
+  let n = ref (Array.length mag) in
+  while !n > 0 && mag.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = 0 then zero
+  else if !n = Array.length mag then { sign; mag }
+  else { sign; mag = Array.sub mag 0 !n }
+
+let of_int x =
+  if x = 0 then zero
+  else begin
+    let sign = compare x 0 in
+    let x = abs x in
+    let rec limbs x = if x = 0 then [] else (x mod base) :: limbs (x / base) in
+    { sign; mag = Array.of_list (limbs x) }
+  end
+
+let one = of_int 1
+let minus_one = of_int (-1)
+let is_zero t = t.sign = 0
+let sign t = t.sign
+
+(* magnitude comparison *)
+let mag_compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else
+        let c = compare a.(i) b.(i) in
+        if c <> 0 then c else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let compare x y =
+  if x.sign <> y.sign then Stdlib.compare x.sign y.sign
+  else x.sign * mag_compare x.mag y.mag
+
+let equal x y = compare x y = 0
+let neg t = { t with sign = -t.sign }
+let abs t = { t with sign = Stdlib.abs t.sign }
+
+let mag_add a b =
+  let la = Array.length a and lb = Array.length b in
+  let n = 1 + max la lb in
+  let out = Array.make n 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let s =
+      (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry
+    in
+    out.(i) <- s mod base;
+    carry := s / base
+  done;
+  out
+
+(* requires |a| >= |b| *)
+let mag_sub a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let s = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if s < 0 then begin
+      out.(i) <- s + base;
+      borrow := 1
+    end
+    else begin
+      out.(i) <- s;
+      borrow := 0
+    end
+  done;
+  out
+
+let add x y =
+  if x.sign = 0 then y
+  else if y.sign = 0 then x
+  else if x.sign = y.sign then normalize x.sign (mag_add x.mag y.mag)
+  else begin
+    let c = mag_compare x.mag y.mag in
+    if c = 0 then zero
+    else if c > 0 then normalize x.sign (mag_sub x.mag y.mag)
+    else normalize y.sign (mag_sub y.mag x.mag)
+  end
+
+let sub x y = add x (neg y)
+
+let mul x y =
+  if x.sign = 0 || y.sign = 0 then zero
+  else begin
+    let la = Array.length x.mag and lb = Array.length y.mag in
+    let out = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let xi = x.mag.(i) in
+      for j = 0 to lb - 1 do
+        let cur = out.(i + j) + (xi * y.mag.(j)) + !carry in
+        out.(i + j) <- cur mod base;
+        carry := cur / base
+      done;
+      let k = ref (i + lb) in
+      while !carry > 0 do
+        let cur = out.(!k) + !carry in
+        out.(!k) <- cur mod base;
+        carry := cur / base;
+        incr k
+      done
+    done;
+    normalize (x.sign * y.sign) out
+  end
+
+(* Long division of magnitudes (Knuth algorithm D, base 10^9). Returns
+   (quotient, remainder) magnitudes. *)
+let mag_divmod a b =
+  let lb = Array.length b in
+  if lb = 0 then raise Division_by_zero;
+  if mag_compare a b < 0 then ([| 0 |], Array.copy a)
+  else if lb = 1 then begin
+    (* single-limb divisor: simple schoolbook *)
+    let d = b.(0) in
+    let la = Array.length a in
+    let q = Array.make la 0 in
+    let r = ref 0 in
+    for i = la - 1 downto 0 do
+      let cur = (!r * base) + a.(i) in
+      q.(i) <- cur / d;
+      r := cur mod d
+    done;
+    (q, [| !r |])
+  end
+  else begin
+    (* normalize so the top divisor limb is >= base/2 (Knuth: scale by
+       floor(base / (vtop + 1)), which provably keeps the divisor's limb
+       count and pushes its top limb above base/2) *)
+    let shift = ref (base / (b.(lb - 1) + 1)) in
+    let scale m s =
+      let lm = Array.length m in
+      let out = Array.make (lm + 1) 0 in
+      let carry = ref 0 in
+      for i = 0 to lm - 1 do
+        let cur = (m.(i) * s) + !carry in
+        out.(i) <- cur mod base;
+        carry := cur / base
+      done;
+      out.(lm) <- !carry;
+      out
+    in
+    let u = scale a !shift in
+    let v =
+      let s = scale b !shift in
+      (* drop the top zero limb if scaling didn't overflow *)
+      if s.(Array.length s - 1) = 0 then Array.sub s 0 (Array.length s - 1)
+      else s
+    in
+    let n = Array.length v in
+    let m = Array.length u - n in
+    let q = Array.make (max m 1) 0 in
+    let vtop = v.(n - 1) in
+    let vsecond = if n >= 2 then v.(n - 2) else 0 in
+    for j = m - 1 downto 0 do
+      (* estimate quotient digit *)
+      let top2 = (u.(j + n) * base) + u.(j + n - 1) in
+      let qhat = ref (min (top2 / vtop) (base - 1)) in
+      let rhat = ref (top2 - (!qhat * vtop)) in
+      let adjust () =
+        while
+          !rhat < base
+          && !qhat * vsecond > (!rhat * base) + (if j + n >= 2 then u.(j + n - 2) else 0)
+        do
+          decr qhat;
+          rhat := !rhat + vtop
+        done
+      in
+      adjust ();
+      (* multiply-subtract u[j .. j+n] -= qhat * v *)
+      let borrow = ref 0 and carry = ref 0 in
+      for i = 0 to n - 1 do
+        let p = (!qhat * v.(i)) + !carry in
+        carry := p / base;
+        let s = u.(j + i) - (p mod base) - !borrow in
+        if s < 0 then begin
+          u.(j + i) <- s + base;
+          borrow := 1
+        end
+        else begin
+          u.(j + i) <- s;
+          borrow := 0
+        end
+      done;
+      let s = u.(j + n) - !carry - !borrow in
+      if s < 0 then begin
+        (* overshot by one: add v back *)
+        u.(j + n) <- s + base;
+        decr qhat;
+        let c = ref 0 in
+        for i = 0 to n - 1 do
+          let t = u.(j + i) + v.(i) + !c in
+          u.(j + i) <- t mod base;
+          c := t / base
+        done;
+        u.(j + n) <- (u.(j + n) + !c) mod base
+      end
+      else u.(j + n) <- s;
+      q.(j) <- !qhat
+    done;
+    (* denormalize remainder: u[0..n-1] / shift *)
+    let r = Array.sub u 0 n in
+    let rem = Array.make n 0 in
+    let carry = ref 0 in
+    for i = n - 1 downto 0 do
+      let cur = (!carry * base) + r.(i) in
+      rem.(i) <- cur / !shift;
+      carry := cur mod !shift
+    done;
+    (q, rem)
+  end
+
+let divmod x y =
+  if y.sign = 0 then raise Division_by_zero;
+  if x.sign = 0 then (zero, zero)
+  else begin
+    let qm, rm = mag_divmod x.mag y.mag in
+    let q = normalize (x.sign * y.sign) qm in
+    let r = normalize x.sign rm in
+    (q, r)
+  end
+
+let rec gcd a b =
+  let a = abs a and b = abs b in
+  if is_zero b then a
+  else
+    let _, r = divmod a b in
+    gcd b r
+
+let to_string t =
+  if t.sign = 0 then "0"
+  else begin
+    let buf = Buffer.create 16 in
+    if t.sign < 0 then Buffer.add_char buf '-';
+    let n = Array.length t.mag in
+    Buffer.add_string buf (string_of_int t.mag.(n - 1));
+    for i = n - 2 downto 0 do
+      Buffer.add_string buf (Printf.sprintf "%09d" t.mag.(i))
+    done;
+    Buffer.contents buf
+  end
+
+let of_string s =
+  let s = String.trim s in
+  if s = "" then invalid_arg "Bigint.of_string: empty";
+  let negative = s.[0] = '-' in
+  let digits = if negative || s.[0] = '+' then String.sub s 1 (String.length s - 1) else s in
+  if digits = "" then invalid_arg "Bigint.of_string: no digits";
+  String.iter
+    (fun c ->
+      if c < '0' || c > '9' then invalid_arg "Bigint.of_string: bad digit")
+    digits;
+  let len = String.length digits in
+  let nlimbs = (len + 8) / 9 in
+  let mag = Array.make nlimbs 0 in
+  let pos = ref len in
+  for i = 0 to nlimbs - 1 do
+    let start = max 0 (!pos - 9) in
+    mag.(i) <- int_of_string (String.sub digits start (!pos - start));
+    pos := start
+  done;
+  normalize (if negative then -1 else 1) mag
+
+let to_int_opt t =
+  (* max_int has 19 digits; accept up to 2 limbs plus a small third *)
+  let n = Array.length t.mag in
+  if n = 0 then Some 0
+  else if n > 3 then None
+  else begin
+    let v = ref 0 in
+    let overflow = ref false in
+    for i = n - 1 downto 0 do
+      if !v > (max_int - t.mag.(i)) / base then overflow := true
+      else v := (!v * base) + t.mag.(i)
+    done;
+    if !overflow then None else Some (t.sign * !v)
+  end
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,42 @@
+(** Arbitrary-precision signed integers, implemented from scratch
+    (sign-magnitude, little-endian limbs in base 10^9) so the exact
+    certificate checker has no external dependencies.
+
+    Only what exact rational simplex needs: ring operations, division
+    with remainder, gcd, comparisons, and conversions. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+val of_int : int -> t
+
+val of_string : string -> t
+(** Decimal, with optional leading ['-'].
+    @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+
+val to_int_opt : t -> int option
+(** [None] if out of native-int range. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(q, r)] with [a = q*b + r], [0 <= |r| < |b|], and
+    [r] carrying the sign of [a] (truncated division).
+    @raise Division_by_zero *)
+
+val gcd : t -> t -> t
+(** Non-negative gcd; [gcd 0 0 = 0]. *)
+
+val is_zero : t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,253 @@
+type status = Optimal | Infeasible | Unbounded
+
+type result = {
+  status : status;
+  solution : Ratio.t array option;
+  objective : Ratio.t option;
+}
+
+(* Dense exact tableau; mirrors Lp's layout:
+   columns [0..nstruct) structural (free vars split), then slack/surplus,
+   then artificial, last = rhs; row [m] = reduced-cost row with [-z] in
+   its rhs cell. Pivoting rule: Bland (smallest eligible index), which
+   cannot cycle — and with exact arithmetic that is a termination
+   proof. *)
+
+type tableau = {
+  t : Ratio.t array array;
+  m : int;
+  ncols : int;
+  basis : int array;
+}
+
+let r0 = Ratio.zero
+let r1 = Ratio.one
+
+let pivot tab ~row ~col =
+  let p = tab.t.(row).(col) in
+  let width = tab.ncols + 1 in
+  let r = tab.t.(row) in
+  for j = 0 to width - 1 do
+    r.(j) <- Ratio.div r.(j) p
+  done;
+  for i = 0 to tab.m do
+    if i <> row then begin
+      let f = tab.t.(i).(col) in
+      if not (Ratio.is_zero f) then begin
+        let ri = tab.t.(i) in
+        for j = 0 to width - 1 do
+          ri.(j) <- Ratio.sub ri.(j) (Ratio.mul f r.(j))
+        done
+      end
+    end
+  done;
+  tab.basis.(row) <- col
+
+let run_phase tab ~banned =
+  let rhs = tab.ncols in
+  let obj = tab.t.(tab.m) in
+  let continue_ = ref true in
+  let outcome = ref `Optimal in
+  while !continue_ do
+    (* Bland: smallest column with negative reduced cost *)
+    let entering = ref (-1) in
+    (try
+       for j = 0 to tab.ncols - 1 do
+         if (not (banned j)) && Ratio.sign obj.(j) < 0 then begin
+           entering := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !entering = -1 then continue_ := false
+    else begin
+      let col = !entering in
+      (* ratio test, Bland tie-break on basic column index *)
+      let leave = ref (-1) in
+      let best = ref r0 in
+      for i = 0 to tab.m - 1 do
+        let a = tab.t.(i).(col) in
+        if Ratio.sign a > 0 then begin
+          let ratio = Ratio.div tab.t.(i).(rhs) a in
+          if
+            !leave = -1
+            || Ratio.compare ratio !best < 0
+            || (Ratio.compare ratio !best = 0
+               && tab.basis.(i) < tab.basis.(!leave))
+          then begin
+            best := ratio;
+            leave := i
+          end
+        end
+      done;
+      if !leave = -1 then begin
+        outcome := `Unbounded;
+        continue_ := false
+      end
+      else pivot tab ~row:!leave ~col
+    end
+  done;
+  !outcome
+
+let set_objective tab cost =
+  let obj = tab.t.(tab.m) in
+  Array.fill obj 0 (tab.ncols + 1) r0;
+  Array.blit cost 0 obj 0 tab.ncols;
+  for i = 0 to tab.m - 1 do
+    let cb = cost.(tab.basis.(i)) in
+    if not (Ratio.is_zero cb) then begin
+      let ri = tab.t.(i) in
+      for j = 0 to tab.ncols do
+        obj.(j) <- Ratio.sub obj.(j) (Ratio.mul cb ri.(j))
+      done
+    end
+  done
+
+let solve ?free ?(maximize = false) ~nvars ~objective rows =
+  if Array.length objective <> nvars then
+    invalid_arg "Exact_lp.solve: objective arity mismatch";
+  let is_free i = match free with None -> false | Some f -> f.(i) in
+  let col_of_var = Array.make nvars (-1) in
+  let neg_col_of_var = Array.make nvars (-1) in
+  let nstruct = ref 0 in
+  for i = 0 to nvars - 1 do
+    col_of_var.(i) <- !nstruct;
+    incr nstruct;
+    if is_free i then begin
+      neg_col_of_var.(i) <- !nstruct;
+      incr nstruct
+    end
+  done;
+  let nstruct = !nstruct in
+  let rows =
+    List.map
+      (fun (coeffs, cmp, rhs) ->
+        if Array.length coeffs <> nvars then
+          invalid_arg "Exact_lp: constraint arity mismatch";
+        if Ratio.sign rhs < 0 then
+          ( Array.map Ratio.neg coeffs,
+            (match cmp with Lp.Le -> Lp.Ge | Lp.Ge -> Lp.Le | Lp.Eq -> Lp.Eq),
+            Ratio.neg rhs )
+        else (coeffs, cmp, rhs))
+      rows
+  in
+  let m = List.length rows in
+  let nslack =
+    List.fold_left
+      (fun acc (_, cmp, _) ->
+        match cmp with Lp.Le | Lp.Ge -> acc + 1 | Lp.Eq -> acc)
+      0 rows
+  in
+  let nart =
+    List.fold_left
+      (fun acc (_, cmp, _) ->
+        match cmp with Lp.Ge | Lp.Eq -> acc + 1 | Lp.Le -> acc)
+      0 rows
+  in
+  let ncols = nstruct + nslack + nart in
+  let t = Array.init (m + 1) (fun _ -> Array.make (ncols + 1) r0) in
+  let basis = Array.make (max m 1) (-1) in
+  let slack_cursor = ref nstruct in
+  let art_cursor = ref (nstruct + nslack) in
+  List.iteri
+    (fun i (coeffs, cmp, rhs) ->
+      for v = 0 to nvars - 1 do
+        t.(i).(col_of_var.(v)) <- coeffs.(v);
+        if neg_col_of_var.(v) >= 0 then
+          t.(i).(neg_col_of_var.(v)) <- Ratio.neg coeffs.(v)
+      done;
+      t.(i).(ncols) <- rhs;
+      match cmp with
+      | Lp.Le ->
+          t.(i).(!slack_cursor) <- r1;
+          basis.(i) <- !slack_cursor;
+          incr slack_cursor
+      | Lp.Ge ->
+          t.(i).(!slack_cursor) <- Ratio.neg r1;
+          incr slack_cursor;
+          t.(i).(!art_cursor) <- r1;
+          basis.(i) <- !art_cursor;
+          incr art_cursor
+      | Lp.Eq ->
+          t.(i).(!art_cursor) <- r1;
+          basis.(i) <- !art_cursor;
+          incr art_cursor)
+    rows;
+  let tab = { t; m; ncols; basis } in
+  let art_start = nstruct + nslack in
+  let infeasible = { status = Infeasible; solution = None; objective = None } in
+  let phase1_ok =
+    if nart = 0 then true
+    else begin
+      let cost = Array.make ncols r0 in
+      for j = art_start to ncols - 1 do
+        cost.(j) <- r1
+      done;
+      set_objective tab cost;
+      match run_phase tab ~banned:(fun _ -> false) with
+      | `Unbounded -> failwith "Exact_lp: phase 1 unbounded (impossible)"
+      | `Optimal -> Ratio.is_zero tab.t.(m).(ncols)
+    end
+  in
+  if not phase1_ok then infeasible
+  else begin
+    (* pivot lingering artificials out of the basis *)
+    if nart > 0 then
+      for i = 0 to m - 1 do
+        if tab.basis.(i) >= art_start then begin
+          let j = ref 0 in
+          (try
+             while !j < art_start do
+               if not (Ratio.is_zero tab.t.(i).(!j)) then raise Exit;
+               incr j
+             done
+           with Exit -> ());
+          if !j < art_start then pivot tab ~row:i ~col:!j
+        end
+      done;
+    let banned j = j >= art_start in
+    let cost = Array.make ncols r0 in
+    let signf r = if maximize then Ratio.neg r else r in
+    for v = 0 to nvars - 1 do
+      cost.(col_of_var.(v)) <- signf objective.(v);
+      if neg_col_of_var.(v) >= 0 then
+        cost.(neg_col_of_var.(v)) <- Ratio.neg (signf objective.(v))
+    done;
+    set_objective tab cost;
+    match run_phase tab ~banned with
+    | `Unbounded -> { status = Unbounded; solution = None; objective = None }
+    | `Optimal ->
+        let vals = Array.make ncols r0 in
+        for i = 0 to m - 1 do
+          vals.(tab.basis.(i)) <- tab.t.(i).(ncols)
+        done;
+        let x =
+          Array.init nvars (fun v ->
+              let pos = vals.(col_of_var.(v)) in
+              if neg_col_of_var.(v) >= 0 then
+                Ratio.sub pos vals.(neg_col_of_var.(v))
+              else pos)
+        in
+        let z = Ratio.neg tab.t.(m).(ncols) in
+        let z = if maximize then Ratio.neg z else z in
+        { status = Optimal; solution = Some x; objective = Some z }
+  end
+
+let feasible_point ?free ~nvars rows =
+  let r = solve ?free ~nvars ~objective:(Array.make nvars Ratio.zero) rows in
+  match r.status with
+  | Optimal -> r.solution
+  | Infeasible | Unbounded -> None
+
+let is_feasible ?free ~nvars rows = Option.is_some (feasible_point ?free ~nvars rows)
+
+let of_float_rows rows =
+  List.map
+    (fun { Lp.coeffs; cmp; rhs } ->
+      (Array.map Ratio.of_float coeffs, cmp, Ratio.of_float rhs))
+    rows
+
+let check_agrees_with_float ?free ~nvars rows =
+  let float_feasible = Lp.is_feasible ?free ~nvars rows in
+  let exact_feasible = is_feasible ?free ~nvars (of_float_rows rows) in
+  (float_feasible, exact_feasible)

@@ -1,0 +1,49 @@
+(** Exact rational simplex — the certificate checker.
+
+    The paper's impossibility results rest on the emptiness of certain
+    linear systems (the [Psi(Y)] and [(delta,inf)]-region LPs of
+    Theorems 3-6). The floating-point solver decides these with a
+    tolerance; this module re-decides them in exact rational arithmetic
+    with Bland's rule (guaranteed termination, no epsilon anywhere), so
+    a reported "empty" is a proof, not a numerical judgement. Inputs
+    given as floats are converted *exactly* (every finite float is a
+    dyadic rational) — the witness matrices' entries are chosen to be
+    exactly representable, so the exact system is the paper's system.
+
+    Deliberately simple and unoptimized: correctness is the point;
+    use {!Lp} for speed. *)
+
+type status = Optimal | Infeasible | Unbounded
+
+type result = {
+  status : status;
+  solution : Ratio.t array option;
+  objective : Ratio.t option;
+}
+
+val solve :
+  ?free:bool array ->
+  ?maximize:bool ->
+  nvars:int ->
+  objective:Ratio.t array ->
+  (Ratio.t array * Lp.cmp * Ratio.t) list ->
+  result
+(** Exact analogue of {!Lp.solve}: rows are
+    [(coefficients, comparison, rhs)]. *)
+
+val feasible_point :
+  ?free:bool array ->
+  nvars:int ->
+  (Ratio.t array * Lp.cmp * Ratio.t) list ->
+  Ratio.t array option
+
+val is_feasible :
+  ?free:bool array -> nvars:int -> (Ratio.t array * Lp.cmp * Ratio.t) list -> bool
+
+val of_float_rows : Lp.constr list -> (Ratio.t array * Lp.cmp * Ratio.t) list
+(** Exact conversion of a floating-point system. *)
+
+val check_agrees_with_float :
+  ?free:bool array -> nvars:int -> Lp.constr list -> bool * bool
+(** [(float_feasible, exact_feasible)] for the same system — the
+    cross-validation primitive used by tests and experiment E15. *)

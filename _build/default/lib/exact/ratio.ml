@@ -1,0 +1,71 @@
+type t = { n : Bigint.t; d : Bigint.t (* > 0, gcd(n,d) = 1 *) }
+
+let make n d =
+  if Bigint.is_zero d then raise Division_by_zero;
+  let n, d = if Bigint.sign d < 0 then (Bigint.neg n, Bigint.neg d) else (n, d) in
+  if Bigint.is_zero n then { n = Bigint.zero; d = Bigint.one }
+  else begin
+    let g = Bigint.gcd n d in
+    let n, _ = Bigint.divmod n g in
+    let d, _ = Bigint.divmod d g in
+    { n; d }
+  end
+
+let zero = { n = Bigint.zero; d = Bigint.one }
+let one = { n = Bigint.one; d = Bigint.one }
+let of_int i = { n = Bigint.of_int i; d = Bigint.one }
+let of_ints n d = make (Bigint.of_int n) (Bigint.of_int d)
+let of_bigints = make
+let num t = t.n
+let den t = t.d
+
+let of_float x =
+  if not (Float.is_finite x) then invalid_arg "Ratio.of_float: not finite";
+  if x = 0. then zero
+  else begin
+    let m, e = Float.frexp x in
+    (* m in [0.5, 1): m * 2^53 is integral *)
+    let mantissa = Int64.to_int (Int64.of_float (Float.ldexp m 53)) in
+    let exp = e - 53 in
+    let two = Bigint.of_int 2 in
+    let rec pow2 k acc = if k = 0 then acc else pow2 (k - 1) (Bigint.mul acc two) in
+    if exp >= 0 then
+      make (Bigint.mul (Bigint.of_int mantissa) (pow2 exp Bigint.one)) Bigint.one
+    else make (Bigint.of_int mantissa) (pow2 (-exp) Bigint.one)
+  end
+
+let to_float t =
+  (* good enough for reporting: go through strings only when the parts
+     exceed native range *)
+  match (Bigint.to_int_opt t.n, Bigint.to_int_opt t.d) with
+  | Some n, Some d -> float_of_int n /. float_of_int d
+  | _ ->
+      float_of_string (Bigint.to_string t.n)
+      /. float_of_string (Bigint.to_string t.d)
+
+let sign t = Bigint.sign t.n
+let is_zero t = Bigint.is_zero t.n
+
+let compare a b =
+  Bigint.compare (Bigint.mul a.n b.d) (Bigint.mul b.n a.d)
+
+let equal a b = compare a b = 0
+let neg t = { t with n = Bigint.neg t.n }
+let abs t = { t with n = Bigint.abs t.n }
+
+let add a b =
+  make
+    (Bigint.add (Bigint.mul a.n b.d) (Bigint.mul b.n a.d))
+    (Bigint.mul a.d b.d)
+
+let sub a b = add a (neg b)
+let mul a b = make (Bigint.mul a.n b.n) (Bigint.mul a.d b.d)
+let div a b = make (Bigint.mul a.n b.d) (Bigint.mul a.d b.n)
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let to_string t =
+  if Bigint.equal t.d Bigint.one then Bigint.to_string t.n
+  else Bigint.to_string t.n ^ "/" ^ Bigint.to_string t.d
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,37 @@
+(** Exact rational arithmetic over {!Bigint}, always normalized
+    (positive denominator, gcd 1). The scalar field of the exact simplex
+    certifier {!Exact_lp}. *)
+
+type t
+
+val zero : t
+val one : t
+val of_int : int -> t
+val of_ints : int -> int -> t
+(** [of_ints num den]. @raise Division_by_zero on zero denominator. *)
+
+val of_bigints : Bigint.t -> Bigint.t -> t
+
+val of_float : float -> t
+(** Exact: every finite float is a dyadic rational.
+    @raise Invalid_argument on nan/infinite. *)
+
+val to_float : t -> float
+val num : t -> Bigint.t
+val den : t -> Bigint.t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+val is_zero : t -> bool
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** @raise Division_by_zero *)
+
+val min : t -> t -> t
+val max : t -> t -> t
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/geom/affine.ml: Array Int List Matrix Vec

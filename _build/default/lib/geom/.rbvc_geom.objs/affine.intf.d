@@ -1,0 +1,1 @@
+lib/geom/affine.mli: Vec

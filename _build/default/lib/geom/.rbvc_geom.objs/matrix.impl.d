@@ -1,0 +1,1 @@
+lib/geom/matrix.ml: Array Float Format List Option Vec

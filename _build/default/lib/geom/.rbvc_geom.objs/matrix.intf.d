@@ -1,0 +1,1 @@
+lib/geom/matrix.mli: Format Vec

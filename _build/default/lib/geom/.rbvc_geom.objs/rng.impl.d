@@ -1,0 +1,1 @@
+lib/geom/rng.ml: Affine Array Float List Matrix Random Vec

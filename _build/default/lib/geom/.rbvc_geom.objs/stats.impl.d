@@ -1,0 +1,1 @@
+lib/geom/stats.ml: Array Float Format List Stdlib

@@ -1,0 +1,1 @@
+lib/geom/vec.ml: Array Float Format List Printf

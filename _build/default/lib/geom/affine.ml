@@ -1,0 +1,73 @@
+let difference_vectors = function
+  | [] | [ _ ] -> []
+  | pts ->
+      let arr = Array.of_list pts in
+      let last = arr.(Array.length arr - 1) in
+      List.init
+        (Array.length arr - 1)
+        (fun i -> Vec.sub arr.(i) last)
+
+let affine_dim ?eps pts =
+  match pts with
+  | [] -> invalid_arg "Affine.affine_dim: empty"
+  | [ _ ] -> 0
+  | _ -> Matrix.rank ?eps (Matrix.of_rows (difference_vectors pts))
+
+let affinely_independent ?eps pts =
+  match pts with
+  | [] -> invalid_arg "Affine.affinely_independent: empty"
+  | [ _ ] -> true
+  | _ -> affine_dim ?eps pts = List.length pts - 1
+
+let project_to_span ?eps pts =
+  match pts with
+  | [] -> invalid_arg "Affine.project_to_span: empty"
+  | origin :: _ ->
+      let diffs = List.map (fun p -> Vec.sub p origin) pts in
+      let basis = Matrix.gram_schmidt ?eps diffs in
+      let d' = Int.max 1 (List.length basis) in
+      let basis_arr = Array.of_list basis in
+      let proj p =
+        let v = Vec.sub p origin in
+        Vec.init d' (fun i ->
+            if i < Array.length basis_arr then Vec.dot v basis_arr.(i) else 0.)
+      in
+      (proj, d')
+
+let barycentric ?eps:_ ~simplex p =
+  match simplex with
+  | [] -> invalid_arg "Affine.barycentric: empty simplex"
+  | [ _ ] -> Some [| 1. |]
+  | _ ->
+      let pts = Array.of_list simplex in
+      let m = Array.length pts in
+      let d = Vec.dim pts.(0) in
+      (* Solve [pts; 1]^T w = [p; 1]. The system is (d+1) x m; the simplex
+         is affinely independent so the square case m = d+1 has a unique
+         solution; otherwise solve in the least-squares sense via the
+         normal equations restricted to the affine span. *)
+      if m = d + 1 then
+        let a =
+          Matrix.init (d + 1) m (fun i j ->
+              if i < d then pts.(j).(i) else 1.)
+        in
+        let b = Vec.init (d + 1) (fun i -> if i < d then p.(i) else 1.) in
+        Matrix.solve a b
+      else
+        (* Express p - p_m in the (possibly lower-dim) basis of differences *)
+        let last = pts.(m - 1) in
+        let diffs =
+          Array.init (m - 1) (fun i -> Vec.sub pts.(i) last)
+        in
+        let gram =
+          Matrix.init (m - 1) (m - 1) (fun i j -> Vec.dot diffs.(i) diffs.(j))
+        in
+        let rhs =
+          Vec.init (m - 1) (fun i -> Vec.dot diffs.(i) (Vec.sub p last))
+        in
+        (match Matrix.solve gram rhs with
+        | None -> None
+        | Some w ->
+            let wl = Array.to_list w in
+            let w_last = 1. -. List.fold_left ( +. ) 0. wl in
+            Some (Array.of_list (wl @ [ w_last ])))

@@ -1,0 +1,28 @@
+(** Affine-geometry predicates and distance-preserving projections.
+
+    The proofs of Theorems 8 and 9 (Case II) project a set of points whose
+    difference vectors span a lower-dimensional subspace [W] onto [W] while
+    preserving pairwise L2 distances; [project_to_span] realizes exactly
+    that construction. *)
+
+val difference_vectors : Vec.t list -> Vec.t list
+(** [difference_vectors [a1; ...; an]] is [[a1 - an; ...; a(n-1) - an]]
+    (differences against the last point, as in Section 9.1). *)
+
+val affinely_independent : ?eps:float -> Vec.t list -> bool
+(** [affinely_independent pts] holds iff the difference vectors are
+    linearly independent, i.e. the points form a simplex of dimension
+    [List.length pts - 1]. *)
+
+val affine_dim : ?eps:float -> Vec.t list -> int
+(** Dimension of the affine hull of the points (0 for a single point). *)
+
+val project_to_span : ?eps:float -> Vec.t list -> (Vec.t -> Vec.t) * int
+(** [project_to_span pts] is [(proj, d')] where [proj] maps each point of
+    R^d isometrically (on the affine hull of [pts]) into R^d' coordinates,
+    [d'] being the affine dimension of [pts]. Pairwise distances between
+    the projected [pts] equal the original pairwise distances. *)
+
+val barycentric : ?eps:float -> simplex:Vec.t list -> Vec.t -> Vec.t option
+(** Barycentric coordinates of a point w.r.t. an affinely independent
+    simplex (weights summing to 1); [None] if the simplex is degenerate. *)

@@ -1,0 +1,238 @@
+type t = { rows : int; cols : int; a : float array array }
+
+let create rows cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Matrix.create: non-positive dims";
+  { rows; cols; a = Array.make_matrix rows cols 0. }
+
+let init rows cols f =
+  if rows <= 0 || cols <= 0 then invalid_arg "Matrix.init: non-positive dims";
+  { rows; cols; a = Array.init rows (fun i -> Array.init cols (fun j -> f i j)) }
+
+let of_rows = function
+  | [] -> invalid_arg "Matrix.of_rows: empty"
+  | r0 :: _ as rows ->
+      let cols = Vec.dim r0 in
+      List.iter
+        (fun r ->
+          if Vec.dim r <> cols then invalid_arg "Matrix.of_rows: ragged rows")
+        rows;
+      { rows = List.length rows;
+        cols;
+        a = Array.of_list (List.map Array.copy rows) }
+
+let of_cols cols_list =
+  let m = of_rows cols_list in
+  (* rows of [m] are the desired columns; transpose below. *)
+  { rows = m.cols;
+    cols = m.rows;
+    a = Array.init m.cols (fun i -> Array.init m.rows (fun j -> m.a.(j).(i))) }
+
+let identity n = init n n (fun i j -> if i = j then 1. else 0.)
+
+let copy m = { m with a = Array.map Array.copy m.a }
+let get m i j = m.a.(i).(j)
+let set m i j x = m.a.(i).(j) <- x
+let row m i = Array.copy m.a.(i)
+let col m j = Array.init m.rows (fun i -> m.a.(i).(j))
+
+let transpose m = init m.cols m.rows (fun i j -> m.a.(j).(i))
+
+let mul x y =
+  if x.cols <> y.rows then invalid_arg "Matrix.mul: dimension mismatch";
+  init x.rows y.cols (fun i j ->
+      let s = ref 0. in
+      for k = 0 to x.cols - 1 do
+        s := !s +. (x.a.(i).(k) *. y.a.(k).(j))
+      done;
+      !s)
+
+let mul_vec m v =
+  if m.cols <> Vec.dim v then invalid_arg "Matrix.mul_vec: dimension mismatch";
+  Array.init m.rows (fun i ->
+      let s = ref 0. in
+      for j = 0 to m.cols - 1 do
+        s := !s +. (m.a.(i).(j) *. v.(j))
+      done;
+      !s)
+
+let map2 name f x y =
+  if x.rows <> y.rows || x.cols <> y.cols then
+    invalid_arg ("Matrix." ^ name ^ ": dimension mismatch");
+  init x.rows x.cols (fun i j -> f x.a.(i).(j) y.a.(i).(j))
+
+let add x y = map2 "add" ( +. ) x y
+let sub x y = map2 "sub" ( -. ) x y
+let scale c m = init m.rows m.cols (fun i j -> c *. m.a.(i).(j))
+
+let equal ?(eps = 1e-9) x y =
+  x.rows = y.rows && x.cols = y.cols
+  &&
+  let ok = ref true in
+  for i = 0 to x.rows - 1 do
+    for j = 0 to x.cols - 1 do
+      if Float.abs (x.a.(i).(j) -. y.a.(i).(j)) > eps then ok := false
+    done
+  done;
+  !ok
+
+let lu_decompose m =
+  if m.rows <> m.cols then invalid_arg "Matrix.lu_decompose: not square";
+  let n = m.rows in
+  let lu = copy m in
+  let perm = Array.init n (fun i -> i) in
+  let sign = ref 1 in
+  let ok = ref true in
+  (try
+     for k = 0 to n - 1 do
+       (* partial pivoting *)
+       let pivot = ref k in
+       for i = k + 1 to n - 1 do
+         if Float.abs lu.a.(i).(k) > Float.abs lu.a.(!pivot).(k) then pivot := i
+       done;
+       if !pivot <> k then begin
+         let tmp = lu.a.(k) in
+         lu.a.(k) <- lu.a.(!pivot);
+         lu.a.(!pivot) <- tmp;
+         let tp = perm.(k) in
+         perm.(k) <- perm.(!pivot);
+         perm.(!pivot) <- tp;
+         sign := - !sign
+       end;
+       if Float.abs lu.a.(k).(k) < 1e-12 then begin
+         ok := false;
+         raise Exit
+       end;
+       for i = k + 1 to n - 1 do
+         let factor = lu.a.(i).(k) /. lu.a.(k).(k) in
+         lu.a.(i).(k) <- factor;
+         for j = k + 1 to n - 1 do
+           lu.a.(i).(j) <- lu.a.(i).(j) -. (factor *. lu.a.(k).(j))
+         done
+       done
+     done
+   with Exit -> ());
+  if !ok then Some (lu, perm, !sign) else None
+
+let lu_solve (lu, perm, _sign) b =
+  let n = lu.rows in
+  let x = Array.init n (fun i -> b.(perm.(i))) in
+  (* forward substitution with unit lower triangle *)
+  for i = 1 to n - 1 do
+    for j = 0 to i - 1 do
+      x.(i) <- x.(i) -. (lu.a.(i).(j) *. x.(j))
+    done
+  done;
+  (* back substitution *)
+  for i = n - 1 downto 0 do
+    for j = i + 1 to n - 1 do
+      x.(i) <- x.(i) -. (lu.a.(i).(j) *. x.(j))
+    done;
+    x.(i) <- x.(i) /. lu.a.(i).(i)
+  done;
+  x
+
+let solve m b =
+  if m.rows <> Vec.dim b then invalid_arg "Matrix.solve: dimension mismatch";
+  Option.map (fun lu -> lu_solve lu b) (lu_decompose m)
+
+let inverse m =
+  match lu_decompose m with
+  | None -> None
+  | Some lu ->
+      let n = m.rows in
+      let inv = create n n in
+      for j = 0 to n - 1 do
+        let x = lu_solve lu (Vec.basis n j) in
+        for i = 0 to n - 1 do
+          inv.a.(i).(j) <- x.(i)
+        done
+      done;
+      Some inv
+
+let determinant m =
+  match lu_decompose m with
+  | None -> 0.
+  | Some (lu, _, sign) ->
+      let d = ref (float_of_int sign) in
+      for i = 0 to m.rows - 1 do
+        d := !d *. lu.a.(i).(i)
+      done;
+      !d
+
+(* Row echelon form with partial pivoting; returns pivot column list. *)
+let row_echelon ?(eps = 1e-9) m =
+  let w = copy m in
+  let scale_factor =
+    Array.fold_left
+      (fun acc r -> Array.fold_left (fun a x -> Float.max a (Float.abs x)) acc r)
+      1. w.a
+  in
+  let tol = eps *. scale_factor in
+  let pivots = ref [] in
+  let r = ref 0 in
+  let c = ref 0 in
+  while !r < w.rows && !c < w.cols do
+    let pivot = ref !r in
+    for i = !r + 1 to w.rows - 1 do
+      if Float.abs w.a.(i).(!c) > Float.abs w.a.(!pivot).(!c) then pivot := i
+    done;
+    if Float.abs w.a.(!pivot).(!c) <= tol then incr c
+    else begin
+      if !pivot <> !r then begin
+        let tmp = w.a.(!r) in
+        w.a.(!r) <- w.a.(!pivot);
+        w.a.(!pivot) <- tmp
+      end;
+      for i = 0 to w.rows - 1 do
+        if i <> !r then begin
+          let factor = w.a.(i).(!c) /. w.a.(!r).(!c) in
+          for j = !c to w.cols - 1 do
+            w.a.(i).(j) <- w.a.(i).(j) -. (factor *. w.a.(!r).(j))
+          done
+        end
+      done;
+      pivots := (!r, !c) :: !pivots;
+      incr r;
+      incr c
+    end
+  done;
+  (w, List.rev !pivots)
+
+let rank ?eps m =
+  let _, pivots = row_echelon ?eps m in
+  List.length pivots
+
+let null_space ?eps m =
+  let w, pivots = row_echelon ?eps m in
+  let pivot_cols = List.map snd pivots in
+  let is_pivot c = List.mem c pivot_cols in
+  let free_cols =
+    List.filter (fun c -> not (is_pivot c)) (List.init m.cols (fun j -> j))
+  in
+  let basis_for free_col =
+    let x = Vec.zero m.cols in
+    x.(free_col) <- 1.;
+    List.iter
+      (fun (r, c) -> x.(c) <- -.w.a.(r).(free_col) /. w.a.(r).(c))
+      pivots;
+    x
+  in
+  List.map basis_for free_cols
+
+let gram_schmidt ?(eps = 1e-9) vs =
+  let ortho = ref [] in
+  List.iter
+    (fun v ->
+      let u =
+        List.fold_left (fun u q -> Vec.axpy (-.Vec.dot u q) q u) (Vec.copy v)
+          !ortho
+      in
+      let n = Vec.norm2 u in
+      if n > eps then ortho := !ortho @ [ Vec.scale (1. /. n) u ])
+    vs;
+  !ortho
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  Array.iter (fun r -> Format.fprintf ppf "%a@," Vec.pp r) m.a;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,51 @@
+(** Dense real matrices and the linear algebra the paper's constructions
+    need: LU solves for the dual basis [B = (A^{-1})^T] (Section 9.1),
+    rank / null-space for Radon partitions and affine-dependence tests,
+    and Gram-Schmidt for distance-preserving projections (Theorem 8). *)
+
+type t = { rows : int; cols : int; a : float array array }
+
+val create : int -> int -> t
+(** Zero matrix. *)
+
+val init : int -> int -> (int -> int -> float) -> t
+val of_rows : Vec.t list -> t
+val of_cols : Vec.t list -> t
+val identity : int -> t
+val copy : t -> t
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val row : t -> int -> Vec.t
+val col : t -> int -> Vec.t
+val transpose : t -> t
+val mul : t -> t -> t
+val mul_vec : t -> Vec.t -> Vec.t
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val equal : ?eps:float -> t -> t -> bool
+
+val lu_decompose : t -> (t * int array * int) option
+(** [lu_decompose m] is [Some (lu, perm, sign)] (Doolittle with partial
+    pivoting, L and U packed in [lu]) or [None] if [m] is singular to
+    working precision. [m] must be square. *)
+
+val solve : t -> Vec.t -> Vec.t option
+(** [solve a b] solves [a x = b] for square [a]; [None] if singular. *)
+
+val inverse : t -> t option
+val determinant : t -> float
+
+val rank : ?eps:float -> t -> int
+(** Numerical rank via Gaussian elimination with full row pivoting and
+    threshold [eps] (default [1e-9], scaled by the largest entry). *)
+
+val null_space : ?eps:float -> t -> Vec.t list
+(** Basis (possibly empty) of the kernel of [m]: vectors [x] with
+    [m x = 0]. Used to find Radon coefficients. *)
+
+val gram_schmidt : ?eps:float -> Vec.t list -> Vec.t list
+(** Orthonormal basis of the span of the input vectors; near-dependent
+    vectors are dropped. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,61 @@
+type t = Random.State.t
+
+let create seed = Random.State.make [| seed; 0x5bd1e995; seed lxor 0x27d4eb2f |]
+let split t = Random.State.make [| Random.State.bits t; Random.State.bits t |]
+let float t bound = Random.State.float t bound
+let uniform t ~lo ~hi = lo +. Random.State.float t (hi -. lo)
+let int t bound = Random.State.int t bound
+let bool t = Random.State.bool t
+
+let gaussian t =
+  let rec draw () =
+    let u1 = Random.State.float t 1. in
+    if u1 <= 1e-300 then draw ()
+    else
+      let u2 = Random.State.float t 1. in
+      sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2)
+  in
+  draw ()
+
+let point_box t ~dim ~lo ~hi = Vec.init dim (fun _ -> uniform t ~lo ~hi)
+
+let point_sphere t ~dim ~radius =
+  let rec draw () =
+    let g = Vec.init dim (fun _ -> gaussian t) in
+    let n = Vec.norm2 g in
+    if n < 1e-12 then draw () else Vec.scale (radius /. n) g
+  in
+  draw ()
+
+let point_ball t ~dim ~radius =
+  let dir = point_sphere t ~dim ~radius:1. in
+  let r = radius *. (Random.State.float t 1. ** (1. /. float_of_int dim)) in
+  Vec.scale r dir
+
+let cloud t ~n ~dim ~lo ~hi = List.init n (fun _ -> point_box t ~dim ~lo ~hi)
+
+let simplex_vertices t ~dim =
+  let rec draw attempts =
+    if attempts > 1000 then
+      failwith "Rng.simplex_vertices: could not sample a non-degenerate simplex";
+    let pts = cloud t ~n:(dim + 1) ~dim ~lo:(-1.) ~hi:1. in
+    (* Require a healthy margin of non-degeneracy so downstream geometry
+       (inradius, dual basis) is well conditioned. *)
+    let m = Matrix.of_rows (Affine.difference_vectors pts) in
+    if Float.abs (Matrix.determinant m) > 1e-4 then pts else draw (attempts + 1)
+  in
+  draw 0
+
+let shuffle t l =
+  let arr = Array.of_list l in
+  for i = Array.length arr - 1 downto 1 do
+    let j = Random.State.int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr
+
+let choose t = function
+  | [] -> invalid_arg "Rng.choose: empty list"
+  | l -> List.nth l (Random.State.int t (List.length l))

@@ -1,0 +1,42 @@
+(** Deterministic random generation for experiments and property tests.
+
+    All experiment sweeps are seeded so that every run of the harness
+    reproduces the same numbers. Wraps [Random.State] and adds the point
+    distributions the experiments need. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator. Equal seeds give equal streams. *)
+
+val split : t -> t
+(** An independent generator derived from (and advancing) [t]. *)
+
+val float : t -> float -> float
+(** Uniform in [\[0, bound)]. *)
+
+val uniform : t -> lo:float -> hi:float -> float
+val int : t -> int -> int
+val bool : t -> bool
+val gaussian : t -> float
+(** Standard normal (Box-Muller). *)
+
+val point_box : t -> dim:int -> lo:float -> hi:float -> Vec.t
+(** Uniform point in an axis-aligned box. *)
+
+val point_ball : t -> dim:int -> radius:float -> Vec.t
+(** Uniform point in the L2 ball of given radius (Gaussian + radial). *)
+
+val point_sphere : t -> dim:int -> radius:float -> Vec.t
+(** Uniform point on the L2 sphere. *)
+
+val cloud : t -> n:int -> dim:int -> lo:float -> hi:float -> Vec.t list
+(** [n] i.i.d. box points. *)
+
+val simplex_vertices : t -> dim:int -> Vec.t list
+(** [dim + 1] points in R^dim that are affinely independent (rejection
+    sampled from the unit box; resamples on near-degeneracy). *)
+
+val shuffle : t -> 'a list -> 'a list
+val choose : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)

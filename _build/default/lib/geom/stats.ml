@@ -1,0 +1,54 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p50 : float;
+  p90 : float;
+  max : float;
+}
+
+let mean = function
+  | [] -> invalid_arg "Stats.mean: empty"
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let stddev = function
+  | [] -> invalid_arg "Stats.stddev: empty"
+  | [ _ ] -> 0.
+  | xs ->
+      let m = mean xs in
+      let ss =
+        List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs
+      in
+      sqrt (ss /. float_of_int (List.length xs - 1))
+
+let percentile p xs =
+  if xs = [] then invalid_arg "Stats.percentile: empty";
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.of_list (List.sort Float.compare xs) in
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else begin
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    ((1. -. frac) *. sorted.(lo)) +. (frac *. sorted.(hi))
+  end
+
+let summarize xs =
+  if xs = [] then invalid_arg "Stats.summarize: empty";
+  {
+    count = List.length xs;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = List.fold_left Float.min infinity xs;
+    p50 = percentile 50. xs;
+    p90 = percentile 90. xs;
+    max = List.fold_left Float.max neg_infinity xs;
+  }
+
+let pp ppf s =
+  Format.fprintf ppf
+    "@[n=%d mean=%.4g sd=%.4g min=%.4g p50=%.4g p90=%.4g max=%.4g@]" s.count
+    s.mean s.stddev s.min s.p50 s.p90 s.max

@@ -1,0 +1,24 @@
+(** Summary statistics for experiment sweeps: the harness reports
+    distributions of measured ratios, not just extremes. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1); 0 for n < 2 *)
+  min : float;
+  p50 : float;
+  p90 : float;
+  max : float;
+}
+
+val summarize : float list -> summary
+(** @raise Invalid_argument on an empty list. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] for [0 <= p <= 100], linear interpolation between
+    order statistics. @raise Invalid_argument on empty input or p out of
+    range. *)
+
+val mean : float list -> float
+val stddev : float list -> float
+val pp : Format.formatter -> summary -> unit

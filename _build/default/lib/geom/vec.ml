@@ -1,0 +1,145 @@
+type t = float array
+
+let dim = Array.length
+
+let check_same_dim name u v =
+  if Array.length u <> Array.length v then
+    invalid_arg
+      (Printf.sprintf "Vec.%s: dimension mismatch (%d vs %d)" name
+         (Array.length u) (Array.length v))
+
+let make d x =
+  if d <= 0 then invalid_arg "Vec.make: dimension must be positive";
+  Array.make d x
+
+let zero d = make d 0.
+let ones d = make d 1.
+
+let basis d i =
+  if i < 0 || i >= d then invalid_arg "Vec.basis: index out of range";
+  let v = make d 0. in
+  v.(i) <- 1.;
+  v
+
+let init d f =
+  if d <= 0 then invalid_arg "Vec.init: dimension must be positive";
+  Array.init d f
+
+let of_list l =
+  if l = [] then invalid_arg "Vec.of_list: empty list";
+  Array.of_list l
+
+let to_list = Array.to_list
+let copy = Array.copy
+
+let map2 f u v =
+  check_same_dim "map2" u v;
+  Array.init (dim u) (fun i -> f u.(i) v.(i))
+
+let add u v = map2 ( +. ) u v
+let sub u v = map2 ( -. ) u v
+let neg u = Array.map (fun x -> -.x) u
+let scale a u = Array.map (fun x -> a *. x) u
+
+let axpy a x y =
+  check_same_dim "axpy" x y;
+  Array.init (dim x) (fun i -> (a *. x.(i)) +. y.(i))
+
+let dot u v =
+  check_same_dim "dot" u v;
+  let s = ref 0. in
+  for i = 0 to dim u - 1 do
+    s := !s +. (u.(i) *. v.(i))
+  done;
+  !s
+
+let lerp t u v =
+  check_same_dim "lerp" u v;
+  Array.init (dim u) (fun i -> ((1. -. t) *. u.(i)) +. (t *. v.(i)))
+
+let combo = function
+  | [] -> invalid_arg "Vec.combo: empty combination"
+  | (w0, v0) :: rest ->
+      let acc = scale w0 v0 in
+      List.iter
+        (fun (w, v) ->
+          check_same_dim "combo" acc v;
+          for i = 0 to dim acc - 1 do
+            acc.(i) <- acc.(i) +. (w *. v.(i))
+          done)
+        rest;
+      acc
+
+let centroid = function
+  | [] -> invalid_arg "Vec.centroid: empty list"
+  | vs ->
+      let n = List.length vs in
+      let w = 1. /. float_of_int n in
+      combo (List.map (fun v -> (w, v)) vs)
+
+let norm_inf v = Array.fold_left (fun m x -> Float.max m (Float.abs x)) 0. v
+let norm1 v = Array.fold_left (fun s x -> s +. Float.abs x) 0. v
+
+let sq_norm2 v =
+  let s = ref 0. in
+  for i = 0 to dim v - 1 do
+    s := !s +. (v.(i) *. v.(i))
+  done;
+  !s
+
+let norm2 v = sqrt (sq_norm2 v)
+
+let norm_p p v =
+  if p < 1. then invalid_arg "Vec.norm_p: p must be >= 1";
+  if p = 2. then norm2 v
+  else if p = 1. then norm1 v
+  else if p = Float.infinity then norm_inf v
+  else begin
+    (* Scale by the max coordinate to avoid overflow for large p. *)
+    let m = norm_inf v in
+    if m = 0. then 0.
+    else
+      let s =
+        Array.fold_left (fun s x -> s +. (Float.abs x /. m) ** p) 0. v
+      in
+      m *. (s ** (1. /. p))
+  end
+
+let dist_p p u v = norm_p p (sub u v)
+let dist2 u v = norm2 (sub u v)
+let dist_inf u v = norm_inf (sub u v)
+
+let normalize v =
+  let n = norm2 v in
+  if n < 1e-300 then invalid_arg "Vec.normalize: zero vector";
+  scale (1. /. n) v
+
+let equal ?(eps = 1e-9) u v =
+  dim u = dim v
+  &&
+  let ok = ref true in
+  for i = 0 to dim u - 1 do
+    if Float.abs (u.(i) -. v.(i)) > eps then ok := false
+  done;
+  !ok
+
+let compare_lex u v =
+  let c = compare (dim u) (dim v) in
+  if c <> 0 then c
+  else
+    let rec go i =
+      if i >= dim u then 0
+      else
+        let c = Float.compare u.(i) v.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+let pp ppf v =
+  Format.fprintf ppf "(@[%a@])"
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       (fun ppf x -> Format.fprintf ppf "%g" x))
+    v
+
+let to_string v = Format.asprintf "%a" pp v

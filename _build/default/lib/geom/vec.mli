@@ -1,0 +1,85 @@
+(** Dense d-dimensional real vectors and the Lp-norm family used throughout
+    the paper (Section 3).
+
+    A vector is a [float array]; functions never mutate their arguments
+    unless the name says so ([add_in_place] etc. are deliberately absent:
+    all operations are persistent). Dimensions are validated eagerly and
+    mismatches raise [Invalid_argument]. *)
+
+type t = float array
+
+(** {1 Construction} *)
+
+val make : int -> float -> t
+(** [make d x] is the d-dimensional vector with every coordinate [x]. *)
+
+val zero : int -> t
+(** [zero d] is the all-zeros vector of dimension [d]. *)
+
+val ones : int -> t
+(** [ones d] is the all-ones vector of dimension [d]. *)
+
+val basis : int -> int -> t
+(** [basis d i] is the i-th standard basis vector (0-indexed) in R^d. *)
+
+val init : int -> (int -> float) -> t
+(** [init d f] is [| f 0; ...; f (d-1) |]. *)
+
+val of_list : float list -> t
+val to_list : t -> float list
+val copy : t -> t
+val dim : t -> int
+
+(** {1 Arithmetic} *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : float -> t -> t
+val axpy : float -> t -> t -> t
+(** [axpy a x y] is [a*x + y]. *)
+
+val dot : t -> t -> float
+val map2 : (float -> float -> float) -> t -> t -> t
+
+val lerp : float -> t -> t -> t
+(** [lerp t u v] is [(1-t)*u + t*v]. *)
+
+val combo : (float * t) list -> t
+(** [combo [(w1,v1); ...]] is the linear combination [w1*v1 + ...].
+    @raise Invalid_argument on empty list or dimension mismatch. *)
+
+val centroid : t list -> t
+(** Arithmetic mean of a non-empty list of vectors. *)
+
+(** {1 Norms and distances}
+
+    [norm_p p v] is the Lp norm [(sum_i |v_i|^p)^(1/p)] for finite
+    [p >= 1], and the max-norm when [p = infinity]. The paper uses L2 for
+    (delta,2)-consensus, L-infinity for epsilon-agreement, and general Lp
+    for Theorem 14. *)
+
+val norm_p : float -> t -> float
+val norm2 : t -> float
+val norm_inf : t -> float
+val norm1 : t -> float
+val dist_p : float -> t -> t -> float
+val dist2 : t -> t -> float
+val dist_inf : t -> t -> float
+val sq_norm2 : t -> float
+val normalize : t -> t
+(** [normalize v] is [v / ||v||_2]. @raise Invalid_argument on (near-)zero
+    vectors (L2 norm below [1e-300]). *)
+
+(** {1 Comparisons} *)
+
+val equal : ?eps:float -> t -> t -> bool
+(** Coordinate-wise equality within absolute tolerance [eps]
+    (default [1e-9]). *)
+
+val compare_lex : t -> t -> int
+(** Total lexicographic order; used for deterministic tie-breaking so that
+    all non-faulty processes pick the identical output (Agreement). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/hull/frank_wolfe.ml: Array Float Vec

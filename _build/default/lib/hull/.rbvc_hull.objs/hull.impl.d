@@ -1,0 +1,1 @@
+lib/hull/hull.ml: Array Float Frank_wolfe List Lp Matrix Minnorm Option Vec

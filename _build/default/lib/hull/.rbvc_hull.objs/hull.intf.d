@@ -1,0 +1,1 @@
+lib/hull/hull.mli: Vec

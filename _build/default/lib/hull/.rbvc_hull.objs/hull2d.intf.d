@@ -1,0 +1,1 @@
+lib/hull/hull2d.mli: Vec

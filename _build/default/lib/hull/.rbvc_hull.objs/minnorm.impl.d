@@ -1,0 +1,1 @@
+lib/hull/minnorm.ml: Array Float List Matrix Vec

@@ -1,0 +1,1 @@
+lib/hull/minnorm.mli: Vec

@@ -1,0 +1,1 @@
+lib/hull/polygon.ml: Array Float Format Hull2d List Vec

@@ -1,0 +1,1 @@
+lib/hull/polygon.mli: Format Vec

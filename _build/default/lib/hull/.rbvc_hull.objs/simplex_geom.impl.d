@@ -1,0 +1,1 @@
+lib/hull/simplex_geom.ml: Affine Array Float List Matrix Vec

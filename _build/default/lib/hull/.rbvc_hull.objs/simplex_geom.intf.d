@@ -1,0 +1,1 @@
+lib/hull/simplex_geom.mli: Vec

@@ -1,0 +1,253 @@
+let golden = (sqrt 5. -. 1.) /. 2.
+
+(* Golden-section line search for a convex [g] on [0, hi]. *)
+let line_search ?(iters = 42) ~hi g =
+  let a = ref 0. and b = ref hi in
+  let x1 = ref (!b -. (golden *. (!b -. !a))) in
+  let x2 = ref (!a +. (golden *. (!b -. !a))) in
+  let f1 = ref (g !x1) and f2 = ref (g !x2) in
+  for _ = 1 to iters do
+    if !f1 < !f2 then begin
+      b := !x2;
+      x2 := !x1;
+      f2 := !f1;
+      x1 := !b -. (golden *. (!b -. !a));
+      f1 := g !x1
+    end
+    else begin
+      a := !x1;
+      x1 := !x2;
+      f1 := !f2;
+      x2 := !a +. (golden *. (!b -. !a));
+      f2 := g !x2
+    end
+  done;
+  (!a +. !b) /. 2.
+
+(* Away-step Frank-Wolfe: the plain conditional gradient zigzags when
+   the optimum sits on a face, so near-boundary Lp projections converge
+   sublinearly. Tracking the active vertex set and allowing "away"
+   steps restores linear convergence over polytopes (Guelat-Marcotte). *)
+let minimize ?(eps = 1e-8) ?(max_iters = 1_500) ~f ~grad points =
+  match points with
+  | [] -> invalid_arg "Frank_wolfe.minimize: empty point set"
+  | p0 :: _ ->
+      let pts = Array.of_list points in
+      let n = Array.length pts in
+      let weights = Array.make n 0. in
+      weights.(0) <- 1.;
+      let x = ref (Vec.copy p0) in
+      let recompute_x () =
+        let acc = Vec.zero (Vec.dim p0) in
+        for i = 0 to n - 1 do
+          if weights.(i) > 0. then
+            for j = 0 to Vec.dim acc - 1 do
+              acc.(j) <- acc.(j) +. (weights.(i) *. pts.(i).(j))
+            done
+        done;
+        x := acc
+      in
+      let fx = ref (f !x) in
+      let eps = eps *. Float.max 1e-3 (Float.abs !fx) in
+      (try
+         for _ = 1 to max_iters do
+           let g = grad !x in
+           (* FW vertex: global minimizer of the linearization *)
+           let s = ref 0 in
+           let s_v = ref (Vec.dot g pts.(0)) in
+           for i = 1 to n - 1 do
+             let v = Vec.dot g pts.(i) in
+             if v < !s_v then begin
+               s_v := v;
+               s := i
+             end
+           done;
+           (* away vertex: active maximizer of the linearization *)
+           let a = ref (-1) in
+           let a_v = ref neg_infinity in
+           for i = 0 to n - 1 do
+             if weights.(i) > 1e-12 then begin
+               let v = Vec.dot g pts.(i) in
+               if v > !a_v then begin
+                 a_v := v;
+                 a := i
+               end
+             end
+           done;
+           let gx = Vec.dot g !x in
+           let gap_fw = gx -. !s_v in
+           if gap_fw <= eps then raise Exit;
+           let gap_away = if !a >= 0 then !a_v -. gx else neg_infinity in
+           if gap_fw >= gap_away || !a < 0 then begin
+             (* FW step towards pts.(s) *)
+             let dir = Vec.sub pts.(!s) !x in
+             let t =
+               line_search ~hi:1. (fun t -> f (Vec.axpy t dir !x))
+             in
+             if t > 0. then begin
+               for i = 0 to n - 1 do
+                 weights.(i) <- (1. -. t) *. weights.(i)
+               done;
+               weights.(!s) <- weights.(!s) +. t;
+               recompute_x ();
+               let fx' = f !x in
+               if fx' >= !fx -. 1e-18 && t < 1e-12 then raise Exit;
+               fx := fx'
+             end
+             else raise Exit
+           end
+           else begin
+             (* away step from pts.(a) *)
+             let wa = weights.(!a) in
+             let hi = wa /. Float.max 1e-300 (1. -. wa) in
+             let hi = Float.min hi 1e6 in
+             let dir = Vec.sub !x pts.(!a) in
+             let t = line_search ~hi (fun t -> f (Vec.axpy t dir !x)) in
+             if t > 0. then begin
+               for i = 0 to n - 1 do
+                 weights.(i) <- (1. +. t) *. weights.(i)
+               done;
+               weights.(!a) <- weights.(!a) -. t;
+               if weights.(!a) < 1e-14 then weights.(!a) <- 0.;
+               (* renormalize against drift *)
+               let total = Array.fold_left ( +. ) 0. weights in
+               for i = 0 to n - 1 do
+                 weights.(i) <- weights.(i) /. total
+               done;
+               recompute_x ();
+               fx := f !x
+             end
+             else raise Exit
+           end
+         done
+       with Exit -> ());
+      (!x, f !x)
+
+(* Euclidean projection of [w] onto the probability simplex
+   (Held-Wolfe-Crowder / Duchi et al.). *)
+let simplex_projection w =
+  let n = Array.length w in
+  let sorted = Array.copy w in
+  Array.sort (fun a b -> Float.compare b a) sorted;
+  let cumsum = ref 0. in
+  let theta = ref 0. in
+  (try
+     for i = 0 to n - 1 do
+       cumsum := !cumsum +. sorted.(i);
+       let t = (!cumsum -. 1.) /. float_of_int (i + 1) in
+       if sorted.(i) -. t <= 0. then raise Exit else theta := t
+     done
+   with Exit -> ());
+  Array.map (fun x -> Float.max 0. (x -. !theta)) w
+
+(* Accelerated projected gradient (FISTA with backtracking and function
+   restarts) over the convex-combination simplex — the workhorse for Lp
+   projections onto small V-polytopes, where Frank-Wolfe variants crawl
+   because the distance has no radial curvature. Minimizes the smooth
+   potential psi(lambda) = (1/p) sum |(P lambda - q)_i|^p. *)
+let lp_project ?(eps = 1e-12) ?(max_iters = 800) ~p pts q =
+  let n = Array.length pts in
+  let d = Vec.dim q in
+  let point_of lambda =
+    let y = Vec.zero d in
+    for j = 0 to n - 1 do
+      if lambda.(j) <> 0. then
+        for i = 0 to d - 1 do
+          y.(i) <- y.(i) +. (lambda.(j) *. pts.(j).(i))
+        done
+    done;
+    y
+  in
+  let psi lambda =
+    let y = point_of lambda in
+    let s = ref 0. in
+    for i = 0 to d - 1 do
+      s := !s +. (Float.abs (y.(i) -. q.(i)) ** p)
+    done;
+    !s /. p
+  in
+  let grad lambda =
+    let y = point_of lambda in
+    let gz =
+      Vec.init d (fun i ->
+          let z = y.(i) -. q.(i) in
+          let a = Float.abs z in
+          if a = 0. then 0. else (a ** (p -. 1.)) *. Float.of_int (compare z 0.))
+    in
+    Array.init n (fun j -> Vec.dot gz pts.(j))
+  in
+  let lambda = ref (Array.make n (1. /. float_of_int n)) in
+  let momentum = ref (Array.copy !lambda) in
+  let t_k = ref 1. in
+  let step = ref 1. in
+  let f_best = ref (psi !lambda) in
+  let best = ref (Array.copy !lambda) in
+  let stall = ref 0 in
+  (* stopping scale tracks the current value, so interior points (value
+     tending to 0) keep iterating instead of stalling at a loose
+     absolute tolerance *)
+  let scale_tol () = eps *. Float.max 1e-15 !f_best in
+  (try
+     for _ = 1 to max_iters do
+       let g = grad !momentum in
+       let f_m = psi !momentum in
+       (* backtracking on the proximal step *)
+       let rec attempt tries =
+         let candidate =
+           simplex_projection
+             (Array.init n (fun j -> !momentum.(j) -. (!step *. g.(j))))
+         in
+         let f_c = psi candidate in
+         (* sufficient-decrease test against the quadratic model *)
+         let diff = Array.init n (fun j -> candidate.(j) -. !momentum.(j)) in
+         let lin =
+           Array.fold_left ( +. ) 0. (Array.init n (fun j -> g.(j) *. diff.(j)))
+         in
+         let quad =
+           Array.fold_left ( +. ) 0.
+             (Array.map (fun x -> x *. x) diff)
+           /. (2. *. !step)
+         in
+         if f_c <= f_m +. lin +. quad +. 1e-18 || tries > 40 then (candidate, f_c)
+         else begin
+           step := !step /. 2.;
+           attempt (tries + 1)
+         end
+       in
+       let next, f_next = attempt 0 in
+       (* FISTA momentum with function restart *)
+       if f_next > !f_best then begin
+         t_k := 1.;
+         momentum := Array.copy !best
+       end
+       else begin
+         let t_next = (1. +. sqrt (1. +. (4. *. !t_k *. !t_k))) /. 2. in
+         let beta = (!t_k -. 1.) /. t_next in
+         momentum :=
+           Array.init n (fun j ->
+               next.(j) +. (beta *. (next.(j) -. !lambda.(j))));
+         momentum := simplex_projection !momentum;
+         t_k := t_next
+       end;
+       let improved = !f_best -. f_next in
+       if f_next < !f_best then begin
+         f_best := f_next;
+         best := Array.copy next
+       end;
+       lambda := next;
+       (* occasional step-size growth to recover from over-shrinking *)
+       step := Float.min (!step *. 1.5) 1e6;
+       if improved >= 0. && improved < scale_tol () then begin
+         incr stall;
+         if !stall >= 12 then raise Exit
+       end
+       else if improved > 0. then stall := 0
+     done
+   with Exit -> ());
+  point_of !best
+
+let dist_p_to_hull ?eps:_ ~p points q =
+  if p <= 1. || p = Float.infinity then
+    invalid_arg "Frank_wolfe.dist_p_to_hull: requires finite p > 1";
+  let y = lp_project ~p (Array.of_list points) q in
+  Vec.dist_p p q y

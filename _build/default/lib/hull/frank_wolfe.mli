@@ -1,0 +1,30 @@
+(** Frank-Wolfe (conditional gradient) minimization of smooth convex
+    functions over a convex hull, used for Lp distances with general
+    finite [p > 1] (Theorem 14 experiments). The linear oracle over a
+    V-polytope is a vertex scan, and convexity gives a duality gap that
+    serves as stopping certificate. *)
+
+val minimize :
+  ?eps:float ->
+  ?max_iters:int ->
+  f:(Vec.t -> float) ->
+  grad:(Vec.t -> Vec.t) ->
+  Vec.t list ->
+  Vec.t * float
+(** [minimize ~f ~grad points] returns [(argmin, min)] of [f] over
+    [H(points)], to duality-gap tolerance [eps] (default [1e-8]). Uses
+    exact line search by golden-section on each segment. *)
+
+val simplex_projection : float array -> float array
+(** Euclidean projection onto the probability simplex (Duchi et al.),
+    exposed for tests. *)
+
+val lp_project :
+  ?eps:float -> ?max_iters:int -> p:float -> Vec.t array -> Vec.t -> Vec.t
+(** The point of [H(points)] nearest to [q] in Lp (finite [p > 1]),
+    by FISTA with backtracking over the convex-combination simplex —
+    Frank-Wolfe variants crawl on this objective because the distance
+    has no curvature along rays from [q]. *)
+
+val dist_p_to_hull : ?eps:float -> p:float -> Vec.t list -> Vec.t -> float
+(** Lp distance from a point to the hull, for finite [p > 1]. *)

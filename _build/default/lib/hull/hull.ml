@@ -1,0 +1,322 @@
+(* Build the LP rows for "q = sum_i lambda_i points_i, sum lambda = 1"
+   with lambda occupying variables [base .. base + n). Coordinates are
+   equality rows over the full variable vector of width [nvars]. If
+   [point_vars] is [Some j0], the target point is itself unknown,
+   occupying free variables [j0 .. j0 + d). *)
+let combination_rows ~nvars ~base ?point_vars ~target points =
+  let pts = Array.of_list points in
+  let n = Array.length pts in
+  let d = Vec.dim pts.(0) in
+  let coord_row i =
+    let row = Array.make nvars 0. in
+    Array.iteri (fun j p -> row.(base + j) <- p.(i)) pts;
+    match point_vars with
+    | None -> Lp.( = ) row target.(i)
+    | Some j0 ->
+        row.(j0 + i) <- -1.;
+        Lp.( = ) row 0.
+  in
+  let sum_row =
+    let row = Array.make nvars 0. in
+    for j = 0 to n - 1 do
+      row.(base + j) <- 1.
+    done;
+    Lp.( = ) row 1.
+  in
+  sum_row :: List.init d coord_row
+
+let mem_coeffs ?eps points q =
+  match points with
+  | [] -> None
+  | p :: _ ->
+      if Vec.dim p <> Vec.dim q then
+        invalid_arg "Hull.mem: dimension mismatch";
+      let n = List.length points in
+      let rows = combination_rows ~nvars:n ~base:0 ~target:q points in
+      Lp.feasible_point ?eps ~nvars:n rows
+
+let mem ?eps points q = Option.is_some (mem_coeffs ?eps points q)
+
+let intersection_point ?eps hulls =
+  match hulls with
+  | [] -> invalid_arg "Hull.intersection_point: no hulls"
+  | (p :: _) :: _ ->
+      let d = Vec.dim p in
+      let sizes = List.map List.length hulls in
+      if List.exists (fun s -> s = 0) sizes then
+        invalid_arg "Hull.intersection_point: empty hull";
+      (* Normalize coordinates (center at the global centroid, scale to
+         unit spread): for tightly clustered inputs the raw equality
+         rows are nearly duplicated at full magnitude and phase 1 can
+         misreport a feasible system as infeasible. *)
+      let everything = List.concat hulls in
+      let center = Vec.centroid everything in
+      let scale =
+        List.fold_left
+          (fun acc q -> Float.max acc (Vec.dist_inf q center))
+          0. everything
+      in
+      if scale <= 1e-300 then Some center
+      else begin
+        let tf q = Vec.scale (1. /. scale) (Vec.sub q center) in
+        let hulls = List.map (List.map tf) hulls in
+        let nvars = d + List.fold_left ( + ) 0 sizes in
+        let free = Array.make nvars false in
+        for i = 0 to d - 1 do
+          free.(i) <- true
+        done;
+        let dummy_target = Array.make d 0. in
+        let rows, _ =
+          List.fold_left
+            (fun (acc, base) points ->
+              let rows =
+                combination_rows ~nvars ~base ~point_vars:0
+                  ~target:dummy_target points
+              in
+              (acc @ rows, base + List.length points))
+            ([], d) hulls
+        in
+        match Lp.feasible_point ?eps ~free ~nvars rows with
+        | None -> None
+        | Some x ->
+            (* The dense simplex can mis-certify on nearly degenerate
+               (tightly clustered / collinear) systems. Verify the point
+               against each hull with the independent min-norm machinery
+               and, if it is off, polish by cyclic projection (which
+               converges to the intersection whenever it is non-empty).
+               Never return an unverified point. *)
+            let x0 = Array.sub x 0 d in
+            let tol = 1e-7 in
+            let worst pt =
+              List.fold_left
+                (fun acc h -> Float.max acc (Minnorm.dist2_to_hull h pt))
+                0. hulls
+            in
+            let pt = ref x0 in
+            let ok = ref (worst !pt <= tol) in
+            if not !ok then begin
+              (try
+                 for _ = 1 to 400 do
+                   let moved = ref false in
+                   List.iter
+                     (fun h ->
+                       let w = Minnorm.nearest_point h !pt in
+                       if w.Minnorm.distance > tol /. 4. then begin
+                         pt := w.Minnorm.nearest;
+                         moved := true
+                       end)
+                     hulls;
+                   if not !moved then begin
+                     ok := true;
+                     raise Exit
+                   end
+                 done
+               with Exit -> ());
+              if not !ok then ok := worst !pt <= tol
+            end;
+            if !ok then Some (Vec.axpy scale !pt center) else None
+      end
+  | [] :: _ -> invalid_arg "Hull.intersection_point: empty hull"
+
+let intersection_nonempty ?eps hulls =
+  Option.is_some (intersection_point ?eps hulls)
+
+(* Lp distance via LP for p = 1 and p = infinity. Variables:
+   [lambda (n); t ...]. For p = inf one t; for p = 1 a t_i per coord. *)
+let dist_inf_lp ?eps points q =
+  let pts = Array.of_list points in
+  let n = Array.length pts in
+  let d = Vec.dim q in
+  let nvars = n + 1 in
+  let t_idx = n in
+  let rows = ref [] in
+  let add r = rows := r :: !rows in
+  (* sum lambda = 1 *)
+  let sum_row = Array.make nvars 0. in
+  for j = 0 to n - 1 do
+    sum_row.(j) <- 1.
+  done;
+  add (Lp.( = ) sum_row 1.);
+  for i = 0 to d - 1 do
+    (* q_i - sum lambda_j p_ji <= t  and  >= -t *)
+    let row_up = Array.make nvars 0. in
+    let row_dn = Array.make nvars 0. in
+    Array.iteri
+      (fun j p ->
+        row_up.(j) <- -.p.(i);
+        row_dn.(j) <- p.(i))
+      pts;
+    row_up.(t_idx) <- -1.;
+    row_dn.(t_idx) <- -1.;
+    add (Lp.( <= ) row_up (-.q.(i)));
+    add (Lp.( <= ) row_dn q.(i))
+  done;
+  let objective = Array.make nvars 0. in
+  objective.(t_idx) <- 1.;
+  match Lp.solve ?eps ~nvars ~objective !rows with
+  | { Lp.status = Optimal; objective = Some z; solution = Some x } ->
+      let y =
+        Vec.init d (fun i ->
+            let s = ref 0. in
+            Array.iteri (fun j p -> s := !s +. (x.(j) *. p.(i))) pts;
+            !s)
+      in
+      (y, Float.max 0. z)
+  | _ -> invalid_arg "Hull.dist_inf_lp: unexpected LP failure"
+
+let dist_1_lp ?eps points q =
+  let pts = Array.of_list points in
+  let n = Array.length pts in
+  let d = Vec.dim q in
+  let nvars = n + d in
+  let rows = ref [] in
+  let add r = rows := r :: !rows in
+  let sum_row = Array.make nvars 0. in
+  for j = 0 to n - 1 do
+    sum_row.(j) <- 1.
+  done;
+  add (Lp.( = ) sum_row 1.);
+  for i = 0 to d - 1 do
+    let row_up = Array.make nvars 0. in
+    let row_dn = Array.make nvars 0. in
+    Array.iteri
+      (fun j p ->
+        row_up.(j) <- -.p.(i);
+        row_dn.(j) <- p.(i))
+      pts;
+    row_up.(n + i) <- -1.;
+    row_dn.(n + i) <- -1.;
+    add (Lp.( <= ) row_up (-.q.(i)));
+    add (Lp.( <= ) row_dn q.(i))
+  done;
+  let objective = Array.make nvars 0. in
+  for i = 0 to d - 1 do
+    objective.(n + i) <- 1.
+  done;
+  match Lp.solve ?eps ~nvars ~objective !rows with
+  | { Lp.status = Optimal; objective = Some z; solution = Some x } ->
+      let y =
+        Vec.init d (fun i ->
+            let s = ref 0. in
+            Array.iteri (fun j p -> s := !s +. (x.(j) *. p.(i))) pts;
+            !s)
+      in
+      (y, Float.max 0. z)
+  | _ -> invalid_arg "Hull.dist_1_lp: unexpected LP failure"
+
+let nearest_p ?eps ~p points q =
+  if points = [] then invalid_arg "Hull.nearest_p: empty point set";
+  if p < 1. then invalid_arg "Hull.nearest_p: p must be >= 1";
+  if p = Float.infinity then dist_inf_lp ?eps points q
+  else if p = 1. then dist_1_lp ?eps points q
+  else if p = 2. then
+    let w = Minnorm.nearest_point ?eps points q in
+    (w.Minnorm.nearest, w.Minnorm.distance)
+  else
+    let y = Frank_wolfe.lp_project ?eps ~p (Array.of_list points) q in
+    (y, Vec.dist_p p q y)
+
+let dist_p ?eps ~p points q = snd (nearest_p ?eps ~p points q)
+
+let support points dir =
+  match points with
+  | [] -> invalid_arg "Hull.support: empty point set"
+  | p :: rest ->
+      List.fold_left (fun m v -> Float.max m (Vec.dot dir v)) (Vec.dot dir p)
+        rest
+
+let extreme_points ?(eps = 1e-9) points =
+  let arr = Array.of_list points in
+  let n = Array.length arr in
+  let keep = Array.make n true in
+  (* drop exact duplicates first (keep first occurrence) *)
+  for i = 0 to n - 1 do
+    if keep.(i) then
+      for j = i + 1 to n - 1 do
+        if keep.(j) && Vec.equal ~eps arr.(i) arr.(j) then keep.(j) <- false
+      done
+  done;
+  for i = 0 to n - 1 do
+    if keep.(i) then begin
+      let others = ref [] in
+      for j = n - 1 downto 0 do
+        if j <> i && keep.(j) then others := arr.(j) :: !others
+      done;
+      if !others <> [] && mem ~eps !others arr.(i) then keep.(i) <- false
+    end
+  done;
+  List.filteri (fun i _ -> keep.(i)) (Array.to_list arr)
+
+let caratheodory ?(eps = 1e-9) points q =
+  match mem_coeffs ~eps points q with
+  | None -> None
+  | Some lambda ->
+      let d = Vec.dim q in
+      let current =
+        ref
+          (List.filter_map
+             (fun (p, w) -> if w > eps then Some (p, w) else None)
+             (List.mapi (fun i p -> (p, lambda.(i))) points))
+      in
+      (* renormalize once against LP tolerance *)
+      let renorm l =
+        let s = List.fold_left (fun a (_, w) -> a +. w) 0. l in
+        List.map (fun (p, w) -> (p, w /. s)) l
+      in
+      current := renorm !current;
+      (* Classic reduction: while the support exceeds d+1 points, the
+         support is affinely dependent; slide the weights along a
+         dependence direction until one hits zero. *)
+      let progress = ref true in
+      while List.length !current > d + 1 && !progress do
+        progress := false;
+        let pts = List.map fst !current in
+        let ws = Array.of_list (List.map snd !current) in
+        (* affine dependence: mu with sum mu = 0, sum mu_i p_i = 0 *)
+        let m =
+          Matrix.init (d + 1) (List.length pts) (fun i j ->
+              if i < d then (List.nth pts j).(i) else 1.)
+        in
+        (match Matrix.null_space m with
+        | [] -> ()
+        | mu :: _ ->
+            (* step t along -mu direction: w_i - t*mu_i >= 0; take the
+               largest t that zeroes some coefficient with mu_i > 0 *)
+            let t = ref infinity in
+            Array.iteri
+              (fun i mi -> if mi > 1e-12 then t := Float.min !t (ws.(i) /. mi))
+              mu;
+            (* if no positive entry, flip the direction *)
+            let mu, t =
+              if Float.is_finite !t then (mu, !t)
+              else begin
+                let mu = Vec.neg mu in
+                let t = ref infinity in
+                Array.iteri
+                  (fun i mi ->
+                    if mi > 1e-12 then t := Float.min !t (ws.(i) /. mi))
+                  mu;
+                (mu, !t)
+              end
+            in
+            if Float.is_finite t then begin
+              let updated =
+                List.filteri (fun _ _ -> true) !current
+                |> List.mapi (fun i (p, w) -> (p, w -. (t *. mu.(i))))
+                |> List.filter (fun (_, w) -> w > eps)
+              in
+              if List.length updated < List.length !current then begin
+                current := renorm updated;
+                progress := true
+              end
+            end)
+      done;
+      Some !current
+
+let separating_direction ?(eps = 1e-9) points q =
+  let w = Minnorm.nearest_point ~eps points q in
+  if w.Minnorm.distance <= eps then None
+  else
+    let dir = Vec.normalize (Vec.sub q w.Minnorm.nearest) in
+    let gap = Vec.dot dir q -. support points dir in
+    Some (dir, gap)

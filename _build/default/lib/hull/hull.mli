@@ -1,0 +1,54 @@
+(** Convex-hull predicates as linear programs.
+
+    A hull is represented by its generating points (a V-polytope); this is
+    the natural representation here, since the paper's sets are always
+    convex hulls of (multisets of) process inputs. *)
+
+val mem : ?eps:float -> Vec.t list -> Vec.t -> bool
+(** [mem points q]: is [q] in [H(points)]? (LP feasibility of the convex
+    combination.) *)
+
+val mem_coeffs : ?eps:float -> Vec.t list -> Vec.t -> float array option
+(** Convex coefficients witnessing membership, or [None]. *)
+
+val intersection_point : ?eps:float -> Vec.t list list -> Vec.t option
+(** A point in the intersection of the hulls of each point list, or
+    [None] if the intersection is empty. This computes a point of
+    [Gamma(Y)] (Section 3) when applied to all (|Y|-f)-subsets of [Y].
+    Solved as a single joint LP over the common point and one simplex of
+    coefficients per hull. *)
+
+val intersection_nonempty : ?eps:float -> Vec.t list list -> bool
+
+val dist_p : ?eps:float -> p:float -> Vec.t list -> Vec.t -> float
+(** Lp distance from [q] to [H(points)] (Definition 9's metric):
+    exact LP for [p = 1] and [p = infinity], Wolfe's algorithm for
+    [p = 2], Frank-Wolfe otherwise. *)
+
+val nearest_p : ?eps:float -> p:float -> Vec.t list -> Vec.t -> Vec.t * float
+(** [(argmin, distance)]: the point of the hull nearest to [q] in Lp and
+    its distance. For [p = 1] and [p = infinity] the minimizer comes from
+    the LP's convex coefficients; for [p = 2] from Wolfe's algorithm;
+    otherwise from Frank-Wolfe. *)
+
+val support : Vec.t list -> Vec.t -> float
+(** [support points dir] is [max_i dir . points_i], the support function
+    of the hull in direction [dir]. *)
+
+val extreme_points : ?eps:float -> Vec.t list -> Vec.t list
+(** The vertices of the hull: points not contained in the hull of the
+    others. Preserves input order; removes duplicates. *)
+
+val caratheodory :
+  ?eps:float -> Vec.t list -> Vec.t -> (Vec.t * float) list option
+(** Caratheodory's theorem (the paper's Theorem 11), constructively: a
+    convex representation of [q] using at most [d + 1] of the input
+    points ([None] if [q] is outside the hull). Starts from the LP's
+    basic solution and eliminates affine dependencies until the support
+    is small enough. Returned weights are positive and sum to 1. *)
+
+val separating_direction :
+  ?eps:float -> Vec.t list -> Vec.t -> (Vec.t * float) option
+(** If [q] is outside the hull, [(dir, gap)] with [dir] unit-L2 such that
+    [dir . q >= dir . v + gap] for every hull point [v], [gap > 0].
+    [None] if [q] is inside (or on the boundary within tolerance). *)

@@ -1,0 +1,81 @@
+let check2 v =
+  if Vec.dim v <> 2 then invalid_arg "Hull2d: points must be 2-dimensional"
+
+let cross o a b =
+  ((a.(0) -. o.(0)) *. (b.(1) -. o.(1)))
+  -. ((a.(1) -. o.(1)) *. (b.(0) -. o.(0)))
+
+let convex_hull points =
+  List.iter check2 points;
+  let pts =
+    List.sort_uniq Vec.compare_lex points
+  in
+  match pts with
+  | [] | [ _ ] | [ _; _ ] -> pts
+  | _ ->
+      let build input =
+        List.fold_left
+          (fun acc p ->
+            let rec pop = function
+              | b :: a :: rest when cross a b p <= 0. -> pop (a :: rest)
+              | acc -> acc
+            in
+            p :: pop acc)
+          [] input
+      in
+      let lower = build pts in
+      let upper = build (List.rev pts) in
+      (* each chain ends with its last input point; drop it to avoid
+         duplication when concatenating *)
+      let drop_last l = List.tl l in
+      let hull =
+        List.rev_append (drop_last lower) (List.rev (drop_last upper))
+        |> List.rev
+      in
+      (* normalize to counter-clockwise orientation *)
+      let arr = Array.of_list hull in
+      let n = Array.length arr in
+      let s = ref 0. in
+      for i = 0 to n - 1 do
+        let a = arr.(i) and b = arr.((i + 1) mod n) in
+        s := !s +. ((a.(0) *. b.(1)) -. (b.(0) *. a.(1)))
+      done;
+      if !s < 0. then List.rev hull else hull
+
+let polygon_area poly =
+  List.iter check2 poly;
+  match poly with
+  | [] | [ _ ] | [ _; _ ] -> 0.
+  | _ ->
+      let arr = Array.of_list poly in
+      let n = Array.length arr in
+      let s = ref 0. in
+      for i = 0 to n - 1 do
+        let a = arr.(i) and b = arr.((i + 1) mod n) in
+        s := !s +. ((a.(0) *. b.(1)) -. (b.(0) *. a.(1)))
+      done;
+      !s /. 2.
+
+let point_in_polygon ?(eps = 1e-9) poly q =
+  check2 q;
+  match poly with
+  | [] -> false
+  | [ v ] -> Vec.equal ~eps v q
+  | _ ->
+      let arr = Array.of_list poly in
+      let n = Array.length arr in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        let a = arr.(i) and b = arr.((i + 1) mod n) in
+        if cross a b q < -.eps then ok := false
+      done;
+      !ok
+
+let triangle_inradius a b c =
+  check2 a;
+  check2 b;
+  check2 c;
+  let la = Vec.dist2 b c and lb = Vec.dist2 a c and lc = Vec.dist2 a b in
+  let s = (la +. lb +. lc) /. 2. in
+  let area2 = s *. (s -. la) *. (s -. lb) *. (s -. lc) in
+  if area2 <= 0. then 0. else sqrt area2 /. s

@@ -1,0 +1,17 @@
+(** Planar convex-hull utilities (Andrew's monotone chain), used by tests
+    (d = 2 cross-checks of the LP machinery, Heron-formula inradius of
+    triangles per Theorem 9's base case) and by the example programs. *)
+
+val convex_hull : Vec.t list -> Vec.t list
+(** Vertices of the convex hull in counter-clockwise order (collinear
+    interior points removed). Points must be 2-dimensional. *)
+
+val polygon_area : Vec.t list -> float
+(** Signed shoelace area of a CCW polygon (positive for CCW). *)
+
+val point_in_polygon : ?eps:float -> Vec.t list -> Vec.t -> bool
+(** Is the point inside (or on the border of) the CCW convex polygon? *)
+
+val triangle_inradius : Vec.t -> Vec.t -> Vec.t -> float
+(** Heron-formula inradius of a triangle, [area / semiperimeter] — the
+    d = 2 base case of Theorem 9's induction. *)

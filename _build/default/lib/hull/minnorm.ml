@@ -1,0 +1,164 @@
+type witness = {
+  nearest : Vec.t;
+  distance : float;
+  coeffs : (int * float) list;
+}
+
+(* Affine minimizer: the point of minimum norm in the affine hull of the
+   corral [s], returned as barycentric coordinates. Solves
+
+     [ 0   1^T ] [beta ]   [1]
+     [ 1   G   ] [alpha] = [0]
+
+   where G = S^T S is the Gram matrix. Returns None if the system is
+   numerically singular (affinely dependent corral). *)
+let affine_minimizer (s : Vec.t array) =
+  let k = Array.length s in
+  let m =
+    Matrix.init (k + 1) (k + 1) (fun i j ->
+        if i = 0 && j = 0 then 0.
+        else if i = 0 || j = 0 then 1.
+        else Vec.dot s.(i - 1) s.(j - 1))
+  in
+  let b = Vec.init (k + 1) (fun i -> if i = 0 then 1. else 0.) in
+  match Matrix.solve m b with
+  | None -> None
+  | Some sol -> Some (Array.sub sol 1 k)
+
+let point_of_coeffs (s : Vec.t array) alpha =
+  let d = Vec.dim s.(0) in
+  let x = Vec.zero d in
+  Array.iteri
+    (fun i a ->
+      for j = 0 to d - 1 do
+        x.(j) <- x.(j) +. (a *. s.(i).(j))
+      done)
+    alpha;
+  x
+
+let min_norm_point ?(eps = 1e-10) points =
+  if points = [] then invalid_arg "Minnorm.min_norm_point: empty point set";
+  let pts = Array.of_list points in
+  let n = Array.length pts in
+  (* Scale tolerance with the data magnitude. *)
+  let scale =
+    Array.fold_left (fun acc p -> Float.max acc (Vec.norm_inf p)) 1. pts
+  in
+  let tol = eps *. scale *. scale in
+  (* corral: indices into pts, with convex coefficients *)
+  let start =
+    (* the input point of smallest norm *)
+    let best = ref 0 in
+    for i = 1 to n - 1 do
+      if Vec.sq_norm2 pts.(i) < Vec.sq_norm2 pts.(!best) then best := i
+    done;
+    !best
+  in
+  let corral = ref [| start |] in
+  let lambda = ref [| 1. |] in
+  let x = ref (Vec.copy pts.(start)) in
+  let max_major = 16 * (n + Vec.dim pts.(0)) + 64 in
+  let major = ref 0 in
+  (try
+     while true do
+       incr major;
+       if !major > max_major then raise Exit;
+       (* Major cycle: most violating vertex. *)
+       let xx = Vec.sq_norm2 !x in
+       let best_j = ref (-1) in
+       let best_v = ref (xx -. tol) in
+       for j = 0 to n - 1 do
+         let v = Vec.dot !x pts.(j) in
+         if v < !best_v then begin
+           best_v := v;
+           best_j := j
+         end
+       done;
+       if !best_j = -1 then raise Exit (* optimal *)
+       else begin
+         let j = !best_j in
+         if Array.exists (fun i -> i = j) !corral then raise Exit
+         else begin
+           corral := Array.append !corral [| j |];
+           lambda := Array.append !lambda [| 0. |];
+           (* Minor cycles: restore a proper corral. *)
+           let continue_minor = ref true in
+           while !continue_minor do
+             let s = Array.map (fun i -> pts.(i)) !corral in
+             match affine_minimizer s with
+             | None ->
+                 (* Degenerate: drop the smallest-coefficient member. *)
+                 let k = Array.length !corral in
+                 if k <= 1 then continue_minor := false
+                 else begin
+                   let drop = ref 0 in
+                   Array.iteri
+                     (fun i a -> if a < !lambda.(!drop) then drop := i)
+                     !lambda;
+                   let keep i = i <> !drop in
+                   corral :=
+                     Array.of_list
+                       (List.filteri (fun i _ -> keep i)
+                          (Array.to_list !corral));
+                   lambda :=
+                     Array.of_list
+                       (List.filteri (fun i _ -> keep i)
+                          (Array.to_list !lambda))
+                 end
+             | Some alpha ->
+                 if Array.for_all (fun a -> a > eps) alpha then begin
+                   lambda := alpha;
+                   x := point_of_coeffs s alpha;
+                   continue_minor := false
+                 end
+                 else begin
+                   (* Move from lambda toward alpha as far as feasible. *)
+                   let theta = ref 1. in
+                   Array.iteri
+                     (fun i a ->
+                       let l = !lambda.(i) in
+                       if a <= eps && l -. a > 1e-300 then
+                         theta := Float.min !theta (l /. (l -. a)))
+                     alpha;
+                   let th = Float.max 0. (Float.min 1. !theta) in
+                   let mixed =
+                     Array.mapi
+                       (fun i a -> ((1. -. th) *. !lambda.(i)) +. (th *. a))
+                       alpha
+                   in
+                   (* Drop members that hit zero. *)
+                   let kept = ref [] in
+                   Array.iteri
+                     (fun i l ->
+                       if l > eps then kept := (!corral.(i), l) :: !kept)
+                     mixed;
+                   let kept = List.rev !kept in
+                   let kept =
+                     if kept = [] then [ (!corral.(0), 1.) ] else kept
+                   in
+                   corral := Array.of_list (List.map fst kept);
+                   lambda := Array.of_list (List.map snd kept);
+                   (* renormalize for numerical safety *)
+                   let s = Array.fold_left ( +. ) 0. !lambda in
+                   lambda := Array.map (fun l -> l /. s) !lambda;
+                   x :=
+                     point_of_coeffs
+                       (Array.map (fun i -> pts.(i)) !corral)
+                       !lambda
+                 end
+           done
+         end
+       end
+     done
+   with Exit -> ());
+  let coeffs =
+    List.combine (Array.to_list !corral) (Array.to_list !lambda)
+  in
+  { nearest = !x; distance = Vec.norm2 !x; coeffs }
+
+let nearest_point ?eps points q =
+  let shifted = List.map (fun p -> Vec.sub p q) points in
+  let w = min_norm_point ?eps shifted in
+  { w with nearest = Vec.add w.nearest q }
+
+let dist2_to_hull ?eps points q = (nearest_point ?eps points q).distance

@@ -1,0 +1,25 @@
+(** Wolfe's minimum-norm-point algorithm (Wolfe 1976).
+
+    Computes the point of a convex hull nearest (in L2) to a query point,
+    which is exactly [dist(p, H(S))] from Definition 9 with [p = 2] — the
+    quantity the whole of Section 9 of the paper reasons about. Wolfe's
+    combinatorial algorithm terminates finitely and is numerically robust
+    for the modest dimensions ([d <= 10]) and point counts the experiments
+    use. *)
+
+type witness = {
+  nearest : Vec.t;  (** the nearest point of the hull *)
+  distance : float;  (** L2 distance from query to [nearest] *)
+  coeffs : (int * float) list;
+      (** convex coefficients over input indices (support only) *)
+}
+
+val min_norm_point : ?eps:float -> Vec.t list -> witness
+(** Nearest point of [H(points)] to the origin.
+    @raise Invalid_argument on an empty list. *)
+
+val nearest_point : ?eps:float -> Vec.t list -> Vec.t -> witness
+(** [nearest_point points q] is the projection of [q] onto [H(points)]. *)
+
+val dist2_to_hull : ?eps:float -> Vec.t list -> Vec.t -> float
+(** L2 distance from [q] to [H(points)]; 0 if [q] is inside. *)

@@ -1,0 +1,133 @@
+type t = Vec.t list (* canonical CCW vertices; [] = empty *)
+
+let check2 v =
+  if Vec.dim v <> 2 then invalid_arg "Polygon: points must be 2-dimensional"
+
+let cross o a b =
+  ((a.(0) -. o.(0)) *. (b.(1) -. o.(1)))
+  -. ((a.(1) -. o.(1)) *. (b.(0) -. o.(0)))
+
+(* Canonicalize a vertex soup believed to be convex: hull + CCW +
+   deduplication is exactly what [Hull2d.convex_hull] produces. *)
+let canonical pts =
+  match pts with
+  | [] -> []
+  | _ -> Hull2d.convex_hull pts
+
+let of_points pts =
+  List.iter check2 pts;
+  canonical pts
+
+let vertices t = t
+let is_empty t = t = []
+let area t = Float.abs (Hull2d.polygon_area t)
+
+(* Halfplane { x | normal . x <= offset }. *)
+let clip_halfplane t ~normal ~offset =
+  check2 normal;
+  match t with
+  | [] -> []
+  | [ p ] -> if Vec.dot normal p <= offset +. 1e-12 then t else []
+  | _ ->
+      let arr = Array.of_list t in
+      let n = Array.length arr in
+      let out = ref [] in
+      let side p = Vec.dot normal p -. offset in
+      for i = 0 to n - 1 do
+        let a = arr.(i) and b = arr.((i + 1) mod n) in
+        let sa = side a and sb = side b in
+        if sa <= 1e-12 then out := a :: !out;
+        if (sa < -1e-12 && sb > 1e-12) || (sa > 1e-12 && sb < -1e-12) then begin
+          let u = sa /. (sa -. sb) in
+          out := Vec.lerp u a b :: !out
+        end
+      done;
+      canonical !out
+
+(* The halfplanes whose intersection is the polygon; degenerate polygons
+   (point, segment) are pinned by axis/cap halfplanes. *)
+let halfplanes t =
+  match t with
+  | [] -> None
+  | [ p ] ->
+      Some
+        [
+          (Vec.of_list [ 1.; 0. ], p.(0));
+          (Vec.of_list [ -1.; 0. ], -.p.(0));
+          (Vec.of_list [ 0.; 1. ], p.(1));
+          (Vec.of_list [ 0.; -1. ], -.p.(1));
+        ]
+  | [ u; v ] ->
+      let d = Vec.sub v u in
+      let line_normal = Vec.of_list [ -.d.(1); d.(0) ] in
+      Some
+        [
+          (line_normal, Vec.dot line_normal u);
+          (Vec.neg line_normal, -.Vec.dot line_normal u);
+          (Vec.neg d, -.Vec.dot d u);
+          (d, Vec.dot d v);
+        ]
+  | _ ->
+      let arr = Array.of_list t in
+      let n = Array.length arr in
+      Some
+        (List.init n (fun i ->
+             let u = arr.(i) and v = arr.((i + 1) mod n) in
+             let d = Vec.sub v u in
+             (* interior of a CCW polygon is left of u->v:
+                cross(d, x - u) >= 0, i.e. (dy, -dx) . x <= (dy, -dx) . u *)
+             let normal = Vec.of_list [ d.(1); -.d.(0) ] in
+             (normal, Vec.dot normal u)))
+
+let inter a b =
+  match (a, halfplanes b) with
+  | [], _ | _, None -> []
+  | _, Some planes ->
+      List.fold_left
+        (fun acc (normal, offset) -> clip_halfplane acc ~normal ~offset)
+        a planes
+
+let inter_all = function
+  | [] -> invalid_arg "Polygon.inter_all: no polygons"
+  | p :: rest -> List.fold_left inter p rest
+
+let contains ?(eps = 1e-9) t q =
+  check2 q;
+  match t with
+  | [] -> false
+  | [ p ] -> Vec.equal ~eps p q
+  | [ u; v ] ->
+      Float.abs (cross u v q) <= eps
+      && Vec.dot (Vec.sub v u) (Vec.sub q u) >= -.eps
+      && Vec.dot (Vec.sub u v) (Vec.sub q v) >= -.eps
+  | _ -> Hull2d.point_in_polygon ~eps t q
+
+let subset ?eps a b = List.for_all (fun v -> contains ?eps b v) a
+
+let centroid t =
+  match t with
+  | [] -> None
+  | [ _ ] | [ _; _ ] -> Some (Vec.centroid t)
+  | _ ->
+      (* area centroid via the shoelace decomposition *)
+      let arr = Array.of_list t in
+      let n = Array.length arr in
+      let a = ref 0. and cx = ref 0. and cy = ref 0. in
+      for i = 0 to n - 1 do
+        let p = arr.(i) and q = arr.((i + 1) mod n) in
+        let w = (p.(0) *. q.(1)) -. (q.(0) *. p.(1)) in
+        a := !a +. w;
+        cx := !cx +. ((p.(0) +. q.(0)) *. w);
+        cy := !cy +. ((p.(1) +. q.(1)) *. w)
+      done;
+      if Float.abs !a < 1e-15 then Some (Vec.centroid t)
+      else Some (Vec.of_list [ !cx /. (3. *. !a); !cy /. (3. *. !a) ])
+
+let equal ?(eps = 1e-9) a b = subset ~eps a b && subset ~eps b a
+
+let pp ppf t =
+  Format.fprintf ppf "[@[%a@]]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       Vec.pp)
+    t

@@ -1,0 +1,40 @@
+(** Exact convex-polygon calculus in the plane: clipping, intersection,
+    and containment. Supports the d = 2 instantiation of Convex Hull
+    Consensus (Tseng-Vaidya, the paper's refs [15, 16]), where the agreed
+    output is the whole polytope [Gamma(Y)] rather than a single point —
+    computed here exactly as an intersection of convex polygons. *)
+
+type t
+(** A (possibly empty) convex polygon. Canonical form: counter-clockwise
+    vertex order, no duplicate or collinear vertices. Degenerate cases
+    (point, segment) are represented faithfully. *)
+
+val of_points : Vec.t list -> t
+(** Convex hull of arbitrary 2-d points. *)
+
+val vertices : t -> Vec.t list
+(** CCW vertices ([[]] iff empty). *)
+
+val is_empty : t -> bool
+val area : t -> float
+
+val clip_halfplane : t -> normal:Vec.t -> offset:float -> t
+(** Intersect with [{ x | normal . x <= offset }] (Sutherland-Hodgman
+    step). *)
+
+val inter : t -> t -> t
+(** Intersection of two convex polygons (convex). *)
+
+val inter_all : t list -> t
+(** Intersection of many ([inter_all [] = invalid]). *)
+
+val contains : ?eps:float -> t -> Vec.t -> bool
+val subset : ?eps:float -> t -> t -> bool
+(** [subset a b]: is [a] contained in [b]? *)
+
+val centroid : t -> Vec.t option
+(** Area centroid ([None] iff empty); vertex mean for degenerate
+    polygons. *)
+
+val equal : ?eps:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

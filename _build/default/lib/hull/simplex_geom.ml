@@ -1,0 +1,140 @@
+type t = {
+  vertices : Vec.t array;  (** a_1 .. a_{d+1} *)
+  dual : Vec.t array;  (** b_1 .. b_{d+1} *)
+  dim : int;
+}
+
+let of_vertices ?eps:_ pts =
+  match pts with
+  | [] -> None
+  | p :: _ ->
+      let d = Vec.dim p in
+      if List.length pts <> d + 1 then None
+      else
+        let vertices = Array.of_list pts in
+        let last = vertices.(d) in
+        (* A has columns a_i - a_{d+1}; B = (A^{-1})^T, i.e. rows of A^{-1}. *)
+        let a =
+          Matrix.init d d (fun i j -> vertices.(j).(i) -. last.(i))
+        in
+        (match Matrix.inverse a with
+        | None -> None
+        | Some ainv ->
+            let dual = Array.make (d + 1) (Vec.zero d) in
+            for i = 0 to d - 1 do
+              dual.(i) <- Matrix.row ainv i
+            done;
+            let bsum = Array.fold_left Vec.add (Vec.zero d) (Array.sub dual 0 d) in
+            dual.(d) <- Vec.neg bsum;
+            Some { vertices; dual; dim = d })
+
+let vertices s = s.vertices
+let dim s = s.dim
+let dual_basis s = s.dual
+
+let inradius s =
+  1. /. Array.fold_left (fun acc b -> acc +. Vec.norm2 b) 0. s.dual
+
+let incenter s =
+  let r = inradius s in
+  let terms =
+    Array.to_list
+      (Array.mapi (fun i a -> (r *. Vec.norm2 s.dual.(i), a)) s.vertices)
+  in
+  Vec.combo terms
+
+let dist_to_facet s x k =
+  (* The facet opposite vertex k contains every a_j, j <> k; b_k is
+     orthogonal to it and <a_k - a_j, b_k> = 1 (Lemma 11). Signed
+     distance from x: <x - a_j, b_k> / ||b_k|| for any j <> k. *)
+  let j = if k = 0 then 1 else 0 in
+  Vec.dot (Vec.sub x s.vertices.(j)) s.dual.(k) /. Vec.norm2 s.dual.(k)
+
+let facet_inradius s k =
+  let d = s.dim in
+  let bk = s.dual.(k) in
+  let bk2 = Vec.sq_norm2 bk in
+  let sum = ref 0. in
+  for j = 0 to d do
+    if j <> k then begin
+      let bjk = Vec.axpy (-.Vec.dot s.dual.(j) bk /. bk2) bk s.dual.(j) in
+      sum := !sum +. Vec.norm2 bjk
+    end
+  done;
+  1. /. !sum
+
+let volume s =
+  let d = s.dim in
+  let last = s.vertices.(d) in
+  let a = Matrix.init d d (fun i j -> s.vertices.(j).(i) -. last.(i)) in
+  let fact = ref 1. in
+  for i = 2 to d do
+    fact := !fact *. float_of_int i
+  done;
+  Float.abs (Matrix.determinant a) /. !fact
+
+let edge_lengths ?(p = 2.) s =
+  let n = Array.length s.vertices in
+  let acc = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      acc := Vec.dist_p p s.vertices.(i) s.vertices.(j) :: !acc
+    done
+  done;
+  List.rev !acc
+
+let circumscribes ?(eps = 1e-9) s x =
+  match Affine.barycentric ~simplex:(Array.to_list s.vertices) x with
+  | None -> false
+  | Some w -> Array.for_all (fun wi -> wi >= -.eps) w
+
+let cayley_menger_volume pts =
+  match pts with
+  | [] -> invalid_arg "Simplex_geom.cayley_menger_volume: empty"
+  | p :: _ ->
+      let d = Vec.dim p in
+      if List.length pts <> d + 1 then
+        invalid_arg "Simplex_geom.cayley_menger_volume: need d+1 points";
+      let arr = Array.of_list pts in
+      let m = d + 2 in
+      (* bordered matrix: B_00 = 0, B_0j = B_j0 = 1, B_ij = |p_i - p_j|^2 *)
+      let b =
+        Matrix.init m m (fun i j ->
+            if i = 0 && j = 0 then 0.
+            else if i = 0 || j = 0 then 1.
+            else begin
+              let u = arr.(i - 1) and v = arr.(j - 1) in
+              Vec.sq_norm2 (Vec.sub u v)
+            end)
+      in
+      let det = Matrix.determinant b in
+      (* vol^2 = (-1)^(d+1) / (2^d (d!)^2) * det *)
+      let fact = ref 1. in
+      for i = 2 to d do
+        fact := !fact *. float_of_int i
+      done;
+      let sign = if (d + 1) mod 2 = 0 then 1. else -1. in
+      let v2 = sign *. det /. ((2. ** float_of_int d) *. !fact *. !fact) in
+      if v2 <= 0. then 0. else sqrt v2
+
+let circumcenter s =
+  (* the circumcenter x satisfies |x - a_i|^2 = |x - a_0|^2 for all i:
+     2 (a_i - a_0) . x = |a_i|^2 - |a_0|^2 — a d x d linear system *)
+  let d = s.dim in
+  let a0 = s.vertices.(0) in
+  let m =
+    Matrix.init d d (fun i j -> 2. *. (s.vertices.(i + 1).(j) -. a0.(j)))
+  in
+  let rhs =
+    Vec.init d (fun i ->
+        Vec.sq_norm2 s.vertices.(i + 1) -. Vec.sq_norm2 a0)
+  in
+  match Matrix.solve m rhs with
+  | None ->
+      (* cannot happen for a non-degenerate simplex *)
+      invalid_arg "Simplex_geom.circumcenter: degenerate simplex"
+  | Some x -> (x, Vec.dist2 x a0)
+
+let euler_ratio s =
+  let _, big_r = circumcenter s in
+  big_r /. (float_of_int s.dim *. inradius s)

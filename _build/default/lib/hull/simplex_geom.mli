@@ -1,0 +1,65 @@
+(** Simplex geometry from Section 9.1 of the paper.
+
+    For a non-degenerate simplex [a_1, ..., a_{d+1}] in R^d, the dual
+    basis is [B = (A^{-1})^T] with [A = [a_1 - a_{d+1} | ... | a_d -
+    a_{d+1}]] and [b_{d+1} = - sum_i b_i]. Lemma 11 (Akira):
+    [<a_i - a_j, b_k> = delta_ik - delta_jk]; [b_k] is the inward normal
+    of the facet opposite [a_k] scaled so that vertex-to-facet "height"
+    reads off as an inner product. Lemma 12: the inradius is
+    [r = 1 / sum_i ||b_i||]. *)
+
+type t
+
+val of_vertices : ?eps:float -> Vec.t list -> t option
+(** [of_vertices [a1; ...; a_{d+1}]] builds the simplex; [None] if the
+    vertices are not affinely independent (A singular) or if the count is
+    not [d + 1] for points in R^d. *)
+
+val vertices : t -> Vec.t array
+val dim : t -> int
+
+val dual_basis : t -> Vec.t array
+(** [b_1, ..., b_{d+1}] as above (length d+1). *)
+
+val inradius : t -> float
+(** Lemma 12: [1 / sum ||b_i||]. *)
+
+val incenter : t -> Vec.t
+(** Center of the inscribed sphere: [sum_i (r * ||b_i||) a_i]. *)
+
+val dist_to_facet : t -> Vec.t -> int -> float
+(** [dist_to_facet s x k]: signed L2 distance from [x] to the hyperplane
+    of the facet opposite vertex [k] (0-indexed), positive on the
+    interior side. *)
+
+val facet_inradius : t -> int -> float
+(** Lemma 14 machinery: the (d-1)-dimensional inradius [r_k] of facet
+    [pi_k] (opposite vertex [k]) inside its own subspace, computed as
+    [1 / sum_{j<>k} ||b_{jk}||] with
+    [b_{jk} = b_j - (<b_j, b_k>/||b_k||^2) b_k]. Lemma 14 asserts
+    [inradius < min_k facet_inradius]. *)
+
+val volume : t -> float
+(** d-dimensional volume, [|det A| / d!]. *)
+
+val edge_lengths : ?p:float -> t -> float list
+(** Lp lengths of all C(d+1, 2) edges. *)
+
+val circumscribes : ?eps:float -> t -> Vec.t -> bool
+(** Is the point inside the simplex (barycentric coordinates all >= -eps)? *)
+
+val cayley_menger_volume : Vec.t list -> float
+(** d-volume of a simplex computed from pairwise distances only (the
+    Cayley-Menger determinant) — an independent cross-check of
+    {!volume}, and the tool the tests use to validate the projection
+    machinery (distances survive {!Affine.project_to_span}, so volumes
+    must too). @raise Invalid_argument unless given d+1 points in R^d. *)
+
+val circumcenter : t -> Vec.t * float
+(** [(center, R)] of the circumscribed sphere (the unique sphere through
+    all d+1 vertices). *)
+
+val euler_ratio : t -> float
+(** [R / (d * r)]: Euler's simplex inequality states this is >= 1 with
+    equality iff the simplex is regular — used by the bound-tightness
+    experiments to characterize the adversarial-search optima. *)

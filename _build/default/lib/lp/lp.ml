@@ -1,0 +1,293 @@
+type cmp = Le | Ge | Eq
+type constr = { coeffs : float array; cmp : cmp; rhs : float }
+
+let ( <= ) coeffs rhs = { coeffs; cmp = Le; rhs }
+let ( >= ) coeffs rhs = { coeffs; cmp = Ge; rhs }
+let ( = ) coeffs rhs = { coeffs; cmp = Eq; rhs }
+
+type status = Optimal | Infeasible | Unbounded
+
+type result = {
+  status : status;
+  solution : float array option;
+  objective : float option;
+}
+
+(* Internal dense tableau.
+
+   Columns: [0 .. nstruct)             structural (free vars split in two)
+            [nstruct .. nstruct+nslack) slack/surplus
+            [.. + nart)                 artificial
+            last                        rhs
+   Rows:    [0 .. m)  constraints, row [m] = reduced-cost row, whose rhs
+   entry holds [-z] (negated objective value). *)
+
+type tableau = {
+  t : float array array;
+  m : int;  (** number of constraint rows *)
+  ncols : int;  (** columns excluding rhs *)
+  nstruct : int;
+  nart : int;
+  basis : int array;  (** basic column of each row *)
+}
+
+let pivot tab ~row ~col =
+  let t = tab.t in
+  let p = t.(row).(col) in
+  let width = tab.ncols + 1 in
+  let r = t.(row) in
+  for j = 0 to width - 1 do
+    r.(j) <- r.(j) /. p
+  done;
+  for i = 0 to tab.m do
+    if Stdlib.( <> ) i row then begin
+      let f = t.(i).(col) in
+      if Stdlib.( <> ) f 0. then begin
+        let ri = t.(i) in
+        for j = 0 to width - 1 do
+          ri.(j) <- ri.(j) -. (f *. r.(j))
+        done
+      end
+    end
+  done;
+  tab.basis.(row) <- col
+
+(* One simplex phase: minimize the current reduced-cost row. [banned]
+   columns never enter the basis. Returns [`Optimal] or [`Unbounded]. *)
+let run_phase ~eps tab ~banned =
+  let rhs = tab.ncols in
+  let obj = tab.t.(tab.m) in
+  let bland_after = 64 * (tab.m + tab.ncols) in
+  let hard_cap = Stdlib.max 100_000 (200 * bland_after) in
+  let rec loop iter =
+    if Stdlib.( > ) iter hard_cap then failwith "Lp: iteration limit exceeded";
+    let use_bland = Stdlib.( > ) iter bland_after in
+    (* entering column *)
+    let entering = ref (-1) in
+    let best = ref (-.eps) in
+    (try
+       for j = 0 to tab.ncols - 1 do
+         if not (banned j) && obj.(j) < -.eps then
+           if use_bland then begin
+             entering := j;
+             raise Exit
+           end
+           else if obj.(j) < !best then begin
+             best := obj.(j);
+             entering := j
+           end
+       done
+     with Exit -> ());
+    if Stdlib.( = ) !entering (-1) then `Optimal
+    else begin
+      let col = !entering in
+      (* ratio test; Bland tie-break on smallest basic column index *)
+      let leave = ref (-1) in
+      let best_ratio = ref infinity in
+      for i = 0 to tab.m - 1 do
+        let a = tab.t.(i).(col) in
+        if a > eps then begin
+          let ratio = tab.t.(i).(rhs) /. a in
+          if
+            ratio < !best_ratio -. eps
+            || (ratio < !best_ratio +. eps
+               && Stdlib.( >= ) !leave 0
+               && Stdlib.( < ) tab.basis.(i) tab.basis.(!leave))
+          then begin
+            best_ratio := ratio;
+            leave := i
+          end
+        end
+      done;
+      if Stdlib.( = ) !leave (-1) then `Unbounded
+      else begin
+        pivot tab ~row:!leave ~col;
+        loop (Stdlib.( + ) iter 1)
+      end
+    end
+  in
+  loop 0
+
+let build ~nvars ~free rows =
+  let is_free i =
+    match free with None -> false | Some f -> f.(i)
+  in
+  (* structural column map: var i -> (col_pos, col_neg option) *)
+  let col_of_var = Array.make nvars (-1) in
+  let neg_col_of_var = Array.make nvars (-1) in
+  let nstruct = ref 0 in
+  for i = 0 to nvars - 1 do
+    col_of_var.(i) <- !nstruct;
+    incr nstruct;
+    if is_free i then begin
+      neg_col_of_var.(i) <- !nstruct;
+      incr nstruct
+    end
+  done;
+  let nstruct = !nstruct in
+  let m = List.length rows in
+  (* normalize rhs >= 0 *)
+  let rows =
+    List.map
+      (fun { coeffs; cmp; rhs } ->
+        if Stdlib.( <> ) (Array.length coeffs) nvars then
+          invalid_arg "Lp: constraint arity mismatch";
+        if rhs < 0. then
+          ( Array.map (fun c -> -.c) coeffs,
+            (match cmp with Le -> Ge | Ge -> Le | Eq -> Eq),
+            -.rhs )
+        else (coeffs, cmp, rhs))
+      rows
+  in
+  let nslack =
+    List.fold_left
+      (fun acc (_, cmp, _) ->
+        match cmp with Le | Ge -> Stdlib.( + ) acc 1 | Eq -> acc)
+      0 rows
+  in
+  let nart =
+    List.fold_left
+      (fun acc (_, cmp, _) ->
+        match cmp with Ge | Eq -> Stdlib.( + ) acc 1 | Le -> acc)
+      0 rows
+  in
+  let ncols = Stdlib.( + ) (Stdlib.( + ) nstruct nslack) nart in
+  let t = Array.make_matrix (Stdlib.( + ) m 1) (Stdlib.( + ) ncols 1) 0. in
+  let basis = Array.make (Stdlib.max m 1) (-1) in
+  let slack_cursor = ref nstruct in
+  let art_cursor = ref (Stdlib.( + ) nstruct nslack) in
+  List.iteri
+    (fun i (coeffs, cmp, rhs) ->
+      for v = 0 to nvars - 1 do
+        t.(i).(col_of_var.(v)) <- coeffs.(v);
+        if Stdlib.( >= ) neg_col_of_var.(v) 0 then
+          t.(i).(neg_col_of_var.(v)) <- -.coeffs.(v)
+      done;
+      t.(i).(ncols) <- rhs;
+      (match cmp with
+      | Le ->
+          t.(i).(!slack_cursor) <- 1.;
+          basis.(i) <- !slack_cursor;
+          incr slack_cursor
+      | Ge ->
+          t.(i).(!slack_cursor) <- -1.;
+          incr slack_cursor;
+          t.(i).(!art_cursor) <- 1.;
+          basis.(i) <- !art_cursor;
+          incr art_cursor
+      | Eq ->
+          t.(i).(!art_cursor) <- 1.;
+          basis.(i) <- !art_cursor;
+          incr art_cursor))
+    rows;
+  let tab = { t; m; ncols; nstruct; nart; basis } in
+  (tab, col_of_var, neg_col_of_var, Stdlib.( + ) nstruct nslack)
+
+(* Install a fresh objective [cost] (length ncols) into the reduced-cost
+   row, pricing out the current basis. *)
+let set_objective tab cost =
+  let obj = tab.t.(tab.m) in
+  Array.fill obj 0 (Stdlib.( + ) tab.ncols 1) 0.;
+  Array.blit cost 0 obj 0 tab.ncols;
+  for i = 0 to tab.m - 1 do
+    let cb = cost.(tab.basis.(i)) in
+    if Stdlib.( <> ) cb 0. then begin
+      let ri = tab.t.(i) in
+      for j = 0 to tab.ncols do
+        obj.(j) <- obj.(j) -. (cb *. ri.(j))
+      done
+    end
+  done
+
+let extract_solution ~eps:_ ~nvars tab col_of_var neg_col_of_var =
+  let vals = Array.make tab.ncols 0. in
+  for i = 0 to tab.m - 1 do
+    vals.(tab.basis.(i)) <- tab.t.(i).(tab.ncols)
+  done;
+  Array.init nvars (fun v ->
+      let pos = vals.(col_of_var.(v)) in
+      let neg =
+        if Stdlib.( >= ) neg_col_of_var.(v) 0 then vals.(neg_col_of_var.(v))
+        else 0.
+      in
+      pos -. neg)
+
+let solve ?(eps = 1e-9) ?free ?(maximize = false) ~nvars ~objective rows =
+  if Stdlib.( <> ) (Array.length objective) nvars then
+    invalid_arg "Lp.solve: objective arity mismatch";
+  (match free with
+  | Some f when Stdlib.( <> ) (Array.length f) nvars ->
+      invalid_arg "Lp.solve: free-mask arity mismatch"
+  | _ -> ());
+  let tab, col_of_var, neg_col_of_var, art_start =
+    build ~nvars ~free rows
+  in
+  (* Phase 1 *)
+  let infeasible = { status = Infeasible; solution = None; objective = None } in
+  let phase1_needed = Stdlib.( > ) tab.nart 0 in
+  let phase1_ok =
+    if not phase1_needed then true
+    else begin
+      let cost = Array.make tab.ncols 0. in
+      for j = art_start to tab.ncols - 1 do
+        cost.(j) <- 1.
+      done;
+      set_objective tab cost;
+      (match run_phase ~eps tab ~banned:(fun _ -> false) with
+      | `Unbounded | `Optimal ->
+          (* The phase-1 objective (sum of artificials) is bounded below
+             by 0, so a reported unbounded direction can only be
+             numerical noise in a reduced cost; the current value is
+             already (near-)optimal either way. *)
+          ());
+      let z = -.tab.t.(tab.m).(tab.ncols) in
+      z < eps *. 10.
+    end
+  in
+  if not phase1_ok then infeasible
+  else begin
+    (* Drive any artificial variable still basic (at level 0) out of the
+       basis: otherwise a later pivot could silently raise it above 0 and
+       relax its equality row. Pivot on any non-artificial column with a
+       non-zero coefficient; if the row has none it is redundant and the
+       artificial can never change. *)
+    if phase1_needed then
+      for i = 0 to tab.m - 1 do
+        if Stdlib.( >= ) tab.basis.(i) art_start then begin
+          let j = ref 0 in
+          (try
+             while Stdlib.( < ) !j art_start do
+               if Float.abs tab.t.(i).(!j) > eps then raise Exit;
+               incr j
+             done
+           with Exit -> ());
+          if Stdlib.( < ) !j art_start then pivot tab ~row:i ~col:!j
+        end
+      done;
+    (* Phase 2: artificial columns may not re-enter. *)
+    let banned j = Stdlib.( >= ) j art_start in
+    let cost = Array.make tab.ncols 0. in
+    let sign = if maximize then -1. else 1. in
+    for v = 0 to nvars - 1 do
+      cost.(col_of_var.(v)) <- sign *. objective.(v);
+      if Stdlib.( >= ) neg_col_of_var.(v) 0 then
+        cost.(neg_col_of_var.(v)) <- -.sign *. objective.(v)
+    done;
+    set_objective tab cost;
+    match run_phase ~eps tab ~banned with
+    | `Unbounded -> { status = Unbounded; solution = None; objective = None }
+    | `Optimal ->
+        let x = extract_solution ~eps ~nvars tab col_of_var neg_col_of_var in
+        let z = -.tab.t.(tab.m).(tab.ncols) in
+        let z = if maximize then -.z else z in
+        { status = Optimal; solution = Some x; objective = Some z }
+  end
+
+let feasible_point ?eps ?free ~nvars rows =
+  let r = solve ?eps ?free ~nvars ~objective:(Array.make nvars 0.) rows in
+  match r.status with
+  | Optimal -> r.solution
+  | Infeasible | Unbounded -> None
+
+let is_feasible ?eps ?free ~nvars rows =
+  Option.is_some (feasible_point ?eps ?free ~nvars rows)

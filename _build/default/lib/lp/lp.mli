@@ -1,0 +1,50 @@
+(** A from-scratch dense two-phase simplex linear-programming solver.
+
+    This is the certificate engine of the reproduction: convex-hull
+    membership, emptiness of the k-relaxed intersection [Psi(Y)]
+    (Theorems 3 and 4), feasibility of [(delta,p)]-relaxed intersections,
+    and Tverberg-point verification are all phrased as LPs.
+
+    Variables are non-negative by default; mark coordinates as free (they
+    are split internally into positive and negative parts). Constraints
+    are rows [a . x (<= | >= | =) b]. Phase 1 minimizes the sum of
+    artificial variables; a positive phase-1 optimum certifies
+    infeasibility. Pivoting uses Dantzig's rule with an automatic switch
+    to Bland's rule after a stall, so the solver cannot cycle. *)
+
+type cmp = Le | Ge | Eq
+
+type constr = { coeffs : float array; cmp : cmp; rhs : float }
+(** One row. [coeffs] must have length [nvars]. *)
+
+val ( <= ) : float array -> float -> constr
+val ( >= ) : float array -> float -> constr
+val ( = ) : float array -> float -> constr
+(** Row-building conveniences: [coeffs <= rhs] etc. Shadow the stdlib
+    comparisons only inside [Lp.( ... )]. *)
+
+type status = Optimal | Infeasible | Unbounded
+
+type result = {
+  status : status;
+  solution : float array option;  (** length [nvars], present iff Optimal *)
+  objective : float option;  (** objective value at the solution *)
+}
+
+val solve :
+  ?eps:float ->
+  ?free:bool array ->
+  ?maximize:bool ->
+  nvars:int ->
+  objective:float array ->
+  constr list ->
+  result
+(** [solve ~nvars ~objective rows] minimizes (or maximizes) [objective . x]
+    subject to [rows] and [x_i >= 0] for every non-free [i].
+    [eps] (default [1e-9]) is the feasibility/optimality tolerance. *)
+
+val feasible_point :
+  ?eps:float -> ?free:bool array -> nvars:int -> constr list -> float array option
+(** Phase-1 only: a feasible point, or [None] if the system is infeasible. *)
+
+val is_feasible : ?eps:float -> ?free:bool array -> nvars:int -> constr list -> bool

@@ -1,0 +1,1 @@
+lib/relaxed/bounds.ml: Array Float Int List Printf Vec

@@ -1,0 +1,1 @@
+lib/relaxed/bounds.mli: Vec

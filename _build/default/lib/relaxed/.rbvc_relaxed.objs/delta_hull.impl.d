@@ -1,0 +1,1 @@
+lib/relaxed/delta_hull.ml: Array Float Hull Int List Lp Multiset Option Rng Simplex_geom Vec

@@ -1,0 +1,1 @@
+lib/relaxed/delta_hull.mli: Lp Vec

@@ -1,0 +1,1 @@
+lib/relaxed/helly.ml: Hull Int List Multiset Option

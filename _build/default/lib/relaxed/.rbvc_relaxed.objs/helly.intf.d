@@ -1,0 +1,1 @@
+lib/relaxed/helly.mli: Vec

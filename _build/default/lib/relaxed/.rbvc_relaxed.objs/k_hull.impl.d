@@ -1,0 +1,1 @@
+lib/relaxed/k_hull.ml: Array Float Hull List Lp Multiset Option Projection Vec

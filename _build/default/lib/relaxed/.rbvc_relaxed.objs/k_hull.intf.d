@@ -1,0 +1,1 @@
+lib/relaxed/k_hull.mli: Lp Projection Vec

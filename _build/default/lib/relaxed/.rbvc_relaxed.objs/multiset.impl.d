@@ -1,0 +1,1 @@
+lib/relaxed/multiset.ml: Array List

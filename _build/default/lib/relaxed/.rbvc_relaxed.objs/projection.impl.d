@@ -1,0 +1,1 @@
+lib/relaxed/projection.ml: Array Format List Multiset Vec

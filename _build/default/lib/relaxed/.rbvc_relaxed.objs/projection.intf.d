@@ -1,0 +1,1 @@
+lib/relaxed/projection.mli: Format Vec

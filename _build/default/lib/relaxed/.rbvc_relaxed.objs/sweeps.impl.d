@@ -1,0 +1,1 @@
+lib/relaxed/sweeps.ml: Array Bounds Delta_hull Float List Multiset Rng Stats Vec

@@ -1,0 +1,1 @@
+lib/relaxed/sweeps.mli: Stats Vec

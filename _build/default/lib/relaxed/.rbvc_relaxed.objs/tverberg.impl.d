@@ -1,0 +1,1 @@
+lib/relaxed/tverberg.ml: Array Hull List Matrix Multiset Option Vec

@@ -1,0 +1,1 @@
+lib/relaxed/tverberg.mli: Vec

@@ -1,0 +1,1 @@
+lib/relaxed/witnesses.ml: K_hull List Vec

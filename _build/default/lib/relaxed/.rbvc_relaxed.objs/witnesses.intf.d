@@ -1,0 +1,1 @@
+lib/relaxed/witnesses.mli: Delta_hull K_hull Vec

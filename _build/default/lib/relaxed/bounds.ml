@@ -1,0 +1,103 @@
+let edges ?(p = 2.) pts =
+  let arr = Array.of_list pts in
+  let n = Array.length arr in
+  let acc = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      acc := Vec.dist_p p arr.(i) arr.(j) :: !acc
+    done
+  done;
+  List.rev !acc
+
+let min_edge ?p pts =
+  match edges ?p pts with
+  | [] -> invalid_arg "Bounds.min_edge: need at least two points"
+  | e :: rest -> List.fold_left Float.min e rest
+
+let max_edge ?p pts =
+  match edges ?p pts with
+  | [] -> invalid_arg "Bounds.max_edge: need at least two points"
+  | e :: rest -> List.fold_left Float.max e rest
+
+let check_df ~d ~f =
+  if d < 1 then invalid_arg "Bounds: dimension must be >= 1";
+  if f < 0 then invalid_arg "Bounds: f must be >= 0"
+
+let exact_bvc_min_n ~d ~f =
+  check_df ~d ~f;
+  if f = 0 then 1 else Int.max ((3 * f) + 1) (((d + 1) * f) + 1)
+
+let approx_bvc_min_n ~d ~f =
+  check_df ~d ~f;
+  if f = 0 then 1 else ((d + 2) * f) + 1
+
+let k_relaxed_exact_min_n ~d ~f ~k =
+  check_df ~d ~f;
+  if k < 1 || k > d then invalid_arg "Bounds: need 1 <= k <= d";
+  if f = 0 then 1
+  else if k = 1 then (3 * f) + 1
+  else Int.max ((3 * f) + 1) (((d + 1) * f) + 1)
+
+let k_relaxed_approx_min_n ~d ~f ~k =
+  check_df ~d ~f;
+  if k < 1 || k > d then invalid_arg "Bounds: need 1 <= k <= d";
+  if f = 0 then 1 else if k = 1 then (3 * f) + 1 else ((d + 2) * f) + 1
+
+let const_delta_exact_min_n = exact_bvc_min_n
+let const_delta_approx_min_n = approx_bvc_min_n
+
+let input_dependent_min_n ~f =
+  if f < 0 then invalid_arg "Bounds: f must be >= 0";
+  if f = 0 then 1 else (3 * f) + 1
+
+let thm9_bound ~n ~min_edge ~max_edge =
+  if n < 4 then invalid_arg "Bounds.thm9_bound: need n >= 4";
+  Float.min (min_edge /. 2.) (max_edge /. float_of_int (n - 2))
+
+let thm12_bound ~d ~max_edge =
+  if d < 2 then invalid_arg "Bounds.thm12_bound: need d >= 2";
+  max_edge /. float_of_int (d - 1)
+
+let conj1_bound ~n ~f ~max_edge =
+  if f < 1 then invalid_arg "Bounds.conj1_bound: need f >= 1";
+  let q = n / f in
+  if q <= 2 then invalid_arg "Bounds.conj1_bound: need floor(n/f) > 2";
+  max_edge /. float_of_int (q - 2)
+
+let holder_factor ~d ~p =
+  if p < 2. then invalid_arg "Bounds.holder_factor: need p >= 2";
+  if p = Float.infinity then sqrt (float_of_int d)
+  else float_of_int d ** (0.5 -. (1. /. p))
+
+let kappa2 ~n ~f ~d =
+  check_df ~d ~f;
+  if f < 1 then invalid_arg "Bounds.kappa2: need f >= 1";
+  if n < (3 * f) + 1 || n > (d + 1) * f then
+    invalid_arg "Bounds.kappa2: need 3f+1 <= n <= (d+1)f";
+  if n = (d + 1) * f then
+    if f = 1 then `Proved (1. /. float_of_int (n - 2))
+    else `Proved (1. /. float_of_int (d - 1))
+  else `Conjectured (1. /. float_of_int ((n / f) - 2))
+
+let scale_bound factor = function
+  | `Proved k -> `Proved (factor *. k)
+  | `Conjectured k -> `Conjectured (factor *. k)
+
+let thm14_bound ~n ~f ~d ~p ~max_edge_p =
+  let factor = holder_factor ~d ~p *. max_edge_p in
+  scale_bound factor (kappa2 ~n ~f ~d)
+
+let thm15_bound ~n ~f ~d ~p ~max_edge_p =
+  let n' = n - f in
+  if n' < (3 * f) + 1 || n' > (d + 1) * f then None
+  else Some (thm14_bound ~n:n' ~f ~d ~p ~max_edge_p)
+
+let table1_cell ~n ~f ~d =
+  if f = 1 && n = d + 1 then
+    Printf.sprintf
+      "min(min-edge/2, max-edge/%d)   [Theorem 9, f=1, n=(d+1)f]" (n - 2)
+  else if f >= 2 && n = (d + 1) * f then
+    Printf.sprintf "max-edge/%d   [Theorem 12, f>=2, n=(d+1)f]" (d - 1)
+  else
+    Printf.sprintf "max-edge/%d   [Conjecture 1, 3f+1 <= n < (d+1)f]"
+      ((n / f) - 2)

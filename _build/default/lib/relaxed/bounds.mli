@@ -1,0 +1,78 @@
+(** Every closed-form bound stated by the paper, in one place.
+
+    Process-count bounds (Theorems 1-6 and Section 5.3) and the
+    input-dependent-delta bounds of Section 9 (Theorems 9, 12, 14, 15 and
+    Conjectures 1-3, i.e. Table 1). Experiments compare measured
+    quantities against these functions; tests pin their algebra. *)
+
+(** {1 Edge statistics}
+
+    [E+] of the paper: edges between inputs of non-faulty processes. *)
+
+val edges : ?p:float -> Vec.t list -> float list
+(** All pairwise Lp distances (C(n,2) values, default p = 2). *)
+
+val min_edge : ?p:float -> Vec.t list -> float
+val max_edge : ?p:float -> Vec.t list -> float
+(** @raise Invalid_argument when fewer than two points are given. *)
+
+(** {1 Process-count bounds (tight n)} *)
+
+val exact_bvc_min_n : d:int -> f:int -> int
+(** Theorem 1: [max (3f+1) ((d+1)f+1)]. *)
+
+val approx_bvc_min_n : d:int -> f:int -> int
+(** Theorem 2: [(d+2)f + 1]. *)
+
+val k_relaxed_exact_min_n : d:int -> f:int -> k:int -> int
+(** Section 5.3 + Theorem 3: [3f+1] for k = 1; [max (3f+1) ((d+1)f+1)]
+    for 2 <= k <= d. *)
+
+val k_relaxed_approx_min_n : d:int -> f:int -> k:int -> int
+(** Section 5.3 + Theorem 4: [3f+1] for k = 1; [(d+2)f+1] for k >= 2. *)
+
+val const_delta_exact_min_n : d:int -> f:int -> int
+(** Theorem 5 (0 < delta < infinity): same as Theorem 1. *)
+
+val const_delta_approx_min_n : d:int -> f:int -> int
+(** Theorem 6: same as Theorem 2. *)
+
+val input_dependent_min_n : f:int -> int
+(** Lemma 10: [3f + 1]. *)
+
+(** {1 Input-dependent delta bounds (Table 1)} *)
+
+val thm9_bound : n:int -> min_edge:float -> max_edge:float -> float
+(** Theorem 9 (f = 1, n = d+1):
+    [min (min_edge / 2) (max_edge / (n - 2))]. *)
+
+val thm12_bound : d:int -> max_edge:float -> float
+(** Theorem 12 (f >= 2, n = (d+1)f): [max_edge / (d - 1)]. *)
+
+val conj1_bound : n:int -> f:int -> max_edge:float -> float
+(** Conjecture 1 (3f+1 <= n < (d+1)f): [max_edge / (floor(n/f) - 2)]. *)
+
+val holder_factor : d:int -> p:float -> float
+(** Theorem 13/14 scaling: [d ** (1/2 - 1/p)] (1 for p = 2). *)
+
+val kappa2 : n:int -> f:int -> d:int -> [ `Proved of float | `Conjectured of float ]
+(** The coefficient of [max-edge] in the L2 bound, per Table 1:
+    [1/(n-2)] for f = 1 & n = (d+1)f, [1/(d-1)] for f >= 2 &
+    n = (d+1)f (both proved), [1/(floor(n/f)-2)] otherwise
+    (Conjecture 2). @raise Invalid_argument outside [3f+1 <= n <= (d+1)f]. *)
+
+val thm14_bound :
+  n:int -> f:int -> d:int -> p:float -> max_edge_p:float ->
+  [ `Proved of float | `Conjectured of float ]
+(** Theorem 14 / Conjecture 3: the Lp bound
+    [d^(1/2 - 1/p) * kappa2 * max_edge_p]. *)
+
+val thm15_bound :
+  n:int -> f:int -> d:int -> p:float -> max_edge_p:float ->
+  [ `Proved of float | `Conjectured of float ] option
+(** Theorem 15 / Conjecture 4 (asynchronous): the synchronous bound with
+    [n] replaced by [n - f]; [None] when [n - f] falls outside the
+    synchronous bound's domain. *)
+
+val table1_cell : n:int -> f:int -> d:int -> string
+(** Human-readable formula for the Table 1 cell covering (n, f, d). *)

@@ -1,0 +1,382 @@
+type result = { value : float; point : Vec.t; exact : bool }
+
+let mem ?eps ~delta ~p points u =
+  if delta < 0. then invalid_arg "Delta_hull.mem: negative delta";
+  let tol = Option.value eps ~default:1e-9 in
+  Hull.dist_p ?eps ~p points u <= delta +. tol
+
+let subsets_minus_f ~f s =
+  if f < 0 then invalid_arg "Delta_hull.subsets_minus_f: negative f";
+  if f = 0 then [ s ]
+  else
+    let ms = Multiset.of_list ~cmp:Vec.compare_lex s in
+    let size = Multiset.size ms - f in
+    if size <= 0 then
+      invalid_arg "Delta_hull.subsets_minus_f: f >= |S|"
+    else List.map Multiset.to_list (Multiset.subsets_of_size size ms)
+
+let max_dist ?eps ~p ~f s x =
+  List.fold_left
+    (fun acc t -> Float.max acc (Hull.dist_p ?eps ~p t x))
+    0. (subsets_minus_f ~f s)
+
+let gamma_point ?eps ~f s =
+  Hull.intersection_point ?eps (subsets_minus_f ~f s)
+
+let incenter_value s =
+  match s with
+  | [] -> None
+  | v :: _ ->
+      let d = Vec.dim v in
+      if List.length s <> d + 1 then None
+      else
+        Option.map
+          (fun simplex ->
+            (Simplex_geom.inradius simplex, Simplex_geom.incenter simplex))
+          (Simplex_geom.of_vertices s)
+
+(* Subgradient of g at x: the Lp-distance gradient w.r.t. the worst
+   subset's nearest point. For p = infinity the steepest coordinate gives
+   a subgradient; for p = 1 the sign vector does. *)
+let subgradient ~p ~nearest x =
+  let z = Vec.sub x nearest in
+  let d = Vec.dim x in
+  if p = Float.infinity then begin
+    let best = ref 0 in
+    for i = 1 to d - 1 do
+      if Float.abs z.(i) > Float.abs z.(!best) then best := i
+    done;
+    let g = Vec.zero d in
+    g.(!best) <- Float.of_int (compare z.(!best) 0.);
+    g
+  end
+  else if p = 1. then
+    Vec.init d (fun i -> Float.of_int (compare z.(i) 0.))
+  else
+    let np = Vec.norm_p p z in
+    if np <= 0. then Vec.zero d
+    else
+      Vec.init d (fun i ->
+          let a = Float.abs z.(i) in
+          if a = 0. then 0.
+          else (a /. np) ** (p -. 1.) *. Float.of_int (compare z.(i) 0.))
+
+let descend ?eps ~p ~iters subsets x0 =
+  let x = ref (Vec.copy x0) in
+  (* All subset distances and nearest points at [pt]. *)
+  let eval_all pt =
+    List.map (fun t -> Hull.nearest_p ?eps ~p t pt) subsets
+  in
+  let max_of entries = List.fold_left (fun a (_, d) -> Float.max a d) 0. entries in
+  let v0 = max_of (eval_all !x) in
+  let best_x = ref (Vec.copy !x) in
+  let best_v = ref v0 in
+  let scale =
+    List.fold_left
+      (fun acc t ->
+        List.fold_left (fun a v -> Float.max a (Vec.norm_inf v)) acc t)
+      1. subsets
+  in
+  let dim = Vec.dim x0 in
+  (try
+     for k = 1 to iters do
+       let entries = eval_all !x in
+       let v = max_of entries in
+       if v < !best_v then begin
+         best_v := v;
+         best_x := Vec.copy !x
+       end;
+       if v <= 1e-12 then raise Exit;
+       (* Steepest-descent-like direction: average the unit subgradients
+          of every near-active subset. Plain argmax-subgradient zigzags
+          between facets near the equalizing optimum; the average points
+          into the valley. The activity band tightens as iterations
+          progress. *)
+       let band = v *. Float.max 0.01 (0.3 /. (1. +. (float_of_int k /. 50.))) in
+       let g = Vec.zero dim in
+       let active = ref 0 in
+       List.iter
+         (fun (nearest, dist) ->
+           if dist >= v -. band && dist > 1e-12 then begin
+             incr active;
+             let gi = subgradient ~p ~nearest !x in
+             let gin = Vec.norm2 gi in
+             if gin > 1e-12 then
+               for i = 0 to dim - 1 do
+                 g.(i) <- g.(i) +. (gi.(i) /. gin)
+               done
+           end)
+         entries;
+       let gn = Vec.norm2 g in
+       if gn <= 1e-12 then raise Exit;
+       let dir = Vec.scale (1. /. gn) g in
+       (* Polyak-style step on the averaged direction, with safeguard. *)
+       let target = !best_v *. (1. -. (0.5 /. sqrt (float_of_int k))) in
+       let step =
+         Float.min (v -. target) (scale /. sqrt (float_of_int k))
+       in
+       if step > 0. then x := Vec.axpy (-.step) dir !x
+     done
+   with Exit -> ());
+  let v_final = max_of (eval_all !x) in
+  if v_final < !best_v then begin
+    best_v := v_final;
+    best_x := Vec.copy !x
+  end;
+  (!best_v, !best_x)
+
+(* Endgame refinement: bisection on delta with cyclic projections onto
+   the delta-fattened subset hulls (POCS). Subgradient descent gets
+   within O(1/sqrt k) of delta*; this closes the remaining gap quickly
+   because for any delta > delta* the fattened sets intersect with an
+   interior, where alternating projections converge linearly. Every
+   accepted point is re-evaluated exactly, so the returned value stays a
+   certified upper bound. *)
+let polish ?eps ?(budget = 120) ~p subsets (v0, x0) =
+  let eval pt =
+    List.fold_left
+      (fun a t -> Float.max a (snd (Hull.nearest_p ?eps ~p t pt)))
+      0. subsets
+  in
+  let sweep delta x =
+    List.fold_left
+      (fun x t ->
+        let y, dist = Hull.nearest_p ?eps ~p t x in
+        if dist <= delta then x
+        else Vec.axpy (delta /. dist) (Vec.sub x y) y)
+      x subsets
+  in
+  let try_delta delta x0 =
+    let x = ref (Vec.copy x0) in
+    let found = ref None in
+    (try
+       for s = 1 to budget do
+         x := sweep delta !x;
+         if s mod 4 = 0 && eval !x <= delta +. 1e-12 then begin
+           found := Some (Vec.copy !x);
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !found
+  in
+  let best_v = ref v0 and best_x = ref (Vec.copy x0) in
+  let lo = ref 0. and hi = ref v0 in
+  for _ = 1 to Int.max 12 (budget / 6) do
+    let mid = 0.5 *. (!lo +. !hi) in
+    match try_delta mid !best_x with
+    | Some x ->
+        let v = eval x in
+        if v < !best_v then begin
+          best_v := v;
+          best_x := x
+        end;
+        hi := Float.min mid !best_v
+    | None -> lo := mid
+  done;
+  (!best_v, !best_x)
+
+(* For p = infinity and p = 1 the whole min-max program is linear:
+   minimize t subject to, for every subset T, the existence of a convex
+   combination y_T of T with ||u - y_T||_p <= t. Solved exactly in one
+   LP (variables: u free, one simplex per subset, per-coordinate slacks
+   for p = 1, and t). *)
+let delta_star_lp ?eps ~linf ~f s =
+  match s with
+  | [] -> invalid_arg "Delta_hull.delta_star_lp: empty point set"
+  | v0 :: _ ->
+      let d = Vec.dim v0 in
+      let subsets = subsets_minus_f ~f s in
+      let sizes = List.map List.length subsets in
+      let nlambda = List.fold_left ( + ) 0 sizes in
+      (* layout: [u (d, free) | lambdas | slacks (p=1 only) | t] *)
+      let nslack = if linf then 0 else d * List.length subsets in
+      let nvars = d + nlambda + nslack + 1 in
+      let t_idx = nvars - 1 in
+      let free = Array.make nvars false in
+      for i = 0 to d - 1 do
+        free.(i) <- true
+      done;
+      let rows = ref [] in
+      let add r = rows := r :: !rows in
+      let base = ref d in
+      let slack_base = ref (d + nlambda) in
+      List.iter
+        (fun pts ->
+          let arr = Array.of_list pts in
+          let n = Array.length arr in
+          let sum_row = Array.make nvars 0. in
+          for j = 0 to n - 1 do
+            sum_row.(!base + j) <- 1.
+          done;
+          add (Lp.( = ) sum_row 1.);
+          for i = 0 to d - 1 do
+            (* u_i - (P lambda)_i <= bound and >= -bound where bound is
+               t (p = inf) or the coordinate slack s_i (p = 1) *)
+            let bound_idx = if linf then t_idx else !slack_base + i in
+            let up = Array.make nvars 0. in
+            let dn = Array.make nvars 0. in
+            up.(i) <- 1.;
+            dn.(i) <- -1.;
+            Array.iteri
+              (fun j pnt ->
+                up.(!base + j) <- -.pnt.(i);
+                dn.(!base + j) <- pnt.(i))
+              arr;
+            up.(bound_idx) <- -1.;
+            dn.(bound_idx) <- -1.;
+            add (Lp.( <= ) up 0.);
+            add (Lp.( <= ) dn 0.)
+          done;
+          if not linf then begin
+            (* sum of coordinate slacks <= t *)
+            let row = Array.make nvars 0. in
+            for i = 0 to d - 1 do
+              row.(!slack_base + i) <- 1.
+            done;
+            row.(t_idx) <- -1.;
+            add (Lp.( <= ) row 0.);
+            slack_base := !slack_base + d
+          end;
+          base := !base + n)
+        subsets;
+      let objective = Array.make nvars 0. in
+      objective.(t_idx) <- 1.;
+      (match Lp.solve ?eps ~free ~nvars ~objective !rows with
+      | { Lp.status = Optimal; objective = Some z; solution = Some x } ->
+          { value = Float.max 0. z; point = Array.sub x 0 d; exact = true }
+      | _ -> invalid_arg "Delta_hull.delta_star_lp: unexpected LP failure")
+
+let delta_star ?eps ?(iters = 4000) ?(restarts = 4) ?(seed = 42)
+    ?(force_iterative = false) ~p ~f s =
+  if (not force_iterative) && p = Float.infinity then
+    delta_star_lp ?eps ~linf:true ~f s
+  else if (not force_iterative) && p = 1. then
+    delta_star_lp ?eps ~linf:false ~f s
+  else
+  match s with
+  | [] -> invalid_arg "Delta_hull.delta_star: empty point set"
+  | v :: _ ->
+      let d = Vec.dim v in
+      (* Gamma non-empty => delta* = 0 (exactly, by LP certificate). *)
+      (match gamma_point ?eps ~f s with
+      | Some pt -> { value = 0.; point = pt; exact = true }
+      | None -> (
+          let subsets = subsets_minus_f ~f s in
+          let closed_form =
+            if f = 1 && p = 2. && not force_iterative then incenter_value s
+            else None
+          in
+          match closed_form with
+          | Some (r, center) -> { value = r; point = center; exact = true }
+          | None ->
+              let rng = Rng.create seed in
+              let deterministic_starts =
+                Vec.centroid s :: List.filteri (fun i _ -> i < 1) s
+              in
+              let lo, hi =
+                List.fold_left
+                  (fun (lo, hi) v ->
+                    (Float.min lo (-.Vec.norm_inf v),
+                     Float.max hi (Vec.norm_inf v)))
+                  (0., 1.) s
+              in
+              let random_starts =
+                List.init restarts (fun _ -> Rng.point_box rng ~dim:d ~lo ~hi)
+              in
+              let best =
+                List.fold_left
+                  (fun acc x0 ->
+                    let v, x = descend ?eps ~p ~iters subsets x0 in
+                    match acc with
+                    | Some (bv, _) when bv <= v -> acc
+                    | _ -> Some (v, x))
+                  None
+                  (deterministic_starts @ random_starts)
+              in
+              (match best with
+              | Some (value, point) ->
+                  let budget = Int.min 120 (Int.max 40 (iters / 10)) in
+                  let value, point =
+                    polish ?eps ~budget ~p subsets (value, point)
+                  in
+                  { value; point; exact = false }
+              | None -> assert false)))
+
+type inf_region = (float * Vec.t list) list
+
+let gamma_inf_region ~delta ~f s =
+  List.map (fun t -> (delta, t)) (subsets_minus_f ~f s)
+
+(* Joint LP over [u (d, free); lambda blocks]: for each (delta, points)
+   and coordinate i:  -delta <= u_i - (sum_j lambda_j p_j)_i <= delta. *)
+let build_inf_rows ~d region =
+  let nlambda =
+    List.fold_left (fun acc (_, pts) -> acc + List.length pts) 0 region
+  in
+  let nvars = d + nlambda in
+  let rows = ref [] in
+  let add r = rows := r :: !rows in
+  let base = ref d in
+  List.iter
+    (fun (delta, pts) ->
+      if delta < 0. then invalid_arg "Delta_hull: negative delta in region";
+      let pts_arr = Array.of_list pts in
+      let n = Array.length pts_arr in
+      let sum_row = Array.make nvars 0. in
+      for j = 0 to n - 1 do
+        sum_row.(!base + j) <- 1.
+      done;
+      add (Lp.( = ) sum_row 1.);
+      for i = 0 to d - 1 do
+        let up = Array.make nvars 0. in
+        let dn = Array.make nvars 0. in
+        up.(i) <- 1.;
+        dn.(i) <- -1.;
+        Array.iteri
+          (fun j p ->
+            up.(!base + j) <- -.p.(i);
+            dn.(!base + j) <- p.(i))
+          pts_arr;
+        add (Lp.( <= ) up delta);
+        add (Lp.( <= ) dn delta)
+      done;
+      base := !base + n)
+    region;
+  let free = Array.make nvars false in
+  for i = 0 to d - 1 do
+    free.(i) <- true
+  done;
+  (nvars, free, !rows)
+
+let inf_region_rows ~d region = build_inf_rows ~d region
+
+let inf_region_point ?eps ~d region =
+  if region = [] then invalid_arg "Delta_hull.inf_region_point: empty region";
+  let nvars, free, rows = build_inf_rows ~d region in
+  Option.map
+    (fun x -> Array.sub x 0 d)
+    (Lp.feasible_point ?eps ~free ~nvars rows)
+
+let inf_region_coord_range ?eps ~d region i =
+  if i < 0 || i >= d then
+    invalid_arg "Delta_hull.inf_region_coord_range: bad coordinate";
+  let nvars, free, rows = build_inf_rows ~d region in
+  let objective = Array.make nvars 0. in
+  objective.(i) <- 1.;
+  let solve maximize = Lp.solve ?eps ~free ~maximize ~nvars ~objective rows in
+  match solve false with
+  | { Lp.status = Infeasible; _ } -> None
+  | { Lp.status = Unbounded; _ } -> (
+      match solve true with
+      | { Lp.status = Unbounded; _ } ->
+          Some (Float.neg_infinity, Float.infinity)
+      | { Lp.status = Optimal; objective = Some hi; _ } ->
+          Some (Float.neg_infinity, hi)
+      | _ -> None)
+  | { Lp.status = Optimal; objective = Some lo; _ } -> (
+      match solve true with
+      | { Lp.status = Unbounded; _ } -> Some (lo, Float.infinity)
+      | { Lp.status = Optimal; objective = Some hi; _ } -> Some (lo, hi)
+      | _ -> None)
+  | _ -> None

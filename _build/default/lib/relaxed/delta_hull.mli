@@ -1,0 +1,83 @@
+(** The (delta, p)-relaxed convex hull (Definition 9) and the optimal
+    relaxation [delta*(S)] of Step 2 of algorithm ALGO (Section 9):
+
+    [H_(delta,p)(S) = { u | dist_p(u, H(S)) <= delta }]
+    [delta*(S) = min_x max_{T subseteq S, |T| = |S| - f} dist_p(x, H(T))]
+
+    [delta*] is the smallest fattening that makes [Gamma_(delta,p)(S)]
+    non-empty; the minimizing point is the output ALGO picks. We compute
+    it by subgradient descent on the convex function
+    [g(x) = max_T dist_p(x, H(T))] with multiple warm starts, and — when
+    S is a simplex with f = 1 — cross-check against the exact closed
+    form [delta* = inradius] (Lemma 13, realized by the incenter). Any
+    evaluated point gives a certified *upper* bound on [delta*], which is
+    the direction the paper's Theorems 9/12 and Conjectures 1-3 need. *)
+
+type result = {
+  value : float;  (** certified upper bound on delta*, = g(point) *)
+  point : Vec.t;  (** the minimizing point found *)
+  exact : bool;  (** true when the closed form applied (simplex, f=1) *)
+}
+
+val mem : ?eps:float -> delta:float -> p:float -> Vec.t list -> Vec.t -> bool
+(** Membership in [H_(delta,p)(points)]. *)
+
+val subsets_minus_f : f:int -> Vec.t list -> Vec.t list list
+(** The distinct sub-multisets of size [|S| - f], as point lists. *)
+
+val max_dist : ?eps:float -> p:float -> f:int -> Vec.t list -> Vec.t -> float
+(** [g(x)]: the largest Lp distance from [x] to the hull of any
+    (|S|-f)-subset. [g(x) = 0] iff [x] is in [Gamma(S)]. *)
+
+val delta_star :
+  ?eps:float ->
+  ?iters:int ->
+  ?restarts:int ->
+  ?seed:int ->
+  ?force_iterative:bool ->
+  p:float ->
+  f:int ->
+  Vec.t list ->
+  result
+(** Minimize [g]. Exact shortcuts, in order: [Gamma(S)] non-empty (LP)
+    => 0; [p = infinity] or [p = 1] => a single exact LP (the min-max
+    program is linear in those norms); [f = 1], [p = 2], simplex =>
+    incenter (Lemma 13). Otherwise subgradient descent — [iters]
+    (default 4000) steps per start, [restarts] (default 4) random warm
+    starts beyond the deterministic ones — followed by a
+    bisection/alternating-projection polish. Deterministic for fixed
+    [seed]. [force_iterative] (default false) disables every shortcut so
+    tests can cross-validate the optimizer. *)
+
+val gamma_point : ?eps:float -> f:int -> Vec.t list -> Vec.t option
+(** A point of [Gamma(S) = intersection of H(T)] (no relaxation), via the
+    joint LP; [Some _] iff [delta* = 0] (within LP tolerance). *)
+
+val incenter_value : Vec.t list -> (float * Vec.t) option
+(** The closed form for f = 1, |S| = d+1, affinely independent points:
+    [Some (inradius, incenter)] (Lemmas 12/13); [None] otherwise. *)
+
+(** {1 L-infinity regions, exactly, by LP}
+
+    [dist_inf(u, H(S)) <= delta] is a linear condition, so intersections
+    of [(delta, infinity)]-relaxed hulls — the sets in the proofs of
+    Theorems 5 and 6 — admit exact feasibility and coordinate-range
+    certificates. *)
+
+type inf_region = (float * Vec.t list) list
+(** Conjunction of constraints [dist_inf(u, H(points)) <= delta], one
+    pair [(delta, points)] each. *)
+
+val gamma_inf_region : delta:float -> f:int -> Vec.t list -> inf_region
+(** The Theorem 5 region: [H_(delta,inf)(T)] over all (|S|-f)-subsets. *)
+
+val inf_region_rows : d:int -> inf_region -> int * bool array * Lp.constr list
+(** The raw LP system behind {!inf_region_point}, for the exact
+    rational re-check (experiment E15). *)
+
+val inf_region_point : ?eps:float -> d:int -> inf_region -> Vec.t option
+(** A point satisfying the whole region, or [None] (joint LP). *)
+
+val inf_region_coord_range :
+  ?eps:float -> d:int -> inf_region -> int -> (float * float) option
+(** [(min, max)] of a coordinate over the region; [None] if empty. *)

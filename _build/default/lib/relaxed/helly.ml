@@ -1,0 +1,29 @@
+let family_intersects ?eps hulls = Hull.intersection_nonempty ?eps hulls
+
+let all_subfamilies_intersect ?eps ~size hulls =
+  let n = List.length hulls in
+  if size >= n then family_intersects ?eps hulls
+  else
+    List.for_all
+      (fun idxs ->
+        family_intersects ?eps (List.map (List.nth hulls) idxs))
+      (Multiset.choose_indices n size)
+
+let helly_holds ?eps ~d hulls =
+  if List.length hulls <= d + 1 then true
+  else
+    (not (all_subfamilies_intersect ?eps ~size:(d + 1) hulls))
+    || family_intersects ?eps hulls
+
+let critical_subfamily ?eps ~d hulls =
+  if family_intersects ?eps hulls then None
+  else begin
+    let n = List.length hulls in
+    let failing =
+      List.find_opt
+        (fun idxs ->
+          not (family_intersects ?eps (List.map (List.nth hulls) idxs)))
+        (Multiset.choose_indices n (Int.min n (d + 1)))
+    in
+    Option.map (fun idxs -> List.map (List.nth hulls) idxs) failing
+  end

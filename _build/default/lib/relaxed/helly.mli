@@ -1,0 +1,28 @@
+(** Helly's theorem utilities (the paper's Theorem 10), in any dimension,
+    with hulls given by their generating points and intersections decided
+    by LP.
+
+    The paper applies Helly twice inside the proof of Theorem 12 (Cases 1
+    and 2); these helpers let the test-suite check the theorem itself on
+    random families, and give experiments a direct way to find the
+    "critical" subfamilies the proof manipulates. *)
+
+val family_intersects : ?eps:float -> Vec.t list list -> bool
+(** Does the whole family of hulls have a common point? *)
+
+val all_subfamilies_intersect :
+  ?eps:float -> size:int -> Vec.t list list -> bool
+(** Does every subfamily of the given size have a common point? *)
+
+val helly_holds : ?eps:float -> d:int -> Vec.t list list -> bool
+(** The implication Helly asserts for hulls in R^d: if every (d+1)-sized
+    subfamily intersects then the family intersects. Always true
+    mathematically; exposed so property tests can exercise the LP
+    machinery against it. *)
+
+val critical_subfamily :
+  ?eps:float -> d:int -> Vec.t list list -> Vec.t list list option
+(** If the family does NOT intersect, a (d+1)-sized subfamily that
+    already fails to intersect (which must exist, by Helly); [None]
+    when the family intersects. Used in the style of Theorem 12's proof
+    (the sets Q'_1 ... Q'_{d+1}). *)

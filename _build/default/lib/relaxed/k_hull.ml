@@ -1,0 +1,102 @@
+type region = (Projection.d_set * Vec.t list) list
+
+let hk_region ~k pts =
+  match pts with
+  | [] -> invalid_arg "K_hull.hk_region: empty point set"
+  | p :: _ ->
+      let d = Vec.dim p in
+      List.map (fun dset -> (dset, pts)) (Projection.all_d_sets ~d ~k)
+
+let vec_multiset pts = Multiset.of_list ~cmp:Vec.compare_lex pts
+
+let psi_region ~k ~f y =
+  match y with
+  | [] -> invalid_arg "K_hull.psi_region: empty point set"
+  | p :: _ ->
+      let d = Vec.dim p in
+      let ms = vec_multiset y in
+      let subs = Multiset.subsets_of_size (Multiset.size ms - f) ms in
+      let dsets = Projection.all_d_sets ~d ~k in
+      List.concat_map
+        (fun t ->
+          let pts = Multiset.to_list t in
+          List.map (fun dset -> (dset, pts)) dsets)
+        subs
+
+(* Joint LP: variables [u (d, free); lambda blocks]. For each
+   (dset, points) and each position i in dset:
+     sum_j lambda_j * points_j.(dset_i) - u.(dset_i) = 0
+   plus the simplex row sum lambda = 1. *)
+let build_rows ~d region =
+  let nlambda =
+    List.fold_left (fun acc (_, pts) -> acc + List.length pts) 0 region
+  in
+  let nvars = d + nlambda in
+  let rows = ref [] in
+  let add r = rows := r :: !rows in
+  let base = ref d in
+  List.iter
+    (fun (dset, pts) ->
+      let pts_arr = Array.of_list pts in
+      let n = Array.length pts_arr in
+      let sum_row = Array.make nvars 0. in
+      for j = 0 to n - 1 do
+        sum_row.(!base + j) <- 1.
+      done;
+      add (Lp.( = ) sum_row 1.);
+      List.iter
+        (fun coord ->
+          let row = Array.make nvars 0. in
+          Array.iteri (fun j p -> row.(!base + j) <- p.(coord)) pts_arr;
+          row.(coord) <- -1.;
+          add (Lp.( = ) row 0.))
+        dset;
+      base := !base + n)
+    region;
+  let free = Array.make nvars false in
+  for i = 0 to d - 1 do
+    free.(i) <- true
+  done;
+  (nvars, free, !rows)
+
+let region_rows ~d region = build_rows ~d region
+
+let feasible_point ?eps ~d region =
+  if region = [] then invalid_arg "K_hull.feasible_point: empty region";
+  let nvars, free, rows = build_rows ~d region in
+  Option.map (fun x -> Array.sub x 0 d) (Lp.feasible_point ?eps ~free ~nvars rows)
+
+let coord_range ?eps ~d region i =
+  if i < 0 || i >= d then invalid_arg "K_hull.coord_range: bad coordinate";
+  let nvars, free, rows = build_rows ~d region in
+  let objective = Array.make nvars 0. in
+  objective.(i) <- 1.;
+  let solve maximize = Lp.solve ?eps ~free ~maximize ~nvars ~objective rows in
+  match solve false with
+  | { Lp.status = Infeasible; _ } -> None
+  | { Lp.status = Unbounded; _ } -> (
+      match solve true with
+      | { Lp.status = Unbounded; _ } -> Some (Float.neg_infinity, Float.infinity)
+      | { Lp.status = Optimal; objective = Some hi; _ } ->
+          Some (Float.neg_infinity, hi)
+      | _ -> None)
+  | { Lp.status = Optimal; objective = Some lo; _ } -> (
+      match solve true with
+      | { Lp.status = Unbounded; _ } -> Some (lo, Float.infinity)
+      | { Lp.status = Optimal; objective = Some hi; _ } -> Some (lo, hi)
+      | _ -> None)
+  | _ -> None
+
+let mem ?eps ~k pts u =
+  match pts with
+  | [] -> invalid_arg "K_hull.mem: empty point set"
+  | p :: _ ->
+      let d = Vec.dim p in
+      List.for_all
+        (fun dset ->
+          Hull.mem ?eps
+            (Projection.project_points dset pts)
+            (Projection.project dset u))
+        (Projection.all_d_sets ~d ~k)
+
+let hk_contains_hull ?eps ~k pts u = mem ?eps ~k pts u

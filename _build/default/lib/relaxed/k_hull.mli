@@ -1,0 +1,44 @@
+(** The k-relaxed convex hull [H_k] (Definition 6) and the consensus
+    output region [Psi(Y)] (proof of Theorem 3):
+
+    [H_k(S) = { u | g_D(u) in H(g_D(S)) for all D in D_k }]
+    [Psi(Y) = intersection over T subseteq Y, |T| = |Y|-f of H_k(T)]
+
+    Everything reduces to linear programs: each requirement
+    "[g_D(u) in H(g_D(T))]" contributes one simplex of convex-combination
+    variables tied to the coordinates of the unknown point [u]. *)
+
+type region = (Projection.d_set * Vec.t list) list
+(** A conjunction of constraints [g_D(u) in H(g_D(points))], one per
+    pair. The full-dimension point lists are projected internally. *)
+
+val hk_region : k:int -> Vec.t list -> region
+(** The constraints defining [H_k(S)]. *)
+
+val psi_region : k:int -> f:int -> Vec.t list -> region
+(** The constraints defining [Psi(Y)] — [H_k(T)] over every sub-multiset
+    [T] of size [|Y| - f]. *)
+
+val feasible_point : ?eps:float -> d:int -> region -> Vec.t option
+(** A point satisfying every constraint, or [None] (joint LP). An empty
+    [Psi(Y)] — the paper's impossibility certificate — is [None]. *)
+
+val coord_range : ?eps:float -> d:int -> region -> int -> (float * float) option
+(** [(min, max)] of coordinate [i] over the region ([+-infinity] when
+    unbounded); [None] if the region is empty. Used to check the
+    "Observations" in the proofs of Theorems 3 and 4 one at a time. *)
+
+val region_rows : d:int -> region -> int * bool array * Lp.constr list
+(** The raw LP system ((nvars, free-mask, rows)) behind
+    {!feasible_point} — exposed so the exact rational checker
+    ([Exact_lp]) can re-decide the very same system without tolerances
+    (experiment E15). *)
+
+val mem : ?eps:float -> k:int -> Vec.t list -> Vec.t -> bool
+(** [mem ~k s u]: is [u] in [H_k(s)]? Tests each [D in D_k] separately
+    (Definition 6), so it exercises a different code path than
+    [feasible_point (hk_region ...)] — tests compare the two. *)
+
+val hk_contains_hull : ?eps:float -> k:int -> Vec.t list -> Vec.t -> bool
+(** Convenience for the Section 5.3 sanity property: membership of a
+    point of [H(S)] in [H_k(S)] (always true; used by property tests). *)

@@ -1,0 +1,101 @@
+type 'a t = { cmp : 'a -> 'a -> int; elems : 'a list (* sorted by cmp *) }
+
+let of_list ~cmp l = { cmp; elems = List.sort cmp l }
+let to_list t = t.elems
+let size t = List.length t.elems
+let add x t = { t with elems = List.sort t.cmp (x :: t.elems) }
+
+let remove_one x t =
+  let rec go = function
+    | [] -> []
+    | y :: rest -> if t.cmp x y = 0 then rest else y :: go rest
+  in
+  { t with elems = go t.elems }
+
+let count x t =
+  List.length (List.filter (fun y -> t.cmp x y = 0) t.elems)
+
+let mem x t = count x t > 0
+
+let distinct t =
+  let rec go = function
+    | [] -> []
+    | [ x ] -> [ x ]
+    | x :: (y :: _ as rest) ->
+        if t.cmp x y = 0 then go rest else x :: go rest
+  in
+  go t.elems
+
+let subset t y = List.for_all (fun x -> count x t <= count x y) (distinct t)
+
+let union a b = { a with elems = List.sort a.cmp (a.elems @ b.elems) }
+
+let diff a b =
+  List.fold_left (fun acc x -> remove_one x acc) a b.elems
+
+let compare a b =
+  let rec go xs ys =
+    match (xs, ys) with
+    | [], [] -> 0
+    | [], _ -> -1
+    | _, [] -> 1
+    | x :: xs', y :: ys' ->
+        let c = a.cmp x y in
+        if c <> 0 then c else go xs' ys'
+  in
+  go a.elems b.elems
+
+let equal a b = compare a b = 0
+
+let choose_indices n k =
+  if k < 0 || k > n then []
+  else
+    let rec go start k =
+      if k = 0 then [ [] ]
+      else
+        List.concat_map
+          (fun i -> List.map (fun rest -> i :: rest) (go (i + 1) (k - 1)))
+          (List.init (n - start) (fun j -> start + j))
+    in
+    go 0 k
+
+let subsets_of_size k t =
+  let arr = Array.of_list t.elems in
+  let n = Array.length arr in
+  let subs =
+    List.map
+      (fun idxs -> { t with elems = List.map (fun i -> arr.(i)) idxs })
+      (choose_indices n k)
+  in
+  (* dedupe equal multisets (arises from repeated elements) *)
+  List.sort_uniq compare subs
+
+let partitions n parts =
+  if parts <= 0 || parts > n then []
+  else begin
+    let acc = ref [] in
+    let assign = Array.make n 0 in
+    let counts = Array.make parts 0 in
+    let rec go i =
+      if i = n then begin
+        if Array.for_all (fun c -> c > 0) counts then
+          acc := Array.copy assign :: !acc
+      end
+      else
+        for label = 0 to parts - 1 do
+          (* prune: remaining slots must be able to fill empty classes *)
+          let empty =
+            Array.fold_left (fun e c -> if c = 0 then e + 1 else e) 0 counts
+          in
+          let empty' = if counts.(label) = 0 then empty - 1 else empty in
+          if n - i - 1 >= empty' then begin
+            assign.(i) <- label;
+            counts.(label) <- counts.(label) + 1;
+            go (i + 1);
+            counts.(label) <- counts.(label) - 1
+          end
+        done
+    in
+    go 0;
+    List.rev !acc
+  end

@@ -1,0 +1,52 @@
+(** Multisets and subset enumeration (Section 3 of the paper).
+
+    The paper's input collections are multisets: distinct processes may
+    hold identical input vectors, and every definition ([Gamma(Y)],
+    [Psi(Y)], the subsets [T] with [|T| = |Y| - f]) counts repetitions.
+    A ['a t] keeps elements in a canonical sorted order under a caller-
+    supplied comparison, so structural equality of multisets is
+    [compare = 0]. *)
+
+type 'a t
+
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+val to_list : 'a t -> 'a list
+(** Sorted element list, repetitions included. *)
+
+val size : 'a t -> int
+(** Number of elements counting repetitions ([|S|] in the paper). *)
+
+val add : 'a -> 'a t -> 'a t
+val remove_one : 'a -> 'a t -> 'a t
+(** Removes one occurrence; no-op if absent. *)
+
+val count : 'a -> 'a t -> int
+val mem : 'a -> 'a t -> bool
+val distinct : 'a t -> 'a list
+
+val subset : 'a t -> 'a t -> bool
+(** [subset t y]: multiset inclusion — every element's multiplicity in
+    [t] is at most its multiplicity in [y]. *)
+
+val union : 'a t -> 'a t -> 'a t
+val diff : 'a t -> 'a t -> 'a t
+val compare : 'a t -> 'a t -> int
+val equal : 'a t -> 'a t -> bool
+
+val subsets_of_size : int -> 'a t -> 'a t list
+(** All distinct sub-multisets of the given size. For [Gamma(Y)] one
+    enumerates [subsets_of_size (size y - f) y]. Distinct means distinct
+    as multisets: removing either of two equal elements gives the same
+    sub-multiset, which is returned once. *)
+
+val choose_indices : int -> int -> int list list
+(** [choose_indices n k] is all sorted k-element subsets of [0..n-1] in
+    lexicographic order — the raw combinatorial kernel, exposed for
+    [D_k] enumeration and the Tverberg search. *)
+
+val partitions : int -> int -> int array list
+(** [partitions n parts] enumerates assignments of [0..n-1] to
+    [parts] labelled non-empty classes, as assignment arrays
+    (label of each index). Classes are labelled; the Tverberg search
+    deduplicates by construction (index 0 always in class 0 is NOT
+    enforced — the caller filters if unlabelled partitions are needed). *)

@@ -1,0 +1,28 @@
+type d_set = int list
+
+let all_d_sets ~d ~k =
+  if k < 1 || k > d then invalid_arg "Projection.all_d_sets: need 1 <= k <= d";
+  Multiset.choose_indices d k
+
+let project dset u =
+  match dset with
+  | [] -> invalid_arg "Projection.project: empty index set"
+  | _ ->
+      let arr = Array.of_list dset in
+      Vec.init (Array.length arr) (fun i ->
+          let j = arr.(i) in
+          if j < 0 || j >= Vec.dim u then
+            invalid_arg "Projection.project: index out of range";
+          u.(j))
+
+let project_points dset pts = List.map (project dset) pts
+
+let embeds ?(eps = 1e-9) dset ~low ~full =
+  Vec.equal ~eps (project dset full) low
+
+let pp_d_set ppf dset =
+  Format.fprintf ppf "{@[%a@]}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       Format.pp_print_int)
+    dset

@@ -1,0 +1,23 @@
+(** Coordinate projections [g_D] and the index families [D_k]
+    (Definitions 1-5 of the paper).
+
+    A projection set [D] is a sorted list of 0-indexed coordinates
+    (the paper indexes from 1; we translate once, here). *)
+
+type d_set = int list
+(** Sorted, duplicate-free coordinate indices in [0 .. d-1]. *)
+
+val all_d_sets : d:int -> k:int -> d_set list
+(** [D_k]: every size-k subset of [0..d-1] (Definition 2). *)
+
+val project : d_set -> Vec.t -> Vec.t
+(** [g_D] (Definition 1): keep exactly the coordinates in [D], in order. *)
+
+val project_points : d_set -> Vec.t list -> Vec.t list
+(** [g_D] on a multiset of points (Definition 4); preserves repetitions. *)
+
+val embeds : ?eps:float -> d_set -> low:Vec.t -> full:Vec.t -> bool
+(** Does [full] belong to [g_D^{-1}(low)] (Definition 3), i.e. does
+    [project d full = low] within tolerance? *)
+
+val pp_d_set : Format.formatter -> d_set -> unit

@@ -1,0 +1,92 @@
+type regime = {
+  n : int;
+  f : int;
+  d : int;
+  bound_label : string;
+  bound_of : Vec.t list -> float;
+}
+
+let regime_of ~n ~f ~d =
+  match Bounds.kappa2 ~n ~f ~d with
+  | exception Invalid_argument _ ->
+      invalid_arg "Sweeps.regime_of: need 3f+1 <= n <= (d+1)f"
+  | kappa ->
+      let coeff = match kappa with `Proved k | `Conjectured k -> k in
+      if f = 1 && n = d + 1 then
+        {
+          n;
+          f;
+          d;
+          bound_label = "Theorem 9: min(min-edge/2, max-edge+/(n-2))";
+          bound_of =
+            (fun honest ->
+              Float.min
+                (Bounds.min_edge honest /. 2.)
+                (coeff *. Bounds.max_edge honest));
+        }
+      else
+        {
+          n;
+          f;
+          d;
+          bound_label = Bounds.table1_cell ~n ~f ~d;
+          bound_of = (fun honest -> coeff *. Bounds.max_edge honest);
+        }
+
+let ratio ?(iters = 1200) regime s =
+  let r = Delta_hull.delta_star ~iters ~restarts:1 ~p:2. ~f:regime.f s in
+  let v = r.Delta_hull.value in
+  let arr = Array.of_list s in
+  List.fold_left
+    (fun acc fset ->
+      let honest =
+        List.filteri
+          (fun i _ -> not (List.mem i fset))
+          (Array.to_list arr)
+      in
+      Float.max acc (v /. regime.bound_of honest))
+    0.
+    (Multiset.choose_indices (Array.length arr) regime.f)
+
+let measure ?iters ?(trials = 10) ~seed regime =
+  let rng = Rng.create seed in
+  Stats.summarize
+    (List.init trials (fun _ ->
+         ratio ?iters regime
+           (Rng.cloud rng ~n:regime.n ~dim:regime.d ~lo:0. ~hi:1.)))
+
+let adversarial_search ?iters ?(steps = 60) ?(step_size = 0.15) ~seed regime =
+  let rng = Rng.create seed in
+  let perturb pts scale =
+    List.map
+      (fun p -> Vec.add p (Rng.point_ball rng ~dim:regime.d ~radius:scale))
+      pts
+  in
+  let restarts = 3 in
+  let best_ratio = ref 0. and best_pts = ref [] in
+  for _ = 1 to restarts do
+    let current =
+      ref (Rng.cloud rng ~n:regime.n ~dim:regime.d ~lo:0. ~hi:1.)
+    in
+    let current_ratio = ref (ratio ?iters regime !current) in
+    if !current_ratio > !best_ratio then begin
+      best_ratio := !current_ratio;
+      best_pts := !current
+    end;
+    for step = 1 to steps do
+      let scale =
+        step_size *. (1. -. (float_of_int step /. float_of_int (steps + 1)))
+      in
+      let candidate = perturb !current scale in
+      let r = ratio ?iters regime candidate in
+      if r > !current_ratio then begin
+        current := candidate;
+        current_ratio := r;
+        if r > !best_ratio then begin
+          best_ratio := r;
+          best_pts := candidate
+        end
+      end
+    done
+  done;
+  (!best_ratio, !best_pts)

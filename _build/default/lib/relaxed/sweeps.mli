@@ -1,0 +1,38 @@
+(** Parameter sweeps over delta*(S)/bound ratios — the measurement
+    engine behind the Table 1 reproduction, exposed as a reusable API
+    with distribution statistics and adversarial input search.
+
+    A [regime] fixes (n, f, d) and the paper bound that applies to it;
+    [measure] samples random instances and reports the ratio
+    distribution; [adversarial_search] hill-climbs the input
+    configuration to push the ratio as high as it can — probing how
+    tight the paper's bound actually is. *)
+
+type regime = {
+  n : int;
+  f : int;
+  d : int;
+  bound_label : string;  (** which Table 1 cell / theorem applies *)
+  bound_of : Vec.t list -> float;
+      (** the bound evaluated on the honest inputs *)
+}
+
+val regime_of : n:int -> f:int -> d:int -> regime
+(** The Table 1 cell covering (n, f, d) (same dispatch as
+    {!Bounds.kappa2}, with Theorem 9's min-edge refinement for f = 1,
+    n = (d+1)f). @raise Invalid_argument outside [3f+1 <= n <= (d+1)f]. *)
+
+val ratio : ?iters:int -> regime -> Vec.t list -> float
+(** delta*(S) / bound, with the faulty set chosen adversarially (the
+    worst of all C(n, f) faulty placements for the bound). *)
+
+val measure :
+  ?iters:int -> ?trials:int -> seed:int -> regime -> Stats.summary
+(** Ratio distribution over uniform random instances. *)
+
+val adversarial_search :
+  ?iters:int -> ?steps:int -> ?step_size:float -> seed:int -> regime ->
+  float * Vec.t list
+(** Random-restart hill climbing over input configurations, maximizing
+    the ratio; returns the best ratio found and the witness inputs.
+    The paper proves (or conjectures) the supremum is at most 1. *)

@@ -1,0 +1,82 @@
+type partition = { parts : Vec.t list list; common : Vec.t }
+
+let radon_partition ?eps pts =
+  match pts with
+  | p :: _ when List.length pts >= Vec.dim p + 2 ->
+      let d = Vec.dim p in
+      let chosen = List.filteri (fun i _ -> i < d + 2) pts in
+      let arr = Array.of_list chosen in
+      (* Find lambda <> 0 with sum lambda_i a_i = 0 and sum lambda_i = 0:
+         the kernel of the (d+1) x (d+2) matrix [points; ones]. *)
+      let m =
+        Matrix.init (d + 1) (d + 2) (fun i j ->
+            if i < d then arr.(j).(i) else 1.)
+      in
+      (match Matrix.null_space ?eps m with
+      | [] -> None
+      | lambda :: _ ->
+          let pos = ref [] and neg = ref [] in
+          Array.iteri
+            (fun j l ->
+              if l > 1e-12 then pos := (j, l) :: !pos
+              else if l < -1e-12 then neg := (j, -.l) :: !neg)
+            lambda;
+          if !pos = [] || !neg = [] then None
+          else begin
+            let total = List.fold_left (fun s (_, l) -> s +. l) 0. !pos in
+            let common =
+              Vec.combo
+                (List.map (fun (j, l) -> (l /. total, arr.(j))) !pos)
+            in
+            let part_of sel = List.map (fun (j, _) -> arr.(j)) sel in
+            Some { parts = [ part_of !pos; part_of !neg ]; common }
+          end)
+  | _ -> None
+
+let tverberg_partition ?eps ~parts pts =
+  let arr = Array.of_list pts in
+  let n = Array.length arr in
+  if parts <= 0 || parts > n then None
+  else begin
+    let assignments = Multiset.partitions n parts in
+    (* Deduplicate label permutations cheaply: force index 0 into class 0
+       (every unlabelled partition has a labelled representative with
+       point 0 in the first class). *)
+    let assignments =
+      List.filter (fun a -> a.(0) = 0) assignments
+    in
+    let rec try_all = function
+      | [] -> None
+      | a :: rest ->
+          let classes =
+            List.init parts (fun label ->
+                List.filteri (fun i _ -> a.(i) = label) pts)
+          in
+          (match Hull.intersection_point ?eps classes with
+          | Some common -> Some { parts = classes; common }
+          | None -> try_all rest)
+    in
+    ignore arr;
+    try_all assignments
+  end
+
+let tverberg_point ?eps ~f pts =
+  Option.map
+    (fun pa -> pa.common)
+    (tverberg_partition ?eps ~parts:(f + 1) pts)
+
+let subsets_minus_f ~f pts =
+  let ms = Multiset.of_list ~cmp:Vec.compare_lex pts in
+  List.map Multiset.to_list
+    (Multiset.subsets_of_size (Multiset.size ms - f) ms)
+
+let gamma_point ?eps ~f pts =
+  Hull.intersection_point ?eps (subsets_minus_f ~f pts)
+
+let in_gamma ?eps ~f pts x =
+  List.for_all (fun t -> Hull.mem ?eps t x) (subsets_minus_f ~f pts)
+
+let moment_curve_points ~d ~n =
+  List.init n (fun i ->
+      let t = float_of_int (i + 1) in
+      Vec.init d (fun j -> t ** float_of_int (j + 1)))

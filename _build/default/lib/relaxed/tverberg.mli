@@ -1,0 +1,43 @@
+(** Radon and Tverberg partitions (Section 8 of the paper).
+
+    Tverberg's theorem: any multiset of at least [(d+1)f + 1] points in
+    R^d can be partitioned into [f+1] non-empty parts whose convex hulls
+    share a common point. Such a point lies in [Gamma(Y)] (every
+    (|Y|-f)-subset [T] misses only [f] points, so [T] fully contains at
+    least one part), which is how the synchronous exact-BVC algorithm
+    picks a valid output. The paper shows the bound [(d+1)f+1] stays
+    tight for the relaxed hulls as well (Section 8). *)
+
+type partition = {
+  parts : Vec.t list list;  (** f+1 non-empty classes *)
+  common : Vec.t;  (** a point in the intersection of the part hulls *)
+}
+
+val radon_partition : ?eps:float -> Vec.t list -> partition option
+(** The classical d+2-point special case (f = 1): splits any [>= d+2]
+    points in R^d into two parts with intersecting hulls, via a null-space
+    computation (no search). Uses only the first d+2 points. *)
+
+val tverberg_partition :
+  ?eps:float -> parts:int -> Vec.t list -> partition option
+(** Exhaustive search over partitions into [parts] non-empty classes,
+    certifying the common point by LP. Exponential in the number of
+    points — intended for the small instances of the experiments
+    ([n <= 12]). Returns [None] when no partition works (which, per
+    Tverberg, can happen only when [n <= (d+1)(parts-1)]). *)
+
+val tverberg_point : ?eps:float -> f:int -> Vec.t list -> Vec.t option
+(** A common point of some Tverberg partition into [f+1] parts. *)
+
+val gamma_point : ?eps:float -> f:int -> Vec.t list -> Vec.t option
+(** A point of [Gamma(Y)] directly by the joint LP over all
+    (|Y|-f)-subsets — the certified route used by the consensus
+    algorithms (polynomial in the number of subsets). *)
+
+val in_gamma : ?eps:float -> f:int -> Vec.t list -> Vec.t -> bool
+(** Is the point inside every (|Y|-f)-subset hull? *)
+
+val moment_curve_points : d:int -> n:int -> Vec.t list
+(** [n] points on the moment curve [(t, t^2, ..., t^d)] at
+    [t = 1, ..., n] — the standard general-position configuration
+    witnessing the tightness of Tverberg's bound. *)

@@ -1,0 +1,63 @@
+let thm3_inputs ~d ~gamma ~eps =
+  if d < 3 then invalid_arg "Witnesses.thm3_inputs: need d >= 3";
+  if not (0. < eps && eps <= gamma) then
+    invalid_arg "Witnesses.thm3_inputs: need 0 < eps <= gamma";
+  let column i =
+    (* i in 0..d-1: entries [0..i-1] = 0, entry i = gamma, rest = eps *)
+    Vec.init d (fun r -> if r < i then 0. else if r = i then gamma else eps)
+  in
+  List.init d column @ [ Vec.make d (-.gamma) ]
+
+let thm4_inputs ~d ~gamma ~eps =
+  if d < 3 then invalid_arg "Witnesses.thm4_inputs: need d >= 3";
+  if not (0. < 2. *. eps && 2. *. eps < gamma) then
+    invalid_arg "Witnesses.thm4_inputs: need 0 < 2*eps < gamma";
+  let column i =
+    Vec.init d (fun r ->
+        if r < i then 0. else if r = i then gamma else 2. *. eps)
+  in
+  List.init d column @ [ Vec.make d (-.gamma); Vec.zero d ]
+
+let thm5_inputs ~d ~x ~delta =
+  if d < 2 then invalid_arg "Witnesses.thm5_inputs: need d >= 2";
+  if not (x > 2. *. float_of_int d *. delta) then
+    invalid_arg "Witnesses.thm5_inputs: need x > 2*d*delta";
+  List.init d (fun i -> Vec.scale x (Vec.basis d i)) @ [ Vec.zero d ]
+
+let thm6_inputs ~d ~x ~delta ~eps =
+  if d < 2 then invalid_arg "Witnesses.thm6_inputs: need d >= 2";
+  if not (x > (2. *. float_of_int d *. delta) +. eps) then
+    invalid_arg "Witnesses.thm6_inputs: need x > 2*d*delta + eps";
+  List.init d (fun i -> Vec.scale x (Vec.basis d i))
+  @ [ Vec.zero d; Vec.zero d ]
+
+(* The proofs of Theorems 4 and 6 give process [i] the output region
+   intersecting, over every j <> i among the first d+1 processes, the
+   relaxed hull of S^j = { s_l : l <= d+1, l <> j } — the inputs left
+   when process j is suspected faulty and process d+2 is slow. *)
+let drop_regions inputs ~observer make =
+  match inputs with
+  | [] -> invalid_arg "Witnesses: empty inputs"
+  | v :: _ ->
+      let d = Vec.dim v in
+      if List.length inputs <> d + 2 then
+        invalid_arg "Witnesses: expected d+2 inputs (asynchronous witness)";
+      if observer < 0 || observer > d then
+        invalid_arg "Witnesses: observer must be among the first d+1 processes";
+      let first = List.filteri (fun l _ -> l <= d) inputs in
+      List.filter_map
+        (fun j ->
+          if j = observer then None
+          else
+            Some (make (List.filteri (fun l _ -> l <> j) first)))
+        (List.init (d + 1) (fun j -> j))
+
+let thm4_psi_region ~k ~observer inputs =
+  List.concat
+    (drop_regions inputs ~observer (fun s_j -> K_hull.hk_region ~k s_j))
+
+let thm6_inf_region ~delta ~observer inputs =
+  drop_regions inputs ~observer (fun s_j -> (delta, s_j))
+
+let lemma10_inputs_zero ~d = Vec.zero d
+let lemma10_inputs_one ~d = Vec.ones d

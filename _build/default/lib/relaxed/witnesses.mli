@@ -1,0 +1,47 @@
+(** The lower-bound witness constructions from the paper's impossibility
+    proofs, exactly as printed.
+
+    Each function returns the columns of the proof's input matrix [S] as
+    a list of process inputs. Parameter preconditions mirror the proofs'
+    side conditions and are enforced. The experiment harness feeds these
+    to the LP certificates ([K_hull], [Delta_hull]) to confirm, for each
+    theorem, that the region every algorithm would have to pick an output
+    from is empty (or violates epsilon-agreement). *)
+
+val thm3_inputs : d:int -> gamma:float -> eps:float -> Vec.t list
+(** Theorem 3 (synchronous, k = 2, f = 1, n = d+1). Column [i]
+    (1-indexed, i <= d): first i-1 entries 0, then gamma, then eps;
+    column d+1 is all -gamma. Requires [0 < eps <= gamma] and [d >= 3]. *)
+
+val thm4_inputs : d:int -> gamma:float -> eps:float -> Vec.t list
+(** Theorem 4 (asynchronous, k = 2, f = 1, n = d+2). Like Theorem 3's
+    matrix with [2*eps] in place of [eps], plus an all-zero column d+2.
+    Requires [0 < 2*eps < gamma] and [d >= 3]. *)
+
+val thm5_inputs : d:int -> x:float -> delta:float -> Vec.t list
+(** Theorem 5 ((delta,inf)-relaxed exact, f = 1, n = d+1). Columns
+    [x * e_i] for i = 1..d plus the origin. Requires [x > 2 * d * delta]
+    and [d >= 2]. *)
+
+val thm6_inputs : d:int -> x:float -> delta:float -> eps:float -> Vec.t list
+(** Theorem 6 ((delta,inf)-relaxed approximate, f = 1, n = d+2). Columns
+    [x * e_i] for i = 1..d plus two origins. Requires
+    [x > 2 * d * delta + eps] and [d >= 2]. *)
+
+val thm4_psi_region : k:int -> observer:int -> Vec.t list -> K_hull.region
+(** The output region [Psi_i(S)] of the Theorem 4 proof for process
+    [observer] (0-indexed): the intersection of [H_k(S^j)] over all
+    [j <> observer] with [j] among the first d+1 processes, where [S^j]
+    drops input [j] (and always drops input d+2). Input list must have
+    length d+2 (use {!thm4_inputs}). *)
+
+val thm6_inf_region :
+  delta:float -> observer:int -> Vec.t list -> Delta_hull.inf_region
+(** The output region [Psi_i(S)] of the Theorem 6 proof for process
+    [observer]: intersection of [H_(delta,inf)(S^j)] over
+    [j <> observer], [j] among the first d+1 processes. *)
+
+val lemma10_inputs_zero : d:int -> Vec.t
+val lemma10_inputs_one : d:int -> Vec.t
+(** The all-0 and all-1 input vectors of the Lemma 10 (n <= 3f)
+    indistinguishability scenarios. *)

@@ -1,0 +1,1 @@
+lib/sim/async.ml: Adversary Array List Option Rng Trace

@@ -1,0 +1,1 @@
+lib/sim/async.mli: Adversary Trace

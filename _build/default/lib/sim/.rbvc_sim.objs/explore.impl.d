@@ -1,0 +1,1 @@
+lib/sim/explore.ml: Adversary Array Async List

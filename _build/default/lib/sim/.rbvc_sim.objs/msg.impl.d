@@ -1,0 +1,1 @@
+lib/sim/msg.ml: Format Logs

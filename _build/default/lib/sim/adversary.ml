@@ -1,0 +1,16 @@
+type 'msg t = round:int -> src:int -> dst:int -> 'msg option -> 'msg option
+
+let honest ~round:_ ~src:_ ~dst:_ honest_msg = honest_msg
+let silent ~round:_ ~src:_ ~dst:_ _ = None
+
+let crash_at r ~round ~src:_ ~dst:_ honest_msg =
+  if round < r then honest_msg else None
+
+let corrupt f ~round ~src:_ ~dst honest_msg =
+  Option.map (fun m -> f ~round ~dst m) honest_msg
+
+let drop_to victims ~round:_ ~src:_ ~dst honest_msg =
+  if List.mem dst victims then None else honest_msg
+
+let compose a b ~round ~src ~dst honest_msg =
+  b ~round ~src ~dst (a ~round ~src ~dst honest_msg)

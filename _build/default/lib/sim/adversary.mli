@@ -1,0 +1,35 @@
+(** Byzantine adversary strategies.
+
+    A strategy intercepts every message a *faulty* process is about to
+    send: it sees the message the honest protocol would have sent (or
+    [None] if the honest protocol sends nothing on that edge) and decides
+    what actually goes out — possibly different messages to different
+    destinations (equivocation), nothing (crash/silence), or arbitrary
+    fabrications. Non-faulty processes' messages are never intercepted:
+    the network itself is reliable, as in the paper's model. *)
+
+type 'msg t = round:int -> src:int -> dst:int -> 'msg option -> 'msg option
+(** [strategy ~round ~src ~dst honest] is what faulty [src] sends to
+    [dst] in [round] (for asynchronous executions, [round] is the
+    delivery step at which the send occurs). *)
+
+val honest : 'msg t
+(** Follows the protocol — the restricted adversary used by the
+    necessity proofs of Theorems 3 and 5 ("the faulty process correctly
+    follows any specified algorithm"). *)
+
+val silent : 'msg t
+(** Sends nothing, ever (fail-stop from the start). *)
+
+val crash_at : int -> 'msg t
+(** Honest before the given round, silent from it on. *)
+
+val corrupt : (round:int -> dst:int -> 'msg -> 'msg) -> 'msg t
+(** Applies a per-destination transformation to every honest message —
+    the general equivocation combinator. *)
+
+val drop_to : int list -> 'msg t
+(** Honest, except messages to the listed destinations are dropped. *)
+
+val compose : 'msg t -> 'msg t -> 'msg t
+(** [compose a b] runs [b] on the output of [a]. *)

@@ -1,0 +1,143 @@
+type 'msg actor = {
+  start : unit -> (int * 'msg) list;
+  on_message : src:int -> 'msg -> (int * 'msg) list;
+}
+
+type policy =
+  | Fifo
+  | Random_order of int
+  | Delay of { victims : int list; slack : int }
+
+type outcome = { trace : Trace.t; quiescent : bool }
+
+type 'msg pending = { src : int; dst : int; msg : 'msg; born : int }
+
+let run ~n ~actors ?(faulty = []) ?(adversary = Adversary.honest)
+    ?(policy = Fifo) ?(max_steps = 200_000) () =
+  if Array.length actors <> n then invalid_arg "Async.run: need n actors";
+  let is_faulty = Array.make n false in
+  List.iter
+    (fun p ->
+      if p < 0 || p >= n then invalid_arg "Async.run: faulty id out of range";
+      is_faulty.(p) <- true)
+    faulty;
+  let trace = Trace.create () in
+  (* Pending messages as a growable queue with O(1) removal by index. *)
+  let pending : 'msg pending option array ref = ref (Array.make 64 None) in
+  let count = ref 0 and capacity = ref 64 and live = ref 0 in
+  let grow () =
+    let fresh = Array.make (2 * !capacity) None in
+    Array.blit !pending 0 fresh 0 !capacity;
+    pending := fresh;
+    capacity := 2 * !capacity
+  in
+  let rng =
+    match policy with Random_order seed -> Some (Rng.create seed) | _ -> None
+  in
+  let step = ref 0 in
+  let enqueue ~src msgs =
+    List.iter
+      (fun (dst, m) ->
+        if dst < 0 || dst >= n then
+          invalid_arg "Async.run: destination out of range";
+        trace.Trace.messages_sent <- trace.Trace.messages_sent + 1;
+        let filtered =
+          if is_faulty.(src) then
+            adversary ~round:!step ~src ~dst (Some m)
+          else Some m
+        in
+        match filtered with
+        | None -> trace.Trace.messages_dropped <- trace.Trace.messages_dropped + 1
+        | Some m' ->
+            if is_faulty.(src) && m' != m then
+              trace.Trace.messages_corrupted <-
+                trace.Trace.messages_corrupted + 1;
+            if !count = !capacity then grow ();
+            !pending.(!count) <- Some { src; dst; msg = m'; born = !step };
+            incr count;
+            incr live)
+      msgs
+  in
+  Array.iteri (fun src actor -> enqueue ~src (actor.start ())) actors;
+  (* Pick the index of the next message to deliver under the policy. *)
+  let pick () =
+    let first_live () =
+      let i = ref 0 in
+      while !i < !count && !pending.(!i) = None do
+        incr i
+      done;
+      if !i < !count then Some !i else None
+    in
+    match policy with
+    | Fifo -> first_live ()
+    | Random_order _ ->
+        let rng = Option.get rng in
+        if !live = 0 then None
+        else begin
+          (* choose uniformly among live entries *)
+          let target = Rng.int rng !live in
+          let seen = ref 0 and found = ref None and i = ref 0 in
+          while !found = None && !i < !count do
+            (match !pending.(!i) with
+            | Some _ ->
+                if !seen = target then found := Some !i;
+                incr seen
+            | None -> ());
+            incr i
+          done;
+          !found
+        end
+    | Delay { victims; slack } ->
+        (* oldest non-victim message if any; otherwise a victim message
+           old enough; otherwise the oldest victim message *)
+        let best_normal = ref None and best_victim = ref None in
+        for i = 0 to !count - 1 do
+          match !pending.(i) with
+          | None -> ()
+          | Some p ->
+              if List.mem p.src victims then begin
+                if !best_victim = None then best_victim := Some (i, p)
+              end
+              else if !best_normal = None then best_normal := Some (i, p)
+        done;
+        (match (!best_normal, !best_victim) with
+        | Some (i, _), Some (j, pv) ->
+            if !step - pv.born >= slack then Some j else Some i
+        | Some (i, _), None -> Some i
+        | None, Some (j, _) -> Some j
+        | None, None -> None)
+  in
+  let quiescent = ref false in
+  (try
+     while !step < max_steps do
+       match pick () with
+       | None ->
+           quiescent := true;
+           raise Exit
+       | Some i ->
+           let p = Option.get !pending.(i) in
+           !pending.(i) <- None;
+           decr live;
+           (* compact occasionally *)
+           if !count > 1024 && 4 * !live < !count then begin
+             let fresh = Array.make !capacity None in
+             let j = ref 0 in
+             for k = 0 to !count - 1 do
+               match !pending.(k) with
+               | Some _ as e ->
+                   fresh.(!j) <- e;
+                   incr j
+               | None -> ()
+             done;
+             pending := fresh;
+             count := !j
+           end;
+           incr step;
+           trace.Trace.steps <- trace.Trace.steps + 1;
+           trace.Trace.messages_delivered <-
+             trace.Trace.messages_delivered + 1;
+           let reactions = actors.(p.dst).on_message ~src:p.src p.msg in
+           enqueue ~src:p.dst reactions
+     done
+   with Exit -> ());
+  { trace; quiescent = !quiescent }

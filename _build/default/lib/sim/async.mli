@@ -1,0 +1,42 @@
+(** Asynchronous event executor — the system model of Theorems 4, 6 and
+    Section 10: reliable channels, arbitrary (but fair) message delays,
+    no common clock.
+
+    Execution is a sequence of delivery steps: the scheduler picks one
+    pending message, delivers it, and enqueues the receiver's reactions.
+    Faulty sources' messages pass through an {!Adversary.t} at *send*
+    time (the [round] the adversary sees is the step counter). The
+    scheduler policies are all fair to non-faulty traffic: every pending
+    message is eventually delivered. *)
+
+type 'msg actor = {
+  start : unit -> (int * 'msg) list;
+      (** Initial sends, collected once before the first step. *)
+  on_message : src:int -> 'msg -> (int * 'msg) list;
+      (** Reaction to one delivered message. *)
+}
+
+type policy =
+  | Fifo  (** deliver in global send order *)
+  | Random_order of int  (** uniformly random pending message (seed) *)
+  | Delay of { victims : int list; slack : int }
+      (** Deprioritize messages *from* [victims]: such a message is
+          delivered only when it has waited [slack] steps or nothing else
+          is pending — an adversarial but fair scheduler, used to stress
+          the asynchronous algorithms. *)
+
+type outcome = {
+  trace : Trace.t;
+  quiescent : bool;  (** true if the run ended with no pending messages *)
+}
+
+val run :
+  n:int ->
+  actors:'msg actor array ->
+  ?faulty:int list ->
+  ?adversary:'msg Adversary.t ->
+  ?policy:policy ->
+  ?max_steps:int ->
+  unit ->
+  outcome
+(** Runs until quiescence or [max_steps] (default [200_000]) deliveries. *)

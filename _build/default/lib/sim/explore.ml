@@ -1,0 +1,93 @@
+type result = {
+  explored : int;
+  truncated : bool;
+  counterexample : int list option;
+}
+
+(* Minimal deterministic execution engine (a simplified Async.run):
+   pending messages in FIFO arrival order; each decision picks the index
+   (mod live count) of the next message to deliver. Returns [`Done] when
+   the run completed (quiescent or step cap) before consuming more
+   decisions, or [`Branch width] when the decision sequence ran out with
+   [width] messages still pending. *)
+let run_prefix ?(fallback_fifo = false) ~n ~actors ~faulty ~adversary
+    ~max_steps decisions =
+  let is_faulty = Array.make n false in
+  List.iter (fun p -> is_faulty.(p) <- true) faulty;
+  let pending = ref [] in
+  let steps = ref 0 in
+  let enqueue ~src msgs =
+    List.iter
+      (fun (dst, m) ->
+        let filtered =
+          if is_faulty.(src) then adversary ~round:!steps ~src ~dst (Some m)
+          else Some m
+        in
+        match filtered with
+        | None -> ()
+        | Some m' -> pending := !pending @ [ (src, dst, m') ])
+      msgs
+  in
+  Array.iteri (fun src (a : _ Async.actor) -> enqueue ~src (a.Async.start ())) actors;
+  let rec go decisions =
+    let live = List.length !pending in
+    if live = 0 || !steps >= max_steps then `Done
+    else
+      match decisions with
+      | [] when not fallback_fifo -> `Branch live
+      | [] ->
+          let src, dst, m = List.hd !pending in
+          pending := List.tl !pending;
+          incr steps;
+          enqueue ~src:dst (actors.(dst).Async.on_message ~src m);
+          go []
+      | d :: rest ->
+          let idx = d mod live in
+          let src, dst, m = List.nth !pending idx in
+          pending := List.filteri (fun i _ -> i <> idx) !pending;
+          incr steps;
+          enqueue ~src:dst (actors.(dst).Async.on_message ~src m);
+          go rest
+  in
+  go decisions
+
+let run ~make ~n ~actors ~check ?(faulty = []) ?(adversary = Adversary.honest)
+    ?(max_steps = 200) ?(budget = 2000) () =
+  let explored = ref 0 in
+  let truncated = ref false in
+  let counterexample = ref None in
+  let budget_left = ref budget in
+  let rec dfs prefix =
+    if !counterexample <> None then ()
+    else if !budget_left <= 0 then truncated := true
+    else begin
+      let state = make () in
+      let acts = actors state in
+      match
+        run_prefix ~n ~actors:acts ~faulty ~adversary ~max_steps prefix
+      with
+      | `Done ->
+          decr budget_left;
+          incr explored;
+          if not (check state) then counterexample := Some prefix
+      | `Branch width ->
+          let k = ref 0 in
+          while !k < width && !counterexample = None && not !truncated do
+            dfs (prefix @ [ !k ]);
+            incr k
+          done
+    end
+  in
+  dfs [];
+  { explored = !explored; truncated = !truncated; counterexample = !counterexample }
+
+let replay ~make ~n ~actors ?(faulty = []) ?(adversary = Adversary.honest)
+    ?(max_steps = 200) decisions =
+  let state = make () in
+  let acts = actors state in
+  (match
+     run_prefix ~fallback_fifo:true ~n ~actors:acts ~faulty ~adversary
+       ~max_steps decisions
+   with
+  | `Done | `Branch _ -> ());
+  state

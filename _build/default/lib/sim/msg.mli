@@ -1,0 +1,30 @@
+(** Message envelopes and debug logging for the simulators.
+
+    The executors ({!Sync}, {!Async}) are engine code; this module holds
+    the cross-cutting conveniences: a generic envelope for recording
+    traffic, and a [Logs] source that the executors use for per-delivery
+    debug traces (enable with [Logs.set_level (Some Debug)] and a
+    reporter). *)
+
+type 'payload envelope = {
+  src : int;
+  dst : int;
+  round : int;  (** synchronous round or asynchronous delivery step *)
+  payload : 'payload;
+}
+
+val envelope : src:int -> dst:int -> round:int -> 'p -> 'p envelope
+
+val log_src : Logs.src
+(** The ["rbvc.sim"] log source. *)
+
+val debug_delivery :
+  pp:(Format.formatter -> 'p -> unit) -> 'p envelope -> unit
+(** Emit a debug-level log line for one delivery (no-op unless debug
+    logging is enabled). *)
+
+val pp_envelope :
+  (Format.formatter -> 'p -> unit) ->
+  Format.formatter ->
+  'p envelope ->
+  unit

@@ -1,0 +1,92 @@
+type 'msg actor = {
+  send : round:int -> (int * 'msg) list;
+  recv : round:int -> (int * 'msg) list -> unit;
+}
+
+let run ~n ~rounds ~actors ?(faulty = []) ?(adversary = Adversary.honest) () =
+  if Array.length actors <> n then invalid_arg "Sync.run: need n actors";
+  List.iter
+    (fun p ->
+      if p < 0 || p >= n then invalid_arg "Sync.run: faulty id out of range")
+    faulty;
+  let is_faulty = Array.make n false in
+  List.iter (fun p -> is_faulty.(p) <- true) faulty;
+  let trace = Trace.create () in
+  for round = 0 to rounds - 1 do
+    trace.Trace.rounds <- trace.Trace.rounds + 1;
+    (* Gather honest outboxes. *)
+    let outbox =
+      Array.map
+        (fun actor ->
+          let msgs = actor.send ~round in
+          List.iter
+            (fun (dst, _) ->
+              if dst < 0 || dst >= n then
+                invalid_arg "Sync.run: destination out of range")
+            msgs;
+          msgs)
+        actors
+    in
+    (* Apply the adversary on faulty sources, edge by edge. *)
+    let inboxes = Array.make n [] in
+    for src = 0 to n - 1 do
+      if is_faulty.(src) then
+        for dst = 0 to n - 1 do
+          let honest_msgs =
+            List.filter_map
+              (fun (d, m) -> if d = dst then Some m else None)
+              outbox.(src)
+          in
+          (* The adversary sees each honest message on this edge (or None
+             when there is none) and answers with what actually flows. *)
+          let consider honest_msg =
+            trace.Trace.messages_sent <- trace.Trace.messages_sent + 1;
+            match adversary ~round ~src ~dst honest_msg with
+            | None ->
+                trace.Trace.messages_dropped <-
+                  trace.Trace.messages_dropped + 1
+            | Some m ->
+                (match honest_msg with
+                | Some h when h != m ->
+                    trace.Trace.messages_corrupted <-
+                      trace.Trace.messages_corrupted + 1
+                | _ -> ());
+                trace.Trace.messages_delivered <-
+                  trace.Trace.messages_delivered + 1;
+                inboxes.(dst) <- (src, m) :: inboxes.(dst)
+          in
+          (match honest_msgs with
+          | [] -> (
+              (* allow fabrication on a quiet edge *)
+              match adversary ~round ~src ~dst None with
+              | None -> ()
+              | Some m ->
+                  trace.Trace.messages_sent <- trace.Trace.messages_sent + 1;
+                  trace.Trace.messages_corrupted <-
+                    trace.Trace.messages_corrupted + 1;
+                  trace.Trace.messages_delivered <-
+                    trace.Trace.messages_delivered + 1;
+                  inboxes.(dst) <- (src, m) :: inboxes.(dst))
+          | msgs -> List.iter (fun m -> consider (Some m)) msgs)
+        done
+      else
+        List.iter
+          (fun (dst, m) ->
+            trace.Trace.messages_sent <- trace.Trace.messages_sent + 1;
+            trace.Trace.messages_delivered <-
+              trace.Trace.messages_delivered + 1;
+            inboxes.(dst) <- (src, m) :: inboxes.(dst))
+          outbox.(src)
+    done;
+    (* Deliver, sorted by source for determinism. *)
+    Array.iteri
+      (fun dst actor ->
+        let batch =
+          List.stable_sort
+            (fun (a, _) (b, _) -> compare a b)
+            (List.rev inboxes.(dst))
+        in
+        actor.recv ~round batch)
+      actors
+  done;
+  trace

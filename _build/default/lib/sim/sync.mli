@@ -1,0 +1,34 @@
+(** Synchronous lock-step round executor over a complete graph of [n]
+    processes with reliable point-to-point channels — the system model of
+    the paper's Sections 6, 7 and 9.
+
+    Each round: every actor produces its outgoing messages, faulty
+    actors' messages pass through the adversary (which may equivocate,
+    fabricate or drop), then every actor receives the batch addressed to
+    it. The executor is deterministic given the actors and adversary. *)
+
+type 'msg actor = {
+  send : round:int -> (int * 'msg) list;
+      (** Messages to emit this round, as [(destination, payload)].
+          Destinations must be in [0 .. n-1]; self-sends are allowed and
+          delivered like any other message. *)
+  recv : round:int -> (int * 'msg) list -> unit;
+      (** Delivery of this round's batch, as [(source, payload)] pairs
+          sorted by source. Called exactly once per round, after all
+          sends. *)
+}
+
+val run :
+  n:int ->
+  rounds:int ->
+  actors:'msg actor array ->
+  ?faulty:int list ->
+  ?adversary:'msg Adversary.t ->
+  unit ->
+  Trace.t
+(** Executes [rounds] lock-step rounds. [faulty] processes (default
+    none) have each outgoing edge filtered through [adversary] (default
+    {!Adversary.honest}); additionally the adversary may *fabricate*
+    messages on edges where the honest actor sent nothing (it is invoked
+    on every faulty-source edge each round, with [None] when the honest
+    protocol is quiet). *)

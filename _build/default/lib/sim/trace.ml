@@ -1,0 +1,24 @@
+type t = {
+  mutable rounds : int;
+  mutable steps : int;
+  mutable messages_sent : int;
+  mutable messages_delivered : int;
+  mutable messages_dropped : int;
+  mutable messages_corrupted : int;
+}
+
+let create () =
+  {
+    rounds = 0;
+    steps = 0;
+    messages_sent = 0;
+    messages_delivered = 0;
+    messages_dropped = 0;
+    messages_corrupted = 0;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[rounds=%d steps=%d sent=%d delivered=%d dropped=%d corrupted=%d@]"
+    t.rounds t.steps t.messages_sent t.messages_delivered t.messages_dropped
+    t.messages_corrupted

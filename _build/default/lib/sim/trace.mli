@@ -1,0 +1,13 @@
+(** Execution statistics collected by the simulators. *)
+
+type t = {
+  mutable rounds : int;  (** synchronous rounds executed *)
+  mutable steps : int;  (** asynchronous delivery steps executed *)
+  mutable messages_sent : int;  (** messages emitted by processes *)
+  mutable messages_delivered : int;  (** messages actually delivered *)
+  mutable messages_dropped : int;  (** suppressed by the adversary *)
+  mutable messages_corrupted : int;  (** altered by the adversary *)
+}
+
+val create : unit -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest List QCheck QCheck_alcotest String Vec

@@ -1,0 +1,1 @@
+test/test_affine.ml: Affine Alcotest Array Float Helpers List Vec

@@ -1,0 +1,1 @@
+test/test_algo_async.ml: Algo_async Array Async Bounds Gen Helpers List Problem QCheck Rng Validity Vec

@@ -1,0 +1,1 @@
+test/test_algo_exact.ml: Alcotest Algo_exact Array Bounds Delta_hull Float Gen Helpers Hull List Option Problem QCheck Rng Validity Vec

@@ -1,0 +1,1 @@
+test/test_algo_iterative.ml: Adversary Algo_iterative Array Gen Helpers Hull List Problem QCheck Rng Trace Vec

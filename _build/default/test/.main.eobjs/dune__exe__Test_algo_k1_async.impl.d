@@ -1,0 +1,1 @@
+test/test_algo_k1_async.ml: Alcotest Algo_k1_async Array Async Float Helpers List Problem Rng Validity

@@ -1,0 +1,1 @@
+test/test_bracha.ml: Alcotest Array Async Bracha Float Fun Gen Helpers List QCheck

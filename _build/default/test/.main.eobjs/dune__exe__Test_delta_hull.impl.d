@@ -1,0 +1,1 @@
+test/test_delta_hull.ml: Alcotest Bounds Delta_hull Float Helpers Hull List Rng Tverberg Vec

@@ -1,0 +1,1 @@
+test/test_exact_lp.ml: Alcotest Array Bigint Delta_hull Exact_lp Float Gen Helpers K_hull List Lp Printf QCheck Ratio Rng Witnesses

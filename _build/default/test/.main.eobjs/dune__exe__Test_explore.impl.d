@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest Array Async Explore Helpers List

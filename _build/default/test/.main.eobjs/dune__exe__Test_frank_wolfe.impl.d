@@ -1,0 +1,1 @@
+test/test_frank_wolfe.ml: Array Float Frank_wolfe Helpers Hull Minnorm Vec

@@ -1,0 +1,1 @@
+test/test_helly.ml: Alcotest Helly Helpers List Vec

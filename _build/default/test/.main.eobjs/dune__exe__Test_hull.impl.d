@@ -1,0 +1,1 @@
+test/test_hull.ml: Alcotest Array Float Helpers Hull List Vec

@@ -1,0 +1,1 @@
+test/test_hull2d.ml: Array Float Helpers Hull Hull2d List Vec

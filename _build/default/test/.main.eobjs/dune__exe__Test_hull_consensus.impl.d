@@ -1,0 +1,1 @@
+test/test_hull_consensus.ml: Alcotest Algo_exact Array Gen Helpers Hull_consensus List Polygon Problem QCheck Rng Vec

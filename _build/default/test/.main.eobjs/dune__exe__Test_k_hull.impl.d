@@ -1,0 +1,1 @@
+test/test_k_hull.ml: Alcotest Array Delta_hull Helpers Hull K_hull List Tverberg Vec

@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Float Helpers List Lp Option Printf QCheck Vec

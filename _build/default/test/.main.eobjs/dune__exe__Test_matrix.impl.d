@@ -1,0 +1,1 @@
+test/test_matrix.ml: Alcotest Float Helpers List Matrix QCheck String Vec

@@ -1,0 +1,1 @@
+test/test_minnorm.ml: Float Helpers Hull List Minnorm Vec

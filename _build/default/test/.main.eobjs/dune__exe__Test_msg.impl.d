@@ -1,0 +1,1 @@
+test/test_msg.ml: Alcotest Format Helpers Logs Msg

@@ -1,0 +1,1 @@
+test/test_multiset.ml: Alcotest Array Fun Gen Helpers List Multiset QCheck

@@ -1,0 +1,1 @@
+test/test_om.ml: Array Float Fun Gen Helpers List Om Printf QCheck Rng Trace Vec

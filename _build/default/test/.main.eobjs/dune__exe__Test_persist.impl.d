@@ -1,0 +1,1 @@
+test/test_persist.ml: Alcotest Array Filename Gen Helpers List Persist Problem QCheck Result Rng Sys Vec

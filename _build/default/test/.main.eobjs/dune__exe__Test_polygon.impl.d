@@ -1,0 +1,1 @@
+test/test_polygon.ml: Alcotest Float Helpers Hull List Polygon Vec

@@ -1,0 +1,1 @@
+test/test_problem.ml: Alcotest Array Format Helpers List Problem Rng String Vec

@@ -1,0 +1,1 @@
+test/test_projection.ml: Alcotest Fun Gen Helpers List Projection QCheck Vec

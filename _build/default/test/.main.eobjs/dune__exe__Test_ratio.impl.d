@@ -1,0 +1,1 @@
+test/test_ratio.ml: Alcotest Bigint Float Helpers QCheck Ratio

@@ -1,0 +1,1 @@
+test/test_rng.ml: Affine Alcotest Array Float Helpers List Rng Vec

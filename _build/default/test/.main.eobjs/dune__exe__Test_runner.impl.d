@@ -1,0 +1,1 @@
+test/test_runner.ml: Async Format Helpers List Problem Rng Runner String Validity Vec

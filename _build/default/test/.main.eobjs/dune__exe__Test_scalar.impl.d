@@ -1,0 +1,1 @@
+test/test_scalar.ml: Array Float Gen Helpers List QCheck Rng Scalar_consensus

@@ -1,0 +1,1 @@
+test/test_sim.ml: Adversary Alcotest Array Async Fun Helpers List Option Sync Trace

@@ -1,0 +1,1 @@
+test/test_simplex_geom.ml: Affine Array Float Helpers Hull2d List Minnorm Option Printf QCheck Rng Simplex_geom Vec

@@ -1,0 +1,1 @@
+test/test_stats.ml: Float Gen Helpers List QCheck Stats

@@ -1,0 +1,1 @@
+test/test_sweeps.ml: Float Helpers List Stats String Sweeps Vec

@@ -1,0 +1,1 @@
+test/test_tverberg.ml: Alcotest Helpers Hull List Tverberg Vec

@@ -1,0 +1,1 @@
+test/test_witnesses.ml: Alcotest Array Delta_hull Gen Helpers K_hull List QCheck Vec Witnesses

@@ -1,0 +1,46 @@
+(* Shared test utilities. *)
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+let check_true msg b = Alcotest.(check bool) msg true b
+let check_false msg b = Alcotest.(check bool) msg false b
+let check_int msg a b = Alcotest.(check int) msg a b
+
+let check_vec ?(eps = 1e-9) msg expected actual =
+  if not (Vec.equal ~eps expected actual) then
+    Alcotest.failf "%s: expected %s, got %s" msg (Vec.to_string expected)
+      (Vec.to_string actual)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let raises_invalid name f =
+  case name (fun () ->
+      match f () with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "%s: expected Invalid_argument" name)
+
+let raises_div_by_zero name f =
+  case name (fun () ->
+      match f () with
+      | exception Division_by_zero -> ()
+      | _ -> Alcotest.failf "%s: expected Division_by_zero" name)
+
+(* QCheck generators for geometry. *)
+
+let vec_gen ?(dim = 3) ?(lo = -5.) ?(hi = 5.) () =
+  QCheck.Gen.(
+    array_size (return dim) (float_range lo hi))
+
+let arb_vec ?dim ?lo ?hi () =
+  QCheck.make
+    ~print:(fun v -> Vec.to_string v)
+    (vec_gen ?dim ?lo ?hi ())
+
+let arb_points ~n ?dim ?lo ?hi () =
+  QCheck.make
+    ~print:(fun pts -> String.concat "; " (List.map Vec.to_string pts))
+    QCheck.Gen.(list_size (return n) (vec_gen ?dim ?lo ?hi ()))
+
+let qtest ?(count = 50) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)

@@ -1,0 +1,91 @@
+open Helpers
+
+let v = Vec.of_list
+
+let unit_tests =
+  [
+    case "difference_vectors" (fun () ->
+        match Affine.difference_vectors [ v [ 1.; 0. ]; v [ 0.; 1. ]; v [ 0.; 0. ] ] with
+        | [ a; b ] ->
+            check_vec "d1" (v [ 1.; 0. ]) a;
+            check_vec "d2" (v [ 0.; 1. ]) b
+        | _ -> Alcotest.fail "size");
+    case "triangle independent" (fun () ->
+        check_true "indep"
+          (Affine.affinely_independent
+             [ v [ 0.; 0. ]; v [ 1.; 0. ]; v [ 0.; 1. ] ]));
+    case "collinear dependent" (fun () ->
+        check_false "dep"
+          (Affine.affinely_independent
+             [ v [ 0.; 0. ]; v [ 1.; 1. ]; v [ 2.; 2. ] ]));
+    case "affine_dim point" (fun () ->
+        check_int "0" 0 (Affine.affine_dim [ v [ 3.; 4. ] ]));
+    case "affine_dim segment" (fun () ->
+        check_int "1" 1 (Affine.affine_dim [ v [ 0.; 0. ]; v [ 1.; 1. ] ]));
+    case "affine_dim plane in 3d" (fun () ->
+        check_int "2" 2
+          (Affine.affine_dim
+             [ v [ 0.; 0.; 0. ]; v [ 1.; 0.; 0. ]; v [ 0.; 1.; 0. ];
+               v [ 1.; 1.; 0. ] ]));
+    case "project_to_span preserves distances" (fun () ->
+        let pts =
+          [ v [ 0.; 0.; 5. ]; v [ 1.; 0.; 5. ]; v [ 0.; 2.; 5. ] ]
+        in
+        let proj, d' = Affine.project_to_span pts in
+        check_int "dim" 2 d';
+        List.iter
+          (fun a ->
+            List.iter
+              (fun b ->
+                check_float ~eps:1e-9 "pairwise" (Vec.dist2 a b)
+                  (Vec.dist2 (proj a) (proj b)))
+              pts)
+          pts);
+    case "barycentric interior point" (fun () ->
+        let simplex = [ v [ 0.; 0. ]; v [ 1.; 0. ]; v [ 0.; 1. ] ] in
+        match Affine.barycentric ~simplex (v [ 0.25; 0.25 ]) with
+        | Some w ->
+            check_float ~eps:1e-9 "w0" 0.5 w.(0);
+            check_float ~eps:1e-9 "w1" 0.25 w.(1);
+            check_float ~eps:1e-9 "w2" 0.25 w.(2)
+        | None -> Alcotest.fail "degenerate?");
+    case "barycentric vertex" (fun () ->
+        let simplex = [ v [ 0.; 0. ]; v [ 2.; 0. ]; v [ 0.; 2. ] ] in
+        match Affine.barycentric ~simplex (v [ 2.; 0. ]) with
+        | Some w ->
+            check_float ~eps:1e-9 "w1" 1. w.(1);
+            check_float ~eps:1e-9 "w0" 0. w.(0)
+        | None -> Alcotest.fail "degenerate?");
+    case "barycentric outside has negative weight" (fun () ->
+        let simplex = [ v [ 0.; 0. ]; v [ 1.; 0. ]; v [ 0.; 1. ] ] in
+        match Affine.barycentric ~simplex (v [ -1.; 0. ]) with
+        | Some w -> check_true "neg" (Array.exists (fun x -> x < 0.) w)
+        | None -> Alcotest.fail "degenerate?");
+  ]
+
+let props =
+  [
+    qtest ~count:30 "projection of own points is isometric"
+      (arb_points ~n:3 ~dim:4 ()) (fun pts ->
+        let proj, _ = Affine.project_to_span pts in
+        List.for_all
+          (fun a ->
+            List.for_all
+              (fun b ->
+                Float.abs (Vec.dist2 a b -. Vec.dist2 (proj a) (proj b)) < 1e-6)
+              pts)
+          pts);
+    qtest ~count:30 "barycentric weights sum to 1" (arb_points ~n:4 ~dim:3 ())
+      (fun pts ->
+        if not (Affine.affinely_independent pts) then true
+        else
+          match Affine.barycentric ~simplex:pts (Vec.centroid pts) with
+          | None -> false
+          | Some w ->
+              Float.abs (Array.fold_left ( +. ) 0. w -. 1.) < 1e-6);
+    qtest ~count:30 "d+2 points in R^d are affinely dependent"
+      (arb_points ~n:5 ~dim:3 ()) (fun pts ->
+        not (Affine.affinely_independent pts));
+  ]
+
+let suite = unit_tests @ props

@@ -1,0 +1,154 @@
+open Helpers
+
+let honest_outputs inst (r : Algo_async.report) =
+  List.filter_map (fun p -> r.Algo_async.outputs.(p)) (Problem.honest_ids inst)
+
+let unit_tests =
+  [
+    case "rounds_for_eps f=0 is 1" (fun () ->
+        check_int "1" 1
+          (Algo_async.rounds_for_eps ~n:4 ~f:0 ~eps:0.1 ~initial_spread:10.));
+    case "rounds_for_eps contraction math" (fun () ->
+        (* n=4, f=1: gamma = 1/3. spread 9, eps 1 -> 9*(1/3)^2 = 1: 3 rounds *)
+        check_int "3" 3
+          (Algo_async.rounds_for_eps ~n:4 ~f:1 ~eps:1. ~initial_spread:9.));
+    case "rounds_for_eps monotone in eps" (fun () ->
+        let r1 = Algo_async.rounds_for_eps ~n:4 ~f:1 ~eps:0.1 ~initial_spread:10. in
+        let r2 = Algo_async.rounds_for_eps ~n:4 ~f:1 ~eps:0.01 ~initial_spread:10. in
+        check_true "more rounds for tighter eps" (r2 >= r1));
+    raises_invalid "rounds_for_eps eps=0" (fun () ->
+        Algo_async.rounds_for_eps ~n:4 ~f:1 ~eps:0. ~initial_spread:1.);
+    case "all-honest run converges exactly" (fun () ->
+        let inst =
+          Problem.random_instance (Rng.create 1) ~n:4 ~f:1 ~d:2 ~faulty:[]
+        in
+        let r =
+          Algo_async.run inst
+            ~validity:(Problem.Input_dependent { p = 2. })
+            ~rounds:3 ()
+        in
+        let outs = honest_outputs inst r in
+        check_int "all decided" 4 (List.length outs);
+        check_true "quiescent" r.Algo_async.outcome.Async.quiescent);
+    case "silent faulty tolerated" (fun () ->
+        let inst =
+          Problem.random_instance (Rng.create 2) ~n:4 ~f:1 ~d:2 ~faulty:[ 3 ]
+        in
+        let r =
+          Algo_async.run inst
+            ~validity:(Problem.Input_dependent { p = 2. })
+            ~rounds:3 ~adversary:`Silent ()
+        in
+        check_int "3 decided" 3 (List.length (honest_outputs inst r)));
+    case "garbage values are rejected by verification" (fun () ->
+        let inst =
+          Problem.random_instance (Rng.create 3) ~n:4 ~f:1 ~d:2 ~faulty:[ 0 ]
+        in
+        let r =
+          Algo_async.run inst
+            ~validity:(Problem.Input_dependent { p = 2. })
+            ~rounds:3 ~adversary:`Garbage ~policy:(Async.Random_order 5) ()
+        in
+        let outs = honest_outputs inst r in
+        check_int "3 decided" 3 (List.length outs);
+        check_true "eps agreement at coarse tolerance"
+          (Validity.eps_agreement ~eps:0.5 outs).Validity.ok);
+    case "skewed byzantine input absorbed by subset intersection" (fun () ->
+        let inst =
+          Problem.random_instance (Rng.create 4) ~n:6 ~f:1 ~d:3 ~faulty:[ 5 ]
+        in
+        let r =
+          Algo_async.run inst ~validity:Problem.Standard ~rounds:4
+            ~adversary:(`Skew 20.) ~policy:(Async.Random_order 7) ()
+        in
+        let outs = honest_outputs inst r in
+        check_int "5 decided" 5 (List.length outs);
+        check_true "validity"
+          (Validity.standard_validity
+             ~honest_inputs:(Problem.honest_inputs inst)
+             outs)
+            .Validity.ok);
+    case "standard validity stuck below n=(d+2)f+1 (Theorem 2 necessity)"
+      (fun () ->
+        (* n = 5, d = 3, f = 1: round-1 region Gamma(X) with |X| = 4 can
+           be empty, so processes cannot decide *)
+        let inputs = Rng.simplex_vertices (Rng.create 5) ~dim:3 in
+        let extra = Vec.centroid inputs in
+        let inst =
+          Problem.make ~n:5 ~f:1 ~d:3 ~inputs:(inputs @ [ extra ])
+            ~faulty:[ 4 ]
+        in
+        let r =
+          Algo_async.run inst ~validity:Problem.Standard ~rounds:3
+            ~adversary:`Silent ~max_steps:30_000 ()
+        in
+        check_int "nobody decides" 0 (List.length (honest_outputs inst r)));
+    case "delayed scheduler does not break termination" (fun () ->
+        let inst =
+          Problem.random_instance (Rng.create 6) ~n:4 ~f:1 ~d:2 ~faulty:[ 2 ]
+        in
+        let r =
+          Algo_async.run inst
+            ~validity:(Problem.Input_dependent { p = 2. })
+            ~rounds:4
+            ~policy:(Async.Delay { victims = [ 0 ]; slack = 80 })
+            ~adversary:`Obedient ()
+        in
+        check_int "3 decided" 3 (List.length (honest_outputs inst r)));
+    case "delta_used reported for input-dependent" (fun () ->
+        let inst =
+          Problem.random_instance (Rng.create 7) ~n:4 ~f:1 ~d:3 ~faulty:[ 1 ]
+        in
+        let r =
+          Algo_async.run inst
+            ~validity:(Problem.Input_dependent { p = 2. })
+            ~rounds:3 ~adversary:`Obedient ()
+        in
+        List.iter
+          (fun p ->
+            check_true "finite nonneg"
+              (r.Algo_async.delta_used.(p) >= 0.
+              && r.Algo_async.delta_used.(p) < 10.))
+          (Problem.honest_ids inst));
+    raises_invalid "rounds must be >= 1" (fun () ->
+        let inst =
+          Problem.random_instance (Rng.create 8) ~n:4 ~f:1 ~d:2 ~faulty:[]
+        in
+        Algo_async.run inst ~validity:Problem.Standard ~rounds:0 ());
+    raises_invalid "n < 3f+1 rejected" (fun () ->
+        let inst =
+          Problem.random_instance (Rng.create 9) ~n:3 ~f:1 ~d:2 ~faulty:[]
+        in
+        Algo_async.run inst ~validity:Problem.Standard ~rounds:1 ());
+  ]
+
+let props =
+  [
+    qtest ~count:6 "eps-agreement + validity across schedulers (n=6,d=3)"
+      QCheck.(make ~print:string_of_int Gen.(int_range 0 100))
+      (fun seed ->
+        let inst =
+          Problem.random_instance (Rng.create seed) ~n:6 ~f:1 ~d:3
+            ~faulty:[ seed mod 6 ]
+        in
+        let eps = 0.05 in
+        let hi = Problem.honest_inputs inst in
+        let rounds =
+          Algo_async.rounds_for_eps ~n:6 ~f:1 ~eps
+            ~initial_spread:(1. +. (2. *. Bounds.max_edge hi))
+        in
+        let r =
+          Algo_async.run inst ~validity:Problem.Standard ~rounds
+            ~policy:(Async.Random_order seed) ~adversary:(`Skew 4.) ()
+        in
+        let outs =
+          List.filter_map
+            (fun p -> r.Algo_async.outputs.(p))
+            (Problem.honest_ids inst)
+        in
+        List.length outs = 5
+        && (Validity.eps_agreement ~eps outs).Validity.ok
+        && (Validity.standard_validity ~honest_inputs:hi outs).Validity.ok);
+  ]
+
+let suite = unit_tests @ props

@@ -1,0 +1,193 @@
+open Helpers
+
+let corrupt d _src ~dst ~commander:_ ~path:_ vv =
+  Vec.axpy (0.3 *. float_of_int ((dst mod 3) + 1)) (Vec.ones d) vv
+
+let honest_outputs inst (r : Algo_exact.report) =
+  List.filter_map (fun p -> r.Algo_exact.outputs.(p)) (Problem.honest_ids inst)
+
+let unit_tests =
+  [
+    case "views identical across honest processes" (fun () ->
+        let inst =
+          Problem.random_instance (Rng.create 1) ~n:5 ~f:1 ~d:3 ~faulty:[ 4 ]
+        in
+        let r =
+          Algo_exact.run inst ~validity:Problem.Standard ~corrupt:(corrupt 3) ()
+        in
+        let views = r.Algo_exact.views in
+        List.iter
+          (fun p ->
+            Array.iteri
+              (fun c vv -> check_vec "view cell" views.(0).(c) vv)
+              views.(p))
+          [ 1; 2; 3 ]);
+    case "standard validity at threshold n" (fun () ->
+        let inst =
+          Problem.random_instance (Rng.create 2) ~n:5 ~f:1 ~d:3 ~faulty:[ 0 ]
+        in
+        let r =
+          Algo_exact.run inst ~validity:Problem.Standard ~corrupt:(corrupt 3) ()
+        in
+        let outs = honest_outputs inst r in
+        check_int "all decided" 4 (List.length outs);
+        check_true "agreement" (Validity.agreement outs).Validity.ok;
+        check_true "validity"
+          (Validity.standard_validity
+             ~honest_inputs:(Problem.honest_inputs inst)
+             outs)
+            .Validity.ok);
+    case "k=1 coordinatewise median output" (fun () ->
+        let inst =
+          Problem.random_instance (Rng.create 3) ~n:4 ~f:1 ~d:2 ~faulty:[ 3 ]
+        in
+        let r =
+          Algo_exact.run inst ~validity:(Problem.K_relaxed 1)
+            ~corrupt:(corrupt 2) ()
+        in
+        let outs = honest_outputs inst r in
+        check_true "1-relaxed validity"
+          (Validity.k_relaxed_validity ~k:1
+             ~honest_inputs:(Problem.honest_inputs inst)
+             outs)
+            .Validity.ok);
+    case "k=2 relaxed validity" (fun () ->
+        let inst =
+          Problem.random_instance (Rng.create 4) ~n:5 ~f:1 ~d:3 ~faulty:[ 2 ]
+        in
+        let r =
+          Algo_exact.run inst ~validity:(Problem.K_relaxed 2)
+            ~corrupt:(corrupt 3) ()
+        in
+        let outs = honest_outputs inst r in
+        check_int "decided" 4 (List.length outs);
+        check_true "k-validity"
+          (Validity.k_relaxed_validity ~k:2
+             ~honest_inputs:(Problem.honest_inputs inst)
+             outs)
+            .Validity.ok);
+    case "constant-delta succeeds at standard threshold" (fun () ->
+        let inst =
+          Problem.random_instance (Rng.create 5) ~n:5 ~f:1 ~d:3 ~faulty:[ 1 ]
+        in
+        let r =
+          Algo_exact.run inst
+            ~validity:(Problem.Delta_p { delta = 0.1; p = 2. })
+            ~corrupt:(corrupt 3) ()
+        in
+        let outs = honest_outputs inst r in
+        check_int "decided" 4 (List.length outs);
+        check_true "delta validity"
+          (Validity.delta_p_validity ~delta:0.1 ~p:2.
+             ~honest_inputs:(Problem.honest_inputs inst)
+             outs)
+            .Validity.ok);
+    case "input-dependent runs below the standard threshold" (fun () ->
+        let inst =
+          Problem.random_instance (Rng.create 6) ~n:4 ~f:1 ~d:3 ~faulty:[ 3 ]
+        in
+        let r =
+          Algo_exact.run inst
+            ~validity:(Problem.Input_dependent { p = 2. })
+            ~corrupt:(corrupt 3) ()
+        in
+        let outs = honest_outputs inst r in
+        check_int "decided" 3 (List.length outs);
+        check_true "agreement" (Validity.agreement outs).Validity.ok;
+        (* Theorem 9 bound on the relaxation actually used *)
+        let hi = Problem.honest_inputs inst in
+        let bound = Bounds.max_edge hi /. 2. in
+        List.iter
+          (fun p ->
+            check_true "delta below bound"
+              (r.Algo_exact.delta_used.(p) < bound))
+          (Problem.honest_ids inst));
+    case "choose_output deterministic on same view" (fun () ->
+        let s = Rng.cloud (Rng.create 7) ~n:4 ~dim:3 ~lo:0. ~hi:1. in
+        let a =
+          Algo_exact.choose_output
+            ~validity:(Problem.Input_dependent { p = 2. })
+            ~f:1 s
+        in
+        let b =
+          Algo_exact.choose_output
+            ~validity:(Problem.Input_dependent { p = 2. })
+            ~f:1 s
+        in
+        match (a, b) with
+        | Some (pa, da), Some (pb, db) ->
+            check_vec "point" pa pb;
+            check_float "delta" da db
+        | _ -> Alcotest.fail "should decide");
+    case "choose_output None when Gamma empty (standard, simplex)" (fun () ->
+        let s = Rng.simplex_vertices (Rng.create 8) ~dim:3 in
+        check_true "stuck"
+          (Algo_exact.choose_output ~validity:Problem.Standard ~f:1 s = None));
+    case "choose_output Delta_p fails when delta too small" (fun () ->
+        let s = Rng.simplex_vertices (Rng.create 9) ~dim:3 in
+        (* delta* of a simplex is its inradius > 0; ask for less *)
+        let r, _ = Option.get (Delta_hull.incenter_value s) in
+        check_true "refuses"
+          (Algo_exact.choose_output
+             ~validity:(Problem.Delta_p { delta = r /. 2.; p = 2. })
+             ~f:1 s
+          = None);
+        check_true "accepts with slack"
+          (Algo_exact.choose_output
+             ~validity:(Problem.Delta_p { delta = r *. 2.; p = 2. })
+             ~f:1 s
+          <> None));
+    case "Delta_p with p=inf uses exact LP region" (fun () ->
+        let s = Rng.simplex_vertices (Rng.create 10) ~dim:3 in
+        match
+          Algo_exact.choose_output
+            ~validity:(Problem.Delta_p { delta = 2.; p = Float.infinity })
+            ~f:1 s
+        with
+        | Some (pt, _) ->
+            check_true "within 2"
+              (Delta_hull.max_dist ~p:Float.infinity ~f:1 s pt <= 2. +. 1e-6)
+        | None -> Alcotest.fail "generous delta must work");
+  ]
+
+let props =
+  [
+    qtest ~count:10 "end-to-end agreement+validity across seeds (standard)"
+      QCheck.(make ~print:string_of_int Gen.(int_range 0 300))
+      (fun seed ->
+        let inst =
+          Problem.random_instance (Rng.create seed) ~n:5 ~f:1 ~d:3
+            ~faulty:[ seed mod 5 ]
+        in
+        let r =
+          Algo_exact.run inst ~validity:Problem.Standard ~corrupt:(corrupt 3) ()
+        in
+        let outs = honest_outputs inst r in
+        List.length outs = 4
+        && (Validity.agreement outs).Validity.ok
+        && (Validity.standard_validity
+              ~honest_inputs:(Problem.honest_inputs inst)
+              outs)
+             .Validity.ok);
+    qtest ~count:10 "input-dependent delta below Theorem 9 bound across seeds"
+      QCheck.(make ~print:string_of_int Gen.(int_range 0 300))
+      (fun seed ->
+        let inst =
+          Problem.random_instance (Rng.create (seed + 1)) ~n:4 ~f:1 ~d:3
+            ~faulty:[ 3 ]
+        in
+        let r =
+          Algo_exact.run inst
+            ~validity:(Problem.Input_dependent { p = 2. })
+            ~corrupt:(corrupt 3) ()
+        in
+        let outs = honest_outputs inst r in
+        let hi = Problem.honest_inputs inst in
+        List.length outs = 3
+        && (Validity.agreement outs).Validity.ok
+        && List.for_all
+             (fun o -> Hull.dist_p ~p:2. hi o < Bounds.max_edge hi /. 2.)
+             outs);
+  ]
+
+let suite = unit_tests @ props

@@ -1,0 +1,106 @@
+open Helpers
+
+let adversary d =
+  Adversary.corrupt (fun ~round ~dst v ->
+      Vec.axpy (0.2 *. float_of_int ((round + dst) mod 3)) (Vec.ones d) v)
+
+let unit_tests =
+  [
+    case "all-honest converges geometrically" (fun () ->
+        let inst =
+          Problem.random_instance (Rng.create 1) ~n:5 ~f:1 ~d:3 ~faulty:[]
+        in
+        let r = Algo_iterative.run inst ~rounds:15 () in
+        let hist = r.Algo_iterative.spread_history in
+        check_int "history length" 16 (List.length hist);
+        let final = List.nth hist 15 in
+        check_true "converged" (final < 1e-3);
+        check_true "contracted" (final < List.hd hist /. 100.));
+    case "validity: values stay in initial honest hull" (fun () ->
+        let inst =
+          Problem.random_instance (Rng.create 2) ~n:5 ~f:1 ~d:3 ~faulty:[ 4 ]
+        in
+        let r = Algo_iterative.run inst ~rounds:12 ~adversary:(adversary 3) () in
+        let hi = Problem.honest_inputs inst in
+        List.iter
+          (fun p ->
+            check_true "in hull"
+              (Hull.dist_p ~p:2. hi r.Algo_iterative.outputs.(p) < 1e-6))
+          (Problem.honest_ids inst));
+    case "spread history monotone under equivocation" (fun () ->
+        let inst =
+          Problem.random_instance (Rng.create 3) ~n:5 ~f:1 ~d:3 ~faulty:[ 0 ]
+        in
+        let r = Algo_iterative.run inst ~rounds:10 ~adversary:(adversary 3) () in
+        let hist = Array.of_list r.Algo_iterative.spread_history in
+        for i = 1 to Array.length hist - 1 do
+          check_true "non-increasing" (hist.(i) <= hist.(i - 1) +. 1e-9)
+        done);
+    case "zero rounds is identity" (fun () ->
+        let inst =
+          Problem.random_instance (Rng.create 4) ~n:5 ~f:1 ~d:3 ~faulty:[]
+        in
+        let r = Algo_iterative.run inst ~rounds:0 () in
+        Array.iteri
+          (fun p v -> check_vec "unchanged" inst.Problem.inputs.(p) v)
+          r.Algo_iterative.outputs);
+    case "silent adversary converges at n = (d+2)f+1" (fun () ->
+        (* a silent fault removes one value per round; only n = 6 keeps
+           the per-round safe region non-empty (see the module doc) *)
+        let inst =
+          Problem.random_instance (Rng.create 5) ~n:6 ~f:1 ~d:3 ~faulty:[ 2 ]
+        in
+        let r =
+          Algo_iterative.run inst ~rounds:15 ~adversary:Adversary.silent ()
+        in
+        let final = List.nth r.Algo_iterative.spread_history 15 in
+        check_true "converged" (final < 1e-3));
+    case "silent adversary at n = (d+1)f+1 stalls but stays valid" (fun () ->
+        (* the threshold phenomenon itself: at n = 5 the received set is
+           too small for a guaranteed safe point, so processes hold —
+           no progress, but no validity violation either *)
+        let inst =
+          Problem.random_instance (Rng.create 5) ~n:5 ~f:1 ~d:3 ~faulty:[ 2 ]
+        in
+        let r =
+          Algo_iterative.run inst ~rounds:8 ~adversary:Adversary.silent ()
+        in
+        let hi = Problem.honest_inputs inst in
+        List.iter
+          (fun p ->
+            check_true "still in hull"
+              (Hull.dist_p ~p:2. hi r.Algo_iterative.outputs.(p) < 1e-6))
+          (Problem.honest_ids inst));
+    raises_invalid "n below (d+1)f+1 rejected" (fun () ->
+        let inst =
+          Problem.random_instance (Rng.create 6) ~n:4 ~f:1 ~d:3 ~faulty:[]
+        in
+        Algo_iterative.run inst ~rounds:1 ());
+    case "message count: n^2 per round" (fun () ->
+        let inst =
+          Problem.random_instance (Rng.create 7) ~n:5 ~f:1 ~d:3 ~faulty:[]
+        in
+        let r = Algo_iterative.run inst ~rounds:4 () in
+        check_int "messages" (4 * 5 * 5) r.Algo_iterative.trace.Trace.messages_sent);
+  ]
+
+let props =
+  [
+    qtest ~count:10 "convergence + validity across seeds"
+      QCheck.(make ~print:string_of_int Gen.(int_range 0 400))
+      (fun seed ->
+        let inst =
+          Problem.random_instance (Rng.create seed) ~n:5 ~f:1 ~d:3
+            ~faulty:[ seed mod 5 ]
+        in
+        (* an actively equivocating adversary slows the contraction
+           (the safe point moves each round), so give it more rounds *)
+        let r = Algo_iterative.run inst ~rounds:28 ~adversary:(adversary 3) () in
+        let hi = Problem.honest_inputs inst in
+        List.nth r.Algo_iterative.spread_history 28 < 1e-2
+        && List.for_all
+             (fun p -> Hull.dist_p ~p:2. hi r.Algo_iterative.outputs.(p) < 1e-6)
+             (Problem.honest_ids inst));
+  ]
+
+let suite = unit_tests @ props

@@ -1,0 +1,96 @@
+open Helpers
+
+let unit_tests =
+  [
+    case "n = 3f+1 suffices regardless of dimension" (fun () ->
+        let inst =
+          Problem.random_instance (Rng.create 1) ~n:4 ~f:1 ~d:6 ~faulty:[ 3 ]
+        in
+        let r = Algo_k1_async.run inst ~eps:0.05 ~adversary:`Silent () in
+        let honest = Problem.honest_ids inst in
+        let outs =
+          List.filter_map (fun p -> r.Algo_k1_async.outputs.(p)) honest
+        in
+        check_int "3 decided" 3 (List.length outs);
+        check_true "eps-agreement"
+          (Validity.eps_agreement ~eps:0.05 outs).Validity.ok;
+        check_true "1-relaxed validity"
+          (Validity.k_relaxed_validity ~k:1
+             ~honest_inputs:(Problem.honest_inputs inst)
+             outs)
+            .Validity.ok);
+    case "per-coordinate outputs are in honest coordinate ranges" (fun () ->
+        let inst =
+          Problem.random_instance (Rng.create 2) ~n:4 ~f:1 ~d:3 ~faulty:[ 0 ]
+        in
+        let r =
+          Algo_k1_async.run inst ~eps:0.05 ~adversary:(`Skew 9.)
+            ~policy:(Async.Random_order 4) ()
+        in
+        let hi = Problem.honest_inputs inst in
+        List.iter
+          (fun p ->
+            match r.Algo_k1_async.outputs.(p) with
+            | None -> Alcotest.fail "honest must decide"
+            | Some o ->
+                for c = 0 to 2 do
+                  let lo =
+                    List.fold_left (fun a v -> Float.min a v.(c)) infinity hi
+                  in
+                  let hi' =
+                    List.fold_left (fun a v -> Float.max a v.(c)) neg_infinity
+                      hi
+                  in
+                  check_true "coordinate in range"
+                    (o.(c) >= lo -. 1e-7 && o.(c) <= hi' +. 1e-7)
+                done)
+          (Problem.honest_ids inst));
+    case "message count scales with d" (fun () ->
+        let run d =
+          let inst =
+            Problem.random_instance (Rng.create 3) ~n:4 ~f:1 ~d ~faulty:[]
+          in
+          (Algo_k1_async.run inst ~eps:0.1 ~rounds:2 ()).Algo_k1_async.messages
+        in
+        check_true "linear-ish growth" (run 4 > run 2));
+    raises_invalid "n < 3f+1 rejected" (fun () ->
+        let inst =
+          Problem.random_instance (Rng.create 4) ~n:3 ~f:1 ~d:2 ~faulty:[]
+        in
+        Algo_k1_async.run inst ~eps:0.1 ());
+    case "k=1 cannot be strengthened for free: k=2 validity can fail"
+      (fun () ->
+        (* the reassembled vector is generally NOT in H_2(N) — exactly why
+           the paper's Theorem 4 matters. Find a seed where it fails. *)
+        let found = ref false in
+        (try
+           for seed = 0 to 30 do
+             let inst =
+               Problem.random_instance (Rng.create seed) ~n:4 ~f:1 ~d:3
+                 ~faulty:[ 3 ]
+             in
+             let r =
+               Algo_k1_async.run inst ~eps:0.05 ~adversary:(`Skew 8.)
+                 ~policy:(Async.Random_order seed) ()
+             in
+             let outs =
+               List.filter_map
+                 (fun p -> r.Algo_k1_async.outputs.(p))
+                 (Problem.honest_ids inst)
+             in
+             if
+               not
+                 (Validity.k_relaxed_validity ~k:2
+                    ~honest_inputs:(Problem.honest_inputs inst)
+                    outs)
+                   .Validity.ok
+             then begin
+               found := true;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        check_true "a 2-relaxed violation exists" !found);
+  ]
+
+let suite = unit_tests

@@ -1,0 +1,118 @@
+open Helpers
+
+let b = Bigint.of_string
+let bi = Bigint.of_int
+let s = Bigint.to_string
+
+let unit_tests =
+  [
+    case "of_int/to_string small" (fun () ->
+        Alcotest.(check string) "42" "42" (s (bi 42));
+        Alcotest.(check string) "-7" "-7" (s (bi (-7)));
+        Alcotest.(check string) "0" "0" (s Bigint.zero));
+    case "of_int large native" (fun () ->
+        Alcotest.(check string) "max-ish" "4611686018427387903"
+          (s (bi 4611686018427387903)));
+    case "of_string round trip" (fun () ->
+        let x = "123456789012345678901234567890123456789" in
+        Alcotest.(check string) "rt" x (s (b x));
+        Alcotest.(check string) "neg rt" ("-" ^ x) (s (b ("-" ^ x))));
+    case "of_string leading zeros in limbs" (fun () ->
+        Alcotest.(check string) "pad" "1000000001" (s (b "1000000001")));
+    raises_invalid "of_string garbage" (fun () -> b "12x4");
+    raises_invalid "of_string empty" (fun () -> b "");
+    case "compare ordering" (fun () ->
+        check_true "pos > neg" (Bigint.compare (bi 1) (bi (-1)) > 0);
+        check_true "longer bigger" (Bigint.compare (b "10000000000") (bi 5) > 0);
+        check_true "equal" (Bigint.compare (b "123") (bi 123) = 0));
+    case "add with carry across limbs" (fun () ->
+        Alcotest.(check string) "carry" "1000000000"
+          (s (Bigint.add (bi 999999999) (bi 1))));
+    case "add mixed signs" (fun () ->
+        Alcotest.(check string) "7-10" "-3" (s (Bigint.add (bi 7) (bi (-10))));
+        Alcotest.(check string) "10-7" "3" (s (Bigint.add (bi 10) (bi (-7))));
+        check_true "x + (-x) = 0"
+          (Bigint.is_zero (Bigint.add (b "123456789123456789") (b "-123456789123456789"))));
+    case "sub borrows" (fun () ->
+        Alcotest.(check string) "borrow" "999999999"
+          (s (Bigint.sub (b "1000000000") (bi 1))));
+    case "mul small" (fun () ->
+        Alcotest.(check string) "6" "6" (s (Bigint.mul (bi 2) (bi 3)));
+        Alcotest.(check string) "sign" "-6" (s (Bigint.mul (bi 2) (bi (-3)))));
+    case "mul known big product" (fun () ->
+        (* 111111111 * 111111111 = 12345678987654321 *)
+        Alcotest.(check string) "palindrome" "12345678987654321"
+          (s (Bigint.mul (bi 111111111) (bi 111111111))));
+    case "mul by zero" (fun () ->
+        check_true "zero" (Bigint.is_zero (Bigint.mul (b "99999999999999") Bigint.zero)));
+    case "divmod small" (fun () ->
+        let q, r = Bigint.divmod (bi 17) (bi 5) in
+        Alcotest.(check string) "q" "3" (s q);
+        Alcotest.(check string) "r" "2" (s r));
+    case "divmod negative (truncated)" (fun () ->
+        let q, r = Bigint.divmod (bi (-17)) (bi 5) in
+        Alcotest.(check string) "q" "-3" (s q);
+        Alcotest.(check string) "r" "-2" (s r));
+    case "divmod multi-limb divisor" (fun () ->
+        let a = b "123456789012345678901234567890" in
+        let d = b "9876543210987654321" in
+        let q, r = Bigint.divmod a d in
+        check_true "identity" (Bigint.equal a (Bigint.add (Bigint.mul q d) r));
+        check_true "remainder small" (Bigint.compare (Bigint.abs r) (Bigint.abs d) < 0));
+    case "divmod exact division" (fun () ->
+        let a = b "123456789012345678901234567890" in
+        let d = b "987654321098765432109" in
+        let prod = Bigint.mul a d in
+        let q, r = Bigint.divmod prod d in
+        check_true "q = a" (Bigint.equal q a);
+        check_true "r = 0" (Bigint.is_zero r));
+    raises_div_by_zero "div by zero" (fun () -> Bigint.divmod (bi 1) Bigint.zero);
+    case "gcd basics" (fun () ->
+        Alcotest.(check string) "12" "12" (s (Bigint.gcd (bi 48) (bi 36)));
+        Alcotest.(check string) "gcd 0 x" "5" (s (Bigint.gcd Bigint.zero (bi 5)));
+        Alcotest.(check string) "gcd neg" "4" (s (Bigint.gcd (bi (-8)) (bi 12))));
+    case "to_int_opt" (fun () ->
+        Alcotest.(check (option int)) "small" (Some 42) (Bigint.to_int_opt (bi 42));
+        Alcotest.(check (option int)) "neg" (Some (-42)) (Bigint.to_int_opt (bi (-42)));
+        Alcotest.(check (option int)) "huge" None
+          (Bigint.to_int_opt (b "123456789012345678901234567890")));
+  ]
+
+let int_pair = QCheck.(pair (int_range (-1_000_000) 1_000_000) (int_range (-1_000_000) 1_000_000))
+
+let props =
+  [
+    qtest ~count:100 "agrees with native int add/sub/mul" int_pair
+      (fun (x, y) ->
+        Bigint.equal (Bigint.add (bi x) (bi y)) (bi (x + y))
+        && Bigint.equal (Bigint.sub (bi x) (bi y)) (bi (x - y))
+        && Bigint.equal (Bigint.mul (bi x) (bi y)) (bi (x * y)));
+    qtest ~count:100 "divmod identity and bound vs native" int_pair
+      (fun (x, y) ->
+        if y = 0 then true
+        else begin
+          let q, r = Bigint.divmod (bi x) (bi y) in
+          Bigint.equal q (bi (x / y)) && Bigint.equal r (bi (x mod y))
+        end);
+    qtest ~count:60 "string round trip on products" int_pair (fun (x, y) ->
+        let p = Bigint.mul (Bigint.mul (bi x) (bi y)) (b "1000000000000000000007") in
+        Bigint.equal p (b (s p)));
+    qtest ~count:60 "gcd divides both" int_pair (fun (x, y) ->
+        let g = Bigint.gcd (bi x) (bi y) in
+        if Bigint.is_zero g then x = 0 && y = 0
+        else begin
+          let _, rx = Bigint.divmod (bi x) g in
+          let _, ry = Bigint.divmod (bi y) g in
+          Bigint.is_zero rx && Bigint.is_zero ry
+        end);
+    qtest ~count:60 "big divmod identity (random magnitudes)"
+      QCheck.(pair (int_range 1 max_int) (int_range 1 max_int))
+      (fun (x, y) ->
+        let a = Bigint.mul (bi x) (Bigint.mul (bi y) (b "999999999999999989")) in
+        let d = Bigint.add (bi y) (b "1000000007") in
+        let q, r = Bigint.divmod a d in
+        Bigint.equal a (Bigint.add (Bigint.mul q d) r)
+        && Bigint.compare (Bigint.abs r) (Bigint.abs d) < 0);
+  ]
+
+let suite = unit_tests @ props

@@ -1,0 +1,129 @@
+open Helpers
+
+let v = Vec.of_list
+
+let unit_tests =
+  [
+    case "edges count C(n,2)" (fun () ->
+        check_int "6" 6
+          (List.length
+             (Bounds.edges [ v [ 0.; 0. ]; v [ 1.; 0. ]; v [ 0.; 1. ]; v [ 1.; 1. ] ])));
+    case "min/max edge of unit square" (fun () ->
+        let sq = [ v [ 0.; 0. ]; v [ 1.; 0. ]; v [ 0.; 1. ]; v [ 1.; 1. ] ] in
+        check_float ~eps:1e-9 "min" 1. (Bounds.min_edge sq);
+        check_float ~eps:1e-9 "max" (sqrt 2.) (Bounds.max_edge sq));
+    case "edges with p=1" (fun () ->
+        check_float ~eps:1e-9 "L1 diag" 2.
+          (Bounds.max_edge ~p:1. [ v [ 0.; 0. ]; v [ 1.; 1. ] ]));
+    raises_invalid "min_edge single point" (fun () ->
+        Bounds.min_edge [ v [ 0.; 0. ] ]);
+    (* Theorem 1 *)
+    case "exact_bvc_min_n scalar regime" (fun () ->
+        check_int "d=1" 4 (Bounds.exact_bvc_min_n ~d:1 ~f:1);
+        check_int "d=2" 4 (Bounds.exact_bvc_min_n ~d:2 ~f:1));
+    case "exact_bvc_min_n vector regime" (fun () ->
+        check_int "d=3" 5 (Bounds.exact_bvc_min_n ~d:3 ~f:1);
+        check_int "d=3 f=2" 9 (Bounds.exact_bvc_min_n ~d:3 ~f:2);
+        check_int "d=9" 11 (Bounds.exact_bvc_min_n ~d:9 ~f:1));
+    case "f=0 trivial" (fun () ->
+        check_int "1" 1 (Bounds.exact_bvc_min_n ~d:5 ~f:0));
+    (* Theorem 2 *)
+    case "approx_bvc_min_n" (fun () ->
+        check_int "d=1" 4 (Bounds.approx_bvc_min_n ~d:1 ~f:1);
+        check_int "d=3" 6 (Bounds.approx_bvc_min_n ~d:3 ~f:1);
+        check_int "d=3 f=2" 11 (Bounds.approx_bvc_min_n ~d:3 ~f:2));
+    (* Section 5.3 + Theorems 3-4 *)
+    case "k_relaxed bounds: k=1 reduces to scalar" (fun () ->
+        check_int "sync" 4 (Bounds.k_relaxed_exact_min_n ~d:7 ~f:1 ~k:1);
+        check_int "async" 4 (Bounds.k_relaxed_approx_min_n ~d:7 ~f:1 ~k:1));
+    case "k_relaxed bounds: k>=2 no savings (the paper's headline)" (fun () ->
+        check_int "sync k=2" (Bounds.exact_bvc_min_n ~d:7 ~f:1)
+          (Bounds.k_relaxed_exact_min_n ~d:7 ~f:1 ~k:2);
+        check_int "sync k=d" (Bounds.exact_bvc_min_n ~d:7 ~f:1)
+          (Bounds.k_relaxed_exact_min_n ~d:7 ~f:1 ~k:7);
+        check_int "async k=3" (Bounds.approx_bvc_min_n ~d:7 ~f:1)
+          (Bounds.k_relaxed_approx_min_n ~d:7 ~f:1 ~k:3));
+    raises_invalid "k out of range" (fun () ->
+        Bounds.k_relaxed_exact_min_n ~d:3 ~f:1 ~k:4);
+    (* Theorems 5-6 *)
+    case "const delta bounds equal standard bounds" (fun () ->
+        check_int "sync" (Bounds.exact_bvc_min_n ~d:5 ~f:2)
+          (Bounds.const_delta_exact_min_n ~d:5 ~f:2);
+        check_int "async" (Bounds.approx_bvc_min_n ~d:5 ~f:2)
+          (Bounds.const_delta_approx_min_n ~d:5 ~f:2));
+    (* Lemma 10 *)
+    case "input_dependent_min_n = 3f+1" (fun () ->
+        check_int "f=1" 4 (Bounds.input_dependent_min_n ~f:1);
+        check_int "f=3" 10 (Bounds.input_dependent_min_n ~f:3));
+    (* Table 1 formulas *)
+    case "thm9_bound" (fun () ->
+        check_float ~eps:1e-9 "min wins" 0.5
+          (Bounds.thm9_bound ~n:5 ~min_edge:1. ~max_edge:10.);
+        check_float ~eps:1e-9 "max/(n-2) wins" (1. /. 3.)
+          (Bounds.thm9_bound ~n:5 ~min_edge:10. ~max_edge:1.));
+    case "thm12_bound" (fun () ->
+        check_float ~eps:1e-9 "b" 2. (Bounds.thm12_bound ~d:3 ~max_edge:4.));
+    case "conj1_bound floor semantics" (fun () ->
+        check_float ~eps:1e-9 "n=7,f=2: floor(3.5)-2 = 1" 4.
+          (Bounds.conj1_bound ~n:7 ~f:2 ~max_edge:4.);
+        check_float ~eps:1e-9 "n=9,f=2: floor(4.5)-2 = 2" 2.
+          (Bounds.conj1_bound ~n:9 ~f:2 ~max_edge:4.));
+    raises_invalid "conj1 degenerate quotient" (fun () ->
+        Bounds.conj1_bound ~n:4 ~f:2 ~max_edge:1.);
+    case "holder_factor" (fun () ->
+        check_float ~eps:1e-9 "p=2" 1. (Bounds.holder_factor ~d:9 ~p:2.);
+        check_float ~eps:1e-9 "p=inf d=9" 3.
+          (Bounds.holder_factor ~d:9 ~p:Float.infinity);
+        check_float ~eps:1e-12 "p=4 d=16" 2. (Bounds.holder_factor ~d:16 ~p:4.));
+    case "kappa2 regimes" (fun () ->
+        (match Bounds.kappa2 ~n:5 ~f:1 ~d:4 with
+        | `Proved k -> check_float ~eps:1e-9 "thm9" (1. /. 3.) k
+        | `Conjectured _ -> Alcotest.fail "n=(d+1)f is proved");
+        (match Bounds.kappa2 ~n:8 ~f:2 ~d:3 with
+        | `Proved k -> check_float ~eps:1e-9 "thm12" 0.5 k
+        | `Conjectured _ -> Alcotest.fail "n=(d+1)f, f>=2 is proved");
+        match Bounds.kappa2 ~n:7 ~f:2 ~d:4 with
+        | `Conjectured k -> check_float ~eps:1e-9 "conj" 1. k
+        | `Proved _ -> Alcotest.fail "interior n is conjectured");
+    raises_invalid "kappa2 domain" (fun () -> Bounds.kappa2 ~n:12 ~f:1 ~d:4);
+    case "thm14_bound composes" (fun () ->
+        match Bounds.thm14_bound ~n:5 ~f:1 ~d:4 ~p:4. ~max_edge_p:3. with
+        | `Proved b ->
+            check_float ~eps:1e-9 "b" (4. ** 0.25 *. (1. /. 3.) *. 3.) b
+        | `Conjectured _ -> Alcotest.fail "proved regime");
+    case "thm15_bound substitutes n-f" (fun () ->
+        (match Bounds.thm15_bound ~n:6 ~f:1 ~d:4 ~p:2. ~max_edge_p:3. with
+        | Some (`Proved b) -> check_float ~eps:1e-9 "b" 1. b
+        | _ -> Alcotest.fail "n-f=5=(d+1)f is in the proved regime");
+        check_true "outside domain"
+          (Bounds.thm15_bound ~n:4 ~f:1 ~d:4 ~p:2. ~max_edge_p:1. = None));
+    case "table1_cell strings mention the right source" (fun () ->
+        check_true "thm9"
+          (String.length (Bounds.table1_cell ~n:5 ~f:1 ~d:4) > 0);
+        let c12 = Bounds.table1_cell ~n:8 ~f:2 ~d:3 in
+        check_true "thm12 mentioned"
+          (String.length c12 > 0
+          && String.sub c12 (String.length c12 - 1) 1 = "]"));
+  ]
+
+let props =
+  [
+    qtest ~count:40 "exact <= approx bound" QCheck.(pair (int_range 1 9) (int_range 1 3))
+      (fun (d, f) ->
+        Bounds.exact_bvc_min_n ~d ~f <= Bounds.approx_bvc_min_n ~d ~f);
+    qtest ~count:40 "bounds monotone in d and f"
+      QCheck.(pair (int_range 1 8) (int_range 1 3))
+      (fun (d, f) ->
+        Bounds.exact_bvc_min_n ~d ~f <= Bounds.exact_bvc_min_n ~d:(d + 1) ~f
+        && Bounds.exact_bvc_min_n ~d ~f <= Bounds.exact_bvc_min_n ~d ~f:(f + 1));
+    qtest ~count:40 "max_edge >= min_edge" (arb_points ~n:5 ())
+      (fun pts -> Bounds.max_edge pts >= Bounds.min_edge pts -. 1e-12);
+    qtest ~count:40 "holder factor at least 1, increasing in p"
+      QCheck.(int_range 1 9)
+      (fun d ->
+        Bounds.holder_factor ~d ~p:2. <= Bounds.holder_factor ~d ~p:3. +. 1e-12
+        && Bounds.holder_factor ~d ~p:3.
+           <= Bounds.holder_factor ~d ~p:Float.infinity +. 1e-12);
+  ]
+
+let suite = unit_tests @ props

@@ -1,0 +1,132 @@
+open Helpers
+
+let fcmp = Float.compare
+
+let run ?faulty ?adversary ?policy ~n ~f inputs =
+  Bracha.broadcast_all ~n ~f ~inputs ?faulty ?adversary ?policy ~compare:fcmp
+    ()
+
+let check_honest_delivery ~n ~faulty deliveries inputs =
+  let honest = List.filter (fun p -> not (List.mem p faulty)) (List.init n Fun.id) in
+  List.iter
+    (fun o ->
+      if not (List.mem o faulty) then
+        List.iter
+          (fun p ->
+            match deliveries.(p).(o) with
+            | Some v -> check_float "validity" inputs.(o) v
+            | None -> Alcotest.failf "p%d missed honest o%d" p o)
+          honest)
+    (List.init n Fun.id)
+
+let unit_tests =
+  [
+    case "all-honest full delivery (fifo)" (fun () ->
+        let inputs = [| 1.; 2.; 3.; 4. |] in
+        let deliveries, out = run ~n:4 ~f:1 inputs in
+        check_true "quiescent" out.Async.quiescent;
+        check_honest_delivery ~n:4 ~faulty:[] deliveries inputs);
+    case "all-honest full delivery (random)" (fun () ->
+        let inputs = [| 1.; 2.; 3.; 4. |] in
+        let deliveries, out =
+          run ~n:4 ~f:1 ~policy:(Async.Random_order 3) inputs
+        in
+        check_true "quiescent" out.Async.quiescent;
+        check_honest_delivery ~n:4 ~faulty:[] deliveries inputs);
+    case "silent faulty: honest deliveries unaffected" (fun () ->
+        let inputs = [| 1.; 2.; 3.; 4. |] in
+        let deliveries, _ =
+          run ~n:4 ~f:1 ~faulty:[ 3 ]
+            ~adversary:(fun ~round:_ ~src:_ ~dst:_ _ -> None)
+            inputs
+        in
+        check_honest_delivery ~n:4 ~faulty:[ 3 ] deliveries inputs;
+        (* silent faulty delivers nothing of its own *)
+        check_true "no delivery from silent"
+          (Array.for_all (fun row -> row.(3) = None) deliveries));
+    case "equivocating originator: agreement preserved" (fun () ->
+        let inputs = [| 1.; 2.; 3.; 4. |] in
+        let adversary ~round:_ ~src:_ ~dst msg =
+          match msg with
+          | Some (Bracha.Initial { originator; value }) ->
+              Some
+                (Bracha.Initial
+                   { originator; value = value +. float_of_int (dst mod 2) })
+          | m -> m
+        in
+        let deliveries, _ =
+          run ~n:4 ~f:1 ~faulty:[ 0 ] ~adversary
+            ~policy:(Async.Random_order 17) inputs
+        in
+        (* whatever honest processes delivered for originator 0 is consistent *)
+        let vals = List.filter_map (fun p -> deliveries.(p).(0)) [ 1; 2; 3 ] in
+        (match vals with
+        | [] -> ()
+        | v :: rest ->
+            List.iter (fun w -> check_float "agreement on byz" v w) rest);
+        check_honest_delivery ~n:4 ~faulty:[ 0 ] deliveries inputs);
+    case "fake Initial from non-originator ignored" (fun () ->
+        let inputs = [| 1.; 2.; 3.; 4. |] in
+        let adversary ~round:_ ~src ~dst:_ msg =
+          match msg with
+          | Some (Bracha.Echo { originator; value }) when originator = src ->
+              (* also try to impersonate process 1 *)
+              Some (Bracha.Initial { originator = 1; value = value +. 50. })
+          | m -> m
+        in
+        let deliveries, _ = run ~n:4 ~f:1 ~faulty:[ 3 ] ~adversary inputs in
+        (* impersonation must not change what is delivered for originator 1 *)
+        List.iter
+          (fun p ->
+            match deliveries.(p).(1) with
+            | Some v -> check_float "no impersonation" 2. v
+            | None -> Alcotest.fail "honest broadcast must deliver")
+          [ 0; 1; 2 ]);
+    case "delayed scheduler still delivers" (fun () ->
+        let inputs = [| 5.; 6.; 7.; 8. |] in
+        let deliveries, out =
+          run ~n:4 ~f:1
+            ~policy:(Async.Delay { victims = [ 0; 1 ]; slack = 30 })
+            inputs
+        in
+        check_true "quiescent" out.Async.quiescent;
+        check_honest_delivery ~n:4 ~faulty:[] deliveries inputs);
+    case "n=7 f=2 with two silent" (fun () ->
+        let inputs = Array.init 7 float_of_int in
+        let deliveries, _ =
+          run ~n:7 ~f:2 ~faulty:[ 5; 6 ]
+            ~adversary:(fun ~round:_ ~src:_ ~dst:_ _ -> None)
+            inputs
+        in
+        check_honest_delivery ~n:7 ~faulty:[ 5; 6 ] deliveries inputs);
+    raises_invalid "n < 3f+1 rejected" (fun () -> run ~n:3 ~f:1 [| 1.; 2.; 3. |]);
+    raises_invalid "input arity" (fun () -> run ~n:4 ~f:1 [| 1. |]);
+  ]
+
+let props =
+  [
+    qtest ~count:20 "totality: byz originator either delivers to all or none (seeded schedulers)"
+      QCheck.(make ~print:string_of_int Gen.(int_range 0 500))
+      (fun seed ->
+        let inputs = [| 1.; 2.; 3.; 4. |] in
+        let adversary ~round:_ ~src:_ ~dst msg =
+          match msg with
+          | Some (Bracha.Initial { originator; value }) ->
+              Some
+                (Bracha.Initial
+                   { originator; value = value +. float_of_int (dst mod 3) })
+          | m -> m
+        in
+        let deliveries, out =
+          run ~n:4 ~f:1 ~faulty:[ 2 ] ~adversary
+            ~policy:(Async.Random_order seed) inputs
+        in
+        (* consistency of byz deliveries among honest *)
+        let vals = List.filter_map (fun p -> deliveries.(p).(2)) [ 0; 1; 3 ] in
+        out.Async.quiescent
+        && (match vals with
+           | [] -> true
+           | v :: rest -> List.for_all (fun w -> w = v) rest));
+  ]
+
+let suite = unit_tests @ props

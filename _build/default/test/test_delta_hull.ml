@@ -1,0 +1,168 @@
+open Helpers
+
+let v = Vec.of_list
+let square = [ v [ 0.; 0. ]; v [ 1.; 0. ]; v [ 0.; 1. ]; v [ 1.; 1. ] ]
+
+let unit_tests =
+  [
+    case "mem within delta" (fun () ->
+        check_true "in" (Delta_hull.mem ~delta:0.6 ~p:2. square (v [ 1.5; 0.5 ]));
+        check_false "out"
+          (Delta_hull.mem ~delta:0.4 ~p:2. square (v [ 1.5; 0.5 ])));
+    case "mem delta=0 is plain membership" (fun () ->
+        check_true "in" (Delta_hull.mem ~delta:0. ~p:2. square (v [ 0.5; 0.5 ]));
+        check_false "out"
+          (Delta_hull.mem ~delta:0. ~p:2. square (v [ 1.1; 0.5 ])));
+    raises_invalid "mem negative delta" (fun () ->
+        Delta_hull.mem ~delta:(-1.) ~p:2. square (v [ 0.; 0. ]));
+    case "subsets_minus_f counts" (fun () ->
+        check_int "C(4,1)" 4
+          (List.length (Delta_hull.subsets_minus_f ~f:1 square));
+        check_int "C(4,2)" 6
+          (List.length (Delta_hull.subsets_minus_f ~f:2 square));
+        check_int "f=0" 1 (List.length (Delta_hull.subsets_minus_f ~f:0 square)));
+    case "subsets_minus_f dedupes repeated points" (fun () ->
+        let pts = [ v [ 0.; 0. ]; v [ 0.; 0. ]; v [ 1.; 1. ] ] in
+        (* removing either copy of (0,0) yields the same multiset *)
+        check_int "2" 2 (List.length (Delta_hull.subsets_minus_f ~f:1 pts)));
+    case "max_dist zero inside Gamma" (fun () ->
+        (* centroid of square is in every 3-subset hull *)
+        let c = v [ 0.5; 0.5 ] in
+        check_true "small"
+          (Delta_hull.max_dist ~p:2. ~f:1 square c < 1e-7));
+    case "max_dist positive at vertex" (fun () ->
+        (* vertex (0,0) is far from the subset hull omitting it *)
+        check_true "positive"
+          (Delta_hull.max_dist ~p:2. ~f:1 square (v [ 0.; 0. ]) > 0.4));
+    case "gamma_point of square with f=1 exists" (fun () ->
+        match Delta_hull.gamma_point ~f:1 square with
+        | Some pt ->
+            check_true "in gamma" (Tverberg.in_gamma ~f:1 square pt)
+        | None -> Alcotest.fail "square Gamma non-empty");
+    case "gamma_point of triangle with f=1 is empty" (fun () ->
+        check_true "empty"
+          (Delta_hull.gamma_point ~f:1
+             [ v [ 0.; 0. ]; v [ 1.; 0. ]; v [ 0.; 1. ] ]
+          = None));
+    case "delta_star = 0 when Gamma non-empty" (fun () ->
+        let r = Delta_hull.delta_star ~p:2. ~f:1 square in
+        check_float ~eps:1e-9 "zero" 0. r.Delta_hull.value;
+        check_true "exact" r.Delta_hull.exact);
+    case "delta_star of triangle = inradius (Lemma 13)" (fun () ->
+        let tri = [ v [ 0.; 0. ]; v [ 3.; 0. ]; v [ 0.; 4. ] ] in
+        let r = Delta_hull.delta_star ~p:2. ~f:1 tri in
+        check_float ~eps:1e-9 "inradius" 1. r.Delta_hull.value;
+        check_vec ~eps:1e-9 "incenter" (v [ 1.; 1. ]) r.Delta_hull.point);
+    case "delta_star iterative matches closed form" (fun () ->
+        let tri = [ v [ 0.; 0. ]; v [ 3.; 0. ]; v [ 0.; 4. ] ] in
+        let r =
+          Delta_hull.delta_star ~force_iterative:true ~iters:2000 ~p:2. ~f:1
+            tri
+        in
+        check_true "close" (Float.abs (r.Delta_hull.value -. 1.) < 5e-3);
+        check_false "not exact path" r.Delta_hull.exact);
+    case "delta_star point achieves value" (fun () ->
+        let tri = [ v [ 0.; 0. ]; v [ 3.; 0. ]; v [ 0.; 4. ] ] in
+        let r = Delta_hull.delta_star ~p:2. ~f:1 tri in
+        check_float ~eps:1e-6 "g(point) = value" r.Delta_hull.value
+          (Delta_hull.max_dist ~p:2. ~f:1 tri r.Delta_hull.point));
+    case "incenter_value requires d+1 points" (fun () ->
+        check_true "none" (Delta_hull.incenter_value square = None);
+        check_true "some"
+          (Delta_hull.incenter_value
+             [ v [ 0.; 0. ]; v [ 1.; 0. ]; v [ 0.; 1. ] ]
+          <> None));
+    case "inf_region: point within delta of segment" (fun () ->
+        let seg = [ v [ 0.; 0. ]; v [ 1.; 0. ] ] in
+        (match Delta_hull.inf_region_point ~d:2 [ (0.5, seg) ] with
+        | Some u ->
+            check_true "close"
+              (Hull.dist_p ~p:Float.infinity seg u <= 0.5 +. 1e-7)
+        | None -> Alcotest.fail "feasible"));
+    case "inf_region: incompatible constraints empty" (fun () ->
+        let a = [ v [ 0.; 0. ] ] and b = [ v [ 10.; 0. ] ] in
+        check_true "empty"
+          (Delta_hull.inf_region_point ~d:2 [ (1., a); (1., b) ] = None));
+    case "inf_region coord_range symmetric around point hull" (fun () ->
+        match
+          Delta_hull.inf_region_coord_range ~d:2 [ (0.25, [ v [ 1.; 1. ] ]) ] 0
+        with
+        | Some (lo, hi) ->
+            check_float ~eps:1e-7 "lo" 0.75 lo;
+            check_float ~eps:1e-7 "hi" 1.25 hi
+        | None -> Alcotest.fail "feasible");
+    case "gamma_inf_region matches subsets" (fun () ->
+        check_int "4"
+          4
+          (List.length (Delta_hull.gamma_inf_region ~delta:0.1 ~f:1 square)));
+  ]
+
+let lp_path_tests =
+  [
+    case "delta_star p=1 exact LP on a triangle" (fun () ->
+        (* for the 3-4-5 triangle, delta*_1 >= delta*_inf and <= delta*_2?
+           No general ordering with delta*_2; but the LP value must be
+           achieved by its point and match the forced-iterative value *)
+        let tri = [ v [ 0.; 0. ]; v [ 3.; 0. ]; v [ 0.; 4. ] ] in
+        let exact = Delta_hull.delta_star ~p:1. ~f:1 tri in
+        check_true "exact flag" exact.Delta_hull.exact;
+        let achieved =
+          Delta_hull.max_dist ~p:1. ~f:1 tri exact.Delta_hull.point
+        in
+        check_float ~eps:1e-6 "achieved" exact.Delta_hull.value achieved;
+        let iterated =
+          Delta_hull.delta_star ~force_iterative:true ~iters:2500 ~p:1. ~f:1
+            tri
+        in
+        check_true "iterative upper bound consistent"
+          (iterated.Delta_hull.value >= exact.Delta_hull.value -. 1e-6
+          && iterated.Delta_hull.value <= exact.Delta_hull.value +. 2e-2));
+    case "delta_star p=inf exact LP matches iterative" (fun () ->
+        let tri = [ v [ 0.; 0. ]; v [ 3.; 0. ]; v [ 0.; 4. ] ] in
+        let exact = Delta_hull.delta_star ~p:Float.infinity ~f:1 tri in
+        let iterated =
+          Delta_hull.delta_star ~force_iterative:true ~iters:2500
+            ~p:Float.infinity ~f:1 tri
+        in
+        check_true "bracketed"
+          (iterated.Delta_hull.value >= exact.Delta_hull.value -. 1e-6
+          && iterated.Delta_hull.value <= exact.Delta_hull.value +. 2e-2));
+    case "delta_star norm ordering at fixed f (inf <= 2 <= 1)" (fun () ->
+        let pts = Rng.cloud (Rng.create 12) ~n:4 ~dim:3 ~lo:0. ~hi:1. in
+        let vinf = (Delta_hull.delta_star ~p:Float.infinity ~f:1 pts).Delta_hull.value in
+        let v2 = (Delta_hull.delta_star ~p:2. ~f:1 pts).Delta_hull.value in
+        let v1 = (Delta_hull.delta_star ~p:1. ~f:1 pts).Delta_hull.value in
+        check_true "inf <= 2" (vinf <= v2 +. 1e-6);
+        check_true "2 <= 1" (v2 <= v1 +. 1e-6));
+  ]
+
+let props =
+  [
+    qtest ~count:25 "delta_star value is an upper bound achieved by point"
+      (arb_points ~n:4 ~dim:3 ()) (fun pts ->
+        let r = Delta_hull.delta_star ~iters:300 ~p:2. ~f:1 pts in
+        let g = Delta_hull.max_dist ~p:2. ~f:1 pts r.Delta_hull.point in
+        Float.abs (g -. r.Delta_hull.value) < 1e-5);
+    qtest ~count:25 "delta_star below Theorem 9 bound (n=d+1)"
+      (arb_points ~n:4 ~dim:3 ()) (fun pts ->
+        let r = Delta_hull.delta_star ~p:2. ~f:1 pts in
+        r.Delta_hull.value < Bounds.min_edge pts /. 2. +. 1e-9);
+    qtest ~count:25 "Lemmas 6-9 monotonicity: bigger delta keeps membership"
+      (arb_points ~n:5 ~dim:2 ()) (fun pts ->
+        match pts with
+        | q :: rest ->
+            (not (Delta_hull.mem ~delta:0.2 ~p:2. rest q))
+            || Delta_hull.mem ~delta:0.5 ~p:2. rest q
+        | [] -> false);
+    qtest ~count:20 "inf region point certified by distances"
+      (arb_points ~n:5 ~dim:2 ()) (fun pts ->
+        let region = Delta_hull.gamma_inf_region ~delta:2. ~f:1 pts in
+        match Delta_hull.inf_region_point ~d:2 region with
+        | None -> false (* delta=2 over a [-5,5] box is generous *)
+        | Some u ->
+            List.for_all
+              (fun t -> Hull.dist_p ~p:Float.infinity t u <= 2. +. 1e-6)
+              (Delta_hull.subsets_minus_f ~f:1 pts));
+  ]
+
+let suite = unit_tests @ lp_path_tests @ props

@@ -1,0 +1,159 @@
+open Helpers
+
+let r = Ratio.of_ints
+let ri = Ratio.of_int
+
+let unit_tests =
+  [
+    case "textbook optimum is exactly 12" (fun () ->
+        let res =
+          Exact_lp.solve ~maximize:true ~nvars:2
+            ~objective:[| ri 3; ri 2 |]
+            [
+              ([| ri 1; ri 1 |], Lp.Le, ri 4);
+              ([| ri 1; ri 3 |], Lp.Le, ri 6);
+            ]
+        in
+        match res.Exact_lp.objective with
+        | Some z -> check_true "exact 12" (Ratio.equal z (ri 12))
+        | None -> Alcotest.fail "should be optimal");
+    case "fractional optimum is exact (no rounding)" (fun () ->
+        (* min x+y st x+2y >= 4, 3x+y >= 6: optimum 14/5 at (8/5, 6/5) *)
+        let res =
+          Exact_lp.solve ~nvars:2
+            ~objective:[| ri 1; ri 1 |]
+            [
+              ([| ri 1; ri 2 |], Lp.Ge, ri 4);
+              ([| ri 3; ri 1 |], Lp.Ge, ri 6);
+            ]
+        in
+        (match (res.Exact_lp.objective, res.Exact_lp.solution) with
+        | Some z, Some x ->
+            check_true "14/5" (Ratio.equal z (r 14 5));
+            check_true "x=8/5" (Ratio.equal x.(0) (r 8 5));
+            check_true "y=6/5" (Ratio.equal x.(1) (r 6 5))
+        | _ -> Alcotest.fail "should be optimal"));
+    case "infeasible detected exactly" (fun () ->
+        let res =
+          Exact_lp.solve ~nvars:1 ~objective:[| ri 0 |]
+            [ ([| ri 1 |], Lp.Ge, ri 2); ([| ri 1 |], Lp.Le, ri 1) ]
+        in
+        check_true "infeasible" (res.Exact_lp.status = Exact_lp.Infeasible));
+    case "boundary feasibility: x >= 1 and x <= 1 is feasible" (fun () ->
+        (* floats with tolerance could wobble; exact cannot *)
+        check_true "tight equality feasible"
+          (Exact_lp.is_feasible ~nvars:1
+             [ ([| ri 1 |], Lp.Ge, ri 1); ([| ri 1 |], Lp.Le, ri 1) ]));
+    case "infinitesimally infeasible detected" (fun () ->
+        (* x >= 1 + 1/10^18 and x <= 1: infeasible by a margin far below
+           any float tolerance *)
+        let tiny =
+          Ratio.add (ri 1)
+            (Ratio.of_bigints Bigint.one
+               (Bigint.of_string "1000000000000000000"))
+        in
+        check_false "exact sees it"
+          (Exact_lp.is_feasible ~nvars:1
+             [ ([| ri 1 |], Lp.Ge, tiny); ([| ri 1 |], Lp.Le, ri 1) ]));
+    case "unbounded" (fun () ->
+        let res =
+          Exact_lp.solve ~maximize:true ~free:[| true |] ~nvars:1
+            ~objective:[| ri 1 |]
+            [ ([| ri 1 |], Lp.Ge, ri 0) ]
+        in
+        check_true "unbounded" (res.Exact_lp.status = Exact_lp.Unbounded));
+    case "free variables go negative" (fun () ->
+        let res =
+          Exact_lp.solve ~free:[| true |] ~nvars:1 ~objective:[| ri 1 |]
+            [ ([| ri 1 |], Lp.Ge, ri (-5)) ]
+        in
+        match res.Exact_lp.objective with
+        | Some z -> check_true "-5" (Ratio.equal z (ri (-5)))
+        | None -> Alcotest.fail "optimal expected");
+    case "of_float_rows converts exactly" (fun () ->
+        let rows = Lp.[ [| 0.5; 0.25 |] <= 1.5 ] in
+        match Exact_lp.of_float_rows rows with
+        | [ (coeffs, Lp.Le, rhs) ] ->
+            check_true "1/2" (Ratio.equal coeffs.(0) (r 1 2));
+            check_true "1/4" (Ratio.equal coeffs.(1) (r 1 4));
+            check_true "3/2" (Ratio.equal rhs (r 3 2))
+        | _ -> Alcotest.fail "shape");
+    case "thm3 witness Psi emptiness verified exactly" (fun () ->
+        let d = 3 in
+        let y = Witnesses.thm3_inputs ~d ~gamma:1.0 ~eps:0.5 in
+        let nvars, free, rows =
+          K_hull.region_rows ~d (K_hull.psi_region ~k:2 ~f:1 y)
+        in
+        let ff, ef = Exact_lp.check_agrees_with_float ~free ~nvars rows in
+        check_false "float says empty" ff;
+        check_false "exact proves empty" ef);
+    case "thm5 exact crossover at delta = x/2d" (fun () ->
+        let d = 2 in
+        let y = Witnesses.thm5_inputs ~d ~x:1. ~delta:0.1 in
+        let check delta =
+          let nvars, free, rows =
+            Delta_hull.inf_region_rows ~d
+              (Delta_hull.gamma_inf_region ~delta ~f:1 y)
+          in
+          Exact_lp.is_feasible ~free ~nvars (Exact_lp.of_float_rows rows)
+        in
+        (* x/2d = 0.25 exactly (dyadic) *)
+        check_false "just below" (check 0.249999999);
+        check_true "exactly at" (check 0.25));
+  ]
+
+let random_small_lp =
+  QCheck.(
+    make
+      ~print:(fun seed -> Printf.sprintf "seed=%d" seed)
+      Gen.(int_range 0 10_000))
+
+let props =
+  [
+    qtest ~count:25 "float and exact solvers agree on random feasibility"
+      random_small_lp (fun seed ->
+        let rng = Rng.create seed in
+        (* random small-int systems: convert exactly, compare verdicts *)
+        let nvars = 3 in
+        let row () =
+          let coeffs =
+            Array.init nvars (fun _ -> float_of_int (Rng.int rng 11 - 5))
+          in
+          let cmp =
+            match Rng.int rng 3 with 0 -> Lp.Le | 1 -> Lp.Ge | _ -> Lp.Eq
+          in
+          { Lp.coeffs; cmp; rhs = float_of_int (Rng.int rng 11 - 5) }
+        in
+        let rows = List.init 4 (fun _ -> row ()) in
+        let ff, ef = Exact_lp.check_agrees_with_float ~nvars rows in
+        ff = ef);
+    qtest ~count:20 "exact optimum matches float optimum on random bounded LPs"
+      random_small_lp (fun seed ->
+        let rng = Rng.create (seed + 1) in
+        let nvars = 3 in
+        let rows =
+          List.init 4 (fun _ ->
+              {
+                Lp.coeffs =
+                  Array.init nvars (fun _ -> float_of_int (Rng.int rng 5));
+                cmp = Lp.Le;
+                rhs = float_of_int (1 + Rng.int rng 9);
+              })
+          @ [ { Lp.coeffs = Array.make nvars 1.; cmp = Lp.Le; rhs = 20. } ]
+        in
+        let objective = Array.init nvars (fun _ -> float_of_int (Rng.int rng 5)) in
+        let fr = Lp.solve ~maximize:true ~nvars ~objective rows in
+        let er =
+          Exact_lp.solve ~maximize:true ~nvars
+            ~objective:(Array.map Ratio.of_float objective)
+            (Exact_lp.of_float_rows rows)
+        in
+        match (fr.Lp.status, fr.Lp.objective, er.Exact_lp.status, er.Exact_lp.objective) with
+        | Lp.Optimal, Some zf, Exact_lp.Optimal, Some ze ->
+            Float.abs (zf -. Ratio.to_float ze) < 1e-6
+        | Lp.Unbounded, _, Exact_lp.Unbounded, _ -> true
+        | Lp.Infeasible, _, Exact_lp.Infeasible, _ -> true
+        | _ -> false);
+  ]
+
+let suite = unit_tests @ props

@@ -1,0 +1,34 @@
+open Helpers
+
+(* Only the fast experiments run under the unit-test suite; the full
+   suite (including the minutes-long optimizer sweeps) runs via
+   `rbvc experiments` and bench/main.exe. *)
+let fast_ids = [ "E0"; "E1"; "E2"; "E4"; "E6"; "E7"; "E15"; "E16"; "E17"; "E18" ]
+
+let unit_tests =
+  [
+    case "ids contain all experiments and table1" (fun () ->
+        check_int "count" 24 (List.length Experiments.ids);
+        check_true "table1" (List.mem "table1" Experiments.ids);
+        List.iter
+          (fun id -> check_true id (List.mem id Experiments.ids))
+          fast_ids);
+    raises_invalid "unknown id" (fun () -> ignore (Experiments.run "E99"));
+    case "print produces output" (fun () ->
+        let t = Experiments.run "E2" in
+        let s = Format.asprintf "%a" Experiments.print t in
+        check_true "has title" (String.length s > 40));
+    case "experiments are deterministic in the seed" (fun () ->
+        let a = Experiments.run ~seed:7 "E0" in
+        let b = Experiments.run ~seed:7 "E0" in
+        check_true "same rows" (a.Experiments.rows = b.Experiments.rows));
+  ]
+  @ List.map
+      (fun id ->
+        case (id ^ " reproduces") (fun () ->
+            let t = Experiments.run id in
+            if not t.Experiments.all_ok then
+              Alcotest.failf "%s did not reproduce" id))
+      fast_ids
+
+let suite = unit_tests

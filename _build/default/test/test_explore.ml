@@ -1,0 +1,194 @@
+open Helpers
+
+(* A tiny "token counting" protocol used to validate the explorer
+   itself: process 0 sends one token to each peer; every peer forwards
+   it back; 0 counts. Invariant: at quiescence, 0 has exactly n-1
+   tokens, in every schedule. *)
+type counter_state = { mutable tokens : int }
+
+let counter_actors ~n st =
+  Array.init n (fun me ->
+      {
+        Async.start =
+          (fun () ->
+            if me = 0 then List.init (n - 1) (fun i -> (i + 1, `Token))
+            else []);
+        on_message =
+          (fun ~src:_ msg ->
+            match msg with
+            | `Token when me <> 0 -> [ (0, `Ack) ]
+            | `Token -> []
+            | `Ack ->
+                if me = 0 then st.tokens <- st.tokens + 1;
+                []);
+      })
+
+let unit_tests =
+  [
+    case "explores all schedules of the token protocol (n=3)" (fun () ->
+        let r =
+          Explore.run
+            ~make:(fun () -> { tokens = 0 })
+            ~n:3
+            ~actors:(counter_actors ~n:3)
+            ~check:(fun st -> st.tokens = 2)
+            ()
+        in
+        check_true "no counterexample" (r.Explore.counterexample = None);
+        check_false "within budget" r.Explore.truncated;
+        (* 2 tokens + 2 acks interleave: schedules = orders of 4 deliveries
+           with the ack only after its token: more than 1, bounded by 4! *)
+        check_true "multiple schedules" (r.Explore.explored > 1);
+        check_true "not absurdly many" (r.Explore.explored <= 24));
+    case "detects a schedule-dependent bug" (fun () ->
+        (* BUGGY protocol: process 0 records only the FIRST ack; check
+           demands 2 — fails in every schedule; the explorer must find a
+           counterexample immediately *)
+        let actors st =
+          Array.init 3 (fun me ->
+              {
+                Async.start =
+                  (fun () -> if me = 0 then [ (1, `T); (2, `T) ] else []);
+                on_message =
+                  (fun ~src:_ -> function
+                    | `T -> [ (0, `A) ]
+                    | `A ->
+                        if st.tokens = 0 then st.tokens <- 1;
+                        []);
+              })
+        in
+        let r =
+          Explore.run
+            ~make:(fun () -> { tokens = 0 })
+            ~n:3 ~actors
+            ~check:(fun st -> st.tokens = 2)
+            ()
+        in
+        check_true "found" (r.Explore.counterexample <> None));
+    case "replay reproduces the counterexample" (fun () ->
+        let actors st =
+          Array.init 2 (fun me ->
+              {
+                Async.start = (fun () -> if me = 0 then [ (1, `T) ] else []);
+                on_message =
+                  (fun ~src:_ -> function
+                    | `T ->
+                        st.tokens <- st.tokens + 1;
+                        []
+                    | `A -> []);
+              })
+        in
+        let r =
+          Explore.run
+            ~make:(fun () -> { tokens = 0 })
+            ~n:2 ~actors
+            ~check:(fun st -> st.tokens = 99)
+            ()
+        in
+        (match r.Explore.counterexample with
+        | None -> Alcotest.fail "check is unsatisfiable, must fail"
+        | Some schedule ->
+            let st =
+              Explore.replay
+                ~make:(fun () -> { tokens = 0 })
+                ~n:2 ~actors schedule
+            in
+            check_int "replayed state" 1 st.tokens));
+    case "budget truncation reported" (fun () ->
+        (* a protocol with a huge schedule space and a tiny budget *)
+        let actors st =
+          Array.init 4 (fun me ->
+              {
+                Async.start =
+                  (fun () ->
+                    List.filter_map
+                      (fun d -> if d = me then None else Some (d, `T))
+                      [ 0; 1; 2; 3 ]);
+                on_message =
+                  (fun ~src:_ _ ->
+                    st.tokens <- st.tokens + 1;
+                    []);
+              })
+        in
+        let r =
+          Explore.run
+            ~make:(fun () -> { tokens = 0 })
+            ~n:4 ~actors
+            ~check:(fun _ -> true)
+            ~budget:10 ()
+        in
+        check_true "truncated" r.Explore.truncated;
+        check_true "some runs graded" (r.Explore.explored > 0));
+    case "Bracha agreement invariant across explored schedules" (fun () ->
+        (* n = 4, f = 1, equivocating originator 3; invariant: honest
+           processes never deliver different values for originator 3.
+           Exploration is truncated (the space is huge) but still covers
+           hundreds of distinct interleavings. *)
+        let n = 4 and f = 1 in
+        let make () = Array.make n None in
+        let actors delivered =
+          let echo_quorum = ((n + f) / 2) + 1 in
+          let instances =
+            Array.init n (fun _ ->
+                (ref false, ref false, ref ([] : (float * int) list),
+                 ref ([] : (float * int) list)))
+          in
+          Array.init n (fun me ->
+              let count_for lst v =
+                List.length
+                  (List.sort_uniq compare
+                     (List.filter_map
+                        (fun (v', s) -> if v' = v then Some s else None)
+                        lst))
+              in
+              {
+                Async.start =
+                  (fun () ->
+                    if me = 3 then
+                      (* equivocation: different initial values *)
+                      List.init n (fun d -> (d, `Init (float_of_int (d mod 2))))
+                    else []);
+                on_message =
+                  (fun ~src msg ->
+                    let echoed, readied, echoes, readies = instances.(me) in
+                    match msg with
+                    | `Init v when src = 3 ->
+                        if !echoed then []
+                        else begin
+                          echoed := true;
+                          List.init n (fun d -> (d, `Echo v))
+                        end
+                    | `Init _ -> []
+                    | `Echo v ->
+                        echoes := (v, src) :: !echoes;
+                        if (not !readied) && count_for !echoes v >= echo_quorum
+                        then begin
+                          readied := true;
+                          List.init n (fun d -> (d, `Ready v))
+                        end
+                        else []
+                    | `Ready v ->
+                        readies := (v, src) :: !readies;
+                        if
+                          delivered.(me) = None
+                          && count_for !readies v >= (2 * f) + 1
+                        then delivered.(me) <- Some v;
+                        []);
+              })
+        in
+        let check delivered =
+          (* agreement among honest 0,1,2 whenever delivered *)
+          let vals = List.filter_map (fun p -> delivered.(p)) [ 0; 1; 2 ] in
+          match vals with
+          | [] -> true
+          | v :: rest -> List.for_all (fun w -> w = v) rest
+        in
+        let r =
+          Explore.run ~make ~n ~actors ~check ~max_steps:30 ~budget:400 ()
+        in
+        check_true "no agreement violation in any schedule"
+          (r.Explore.counterexample = None);
+        check_true "covered many schedules" (r.Explore.explored >= 100));
+  ]
+
+let suite = unit_tests

@@ -1,0 +1,68 @@
+open Helpers
+
+let v = Vec.of_list
+
+let unit_tests =
+  [
+    case "minimize quadratic over segment" (fun () ->
+        (* min (x-2)^2 + y^2 over segment (0,0)-(4,0): argmin (2,0) *)
+        let f y = ((y.(0) -. 2.) ** 2.) +. (y.(1) ** 2.) in
+        let grad y = v [ 2. *. (y.(0) -. 2.); 2. *. y.(1) ] in
+        let argmin, value =
+          Frank_wolfe.minimize ~f ~grad [ v [ 0.; 0. ]; v [ 4.; 0. ] ]
+        in
+        check_vec ~eps:1e-4 "argmin" (v [ 2.; 0. ]) argmin;
+        check_float ~eps:1e-6 "value" 0. value);
+    case "minimize linear picks vertex" (fun () ->
+        let f y = y.(0) +. y.(1) in
+        let grad _ = v [ 1.; 1. ] in
+        let _, value =
+          Frank_wolfe.minimize ~f ~grad
+            [ v [ 0.; 0. ]; v [ 1.; 0. ]; v [ 0.; 1. ] ]
+        in
+        check_float ~eps:1e-6 "value" 0. value);
+    case "dist_p p=2 agrees with Wolfe" (fun () ->
+        let square =
+          [ v [ 0.; 0. ]; v [ 1.; 0. ]; v [ 0.; 1. ]; v [ 1.; 1. ] ]
+        in
+        let q = v [ 2.; 0.5 ] in
+        check_true "close"
+          (Float.abs
+             (Frank_wolfe.dist_p_to_hull ~p:2.000001 square q
+             -. Minnorm.dist2_to_hull square q)
+          < 1e-3));
+    case "dist_p p=4 point hull" (fun () ->
+        check_float ~eps:1e-5 "d"
+          (Vec.norm_p 4. (v [ 1.; 1. ]))
+          (Frank_wolfe.dist_p_to_hull ~p:4. [ v [ 0.; 0. ] ] (v [ 1.; 1. ])));
+    raises_invalid "dist_p requires finite p > 1" (fun () ->
+        Frank_wolfe.dist_p_to_hull ~p:1. [ v [ 0. ] ] (v [ 1. ]));
+    raises_invalid "empty points" (fun () ->
+        Frank_wolfe.minimize ~f:(fun _ -> 0.) ~grad:(fun x -> x) []);
+  ]
+
+let props =
+  [
+    qtest ~count:30 "dist_p p=3 between Linf and L1 distances"
+      (arb_points ~n:5 ~dim:3 ()) (fun pts ->
+        match pts with
+        | q :: hull ->
+            let d3 = Frank_wolfe.dist_p_to_hull ~p:3. hull q in
+            let dinf = Hull.dist_p ~p:Float.infinity hull q in
+            let d1 = Hull.dist_p ~p:1. hull q in
+            dinf <= d3 +. 1e-4 && d3 <= d1 +. 1e-4
+        | [] -> false);
+    qtest ~count:30 "dist_p zero for interior points" (arb_points ~n:5 ~dim:2 ())
+      (fun pts ->
+        let c = Vec.centroid pts in
+        Frank_wolfe.dist_p_to_hull ~p:3. pts c < 1e-3);
+    qtest ~count:30 "minimize returns value achieved by argmin"
+      (arb_points ~n:4 ~dim:3 ()) (fun pts ->
+        let target = Vec.ones 3 in
+        let f y = Vec.sq_norm2 (Vec.sub y target) /. 2. in
+        let grad y = Vec.sub y target in
+        let argmin, value = Frank_wolfe.minimize ~f ~grad pts in
+        Float.abs (f argmin -. value) < 1e-9);
+  ]
+
+let suite = unit_tests @ props

@@ -1,0 +1,72 @@
+open Helpers
+
+let v = Vec.of_list
+
+let unit_tests =
+  [
+    case "family_intersects positive" (fun () ->
+        let h1 = [ v [ 0.; 0. ]; v [ 2.; 0. ]; v [ 0.; 2. ] ] in
+        let h2 = [ v [ 1.; 1. ]; v [ -1.; 1. ]; v [ 1.; -1. ] ] in
+        check_true "yes" (Helly.family_intersects [ h1; h2 ]));
+    case "family_intersects negative" (fun () ->
+        let h1 = [ v [ 0.; 0. ]; v [ 1.; 0. ] ] in
+        let h2 = [ v [ 5.; 5. ]; v [ 6.; 5. ] ] in
+        check_false "no" (Helly.family_intersects [ h1; h2 ]));
+    case "all_subfamilies_intersect on triangle edges" (fun () ->
+        (* the three edges of a triangle intersect pairwise but not
+           jointly — exactly Helly's hypothesis failing at size 3 *)
+        let a = v [ 0.; 0. ] and b = v [ 2.; 0. ] and c = v [ 0.; 2. ] in
+        let edges = [ [ a; b ]; [ b; c ]; [ a; c ] ] in
+        check_true "pairwise" (Helly.all_subfamilies_intersect ~size:2 edges);
+        check_false "not jointly" (Helly.family_intersects edges));
+    case "helly_holds on the triangle-edge family (d=2)" (fun () ->
+        (* pairwise is size 2 < d+1 = 3, so the implication is about
+           size-3 subfamilies: there is only one, the whole family, and
+           it does not intersect — hypothesis false, implication true *)
+        let a = v [ 0.; 0. ] and b = v [ 2.; 0. ] and c = v [ 0.; 2. ] in
+        check_true "holds"
+          (Helly.helly_holds ~d:2 [ [ a; b ]; [ b; c ]; [ a; c ] ]));
+    case "critical_subfamily found for disjoint family" (fun () ->
+        let mk x = [ v [ x; 0. ]; v [ x +. 0.5; 0.5 ] ] in
+        let family = [ mk 0.; mk 10.; mk 20.; mk 30. ] in
+        match Helly.critical_subfamily ~d:2 family with
+        | Some sub ->
+            check_true "size <= d+1" (List.length sub <= 3);
+            check_false "does not intersect" (Helly.family_intersects sub)
+        | None -> Alcotest.fail "family is disjoint");
+    case "critical_subfamily None when intersecting" (fun () ->
+        let sq =
+          [ v [ 0.; 0. ]; v [ 1.; 0. ]; v [ 0.; 1. ]; v [ 1.; 1. ] ]
+        in
+        check_true "none"
+          (Helly.critical_subfamily ~d:2 [ sq; sq; sq ] = None));
+  ]
+
+let props =
+  [
+    qtest ~count:25 "Helly's theorem itself (d=2, random windows)"
+      (arb_points ~n:12 ~dim:2 ()) (fun pts ->
+        let window i =
+          List.filteri (fun j _ -> j >= i && j < i + 6) pts
+        in
+        Helly.helly_holds ~d:2 [ window 0; window 2; window 4; window 6 ]);
+    qtest ~count:15 "Helly's theorem itself (d=3, random windows)"
+      (arb_points ~n:14 ~dim:3 ()) (fun pts ->
+        let window i =
+          List.filteri (fun j _ -> j >= i && j < i + 7) pts
+        in
+        Helly.helly_holds ~d:3
+          [ window 0; window 2; window 4; window 6; window 7 ]);
+    qtest ~count:15 "non-intersecting families expose a critical subfamily"
+      (arb_points ~n:8 ~dim:2 ()) (fun pts ->
+        let family =
+          List.mapi
+            (fun i p -> [ p; Vec.axpy 0.1 (Vec.ones 2) p; Vec.make 2 (float_of_int (100 * i)) ])
+            (List.filteri (fun i _ -> i < 3) pts)
+        in
+        match Helly.critical_subfamily ~d:2 family with
+        | None -> Helly.family_intersects family
+        | Some sub -> not (Helly.family_intersects sub));
+  ]
+
+let suite = unit_tests @ props

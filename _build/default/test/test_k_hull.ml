@@ -1,0 +1,99 @@
+open Helpers
+
+let v = Vec.of_list
+
+(* A fixed 3d point set for membership tests. *)
+let pts3 =
+  [ v [ 0.; 0.; 0. ]; v [ 1.; 0.; 0. ]; v [ 0.; 1.; 0. ]; v [ 0.; 0.; 1. ] ]
+
+let unit_tests =
+  [
+    case "H_d membership equals hull membership" (fun () ->
+        let inside = v [ 0.2; 0.2; 0.2 ] in
+        let outside = v [ 0.9; 0.9; 0.9 ] in
+        check_true "in" (K_hull.mem ~k:3 pts3 inside);
+        check_false "out" (K_hull.mem ~k:3 pts3 outside);
+        check_true "agrees in" (Hull.mem pts3 inside = K_hull.mem ~k:3 pts3 inside);
+        check_true "agrees out"
+          (Hull.mem pts3 outside = K_hull.mem ~k:3 pts3 outside));
+    case "H_k grows as k shrinks (Lemma 1 on a witness point)" (fun () ->
+        (* (0.5, 0.5, 0.5): outside H(S) (coordinate sum > 1), outside
+           H_2 (pairwise sums > 1 are impossible in projections? compute),
+           but inside H_1 (each coordinate in [0,1]) *)
+        let q = v [ 0.5; 0.5; 0.5 ] in
+        check_false "not in H_3" (K_hull.mem ~k:3 pts3 q);
+        check_true "in H_1" (K_hull.mem ~k:1 pts3 q));
+    case "hk_region feasible point is a member" (fun () ->
+        let region = K_hull.hk_region ~k:2 pts3 in
+        match K_hull.feasible_point ~d:3 region with
+        | Some u -> check_true "mem" (K_hull.mem ~eps:1e-6 ~k:2 pts3 u)
+        | None -> Alcotest.fail "H_2 of a simplex is non-empty");
+    case "psi_region subset count" (fun () ->
+        (* n=5 points, f=1, k=2, d=3: 5 subsets x C(3,2)=3 dsets = 15 *)
+        let y = pts3 @ [ v [ 0.5; 0.5; 0. ] ] in
+        check_int "15" 15 (List.length (K_hull.psi_region ~k:2 ~f:1 y)));
+    case "psi of benign points non-empty at n=(d+1)f+1" (fun () ->
+        let y = pts3 @ [ v [ 0.25; 0.25; 0.25 ] ] in
+        check_true "nonempty"
+          (K_hull.feasible_point ~d:3 (K_hull.psi_region ~k:2 ~f:1 y) <> None));
+    case "psi point is in every H_k(T)" (fun () ->
+        let y = pts3 @ [ v [ 0.25; 0.25; 0.25 ] ] in
+        match K_hull.feasible_point ~d:3 (K_hull.psi_region ~k:2 ~f:1 y) with
+        | None -> Alcotest.fail "nonempty"
+        | Some u ->
+            List.iter
+              (fun t ->
+                check_true "in H_2(T)" (K_hull.mem ~eps:1e-6 ~k:2 t u))
+              (Delta_hull.subsets_minus_f ~f:1 y));
+    case "coord_range brackets feasible point" (fun () ->
+        let region = K_hull.hk_region ~k:2 pts3 in
+        match
+          (K_hull.feasible_point ~d:3 region, K_hull.coord_range ~d:3 region 0)
+        with
+        | Some u, Some (lo, hi) ->
+            check_true "lo <= u0" (lo <= u.(0) +. 1e-7);
+            check_true "u0 <= hi" (u.(0) <= hi +. 1e-7)
+        | _ -> Alcotest.fail "should be feasible");
+    case "coord_range of simplex H_d" (fun () ->
+        match K_hull.coord_range ~d:3 (K_hull.hk_region ~k:3 pts3) 0 with
+        | Some (lo, hi) ->
+            check_float ~eps:1e-7 "lo" 0. lo;
+            check_float ~eps:1e-7 "hi" 1. hi
+        | None -> Alcotest.fail "nonempty");
+    raises_invalid "coord_range bad coordinate" (fun () ->
+        K_hull.coord_range ~d:3 (K_hull.hk_region ~k:2 pts3) 7);
+    raises_invalid "hk_region empty points" (fun () -> K_hull.hk_region ~k:2 []);
+  ]
+
+let props =
+  [
+    qtest ~count:30 "H(S) subset of H_k(S) (Section 5.3)"
+      (arb_points ~n:5 ~dim:3 ()) (fun pts ->
+        (* any hull member is a member of every H_k *)
+        let c = Vec.centroid pts in
+        K_hull.mem ~eps:1e-6 ~k:2 pts c && K_hull.mem ~eps:1e-6 ~k:1 pts c);
+    qtest ~count:30 "Lemma 1 containment: H_3 subset H_2 subset H_1"
+      (arb_points ~n:5 ~dim:3 ()) (fun pts ->
+        match pts with
+        | q :: rest ->
+            let m3 = K_hull.mem ~eps:1e-6 ~k:3 rest q in
+            let m2 = K_hull.mem ~eps:1e-6 ~k:2 rest q in
+            let m1 = K_hull.mem ~eps:1e-6 ~k:1 rest q in
+            ((not m3) || m2) && ((not m2) || m1)
+        | [] -> false);
+    qtest ~count:25 "joint-LP feasible point agrees with per-D membership"
+      (arb_points ~n:4 ~dim:3 ()) (fun pts ->
+        let region = K_hull.hk_region ~k:2 pts in
+        match K_hull.feasible_point ~d:3 region with
+        | None -> false (* H_k of a non-empty set is non-empty *)
+        | Some u -> K_hull.mem ~eps:1e-5 ~k:2 pts u);
+    qtest ~count:25 "empty Psi implies no Gamma point"
+      (arb_points ~n:4 ~dim:3 ()) (fun pts ->
+        (* Gamma(S) subset Psi(S): if Psi is empty, Gamma must be too *)
+        let psi_empty =
+          K_hull.feasible_point ~d:3 (K_hull.psi_region ~k:2 ~f:1 pts) = None
+        in
+        (not psi_empty) || Tverberg.gamma_point ~f:1 pts = None);
+  ]
+
+let suite = unit_tests @ props

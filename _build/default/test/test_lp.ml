@@ -1,0 +1,146 @@
+open Helpers
+
+let solve = Lp.solve
+let status r = r.Lp.status
+let obj r = Option.get r.Lp.objective
+let sol r = Option.get r.Lp.solution
+
+let unit_tests =
+  [
+    case "textbook max" (fun () ->
+        (* max 3x + 2y st x+y<=4, x+3y<=6 -> (4,0), 12 *)
+        let r =
+          solve ~maximize:true ~nvars:2 ~objective:[| 3.; 2. |]
+            Lp.[ [| 1.; 1. |] <= 4.; [| 1.; 3. |] <= 6. ]
+        in
+        check_true "optimal" (status r = Lp.Optimal);
+        check_float ~eps:1e-9 "obj" 12. (obj r);
+        check_float ~eps:1e-9 "x" 4. (sol r).(0));
+    case "textbook min" (fun () ->
+        (* min x + y st x + 2y >= 4, 3x + y >= 6 -> x=1.6, y=1.2, obj 2.8 *)
+        let r =
+          solve ~nvars:2 ~objective:[| 1.; 1. |]
+            Lp.[ [| 1.; 2. |] >= 4.; [| 3.; 1. |] >= 6. ]
+        in
+        check_float ~eps:1e-9 "obj" 2.8 (obj r));
+    case "equality constraints" (fun () ->
+        let r =
+          solve ~nvars:2 ~objective:[| 0.; 0. |]
+            Lp.[ [| 1.; 1. |] = 3.; [| 1.; -1. |] = 1. ]
+        in
+        check_vec ~eps:1e-9 "x" [| 2.; 1. |] (sol r));
+    case "infeasible" (fun () ->
+        let r =
+          solve ~nvars:1 ~objective:[| 0. |]
+            Lp.[ [| 1. |] >= 2.; [| 1. |] <= 1. ]
+        in
+        check_true "infeasible" (status r = Lp.Infeasible));
+    case "unbounded" (fun () ->
+        let r =
+          solve ~maximize:true ~nvars:1 ~objective:[| 1. |]
+            Lp.[ [| 1. |] >= 0. ]
+        in
+        check_true "unbounded" (status r = Lp.Unbounded));
+    case "free variable can go negative" (fun () ->
+        let r =
+          solve ~free:[| true |] ~nvars:1 ~objective:[| 1. |]
+            Lp.[ [| 1. |] >= -5. ]
+        in
+        check_float ~eps:1e-9 "min" (-5.) (obj r));
+    case "negative rhs normalization" (fun () ->
+        (* -x <= -3 means x >= 3 *)
+        let r = solve ~nvars:1 ~objective:[| 1. |] Lp.[ [| -1. |] <= -3. ] in
+        check_float ~eps:1e-9 "obj" 3. (obj r));
+    case "degenerate constraints do not cycle" (fun () ->
+        (* classic Beale-style degeneracy *)
+        let r =
+          solve ~maximize:true ~nvars:4
+            ~objective:[| 0.75; -150.; 0.02; -6. |]
+            Lp.[
+              [| 0.25; -60.; -0.04; 9. |] <= 0.;
+              [| 0.5; -90.; -0.02; 3. |] <= 0.;
+              [| 0.; 0.; 1.; 0. |] <= 1.;
+            ]
+        in
+        check_true "solved" (status r = Lp.Optimal);
+        check_float ~eps:1e-6 "obj" 0.05 (obj r));
+    case "artificial stays out after phase 1" (fun () ->
+        (* the regression behind the Psi(Y) bug: equality rows + free
+           vars where an artificial could linger basic at 0 *)
+        let r =
+          solve ~free:[| true; true |] ~nvars:2 ~maximize:true
+            ~objective:[| 0.; 1. |]
+            Lp.[
+              [| 1.; 0. |] = 0.5;
+              [| 0.; 1. |] <= 0.4;
+              [| 1.; 1. |] = 0.9;
+            ]
+        in
+        check_float ~eps:1e-9 "max y" 0.4 (obj r));
+    case "feasible_point satisfies rows" (fun () ->
+        match
+          Lp.feasible_point ~nvars:2
+            Lp.[ [| 1.; 2. |] <= 10.; [| 1.; 0. |] >= 1.; [| 0.; 1. |] >= 2. ]
+        with
+        | Some x ->
+            check_true "r1" (x.(0) +. (2. *. x.(1)) <= 10. +. 1e-9);
+            check_true "r2" (x.(0) >= 1. -. 1e-9);
+            check_true "r3" (x.(1) >= 2. -. 1e-9)
+        | None -> Alcotest.fail "should be feasible");
+    case "is_feasible mirrors feasible_point" (fun () ->
+        check_true "feasible"
+          (Lp.is_feasible ~nvars:1 Lp.[ [| 1. |] <= 5. ]);
+        check_false "infeasible"
+          (Lp.is_feasible ~nvars:1 Lp.[ [| 1. |] >= 2.; [| 1. |] <= 1. ]));
+    raises_invalid "arity mismatch" (fun () ->
+        solve ~nvars:2 ~objective:[| 1.; 1. |] Lp.[ [| 1. |] <= 1. ]);
+    raises_invalid "objective arity" (fun () ->
+        solve ~nvars:2 ~objective:[| 1. |] Lp.[ [| 1.; 1. |] <= 1. ]);
+  ]
+
+(* Random LP duality-style property: for a random bounded-feasible LP,
+   the simplex optimum beats every feasible point we can sample. *)
+let random_lp_gen =
+  QCheck.make
+    ~print:(fun (c, rows) ->
+      Printf.sprintf "c=%s rows=%d" (Vec.to_string c) (List.length rows))
+    QCheck.Gen.(
+      let vec3 = array_size (return 3) (float_range (-2.) 2.) in
+      pair vec3 (list_size (return 4) (pair vec3 (float_range 1. 5.))))
+
+let props =
+  [
+    qtest ~count:40 "optimum dominates sampled feasible points" random_lp_gen
+      (fun (c, raw_rows) ->
+        (* rows a.x <= b with b >= 1 > 0 keep the origin feasible; add a
+           box to keep things bounded *)
+        let rows =
+          List.map (fun (a, b) -> Lp.( <= ) a b) raw_rows
+          @ [ Lp.( <= ) [| 1.; 1.; 1. |] 10. ]
+        in
+        let r = Lp.solve ~maximize:true ~nvars:3 ~objective:c rows in
+        match (r.Lp.status, r.Lp.objective, r.Lp.solution) with
+        | Lp.Optimal, Some z, Some x ->
+            (* solution is feasible *)
+            List.for_all
+              (fun { Lp.coeffs; cmp; rhs } ->
+                let lhs = Vec.dot coeffs x in
+                match cmp with
+                | Lp.Le -> lhs <= rhs +. 1e-7
+                | Lp.Ge -> lhs >= rhs -. 1e-7
+                | Lp.Eq -> Float.abs (lhs -. rhs) < 1e-7)
+              rows
+            (* origin is feasible with objective 0, so z >= 0 *)
+            && z >= -1e-7
+        | _ -> false);
+    qtest ~count:40 "phase-1 infeasibility is symmetric" random_lp_gen
+      (fun (_, raw_rows) ->
+        (* x >= b and x <= b/2 with b >= 1: always infeasible in coord 0 *)
+        let rows =
+          List.map (fun (a, b) -> Lp.( <= ) a b) raw_rows
+          @ Lp.[ [| 1.; 0.; 0. |] >= 4.; [| 1.; 0.; 0. |] <= 2. ]
+        in
+        not (Lp.is_feasible ~nvars:3 rows));
+  ]
+
+let suite = unit_tests @ props

@@ -1,0 +1,128 @@
+open Helpers
+
+let v = Vec.of_list
+let m rows = Matrix.of_rows (List.map v rows)
+
+let unit_tests =
+  [
+    case "identity mul" (fun () ->
+        let a = m [ [ 1.; 2. ]; [ 3.; 4. ] ] in
+        check_true "I*A = A" (Matrix.equal (Matrix.mul (Matrix.identity 2) a) a));
+    case "mul known" (fun () ->
+        let a = m [ [ 1.; 2. ]; [ 3.; 4. ] ] in
+        let b = m [ [ 5.; 6. ]; [ 7.; 8. ] ] in
+        check_true "product"
+          (Matrix.equal (Matrix.mul a b) (m [ [ 19.; 22. ]; [ 43.; 50. ] ])));
+    case "mul_vec" (fun () ->
+        check_vec "Av"
+          (v [ 5.; 11. ])
+          (Matrix.mul_vec (m [ [ 1.; 2. ]; [ 3.; 4. ] ]) (v [ 1.; 2. ])));
+    case "transpose" (fun () ->
+        check_true "T"
+          (Matrix.equal
+             (Matrix.transpose (m [ [ 1.; 2.; 3. ]; [ 4.; 5.; 6. ] ]))
+             (m [ [ 1.; 4. ]; [ 2.; 5. ]; [ 3.; 6. ] ])));
+    case "of_cols" (fun () ->
+        check_true "cols"
+          (Matrix.equal
+             (Matrix.of_cols [ v [ 1.; 2. ]; v [ 3.; 4. ] ])
+             (m [ [ 1.; 3. ]; [ 2.; 4. ] ])));
+    case "solve 2x2" (fun () ->
+        let a = m [ [ 2.; 1. ]; [ 1.; 3. ] ] in
+        (match Matrix.solve a (v [ 5.; 10. ]) with
+        | Some x -> check_vec ~eps:1e-9 "x" (v [ 1.; 3. ]) x
+        | None -> Alcotest.fail "singular?"));
+    case "solve singular" (fun () ->
+        check_true "none"
+          (Matrix.solve (m [ [ 1.; 2. ]; [ 2.; 4. ] ]) (v [ 1.; 2. ]) = None));
+    case "inverse known" (fun () ->
+        let a = m [ [ 4.; 7. ]; [ 2.; 6. ] ] in
+        (match Matrix.inverse a with
+        | Some inv ->
+            check_true "A * A^-1 = I"
+              (Matrix.equal ~eps:1e-9 (Matrix.mul a inv) (Matrix.identity 2))
+        | None -> Alcotest.fail "singular?"));
+    case "determinant 2x2" (fun () ->
+        check_float ~eps:1e-9 "det" (-2.)
+          (Matrix.determinant (m [ [ 1.; 2. ]; [ 3.; 4. ] ])));
+    case "determinant singular" (fun () ->
+        check_float ~eps:1e-9 "det0" 0.
+          (Matrix.determinant (m [ [ 1.; 2. ]; [ 2.; 4. ] ])));
+    case "determinant permutation sign" (fun () ->
+        check_float ~eps:1e-9 "det-perm" (-1.)
+          (Matrix.determinant (m [ [ 0.; 1. ]; [ 1.; 0. ] ])));
+    case "rank full" (fun () ->
+        check_int "rank2" 2 (Matrix.rank (m [ [ 1.; 0. ]; [ 0.; 1. ] ])));
+    case "rank deficient" (fun () ->
+        check_int "rank1" 1 (Matrix.rank (m [ [ 1.; 2. ]; [ 2.; 4. ] ])));
+    case "rank rectangular" (fun () ->
+        check_int "rank" 2
+          (Matrix.rank (m [ [ 1.; 0.; 3. ]; [ 0.; 1.; 4. ] ])));
+    case "null_space of full-rank square is empty" (fun () ->
+        check_int "kernel" 0
+          (List.length (Matrix.null_space (m [ [ 1.; 0. ]; [ 0.; 1. ] ]))));
+    case "null_space vectors satisfy Ax=0" (fun () ->
+        let a = m [ [ 1.; 2.; 3. ]; [ 2.; 4.; 6. ] ] in
+        let basis = Matrix.null_space a in
+        check_int "dim" 2 (List.length basis);
+        List.iter
+          (fun x ->
+            check_true "Ax=0" (Vec.norm2 (Matrix.mul_vec a x) < 1e-9))
+          basis);
+    case "gram_schmidt orthonormal" (fun () ->
+        let basis =
+          Matrix.gram_schmidt [ v [ 1.; 1.; 0. ]; v [ 1.; 0.; 1. ] ]
+        in
+        check_int "size" 2 (List.length basis);
+        (match basis with
+        | [ a; b ] ->
+            check_float ~eps:1e-9 "unit a" 1. (Vec.norm2 a);
+            check_float ~eps:1e-9 "unit b" 1. (Vec.norm2 b);
+            check_float ~eps:1e-9 "orth" 0. (Vec.dot a b)
+        | _ -> Alcotest.fail "basis size"));
+    case "gram_schmidt drops dependents" (fun () ->
+        check_int "dropped" 1
+          (List.length
+             (Matrix.gram_schmidt [ v [ 1.; 0. ]; v [ 2.; 0. ] ])));
+    raises_invalid "mul dim mismatch" (fun () ->
+        Matrix.mul (m [ [ 1.; 2. ] ]) (m [ [ 1.; 2. ] ]));
+    raises_invalid "of_rows ragged" (fun () ->
+        Matrix.of_rows [ v [ 1. ]; v [ 1.; 2. ] ]);
+  ]
+
+let square_gen =
+  QCheck.make
+    ~print:(fun rows -> String.concat ";" (List.map Vec.to_string rows))
+    QCheck.Gen.(
+      list_size (return 3)
+        (array_size (return 3) (float_range (-3.) 3.)))
+
+let props =
+  [
+    qtest ~count:30 "solve then multiply back" square_gen (fun rows ->
+        let a = Matrix.of_rows rows in
+        let b = Vec.of_list [ 1.; 2.; 3. ] in
+        match Matrix.solve a b with
+        | None -> true (* singular draws are fine *)
+        | Some x -> Vec.equal ~eps:1e-5 (Matrix.mul_vec a x) b);
+    qtest ~count:30 "det(A) = det(A^T)" square_gen (fun rows ->
+        let a = Matrix.of_rows rows in
+        Float.abs (Matrix.determinant a -. Matrix.determinant (Matrix.transpose a))
+        < 1e-6);
+    qtest ~count:30 "inverse is two-sided" square_gen (fun rows ->
+        let a = Matrix.of_rows rows in
+        match Matrix.inverse a with
+        | None -> true
+        | Some inv ->
+            Matrix.equal ~eps:1e-5 (Matrix.mul a inv) (Matrix.identity 3)
+            && Matrix.equal ~eps:1e-5 (Matrix.mul inv a) (Matrix.identity 3));
+    qtest ~count:30 "rank bounded by dims" square_gen (fun rows ->
+        let a = Matrix.of_rows rows in
+        let r = Matrix.rank a in
+        r >= 0 && r <= 3);
+    qtest ~count:30 "rank + nullity = cols" square_gen (fun rows ->
+        let a = Matrix.of_rows rows in
+        Matrix.rank a + List.length (Matrix.null_space a) = 3);
+  ]
+
+let suite = unit_tests @ props

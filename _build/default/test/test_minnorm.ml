@@ -1,0 +1,95 @@
+open Helpers
+
+let v = Vec.of_list
+
+let unit_tests =
+  [
+    case "min norm of single point" (fun () ->
+        let w = Minnorm.min_norm_point [ v [ 3.; 4. ] ] in
+        check_float ~eps:1e-9 "d" 5. w.Minnorm.distance);
+    case "segment through origin" (fun () ->
+        let w = Minnorm.min_norm_point [ v [ -1.; 0. ]; v [ 1.; 0. ] ] in
+        check_float ~eps:1e-8 "d" 0. w.Minnorm.distance);
+    case "segment offset" (fun () ->
+        (* nearest point of segment y=1 is (0,1) *)
+        let w = Minnorm.min_norm_point [ v [ -2.; 1. ]; v [ 3.; 1. ] ] in
+        check_float ~eps:1e-8 "d" 1. w.Minnorm.distance;
+        check_vec ~eps:1e-7 "pt" (v [ 0.; 1. ]) w.Minnorm.nearest);
+    case "triangle containing origin" (fun () ->
+        let w =
+          Minnorm.min_norm_point
+            [ v [ -1.; -1. ]; v [ 2.; -1. ]; v [ 0.; 2. ] ]
+        in
+        check_float ~eps:1e-7 "d" 0. w.Minnorm.distance);
+    case "nearest_point projection onto square" (fun () ->
+        let square = [ v [ 0.; 0. ]; v [ 1.; 0. ]; v [ 0.; 1. ]; v [ 1.; 1. ] ] in
+        let w = Minnorm.nearest_point square (v [ 2.; 0.3 ]) in
+        check_vec ~eps:1e-7 "proj" (v [ 1.; 0.3 ]) w.Minnorm.nearest;
+        check_float ~eps:1e-7 "d" 1. w.Minnorm.distance);
+    case "coeffs form convex combination" (fun () ->
+        let pts = [ v [ 1.; 1. ]; v [ 2.; 0. ]; v [ 3.; 3. ] ] in
+        let w = Minnorm.min_norm_point pts in
+        let total = List.fold_left (fun a (_, l) -> a +. l) 0. w.Minnorm.coeffs in
+        check_float ~eps:1e-7 "sum 1" 1. total;
+        List.iter
+          (fun (_, l) -> check_true "nonneg" (l >= -1e-9))
+          w.Minnorm.coeffs;
+        let rebuilt =
+          Vec.combo
+            (List.map (fun (i, l) -> (l, List.nth pts i)) w.Minnorm.coeffs)
+        in
+        check_vec ~eps:1e-6 "rebuild" w.Minnorm.nearest rebuilt);
+    case "duplicated points" (fun () ->
+        let w = Minnorm.min_norm_point [ v [ 1.; 1. ]; v [ 1.; 1. ] ] in
+        check_float ~eps:1e-9 "d" (sqrt 2.) w.Minnorm.distance);
+    raises_invalid "empty input" (fun () -> Minnorm.min_norm_point []);
+  ]
+
+let props =
+  [
+    qtest ~count:50 "distance matches LP-based membership"
+      (arb_points ~n:6 ~dim:3 ()) (fun pts ->
+        match pts with
+        | q :: hull_pts ->
+            let d = Minnorm.dist2_to_hull hull_pts q in
+            if Hull.mem ~eps:1e-7 hull_pts q then d < 1e-5
+            else d > 0.
+        | [] -> false);
+    qtest ~count:50 "nearest point optimality (variational inequality)"
+      (arb_points ~n:6 ~dim:3 ()) (fun pts ->
+        match pts with
+        | q :: hull_pts ->
+            let w = Minnorm.nearest_point hull_pts q in
+            (* <q - proj, v - proj> <= 0 for all vertices v *)
+            List.for_all
+              (fun p ->
+                Vec.dot
+                  (Vec.sub q w.Minnorm.nearest)
+                  (Vec.sub p w.Minnorm.nearest)
+                <= 1e-5)
+              hull_pts
+        | [] -> false);
+    qtest ~count:50 "translation equivariance" (arb_points ~n:5 ~dim:2 ())
+      (fun pts ->
+        match pts with
+        | t :: hull_pts ->
+            let d1 = Minnorm.dist2_to_hull hull_pts (Vec.zero 2) in
+            let shifted = List.map (fun p -> Vec.add p t) hull_pts in
+            let d2 = Minnorm.dist2_to_hull shifted t in
+            Float.abs (d1 -. d2) < 1e-6
+        | [] -> false);
+    qtest ~count:50 "agrees with exhaustive segment search (2 points)"
+      (arb_points ~n:3 ~dim:3 ()) (function
+      | [ q; a; b ] ->
+          let d = Minnorm.dist2_to_hull [ a; b ] q in
+          (* brute-force the segment *)
+          let best = ref infinity in
+          for i = 0 to 1000 do
+            let t = float_of_int i /. 1000. in
+            best := Float.min !best (Vec.dist2 q (Vec.lerp t a b))
+          done;
+          d <= !best +. 1e-6 && d >= !best -. 1e-3
+      | _ -> false);
+  ]
+
+let suite = unit_tests @ props

@@ -1,0 +1,25 @@
+open Helpers
+
+let unit_tests =
+  [
+    case "envelope fields" (fun () ->
+        let e = Msg.envelope ~src:1 ~dst:2 ~round:3 "payload" in
+        check_int "src" 1 e.Msg.src;
+        check_int "dst" 2 e.Msg.dst;
+        check_int "round" 3 e.Msg.round;
+        Alcotest.(check string) "payload" "payload" e.Msg.payload);
+    case "pp_envelope formats" (fun () ->
+        let e = Msg.envelope ~src:0 ~dst:4 ~round:7 42 in
+        let s =
+          Format.asprintf "%a" (Msg.pp_envelope Format.pp_print_int) e
+        in
+        check_true "mentions route" (s = "[r7] 0 -> 4: 42"));
+    case "debug_delivery is silent without a reporter" (fun () ->
+        (* must not raise and must not print *)
+        Msg.debug_delivery ~pp:Format.pp_print_int
+          (Msg.envelope ~src:0 ~dst:1 ~round:0 5));
+    case "log source is registered" (fun () ->
+        check_true "name" (Logs.Src.name Msg.log_src = "rbvc.sim"));
+  ]
+
+let suite = unit_tests

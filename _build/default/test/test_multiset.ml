@@ -1,0 +1,94 @@
+open Helpers
+
+let ms l = Multiset.of_list ~cmp:compare l
+
+let unit_tests =
+  [
+    case "size counts repetitions" (fun () ->
+        check_int "6" 6 (Multiset.size (ms [ 1; 2; 2; 3; 3; 3 ])));
+    case "count" (fun () ->
+        let m = ms [ 1; 2; 2; 3 ] in
+        check_int "1" 1 (Multiset.count 1 m);
+        check_int "2" 2 (Multiset.count 2 m);
+        check_int "0" 0 (Multiset.count 9 m));
+    case "add/remove_one" (fun () ->
+        let m = ms [ 1; 2 ] in
+        check_int "after add" 2 (Multiset.count 2 (Multiset.add 2 m));
+        check_int "after remove" 0
+          (Multiset.count 1 (Multiset.remove_one 1 m));
+        check_int "remove absent is noop" 2
+          (Multiset.size (Multiset.remove_one 9 m)));
+    case "distinct" (fun () ->
+        Alcotest.(check (list int))
+          "dedup" [ 1; 2; 3 ]
+          (Multiset.distinct (ms [ 1; 2; 2; 3; 3 ])));
+    case "subset with multiplicity (paper example)" (fun () ->
+        (* {u,v,v,w,w} subseteq {u,v,v,w,w,w} *)
+        check_true "sub"
+          (Multiset.subset (ms [ 0; 1; 1; 2; 2 ]) (ms [ 0; 1; 1; 2; 2; 2 ]));
+        check_false "not sub (multiplicity)"
+          (Multiset.subset (ms [ 1; 1; 1 ]) (ms [ 1; 1 ])));
+    case "union and diff" (fun () ->
+        let a = ms [ 1; 2 ] and b = ms [ 2; 3 ] in
+        check_int "union size" 4 (Multiset.size (Multiset.union a b));
+        check_int "diff" 1 (Multiset.size (Multiset.diff (Multiset.union a b) (ms [ 1; 2; 3 ]))));
+    case "equal ignores input order" (fun () ->
+        check_true "eq" (Multiset.equal (ms [ 3; 1; 2 ]) (ms [ 1; 2; 3 ])));
+    case "subsets_of_size distinct elements" (fun () ->
+        check_int "C(4,2)" 6
+          (List.length (Multiset.subsets_of_size 2 (ms [ 1; 2; 3; 4 ]))));
+    case "subsets_of_size with repetitions dedupes" (fun () ->
+        (* {1,1,2}: size-2 submultisets are {1,1} and {1,2} *)
+        check_int "2" 2 (List.length (Multiset.subsets_of_size 2 (ms [ 1; 1; 2 ]))));
+    case "subsets_of_size full and empty" (fun () ->
+        check_int "full" 1 (List.length (Multiset.subsets_of_size 3 (ms [ 1; 2; 3 ])));
+        check_int "too big" 0
+          (List.length (Multiset.subsets_of_size 4 (ms [ 1; 2; 3 ]))));
+    case "choose_indices C(5,2)" (fun () ->
+        let c = Multiset.choose_indices 5 2 in
+        check_int "10" 10 (List.length c);
+        List.iter
+          (fun l ->
+            check_int "len" 2 (List.length l);
+            check_true "sorted" (List.sort compare l = l))
+          c);
+    case "choose_indices edge cases" (fun () ->
+        check_int "k=0" 1 (List.length (Multiset.choose_indices 3 0));
+        check_int "k=n" 1 (List.length (Multiset.choose_indices 3 3));
+        check_int "k>n" 0 (List.length (Multiset.choose_indices 3 4)));
+    case "partitions into 2 classes of 3 elems" (fun () ->
+        (* labelled surjections of 3 elements onto 2 classes: 2^3-2 = 6 *)
+        check_int "6" 6 (List.length (Multiset.partitions 3 2)));
+    case "partitions all classes non-empty" (fun () ->
+        List.iter
+          (fun a ->
+            let seen = Array.make 3 false in
+            Array.iter (fun l -> seen.(l) <- true) a;
+            check_true "onto" (Array.for_all Fun.id seen))
+          (Multiset.partitions 5 3));
+    case "partitions edge cases" (fun () ->
+        check_int "too many parts" 0 (List.length (Multiset.partitions 2 3));
+        check_int "1 part" 1 (List.length (Multiset.partitions 3 1)));
+  ]
+
+let props =
+  let arb_small = QCheck.(make Gen.(list_size (return 6) (int_range 0 3))) in
+  [
+    qtest ~count:40 "subsets_of_size k are subsets of the original" arb_small
+      (fun l ->
+        let m = ms l in
+        List.for_all
+          (fun s -> Multiset.subset s m)
+          (Multiset.subsets_of_size 4 m));
+    qtest ~count:40 "diff then size" arb_small (fun l ->
+        let m = ms l in
+        let half = Multiset.subsets_of_size 3 m in
+        List.for_all
+          (fun s -> Multiset.size (Multiset.diff m s) = 3)
+          half);
+    qtest ~count:20 "number of distinct subsets bounded by C(n,k)" arb_small
+      (fun l ->
+        List.length (Multiset.subsets_of_size 3 (ms l)) <= 20);
+  ]
+
+let suite = unit_tests @ props

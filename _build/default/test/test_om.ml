@@ -1,0 +1,186 @@
+open Helpers
+
+let fcmp = Float.compare
+
+let check_ic ~n ~faulty decisions inputs =
+  (* IC1 (agreement among non-faulty) and IC2 (validity for non-faulty
+     commanders) *)
+  let honest = List.filter (fun p -> not (List.mem p faulty)) (List.init n Fun.id) in
+  match honest with
+  | [] -> ()
+  | h0 :: rest ->
+      List.iter
+        (fun c ->
+          List.iter
+            (fun p ->
+              check_float
+                (Printf.sprintf "agreement c=%d p=%d" c p)
+                decisions.(h0).(c) decisions.(p).(c))
+            rest;
+          if not (List.mem c faulty) then
+            check_float
+              (Printf.sprintf "validity c=%d" c)
+              inputs.(c) decisions.(h0).(c))
+        (List.init n Fun.id)
+
+let unit_tests =
+  [
+    case "majority strict" (fun () ->
+        check_float "maj" 2.
+          (Om.majority ~compare:fcmp ~default:0. [ 2.; 2.; 1. ]));
+    case "majority tie gives default" (fun () ->
+        check_float "def" 9.
+          (Om.majority ~compare:fcmp ~default:9. [ 1.; 2. ]));
+    case "majority empty gives default" (fun () ->
+        check_float "def" 9. (Om.majority ~compare:fcmp ~default:9. []));
+    case "majority exactly half is not majority" (fun () ->
+        check_float "def" 0.
+          (Om.majority ~compare:fcmp ~default:0. [ 1.; 1.; 2.; 2. ]));
+    case "f=0 single round broadcast" (fun () ->
+        let dec, tr =
+          Om.broadcast ~n:3 ~f:0 ~commander:1 ~value:5. ~default:0.
+            ~compare:fcmp ()
+        in
+        check_int "rounds" 1 tr.Trace.rounds;
+        Array.iter (fun v -> check_float "all 5" 5. v) dec);
+    case "honest run n=4 f=1" (fun () ->
+        let inputs = [| 1.; 2.; 3.; 4. |] in
+        let dec, _ =
+          Om.broadcast_all ~n:4 ~f:1 ~inputs ~default:0. ~compare:fcmp ()
+        in
+        check_ic ~n:4 ~faulty:[] dec inputs);
+    case "equivocating lieutenant n=4 f=1" (fun () ->
+        let inputs = [| 1.; 2.; 3.; 4. |] in
+        let corrupt _src ~dst ~commander:_ ~path:_ v =
+          v +. (10. *. float_of_int (dst + 1))
+        in
+        let dec, _ =
+          Om.broadcast_all ~n:4 ~f:1 ~inputs ~faulty:[ 3 ] ~corrupt ~default:0.
+            ~compare:fcmp ()
+        in
+        check_ic ~n:4 ~faulty:[ 3 ] dec inputs);
+    case "equivocating commander n=4 f=1: agreement still holds" (fun () ->
+        let corrupt _src ~dst ~commander:_ ~path:_ _ = float_of_int dst in
+        let dec, _ =
+          Om.broadcast ~n:4 ~f:1 ~commander:0 ~value:7. ~faulty:[ 0 ] ~corrupt
+            ~default:0. ~compare:fcmp ()
+        in
+        (* lieutenants 1..3 agree on something *)
+        check_float "1=2" dec.(1) dec.(2);
+        check_float "2=3" dec.(2) dec.(3));
+    case "two faulty n=7 f=2 colluding" (fun () ->
+        let inputs = [| 1.; 2.; 3.; 4.; 5.; 6.; 7. |] in
+        let corrupt src ~dst ~commander ~path:_ v =
+          v +. float_of_int ((src * 7) + dst + commander)
+        in
+        let dec, _ =
+          Om.broadcast_all ~n:7 ~f:2 ~inputs ~faulty:[ 0; 6 ] ~corrupt
+            ~default:0. ~compare:fcmp ()
+        in
+        check_ic ~n:7 ~faulty:[ 0; 6 ] dec inputs);
+    case "silent faulty commander decides default" (fun () ->
+        let corrupt _src ~dst:_ ~commander:_ ~path:_ _ = nan in
+        ignore corrupt;
+        (* silence is modelled by the sync adversary; via Om we emulate
+           with a corruption to a fixed bogus value and check agreement *)
+        let corrupt _src ~dst:_ ~commander:_ ~path:_ _ = 99. in
+        let dec, _ =
+          Om.broadcast ~n:4 ~f:1 ~commander:2 ~value:5. ~faulty:[ 2 ] ~corrupt
+            ~default:0. ~compare:fcmp ()
+        in
+        check_float "agree" dec.(0) dec.(1);
+        check_float "consistent bogus" 99. dec.(0));
+    case "vector payloads" (fun () ->
+        let inputs = Array.init 4 (fun i -> Vec.make 2 (float_of_int i)) in
+        let dec, _ =
+          Om.broadcast_all ~n:4 ~f:1 ~inputs ~faulty:[ 1 ]
+            ~corrupt:(fun _src ~dst ~commander:_ ~path:_ v ->
+              Vec.scale (float_of_int (dst + 2)) v)
+            ~default:(Vec.zero 2) ~compare:Vec.compare_lex ()
+        in
+        for c = 0 to 3 do
+          check_vec "agree" dec.(0).(c) dec.(2).(c)
+        done);
+    case "message complexity grows with f" (fun () ->
+        let _, t1 =
+          Om.broadcast ~n:4 ~f:1 ~commander:0 ~value:1. ~default:0.
+            ~compare:fcmp ()
+        in
+        let _, t2 =
+          Om.broadcast ~n:7 ~f:2 ~commander:0 ~value:1. ~default:0.
+            ~compare:fcmp ()
+        in
+        check_true "more rounds" (t2.Trace.rounds > t1.Trace.rounds);
+        check_true "more messages"
+          (t2.Trace.messages_sent > t1.Trace.messages_sent));
+    raises_invalid "f >= n rejected" (fun () ->
+        Om.broadcast ~n:2 ~f:2 ~commander:0 ~value:1. ~default:0.
+          ~compare:fcmp ());
+    raises_invalid "broadcast_all input arity" (fun () ->
+        Om.broadcast_all ~n:3 ~f:1 ~inputs:[| 1. |] ~default:0. ~compare:fcmp
+          ());
+  ]
+
+let negative_tests =
+  [
+    case "n = 3 is NOT enough: equivocating relays split views" (fun () ->
+        (* the classic 3-generals impossibility, realized: relays lie and
+           a lieutenant's majority collapses to the default *)
+        let corrupt src ~dst:_ ~commander ~path:_ v =
+          if commander = src then v else v +. 100.
+        in
+        let dec, _ =
+          Om.broadcast_all ~n:3 ~f:1 ~inputs:[| 5.; 6.; 7. |] ~faulty:[ 2 ]
+            ~corrupt ~default:0. ~compare:fcmp ()
+        in
+        (* p1's view of commander 0 cannot be trusted: it differs from
+           p0's own value (view disagreement = OM failed, as it must) *)
+        check_false "views split" (dec.(1).(0) = dec.(0).(0)));
+    case "n = 6 is NOT enough for f = 2 (3f+1 = 7)" (fun () ->
+        let corrupt src ~dst ~commander ~path:_ v =
+          if commander = src then v else v +. float_of_int (10 * (dst + 1))
+        in
+        let dec, _ =
+          Om.broadcast_all ~n:6 ~f:2 ~inputs:[| 1.; 2.; 3.; 4.; 5.; 6. |]
+            ~faulty:[ 4; 5 ] ~corrupt ~default:0. ~compare:fcmp ()
+        in
+        let split = ref false in
+        for c = 0 to 5 do
+          List.iter
+            (fun p -> if dec.(p).(c) <> dec.(0).(c) then split := true)
+            [ 1; 2; 3 ]
+        done;
+        check_true "some view disagrees below the bound" !split);
+  ]
+
+let props =
+  let arb =
+    QCheck.(
+      make
+        ~print:(fun (seed, faulty) -> Printf.sprintf "seed=%d faulty=%d" seed faulty)
+        Gen.(pair (int_range 0 1000) (int_range 0 3)))
+  in
+  [
+    qtest ~count:25 "IC under random per-edge corruption (n=4, f=1)" arb
+      (fun (seed, faulty) ->
+        let rng = Rng.create seed in
+        let inputs = Array.init 4 (fun _ -> Rng.float rng 10.) in
+        let corrupt _src ~dst ~commander ~path:_ v =
+          v +. (Rng.float (Rng.create (seed + dst + commander)) 5.) +. 1.
+        in
+        let dec, _ =
+          Om.broadcast_all ~n:4 ~f:1 ~inputs ~faulty:[ faulty ] ~corrupt
+            ~default:0. ~compare:fcmp ()
+        in
+        let honest = List.filter (fun p -> p <> faulty) [ 0; 1; 2; 3 ] in
+        (* agreement *)
+        List.for_all
+          (fun c ->
+            List.for_all
+              (fun p -> dec.(p).(c) = dec.(List.hd honest).(c))
+              honest
+            && ((c = faulty) || dec.(List.hd honest).(c) = inputs.(c)))
+          [ 0; 1; 2; 3 ]);
+  ]
+
+let suite = unit_tests @ negative_tests @ props

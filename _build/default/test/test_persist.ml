@@ -1,0 +1,122 @@
+open Helpers
+
+let j = Persist.to_string
+let parse s = Result.get_ok (Persist.of_string s)
+
+let unit_tests =
+  [
+    case "write primitives" (fun () ->
+        Alcotest.(check string) "null" "null" (j Persist.Null);
+        Alcotest.(check string) "true" "true" (j (Persist.Bool true));
+        Alcotest.(check string) "int" "42" (j (Persist.Int 42));
+        Alcotest.(check string) "string" "\"hi\"" (j (Persist.String "hi")));
+    case "write escapes" (fun () ->
+        Alcotest.(check string) "quote" "\"a\\\"b\""
+          (j (Persist.String "a\"b"));
+        Alcotest.(check string) "newline" "\"a\\nb\""
+          (j (Persist.String "a\nb")));
+    case "write containers" (fun () ->
+        Alcotest.(check string) "list" "[1,2]"
+          (j (Persist.List [ Persist.Int 1; Persist.Int 2 ]));
+        Alcotest.(check string) "obj" "{\"a\":1}"
+          (j (Persist.Obj [ ("a", Persist.Int 1) ])));
+    case "parse primitives" (fun () ->
+        check_true "null" (parse "null" = Persist.Null);
+        check_true "bool" (parse " true " = Persist.Bool true);
+        check_true "int" (parse "-17" = Persist.Int (-17));
+        check_true "float" (parse "2.5" = Persist.Float 2.5);
+        check_true "exp" (parse "1e3" = Persist.Float 1000.));
+    case "parse nested" (fun () ->
+        match parse "{\"xs\": [1, 2.5, \"s\"], \"ok\": false}" with
+        | Persist.Obj fields ->
+            check_int "fields" 2 (List.length fields);
+            check_true "xs"
+              (List.assoc "xs" fields
+              = Persist.List
+                  [ Persist.Int 1; Persist.Float 2.5; Persist.String "s" ])
+        | _ -> Alcotest.fail "object expected");
+    case "parse string escapes" (fun () ->
+        check_true "escapes"
+          (parse "\"a\\n\\t\\\\\\\"\"" = Persist.String "a\n\t\\\""));
+    case "parse unicode escape" (fun () ->
+        check_true "ascii" (parse "\"\\u0041\"" = Persist.String "A"));
+    case "parse errors are reported" (fun () ->
+        check_true "garbage" (Result.is_error (Persist.of_string "{broken"));
+        check_true "trailing" (Result.is_error (Persist.of_string "1 2"));
+        check_true "empty" (Result.is_error (Persist.of_string "")));
+    case "member" (fun () ->
+        let o = parse "{\"a\": 1, \"b\": 2}" in
+        check_true "found" (Persist.member "b" o = Some (Persist.Int 2));
+        check_true "missing" (Persist.member "z" o = None));
+    case "instance round trip" (fun () ->
+        let inst =
+          Problem.random_instance (Rng.create 9) ~n:5 ~f:1 ~d:3 ~faulty:[ 2 ]
+        in
+        let json = Persist.instance_to_json inst in
+        match Persist.instance_of_json json with
+        | Error e -> Alcotest.fail e
+        | Ok inst' ->
+            check_int "n" inst.Problem.n inst'.Problem.n;
+            check_int "f" inst.Problem.f inst'.Problem.f;
+            Alcotest.(check (list int))
+              "faulty" inst.Problem.faulty inst'.Problem.faulty;
+            Array.iteri
+              (fun i vv ->
+                if not (Vec.equal ~eps:0. vv inst'.Problem.inputs.(i)) then
+                  Alcotest.fail "inputs must round-trip bit-exactly")
+              inst.Problem.inputs);
+    case "file save/load round trip" (fun () ->
+        let inst =
+          Problem.random_instance (Rng.create 10) ~n:4 ~f:1 ~d:2 ~faulty:[ 0 ]
+        in
+        let path = Filename.temp_file "rbvc_test" ".json" in
+        Persist.save_instance path inst;
+        (match Persist.load_instance path with
+        | Error e -> Alcotest.fail e
+        | Ok inst' ->
+            Array.iteri
+              (fun i vv ->
+                if not (Vec.equal ~eps:0. vv inst'.Problem.inputs.(i)) then
+                  Alcotest.fail "file round trip must be exact")
+              inst.Problem.inputs);
+        Sys.remove path);
+    case "instance_of_json rejects bad shapes" (fun () ->
+        check_true "not an object"
+          (Result.is_error (Persist.instance_of_json (Persist.Int 1)));
+        check_true "bad faulty"
+          (Result.is_error
+             (Persist.instance_of_json
+                (parse
+                   "{\"n\":4,\"f\":9,\"d\":1,\"inputs\":[[0.5],[1.0],[2.0],[3.0]],\"faulty\":[0,1,2]}"))));
+  ]
+
+let props =
+  [
+    qtest ~count:50 "json round trip on random floats"
+      QCheck.(make Gen.(float_range (-1e6) 1e6))
+      (fun x ->
+        match Persist.of_string (Persist.to_string (Persist.Float x)) with
+        | Ok (Persist.Float y) -> y = x
+        | Ok (Persist.Int y) -> float_of_int y = x
+        | _ -> false);
+    qtest ~count:40 "instance round trips across random shapes"
+      QCheck.(make Gen.(pair (int_range 0 500) (int_range 2 4)))
+      (fun (seed, d) ->
+        let inst =
+          Problem.random_instance (Rng.create seed) ~n:5 ~f:1 ~d
+            ~faulty:[ seed mod 5 ]
+        in
+        match
+          Persist.of_string (Persist.to_string (Persist.instance_to_json inst))
+        with
+        | Error _ -> false
+        | Ok json -> (
+            match Persist.instance_of_json json with
+            | Error _ -> false
+            | Ok inst' ->
+                Array.for_all2
+                  (fun a b -> Vec.equal ~eps:0. a b)
+                  inst.Problem.inputs inst'.Problem.inputs));
+  ]
+
+let suite = unit_tests @ props

@@ -1,0 +1,147 @@
+open Helpers
+
+let v = Vec.of_list
+let square x0 y0 w = Polygon.of_points [ v [ x0; y0 ]; v [ x0 +. w; y0 ]; v [ x0 +. w; y0 +. w ]; v [ x0; y0 +. w ] ]
+
+let unit_tests =
+  [
+    case "of_points canonicalizes" (fun () ->
+        let p =
+          Polygon.of_points
+            [ v [ 1.; 1. ]; v [ 0.; 0. ]; v [ 1.; 0. ]; v [ 0.; 1. ];
+              v [ 0.5; 0.5 ] ]
+        in
+        check_int "4 vertices" 4 (List.length (Polygon.vertices p));
+        check_float ~eps:1e-9 "area" 1. (Polygon.area p));
+    case "empty polygon" (fun () ->
+        check_true "empty" (Polygon.is_empty (Polygon.of_points []));
+        check_float "area" 0. (Polygon.area (Polygon.of_points [])));
+    case "point polygon" (fun () ->
+        let p = Polygon.of_points [ v [ 2.; 3. ] ] in
+        check_false "non-empty" (Polygon.is_empty p);
+        check_float "area 0" 0. (Polygon.area p);
+        check_true "contains itself" (Polygon.contains p (v [ 2.; 3. ]));
+        check_false "not others" (Polygon.contains p (v [ 2.; 3.1 ])));
+    case "segment polygon contains its interior" (fun () ->
+        let p = Polygon.of_points [ v [ 0.; 0. ]; v [ 2.; 2. ] ] in
+        check_true "midpoint" (Polygon.contains p (v [ 1.; 1. ]));
+        check_false "off line" (Polygon.contains p (v [ 1.; 1.2 ]));
+        check_false "beyond end" (Polygon.contains p (v [ 3.; 3. ])));
+    case "clip_halfplane square in half" (fun () ->
+        let p = square 0. 0. 2. in
+        let clipped =
+          Polygon.clip_halfplane p ~normal:(v [ 1.; 0. ]) ~offset:1.
+        in
+        check_float ~eps:1e-9 "half area" 2. (Polygon.area clipped));
+    case "clip to empty" (fun () ->
+        let p = square 0. 0. 1. in
+        check_true "gone"
+          (Polygon.is_empty
+             (Polygon.clip_halfplane p ~normal:(v [ 1.; 0. ]) ~offset:(-1.))));
+    case "inter overlapping squares" (fun () ->
+        let i = Polygon.inter (square 0. 0. 2.) (square 1. 1. 2.) in
+        check_float ~eps:1e-9 "unit overlap" 1. (Polygon.area i));
+    case "inter disjoint is empty" (fun () ->
+        check_true "empty"
+          (Polygon.is_empty (Polygon.inter (square 0. 0. 1.) (square 5. 5. 1.))));
+    case "inter nested is the smaller" (fun () ->
+        let small = square 0.25 0.25 0.5 in
+        let i = Polygon.inter (square 0. 0. 1.) small in
+        check_true "equal to small" (Polygon.equal i small));
+    case "inter with point polygon" (fun () ->
+        let p = Polygon.of_points [ v [ 0.5; 0.5 ] ] in
+        let i = Polygon.inter (square 0. 0. 1.) p in
+        check_true "kept" (Polygon.contains i (v [ 0.5; 0.5 ]));
+        let outside = Polygon.of_points [ v [ 9.; 9. ] ] in
+        check_true "dropped" (Polygon.is_empty (Polygon.inter (square 0. 0. 1.) outside)));
+    case "inter_all three squares" (fun () ->
+        let i =
+          Polygon.inter_all [ square 0. 0. 2.; square 1. 0. 2.; square 0.5 0.5 2. ]
+        in
+        (* overlap is [1, 2] x [0.5, 2] = 1 x 1.5 *)
+        check_float ~eps:1e-9 "area" 1.5 (Polygon.area i));
+    raises_invalid "inter_all empty list" (fun () ->
+        ignore (Polygon.inter_all []));
+    case "subset" (fun () ->
+        check_true "nested" (Polygon.subset (square 0.25 0.25 0.5) (square 0. 0. 1.));
+        check_false "not nested" (Polygon.subset (square 0. 0. 2.) (square 0. 0. 1.)));
+    case "centroid of square" (fun () ->
+        match Polygon.centroid (square 0. 0. 2.) with
+        | Some c -> check_vec ~eps:1e-9 "center" (v [ 1.; 1. ]) c
+        | None -> Alcotest.fail "non-empty");
+    case "centroid weighted by area not vertices" (fun () ->
+        (* L-shaped? polygons here are convex; use a triangle *)
+        let t = Polygon.of_points [ v [ 0.; 0. ]; v [ 3.; 0. ]; v [ 0.; 3. ] ] in
+        match Polygon.centroid t with
+        | Some c -> check_vec ~eps:1e-9 "centroid" (v [ 1.; 1. ]) c
+        | None -> Alcotest.fail "non-empty");
+    case "equal is order-insensitive" (fun () ->
+        let a = Polygon.of_points [ v [ 0.; 0. ]; v [ 1.; 0. ]; v [ 0.; 1. ] ] in
+        let b = Polygon.of_points [ v [ 0.; 1. ]; v [ 0.; 0. ]; v [ 1.; 0. ] ] in
+        check_true "equal" (Polygon.equal a b));
+  ]
+
+let props =
+  [
+    qtest ~count:40 "intersection area bounded by both" (arb_points ~n:8 ~dim:2 ())
+      (fun pts ->
+        let a = Polygon.of_points (List.filteri (fun i _ -> i < 4) pts) in
+        let b = Polygon.of_points (List.filteri (fun i _ -> i >= 4) pts) in
+        let i = Polygon.inter a b in
+        Polygon.area i <= Polygon.area a +. 1e-6
+        && Polygon.area i <= Polygon.area b +. 1e-6);
+    qtest ~count:40 "intersection subset of both" (arb_points ~n:8 ~dim:2 ())
+      (fun pts ->
+        let a = Polygon.of_points (List.filteri (fun i _ -> i < 4) pts) in
+        let b = Polygon.of_points (List.filteri (fun i _ -> i >= 4) pts) in
+        let i = Polygon.inter a b in
+        Polygon.subset ~eps:1e-6 i a && Polygon.subset ~eps:1e-6 i b);
+    qtest ~count:40 "inter commutes (as sets)" (arb_points ~n:8 ~dim:2 ())
+      (fun pts ->
+        let a = Polygon.of_points (List.filteri (fun i _ -> i < 4) pts) in
+        let b = Polygon.of_points (List.filteri (fun i _ -> i >= 4) pts) in
+        Polygon.equal ~eps:1e-6 (Polygon.inter a b) (Polygon.inter b a));
+    qtest ~count:40 "self-intersection is identity" (arb_points ~n:5 ~dim:2 ())
+      (fun pts ->
+        let a = Polygon.of_points pts in
+        Polygon.equal ~eps:1e-6 (Polygon.inter a a) a);
+    qtest ~count:40 "centroid inside polygon" (arb_points ~n:6 ~dim:2 ())
+      (fun pts ->
+        let a = Polygon.of_points pts in
+        match Polygon.centroid a with
+        | None -> Polygon.is_empty a
+        | Some c -> Polygon.contains ~eps:1e-6 a c);
+    qtest ~count:30 "Helly in the plane (paper's Theorem 10, d=2)"
+      (arb_points ~n:12 ~dim:2 ()) (fun pts ->
+        (* four polygons from overlapping windows of the points; if every
+           3 of them intersect, all 4 must (Helly with d+1 = 3) *)
+        let window i =
+          Polygon.of_points (List.filteri (fun j _ -> j >= i && j < i + 6) pts)
+        in
+        let polys = [ window 0; window 2; window 4; window 6 ] in
+        let triples_ok =
+          List.for_all
+            (fun skip ->
+              let rest = List.filteri (fun i _ -> i <> skip) polys in
+              not (Polygon.is_empty (Polygon.inter_all rest)))
+            [ 0; 1; 2; 3 ]
+        in
+        (not triples_ok)
+        || not (Polygon.is_empty (Polygon.inter_all polys)));
+    qtest ~count:30 "agrees with LP membership on intersections"
+      (arb_points ~n:9 ~dim:2 ()) (fun pts ->
+        match pts with
+        | q :: rest ->
+            let h1 = List.filteri (fun i _ -> i < 4) rest in
+            let h2 = List.filteri (fun i _ -> i >= 4) rest in
+            let i = Polygon.inter (Polygon.of_points h1) (Polygon.of_points h2) in
+            let in_poly = Polygon.contains ~eps:1e-6 i q in
+            let in_lp = Hull.mem ~eps:1e-7 h1 q && Hull.mem ~eps:1e-7 h2 q in
+            (* allow boundary discrepancies only *)
+            in_poly = in_lp
+            || Float.abs (Hull.dist_p ~p:2. h1 q) < 1e-4
+            || Float.abs (Hull.dist_p ~p:2. h2 q) < 1e-4
+        | [] -> false);
+  ]
+
+let suite = unit_tests @ props

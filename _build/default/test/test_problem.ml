@@ -1,0 +1,68 @@
+open Helpers
+
+let v = Vec.of_list
+
+let mk_inputs n d = List.init n (fun i -> Vec.make d (float_of_int i))
+
+let unit_tests =
+  [
+    case "make valid instance" (fun () ->
+        let inst =
+          Problem.make ~n:4 ~f:1 ~d:2 ~inputs:(mk_inputs 4 2) ~faulty:[ 3 ]
+        in
+        check_int "n" 4 inst.Problem.n;
+        check_true "faulty" (Problem.is_faulty inst 3);
+        check_false "honest" (Problem.is_faulty inst 0));
+    raises_invalid "wrong input count" (fun () ->
+        Problem.make ~n:4 ~f:1 ~d:2 ~inputs:(mk_inputs 3 2) ~faulty:[]);
+    raises_invalid "wrong dimension" (fun () ->
+        Problem.make ~n:2 ~f:0 ~d:3 ~inputs:(mk_inputs 2 2) ~faulty:[]);
+    raises_invalid "too many faulty" (fun () ->
+        Problem.make ~n:4 ~f:1 ~d:2 ~inputs:(mk_inputs 4 2) ~faulty:[ 0; 1 ]);
+    raises_invalid "faulty id out of range" (fun () ->
+        Problem.make ~n:4 ~f:1 ~d:2 ~inputs:(mk_inputs 4 2) ~faulty:[ 7 ]);
+    raises_invalid "duplicate faulty ids" (fun () ->
+        Problem.make ~n:4 ~f:2 ~d:2 ~inputs:(mk_inputs 4 2) ~faulty:[ 1; 1 ]);
+    case "honest_inputs excludes faulty" (fun () ->
+        let inst =
+          Problem.make ~n:3 ~f:1 ~d:1 ~inputs:[ v [ 0. ]; v [ 1. ]; v [ 2. ] ]
+            ~faulty:[ 1 ]
+        in
+        Alcotest.(check int) "count" 2 (List.length (Problem.honest_inputs inst));
+        check_vec "first" (v [ 0. ]) (List.hd (Problem.honest_inputs inst)));
+    case "honest_ids ordered" (fun () ->
+        let inst =
+          Problem.make ~n:4 ~f:1 ~d:1 ~inputs:(mk_inputs 4 1) ~faulty:[ 1 ]
+        in
+        Alcotest.(check (list int)) "ids" [ 0; 2; 3 ] (Problem.honest_ids inst));
+    case "required_n matches Bounds (spot checks)" (fun () ->
+        check_int "sync std" 5
+          (Problem.required_n Problem.Synchronous Problem.Standard ~d:3 ~f:1);
+        check_int "async std" 6
+          (Problem.required_n Problem.Asynchronous Problem.Standard ~d:3 ~f:1);
+        check_int "sync k=1" 4
+          (Problem.required_n Problem.Synchronous (Problem.K_relaxed 1) ~d:9
+             ~f:1);
+        check_int "input-dep" 4
+          (Problem.required_n Problem.Synchronous
+             (Problem.Input_dependent { p = 2. })
+             ~d:9 ~f:1);
+        check_int "const delta async" 11
+          (Problem.required_n Problem.Asynchronous
+             (Problem.Delta_p { delta = 0.5; p = 2. })
+             ~d:3 ~f:2));
+    case "random_instance shape" (fun () ->
+        let inst =
+          Problem.random_instance (Rng.create 1) ~n:6 ~f:2 ~d:4 ~faulty:[ 0; 5 ]
+        in
+        check_int "n" 6 (Array.length inst.Problem.inputs);
+        Array.iter (fun u -> check_int "dim" 4 (Vec.dim u)) inst.Problem.inputs);
+    case "pp_validity strings" (fun () ->
+        let s v = Format.asprintf "%a" Problem.pp_validity v in
+        check_true "standard" (s Problem.Standard = "standard");
+        check_true "k" (s (Problem.K_relaxed 2) = "2-relaxed");
+        check_true "delta contains p"
+          (String.length (s (Problem.Delta_p { delta = 0.1; p = 2. })) > 0));
+  ]
+
+let suite = unit_tests

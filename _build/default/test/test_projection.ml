@@ -1,0 +1,60 @@
+open Helpers
+
+let v = Vec.of_list
+
+let unit_tests =
+  [
+    case "paper example: g_{1,3} of (7,-4,-2,0)" (fun () ->
+        (* paper indices {1,3} are 0-indexed {0,2} *)
+        check_vec "projection" (v [ 7.; -2. ])
+          (Projection.project [ 0; 2 ] (v [ 7.; -4.; -2.; 0. ])));
+    case "all_d_sets D_2 of d=4" (fun () ->
+        let ds = Projection.all_d_sets ~d:4 ~k:2 in
+        check_int "C(4,2)" 6 (List.length ds);
+        List.iter (fun d -> check_int "size" 2 (List.length d)) ds);
+    case "all_d_sets D_d is full set" (fun () ->
+        Alcotest.(check (list (list int)))
+          "full" [ [ 0; 1; 2 ] ]
+          (Projection.all_d_sets ~d:3 ~k:3));
+    raises_invalid "all_d_sets k=0" (fun () -> Projection.all_d_sets ~d:3 ~k:0);
+    raises_invalid "all_d_sets k>d" (fun () -> Projection.all_d_sets ~d:3 ~k:4);
+    case "project_points preserves repetitions" (fun () ->
+        let pts = [ v [ 1.; 2. ]; v [ 1.; 2. ]; v [ 3.; 4. ] ] in
+        check_int "3" 3 (List.length (Projection.project_points [ 0 ] pts)));
+    case "embeds: g_D^{-1} membership" (fun () ->
+        (* the "(7, _, -2, _)" example from the paper *)
+        let low = v [ 7.; -2. ] in
+        check_true "in"
+          (Projection.embeds [ 0; 2 ] ~low ~full:(v [ 7.; 9.; -2.; 1. ]));
+        check_false "out"
+          (Projection.embeds [ 0; 2 ] ~low ~full:(v [ 7.; 9.; -3.; 1. ])));
+    raises_invalid "project empty D" (fun () ->
+        Projection.project [] (v [ 1. ]));
+    raises_invalid "project out of range" (fun () ->
+        Projection.project [ 5 ] (v [ 1.; 2. ]));
+  ]
+
+let props =
+  [
+    qtest ~count:40 "projection of a convex combination is the combination"
+      (arb_points ~n:3 ~dim:4 ()) (function
+      | [ a; b; _ ] ->
+          let mid = Vec.lerp 0.4 a b in
+          let d = [ 1; 3 ] in
+          Vec.equal ~eps:1e-9
+            (Projection.project d mid)
+            (Vec.lerp 0.4 (Projection.project d a) (Projection.project d b))
+      | _ -> false);
+    qtest ~count:40 "projection shrinks L2 norm" (arb_vec ~dim:4 ()) (fun x ->
+        Vec.norm2 (Projection.project [ 0; 2 ] x) <= Vec.norm2 x +. 1e-12);
+    qtest ~count:20 "D_k family covers every coordinate"
+      QCheck.(make Gen.(int_range 1 3))
+      (fun k ->
+        let d = 4 in
+        let ds = Projection.all_d_sets ~d ~k in
+        List.for_all
+          (fun coord -> List.exists (fun dset -> List.mem coord dset) ds)
+          (List.init d Fun.id));
+  ]
+
+let suite = unit_tests @ props

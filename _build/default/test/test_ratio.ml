@@ -1,0 +1,84 @@
+open Helpers
+
+let r = Ratio.of_ints
+let ri = Ratio.of_int
+let s = Ratio.to_string
+
+let unit_tests =
+  [
+    case "normalization" (fun () ->
+        Alcotest.(check string) "2/4" "1/2" (s (r 2 4));
+        Alcotest.(check string) "neg den" "-1/2" (s (r 1 (-2)));
+        Alcotest.(check string) "int" "3" (s (r 6 2));
+        Alcotest.(check string) "zero" "0" (s (r 0 5)));
+    raises_div_by_zero "zero denominator" (fun () -> r 1 0);
+    case "add" (fun () ->
+        Alcotest.(check string) "1/3+1/6" "1/2" (s (Ratio.add (r 1 3) (r 1 6))));
+    case "sub to zero" (fun () ->
+        check_true "zero" (Ratio.is_zero (Ratio.sub (r 22 7) (r 22 7))));
+    case "mul" (fun () ->
+        Alcotest.(check string) "2/3*3/4" "1/2" (s (Ratio.mul (r 2 3) (r 3 4))));
+    case "div" (fun () ->
+        Alcotest.(check string) "(1/2)/(1/4)" "2" (s (Ratio.div (r 1 2) (r 1 4))));
+    raises_div_by_zero "div by zero ratio" (fun () ->
+        Ratio.div Ratio.one Ratio.zero);
+    case "compare" (fun () ->
+        check_true "1/3 < 1/2" (Ratio.compare (r 1 3) (r 1 2) < 0);
+        check_true "-1/2 < 1/3" (Ratio.compare (r (-1) 2) (r 1 3) < 0);
+        check_true "eq" (Ratio.equal (r 2 6) (r 1 3)));
+    case "min/max" (fun () ->
+        check_true "min" (Ratio.equal (Ratio.min (r 1 3) (r 1 2)) (r 1 3));
+        check_true "max" (Ratio.equal (Ratio.max (r 1 3) (r 1 2)) (r 1 2)));
+    case "of_float exact dyadics" (fun () ->
+        Alcotest.(check string) "0.5" "1/2" (s (Ratio.of_float 0.5));
+        Alcotest.(check string) "-0.25" "-1/4" (s (Ratio.of_float (-0.25)));
+        Alcotest.(check string) "3" "3" (s (Ratio.of_float 3.));
+        Alcotest.(check string) "0" "0" (s (Ratio.of_float 0.)));
+    case "of_float nondyadic is the true float value" (fun () ->
+        (* 0.1 is not 1/10 as a float; conversion must be exact *)
+        let x = Ratio.of_float 0.1 in
+        check_false "not 1/10" (Ratio.equal x (r 1 10));
+        check_float ~eps:0. "roundtrip" 0.1 (Ratio.to_float x));
+    raises_invalid "of_float nan" (fun () -> Ratio.of_float Float.nan);
+    case "to_float of big ratio" (fun () ->
+        let big = Ratio.of_bigints (Bigint.of_string "123456789012345678901") (Bigint.of_string "2") in
+        check_true "finite and big" (Ratio.to_float big > 6e19));
+    case "sign and abs" (fun () ->
+        check_int "sign" (-1) (Ratio.sign (r (-3) 4));
+        check_true "abs" (Ratio.equal (Ratio.abs (r (-3) 4)) (r 3 4)));
+  ]
+
+let small_ratio =
+  QCheck.(
+    map
+      (fun (n, d) -> (n, (abs d mod 50) + 1))
+      (pair (int_range (-100) 100) (int_range 1 50)))
+
+let props =
+  [
+    qtest ~count:80 "field laws: (a+b)-b = a" (QCheck.pair small_ratio small_ratio)
+      (fun ((an, ad), (bn, bd)) ->
+        let a = r an ad and b = r bn bd in
+        Ratio.equal (Ratio.sub (Ratio.add a b) b) a);
+    qtest ~count:80 "field laws: (a*b)/b = a (b <> 0)"
+      (QCheck.pair small_ratio small_ratio) (fun ((an, ad), (bn, bd)) ->
+        let a = r an ad and b = r bn bd in
+        Ratio.is_zero b || Ratio.equal (Ratio.div (Ratio.mul a b) b) a);
+    qtest ~count:80 "distributivity"
+      (QCheck.triple small_ratio small_ratio small_ratio)
+      (fun ((an, ad), (bn, bd), (cn, cd)) ->
+        let a = r an ad and b = r bn bd and c = r cn cd in
+        Ratio.equal
+          (Ratio.mul a (Ratio.add b c))
+          (Ratio.add (Ratio.mul a b) (Ratio.mul a c)));
+    qtest ~count:80 "compare consistent with float compare" small_ratio
+      (fun (n, d) ->
+        let a = r n d in
+        let f = float_of_int n /. float_of_int d in
+        compare (Ratio.sign a) 0 = compare f 0.);
+    qtest ~count:80 "of_float/to_float roundtrip exactly"
+      QCheck.(map (fun x -> x) (float_range (-1000.) 1000.))
+      (fun x -> Ratio.to_float (Ratio.of_float x) = x);
+  ]
+
+let suite = unit_tests @ props

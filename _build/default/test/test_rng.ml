@@ -1,0 +1,72 @@
+open Helpers
+
+let unit_tests =
+  [
+    case "determinism: same seed, same stream" (fun () ->
+        let a = Rng.create 7 and b = Rng.create 7 in
+        for _ = 1 to 20 do
+          check_float "draw" (Rng.float a 1.) (Rng.float b 1.)
+        done);
+    case "different seeds differ" (fun () ->
+        let a = Rng.create 1 and b = Rng.create 2 in
+        let da = List.init 8 (fun _ -> Rng.float a 1.) in
+        let db = List.init 8 (fun _ -> Rng.float b 1.) in
+        check_true "diverge" (da <> db));
+    case "uniform in range" (fun () ->
+        let r = Rng.create 3 in
+        for _ = 1 to 100 do
+          let x = Rng.uniform r ~lo:(-2.) ~hi:5. in
+          check_true "range" (x >= -2. && x < 5.)
+        done);
+    case "point_box bounds" (fun () ->
+        let r = Rng.create 4 in
+        for _ = 1 to 50 do
+          let p = Rng.point_box r ~dim:4 ~lo:0. ~hi:1. in
+          check_int "dim" 4 (Vec.dim p);
+          Array.iter (fun x -> check_true "box" (x >= 0. && x < 1.)) p
+        done);
+    case "point_sphere has requested radius" (fun () ->
+        let r = Rng.create 5 in
+        for _ = 1 to 50 do
+          check_float ~eps:1e-9 "radius" 2.5
+            (Vec.norm2 (Rng.point_sphere r ~dim:3 ~radius:2.5))
+        done);
+    case "point_ball within radius" (fun () ->
+        let r = Rng.create 6 in
+        for _ = 1 to 50 do
+          check_true "inside"
+            (Vec.norm2 (Rng.point_ball r ~dim:3 ~radius:2.) <= 2. +. 1e-9)
+        done);
+    case "gaussian roughly centered" (fun () ->
+        let r = Rng.create 8 in
+        let n = 4000 in
+        let sum = ref 0. in
+        for _ = 1 to n do
+          sum := !sum +. Rng.gaussian r
+        done;
+        check_true "mean near 0" (Float.abs (!sum /. float_of_int n) < 0.1));
+    case "cloud size and dim" (fun () ->
+        let pts = Rng.cloud (Rng.create 9) ~n:7 ~dim:2 ~lo:0. ~hi:1. in
+        check_int "n" 7 (List.length pts);
+        List.iter (fun p -> check_int "dim" 2 (Vec.dim p)) pts);
+    case "simplex_vertices are affinely independent" (fun () ->
+        let r = Rng.create 10 in
+        for _ = 1 to 10 do
+          let pts = Rng.simplex_vertices r ~dim:4 in
+          check_int "count" 5 (List.length pts);
+          check_true "independent" (Affine.affinely_independent pts)
+        done);
+    case "shuffle preserves multiset" (fun () ->
+        let r = Rng.create 11 in
+        let l = [ 1; 2; 3; 4; 5; 6 ] in
+        let s = Rng.shuffle r l in
+        Alcotest.(check (list int)) "sorted" l (List.sort compare s));
+    case "choose picks member" (fun () ->
+        let r = Rng.create 12 in
+        for _ = 1 to 20 do
+          check_true "member" (List.mem (Rng.choose r [ 1; 2; 3 ]) [ 1; 2; 3 ])
+        done);
+    raises_invalid "choose empty" (fun () -> Rng.choose (Rng.create 1) []);
+  ]
+
+let suite = unit_tests

@@ -1,0 +1,77 @@
+open Helpers
+
+let corrupt d _src ~dst ~commander:_ ~path:_ vv =
+  Vec.axpy (0.2 *. float_of_int (dst + 1)) (Vec.ones d) vv
+
+let unit_tests =
+  [
+    case "run_sync standard produces passing checks" (fun () ->
+        let inst =
+          Problem.random_instance (Rng.create 1) ~n:5 ~f:1 ~d:3 ~faulty:[ 4 ]
+        in
+        let out =
+          Runner.run_sync inst ~validity:Problem.Standard ~corrupt:(corrupt 3)
+            ()
+        in
+        check_true "ok" (Runner.ok out);
+        check_int "3 checks" 3 (List.length out.Runner.checks);
+        check_true "has agreement"
+          (List.mem_assoc "agreement" out.Runner.checks);
+        check_int "honest outputs" 4 (List.length out.Runner.honest_outputs));
+    case "run_sync reports messages" (fun () ->
+        let inst =
+          Problem.random_instance (Rng.create 2) ~n:4 ~f:1 ~d:2 ~faulty:[]
+        in
+        let out = Runner.run_sync inst ~validity:(Problem.K_relaxed 1) () in
+        check_true "messages counted" (out.Runner.messages > 0));
+    case "run_sync detects sub-threshold failure" (fun () ->
+        (* standard validity on a simplex with n = (d+1)f: undecidable *)
+        let inputs = Rng.simplex_vertices (Rng.create 3) ~dim:3 in
+        let inst = Problem.make ~n:4 ~f:1 ~d:3 ~inputs ~faulty:[] in
+        let out = Runner.run_sync inst ~validity:Problem.Standard () in
+        check_false "termination fails" (Runner.ok out);
+        let term = List.assoc "termination" out.Runner.checks in
+        check_false "undecided" term.Validity.ok);
+    case "run_async standard passes at threshold" (fun () ->
+        let inst =
+          Problem.random_instance (Rng.create 4) ~n:6 ~f:1 ~d:3 ~faulty:[ 0 ]
+        in
+        let out =
+          Runner.run_async inst ~validity:Problem.Standard ~eps:0.05
+            ~policy:(Async.Random_order 1) ~adversary:(`Skew 3.) ()
+        in
+        check_true "ok" (Runner.ok out);
+        check_true "eps-agreement key"
+          (List.mem_assoc "eps-agreement" out.Runner.checks));
+    case "run_async input-dependent at n=3f+1" (fun () ->
+        let inst =
+          Problem.random_instance (Rng.create 5) ~n:4 ~f:1 ~d:3 ~faulty:[ 3 ]
+        in
+        let out =
+          Runner.run_async inst
+            ~validity:(Problem.Input_dependent { p = 2. })
+            ~eps:0.05 ~adversary:`Garbage ()
+        in
+        check_true "ok" (Runner.ok out));
+    case "run_sync input-dependent kappa domain check" (fun () ->
+        (* n=5, f=1, d=4: kappa2 proved regime n=(d+1)f *)
+        let inst =
+          Problem.random_instance (Rng.create 6) ~n:5 ~f:1 ~d:4 ~faulty:[ 2 ]
+        in
+        let out =
+          Runner.run_sync inst
+            ~validity:(Problem.Input_dependent { p = 2. })
+            ~corrupt:(corrupt 4) ()
+        in
+        check_true "ok" (Runner.ok out);
+        check_true "delta recorded" (out.Runner.delta_used >= 0.));
+    case "pp does not raise" (fun () ->
+        let inst =
+          Problem.random_instance (Rng.create 7) ~n:4 ~f:1 ~d:2 ~faulty:[]
+        in
+        let out = Runner.run_sync inst ~validity:(Problem.K_relaxed 1) () in
+        check_true "prints"
+          (String.length (Format.asprintf "%a" Runner.pp out) > 0));
+  ]
+
+let suite = unit_tests

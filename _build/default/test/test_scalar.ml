@@ -1,0 +1,70 @@
+open Helpers
+
+let unit_tests =
+  [
+    case "trimmed_median drops extremes" (fun () ->
+        check_float "median" 3.
+          (Scalar_consensus.trimmed_median ~f:1 [ 100.; 1.; 3.; 4.; -50. ]));
+    case "trimmed_median f=0 is plain (lower) median" (fun () ->
+        check_float "odd" 2. (Scalar_consensus.trimmed_median ~f:0 [ 3.; 1.; 2. ]);
+        check_float "even lower" 2.
+          (Scalar_consensus.trimmed_median ~f:0 [ 1.; 2.; 3.; 4. ]));
+    case "trimmed_median in honest range despite f outliers" (fun () ->
+        (* honest values in [1,2]; f=2 wild values can't drag it out *)
+        let vals = [ 1.; 1.5; 2.; 1.2; 1.8; -1000.; 1000. ] in
+        let m = Scalar_consensus.trimmed_median ~f:2 vals in
+        check_true "in range" (m >= 1. && m <= 2.));
+    raises_invalid "needs 2f+1 values" (fun () ->
+        Scalar_consensus.trimmed_median ~f:2 [ 1.; 2.; 3.; 4. ]);
+    case "full run honest n=4" (fun () ->
+        let decisions, _ =
+          Scalar_consensus.run ~n:4 ~f:1 ~inputs:[| 1.; 2.; 3.; 4. |] ()
+        in
+        Array.iter (fun d -> check_float "same" decisions.(0) d) decisions;
+        check_true "in range" (decisions.(0) >= 1. && decisions.(0) <= 4.));
+    case "full run with equivocating faulty" (fun () ->
+        let corrupt _src ~dst ~commander:_ ~path:_ v =
+          v *. float_of_int (dst + 2)
+        in
+        let decisions, _ =
+          Scalar_consensus.run ~n:4 ~f:1 ~inputs:[| 1.; 2.; 3.; 100. |]
+            ~faulty:[ 3 ] ~corrupt ()
+        in
+        let honest = [ decisions.(0); decisions.(1); decisions.(2) ] in
+        List.iter (fun d -> check_float "agree" (List.hd honest) d) honest;
+        check_true "validity: within honest range"
+          (List.hd honest >= 1. && List.hd honest <= 3.));
+    raises_invalid "n < 3f+1" (fun () ->
+        Scalar_consensus.run ~n:3 ~f:1 ~inputs:[| 1.; 2.; 3. |] ());
+  ]
+
+let props =
+  [
+    qtest ~count:30 "trimmed median within untrimmed range"
+      QCheck.(make Gen.(list_size (return 7) (float_range (-10.) 10.)))
+      (fun vals ->
+        let m = Scalar_consensus.trimmed_median ~f:2 vals in
+        m >= List.fold_left Float.min infinity vals
+        && m <= List.fold_left Float.max neg_infinity vals);
+    qtest ~count:20 "consensus validity under corruption (n=7, f=2)"
+      QCheck.(make ~print:string_of_int Gen.(int_range 0 1000))
+      (fun seed ->
+        let rng = Rng.create seed in
+        let inputs = Array.init 7 (fun _ -> Rng.float rng 10.) in
+        let corrupt src ~dst ~commander:_ ~path:_ v =
+          v +. float_of_int (((src + dst) mod 5) - 2)
+        in
+        let decisions, _ =
+          Scalar_consensus.run ~n:7 ~f:2 ~inputs ~faulty:[ 0; 1 ] ~corrupt ()
+        in
+        let honest = [ 2; 3; 4; 5; 6 ] in
+        let outs = List.map (fun p -> decisions.(p)) honest in
+        let ins = List.map (fun p -> inputs.(p)) honest in
+        let lo = List.fold_left Float.min infinity ins in
+        let hi = List.fold_left Float.max neg_infinity ins in
+        List.for_all (fun o -> o = List.hd outs) outs
+        && List.hd outs >= lo -. 1e-9
+        && List.hd outs <= hi +. 1e-9);
+  ]
+
+let suite = unit_tests @ props

@@ -1,0 +1,212 @@
+open Helpers
+
+(* A simple counting actor: broadcasts its id each round, records
+   everything received. *)
+let counting_actor ~n ~me received =
+  {
+    Sync.send =
+      (fun ~round:_ ->
+        List.filter_map
+          (fun dst -> if dst = me then None else Some (dst, me))
+          (List.init n Fun.id));
+    recv =
+      (fun ~round batch ->
+        List.iter (fun (src, msg) -> received := (round, src, msg) :: !received)
+          batch);
+  }
+
+let sync_tests =
+  [
+    case "all messages delivered, honest run" (fun () ->
+        let n = 4 in
+        let recs = Array.init n (fun _ -> ref []) in
+        let actors = Array.init n (fun me -> counting_actor ~n ~me recs.(me)) in
+        let tr = Sync.run ~n ~rounds:3 ~actors () in
+        check_int "rounds" 3 tr.Trace.rounds;
+        check_int "sent" (3 * n * (n - 1)) tr.Trace.messages_sent;
+        check_int "delivered" (3 * n * (n - 1)) tr.Trace.messages_delivered;
+        Array.iter
+          (fun r -> check_int "each got 3*(n-1)" (3 * (n - 1)) (List.length !r))
+          recs);
+    case "delivery sorted by source" (fun () ->
+        let n = 4 in
+        let recs = Array.init n (fun _ -> ref []) in
+        let actors = Array.init n (fun me -> counting_actor ~n ~me recs.(me)) in
+        ignore (Sync.run ~n ~rounds:1 ~actors ());
+        (* received list is reversed, so sources descend in it *)
+        let srcs = List.map (fun (_, s, _) -> s) !(recs.(0)) in
+        Alcotest.(check (list int)) "sorted desc" [ 3; 2; 1 ] srcs);
+    case "silent adversary drops everything from faulty" (fun () ->
+        let n = 3 in
+        let recs = Array.init n (fun _ -> ref []) in
+        let actors = Array.init n (fun me -> counting_actor ~n ~me recs.(me)) in
+        let tr =
+          Sync.run ~n ~rounds:2 ~actors ~faulty:[ 0 ] ~adversary:Adversary.silent
+            ()
+        in
+        check_int "dropped" (2 * (n - 1)) tr.Trace.messages_dropped;
+        check_true "no msgs from 0"
+          (List.for_all (fun (_, s, _) -> s <> 0) !(recs.(1))));
+    case "crash_at crashes mid-run" (fun () ->
+        let n = 3 in
+        let recs = Array.init n (fun _ -> ref []) in
+        let actors = Array.init n (fun me -> counting_actor ~n ~me recs.(me)) in
+        ignore
+          (Sync.run ~n ~rounds:4 ~actors ~faulty:[ 2 ]
+             ~adversary:(Adversary.crash_at 2) ());
+        let from2 =
+          List.filter (fun (_, s, _) -> s = 2) !(recs.(0))
+        in
+        check_int "only rounds 0,1" 2 (List.length from2);
+        List.iter (fun (r, _, _) -> check_true "early" (r < 2)) from2);
+    case "corrupt transforms payloads" (fun () ->
+        let n = 3 in
+        let recs = Array.init n (fun _ -> ref []) in
+        let actors = Array.init n (fun me -> counting_actor ~n ~me recs.(me)) in
+        let adversary =
+          Adversary.corrupt (fun ~round:_ ~dst m -> m + (100 * (dst + 1)))
+        in
+        let tr = Sync.run ~n ~rounds:1 ~actors ~faulty:[ 1 ] ~adversary () in
+        check_int "corrupted" 2 tr.Trace.messages_corrupted;
+        let from1 = List.filter (fun (_, s, _) -> s = 1) !(recs.(0)) in
+        (match from1 with
+        | [ (_, _, m) ] -> check_int "equivocated to dst 0" 101 m
+        | _ -> Alcotest.fail "expected one message"));
+    case "drop_to selective" (fun () ->
+        let n = 3 in
+        let recs = Array.init n (fun _ -> ref []) in
+        let actors = Array.init n (fun me -> counting_actor ~n ~me recs.(me)) in
+        ignore
+          (Sync.run ~n ~rounds:1 ~actors ~faulty:[ 0 ]
+             ~adversary:(Adversary.drop_to [ 1 ]) ());
+        check_true "1 got nothing from 0"
+          (List.for_all (fun (_, s, _) -> s <> 0) !(recs.(1)));
+        check_true "2 still got it"
+          (List.exists (fun (_, s, _) -> s = 0) !(recs.(2))));
+    case "adversary can fabricate on a quiet edge" (fun () ->
+        (* the faulty actor sends nothing, but the adversary invents a
+           message — the full-information Byzantine model *)
+        let n = 2 in
+        let got = ref [] in
+        let actors =
+          [|
+            {
+              Sync.send = (fun ~round:_ -> []);
+              recv = (fun ~round:_ _ -> ());
+            };
+            {
+              Sync.send = (fun ~round:_ -> []);
+              recv =
+                (fun ~round:_ batch ->
+                  List.iter (fun (s, m) -> got := (s, m) :: !got) batch);
+            };
+          |]
+        in
+        let adversary ~round:_ ~src:_ ~dst honest =
+          match honest with None when dst = 1 -> Some 99 | h -> h
+        in
+        let tr = Sync.run ~n ~rounds:1 ~actors ~faulty:[ 0 ] ~adversary () in
+        Alcotest.(check (list (pair int int))) "fabricated" [ (0, 99) ] !got;
+        check_int "counted as corrupted" 1 tr.Trace.messages_corrupted);
+    case "compose applies both" (fun () ->
+        let adv =
+          Adversary.compose
+            (Adversary.corrupt (fun ~round:_ ~dst:_ m -> m + 1))
+            (Adversary.drop_to [ 1 ])
+        in
+        check_true "dropped" (adv ~round:0 ~src:0 ~dst:1 (Some 5) = None);
+        check_true "corrupted" (adv ~round:0 ~src:0 ~dst:2 (Some 5) = Some 6));
+    case "honest adversary is identity" (fun () ->
+        check_true "pass" (Adversary.honest ~round:0 ~src:1 ~dst:2 (Some 3) = Some 3);
+        check_true "none" (Adversary.honest ~round:0 ~src:1 ~dst:2 None = None));
+    raises_invalid "wrong actor count" (fun () ->
+        Sync.run ~n:3 ~rounds:1
+          ~actors:[| counting_actor ~n:3 ~me:0 (ref []) |]
+          ());
+    raises_invalid "faulty id out of range" (fun () ->
+        let actors = Array.init 2 (fun me -> counting_actor ~n:2 ~me (ref [])) in
+        Sync.run ~n:2 ~rounds:1 ~actors ~faulty:[ 5 ] ());
+  ]
+
+(* Async: a ping-counting actor that replies until a hop budget runs out. *)
+let relay_actor ~n ~me log =
+  {
+    Async.start =
+      (fun () -> if me = 0 then [ ((me + 1) mod n, 3) ] else []);
+    on_message =
+      (fun ~src msg ->
+        log := (src, msg) :: !log;
+        if msg > 0 then [ ((me + 1) mod n, msg - 1) ] else []);
+  }
+
+let async_tests =
+  [
+    case "fifo relay terminates quiescent" (fun () ->
+        let n = 3 in
+        let logs = Array.init n (fun _ -> ref []) in
+        let actors = Array.init n (fun me -> relay_actor ~n ~me logs.(me)) in
+        let out = Async.run ~n ~actors () in
+        check_true "quiescent" out.Async.quiescent;
+        check_int "deliveries" 4 out.Async.trace.Trace.messages_delivered);
+    case "random policy same totals" (fun () ->
+        let n = 3 in
+        let logs = Array.init n (fun _ -> ref []) in
+        let actors = Array.init n (fun me -> relay_actor ~n ~me logs.(me)) in
+        let out = Async.run ~n ~actors ~policy:(Async.Random_order 9) () in
+        check_true "quiescent" out.Async.quiescent;
+        check_int "deliveries" 4 out.Async.trace.Trace.messages_delivered);
+    case "max_steps caps execution" (fun () ->
+        (* infinite ping-pong *)
+        let actors =
+          Array.init 2 (fun me ->
+              {
+                Async.start = (fun () -> if me = 0 then [ (1, ()) ] else []);
+                on_message = (fun ~src _ -> [ (src, ()) ]);
+              })
+        in
+        let out = Async.run ~n:2 ~actors ~max_steps:50 () in
+        check_false "not quiescent" out.Async.quiescent;
+        check_int "steps" 50 out.Async.trace.Trace.steps);
+    case "delay policy postpones victim traffic but stays fair" (fun () ->
+        let delivered_from = Array.make 2 0 in
+        let actors =
+          Array.init 2 (fun me ->
+              {
+                Async.start = (fun () -> [ ((1 - me), me) ]);
+                on_message =
+                  (fun ~src _ ->
+                    delivered_from.(src) <- delivered_from.(src) + 1;
+                    []);
+              })
+        in
+        let out =
+          Async.run ~n:2 ~actors
+            ~policy:(Async.Delay { victims = [ 0 ]; slack = 10 })
+            ()
+        in
+        check_true "quiescent" out.Async.quiescent;
+        check_int "victim's message still arrives" 1 delivered_from.(0));
+    case "async adversary corrupts faulty sends" (fun () ->
+        let got = ref [] in
+        let actors =
+          [|
+            {
+              Async.start = (fun () -> [ (1, 7) ]);
+              on_message = (fun ~src:_ _ -> []);
+            };
+            {
+              Async.start = (fun () -> []);
+              on_message =
+                (fun ~src msg ->
+                  got := (src, msg) :: !got;
+                  []);
+            };
+          |]
+        in
+        let adversary ~round:_ ~src:_ ~dst:_ m = Option.map (fun x -> x * 2) m in
+        let out = Async.run ~n:2 ~actors ~faulty:[ 0 ] ~adversary () in
+        check_true "quiescent" out.Async.quiescent;
+        Alcotest.(check (list (pair int int))) "doubled" [ (0, 14) ] !got);
+  ]
+
+let suite = sync_tests @ async_tests

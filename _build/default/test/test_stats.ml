@@ -1,0 +1,53 @@
+open Helpers
+
+let unit_tests =
+  [
+    case "mean" (fun () -> check_float "m" 2. (Stats.mean [ 1.; 2.; 3. ]));
+    case "stddev of constant list is 0" (fun () ->
+        check_float "sd" 0. (Stats.stddev [ 5.; 5.; 5. ]));
+    case "stddev known" (fun () ->
+        (* sample sd of [2;4;4;4;5;5;7;9] is ~2.138 *)
+        check_float ~eps:1e-3 "sd" 2.138
+          (Stats.stddev [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ]));
+    case "stddev singleton" (fun () -> check_float "sd" 0. (Stats.stddev [ 7. ]));
+    case "percentiles" (fun () ->
+        let xs = [ 1.; 2.; 3.; 4.; 5. ] in
+        check_float "p0" 1. (Stats.percentile 0. xs);
+        check_float "p50" 3. (Stats.percentile 50. xs);
+        check_float "p100" 5. (Stats.percentile 100. xs);
+        check_float "p25 interpolates" 2. (Stats.percentile 25. xs));
+    case "percentile unsorted input" (fun () ->
+        check_float "p50" 3. (Stats.percentile 50. [ 5.; 1.; 3.; 2.; 4. ]));
+    raises_invalid "percentile out of range" (fun () ->
+        Stats.percentile 101. [ 1. ]);
+    raises_invalid "empty summarize" (fun () -> Stats.summarize []);
+    case "summarize fields" (fun () ->
+        let s = Stats.summarize [ 3.; 1.; 2. ] in
+        check_int "count" 3 s.Stats.count;
+        check_float "min" 1. s.Stats.min;
+        check_float "max" 3. s.Stats.max;
+        check_float "p50" 2. s.Stats.p50);
+  ]
+
+let props =
+  let arb = QCheck.(make Gen.(list_size (int_range 1 30) (float_range (-100.) 100.))) in
+  [
+    qtest ~count:60 "min <= p50 <= p90 <= max" arb (fun xs ->
+        let s = Stats.summarize xs in
+        s.Stats.min <= s.Stats.p50 +. 1e-9
+        && s.Stats.p50 <= s.Stats.p90 +. 1e-9
+        && s.Stats.p90 <= s.Stats.max +. 1e-9);
+    qtest ~count:60 "mean within [min, max]" arb (fun xs ->
+        let s = Stats.summarize xs in
+        s.Stats.mean >= s.Stats.min -. 1e-9 && s.Stats.mean <= s.Stats.max +. 1e-9);
+    qtest ~count:60 "shift equivariance of mean" arb (fun xs ->
+        let m1 = Stats.mean xs in
+        let m2 = Stats.mean (List.map (fun x -> x +. 10.) xs) in
+        Float.abs (m2 -. m1 -. 10.) < 1e-6);
+    qtest ~count:60 "stddev shift invariant" arb (fun xs ->
+        Float.abs
+          (Stats.stddev xs -. Stats.stddev (List.map (fun x -> x +. 5.) xs))
+        < 1e-6);
+  ]
+
+let suite = unit_tests @ props

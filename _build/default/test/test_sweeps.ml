@@ -1,0 +1,61 @@
+open Helpers
+
+let unit_tests =
+  [
+    case "regime_of picks Theorem 9 at n = d+1, f = 1" (fun () ->
+        let r = Sweeps.regime_of ~n:5 ~f:1 ~d:4 in
+        check_true "label"
+          (String.length r.Sweeps.bound_label > 0
+          && String.sub r.Sweeps.bound_label 0 7 = "Theorem");
+        (* bound on a unit square-ish config: min-edge/2 vs max-edge/3 *)
+        let pts =
+          [ Vec.of_list [ 0.; 0.; 0.; 0. ]; Vec.of_list [ 1.; 0.; 0.; 0. ];
+            Vec.of_list [ 0.; 1.; 0.; 0. ]; Vec.of_list [ 0.; 0.; 1.; 0. ] ]
+        in
+        check_float ~eps:1e-9 "bound value"
+          (Float.min 0.5 (sqrt 2. /. 3.))
+          (r.Sweeps.bound_of pts));
+    raises_invalid "regime_of outside the Table 1 domain" (fun () ->
+        Sweeps.regime_of ~n:12 ~f:1 ~d:4);
+    case "ratio on an equilateral triangle (exact geometry)" (fun () ->
+        (* d=3, n=4, f=1; a regular tetrahedron: delta* = inradius =
+           edge/(2 sqrt 6); Theorem 9 bound = edge/2 (all edges equal,
+           min-edge over ALL of S equals max over honest);
+           honest bound: min(edge/2, edge/2) -> ratio = 1/sqrt(6) *)
+        let e = 1. in
+        let h = e /. sqrt 2. in
+        let tetra =
+          [ Vec.of_list [ 1.; 0.; 0. ]; Vec.of_list [ -1.; 0.; 0. ];
+            Vec.of_list [ 0.; 1.; h *. 2. ]; Vec.of_list [ 0.; -1.; h *. 2. ] ]
+        in
+        (* this tetrahedron is regular with edge 2 *)
+        ignore h;
+        let reg = Sweeps.regime_of ~n:4 ~f:1 ~d:3 in
+        let r = Sweeps.ratio reg tetra in
+        (* regular simplex in R^3: inradius = edge / (2 sqrt 6);
+           bound = min(edge/2, edge/2) -> ratio = 1/sqrt(6) ~ 0.408 *)
+        check_true "close to 1/sqrt6" (Float.abs (r -. (1. /. sqrt 6.)) < 0.02));
+    case "measure returns a sane summary" (fun () ->
+        let reg = Sweeps.regime_of ~n:4 ~f:1 ~d:3 in
+        let s = Sweeps.measure ~trials:5 ~seed:1 reg in
+        check_int "count" 5 s.Stats.count;
+        check_true "positive" (s.Stats.min > 0.);
+        check_true "below bound" (s.Stats.max < 1.));
+    case "measure deterministic in seed" (fun () ->
+        let reg = Sweeps.regime_of ~n:4 ~f:1 ~d:3 in
+        let a = Sweeps.measure ~trials:4 ~seed:7 reg in
+        let b = Sweeps.measure ~trials:4 ~seed:7 reg in
+        check_float "same mean" a.Stats.mean b.Stats.mean);
+    case "adversarial_search beats or matches random sampling" (fun () ->
+        let reg = Sweeps.regime_of ~n:4 ~f:1 ~d:3 in
+        let s = Sweeps.measure ~trials:5 ~seed:11 reg in
+        let best, witness = Sweeps.adversarial_search ~steps:25 ~seed:11 reg in
+        check_true "at least random max" (best >= s.Stats.max -. 1e-9);
+        check_true "still below 1" (best < 1.);
+        check_int "witness size" 4 (List.length witness);
+        (* the witness actually achieves (close to) the reported ratio *)
+        let again = Sweeps.ratio reg witness in
+        check_true "reproducible" (Float.abs (again -. best) < 1e-6));
+  ]
+
+let suite = unit_tests

@@ -1,0 +1,107 @@
+open Helpers
+
+let v = Vec.of_list
+
+let unit_tests =
+  [
+    case "radon of 4 points in the plane" (fun () ->
+        let pts =
+          [ v [ 0.; 0. ]; v [ 2.; 0. ]; v [ 0.; 2. ]; v [ 0.7; 0.7 ] ]
+        in
+        match Tverberg.radon_partition pts with
+        | Some pa ->
+            check_int "2 parts" 2 (List.length pa.Tverberg.parts);
+            List.iter
+              (fun part ->
+                check_true "common in part hull"
+                  (Hull.mem ~eps:1e-6 part pa.Tverberg.common))
+              pa.Tverberg.parts
+        | None -> Alcotest.fail "4 points in R^2 always admit Radon");
+    case "radon needs d+2 points" (fun () ->
+        check_true "none"
+          (Tverberg.radon_partition [ v [ 0.; 0. ]; v [ 1.; 0. ]; v [ 0.; 1. ] ]
+          = None));
+    case "tverberg f=1 on square" (fun () ->
+        let square =
+          [ v [ 0.; 0. ]; v [ 1.; 0. ]; v [ 0.; 1. ]; v [ 1.; 1. ] ]
+        in
+        match Tverberg.tverberg_partition ~parts:2 square with
+        | Some pa ->
+            List.iter
+              (fun part ->
+                check_true "common" (Hull.mem ~eps:1e-6 part pa.Tverberg.common))
+              pa.Tverberg.parts
+        | None -> Alcotest.fail "diagonals cross");
+    case "tverberg none for triangle, f=1" (fun () ->
+        check_true "none"
+          (Tverberg.tverberg_partition ~parts:2
+             [ v [ 0.; 0. ]; v [ 1.; 0. ]; v [ 0.; 1. ] ]
+          = None));
+    case "tverberg point lies in Gamma (paper's use)" (fun () ->
+        let pts =
+          [ v [ 0.; 0. ]; v [ 1.; 0. ]; v [ 0.; 1. ]; v [ 1.; 1. ];
+            v [ 0.5; 0.5 ] ]
+        in
+        match Tverberg.tverberg_point ~f:1 pts with
+        | Some pt -> check_true "in Gamma" (Tverberg.in_gamma ~f:1 pts pt)
+        | None -> Alcotest.fail "5 points in R^2, f=1: Tverberg applies");
+    case "gamma_point equals intersection over subsets" (fun () ->
+        let pts =
+          [ v [ 0.; 0. ]; v [ 1.; 0. ]; v [ 0.; 1. ]; v [ 1.; 1. ];
+            v [ 0.4; 0.6 ] ]
+        in
+        match Tverberg.gamma_point ~f:1 pts with
+        | Some g -> check_true "in gamma" (Tverberg.in_gamma ~f:1 pts g)
+        | None -> Alcotest.fail "Gamma non-empty at n=5, d=2, f=1");
+    case "gamma empty below Tverberg bound" (fun () ->
+        check_true "empty"
+          (Tverberg.gamma_point ~f:1
+             [ v [ 0.; 0. ]; v [ 1.; 0. ]; v [ 0.; 1. ] ]
+          = None));
+    case "moment curve points" (fun () ->
+        let pts = Tverberg.moment_curve_points ~d:3 ~n:2 in
+        check_vec "t=1" (v [ 1.; 1.; 1. ]) (List.nth pts 0);
+        check_vec "t=2" (v [ 2.; 4.; 8. ]) (List.nth pts 1));
+    case "moment curve d=2 n=6 f=2 has no partition (tightness)" (fun () ->
+        check_true "none"
+          (Tverberg.tverberg_point ~f:2
+             (Tverberg.moment_curve_points ~d:2 ~n:6)
+          = None));
+  ]
+
+let props =
+  [
+    qtest ~count:25 "Tverberg theorem: (d+1)f+1 points partition (d=2,f=1)"
+      (arb_points ~n:4 ~dim:2 ()) (fun pts ->
+        Tverberg.tverberg_point ~f:1 pts <> None);
+    qtest ~count:15 "Tverberg theorem: (d+1)f+1 points partition (d=2,f=2)"
+      (arb_points ~n:7 ~dim:2 ()) (fun pts ->
+        Tverberg.tverberg_point ~f:2 pts <> None);
+    qtest ~count:15 "Tverberg point lies in Gamma(Y)" (arb_points ~n:5 ~dim:2 ())
+      (fun pts ->
+        match Tverberg.tverberg_point ~f:1 pts with
+        | None -> false (* must exist at n = (d+1)f + 1 *)
+        | Some pt -> Tverberg.in_gamma ~eps:1e-6 ~f:1 pts pt);
+    qtest ~count:15 "gamma_point and tverberg_point agree on emptiness"
+      (arb_points ~n:5 ~dim:3 ()) (fun pts ->
+        (* n=5, d=3, f=1: both should exist iff Gamma non-empty; and
+           Tverberg partition existence implies Gamma non-empty *)
+        let g = Tverberg.gamma_point ~f:1 pts in
+        let t = Tverberg.tverberg_point ~f:1 pts in
+        match (g, t) with
+        | Some _, Some _ -> true
+        | None, None -> true
+        | Some _, None ->
+            false (* Tverberg guarantees a partition at n = (d+1)f+1 *)
+        | None, Some _ -> false (* partition implies Gamma point *));
+    qtest ~count:25 "radon common point in both hulls" (arb_points ~n:4 ~dim:2 ())
+      (fun pts ->
+        match Tverberg.radon_partition pts with
+        | None -> false
+        | Some pa ->
+            List.for_all
+              (fun part -> Hull.mem ~eps:1e-5 part pa.Tverberg.common)
+              pa.Tverberg.parts);
+  ]
+
+let suite = unit_tests @ props

@@ -1,0 +1,100 @@
+open Helpers
+
+let v = Vec.of_list
+let honest = [ v [ 0.; 0. ]; v [ 1.; 0. ]; v [ 0.; 1. ] ]
+
+let unit_tests =
+  [
+    case "agreement on identical outputs" (fun () ->
+        let c = Validity.agreement [ v [ 1.; 2. ]; v [ 1.; 2. ] ] in
+        check_true "ok" c.Validity.ok);
+    case "agreement fails on spread" (fun () ->
+        let c = Validity.agreement [ v [ 1.; 2. ]; v [ 1.; 2.5 ] ] in
+        check_false "fail" c.Validity.ok;
+        check_true "margin negative" (c.Validity.margin < 0.));
+    case "agreement empty outputs fails" (fun () ->
+        check_false "no outputs" (Validity.agreement []).Validity.ok);
+    case "eps_agreement boundary" (fun () ->
+        let outs = [ v [ 0.; 0. ]; v [ 0.05; 0. ] ] in
+        check_true "within" (Validity.eps_agreement ~eps:0.05 outs).Validity.ok;
+        check_false "beyond" (Validity.eps_agreement ~eps:0.04 outs).Validity.ok);
+    case "standard_validity inside" (fun () ->
+        let c =
+          Validity.standard_validity ~honest_inputs:honest [ v [ 0.3; 0.3 ] ]
+        in
+        check_true "ok" c.Validity.ok);
+    case "standard_validity outside" (fun () ->
+        let c =
+          Validity.standard_validity ~honest_inputs:honest [ v [ 1.; 1. ] ]
+        in
+        check_false "fail" c.Validity.ok);
+    case "k_relaxed_validity distinguishes" (fun () ->
+        (* (0.6, 0.6) outside H(S) but inside H_1 (coordinates in range) *)
+        let out = [ v [ 0.6; 0.6 ] ] in
+        check_false "k=2 fail"
+          (Validity.k_relaxed_validity ~k:2 ~honest_inputs:honest out)
+            .Validity.ok;
+        check_true "k=1 ok"
+          (Validity.k_relaxed_validity ~k:1 ~honest_inputs:honest out)
+            .Validity.ok);
+    case "delta_p_validity margin arithmetic" (fun () ->
+        (* (2, 0) is at distance 1 from the hull *)
+        let c =
+          Validity.delta_p_validity ~delta:1.5 ~p:2. ~honest_inputs:honest
+            [ v [ 2.; 0. ] ]
+        in
+        check_true "ok" c.Validity.ok;
+        check_float ~eps:1e-6 "margin" 0.5 c.Validity.margin);
+    case "input_dependent_validity uses max edge" (fun () ->
+        (* max honest edge = sqrt 2; kappa 1 allows distance sqrt 2 *)
+        let c =
+          Validity.input_dependent_validity ~p:2. ~kappa:1.
+            ~honest_inputs:honest
+            [ v [ 2.; 0. ] ]
+        in
+        check_true "ok" c.Validity.ok;
+        let c2 =
+          Validity.input_dependent_validity ~p:2. ~kappa:0.5
+            ~honest_inputs:honest
+            [ v [ 2.; 0. ] ]
+        in
+        check_false "too far" c2.Validity.ok);
+    case "termination counts undecided" (fun () ->
+        check_true "all" (Validity.termination ~decided:[ true; true ]).Validity.ok;
+        let c = Validity.termination ~decided:[ true; false; false ] in
+        check_false "missing" c.Validity.ok;
+        check_float "margin" (-2.) c.Validity.margin);
+    case "all_ok conjunction" (fun () ->
+        let ok = Validity.agreement [ v [ 1. ] ] in
+        let bad = Validity.agreement [] in
+        check_true "all ok" (Validity.all_ok [ ok; ok ]);
+        check_false "one bad" (Validity.all_ok [ ok; bad ]));
+  ]
+
+let props =
+  [
+    qtest ~count:30 "agreement symmetric in output order" (arb_points ~n:3 ())
+      (fun outs ->
+        (Validity.agreement outs).Validity.ok
+        = (Validity.agreement (List.rev outs)).Validity.ok);
+    qtest ~count:30 "hull members always standard-valid" (arb_points ~n:4 ())
+      (fun pts ->
+        let c = Vec.centroid pts in
+        (Validity.standard_validity ~honest_inputs:pts [ c ]).Validity.ok);
+    qtest ~count:30 "delta monotonicity of delta_p_validity"
+      (arb_points ~n:4 ()) (fun pts ->
+        match pts with
+        | q :: hull ->
+            let weak =
+              Validity.delta_p_validity ~delta:5. ~p:2. ~honest_inputs:hull
+                [ q ]
+            in
+            let strong =
+              Validity.delta_p_validity ~delta:20. ~p:2. ~honest_inputs:hull
+                [ q ]
+            in
+            (not weak.Validity.ok) || strong.Validity.ok
+        | [] -> false);
+  ]
+
+let suite = unit_tests @ props

@@ -1,0 +1,119 @@
+open Helpers
+
+let v = Vec.of_list
+
+let unit_tests =
+  [
+    case "make fills" (fun () ->
+        check_vec "make" (v [ 2.; 2.; 2. ]) (Vec.make 3 2.));
+    case "zero is zero" (fun () -> check_vec "zero" (v [ 0.; 0. ]) (Vec.zero 2));
+    case "ones" (fun () -> check_vec "ones" (v [ 1.; 1.; 1. ]) (Vec.ones 3));
+    case "basis" (fun () ->
+        check_vec "basis" (v [ 0.; 1.; 0. ]) (Vec.basis 3 1));
+    raises_invalid "basis out of range" (fun () -> Vec.basis 3 3);
+    raises_invalid "make non-positive dim" (fun () -> Vec.make 0 1.);
+    case "init" (fun () ->
+        check_vec "init" (v [ 0.; 1.; 2. ]) (Vec.init 3 float_of_int));
+    case "add" (fun () ->
+        check_vec "add" (v [ 4.; 6. ]) (Vec.add (v [ 1.; 2. ]) (v [ 3.; 4. ])));
+    case "sub" (fun () ->
+        check_vec "sub" (v [ -2.; -2. ]) (Vec.sub (v [ 1.; 2. ]) (v [ 3.; 4. ])));
+    raises_invalid "add dim mismatch" (fun () ->
+        Vec.add (v [ 1. ]) (v [ 1.; 2. ]));
+    case "neg" (fun () -> check_vec "neg" (v [ -1.; 2. ]) (Vec.neg (v [ 1.; -2. ])));
+    case "scale" (fun () ->
+        check_vec "scale" (v [ 2.; 4. ]) (Vec.scale 2. (v [ 1.; 2. ])));
+    case "axpy" (fun () ->
+        check_vec "axpy" (v [ 5.; 8. ])
+          (Vec.axpy 2. (v [ 1.; 2. ]) (v [ 3.; 4. ])));
+    case "dot" (fun () ->
+        check_float "dot" 11. (Vec.dot (v [ 1.; 2. ]) (v [ 3.; 4. ])));
+    case "dot orthogonal" (fun () ->
+        check_float "dot" 0. (Vec.dot (v [ 1.; 0. ]) (v [ 0.; 5. ])));
+    case "lerp endpoints" (fun () ->
+        let a = v [ 0.; 0. ] and b = v [ 2.; 4. ] in
+        check_vec "lerp0" a (Vec.lerp 0. a b);
+        check_vec "lerp1" b (Vec.lerp 1. a b);
+        check_vec "lerp.5" (v [ 1.; 2. ]) (Vec.lerp 0.5 a b));
+    case "combo" (fun () ->
+        check_vec "combo"
+          (v [ 2.5; 5. ])
+          (Vec.combo [ (0.5, v [ 1.; 2. ]); (1., v [ 2.; 4. ]) ]));
+    raises_invalid "combo empty" (fun () -> Vec.combo []);
+    case "centroid" (fun () ->
+        check_vec "centroid" (v [ 1.; 1. ])
+          (Vec.centroid [ v [ 0.; 0. ]; v [ 2.; 2. ] ]));
+    case "norm2 345" (fun () -> check_float "norm2" 5. (Vec.norm2 (v [ 3.; 4. ])));
+    case "norm1" (fun () -> check_float "norm1" 7. (Vec.norm1 (v [ 3.; -4. ])));
+    case "norm_inf" (fun () ->
+        check_float "inf" 4. (Vec.norm_inf (v [ 3.; -4. ])));
+    case "norm_p p=2 matches norm2" (fun () ->
+        check_float "p2" (Vec.norm2 (v [ 1.; 2.; 3. ]))
+          (Vec.norm_p 2. (v [ 1.; 2.; 3. ])));
+    case "norm_p p=3" (fun () ->
+        check_float ~eps:1e-9 "p3" (35. ** (1. /. 3.))
+          (Vec.norm_p 3. (v [ 2.; 3. ])));
+    case "norm_p infinity" (fun () ->
+        check_float "pinf" 4. (Vec.norm_p Float.infinity (v [ 3.; -4. ])));
+    raises_invalid "norm_p p<1" (fun () -> Vec.norm_p 0.5 (v [ 1. ]));
+    case "norm_p huge values no overflow" (fun () ->
+        let x = Vec.norm_p 10. (v [ 1e200; 1e200 ]) in
+        check_true "finite" (Float.is_finite x && x > 1e200));
+    case "dist2" (fun () ->
+        check_float "dist" 5. (Vec.dist2 (v [ 0.; 0. ]) (v [ 3.; 4. ])));
+    case "normalize" (fun () ->
+        check_float "unit" 1. (Vec.norm2 (Vec.normalize (v [ 3.; 4.; 12. ]))));
+    raises_invalid "normalize zero" (fun () -> Vec.normalize (v [ 0.; 0. ]));
+    case "equal with eps" (fun () ->
+        check_true "eq" (Vec.equal ~eps:1e-3 (v [ 1.; 2. ]) (v [ 1.0005; 2. ]));
+        check_false "neq" (Vec.equal ~eps:1e-6 (v [ 1.; 2. ]) (v [ 1.0005; 2. ])));
+    case "compare_lex order" (fun () ->
+        check_true "lt" (Vec.compare_lex (v [ 1.; 9. ]) (v [ 2.; 0. ]) < 0);
+        check_true "eq" (Vec.compare_lex (v [ 1.; 2. ]) (v [ 1.; 2. ]) = 0);
+        check_true "second coord" (Vec.compare_lex (v [ 1.; 1. ]) (v [ 1.; 2. ]) < 0));
+    case "compare_lex dim first" (fun () ->
+        check_true "dims" (Vec.compare_lex (v [ 9. ]) (v [ 0.; 0. ]) < 0));
+    case "of_list/to_list roundtrip" (fun () ->
+        Alcotest.(check (list (float 0.)))
+          "roundtrip" [ 1.; 2.; 3. ]
+          (Vec.to_list (Vec.of_list [ 1.; 2.; 3. ])));
+  ]
+
+let props =
+  [
+    qtest "triangle inequality L2" (arb_points ~n:2 ()) (function
+      | [ a; b ] -> Vec.norm2 (Vec.add a b) <= Vec.norm2 a +. Vec.norm2 b +. 1e-9
+      | _ -> false);
+    qtest "norm ordering ||x||inf <= ||x||2 <= ||x||1" (arb_vec ()) (fun x ->
+        Vec.norm_inf x <= Vec.norm2 x +. 1e-9
+        && Vec.norm2 x <= Vec.norm1 x +. 1e-9);
+    qtest "norm_p decreasing in p" (arb_vec ()) (fun x ->
+        Vec.norm_p 3. x <= Vec.norm_p 2. x +. 1e-9
+        && Vec.norm_p 5. x <= Vec.norm_p 3. x +. 1e-9);
+    qtest "Holder relation ||x||2 <= d^(1/2-1/p) ||x||p (p=4, d=3)"
+      (arb_vec ()) (fun x ->
+        Vec.norm_p 2. x <= ((3. ** (0.5 -. 0.25)) *. Vec.norm_p 4. x) +. 1e-9);
+    qtest "dot Cauchy-Schwarz" (arb_points ~n:2 ()) (function
+      | [ a; b ] ->
+          Float.abs (Vec.dot a b) <= (Vec.norm2 a *. Vec.norm2 b) +. 1e-6
+      | _ -> false);
+    qtest "scale multiplies norm" (arb_vec ()) (fun x ->
+        Float.abs (Vec.norm2 (Vec.scale 3. x) -. (3. *. Vec.norm2 x)) < 1e-6);
+    qtest "centroid within coordinate bounds" (arb_points ~n:4 ()) (fun pts ->
+        let c = Vec.centroid pts in
+        let ok = ref true in
+        for i = 0 to Vec.dim c - 1 do
+          let lo = List.fold_left (fun a p -> Float.min a p.(i)) infinity pts in
+          let hi =
+            List.fold_left (fun a p -> Float.max a p.(i)) neg_infinity pts
+          in
+          if c.(i) < lo -. 1e-9 || c.(i) > hi +. 1e-9 then ok := false
+        done;
+        !ok);
+    qtest "compare_lex total order antisymmetry" (arb_points ~n:2 ())
+      (function
+      | [ a; b ] -> Vec.compare_lex a b = -Vec.compare_lex b a
+      | _ -> false);
+  ]
+
+let suite = unit_tests @ props

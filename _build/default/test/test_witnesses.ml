@@ -1,0 +1,131 @@
+open Helpers
+
+let unit_tests =
+  [
+    case "thm3 matrix shape" (fun () ->
+        let y = Witnesses.thm3_inputs ~d:4 ~gamma:1. ~eps:0.5 in
+        check_int "n=d+1" 5 (List.length y);
+        List.iter (fun v -> check_int "dim" 4 (Vec.dim v)) y;
+        (* column structure: diag gamma, zeros above, eps below, last -gamma *)
+        let c2 = List.nth y 1 in
+        check_float "above" 0. c2.(0);
+        check_float "diag" 1. c2.(1);
+        check_float "below" 0.5 c2.(2);
+        let last = List.nth y 4 in
+        Array.iter (fun x -> check_float "last" (-1.) x) last);
+    raises_invalid "thm3 needs eps <= gamma" (fun () ->
+        Witnesses.thm3_inputs ~d:3 ~gamma:1. ~eps:2.);
+    raises_invalid "thm3 needs d >= 3" (fun () ->
+        Witnesses.thm3_inputs ~d:2 ~gamma:1. ~eps:0.5);
+    case "thm3 Psi empty (the theorem's point)" (fun () ->
+        let d = 3 in
+        let y = Witnesses.thm3_inputs ~d ~gamma:1. ~eps:0.5 in
+        check_true "empty"
+          (K_hull.feasible_point ~d (K_hull.psi_region ~k:2 ~f:1 y) = None));
+    case "thm3 Psi also empty for k=3=d (Lemma 2 direction)" (fun () ->
+        let d = 3 in
+        let y = Witnesses.thm3_inputs ~d ~gamma:1. ~eps:0.5 in
+        check_true "empty for larger k"
+          (K_hull.feasible_point ~d (K_hull.psi_region ~k:3 ~f:1 y) = None));
+    case "thm3 Psi nonempty for k=1 (scalar reduction works)" (fun () ->
+        let d = 3 in
+        let y = Witnesses.thm3_inputs ~d ~gamma:1. ~eps:0.5 in
+        check_true "k=1 feasible"
+          (K_hull.feasible_point ~d (K_hull.psi_region ~k:1 ~f:1 y) <> None));
+    case "thm4 matrix shape" (fun () ->
+        let y = Witnesses.thm4_inputs ~d:3 ~gamma:1. ~eps:0.2 in
+        check_int "n=d+2" 5 (List.length y);
+        check_vec "last zero" (Vec.zero 3) (List.nth y 4);
+        let c1 = List.nth y 0 in
+        check_float "2eps below" 0.4 c1.(1));
+    raises_invalid "thm4 needs 2eps < gamma" (fun () ->
+        Witnesses.thm4_inputs ~d:3 ~gamma:1. ~eps:0.5);
+    case "thm4 separation grows with gamma" (fun () ->
+        let d = 3 in
+        let y = Witnesses.thm4_inputs ~d ~gamma:1. ~eps:0.2 in
+        let r1 = Witnesses.thm4_psi_region ~k:2 ~observer:0 y in
+        let r2 = Witnesses.thm4_psi_region ~k:2 ~observer:1 y in
+        match (K_hull.coord_range ~d r1 0, K_hull.coord_range ~d r2 0) with
+        | Some (lo1, _), Some (_, hi2) ->
+            check_true "separated" (lo1 -. hi2 >= 0.4 -. 1e-7)
+        | _ -> Alcotest.fail "regions should be non-empty");
+    raises_invalid "thm4_psi_region observer range" (fun () ->
+        Witnesses.thm4_psi_region ~k:2 ~observer:4
+          (Witnesses.thm4_inputs ~d:3 ~gamma:1. ~eps:0.2));
+    case "thm5 matrix shape" (fun () ->
+        let y = Witnesses.thm5_inputs ~d:3 ~x:1. ~delta:0.1 in
+        check_int "n" 4 (List.length y);
+        check_vec "e1 scaled" (Vec.scale 1. (Vec.basis 3 0)) (List.nth y 0);
+        check_vec "origin" (Vec.zero 3) (List.nth y 3));
+    raises_invalid "thm5 requires x > 2d delta" (fun () ->
+        Witnesses.thm5_inputs ~d:3 ~x:0.5 ~delta:0.1);
+    case "thm5 region transitions at x/2d" (fun () ->
+        let d = 3 in
+        let y = Witnesses.thm5_inputs ~d ~x:1. ~delta:0.1 in
+        let empty_at delta =
+          Delta_hull.inf_region_point ~d
+            (Delta_hull.gamma_inf_region ~delta ~f:1 y)
+          = None
+        in
+        check_true "below" (empty_at 0.16);
+        check_false "above" (empty_at 0.17));
+    case "thm6 matrix shape" (fun () ->
+        let y = Witnesses.thm6_inputs ~d:3 ~x:1. ~delta:0.05 ~eps:0.2 in
+        check_int "n=d+2" 5 (List.length y);
+        check_vec "zero" (Vec.zero 3) (List.nth y 3);
+        check_vec "zero" (Vec.zero 3) (List.nth y 4));
+    raises_invalid "thm6 requires x > 2d delta + eps" (fun () ->
+        Witnesses.thm6_inputs ~d:3 ~x:0.5 ~delta:0.05 ~eps:0.2);
+    case "thm6 coordinate separation exceeds eps" (fun () ->
+        let d = 3 in
+        let delta = 0.05 in
+        let y = Witnesses.thm6_inputs ~d ~x:1. ~delta ~eps:0.2 in
+        let r1 = Witnesses.thm6_inf_region ~delta ~observer:0 y in
+        let r2 = Witnesses.thm6_inf_region ~delta ~observer:1 y in
+        match
+          ( Delta_hull.inf_region_coord_range ~d r1 0,
+            Delta_hull.inf_region_coord_range ~d r2 0 )
+        with
+        | Some (lo1, _), Some (_, hi2) -> check_true "sep" (lo1 -. hi2 > 0.2)
+        | _ -> Alcotest.fail "regions should be non-empty");
+    case "thm6 observation bounds match the proof" (fun () ->
+        (* obs 1: coords of Psi1 for j in 2..d are <= delta; obs 2: the
+           first coordinate is >= x - (2d-1) delta *)
+        let d = 3 in
+        let delta = 0.05 in
+        let y = Witnesses.thm6_inputs ~d ~x:1. ~delta ~eps:0.2 in
+        let r1 = Witnesses.thm6_inf_region ~delta ~observer:0 y in
+        (match Delta_hull.inf_region_coord_range ~d r1 1 with
+        | Some (_, hi) -> check_true "obs1" (hi <= delta +. 1e-7)
+        | None -> Alcotest.fail "non-empty");
+        match Delta_hull.inf_region_coord_range ~d r1 0 with
+        | Some (lo, _) ->
+            check_true "obs2"
+              (lo >= 1. -. ((2. *. 3. -. 1.) *. delta) -. 1e-7)
+        | None -> Alcotest.fail "non-empty");
+    case "lemma10 vectors" (fun () ->
+        check_vec "zero" (Vec.zero 4) (Witnesses.lemma10_inputs_zero ~d:4);
+        check_vec "one" (Vec.ones 4) (Witnesses.lemma10_inputs_one ~d:4));
+  ]
+
+let props =
+  [
+    qtest ~count:10 "thm3 emptiness holds across eps scales"
+      QCheck.(make Gen.(float_range 0.05 1.0))
+      (fun eps ->
+        let d = 3 in
+        let y = Witnesses.thm3_inputs ~d ~gamma:1. ~eps in
+        K_hull.feasible_point ~d (K_hull.psi_region ~k:2 ~f:1 y) = None);
+    qtest ~count:10 "thm5 emptiness scale-invariant in x"
+      QCheck.(make Gen.(float_range 1. 20.))
+      (fun x ->
+        let d = 3 in
+        let delta = x /. 10. in
+        (* delta < x/(2d) = x/6 *)
+        let y = Witnesses.thm5_inputs ~d ~x ~delta in
+        Delta_hull.inf_region_point ~d
+          (Delta_hull.gamma_inf_region ~delta ~f:1 y)
+        = None);
+  ]
+
+let suite = unit_tests @ props
