@@ -163,6 +163,35 @@ let bench_iterative ~rounds =
     ~name:(Printf.sprintf "algo_iterative rounds=%d n=5 d=3" rounds)
     (Staged.stage (fun () -> ignore (Algo_iterative.run inst ~rounds ())))
 
+let bench_explore_fuzz ~trials =
+  (* schedules/sec of the Explore fuzzer driving the real async protocol:
+     one Test run = [trials] complete randomly-scheduled executions,
+     each graded for validity + agreement *)
+  let inst =
+    Problem.random_instance (Rng.split rng) ~n:4 ~f:1 ~d:1 ~faulty:[ 3 ]
+  in
+  let hi = Problem.honest_inputs inst in
+  let check s =
+    let outs =
+      let o = Algo_async.session_outputs s in
+      List.filter_map (fun p -> o.(p)) (Problem.honest_ids inst)
+    in
+    List.length outs = 3
+    && (Validity.standard_validity ~honest_inputs:hi outs).Validity.ok
+  in
+  let make () =
+    Algo_async.session inst ~validity:Problem.Standard ~rounds:2
+      ~adversary:(`Equivocate 0.75) ()
+  in
+  let proto = make () in
+  let net = Algo_async.session_adversary proto in
+  Test.make
+    ~name:(Printf.sprintf "explore_fuzz algo_async %d scheds n=4 d=1" trials)
+    (Staged.stage (fun () ->
+         ignore
+           (Explore.fuzz ~make ~n:4 ~actors:Algo_async.session_actors ~check
+              ~faulty:[ 3 ] ~adversary:net ~max_steps:2_000 ~seed:1 ~trials ())))
+
 let bench_hull_consensus () =
   let inst = Problem.random_instance (Rng.split rng) ~n:5 ~f:1 ~d:2 ~faulty:[ 4 ] in
   Test.make ~name:"hull_consensus n=5 d=2"
@@ -195,6 +224,7 @@ let tests =
       ~label:"input-dep";
     bench_algo_exact ~n:5 ~d:3 ~f:1 ~validity:(Problem.K_relaxed 2) ~label:"2-relaxed";
     bench_algo_async ~n:4 ~d:2 ~f:1;
+    bench_explore_fuzz ~trials:25;
     bench_polygon_inter ~n:4;
     bench_polygon_inter ~n:10;
     bench_exact_lp ();

@@ -236,6 +236,281 @@ let witness_cmd =
          "Print a lower-bound witness construction and its LP certificate.")
     term
 
+(* ---------------- explore ---------------- *)
+
+(* One fuzzable protocol, packaged with its grading predicate. The
+   existential keeps the per-algorithm state/message types out of the
+   command plumbing. *)
+type explore_target =
+  | Target : {
+      make : unit -> 's;
+      actors : 's -> 'm Async.actor array;
+      check : 's -> bool;
+      net : 'm Adversary.t;
+      summarize : 'm -> string;
+    }
+      -> explore_target
+
+let adversary_to_string : Algo_async.adversary -> string = function
+  | `Obedient -> "obedient"
+  | `Silent -> "silent"
+  | `Garbage -> "garbage"
+  | `Greedy -> "greedy"
+  | `Skew x -> Printf.sprintf "skew:%g" x
+  | `Equivocate x -> Printf.sprintf "equivocate:%g" x
+
+let adversary_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "obedient" ] -> Ok `Obedient
+    | [ "silent" ] -> Ok `Silent
+    | [ "garbage" ] -> Ok `Garbage
+    | [ "greedy" ] -> Ok `Greedy
+    | [ "skew"; x ] -> (
+        match float_of_string_opt x with
+        | Some x -> Ok (`Skew x)
+        | None -> Error (`Msg "expected skew:<factor>"))
+    | [ "equivocate"; x ] -> (
+        match float_of_string_opt x with
+        | Some x -> Ok (`Equivocate x)
+        | None -> Error (`Msg "expected equivocate:<factor>"))
+    | _ ->
+        Error
+          (`Msg
+            "adversary is one of: obedient | silent | garbage | greedy | \
+             skew:<s> | equivocate:<s>")
+  in
+  let print ppf a = Format.pp_print_string ppf (adversary_to_string a) in
+  Arg.conv (parse, print)
+
+let schedule_conv =
+  let parse s =
+    let parts =
+      String.split_on_char ';'
+        (String.map (function ',' -> ';' | c -> c) s)
+      |> List.filter (fun x -> String.trim x <> "")
+    in
+    let ints = List.map (fun x -> int_of_string_opt (String.trim x)) parts in
+    if List.exists Option.is_none ints then
+      Error (`Msg "schedule must be integers separated by ';' or ','")
+    else Ok (List.map Option.get ints)
+  in
+  let print ppf ds =
+    Format.pp_print_string ppf
+      (String.concat ";" (List.map string_of_int ds))
+  in
+  Arg.conv (parse, print)
+
+let explore_cmd =
+  let trials =
+    Arg.(
+      value & opt int 500
+      & info [ "trials" ] ~doc:"Random schedules to sample.")
+  in
+  let algo =
+    Arg.(
+      value
+      & opt (enum [ ("async", `Async); ("k1", `K1) ]) `Async
+      & info [ "algo" ]
+          ~doc:
+            "Protocol to fuzz: 'async' (Relaxed Verified Averaging, d=1 \
+             scalar core) or 'k1' (combined-coordinate k=1 reduction).")
+  in
+  let n = Arg.(value & opt int 4 & info [ "n" ] ~doc:"Number of processes.") in
+  let f = Arg.(value & opt int 1 & info [ "f" ] ~doc:"Fault bound.") in
+  let d =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "d" ] ~doc:"Input dimension (default: 1 for async, 2 for k1).")
+  in
+  let rounds =
+    Arg.(value & opt int 2 & info [ "rounds" ] ~doc:"Averaging rounds.")
+  in
+  let adversary =
+    Arg.(
+      value
+      & opt adversary_conv (`Equivocate 0.75)
+      & info [ "adversary" ] ~docv:"A"
+          ~doc:
+            "Byzantine behaviour of the faulty process: obedient | silent | \
+             garbage | greedy | skew:<s> | equivocate:<s>.")
+  in
+  let max_steps =
+    Arg.(
+      value & opt int 4_000
+      & info [ "max-steps" ] ~doc:"Delivery-step cap per schedule.")
+  in
+  let dfs_budget =
+    Arg.(
+      value & opt int 0
+      & info [ "dfs" ] ~docv:"BUDGET"
+          ~doc:
+            "Instead of fuzzing, run the bounded DFS explorer with this \
+             execution budget (0 = fuzz).")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some schedule_conv) None
+      & info [ "replay" ] ~docv:"SCHEDULE"
+          ~doc:
+            "Re-run one decision sequence (as printed in a counterexample, \
+             e.g. '1;0;2'), print its delivery trace and verdict, and exit.")
+  in
+  let run_checked seed trials algo n f d rounds adversary max_steps dfs_budget
+      replay =
+    let d =
+      match d with Some d -> d | None -> (match algo with `Async -> 1 | `K1 -> 2)
+    in
+    let faulty = if f >= 1 then [ n - 1 ] else [] in
+    let inst = Problem.random_instance (Rng.create seed) ~n ~f ~d ~faulty in
+    let hi = Problem.honest_inputs inst in
+    let spread =
+      List.fold_left
+        (fun acc u ->
+          List.fold_left
+            (fun acc v -> Float.max acc (Vec.dist_inf u v))
+            acc hi)
+        0. hi
+    in
+    let gamma = float_of_int f /. float_of_int (n - f) in
+    let eps =
+      (spread *. (gamma ** float_of_int (rounds - 1))) +. 1e-7
+    in
+    let honest = Problem.honest_ids inst in
+    let grade outputs =
+      let outs = List.filter_map (fun p -> outputs.(p)) honest in
+      let validity =
+        match algo with
+        | `K1 -> (Validity.k_relaxed_validity ~k:1 ~honest_inputs:hi outs).Validity.ok
+        | `Async ->
+            (* standard validity is only guaranteed at n >= (d+2)f+1 *)
+            n < ((d + 2) * f) + 1
+            || (Validity.standard_validity ~honest_inputs:hi outs).Validity.ok
+      in
+      List.length outs = List.length honest
+      && validity
+      && (Validity.eps_agreement ~eps outs).Validity.ok
+    in
+    let target =
+      match algo with
+      | `Async ->
+          let make () =
+            Algo_async.session inst ~validity:Problem.Standard ~rounds
+              ~adversary ()
+          in
+          let proto = make () in
+          Target
+            {
+              make;
+              actors = Algo_async.session_actors;
+              check = (fun s -> grade (Algo_async.session_outputs s));
+              net = Algo_async.session_adversary proto;
+              summarize = Algo_async.summarize;
+            }
+      | `K1 ->
+          let make () =
+            Algo_k1_async.session inst ~eps ~rounds ~adversary ()
+          in
+          let proto = make () in
+          Target
+            {
+              make;
+              actors = Algo_k1_async.session_actors;
+              check = (fun s -> grade (Algo_k1_async.session_outputs s));
+              net = Algo_k1_async.session_adversary proto;
+              summarize = Algo_k1_async.summarize;
+            }
+    in
+    Format.printf
+      "Fuzzing %s: n=%d f=%d d=%d rounds=%d adversary=%s eps=%g@."
+      (match algo with `Async -> "algo_async" | `K1 -> "algo_k1_async")
+      n f d rounds
+      (adversary_to_string adversary)
+      eps;
+    let (Target t) = target in
+    match replay with
+    | Some schedule ->
+        Format.printf "replaying schedule [%s]:@."
+          (String.concat ";" (List.map string_of_int schedule));
+        let events = ref [] in
+        let st =
+          Explore.replay
+            ~record:(fun e -> events := e :: !events)
+            ~summarize:t.summarize ~make:t.make ~n ~actors:t.actors ~faulty
+            ~adversary:t.net ~max_steps schedule
+        in
+        Format.printf "%a@." Trace.pp_events (List.rev !events);
+        if t.check st then begin
+          Format.printf "verdict: PASS@.";
+          0
+        end
+        else begin
+          Format.printf "verdict: FAIL@.";
+          1
+        end
+    | None ->
+        let t0 = Sys.time () in
+        let r =
+          if dfs_budget > 0 then
+            Explore.run ~make:t.make ~n ~actors:t.actors ~check:t.check
+              ~faulty ~adversary:t.net ~max_steps ~budget:dfs_budget
+              ~summarize:t.summarize ()
+          else
+            Explore.fuzz ~make:t.make ~n ~actors:t.actors ~check:t.check
+              ~faulty ~adversary:t.net ~max_steps ~summarize:t.summarize
+              ~seed ~trials ()
+        in
+        let dt = Sys.time () -. t0 in
+        Format.printf "explored %d schedules in %.2fs (%.0f schedules/sec)%s@."
+          r.Explore.explored dt
+          (float_of_int r.Explore.explored /. Float.max dt 1e-9)
+          (if r.Explore.truncated then " [budget exhausted]" else "");
+        (match r.Explore.witness with
+        | None ->
+            Format.printf
+              "no violation: validity + eps-agreement + termination held on \
+               every schedule@.";
+            0
+        | Some w ->
+            Format.printf "%a@." Explore.pp_witness w;
+            Format.printf
+              "re-run:  rbvc explore --seed %d --algo %s -n %d -f %d -d %d \
+               --rounds %d --adversary %s --max-steps %d --replay '%s'@."
+              seed
+              (match algo with `Async -> "async" | `K1 -> "k1")
+              n f d rounds
+              (adversary_to_string adversary)
+              max_steps
+              (String.concat ";" (List.map string_of_int w.Explore.decisions));
+            1)
+  in
+  let run seed trials algo n f d rounds adversary max_steps dfs_budget replay
+      =
+    (* parameter validation lives in the library (Explore / the session
+       constructors); surface it as a clean CLI error, not a backtrace *)
+    try
+      run_checked seed trials algo n f d rounds adversary max_steps dfs_budget
+        replay
+    with Invalid_argument msg ->
+      Format.eprintf "rbvc explore: %s@." msg;
+      2
+  in
+  let term =
+    Term.(
+      const run $ seed_arg $ trials $ algo $ n $ f $ d $ rounds $ adversary
+      $ max_steps $ dfs_budget $ replay)
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Fuzz the asynchronous consensus algorithms over random delivery \
+          schedules (or DFS-enumerate them), grading validity, \
+          eps-agreement and termination on every schedule; counterexamples \
+          are shrunk and printed as replayable traces.")
+    term
+
 (* ---------------- bounds ---------------- *)
 
 let bounds_cmd =
@@ -332,6 +607,14 @@ let main_cmd =
        ~doc:
          "Relaxed Byzantine Vector Consensus (Xiang & Vaidya, SPAA 2016) — \
           reproduction toolkit.")
-    [ experiments_cmd; run_cmd; witness_cmd; bounds_cmd; save_cmd; replay_cmd ]
+    [
+      experiments_cmd;
+      run_cmd;
+      explore_cmd;
+      witness_cmd;
+      bounds_cmd;
+      save_cmd;
+      replay_cmd;
+    ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -40,20 +40,37 @@ let () =
       ~check:(fun st -> st.value = Some 111)
       ()
   in
-  (match r.Explore.counterexample with
-  | Some schedule ->
-      Format.printf
-        "   racy schedule found after %d executions: deliver order %s@."
-        r.Explore.explored
-        (String.concat "," (List.map string_of_int schedule));
+  (match r.Explore.witness with
+  | Some w ->
+      Format.printf "   racy schedule found after %d executions:@.   %a@."
+        r.Explore.explored Explore.pp_witness w;
       let st =
         Explore.replay
           ~make:(fun () -> { value = None })
-          ~n:3 ~actors:broken_register_actors schedule
+          ~n:3 ~actors:broken_register_actors w.Explore.decisions
       in
       Format.printf "   replayed: register = %s (the wrong writer won)@."
         (match st.value with Some v -> string_of_int v | None -> "unset")
   | None -> Format.printf "   (unexpected: no race found)@.");
+
+  Format.printf "@.-- 1b. Same hunt, randomized (Explore.fuzz) --@.";
+  let r =
+    Explore.fuzz
+      ~make:(fun () -> { value = None })
+      ~n:3 ~actors:broken_register_actors
+      ~check:(fun st -> st.value = Some 111)
+      ~seed:42 ~trials:100 ()
+  in
+  (match r.Explore.witness with
+  | Some w ->
+      Format.printf
+        "   fuzzer hit the race in %d trial(s); first failing schedule had \
+         %d decisions, shrunk to %d:@.   %a@."
+        r.Explore.explored
+        (List.length w.Explore.first_found)
+        (List.length w.Explore.decisions)
+        Explore.pp_witness w
+  | None -> Format.printf "   (unexpected: fuzzer missed the race)@.");
 
   Format.printf "@.-- 2. Bracha RBC under an equivocating originator --@.";
   let n = 4 and f = 1 in

@@ -99,8 +99,23 @@ let make_combine ~validity ~f =
           r
     end
 
-let run (inst : Problem.instance) ~validity ~rounds ?policy
-    ?(adversary = `Obedient) ?max_steps () =
+type adversary =
+  [ `Obedient
+  | `Silent
+  | `Garbage
+  | `Skew of float
+  | `Greedy
+  | `Equivocate of float ]
+
+type session = {
+  s_procs : proc array;
+  s_actors : msg Async.actor array;
+  s_adversary : msg Adversary.t;
+  s_rounds : int;
+}
+
+let session (inst : Problem.instance) ~validity ~rounds
+    ?(adversary = `Obedient) () =
   let { Problem.n; f; d; inputs; faulty } = inst in
   if rounds < 1 then invalid_arg "Algo_async.run: need rounds >= 1";
   if n < (3 * f) + 1 then invalid_arg "Algo_async.run: requires n >= 3f + 1";
@@ -337,13 +352,55 @@ let run (inst : Problem.instance) ~validity ~rounds ?policy
                     }
               | other -> other)
             m
-  in
-  let outcome =
-    Async.run ~n ~actors ~faulty ~adversary:net_adversary ?policy ?max_steps ()
+    | `Equivocate s ->
+        (* a different round-0 input claim per destination: the classic
+           attack Bracha's echo/ready quorums must neutralize *)
+        fun ~round:_ ~src ~dst m ->
+          Option.map
+            (function
+              | Initial { key = (0, o); payload } when o = src ->
+                  Initial
+                    {
+                      key = (0, o);
+                      payload =
+                        {
+                          payload with
+                          value =
+                            Vec.scale
+                              (1. +. (s *. float_of_int dst))
+                              payload.value;
+                        };
+                    }
+              | other -> other)
+            m
   in
   {
-    outputs = Array.map (fun p -> p.decided) procs;
-    delta_used = Array.map (fun p -> p.delta_used) procs;
-    rounds;
+    s_procs = procs;
+    s_actors = actors;
+    s_adversary = net_adversary;
+    s_rounds = rounds;
+  }
+
+let session_actors s = s.s_actors
+let session_adversary s = s.s_adversary
+let session_outputs s = Array.map (fun p -> p.decided) s.s_procs
+
+let summarize = function
+  | Initial { key = t, o; _ } -> Printf.sprintf "Initial(r%d,o%d)" t o
+  | Echo { key = t, o; _ } -> Printf.sprintf "Echo(r%d,o%d)" t o
+  | Ready { key = t, o; _ } -> Printf.sprintf "Ready(r%d,o%d)" t o
+
+let run (inst : Problem.instance) ~validity ~rounds ?policy ?adversary
+    ?max_steps () =
+  let s = session inst ~validity ~rounds ?adversary () in
+  let outcome =
+    Async.run ~n:inst.Problem.n ~actors:s.s_actors
+      ~faulty:inst.Problem.faulty ~adversary:s.s_adversary ?policy
+      ?max_steps ()
+  in
+  {
+    outputs = session_outputs s;
+    delta_used = Array.map (fun p -> p.delta_used) s.s_procs;
+    rounds = s.s_rounds;
     outcome;
   }

@@ -44,22 +44,77 @@ val rounds_for_eps :
 (** Smallest [R >= 1] with [initial_spread * (f/(n-f))^(R-1) <= eps]
     (capped at 60; [1] when [f = 0]). *)
 
+type adversary =
+  [ `Obedient
+  | `Silent
+  | `Garbage
+  | `Skew of float
+  | `Greedy
+  | `Equivocate of float ]
+(** [`Obedient] follows the protocol (restricted adversary of the
+    necessity proofs); [`Silent] crashes from the start; [`Garbage]
+    sends unverifiable values (scaled noise) — discarded by
+    verification, so it degrades to silence; [`Skew s] biases its
+    *input* claim by factor [s] but then behaves (legitimate behaviour
+    the subset-intersection must absorb); [`Greedy] follows the protocol
+    but always selects the *admissible* justification set whose combined
+    value is farthest from the crowd — the strongest behaviour the
+    verification layer cannot reject; [`Equivocate s] claims a different
+    round-0 input per destination (scaled by [1 + s*dst]) — the attack
+    Bracha reliable broadcast must neutralize. *)
+
 val run :
   Problem.instance ->
   validity:Problem.validity ->
   rounds:int ->
   ?policy:Async.policy ->
-  ?adversary:
-    [ `Obedient | `Silent | `Garbage | `Skew of float | `Greedy ] ->
+  ?adversary:adversary ->
   ?max_steps:int ->
   unit ->
   report
-(** Full execution. Adversaries: [`Obedient] follows the protocol
-    (restricted adversary of the necessity proofs); [`Silent] crashes
-    from the start; [`Garbage] sends unverifiable values (scaled noise) —
-    discarded by verification, so it degrades to silence; [`Skew s]
-    biases its *input* claim by factor [s] but then behaves (legitimate
-    behaviour the subset-intersection must absorb); [`Greedy] follows the
-    protocol but always selects the *admissible* justification set whose
-    combined value is farthest from the crowd — the strongest behaviour
-    the verification layer cannot reject. *)
+(** Full execution under {!Async.run}'s scheduler policies. *)
+
+(** {1 Schedule exploration}
+
+    [run] executes one schedule chosen by an {!Async.policy}. To let the
+    {!Explore} engine quantify over *all* schedules, a [session] exposes
+    the protocol's raw ingredients — per-run mutable state, the actor
+    array and the network-level adversary — without running anything:
+
+    {[
+      let r =
+        Explore.fuzz
+          ~make:(fun () -> Algo_async.session inst ~validity ~rounds ())
+          ~n ~actors:Algo_async.session_actors
+          ~check:(fun s -> grade (Algo_async.session_outputs s))
+          ~faulty ~adversary:(Algo_async.session_adversary proto)
+          ~seed ~trials ()
+    ]}
+
+    The network adversary is a pure function of (round, src, dst,
+    message), so one prototype session's adversary can be shared across
+    all explored runs. *)
+
+type msg
+(** Wire messages of the protocol (reliable-broadcast envelopes). *)
+
+type session
+
+val session :
+  Problem.instance ->
+  validity:Problem.validity ->
+  rounds:int ->
+  ?adversary:adversary ->
+  unit ->
+  session
+(** Fresh protocol state + actors for one execution; performs no
+    deliveries itself. Same argument validation as {!run}. *)
+
+val session_actors : session -> msg Async.actor array
+val session_adversary : session -> msg Adversary.t
+val session_outputs : session -> Vec.t option array
+(** Decided value per process, as in {!report}[.outputs]. *)
+
+val summarize : msg -> string
+(** Render a message for {!Trace.event} summaries, e.g.
+    ["Echo(r1,o3)"]. *)

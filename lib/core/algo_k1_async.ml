@@ -4,43 +4,44 @@ type report = {
   messages : int;
 }
 
+let default_rounds (inst : Problem.instance) ~eps =
+  let { Problem.n; f; _ } = inst in
+  let spread =
+    match Problem.honest_inputs inst with
+    | [] | [ _ ] -> 1.
+    | pts ->
+        let arr = Array.of_list pts in
+        let m = ref 0. in
+        Array.iteri
+          (fun i u ->
+            Array.iteri
+              (fun j v -> if j > i then m := Float.max !m (Vec.dist_inf u v))
+              arr)
+          arr;
+        !m
+  in
+  Algo_async.rounds_for_eps ~n ~f ~eps ~initial_spread:(spread +. 1e-6)
+
+(* The 1-dimensional sub-instance for one coordinate. *)
+let coord_instance (inst : Problem.instance) coord =
+  let { Problem.n; f; inputs; faulty; _ } = inst in
+  Problem.make ~n ~f ~d:1
+    ~inputs:
+      (Array.to_list (Array.map (fun v -> Vec.of_list [ v.(coord) ]) inputs))
+    ~faulty
+
 let run (inst : Problem.instance) ~eps ?policy ?adversary ?rounds () =
-  let { Problem.n; f; d; inputs; faulty } = inst in
+  let { Problem.n; f; d; _ } = inst in
   if n < (3 * f) + 1 then
     invalid_arg "Algo_k1_async.run: requires n >= 3f + 1";
-  let honest_inputs = Problem.honest_inputs inst in
   let rounds =
-    match rounds with
-    | Some r -> r
-    | None ->
-        let spread =
-          match honest_inputs with
-          | [] | [ _ ] -> 1.
-          | pts ->
-              let arr = Array.of_list pts in
-              let m = ref 0. in
-              Array.iteri
-                (fun i u ->
-                  Array.iteri
-                    (fun j v ->
-                      if j > i then m := Float.max !m (Vec.dist_inf u v))
-                    arr)
-                arr;
-              !m
-        in
-        Algo_async.rounds_for_eps ~n ~f ~eps ~initial_spread:(spread +. 1e-6)
+    match rounds with Some r -> r | None -> default_rounds inst ~eps
   in
   let messages = ref 0 in
   (* one scalar consensus per coordinate *)
   let coordinate_outputs =
     List.init d (fun coord ->
-        let sub =
-          Problem.make ~n ~f ~d:1
-            ~inputs:
-              (Array.to_list
-                 (Array.map (fun v -> Vec.of_list [ v.(coord) ]) inputs))
-            ~faulty
-        in
+        let sub = coord_instance inst coord in
         let r =
           Algo_async.run sub ~validity:Problem.Standard ~rounds ?policy
             ?adversary ()
@@ -62,3 +63,59 @@ let run (inst : Problem.instance) ~eps ?policy ?adversary ?rounds () =
                (List.map (fun o -> (Option.get o).(0)) coords)))
   in
   { outputs; rounds; messages = !messages }
+
+type msg = int * Algo_async.msg
+
+type session = { k_n : int; k_d : int; subs : Algo_async.session array }
+
+let session (inst : Problem.instance) ~eps ?rounds ?adversary () =
+  let { Problem.n; f; d; _ } = inst in
+  if n < (3 * f) + 1 then
+    invalid_arg "Algo_k1_async.session: requires n >= 3f + 1";
+  let rounds =
+    match rounds with Some r -> r | None -> default_rounds inst ~eps
+  in
+  let subs =
+    Array.init d (fun coord ->
+        Algo_async.session (coord_instance inst coord)
+          ~validity:Problem.Standard ~rounds ?adversary ())
+  in
+  { k_n = n; k_d = d; subs }
+
+let session_actors s =
+  let sub_actors = Array.map Algo_async.session_actors s.subs in
+  let tag coord sends =
+    List.map (fun (dst, m) -> (dst, (coord, m))) sends
+  in
+  Array.init s.k_n (fun me ->
+      {
+        Async.start =
+          (fun () ->
+            List.concat
+              (List.init s.k_d (fun c ->
+                   tag c (sub_actors.(c).(me).Async.start ()))));
+        on_message =
+          (fun ~src (coord, inner) ->
+            tag coord
+              (sub_actors.(coord).(me).Async.on_message ~src inner));
+      })
+
+let session_adversary s ~round ~src ~dst m =
+  match m with
+  | None -> None
+  | Some (coord, inner) ->
+      Option.map
+        (fun i -> (coord, i))
+        (Algo_async.session_adversary s.subs.(coord) ~round ~src ~dst
+           (Some inner))
+
+let session_outputs s =
+  let per_coord = Array.map Algo_async.session_outputs s.subs in
+  Array.init s.k_n (fun p ->
+      let coords = List.init s.k_d (fun c -> per_coord.(c).(p)) in
+      if List.exists Option.is_none coords then None
+      else
+        Some (Vec.of_list (List.map (fun o -> (Option.get o).(0)) coords)))
+
+let summarize (coord, inner) =
+  Printf.sprintf "c%d:%s" coord (Algo_async.summarize inner)

@@ -23,9 +23,40 @@ val run :
   Problem.instance ->
   eps:float ->
   ?policy:Async.policy ->
-  ?adversary:
-    [ `Obedient | `Silent | `Garbage | `Skew of float | `Greedy ] ->
+  ?adversary:Algo_async.adversary ->
   ?rounds:int ->
   unit ->
   report
-(** Requires [n >= 3f + 1] only. *)
+(** Requires [n >= 3f + 1] only. Runs the [d] coordinate instances as
+    [d] separate asynchronous executions (they share no messages). *)
+
+(** {1 Schedule exploration}
+
+    For the {!Explore} engine the [d] coordinate instances are folded
+    into a {e single} asynchronous execution: each wire message is
+    tagged with its coordinate, so one adversarial scheduler interleaves
+    all coordinates at once — strictly more schedules than [run]'s
+    sequential per-coordinate executions reach. Since coordinates share
+    no state, safety of the combined execution is equivalent. *)
+
+type msg
+(** A coordinate-tagged {!Algo_async.msg}. *)
+
+type session
+
+val session :
+  Problem.instance ->
+  eps:float ->
+  ?rounds:int ->
+  ?adversary:Algo_async.adversary ->
+  unit ->
+  session
+
+val session_actors : session -> msg Async.actor array
+val session_adversary : session -> msg Adversary.t
+
+val session_outputs : session -> Vec.t option array
+(** Reassembled per-process decisions, as in {!report}[.outputs]. *)
+
+val summarize : msg -> string
+(** E.g. ["c1:Ready(r0,o2)"] — coordinate, then the inner summary. *)

@@ -31,8 +31,7 @@ val run_async :
   validity:Problem.validity ->
   eps:float ->
   ?policy:Async.policy ->
-  ?adversary:
-    [ `Obedient | `Silent | `Garbage | `Skew of float | `Greedy ] ->
+  ?adversary:Algo_async.adversary ->
   ?rounds:int ->
   unit ->
   outcome

@@ -12,5 +12,8 @@ let corrupt f ~round ~src:_ ~dst honest_msg =
 let drop_to victims ~round:_ ~src:_ ~dst honest_msg =
   if List.mem dst victims then None else honest_msg
 
+let equivocate f ~round:_ ~src:_ ~dst honest_msg =
+  Option.map (fun m -> f ~dst m) honest_msg
+
 let compose a b ~round ~src ~dst honest_msg =
   b ~round ~src ~dst (a ~round ~src ~dst honest_msg)

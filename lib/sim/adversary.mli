@@ -31,5 +31,11 @@ val corrupt : (round:int -> dst:int -> 'msg -> 'msg) -> 'msg t
 val drop_to : int list -> 'msg t
 (** Honest, except messages to the listed destinations are dropped. *)
 
+val equivocate : (dst:int -> 'msg -> 'msg) -> 'msg t
+(** Round-independent per-destination rewriting — the classic
+    equivocation shape ({!corrupt} without the round argument), handy
+    for schedule-exploration checks where the step counter is
+    schedule-dependent and must not influence the adversary. *)
+
 val compose : 'msg t -> 'msg t -> 'msg t
 (** [compose a b] runs [b] on the output of [a]. *)

@@ -13,7 +13,7 @@ type outcome = { trace : Trace.t; quiescent : bool }
 type 'msg pending = { src : int; dst : int; msg : 'msg; born : int }
 
 let run ~n ~actors ?(faulty = []) ?(adversary = Adversary.honest)
-    ?(policy = Fifo) ?(max_steps = 200_000) () =
+    ?(policy = Fifo) ?(max_steps = 200_000) ?record ?summarize () =
   if Array.length actors <> n then invalid_arg "Async.run: need n actors";
   let is_faulty = Array.make n false in
   List.iter
@@ -132,6 +132,13 @@ let run ~n ~actors ?(faulty = []) ?(adversary = Adversary.honest)
              pending := fresh;
              count := !j
            end;
+           (match record with
+           | None -> ()
+           | Some f ->
+               let info =
+                 match summarize with None -> "" | Some s -> s p.msg
+               in
+               f { Trace.step = !step; src = p.src; dst = p.dst; info });
            incr step;
            trace.Trace.steps <- trace.Trace.steps + 1;
            trace.Trace.messages_delivered <-

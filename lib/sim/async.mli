@@ -37,6 +37,11 @@ val run :
   ?adversary:'msg Adversary.t ->
   ?policy:policy ->
   ?max_steps:int ->
+  ?record:(Trace.event -> unit) ->
+  ?summarize:('msg -> string) ->
   unit ->
   outcome
-(** Runs until quiescence or [max_steps] (default [200_000]) deliveries. *)
+(** Runs until quiescence or [max_steps] (default [200_000]) deliveries.
+    [record] receives one {!Trace.event} per delivery ([summarize]
+    renders the payload), so full executions can be logged in the same
+    structured format the {!Explore} engine uses for counterexamples. *)

@@ -1,58 +1,248 @@
+(* Schedule-exploration engine: a bounded DFS enumerator, a seeded
+   random-walk fuzzer, counterexample shrinking and structured trace
+   recording, all sharing one execution core.
+
+   The pending-message set is a dense growable array with O(1) append
+   and O(1) removal by live index (swap-with-last), replacing the old
+   list queue whose [List.nth]/[@ [_]] made every delivery O(n). Each
+   entry carries its global send sequence number so the FIFO fallback
+   (oldest first) stays well-defined under swap-removal. *)
+
+module Pool = struct
+  type 'msg entry = { seq : int; src : int; dst : int; msg : 'msg }
+
+  type 'msg t = {
+    mutable slots : 'msg entry option array;
+    mutable len : int;
+    mutable next_seq : int;
+  }
+
+  let create () = { slots = Array.make 64 None; len = 0; next_seq = 0 }
+  let length t = t.len
+
+  let push t ~src ~dst msg =
+    if t.len = Array.length t.slots then begin
+      let fresh = Array.make (2 * t.len) None in
+      Array.blit t.slots 0 fresh 0 t.len;
+      t.slots <- fresh
+    end;
+    t.slots.(t.len) <- Some { seq = t.next_seq; src; dst; msg };
+    t.len <- t.len + 1;
+    t.next_seq <- t.next_seq + 1
+
+  let get t i = Option.get t.slots.(i)
+
+  (* O(1): move the last live entry into the vacated slot. *)
+  let swap_remove t i =
+    let e = get t i in
+    t.len <- t.len - 1;
+    t.slots.(i) <- t.slots.(t.len);
+    t.slots.(t.len) <- None;
+    e
+
+  (* Index of the oldest pending entry (global send order) — O(live),
+     used only by the FIFO fallback of [replay]. *)
+  let oldest t =
+    let best = ref 0 in
+    for i = 1 to t.len - 1 do
+      if (get t i).seq < (get t !best).seq then best := i
+    done;
+    !best
+end
+
+type witness = {
+  decisions : int list;
+  first_found : int list;
+  events : Trace.event list;
+}
+
 type result = {
   explored : int;
   truncated : bool;
   counterexample : int list option;
+  witness : witness option;
 }
 
-(* Minimal deterministic execution engine (a simplified Async.run):
-   pending messages in FIFO arrival order; each decision picks the index
-   (mod live count) of the next message to deliver. Returns [`Done] when
-   the run completed (quiescent or step cap) before consuming more
-   decisions, or [`Branch width] when the decision sequence ran out with
-   [width] messages still pending. *)
-let run_prefix ?(fallback_fifo = false) ~n ~actors ~faulty ~adversary
-    ~max_steps decisions =
+let pp_witness ppf w =
+  Format.fprintf ppf
+    "@[<v>counterexample: %d decisions (first found: %d)@,schedule: [%s]@,%a@]"
+    (List.length w.decisions)
+    (List.length w.first_found)
+    (String.concat ";" (List.map string_of_int w.decisions))
+    Trace.pp_events w.events
+
+(* The execution core. [decide ~live ~step] names the live index of the
+   next message to deliver ([None] = the caller's decisions ran out).
+   Returns [`Done] when the run completed (quiescent or step cap) and
+   [`Branch width] when decisions ran out with [width] messages pending
+   and no FIFO fallback was requested. *)
+let exec ?(fallback_fifo = false) ?record ?summarize ~n ~actors ~faulty
+    ~adversary ~max_steps decide =
   let is_faulty = Array.make n false in
-  List.iter (fun p -> is_faulty.(p) <- true) faulty;
-  let pending = ref [] in
+  List.iter
+    (fun p ->
+      if p < 0 || p >= n then invalid_arg "Explore: faulty id out of range";
+      is_faulty.(p) <- true)
+    faulty;
+  let pool = Pool.create () in
   let steps = ref 0 in
   let enqueue ~src msgs =
     List.iter
       (fun (dst, m) ->
+        if dst < 0 || dst >= n then
+          invalid_arg "Explore: destination out of range";
         let filtered =
           if is_faulty.(src) then adversary ~round:!steps ~src ~dst (Some m)
           else Some m
         in
         match filtered with
         | None -> ()
-        | Some m' -> pending := !pending @ [ (src, dst, m') ])
+        | Some m' -> Pool.push pool ~src ~dst m')
       msgs
   in
-  Array.iteri (fun src (a : _ Async.actor) -> enqueue ~src (a.Async.start ())) actors;
-  let rec go decisions =
-    let live = List.length !pending in
+  Array.iteri
+    (fun src (a : _ Async.actor) -> enqueue ~src (a.Async.start ()))
+    actors;
+  let deliver i =
+    let e = Pool.swap_remove pool i in
+    (match record with
+    | None -> ()
+    | Some f ->
+        let info =
+          match summarize with None -> "" | Some s -> s e.Pool.msg
+        in
+        f
+          {
+            Trace.step = !steps;
+            src = e.Pool.src;
+            dst = e.Pool.dst;
+            info;
+          });
+    incr steps;
+    enqueue ~src:e.Pool.dst
+      (actors.(e.Pool.dst).Async.on_message ~src:e.Pool.src e.Pool.msg)
+  in
+  let rec go () =
+    let live = Pool.length pool in
     if live = 0 || !steps >= max_steps then `Done
     else
-      match decisions with
-      | [] when not fallback_fifo -> `Branch live
-      | [] ->
-          let src, dst, m = List.hd !pending in
-          pending := List.tl !pending;
-          incr steps;
-          enqueue ~src:dst (actors.(dst).Async.on_message ~src m);
-          go []
-      | d :: rest ->
-          let idx = d mod live in
-          let src, dst, m = List.nth !pending idx in
-          pending := List.filteri (fun i _ -> i <> idx) !pending;
-          incr steps;
-          enqueue ~src:dst (actors.(dst).Async.on_message ~src m);
-          go rest
+      match decide ~live ~step:!steps with
+      | Some d ->
+          deliver (((d mod live) + live) mod live);
+          go ()
+      | None ->
+          if fallback_fifo then begin
+            deliver (Pool.oldest pool);
+            go ()
+          end
+          else `Branch live
   in
-  go decisions
+  go ()
+
+(* Pop decisions off a list; [None] when exhausted. *)
+let scripted decisions =
+  let rest = ref decisions in
+  fun ~live:_ ~step:_ ->
+    match !rest with
+    | [] -> None
+    | d :: tl ->
+        rest := tl;
+        Some d
+
+let replay ?(fallback_fifo = true) ?record ?summarize ~make ~n ~actors
+    ?(faulty = []) ?(adversary = Adversary.honest) ?(max_steps = 200)
+    decisions =
+  let state = make () in
+  let acts = actors state in
+  (match
+     exec ~fallback_fifo ?record ?summarize ~n ~actors:acts ~faulty
+       ~adversary ~max_steps (scripted decisions)
+   with
+  | `Done | `Branch _ -> ());
+  state
+
+(* Does the schedule (completed FIFO from its prefix) violate [check]? *)
+let refutes ~make ~n ~actors ~check ~faulty ~adversary ~max_steps decisions =
+  not
+    (check
+       (replay ~make ~n ~actors ~faulty ~adversary ~max_steps decisions))
+
+(* Greedy decision-list reduction, ddmin flavoured: repeatedly try to
+   drop chunks (halving the chunk size down to single decisions), then
+   canonicalize surviving decisions toward 0; every candidate must still
+   refute [check] when replayed with the FIFO fallback. Bounded by
+   [max_replays] replays so pathological schedules cannot hang tests. *)
+let shrink ~make ~n ~actors ~check ?(faulty = [])
+    ?(adversary = Adversary.honest) ?(max_steps = 200)
+    ?(max_replays = 4096) decisions =
+  let replays = ref 0 in
+  let still_fails ds =
+    incr replays;
+    refutes ~make ~n ~actors ~check ~faulty ~adversary ~max_steps ds
+  in
+  if not (still_fails decisions) then decisions
+  else begin
+    let current = ref (Array.of_list decisions) in
+    let drop_range lo len =
+      let a = !current in
+      let n' = Array.length a in
+      let cand =
+        Array.to_list (Array.sub a 0 lo)
+        @ Array.to_list (Array.sub a (lo + len) (n' - lo - len))
+      in
+      if still_fails cand then begin
+        current := Array.of_list cand;
+        true
+      end
+      else false
+    in
+    let chunk = ref (max 1 (Array.length !current / 2)) in
+    let continue_ = ref true in
+    while !continue_ && !replays < max_replays do
+      let progress = ref false in
+      let lo = ref 0 in
+      while !lo < Array.length !current && !replays < max_replays do
+        let len = min !chunk (Array.length !current - !lo) in
+        if len > 0 && drop_range !lo len then progress := true
+          (* stay at [lo]: the array shifted left under us *)
+        else lo := !lo + !chunk
+      done;
+      if !chunk = 1 && not !progress then continue_ := false
+      else if not !progress then chunk := max 1 (!chunk / 2)
+    done;
+    (* canonicalize: prefer index 0 wherever the failure survives it *)
+    let i = ref 0 in
+    while !i < Array.length !current && !replays < max_replays do
+      let a = !current in
+      if a.(!i) <> 0 then begin
+        let saved = a.(!i) in
+        a.(!i) <- 0;
+        if not (still_fails (Array.to_list a)) then a.(!i) <- saved
+      end;
+      incr i
+    done;
+    Array.to_list !current
+  end
+
+(* Replay a (possibly shrunk) schedule once more, recording the
+   structured per-delivery trace. *)
+let witness_of ~make ~n ~actors ~check ~faulty ~adversary ~max_steps
+    ?summarize ?(do_shrink = true) first_found =
+  let decisions =
+    if do_shrink then
+      shrink ~make ~n ~actors ~check ~faulty ~adversary ~max_steps
+        first_found
+    else first_found
+  in
+  let events = ref [] in
+  let record e = events := e :: !events in
+  ignore
+    (replay ~record ?summarize ~make ~n ~actors ~faulty ~adversary
+       ~max_steps decisions);
+  { decisions; first_found; events = List.rev !events }
 
 let run ~make ~n ~actors ~check ?(faulty = []) ?(adversary = Adversary.honest)
-    ?(max_steps = 200) ?(budget = 2000) () =
+    ?(max_steps = 200) ?(budget = 2000) ?(shrink = true) ?summarize () =
   let explored = ref 0 in
   let truncated = ref false in
   let counterexample = ref None in
@@ -64,7 +254,8 @@ let run ~make ~n ~actors ~check ?(faulty = []) ?(adversary = Adversary.honest)
       let state = make () in
       let acts = actors state in
       match
-        run_prefix ~n ~actors:acts ~faulty ~adversary ~max_steps prefix
+        exec ~n ~actors:acts ~faulty ~adversary ~max_steps
+          (scripted prefix)
       with
       | `Done ->
           decr budget_left;
@@ -79,15 +270,57 @@ let run ~make ~n ~actors ~check ?(faulty = []) ?(adversary = Adversary.honest)
     end
   in
   dfs [];
-  { explored = !explored; truncated = !truncated; counterexample = !counterexample }
+  let witness =
+    Option.map
+      (fun first ->
+        witness_of ~make ~n ~actors ~check ~faulty ~adversary ~max_steps
+          ?summarize ~do_shrink:shrink first)
+      !counterexample
+  in
+  {
+    explored = !explored;
+    truncated = !truncated;
+    counterexample = Option.map (fun w -> w.decisions) witness;
+    witness;
+  }
 
-let replay ~make ~n ~actors ?(faulty = []) ?(adversary = Adversary.honest)
-    ?(max_steps = 200) decisions =
-  let state = make () in
-  let acts = actors state in
-  (match
-     run_prefix ~fallback_fifo:true ~n ~actors:acts ~faulty ~adversary
-       ~max_steps decisions
-   with
-  | `Done | `Branch _ -> ());
-  state
+let fuzz ~make ~n ~actors ~check ?(faulty = [])
+    ?(adversary = Adversary.honest) ?(max_steps = 200) ?(shrink = true)
+    ?summarize ~seed ~trials () =
+  if trials < 1 then invalid_arg "Explore.fuzz: need trials >= 1";
+  let explored = ref 0 in
+  let first_found = ref None in
+  let trial = ref 0 in
+  while !first_found = None && !trial < trials do
+    (* independent, reproducible stream per trial: re-running with the
+       same seed visits the same schedules in the same order *)
+    let rng = Rng.create ((seed * 1_000_003) + !trial) in
+    let recorded = ref [] in
+    let state = make () in
+    let acts = actors state in
+    let decide ~live ~step:_ =
+      let d = Rng.int rng live in
+      recorded := d :: !recorded;
+      Some d
+    in
+    (match
+       exec ~n ~actors:acts ~faulty ~adversary ~max_steps decide
+     with
+    | `Done | `Branch _ -> ());
+    incr explored;
+    if not (check state) then first_found := Some (List.rev !recorded);
+    incr trial
+  done;
+  let witness =
+    Option.map
+      (fun first ->
+        witness_of ~make ~n ~actors ~check ~faulty ~adversary ~max_steps
+          ?summarize ~do_shrink:shrink first)
+      !first_found
+  in
+  {
+    explored = !explored;
+    truncated = false;
+    counterexample = Option.map (fun w -> w.decisions) witness;
+    witness;
+  }

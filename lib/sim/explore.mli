@@ -1,28 +1,56 @@
-(** Bounded schedule exploration for asynchronous protocols —
-    model-checking-lite.
+(** Schedule exploration for asynchronous protocols —
+    model-checking-lite plus randomized fuzzing.
 
-    Random-seed testing samples a handful of delivery orders;
-    [Explore] *systematically* enumerates them. Because actors carry
-    hidden mutable state, exploration is replay-based: each explored
-    schedule re-executes the protocol from scratch with a scripted
-    scheduler (a decision sequence saying which pending message index to
-    deliver at each step). DFS over decision prefixes visits every
-    delivery order of executions up to [max_steps] deliveries, bounded
-    by a [budget] of complete executions; depth-first order means even a
-    partial budget covers structurally diverse schedules.
+    Because actors carry hidden mutable state, exploration is
+    replay-based: each explored schedule re-executes the protocol from
+    scratch with a scripted scheduler (a decision sequence saying which
+    pending message index to deliver at each step, taken modulo the
+    number of live messages). The pending set is an indexed pool with
+    O(1) append and O(1) removal, so delivery selection costs O(1) per
+    step regardless of how many messages are in flight.
 
-    A [check] predicate grades each completed execution; [run] returns
-    the first counterexample schedule found, if any. [replay] finishes
-    any unconsumed suffix in FIFO order, so counterexamples (which are
-    complete by construction) and hand-written prefixes both work. *)
+    Two explorers share that core:
+
+    - {!run} — bounded DFS over decision prefixes: visits every delivery
+      order of executions up to [max_steps] deliveries, bounded by a
+      [budget] of complete executions. Exhaustive for small systems;
+      depth-first order means even a partial budget covers structurally
+      diverse schedules.
+    - {!fuzz} — a seeded random walk: each trial draws decisions
+      uniformly from the live set via {!Rng}, so large-n interleavings
+      (far beyond DFS reach) are sampled reproducibly. Trial [t] of seed
+      [s] uses the generator [Rng.create (s * 1_000_003 + t)], so a
+      failing trial can be revisited independently.
+
+    A [check] predicate grades each completed execution. The first
+    failing schedule is {e shrunk} (greedy ddmin-style decision-list
+    reduction, replayed with the FIFO fallback after the reduced prefix)
+    and returned as a {!witness} together with its structured
+    per-delivery {!Trace.event} list, so failures come back minimal and
+    replayable byte-for-byte. *)
+
+type witness = {
+  decisions : int list;
+      (** the shrunk failing schedule; replay with
+          [replay ~fallback_fifo:true] reproduces the failure *)
+  first_found : int list;
+      (** the failing schedule as first discovered, before shrinking *)
+  events : Trace.event list;
+      (** per-delivery trace of one replay of [decisions] (including
+          FIFO-fallback deliveries after the prefix) *)
+}
 
 type result = {
   explored : int;  (** complete executions graded *)
   truncated : bool;  (** true if the DFS budget was exhausted *)
   counterexample : int list option;
-      (** decision sequence of a failing schedule, replayable via
-          [replay] *)
+      (** [Option.map (fun w -> w.decisions) witness] — the (shrunk)
+          decision sequence of a failing schedule, replayable via
+          {!replay} *)
+  witness : witness option;  (** full counterexample report *)
 }
+
+val pp_witness : Format.formatter -> witness -> unit
 
 val run :
   make:(unit -> 'a) ->
@@ -34,15 +62,58 @@ val run :
   ?adversary:'msg Adversary.t ->
   ?max_steps:int ->
   ?budget:int ->
+  ?shrink:bool ->
+  ?summarize:('msg -> string) ->
   unit ->
   result
-(** [run ~make ~n ~actors ~check ()] explores delivery schedules of the
-    protocol whose per-run state is created by [make] and whose actors
-    are built from it by [actors]. After each complete (quiescent or
-    step-capped) execution, [check state] must hold. [budget] (default
-    2000) bounds the number of executions. *)
+(** [run ~make ~n ~actors ~check ()] DFS-explores delivery schedules of
+    the protocol whose per-run state is created by [make] and whose
+    actors are built from it by [actors]. After each complete (quiescent
+    or step-capped) execution, [check state] must hold. [budget]
+    (default 2000) bounds the number of executions; [shrink] (default
+    true) reduces any counterexample before reporting; [summarize]
+    renders message payloads in the witness trace. *)
+
+val fuzz :
+  make:(unit -> 'a) ->
+  n:int ->
+  actors:('a -> 'msg Async.actor array) ->
+  check:('a -> bool) ->
+  ?faulty:int list ->
+  ?adversary:'msg Adversary.t ->
+  ?max_steps:int ->
+  ?shrink:bool ->
+  ?summarize:('msg -> string) ->
+  seed:int ->
+  trials:int ->
+  unit ->
+  result
+(** [fuzz ~make ~n ~actors ~check ~seed ~trials ()] samples [trials]
+    uniformly random complete schedules (stopping early at the first
+    failure). Deterministic in [(seed, trials)]; [truncated] is always
+    false. *)
+
+val shrink :
+  make:(unit -> 'a) ->
+  n:int ->
+  actors:('a -> 'msg Async.actor array) ->
+  check:('a -> bool) ->
+  ?faulty:int list ->
+  ?adversary:'msg Adversary.t ->
+  ?max_steps:int ->
+  ?max_replays:int ->
+  int list ->
+  int list
+(** Greedy reduction of a failing decision list: drop chunks (halving
+    down to single decisions), then rewrite surviving decisions toward
+    0, keeping every candidate that still fails [check] under
+    FIFO-fallback replay. Returns the input unchanged if it does not
+    fail. At most [max_replays] (default 4096) replays are spent. *)
 
 val replay :
+  ?fallback_fifo:bool ->
+  ?record:(Trace.event -> unit) ->
+  ?summarize:('msg -> string) ->
   make:(unit -> 'a) ->
   n:int ->
   actors:('a -> 'msg Async.actor array) ->
@@ -52,4 +123,9 @@ val replay :
   int list ->
   'a
 (** Re-execute one schedule (a decision sequence as returned in
-    [counterexample]) and return the final state for inspection. *)
+    [counterexample]) and return the final state for inspection. With
+    [fallback_fifo] (default true) any unconsumed suffix is finished in
+    oldest-first order, so shrunk prefixes and hand-written schedules
+    both run to completion; with [~fallback_fifo:false] execution stops
+    where the decisions end. [record] receives one {!Trace.event} per
+    delivery. *)

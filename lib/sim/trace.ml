@@ -22,3 +22,19 @@ let pp ppf t =
     "@[rounds=%d steps=%d sent=%d delivered=%d dropped=%d corrupted=%d@]"
     t.rounds t.steps t.messages_sent t.messages_delivered t.messages_dropped
     t.messages_corrupted
+
+type event = { step : int; src : int; dst : int; info : string }
+
+let pp_event ppf e =
+  if e.info = "" then
+    Format.fprintf ppf "step %3d: %d -> %d" e.step e.src e.dst
+  else Format.fprintf ppf "step %3d: %d -> %d  %s" e.step e.src e.dst e.info
+
+let pp_events ppf events =
+  Format.pp_open_vbox ppf 0;
+  List.iteri
+    (fun i e ->
+      if i > 0 then Format.pp_print_cut ppf ();
+      pp_event ppf e)
+    events;
+  Format.pp_close_box ppf ()

@@ -11,3 +11,19 @@ type t = {
 
 val create : unit -> t
 val pp : Format.formatter -> t -> unit
+
+(** {1 Structured delivery events}
+
+    One record per delivery step, produced by the schedule-exploration
+    engine ({!Explore}) so a counterexample schedule can be printed and
+    re-run byte-for-byte. *)
+
+type event = {
+  step : int;  (** delivery step at which the message was consumed *)
+  src : int;  (** sender *)
+  dst : int;  (** receiver *)
+  info : string;  (** human-readable message summary (may be empty) *)
+}
+
+val pp_event : Format.formatter -> event -> unit
+val pp_events : Format.formatter -> event list -> unit

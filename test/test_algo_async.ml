@@ -122,6 +122,71 @@ let unit_tests =
         Algo_async.run inst ~validity:Problem.Standard ~rounds:1 ());
   ]
 
+(* ---- schedule fuzzing of the real algorithm (Explore engine) ----
+
+   Random-order policies sample a handful of schedules; here the
+   Explore fuzzer drives the actual protocol actors through hundreds of
+   uniformly sampled delivery interleavings per adversary and grades
+   validity + eps-agreement on every one. d = 1 with n = 3f + 1 = 4 is
+   the regime where standard validity is guaranteed ((d+2)f+1 = 4), and
+   one averaging round contracts the spread by f/(n-f) = 1/3. *)
+
+let fuzz_instance () =
+  Problem.random_instance (Rng.create 11) ~n:4 ~f:1 ~d:1 ~faulty:[ 3 ]
+
+let fuzz_check inst =
+  let hi = Problem.honest_inputs inst in
+  let spread =
+    List.fold_left
+      (fun acc u ->
+        List.fold_left (fun acc v -> Float.max acc (Vec.dist_inf u v)) acc hi)
+      0. hi
+  in
+  let eps = (spread /. 3.) +. 1e-7 in
+  fun s ->
+    let outs =
+      let o = Algo_async.session_outputs s in
+      List.filter_map (fun p -> o.(p)) (Problem.honest_ids inst)
+    in
+    (* termination: a complete schedule must let every honest process
+       decide — a vacuously-empty output list would hide violations *)
+    List.length outs = 3
+    && (Validity.standard_validity ~honest_inputs:hi outs).Validity.ok
+    && (Validity.eps_agreement ~eps outs).Validity.ok
+
+let fuzz_case name adversary trials =
+  case name (fun () ->
+      let inst = fuzz_instance () in
+      let rounds = 2 in
+      let make () =
+        Algo_async.session inst ~validity:Problem.Standard ~rounds
+          ~adversary ()
+      in
+      let proto = make () in
+      let r =
+        Explore.fuzz ~make ~n:4 ~actors:Algo_async.session_actors
+          ~check:(fuzz_check inst) ~faulty:[ 3 ]
+          ~adversary:(Algo_async.session_adversary proto) ~max_steps:2_000
+          ~summarize:Algo_async.summarize ~seed:2026 ~trials ()
+      in
+      (match r.Explore.witness with
+      | Some w ->
+          Alcotest.failf "safety violation:@.%s"
+            (Format.asprintf "%a" Explore.pp_witness w)
+      | None -> ());
+      check_int "all schedules explored" trials r.Explore.explored)
+
+let fuzz_tests =
+  [
+    fuzz_case "fuzz 500 schedules: crash adversary holds validity+agreement"
+      `Silent 500;
+    fuzz_case
+      "fuzz 500 schedules: equivocating adversary holds validity+agreement"
+      (`Equivocate 0.75) 500;
+    fuzz_case "fuzz 100 schedules: greedy-but-verifiable adversary" `Greedy
+      100;
+  ]
+
 let props =
   [
     qtest ~count:6 "eps-agreement + validity across schedulers (n=6,d=3)"
@@ -151,4 +216,4 @@ let props =
         && (Validity.standard_validity ~honest_inputs:hi outs).Validity.ok);
   ]
 
-let suite = unit_tests @ props
+let suite = unit_tests @ fuzz_tests @ props

@@ -93,4 +93,66 @@ let unit_tests =
         check_true "a 2-relaxed violation exists" !found);
   ]
 
-let suite = unit_tests
+(* ---- schedule fuzzing of the combined-coordinate execution ----
+
+   Algo_k1_async.session folds the d per-coordinate scalar-consensus
+   instances into a single asynchronous execution, so one adversarial
+   scheduler interleaves all coordinates at once. Every sampled
+   schedule must preserve 1-relaxed validity (each output coordinate in
+   the honest coordinate range) and eps-agreement with the contraction
+   bound spread * (f/(n-f))^(rounds-1). *)
+
+let fuzz_case name adversary trials =
+  case name (fun () ->
+      let inst =
+        Problem.random_instance (Rng.create 12) ~n:4 ~f:1 ~d:2 ~faulty:[ 3 ]
+      in
+      let hi = Problem.honest_inputs inst in
+      let spread =
+        List.fold_left
+          (fun acc u ->
+            List.fold_left
+              (fun acc v -> Float.max acc (Vec.dist_inf u v))
+              acc hi)
+          0. hi
+      in
+      let eps = (spread /. 3.) +. 1e-7 in
+      let rounds = 2 in
+      let make () =
+        Algo_k1_async.session inst ~eps ~rounds ~adversary ()
+      in
+      let proto = make () in
+      let check s =
+        let outs =
+          let o = Algo_k1_async.session_outputs s in
+          List.filter_map (fun p -> o.(p)) (Problem.honest_ids inst)
+        in
+        (* termination on every complete schedule, then safety *)
+        List.length outs = 3
+        && (Validity.k_relaxed_validity ~k:1 ~honest_inputs:hi outs)
+             .Validity.ok
+        && (Validity.eps_agreement ~eps outs).Validity.ok
+      in
+      let r =
+        Explore.fuzz ~make ~n:4 ~actors:Algo_k1_async.session_actors ~check
+          ~faulty:[ 3 ]
+          ~adversary:(Algo_k1_async.session_adversary proto)
+          ~max_steps:4_000 ~summarize:Algo_k1_async.summarize ~seed:2027
+          ~trials ()
+      in
+      (match r.Explore.witness with
+      | Some w ->
+          Alcotest.failf "safety violation:@.%s"
+            (Format.asprintf "%a" Explore.pp_witness w)
+      | None -> ());
+      check_int "all schedules explored" trials r.Explore.explored)
+
+let fuzz_tests =
+  [
+    fuzz_case "fuzz 500 schedules: crash adversary holds k=1 validity"
+      `Silent 500;
+    fuzz_case "fuzz 500 schedules: equivocating adversary holds k=1 validity"
+      (`Equivocate 0.6) 500;
+  ]
+
+let suite = unit_tests @ fuzz_tests

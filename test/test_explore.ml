@@ -23,6 +23,188 @@ let counter_actors ~n st =
                 []);
       })
 
+(* Test-only buggy protocol with a seeded, schedule-dependent fault:
+   process 0 sends a token to 1 and 2, both ack; process 0 IGNORES the
+   ack from 1 whenever the ack from 2 arrived first. The FIFO schedule
+   masks the bug (ack 1 always lands first); only a reordered schedule
+   exposes it — exactly what the fuzzer must find, and the shrinker
+   must reduce to (at most half the first failing schedule). *)
+type ack_state = {
+  mutable acks : int;
+  mutable first_was_2 : bool;
+}
+
+let ack_bug_actors st =
+  Array.init 3 (fun me ->
+      {
+        Async.start =
+          (fun () -> if me = 0 then [ (1, `T); (2, `T) ] else []);
+        on_message =
+          (fun ~src msg ->
+            match msg with
+            | `T -> [ (0, `A) ]
+            | `A ->
+                if me = 0 then begin
+                  if src = 1 && st.first_was_2 then () (* the bug *)
+                  else begin
+                    if src = 2 && st.acks = 0 then st.first_was_2 <- true;
+                    st.acks <- st.acks + 1
+                  end
+                end;
+                []);
+      })
+
+let ack_bug_check st = st.acks = 2
+let ack_bug_make () = { acks = 0; first_was_2 = false }
+
+let fuzz_ack_bug ?(seed = 7) ?(trials = 200) () =
+  Explore.fuzz ~make:ack_bug_make ~n:3 ~actors:ack_bug_actors
+    ~check:ack_bug_check
+    ~summarize:(function `T -> "token" | `A -> "ack")
+    ~seed ~trials ()
+
+let fuzz_tests =
+  [
+    case "fuzz catches the seeded ack-order bug and shrinks it" (fun () ->
+        let r = fuzz_ack_bug () in
+        match r.Explore.witness with
+        | None -> Alcotest.fail "fuzzer missed the seeded bug"
+        | Some w ->
+            check_true "found within default budget"
+              (r.Explore.explored <= 200);
+            (* acceptance: shrunk schedule at most half the first one *)
+            check_true "shrunk to <= half"
+              (2 * List.length w.Explore.decisions
+              <= List.length w.Explore.first_found);
+            (* the shrunk schedule still refutes the property *)
+            let st =
+              Explore.replay ~make:ack_bug_make ~n:3
+                ~actors:ack_bug_actors w.Explore.decisions
+            in
+            check_false "shrunk schedule still fails" (ack_bug_check st));
+    case "fuzz is reproducible for a fixed seed" (fun () ->
+        let r1 = fuzz_ack_bug () and r2 = fuzz_ack_bug () in
+        check_int "same number of schedules" r1.Explore.explored
+          r2.Explore.explored;
+        check_true "same counterexample"
+          (r1.Explore.counterexample = r2.Explore.counterexample);
+        let r3 = fuzz_ack_bug ~seed:8 () in
+        (* a different seed still finds the bug (different walk) *)
+        check_true "other seed finds it too"
+          (r3.Explore.counterexample <> None));
+    case "fuzz passes a correct protocol for every sampled schedule"
+      (fun () ->
+        let n = 5 in
+        let r =
+          Explore.fuzz
+            ~make:(fun () -> { tokens = 0 })
+            ~n ~actors:(counter_actors ~n)
+            ~check:(fun st -> st.tokens = n - 1)
+            ~seed:3 ~trials:300 ()
+        in
+        check_true "no counterexample" (r.Explore.counterexample = None);
+        check_int "all trials graded" 300 r.Explore.explored);
+    case "witness trace records every delivery in order" (fun () ->
+        let r = fuzz_ack_bug () in
+        match r.Explore.witness with
+        | None -> Alcotest.fail "expected a witness"
+        | Some w ->
+            check_true "events present" (w.Explore.events <> []);
+            List.iteri
+              (fun i (e : Trace.event) ->
+                check_int "steps are consecutive" i e.Trace.step;
+                check_true "src in range" (e.Trace.src >= 0 && e.Trace.src < 3);
+                check_true "dst in range" (e.Trace.dst >= 0 && e.Trace.dst < 3);
+                check_true "summarized" (e.Trace.info <> ""))
+              w.Explore.events;
+            (* pp_witness renders without raising *)
+            let buf = Buffer.create 256 in
+            let ppf = Format.formatter_of_buffer buf in
+            Explore.pp_witness ppf w;
+            Format.pp_print_flush ppf ();
+            check_true "pp_witness nonempty" (Buffer.length buf > 0));
+    case "shrink leaves a passing schedule untouched" (fun () ->
+        let passing = [ 0; 0; 0; 0 ] in
+        let shrunk =
+          Explore.shrink ~make:ack_bug_make ~n:3 ~actors:ack_bug_actors
+            ~check:ack_bug_check passing
+        in
+        check_true "unchanged" (shrunk = passing));
+    case "shrink reduces a padded failing schedule" (fun () ->
+        (* delivering the second token first (index 1) triggers the bug
+           under FIFO completion; pad it with redundant decisions *)
+        let padded = [ 1; 0; 0; 0; 0; 0 ] in
+        let st0 =
+          Explore.replay ~make:ack_bug_make ~n:3 ~actors:ack_bug_actors
+            padded
+        in
+        check_false "padded schedule fails" (ack_bug_check st0);
+        let shrunk =
+          Explore.shrink ~make:ack_bug_make ~n:3 ~actors:ack_bug_actors
+            ~check:ack_bug_check padded
+        in
+        check_true "strictly smaller"
+          (List.length shrunk < List.length padded);
+        let st =
+          Explore.replay ~make:ack_bug_make ~n:3 ~actors:ack_bug_actors
+            shrunk
+        in
+        check_false "still fails" (ack_bug_check st));
+    case "replay with fallback_fifo reproduces state and verdict"
+      (fun () ->
+        (* satellite: a recorded (shrunk) counterexample relies on the
+           FIFO fallback for its suffix; replaying it must be
+           deterministic in both final state and verdict *)
+        let r = fuzz_ack_bug () in
+        match r.Explore.witness with
+        | None -> Alcotest.fail "expected a witness"
+        | Some w ->
+            let replay_once () =
+              Explore.replay ~fallback_fifo:true ~make:ack_bug_make ~n:3
+                ~actors:ack_bug_actors w.Explore.decisions
+            in
+            let s1 = replay_once () and s2 = replay_once () in
+            check_int "same ack count" s1.acks s2.acks;
+            check_true "same flag" (s1.first_was_2 = s2.first_was_2);
+            check_false "verdict reproduced (fails)" (ack_bug_check s1);
+            (* without the fallback the truncated run stops early and
+               must deliver no more than the scripted prefix *)
+            let s3 =
+              Explore.replay ~fallback_fifo:false ~make:ack_bug_make ~n:3
+                ~actors:ack_bug_actors w.Explore.decisions
+            in
+            check_true "prefix-only replay delivers no more acks"
+              (s3.acks <= s1.acks));
+    case "regression: a 500-message run completes within the step cap"
+      (fun () ->
+        (* the old list-based queue made every enqueue O(n); this run
+           keeps hundreds of messages in flight and must still finish
+           (quiescent, all delivered) well within the cap *)
+        let burst = 500 in
+        let r =
+          Explore.fuzz
+            ~make:(fun () -> { tokens = 0 })
+            ~n:2
+            ~actors:(fun st ->
+              Array.init 2 (fun me ->
+                  {
+                    Async.start =
+                      (fun () ->
+                        if me = 0 then List.init burst (fun _ -> (1, `T))
+                        else []);
+                    on_message =
+                      (fun ~src:_ _ ->
+                        st.tokens <- st.tokens + 1;
+                        []);
+                  }))
+            ~check:(fun st -> st.tokens = burst)
+            ~max_steps:(burst + 50) ~seed:1 ~trials:3 ()
+        in
+        check_true "every schedule delivered all messages"
+          (r.Explore.counterexample = None);
+        check_int "three schedules" 3 r.Explore.explored);
+  ]
+
 let unit_tests =
   [
     case "explores all schedules of the token protocol (n=3)" (fun () ->
@@ -191,4 +373,4 @@ let unit_tests =
         check_true "covered many schedules" (r.Explore.explored >= 100));
   ]
 
-let suite = unit_tests
+let suite = unit_tests @ fuzz_tests

@@ -1,0 +1,83 @@
+open Helpers
+
+(* Property suites for the relaxation lattice: monotonicity of the
+   (delta, p)-relaxed hull in delta, idempotence/absorption laws for
+   coordinate projections and the k-relaxed hull. These are the
+   structural facts the paper's Definitions 6-9 lean on implicitly. *)
+
+let pts_gen ~n ~dim = QCheck.Gen.(list_size (return n) (vec_gen ~dim ()))
+
+let arb_mono =
+  QCheck.make
+    ~print:(fun (pts, u, d1, d2) ->
+      Printf.sprintf "pts=[%s] u=%s d1=%g d2=%g"
+        (String.concat "; " (List.map Vec.to_string pts))
+        (Vec.to_string u) d1 d2)
+    QCheck.Gen.(
+      quad
+        (pts_gen ~n:4 ~dim:2)
+        (vec_gen ~dim:2 ())
+        (float_range 0. 4.) (float_range 0. 4.))
+
+let arb_khull =
+  QCheck.make
+    ~print:(fun (pts, w) ->
+      Printf.sprintf "pts=[%s] w=%s"
+        (String.concat "; " (List.map Vec.to_string pts))
+        (Vec.to_string w))
+    QCheck.Gen.(pair (pts_gen ~n:4 ~dim:3) (vec_gen ~dim:3 ()))
+
+let arb_proj =
+  QCheck.make
+    ~print:(fun (v, mask) ->
+      Printf.sprintf "v=%s mask=%d" (Vec.to_string v) mask)
+    QCheck.Gen.(pair (vec_gen ~dim:3 ()) (int_range 1 7))
+
+let suite =
+  [
+    qtest ~count:60 "delta-hull monotone: delta <= delta' => containment"
+      arb_mono
+      (fun (pts, u, d1, d2) ->
+        let dlo = Float.min d1 d2 and dhi = Float.max d1 d2 in
+        (* u in H_(dlo,2)(S) implies u in H_(dhi,2)(S) *)
+        (not (Delta_hull.mem ~delta:dlo ~p:2. pts u))
+        || Delta_hull.mem ~delta:dhi ~p:2. pts u);
+    qtest ~count:60 "delta-hull contains the unrelaxed hull (delta = 0 core)"
+      arb_mono
+      (fun (pts, _, d1, d2) ->
+        (* every generator is in H_(delta,p)(S) for any delta >= 0 *)
+        let delta = Float.max d1 d2 in
+        List.for_all (fun v -> Delta_hull.mem ~delta ~p:2. pts v) pts);
+    qtest ~count:40 "projection: identity d-set is idempotent" arb_proj
+      (fun (v, mask) ->
+        (* an arbitrary non-empty D in {0,1,2}; projecting, then
+           projecting the result by its own full index set, is the
+           identity on the projected vector *)
+        let d_set =
+          List.filter (fun i -> mask land (1 lsl i) <> 0) [ 0; 1; 2 ]
+        in
+        d_set = []
+        ||
+        let low = Projection.project d_set v in
+        let full = List.init (List.length d_set) Fun.id in
+        Projection.project full low = low
+        && Projection.project_points d_set [ v ] = [ low ]);
+    qtest ~count:30 "k-hull absorption: adding a hull point changes nothing"
+      arb_khull
+      (fun (pts, w) ->
+        (* u = centroid(S) lies in H(S), hence H_k(S + u) = H_k(S) *)
+        let u = Vec.centroid pts in
+        K_hull.mem ~k:2 (pts @ [ u ]) w = K_hull.mem ~k:2 pts w);
+    qtest ~count:30 "k-hull nesting: H_2 subseteq H_1" arb_khull
+      (fun (pts, w) ->
+        (not (K_hull.mem ~k:2 pts w)) || K_hull.mem ~k:1 pts w);
+    qtest ~count:30 "k-hull contains the hull (every k)" arb_khull
+      (fun (pts, w) ->
+        (* H(S) subseteq H_k(S): centroids and midpoints are members;
+           [w] seeds the midpoint choice deterministically *)
+        let u = Vec.centroid pts in
+        let mid = Vec.lerp 0.5 u (List.hd pts) in
+        ignore w;
+        K_hull.hk_contains_hull ~k:2 pts u
+        && K_hull.hk_contains_hull ~k:1 pts mid);
+  ]
