@@ -2,12 +2,21 @@
 
    Part 1 regenerates the paper's evaluation artifacts — the per-theorem
    experiment tables and Table 1 (the paper's only table) — exactly as
-   `rbvc experiments` does.
+   `rbvc experiments` does. Skip it with --no-tables when only timing
+   kernels.
 
    Part 2 times the computational kernels with Bechamel: one Test.make
    per kernel (LP solve, Wolfe min-norm point, FISTA Lp projection,
    delta*, Psi(Y) feasibility, Tverberg search, OM(f) broadcast, Bracha
-   reliable broadcast, and the two consensus algorithms end-to-end). *)
+   reliable broadcast, and the two consensus algorithms end-to-end). The
+   results also go to a machine-readable JSON file (default BENCH.json)
+   so successive changes can be compared mechanically.
+
+   Usage: main.exe [--no-tables] [--quota SECONDS] [--json PATH | --no-json]
+
+   Every workload generator draws from its own Rng stream derived from
+   the benchmark's name, so adding, removing or reordering benchmarks
+   never changes any other benchmark's workload. *)
 
 open Bechamel
 open Toolkit
@@ -19,7 +28,7 @@ let reproduce_tables () =
   Format.printf "==================================================@.";
   Format.printf " Reproduction of paper results (tables & theorems)@.";
   Format.printf "==================================================@.";
-  let tables = Experiments.run_all () in
+  let tables = Experiments.run_all ~jobs:(Par.default_jobs ()) () in
   List.iter (Experiments.print Format.std_formatter) tables;
   let failed = List.filter (fun t -> not t.Experiments.all_ok) tables in
   if failed = [] then
@@ -32,11 +41,16 @@ let reproduce_tables () =
 (* ------------------------------------------------------------------ *)
 (* Part 2: kernel micro-benchmarks                                     *)
 
-let rng = Rng.create 20_160_711
+(* Per-benchmark workload stream: a pure function of the benchmark name
+   (Hashtbl.hash of strings is deterministic), so the `tests` list can
+   be reordered or filtered without silently changing workloads. *)
+let bench_rng name = Rng.stream ~root:20_160_711 (Hashtbl.hash name)
 
 (* Pre-generated workloads (construction excluded from timing). *)
 
-let lp_workload rows cols =
+let bench_lp ~rows ~cols =
+  let name = Printf.sprintf "lp_solve %dx%d" rows cols in
+  let rng = bench_rng name in
   (* a bounded, feasible random LP *)
   let constraints =
     List.init rows (fun _ ->
@@ -46,90 +60,93 @@ let lp_workload rows cols =
     @ [ Lp.( <= ) (Array.make cols 1.) 10. ]
   in
   let objective = Array.init cols (fun _ -> Rng.uniform rng ~lo:0. ~hi:1.) in
-  (objective, constraints)
-
-let bench_lp ~rows ~cols =
-  let objective, constraints = lp_workload rows cols in
-  Test.make
-    ~name:(Printf.sprintf "lp_solve %dx%d" rows cols)
+  Test.make ~name
     (Staged.stage (fun () ->
          ignore
            (Lp.solve ~maximize:true ~nvars:cols ~objective constraints)))
 
 let bench_minnorm ~n ~d =
+  let name = Printf.sprintf "minnorm n=%d d=%d" n d in
+  let rng = bench_rng name in
   let pts = Rng.cloud rng ~n ~dim:d ~lo:(-1.) ~hi:1. in
   let q = Vec.make d 2. in
-  Test.make
-    ~name:(Printf.sprintf "minnorm n=%d d=%d" n d)
+  Test.make ~name
     (Staged.stage (fun () -> ignore (Minnorm.dist2_to_hull pts q)))
 
 let bench_lp_project ~n ~d ~p =
+  let name = Printf.sprintf "lp_project p=%g n=%d d=%d" p n d in
+  let rng = bench_rng name in
   let pts = Array.of_list (Rng.cloud rng ~n ~dim:d ~lo:(-1.) ~hi:1.) in
   let q = Vec.make d 2. in
-  Test.make
-    ~name:(Printf.sprintf "lp_project p=%g n=%d d=%d" p n d)
+  Test.make ~name
     (Staged.stage (fun () -> ignore (Frank_wolfe.lp_project ~p pts q)))
 
 let bench_delta_star ~d =
+  let name = Printf.sprintf "delta_star simplex d=%d (closed form)" d in
+  let rng = bench_rng name in
   let s = Rng.simplex_vertices rng ~dim:d in
-  Test.make
-    ~name:(Printf.sprintf "delta_star simplex d=%d (closed form)" d)
+  Test.make ~name
     (Staged.stage (fun () -> ignore (Delta_hull.delta_star ~p:2. ~f:1 s)))
 
 let bench_delta_star_iter ~n ~d =
+  let name = Printf.sprintf "delta_star iterative n=%d d=%d" n d in
+  let rng = bench_rng name in
   let s = Rng.cloud rng ~n ~dim:d ~lo:0. ~hi:1. in
-  Test.make
-    ~name:(Printf.sprintf "delta_star iterative n=%d d=%d" n d)
+  Test.make ~name
     (Staged.stage (fun () ->
          ignore
            (Delta_hull.delta_star ~iters:200 ~restarts:0 ~force_iterative:true
               ~p:2. ~f:1 s)))
 
 let bench_psi ~d =
+  let name = Printf.sprintf "psi_feasibility (thm3) d=%d" d in
   let y = Witnesses.thm3_inputs ~d ~gamma:1. ~eps:0.5 in
-  Test.make
-    ~name:(Printf.sprintf "psi_feasibility (thm3) d=%d" d)
+  Test.make ~name
     (Staged.stage (fun () ->
          ignore (K_hull.feasible_point ~d (K_hull.psi_region ~k:2 ~f:1 y))))
 
 let bench_tverberg ~n ~d ~f =
+  let name = Printf.sprintf "tverberg n=%d d=%d f=%d" n d f in
+  let rng = bench_rng name in
   let pts = Rng.cloud rng ~n ~dim:d ~lo:0. ~hi:1. in
-  Test.make
-    ~name:(Printf.sprintf "tverberg n=%d d=%d f=%d" n d f)
+  Test.make ~name
     (Staged.stage (fun () -> ignore (Tverberg.tverberg_point ~f pts)))
 
 let bench_gamma ~n ~d ~f =
+  let name = Printf.sprintf "gamma_point n=%d d=%d f=%d" n d f in
+  let rng = bench_rng name in
   let pts = Rng.cloud rng ~n ~dim:d ~lo:0. ~hi:1. in
-  Test.make
-    ~name:(Printf.sprintf "gamma_point n=%d d=%d f=%d" n d f)
+  Test.make ~name
     (Staged.stage (fun () -> ignore (Tverberg.gamma_point ~f pts)))
 
 let bench_om ~n ~f =
+  let name = Printf.sprintf "om_broadcast_all n=%d f=%d" n f in
   let inputs = Array.init n (fun i -> Vec.make 3 (float_of_int i)) in
-  Test.make
-    ~name:(Printf.sprintf "om_broadcast_all n=%d f=%d" n f)
+  Test.make ~name
     (Staged.stage (fun () ->
          ignore
            (Om.broadcast_all ~n ~f ~inputs ~default:(Vec.zero 3)
               ~compare:Vec.compare_lex ())))
 
 let bench_bracha ~n ~f =
+  let name = Printf.sprintf "bracha_rbc n=%d f=%d" n f in
   let inputs = Array.init n (fun i -> Vec.make 3 (float_of_int i)) in
-  Test.make
-    ~name:(Printf.sprintf "bracha_rbc n=%d f=%d" n f)
+  Test.make ~name
     (Staged.stage (fun () ->
          ignore (Bracha.broadcast_all ~n ~f ~inputs ~compare:Vec.compare_lex ())))
 
 let bench_algo_exact ~n ~d ~f ~validity ~label =
-  let inst = Problem.random_instance (Rng.split rng) ~n ~f ~d ~faulty:[ n - 1 ] in
-  Test.make
-    ~name:(Printf.sprintf "algo_exact %s n=%d d=%d f=%d" label n d f)
+  let name = Printf.sprintf "algo_exact %s n=%d d=%d f=%d" label n d f in
+  let rng = bench_rng name in
+  let inst = Problem.random_instance rng ~n ~f ~d ~faulty:[ n - 1 ] in
+  Test.make ~name
     (Staged.stage (fun () -> ignore (Algo_exact.run inst ~validity ())))
 
 let bench_algo_async ~n ~d ~f =
-  let inst = Problem.random_instance (Rng.split rng) ~n ~f ~d ~faulty:[ n - 1 ] in
-  Test.make
-    ~name:(Printf.sprintf "algo_async input-dep n=%d d=%d f=%d" n d f)
+  let name = Printf.sprintf "algo_async input-dep n=%d d=%d f=%d" n d f in
+  let rng = bench_rng name in
+  let inst = Problem.random_instance rng ~n ~f ~d ~faulty:[ n - 1 ] in
+  Test.make ~name
     (Staged.stage (fun () ->
          ignore
            (Algo_async.run inst
@@ -137,39 +154,44 @@ let bench_algo_async ~n ~d ~f =
               ~rounds:3 ~adversary:`Silent ())))
 
 let bench_polygon_inter ~n =
+  let name = Printf.sprintf "polygon_inter_all k=%d" n in
+  let rng = bench_rng name in
   let polys =
     List.init n (fun i ->
         Polygon.of_points
           (Rng.cloud rng ~n:6 ~dim:2 ~lo:(0.1 *. float_of_int i) ~hi:(2. +. (0.1 *. float_of_int i))))
   in
-  Test.make
-    ~name:(Printf.sprintf "polygon_inter_all k=%d" n)
+  Test.make ~name
     (Staged.stage (fun () -> ignore (Polygon.inter_all polys)))
 
 let bench_exact_lp () =
+  let name = "exact_lp psi(thm3) d=3" in
   let d = 3 in
   let y = Witnesses.thm3_inputs ~d ~gamma:1. ~eps:0.5 in
   let nvars, free, rows =
     K_hull.region_rows ~d (K_hull.psi_region ~k:2 ~f:1 y)
   in
   let exact_rows = Exact_lp.of_float_rows rows in
-  Test.make ~name:"exact_lp psi(thm3) d=3"
+  Test.make ~name
     (Staged.stage (fun () ->
          ignore (Exact_lp.is_feasible ~free ~nvars exact_rows)))
 
 let bench_iterative ~rounds =
-  let inst = Problem.random_instance (Rng.split rng) ~n:5 ~f:1 ~d:3 ~faulty:[ 4 ] in
-  Test.make
-    ~name:(Printf.sprintf "algo_iterative rounds=%d n=5 d=3" rounds)
+  let name = Printf.sprintf "algo_iterative rounds=%d n=5 d=3" rounds in
+  let rng = bench_rng name in
+  let inst = Problem.random_instance rng ~n:5 ~f:1 ~d:3 ~faulty:[ 4 ] in
+  Test.make ~name
     (Staged.stage (fun () -> ignore (Algo_iterative.run inst ~rounds ())))
 
 let bench_explore_fuzz ~trials =
+  let name =
+    Printf.sprintf "explore_fuzz algo_async %d scheds n=4 d=1" trials
+  in
+  let rng = bench_rng name in
   (* schedules/sec of the Explore fuzzer driving the real async protocol:
      one Test run = [trials] complete randomly-scheduled executions,
      each graded for validity + agreement *)
-  let inst =
-    Problem.random_instance (Rng.split rng) ~n:4 ~f:1 ~d:1 ~faulty:[ 3 ]
-  in
+  let inst = Problem.random_instance rng ~n:4 ~f:1 ~d:1 ~faulty:[ 3 ] in
   let hi = Problem.honest_inputs inst in
   let check s =
     let outs =
@@ -185,16 +207,17 @@ let bench_explore_fuzz ~trials =
   in
   let proto = make () in
   let net = Algo_async.session_adversary proto in
-  Test.make
-    ~name:(Printf.sprintf "explore_fuzz algo_async %d scheds n=4 d=1" trials)
+  Test.make ~name
     (Staged.stage (fun () ->
          ignore
            (Explore.fuzz ~make ~n:4 ~actors:Algo_async.session_actors ~check
               ~faulty:[ 3 ] ~adversary:net ~max_steps:2_000 ~seed:1 ~trials ())))
 
 let bench_hull_consensus () =
-  let inst = Problem.random_instance (Rng.split rng) ~n:5 ~f:1 ~d:2 ~faulty:[ 4 ] in
-  Test.make ~name:"hull_consensus n=5 d=2"
+  let name = "hull_consensus n=5 d=2" in
+  let rng = bench_rng name in
+  let inst = Problem.random_instance rng ~n:5 ~f:1 ~d:2 ~faulty:[ 4 ] in
+  Test.make ~name
     (Staged.stage (fun () -> ignore (Hull_consensus.run inst ())))
 
 let tests =
@@ -232,22 +255,24 @@ let tests =
     bench_hull_consensus ();
   ]
 
-let run_benchmarks () =
+type bench_result = { name : string; ns_per_run : float; r_square : float }
+
+let run_benchmarks ~quota () =
   Format.printf "==================================================@.";
   Format.printf " Kernel micro-benchmarks (Bechamel)@.";
   Format.printf "==================================================@.";
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:(Some 100) ()
+    Benchmark.cfg ~limit:500 ~quota:(Time.second quota) ~kde:(Some 100) ()
   in
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
   Format.printf "%-45s %15s %10s@." "benchmark" "time/run" "r^2";
   Format.printf "%s@." (String.make 72 '-');
-  List.iter
+  List.concat_map
     (fun test ->
-      List.iter
+      List.map
         (fun elt ->
           let raw = Benchmark.run cfg instances elt in
           let result = Analyze.one ols Instance.monotonic_clock raw in
@@ -266,10 +291,74 @@ let run_benchmarks () =
             else Printf.sprintf "%.1f ns" t
           in
           Format.printf "%-45s %15s %10.4f@." (Test.Elt.name elt)
-            (pretty estimate) r2)
+            (pretty estimate) r2;
+          { name = Test.Elt.name elt; ns_per_run = estimate; r_square = r2 })
         (Test.elements test))
     tests
 
+(* Hand-rolled JSON writer (no JSON dependency in the repo): the schema
+   is flat and the only strings are benchmark names. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float x =
+  if Float.is_nan x then "null" else Printf.sprintf "%.17g" x
+
+let write_json path results =
+  let oc = open_out path in
+  output_string oc "{\n  \"schema\": \"rbvc-bench/1\",\n  \"results\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"name\": \"%s\", \"ns_per_run\": %s, \"r_square\": %s}%s\n"
+        (json_escape r.name) (json_float r.ns_per_run)
+        (json_float r.r_square)
+        (if i = List.length results - 1 then "" else ","))
+    results;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Format.printf "@.wrote %s (%d benchmarks)@." path (List.length results)
+
 let () =
-  reproduce_tables ();
-  run_benchmarks ()
+  let tables = ref true in
+  let quota = ref 0.25 in
+  let json = ref (Some "BENCH.json") in
+  let rec parse = function
+    | [] -> ()
+    | "--no-tables" :: rest ->
+        tables := false;
+        parse rest
+    | "--quota" :: q :: rest -> (
+        match float_of_string_opt q with
+        | Some q when q > 0. ->
+            quota := q;
+            parse rest
+        | _ -> failwith "bench: --quota expects a positive number of seconds")
+    | "--json" :: path :: rest ->
+        json := Some path;
+        parse rest
+    | "--no-json" :: rest ->
+        json := None;
+        parse rest
+    | arg :: _ ->
+        failwith
+          (Printf.sprintf
+             "bench: unknown argument %S (expected --no-tables, --quota S, \
+              --json PATH, --no-json)"
+             arg)
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !tables then reproduce_tables ();
+  let results = run_benchmarks ~quota:!quota () in
+  match !json with None -> () | Some path -> write_json path results

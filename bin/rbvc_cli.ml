@@ -7,6 +7,21 @@ open Cmdliner
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
+(* Worker parallelism: --jobs beats RBVC_JOBS beats all cores. Results
+   are bit-identical at any value; jobs = 1 uses the sequential paths. *)
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Number of parallel jobs (default: $(b,RBVC_JOBS) if set, else all \
+           cores). Output is identical at any value; 1 disables parallelism.")
+
+let effective_jobs = function
+  | Some j -> Int.max 1 j
+  | None -> Par.default_jobs ()
+
 (* ---------------- experiments ---------------- *)
 
 let experiments_cmd =
@@ -25,9 +40,9 @@ let experiments_cmd =
       & info [ "csv" ] ~docv:"DIR"
           ~doc:"Also write each experiment's table as DIR/<id>.csv.")
   in
-  let run seed only csv_dir =
+  let run seed jobs only csv_dir =
     let ids = if only = [] then Experiments.ids else only in
-    let tables = List.map (Experiments.run ~seed) ids in
+    let tables = Experiments.run_many ~seed ~jobs:(effective_jobs jobs) ids in
     List.iter (Experiments.print Format.std_formatter) tables;
     (match csv_dir with
     | None -> ()
@@ -54,7 +69,7 @@ let experiments_cmd =
       1
     end
   in
-  let term = Term.(const run $ seed_arg $ only $ csv_dir) in
+  let term = Term.(const run $ seed_arg $ jobs_arg $ only $ csv_dir) in
   Cmd.v
     (Cmd.info "experiments"
        ~doc:
@@ -358,8 +373,8 @@ let explore_cmd =
             "Re-run one decision sequence (as printed in a counterexample, \
              e.g. '1;0;2'), print its delivery trace and verdict, and exit.")
   in
-  let run_checked seed trials algo n f d rounds adversary max_steps dfs_budget
-      replay =
+  let run_checked seed jobs trials algo n f d rounds adversary max_steps
+      dfs_budget replay =
     let d =
       match d with Some d -> d | None -> (match algo with `Async -> 1 | `K1 -> 2)
     in
@@ -460,7 +475,7 @@ let explore_cmd =
           else
             Explore.fuzz ~make:t.make ~n ~actors:t.actors ~check:t.check
               ~faulty ~adversary:t.net ~max_steps ~summarize:t.summarize
-              ~seed ~trials ()
+              ~jobs:(effective_jobs jobs) ~seed ~trials ()
         in
         let dt = Sys.time () -. t0 in
         Format.printf "explored %d schedules in %.2fs (%.0f schedules/sec)%s@."
@@ -486,21 +501,21 @@ let explore_cmd =
               (String.concat ";" (List.map string_of_int w.Explore.decisions));
             1)
   in
-  let run seed trials algo n f d rounds adversary max_steps dfs_budget replay
-      =
+  let run seed jobs trials algo n f d rounds adversary max_steps dfs_budget
+      replay =
     (* parameter validation lives in the library (Explore / the session
        constructors); surface it as a clean CLI error, not a backtrace *)
     try
-      run_checked seed trials algo n f d rounds adversary max_steps dfs_budget
-        replay
+      run_checked seed jobs trials algo n f d rounds adversary max_steps
+        dfs_budget replay
     with Invalid_argument msg ->
       Format.eprintf "rbvc explore: %s@." msg;
       2
   in
   let term =
     Term.(
-      const run $ seed_arg $ trials $ algo $ n $ f $ d $ rounds $ adversary
-      $ max_steps $ dfs_budget $ replay)
+      const run $ seed_arg $ jobs_arg $ trials $ algo $ n $ f $ d $ rounds
+      $ adversary $ max_steps $ dfs_budget $ replay)
   in
   Cmd.v
     (Cmd.info "explore"

@@ -23,24 +23,55 @@ let majority ~compare ~default values =
   | Some v, c when 2 * c > total -> v
   | _ -> default
 
-(* Per-process protocol state. *)
+(* Per-process protocol state.
+
+   Paths are stored int-encoded: a path [q0; ...; qk] (commander first)
+   packs to the radix-(n+1) integer with digits [q_i + 1], most recent
+   relayer in the least-significant digit. Digits are nonzero, so a
+   k-digit code is at least (n+1)^(k-1) > any (k-1)-digit code: the
+   encoding is injective across path lengths and a plain int key replaces
+   the old polymorphic (commander, int list) hash — no list hashing, no
+   structural equality on lookups. Capacity: paths have at most f+1
+   hops, so run_protocol rejects parameter combinations where
+   (n+1)^(f+1) could overflow (those are > 2^61 messages — far beyond
+   anything the O(n^f) protocol could execute anyway). *)
 type 'v state = {
   me : int;
   n : int;
   f : int;
-  store : (int * int list, 'v) Hashtbl.t;  (** (commander, path) -> value *)
+  store : (int, 'v) Hashtbl.t;  (** packed (commander-headed) path -> value *)
+  seen : bool array;  (** length-n scratch for single-pass path validation *)
   mutable to_relay : 'v entry list;  (** received last round, |path| = round *)
   own : (int * 'v) list;  (** commanders this process plays, with values *)
 }
 
-let valid_entry st ~round ~src e =
-  let len = List.length e.path in
-  len = round + 1
-  && (match List.rev e.path with last :: _ -> last = src | [] -> false)
-  && (match e.path with c :: _ -> c = e.commander | [] -> false)
-  && (not (List.mem st.me e.path))
-  && List.length (List.sort_uniq Stdlib.compare e.path) = len
-  && List.for_all (fun q -> q >= 0 && q < st.n) e.path
+let key_root = 0
+let key_child ~n key q = (key * (n + 1)) + q + 1
+
+(* Single O(|path|) pass deciding validity and computing the packed key:
+   the path must have length round+1, start at the entry's commander,
+   end at the immediate sender, stay in range, avoid this process, and
+   repeat no relayer. Replaces the old length/rev/mem/sort_uniq scans
+   (O(len^2) with list allocation) with one traversal against the
+   [seen] scratch array. *)
+let validate_and_key st ~round ~src e =
+  let rec scan key len last = function
+    | [] -> if len = round + 1 && last = src then Some key else None
+    | q :: rest ->
+        if q < 0 || q >= st.n || q = st.me || st.seen.(q) then None
+        else begin
+          st.seen.(q) <- true;
+          scan (key_child ~n:st.n key q) (len + 1) q rest
+        end
+  in
+  let result =
+    match e.path with
+    | c :: _ when c = e.commander -> scan key_root 0 (-1) e.path
+    | _ -> None
+  in
+  (* unmark whatever the scan marked (it may have aborted mid-path) *)
+  List.iter (fun q -> if q >= 0 && q < st.n then st.seen.(q) <- false) e.path;
+  result
 
 let make_actor st =
   let send ~round =
@@ -79,13 +110,13 @@ let make_actor st =
       (fun (src, entries) ->
         List.iter
           (fun e ->
-            if valid_entry st ~round ~src e then begin
-              let key = (e.commander, e.path) in
-              if not (Hashtbl.mem st.store key) then begin
-                Hashtbl.add st.store key e.value;
-                if round < st.f then st.to_relay <- e :: st.to_relay
-              end
-            end)
+            match validate_and_key st ~round ~src e with
+            | None -> ()
+            | Some key ->
+                if not (Hashtbl.mem st.store key) then begin
+                  Hashtbl.add st.store key e.value;
+                  if round < st.f then st.to_relay <- e :: st.to_relay
+                end)
           entries)
       batch
   in
@@ -95,30 +126,37 @@ let decide st ~compare ~default ~commander =
   match List.assoc_opt commander st.own with
   | Some v -> v
   | None ->
-      let rec compute path =
-        let stored =
-          Option.value
-            (Hashtbl.find_opt st.store (commander, path))
-            ~default
-        in
-        if List.length path = st.f + 1 then stored
+      (* Recursive majority over the path tree, walking packed keys
+         directly (no path lists are materialized). [on_path] plays the
+         role of [List.mem q path]; children are visited in ascending
+         process id, as before. *)
+      let on_path = Array.make st.n false in
+      let rec compute key len =
+        let stored = Option.value (Hashtbl.find_opt st.store key) ~default in
+        if len = st.f + 1 then stored
         else begin
-          let children =
-            List.filter_map
-              (fun q ->
-                if q = st.me || List.mem q path then None
-                else Some (compute (path @ [ q ])))
-              (List.init st.n (fun i -> i))
-          in
-          majority ~compare ~default (stored :: children)
+          let children = ref [] in
+          for q = st.n - 1 downto 0 do
+            if q <> st.me && not on_path.(q) then begin
+              on_path.(q) <- true;
+              children := compute (key_child ~n:st.n key q) (len + 1) :: !children;
+              on_path.(q) <- false
+            end
+          done;
+          majority ~compare ~default (stored :: !children)
         end
       in
-      compute [ commander ]
+      if commander >= 0 && commander < st.n then on_path.(commander) <- true;
+      compute (key_child ~n:st.n key_root commander) 1
 
 let run_protocol ~n ~f ~commanders ?(faulty = []) ?corrupt ()
     =
   if n < 1 then invalid_arg "Om: n must be positive";
   if f < 0 || f >= n then invalid_arg "Om: need 0 <= f < n";
+  (* packed path keys need (f+1) radix-(n+1) digits to fit in an int;
+     combinations beyond that would also need > 2^61 messages *)
+  if float_of_int (f + 1) *. (log (float_of_int (n + 1)) /. log 2.) > 61. then
+    invalid_arg "Om: n^(f+1) path space exceeds the packed-key range";
   let states =
     Array.init n (fun me ->
         {
@@ -126,6 +164,7 @@ let run_protocol ~n ~f ~commanders ?(faulty = []) ?corrupt ()
           n;
           f;
           store = Hashtbl.create 97;
+          seen = Array.make n false;
           to_relay = [];
           own =
             List.filter_map

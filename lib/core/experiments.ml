@@ -1166,7 +1166,22 @@ let run ?(seed = 42) id =
   | Some f -> f ~seed ()
   | None -> invalid_arg (fmt "Experiments.run: unknown id %S" id)
 
-let run_all ?(seed = 42) () = List.map (fun (_, f) -> f ~seed ()) registry
+(* Every experiment builds its own [Rng.create (seed + _)] streams, so
+   the tables are pure functions of (id, seed) and the suite can fan out
+   over the Par pool; results come back in request order regardless of
+   [jobs]. *)
+let run_many ?(seed = 42) ?(jobs = 1) wanted =
+  let fs =
+    List.map
+      (fun id ->
+        match List.assoc_opt id registry with
+        | Some f -> f
+        | None -> invalid_arg (fmt "Experiments.run_many: unknown id %S" id))
+      wanted
+  in
+  Par.map_list ~jobs (fun f -> f ~seed ()) fs
+
+let run_all ?seed ?jobs () = run_many ?seed ?jobs ids
 
 let print ppf t =
   let widths =

@@ -21,7 +21,15 @@ val ids : string list
 val run : ?seed:int -> string -> table
 (** Run one experiment by id. @raise Invalid_argument on unknown ids. *)
 
-val run_all : ?seed:int -> unit -> table list
+val run_many : ?seed:int -> ?jobs:int -> string list -> table list
+(** Run a list of experiments, optionally in parallel on the {!Par}
+    pool ([jobs] domains; default 1 = sequential). Every experiment
+    seeds its own generators from [seed], so the returned tables are
+    identical at any [jobs] and come back in request order.
+    @raise Invalid_argument on unknown ids. *)
+
+val run_all : ?seed:int -> ?jobs:int -> unit -> table list
+(** [run_many] over {!ids}. *)
 
 val print : Format.formatter -> table -> unit
 (** Pretty-print with aligned columns, title, notes, and verdict. *)

@@ -2,6 +2,23 @@ type t = Random.State.t
 
 let create seed = Random.State.make [| seed; 0x5bd1e995; seed lxor 0x27d4eb2f |]
 let split t = Random.State.make [| Random.State.bits t; Random.State.bits t |]
+
+(* splitmix64 finalizer: decorrelates consecutive (root, i) pairs so the
+   per-index streams behave as independent generators. *)
+let stream ~root i =
+  let mix z =
+    let open Int64 in
+    let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+    logxor z (shift_right_logical z 31)
+  in
+  let h =
+    mix
+      (Int64.add
+         (Int64.mul (Int64.of_int root) 0x9e3779b97f4a7c15L)
+         (Int64.of_int i))
+  in
+  create (Int64.to_int h)
 let float t bound = Random.State.float t bound
 let uniform t ~lo ~hi = lo +. Random.State.float t (hi -. lo)
 let int t bound = Random.State.int t bound

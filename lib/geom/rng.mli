@@ -12,6 +12,13 @@ val create : int -> t
 val split : t -> t
 (** An independent generator derived from (and advancing) [t]. *)
 
+val stream : root:int -> int -> t
+(** [stream ~root i] is the [i]-th member of a family of independent
+    generators determined solely by [(root, i)] (a splitmix64-style hash
+    seeds {!create}). Unlike {!split} it consumes no generator state, so
+    parallel tasks can each derive their own stream from a shared root
+    seed and produce output identical to a sequential run. *)
+
 val float : t -> float -> float
 (** Uniform in [\[0, bound)]. *)
 

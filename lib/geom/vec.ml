@@ -32,18 +32,80 @@ let of_list l =
 let to_list = Array.to_list
 let copy = Array.copy
 
+(* The binary kernels below are explicit loops over preallocated arrays
+   rather than [Array.init] with a closure: the hot paths (LP pivoting,
+   Frank-Wolfe line search, subgradient descent) call them millions of
+   times and the closure allocation + indirect call dominate. The
+   float-operation order is unchanged, so results are bit-identical. *)
+
 let map2 f u v =
   check_same_dim "map2" u v;
-  Array.init (dim u) (fun i -> f u.(i) v.(i))
+  let n = dim u in
+  let r = Array.make n 0. in
+  for i = 0 to n - 1 do
+    r.(i) <- f u.(i) v.(i)
+  done;
+  r
 
-let add u v = map2 ( +. ) u v
-let sub u v = map2 ( -. ) u v
+let add u v =
+  check_same_dim "add" u v;
+  let n = dim u in
+  let r = Array.make n 0. in
+  for i = 0 to n - 1 do
+    r.(i) <- u.(i) +. v.(i)
+  done;
+  r
+
+let sub u v =
+  check_same_dim "sub" u v;
+  let n = dim u in
+  let r = Array.make n 0. in
+  for i = 0 to n - 1 do
+    r.(i) <- u.(i) -. v.(i)
+  done;
+  r
+
 let neg u = Array.map (fun x -> -.x) u
 let scale a u = Array.map (fun x -> a *. x) u
 
 let axpy a x y =
   check_same_dim "axpy" x y;
-  Array.init (dim x) (fun i -> (a *. x.(i)) +. y.(i))
+  let n = dim x in
+  let r = Array.make n 0. in
+  for i = 0 to n - 1 do
+    r.(i) <- (a *. x.(i)) +. y.(i)
+  done;
+  r
+
+(* In-place variants for scratch-buffer reuse in inner loops. [dst] may
+   alias an input. *)
+
+let add_into dst u v =
+  check_same_dim "add_into" u v;
+  check_same_dim "add_into" dst u;
+  for i = 0 to dim u - 1 do
+    dst.(i) <- u.(i) +. v.(i)
+  done
+
+let sub_into dst u v =
+  check_same_dim "sub_into" u v;
+  check_same_dim "sub_into" dst u;
+  for i = 0 to dim u - 1 do
+    dst.(i) <- u.(i) -. v.(i)
+  done
+
+let axpy_into dst a x y =
+  check_same_dim "axpy_into" x y;
+  check_same_dim "axpy_into" dst x;
+  for i = 0 to dim x - 1 do
+    dst.(i) <- (a *. x.(i)) +. y.(i)
+  done
+
+let scale_into dst a u =
+  check_same_dim "scale_into" dst u;
+  for i = 0 to dim u - 1 do
+    dst.(i) <- a *. u.(i)
+  done
 
 let dot u v =
   check_same_dim "dot" u v;
@@ -55,7 +117,12 @@ let dot u v =
 
 let lerp t u v =
   check_same_dim "lerp" u v;
-  Array.init (dim u) (fun i -> ((1. -. t) *. u.(i)) +. (t *. v.(i)))
+  let n = dim u in
+  let r = Array.make n 0. in
+  for i = 0 to n - 1 do
+    r.(i) <- ((1. -. t) *. u.(i)) +. (t *. v.(i))
+  done;
+  r
 
 let combo = function
   | [] -> invalid_arg "Vec.combo: empty combination"

@@ -2,9 +2,11 @@
     the paper (Section 3).
 
     A vector is a [float array]; functions never mutate their arguments
-    unless the name says so ([add_in_place] etc. are deliberately absent:
-    all operations are persistent). Dimensions are validated eagerly and
-    mismatches raise [Invalid_argument]. *)
+    unless the name says so. The [_into] variants write their result into
+    a caller-supplied destination so inner loops can reuse scratch
+    buffers instead of allocating per call; everything else is
+    persistent. Dimensions are validated eagerly and mismatches raise
+    [Invalid_argument]. *)
 
 type t = float array
 
@@ -41,6 +43,25 @@ val axpy : float -> t -> t -> t
 
 val dot : t -> t -> float
 val map2 : (float -> float -> float) -> t -> t -> t
+
+(** {2 In-place variants}
+
+    [op_into dst ...] computes the same result as [op ...] but stores it
+    in [dst] (which must have the operands' dimension and may alias an
+    operand) instead of allocating. Bit-identical to the allocating
+    versions — same float operations in the same order. *)
+
+val add_into : t -> t -> t -> unit
+(** [add_into dst u v] sets [dst := u + v]. *)
+
+val sub_into : t -> t -> t -> unit
+(** [sub_into dst u v] sets [dst := u - v]. *)
+
+val axpy_into : t -> float -> t -> t -> unit
+(** [axpy_into dst a x y] sets [dst := a*x + y]. *)
+
+val scale_into : t -> float -> t -> unit
+(** [scale_into dst a u] sets [dst := a*u]. *)
 
 val lerp : float -> t -> t -> t
 (** [lerp t u v] is [(1-t)*u + t*v]. *)

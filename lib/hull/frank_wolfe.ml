@@ -49,6 +49,13 @@ let minimize ?(eps = 1e-8) ?(max_iters = 1_500) ~f ~grad points =
       in
       let fx = ref (f !x) in
       let eps = eps *. Float.max 1e-3 (Float.abs !fx) in
+      (* scratch for line-search trial points: the search evaluates [f]
+         ~84 times per iteration and the trial vector never escapes *)
+      let trial = Vec.zero (Vec.dim p0) in
+      let eval_at dir t =
+        Vec.axpy_into trial t dir !x;
+        f trial
+      in
       (try
          for _ = 1 to max_iters do
            let g = grad !x in
@@ -81,9 +88,7 @@ let minimize ?(eps = 1e-8) ?(max_iters = 1_500) ~f ~grad points =
            if gap_fw >= gap_away || !a < 0 then begin
              (* FW step towards pts.(s) *)
              let dir = Vec.sub pts.(!s) !x in
-             let t =
-               line_search ~hi:1. (fun t -> f (Vec.axpy t dir !x))
-             in
+             let t = line_search ~hi:1. (eval_at dir) in
              if t > 0. then begin
                for i = 0 to n - 1 do
                  weights.(i) <- (1. -. t) *. weights.(i)
@@ -102,7 +107,7 @@ let minimize ?(eps = 1e-8) ?(max_iters = 1_500) ~f ~grad points =
              let hi = wa /. Float.max 1e-300 (1. -. wa) in
              let hi = Float.min hi 1e6 in
              let dir = Vec.sub !x pts.(!a) in
-             let t = line_search ~hi (fun t -> f (Vec.axpy t dir !x)) in
+             let t = line_search ~hi (eval_at dir) in
              if t > 0. then begin
                for i = 0 to n - 1 do
                  weights.(i) <- (1. +. t) *. weights.(i)
@@ -148,33 +153,44 @@ let simplex_projection w =
 let lp_project ?(eps = 1e-12) ?(max_iters = 800) ~p pts q =
   let n = Array.length pts in
   let d = Vec.dim q in
-  let point_of lambda =
-    let y = Vec.zero d in
+  (* Scratch buffers shared by the evaluations below (the combination
+     point, the Lp "gradient of the norm" vector, and the simplex
+     gradient): psi/grad run hundreds of times per projection and none
+     of these intermediates escape. *)
+  let y_buf = Vec.zero d in
+  let gz_buf = Vec.zero d in
+  let g_buf = Array.make n 0. in
+  let point_into y lambda =
+    Array.fill y 0 d 0.;
     for j = 0 to n - 1 do
       if lambda.(j) <> 0. then
         for i = 0 to d - 1 do
           y.(i) <- y.(i) +. (lambda.(j) *. pts.(j).(i))
         done
-    done;
-    y
+    done
   in
   let psi lambda =
-    let y = point_of lambda in
+    point_into y_buf lambda;
     let s = ref 0. in
     for i = 0 to d - 1 do
-      s := !s +. (Float.abs (y.(i) -. q.(i)) ** p)
+      s := !s +. (Float.abs (y_buf.(i) -. q.(i)) ** p)
     done;
     !s /. p
   in
+  (* fills [g_buf]; valid until the next call *)
   let grad lambda =
-    let y = point_of lambda in
-    let gz =
-      Vec.init d (fun i ->
-          let z = y.(i) -. q.(i) in
-          let a = Float.abs z in
-          if a = 0. then 0. else (a ** (p -. 1.)) *. Float.of_int (compare z 0.))
-    in
-    Array.init n (fun j -> Vec.dot gz pts.(j))
+    point_into y_buf lambda;
+    for i = 0 to d - 1 do
+      let z = y_buf.(i) -. q.(i) in
+      let a = Float.abs z in
+      gz_buf.(i) <-
+        (if a = 0. then 0.
+         else (a ** (p -. 1.)) *. Float.of_int (compare z 0.))
+    done;
+    for j = 0 to n - 1 do
+      g_buf.(j) <- Vec.dot gz_buf pts.(j)
+    done;
+    g_buf
   in
   let lambda = ref (Array.make n (1. /. float_of_int n)) in
   let momentum = ref (Array.copy !lambda) in
@@ -199,15 +215,15 @@ let lp_project ?(eps = 1e-12) ?(max_iters = 800) ~p pts q =
          in
          let f_c = psi candidate in
          (* sufficient-decrease test against the quadratic model *)
-         let diff = Array.init n (fun j -> candidate.(j) -. !momentum.(j)) in
-         let lin =
-           Array.fold_left ( +. ) 0. (Array.init n (fun j -> g.(j) *. diff.(j)))
-         in
-         let quad =
-           Array.fold_left ( +. ) 0.
-             (Array.map (fun x -> x *. x) diff)
-           /. (2. *. !step)
-         in
+         let lin = ref 0. in
+         let sq = ref 0. in
+         for j = 0 to n - 1 do
+           let dj = candidate.(j) -. !momentum.(j) in
+           lin := !lin +. (g.(j) *. dj);
+           sq := !sq +. (dj *. dj)
+         done;
+         let lin = !lin in
+         let quad = !sq /. (2. *. !step) in
          if f_c <= f_m +. lin +. quad +. 1e-18 || tries > 40 then (candidate, f_c)
          else begin
            step := !step /. 2.;
@@ -244,7 +260,9 @@ let lp_project ?(eps = 1e-12) ?(max_iters = 800) ~p pts q =
        else if improved > 0. then stall := 0
      done
    with Exit -> ());
-  point_of !best
+  let y = Vec.zero d in
+  point_into y !best;
+  y
 
 let dist_p_to_hull ?eps:_ ~p points q =
   if p <= 1. || p = Float.infinity then

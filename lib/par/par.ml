@@ -1,0 +1,173 @@
+(* A minimal deterministic fork/join pool over OCaml 5 domains.
+
+   Design constraints, in order:
+
+   - determinism: parallelism must never change observable results, so
+     every primitive assigns work by index and reports by index;
+   - nested-use safety: a task may itself call [map]. The submitter of a
+     batch always drains that batch itself (workers merely help), so a
+     nested call completes even when every worker is busy elsewhere —
+     worst case it degrades to sequential execution on the caller;
+   - frugality: worker domains are spawned lazily, only as many as a
+     batch can actually use, and are reused for the process lifetime
+     (domains are ~ms to spawn; the experiment suite submits thousands
+     of batches). *)
+
+type batch = {
+  total : int;
+  run_task : int -> unit;  (* must not raise; errors are recorded *)
+  next : int Atomic.t;  (* next unclaimed task index *)
+  unfinished : int Atomic.t;  (* tasks not yet completed *)
+  mutable helpers : int;  (* worker seats still unclaimed *)
+}
+
+type pool = {
+  lock : Mutex.t;
+  work : Condition.t;  (* signalled when a batch wants helpers *)
+  finished : Condition.t;  (* signalled when some batch completes *)
+  mutable pending : batch list;  (* batches still accepting helpers *)
+  mutable workers : int;  (* worker domains spawned so far *)
+}
+
+let pool =
+  {
+    lock = Mutex.create ();
+    work = Condition.create ();
+    finished = Condition.create ();
+    pending = [];
+    workers = 0;
+  }
+
+(* Hard cap on pool size: enough for any realistic core count here,
+   far below the runtime's 128-domain limit even with other users. *)
+let max_workers = 15
+
+let available_cores () = Domain.recommended_domain_count ()
+
+let default_jobs () =
+  match Sys.getenv_opt "RBVC_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> j
+      | _ -> available_cores ())
+  | None -> available_cores ()
+
+(* Claim-and-run tasks of [b] until none are left to claim. Each
+   completion decrements [unfinished]; whoever finishes the last task
+   wakes the submitter. *)
+let drain b =
+  let continue_ = ref true in
+  while !continue_ do
+    let i = Atomic.fetch_and_add b.next 1 in
+    if i >= b.total then continue_ := false
+    else begin
+      b.run_task i;
+      if Atomic.fetch_and_add b.unfinished (-1) = 1 then begin
+        Mutex.lock pool.lock;
+        Condition.broadcast pool.finished;
+        Mutex.unlock pool.lock
+      end
+    end
+  done
+
+let rec worker () =
+  Mutex.lock pool.lock;
+  let rec take () =
+    pool.pending <-
+      List.filter
+        (fun b -> b.helpers > 0 && Atomic.get b.next < b.total)
+        pool.pending;
+    match pool.pending with
+    | b :: _ ->
+        b.helpers <- b.helpers - 1;
+        b
+    | [] ->
+        Condition.wait pool.work pool.lock;
+        take ()
+  in
+  let b = take () in
+  Mutex.unlock pool.lock;
+  drain b;
+  worker ()
+
+(* With [pool.lock] held: grow the pool towards [wanted] workers. *)
+let ensure_workers wanted =
+  let wanted = Int.min wanted max_workers in
+  while pool.workers < wanted do
+    ignore (Domain.spawn worker : unit Domain.t);
+    pool.workers <- pool.workers + 1
+  done
+
+(* Run [total] independent tasks, sharing them with up to [jobs - 1]
+   workers. Exceptions raised by tasks are recorded per index and the
+   lowest-index one is re-raised after the whole batch has run — the
+   same exception a sequential left-to-right run over all indices would
+   pick, so jobs > 1 cannot change which error escapes. *)
+let run_batch ~jobs ~total task =
+  if total > 0 then begin
+    let errors = Array.make total None in
+    let run_task i =
+      try task i
+      with e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ())
+    in
+    let jobs = Int.max 1 (Int.min jobs total) in
+    if jobs = 1 then
+      for i = 0 to total - 1 do
+        run_task i
+      done
+    else begin
+      let b =
+        {
+          total;
+          run_task;
+          next = Atomic.make 0;
+          unfinished = Atomic.make total;
+          helpers = jobs - 1;
+        }
+      in
+      Mutex.lock pool.lock;
+      ensure_workers (jobs - 1);
+      pool.pending <- pool.pending @ [ b ];
+      Condition.broadcast pool.work;
+      Mutex.unlock pool.lock;
+      drain b;
+      Mutex.lock pool.lock;
+      while Atomic.get b.unfinished > 0 do
+        Condition.wait pool.finished pool.lock
+      done;
+      b.helpers <- 0;
+      pool.pending <- List.filter (fun b' -> b' != b) pool.pending;
+      Mutex.unlock pool.lock
+    end;
+    Array.iter
+      (function
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
+      errors
+  end
+
+let map ?(jobs = 1) f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    run_batch ~jobs ~total:n (fun i -> results.(i) <- Some (f arr.(i)));
+    Array.map
+      (function Some v -> v | None -> assert false (* run_batch ran all *))
+      results
+  end
+
+let map_list ?jobs f l = Array.to_list (map ?jobs f (Array.of_list l))
+
+let iter_chunks ?(jobs = 1) ~n f =
+  if n < 0 then invalid_arg "Par.iter_chunks: negative n";
+  if n > 0 then begin
+    let jobs = Int.max 1 jobs in
+    (* over-decompose ~4x so a slow chunk doesn't idle the other jobs *)
+    let nchunks = if jobs = 1 then 1 else Int.min n (4 * jobs) in
+    let base = n / nchunks and extra = n mod nchunks in
+    run_batch ~jobs ~total:nchunks (fun c ->
+        let lo = (c * base) + Int.min c extra in
+        let hi = lo + base + if c < extra then 1 else 0 in
+        f ~lo ~hi)
+  end

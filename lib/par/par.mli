@@ -1,0 +1,44 @@
+(** A from-scratch deterministic parallel runtime on OCaml 5 domains.
+
+    One process-wide pool of worker domains is started lazily on the
+    first parallel call and sized from {!Domain.recommended_domain_count}
+    (workers are spawned on demand, never more than a small cap). Work is
+    submitted in {e batches} of independent tasks; the submitting domain
+    always participates in draining its own batch, so nested parallel
+    calls from inside a task cannot deadlock — at worst they degrade to
+    sequential execution on the calling domain.
+
+    Determinism contract: {!map} returns results in input order and
+    {!iter_chunks} partitions [0..n-1] into contiguous ranges, so as long
+    as each task is a pure function of its index (derive per-task
+    randomness with {!Rng.stream}-style index hashing, never from a
+    shared generator), the observable output is bit-identical to a
+    sequential run — [jobs] only changes wall-clock time. If several
+    tasks raise, the exception of the {e lowest} task index is re-raised
+    (with its backtrace), matching what a sequential left-to-right run
+    would surface first. *)
+
+val available_cores : unit -> int
+(** [Domain.recommended_domain_count ()] — an upper bound on useful
+    parallelism on this machine. *)
+
+val default_jobs : unit -> int
+(** The job count CLI entry points should use when the user gave none:
+    the [RBVC_JOBS] environment variable if set to a positive integer,
+    otherwise {!available_cores}. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs f arr] is [Array.map f arr] with the applications spread
+    over [jobs] domains (the caller plus [jobs - 1] pool workers).
+    Results are in input order. [jobs <= 1] (the default) runs on the
+    calling domain without touching the pool. *)
+
+val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map} over lists (order preserved). *)
+
+val iter_chunks : ?jobs:int -> n:int -> (lo:int -> hi:int -> unit) -> unit
+(** [iter_chunks ~jobs ~n f] covers the index range [0..n-1] with
+    disjoint contiguous chunks [f ~lo ~hi] (half-open: [lo <= i < hi]),
+    executed in parallel. More chunks than jobs are created so uneven
+    chunk costs load-balance. [jobs <= 1] performs the single call
+    [f ~lo:0 ~hi:n]. *)

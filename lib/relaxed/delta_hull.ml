@@ -247,7 +247,7 @@ let delta_star_lp ?eps ~linf ~f s =
           { value = Float.max 0. z; point = Array.sub x 0 d; exact = true }
       | _ -> invalid_arg "Delta_hull.delta_star_lp: unexpected LP failure")
 
-let delta_star ?eps ?(iters = 4000) ?(restarts = 4) ?(seed = 42)
+let delta_star ?eps ?(iters = 4000) ?(restarts = 4) ?(seed = 42) ?(jobs = 1)
     ?(force_iterative = false) ~p ~f s =
   if (not force_iterative) && p = Float.infinity then
     delta_star_lp ?eps ~linf:true ~f s
@@ -284,15 +284,21 @@ let delta_star ?eps ?(iters = 4000) ?(restarts = 4) ?(seed = 42)
               let random_starts =
                 List.init restarts (fun _ -> Rng.point_box rng ~dim:d ~lo ~hi)
               in
+              (* The descents from each warm start are independent; fan
+                 them out and fold outcomes in start order, so the
+                 winner (first minimal value) is the same at any [jobs]. *)
+              let outcomes =
+                Par.map_list ~jobs
+                  (fun x0 -> descend ?eps ~p ~iters subsets x0)
+                  (deterministic_starts @ random_starts)
+              in
               let best =
                 List.fold_left
-                  (fun acc x0 ->
-                    let v, x = descend ?eps ~p ~iters subsets x0 in
+                  (fun acc (v, x) ->
                     match acc with
                     | Some (bv, _) when bv <= v -> acc
                     | _ -> Some (v, x))
-                  None
-                  (deterministic_starts @ random_starts)
+                  None outcomes
               in
               (match best with
               | Some (value, point) ->

@@ -34,6 +34,7 @@ val delta_star :
   ?iters:int ->
   ?restarts:int ->
   ?seed:int ->
+  ?jobs:int ->
   ?force_iterative:bool ->
   p:float ->
   f:int ->
@@ -46,8 +47,10 @@ val delta_star :
     (default 4000) steps per start, [restarts] (default 4) random warm
     starts beyond the deterministic ones — followed by a
     bisection/alternating-projection polish. Deterministic for fixed
-    [seed]. [force_iterative] (default false) disables every shortcut so
-    tests can cross-validate the optimizer. *)
+    [seed], including at [jobs > 1]: the warm starts run on the {!Par}
+    pool but are folded in start order, so the result is bit-identical
+    to the sequential run. [force_iterative] (default false) disables
+    every shortcut so tests can cross-validate the optimizer. *)
 
 val gamma_point : ?eps:float -> f:int -> Vec.t list -> Vec.t option
 (** A point of [Gamma(S) = intersection of H(T)] (no relaxation), via the

@@ -33,9 +33,8 @@ let radon_partition ?eps pts =
           end)
   | _ -> None
 
-let tverberg_partition ?eps ~parts pts =
-  let arr = Array.of_list pts in
-  let n = Array.length arr in
+let tverberg_partition ?eps ?(jobs = 1) ~parts pts =
+  let n = List.length pts in
   if parts <= 0 || parts > n then None
   else begin
     let assignments = Multiset.partitions n parts in
@@ -43,27 +42,55 @@ let tverberg_partition ?eps ~parts pts =
        (every unlabelled partition has a labelled representative with
        point 0 in the first class). *)
     let assignments =
-      List.filter (fun a -> a.(0) = 0) assignments
+      Array.of_list (List.filter (fun a -> a.(0) = 0) assignments)
     in
-    let rec try_all = function
-      | [] -> None
-      | a :: rest ->
-          let classes =
-            List.init parts (fun label ->
-                List.filteri (fun i _ -> a.(i) = label) pts)
-          in
-          (match Hull.intersection_point ?eps classes with
-          | Some common -> Some { parts = classes; common }
-          | None -> try_all rest)
+    let certify a =
+      let classes =
+        List.init parts (fun label ->
+            List.filteri (fun i _ -> a.(i) = label) pts)
+      in
+      match Hull.intersection_point ?eps classes with
+      | Some common -> Some { parts = classes; common }
+      | None -> None
     in
-    ignore arr;
-    try_all assignments
+    if jobs <= 1 then begin
+      let found = ref None in
+      let i = ref 0 in
+      while !found = None && !i < Array.length assignments do
+        found := certify assignments.(!i);
+        incr i
+      done;
+      !found
+    end
+    else begin
+      (* Parallel first-success with the lowest assignment index winning,
+         so the reported partition matches the sequential scan. Chunks
+         past an already-found index are skipped. *)
+      let total = Array.length assignments in
+      let best = Atomic.make max_int in
+      let hits = Array.make total None in
+      Par.iter_chunks ~jobs ~n:total (fun ~lo ~hi ->
+          for i = lo to hi - 1 do
+            if i < Atomic.get best then
+              match certify assignments.(i) with
+              | None -> ()
+              | Some _ as hit ->
+                  hits.(i) <- hit;
+                  let rec lower () =
+                    let cur = Atomic.get best in
+                    if i < cur && not (Atomic.compare_and_set best cur i)
+                    then lower ()
+                  in
+                  lower ()
+          done);
+      match Atomic.get best with i when i < max_int -> hits.(i) | _ -> None
+    end
   end
 
-let tverberg_point ?eps ~f pts =
+let tverberg_point ?eps ?jobs ~f pts =
   Option.map
     (fun pa -> pa.common)
-    (tverberg_partition ?eps ~parts:(f + 1) pts)
+    (tverberg_partition ?eps ?jobs ~parts:(f + 1) pts)
 
 let subsets_minus_f ~f pts =
   let ms = Multiset.of_list ~cmp:Vec.compare_lex pts in

@@ -19,14 +19,17 @@ val radon_partition : ?eps:float -> Vec.t list -> partition option
     computation (no search). Uses only the first d+2 points. *)
 
 val tverberg_partition :
-  ?eps:float -> parts:int -> Vec.t list -> partition option
+  ?eps:float -> ?jobs:int -> parts:int -> Vec.t list -> partition option
 (** Exhaustive search over partitions into [parts] non-empty classes,
     certifying the common point by LP. Exponential in the number of
     points — intended for the small instances of the experiments
-    ([n <= 12]). Returns [None] when no partition works (which, per
-    Tverberg, can happen only when [n <= (d+1)(parts-1)]). *)
+    ([n <= 12]); [jobs > 1] fans the candidate enumeration out over the
+    {!Par} pool, returning the same (lowest-index) partition the
+    sequential scan finds. Returns [None] when no partition works
+    (which, per Tverberg, can happen only when [n <= (d+1)(parts-1)]). *)
 
-val tverberg_point : ?eps:float -> f:int -> Vec.t list -> Vec.t option
+val tverberg_point :
+  ?eps:float -> ?jobs:int -> f:int -> Vec.t list -> Vec.t option
 (** A common point of some Tverberg partition into [f+1] parts. *)
 
 val gamma_point : ?eps:float -> f:int -> Vec.t list -> Vec.t option

@@ -286,15 +286,16 @@ let run ~make ~n ~actors ~check ?(faulty = []) ?(adversary = Adversary.honest)
 
 let fuzz ~make ~n ~actors ~check ?(faulty = [])
     ?(adversary = Adversary.honest) ?(max_steps = 200) ?(shrink = true)
-    ?summarize ~seed ~trials () =
+    ?summarize ?(jobs = 1) ~seed ~trials () =
   if trials < 1 then invalid_arg "Explore.fuzz: need trials >= 1";
-  let explored = ref 0 in
-  let first_found = ref None in
-  let trial = ref 0 in
-  while !first_found = None && !trial < trials do
-    (* independent, reproducible stream per trial: re-running with the
-       same seed visits the same schedules in the same order *)
-    let rng = Rng.create ((seed * 1_000_003) + !trial) in
+  (* One complete execution of trial [t]: independent, reproducible
+     stream per trial — re-running with the same seed visits the same
+     schedules in the same order, and (because the stream depends only
+     on (seed, t)) trials can run in any order or in parallel without
+     changing what each one observes. Returns the failing decision list
+     or [None] if the check passed. *)
+  let run_trial t =
+    let rng = Rng.create ((seed * 1_000_003) + t) in
     let recorded = ref [] in
     let state = make () in
     let acts = actors state in
@@ -303,23 +304,57 @@ let fuzz ~make ~n ~actors ~check ?(faulty = [])
       recorded := d :: !recorded;
       Some d
     in
-    (match
-       exec ~n ~actors:acts ~faulty ~adversary ~max_steps decide
-     with
+    (match exec ~n ~actors:acts ~faulty ~adversary ~max_steps decide with
     | `Done | `Branch _ -> ());
-    incr explored;
-    if not (check state) then first_found := Some (List.rev !recorded);
-    incr trial
-  done;
+    if check state then None else Some (List.rev !recorded)
+  in
+  let first_found, explored =
+    if jobs <= 1 then begin
+      let found = ref None in
+      let trial = ref 0 in
+      while !found = None && !trial < trials do
+        found := run_trial !trial;
+        incr trial
+      done;
+      (!found, !trial)
+    end
+    else begin
+      (* Parallel sampling with the sequential semantics preserved: the
+         reported failure is the lowest failing trial index, and
+         [explored] counts the trials a sequential run would have
+         executed (failing index + 1). Trials beyond the current best
+         failure are skipped. *)
+      let best = Atomic.make max_int in
+      let failures = Array.make trials None in
+      Par.iter_chunks ~jobs ~n:trials (fun ~lo ~hi ->
+          let t = ref lo in
+          while !t < hi && !t < Atomic.get best do
+            (match run_trial !t with
+            | None -> ()
+            | Some _ as fail ->
+                failures.(!t) <- fail;
+                let rec lower () =
+                  let cur = Atomic.get best in
+                  if !t < cur && not (Atomic.compare_and_set best cur !t)
+                  then lower ()
+                in
+                lower ());
+            incr t
+          done);
+      match Atomic.get best with
+      | t when t < max_int -> (failures.(t), t + 1)
+      | _ -> (None, trials)
+    end
+  in
   let witness =
     Option.map
       (fun first ->
         witness_of ~make ~n ~actors ~check ~faulty ~adversary ~max_steps
           ?summarize ~do_shrink:shrink first)
-      !first_found
+      first_found
   in
   {
-    explored = !explored;
+    explored;
     truncated = false;
     counterexample = Option.map (fun w -> w.decisions) witness;
     witness;

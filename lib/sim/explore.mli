@@ -84,6 +84,7 @@ val fuzz :
   ?max_steps:int ->
   ?shrink:bool ->
   ?summarize:('msg -> string) ->
+  ?jobs:int ->
   seed:int ->
   trials:int ->
   unit ->
@@ -91,7 +92,13 @@ val fuzz :
 (** [fuzz ~make ~n ~actors ~check ~seed ~trials ()] samples [trials]
     uniformly random complete schedules (stopping early at the first
     failure). Deterministic in [(seed, trials)]; [truncated] is always
-    false. *)
+    false. [jobs > 1] partitions the trials over the {!Par} pool;
+    because each trial's stream depends only on [(seed, trial)] and the
+    lowest failing trial index is reported (with [explored] equal to the
+    number of trials a sequential run would have executed), the result
+    is identical at any [jobs]. The per-run [make]/[actors] state must
+    not be shared across runs ([adversary] and [check] are called
+    concurrently and should be pure). *)
 
 val shrink :
   make:(unit -> 'a) ->

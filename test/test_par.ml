@@ -1,0 +1,152 @@
+open Helpers
+
+(* The Par runtime itself, plus the cross-cutting determinism contract:
+   jobs must never change observable results, only wall-clock time. The
+   parallel cases use jobs:4 so the pool actually spawns workers even on
+   this machine's core count. *)
+
+exception Boom of int
+
+let unit_tests =
+  [
+    case "map preserves input order" (fun () ->
+        let input = Array.init 200 Fun.id in
+        let expected = Array.map (fun i -> i * i) input in
+        check_true "jobs=1" (Par.map ~jobs:1 (fun i -> i * i) input = expected);
+        check_true "jobs=4" (Par.map ~jobs:4 (fun i -> i * i) input = expected));
+    case "map_list preserves order" (fun () ->
+        let l = List.init 57 Fun.id in
+        check_true "same as List.map"
+          (Par.map_list ~jobs:4 succ l = List.map succ l));
+    case "map on the empty array" (fun () ->
+        check_true "empty" (Par.map ~jobs:4 succ [||] = [||]));
+    case "map propagates the lowest-index exception" (fun () ->
+        let f i = if i mod 50 = 7 then raise (Boom i) else i in
+        (match Par.map ~jobs:4 f (Array.init 200 Fun.id) with
+        | exception Boom i -> check_int "lowest failing index" 7 i
+        | _ -> Alcotest.fail "expected Boom");
+        match Par.map ~jobs:1 f (Array.init 200 Fun.id) with
+        | exception Boom i -> check_int "sequential agrees" 7 i
+        | _ -> Alcotest.fail "expected Boom");
+    case "nested maps are safe and correct" (fun () ->
+        let result =
+          Par.map ~jobs:3
+            (fun i ->
+              Array.fold_left ( + ) 0
+                (Par.map ~jobs:3 (fun j -> (i * 10) + j) (Array.init 20 Fun.id)))
+            (Array.init 8 Fun.id)
+        in
+        let expected =
+          Array.init 8 (fun i ->
+              Array.fold_left ( + ) 0
+                (Array.init 20 (fun j -> (i * 10) + j)))
+        in
+        check_true "nested" (result = expected));
+    case "iter_chunks covers [0, n) exactly once" (fun () ->
+        List.iter
+          (fun (jobs, n) ->
+            let hit = Array.make n 0 in
+            Par.iter_chunks ~jobs ~n (fun ~lo ~hi ->
+                check_true "lo <= hi" (lo <= hi);
+                (* chunks are disjoint, so unsynchronized writes are safe *)
+                for i = lo to hi - 1 do
+                  hit.(i) <- hit.(i) + 1
+                done);
+            check_true
+              (Printf.sprintf "jobs=%d n=%d each index once" jobs n)
+              (Array.for_all (fun c -> c = 1) hit))
+          [ (1, 100); (4, 1); (4, 7); (4, 100); (4, 1000) ]);
+    case "default_jobs honors RBVC_JOBS" (fun () ->
+        (* the variable is unset in the test environment; at least check
+           the default is a sane positive count *)
+        check_true "positive" (Par.default_jobs () >= 1);
+        check_true "cores positive" (Par.available_cores () >= 1));
+    case "Rng.stream is a pure function of (root, index)" (fun () ->
+        let a = Rng.float (Rng.stream ~root:99 3) 1. in
+        let b = Rng.float (Rng.stream ~root:99 3) 1. in
+        check_float "same stream, same draw" a b;
+        let c = Rng.float (Rng.stream ~root:99 4) 1. in
+        let d = Rng.float (Rng.stream ~root:100 3) 1. in
+        check_true "index decorrelates" (a <> c);
+        check_true "root decorrelates" (a <> d));
+  ]
+
+(* jobs=1 vs jobs=4 bit-identical results on the three parallelized
+   surfaces. These run the same public entry points the CLI uses. *)
+
+let table_eq (a : Experiments.table) (b : Experiments.table) =
+  a.Experiments.id = b.Experiments.id
+  && a.Experiments.rows = b.Experiments.rows
+  && a.Experiments.notes = b.Experiments.notes
+  && a.Experiments.all_ok = b.Experiments.all_ok
+
+let determinism_tests =
+  [
+    case "experiments: jobs=4 tables identical to sequential" (fun () ->
+        (* a cheap subset of the registry; same code path as run_all *)
+        let ids = [ "E0"; "E2"; "E6"; "E17" ] in
+        let seq = Experiments.run_many ~seed:11 ~jobs:1 ids in
+        let par = Experiments.run_many ~seed:11 ~jobs:4 ids in
+        check_int "count" (List.length seq) (List.length par);
+        List.iter2
+          (fun a b -> check_true a.Experiments.id (table_eq a b))
+          seq par);
+    case "fuzz: jobs=4 witness identical to sequential (failing run)"
+      (fun () ->
+        let fuzz jobs =
+          Explore.fuzz ~make:Test_explore.ack_bug_make ~n:3
+            ~actors:Test_explore.ack_bug_actors
+            ~check:Test_explore.ack_bug_check ~jobs ~seed:7 ~trials:200 ()
+        in
+        let seq = fuzz 1 and par = fuzz 4 in
+        check_int "explored" seq.Explore.explored par.Explore.explored;
+        check_true "counterexample"
+          (seq.Explore.counterexample = par.Explore.counterexample);
+        match (seq.Explore.witness, par.Explore.witness) with
+        | Some w1, Some w2 ->
+            check_true "first_found"
+              (w1.Explore.first_found = w2.Explore.first_found);
+            check_true "decisions" (w1.Explore.decisions = w2.Explore.decisions)
+        | _ -> Alcotest.fail "expected a witness from both runs");
+    case "fuzz: jobs=4 identical to sequential (passing run)" (fun () ->
+        let fuzz jobs =
+          Explore.fuzz
+            ~make:(fun () -> { Test_explore.tokens = 0 })
+            ~n:4
+            ~actors:(Test_explore.counter_actors ~n:4)
+            ~check:(fun st -> st.Test_explore.tokens = 3)
+            ~jobs ~seed:3 ~trials:60 ()
+        in
+        let seq = fuzz 1 and par = fuzz 4 in
+        check_int "explored all trials" 60 seq.Explore.explored;
+        check_int "parallel explored" seq.Explore.explored
+          par.Explore.explored;
+        check_true "no counterexample"
+          (seq.Explore.counterexample = None
+          && par.Explore.counterexample = None));
+    case "delta_star: jobs=4 value and point identical to sequential"
+      (fun () ->
+        let s = Rng.cloud (Rng.create 5) ~n:5 ~dim:3 ~lo:0. ~hi:1. in
+        let solve jobs =
+          Delta_hull.delta_star ~force_iterative:true ~iters:300 ~restarts:3
+            ~jobs ~p:2. ~f:1 s
+        in
+        let seq = solve 1 and par = solve 4 in
+        (* bit-identical, not approximately equal *)
+        check_true "value"
+          (Float.equal seq.Delta_hull.value par.Delta_hull.value);
+        check_true "point"
+          (seq.Delta_hull.point = par.Delta_hull.point));
+    case "tverberg: jobs=4 partition identical to sequential" (fun () ->
+        let pts = Rng.cloud (Rng.create 12) ~n:7 ~dim:2 ~lo:0. ~hi:1. in
+        let seq = Tverberg.tverberg_partition ~jobs:1 ~parts:3 pts in
+        let par = Tverberg.tverberg_partition ~jobs:4 ~parts:3 pts in
+        match (seq, par) with
+        | Some a, Some b ->
+            check_true "parts" (a.Tverberg.parts = b.Tverberg.parts);
+            check_true "common point" (a.Tverberg.common = b.Tverberg.common)
+        | None, None -> Alcotest.fail "expected a Tverberg partition"
+        | _ -> Alcotest.fail "jobs changed whether a partition was found");
+  ]
+
+let suite = unit_tests @ determinism_tests
