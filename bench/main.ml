@@ -46,7 +46,10 @@ let reproduce_tables () =
    be reordered or filtered without silently changing workloads. *)
 let bench_rng name = Rng.stream ~root:20_160_711 (Hashtbl.hash name)
 
-(* Pre-generated workloads (construction excluded from timing). *)
+(* Pre-generated workloads (construction excluded from timing). Each
+   benchmark is a (name, thunk) pair: the thunk is handed to Bechamel
+   for timing with metrics disabled, then run once more with Obs
+   enabled to harvest its iteration/message counters for BENCH.json. *)
 
 let bench_lp ~rows ~cols =
   let name = Printf.sprintf "lp_solve %dx%d" rows cols in
@@ -60,8 +63,8 @@ let bench_lp ~rows ~cols =
     @ [ Lp.( <= ) (Array.make cols 1.) 10. ]
   in
   let objective = Array.init cols (fun _ -> Rng.uniform rng ~lo:0. ~hi:1.) in
-  Test.make ~name
-    (Staged.stage (fun () ->
+  ( name,
+    (fun () ->
          ignore
            (Lp.solve ~maximize:true ~nvars:cols ~objective constraints)))
 
@@ -70,30 +73,30 @@ let bench_minnorm ~n ~d =
   let rng = bench_rng name in
   let pts = Rng.cloud rng ~n ~dim:d ~lo:(-1.) ~hi:1. in
   let q = Vec.make d 2. in
-  Test.make ~name
-    (Staged.stage (fun () -> ignore (Minnorm.dist2_to_hull pts q)))
+  ( name,
+    (fun () -> ignore (Minnorm.dist2_to_hull pts q)))
 
 let bench_lp_project ~n ~d ~p =
   let name = Printf.sprintf "lp_project p=%g n=%d d=%d" p n d in
   let rng = bench_rng name in
   let pts = Array.of_list (Rng.cloud rng ~n ~dim:d ~lo:(-1.) ~hi:1.) in
   let q = Vec.make d 2. in
-  Test.make ~name
-    (Staged.stage (fun () -> ignore (Frank_wolfe.lp_project ~p pts q)))
+  ( name,
+    (fun () -> ignore (Frank_wolfe.lp_project ~p pts q)))
 
 let bench_delta_star ~d =
   let name = Printf.sprintf "delta_star simplex d=%d (closed form)" d in
   let rng = bench_rng name in
   let s = Rng.simplex_vertices rng ~dim:d in
-  Test.make ~name
-    (Staged.stage (fun () -> ignore (Delta_hull.delta_star ~p:2. ~f:1 s)))
+  ( name,
+    (fun () -> ignore (Delta_hull.delta_star ~p:2. ~f:1 s)))
 
 let bench_delta_star_iter ~n ~d =
   let name = Printf.sprintf "delta_star iterative n=%d d=%d" n d in
   let rng = bench_rng name in
   let s = Rng.cloud rng ~n ~dim:d ~lo:0. ~hi:1. in
-  Test.make ~name
-    (Staged.stage (fun () ->
+  ( name,
+    (fun () ->
          ignore
            (Delta_hull.delta_star ~iters:200 ~restarts:0 ~force_iterative:true
               ~p:2. ~f:1 s)))
@@ -101,29 +104,29 @@ let bench_delta_star_iter ~n ~d =
 let bench_psi ~d =
   let name = Printf.sprintf "psi_feasibility (thm3) d=%d" d in
   let y = Witnesses.thm3_inputs ~d ~gamma:1. ~eps:0.5 in
-  Test.make ~name
-    (Staged.stage (fun () ->
+  ( name,
+    (fun () ->
          ignore (K_hull.feasible_point ~d (K_hull.psi_region ~k:2 ~f:1 y))))
 
 let bench_tverberg ~n ~d ~f =
   let name = Printf.sprintf "tverberg n=%d d=%d f=%d" n d f in
   let rng = bench_rng name in
   let pts = Rng.cloud rng ~n ~dim:d ~lo:0. ~hi:1. in
-  Test.make ~name
-    (Staged.stage (fun () -> ignore (Tverberg.tverberg_point ~f pts)))
+  ( name,
+    (fun () -> ignore (Tverberg.tverberg_point ~f pts)))
 
 let bench_gamma ~n ~d ~f =
   let name = Printf.sprintf "gamma_point n=%d d=%d f=%d" n d f in
   let rng = bench_rng name in
   let pts = Rng.cloud rng ~n ~dim:d ~lo:0. ~hi:1. in
-  Test.make ~name
-    (Staged.stage (fun () -> ignore (Tverberg.gamma_point ~f pts)))
+  ( name,
+    (fun () -> ignore (Tverberg.gamma_point ~f pts)))
 
 let bench_om ~n ~f =
   let name = Printf.sprintf "om_broadcast_all n=%d f=%d" n f in
   let inputs = Array.init n (fun i -> Vec.make 3 (float_of_int i)) in
-  Test.make ~name
-    (Staged.stage (fun () ->
+  ( name,
+    (fun () ->
          ignore
            (Om.broadcast_all ~n ~f ~inputs ~default:(Vec.zero 3)
               ~compare:Vec.compare_lex ())))
@@ -131,23 +134,23 @@ let bench_om ~n ~f =
 let bench_bracha ~n ~f =
   let name = Printf.sprintf "bracha_rbc n=%d f=%d" n f in
   let inputs = Array.init n (fun i -> Vec.make 3 (float_of_int i)) in
-  Test.make ~name
-    (Staged.stage (fun () ->
+  ( name,
+    (fun () ->
          ignore (Bracha.broadcast_all ~n ~f ~inputs ~compare:Vec.compare_lex ())))
 
 let bench_algo_exact ~n ~d ~f ~validity ~label =
   let name = Printf.sprintf "algo_exact %s n=%d d=%d f=%d" label n d f in
   let rng = bench_rng name in
   let inst = Problem.random_instance rng ~n ~f ~d ~faulty:[ n - 1 ] in
-  Test.make ~name
-    (Staged.stage (fun () -> ignore (Algo_exact.run inst ~validity ())))
+  ( name,
+    (fun () -> ignore (Algo_exact.run inst ~validity ())))
 
 let bench_algo_async ~n ~d ~f =
   let name = Printf.sprintf "algo_async input-dep n=%d d=%d f=%d" n d f in
   let rng = bench_rng name in
   let inst = Problem.random_instance rng ~n ~f ~d ~faulty:[ n - 1 ] in
-  Test.make ~name
-    (Staged.stage (fun () ->
+  ( name,
+    (fun () ->
          ignore
            (Algo_async.run inst
               ~validity:(Problem.Input_dependent { p = 2. })
@@ -161,8 +164,8 @@ let bench_polygon_inter ~n =
         Polygon.of_points
           (Rng.cloud rng ~n:6 ~dim:2 ~lo:(0.1 *. float_of_int i) ~hi:(2. +. (0.1 *. float_of_int i))))
   in
-  Test.make ~name
-    (Staged.stage (fun () -> ignore (Polygon.inter_all polys)))
+  ( name,
+    (fun () -> ignore (Polygon.inter_all polys)))
 
 let bench_exact_lp () =
   let name = "exact_lp psi(thm3) d=3" in
@@ -172,16 +175,16 @@ let bench_exact_lp () =
     K_hull.region_rows ~d (K_hull.psi_region ~k:2 ~f:1 y)
   in
   let exact_rows = Exact_lp.of_float_rows rows in
-  Test.make ~name
-    (Staged.stage (fun () ->
+  ( name,
+    (fun () ->
          ignore (Exact_lp.is_feasible ~free ~nvars exact_rows)))
 
 let bench_iterative ~rounds =
   let name = Printf.sprintf "algo_iterative rounds=%d n=5 d=3" rounds in
   let rng = bench_rng name in
   let inst = Problem.random_instance rng ~n:5 ~f:1 ~d:3 ~faulty:[ 4 ] in
-  Test.make ~name
-    (Staged.stage (fun () -> ignore (Algo_iterative.run inst ~rounds ())))
+  ( name,
+    (fun () -> ignore (Algo_iterative.run inst ~rounds ())))
 
 let bench_explore_fuzz ~trials =
   let name =
@@ -207,8 +210,8 @@ let bench_explore_fuzz ~trials =
   in
   let proto = make () in
   let net = Algo_async.session_adversary proto in
-  Test.make ~name
-    (Staged.stage (fun () ->
+  ( name,
+    (fun () ->
          ignore
            (Explore.fuzz ~make ~n:4 ~actors:Algo_async.session_actors ~check
               ~faulty:[ 3 ] ~adversary:net ~max_steps:2_000 ~seed:1 ~trials ())))
@@ -217,8 +220,8 @@ let bench_hull_consensus () =
   let name = "hull_consensus n=5 d=2" in
   let rng = bench_rng name in
   let inst = Problem.random_instance rng ~n:5 ~f:1 ~d:2 ~faulty:[ 4 ] in
-  Test.make ~name
-    (Staged.stage (fun () -> ignore (Hull_consensus.run inst ())))
+  ( name,
+    (fun () -> ignore (Hull_consensus.run inst ())))
 
 let tests =
   [
@@ -255,7 +258,12 @@ let tests =
     bench_hull_consensus ();
   ]
 
-type bench_result = { name : string; ns_per_run : float; r_square : float }
+type bench_result = {
+  name : string;
+  ns_per_run : float;
+  r_square : float;
+  metrics : Persist.json;  (** one instrumented run of the same thunk *)
+}
 
 let run_benchmarks ~quota () =
   Format.printf "==================================================@.";
@@ -270,63 +278,68 @@ let run_benchmarks ~quota () =
   in
   Format.printf "%-45s %15s %10s@." "benchmark" "time/run" "r^2";
   Format.printf "%s@." (String.make 72 '-');
-  List.concat_map
-    (fun test ->
-      List.map
-        (fun elt ->
-          let raw = Benchmark.run cfg instances elt in
-          let result = Analyze.one ols Instance.monotonic_clock raw in
-          let estimate =
-            match Analyze.OLS.estimates result with
-            | Some (e :: _) -> e
-            | _ -> nan
-          in
-          let r2 =
-            match Analyze.OLS.r_square result with Some r -> r | None -> nan
-          in
-          let pretty t =
-            if t >= 1e9 then Printf.sprintf "%.3f s" (t /. 1e9)
-            else if t >= 1e6 then Printf.sprintf "%.3f ms" (t /. 1e6)
-            else if t >= 1e3 then Printf.sprintf "%.3f us" (t /. 1e3)
-            else Printf.sprintf "%.1f ns" t
-          in
-          Format.printf "%-45s %15s %10.4f@." (Test.Elt.name elt)
-            (pretty estimate) r2;
-          { name = Test.Elt.name elt; ns_per_run = estimate; r_square = r2 })
-        (Test.elements test))
+  List.map
+    (fun (name, fn) ->
+      (* Timing happens with metrics off, so the numbers reflect the
+         one-branch disabled cost users actually pay. *)
+      assert (not (Obs.enabled ()));
+      let elt =
+        List.hd (Test.elements (Test.make ~name (Staged.stage fn)))
+      in
+      let raw = Benchmark.run cfg instances elt in
+      let result = Analyze.one ols Instance.monotonic_clock raw in
+      let estimate =
+        match Analyze.OLS.estimates result with
+        | Some (e :: _) -> e
+        | _ -> nan
+      in
+      let r2 =
+        match Analyze.OLS.r_square result with Some r -> r | None -> nan
+      in
+      let pretty t =
+        if t >= 1e9 then Printf.sprintf "%.3f s" (t /. 1e9)
+        else if t >= 1e6 then Printf.sprintf "%.3f ms" (t /. 1e6)
+        else if t >= 1e3 then Printf.sprintf "%.3f us" (t /. 1e3)
+        else Printf.sprintf "%.1f ns" t
+      in
+      Format.printf "%-45s %15s %10.4f@." name (pretty estimate) r2;
+      (* One extra instrumented execution: iteration counters alongside
+         the timing, so perf regressions can be separated into "more
+         work" vs "slower work". *)
+      Obs.reset ();
+      Obs.set_enabled true;
+      fn ();
+      Obs.set_enabled false;
+      let metrics = Metrics.to_json (Obs.snapshot ()) in
+      Obs.reset ();
+      { name; ns_per_run = estimate; r_square = r2; metrics })
     tests
 
-(* Hand-rolled JSON writer (no JSON dependency in the repo): the schema
-   is flat and the only strings are benchmark names. *)
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let json_float x =
-  if Float.is_nan x then "null" else Printf.sprintf "%.17g" x
-
+(* BENCH.json via the repo's own Persist writer: non-finite floats (a
+   NaN r_square from a short quota, an inf estimate) serialize as null
+   instead of corrupting the file. *)
 let write_json path results =
+  let j =
+    Persist.Obj
+      [
+        ("schema", Persist.String "rbvc-bench/2");
+        ( "results",
+          Persist.List
+            (List.map
+               (fun r ->
+                 Persist.Obj
+                   [
+                     ("name", Persist.String r.name);
+                     ("ns_per_run", Persist.Float r.ns_per_run);
+                     ("r_square", Persist.Float r.r_square);
+                     ("metrics", r.metrics);
+                   ])
+               results) );
+      ]
+  in
   let oc = open_out path in
-  output_string oc "{\n  \"schema\": \"rbvc-bench/1\",\n  \"results\": [\n";
-  List.iteri
-    (fun i r ->
-      Printf.fprintf oc
-        "    {\"name\": \"%s\", \"ns_per_run\": %s, \"r_square\": %s}%s\n"
-        (json_escape r.name) (json_float r.ns_per_run)
-        (json_float r.r_square)
-        (if i = List.length results - 1 then "" else ","))
-    results;
-  output_string oc "  ]\n}\n";
+  output_string oc (Persist.to_string j);
+  output_char oc '\n';
   close_out oc;
   Format.printf "@.wrote %s (%d benchmarks)@." path (List.length results)
 

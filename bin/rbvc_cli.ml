@@ -22,6 +22,31 @@ let effective_jobs = function
   | Some j -> Int.max 1 j
   | None -> Par.default_jobs ()
 
+(* Metrics recording: --metrics beats RBVC_METRICS; unset = off, so the
+   hot paths keep their single disabled-flag branch. *)
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~env:(Cmd.Env.info "RBVC_METRICS")
+        ~doc:
+          "Record counters/histograms/span timers during the run and write \
+           them to $(docv) as rbvc-metrics/1 JSON (written via the repo's \
+           own Persist writer; byte-identical at any --jobs value).")
+
+let with_metrics metrics run =
+  match metrics with
+  | None -> run ()
+  | Some path ->
+      Obs.reset ();
+      Obs.set_enabled true;
+      let code = run () in
+      Obs.set_enabled false;
+      Metrics.write path (Obs.snapshot ());
+      Format.printf "wrote %s@." path;
+      code
+
 (* ---------------- experiments ---------------- *)
 
 let experiments_cmd =
@@ -40,7 +65,8 @@ let experiments_cmd =
       & info [ "csv" ] ~docv:"DIR"
           ~doc:"Also write each experiment's table as DIR/<id>.csv.")
   in
-  let run seed jobs only csv_dir =
+  let run seed jobs only csv_dir metrics =
+   with_metrics metrics @@ fun () ->
     let ids = if only = [] then Experiments.ids else only in
     let tables = Experiments.run_many ~seed ~jobs:(effective_jobs jobs) ids in
     List.iter (Experiments.print Format.std_formatter) tables;
@@ -69,7 +95,9 @@ let experiments_cmd =
       1
     end
   in
-  let term = Term.(const run $ seed_arg $ jobs_arg $ only $ csv_dir) in
+  let term =
+    Term.(const run $ seed_arg $ jobs_arg $ only $ csv_dir $ metrics_arg)
+  in
   Cmd.v
     (Cmd.info "experiments"
        ~doc:
@@ -502,10 +530,11 @@ let explore_cmd =
             1)
   in
   let run seed jobs trials algo n f d rounds adversary max_steps dfs_budget
-      replay =
+      replay metrics =
     (* parameter validation lives in the library (Explore / the session
        constructors); surface it as a clean CLI error, not a backtrace *)
     try
+      with_metrics metrics @@ fun () ->
       run_checked seed jobs trials algo n f d rounds adversary max_steps
         dfs_budget replay
     with Invalid_argument msg ->
@@ -515,7 +544,7 @@ let explore_cmd =
   let term =
     Term.(
       const run $ seed_arg $ jobs_arg $ trials $ algo $ n $ f $ d $ rounds
-      $ adversary $ max_steps $ dfs_budget $ replay)
+      $ adversary $ max_steps $ dfs_budget $ replay $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "explore"
@@ -616,6 +645,49 @@ let replay_cmd =
              it (deterministic: identical outputs every time).")
     Term.(const run $ path $ validity)
 
+(* ---------------- validate ---------------- *)
+
+let validate_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"JSON artifact to check (BENCH.json, metrics, instance, ...).")
+  in
+  let run path =
+    match
+      let ic = open_in_bin path in
+      let len = in_channel_length ic in
+      let contents = really_input_string ic len in
+      close_in ic;
+      contents
+    with
+    | exception Sys_error msg ->
+        Format.eprintf "rbvc validate: %s@." msg;
+        2
+    | contents -> (
+        match Persist.of_string (String.trim contents) with
+        | Error e ->
+            Format.eprintf "%s: invalid JSON: %s@." path e;
+            1
+        | Ok j ->
+            let schema =
+              match Persist.member "schema" j with
+              | Some (Persist.String s) -> s
+              | _ -> "(no schema field)"
+            in
+            Format.printf "%s: valid JSON, schema %s@." path schema;
+            0)
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:
+         "Parse a JSON artifact with the repo's own Persist.of_string and \
+          report its schema — exit 1 on any parse error, so CI can gate on \
+          the very parser replays depend on.")
+    Term.(const run $ path)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "rbvc" ~version:"1.0.0"
@@ -630,6 +702,7 @@ let main_cmd =
       bounds_cmd;
       save_cmd;
       replay_cmd;
+      validate_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -90,4 +90,16 @@ let broadcast_all ~n ~f ~inputs ?(faulty = []) ?adversary ?policy ?max_steps
   let deliveries =
     Array.init n (fun p -> Array.init n (fun o -> instances.(p).(o).delivered))
   in
+  if Obs.enabled () then begin
+    Obs.incr "bracha.runs";
+    let delivered =
+      Array.fold_left
+        (fun acc per_p ->
+          Array.fold_left
+            (fun acc d -> if d = None then acc else acc + 1)
+            acc per_p)
+        0 deliveries
+    in
+    Obs.add "bracha.delivered" delivered
+  end;
   (deliveries, outcome)

@@ -189,6 +189,10 @@ let run_protocol ~n ~f ~commanders ?(faulty = []) ?corrupt ()
             msg
   in
   let trace = Sync.run ~n ~rounds:(f + 1) ~actors ~faulty ~adversary () in
+  if Obs.enabled () then begin
+    Obs.incr "om.runs";
+    Array.iter (fun st -> Obs.observe "om.store_size" (Hashtbl.length st.store)) states
+  end;
   (states, trace)
 
 let broadcast ~n ~f ~commander ~value ?faulty ?corrupt ~default ~compare () =

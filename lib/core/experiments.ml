@@ -1163,7 +1163,7 @@ let ids = List.map fst registry
 
 let run ?(seed = 42) id =
   match List.assoc_opt id registry with
-  | Some f -> f ~seed ()
+  | Some f -> Obs.time ("experiment." ^ id) (fun () -> f ~seed ())
   | None -> invalid_arg (fmt "Experiments.run: unknown id %S" id)
 
 (* Every experiment builds its own [Rng.create (seed + _)] streams, so
@@ -1175,11 +1175,13 @@ let run_many ?(seed = 42) ?(jobs = 1) wanted =
     List.map
       (fun id ->
         match List.assoc_opt id registry with
-        | Some f -> f
+        | Some f -> (id, f)
         | None -> invalid_arg (fmt "Experiments.run_many: unknown id %S" id))
       wanted
   in
-  Par.map_list ~jobs (fun f -> f ~seed ()) fs
+  Par.map_list ~jobs
+    (fun (id, f) -> Obs.time ("experiment." ^ id) (fun () -> f ~seed ()))
+    fs
 
 let run_all ?seed ?jobs () = run_many ?seed ?jobs ids
 

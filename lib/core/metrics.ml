@@ -1,0 +1,48 @@
+let schema = "rbvc-metrics/1"
+
+let hist_to_json (h : Obs.hist) =
+  let buckets =
+    Persist.List
+      (List.map
+         (fun (lo, c) -> Persist.List [ Persist.Int lo; Persist.Int c ])
+         h.Obs.buckets)
+  in
+  Persist.Obj
+    (("count", Persist.Int h.Obs.count)
+     :: ("sum", Persist.Int h.Obs.sum)
+     ::
+     (if h.Obs.count = 0 then [ ("buckets", buckets) ]
+      else
+        [
+          ("min", Persist.Int h.Obs.min);
+          ("max", Persist.Int h.Obs.max);
+          ("buckets", buckets);
+        ]))
+
+let span_to_json ~timings (sp : Obs.span) =
+  Persist.Obj
+    (("calls", Persist.Int sp.Obs.calls)
+     ::
+     (if timings then [ ("seconds", Persist.Float sp.Obs.seconds) ] else []))
+
+let to_json ?(timings = false) (snap : Obs.snapshot) =
+  Persist.Obj
+    [
+      ("schema", Persist.String schema);
+      ( "counters",
+        Persist.Obj
+          (List.map (fun (k, v) -> (k, Persist.Int v)) snap.Obs.counters) );
+      ( "histograms",
+        Persist.Obj (List.map (fun (k, h) -> (k, hist_to_json h)) snap.Obs.hists)
+      );
+      ( "spans",
+        Persist.Obj
+          (List.map (fun (k, sp) -> (k, span_to_json ~timings sp)) snap.Obs.spans)
+      );
+    ]
+
+let write ?timings path snap =
+  let oc = open_out path in
+  output_string oc (Persist.to_string (to_json ?timings snap));
+  output_char oc '\n';
+  close_out oc

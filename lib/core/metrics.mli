@@ -1,0 +1,25 @@
+(** Serialize {!Obs} snapshots as versioned JSON via {!Persist}.
+
+    [Obs] itself is dependency-free and cannot see the JSON layer; this
+    module is the bridge. The output is deterministic: metric names are
+    sorted, histogram buckets ascend, and span timings (wall-clock
+    noise) are omitted unless [~timings:true] — so a [--jobs N] run
+    serializes byte-identically to [--jobs 1] whenever the instrumented
+    computation itself is deterministic. *)
+
+val schema : string
+(** ["rbvc-metrics/1"]. *)
+
+val to_json : ?timings:bool -> Obs.snapshot -> Persist.json
+(** Encode a snapshot as
+    [{ "schema": "rbvc-metrics/1", "counters": {..}, "histograms": {..},
+       "spans": {..} }].
+    Each histogram is
+    [{ "count": n, "sum": s, "min": m, "max": M, "buckets": [[lo, c], ..] }]
+    ([min]/[max] omitted when [count = 0]); each span is
+    [{ "calls": n }], plus ["seconds"] when [timings] (default [false]
+    — seconds are nondeterministic and break byte-identical output). *)
+
+val write : ?timings:bool -> string -> Obs.snapshot -> unit
+(** [write path snap] writes [to_json snap] to [path], newline
+    terminated. *)

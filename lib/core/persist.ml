@@ -32,7 +32,11 @@ let rec write buf = function
   | Bool b -> Buffer.add_string buf (string_of_bool b)
   | Int i -> Buffer.add_string buf (string_of_int i)
   | Float x ->
-      if Float.is_integer x && Float.abs x < 1e15 then
+      (* JSON has no encoding for non-finite floats; %.17g would emit
+         nan/inf, which our own parser (and every other) rejects. Write
+         null instead — the read-back is lossy for these values only. *)
+      if not (Float.is_finite x) then Buffer.add_string buf "null"
+      else if Float.is_integer x && Float.abs x < 1e15 then
         Buffer.add_string buf (Printf.sprintf "%.1f" x)
       else Buffer.add_string buf (Printf.sprintf "%.17g" x)
   | String s -> Buffer.add_string buf (escape_string s)
@@ -113,21 +117,67 @@ let of_string s =
            | 'b' -> Buffer.add_char buf '\b'
            | 'f' -> Buffer.add_char buf '\012'
            | 'u' ->
-               if !pos + 4 > len then fail "bad \\u escape";
-               let hex = String.sub s !pos 4 in
-               pos := !pos + 4;
-               let code =
-                 try int_of_string ("0x" ^ hex)
-                 with _ -> fail "bad \\u escape"
+               (* Four hex digits exactly (int_of_string "0x…" would
+                  also accept '_' and signs). *)
+               let hex4 () =
+                 if !pos + 4 > len then fail "bad \\u escape";
+                 let v = ref 0 in
+                 for _ = 1 to 4 do
+                   let d =
+                     match s.[!pos] with
+                     | '0' .. '9' as c -> Char.code c - Char.code '0'
+                     | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+                     | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+                     | _ -> fail "bad \\u escape"
+                   in
+                   v := (!v * 16) + d;
+                   advance ()
+                 done;
+                 !v
                in
-               (* BMP only; encode as UTF-8 *)
+               let code = hex4 () in
+               (* Code points above the BMP arrive as UTF-16 surrogate
+                  pairs: a high surrogate must be followed by a \u low
+                  surrogate, and a lone surrogate of either kind is not
+                  a valid scalar value (emitting it raw would produce
+                  invalid UTF-8). *)
+               let code =
+                 if code >= 0xD800 && code <= 0xDBFF then begin
+                   if
+                     !pos + 1 < len
+                     && s.[!pos] = '\\'
+                     && s.[!pos + 1] = 'u'
+                   then begin
+                     pos := !pos + 2;
+                     let low = hex4 () in
+                     if low >= 0xDC00 && low <= 0xDFFF then
+                       0x10000
+                       + ((code - 0xD800) lsl 10)
+                       + (low - 0xDC00)
+                     else fail "high surrogate not followed by low surrogate"
+                   end
+                   else fail "lone high surrogate"
+                 end
+                 else if code >= 0xDC00 && code <= 0xDFFF then
+                   fail "lone low surrogate"
+                 else code
+               in
+               (* encode the scalar value as UTF-8 *)
                if code < 0x80 then Buffer.add_char buf (Char.chr code)
                else if code < 0x800 then begin
                  Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
                end
-               else begin
+               else if code < 0x10000 then begin
                  Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                 Buffer.add_char buf
+                   (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                 Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+               end
+               else begin
+                 Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+                 Buffer.add_char buf
+                   (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
                  Buffer.add_char buf
                    (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))

@@ -3,9 +3,22 @@
     so runs can be archived, shared, and replayed bit-for-bit.
 
     The JSON dialect is deliberately small: objects, arrays, strings,
-    floats, ints, booleans, null. Floats are printed with "%.17g" so
-    every IEEE double round-trips exactly — replays reproduce the
-    original executions. *)
+    floats, ints, booleans, null. Finite floats are printed with "%.17g"
+    so every IEEE double round-trips exactly — replays reproduce the
+    original executions.
+
+    {b Non-finite floats.} JSON has no representation for [nan],
+    [infinity] or [neg_infinity]; {!to_string} serializes them as
+    [null]. This is deliberately lossy on read-back ([Float nan]
+    becomes [Null]) but guarantees the writer can never emit output
+    that {!of_string} — or any other JSON parser — rejects. Code that
+    must distinguish "absent" from "not a number" should encode that
+    distinction explicitly (e.g. as a string tag) rather than rely on
+    float round-tripping.
+
+    String escapes follow RFC 8259: [\u] escapes outside the Basic
+    Multilingual Plane are read as UTF-16 surrogate pairs and decoded
+    to a single code point; a lone surrogate is a parse error. *)
 
 type json =
   | Null

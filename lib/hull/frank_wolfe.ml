@@ -56,8 +56,10 @@ let minimize ?(eps = 1e-8) ?(max_iters = 1_500) ~f ~grad points =
         Vec.axpy_into trial t dir !x;
         f trial
       in
+      let iters = ref 0 in
       (try
          for _ = 1 to max_iters do
+           incr iters;
            let g = grad !x in
            (* FW vertex: global minimizer of the linearization *)
            let s = ref 0 in
@@ -126,6 +128,7 @@ let minimize ?(eps = 1e-8) ?(max_iters = 1_500) ~f ~grad points =
            end
          done
        with Exit -> ());
+      if Obs.enabled () then Obs.observe "fw.iters" !iters;
       (!x, f !x)
 
 (* Euclidean projection of [w] onto the probability simplex
@@ -203,8 +206,10 @@ let lp_project ?(eps = 1e-12) ?(max_iters = 800) ~p pts q =
      tending to 0) keep iterating instead of stalling at a loose
      absolute tolerance *)
   let scale_tol () = eps *. Float.max 1e-15 !f_best in
+  let iters = ref 0 in
   (try
      for _ = 1 to max_iters do
+       incr iters;
        let g = grad !momentum in
        let f_m = psi !momentum in
        (* backtracking on the proximal step *)
@@ -233,6 +238,7 @@ let lp_project ?(eps = 1e-12) ?(max_iters = 800) ~p pts q =
        let next, f_next = attempt 0 in
        (* FISTA momentum with function restart *)
        if f_next > !f_best then begin
+         Obs.incr "fista.restarts";
          t_k := 1.;
          momentum := Array.copy !best
        end
@@ -260,6 +266,7 @@ let lp_project ?(eps = 1e-12) ?(max_iters = 800) ~p pts q =
        else if improved > 0. then stall := 0
      done
    with Exit -> ());
+  if Obs.enabled () then Obs.observe "fista.iters" !iters;
   let y = Vec.zero d in
   point_into y !best;
   y

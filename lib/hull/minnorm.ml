@@ -151,6 +151,10 @@ let min_norm_point ?(eps = 1e-10) points =
        end
      done
    with Exit -> ());
+  if Obs.enabled () then begin
+    Obs.incr "minnorm.calls";
+    Obs.observe "minnorm.major_cycles" !major
+  end;
   let coeffs =
     List.combine (Array.to_list !corral) (Array.to_list !lambda)
   in

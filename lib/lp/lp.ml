@@ -59,6 +59,7 @@ let run_phase ~eps tab ~banned =
   let obj = tab.t.(tab.m) in
   let bland_after = 64 * (tab.m + tab.ncols) in
   let hard_cap = Stdlib.max 100_000 (200 * bland_after) in
+  let pivots = ref 0 in
   let rec loop iter =
     if Stdlib.( > ) iter hard_cap then failwith "Lp: iteration limit exceeded";
     let use_bland = Stdlib.( > ) iter bland_after in
@@ -102,11 +103,17 @@ let run_phase ~eps tab ~banned =
       if Stdlib.( = ) !leave (-1) then `Unbounded
       else begin
         pivot tab ~row:!leave ~col;
+        incr pivots;
         loop (Stdlib.( + ) iter 1)
       end
     end
   in
-  loop 0
+  let outcome = loop 0 in
+  if Obs.enabled () then begin
+    Obs.add "lp.pivots" !pivots;
+    Obs.observe "lp.pivots_per_phase" !pivots
+  end;
+  outcome
 
 let build ~nvars ~free rows =
   let is_free i =
@@ -219,6 +226,7 @@ let solve ?(eps = 1e-9) ?free ?(maximize = false) ~nvars ~objective rows =
   | Some f when Stdlib.( <> ) (Array.length f) nvars ->
       invalid_arg "Lp.solve: free-mask arity mismatch"
   | _ -> ());
+  Obs.incr "lp.solves";
   let tab, col_of_var, neg_col_of_var, art_start =
     build ~nvars ~free rows
   in

@@ -1,0 +1,233 @@
+(* Per-domain sinks behind one global enabled flag.
+
+   Recording primitives are called from inside Par worker domains, so
+   the design avoids any shared mutable metric state: each domain lazily
+   creates its own sink (registered once, under a mutex) and records
+   into plain Hashtbls it alone touches. Aggregation happens only in
+   [snapshot], which runs on the coordinating domain between parallel
+   batches; merging is commutative (sums, bucket counts, min/max), so
+   the merged totals cannot depend on how tasks were scheduled. *)
+
+type mhist = {
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_min : int;
+  mutable h_max : int;
+  h_buckets : (int, int ref) Hashtbl.t;  (* bucket lower bound -> count *)
+}
+
+type mspan = { mutable s_calls : int; mutable s_seconds : float }
+
+type sink = {
+  id : int;  (* registration order, for a stable merge order *)
+  counters : (string, int ref) Hashtbl.t;
+  hists : (string, mhist) Hashtbl.t;
+  spans : (string, mspan) Hashtbl.t;
+}
+
+(* The enabled flag is a plain ref: reads from worker domains are
+   wait-free and cannot tear. Callers toggle it before launching
+   parallel work (Par's batch handoff publishes the write). *)
+let enabled_flag = ref false
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+
+let registry_lock = Mutex.create ()
+let registry : sink list ref = ref []
+let next_id = ref 0
+
+let fresh_sink () =
+  Mutex.lock registry_lock;
+  let s =
+    {
+      id = !next_id;
+      counters = Hashtbl.create 32;
+      hists = Hashtbl.create 32;
+      spans = Hashtbl.create 16;
+    }
+  in
+  incr next_id;
+  registry := s :: !registry;
+  Mutex.unlock registry_lock;
+  s
+
+let sink_key : sink Domain.DLS.key = Domain.DLS.new_key fresh_sink
+let my_sink () = Domain.DLS.get sink_key
+
+(* Lower bound of the power-of-two bucket containing v: 0 for v <= 0,
+   else the highest power of two <= v. *)
+let bucket_lo v =
+  if v <= 0 then 0
+  else begin
+    let b = ref 1 in
+    while !b lsl 1 > 0 && !b lsl 1 <= v do
+      b := !b lsl 1
+    done;
+    !b
+  end
+
+let add name k =
+  if !enabled_flag then begin
+    let s = my_sink () in
+    match Hashtbl.find_opt s.counters name with
+    | Some r -> r := !r + k
+    | None -> Hashtbl.add s.counters name (ref k)
+  end
+
+let incr name = add name 1
+
+let observe name v =
+  if !enabled_flag then begin
+    let s = my_sink () in
+    let h =
+      match Hashtbl.find_opt s.hists name with
+      | Some h -> h
+      | None ->
+          let h =
+            {
+              h_count = 0;
+              h_sum = 0;
+              h_min = 0;
+              h_max = 0;
+              h_buckets = Hashtbl.create 8;
+            }
+          in
+          Hashtbl.add s.hists name h;
+          h
+    in
+    if h.h_count = 0 then begin
+      h.h_min <- v;
+      h.h_max <- v
+    end
+    else begin
+      if v < h.h_min then h.h_min <- v;
+      if v > h.h_max then h.h_max <- v
+    end;
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum + v;
+    let lo = bucket_lo v in
+    match Hashtbl.find_opt h.h_buckets lo with
+    | Some r -> Stdlib.incr r
+    | None -> Hashtbl.add h.h_buckets lo (ref 1)
+  end
+
+let time name f =
+  if not !enabled_flag then f ()
+  else begin
+    let t0 = Sys.time () in
+    let result = f () in
+    let dt = Sys.time () -. t0 in
+    let s = my_sink () in
+    (match Hashtbl.find_opt s.spans name with
+    | Some sp ->
+        sp.s_calls <- sp.s_calls + 1;
+        sp.s_seconds <- sp.s_seconds +. dt
+    | None -> Hashtbl.add s.spans name { s_calls = 1; s_seconds = dt });
+    result
+  end
+
+let reset () =
+  Mutex.lock registry_lock;
+  List.iter
+    (fun s ->
+      Hashtbl.reset s.counters;
+      Hashtbl.reset s.hists;
+      Hashtbl.reset s.spans)
+    !registry;
+  Mutex.unlock registry_lock
+
+(* ---------------- snapshots ---------------- *)
+
+type hist = {
+  count : int;
+  sum : int;
+  min : int;
+  max : int;
+  buckets : (int * int) list;
+}
+
+type span = { calls : int; seconds : float }
+
+type snapshot = {
+  counters : (string * int) list;
+  hists : (string * hist) list;
+  spans : (string * span) list;
+}
+
+module M = Map.Make (String)
+
+let snapshot () =
+  Mutex.lock registry_lock;
+  (* registration prepends, so sort by id for creation order *)
+  let sinks = List.sort (fun a b -> compare a.id b.id) !registry in
+  Mutex.unlock registry_lock;
+  let counters =
+    List.fold_left
+      (fun acc (s : sink) ->
+        Hashtbl.fold
+          (fun name r acc ->
+            M.update name
+              (function None -> Some !r | Some v -> Some (v + !r))
+              acc)
+          s.counters acc)
+      M.empty sinks
+  in
+  (* histogram accumulator: totals plus an int-keyed bucket map *)
+  let module B = Map.Make (Int) in
+  let merge_hist acc h =
+    let count0, sum0, min0, max0, buckets0 =
+      match acc with
+      | Some (c, s, mn, mx, b) -> (c, s, mn, mx, b)
+      | None -> (0, 0, 0, 0, B.empty)
+    in
+    let buckets =
+      Hashtbl.fold
+        (fun lo r acc ->
+          B.update lo
+            (function None -> Some !r | Some c -> Some (c + !r))
+            acc)
+        h.h_buckets buckets0
+    in
+    if count0 = 0 then (h.h_count, h.h_sum, h.h_min, h.h_max, buckets)
+    else
+      ( count0 + h.h_count,
+        sum0 + h.h_sum,
+        Stdlib.min min0 h.h_min,
+        Stdlib.max max0 h.h_max,
+        buckets )
+  in
+  let hists =
+    List.fold_left
+      (fun acc (s : sink) ->
+        Hashtbl.fold
+          (fun name h acc ->
+            M.update name (fun prev -> Some (merge_hist prev h)) acc)
+          s.hists acc)
+      M.empty sinks
+  in
+  let finish_hist (count, sum, min, max, buckets) =
+    { count; sum; min; max; buckets = B.bindings buckets }
+  in
+  let spans =
+    List.fold_left
+      (fun acc (s : sink) ->
+        Hashtbl.fold
+          (fun name sp acc ->
+            M.update name
+              (function
+                | None -> Some { calls = sp.s_calls; seconds = sp.s_seconds }
+                | Some p ->
+                    Some
+                      {
+                        calls = p.calls + sp.s_calls;
+                        seconds = p.seconds +. sp.s_seconds;
+                      })
+              acc)
+          s.spans acc)
+      M.empty sinks
+  in
+  {
+    counters = M.bindings counters;
+    hists = List.map (fun (name, h) -> (name, finish_hist h)) (M.bindings hists);
+    spans = M.bindings spans;
+  }

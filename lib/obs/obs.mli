@@ -1,0 +1,84 @@
+(** Deterministic, zero-dependency metrics and tracing.
+
+    A process-global registry of named {e counters} (monotone ints),
+    {e histograms} (integer samples bucketed by powers of two, with
+    count/sum/min/max), and {e span timers} (call counts plus accumulated
+    CPU seconds). Recording is {b disabled by default}: every recording
+    primitive first reads one mutable flag and returns immediately when
+    metrics are off, so instrumented hot paths pay a single predictable
+    branch.
+
+    {2 Determinism and parallelism}
+
+    Each domain records into its own private sink (domain-local storage),
+    so recording never takes a lock and never contends. {!snapshot}
+    merges all per-domain sinks in sink-creation order and sorts every
+    metric by name; because counter addition, histogram bucketing and
+    min/max are commutative, the merged totals are {e identical} no
+    matter how the {!Par} pool distributed the work — a [--jobs 4] run
+    aggregates to the same snapshot as [--jobs 1], provided the
+    instrumented computation itself is deterministic (e.g.
+    [Explore.fuzz]'s parallel early-exit may grade extra trials, so its
+    trial counters are only deterministic at [jobs = 1]).
+
+    Span wall-clock durations are inherently nondeterministic; they are
+    carried in the snapshot but excluded from serialized output unless
+    explicitly requested (see [Metrics.to_json] in the core library).
+
+    {!snapshot} and {!reset} must not race with in-flight recording:
+    call them from the coordinating domain when no parallel batch is
+    running (a completed [Par.map] has fully joined its workers). *)
+
+val enabled : unit -> bool
+(** True when recording is on. *)
+
+val set_enabled : bool -> unit
+(** Turn recording on or off. Toggle before launching parallel work;
+    flipping the flag mid-batch is safe but domains may observe the
+    change at different points. *)
+
+val add : string -> int -> unit
+(** [add name k] adds [k] to counter [name] (created at 0). No-op when
+    disabled. *)
+
+val incr : string -> unit
+(** [incr name] is [add name 1]. *)
+
+val observe : string -> int -> unit
+(** [observe name v] records sample [v] into histogram [name]:
+    increments its count, adds [v] to its sum, updates min/max, and
+    bumps the power-of-two bucket containing [v] (values [<= 0] land in
+    bucket 0, value 1 in bucket 1, [2..3] in bucket 2, [4..7] in bucket
+    4, ... — buckets are keyed by their lower bound). No-op when
+    disabled. *)
+
+val time : string -> (unit -> 'a) -> 'a
+(** [time name f] runs [f ()]; when enabled, also increments span
+    [name]'s call count and accumulates the elapsed processor time.
+    Exceptions from [f] propagate without recording the span. *)
+
+val reset : unit -> unit
+(** Clear every metric in every domain's sink (the enabled flag is
+    unchanged). *)
+
+(** {2 Snapshots} *)
+
+type hist = {
+  count : int;
+  sum : int;
+  min : int;  (** meaningless (0) when [count = 0] — never exposed *)
+  max : int;
+  buckets : (int * int) list;
+      (** (bucket lower bound, samples) — ascending, no empty buckets *)
+}
+
+type span = { calls : int; seconds : float }
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  hists : (string * hist) list;  (** sorted by name *)
+  spans : (string * span) list;  (** sorted by name *)
+}
+
+val snapshot : unit -> snapshot
+(** Merge all per-domain sinks into one sorted snapshot. *)

@@ -249,10 +249,15 @@ let delta_star_lp ?eps ~linf ~f s =
 
 let delta_star ?eps ?(iters = 4000) ?(restarts = 4) ?(seed = 42) ?(jobs = 1)
     ?(force_iterative = false) ~p ~f s =
-  if (not force_iterative) && p = Float.infinity then
+  Obs.incr "delta_star.calls";
+  if (not force_iterative) && p = Float.infinity then begin
+    Obs.incr "delta_star.exact_lp";
     delta_star_lp ?eps ~linf:true ~f s
-  else if (not force_iterative) && p = 1. then
+  end
+  else if (not force_iterative) && p = 1. then begin
+    Obs.incr "delta_star.exact_lp";
     delta_star_lp ?eps ~linf:false ~f s
+  end
   else
   match s with
   | [] -> invalid_arg "Delta_hull.delta_star: empty point set"
@@ -287,10 +292,12 @@ let delta_star ?eps ?(iters = 4000) ?(restarts = 4) ?(seed = 42) ?(jobs = 1)
               (* The descents from each warm start are independent; fan
                  them out and fold outcomes in start order, so the
                  winner (first minimal value) is the same at any [jobs]. *)
+              let starts = deterministic_starts @ random_starts in
+              Obs.add "delta_star.starts" (List.length starts);
               let outcomes =
                 Par.map_list ~jobs
                   (fun x0 -> descend ?eps ~p ~iters subsets x0)
-                  (deterministic_starts @ random_starts)
+                  starts
               in
               let best =
                 List.fold_left

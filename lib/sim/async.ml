@@ -108,6 +108,9 @@ let run ~n ~actors ?(faulty = []) ?(adversary = Adversary.honest)
         | None, None -> None)
   in
   let quiescent = ref false in
+  (* hoisted so the per-delivery pool-occupancy observation costs
+     nothing when metrics are off *)
+  let obs = Obs.enabled () in
   (try
      while !step < max_steps do
        match pick () with
@@ -116,6 +119,7 @@ let run ~n ~actors ?(faulty = []) ?(adversary = Adversary.honest)
            raise Exit
        | Some i ->
            let p = Option.get !pending.(i) in
+           if obs then Obs.observe "sim.async.pool" !live;
            !pending.(i) <- None;
            decr live;
            (* compact occasionally *)
@@ -147,4 +151,6 @@ let run ~n ~actors ?(faulty = []) ?(adversary = Adversary.honest)
            enqueue ~src:p.dst reactions
      done
    with Exit -> ());
+  Trace.publish ~prefix:"sim.async" trace;
+  if Obs.enabled () then Obs.observe "sim.async.steps_per_run" trace.Trace.steps;
   { trace; quiescent = !quiescent }

@@ -41,7 +41,11 @@ module Pool = struct
     e
 
   (* Index of the oldest pending entry (global send order) — O(live),
-     used only by the FIFO fallback of [replay]. *)
+     used only by the FIFO fallback of [replay]. Precondition: the pool
+     is non-empty. [exec] guarantees this — its loop returns [`Done]
+     when [length t = 0] before any fallback delivery — so the [ref 0]
+     start index always names a live slot. Pinned by the
+     "fifo fallback drains" regression test. *)
   let oldest t =
     let best = ref 0 in
     for i = 1 to t.len - 1 do
@@ -128,6 +132,12 @@ let exec ?(fallback_fifo = false) ?record ?summarize ~n ~actors ~faulty
     else
       match decide ~live ~step:!steps with
       | Some d ->
+          (* Decision indices wrap into [0, live): the double-mod maps
+             any int — negative ([-1] names the last live slot) or
+             overflowing ([d + live] ≡ [d]) — onto a valid index, so no
+             decider can crash the core or address a dead slot. Pinned
+             by the "decision index wrapping" regression tests; change
+             this and shrink/replay break on canonicalized schedules. *)
           deliver (((d mod live) + live) mod live);
           go ()
       | None ->
@@ -137,7 +147,12 @@ let exec ?(fallback_fifo = false) ?record ?summarize ~n ~actors ~faulty
           end
           else `Branch live
   in
-  go ()
+  let outcome = go () in
+  if Obs.enabled () then begin
+    Obs.incr "explore.execs";
+    Obs.observe "explore.steps_per_exec" !steps
+  end;
+  outcome
 
 (* Pop decisions off a list; [None] when exhausted. *)
 let scripted decisions =
@@ -221,6 +236,7 @@ let shrink ~make ~n ~actors ~check ?(faulty = [])
       end;
       incr i
     done;
+    Obs.add "explore.shrink.replays" !replays;
     Array.to_list !current
   end
 
@@ -270,6 +286,7 @@ let run ~make ~n ~actors ~check ?(faulty = []) ?(adversary = Adversary.honest)
     end
   in
   dfs [];
+  Obs.add "explore.dfs.schedules" !explored;
   let witness =
     Option.map
       (fun first ->
@@ -346,6 +363,10 @@ let fuzz ~make ~n ~actors ~check ?(faulty = [])
       | _ -> (None, trials)
     end
   in
+  Obs.add "explore.fuzz.trials" explored;
+  (match first_found with
+  | Some _ -> Obs.observe "explore.fuzz.trials_to_counterexample" explored
+  | None -> ());
   let witness =
     Option.map
       (fun first ->

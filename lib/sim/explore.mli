@@ -9,6 +9,19 @@
     O(1) append and O(1) removal, so delivery selection costs O(1) per
     step regardless of how many messages are in flight.
 
+    {2 Decision semantics}
+
+    With [live] messages pending, a decision [d] selects live index
+    [((d mod live) + live) mod live] — a {e Euclidean} modulus, so every
+    int is a valid decision: [-1] names the last live slot, [d + live]
+    is equivalent to [d], and [min_int] cannot crash the core. When a
+    decider returns [None] and the FIFO fallback is active ({!replay}'s
+    default), the {e oldest} pending message (global send order) is
+    delivered instead; the fallback is consulted only while the pool is
+    non-empty — a drained pool ends the run before any fallback
+    delivery, so the oldest-scan never touches an empty pool. Both
+    properties are pinned by regression tests in [test_explore.ml].
+
     Two explorers share that core:
 
     - {!run} — bounded DFS over decision prefixes: visits every delivery

@@ -89,4 +89,5 @@ let run ~n ~rounds ~actors ?(faulty = []) ?(adversary = Adversary.honest) () =
         actor.recv ~round batch)
       actors
   done;
+  Trace.publish ~prefix:"sim.sync" trace;
   trace

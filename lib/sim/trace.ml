@@ -17,6 +17,17 @@ let create () =
     messages_corrupted = 0;
   }
 
+let publish ~prefix t =
+  if Obs.enabled () then begin
+    Obs.incr (prefix ^ ".runs");
+    Obs.add (prefix ^ ".rounds") t.rounds;
+    Obs.add (prefix ^ ".steps") t.steps;
+    Obs.add (prefix ^ ".msgs_sent") t.messages_sent;
+    Obs.add (prefix ^ ".msgs_delivered") t.messages_delivered;
+    Obs.add (prefix ^ ".msgs_dropped") t.messages_dropped;
+    Obs.add (prefix ^ ".msgs_corrupted") t.messages_corrupted
+  end
+
 let pp ppf t =
   Format.fprintf ppf
     "@[rounds=%d steps=%d sent=%d delivered=%d dropped=%d corrupted=%d@]"

@@ -12,6 +12,13 @@ type t = {
 val create : unit -> t
 val pp : Format.formatter -> t -> unit
 
+val publish : prefix:string -> t -> unit
+(** Add this trace's totals to the {!Obs} counters [prefix ^ ".runs"],
+    [".rounds"], [".steps"], [".msgs_sent"], [".msgs_delivered"],
+    [".msgs_dropped"], [".msgs_corrupted"]. One call per completed run
+    (not per message), so instrumentation cost is independent of
+    execution length. No-op when metrics are disabled. *)
+
 (** {1 Structured delivery events}
 
     One record per delivery step, produced by the schedule-exploration

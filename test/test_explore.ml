@@ -373,4 +373,61 @@ let unit_tests =
         check_true "covered many schedules" (r.Explore.explored >= 100));
   ]
 
-let suite = unit_tests @ fuzz_tests
+(* Regression pins for the documented decision semantics (see
+   explore.mli, "Decision semantics"): a decision is reduced with a
+   Euclidean modulus into the live-message range, so negative and
+   overflowed indices alias canonical ones, and the FIFO fallback can
+   never be asked for a message from an empty pool. *)
+let decision_tests =
+  [
+    case "decision index wrapping: -1 aliases live-1" (fun () ->
+        (* at the first step two tokens are live, so -1 must pick slot 1
+           — the schedule that triggers the seeded ack-order bug *)
+        let final ds =
+          Explore.replay ~fallback_fifo:true ~make:ack_bug_make ~n:3
+            ~actors:ack_bug_actors ds
+        in
+        let canonical = final [ 1 ] in
+        check_false "canonical schedule fails" (ack_bug_check canonical);
+        let wrapped = final [ -1 ] in
+        check_int "same acks" canonical.acks wrapped.acks;
+        check_true "same flag"
+          (canonical.first_was_2 = wrapped.first_was_2));
+    case "decision index wrapping: d + live aliases d" (fun () ->
+        let final ds =
+          Explore.replay ~fallback_fifo:true ~make:ack_bug_make ~n:3
+            ~actors:ack_bug_actors ds
+        in
+        (* live = 2 at the first step: 3 = 1 + live, -3 ≡ 1 (mod 2) *)
+        let c1 = final [ 1 ] and c3 = final [ 3 ] and cm3 = final [ -3 ] in
+        check_int "3 aliases 1" c1.acks c3.acks;
+        check_int "-3 aliases 1" c1.acks cm3.acks;
+        check_true "flags agree"
+          (c1.first_was_2 = c3.first_was_2
+          && c1.first_was_2 = cm3.first_was_2);
+        (* and slot 0 stays distinct: FIFO order masks the bug *)
+        let c0 = final [ 0 ] in
+        check_true "0 is a different schedule" (ack_bug_check c0));
+    case "fifo fallback drains to quiescence from an empty script"
+      (fun () ->
+        let st = { tokens = 0 } in
+        let st' =
+          Explore.replay ~fallback_fifo:true
+            ~make:(fun () -> st)
+            ~n:4 ~actors:(counter_actors ~n:4) []
+        in
+        check_int "all acks delivered" 3 st'.tokens);
+    case "surplus decisions after quiescence are ignored" (fun () ->
+        (* the run needs 6 deliveries (3 tokens + 3 acks); a longer
+           script must not reach for a message in an empty pool *)
+        let st' =
+          Explore.replay ~fallback_fifo:false
+            ~make:(fun () -> { tokens = 0 })
+            ~n:4
+            ~actors:(counter_actors ~n:4)
+            [ 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0 ]
+        in
+        check_int "quiescent with all tokens" 3 st'.tokens);
+  ]
+
+let suite = unit_tests @ fuzz_tests @ decision_tests

@@ -1,0 +1,149 @@
+open Helpers
+
+(* Every test owns the global registry: start clean, leave clean. *)
+let with_obs f =
+  Obs.reset ();
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset ())
+    f
+
+let find_counter snap name = List.assoc_opt name snap.Obs.counters
+let find_hist snap name = List.assoc_opt name snap.Obs.hists
+
+let unit_tests =
+  [
+    case "disabled recording is a no-op" (fun () ->
+        Obs.reset ();
+        check_false "off by default here" (Obs.enabled ());
+        Obs.incr "c";
+        Obs.add "c" 10;
+        Obs.observe "h" 5;
+        check_int "ran under time" 7 (Obs.time "s" (fun () -> 7));
+        let snap = Obs.snapshot () in
+        check_true "no counters" (snap.Obs.counters = []);
+        check_true "no hists" (snap.Obs.hists = []);
+        check_true "no spans" (snap.Obs.spans = []));
+    case "counters accumulate and sort by name" (fun () ->
+        with_obs (fun () ->
+            Obs.incr "z";
+            Obs.add "a" 3;
+            Obs.incr "z";
+            Obs.add "a" (-1);
+            let snap = Obs.snapshot () in
+            check_true "sorted"
+              (List.map fst snap.Obs.counters = [ "a"; "z" ]);
+            check_int "a" 2 (Option.get (find_counter snap "a"));
+            check_int "z" 2 (Option.get (find_counter snap "z"))));
+    case "histogram count/sum/min/max" (fun () ->
+        with_obs (fun () ->
+            List.iter (Obs.observe "h") [ 5; 1; 9; 1 ];
+            let h = Option.get (find_hist (Obs.snapshot ()) "h") in
+            check_int "count" 4 h.Obs.count;
+            check_int "sum" 16 h.Obs.sum;
+            check_int "min" 1 h.Obs.min;
+            check_int "max" 9 h.Obs.max));
+    case "histogram bucket boundaries are powers of two" (fun () ->
+        with_obs (fun () ->
+            (* v <= 0 -> bucket 0; 1 -> 1; 2..3 -> 2; 4..7 -> 4; 8..15 -> 8 *)
+            List.iter (Obs.observe "h") [ -3; 0; 1; 2; 3; 4; 7; 8; 15; 16 ];
+            let h = Option.get (find_hist (Obs.snapshot ()) "h") in
+            Alcotest.(check (list (pair int int)))
+              "buckets"
+              [ (0, 2); (1, 1); (2, 2); (4, 2); (8, 2); (16, 1) ]
+              h.Obs.buckets));
+    case "empty histograms don't exist; buckets ascend" (fun () ->
+        with_obs (fun () ->
+            Obs.observe "h" 1024;
+            Obs.observe "h" 3;
+            let h = Option.get (find_hist (Obs.snapshot ()) "h") in
+            check_int "two buckets" 2 (List.length h.Obs.buckets);
+            check_true "ascending"
+              (List.map fst h.Obs.buckets = [ 2; 1024 ])));
+    case "time records calls and propagates exceptions" (fun () ->
+        with_obs (fun () ->
+            ignore (Obs.time "s" (fun () -> 1));
+            ignore (Obs.time "s" (fun () -> 2));
+            (match Obs.time "s" (fun () -> failwith "boom") with
+            | exception Failure _ -> ()
+            | _ -> Alcotest.fail "exception must propagate");
+            let span = List.assoc "s" (Obs.snapshot ()).Obs.spans in
+            (* the raising call does not count *)
+            check_int "calls" 2 span.Obs.calls;
+            check_true "seconds nonneg" (span.Obs.seconds >= 0.)));
+    case "reset clears all metrics but not the flag" (fun () ->
+        with_obs (fun () ->
+            Obs.incr "c";
+            Obs.observe "h" 1;
+            Obs.reset ();
+            check_true "still enabled" (Obs.enabled ());
+            let snap = Obs.snapshot () in
+            check_true "empty"
+              (snap.Obs.counters = [] && snap.Obs.hists = []
+             && snap.Obs.spans = [])));
+  ]
+
+(* The acceptance criterion in miniature: the same deterministic
+   workload recorded under a parallel Par batch must snapshot to the
+   same counters and histograms as a sequential run, because all merge
+   operations are commutative. *)
+let parallel_workload ~jobs =
+  Obs.reset ();
+  let _ =
+    Par.map_list ~jobs
+      (fun i ->
+        Obs.incr "work.items";
+        Obs.add "work.total" i;
+        Obs.observe "work.size" (1 + (i mod 37));
+        i)
+      (List.init 200 Fun.id)
+  in
+  let snap = Obs.snapshot () in
+  (snap.Obs.counters, snap.Obs.hists)
+
+let merge_tests =
+  [
+    case "jobs=1 and jobs=4 snapshots merge identically" (fun () ->
+        with_obs (fun () ->
+            let seq = parallel_workload ~jobs:1 in
+            let par = parallel_workload ~jobs:4 in
+            check_true "counters equal" (fst seq = fst par);
+            check_true "histograms equal" (snd seq = snd par);
+            (* sanity: the workload actually recorded something *)
+            check_int "items" 200 (List.assoc "work.items" (fst seq))));
+    case "metrics JSON is byte-identical across jobs" (fun () ->
+        with_obs (fun () ->
+            let run jobs =
+              ignore (parallel_workload ~jobs);
+              Persist.to_string (Metrics.to_json (Obs.snapshot ()))
+            in
+            let s1 = run 1 and s4 = run 4 in
+            Alcotest.(check string) "byte-identical" s1 s4;
+            (* and it parses with the repo's own reader *)
+            match Persist.of_string s1 with
+            | Error e -> Alcotest.failf "metrics JSON unparseable: %s" e
+            | Ok j ->
+                check_true "schema tag"
+                  (Persist.member "schema" j
+                  = Some (Persist.String Metrics.schema))));
+    case "spans excluded from JSON unless timings requested" (fun () ->
+        with_obs (fun () ->
+            ignore (Obs.time "s" (fun () -> ()));
+            let plain = Metrics.to_json (Obs.snapshot ()) in
+            let timed = Metrics.to_json ~timings:true (Obs.snapshot ()) in
+            let span_fields j =
+              match Persist.member "spans" j with
+              | Some (Persist.Obj fields) -> (
+                  match List.assoc "s" fields with
+                  | Persist.Obj kv -> List.map fst kv
+                  | _ -> [])
+              | _ -> []
+            in
+            check_true "calls only" (span_fields plain = [ "calls" ]);
+            check_true "seconds present with ~timings"
+              (List.mem "seconds" (span_fields timed))));
+  ]
+
+let suite = unit_tests @ merge_tests

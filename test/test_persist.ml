@@ -39,7 +39,56 @@ let unit_tests =
         check_true "escapes"
           (parse "\"a\\n\\t\\\\\\\"\"" = Persist.String "a\n\t\\\""));
     case "parse unicode escape" (fun () ->
-        check_true "ascii" (parse "\"\\u0041\"" = Persist.String "A"));
+        check_true "ascii" (parse "\"\\u0041\"" = Persist.String "A");
+        (* 2- and 3-byte UTF-8 *)
+        check_true "latin" (parse "\"\\u00e9\"" = Persist.String "\xc3\xa9");
+        check_true "bmp" (parse "\"\\u20ac\"" = Persist.String "\xe2\x82\xac"));
+    case "write non-finite floats as null" (fun () ->
+        check_true "nan" (j (Persist.Float Float.nan) = "null");
+        check_true "inf" (j (Persist.Float Float.infinity) = "null");
+        check_true "neg inf" (j (Persist.Float Float.neg_infinity) = "null");
+        (* inside a container: the whole document stays valid JSON *)
+        let doc =
+          j (Persist.Obj [ ("r2", Persist.Float Float.nan);
+                           ("t", Persist.Float 1.5) ])
+        in
+        check_true "container parses back"
+          (parse doc
+          = Persist.Obj [ ("r2", Persist.Null); ("t", Persist.Float 1.5) ]));
+    case "parse surrogate pairs" (fun () ->
+        (* U+1F600 as \ud83d\ude00 -> 4-byte UTF-8 *)
+        check_true "emoji"
+          (parse "\"\\ud83d\\ude00\"" = Persist.String "\xf0\x9f\x98\x80");
+        (* first astral code point U+10000 *)
+        check_true "u+10000"
+          (parse "\"\\ud800\\udc00\"" = Persist.String "\xf0\x90\x80\x80");
+        (* last one U+10FFFF *)
+        check_true "u+10ffff"
+          (parse "\"\\udbff\\udfff\"" = Persist.String "\xf4\x8f\xbf\xbf");
+        (* surrounded by ordinary characters *)
+        check_true "embedded"
+          (parse "\"a\\ud83d\\ude00b\""
+          = Persist.String "a\xf0\x9f\x98\x80b"));
+    case "reject lone and malformed surrogates" (fun () ->
+        let bad s = check_true s (Result.is_error (Persist.of_string s)) in
+        bad "\"\\ud83d\"";
+        (* high surrogate followed by a non-escape *)
+        bad "\"\\ud83dx\"";
+        (* high surrogate followed by a non-low escape *)
+        bad "\"\\ud83d\\u0041\"";
+        (* two high surrogates *)
+        bad "\"\\ud83d\\ud83d\"";
+        (* lone low surrogate *)
+        bad "\"\\ude00\"";
+        (* string ends mid-pair *)
+        bad "\"\\ud83d\\u\"");
+    case "reject non-hex in unicode escapes" (fun () ->
+        let bad s = check_true s (Result.is_error (Persist.of_string s)) in
+        (* int_of_string would happily take underscores and signs *)
+        bad "\"\\u00_1\"";
+        bad "\"\\u-001\"";
+        bad "\"\\u004g\"";
+        bad "\"\\u00\"");
     case "parse errors are reported" (fun () ->
         check_true "garbage" (Result.is_error (Persist.of_string "{broken"));
         check_true "trailing" (Result.is_error (Persist.of_string "1 2"));
@@ -90,8 +139,74 @@ let unit_tests =
                    "{\"n\":4,\"f\":9,\"d\":1,\"inputs\":[[0.5],[1.0],[2.0],[3.0]],\"faulty\":[0,1,2]}"))));
   ]
 
+(* Random json trees for the round-trip property. Strings mix ASCII,
+   control characters and raw UTF-8 so both escape paths are exercised;
+   floats may be non-finite (canonicalized to Null before comparing,
+   matching the writer's documented policy). *)
+let json_gen =
+  let open QCheck.Gen in
+  let string_gen =
+    let piece =
+      oneof
+        [
+          map (String.make 1) (char_range 'a' 'z');
+          oneofl [ "\""; "\\"; "\n"; "\t"; "\x01"; "\x1f"; "/" ];
+          oneofl [ "\xc3\xa9"; "\xe2\x82\xac"; "\xf0\x9f\x98\x80" ];
+        ]
+    in
+    map (String.concat "") (list_size (int_bound 8) piece)
+  in
+  let float_gen =
+    frequency
+      [
+        (8, float_range (-1e9) 1e9);
+        (1, oneofl [ Float.nan; Float.infinity; Float.neg_infinity ]);
+      ]
+  in
+  sized @@ fix (fun self n ->
+      let leaf =
+        oneof
+          [
+            return Persist.Null;
+            map (fun b -> Persist.Bool b) bool;
+            map (fun i -> Persist.Int i) (int_range (-1000000) 1000000);
+            map (fun x -> Persist.Float x) float_gen;
+            map (fun s -> Persist.String s) string_gen;
+          ]
+      in
+      if n <= 0 then leaf
+      else
+        frequency
+          [
+            (2, leaf);
+            ( 1,
+              map
+                (fun xs -> Persist.List xs)
+                (list_size (int_bound 4) (self (n / 2))) );
+            ( 1,
+              map
+                (fun kvs -> Persist.Obj kvs)
+                (list_size (int_bound 4)
+                   (pair string_gen (self (n / 2)))) );
+          ])
+
+(* What the writer promises to reproduce: non-finite floats come back
+   as Null, everything else bit-exactly. *)
+let rec canonical = function
+  | Persist.Float x when not (Float.is_finite x) -> Persist.Null
+  | Persist.List xs -> Persist.List (List.map canonical xs)
+  | Persist.Obj kvs ->
+      Persist.Obj (List.map (fun (k, v) -> (k, canonical v)) kvs)
+  | j -> j
+
 let props =
   [
+    qtest ~count:300 "of_string (to_string j) = j on random trees"
+      (QCheck.make ~print:(fun j -> Persist.to_string j) json_gen)
+      (fun j ->
+        match Persist.of_string (Persist.to_string j) with
+        | Error _ -> false
+        | Ok j' -> j' = canonical j);
     qtest ~count:50 "json round trip on random floats"
       QCheck.(make Gen.(float_range (-1e6) 1e6))
       (fun x ->
