@@ -131,6 +131,22 @@ let bench_om ~n ~f =
            (Om.broadcast_all ~n ~f ~inputs ~default:(Vec.zero 3)
               ~compare:Vec.compare_lex ())))
 
+(* Same workload as [bench_om], run under an installed trace buffer
+   (cleared per run, so the ring never hits its cap): the pair measures
+   the tracer's overhead when on, while the untraced entry keeps pinning
+   the disabled cost — a single hoisted [Tracer.active] branch. *)
+let bench_om_traced ~n ~f =
+  let name = Printf.sprintf "om_broadcast_all n=%d f=%d (traced)" n f in
+  let inputs = Array.init n (fun i -> Vec.make 3 (float_of_int i)) in
+  let buf = Obs.Tracer.create () in
+  ( name,
+    (fun () ->
+      Obs.Tracer.clear buf;
+      Obs.Tracer.with_tracer buf (fun () ->
+          ignore
+            (Om.broadcast_all ~n ~f ~inputs ~default:(Vec.zero 3)
+               ~compare:Vec.compare_lex ()))))
+
 let bench_bracha ~n ~f =
   let name = Printf.sprintf "bracha_rbc n=%d f=%d" n f in
   let inputs = Array.init n (fun i -> Vec.make 3 (float_of_int i)) in
@@ -242,6 +258,7 @@ let tests =
     bench_om ~n:4 ~f:1;
     bench_om ~n:7 ~f:2;
     bench_om ~n:10 ~f:2;
+    bench_om_traced ~n:7 ~f:2;
     bench_bracha ~n:4 ~f:1;
     bench_bracha ~n:7 ~f:2;
     bench_algo_exact ~n:5 ~d:3 ~f:1 ~validity:Problem.Standard ~label:"standard";

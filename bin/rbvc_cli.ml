@@ -47,6 +47,36 @@ let with_metrics metrics run =
       Format.printf "wrote %s@." path;
       code
 
+(* Execution tracing: --trace beats RBVC_TRACE; unset = off, so the
+   protocol hot paths keep their single [Tracer.active] branch. *)
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~env:(Cmd.Env.info "RBVC_TRACE")
+        ~doc:
+          "Record a deterministic execution trace (logical clocks only, no \
+           wall time) and write it to $(docv) as rbvc-trace/1 Chrome \
+           trace-event JSON — loadable at ui.perfetto.dev and \
+           byte-identical at any --jobs value.")
+
+let with_trace trace run =
+  match trace with
+  | None -> run ()
+  | Some path ->
+      let buf = Obs.Tracer.create () in
+      let code = Obs.Tracer.with_tracer buf run in
+      let events = Obs.Tracer.events buf in
+      Trace_export.write path
+        ~meta:[ ("dropped", Persist.Int (Obs.Tracer.dropped buf)) ]
+        events;
+      Format.printf "wrote %s (%d events%s)@." path (List.length events)
+        (match Obs.Tracer.dropped buf with
+        | 0 -> ""
+        | d -> Printf.sprintf ", %d oldest dropped" d);
+      code
+
 (* ---------------- experiments ---------------- *)
 
 let experiments_cmd =
@@ -65,8 +95,9 @@ let experiments_cmd =
       & info [ "csv" ] ~docv:"DIR"
           ~doc:"Also write each experiment's table as DIR/<id>.csv.")
   in
-  let run seed jobs only csv_dir metrics =
+  let run seed jobs only csv_dir metrics trace =
    with_metrics metrics @@ fun () ->
+   with_trace trace @@ fun () ->
     let ids = if only = [] then Experiments.ids else only in
     let tables = Experiments.run_many ~seed ~jobs:(effective_jobs jobs) ids in
     List.iter (Experiments.print Format.std_formatter) tables;
@@ -96,7 +127,9 @@ let experiments_cmd =
     end
   in
   let term =
-    Term.(const run $ seed_arg $ jobs_arg $ only $ csv_dir $ metrics_arg)
+    Term.(
+      const run $ seed_arg $ jobs_arg $ only $ csv_dir $ metrics_arg
+      $ trace_arg)
   in
   Cmd.v
     (Cmd.info "experiments"
@@ -212,7 +245,8 @@ let witness_cmd =
       & info [] ~docv:"THEOREM" ~doc:"One of: thm3, thm4, thm5, thm6.")
   in
   let d = Arg.(value & opt int 3 & info [ "d" ] ~doc:"Dimension (>= 3).") in
-  let run which d =
+  let run which d metrics =
+   with_metrics metrics @@ fun () ->
     let print_inputs inputs =
       List.iteri
         (fun i v -> Format.printf "  s%d = %a@." (i + 1) Vec.pp v)
@@ -272,7 +306,7 @@ let witness_cmd =
         | _ -> Format.printf "unexpected empty region@."));
     0
   in
-  let term = Term.(const run $ which $ d) in
+  let term = Term.(const run $ which $ d $ metrics_arg) in
   Cmd.v
     (Cmd.info "witness"
        ~doc:
@@ -344,65 +378,71 @@ let schedule_conv =
   in
   Arg.conv (parse, print)
 
-let explore_cmd =
-  let trials =
-    Arg.(
-      value & opt int 500
-      & info [ "trials" ] ~doc:"Random schedules to sample.")
-  in
-  let algo =
-    Arg.(
-      value
-      & opt (enum [ ("async", `Async); ("k1", `K1) ]) `Async
-      & info [ "algo" ]
-          ~doc:
-            "Protocol to fuzz: 'async' (Relaxed Verified Averaging, d=1 \
-             scalar core) or 'k1' (combined-coordinate k=1 reduction).")
-  in
-  let n = Arg.(value & opt int 4 & info [ "n" ] ~doc:"Number of processes.") in
-  let f = Arg.(value & opt int 1 & info [ "f" ] ~doc:"Fault bound.") in
-  let d =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "d" ] ~doc:"Input dimension (default: 1 for async, 2 for k1).")
-  in
-  let rounds =
-    Arg.(value & opt int 2 & info [ "rounds" ] ~doc:"Averaging rounds.")
-  in
-  let adversary =
-    Arg.(
-      value
-      & opt adversary_conv (`Equivocate 0.75)
-      & info [ "adversary" ] ~docv:"A"
-          ~doc:
-            "Byzantine behaviour of the faulty process: obedient | silent | \
-             garbage | greedy | skew:<s> | equivocate:<s>.")
-  in
-  let max_steps =
-    Arg.(
-      value & opt int 4_000
-      & info [ "max-steps" ] ~doc:"Delivery-step cap per schedule.")
-  in
-  let dfs_budget =
-    Arg.(
-      value & opt int 0
-      & info [ "dfs" ] ~docv:"BUDGET"
-          ~doc:
-            "Instead of fuzzing, run the bounded DFS explorer with this \
-             execution budget (0 = fuzz).")
-  in
-  let replay =
-    Arg.(
-      value
-      & opt (some schedule_conv) None
-      & info [ "replay" ] ~docv:"SCHEDULE"
-          ~doc:
-            "Re-run one decision sequence (as printed in a counterexample, \
-             e.g. '1;0;2'), print its delivery trace and verdict, and exit.")
-  in
-  let run_checked seed jobs trials algo n f d rounds adversary max_steps
-      dfs_budget replay =
+(* The explorer's options and driver are shared between `rbvc explore`
+   and `rbvc trace record` (which is explore with a mandatory trace
+   output). *)
+let explore_trials_arg =
+  Arg.(
+    value & opt int 500
+    & info [ "trials" ] ~doc:"Random schedules to sample.")
+
+let explore_algo_arg =
+  Arg.(
+    value
+    & opt (enum [ ("async", `Async); ("k1", `K1) ]) `Async
+    & info [ "algo" ]
+        ~doc:
+          "Protocol to fuzz: 'async' (Relaxed Verified Averaging, d=1 \
+           scalar core) or 'k1' (combined-coordinate k=1 reduction).")
+
+let explore_n_arg =
+  Arg.(value & opt int 4 & info [ "n" ] ~doc:"Number of processes.")
+
+let explore_f_arg =
+  Arg.(value & opt int 1 & info [ "f" ] ~doc:"Fault bound.")
+
+let explore_d_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "d" ] ~doc:"Input dimension (default: 1 for async, 2 for k1).")
+
+let explore_rounds_arg =
+  Arg.(value & opt int 2 & info [ "rounds" ] ~doc:"Averaging rounds.")
+
+let explore_adversary_arg =
+  Arg.(
+    value
+    & opt adversary_conv (`Equivocate 0.75)
+    & info [ "adversary" ] ~docv:"A"
+        ~doc:
+          "Byzantine behaviour of the faulty process: obedient | silent | \
+           garbage | greedy | skew:<s> | equivocate:<s>.")
+
+let explore_max_steps_arg =
+  Arg.(
+    value & opt int 4_000
+    & info [ "max-steps" ] ~doc:"Delivery-step cap per schedule.")
+
+let explore_dfs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "dfs" ] ~docv:"BUDGET"
+        ~doc:
+          "Instead of fuzzing, run the bounded DFS explorer with this \
+           execution budget (0 = fuzz).")
+
+let explore_replay_arg =
+  Arg.(
+    value
+    & opt (some schedule_conv) None
+    & info [ "replay" ] ~docv:"SCHEDULE"
+        ~doc:
+          "Re-run one decision sequence (as printed in a counterexample, \
+           e.g. '1;0;2'), print its delivery trace and verdict, and exit.")
+
+let explore_run seed jobs trials algo n f d rounds adversary max_steps
+    dfs_budget replay =
     let d =
       match d with Some d -> d | None -> (match algo with `Async -> 1 | `K1 -> 2)
     in
@@ -515,6 +555,14 @@ let explore_cmd =
             Format.printf
               "no violation: validity + eps-agreement + termination held on \
                every schedule@.";
+            (* all sampled executions are untraced (that is what keeps a
+               witness trace jobs-independent), so with --trace but no
+               counterexample, record one FIFO replay: the artifact
+               then always shows a complete execution *)
+            if Obs.Tracer.active () then
+              ignore
+                (Explore.replay ~summarize:t.summarize ~make:t.make ~n
+                   ~actors:t.actors ~faulty ~adversary:t.net ~max_steps []);
             0
         | Some w ->
             Format.printf "%a@." Explore.pp_witness w;
@@ -528,14 +576,16 @@ let explore_cmd =
               max_steps
               (String.concat ";" (List.map string_of_int w.Explore.decisions));
             1)
-  in
+
+let explore_cmd =
   let run seed jobs trials algo n f d rounds adversary max_steps dfs_budget
-      replay metrics =
+      replay metrics trace =
     (* parameter validation lives in the library (Explore / the session
        constructors); surface it as a clean CLI error, not a backtrace *)
     try
       with_metrics metrics @@ fun () ->
-      run_checked seed jobs trials algo n f d rounds adversary max_steps
+      with_trace trace @@ fun () ->
+      explore_run seed jobs trials algo n f d rounds adversary max_steps
         dfs_budget replay
     with Invalid_argument msg ->
       Format.eprintf "rbvc explore: %s@." msg;
@@ -543,8 +593,10 @@ let explore_cmd =
   in
   let term =
     Term.(
-      const run $ seed_arg $ jobs_arg $ trials $ algo $ n $ f $ d $ rounds
-      $ adversary $ max_steps $ dfs_budget $ replay $ metrics_arg)
+      const run $ seed_arg $ jobs_arg $ explore_trials_arg $ explore_algo_arg
+      $ explore_n_arg $ explore_f_arg $ explore_d_arg $ explore_rounds_arg
+      $ explore_adversary_arg $ explore_max_steps_arg $ explore_dfs_arg
+      $ explore_replay_arg $ metrics_arg $ trace_arg)
   in
   Cmd.v
     (Cmd.info "explore"
@@ -560,7 +612,8 @@ let explore_cmd =
 let bounds_cmd =
   let d = Arg.(value & opt int 3 & info [ "d" ] ~doc:"Input dimension.") in
   let f = Arg.(value & opt int 1 & info [ "f" ] ~doc:"Fault bound.") in
-  let run d f =
+  let run d f metrics =
+   with_metrics metrics @@ fun () ->
     Format.printf "Tight process-count bounds for d=%d, f=%d:@." d f;
     Format.printf "  exact BVC (sync):              n >= %d@."
       (Bounds.exact_bvc_min_n ~d ~f);
@@ -586,7 +639,7 @@ let bounds_cmd =
     end;
     0
   in
-  let term = Term.(const run $ d $ f) in
+  let term = Term.(const run $ d $ f $ metrics_arg) in
   Cmd.v
     (Cmd.info "bounds"
        ~doc: "Print the paper's tight bounds for a given dimension and fault \
@@ -688,6 +741,156 @@ let validate_cmd =
           the very parser replays depend on.")
     Term.(const run $ path)
 
+(* ---------------- trace ---------------- *)
+
+let trace_file_pos ~doc p =
+  Arg.(required & pos p (some string) None & info [] ~docv:"FILE" ~doc)
+
+let tracer_event_str (e : Obs.Tracer.event) =
+  let kind =
+    match e.kind with
+    | Obs.Tracer.Begin -> "B"
+    | Obs.Tracer.End -> "E"
+    | Obs.Tracer.Instant -> "i"
+    | Obs.Tracer.Flow_start -> "s"
+    | Obs.Tracer.Flow_end -> "f"
+  in
+  let args =
+    String.concat " "
+      (List.map
+         (fun (k, v) ->
+           Printf.sprintf "%s=%s" k
+             (match v with
+             | Obs.Tracer.Int i -> string_of_int i
+             | Obs.Tracer.Str s -> s))
+         e.args)
+  in
+  Printf.sprintf "lc=%d track=%d %s %s%s" e.lclock e.track kind e.name
+    (if args = "" then "" else " " ^ args)
+
+let trace_record_cmd =
+  let out =
+    trace_file_pos ~doc:"Output rbvc-trace/1 JSON path." 0
+  in
+  let run out seed jobs trials algo n f d rounds adversary max_steps
+      dfs_budget replay =
+    try
+      with_trace (Some out) @@ fun () ->
+      explore_run seed jobs trials algo n f d rounds adversary max_steps
+        dfs_budget replay
+    with Invalid_argument msg ->
+      Format.eprintf "rbvc trace record: %s@." msg;
+      2
+  in
+  let term =
+    Term.(
+      const run $ out $ seed_arg $ jobs_arg $ explore_trials_arg
+      $ explore_algo_arg $ explore_n_arg $ explore_f_arg $ explore_d_arg
+      $ explore_rounds_arg $ explore_adversary_arg $ explore_max_steps_arg
+      $ explore_dfs_arg $ explore_replay_arg)
+  in
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:
+         "Run the schedule explorer and record its execution (the shrunk \
+          counterexample replay if one is found, a FIFO replay otherwise) \
+          to FILE — shorthand for rbvc explore --trace FILE. Exit code is \
+          the explorer's (1 = counterexample found).")
+    term
+
+let trace_view_cmd =
+  let path = trace_file_pos ~doc:"Trace file written by --trace." 0 in
+  let run path =
+    match Trace_export.read path with
+    | Error e ->
+        Format.eprintf "rbvc trace view: %s: %s@." path e;
+        2
+    | Ok events ->
+        Format.printf "%a@." Trace_export.pp_timeline events;
+        0
+  in
+  Cmd.v
+    (Cmd.info "view"
+       ~doc:
+         "Print a trace as a compact text timeline (spans indented by \
+          nesting depth within their track).")
+    Term.(const run $ path)
+
+let trace_stats_cmd =
+  let path = trace_file_pos ~doc:"Trace file written by --trace." 0 in
+  let run path =
+    match Trace_export.read path with
+    | Error e ->
+        Format.eprintf "rbvc trace stats: %s: %s@." path e;
+        2
+    | Ok events ->
+        Format.printf "%a@." Trace_export.pp_stats events;
+        (match Trace_export.check_spans events with
+        | Ok () -> 0
+        | Error _ -> 1)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Summarize a trace (event totals, per-name counts, logical-clock \
+          range) and check span well-formedness — exit 1 if any span is \
+          mismatched, so CI can gate on it.")
+    Term.(const run $ path)
+
+let trace_diff_cmd =
+  let a = trace_file_pos ~doc:"First trace file." 0 in
+  let b = trace_file_pos ~doc:"Second trace file." 1 in
+  let run a b =
+    match (Trace_export.read a, Trace_export.read b) with
+    | Error e, _ ->
+        Format.eprintf "rbvc trace diff: %s: %s@." a e;
+        2
+    | _, Error e ->
+        Format.eprintf "rbvc trace diff: %s: %s@." b e;
+        2
+    | Ok ea, Ok eb ->
+        if ea = eb then begin
+          Format.printf "identical: %d events@." (List.length ea);
+          0
+        end
+        else begin
+          let rec first i xs ys =
+            match (xs, ys) with
+            | x :: xs, y :: ys when x = y -> first (i + 1) xs ys
+            | x :: _, y :: _ -> (i, Some x, Some y)
+            | x :: _, [] -> (i, Some x, None)
+            | [], y :: _ -> (i, None, Some y)
+            | [], [] -> assert false
+          in
+          let i, x, y = first 0 ea eb in
+          let side = function
+            | Some e -> tracer_event_str e
+            | None -> "(end of trace)"
+          in
+          Format.printf "traces differ at event %d (of %d vs %d):@." i
+            (List.length ea) (List.length eb);
+          Format.printf "  %s: %s@." a (side x);
+          Format.printf "  %s: %s@." b (side y);
+          1
+        end
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two traces event-by-event; print the first divergence \
+          and exit 1 if they differ (0 when byte-equivalent). Used in CI \
+          to check --jobs independence.")
+    Term.(const run $ a $ b)
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace"
+       ~doc:
+         "Record, inspect and compare deterministic execution traces \
+          (rbvc-trace/1 Chrome trace-event JSON; load them at \
+          ui.perfetto.dev).")
+    [ trace_record_cmd; trace_view_cmd; trace_stats_cmd; trace_diff_cmd ]
+
 let main_cmd =
   Cmd.group
     (Cmd.info "rbvc" ~version:"1.0.0"
@@ -703,6 +906,7 @@ let main_cmd =
       save_cmd;
       replay_cmd;
       validate_cmd;
+      trace_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

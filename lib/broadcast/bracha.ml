@@ -43,6 +43,14 @@ let broadcast_all ~n ~f ~inputs ?(faulty = []) ?adversary ?policy ?max_steps
   let to_all m = List.map (fun dst -> (dst, m)) everyone in
   let make_actor me =
     let inst o = instances.(me).(o) in
+    (* Phase transitions as trace instants (stamped with the delivery
+       step the async scheduler set as the logical clock); one branch
+       per transition when tracing is off, nothing per message. *)
+    let phase name originator =
+      if Obs.Tracer.active () then
+        Obs.Tracer.instant ~track:me ("bracha." ^ name)
+          [ ("originator", Obs.Tracer.Int originator) ]
+    in
     let start () = to_all (Initial { originator = me; value = inputs.(me) }) in
     let on_message ~src msg =
       match msg with
@@ -54,6 +62,7 @@ let broadcast_all ~n ~f ~inputs ?(faulty = []) ?adversary ?policy ?max_steps
             if st.echoed then []
             else begin
               st.echoed <- true;
+              phase "echo" originator;
               to_all (Echo { originator; value })
             end
           end
@@ -65,6 +74,7 @@ let broadcast_all ~n ~f ~inputs ?(faulty = []) ?adversary ?policy ?max_steps
             && count_for st.echo_senders ~compare value >= ready_from_echo
           then begin
             st.readied <- true;
+            phase "ready" originator;
             to_all (Ready { originator; value })
           end
           else []
@@ -75,12 +85,15 @@ let broadcast_all ~n ~f ~inputs ?(faulty = []) ?adversary ?policy ?max_steps
           let out =
             if (not st.readied) && c >= ready_amplify then begin
               st.readied <- true;
+              phase "ready" originator;
               to_all (Ready { originator; value })
             end
             else []
           in
-          if st.delivered = None && c >= deliver_quorum then
+          if st.delivered = None && c >= deliver_quorum then begin
             st.delivered <- Some value;
+            phase "deliver" originator
+          end;
           out
     in
     { Async.start; on_message }

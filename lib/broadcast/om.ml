@@ -129,25 +129,42 @@ let decide st ~compare ~default ~commander =
       (* Recursive majority over the path tree, walking packed keys
          directly (no path lists are materialized). [on_path] plays the
          role of [List.mem q path]; children are visited in ascending
-         process id, as before. *)
+         process id, as before. When a trace buffer is installed, each
+         recursion level opens a nested span, so the OM(f) majority tree
+         renders as a span tree of depth f+1 on this process's track
+         (hoisted flag: one branch per decide call when tracing is
+         off). *)
+      let tr = Obs.Tracer.active () in
       let on_path = Array.make st.n false in
       let rec compute key len =
+        if tr then
+          Obs.Tracer.emit ~track:st.me Obs.Tracer.Begin "om.majority"
+            [ ("depth", Obs.Tracer.Int len) ];
         let stored = Option.value (Hashtbl.find_opt st.store key) ~default in
-        if len = st.f + 1 then stored
-        else begin
-          let children = ref [] in
-          for q = st.n - 1 downto 0 do
-            if q <> st.me && not on_path.(q) then begin
-              on_path.(q) <- true;
-              children := compute (key_child ~n:st.n key q) (len + 1) :: !children;
-              on_path.(q) <- false
-            end
-          done;
-          majority ~compare ~default (stored :: !children)
-        end
+        let result =
+          if len = st.f + 1 then stored
+          else begin
+            let children = ref [] in
+            for q = st.n - 1 downto 0 do
+              if q <> st.me && not on_path.(q) then begin
+                on_path.(q) <- true;
+                children := compute (key_child ~n:st.n key q) (len + 1) :: !children;
+                on_path.(q) <- false
+              end
+            done;
+            majority ~compare ~default (stored :: !children)
+          end
+        in
+        if tr then Obs.Tracer.emit ~track:st.me Obs.Tracer.End "om.majority" [];
+        result
       in
       if commander >= 0 && commander < st.n then on_path.(commander) <- true;
-      compute (key_child ~n:st.n key_root commander) 1
+      if tr then
+        Obs.Tracer.emit ~track:st.me Obs.Tracer.Begin "om.decide"
+          [ ("commander", Obs.Tracer.Int commander) ];
+      let v = compute (key_child ~n:st.n key_root commander) 1 in
+      if tr then Obs.Tracer.emit ~track:st.me Obs.Tracer.End "om.decide" [];
+      v
 
 let run_protocol ~n ~f ~commanders ?(faulty = []) ?corrupt ()
     =

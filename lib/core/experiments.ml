@@ -1161,9 +1161,19 @@ let registry : (string * (seed:int -> unit -> table)) list =
 
 let ids = List.map fst registry
 
+(* One experiment, as a timed (and, when a trace buffer is installed, a
+   spanned) unit of work. *)
+let run_one ~seed id f =
+  let timed () = Obs.time ("experiment." ^ id) (fun () -> f ~seed ()) in
+  if Obs.Tracer.active () then
+    Obs.trace_span
+      ~args:[ ("id", Obs.Tracer.Str id) ]
+      ("experiment." ^ id) timed
+  else timed ()
+
 let run ?(seed = 42) id =
   match List.assoc_opt id registry with
-  | Some f -> Obs.time ("experiment." ^ id) (fun () -> f ~seed ())
+  | Some f -> run_one ~seed id f
   | None -> invalid_arg (fmt "Experiments.run: unknown id %S" id)
 
 (* Every experiment builds its own [Rng.create (seed + _)] streams, so
@@ -1179,9 +1189,24 @@ let run_many ?(seed = 42) ?(jobs = 1) wanted =
         | None -> invalid_arg (fmt "Experiments.run_many: unknown id %S" id))
       wanted
   in
-  Par.map_list ~jobs
-    (fun (id, f) -> Obs.time ("experiment." ^ id) (fun () -> f ~seed ()))
-    fs
+  if not (Obs.Tracer.active ()) then
+    Par.map_list ~jobs (fun (id, f) -> run_one ~seed id f) fs
+  else begin
+    (* Tracing: each task records into its own buffer (the worker
+       domains have no tracer installed), and the coordinator splices
+       the per-task events back in request order — so the combined
+       trace is identical at any [jobs], like the tables themselves. *)
+    let outcomes =
+      Par.map_list ~jobs
+        (fun (id, f) -> Obs.Tracer.collect (fun () -> run_one ~seed id f))
+        fs
+    in
+    List.map
+      (fun (table, events) ->
+        Obs.Tracer.absorb events;
+        table)
+      outcomes
+  end
 
 let run_all ?seed ?jobs () = run_many ?seed ?jobs ids
 

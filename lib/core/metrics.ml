@@ -11,13 +11,14 @@ let hist_to_json (h : Obs.hist) =
     (("count", Persist.Int h.Obs.count)
      :: ("sum", Persist.Int h.Obs.sum)
      ::
-     (if h.Obs.count = 0 then [ ("buckets", buckets) ]
-      else
-        [
-          ("min", Persist.Int h.Obs.min);
-          ("max", Persist.Int h.Obs.max);
-          ("buckets", buckets);
-        ]))
+     (match (h.Obs.min, h.Obs.max) with
+     | Some mn, Some mx ->
+         [
+           ("min", Persist.Int mn);
+           ("max", Persist.Int mx);
+           ("buckets", buckets);
+         ]
+     | _ -> [ ("buckets", buckets) ]))
 
 let span_to_json ~timings (sp : Obs.span) =
   Persist.Obj

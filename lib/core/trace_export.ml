@@ -1,0 +1,319 @@
+let schema = "rbvc-trace/1"
+
+module T = Obs.Tracer
+
+let tid_of_track t = t + 1
+let track_of_tid t = t - 1
+
+let track_label t = if t = -1 then "scheduler" else Printf.sprintf "p%d" t
+
+let arg_to_json = function
+  | T.Int n -> Persist.Int n
+  | T.Str s -> Persist.String s
+
+let arg_of_json = function
+  | Persist.Int n -> Ok (T.Int n)
+  | Persist.String s -> Ok (T.Str s)
+  | _ -> Error "trace arg must be an int or a string"
+
+let flow_id args =
+  match List.assoc_opt "flow" args with Some (T.Int id) -> id | _ -> 0
+
+let event_to_json ~ts (e : T.event) =
+  let ph, extra =
+    match e.kind with
+    | T.Begin -> ("B", [])
+    | T.End -> ("E", [])
+    | T.Instant -> ("i", [ ("s", Persist.String "t") ])
+    | T.Flow_start -> ("s", [ ("id", Persist.Int (flow_id e.args)) ])
+    | T.Flow_end ->
+        ( "f",
+          [ ("id", Persist.Int (flow_id e.args)); ("bp", Persist.String "e") ]
+        )
+  in
+  Persist.Obj
+    ([
+       ("name", Persist.String e.name);
+       ("cat", Persist.String "rbvc");
+       ("ph", Persist.String ph);
+       ("ts", Persist.Int ts);
+       ("pid", Persist.Int 0);
+       ("tid", Persist.Int (tid_of_track e.track));
+     ]
+    @ extra
+    @ [
+        ( "args",
+          Persist.Obj
+            (("lc", Persist.Int e.lclock)
+            :: List.map (fun (k, v) -> (k, arg_to_json v)) e.args) );
+      ])
+
+let thread_metadata events =
+  let module S = Set.Make (Int) in
+  let tracks =
+    List.fold_left (fun acc (e : T.event) -> S.add e.track acc) S.empty events
+  in
+  List.map
+    (fun track ->
+      Persist.Obj
+        [
+          ("name", Persist.String "thread_name");
+          ("ph", Persist.String "M");
+          ("pid", Persist.Int 0);
+          ("tid", Persist.Int (tid_of_track track));
+          ( "args",
+            Persist.Obj [ ("name", Persist.String (track_label track)) ] );
+        ])
+    (S.elements tracks)
+
+let to_json ?(meta = []) events =
+  Persist.Obj
+    [
+      ("schema", Persist.String schema);
+      ("displayTimeUnit", Persist.String "ms");
+      ("meta", Persist.Obj meta);
+      ( "traceEvents",
+        Persist.List
+          (thread_metadata events @ List.mapi (fun ts e -> event_to_json ~ts e) events)
+      );
+    ]
+
+let event_of_json j =
+  let str k =
+    match Persist.member k j with
+    | Some (Persist.String s) -> Ok s
+    | _ -> Error (Printf.sprintf "trace event: missing string field %S" k)
+  in
+  let int k =
+    match Persist.member k j with
+    | Some (Persist.Int n) -> Ok n
+    | _ -> Error (Printf.sprintf "trace event: missing int field %S" k)
+  in
+  let ( let* ) = Result.bind in
+  let* ph = str "ph" in
+  if ph = "M" then Ok None
+  else
+    let* kind =
+      match ph with
+      | "B" -> Ok T.Begin
+      | "E" -> Ok T.End
+      | "i" -> Ok T.Instant
+      | "s" -> Ok T.Flow_start
+      | "f" -> Ok T.Flow_end
+      | _ -> Error (Printf.sprintf "trace event: unknown phase %S" ph)
+    in
+    let* name = str "name" in
+    let* tid = int "tid" in
+    let* lclock, args =
+      match Persist.member "args" j with
+      | Some (Persist.Obj (("lc", Persist.Int lc) :: rest)) ->
+          let rec convert acc = function
+            | [] -> Ok (List.rev acc)
+            | (k, v) :: tl -> (
+                match arg_of_json v with
+                | Ok a -> convert ((k, a) :: acc) tl
+                | Error e -> Error e)
+          in
+          let* args = convert [] rest in
+          Ok (lc, args)
+      | _ -> Error "trace event: args must be an object starting with \"lc\""
+    in
+    Ok (Some { T.lclock; track = track_of_tid tid; name; kind; args })
+
+let of_json j =
+  match Persist.member "schema" j with
+  | Some (Persist.String s) when s = schema -> (
+      match Persist.member "traceEvents" j with
+      | Some (Persist.List items) ->
+          let rec go acc = function
+            | [] -> Ok (List.rev acc)
+            | item :: tl -> (
+                match event_of_json item with
+                | Ok (Some e) -> go (e :: acc) tl
+                | Ok None -> go acc tl
+                | Error e -> Error e)
+          in
+          go [] items
+      | _ -> Error "trace: missing traceEvents array")
+  | Some (Persist.String s) ->
+      Error (Printf.sprintf "trace: schema %S, expected %S" s schema)
+  | _ -> Error "trace: missing schema field"
+
+let write ?meta path events =
+  let oc = open_out path in
+  output_string oc (Persist.to_string (to_json ?meta events));
+  output_char oc '\n';
+  close_out oc
+
+let read path =
+  match
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let contents = really_input_string ic len in
+    close_in ic;
+    contents
+  with
+  | exception Sys_error msg -> Error msg
+  | contents -> (
+      match Persist.of_string (String.trim contents) with
+      | Error e -> Error e
+      | Ok j -> of_json j)
+
+(* ---------------- well-formedness ---------------- *)
+
+let check_spans events =
+  let stacks : (int, (string * int) list ref) Hashtbl.t = Hashtbl.create 8 in
+  let stack track =
+    match Hashtbl.find_opt stacks track with
+    | Some s -> s
+    | None ->
+        let s = ref [] in
+        Hashtbl.add stacks track s;
+        s
+  in
+  let err = ref None in
+  List.iteri
+    (fun i (e : T.event) ->
+      if !err = None then
+        match e.kind with
+        | T.Begin -> (
+            let s = stack e.track in
+            (* within a track, a nested span cannot start before its
+               parent's logical clock *)
+            match !s with
+            | (parent, lc) :: _ when e.lclock < lc ->
+                err :=
+                  Some
+                    (Printf.sprintf
+                       "event %d: span %S on %s begins at lclock %d inside \
+                        %S begun at %d"
+                       i e.name (track_label e.track) e.lclock parent lc)
+            | _ -> s := (e.name, e.lclock) :: !s)
+        | T.End -> (
+            let s = stack e.track in
+            match !s with
+            | [] ->
+                err :=
+                  Some
+                    (Printf.sprintf
+                       "event %d: End %S on %s with no open span" i e.name
+                       (track_label e.track))
+            | (name, lc) :: rest ->
+                if name <> e.name then
+                  err :=
+                    Some
+                      (Printf.sprintf
+                         "event %d: End %S on %s does not match open span %S"
+                         i e.name (track_label e.track) name)
+                else if e.lclock < lc then
+                  err :=
+                    Some
+                      (Printf.sprintf
+                         "event %d: span %S on %s ends at lclock %d < begin \
+                          %d"
+                         i e.name (track_label e.track) e.lclock lc)
+                else s := rest)
+        | T.Instant | T.Flow_start | T.Flow_end -> ())
+    events;
+  match !err with
+  | Some e -> Error e
+  | None ->
+      Hashtbl.fold
+        (fun track s acc ->
+          match (acc, !s) with
+          | Error _, _ | _, [] -> acc
+          | Ok (), (name, _) :: _ ->
+              Error
+                (Printf.sprintf "span %S on %s never ends" name
+                   (track_label track)))
+        stacks (Ok ())
+
+(* ---------------- text views ---------------- *)
+
+let pp_arg ppf (k, v) =
+  match v with
+  | T.Int n -> Format.fprintf ppf "%s=%d" k n
+  | T.Str s -> Format.fprintf ppf "%s=%s" k s
+
+let pp_args ppf = function
+  | [] -> ()
+  | args ->
+      Format.fprintf ppf "  [%a]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+           pp_arg)
+        args
+
+let pp_timeline ppf events =
+  let depths : (int, int ref) Hashtbl.t = Hashtbl.create 8 in
+  let depth track =
+    match Hashtbl.find_opt depths track with
+    | Some d -> d
+    | None ->
+        let d = ref 0 in
+        Hashtbl.add depths track d;
+        d
+  in
+  Format.pp_open_vbox ppf 0;
+  List.iteri
+    (fun i (e : T.event) ->
+      if i > 0 then Format.pp_print_cut ppf ();
+      let d = depth e.track in
+      let indent, marker =
+        match e.kind with
+        | T.Begin ->
+            let ind = !d in
+            incr d;
+            (ind, "+")
+        | T.End ->
+            if !d > 0 then decr d;
+            (!d, "-")
+        | T.Instant -> (!d, ".")
+        | T.Flow_start -> (!d, ">")
+        | T.Flow_end -> (!d, "<")
+      in
+      Format.fprintf ppf "%6d  %-9s %s%s %s%a" e.lclock
+        (track_label e.track)
+        (String.make (2 * indent) ' ')
+        marker e.name pp_args e.args)
+    events;
+  Format.pp_close_box ppf ()
+
+let pp_stats ppf events =
+  let module M = Map.Make (String) in
+  let module S = Set.Make (Int) in
+  let total = List.length events in
+  let kinds = Array.make 5 0 in
+  let kind_index = function
+    | T.Begin -> 0
+    | T.End -> 1
+    | T.Instant -> 2
+    | T.Flow_start -> 3
+    | T.Flow_end -> 4
+  in
+  let names, tracks, lo, hi =
+    List.fold_left
+      (fun (names, tracks, lo, hi) (e : T.event) ->
+        kinds.(kind_index e.kind) <- kinds.(kind_index e.kind) + 1;
+        ( M.update e.name
+            (function None -> Some 1 | Some c -> Some (c + 1))
+            names,
+          S.add e.track tracks,
+          Stdlib.min lo e.lclock,
+          Stdlib.max hi e.lclock ))
+      (M.empty, S.empty, max_int, min_int)
+      events
+  in
+  Format.fprintf ppf "@[<v>events: %d@," total;
+  Format.fprintf ppf "kinds: begin=%d end=%d instant=%d flow_start=%d flow_end=%d@,"
+    kinds.(0) kinds.(1) kinds.(2) kinds.(3) kinds.(4);
+  if total > 0 then begin
+    Format.fprintf ppf "tracks: %s@,"
+      (String.concat " " (List.map track_label (S.elements tracks)));
+    Format.fprintf ppf "lclock: %d..%d@," lo hi
+  end;
+  M.iter (fun name c -> Format.fprintf ppf "  %-32s %d@," name c) names;
+  (match check_spans events with
+  | Ok () -> Format.fprintf ppf "spans: balanced"
+  | Error e -> Format.fprintf ppf "spans: MALFORMED (%s)" e);
+  Format.pp_close_box ppf ()

@@ -1,0 +1,49 @@
+(** Serialize {!Obs.Tracer} event lists as versioned Chrome trace-event
+    JSON (schema ["rbvc-trace/1"]) via {!Persist}, loadable directly in
+    Perfetto ([ui.perfetto.dev]) or [chrome://tracing].
+
+    The mapping is purely logical: each event's [ts] is its position in
+    the list (so "time" is causal order and a span's duration is the
+    number of events it encloses), tracks become named threads under one
+    process ([tid 0] = "scheduler" for track [-1], [tid p+1] = ["p<p>"]
+    for process [p]), and the original logical clock rides along as the
+    ["lc"] argument. [Begin]/[End] map to phases ["B"]/["E"],
+    [Instant] to ["i"], and [Flow_start]/[Flow_end] to the flow phases
+    ["s"]/["f"] whose [id] is the event's [("flow", Int _)] argument —
+    Perfetto renders them as send→deliver arrows between process
+    tracks. Output is deterministic: no wall-clock field exists
+    anywhere, so a trace of a deterministic execution is byte-identical
+    at any [--jobs] value. *)
+
+val schema : string
+(** ["rbvc-trace/1"]. *)
+
+val to_json :
+  ?meta:(string * Persist.json) list -> Obs.Tracer.event list -> Persist.json
+(** [{ "schema": "rbvc-trace/1", "meta": {..}, "traceEvents": [..] }].
+    [meta] is free-form run context (seed, parameters, dropped-event
+    count); keep it jobs-independent if byte-identical output matters. *)
+
+val of_json : Persist.json -> (Obs.Tracer.event list, string) result
+(** Parse a trace back into events ({!to_json} round-trips exactly;
+    thread-name metadata records are skipped). *)
+
+val write :
+  ?meta:(string * Persist.json) list -> string -> Obs.Tracer.event list -> unit
+(** Write [to_json events] to a file path, newline terminated. *)
+
+val read : string -> (Obs.Tracer.event list, string) result
+(** Load a trace file written by {!write}. *)
+
+val check_spans : Obs.Tracer.event list -> (unit, string) result
+(** Structural well-formedness: on every track, each [End] closes a
+    matching open [Begin] of the same name with a non-decreasing
+    logical clock, and no span is left open at the end of the trace. *)
+
+val pp_timeline : Format.formatter -> Obs.Tracer.event list -> unit
+(** Compact text timeline: one line per event, spans indented by
+    nesting depth within their track. *)
+
+val pp_stats : Format.formatter -> Obs.Tracer.event list -> unit
+(** Summary: event/kind totals, per-name counts, tracks, logical-clock
+    range, and the {!check_spans} verdict. *)

@@ -28,7 +28,7 @@ let line_search ?(iters = 42) ~hi g =
    the optimum sits on a face, so near-boundary Lp projections converge
    sublinearly. Tracking the active vertex set and allowing "away"
    steps restores linear convergence over polytopes (Guelat-Marcotte). *)
-let minimize ?(eps = 1e-8) ?(max_iters = 1_500) ~f ~grad points =
+let minimize_body ?(eps = 1e-8) ?(max_iters = 1_500) ~f ~grad points =
   match points with
   | [] -> invalid_arg "Frank_wolfe.minimize: empty point set"
   | p0 :: _ ->
@@ -129,7 +129,18 @@ let minimize ?(eps = 1e-8) ?(max_iters = 1_500) ~f ~grad points =
          done
        with Exit -> ());
       if Obs.enabled () then Obs.observe "fw.iters" !iters;
+      if Obs.Tracer.active () then
+        Obs.Tracer.instant "fw.iters" [ ("iters", Obs.Tracer.Int !iters) ];
       (!x, f !x)
+
+(* Iteration span per solve; one [active] branch when tracing is off. *)
+let minimize ?eps ?max_iters ~f ~grad points =
+  if Obs.Tracer.active () then
+    Obs.trace_span
+      ~args:[ ("points", Obs.Tracer.Int (List.length points)) ]
+      "fw.minimize"
+      (fun () -> minimize_body ?eps ?max_iters ~f ~grad points)
+  else minimize_body ?eps ?max_iters ~f ~grad points
 
 (* Euclidean projection of [w] onto the probability simplex
    (Held-Wolfe-Crowder / Duchi et al.). *)
@@ -153,7 +164,7 @@ let simplex_projection w =
    projections onto small V-polytopes, where Frank-Wolfe variants crawl
    because the distance has no radial curvature. Minimizes the smooth
    potential psi(lambda) = (1/p) sum |(P lambda - q)_i|^p. *)
-let lp_project ?(eps = 1e-12) ?(max_iters = 800) ~p pts q =
+let lp_project_body ?(eps = 1e-12) ?(max_iters = 800) ~p pts q =
   let n = Array.length pts in
   let d = Vec.dim q in
   (* Scratch buffers shared by the evaluations below (the combination
@@ -239,6 +250,9 @@ let lp_project ?(eps = 1e-12) ?(max_iters = 800) ~p pts q =
        (* FISTA momentum with function restart *)
        if f_next > !f_best then begin
          Obs.incr "fista.restarts";
+         if Obs.Tracer.active () then
+           Obs.Tracer.instant "fista.restart"
+             [ ("iter", Obs.Tracer.Int !iters) ];
          t_k := 1.;
          momentum := Array.copy !best
        end
@@ -267,9 +281,20 @@ let lp_project ?(eps = 1e-12) ?(max_iters = 800) ~p pts q =
      done
    with Exit -> ());
   if Obs.enabled () then Obs.observe "fista.iters" !iters;
+  if Obs.Tracer.active () then
+    Obs.Tracer.instant "fista.iters" [ ("iters", Obs.Tracer.Int !iters) ];
   let y = Vec.zero d in
   point_into y !best;
   y
+
+(* Iteration span per projection (restart instants land inside it). *)
+let lp_project ?eps ?max_iters ~p pts q =
+  if Obs.Tracer.active () then
+    Obs.trace_span
+      ~args:[ ("points", Obs.Tracer.Int (Array.length pts)) ]
+      "fista.project"
+      (fun () -> lp_project_body ?eps ?max_iters ~p pts q)
+  else lp_project_body ?eps ?max_iters ~p pts q
 
 let dist_p_to_hull ?eps:_ ~p points q =
   if p <= 1. || p = Float.infinity then

@@ -36,7 +36,7 @@ let point_of_coeffs (s : Vec.t array) alpha =
     alpha;
   x
 
-let min_norm_point ?(eps = 1e-10) points =
+let min_norm_point_body ?(eps = 1e-10) points =
   if points = [] then invalid_arg "Minnorm.min_norm_point: empty point set";
   let pts = Array.of_list points in
   let n = Array.length pts in
@@ -159,6 +159,15 @@ let min_norm_point ?(eps = 1e-10) points =
     List.combine (Array.to_list !corral) (Array.to_list !lambda)
   in
   { nearest = !x; distance = Vec.norm2 !x; coeffs }
+
+(* Major-cycle span per call; one [active] branch when tracing is off. *)
+let min_norm_point ?eps points =
+  if Obs.Tracer.active () then
+    Obs.trace_span
+      ~args:[ ("points", Obs.Tracer.Int (List.length points)) ]
+      "minnorm.point"
+      (fun () -> min_norm_point_body ?eps points)
+  else min_norm_point_body ?eps points
 
 let nearest_point ?eps points q =
   let shifted = List.map (fun p -> Vec.sub p q) points in

@@ -113,6 +113,8 @@ let run_phase ~eps tab ~banned =
     Obs.add "lp.pivots" !pivots;
     Obs.observe "lp.pivots_per_phase" !pivots
   end;
+  if Obs.Tracer.active () then
+    Obs.Tracer.instant "lp.phase" [ ("pivots", Obs.Tracer.Int !pivots) ];
   outcome
 
 let build ~nvars ~free rows =
@@ -219,7 +221,7 @@ let extract_solution ~eps:_ ~nvars tab col_of_var neg_col_of_var =
       in
       pos -. neg)
 
-let solve ?(eps = 1e-9) ?free ?(maximize = false) ~nvars ~objective rows =
+let solve_body ?(eps = 1e-9) ?free ?(maximize = false) ~nvars ~objective rows =
   if Stdlib.( <> ) (Array.length objective) nvars then
     invalid_arg "Lp.solve: objective arity mismatch";
   (match free with
@@ -290,6 +292,20 @@ let solve ?(eps = 1e-9) ?free ?(maximize = false) ~nvars ~objective rows =
         let z = if maximize then -.z else z in
         { status = Optimal; solution = Some x; objective = Some z }
   end
+
+(* A trace span per solve (the phase instants above land inside it);
+   one [active] branch when tracing is off. *)
+let solve ?eps ?free ?maximize ~nvars ~objective rows =
+  if Obs.Tracer.active () then
+    Obs.trace_span
+      ~args:
+        [
+          ("nvars", Obs.Tracer.Int nvars);
+          ("rows", Obs.Tracer.Int (List.length rows));
+        ]
+      "lp.solve"
+      (fun () -> solve_body ?eps ?free ?maximize ~nvars ~objective rows)
+  else solve_body ?eps ?free ?maximize ~nvars ~objective rows
 
 let feasible_point ?eps ?free ~nvars rows =
   let r = solve ?eps ?free ~nvars ~objective:(Array.make nvars 0.) rows in

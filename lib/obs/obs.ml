@@ -111,19 +111,30 @@ let observe name v =
     | None -> Hashtbl.add h.h_buckets lo (ref 1)
   end
 
+let record_span name dt =
+  let s = my_sink () in
+  match Hashtbl.find_opt s.spans name with
+  | Some sp ->
+      sp.s_calls <- sp.s_calls + 1;
+      sp.s_seconds <- sp.s_seconds +. dt
+  | None -> Hashtbl.add s.spans name { s_calls = 1; s_seconds = dt }
+
 let time name f =
   if not !enabled_flag then f ()
   else begin
     let t0 = Sys.time () in
-    let result = f () in
-    let dt = Sys.time () -. t0 in
-    let s = my_sink () in
-    (match Hashtbl.find_opt s.spans name with
-    | Some sp ->
-        sp.s_calls <- sp.s_calls + 1;
-        sp.s_seconds <- sp.s_seconds +. dt
-    | None -> Hashtbl.add s.spans name { s_calls = 1; s_seconds = dt });
-    result
+    match f () with
+    | result ->
+        record_span name (Sys.time () -. t0);
+        result
+    | exception e ->
+        (* A failing call is still a call: record the span so the work
+           shows up in snapshots, and leave a visible failure marker as
+           a sibling counter. *)
+        let bt = Printexc.get_raw_backtrace () in
+        record_span name (Sys.time () -. t0);
+        add (name ^ ".err") 1;
+        Printexc.raise_with_backtrace e bt
   end
 
 let reset () =
@@ -141,8 +152,8 @@ let reset () =
 type hist = {
   count : int;
   sum : int;
-  min : int;
-  max : int;
+  min : int option;
+  max : int option;
   buckets : (int * int) list;
 }
 
@@ -206,7 +217,16 @@ let snapshot () =
       M.empty sinks
   in
   let finish_hist (count, sum, min, max, buckets) =
-    { count; sum; min; max; buckets = B.bindings buckets }
+    (* [count = 0] cannot happen for a recorded histogram ([observe]
+       creates and samples in one step), but the option type makes a
+       bogus [min = 0] unrepresentable rather than merely undocumented. *)
+    {
+      count;
+      sum;
+      min = (if count = 0 then None else Some min);
+      max = (if count = 0 then None else Some max);
+      buckets = B.bindings buckets;
+    }
   in
   let spans =
     List.fold_left
@@ -231,3 +251,155 @@ let snapshot () =
     hists = List.map (fun (name, h) -> (name, finish_hist h)) (M.bindings hists);
     spans = M.bindings spans;
   }
+
+(* ---------------- structured event tracing ---------------- *)
+
+(* Unlike the aggregate metrics above, the tracer has no process-global
+   registry: a trace buffer is an explicit value installed on one domain
+   for the dynamic extent of one (deterministic) execution, and events
+   carry logical clocks only — sync round numbers, async delivery steps
+   and the buffer's own emission order — never wall time. That is what
+   makes a trace a pure function of the traced computation: byte-
+   identical at any [--jobs], diffable, and attachable to a shrunk fuzz
+   counterexample. *)
+
+module Tracer = struct
+  type kind = Begin | End | Instant | Flow_start | Flow_end
+  type arg = Int of int | Str of string
+
+  type event = {
+    lclock : int;
+    track : int;
+    name : string;
+    kind : kind;
+    args : (string * arg) list;
+  }
+
+  let null_event =
+    { lclock = 0; track = -1; name = ""; kind = Instant; args = [] }
+
+  (* Ring buffer: grows geometrically up to [cap], then overwrites the
+     oldest event. [start] stays 0 until the first overwrite, so growth
+     never has to unwrap. *)
+  type t = {
+    mutable buf : event array;
+    mutable start : int;
+    mutable len : int;
+    cap : int;
+    mutable n_dropped : int;
+    mutable now : int;
+  }
+
+  let default_cap = 1 lsl 20
+
+  let create ?(cap = default_cap) () =
+    if cap < 1 then invalid_arg "Tracer.create: cap must be positive";
+    {
+      buf = Array.make (Stdlib.min cap 1024) null_event;
+      start = 0;
+      len = 0;
+      cap;
+      n_dropped = 0;
+      now = 0;
+    }
+
+  let length t = t.len
+  let dropped t = t.n_dropped
+
+  let clear t =
+    Array.fill t.buf 0 (Array.length t.buf) null_event;
+    t.start <- 0;
+    t.len <- 0;
+    t.n_dropped <- 0;
+    t.now <- 0
+
+  let push t e =
+    let phys = Array.length t.buf in
+    if t.len < phys then begin
+      t.buf.((t.start + t.len) mod phys) <- e;
+      t.len <- t.len + 1
+    end
+    else if phys < t.cap then begin
+      (* start = 0 here: the buffer has never wrapped *)
+      let fresh = Array.make (Stdlib.min t.cap (2 * phys)) null_event in
+      Array.blit t.buf 0 fresh 0 t.len;
+      t.buf <- fresh;
+      fresh.(t.len) <- e;
+      t.len <- t.len + 1
+    end
+    else begin
+      t.buf.(t.start) <- e;
+      t.start <- (t.start + 1) mod phys;
+      t.n_dropped <- t.n_dropped + 1
+    end
+
+  let events t =
+    let phys = Array.length t.buf in
+    List.init t.len (fun i -> t.buf.((t.start + i) mod phys))
+
+  (* The per-domain "current buffer" slot. Recording from a domain with
+     no installed buffer is a no-op, which is also the suppression
+     mechanism: fuzz trials, DFS probes and shrink replays uninstall the
+     buffer so only the final witness replay is traced. *)
+  type slot = { mutable cur : t option }
+
+  let slot_key : slot Domain.DLS.key = Domain.DLS.new_key (fun () -> { cur = None })
+  let current () = (Domain.DLS.get slot_key).cur
+  let active () = current () <> None
+  let install o = (Domain.DLS.get slot_key).cur <- o
+
+  let with_tracer t f =
+    let slot = Domain.DLS.get slot_key in
+    let prev = slot.cur in
+    slot.cur <- Some t;
+    Fun.protect ~finally:(fun () -> slot.cur <- prev) f
+
+  let suppressed f =
+    let slot = Domain.DLS.get slot_key in
+    let prev = slot.cur in
+    slot.cur <- None;
+    Fun.protect ~finally:(fun () -> slot.cur <- prev) f
+
+  let collect ?cap f =
+    let t = create ?cap () in
+    let result = with_tracer t f in
+    (result, events t)
+
+  let absorb evs =
+    match current () with
+    | None -> ()
+    | Some t -> List.iter (push t) evs
+
+  let set_now n = match current () with None -> () | Some t -> t.now <- n
+  let now () = match current () with None -> 0 | Some t -> t.now
+
+  let emit ?(track = -1) ?lclock kind name args =
+    match current () with
+    | None -> ()
+    | Some t ->
+        let lclock = match lclock with Some l -> l | None -> t.now in
+        push t { lclock; track; name; kind; args }
+
+  let instant ?track ?lclock name args = emit ?track ?lclock Instant name args
+
+  let flow_start ?track ?lclock ~id name =
+    emit ?track ?lclock Flow_start name [ ("flow", Int id) ]
+
+  let flow_end ?track ?lclock ~id name =
+    emit ?track ?lclock Flow_end name [ ("flow", Int id) ]
+end
+
+let trace_span ?track ?lclock ?(args = []) name f =
+  match Tracer.current () with
+  | None -> f ()
+  | Some _ ->
+      Tracer.emit ?track ?lclock Tracer.Begin name args;
+      (match f () with
+      | result ->
+          Tracer.emit ?track ?lclock Tracer.End name [];
+          result
+      | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          Tracer.emit ?track ?lclock Tracer.End name
+            [ ("err", Tracer.Str (Printexc.to_string e)) ];
+          Printexc.raise_with_backtrace e bt)

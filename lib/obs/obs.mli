@@ -55,7 +55,9 @@ val observe : string -> int -> unit
 val time : string -> (unit -> 'a) -> 'a
 (** [time name f] runs [f ()]; when enabled, also increments span
     [name]'s call count and accumulates the elapsed processor time.
-    Exceptions from [f] propagate without recording the span. *)
+    When [f] raises, the span is still recorded (a failing solver call
+    is still a call), the counter [name ^ ".err"] is incremented, and
+    the exception propagates with its original backtrace. *)
 
 val reset : unit -> unit
 (** Clear every metric in every domain's sink (the enabled flag is
@@ -66,8 +68,9 @@ val reset : unit -> unit
 type hist = {
   count : int;
   sum : int;
-  min : int;  (** meaningless (0) when [count = 0] — never exposed *)
-  max : int;
+  min : int option;  (** [None] iff [count = 0] — a bogus [min = 0] is
+                         unrepresentable *)
+  max : int option;
   buckets : (int * int) list;
       (** (bucket lower bound, samples) — ascending, no empty buckets *)
 }
@@ -82,3 +85,121 @@ type snapshot = {
 
 val snapshot : unit -> snapshot
 (** Merge all per-domain sinks into one sorted snapshot. *)
+
+(** {2 Structured event tracing}
+
+    Where the metrics above aggregate ({e how much} work ran), the
+    tracer records {e when, where and in what causal order}: a buffer of
+    structured events stamped with {b logical clocks only} — the sync
+    round number or async delivery step ([lclock]), a track id (process
+    id, or [-1] for the scheduler/coordinator), and the buffer's own
+    emission order. No event ever carries wall time, so a trace is a
+    pure function of the traced computation: byte-identical at any
+    [--jobs] value and diffable across runs.
+
+    A buffer is an explicit value installed on the current domain with
+    {!Tracer.with_tracer} for the extent of one deterministic execution;
+    recording with no installed buffer is a no-op costing one
+    domain-local read. Instrumented code in the simulators emits one
+    span per sync round / async delivery step, one flow per message
+    (linking its send to its delivery across process tracks), and
+    instant events for adversary actions; see [Trace_export] in the core
+    library for the Chrome-trace/Perfetto serialization. *)
+
+module Tracer : sig
+  type kind =
+    | Begin  (** opens a span on [track]; nests *)
+    | End  (** closes the innermost open span on [track] *)
+    | Instant  (** a point event *)
+    | Flow_start  (** message send; carries [("flow", Int id)] *)
+    | Flow_end  (** matching delivery, same flow id *)
+
+  type arg = Int of int | Str of string
+
+  type event = {
+    lclock : int;  (** logical clock: round / delivery step *)
+    track : int;  (** process id; [-1] = scheduler/coordinator *)
+    name : string;
+    kind : kind;
+    args : (string * arg) list;
+  }
+
+  type t
+  (** A trace buffer: bounded ring keeping the most recent [cap]
+      events. *)
+
+  val create : ?cap:int -> unit -> t
+  (** Fresh empty buffer ([cap] defaults to [2^20] events; once full,
+      the oldest events are overwritten and counted in {!dropped}). *)
+
+  val events : t -> event list
+  (** Buffered events, oldest first (emission order). *)
+
+  val length : t -> int
+
+  val dropped : t -> int
+  (** Events overwritten because the ring was full. *)
+
+  val clear : t -> unit
+
+  val current : unit -> t option
+  (** This domain's installed buffer, if any. *)
+
+  val active : unit -> bool
+  (** [current () <> None] — hoist out of hot loops. *)
+
+  val install : t option -> unit
+  (** Set this domain's buffer directly (prefer {!with_tracer}). *)
+
+  val with_tracer : t -> (unit -> 'a) -> 'a
+  (** Install [t] for the extent of the callback, then restore the
+      previous buffer (exception-safe). *)
+
+  val suppressed : (unit -> 'a) -> 'a
+  (** Run the callback with {e no} buffer installed — used by the
+      schedule explorer so fuzz trials, DFS probes and shrink replays
+      stay untraced and only the final witness replay is recorded. *)
+
+  val collect : ?cap:int -> (unit -> 'a) -> 'a * event list
+  (** Run the callback under a fresh buffer and return its events —
+      the building block for deterministic traces of parallel work:
+      collect per task on the worker, {!absorb} in task order on the
+      coordinator. *)
+
+  val absorb : event list -> unit
+  (** Append pre-recorded events to the current buffer (no-op when none
+      is installed). *)
+
+  val set_now : int -> unit
+  (** Set the current buffer's logical clock; emission helpers default
+      [?lclock] to this value. The simulators call it once per round /
+      delivery step so nested instrumentation (e.g. Bracha phase
+      events) is stamped correctly without threading clocks through
+      actor callbacks. *)
+
+  val now : unit -> int
+
+  val emit :
+    ?track:int -> ?lclock:int -> kind -> string -> (string * arg) list -> unit
+  (** Record one event ([track] defaults to [-1], [lclock] to
+      {!now}); no-op without an installed buffer. *)
+
+  val instant :
+    ?track:int -> ?lclock:int -> string -> (string * arg) list -> unit
+
+  val flow_start : ?track:int -> ?lclock:int -> id:int -> string -> unit
+  val flow_end : ?track:int -> ?lclock:int -> id:int -> string -> unit
+end
+
+val trace_span :
+  ?track:int ->
+  ?lclock:int ->
+  ?args:(string * Tracer.arg) list ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** [trace_span name f] wraps [f] in a [Begin]/[End] event pair on the
+    current buffer; nested calls form a proper span tree. When [f]
+    raises, the [End] event is still emitted with an [("err", Str _)]
+    argument and the exception propagates with its backtrace. No-op
+    without an installed buffer. *)

@@ -247,8 +247,8 @@ let delta_star_lp ?eps ~linf ~f s =
           { value = Float.max 0. z; point = Array.sub x 0 d; exact = true }
       | _ -> invalid_arg "Delta_hull.delta_star_lp: unexpected LP failure")
 
-let delta_star ?eps ?(iters = 4000) ?(restarts = 4) ?(seed = 42) ?(jobs = 1)
-    ?(force_iterative = false) ~p ~f s =
+let delta_star_body ?eps ?(iters = 4000) ?(restarts = 4) ?(seed = 42)
+    ?(jobs = 1) ?(force_iterative = false) ~p ~f s =
   Obs.incr "delta_star.calls";
   if (not force_iterative) && p = Float.infinity then begin
     Obs.incr "delta_star.exact_lp";
@@ -294,11 +294,23 @@ let delta_star ?eps ?(iters = 4000) ?(restarts = 4) ?(seed = 42) ?(jobs = 1)
                  winner (first minimal value) is the same at any [jobs]. *)
               let starts = deterministic_starts @ random_starts in
               Obs.add "delta_star.starts" (List.length starts);
+              (* Suppress tracing inside the fan-out: which domain runs
+                 which descent depends on [jobs], so recording solver
+                 events from inside the tasks would make the trace differ
+                 between jobs levels. Restart instants are emitted below,
+                 in start order, once all descents are in. *)
               let outcomes =
-                Par.map_list ~jobs
-                  (fun x0 -> descend ?eps ~p ~iters subsets x0)
-                  starts
+                Obs.Tracer.suppressed (fun () ->
+                    Par.map_list ~jobs
+                      (fun x0 -> descend ?eps ~p ~iters subsets x0)
+                      starts)
               in
+              if Obs.Tracer.active () then
+                List.iteri
+                  (fun i _ ->
+                    Obs.Tracer.instant "delta_star.restart"
+                      [ ("start", Obs.Tracer.Int i) ])
+                  outcomes;
               let best =
                 List.fold_left
                   (fun acc (v, x) ->
@@ -315,6 +327,23 @@ let delta_star ?eps ?(iters = 4000) ?(restarts = 4) ?(seed = 42) ?(jobs = 1)
                   in
                   { value; point; exact = false }
               | None -> assert false)))
+
+(* Top-level span per delta* computation: the exact-LP solve, or the
+   descent fan-out's restart instants plus the polish phase's nested
+   projection spans, all land inside it. *)
+let delta_star ?eps ?iters ?restarts ?seed ?jobs ?force_iterative ~p ~f s =
+  if Obs.Tracer.active () then
+    Obs.trace_span
+      ~args:
+        [
+          ("f", Obs.Tracer.Int f);
+          ("points", Obs.Tracer.Int (List.length s));
+        ]
+      "delta_star"
+      (fun () ->
+        delta_star_body ?eps ?iters ?restarts ?seed ?jobs ?force_iterative ~p
+          ~f s)
+  else delta_star_body ?eps ?iters ?restarts ?seed ?jobs ?force_iterative ~p ~f s
 
 type inf_region = (float * Vec.t list) list
 

@@ -10,7 +10,13 @@ type policy =
 
 type outcome = { trace : Trace.t; quiescent : bool }
 
-type 'msg pending = { src : int; dst : int; msg : 'msg; born : int }
+type 'msg pending = {
+  src : int;
+  dst : int;
+  msg : 'msg;
+  born : int;
+  flow : int;  (** monotone send id, links send to delivery in traces *)
+}
 
 let run ~n ~actors ?(faulty = []) ?(adversary = Adversary.honest)
     ?(policy = Fifo) ?(max_steps = 200_000) ?record ?summarize () =
@@ -35,6 +41,9 @@ let run ~n ~actors ?(faulty = []) ?(adversary = Adversary.honest)
     match policy with Random_order seed -> Some (Rng.create seed) | _ -> None
   in
   let step = ref 0 in
+  (* hoisted: one branch per site when no trace buffer is installed *)
+  let tr = Obs.Tracer.active () in
+  let flow_ids = ref 0 in
   let enqueue ~src msgs =
     List.iter
       (fun (dst, m) ->
@@ -47,13 +56,24 @@ let run ~n ~actors ?(faulty = []) ?(adversary = Adversary.honest)
           else Some m
         in
         match filtered with
-        | None -> trace.Trace.messages_dropped <- trace.Trace.messages_dropped + 1
+        | None ->
+            if tr then
+              Obs.Tracer.instant ~track:src ~lclock:!step "adv.drop"
+                [ ("dst", Obs.Tracer.Int dst) ];
+            trace.Trace.messages_dropped <- trace.Trace.messages_dropped + 1
         | Some m' ->
-            if is_faulty.(src) && m' != m then
+            if is_faulty.(src) && m' != m then begin
+              if tr then
+                Obs.Tracer.instant ~track:src ~lclock:!step "adv.corrupt"
+                  [ ("dst", Obs.Tracer.Int dst) ];
               trace.Trace.messages_corrupted <-
-                trace.Trace.messages_corrupted + 1;
+                trace.Trace.messages_corrupted + 1
+            end;
+            let flow = !flow_ids in
+            incr flow_ids;
+            if tr then Obs.Tracer.flow_start ~track:src ~lclock:!step ~id:flow "msg";
             if !count = !capacity then grow ();
-            !pending.(!count) <- Some { src; dst; msg = m'; born = !step };
+            !pending.(!count) <- Some { src; dst; msg = m'; born = !step; flow };
             incr count;
             incr live)
       msgs
@@ -147,8 +167,18 @@ let run ~n ~actors ?(faulty = []) ?(adversary = Adversary.honest)
            trace.Trace.steps <- trace.Trace.steps + 1;
            trace.Trace.messages_delivered <-
              trace.Trace.messages_delivered + 1;
+           if tr then begin
+             let lclock = !step - 1 in
+             Obs.Tracer.set_now lclock;
+             Obs.Tracer.emit ~track:p.dst ~lclock Obs.Tracer.Begin "deliver"
+               [ ("src", Obs.Tracer.Int p.src) ];
+             Obs.Tracer.flow_end ~track:p.dst ~lclock ~id:p.flow "msg"
+           end;
            let reactions = actors.(p.dst).on_message ~src:p.src p.msg in
-           enqueue ~src:p.dst reactions
+           enqueue ~src:p.dst reactions;
+           if tr then
+             Obs.Tracer.emit ~track:p.dst ~lclock:(!step - 1) Obs.Tracer.End
+               "deliver" []
      done
    with Exit -> ());
   Trace.publish ~prefix:"sim.async" trace;

@@ -90,6 +90,9 @@ let exec ?(fallback_fifo = false) ?record ?summarize ~n ~actors ~faulty
     faulty;
   let pool = Pool.create () in
   let steps = ref 0 in
+  (* hoisted: exec is the fuzzing hot loop; when no trace buffer is
+     installed (every trial/probe/shrink replay) each site is one branch *)
+  let tr = Obs.Tracer.active () in
   let enqueue ~src msgs =
     List.iter
       (fun (dst, m) ->
@@ -100,8 +103,16 @@ let exec ?(fallback_fifo = false) ?record ?summarize ~n ~actors ~faulty
           else Some m
         in
         match filtered with
-        | None -> ()
-        | Some m' -> Pool.push pool ~src ~dst m')
+        | None ->
+            if tr then
+              Obs.Tracer.instant ~track:src ~lclock:!steps "adv.drop"
+                [ ("dst", Obs.Tracer.Int dst) ]
+        | Some m' ->
+            (* the pool's send sequence number doubles as the flow id *)
+            if tr then
+              Obs.Tracer.flow_start ~track:src ~lclock:!steps
+                ~id:pool.Pool.next_seq "msg";
+            Pool.push pool ~src ~dst m')
       msgs
   in
   Array.iteri
@@ -122,9 +133,25 @@ let exec ?(fallback_fifo = false) ?record ?summarize ~n ~actors ~faulty
             dst = e.Pool.dst;
             info;
           });
+    let lclock = !steps in
+    if tr then begin
+      Obs.Tracer.set_now lclock;
+      let args =
+        ("src", Obs.Tracer.Int e.Pool.src)
+        ::
+        (match summarize with
+        | None -> []
+        | Some s -> [ ("msg", Obs.Tracer.Str (s e.Pool.msg)) ])
+      in
+      Obs.Tracer.emit ~track:e.Pool.dst ~lclock Obs.Tracer.Begin "deliver"
+        args;
+      Obs.Tracer.flow_end ~track:e.Pool.dst ~lclock ~id:e.Pool.seq "msg"
+    end;
     incr steps;
     enqueue ~src:e.Pool.dst
-      (actors.(e.Pool.dst).Async.on_message ~src:e.Pool.src e.Pool.msg)
+      (actors.(e.Pool.dst).Async.on_message ~src:e.Pool.src e.Pool.msg);
+    if tr then
+      Obs.Tracer.emit ~track:e.Pool.dst ~lclock Obs.Tracer.End "deliver" []
   in
   let rec go () =
     let live = Pool.length pool in
@@ -176,11 +203,14 @@ let replay ?(fallback_fifo = true) ?record ?summarize ~make ~n ~actors
   | `Done | `Branch _ -> ());
   state
 
-(* Does the schedule (completed FIFO from its prefix) violate [check]? *)
+(* Does the schedule (completed FIFO from its prefix) violate [check]?
+   Shrink probes are untraced: only the final witness replay should
+   land in an installed trace buffer. *)
 let refutes ~make ~n ~actors ~check ~faulty ~adversary ~max_steps decisions =
-  not
-    (check
-       (replay ~make ~n ~actors ~faulty ~adversary ~max_steps decisions))
+  Obs.Tracer.suppressed (fun () ->
+      not
+        (check
+           (replay ~make ~n ~actors ~faulty ~adversary ~max_steps decisions)))
 
 (* Greedy decision-list reduction, ddmin flavoured: repeatedly try to
    drop chunks (halving the chunk size down to single decisions), then
@@ -267,16 +297,24 @@ let run ~make ~n ~actors ~check ?(faulty = []) ?(adversary = Adversary.honest)
     if !counterexample <> None then ()
     else if !budget_left <= 0 then truncated := true
     else begin
-      let state = make () in
-      let acts = actors state in
+      (* probes are untraced, including the [check] grading (it can
+         reach instrumented solver code); the witness replay below is
+         the trace *)
       match
-        exec ~n ~actors:acts ~faulty ~adversary ~max_steps
-          (scripted prefix)
+        Obs.Tracer.suppressed (fun () ->
+            let state = make () in
+            let acts = actors state in
+            match
+              exec ~n ~actors:acts ~faulty ~adversary ~max_steps
+                (scripted prefix)
+            with
+            | `Done -> `Done (check state)
+            | `Branch width -> `Branch width)
       with
-      | `Done ->
+      | `Done ok ->
           decr budget_left;
           incr explored;
-          if not (check state) then counterexample := Some prefix
+          if not ok then counterexample := Some prefix
       | `Branch width ->
           let k = ref 0 in
           while !k < width && !counterexample = None && not !truncated do
@@ -312,6 +350,13 @@ let fuzz ~make ~n ~actors ~check ?(faulty = [])
      changing what each one observes. Returns the failing decision list
      or [None] if the check passed. *)
   let run_trial t =
+    (* The whole trial — execution AND the [check] grading, which can
+       reach instrumented solver code — is untraced at any [jobs]:
+       workers never install a buffer, and at jobs=1 the coordinator's
+       buffer is suppressed here. An installed tracer therefore sees
+       exactly one execution, the final witness replay, which is what
+       keeps --trace output byte-identical across --jobs values. *)
+    Obs.Tracer.suppressed @@ fun () ->
     let rng = Rng.create ((seed * 1_000_003) + t) in
     let recorded = ref [] in
     let state = make () in

@@ -12,8 +12,17 @@ let run ~n ~rounds ~actors ?(faulty = []) ?(adversary = Adversary.honest) () =
   let is_faulty = Array.make n false in
   List.iter (fun p -> is_faulty.(p) <- true) faulty;
   let trace = Trace.create () in
+  (* hoisted: the tracing checks below cost one branch per site when no
+     buffer is installed on this domain *)
+  let tr = Obs.Tracer.active () in
+  let flow_ids = ref 0 in
   for round = 0 to rounds - 1 do
     trace.Trace.rounds <- trace.Trace.rounds + 1;
+    if tr then begin
+      Obs.Tracer.set_now round;
+      Obs.Tracer.emit ~lclock:round Obs.Tracer.Begin "round"
+        [ ("round", Obs.Tracer.Int round) ]
+    end;
     (* Gather honest outboxes. *)
     let outbox =
       Array.map
@@ -39,15 +48,22 @@ let run ~n ~rounds ~actors ?(faulty = []) ?(adversary = Adversary.honest) () =
           in
           (* The adversary sees each honest message on this edge (or None
              when there is none) and answers with what actually flows. *)
+          let adv_instant name =
+            if tr then
+              Obs.Tracer.instant ~track:src ~lclock:round ("adv." ^ name)
+                [ ("dst", Obs.Tracer.Int dst) ]
+          in
           let consider honest_msg =
             trace.Trace.messages_sent <- trace.Trace.messages_sent + 1;
             match adversary ~round ~src ~dst honest_msg with
             | None ->
+                adv_instant "drop";
                 trace.Trace.messages_dropped <-
                   trace.Trace.messages_dropped + 1
             | Some m ->
                 (match honest_msg with
                 | Some h when h != m ->
+                    adv_instant "corrupt";
                     trace.Trace.messages_corrupted <-
                       trace.Trace.messages_corrupted + 1
                 | _ -> ());
@@ -61,6 +77,7 @@ let run ~n ~rounds ~actors ?(faulty = []) ?(adversary = Adversary.honest) () =
               match adversary ~round ~src ~dst None with
               | None -> ()
               | Some m ->
+                  adv_instant "fabricate";
                   trace.Trace.messages_sent <- trace.Trace.messages_sent + 1;
                   trace.Trace.messages_corrupted <-
                     trace.Trace.messages_corrupted + 1;
@@ -86,8 +103,25 @@ let run ~n ~rounds ~actors ?(faulty = []) ?(adversary = Adversary.honest) () =
             (fun (a, _) (b, _) -> compare a b)
             (List.rev inboxes.(dst))
         in
-        actor.recv ~round batch)
-      actors
+        if tr then begin
+          Obs.Tracer.emit ~track:dst ~lclock:round Obs.Tracer.Begin "recv"
+            [ ("msgs", Obs.Tracer.Int (List.length batch)) ];
+          (* a synchronous round delivers in the round it sends, so the
+             flow pair is emitted at delivery: the arrow still runs
+             src -> dst across tracks *)
+          List.iter
+            (fun (src, _) ->
+              let id = !flow_ids in
+              incr flow_ids;
+              Obs.Tracer.flow_start ~track:src ~lclock:round ~id "msg";
+              Obs.Tracer.flow_end ~track:dst ~lclock:round ~id "msg")
+            batch
+        end;
+        actor.recv ~round batch;
+        if tr then
+          Obs.Tracer.emit ~track:dst ~lclock:round Obs.Tracer.End "recv" [])
+      actors;
+    if tr then Obs.Tracer.emit ~lclock:round Obs.Tracer.End "round" []
   done;
   Trace.publish ~prefix:"sim.sync" trace;
   trace

@@ -36,6 +36,26 @@ let pp ppf t =
 
 type event = { step : int; src : int; dst : int; info : string }
 
+(* Re-emit a recorded delivery schedule into the current trace buffer:
+   one span + send->deliver flow per event. Used when only the stored
+   [event list] of a counterexample is available (no live actors to
+   re-execute); a traced [Explore.replay] produces the same shape with
+   protocol-level detail on top. *)
+let emit_tracer_events events =
+  if Obs.Tracer.active () then
+    List.iteri
+      (fun i e ->
+        Obs.Tracer.set_now e.step;
+        Obs.Tracer.flow_start ~track:e.src ~lclock:e.step ~id:i "msg";
+        Obs.Tracer.emit ~track:e.dst ~lclock:e.step Obs.Tracer.Begin "deliver"
+          (("src", Obs.Tracer.Int e.src)
+          ::
+          (if e.info = "" then [] else [ ("msg", Obs.Tracer.Str e.info) ]));
+        Obs.Tracer.flow_end ~track:e.dst ~lclock:e.step ~id:i "msg";
+        Obs.Tracer.emit ~track:e.dst ~lclock:e.step Obs.Tracer.End "deliver"
+          [])
+      events
+
 let pp_event ppf e =
   if e.info = "" then
     Format.fprintf ppf "step %3d: %d -> %d" e.step e.src e.dst

@@ -34,3 +34,11 @@ type event = {
 
 val pp_event : Format.formatter -> event -> unit
 val pp_events : Format.formatter -> event list -> unit
+
+val emit_tracer_events : event list -> unit
+(** Re-emit a stored counterexample schedule into the current
+    {!Obs.Tracer} buffer — one delivery span plus a send→deliver flow
+    per event, stamped with the event's delivery step as the logical
+    clock. No-op when no buffer is installed. Prefer a traced
+    {!Explore.replay} when the protocol can be re-executed; this is for
+    witnesses that survive only as their [event list]. *)

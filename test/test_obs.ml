@@ -43,8 +43,16 @@ let unit_tests =
             let h = Option.get (find_hist (Obs.snapshot ()) "h") in
             check_int "count" 4 h.Obs.count;
             check_int "sum" 16 h.Obs.sum;
-            check_int "min" 1 h.Obs.min;
-            check_int "max" 9 h.Obs.max));
+            Alcotest.(check (option int)) "min" (Some 1) h.Obs.min;
+            Alcotest.(check (option int)) "max" (Some 9) h.Obs.max));
+    case "min/max are None only for an impossible empty histogram" (fun () ->
+        with_obs (fun () ->
+            (* a single negative sample must surface as the true min,
+               not be shadowed by a zero-initialized accumulator *)
+            Obs.observe "h" (-7);
+            let h = Option.get (find_hist (Obs.snapshot ()) "h") in
+            Alcotest.(check (option int)) "min" (Some (-7)) h.Obs.min;
+            Alcotest.(check (option int)) "max" (Some (-7)) h.Obs.max));
     case "histogram bucket boundaries are powers of two" (fun () ->
         with_obs (fun () ->
             (* v <= 0 -> bucket 0; 1 -> 1; 2..3 -> 2; 4..7 -> 4; 8..15 -> 8 *)
@@ -69,9 +77,13 @@ let unit_tests =
             (match Obs.time "s" (fun () -> failwith "boom") with
             | exception Failure _ -> ()
             | _ -> Alcotest.fail "exception must propagate");
-            let span = List.assoc "s" (Obs.snapshot ()).Obs.spans in
-            (* the raising call does not count *)
-            check_int "calls" 2 span.Obs.calls;
+            let snap = Obs.snapshot () in
+            let span = List.assoc "s" snap.Obs.spans in
+            (* the raising call still counts, and leaves an err marker *)
+            check_int "calls" 3 span.Obs.calls;
+            check_int "err counter" 1 (Option.get (find_counter snap "s.err"));
+            check_true "no err counter for clean spans"
+              (find_counter snap "s" = None);
             check_true "seconds nonneg" (span.Obs.seconds >= 0.)));
     case "reset clears all metrics but not the flag" (fun () ->
         with_obs (fun () ->
@@ -146,4 +158,99 @@ let merge_tests =
               (List.mem "seconds" (span_fields timed))));
   ]
 
-let suite = unit_tests @ merge_tests
+(* ------------------------- Tracer ------------------------- *)
+
+let names evs = List.map (fun e -> e.Obs.Tracer.name) evs
+
+let tracer_tests =
+  [
+    case "tracer: emit is a no-op without a buffer; with_tracer restores"
+      (fun () ->
+        check_false "inactive at rest" (Obs.Tracer.active ());
+        Obs.Tracer.instant "lost" [];
+        let t = Obs.Tracer.create () in
+        Obs.Tracer.with_tracer t (fun () ->
+            check_true "active inside" (Obs.Tracer.active ());
+            Obs.Tracer.instant "a" [];
+            Obs.Tracer.suppressed (fun () ->
+                check_false "suppressed" (Obs.Tracer.active ());
+                Obs.Tracer.instant "hidden" []);
+            check_true "restored after suppression" (Obs.Tracer.active ());
+            Obs.Tracer.instant "b" []);
+        check_false "restored after with_tracer" (Obs.Tracer.active ());
+        check_int "suppressed events not recorded" 2 (Obs.Tracer.length t);
+        check_true "order kept" (names (Obs.Tracer.events t) = [ "a"; "b" ]));
+    case "tracer: full ring drops the oldest events and counts them"
+      (fun () ->
+        let t = Obs.Tracer.create ~cap:4 () in
+        Obs.Tracer.with_tracer t (fun () ->
+            List.iter
+              (fun i -> Obs.Tracer.instant (string_of_int i) [])
+              [ 0; 1; 2; 3; 4; 5 ]);
+        check_int "capped" 4 (Obs.Tracer.length t);
+        check_int "dropped" 2 (Obs.Tracer.dropped t);
+        check_true "newest survive"
+          (names (Obs.Tracer.events t) = [ "2"; "3"; "4"; "5" ]));
+    case "tracer: buffer grows geometrically below cap without loss"
+      (fun () ->
+        let t = Obs.Tracer.create ~cap:3000 () in
+        Obs.Tracer.with_tracer t (fun () ->
+            for i = 0 to 1499 do
+              Obs.Tracer.instant (string_of_int i) []
+            done);
+        check_int "all retained" 1500 (Obs.Tracer.length t);
+        check_int "nothing dropped" 0 (Obs.Tracer.dropped t);
+        check_true "oldest intact"
+          (match Obs.Tracer.events t with
+          | e :: _ -> e.Obs.Tracer.name = "0"
+          | [] -> false));
+    case "tracer: set_now stamps the default logical clock" (fun () ->
+        let t = Obs.Tracer.create () in
+        Obs.Tracer.with_tracer t (fun () ->
+            Obs.Tracer.set_now 42;
+            check_int "now readable" 42 (Obs.Tracer.now ());
+            Obs.Tracer.instant "x" [];
+            Obs.Tracer.emit ~lclock:7 Obs.Tracer.Instant "y" []);
+        match Obs.Tracer.events t with
+        | [ x; y ] ->
+            check_int "defaulted" 42 x.Obs.Tracer.lclock;
+            check_int "explicit wins" 7 y.Obs.Tracer.lclock
+        | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs));
+    case "tracer: collect is isolated; absorb splices in order" (fun () ->
+        let t = Obs.Tracer.create () in
+        Obs.Tracer.with_tracer t (fun () ->
+            Obs.Tracer.instant "pre" [];
+            let v, evs =
+              Obs.Tracer.collect (fun () ->
+                  Obs.Tracer.instant "inner" [];
+                  5)
+            in
+            check_int "result threaded" 5 v;
+            check_true "collected" (names evs = [ "inner" ]);
+            check_int "outer buffer untouched" 1 (Obs.Tracer.length t);
+            Obs.Tracer.absorb evs);
+        check_true "spliced after"
+          (names (Obs.Tracer.events t) = [ "pre"; "inner" ]);
+        (* absorb without a buffer is a no-op *)
+        Obs.Tracer.absorb [ { Obs.Tracer.lclock = 0; track = 0; name = "z";
+                              kind = Obs.Tracer.Instant; args = [] } ]);
+    case "trace_span nests, and closes the span on exceptions" (fun () ->
+        let t = Obs.Tracer.create () in
+        Obs.Tracer.with_tracer t (fun () ->
+            ignore
+              (Obs.trace_span "outer" (fun () ->
+                   Obs.trace_span "inner" (fun () -> 1)));
+            match Obs.trace_span "bad" (fun () -> failwith "boom") with
+            | exception Failure _ -> ()
+            | _ -> Alcotest.fail "exception must propagate");
+        (match names (Obs.Tracer.events t) with
+        | [ "outer"; "inner"; "inner"; "outer"; "bad"; "bad" ] -> ()
+        | ns -> Alcotest.failf "unexpected shape: %s" (String.concat "," ns));
+        let last = List.nth (Obs.Tracer.events t) 5 in
+        check_true "End emitted for raising span"
+          (last.Obs.Tracer.kind = Obs.Tracer.End);
+        check_true "err marker on the End event"
+          (List.mem_assoc "err" last.Obs.Tracer.args));
+  ]
+
+let suite = unit_tests @ merge_tests @ tracer_tests

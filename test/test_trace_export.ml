@@ -1,0 +1,184 @@
+open Helpers
+
+(* Deterministic execution tracing: exporter round-trips, span-tree
+   well-formedness, and the acceptance criterion — a fuzz witness trace
+   that is byte-identical at any [jobs] value. *)
+
+let mk ?(lclock = 0) ?(track = -1) ?(args = []) kind name =
+  { Obs.Tracer.lclock; track; name; kind; args }
+
+(* The seeded ack-order bug from [Test_explore], fuzzed under an
+   installed trace buffer: trials and shrink probes are suppressed, so
+   the buffer must contain exactly the final witness replay. *)
+let traced_fuzz ~jobs =
+  let buf = Obs.Tracer.create () in
+  let r =
+    Obs.Tracer.with_tracer buf (fun () ->
+        Explore.fuzz ~make:Test_explore.ack_bug_make ~n:3
+          ~actors:Test_explore.ack_bug_actors
+          ~check:Test_explore.ack_bug_check
+          ~summarize:(function `T -> "token" | `A -> "ack")
+          ~jobs ~seed:7 ~trials:200 ())
+  in
+  (r, Obs.Tracer.events buf)
+
+let unit_tests =
+  [
+    case "hand-built trace round-trips through Persist exactly" (fun () ->
+        let evs =
+          [
+            mk ~track:0 ~args:[ ("flow", Obs.Tracer.Int 3) ]
+              Obs.Tracer.Flow_start "msg";
+            mk ~lclock:1 ~track:1
+              ~args:[ ("src", Obs.Tracer.Int 0); ("m", Obs.Tracer.Str "tok") ]
+              Obs.Tracer.Begin "deliver";
+            mk ~lclock:1 ~track:1 ~args:[ ("flow", Obs.Tracer.Int 3) ]
+              Obs.Tracer.Flow_end "msg";
+            mk ~lclock:1 ~track:1 Obs.Tracer.Instant "bracha.echo";
+            mk ~lclock:1 ~track:1 Obs.Tracer.End "deliver";
+          ]
+        in
+        let j = Trace_export.to_json ~meta:[ ("seed", Persist.Int 7) ] evs in
+        check_true "schema tagged"
+          (Persist.member "schema" j
+          = Some (Persist.String Trace_export.schema));
+        let s = Persist.to_string j in
+        match Persist.of_string s with
+        | Error e -> Alcotest.failf "unparseable: %s" e
+        | Ok j' -> (
+            match Trace_export.of_json j' with
+            | Error e -> Alcotest.failf "of_json: %s" e
+            | Ok evs' -> check_true "identical events" (evs = evs')));
+    case "check_spans accepts balanced trees, rejects malformed ones"
+      (fun () ->
+        let ok =
+          [
+            mk Obs.Tracer.Begin "a";
+            mk ~lclock:1 Obs.Tracer.Begin "b";
+            mk ~lclock:1 Obs.Tracer.End "b";
+            mk ~lclock:2 Obs.Tracer.End "a";
+          ]
+        in
+        check_true "balanced" (Trace_export.check_spans ok = Ok ());
+        let open_span = [ mk Obs.Tracer.Begin "a" ] in
+        check_true "open span rejected"
+          (Result.is_error (Trace_export.check_spans open_span));
+        let mismatch =
+          [ mk Obs.Tracer.Begin "a"; mk Obs.Tracer.End "b" ]
+        in
+        check_true "name mismatch rejected"
+          (Result.is_error (Trace_export.check_spans mismatch));
+        let backwards =
+          [ mk ~lclock:5 Obs.Tracer.Begin "a"; mk ~lclock:3 Obs.Tracer.End "a" ]
+        in
+        check_true "decreasing clock rejected"
+          (Result.is_error (Trace_export.check_spans backwards));
+        let stray = [ mk Obs.Tracer.End "a" ] in
+        check_true "stray End rejected"
+          (Result.is_error (Trace_export.check_spans stray)));
+    case "om broadcast records a balanced span tree" (fun () ->
+        let buf = Obs.Tracer.create () in
+        Obs.Tracer.with_tracer buf (fun () ->
+            ignore
+              (Om.broadcast_all ~n:4 ~f:1 ~inputs:[| 1; 2; 3; 4 |] ~default:0
+                 ~compare:Int.compare ()));
+        let evs = Obs.Tracer.events buf in
+        check_true "recorded something" (evs <> []);
+        check_true "round spans present"
+          (List.exists (fun e -> e.Obs.Tracer.name = "round") evs);
+        check_true "decide recursion present"
+          (List.exists (fun e -> e.Obs.Tracer.name = "om.majority") evs);
+        (match Trace_export.check_spans evs with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "om spans: %s" e));
+    case "bracha broadcast records flows, phases, balanced spans" (fun () ->
+        let buf = Obs.Tracer.create () in
+        Obs.Tracer.with_tracer buf (fun () ->
+            ignore
+              (Bracha.broadcast_all ~n:4 ~f:1 ~inputs:[| 10; 20; 30; 40 |]
+                 ~compare:Int.compare ()));
+        let evs = Obs.Tracer.events buf in
+        check_true "flow pairs present"
+          (List.exists
+             (fun e -> e.Obs.Tracer.kind = Obs.Tracer.Flow_end)
+             evs);
+        check_true "phase instants present"
+          (List.exists (fun e -> e.Obs.Tracer.name = "bracha.deliver") evs);
+        (match Trace_export.check_spans evs with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "bracha spans: %s" e));
+    case "timeline and stats printers don't crash on a real trace"
+      (fun () ->
+        let _, evs = traced_fuzz ~jobs:1 in
+        let timeline = Format.asprintf "%a" Trace_export.pp_timeline evs in
+        let stats = Format.asprintf "%a" Trace_export.pp_stats evs in
+        check_true "timeline non-empty" (String.length timeline > 0);
+        check_true "stats mention balance"
+          (String.length stats > 0
+          &&
+          let has_sub s sub =
+            let n = String.length s and m = String.length sub in
+            let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+            go 0
+          in
+          has_sub stats "balanced"));
+  ]
+
+let acceptance_tests =
+  [
+    case "fuzz witness trace is byte-identical at jobs=1 and jobs=4"
+      (fun () ->
+        let r1, e1 = traced_fuzz ~jobs:1 in
+        let r4, e4 = traced_fuzz ~jobs:4 in
+        check_true "witness found" (r1.Explore.witness <> None);
+        check_true "same counterexample at any jobs"
+          (r1.Explore.counterexample = r4.Explore.counterexample);
+        check_true "trace non-empty" (e1 <> []);
+        let s evs = Persist.to_string (Trace_export.to_json evs) in
+        Alcotest.(check string) "byte-identical JSON" (s e1) (s e4));
+    case "witness trace replays only the final schedule" (fun () ->
+        let r, evs = traced_fuzz ~jobs:1 in
+        let w = Option.get r.Explore.witness in
+        (* one Begin "deliver" per witness delivery event, no more:
+           the 200 sampled trials and every shrink probe stay out *)
+        let deliveries =
+          List.length
+            (List.filter
+               (fun e ->
+                 e.Obs.Tracer.kind = Obs.Tracer.Begin
+                 && e.Obs.Tracer.name = "deliver")
+               evs)
+        in
+        check_int "deliver spans = witness length" deliveries
+          (List.length w.Explore.events));
+    case "stored Trace.event witnesses re-emit as a valid trace" (fun () ->
+        let r, _ = traced_fuzz ~jobs:1 in
+        let w = Option.get r.Explore.witness in
+        let buf = Obs.Tracer.create () in
+        Obs.Tracer.with_tracer buf (fun () ->
+            Trace.emit_tracer_events w.Explore.events);
+        let evs = Obs.Tracer.events buf in
+        check_int "4 events per delivery"
+          (4 * List.length w.Explore.events)
+          (List.length evs);
+        match Trace_export.check_spans evs with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "re-emitted spans: %s" e);
+  ]
+
+let prop_tests =
+  [
+    qtest ~count:40 "replayed schedules always trace well-formed span trees"
+      (QCheck.make
+         ~print:(fun ds -> String.concat ";" (List.map string_of_int ds))
+         QCheck.Gen.(list_size (int_bound 20) (int_bound 5)))
+      (fun decisions ->
+        let buf = Obs.Tracer.create () in
+        ignore
+          (Obs.Tracer.with_tracer buf (fun () ->
+               Explore.replay ~make:Test_explore.ack_bug_make ~n:3
+                 ~actors:Test_explore.ack_bug_actors decisions));
+        Trace_export.check_spans (Obs.Tracer.events buf) = Ok ());
+  ]
+
+let suite = unit_tests @ acceptance_tests @ prop_tests
