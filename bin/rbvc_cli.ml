@@ -166,6 +166,10 @@ let validity_conv =
   let print ppf v = Problem.pp_validity ppf v in
   Arg.conv (parse, print)
 
+let fault_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Fault.spec_of_string s) in
+  Arg.conv (parse, Fault.pp_spec)
+
 let run_cmd =
   let n = Arg.(value & opt int 5 & info [ "n" ] ~doc:"Number of processes.") in
   let f = Arg.(value & opt int 1 & info [ "f" ] ~doc:"Fault bound.") in
@@ -196,13 +200,29 @@ let run_cmd =
       value & opt int 1
       & info [ "faulty" ] ~doc:"Number of actually-faulty processes (<= f).")
   in
-  let run seed n f d validity async eps nfaulty =
+  let fault =
+    Arg.(
+      value
+      & opt (some fault_conv) None
+      & info [ "fault" ] ~docv:"SPEC"
+          ~doc:
+            "Overlay a weaker fault model on the faulty processes (composed \
+             after the Byzantine adversary): $(b,crash:T) (honest until \
+             logical time T, silent after), $(b,omit:P[:SEED]) (each message \
+             independently lost with probability P, deterministic in the \
+             seed), or $(b,delay:MAX[:SEED]) (each message delayed by a \
+             seeded uniform draw from 0..MAX rounds/steps).")
+  in
+  let run seed n f d validity async eps nfaulty fault =
     let rng = Rng.create seed in
     let faulty = List.init (Int.min nfaulty f) (fun i -> n - 1 - i) in
     let inst = Problem.random_instance rng ~n ~f ~d ~faulty in
     Format.printf "Instance: n=%d f=%d d=%d faulty=[%s], validity=%a@." n f d
       (String.concat "," (List.map string_of_int faulty))
       Problem.pp_validity validity;
+    (match fault with
+    | None -> ()
+    | Some spec -> Format.printf "Fault model: %a@." Fault.pp_spec spec);
     Array.iteri
       (fun i v -> Format.printf "  input %d%s = %a@." i
           (if Problem.is_faulty inst i then " (faulty)" else "")
@@ -211,12 +231,12 @@ let run_cmd =
     let out =
       if async then
         Runner.run_async inst ~validity ~eps
-          ~policy:(Async.Random_order seed) ~adversary:(`Skew 5.) ()
+          ~policy:(Async.Random_order seed) ~adversary:(`Skew 5.) ?fault ()
       else
         Runner.run_sync inst ~validity
           ~corrupt:(fun src ~dst ~commander:_ ~path:_ v ->
             Vec.axpy (0.25 *. float_of_int ((src + dst) mod 3)) (Vec.ones d) v)
-          ()
+          ?fault ()
     in
     List.iteri
       (fun i o -> Format.printf "  output %d = %a@." i Vec.pp o)
@@ -225,13 +245,16 @@ let run_cmd =
     if Runner.ok out then 0 else 1
   in
   let term =
-    Term.(const run $ seed_arg $ n $ f $ d $ validity $ async $ eps $ nfaulty)
+    Term.(
+      const run $ seed_arg $ n $ f $ d $ validity $ async $ eps $ nfaulty
+      $ fault)
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:
          "Run one consensus instance end-to-end over the simulator, with a \
-          Byzantine adversary, and grade the outcome.")
+          Byzantine adversary (optionally weakened to crash / omission / \
+          delay via --fault), and grade the outcome.")
     term
 
 (* ---------------- witness ---------------- *)

@@ -28,80 +28,103 @@ let count_for tbl ~compare v =
     (fun (v', _) () acc -> if compare v v' = 0 then acc + 1 else acc)
     tbl 0
 
-let broadcast_all ~n ~f ~inputs ?(faulty = []) ?adversary ?policy ?max_steps
-    ~compare () =
-  if Array.length inputs <> n then
-    invalid_arg "Bracha.broadcast_all: need n inputs";
-  if n < (3 * f) + 1 then
-    invalid_arg "Bracha.broadcast_all: requires n >= 3f + 1";
+type 'v state = { me : int; insts : 'v instance array }
+
+let protocol ~n ~f ~inputs ~compare =
+  if Array.length inputs <> n then invalid_arg "Bracha: need n inputs";
+  if n < (3 * f) + 1 then invalid_arg "Bracha: requires n >= 3f + 1";
   let echo_quorum = ((n + f) / 2) + 1 in
   let ready_from_echo = echo_quorum in
   let ready_amplify = f + 1 in
   let deliver_quorum = (2 * f) + 1 in
-  let instances = Array.init n (fun _ -> Array.init n (fun _ -> fresh_instance ())) in
   let everyone = List.init n (fun i -> i) in
   let to_all m = List.map (fun dst -> (dst, m)) everyone in
-  let make_actor me =
-    let inst o = instances.(me).(o) in
-    (* Phase transitions as trace instants (stamped with the delivery
-       step the async scheduler set as the logical clock); one branch
-       per transition when tracing is off, nothing per message. *)
-    let phase name originator =
-      if Obs.Tracer.active () then
-        Obs.Tracer.instant ~track:me ("bracha." ^ name)
-          [ ("originator", Obs.Tracer.Int originator) ]
-    in
-    let start () = to_all (Initial { originator = me; value = inputs.(me) }) in
-    let on_message ~src msg =
-      match msg with
-      | Initial { originator; value } ->
-          (* Only the originator itself may introduce its value. *)
-          if src <> originator then []
+  (* Phase transitions as trace instants (stamped with the delivery
+     step the scheduler set as the logical clock); one branch per
+     transition when tracing is off, nothing per message. *)
+  let phase me name originator =
+    if Obs.Tracer.active () then
+      Obs.Tracer.instant ~track:me ("bracha." ^ name)
+        [ ("originator", Obs.Tracer.Int originator) ]
+  in
+  let handle st ~src msg =
+    match msg with
+    | Initial { originator; value } ->
+        (* Only the originator itself may introduce its value. *)
+        if src <> originator then []
+        else begin
+          let inst = st.insts.(originator) in
+          if inst.echoed then []
           else begin
-            let st = inst originator in
-            if st.echoed then []
-            else begin
-              st.echoed <- true;
-              phase "echo" originator;
-              to_all (Echo { originator; value })
-            end
+            inst.echoed <- true;
+            phase st.me "echo" originator;
+            to_all (Echo { originator; value })
           end
-      | Echo { originator; value } ->
-          let st = inst originator in
-          Hashtbl.replace st.echo_senders (value, src) ();
-          if
-            (not st.readied)
-            && count_for st.echo_senders ~compare value >= ready_from_echo
-          then begin
-            st.readied <- true;
-            phase "ready" originator;
+        end
+    | Echo { originator; value } ->
+        let inst = st.insts.(originator) in
+        Hashtbl.replace inst.echo_senders (value, src) ();
+        if
+          (not inst.readied)
+          && count_for inst.echo_senders ~compare value >= ready_from_echo
+        then begin
+          inst.readied <- true;
+          phase st.me "ready" originator;
+          to_all (Ready { originator; value })
+        end
+        else []
+    | Ready { originator; value } ->
+        let inst = st.insts.(originator) in
+        Hashtbl.replace inst.ready_senders (value, src) ();
+        let c = count_for inst.ready_senders ~compare value in
+        let out =
+          if (not inst.readied) && c >= ready_amplify then begin
+            inst.readied <- true;
+            phase st.me "ready" originator;
             to_all (Ready { originator; value })
           end
           else []
-      | Ready { originator; value } ->
-          let st = inst originator in
-          Hashtbl.replace st.ready_senders (value, src) ();
-          let c = count_for st.ready_senders ~compare value in
-          let out =
-            if (not st.readied) && c >= ready_amplify then begin
-              st.readied <- true;
-              phase "ready" originator;
-              to_all (Ready { originator; value })
-            end
-            else []
-          in
-          if st.delivered = None && c >= deliver_quorum then begin
-            st.delivered <- Some value;
-            phase "deliver" originator
-          end;
-          out
-    in
-    { Async.start; on_message }
+        in
+        if inst.delivered = None && c >= deliver_quorum then begin
+          inst.delivered <- Some value;
+          phase st.me "deliver" originator
+        end;
+        out
   in
-  let actors = Array.init n make_actor in
-  let outcome = Async.run ~n ~actors ~faulty ?adversary ?policy ?max_steps () in
+  {
+    Protocol.init =
+      (fun ~me -> { me; insts = Array.init n (fun _ -> fresh_instance ()) });
+    on_start =
+      (fun st -> to_all (Initial { originator = st.me; value = inputs.(st.me) }));
+    on_tick = (fun _ ~time:_ -> []);
+    on_receive =
+      (fun st ~time:_ batch ->
+        List.concat_map (fun (src, m) -> handle st ~src m) batch);
+    output = (fun st -> Array.map (fun inst -> inst.delivered) st.insts);
+  }
+
+let broadcast_all ~n ~f ~inputs ?(faulty = []) ?adversary ?policy ?max_steps
+    ?fault ~compare () =
+  if Array.length inputs <> n then
+    invalid_arg "Bracha.broadcast_all: need n inputs";
+  if n < (3 * f) + 1 then
+    invalid_arg "Bracha.broadcast_all: requires n >= 3f + 1";
+  let p = protocol ~n ~f ~inputs ~compare in
+  let faults =
+    Fault.overlay ~faulty (Option.value adversary ~default:Adversary.honest)
+      fault
+  in
+  let outcome =
+    Engine.run ~faults ~obs_prefix:"sim.async" ~err:"Bracha" ~n ~protocol:p
+      ~scheduler:
+        (Async.scheduler_of_policy (Option.value policy ~default:Async.Fifo))
+      ~limit:(Option.value max_steps ~default:200_000)
+      ()
+  in
   let deliveries =
-    Array.init n (fun p -> Array.init n (fun o -> instances.(p).(o).delivered))
+    Array.map
+      (fun st -> Array.map (fun inst -> inst.delivered) st.insts)
+      outcome.Engine.states
   in
   if Obs.enabled () then begin
     Obs.incr "bracha.runs";
@@ -115,4 +138,8 @@ let broadcast_all ~n ~f ~inputs ?(faulty = []) ?adversary ?policy ?max_steps
     in
     Obs.add "bracha.delivered" delivered
   end;
-  (deliveries, outcome)
+  ( deliveries,
+    {
+      Async.trace = outcome.Engine.trace;
+      quiescent = (outcome.Engine.stopped = `Quiescent);
+    } )

@@ -18,6 +18,21 @@ type 'v msg =
   | Echo of { originator : int; value : 'v }
   | Ready of { originator : int; value : 'v }
 
+type 'v state
+(** Per-process protocol state: one broadcast instance per originator. *)
+
+val protocol :
+  n:int ->
+  f:int ->
+  inputs:'v array ->
+  compare:('v -> 'v -> int) ->
+  ('v state, 'v msg, 'v option array) Protocol.t
+(** Reliable broadcast as an engine protocol, ready for {!Engine.run}
+    under any step scheduler: each process RB-broadcasts its input on
+    start. The output hook returns the per-originator deliveries row
+    ([None] where undelivered). Raises [Invalid_argument] unless
+    [inputs] has length [n] and [n >= 3f + 1]. *)
+
 val broadcast_all :
   n:int ->
   f:int ->
@@ -26,10 +41,12 @@ val broadcast_all :
   ?adversary:'v msg Adversary.t ->
   ?policy:Async.policy ->
   ?max_steps:int ->
+  ?fault:Fault.spec ->
   compare:('v -> 'v -> int) ->
   unit ->
   'v option array array * Async.outcome
 (** Every process RB-broadcasts its input. [result.(p).(o)] is the value
     process [p] delivered for originator [o] ([None] if undelivered when
     the run ended). With non-faulty [o], all non-faulty [p] deliver
-    [inputs.(o)]. *)
+    [inputs.(o)]. [fault] overlays a crash / omission / delay
+    {!Fault.spec} on the [faulty] set, composed after [adversary]. *)

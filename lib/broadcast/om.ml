@@ -73,54 +73,51 @@ let validate_and_key st ~round ~src e =
   List.iter (fun q -> if q >= 0 && q < st.n then st.seen.(q) <- false) e.path;
   result
 
-let make_actor st =
-  let send ~round =
-    if round = 0 then
-      List.concat_map
-        (fun (c, v) ->
-          assert (c = st.me);
-          List.filter_map
-            (fun dst ->
-              if dst = st.me then None
-              else Some (dst, [ { commander = c; path = [ c ]; value = v } ]))
-            (List.init st.n (fun i -> i)))
-        st.own
-    else if round <= st.f then begin
-      let entries = st.to_relay in
-      st.to_relay <- [];
-      (* group relays by destination *)
-      let boxes = Array.make st.n [] in
+let send st ~round =
+  if round = 0 then
+    List.concat_map
+      (fun (c, v) ->
+        assert (c = st.me);
+        List.filter_map
+          (fun dst ->
+            if dst = st.me then None
+            else Some (dst, [ { commander = c; path = [ c ]; value = v } ]))
+          (List.init st.n (fun i -> i)))
+      st.own
+  else if round <= st.f then begin
+    let entries = st.to_relay in
+    st.to_relay <- [];
+    (* group relays by destination *)
+    let boxes = Array.make st.n [] in
+    List.iter
+      (fun e ->
+        let path' = e.path @ [ st.me ] in
+        for dst = 0 to st.n - 1 do
+          if dst <> st.me && not (List.mem dst path') then
+            boxes.(dst) <- { e with path = path' } :: boxes.(dst)
+        done)
+      entries;
+    List.filter_map
+      (fun dst ->
+        match boxes.(dst) with [] -> None | es -> Some (dst, List.rev es))
+      (List.init st.n (fun i -> i))
+  end
+  else []
+
+let recv st ~round batch =
+  List.iter
+    (fun (src, entries) ->
       List.iter
         (fun e ->
-          let path' = e.path @ [ st.me ] in
-          for dst = 0 to st.n - 1 do
-            if dst <> st.me && not (List.mem dst path') then
-              boxes.(dst) <- { e with path = path' } :: boxes.(dst)
-          done)
-        entries;
-      List.filter_map
-        (fun dst ->
-          match boxes.(dst) with [] -> None | es -> Some (dst, List.rev es))
-        (List.init st.n (fun i -> i))
-    end
-    else []
-  in
-  let recv ~round batch =
-    List.iter
-      (fun (src, entries) ->
-        List.iter
-          (fun e ->
-            match validate_and_key st ~round ~src e with
-            | None -> ()
-            | Some key ->
-                if not (Hashtbl.mem st.store key) then begin
-                  Hashtbl.add st.store key e.value;
-                  if round < st.f then st.to_relay <- e :: st.to_relay
-                end)
-          entries)
-      batch
-  in
-  { Sync.send; recv }
+          match validate_and_key st ~round ~src e with
+          | None -> ()
+          | Some key ->
+              if not (Hashtbl.mem st.store key) then begin
+                Hashtbl.add st.store key e.value;
+                if round < st.f then st.to_relay <- e :: st.to_relay
+              end)
+        entries)
+    batch
 
 let decide st ~compare ~default ~commander =
   match List.assoc_opt commander st.own with
@@ -166,16 +163,16 @@ let decide st ~compare ~default ~commander =
       if tr then Obs.Tracer.emit ~track:st.me Obs.Tracer.End "om.decide" [];
       v
 
-let run_protocol ~n ~f ~commanders ?(faulty = []) ?corrupt ()
-    =
+let protocol ~n ~f ~commanders ~default ~compare =
   if n < 1 then invalid_arg "Om: n must be positive";
   if f < 0 || f >= n then invalid_arg "Om: need 0 <= f < n";
   (* packed path keys need (f+1) radix-(n+1) digits to fit in an int;
      combinations beyond that would also need > 2^61 messages *)
   if float_of_int (f + 1) *. (log (float_of_int (n + 1)) /. log 2.) > 61. then
     invalid_arg "Om: n^(f+1) path space exceeds the packed-key range";
-  let states =
-    Array.init n (fun me ->
+  {
+    Protocol.init =
+      (fun ~me ->
         {
           me;
           n;
@@ -187,44 +184,69 @@ let run_protocol ~n ~f ~commanders ?(faulty = []) ?corrupt ()
             List.filter_map
               (fun (c, v) -> if c = me then Some (c, v) else None)
               commanders;
-        })
+        });
+    on_start = (fun _ -> []);
+    on_tick = (fun st ~time -> send st ~round:time);
+    on_receive =
+      (fun st ~time batch ->
+        recv st ~round:time batch;
+        []);
+    output =
+      (fun st ->
+        Array.init n (fun commander -> decide st ~compare ~default ~commander));
+  }
+
+let adversary_of_corrupt corrupt =
+  match corrupt with
+  | None -> Adversary.honest
+  | Some corrupt ->
+      fun ~round:_ ~src ~dst msg ->
+        Option.map
+          (List.map (fun e ->
+               {
+                 e with
+                 value =
+                   (corrupt src) ~dst ~commander:e.commander ~path:e.path
+                     e.value;
+               }))
+          msg
+
+(* Compose the Byzantine value-corruption adversary with an optional
+   weaker fault spec (crash / omission / delay) into one engine model.
+   Built fresh per run: omission specs carry per-edge counters. *)
+let faults_of ~faulty ~corrupt ~fault =
+  Fault.overlay ~faulty (adversary_of_corrupt corrupt) fault
+
+let run_protocol ~n ~f ~commanders ~default ~compare ?(faulty = []) ?corrupt
+    ?fault () =
+  let p = protocol ~n ~f ~commanders ~default ~compare in
+  let outcome =
+    Engine.run
+      ~faults:(faults_of ~faulty ~corrupt ~fault)
+      ~obs_prefix:"sim.sync" ~err:"Om" ~n ~protocol:p
+      ~scheduler:Scheduler.Rounds ~limit:(f + 1) ()
   in
-  let actors = Array.map make_actor states in
-  let adversary =
-    match corrupt with
-    | None -> Adversary.honest
-    | Some corrupt ->
-        fun ~round:_ ~src ~dst msg ->
-          Option.map
-            (List.map (fun e ->
-                 {
-                   e with
-                   value =
-                     (corrupt src) ~dst ~commander:e.commander ~path:e.path
-                       e.value;
-                 }))
-            msg
-  in
-  let trace = Sync.run ~n ~rounds:(f + 1) ~actors ~faulty ~adversary () in
+  let states = outcome.Engine.states in
   if Obs.enabled () then begin
     Obs.incr "om.runs";
     Array.iter (fun st -> Obs.observe "om.store_size" (Hashtbl.length st.store)) states
   end;
-  (states, trace)
+  (states, outcome.Engine.trace)
 
-let broadcast ~n ~f ~commander ~value ?faulty ?corrupt ~default ~compare () =
+let broadcast ~n ~f ~commander ~value ?faulty ?corrupt ?fault ~default
+    ~compare () =
   let states, trace =
     run_protocol ~n ~f
       ~commanders:[ (commander, value) ]
-      ?faulty ?corrupt ()
+      ~default ~compare ?faulty ?corrupt ?fault ()
   in
   (Array.map (fun st -> decide st ~compare ~default ~commander) states, trace)
 
-let broadcast_all ~n ~f ~inputs ?faulty ?corrupt ~default ~compare () =
+let broadcast_all ~n ~f ~inputs ?faulty ?corrupt ?fault ~default ~compare () =
   if Array.length inputs <> n then invalid_arg "Om.broadcast_all: need n inputs";
   let commanders = Array.to_list (Array.mapi (fun c v -> (c, v)) inputs) in
   let states, trace =
-    run_protocol ~n ~f ~commanders ?faulty ?corrupt ()
+    run_protocol ~n ~f ~commanders ~default ~compare ?faulty ?corrupt ?fault ()
   in
   let decisions =
     Array.map

@@ -20,6 +20,26 @@ type 'v corruption = dst:int -> commander:int -> path:int list -> 'v -> 'v
     equivocation at the value level. Identity = faulty-but-obedient, the
     restricted adversary of the paper's necessity proofs. *)
 
+type 'v state
+(** Per-process protocol state (path-indexed relay store). *)
+
+val protocol :
+  n:int ->
+  f:int ->
+  commanders:(int * 'v) list ->
+  default:'v ->
+  compare:('v -> 'v -> int) ->
+  ('v state, 'v entry list, 'v array) Protocol.t
+(** OM(f) as an engine protocol, ready for {!Engine.run} under the
+    {!Scheduler.Rounds} scheduler with [limit = f + 1] (round 0:
+    commanders broadcast; rounds 1..f: relays). [commanders] lists
+    [(commander, value)] pairs; the output hook evaluates the recursive
+    majority for every commander in [0 .. n-1] ([default] where no
+    strict majority exists). Evaluating the output emits the
+    ["om.decide"]/["om.majority"] tracer span tree, so apply it outside
+    any execution you want traced cleanly. Raises [Invalid_argument]
+    unless [0 <= f < n] and the packed path keys fit an int. *)
+
 val broadcast :
   n:int ->
   f:int ->
@@ -27,12 +47,15 @@ val broadcast :
   value:'v ->
   ?faulty:int list ->
   ?corrupt:(int -> 'v corruption) ->
+  ?fault:Fault.spec ->
   default:'v ->
   compare:('v -> 'v -> int) ->
   unit ->
   'v array * Trace.t
 (** One commander broadcasting one value: returns each process's decided
-    value (index = process id; the commander decides its own input). *)
+    value (index = process id; the commander decides its own input).
+    [fault] overlays a crash / omission / delay {!Fault.spec} on the
+    [faulty] set, composed after [corrupt]. *)
 
 val broadcast_all :
   n:int ->
@@ -40,6 +63,7 @@ val broadcast_all :
   inputs:'v array ->
   ?faulty:int list ->
   ?corrupt:(int -> 'v corruption) ->
+  ?fault:Fault.spec ->
   default:'v ->
   compare:('v -> 'v -> int) ->
   unit ->

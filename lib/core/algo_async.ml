@@ -107,16 +107,9 @@ type adversary =
   | `Greedy
   | `Equivocate of float ]
 
-type session = {
-  s_procs : proc array;
-  s_actors : msg Async.actor array;
-  s_adversary : msg Adversary.t;
-  s_rounds : int;
-}
-
-let session (inst : Problem.instance) ~validity ~rounds
+let protocol (inst : Problem.instance) ~validity ~rounds
     ?(adversary = `Obedient) () =
-  let { Problem.n; f; d; inputs; faulty } = inst in
+  let { Problem.n; f; inputs; faulty; _ } = inst in
   if rounds < 1 then invalid_arg "Algo_async.run: need rounds >= 1";
   if n < (3 * f) + 1 then invalid_arg "Algo_async.run: requires n >= 3f + 1";
   let combine = make_combine ~validity ~f in
@@ -124,23 +117,6 @@ let session (inst : Problem.instance) ~validity ~rounds
   let ready_amplify = f + 1 in
   let deliver_quorum = (2 * f) + 1 in
   let everyone = List.init n (fun i -> i) in
-  let procs =
-    Array.init n (fun me ->
-        {
-          me;
-          n;
-          f;
-          total_rounds = rounds;
-          greedy = (adversary = `Greedy && List.mem me faulty);
-          validity;
-          rb = Hashtbl.create 97;
-          verified = Hashtbl.create 97;
-          pending = [];
-          my_round = 0;
-          decided = None;
-          delta_used = 0.;
-        })
-  in
   let to_all m = List.map (fun dst -> (dst, m)) everyone in
 
   (* Can (round, payload) be verified from p's verified table right now?
@@ -302,82 +278,121 @@ let session (inst : Problem.instance) ~validity ~rounds
         end
         else out
   in
+  (* [`Silent] faulty processes run inert protocol hooks, exactly like
+     the inert actors the session used to install. *)
+  let silent me = adversary = `Silent && List.mem me faulty in
+  {
+    Protocol.init =
+      (fun ~me ->
+        {
+          me;
+          n;
+          f;
+          total_rounds = rounds;
+          greedy = (adversary = `Greedy && List.mem me faulty);
+          validity;
+          rb = Hashtbl.create 97;
+          verified = Hashtbl.create 97;
+          pending = [];
+          my_round = 0;
+          decided = None;
+          delta_used = 0.;
+        });
+    on_start =
+      (fun p ->
+        if silent p.me then []
+        else begin
+          let payload = { value = inputs.(p.me); justification = [] } in
+          to_all (Initial { key = (0, p.me); payload })
+        end);
+    on_tick = (fun _ ~time:_ -> []);
+    on_receive =
+      (fun p ~time:_ batch ->
+        if silent p.me then []
+        else List.concat_map (fun (src, m) -> handle p ~src m) batch);
+    output = (fun p -> p.decided);
+  }
 
-  let make_actor me =
-    let p = procs.(me) in
-    {
-      Async.start =
-        (fun () ->
-          let payload = { value = inputs.(me); justification = [] } in
-          to_all (Initial { key = (0, me); payload }));
-      on_message = (fun ~src msg -> handle p ~src msg);
-    }
-  in
+let net_adversary (inst : Problem.instance) adversary =
+  let d = inst.Problem.d in
+  match adversary with
+  | `Obedient | `Silent | `Greedy -> Adversary.honest
+  | `Garbage ->
+      fun ~round:_ ~src ~dst:_ m ->
+        (* corrupt own round >= 1 values: verification will reject *)
+        Option.map
+          (function
+            | Initial { key = (t, o); payload } when o = src && t >= 1 ->
+                Initial
+                  {
+                    key = (t, o);
+                    payload =
+                      {
+                        payload with
+                        value =
+                          Vec.add (Vec.scale 3. payload.value) (Vec.ones d);
+                      };
+                  }
+            | other -> other)
+          m
+  | `Skew s ->
+      fun ~round:_ ~src ~dst:_ m ->
+        Option.map
+          (function
+            | Initial { key = (0, o); payload } when o = src ->
+                Initial
+                  {
+                    key = (0, o);
+                    payload = { payload with value = Vec.scale s payload.value };
+                  }
+            | other -> other)
+          m
+  | `Equivocate s ->
+      (* a different round-0 input claim per destination: the classic
+         attack Bracha's echo/ready quorums must neutralize *)
+      fun ~round:_ ~src ~dst m ->
+        Option.map
+          (function
+            | Initial { key = (0, o); payload } when o = src ->
+                Initial
+                  {
+                    key = (0, o);
+                    payload =
+                      {
+                        payload with
+                        value =
+                          Vec.scale
+                            (1. +. (s *. float_of_int dst))
+                            payload.value;
+                      };
+                  }
+            | other -> other)
+          m
+
+type session = {
+  s_procs : proc array;
+  s_actors : msg Async.actor array;
+  s_adversary : msg Adversary.t;
+  s_rounds : int;
+}
+
+let session (inst : Problem.instance) ~validity ~rounds
+    ?(adversary = `Obedient) () =
+  let p = protocol inst ~validity ~rounds ~adversary () in
+  let procs = Array.init inst.Problem.n (fun me -> p.Protocol.init ~me) in
   let actors =
-    Array.init n (fun me ->
-        if List.mem me faulty && adversary = `Silent then
-          { Async.start = (fun () -> []); on_message = (fun ~src:_ _ -> []) }
-        else make_actor me)
-  in
-  let net_adversary =
-    match adversary with
-    | `Obedient | `Silent | `Greedy -> Adversary.honest
-    | `Garbage ->
-        fun ~round:_ ~src ~dst:_ m ->
-          (* corrupt own round >= 1 values: verification will reject *)
-          Option.map
-            (function
-              | Initial { key = (t, o); payload } when o = src && t >= 1 ->
-                  Initial
-                    {
-                      key = (t, o);
-                      payload =
-                        {
-                          payload with
-                          value =
-                            Vec.add (Vec.scale 3. payload.value) (Vec.ones d);
-                        };
-                    }
-              | other -> other)
-            m
-    | `Skew s ->
-        fun ~round:_ ~src ~dst:_ m ->
-          Option.map
-            (function
-              | Initial { key = (0, o); payload } when o = src ->
-                  Initial
-                    {
-                      key = (0, o);
-                      payload = { payload with value = Vec.scale s payload.value };
-                    }
-              | other -> other)
-            m
-    | `Equivocate s ->
-        (* a different round-0 input claim per destination: the classic
-           attack Bracha's echo/ready quorums must neutralize *)
-        fun ~round:_ ~src ~dst m ->
-          Option.map
-            (function
-              | Initial { key = (0, o); payload } when o = src ->
-                  Initial
-                    {
-                      key = (0, o);
-                      payload =
-                        {
-                          payload with
-                          value =
-                            Vec.scale
-                              (1. +. (s *. float_of_int dst))
-                              payload.value;
-                        };
-                    }
-              | other -> other)
-            m
+    Array.init inst.Problem.n (fun me ->
+        {
+          Async.start = (fun () -> p.Protocol.on_start procs.(me));
+          on_message =
+            (fun ~src m ->
+              p.Protocol.on_receive procs.(me) ~time:0 [ (src, m) ]);
+        })
   in
   {
     s_procs = procs;
     s_actors = actors;
-    s_adversary = net_adversary;
+    s_adversary = net_adversary inst adversary;
     s_rounds = rounds;
   }
 
@@ -391,12 +406,12 @@ let summarize = function
   | Ready { key = t, o; _ } -> Printf.sprintf "Ready(r%d,o%d)" t o
 
 let run (inst : Problem.instance) ~validity ~rounds ?policy ?adversary
-    ?max_steps () =
+    ?max_steps ?fault () =
   let s = session inst ~validity ~rounds ?adversary () in
   let outcome =
     Async.run ~n:inst.Problem.n ~actors:s.s_actors
       ~faulty:inst.Problem.faulty ~adversary:s.s_adversary ?policy
-      ?max_steps ()
+      ?max_steps ?fault ()
   in
   {
     outputs = session_outputs s;

@@ -70,9 +70,13 @@ val run :
   ?policy:Async.policy ->
   ?adversary:adversary ->
   ?max_steps:int ->
+  ?fault:Fault.spec ->
   unit ->
   report
-(** Full execution under {!Async.run}'s scheduler policies. *)
+(** Full execution under {!Async.run}'s scheduler policies. [fault]
+    overlays a crash / omission / delay {!Fault.spec} on the instance's
+    faulty set, composed after the protocol-level [adversary]'s network
+    strategy. *)
 
 (** {1 Schedule exploration}
 
@@ -97,6 +101,25 @@ val run :
 
 type msg
 (** Wire messages of the protocol (reliable-broadcast envelopes). *)
+
+type proc
+(** Per-process protocol state. *)
+
+val protocol :
+  Problem.instance ->
+  validity:Problem.validity ->
+  rounds:int ->
+  ?adversary:adversary ->
+  unit ->
+  (proc, msg, Vec.t option) Protocol.t
+(** The algorithm as an engine protocol (per-process output = decided
+    value), ready for {!Engine.run} under any step scheduler or for
+    {!Explore.run_protocol}/{!Explore.fuzz_protocol}. The [adversary]
+    flavour fixes the faulty processes' {e protocol} behaviour
+    ([`Silent] inert, [`Greedy] adversarial justification picks); its
+    network-level message rewriting is a separate {!Adversary.t} — pass
+    {!session_adversary} (or run via {!session}) to apply it. Same
+    argument validation as {!run}. *)
 
 type session
 

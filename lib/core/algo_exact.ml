@@ -51,12 +51,26 @@ let choose_output ~validity ~f s =
           let r = Delta_hull.delta_star ~p ~f s in
           Some (r.Delta_hull.point, r.Delta_hull.value))
 
-let run (inst : Problem.instance) ~validity ?corrupt () =
+let protocol (inst : Problem.instance) ~validity =
+  let { Problem.n; f; d; inputs; _ } = inst in
+  let commanders = Array.to_list (Array.mapi (fun c v -> (c, v)) inputs) in
+  let om =
+    Om.protocol ~n ~f ~commanders ~default:(Vec.zero d)
+      ~compare:Vec.compare_lex
+  in
+  {
+    om with
+    Protocol.output =
+      (fun st ->
+        choose_output ~validity ~f (Array.to_list (om.Protocol.output st)));
+  }
+
+let run (inst : Problem.instance) ~validity ?corrupt ?fault () =
   let { Problem.n; f; d; inputs; faulty } = inst in
   (* Step 1: Byzantine broadcast of every input. *)
   let views, trace =
-    Om.broadcast_all ~n ~f ~inputs ~faulty ?corrupt ~default:(Vec.zero d)
-      ~compare:Vec.compare_lex ()
+    Om.broadcast_all ~n ~f ~inputs ~faulty ?corrupt ?fault
+      ~default:(Vec.zero d) ~compare:Vec.compare_lex ()
   in
   (* Step 2: identical deterministic choice at every process. *)
   let outputs = Array.make n None in

@@ -45,11 +45,25 @@ val choose_output :
     Returns the point and the relaxation used. Exposed for tests and for
     the asynchronous algorithm's round-0 verification. *)
 
+val protocol :
+  Problem.instance ->
+  validity:Problem.validity ->
+  (Vec.t Om.state, Vec.t Om.entry list, (Vec.t * float) option) Protocol.t
+(** ALGO as an engine protocol: the {!Om.protocol} relay phase with the
+    output hook replaced by Step 2 — each process's output is
+    {!choose_output} on its broadcast view (the decided point and the
+    relaxation used, or [None] when the required region is empty). Run
+    under {!Scheduler.Rounds} with [limit = f + 1], e.g. via
+    {!Explore.run_protocol} to quantify over fault schedules. *)
+
 val run :
   Problem.instance ->
   validity:Problem.validity ->
   ?corrupt:(int -> Vec.t Om.corruption) ->
+  ?fault:Fault.spec ->
   unit ->
   report
 (** Full execution over the simulator. [corrupt] drives the Byzantine
-    processes' lies during Step 1 (default: faulty-but-obedient). *)
+    processes' lies during Step 1 (default: faulty-but-obedient);
+    [fault] overlays a crash / omission / delay {!Fault.spec} on the
+    instance's faulty set, composed after [corrupt]. *)

@@ -15,7 +15,7 @@ let spread values =
     arr;
   !m
 
-let run (inst : Problem.instance) ~rounds ?adversary () =
+let run (inst : Problem.instance) ~rounds ?adversary ?fault () =
   let { Problem.n; f; d; inputs; faulty } = inst in
   if rounds < 0 then invalid_arg "Algo_iterative.run: negative rounds";
   if n < ((d + 1) * f) + 1 then
@@ -54,9 +54,40 @@ let run (inst : Problem.instance) ~rounds ?adversary () =
         })
   in
   (* run one round at a time so we can record the honest spread *)
+  let run_round =
+    match fault with
+    | None -> fun _r -> Sync.run ~n ~rounds:1 ~actors ~faulty ?adversary ()
+    | Some spec ->
+        (* The engine restarts its round counter at 0 for each 1-round
+           execution, so the spec's adversary (crash times are global
+           round numbers) sees the offset-corrected round; the base
+           adversary keeps seeing 0, as it always has in this per-round
+           loop. The model is built once: omission streams advance
+           across rounds instead of restarting. Delay specs shift
+           arrivals past each round's 1-round horizon, so here a
+           positive delay means the message is lost. *)
+        let base = Option.value adversary ~default:Adversary.honest in
+        let m = Fault.model ~faulty spec in
+        let spec_adv = m.Fault.adversary in
+        let protocol = Sync.protocol_of_actors actors in
+        fun r ->
+          let faults =
+            {
+              m with
+              Fault.adversary =
+                (fun ~round ~src ~dst msg ->
+                  spec_adv ~round:(r + round) ~src ~dst
+                    (base ~round ~src ~dst msg));
+            }
+          in
+          (Engine.run ~faults ~obs_prefix:"sim.sync"
+             ~err:"Algo_iterative.run" ~states:actors ~n ~protocol
+             ~scheduler:Scheduler.Rounds ~limit:1 ())
+            .Engine.trace
+  in
   let trace = Trace.create () in
-  for _ = 1 to rounds do
-    let t = Sync.run ~n ~rounds:1 ~actors ~faulty ?adversary () in
+  for r = 0 to rounds - 1 do
+    let t = run_round r in
     trace.Trace.rounds <- trace.Trace.rounds + t.Trace.rounds;
     trace.Trace.messages_sent <-
       trace.Trace.messages_sent + t.Trace.messages_sent;

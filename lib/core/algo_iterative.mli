@@ -33,9 +33,15 @@ val run :
   Problem.instance ->
   rounds:int ->
   ?adversary:Vec.t Adversary.t ->
+  ?fault:Fault.spec ->
   unit ->
   report
 (** Executes [rounds] iterations over the synchronous simulator.
     The adversary intercepts the faulty processes' value messages
     (equivocation per destination allowed, as in iterative algorithms'
-    threat model). *)
+    threat model). [fault] overlays a crash / omission / delay
+    {!Fault.spec} on the faulty set: crash times count global rounds and
+    omission streams span the whole execution, even though each round
+    runs as its own engine execution (to record the honest spread
+    between rounds) — which also means a [Delay] spec loses any message
+    delayed past its own round. *)

@@ -30,7 +30,7 @@ let coord_instance (inst : Problem.instance) coord =
       (Array.to_list (Array.map (fun v -> Vec.of_list [ v.(coord) ]) inputs))
     ~faulty
 
-let run (inst : Problem.instance) ~eps ?policy ?adversary ?rounds () =
+let run (inst : Problem.instance) ~eps ?policy ?adversary ?rounds ?fault () =
   let { Problem.n; f; d; _ } = inst in
   if n < (3 * f) + 1 then
     invalid_arg "Algo_k1_async.run: requires n >= 3f + 1";
@@ -44,7 +44,7 @@ let run (inst : Problem.instance) ~eps ?policy ?adversary ?rounds () =
         let sub = coord_instance inst coord in
         let r =
           Algo_async.run sub ~validity:Problem.Standard ~rounds ?policy
-            ?adversary ()
+            ?adversary ?fault ()
         in
         messages :=
           !messages
@@ -65,6 +65,49 @@ let run (inst : Problem.instance) ~eps ?policy ?adversary ?rounds () =
   { outputs; rounds; messages = !messages }
 
 type msg = int * Algo_async.msg
+
+type state = Algo_async.proc array
+(* one per-coordinate proc per process *)
+
+let protocol (inst : Problem.instance) ~eps ?rounds ?adversary () =
+  let { Problem.n; f; d; _ } = inst in
+  if n < (3 * f) + 1 then
+    invalid_arg "Algo_k1_async.session: requires n >= 3f + 1";
+  let rounds =
+    match rounds with Some r -> r | None -> default_rounds inst ~eps
+  in
+  let subs =
+    Array.init d (fun coord ->
+        Algo_async.protocol (coord_instance inst coord)
+          ~validity:Problem.Standard ~rounds ?adversary ())
+  in
+  let tag coord sends = List.map (fun (dst, m) -> (dst, (coord, m))) sends in
+  {
+    Protocol.init =
+      (fun ~me -> Array.map (fun sp -> sp.Protocol.init ~me) subs);
+    on_start =
+      (fun st ->
+        List.concat
+          (List.init d (fun c -> tag c (subs.(c).Protocol.on_start st.(c)))));
+    on_tick = (fun _ ~time:_ -> []);
+    on_receive =
+      (fun st ~time batch ->
+        List.concat_map
+          (fun (src, (coord, inner)) ->
+            tag coord
+              (subs.(coord).Protocol.on_receive st.(coord) ~time
+                 [ (src, inner) ]))
+          batch);
+    output =
+      (fun st ->
+        let coords =
+          List.init d (fun c -> subs.(c).Protocol.output st.(c))
+        in
+        if List.exists Option.is_none coords then None
+        else
+          Some
+            (Vec.of_list (List.map (fun o -> (Option.get o).(0)) coords)));
+  }
 
 type session = { k_n : int; k_d : int; subs : Algo_async.session array }
 

@@ -25,10 +25,13 @@ val run :
   ?policy:Async.policy ->
   ?adversary:Algo_async.adversary ->
   ?rounds:int ->
+  ?fault:Fault.spec ->
   unit ->
   report
 (** Requires [n >= 3f + 1] only. Runs the [d] coordinate instances as
-    [d] separate asynchronous executions (they share no messages). *)
+    [d] separate asynchronous executions (they share no messages).
+    [fault] applies the same crash / omission / delay {!Fault.spec} to
+    every coordinate run. *)
 
 (** {1 Schedule exploration}
 
@@ -41,6 +44,21 @@ val run :
 
 type msg
 (** A coordinate-tagged {!Algo_async.msg}. *)
+
+type state
+(** Per-process state: one {!Algo_async.proc} per coordinate. *)
+
+val protocol :
+  Problem.instance ->
+  eps:float ->
+  ?rounds:int ->
+  ?adversary:Algo_async.adversary ->
+  unit ->
+  (state, msg, Vec.t option) Protocol.t
+(** The folded single-execution form as an engine protocol: the [d]
+    coordinate {!Algo_async.protocol}s side by side, wire messages
+    coordinate-tagged, output reassembled per process ([None] if any
+    coordinate is undecided). Same argument validation as {!session}. *)
 
 type session
 

@@ -67,8 +67,8 @@ let assemble ~system ~validity ~inst ~outputs ~delta_used ~messages ~eps =
   in
   { instance = inst; honest_outputs; decided; delta_used; checks; messages }
 
-let run_sync inst ~validity ?corrupt () =
-  let r = Algo_exact.run inst ~validity ?corrupt () in
+let run_sync inst ~validity ?corrupt ?fault () =
+  let r = Algo_exact.run inst ~validity ?corrupt ?fault () in
   let honest = Problem.honest_ids inst in
   let delta_used =
     List.fold_left
@@ -79,7 +79,7 @@ let run_sync inst ~validity ?corrupt () =
     ~outputs:r.Algo_exact.outputs ~delta_used
     ~messages:r.Algo_exact.trace.Trace.messages_delivered ~eps:0.
 
-let run_async inst ~validity ~eps ?policy ?adversary ?rounds () =
+let run_async inst ~validity ~eps ?policy ?adversary ?rounds ?fault () =
   let honest_inputs = Problem.honest_inputs inst in
   let rounds =
     match rounds with
@@ -107,7 +107,7 @@ let run_async inst ~validity ~eps ?policy ?adversary ?rounds () =
         Algo_async.rounds_for_eps ~n:inst.Problem.n ~f:inst.Problem.f ~eps
           ~initial_spread:(base_spread +. allowance +. 1e-6)
   in
-  let r = Algo_async.run inst ~validity ~rounds ?policy ?adversary () in
+  let r = Algo_async.run inst ~validity ~rounds ?policy ?adversary ?fault () in
   let honest = Problem.honest_ids inst in
   let delta_used =
     List.fold_left

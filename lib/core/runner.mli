@@ -22,9 +22,12 @@ val run_sync :
   Problem.instance ->
   validity:Problem.validity ->
   ?corrupt:(int -> Vec.t Om.corruption) ->
+  ?fault:Fault.spec ->
   unit ->
   outcome
-(** Synchronous exact consensus (agreement must be exact). *)
+(** Synchronous exact consensus (agreement must be exact). [fault]
+    overlays a crash / omission / delay {!Fault.spec} on the instance's
+    faulty set (composed after [corrupt]). *)
 
 val run_async :
   Problem.instance ->
@@ -33,10 +36,12 @@ val run_async :
   ?policy:Async.policy ->
   ?adversary:Algo_async.adversary ->
   ?rounds:int ->
+  ?fault:Fault.spec ->
   unit ->
   outcome
 (** Asynchronous approximate consensus ([eps]-agreement). [rounds]
     defaults to {!Algo_async.rounds_for_eps} on the honest input spread
-    (plus the relaxation allowance). *)
+    (plus the relaxation allowance). [fault] overlays a crash / omission
+    / delay {!Fault.spec} on the instance's faulty set. *)
 
 val pp : Format.formatter -> outcome -> unit

@@ -15,5 +15,27 @@ let drop_to victims ~round:_ ~src:_ ~dst honest_msg =
 let equivocate f ~round:_ ~src:_ ~dst honest_msg =
   Option.map (fun m -> f ~dst m) honest_msg
 
+let omit_prob ~seed prob =
+  if not (prob >= 0. && prob <= 1.) then
+    invalid_arg "Adversary.omit_prob: probability not in [0, 1]";
+  let edges : (int, Rng.t) Hashtbl.t = Hashtbl.create 16 in
+  fun ~round:_ ~src ~dst honest_msg ->
+    match honest_msg with
+    | None -> None
+    | Some _ ->
+        (* Edge key is collision-free for n < 2^20 processes; the rng
+           advances once per message on the edge, so the k-th send's
+           fate is a pure function of (seed, src, dst, k). *)
+        let key = (src lsl 20) lor dst in
+        let rng =
+          match Hashtbl.find_opt edges key with
+          | Some r -> r
+          | None ->
+              let r = Rng.stream ~root:seed key in
+              Hashtbl.add edges key r;
+              r
+        in
+        if Rng.float rng 1.0 < prob then None else honest_msg
+
 let compose a b ~round ~src ~dst honest_msg =
   b ~round ~src ~dst (a ~round ~src ~dst honest_msg)

@@ -37,5 +37,18 @@ val equivocate : (dst:int -> 'msg -> 'msg) -> 'msg t
     for schedule-exploration checks where the step counter is
     schedule-dependent and must not influence the adversary. *)
 
+val omit_prob : seed:int -> float -> 'msg t
+(** [omit_prob ~seed p] drops each honest message independently with
+    probability [p], deterministically: the fate of the [k]-th message
+    on edge [(src, dst)] depends only on [(seed, src, dst, k)] — each
+    edge draws from its own {!Rng.stream} — never on the round or
+    delivery step at which the send happens, so the same messages are
+    dropped under any schedule ({!Explore}-safe, like {!equivocate}).
+    Raises [Invalid_argument] unless [0 <= p <= 1].
+
+    The returned strategy carries per-edge counters: create a fresh one
+    per execution (sharing one across runs — or across parallel
+    [~jobs] trials — would continue the streams and race). *)
+
 val compose : 'msg t -> 'msg t -> 'msg t
 (** [compose a b] runs [b] on the output of [a]. *)

@@ -10,177 +10,36 @@ type policy =
 
 type outcome = { trace : Trace.t; quiescent : bool }
 
-type 'msg pending = {
-  src : int;
-  dst : int;
-  msg : 'msg;
-  born : int;
-  flow : int;  (** monotone send id, links send to delivery in traces *)
-}
+(* An [Async] actor as an engine protocol: per-process state is the
+   actor itself; step schedulers deliver singleton batches, so
+   [on_receive] unfolds one. *)
+let protocol_of_actors actors =
+  {
+    Protocol.init = (fun ~me -> actors.(me));
+    on_start = (fun a -> a.start ());
+    on_tick = (fun _ ~time:_ -> []);
+    on_receive =
+      (fun a ~time:_ batch ->
+        List.concat_map (fun (src, m) -> a.on_message ~src m) batch);
+    output = (fun _ -> ());
+  }
+
+let scheduler_of_policy = function
+  | Fifo -> Scheduler.Fifo
+  | Random_order seed -> Scheduler.Random seed
+  | Delay { victims; slack } -> Scheduler.Delayed { victims; slack }
 
 let run ~n ~actors ?(faulty = []) ?(adversary = Adversary.honest)
-    ?(policy = Fifo) ?(max_steps = 200_000) ?record ?summarize () =
+    ?(policy = Fifo) ?(max_steps = 200_000) ?record ?summarize ?fault () =
   if Array.length actors <> n then invalid_arg "Async.run: need n actors";
-  let is_faulty = Array.make n false in
-  List.iter
-    (fun p ->
-      if p < 0 || p >= n then invalid_arg "Async.run: faulty id out of range";
-      is_faulty.(p) <- true)
-    faulty;
-  let trace = Trace.create () in
-  (* Pending messages as a growable queue with O(1) removal by index. *)
-  let pending : 'msg pending option array ref = ref (Array.make 64 None) in
-  let count = ref 0 and capacity = ref 64 and live = ref 0 in
-  let grow () =
-    let fresh = Array.make (2 * !capacity) None in
-    Array.blit !pending 0 fresh 0 !capacity;
-    pending := fresh;
-    capacity := 2 * !capacity
+  let outcome =
+    Engine.run
+      ~faults:(Fault.overlay ~faulty adversary fault)
+      ?record ?summarize ~obs_prefix:"sim.async" ~err:"Async.run" ~n
+      ~protocol:(protocol_of_actors actors)
+      ~scheduler:(scheduler_of_policy policy) ~limit:max_steps ()
   in
-  let rng =
-    match policy with Random_order seed -> Some (Rng.create seed) | _ -> None
-  in
-  let step = ref 0 in
-  (* hoisted: one branch per site when no trace buffer is installed *)
-  let tr = Obs.Tracer.active () in
-  let flow_ids = ref 0 in
-  let enqueue ~src msgs =
-    List.iter
-      (fun (dst, m) ->
-        if dst < 0 || dst >= n then
-          invalid_arg "Async.run: destination out of range";
-        trace.Trace.messages_sent <- trace.Trace.messages_sent + 1;
-        let filtered =
-          if is_faulty.(src) then
-            adversary ~round:!step ~src ~dst (Some m)
-          else Some m
-        in
-        match filtered with
-        | None ->
-            if tr then
-              Obs.Tracer.instant ~track:src ~lclock:!step "adv.drop"
-                [ ("dst", Obs.Tracer.Int dst) ];
-            trace.Trace.messages_dropped <- trace.Trace.messages_dropped + 1
-        | Some m' ->
-            if is_faulty.(src) && m' != m then begin
-              if tr then
-                Obs.Tracer.instant ~track:src ~lclock:!step "adv.corrupt"
-                  [ ("dst", Obs.Tracer.Int dst) ];
-              trace.Trace.messages_corrupted <-
-                trace.Trace.messages_corrupted + 1
-            end;
-            let flow = !flow_ids in
-            incr flow_ids;
-            if tr then Obs.Tracer.flow_start ~track:src ~lclock:!step ~id:flow "msg";
-            if !count = !capacity then grow ();
-            !pending.(!count) <- Some { src; dst; msg = m'; born = !step; flow };
-            incr count;
-            incr live)
-      msgs
-  in
-  Array.iteri (fun src actor -> enqueue ~src (actor.start ())) actors;
-  (* Pick the index of the next message to deliver under the policy. *)
-  let pick () =
-    let first_live () =
-      let i = ref 0 in
-      while !i < !count && !pending.(!i) = None do
-        incr i
-      done;
-      if !i < !count then Some !i else None
-    in
-    match policy with
-    | Fifo -> first_live ()
-    | Random_order _ ->
-        let rng = Option.get rng in
-        if !live = 0 then None
-        else begin
-          (* choose uniformly among live entries *)
-          let target = Rng.int rng !live in
-          let seen = ref 0 and found = ref None and i = ref 0 in
-          while !found = None && !i < !count do
-            (match !pending.(!i) with
-            | Some _ ->
-                if !seen = target then found := Some !i;
-                incr seen
-            | None -> ());
-            incr i
-          done;
-          !found
-        end
-    | Delay { victims; slack } ->
-        (* oldest non-victim message if any; otherwise a victim message
-           old enough; otherwise the oldest victim message *)
-        let best_normal = ref None and best_victim = ref None in
-        for i = 0 to !count - 1 do
-          match !pending.(i) with
-          | None -> ()
-          | Some p ->
-              if List.mem p.src victims then begin
-                if !best_victim = None then best_victim := Some (i, p)
-              end
-              else if !best_normal = None then best_normal := Some (i, p)
-        done;
-        (match (!best_normal, !best_victim) with
-        | Some (i, _), Some (j, pv) ->
-            if !step - pv.born >= slack then Some j else Some i
-        | Some (i, _), None -> Some i
-        | None, Some (j, _) -> Some j
-        | None, None -> None)
-  in
-  let quiescent = ref false in
-  (* hoisted so the per-delivery pool-occupancy observation costs
-     nothing when metrics are off *)
-  let obs = Obs.enabled () in
-  (try
-     while !step < max_steps do
-       match pick () with
-       | None ->
-           quiescent := true;
-           raise Exit
-       | Some i ->
-           let p = Option.get !pending.(i) in
-           if obs then Obs.observe "sim.async.pool" !live;
-           !pending.(i) <- None;
-           decr live;
-           (* compact occasionally *)
-           if !count > 1024 && 4 * !live < !count then begin
-             let fresh = Array.make !capacity None in
-             let j = ref 0 in
-             for k = 0 to !count - 1 do
-               match !pending.(k) with
-               | Some _ as e ->
-                   fresh.(!j) <- e;
-                   incr j
-               | None -> ()
-             done;
-             pending := fresh;
-             count := !j
-           end;
-           (match record with
-           | None -> ()
-           | Some f ->
-               let info =
-                 match summarize with None -> "" | Some s -> s p.msg
-               in
-               f { Trace.step = !step; src = p.src; dst = p.dst; info });
-           incr step;
-           trace.Trace.steps <- trace.Trace.steps + 1;
-           trace.Trace.messages_delivered <-
-             trace.Trace.messages_delivered + 1;
-           if tr then begin
-             let lclock = !step - 1 in
-             Obs.Tracer.set_now lclock;
-             Obs.Tracer.emit ~track:p.dst ~lclock Obs.Tracer.Begin "deliver"
-               [ ("src", Obs.Tracer.Int p.src) ];
-             Obs.Tracer.flow_end ~track:p.dst ~lclock ~id:p.flow "msg"
-           end;
-           let reactions = actors.(p.dst).on_message ~src:p.src p.msg in
-           enqueue ~src:p.dst reactions;
-           if tr then
-             Obs.Tracer.emit ~track:p.dst ~lclock:(!step - 1) Obs.Tracer.End
-               "deliver" []
-     done
-   with Exit -> ());
-  Trace.publish ~prefix:"sim.async" trace;
-  if Obs.enabled () then Obs.observe "sim.async.steps_per_run" trace.Trace.steps;
-  { trace; quiescent = !quiescent }
+  {
+    trace = outcome.Engine.trace;
+    quiescent = (outcome.Engine.stopped = `Quiescent);
+  }

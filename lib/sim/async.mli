@@ -7,7 +7,12 @@
     Faulty sources' messages pass through an {!Adversary.t} at *send*
     time (the [round] the adversary sees is the step counter). The
     scheduler policies are all fair to non-faulty traffic: every pending
-    message is eventually delivered. *)
+    message is eventually delivered.
+
+    This module is a compatibility shim over the unified {!Engine} (each
+    policy maps to the corresponding step {!Scheduler}) and is slated
+    for removal once callers migrate to {!Protocol} values; behavior,
+    traces and metrics are preserved byte-for-byte. *)
 
 type 'msg actor = {
   start : unit -> (int * 'msg) list;
@@ -39,9 +44,25 @@ val run :
   ?max_steps:int ->
   ?record:(Trace.event -> unit) ->
   ?summarize:('msg -> string) ->
+  ?fault:Fault.spec ->
   unit ->
   outcome
 (** Runs until quiescence or [max_steps] (default [200_000]) deliveries.
     [record] receives one {!Trace.event} per delivery ([summarize]
     renders the payload), so full executions can be logged in the same
-    structured format the {!Explore} engine uses for counterexamples. *)
+    structured format the {!Explore} engine uses for counterexamples.
+    [fault] overlays a crash / omission / delay {!Fault.spec} on the
+    [faulty] set, composed after [adversary] ({!Fault.overlay}); a
+    delayed message becomes deliverable only once the step counter
+    reaches its send step plus the delay. *)
+
+val protocol_of_actors :
+  'msg actor array -> ('msg actor, 'msg, unit) Protocol.t
+(** The shim's adapter, exposed for direct {!Engine.run} use: per-process
+    state is the actor itself, [start] is the [on_start] hook and
+    [on_message] handles each singleton [on_receive] batch (no output).
+    The array must have one actor per process. *)
+
+val scheduler_of_policy : policy -> Scheduler.t
+(** [Fifo], [Random_order] and [Delay] map to {!Scheduler.Fifo},
+    {!Scheduler.Random} and {!Scheduler.Delayed}. *)

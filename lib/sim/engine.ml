@@ -1,0 +1,510 @@
+(* The unified execution core. The rounds branch is the old [Sync.run]
+   body and the step branch fuses the old [Async.run] / [Explore.exec]
+   loops; both are kept instruction-level equivalent to their ancestors
+   (event order, counter order, flow ids, error strings) so the shim
+   modules inherit byte-identical traces and metrics. *)
+
+type stopped = [ `Quiescent | `Limit | `Branch of int ]
+type 's outcome = { states : 's array; trace : Trace.t; stopped : stopped }
+
+(* ---------- synchronous lock-step rounds ---------- *)
+
+let run_rounds ~faults ~obs_prefix ~err ~states ~n ~protocol ~rounds =
+  let { Fault.faulty; adversary; delay_of } = faults in
+  let is_faulty = Array.make n false in
+  List.iter (fun p -> is_faulty.(p) <- true) faulty;
+  let trace = Trace.create () in
+  (* hoisted: the tracing checks below cost one branch per site when no
+     buffer is installed on this domain *)
+  let tr = Obs.Tracer.active () in
+  let flow_ids = ref 0 in
+  let check_dsts msgs =
+    List.iter
+      (fun (dst, _) ->
+        if dst < 0 || dst >= n then
+          invalid_arg (err ^ ": destination out of range"))
+      msgs
+  in
+  (* sends returned by [on_receive] join the next round's outbox;
+     [on_start] seeds round 0's *)
+  let carry =
+    Array.map (fun st -> protocol.Protocol.on_start st) states
+  in
+  (* delayed-delivery buffer, allocated only when the fault model
+     delays channels: [future.(r).(dst)] holds round-[r] arrivals *)
+  let future =
+    match delay_of with
+    | None -> [||]
+    | Some _ -> Array.init rounds (fun _ -> Array.make n [])
+  in
+  let edge_k : (int, int ref) Hashtbl.t = Hashtbl.create 16 in
+  for round = 0 to rounds - 1 do
+    trace.Trace.rounds <- trace.Trace.rounds + 1;
+    if tr then begin
+      Obs.Tracer.set_now round;
+      Obs.Tracer.emit ~lclock:round Obs.Tracer.Begin "round"
+        [ ("round", Obs.Tracer.Int round) ]
+    end;
+    (* Gather honest outboxes. *)
+    let outbox =
+      Array.init n (fun src ->
+          let msgs =
+            match carry.(src) with
+            | [] -> protocol.Protocol.on_tick states.(src) ~time:round
+            | pending ->
+                pending @ protocol.Protocol.on_tick states.(src) ~time:round
+          in
+          check_dsts msgs;
+          msgs)
+    in
+    let inboxes =
+      match delay_of with None -> Array.make n [] | Some _ -> future.(round)
+    in
+    (* [route] is the post-adversary channel: immediate delivery, or a
+       push into the arrival buffer when the fault model delays it. *)
+    let route ~src ~dst m =
+      match delay_of with
+      | None ->
+          trace.Trace.messages_delivered <- trace.Trace.messages_delivered + 1;
+          inboxes.(dst) <- (src, m) :: inboxes.(dst)
+      | Some df ->
+          let key = (src lsl 20) lor dst in
+          let k =
+            match Hashtbl.find_opt edge_k key with
+            | Some r -> r
+            | None ->
+                let r = ref 0 in
+                Hashtbl.add edge_k key r;
+                r
+          in
+          let d = df ~src ~dst ~k:!k in
+          incr k;
+          let arrive = round + max 0 d in
+          if arrive >= rounds then
+            (* would arrive past the horizon: the channel ate it *)
+            trace.Trace.messages_dropped <- trace.Trace.messages_dropped + 1
+          else begin
+            trace.Trace.messages_delivered <-
+              trace.Trace.messages_delivered + 1;
+            future.(arrive).(dst) <- (src, m) :: future.(arrive).(dst)
+          end
+    in
+    (* Apply the adversary on faulty sources, edge by edge. *)
+    for src = 0 to n - 1 do
+      if is_faulty.(src) then
+        for dst = 0 to n - 1 do
+          let honest_msgs =
+            List.filter_map
+              (fun (d, m) -> if d = dst then Some m else None)
+              outbox.(src)
+          in
+          (* The adversary sees each honest message on this edge (or None
+             when there is none) and answers with what actually flows. *)
+          let adv_instant name =
+            if tr then
+              Obs.Tracer.instant ~track:src ~lclock:round ("adv." ^ name)
+                [ ("dst", Obs.Tracer.Int dst) ]
+          in
+          let consider honest_msg =
+            trace.Trace.messages_sent <- trace.Trace.messages_sent + 1;
+            match adversary ~round ~src ~dst honest_msg with
+            | None ->
+                adv_instant "drop";
+                trace.Trace.messages_dropped <-
+                  trace.Trace.messages_dropped + 1
+            | Some m ->
+                (match honest_msg with
+                | Some h when h != m ->
+                    adv_instant "corrupt";
+                    trace.Trace.messages_corrupted <-
+                      trace.Trace.messages_corrupted + 1
+                | _ -> ());
+                route ~src ~dst m
+          in
+          (match honest_msgs with
+          | [] -> (
+              (* allow fabrication on a quiet edge *)
+              match adversary ~round ~src ~dst None with
+              | None -> ()
+              | Some m ->
+                  adv_instant "fabricate";
+                  trace.Trace.messages_sent <- trace.Trace.messages_sent + 1;
+                  trace.Trace.messages_corrupted <-
+                    trace.Trace.messages_corrupted + 1;
+                  route ~src ~dst m)
+          | msgs -> List.iter (fun m -> consider (Some m)) msgs)
+        done
+      else
+        List.iter
+          (fun (dst, m) ->
+            trace.Trace.messages_sent <- trace.Trace.messages_sent + 1;
+            route ~src ~dst m)
+          outbox.(src)
+    done;
+    (* Deliver, sorted by source for determinism. *)
+    for dst = 0 to n - 1 do
+      let batch =
+        List.stable_sort
+          (fun (a, _) (b, _) -> compare a b)
+          (List.rev inboxes.(dst))
+      in
+      if tr then begin
+        Obs.Tracer.emit ~track:dst ~lclock:round Obs.Tracer.Begin "recv"
+          [ ("msgs", Obs.Tracer.Int (List.length batch)) ];
+        (* a synchronous round delivers in the round it sends, so the
+           flow pair is emitted at delivery: the arrow still runs
+           src -> dst across tracks *)
+        List.iter
+          (fun (src, _) ->
+            let id = !flow_ids in
+            incr flow_ids;
+            Obs.Tracer.flow_start ~track:src ~lclock:round ~id "msg";
+            Obs.Tracer.flow_end ~track:dst ~lclock:round ~id "msg")
+          batch
+      end;
+      carry.(dst) <- protocol.Protocol.on_receive states.(dst) ~time:round batch;
+      if tr then
+        Obs.Tracer.emit ~track:dst ~lclock:round Obs.Tracer.End "recv" []
+    done;
+    if tr then Obs.Tracer.emit ~lclock:round Obs.Tracer.End "round" []
+  done;
+  Option.iter (fun prefix -> Trace.publish ~prefix trace) obs_prefix;
+  { states; trace; stopped = `Limit }
+
+(* ---------- one-message-at-a-time delivery steps ---------- *)
+
+(* Pending messages. Two removal disciplines share one layout:
+   - [Stable] (Fifo / Random / Delayed): removal leaves a hole so slot
+     order equals send order, with occasional compaction — the old
+     [Async.run] queue.
+   - [Dense] (Scripted): swap-with-last removal so live indices stay in
+     [0, live) for decision wrapping — the old [Explore.Pool]. *)
+type 'm entry = {
+  seq : int;  (** global send order; doubles as the trace flow id *)
+  src : int;
+  dst : int;
+  msg : 'm;
+  born : int;  (** delivery step of the send (Delayed slack ages it) *)
+  ready : int;  (** earliest step at which delivery is allowed *)
+}
+
+type 'm pool = {
+  mutable slots : 'm entry option array;
+  mutable count : int;  (** stable: high-water mark; dense: live length *)
+  mutable live : int;
+  mutable next_seq : int;
+  dense : bool;
+}
+
+let pool_push pool e =
+  if pool.count = Array.length pool.slots then begin
+    let fresh = Array.make (2 * pool.count) None in
+    Array.blit pool.slots 0 fresh 0 pool.count;
+    pool.slots <- fresh
+  end;
+  pool.slots.(pool.count) <- Some e;
+  pool.count <- pool.count + 1;
+  pool.live <- pool.live + 1;
+  pool.next_seq <- pool.next_seq + 1
+
+let pool_remove pool i =
+  let e = Option.get pool.slots.(i) in
+  if pool.dense then begin
+    pool.count <- pool.count - 1;
+    pool.live <- pool.live - 1;
+    pool.slots.(i) <- pool.slots.(pool.count);
+    pool.slots.(pool.count) <- None
+  end
+  else begin
+    pool.slots.(i) <- None;
+    pool.live <- pool.live - 1;
+    (* compact occasionally *)
+    if pool.count > 1024 && 4 * pool.live < pool.count then begin
+      let fresh = Array.make (Array.length pool.slots) None in
+      let j = ref 0 in
+      for k = 0 to pool.count - 1 do
+        match pool.slots.(k) with
+        | Some _ as s ->
+            fresh.(!j) <- s;
+            incr j
+        | None -> ()
+      done;
+      pool.slots <- fresh;
+      pool.count <- !j
+    end
+  end;
+  e
+
+let run_steps ~faults ~record ~summarize ~obs_prefix ~deliver_msg_args
+    ~corrupt_instants ~err ~states ~n ~protocol ~scheduler ~limit =
+  let { Fault.faulty; adversary; delay_of } = faults in
+  let is_faulty = Array.make n false in
+  List.iter (fun p -> is_faulty.(p) <- true) faulty;
+  let dense =
+    match scheduler with Scheduler.Scripted _ -> true | _ -> false
+  in
+  (match (scheduler, delay_of) with
+  | Scheduler.Scripted _, Some _ ->
+      invalid_arg (err ^ ": delay faults need a non-scripted scheduler")
+  | _ -> ());
+  let trace = Trace.create () in
+  let pool =
+    { slots = Array.make 64 None; count = 0; live = 0; next_seq = 0; dense }
+  in
+  let rng =
+    match scheduler with
+    | Scheduler.Random seed -> Some (Rng.create seed)
+    | _ -> None
+  in
+  let step = ref 0 in
+  (* hoisted: one branch per site when no trace buffer is installed *)
+  let tr = Obs.Tracer.active () in
+  let edge_k : (int, int ref) Hashtbl.t = Hashtbl.create 16 in
+  let ready_at ~src ~dst =
+    match delay_of with
+    | None -> !step
+    | Some df ->
+        let key = (src lsl 20) lor dst in
+        let k =
+          match Hashtbl.find_opt edge_k key with
+          | Some r -> r
+          | None ->
+              let r = ref 0 in
+              Hashtbl.add edge_k key r;
+              r
+        in
+        let d = df ~src ~dst ~k:!k in
+        incr k;
+        !step + max 0 d
+  in
+  let enqueue ~src msgs =
+    List.iter
+      (fun (dst, m) ->
+        if dst < 0 || dst >= n then
+          invalid_arg (err ^ ": destination out of range");
+        trace.Trace.messages_sent <- trace.Trace.messages_sent + 1;
+        let filtered =
+          if is_faulty.(src) then adversary ~round:!step ~src ~dst (Some m)
+          else Some m
+        in
+        match filtered with
+        | None ->
+            if tr then
+              Obs.Tracer.instant ~track:src ~lclock:!step "adv.drop"
+                [ ("dst", Obs.Tracer.Int dst) ];
+            trace.Trace.messages_dropped <- trace.Trace.messages_dropped + 1
+        | Some m' ->
+            if is_faulty.(src) && m' != m then begin
+              if corrupt_instants && tr then
+                Obs.Tracer.instant ~track:src ~lclock:!step "adv.corrupt"
+                  [ ("dst", Obs.Tracer.Int dst) ];
+              trace.Trace.messages_corrupted <-
+                trace.Trace.messages_corrupted + 1
+            end;
+            (* the pool's send sequence number doubles as the flow id *)
+            if tr then
+              Obs.Tracer.flow_start ~track:src ~lclock:!step
+                ~id:pool.next_seq "msg";
+            pool_push pool
+              {
+                seq = pool.next_seq;
+                src;
+                dst;
+                msg = m';
+                born = !step;
+                ready = ready_at ~src ~dst;
+              })
+      msgs
+  in
+  Array.iteri
+    (fun src st -> enqueue ~src (protocol.Protocol.on_start st))
+    states;
+  let eligible e = e.ready <= !step in
+  (* Slot index of the next delivery under the scheduler; [`None] only
+     when every pending message is still in flight (delay faults). *)
+  let pick () =
+    match scheduler with
+    | Scheduler.Rounds -> assert false
+    | Scheduler.Fifo ->
+        let i = ref 0 and found = ref `None in
+        while !found = `None && !i < pool.count do
+          (match pool.slots.(!i) with
+          | Some e when eligible e -> found := `Deliver !i
+          | _ -> ());
+          incr i
+        done;
+        !found
+    | Scheduler.Random _ ->
+        let rng = Option.get rng in
+        let elig =
+          match delay_of with
+          | None -> pool.live
+          | Some _ ->
+              let c = ref 0 in
+              for i = 0 to pool.count - 1 do
+                match pool.slots.(i) with
+                | Some e when eligible e -> incr c
+                | _ -> ()
+              done;
+              !c
+        in
+        if elig = 0 then `None
+        else begin
+          (* choose uniformly among live (eligible) entries *)
+          let target = Rng.int rng elig in
+          let seen = ref 0 and found = ref `None and i = ref 0 in
+          while !found = `None && !i < pool.count do
+            (match pool.slots.(!i) with
+            | Some e when eligible e ->
+                if !seen = target then found := `Deliver !i;
+                incr seen
+            | _ -> ());
+            incr i
+          done;
+          !found
+        end
+    | Scheduler.Delayed { victims; slack } ->
+        (* oldest non-victim message if any; otherwise a victim message
+           old enough; otherwise the oldest victim message *)
+        let best_normal = ref None and best_victim = ref None in
+        for i = 0 to pool.count - 1 do
+          match pool.slots.(i) with
+          | Some e when eligible e ->
+              if List.mem e.src victims then begin
+                if !best_victim = None then best_victim := Some (i, e)
+              end
+              else if !best_normal = None then best_normal := Some (i, e)
+          | _ -> ()
+        done;
+        (match (!best_normal, !best_victim) with
+        | Some (i, _), Some (j, ev) ->
+            if !step - ev.born >= slack then `Deliver j else `Deliver i
+        | Some (i, _), None -> `Deliver i
+        | None, Some (j, _) -> `Deliver j
+        | None, None -> `None)
+    | Scheduler.Scripted { decide; fallback_fifo } -> (
+        match decide ~live:pool.live ~step:!step with
+        | Some d -> `Deliver (Scheduler.wrap ~decision:d ~live:pool.live)
+        | None ->
+            if fallback_fifo then begin
+              (* oldest pending entry in global send order *)
+              let best = ref 0 in
+              for i = 1 to pool.count - 1 do
+                if
+                  (Option.get pool.slots.(i)).seq
+                  < (Option.get pool.slots.(!best)).seq
+                then best := i
+              done;
+              `Deliver !best
+            end
+            else `Branch pool.live)
+  in
+  (* Fast-forward target when nothing has matured: earliest arrival,
+     ties broken by send order. *)
+  let min_ready_slot () =
+    let best = ref (-1) and best_key = ref (max_int, max_int) in
+    for i = 0 to pool.count - 1 do
+      match pool.slots.(i) with
+      | Some e ->
+          let key = (e.ready, e.seq) in
+          if !best < 0 || key < !best_key then begin
+            best := i;
+            best_key := key
+          end
+      | None -> ()
+    done;
+    !best
+  in
+  (* hoisted so the per-delivery pool-occupancy observation costs
+     nothing when metrics are off *)
+  let obs_pool =
+    match obs_prefix with
+    | Some p when Obs.enabled () -> Some (p ^ ".pool")
+    | _ -> None
+  in
+  let deliver i =
+    (match obs_pool with
+    | Some name -> Obs.observe name pool.live
+    | None -> ());
+    let e = pool_remove pool i in
+    (match record with
+    | None -> ()
+    | Some f ->
+        let info = match summarize with None -> "" | Some s -> s e.msg in
+        f { Trace.step = !step; src = e.src; dst = e.dst; info });
+    let lclock = !step in
+    if tr then begin
+      Obs.Tracer.set_now lclock;
+      let args =
+        ("src", Obs.Tracer.Int e.src)
+        ::
+        (if deliver_msg_args then
+           match summarize with
+           | None -> []
+           | Some s -> [ ("msg", Obs.Tracer.Str (s e.msg)) ]
+         else [])
+      in
+      Obs.Tracer.emit ~track:e.dst ~lclock Obs.Tracer.Begin "deliver" args;
+      Obs.Tracer.flow_end ~track:e.dst ~lclock ~id:e.seq "msg"
+    end;
+    incr step;
+    trace.Trace.steps <- trace.Trace.steps + 1;
+    trace.Trace.messages_delivered <- trace.Trace.messages_delivered + 1;
+    let reactions =
+      protocol.Protocol.on_receive states.(e.dst) ~time:lclock
+        [ (e.src, e.msg) ]
+    in
+    enqueue ~src:e.dst reactions;
+    if tr then
+      Obs.Tracer.emit ~track:e.dst ~lclock Obs.Tracer.End "deliver" []
+  in
+  let stopped = ref `Limit in
+  (try
+     while true do
+       if !step >= limit then begin
+         stopped := `Limit;
+         raise Exit
+       end;
+       if pool.live = 0 then begin
+         stopped := `Quiescent;
+         raise Exit
+       end;
+       match pick () with
+       | `Deliver i -> deliver i
+       | `Branch w ->
+           stopped := `Branch w;
+           raise Exit
+       | `None ->
+           (* every pending message is still in flight: skip ahead to
+              the earliest arrival (delays stay fair, never deadlock) *)
+           deliver (min_ready_slot ())
+     done
+   with Exit -> ());
+  Option.iter
+    (fun prefix ->
+      Trace.publish ~prefix trace;
+      if Obs.enabled () then
+        Obs.observe (prefix ^ ".steps_per_run") trace.Trace.steps)
+    obs_prefix;
+  { states; trace; stopped = !stopped }
+
+let run ?(faults = Fault.none) ?record ?summarize ?obs_prefix
+    ?(deliver_msg_args = false) ?(corrupt_instants = true)
+    ?(err = "Engine.run") ?states ~n ~protocol ~scheduler ~limit () =
+  List.iter
+    (fun p ->
+      if p < 0 || p >= n then invalid_arg (err ^ ": faulty id out of range"))
+    faults.Fault.faulty;
+  let states =
+    match states with
+    | Some s ->
+        if Array.length s <> n then invalid_arg (err ^ ": need n states");
+        s
+    | None -> Array.init n (fun me -> protocol.Protocol.init ~me)
+  in
+  match scheduler with
+  | Scheduler.Rounds ->
+      run_rounds ~faults ~obs_prefix ~err ~states ~n ~protocol ~rounds:limit
+  | _ ->
+      run_steps ~faults ~record ~summarize ~obs_prefix ~deliver_msg_args
+        ~corrupt_instants ~err ~states ~n ~protocol ~scheduler ~limit

@@ -1,0 +1,91 @@
+(** The unified execution engine: one core that runs any {!Protocol}
+    under a pluggable {!Scheduler} and {!Fault} model, with the
+    {!Obs} metrics and tracer wiring done once for every protocol.
+
+    The legacy executors are thin instantiations of this engine:
+    {!Sync.run} is [~scheduler:Rounds], {!Async.run} maps its policy to
+    the corresponding step scheduler, and {!Explore} drives it with
+    [Scripted] decisions. Their observable behavior — traces, tracer
+    event streams, metrics, errors — is preserved exactly; the profile
+    knobs below ([obs_prefix], [deliver_msg_args], [corrupt_instants],
+    [err]) exist so each shim can keep its historical byte-level output.
+
+    {2 Execution models}
+
+    Under {!Scheduler.Rounds}, execution is [limit] lock-step rounds:
+    each round every process's [on_tick] sends are gathered (plus any
+    sends returned by the previous round's [on_receive]), faulty edges
+    pass through the adversary (which may also fabricate on quiet
+    edges), and every process receives its whole batch, sorted by
+    source.
+
+    Under every other scheduler, execution is a sequence of delivery
+    steps: the scheduler picks one pending message, the engine delivers
+    it ([on_receive] with a singleton batch), and the receiver's
+    reactions are enqueued. [on_tick] is never called.
+
+    {2 Fault-model delays}
+
+    With {!Fault.model}[.delay_of] set, a message's arrival is pushed
+    back by the given number of rounds (messages that would arrive past
+    the horizon are counted dropped) or delivery steps (a message is
+    ineligible until it has aged; when only immature messages remain the
+    engine skips ahead to the earliest of them, so delays never
+    deadlock). Delays compose with any scheduler except [Scripted]
+    (decision indices would silently re-target — the engine rejects the
+    combination). Without delays the delivery loops are instruction-level
+    identical to the legacy executors. *)
+
+type stopped =
+  [ `Quiescent  (** no pending messages (step schedulers only) *)
+  | `Limit  (** ran all [limit] rounds, or hit the step cap *)
+  | `Branch of int
+    (** a [Scripted] scheduler without FIFO fallback ran out of
+        decisions with this many live messages pending *) ]
+
+type 's outcome = {
+  states : 's array;  (** final per-process states, index = process id *)
+  trace : Trace.t;
+  stopped : stopped;
+}
+
+val run :
+  ?faults:'m Fault.model ->
+  ?record:(Trace.event -> unit) ->
+  ?summarize:('m -> string) ->
+  ?obs_prefix:string ->
+  ?deliver_msg_args:bool ->
+  ?corrupt_instants:bool ->
+  ?err:string ->
+  ?states:'s array ->
+  n:int ->
+  protocol:('s, 'm, 'o) Protocol.t ->
+  scheduler:Scheduler.t ->
+  limit:int ->
+  unit ->
+  's outcome
+(** Executes the protocol on [n] processes until the scheduler stops:
+    [limit] is the round count under [Rounds] and the delivery-step cap
+    otherwise.
+
+    - [faults] (default {!Fault.none}): who misbehaves and how.
+    - [record]: one {!Trace.event} per delivery step ([summarize]
+      renders payloads). Step schedulers only.
+    - [obs_prefix]: when set, publish the run's {!Trace.t} totals under
+      this metrics prefix (and, for step schedulers, observe
+      [".pool"] occupancy per delivery and [".steps_per_run"]); when
+      absent the run leaves no {!Obs} metrics, as {!Explore}'s probe
+      executions require.
+    - [deliver_msg_args] (default false): include a summarized ["msg"]
+      argument in each delivery span ({!Explore}'s trace profile).
+    - [corrupt_instants] (default true): emit ["adv.corrupt"] tracer
+      instants when the adversary rewrites a message in flight.
+    - [err] (default ["Engine.run"]): prefix for [Invalid_argument]
+      messages, so shims report under their historical names.
+    - [states]: pre-built per-process states (length [n]); when absent
+      the engine calls [protocol.init] for each process. Lets callers
+      keep state across several engine runs (e.g. one run per round
+      with per-round metrics, as [Algo_iterative] does).
+
+    The engine never calls [protocol.output]; apply it to
+    [outcome.states] as needed. *)

@@ -2,57 +2,13 @@
    random-walk fuzzer, counterexample shrinking and structured trace
    recording, all sharing one execution core.
 
-   The pending-message set is a dense growable array with O(1) append
-   and O(1) removal by live index (swap-with-last), replacing the old
-   list queue whose [List.nth]/[@ [_]] made every delivery O(n). Each
-   entry carries its global send sequence number so the FIFO fallback
-   (oldest first) stays well-defined under swap-removal. *)
-
-module Pool = struct
-  type 'msg entry = { seq : int; src : int; dst : int; msg : 'msg }
-
-  type 'msg t = {
-    mutable slots : 'msg entry option array;
-    mutable len : int;
-    mutable next_seq : int;
-  }
-
-  let create () = { slots = Array.make 64 None; len = 0; next_seq = 0 }
-  let length t = t.len
-
-  let push t ~src ~dst msg =
-    if t.len = Array.length t.slots then begin
-      let fresh = Array.make (2 * t.len) None in
-      Array.blit t.slots 0 fresh 0 t.len;
-      t.slots <- fresh
-    end;
-    t.slots.(t.len) <- Some { seq = t.next_seq; src; dst; msg };
-    t.len <- t.len + 1;
-    t.next_seq <- t.next_seq + 1
-
-  let get t i = Option.get t.slots.(i)
-
-  (* O(1): move the last live entry into the vacated slot. *)
-  let swap_remove t i =
-    let e = get t i in
-    t.len <- t.len - 1;
-    t.slots.(i) <- t.slots.(t.len);
-    t.slots.(t.len) <- None;
-    e
-
-  (* Index of the oldest pending entry (global send order) — O(live),
-     used only by the FIFO fallback of [replay]. Precondition: the pool
-     is non-empty. [exec] guarantees this — its loop returns [`Done]
-     when [length t = 0] before any fallback delivery — so the [ref 0]
-     start index always names a live slot. Pinned by the
-     "fifo fallback drains" regression test. *)
-  let oldest t =
-    let best = ref 0 in
-    for i = 1 to t.len - 1 do
-      if (get t i).seq < (get t !best).seq then best := i
-    done;
-    !best
-end
+   Execution is delegated to the unified {!Engine} under a
+   [Scheduler.Scripted] scheduler: the dense pending-message pool,
+   Euclidean decision wrapping and oldest-first FIFO fallback that used
+   to live here are now the engine's scripted discipline (see
+   {!Scheduler.wrap}). What remains here is the search: DFS over
+   decision prefixes, seeded fuzzing, ddmin shrinking and witness
+   replay, generic over any engine protocol. *)
 
 type witness = {
   decisions : int list;
@@ -75,155 +31,87 @@ let pp_witness ppf w =
     (String.concat ";" (List.map string_of_int w.decisions))
     Trace.pp_events w.events
 
-(* The execution core. [decide ~live ~step] names the live index of the
-   next message to deliver ([None] = the caller's decisions ran out).
-   Returns [`Done] when the run completed (quiescent or step cap) and
-   [`Branch width] when decisions ran out with [width] messages pending
-   and no FIFO fallback was requested. *)
-let exec ?(fallback_fifo = false) ?record ?summarize ~n ~actors ~faulty
-    ~adversary ~max_steps decide =
-  let is_faulty = Array.make n false in
-  List.iter
-    (fun p ->
-      if p < 0 || p >= n then invalid_arg "Explore: faulty id out of range";
-      is_faulty.(p) <- true)
-    faulty;
-  let pool = Pool.create () in
-  let steps = ref 0 in
-  (* hoisted: exec is the fuzzing hot loop; when no trace buffer is
-     installed (every trial/probe/shrink replay) each site is one branch *)
-  let tr = Obs.Tracer.active () in
-  let enqueue ~src msgs =
-    List.iter
-      (fun (dst, m) ->
-        if dst < 0 || dst >= n then
-          invalid_arg "Explore: destination out of range";
-        let filtered =
-          if is_faulty.(src) then adversary ~round:!steps ~src ~dst (Some m)
-          else Some m
-        in
-        match filtered with
-        | None ->
-            if tr then
-              Obs.Tracer.instant ~track:src ~lclock:!steps "adv.drop"
-                [ ("dst", Obs.Tracer.Int dst) ]
-        | Some m' ->
-            (* the pool's send sequence number doubles as the flow id *)
-            if tr then
-              Obs.Tracer.flow_start ~track:src ~lclock:!steps
-                ~id:pool.Pool.next_seq "msg";
-            Pool.push pool ~src ~dst m')
-      msgs
+(* One scripted engine execution. Returns [`Done] when the run
+   completed (quiescent or step cap) and [`Branch width] when decisions
+   ran out with [width] messages pending and no FIFO fallback. *)
+let exec_engine ~fallback_fifo ~record ~summarize ~n ~protocol ~faults
+    ~max_steps decide =
+  let outcome =
+    Engine.run ~faults ?record ?summarize ~deliver_msg_args:true
+      ~corrupt_instants:false ~err:"Explore" ~n ~protocol
+      ~scheduler:(Scheduler.Scripted { decide; fallback_fifo })
+      ~limit:max_steps ()
   in
-  Array.iteri
-    (fun src (a : _ Async.actor) -> enqueue ~src (a.Async.start ()))
-    actors;
-  let deliver i =
-    let e = Pool.swap_remove pool i in
-    (match record with
-    | None -> ()
-    | Some f ->
-        let info =
-          match summarize with None -> "" | Some s -> s e.Pool.msg
-        in
-        f
-          {
-            Trace.step = !steps;
-            src = e.Pool.src;
-            dst = e.Pool.dst;
-            info;
-          });
-    let lclock = !steps in
-    if tr then begin
-      Obs.Tracer.set_now lclock;
-      let args =
-        ("src", Obs.Tracer.Int e.Pool.src)
-        ::
-        (match summarize with
-        | None -> []
-        | Some s -> [ ("msg", Obs.Tracer.Str (s e.Pool.msg)) ])
-      in
-      Obs.Tracer.emit ~track:e.Pool.dst ~lclock Obs.Tracer.Begin "deliver"
-        args;
-      Obs.Tracer.flow_end ~track:e.Pool.dst ~lclock ~id:e.Pool.seq "msg"
-    end;
-    incr steps;
-    enqueue ~src:e.Pool.dst
-      (actors.(e.Pool.dst).Async.on_message ~src:e.Pool.src e.Pool.msg);
-    if tr then
-      Obs.Tracer.emit ~track:e.Pool.dst ~lclock Obs.Tracer.End "deliver" []
-  in
-  let rec go () =
-    let live = Pool.length pool in
-    if live = 0 || !steps >= max_steps then `Done
-    else
-      match decide ~live ~step:!steps with
-      | Some d ->
-          (* Decision indices wrap into [0, live): the double-mod maps
-             any int — negative ([-1] names the last live slot) or
-             overflowing ([d + live] ≡ [d]) — onto a valid index, so no
-             decider can crash the core or address a dead slot. Pinned
-             by the "decision index wrapping" regression tests; change
-             this and shrink/replay break on canonicalized schedules. *)
-          deliver (((d mod live) + live) mod live);
-          go ()
-      | None ->
-          if fallback_fifo then begin
-            deliver (Pool.oldest pool);
-            go ()
-          end
-          else `Branch live
-  in
-  let outcome = go () in
   if Obs.enabled () then begin
     Obs.incr "explore.execs";
-    Obs.observe "explore.steps_per_exec" !steps
+    Obs.observe "explore.steps_per_exec" outcome.Engine.trace.Trace.steps
   end;
-  outcome
+  ( outcome.Engine.states,
+    match outcome.Engine.stopped with
+    | `Branch w -> `Branch w
+    | `Quiescent | `Limit -> `Done )
 
-(* Pop decisions off a list; [None] when exhausted. *)
-let scripted decisions =
-  let rest = ref decisions in
-  fun ~live:_ ~step:_ ->
-    match !rest with
-    | [] -> None
-    | d :: tl ->
-        rest := tl;
-        Some d
+(* The search core is generic over a *subject*: something that can boot
+   a fresh instance, execute it under a scripted scheduler, and grade
+   the completed instance. Both the legacy actor-array API and the
+   protocol API below instantiate it. *)
+type 'i subject = {
+  boot : unit -> 'i;
+  execute :
+    'i ->
+    fallback_fifo:bool ->
+    record:(Trace.event -> unit) option ->
+    max_steps:int ->
+    Scheduler.decide ->
+    [ `Done | `Branch of int ];
+  ok : 'i -> bool;
+}
 
-let replay ?(fallback_fifo = true) ?record ?summarize ~make ~n ~actors
-    ?(faulty = []) ?(adversary = Adversary.honest) ?(max_steps = 200)
-    decisions =
-  let state = make () in
-  let acts = actors state in
+let actor_subject ~make ~n ~actors ~check ~faulty ~adversary ~summarize =
+  {
+    boot =
+      (fun () ->
+        let state = make () in
+        (state, actors state));
+    execute =
+      (fun (_, acts) ~fallback_fifo ~record ~max_steps decide ->
+        snd
+          (exec_engine ~fallback_fifo ~record ~summarize ~n
+             ~protocol:(Async.protocol_of_actors acts)
+             ~faults:(Fault.byzantine ~faulty adversary)
+             ~max_steps decide));
+    ok = (fun (state, _) -> check state);
+  }
+
+let replay_subject subj ~fallback_fifo ~record ~max_steps decisions =
+  let i = subj.boot () in
   (match
-     exec ~fallback_fifo ?record ?summarize ~n ~actors:acts ~faulty
-       ~adversary ~max_steps (scripted decisions)
+     subj.execute i ~fallback_fifo ~record ~max_steps
+       (Scheduler.of_decisions decisions)
    with
   | `Done | `Branch _ -> ());
-  state
+  i
 
-(* Does the schedule (completed FIFO from its prefix) violate [check]?
-   Shrink probes are untraced: only the final witness replay should
-   land in an installed trace buffer. *)
-let refutes ~make ~n ~actors ~check ~faulty ~adversary ~max_steps decisions =
+(* Does the schedule (completed FIFO from its prefix) violate the
+   grader? Shrink probes are untraced: only the final witness replay
+   should land in an installed trace buffer. *)
+let refutes_subject subj ~max_steps decisions =
   Obs.Tracer.suppressed (fun () ->
       not
-        (check
-           (replay ~make ~n ~actors ~faulty ~adversary ~max_steps decisions)))
+        (subj.ok
+           (replay_subject subj ~fallback_fifo:true ~record:None ~max_steps
+              decisions)))
 
 (* Greedy decision-list reduction, ddmin flavoured: repeatedly try to
    drop chunks (halving the chunk size down to single decisions), then
    canonicalize surviving decisions toward 0; every candidate must still
-   refute [check] when replayed with the FIFO fallback. Bounded by
+   refute the grader when replayed with the FIFO fallback. Bounded by
    [max_replays] replays so pathological schedules cannot hang tests. *)
-let shrink ~make ~n ~actors ~check ?(faulty = [])
-    ?(adversary = Adversary.honest) ?(max_steps = 200)
-    ?(max_replays = 4096) decisions =
+let shrink_subject subj ~max_steps ~max_replays decisions =
   let replays = ref 0 in
   let still_fails ds =
     incr replays;
-    refutes ~make ~n ~actors ~check ~faulty ~adversary ~max_steps ds
+    refutes_subject subj ~max_steps ds
   in
   if not (still_fails decisions) then decisions
   else begin
@@ -272,23 +160,20 @@ let shrink ~make ~n ~actors ~check ?(faulty = [])
 
 (* Replay a (possibly shrunk) schedule once more, recording the
    structured per-delivery trace. *)
-let witness_of ~make ~n ~actors ~check ~faulty ~adversary ~max_steps
-    ?summarize ?(do_shrink = true) first_found =
+let witness_of_subject subj ~max_steps ~do_shrink first_found =
   let decisions =
     if do_shrink then
-      shrink ~make ~n ~actors ~check ~faulty ~adversary ~max_steps
-        first_found
+      shrink_subject subj ~max_steps ~max_replays:4096 first_found
     else first_found
   in
   let events = ref [] in
   let record e = events := e :: !events in
   ignore
-    (replay ~record ?summarize ~make ~n ~actors ~faulty ~adversary
+    (replay_subject subj ~fallback_fifo:true ~record:(Some record)
        ~max_steps decisions);
   { decisions; first_found; events = List.rev !events }
 
-let run ~make ~n ~actors ~check ?(faulty = []) ?(adversary = Adversary.honest)
-    ?(max_steps = 200) ?(budget = 2000) ?(shrink = true) ?summarize () =
+let run_subject subj ~max_steps ~budget ~do_shrink =
   let explored = ref 0 in
   let truncated = ref false in
   let counterexample = ref None in
@@ -297,18 +182,17 @@ let run ~make ~n ~actors ~check ?(faulty = []) ?(adversary = Adversary.honest)
     if !counterexample <> None then ()
     else if !budget_left <= 0 then truncated := true
     else begin
-      (* probes are untraced, including the [check] grading (it can
-         reach instrumented solver code); the witness replay below is
-         the trace *)
+      (* probes are untraced, including the grading (it can reach
+         instrumented solver code); the witness replay below is the
+         trace *)
       match
         Obs.Tracer.suppressed (fun () ->
-            let state = make () in
-            let acts = actors state in
+            let i = subj.boot () in
             match
-              exec ~n ~actors:acts ~faulty ~adversary ~max_steps
-                (scripted prefix)
+              subj.execute i ~fallback_fifo:false ~record:None ~max_steps
+                (Scheduler.of_decisions prefix)
             with
-            | `Done -> `Done (check state)
+            | `Done -> `Done (subj.ok i)
             | `Branch width -> `Branch width)
       with
       | `Done ok ->
@@ -327,9 +211,7 @@ let run ~make ~n ~actors ~check ?(faulty = []) ?(adversary = Adversary.honest)
   Obs.add "explore.dfs.schedules" !explored;
   let witness =
     Option.map
-      (fun first ->
-        witness_of ~make ~n ~actors ~check ~faulty ~adversary ~max_steps
-          ?summarize ~do_shrink:shrink first)
+      (fun first -> witness_of_subject subj ~max_steps ~do_shrink first)
       !counterexample
   in
   {
@@ -339,9 +221,7 @@ let run ~make ~n ~actors ~check ?(faulty = []) ?(adversary = Adversary.honest)
     witness;
   }
 
-let fuzz ~make ~n ~actors ~check ?(faulty = [])
-    ?(adversary = Adversary.honest) ?(max_steps = 200) ?(shrink = true)
-    ?summarize ?(jobs = 1) ~seed ~trials () =
+let fuzz_subject subj ~max_steps ~do_shrink ~jobs ~seed ~trials =
   if trials < 1 then invalid_arg "Explore.fuzz: need trials >= 1";
   (* One complete execution of trial [t]: independent, reproducible
      stream per trial — re-running with the same seed visits the same
@@ -350,25 +230,26 @@ let fuzz ~make ~n ~actors ~check ?(faulty = [])
      changing what each one observes. Returns the failing decision list
      or [None] if the check passed. *)
   let run_trial t =
-    (* The whole trial — execution AND the [check] grading, which can
-       reach instrumented solver code — is untraced at any [jobs]:
-       workers never install a buffer, and at jobs=1 the coordinator's
-       buffer is suppressed here. An installed tracer therefore sees
-       exactly one execution, the final witness replay, which is what
-       keeps --trace output byte-identical across --jobs values. *)
+    (* The whole trial — execution AND the grading, which can reach
+       instrumented solver code — is untraced at any [jobs]: workers
+       never install a buffer, and at jobs=1 the coordinator's buffer is
+       suppressed here. An installed tracer therefore sees exactly one
+       execution, the final witness replay, which is what keeps --trace
+       output byte-identical across --jobs values. *)
     Obs.Tracer.suppressed @@ fun () ->
     let rng = Rng.create ((seed * 1_000_003) + t) in
     let recorded = ref [] in
-    let state = make () in
-    let acts = actors state in
+    let i = subj.boot () in
     let decide ~live ~step:_ =
       let d = Rng.int rng live in
       recorded := d :: !recorded;
       Some d
     in
-    (match exec ~n ~actors:acts ~faulty ~adversary ~max_steps decide with
+    (match
+       subj.execute i ~fallback_fifo:false ~record:None ~max_steps decide
+     with
     | `Done | `Branch _ -> ());
-    if check state then None else Some (List.rev !recorded)
+    if subj.ok i then None else Some (List.rev !recorded)
   in
   let first_found, explored =
     if jobs <= 1 then begin
@@ -414,9 +295,7 @@ let fuzz ~make ~n ~actors ~check ?(faulty = [])
   | None -> ());
   let witness =
     Option.map
-      (fun first ->
-        witness_of ~make ~n ~actors ~check ~faulty ~adversary ~max_steps
-          ?summarize ~do_shrink:shrink first)
+      (fun first -> witness_of_subject subj ~max_steps ~do_shrink first)
       first_found
   in
   {
@@ -425,3 +304,91 @@ let fuzz ~make ~n ~actors ~check ?(faulty = [])
     counterexample = Option.map (fun w -> w.decisions) witness;
     witness;
   }
+
+(* ---------- legacy actor-array API ---------- *)
+
+let replay ?(fallback_fifo = true) ?record ?summarize ~make ~n ~actors
+    ?(faulty = []) ?(adversary = Adversary.honest) ?(max_steps = 200)
+    decisions =
+  let subj =
+    actor_subject ~make ~n ~actors
+      ~check:(fun _ -> true)
+      ~faulty ~adversary ~summarize
+  in
+  let state, _ =
+    replay_subject subj ~fallback_fifo ~record ~max_steps decisions
+  in
+  state
+
+let shrink ~make ~n ~actors ~check ?(faulty = [])
+    ?(adversary = Adversary.honest) ?(max_steps = 200)
+    ?(max_replays = 4096) decisions =
+  let subj =
+    actor_subject ~make ~n ~actors ~check ~faulty ~adversary
+      ~summarize:None
+  in
+  shrink_subject subj ~max_steps ~max_replays decisions
+
+let run ~make ~n ~actors ~check ?(faulty = []) ?(adversary = Adversary.honest)
+    ?(max_steps = 200) ?(budget = 2000) ?(shrink = true) ?summarize () =
+  let subj =
+    actor_subject ~make ~n ~actors ~check ~faulty ~adversary ~summarize
+  in
+  run_subject subj ~max_steps ~budget ~do_shrink:shrink
+
+let fuzz ~make ~n ~actors ~check ?(faulty = [])
+    ?(adversary = Adversary.honest) ?(max_steps = 200) ?(shrink = true)
+    ?summarize ?(jobs = 1) ~seed ~trials () =
+  let subj =
+    actor_subject ~make ~n ~actors ~check ~faulty ~adversary ~summarize
+  in
+  fuzz_subject subj ~max_steps ~do_shrink:shrink ~jobs ~seed ~trials
+
+(* ---------- engine-protocol API ---------- *)
+
+let protocol_subject ~make ~n ~check ?(faulty = [])
+    ?(adversary = Adversary.honest) ?fault ?summarize () =
+  (* A fresh fault model per boot: [Fault.Omit] carries per-edge
+     counters, so sharing one across executions (or parallel fuzz
+     trials) would continue its streams mid-run. *)
+  let faults () =
+    let base = Fault.byzantine ~faulty adversary in
+    match fault with
+    | None -> base
+    | Some spec ->
+        let m = Fault.model ~faulty spec in
+        {
+          m with
+          Fault.adversary = Adversary.compose adversary m.Fault.adversary;
+        }
+  in
+  {
+    boot = (fun () -> (make (), faults (), ref [||]));
+    execute =
+      (fun (protocol, faults, states) ~fallback_fifo ~record ~max_steps
+           decide ->
+        let final, outcome =
+          exec_engine ~fallback_fifo ~record ~summarize ~n ~protocol
+            ~faults ~max_steps decide
+        in
+        states := final;
+        outcome);
+    ok =
+      (fun ((protocol, _, states) : _ * _ * _) ->
+        check (Array.map protocol.Protocol.output !states));
+  }
+
+let run_protocol ~make ~n ~check ?faulty ?adversary ?fault
+    ?(max_steps = 200) ?(budget = 2000) ?(shrink = true) ?summarize () =
+  let subj =
+    protocol_subject ~make ~n ~check ?faulty ?adversary ?fault ?summarize ()
+  in
+  run_subject subj ~max_steps ~budget ~do_shrink:shrink
+
+let fuzz_protocol ~make ~n ~check ?faulty ?adversary ?fault
+    ?(max_steps = 200) ?(shrink = true) ?summarize ?(jobs = 1) ~seed
+    ~trials () =
+  let subj =
+    protocol_subject ~make ~n ~check ?faulty ?adversary ?fault ?summarize ()
+  in
+  fuzz_subject subj ~max_steps ~do_shrink:shrink ~jobs ~seed ~trials

@@ -12,15 +12,18 @@
     {2 Decision semantics}
 
     With [live] messages pending, a decision [d] selects live index
-    [((d mod live) + live) mod live] — a {e Euclidean} modulus, so every
-    int is a valid decision: [-1] names the last live slot, [d + live]
-    is equivalent to [d], and [min_int] cannot crash the core. When a
-    decider returns [None] and the FIFO fallback is active ({!replay}'s
-    default), the {e oldest} pending message (global send order) is
-    delivered instead; the fallback is consulted only while the pool is
-    non-empty — a drained pool ends the run before any fallback
-    delivery, so the oldest-scan never touches an empty pool. Both
-    properties are pinned by regression tests in [test_explore.ml].
+    {!Scheduler.wrap}[ ~decision:d ~live] — a {e Euclidean} modulus, so
+    every int is a valid decision: [-1] names the last live slot,
+    [d + live] is equivalent to [d], and [min_int] cannot crash the
+    core. When a decider returns [None] and the FIFO fallback is active
+    ({!replay}'s default), the {e oldest} pending message (global send
+    order) is delivered instead; the fallback is consulted only while
+    the pool is non-empty — a drained pool ends the run before any
+    fallback delivery, so the oldest-scan never touches an empty pool.
+    Both properties are pinned by regression tests in [test_explore.ml];
+    the implementation lives in the shared {!Scheduler} ([Scripted])
+    and executions run on the unified {!Engine}, so any engine protocol
+    can be explored (see {!fuzz_protocol} and {!run_protocol}).
 
     Two explorers share that core:
 
@@ -149,3 +152,47 @@ val replay :
     both run to completion; with [~fallback_fifo:false] execution stops
     where the decisions end. [record] receives one {!Trace.event} per
     delivery. *)
+
+(** {2 Exploring engine protocols}
+
+    The actor-array API above predates the unified engine. New
+    protocols written against {!Protocol} are explored directly: [make]
+    builds a fresh protocol value per execution (its states are created
+    by the engine), [check] grades the array of per-process outputs.
+    Fault models beyond the Byzantine [?faulty]/[?adversary] pair are
+    named by a {!Fault.spec} — instantiated freshly per execution, so
+    omission streams never leak across trials. [Fault.Delay] specs are
+    rejected (delays need a non-scripted scheduler). *)
+
+val run_protocol :
+  make:(unit -> ('s, 'm, 'o) Protocol.t) ->
+  n:int ->
+  check:('o array -> bool) ->
+  ?faulty:int list ->
+  ?adversary:'m Adversary.t ->
+  ?fault:Fault.spec ->
+  ?max_steps:int ->
+  ?budget:int ->
+  ?shrink:bool ->
+  ?summarize:('m -> string) ->
+  unit ->
+  result
+(** {!run} (bounded DFS) over an engine protocol. *)
+
+val fuzz_protocol :
+  make:(unit -> ('s, 'm, 'o) Protocol.t) ->
+  n:int ->
+  check:('o array -> bool) ->
+  ?faulty:int list ->
+  ?adversary:'m Adversary.t ->
+  ?fault:Fault.spec ->
+  ?max_steps:int ->
+  ?shrink:bool ->
+  ?summarize:('m -> string) ->
+  ?jobs:int ->
+  seed:int ->
+  trials:int ->
+  unit ->
+  result
+(** {!fuzz} (seeded random walk, parallel over [jobs]) over an engine
+    protocol. Deterministic in [(seed, trials)] at any [jobs]. *)

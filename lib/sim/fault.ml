@@ -1,0 +1,75 @@
+type 'msg model = {
+  faulty : int list;
+  adversary : 'msg Adversary.t;
+  delay_of : (src:int -> dst:int -> k:int -> int) option;
+}
+
+let none = { faulty = []; adversary = Adversary.honest; delay_of = None }
+let byzantine ~faulty adversary = { faulty; adversary; delay_of = None }
+
+let crash ~faulty ~at =
+  if at < 0 then invalid_arg "Fault.crash: crash time must be >= 0";
+  { faulty; adversary = Adversary.crash_at at; delay_of = None }
+
+let omission ~faulty ~seed ~prob =
+  { faulty; adversary = Adversary.omit_prob ~seed prob; delay_of = None }
+
+let delay_by ~seed ~max ~src ~dst ~k =
+  if max < 0 then invalid_arg "Fault.delay_by: max delay must be >= 0";
+  (* One fresh stream per message keeps the function pure: no per-edge
+     counter state to share or race, identical at any --jobs. *)
+  let edge = (src lsl 20) lor dst in
+  Rng.int (Rng.stream ~root:seed ((edge * 1_000_003) + k)) (max + 1)
+
+let delay ~seed ~max =
+  if max < 0 then invalid_arg "Fault.delay: max delay must be >= 0";
+  { faulty = []; adversary = Adversary.honest; delay_of = Some (delay_by ~seed ~max) }
+
+type spec =
+  | Crash of { at : int }
+  | Omit of { seed : int; prob : float }
+  | Delay of { seed : int; max : int }
+
+let model ~faulty = function
+  | Crash { at } -> crash ~faulty ~at
+  | Omit { seed; prob } -> omission ~faulty ~seed ~prob
+  | Delay { seed; max } ->
+      { faulty; adversary = Adversary.honest; delay_of = Some (delay_by ~seed ~max) }
+
+let overlay ~faulty adversary = function
+  | None -> byzantine ~faulty adversary
+  | Some spec ->
+      let m = model ~faulty spec in
+      { m with adversary = Adversary.compose adversary m.adversary }
+
+let usage = "expected crash:T, omit:P[:SEED] or delay:MAX[:SEED]"
+
+let spec_of_string s =
+  let int_of x = int_of_string_opt (String.trim x) in
+  let float_of x = float_of_string_opt (String.trim x) in
+  match String.split_on_char ':' s with
+  | [ "crash"; t ] -> (
+      match int_of t with
+      | Some at when at >= 0 -> Ok (Crash { at })
+      | _ -> Error ("crash: bad time (" ^ usage ^ ")"))
+  | "omit" :: p :: rest -> (
+      let seed =
+        match rest with [] -> Some 0 | [ sd ] -> int_of sd | _ -> None
+      in
+      match (float_of p, seed) with
+      | Some prob, Some seed when prob >= 0. && prob <= 1. ->
+          Ok (Omit { seed; prob })
+      | _ -> Error ("omit: bad probability or seed (" ^ usage ^ ")"))
+  | "delay" :: m :: rest -> (
+      let seed =
+        match rest with [] -> Some 0 | [ sd ] -> int_of sd | _ -> None
+      in
+      match (int_of m, seed) with
+      | Some max, Some seed when max >= 0 -> Ok (Delay { seed; max })
+      | _ -> Error ("delay: bad max or seed (" ^ usage ^ ")"))
+  | _ -> Error usage
+
+let pp_spec ppf = function
+  | Crash { at } -> Format.fprintf ppf "crash:%d" at
+  | Omit { seed; prob } -> Format.fprintf ppf "omit:%g:%d" prob seed
+  | Delay { seed; max } -> Format.fprintf ppf "delay:%d:%d" max seed

@@ -1,0 +1,81 @@
+(** Pluggable fault models for the unified {!Engine}.
+
+    A fault model generalizes the Byzantine message-rewriting
+    {!Adversary} to the classic weaker fault classes: crash (honest then
+    forever silent), omission (individual messages lost), and delay
+    (messages arrive, but late). The first two are expressed through the
+    adversary interface — they only ever drop honest messages — so every
+    existing executor understands them; delays are an engine-level
+    channel property ({!field:model.delay_of}) because a late message is
+    a scheduling fact, not a corrupted one. *)
+
+type 'msg model = {
+  faulty : int list;
+      (** Processes whose outgoing edges pass through [adversary]. *)
+  adversary : 'msg Adversary.t;
+  delay_of : (src:int -> dst:int -> k:int -> int) option;
+      (** When present, the [k]-th message on edge [(src, dst)] (counted
+          from 0, {e after} the adversary, all edges — delays model the
+          network, not a faulty sender) is delayed by that many logical
+          ticks: rounds under {!Scheduler.Rounds}, delivery steps under
+          the step schedulers. Must be non-negative and a pure function
+          of its arguments. *)
+}
+
+val none : 'msg model
+(** No faults: every process honest, every channel prompt. *)
+
+val byzantine : faulty:int list -> 'msg Adversary.t -> 'msg model
+(** The classic model: [faulty] processes send through an arbitrary
+    adversary — exactly the [?faulty]/[?adversary] pair the legacy
+    executors took. *)
+
+val crash : faulty:int list -> at:int -> 'msg model
+(** Fail-stop: [faulty] processes behave honestly before logical time
+    [at] and send nothing from then on ({!Adversary.crash_at}). *)
+
+val omission : faulty:int list -> seed:int -> prob:float -> 'msg model
+(** Send-omission: each message from a [faulty] process is lost
+    independently with probability [prob], deterministically in
+    [(seed, src, dst, k)] via {!Adversary.omit_prob} — schedule
+    independent, so usable under {!Explore}. The model carries per-edge
+    counters: build a fresh one per execution. *)
+
+val delay_by : seed:int -> max:int -> src:int -> dst:int -> k:int -> int
+(** [delay_by ~seed ~max] is a stateless delay function: the [k]-th
+    message on edge [(src, dst)] is delayed by a uniform draw from
+    [0 .. max], a pure function of [(seed, src, dst, k)] (each message
+    seeds its own {!Rng.stream}), so the same lateness pattern applies
+    under any schedule and any [--jobs]. *)
+
+val delay : seed:int -> max:int -> 'msg model
+(** All channels delayed by {!delay_by} (no faulty processes). *)
+
+(** {2 Message-type-agnostic specs}
+
+    A {!spec} names a fault model without fixing the message type, so a
+    CLI flag can be threaded down to experiments that instantiate
+    different protocols. *)
+
+type spec =
+  | Crash of { at : int }
+  | Omit of { seed : int; prob : float }
+  | Delay of { seed : int; max : int }
+
+val model : faulty:int list -> spec -> 'msg model
+(** Instantiate a spec at a message type. Build a fresh model per
+    execution ({!Omit} carries per-edge counters). *)
+
+val overlay : faulty:int list -> 'msg Adversary.t -> spec option -> 'msg model
+(** [overlay ~faulty adversary spec] is {!byzantine}[ ~faulty adversary]
+    when [spec] is [None]; otherwise {!model}[ ~faulty spec] with
+    [adversary] composed {e before} the spec's own adversary (Byzantine
+    rewriting first, then crash/omission dropping). Build a fresh model
+    per execution ({!Omit} carries per-edge counters). *)
+
+val spec_of_string : string -> (spec, string) result
+(** Parse a CLI-style spec: ["crash:T"], ["omit:P"] or ["omit:P:SEED"],
+    ["delay:MAX"] or ["delay:MAX:SEED"] (seeds default to 0). [Error]
+    carries a usage message. *)
+
+val pp_spec : Format.formatter -> spec -> unit

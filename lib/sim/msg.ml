@@ -1,18 +1,19 @@
 type 'payload envelope = {
   src : int;
   dst : int;
-  round : int;
+  time : int;
   payload : 'payload;
 }
 
-let envelope ~src ~dst ~round payload = { src; dst; round; payload }
+let envelope ~src ~dst ~time payload = { src; dst; time; payload }
+let round e = e.time
 
 let log_src = Logs.Src.create "rbvc.sim" ~doc:"RBVC simulator deliveries"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
 let pp_envelope pp_payload ppf e =
-  Format.fprintf ppf "@[<h>[r%d] %d -> %d: %a@]" e.round e.src e.dst
+  Format.fprintf ppf "@[<h>[r%d] %d -> %d: %a@]" e.time e.src e.dst
     pp_payload e.payload
 
 let debug_delivery ~pp e =

@@ -9,11 +9,20 @@
 type 'payload envelope = {
   src : int;
   dst : int;
-  round : int;  (** synchronous round or asynchronous delivery step *)
+  time : int;
+      (** logical time of delivery: the synchronous round number under
+          {!Sync}, or the asynchronous delivery step under {!Async} —
+          one monotone clock, whatever the executor calls its tick *)
   payload : 'payload;
 }
 
-val envelope : src:int -> dst:int -> round:int -> 'p -> 'p envelope
+val envelope : src:int -> dst:int -> time:int -> 'p -> 'p envelope
+
+val round : 'p envelope -> int
+  [@@ocaml.deprecated "use the [time] field: [round] conflated sync \
+                       rounds with async delivery steps"]
+(** Deprecated alias for the {!type:envelope} [time] field, kept for
+    one release while callers migrate. *)
 
 val log_src : Logs.src
 (** The ["rbvc.sim"] log source. *)

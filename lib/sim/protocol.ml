@@ -1,0 +1,16 @@
+type ('state, 'msg, 'output) t = {
+  init : me:int -> 'state;
+  on_start : 'state -> (int * 'msg) list;
+  on_receive : 'state -> time:int -> (int * 'msg) list -> (int * 'msg) list;
+  on_tick : 'state -> time:int -> (int * 'msg) list;
+  output : 'state -> 'output;
+}
+
+let actor ~init =
+  {
+    init;
+    on_start = (fun _ -> []);
+    on_receive = (fun _ ~time:_ _ -> []);
+    on_tick = (fun _ ~time:_ -> []);
+    output = (fun _ -> invalid_arg "Protocol.actor: no output hook");
+  }

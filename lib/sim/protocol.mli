@@ -1,0 +1,43 @@
+(** The protocol interface of the unified execution engine.
+
+    A protocol is what runs {e at} each process: per-process state plus
+    hooks the {!Engine} calls as the execution unfolds. One protocol
+    value describes all [n] processes of a run (hooks receive the
+    process's own state); the engine owns the network, the scheduler,
+    the fault model, and all tracing/metrics, so a protocol written
+    against this interface runs unchanged under synchronous lock-step
+    rounds, asynchronous delivery, or scripted schedule exploration.
+
+    Hooks return messages as [(destination, payload)] lists;
+    destinations are in [0 .. n-1] and self-sends are allowed. All hooks
+    may mutate their state. *)
+
+type ('state, 'msg, 'output) t = {
+  init : me:int -> 'state;
+      (** Fresh state for process [me], called once per process at the
+          start of a run (unless the caller supplies pre-built states —
+          see {!Engine.run}). *)
+  on_start : 'state -> (int * 'msg) list;
+      (** Initial sends, collected once before the first round or
+          delivery step. *)
+  on_receive : 'state -> time:int -> (int * 'msg) list -> (int * 'msg) list;
+      (** Delivery. Under the {!Scheduler.Rounds} scheduler, [time] is
+          the round number and the batch is the whole round's inbox,
+          [(source, payload)] sorted by source; under every step
+          scheduler, [time] is the delivery step and the batch is a
+          single message. Returned sends are enqueued immediately (step
+          schedulers) or join the next round's outbox (rounds). *)
+  on_tick : 'state -> time:int -> (int * 'msg) list;
+      (** Start-of-round sends. Called once per round by the
+          {!Scheduler.Rounds} scheduler, never by step schedulers. *)
+  output : 'state -> 'output;
+      (** Read the protocol's result out of a final state. The engine
+          never calls this ({!Engine.run} returns the states); graders
+          and experiment harnesses apply it on demand. *)
+}
+
+val actor : init:(me:int -> 'state) -> ('state, 'msg, 'output) t
+(** Skeleton with empty hooks: [on_start]/[on_tick] send nothing,
+    [on_receive] ignores its batch, [output] raises [Invalid_argument].
+    Override the hooks the protocol needs with record update syntax —
+    also the idiomatic way to express a crashed-from-birth process. *)

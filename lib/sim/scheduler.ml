@@ -1,0 +1,21 @@
+type decide = live:int -> step:int -> int option
+
+type t =
+  | Rounds
+  | Fifo
+  | Random of int
+  | Delayed of { victims : int list; slack : int }
+  | Scripted of { decide : decide; fallback_fifo : bool }
+
+(* Euclidean modulus: total over every int (including min_int), so no
+   decider can address a dead slot or crash the engine. *)
+let wrap ~decision ~live = ((decision mod live) + live) mod live
+
+let of_decisions decisions =
+  let rest = ref decisions in
+  fun ~live:_ ~step:_ ->
+    match !rest with
+    | [] -> None
+    | d :: tl ->
+        rest := tl;
+        Some d

@@ -1,0 +1,45 @@
+(** Pluggable delivery schedulers for the unified {!Engine}.
+
+    A scheduler decides {e which} pending message the engine delivers
+    next (and, for {!Rounds}, that delivery is batched per lock-step
+    round instead of per message). The decision-index semantics that the
+    schedule explorer relies on — Euclidean wrapping and the oldest-first
+    FIFO fallback — live here so every consumer shares one definition
+    (they were previously private to [explore.ml]; the regression tests
+    in [test_explore.ml] pin them). *)
+
+type decide = live:int -> step:int -> int option
+(** A scripted decision source: with [live] messages pending at delivery
+    step [step], name the live index to deliver next, or [None] when the
+    script is exhausted. Any int is a valid decision — see {!wrap}. *)
+
+type t =
+  | Rounds
+      (** Synchronous lock-step rounds: every process ticks, faulty
+          edges pass through the adversary, every process receives its
+          whole batch — the {!Sync} model. *)
+  | Fifo  (** Deliver in global send order — the {!Async} default. *)
+  | Random of int
+      (** Uniformly random pending message, seeded ({!Async}'s
+          [Random_order]). *)
+  | Delayed of { victims : int list; slack : int }
+      (** Deprioritize messages {e from} [victims]: deliver one only
+          when it has waited [slack] steps or nothing else is pending
+          ({!Async}'s [Delay]) — adversarial but fair. *)
+  | Scripted of { decide : decide; fallback_fifo : bool }
+      (** Deliver whatever [decide] names, wrapped by {!wrap}. When the
+          script is exhausted: with [fallback_fifo] finish oldest-first,
+          without it stop the run with [`Branch live] so an explorer can
+          enumerate the open choices. The {!Explore} scheduler. *)
+
+val wrap : decision:int -> live:int -> int
+(** Euclidean decision wrapping, [((d mod live) + live) mod live]: maps
+    any int onto a valid live index in [0, live) — [-1] names the last
+    live slot, [d + live] is equivalent to [d], and [min_int] cannot
+    crash the core. Requires [live > 0]. Pinned by the "decision index
+    wrapping" regression tests and a shift-invariance property test;
+    change this and {!Explore.shrink}'s canonicalized schedules break. *)
+
+val of_decisions : int list -> decide
+(** Pop decisions off a list, [None] when exhausted. The returned
+    closure is single-use (it consumes its list). *)

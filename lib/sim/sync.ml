@@ -3,125 +3,28 @@ type 'msg actor = {
   recv : round:int -> (int * 'msg) list -> unit;
 }
 
-let run ~n ~rounds ~actors ?(faulty = []) ?(adversary = Adversary.honest) () =
+(* A [Sync] actor as an engine protocol: per-process state is the actor
+   itself, [send]/[recv] map onto the tick/receive hooks. *)
+let protocol_of_actors actors =
+  {
+    Protocol.init = (fun ~me -> actors.(me));
+    on_start = (fun _ -> []);
+    on_tick = (fun a ~time -> a.send ~round:time);
+    on_receive =
+      (fun a ~time batch ->
+        a.recv ~round:time batch;
+        []);
+    output = (fun _ -> ());
+  }
+
+let run ~n ~rounds ~actors ?(faulty = []) ?(adversary = Adversary.honest)
+    ?fault () =
   if Array.length actors <> n then invalid_arg "Sync.run: need n actors";
-  List.iter
-    (fun p ->
-      if p < 0 || p >= n then invalid_arg "Sync.run: faulty id out of range")
-    faulty;
-  let is_faulty = Array.make n false in
-  List.iter (fun p -> is_faulty.(p) <- true) faulty;
-  let trace = Trace.create () in
-  (* hoisted: the tracing checks below cost one branch per site when no
-     buffer is installed on this domain *)
-  let tr = Obs.Tracer.active () in
-  let flow_ids = ref 0 in
-  for round = 0 to rounds - 1 do
-    trace.Trace.rounds <- trace.Trace.rounds + 1;
-    if tr then begin
-      Obs.Tracer.set_now round;
-      Obs.Tracer.emit ~lclock:round Obs.Tracer.Begin "round"
-        [ ("round", Obs.Tracer.Int round) ]
-    end;
-    (* Gather honest outboxes. *)
-    let outbox =
-      Array.map
-        (fun actor ->
-          let msgs = actor.send ~round in
-          List.iter
-            (fun (dst, _) ->
-              if dst < 0 || dst >= n then
-                invalid_arg "Sync.run: destination out of range")
-            msgs;
-          msgs)
-        actors
-    in
-    (* Apply the adversary on faulty sources, edge by edge. *)
-    let inboxes = Array.make n [] in
-    for src = 0 to n - 1 do
-      if is_faulty.(src) then
-        for dst = 0 to n - 1 do
-          let honest_msgs =
-            List.filter_map
-              (fun (d, m) -> if d = dst then Some m else None)
-              outbox.(src)
-          in
-          (* The adversary sees each honest message on this edge (or None
-             when there is none) and answers with what actually flows. *)
-          let adv_instant name =
-            if tr then
-              Obs.Tracer.instant ~track:src ~lclock:round ("adv." ^ name)
-                [ ("dst", Obs.Tracer.Int dst) ]
-          in
-          let consider honest_msg =
-            trace.Trace.messages_sent <- trace.Trace.messages_sent + 1;
-            match adversary ~round ~src ~dst honest_msg with
-            | None ->
-                adv_instant "drop";
-                trace.Trace.messages_dropped <-
-                  trace.Trace.messages_dropped + 1
-            | Some m ->
-                (match honest_msg with
-                | Some h when h != m ->
-                    adv_instant "corrupt";
-                    trace.Trace.messages_corrupted <-
-                      trace.Trace.messages_corrupted + 1
-                | _ -> ());
-                trace.Trace.messages_delivered <-
-                  trace.Trace.messages_delivered + 1;
-                inboxes.(dst) <- (src, m) :: inboxes.(dst)
-          in
-          (match honest_msgs with
-          | [] -> (
-              (* allow fabrication on a quiet edge *)
-              match adversary ~round ~src ~dst None with
-              | None -> ()
-              | Some m ->
-                  adv_instant "fabricate";
-                  trace.Trace.messages_sent <- trace.Trace.messages_sent + 1;
-                  trace.Trace.messages_corrupted <-
-                    trace.Trace.messages_corrupted + 1;
-                  trace.Trace.messages_delivered <-
-                    trace.Trace.messages_delivered + 1;
-                  inboxes.(dst) <- (src, m) :: inboxes.(dst))
-          | msgs -> List.iter (fun m -> consider (Some m)) msgs)
-        done
-      else
-        List.iter
-          (fun (dst, m) ->
-            trace.Trace.messages_sent <- trace.Trace.messages_sent + 1;
-            trace.Trace.messages_delivered <-
-              trace.Trace.messages_delivered + 1;
-            inboxes.(dst) <- (src, m) :: inboxes.(dst))
-          outbox.(src)
-    done;
-    (* Deliver, sorted by source for determinism. *)
-    Array.iteri
-      (fun dst actor ->
-        let batch =
-          List.stable_sort
-            (fun (a, _) (b, _) -> compare a b)
-            (List.rev inboxes.(dst))
-        in
-        if tr then begin
-          Obs.Tracer.emit ~track:dst ~lclock:round Obs.Tracer.Begin "recv"
-            [ ("msgs", Obs.Tracer.Int (List.length batch)) ];
-          (* a synchronous round delivers in the round it sends, so the
-             flow pair is emitted at delivery: the arrow still runs
-             src -> dst across tracks *)
-          List.iter
-            (fun (src, _) ->
-              let id = !flow_ids in
-              incr flow_ids;
-              Obs.Tracer.flow_start ~track:src ~lclock:round ~id "msg";
-              Obs.Tracer.flow_end ~track:dst ~lclock:round ~id "msg")
-            batch
-        end;
-        actor.recv ~round batch;
-        if tr then
-          Obs.Tracer.emit ~track:dst ~lclock:round Obs.Tracer.End "recv" [])
-      actors;
-    if tr then Obs.Tracer.emit ~lclock:round Obs.Tracer.End "round" []
-  done;
-  Trace.publish ~prefix:"sim.sync" trace;
-  trace
+  let outcome =
+    Engine.run
+      ~faults:(Fault.overlay ~faulty adversary fault)
+      ~obs_prefix:"sim.sync" ~err:"Sync.run" ~n
+      ~protocol:(protocol_of_actors actors) ~scheduler:Scheduler.Rounds
+      ~limit:rounds ()
+  in
+  outcome.Engine.trace

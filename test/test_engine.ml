@@ -1,0 +1,506 @@
+(* Cross-engine equivalence: the unified Engine must reproduce the
+   legacy executors byte-for-byte (traces, delivery logs, metrics,
+   tracer streams), and the pluggable fault models must be
+   deterministic, schedule-independent and correctly composed.
+
+   These tests pin the acceptance criteria of the protocol-engine
+   refactor: Sync/Async are thin shims over Engine.run, every ported
+   protocol (Om, Bracha, Algo_async) behaves identically through
+   either entry point, and crash / omission / delay specs behave the
+   same under rounds and step scheduling. *)
+
+open Helpers
+
+let with_obs f =
+  Obs.reset ();
+  Obs.set_enabled true;
+  Fun.protect f ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset ())
+
+(* Run [f] under a fresh metrics registry and tracer buffer; return its
+   value plus the comparable observability state (counters + hists —
+   spans carry wall-clock seconds, so they are excluded). *)
+let observed f =
+  with_obs (fun () ->
+      let v, events = Obs.Tracer.collect f in
+      let snap = Obs.snapshot () in
+      (v, snap.Obs.counters, snap.Obs.hists, events))
+
+(* A deterministic sync protocol: every process sends its id to every
+   other process each round and logs each delivery as
+   [(round, src, payload)]. *)
+let sync_rig n =
+  let logs = Array.init n (fun _ -> ref []) in
+  let actors =
+    Array.init n (fun me ->
+        {
+          Sync.send =
+            (fun ~round:_ ->
+              List.filter_map
+                (fun dst -> if dst = me then None else Some (dst, me))
+                (List.init n Fun.id));
+          recv =
+            (fun ~round batch ->
+              List.iter
+                (fun (src, m) -> logs.(me) := (round, src, m) :: !(logs.(me)))
+                batch);
+        })
+  in
+  (actors, fun () -> Array.map (fun l -> List.rev !l) logs)
+
+(* A deterministic async protocol: process 0 seeds two counters that
+   hop around the ring until they reach 5; deliveries are logged as
+   [(src, payload)]. *)
+let async_rig n =
+  let logs = Array.init n (fun _ -> ref []) in
+  let actors =
+    Array.init n (fun me ->
+        {
+          Async.start = (fun () -> if me = 0 then [ (1, 0); (2, 0) ] else []);
+          on_message =
+            (fun ~src m ->
+              logs.(me) := (src, m) :: !(logs.(me));
+              if m < 5 then [ ((me + 1) mod n, m + 1) ] else []);
+        })
+  in
+  (actors, fun () -> Array.map (fun l -> List.rev !l) logs)
+
+(* {2 Shim equivalence} *)
+
+let sync_shim_case =
+  case "rounds engine matches the Sync shim byte-for-byte" (fun () ->
+      let adv = Adversary.corrupt (fun ~round ~dst m -> m + (10 * round) + dst) in
+      let legacy =
+        observed (fun () ->
+            let actors, logs = sync_rig 4 in
+            let t =
+              Sync.run ~n:4 ~rounds:3 ~actors ~faulty:[ 1 ] ~adversary:adv ()
+            in
+            (t, logs ()))
+      in
+      let engined =
+        observed (fun () ->
+            let actors, logs = sync_rig 4 in
+            let o =
+              Engine.run
+                ~faults:(Fault.byzantine ~faulty:[ 1 ] adv)
+                ~obs_prefix:"sim.sync" ~err:"Sync.run" ~n:4
+                ~protocol:(Sync.protocol_of_actors actors)
+                ~scheduler:Scheduler.Rounds ~limit:3 ()
+            in
+            (o.Engine.trace, logs ()))
+      in
+      check_true "trace, logs, metrics and tracer stream all equal"
+        (legacy = engined))
+
+let async_shim_case =
+  case "step engine matches the Async shim under every policy" (fun () ->
+      let adv = Adversary.equivocate (fun ~dst m -> m + (100 * dst)) in
+      List.iter
+        (fun policy ->
+          let legacy =
+            observed (fun () ->
+                let actors, logs = async_rig 3 in
+                let o =
+                  Async.run ~n:3 ~actors ~faulty:[ 2 ] ~adversary:adv ~policy ()
+                in
+                (o.Async.trace, o.Async.quiescent, logs ()))
+          in
+          let engined =
+            observed (fun () ->
+                let actors, logs = async_rig 3 in
+                let o =
+                  Engine.run
+                    ~faults:(Fault.byzantine ~faulty:[ 2 ] adv)
+                    ~obs_prefix:"sim.async" ~err:"Async.run" ~n:3
+                    ~protocol:(Async.protocol_of_actors actors)
+                    ~scheduler:(Async.scheduler_of_policy policy)
+                    ~limit:200_000 ()
+                in
+                (o.Engine.trace, o.Engine.stopped = `Quiescent, logs ()))
+          in
+          check_true "trace, logs, metrics and tracer stream all equal"
+            (legacy = engined))
+        [
+          Async.Fifo;
+          Async.Random_order 11;
+          Async.Delay { victims = [ 0 ]; slack = 3 };
+        ])
+
+(* {2 Ported protocols: Engine.run vs the historical entry points} *)
+
+let om_port_case =
+  case "Om protocol through the engine matches broadcast_all" (fun () ->
+      let inputs = [| 3; 1; 4; 1 |] in
+      let fault = Fault.Crash { at = 1 } in
+      let decisions, trace =
+        Om.broadcast_all ~n:4 ~f:1 ~inputs ~faulty:[ 2 ] ~fault ~default:0
+          ~compare:Int.compare ()
+      in
+      let p =
+        Om.protocol ~n:4 ~f:1
+          ~commanders:(Array.to_list (Array.mapi (fun c v -> (c, v)) inputs))
+          ~default:0 ~compare:Int.compare
+      in
+      let o =
+        Engine.run
+          ~faults:(Fault.model ~faulty:[ 2 ] fault)
+          ~n:4 ~protocol:p ~scheduler:Scheduler.Rounds ~limit:2 ()
+      in
+      let rows = Array.map p.Protocol.output o.Engine.states in
+      check_true "same decisions" (rows = decisions);
+      check_true "same trace" (o.Engine.trace = trace);
+      check_true "honest rows agree"
+        (rows.(0) = rows.(1) && rows.(1) = rows.(3)))
+
+let bracha_adv =
+  Adversary.equivocate (fun ~dst m ->
+      match m with
+      | Bracha.Initial { originator; value } ->
+          Bracha.Initial { originator; value = value + dst }
+      | m -> m)
+
+let bracha_port_case =
+  case "Bracha protocol through the engine matches broadcast_all" (fun () ->
+      let inputs = [| 10; 20; 30; 40 |] in
+      let deliveries, outcome =
+        Bracha.broadcast_all ~n:4 ~f:1 ~inputs ~faulty:[ 3 ]
+          ~adversary:bracha_adv ~compare:Int.compare ()
+      in
+      let p = Bracha.protocol ~n:4 ~f:1 ~inputs ~compare:Int.compare in
+      let o =
+        Engine.run
+          ~faults:(Fault.byzantine ~faulty:[ 3 ] bracha_adv)
+          ~n:4 ~protocol:p ~scheduler:Scheduler.Fifo ~limit:200_000 ()
+      in
+      check_true "same deliveries"
+        (Array.map p.Protocol.output o.Engine.states = deliveries);
+      check_true "same trace" (o.Engine.trace = outcome.Async.trace);
+      check_true "same stop reason"
+        ((o.Engine.stopped = `Quiescent) = outcome.Async.quiescent))
+
+let algo_async_port_case =
+  case "Algo_async protocol through the engine matches run" (fun () ->
+      let inst =
+        Problem.random_instance (Rng.create 7) ~n:4 ~f:1 ~d:1 ~faulty:[ 3 ]
+      in
+      let validity = Problem.Standard in
+      let r =
+        Algo_async.run inst ~validity ~rounds:2 ~policy:Async.Fifo
+          ~adversary:(`Equivocate 0.5) ()
+      in
+      let p =
+        Algo_async.protocol inst ~validity ~rounds:2 ~adversary:(`Equivocate 0.5)
+          ()
+      in
+      let net =
+        Algo_async.session_adversary
+          (Algo_async.session inst ~validity ~rounds:2
+             ~adversary:(`Equivocate 0.5) ())
+      in
+      let o =
+        Engine.run
+          ~faults:(Fault.byzantine ~faulty:inst.Problem.faulty net)
+          ~n:4 ~protocol:p ~scheduler:Scheduler.Fifo ~limit:200_000 ()
+      in
+      check_true "same decisions"
+        (Array.map p.Protocol.output o.Engine.states = r.Algo_async.outputs);
+      check_true "same trace"
+        (o.Engine.trace = r.Algo_async.outcome.Async.trace);
+      check_true "honest processes decided"
+        (Array.for_all Option.is_some
+           (Array.sub r.Algo_async.outputs 0 3)))
+
+(* {2 Fault specs on the shims} *)
+
+let run_sync_rig ?adversary ?fault () =
+  let actors, logs = sync_rig 4 in
+  let t = Sync.run ~n:4 ~rounds:4 ~actors ~faulty:[ 1; 3 ] ?adversary ?fault () in
+  (t, logs ())
+
+let crash_spec_case =
+  case "crash spec matches the crash_at adversary" (fun () ->
+      check_true "identical executions"
+        (run_sync_rig ~adversary:(Adversary.crash_at 2) ()
+        = run_sync_rig ~fault:(Fault.Crash { at = 2 }) ()))
+
+let omission_spec_case =
+  case "omission spec is seed-deterministic with exact edge counts"
+    (fun () ->
+      let omit prob seed = run_sync_rig ~fault:(Fault.Omit { seed; prob }) () in
+      check_true "same seed, same execution" (omit 0.5 5 = omit 0.5 5);
+      check_true "prob 0 is a no-op" (omit 0. 5 = run_sync_rig ());
+      let t, logs = omit 1. 5 in
+      (* 4 rounds x 4 processes x 3 destinations sent; the two faulty
+         processes' 3 edges each are all dropped. *)
+      check_int "sent" 48 t.Trace.messages_sent;
+      check_int "dropped" 24 t.Trace.messages_dropped;
+      check_int "delivered" 24 t.Trace.messages_delivered;
+      check_true "no faulty-source deliveries"
+        (Array.for_all
+           (List.for_all (fun (_, src, _) -> src <> 1 && src <> 3))
+           logs);
+      let t_half, _ = omit 0.5 5 in
+      check_true "prob 1/2 drops some but not all"
+        (t_half.Trace.messages_dropped > 0
+        && t_half.Trace.messages_dropped < 24))
+
+(* {2 Satellite: Adversary.omit_prob / Fault.delay_by unit tests} *)
+
+let omit_prob_case =
+  case "omit_prob is schedule-independent and per-edge deterministic"
+    (fun () ->
+      let fates ~seed ~round_base ~src ~dst =
+        let adv = Adversary.omit_prob ~seed 0.5 in
+        List.init 60 (fun k ->
+            adv ~round:(round_base + k) ~src ~dst (Some k) <> None)
+      in
+      let a = fates ~seed:9 ~round_base:0 ~src:1 ~dst:2 in
+      check_true "deterministic in the seed"
+        (a = fates ~seed:9 ~round_base:0 ~src:1 ~dst:2);
+      check_true "independent of the round / delivery step"
+        (a = fates ~seed:9 ~round_base:1000 ~src:1 ~dst:2);
+      check_true "a fair coin both keeps and drops"
+        (List.mem true a && List.mem false a);
+      check_true "edges draw independent streams"
+        (a <> fates ~seed:9 ~round_base:0 ~src:2 ~dst:1);
+      check_true "seeds decorrelate"
+        (a <> fates ~seed:10 ~round_base:0 ~src:1 ~dst:2);
+      let pass = Adversary.omit_prob ~seed:0 0. in
+      let drop = Adversary.omit_prob ~seed:0 1. in
+      check_true "prob 0 passes everything"
+        (List.init 20 (fun k -> pass ~round:0 ~src:0 ~dst:1 (Some k))
+        = List.init 20 (fun k -> Some k));
+      check_true "prob 1 drops everything"
+        (List.for_all
+           (fun k -> drop ~round:0 ~src:0 ~dst:1 (Some k) = None)
+           (List.init 20 Fun.id));
+      check_true "quiet edges stay quiet"
+        (pass ~round:0 ~src:0 ~dst:1 None = None))
+
+let omit_prob_validation_case =
+  raises_invalid "omit_prob rejects probabilities outside [0, 1]" (fun () ->
+      Adversary.omit_prob ~seed:0 1.5)
+
+let delay_by_case =
+  case "delay_by is a pure uniform draw in [0, max]" (fun () ->
+      let d k = Fault.delay_by ~seed:3 ~max:4 ~src:1 ~dst:2 ~k in
+      check_true "pure: same arguments, same delay"
+        (List.init 50 d = List.init 50 d);
+      check_true "in range"
+        (List.for_all (fun k -> d k >= 0 && d k <= 4) (List.init 200 Fun.id));
+      check_true "every lateness in 0..4 occurs"
+        (List.for_all
+           (fun v -> List.exists (fun k -> d k = v) (List.init 200 Fun.id))
+           [ 0; 1; 2; 3; 4 ]);
+      check_true "max 0 means prompt"
+        (List.for_all
+           (fun k -> Fault.delay_by ~seed:3 ~max:0 ~src:1 ~dst:2 ~k = 0)
+           (List.init 20 Fun.id));
+      check_true "seeds decorrelate"
+        (List.init 50 d
+        <> List.init 50 (fun k -> Fault.delay_by ~seed:4 ~max:4 ~src:1 ~dst:2 ~k)))
+
+(* {2 Delay semantics in both execution models} *)
+
+let delay_rounds_case =
+  case "rounds-mode delay shifts arrivals and drops past the horizon"
+    (fun () ->
+      let actors, logs = sync_rig 2 in
+      let faults =
+        {
+          Fault.faulty = [];
+          adversary = Adversary.honest;
+          delay_of = Some (fun ~src:_ ~dst:_ ~k:_ -> 1);
+        }
+      in
+      let o =
+        Engine.run ~faults ~n:2
+          ~protocol:(Sync.protocol_of_actors actors)
+          ~scheduler:Scheduler.Rounds ~limit:3 ()
+      in
+      check_int "sent" 6 o.Engine.trace.Trace.messages_sent;
+      check_int "delivered" 4 o.Engine.trace.Trace.messages_delivered;
+      check_int "dropped past the horizon" 2 o.Engine.trace.Trace.messages_dropped;
+      check_true "each message arrives one round late"
+        (logs () = [| [ (1, 1, 1); (2, 1, 1) ]; [ (1, 0, 0); (2, 0, 0) ] |]))
+
+let delay_zero_case =
+  case "a zero delay spec is a no-op on the Sync shim" (fun () ->
+      check_true "identical executions"
+        (run_sync_rig ~fault:(Fault.Delay { seed = 3; max = 0 }) ()
+        = run_sync_rig ()))
+
+let delay_steps_case =
+  case "step-mode delay fast-forwards instead of deadlocking" (fun () ->
+      let run delay_of =
+        let actors, logs = async_rig 3 in
+        let faults = { Fault.faulty = []; adversary = Adversary.honest; delay_of } in
+        let o =
+          Engine.run ~faults ~n:3
+            ~protocol:(Async.protocol_of_actors actors)
+            ~scheduler:Scheduler.Fifo ~limit:1000 ()
+        in
+        (o.Engine.trace, o.Engine.stopped, logs ())
+      in
+      let plain = run None in
+      let delayed = run (Some (fun ~src:_ ~dst:_ ~k:_ -> 7)) in
+      check_true "uniform lateness preserves FIFO deliveries" (plain = delayed);
+      let t, stopped, _ = delayed in
+      check_true "quiescent" (stopped = `Quiescent);
+      check_int "nothing lost" t.Trace.messages_sent t.Trace.messages_delivered;
+      let actors, _ = async_rig 3 in
+      let o = Async.run ~n:3 ~actors ~fault:(Fault.Delay { seed = 2; max = 5 }) () in
+      check_true "delay spec on the shim reaches quiescence" o.Async.quiescent;
+      check_int "delay spec drops nothing" 0 o.Async.trace.Trace.messages_dropped)
+
+let scripted_delay_case =
+  raises_invalid "scripted scheduler rejects delay models" (fun () ->
+      let actors, _ = async_rig 3 in
+      Engine.run
+        ~faults:
+          {
+            Fault.faulty = [];
+            adversary = Adversary.honest;
+            delay_of = Some (fun ~src:_ ~dst:_ ~k:_ -> 1);
+          }
+        ~n:3
+        ~protocol:(Async.protocol_of_actors actors)
+        ~scheduler:
+          (Scheduler.Scripted
+             { decide = Scheduler.of_decisions []; fallback_fifo = true })
+        ~limit:100 ())
+
+(* {2 Engine argument validation} *)
+
+let bad_faulty_case =
+  raises_invalid "faulty ids out of range are rejected" (fun () ->
+      let actors, _ = sync_rig 2 in
+      Sync.run ~n:2 ~rounds:1 ~actors ~faulty:[ 2 ] ())
+
+let bad_states_case =
+  raises_invalid "a pre-built state array must have length n" (fun () ->
+      let actors, _ = sync_rig 3 in
+      Engine.run
+        ~states:(Array.sub actors 0 2)
+        ~n:3
+        ~protocol:(Sync.protocol_of_actors actors)
+        ~scheduler:Scheduler.Rounds ~limit:1 ())
+
+(* {2 Satellite: shared Scheduler decision semantics} *)
+
+let wrap_property =
+  qtest ~count:200 "wrap is a shift-invariant Euclidean modulus"
+    QCheck.(pair (int_range (-10_000) 10_000) (int_range 1 40))
+    (fun (d, live) ->
+      let w = Scheduler.wrap ~decision:d ~live in
+      0 <= w && w < live
+      && Scheduler.wrap ~decision:(d + live) ~live = w
+      && ((d < 0 || d >= live) || w = d))
+
+let wrap_min_int_case =
+  case "wrap survives min_int" (fun () ->
+      let w = Scheduler.wrap ~decision:min_int ~live:7 in
+      check_true "in range" (0 <= w && w < 7);
+      check_int "Euclidean value" (((min_int mod 7) + 7) mod 7) w)
+
+let of_decisions_case =
+  case "of_decisions is a single-use popper" (fun () ->
+      let d = Scheduler.of_decisions [ 5; -1 ] in
+      check_true "first" (d ~live:3 ~step:0 = Some 5);
+      check_true "second (live/step ignored)" (d ~live:1 ~step:9 = Some (-1));
+      check_true "exhausted" (d ~live:2 ~step:2 = None);
+      check_true "stays exhausted" (d ~live:2 ~step:3 = None))
+
+(* {2 Exploring engine protocols with fault specs} *)
+
+let bracha_make () =
+  Bracha.protocol ~n:4 ~f:1 ~inputs:[| 10; 20; 30; 40 |] ~compare:Int.compare
+
+(* Bracha agreement: no two honest processes deliver different values
+   for the same originator, under any schedule and any equivocation. *)
+let bracha_agreement outs =
+  List.for_all
+    (fun o ->
+      match List.filter_map (fun p -> outs.(p).(o)) [ 0; 1; 2 ] with
+      | [] -> true
+      | v :: rest -> List.for_all (( = ) v) rest)
+    [ 0; 1; 2; 3 ]
+
+let fuzz_protocol_jobs_case =
+  case "fuzz_protocol over the engine is jobs-invariant" (fun () ->
+      let fuzz jobs =
+        Explore.fuzz_protocol ~make:bracha_make ~n:4 ~check:bracha_agreement
+          ~faulty:[ 3 ] ~adversary:bracha_adv ~max_steps:400 ~jobs ~seed:5
+          ~trials:30 ()
+      in
+      let r1 = fuzz 1 in
+      check_true "jobs 1 = jobs 4" (r1 = fuzz 4);
+      check_int "all trials graded" 30 r1.Explore.explored;
+      check_true "agreement holds under equivocation"
+        (r1.Explore.counterexample = None))
+
+let fuzz_protocol_fault_case =
+  case "fuzz_protocol instantiates fault specs freshly per trial" (fun () ->
+      let fuzz () =
+        Explore.fuzz_protocol ~make:bracha_make ~n:4
+          ~check:(fun outs ->
+            bracha_agreement outs
+            (* All of process 3's sends are dropped, so nobody can
+               deliver its broadcast. *)
+            && List.for_all (fun p -> outs.(p).(3) = None) [ 0; 1; 2 ])
+          ~faulty:[ 3 ]
+          ~fault:(Fault.Omit { seed = 2; prob = 1. })
+          ~max_steps:400 ~seed:1 ~trials:10 ()
+      in
+      let r = fuzz () in
+      check_true "repeatable (no stream leakage across trials)" (r = fuzz ());
+      check_int "all trials graded" 10 r.Explore.explored;
+      check_true "silence via omission holds in every schedule"
+        (r.Explore.counterexample = None))
+
+let run_protocol_shrink_case =
+  case "run_protocol DFS finds and fully shrinks a violation" (fun () ->
+      let r =
+        Explore.run_protocol ~make:bracha_make ~n:4
+          ~check:(fun _ -> false)
+          ~max_steps:60 ~budget:5 ()
+      in
+      check_true "counterexample shrunk to the FIFO schedule"
+        (r.Explore.counterexample = Some []);
+      check_true "witness attached" (r.Explore.witness <> None))
+
+let explore_delay_case =
+  raises_invalid "explorers reject delay fault specs" (fun () ->
+      Explore.fuzz_protocol ~make:bracha_make ~n:4
+        ~check:(fun _ -> true)
+        ~fault:(Fault.Delay { seed = 0; max = 2 })
+        ~seed:1 ~trials:2 ())
+
+let suite =
+  [
+    sync_shim_case;
+    async_shim_case;
+    om_port_case;
+    bracha_port_case;
+    algo_async_port_case;
+    crash_spec_case;
+    omission_spec_case;
+    omit_prob_case;
+    omit_prob_validation_case;
+    delay_by_case;
+    delay_rounds_case;
+    delay_zero_case;
+    delay_steps_case;
+    scripted_delay_case;
+    bad_faulty_case;
+    bad_states_case;
+    wrap_property;
+    wrap_min_int_case;
+    of_decisions_case;
+    fuzz_protocol_jobs_case;
+    fuzz_protocol_fault_case;
+    run_protocol_shrink_case;
+    explore_delay_case;
+  ]

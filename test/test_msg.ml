@@ -3,13 +3,18 @@ open Helpers
 let unit_tests =
   [
     case "envelope fields" (fun () ->
-        let e = Msg.envelope ~src:1 ~dst:2 ~round:3 "payload" in
+        let e = Msg.envelope ~src:1 ~dst:2 ~time:3 "payload" in
         check_int "src" 1 e.Msg.src;
         check_int "dst" 2 e.Msg.dst;
-        check_int "round" 3 e.Msg.round;
+        check_int "time" 3 e.Msg.time;
         Alcotest.(check string) "payload" "payload" e.Msg.payload);
+    case "deprecated round alias reads the time field" (fun () ->
+        let e = Msg.envelope ~src:1 ~dst:2 ~time:9 () in
+        check_int "round alias"
+          9
+          ((Msg.round [@warning "-3"] [@alert "-deprecated"]) e));
     case "pp_envelope formats" (fun () ->
-        let e = Msg.envelope ~src:0 ~dst:4 ~round:7 42 in
+        let e = Msg.envelope ~src:0 ~dst:4 ~time:7 42 in
         let s =
           Format.asprintf "%a" (Msg.pp_envelope Format.pp_print_int) e
         in
@@ -17,7 +22,7 @@ let unit_tests =
     case "debug_delivery is silent without a reporter" (fun () ->
         (* must not raise and must not print *)
         Msg.debug_delivery ~pp:Format.pp_print_int
-          (Msg.envelope ~src:0 ~dst:1 ~round:0 5));
+          (Msg.envelope ~src:0 ~dst:1 ~time:0 5));
     case "log source is registered" (fun () ->
         check_true "name" (Logs.Src.name Msg.log_src = "rbvc.sim"));
   ]
