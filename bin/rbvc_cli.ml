@@ -600,6 +600,274 @@ let explore_run seed jobs trials algo n f d rounds adversary max_steps
               (String.concat ";" (List.map string_of_int w.Explore.decisions));
             1)
 
+(* ---------------- explore check (stateless model checking) -------- *)
+
+(* One model-checkable engine protocol with its grading predicate and
+   TLA+ export parameters; the existential hides per-protocol types. *)
+type check_target =
+  | CT : {
+      make : unit -> ('s, 'm, 'o) Protocol.t;
+      grade : 'o array -> bool;
+      kind : Tla_export.kind;
+      tname : string;
+      eps : float;
+    }
+      -> check_target
+
+let check_protocol_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("om", `Om);
+             ("bracha", `Bracha);
+             ("algo-exact", `Algo_exact);
+             ("algo-async", `Algo_async);
+             ("algo-k1", `Algo_k1);
+             ("algo-iterative", `Algo_iterative);
+           ])
+        `Om
+    & info [ "protocol" ] ~docv:"P"
+        ~doc:
+          "Engine protocol to model-check: om | bracha | algo-exact | \
+           algo-async | algo-k1 | algo-iterative.")
+
+let check_target ~seed ~n ~f ~d ~rounds = function
+  | `Om ->
+      let v = 7 + (seed mod 89) in
+      CT
+        {
+          make =
+            (fun () ->
+              Om.async_protocol ~n ~f ~commanders:[ (0, v) ] ~default:0
+                ~compare:Int.compare);
+          grade =
+            (fun rows ->
+              Array.for_all (fun (row : int array) -> row.(0) = v) rows);
+          kind = Tla_export.Broadcast;
+          tname = "Om";
+          eps = 0.;
+        }
+  | `Bracha ->
+      let inputs = Array.init n (fun i -> seed + i) in
+      CT
+        {
+          make =
+            (fun () -> Bracha.protocol ~n ~f ~inputs ~compare:Int.compare);
+          grade =
+            (fun outs ->
+              (* no two processes deliver different values for the same
+                 originator, under any schedule prefix *)
+              List.for_all
+                (fun o ->
+                  match
+                    List.filter_map
+                      (fun p -> outs.(p).(o))
+                      (List.init n Fun.id)
+                  with
+                  | [] -> true
+                  | v :: rest -> List.for_all (( = ) v) rest)
+                (List.init n Fun.id));
+          kind = Tla_export.Broadcast;
+          tname = "Bracha";
+          eps = 0.;
+        }
+  | (`Algo_exact | `Algo_async | `Algo_k1 | `Algo_iterative) as which ->
+      let inst = Problem.random_instance (Rng.create seed) ~n ~f ~d ~faulty:[] in
+      let hi = Problem.honest_inputs inst in
+      let valid outs =
+        outs = [] || (Validity.standard_validity ~honest_inputs:hi outs).Validity.ok
+      in
+      (match which with
+      | `Algo_exact ->
+          (* Algo_exact decides at every prefix, padding unheard
+             commanders with the zero default — so the inductive safety
+             property under a depth cap is containment in
+             hull(inputs + default), not full standard validity. *)
+          CT
+            {
+              make =
+                (fun () ->
+                  Algo_exact.async_protocol inst ~validity:Problem.Standard);
+              grade =
+                (fun outs ->
+                  let decided =
+                    List.filter_map
+                      (fun p -> Option.map fst outs.(p))
+                      (List.init n Fun.id)
+                  in
+                  decided = []
+                  || (Validity.standard_validity
+                        ~honest_inputs:(Vec.zero d :: hi) decided)
+                       .Validity.ok);
+              kind = Tla_export.Consensus;
+              tname = "AlgoExact";
+              eps = 0.;
+            }
+      | `Algo_async ->
+          CT
+            {
+              make =
+                (fun () ->
+                  Algo_async.protocol inst ~validity:Problem.Standard ~rounds ());
+              grade =
+                (fun outs ->
+                  (* standard validity is only guaranteed at
+                     n >= (d+2)f+1 (async gap) *)
+                  n < ((d + 2) * f) + 1
+                  || valid
+                       (List.filter_map
+                          (fun p -> outs.(p))
+                          (List.init n Fun.id)));
+              kind = Tla_export.Consensus;
+              tname = "AlgoAsync";
+              eps = 0.05;
+            }
+      | `Algo_k1 ->
+          CT
+            {
+              make = (fun () -> Algo_k1_async.protocol inst ~eps:0.1 ~rounds ());
+              grade =
+                (fun outs ->
+                  let decided =
+                    List.filter_map (fun p -> outs.(p)) (List.init n Fun.id)
+                  in
+                  decided = []
+                  || (Validity.k_relaxed_validity ~k:1 ~honest_inputs:hi
+                        decided)
+                       .Validity.ok);
+              kind = Tla_export.Consensus;
+              tname = "AlgoK1";
+              eps = 0.1;
+            }
+      | `Algo_iterative ->
+          CT
+            {
+              make = (fun () -> Algo_iterative.protocol inst ~rounds);
+              grade =
+                (fun outs -> valid (Array.to_list outs));
+              kind = Tla_export.Consensus;
+              tname = "AlgoIterative";
+              eps = 0.;
+            })
+
+let write_text path text =
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc;
+  Format.printf "wrote %s@." path
+
+let explore_check_cmd =
+  let depth =
+    Arg.(
+      value & opt int 8
+      & info [ "depth" ] ~doc:"Delivery-depth cap per explored schedule.")
+  in
+  let budget =
+    Arg.(
+      value & opt int 20_000
+      & info [ "budget" ] ~doc:"Engine-replay budget for the whole search.")
+  in
+  let rounds =
+    Arg.(value & opt int 1 & info [ "rounds" ] ~doc:"Algorithm rounds.")
+  in
+  let tla =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tla" ] ~docv:"FILE"
+          ~doc:
+            "Also write the instance's abstract TLA+ specification \
+             (Init/Next, Validity + Agreement invariants) to $(docv); \
+             check it structurally with rbvc validate, or offline with \
+             TLC.")
+  in
+  let tla_trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tla-trace" ] ~docv:"FILE"
+          ~doc:
+            "Also write one executed schedule (the counterexample if any, \
+             the FIFO schedule otherwise) as a TLA+ behavior module with \
+             an ASSUMEd TraceValid predicate.")
+  in
+  let run seed jobs proto n f d rounds depth budget tla tla_trace metrics
+      trace =
+    try
+      with_metrics metrics @@ fun () ->
+      with_trace trace @@ fun () ->
+      let d = Option.value d ~default:1 in
+      let (CT t) = check_target ~seed ~n ~f ~d ~rounds proto in
+      let r =
+        Explore.check ~make:t.make ~n ~check:t.grade ~max_steps:depth ~budget
+          ~jobs:(effective_jobs jobs) ()
+      in
+      Format.printf "%a@." Explore.pp_check_stats r.Explore.stats;
+      if r.Explore.verdict.Explore.truncated then
+        Format.printf "truncated: replay budget exhausted mid-search@.";
+      (match tla with
+      | None -> ()
+      | Some path ->
+          let p =
+            Tla_export.params ~name:t.tname ~kind:t.kind ~n ~f ~d ~eps:t.eps ()
+          in
+          write_text path (Tla_export.spec p));
+      (match tla_trace with
+      | None -> ()
+      | Some path ->
+          let decisions =
+            Option.value r.Explore.verdict.Explore.counterexample ~default:[]
+          in
+          let events = ref [] in
+          ignore
+            (Engine.run
+               ~record:(fun e -> events := e :: !events)
+               ~n ~protocol:(t.make ())
+               ~scheduler:
+                 (Scheduler.Scripted
+                    {
+                      decide = Scheduler.of_decisions decisions;
+                      fallback_fifo = true;
+                    })
+               ~limit:depth ());
+          let p =
+            Tla_export.params
+              ~name:(t.tname ^ "Trace")
+              ~kind:t.kind ~n ~f ~d ~eps:t.eps ()
+          in
+          write_text path (Tla_export.behavior p (List.rev !events)));
+      match r.Explore.verdict.Explore.witness with
+      | None ->
+          Format.printf
+            "no violation: the protocol property held on every reachable \
+             schedule@.";
+          0
+      | Some w ->
+          Format.printf "%a@." Explore.pp_witness w;
+          1
+    with Invalid_argument msg ->
+      Format.eprintf "rbvc explore check: %s@." msg;
+      2
+  in
+  let term =
+    Term.(
+      const run $ seed_arg $ jobs_arg $ check_protocol_arg $ explore_n_arg
+      $ explore_f_arg $ explore_d_arg $ rounds $ depth $ budget $ tla
+      $ tla_trace $ metrics_arg $ trace_arg)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Stateless model checking: enumerate every delivery schedule of an \
+          engine protocol up to a depth cap with dynamic partial-order \
+          reduction (sleep sets + state-hash dedup), grade each completed \
+          execution, and report DPOR statistics. The result (stats \
+          included) is identical at any --jobs. Exit 1 if a counterexample \
+          is found.")
+    term
+
 let explore_cmd =
   let run seed jobs trials algo n f d rounds adversary max_steps dfs_budget
       replay metrics trace =
@@ -621,14 +889,15 @@ let explore_cmd =
       $ explore_adversary_arg $ explore_max_steps_arg $ explore_dfs_arg
       $ explore_replay_arg $ metrics_arg $ trace_arg)
   in
-  Cmd.v
+  Cmd.group ~default:term
     (Cmd.info "explore"
        ~doc:
          "Fuzz the asynchronous consensus algorithms over random delivery \
           schedules (or DFS-enumerate them), grading validity, \
           eps-agreement and termination on every schedule; counterexamples \
-          are shrunk and printed as replayable traces.")
-    term
+          are shrunk and printed as replayable traces. The $(b,check) \
+          subcommand runs the stateless model checker (DPOR) instead.")
+    [ explore_check_cmd ]
 
 (* ---------------- bounds ---------------- *)
 
@@ -742,6 +1011,14 @@ let validate_cmd =
     | exception Sys_error msg ->
         Format.eprintf "rbvc validate: %s@." msg;
         2
+    | contents when Filename.check_suffix path ".tla" -> (
+        match Tla_export.validate contents with
+        | Error e ->
+            Format.eprintf "%s: invalid TLA+ module: %s@." path e;
+            1
+        | Ok name ->
+            Format.printf "%s: valid TLA+ module %s@." path name;
+            0)
     | contents -> (
         match Persist.of_string (String.trim contents) with
         | Error e ->
@@ -760,8 +1037,9 @@ let validate_cmd =
     (Cmd.info "validate"
        ~doc:
          "Parse a JSON artifact with the repo's own Persist.of_string and \
-          report its schema — exit 1 on any parse error, so CI can gate on \
-          the very parser replays depend on.")
+          report its schema, or structurally validate a .tla module \
+          exported by explore check — exit 1 on any parse error, so CI can \
+          gate on the very parsers replays and specs depend on.")
     Term.(const run $ path)
 
 (* ---------------- trace ---------------- *)

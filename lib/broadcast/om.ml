@@ -196,6 +196,55 @@ let protocol ~n ~f ~commanders ~default ~compare =
         Array.init n (fun commander -> decide st ~compare ~default ~commander));
   }
 
+(* Eager-relay (asynchronous) variant: same message space and decision
+   rule as the rounds protocol, but each valid entry is relayed the
+   moment it is received instead of in lock-step rounds, so the protocol
+   runs under any step scheduler — in particular the [Scripted] one
+   {!Explore.check} branches on. Messages carry a single entry; the
+   entry's round is derived from its path length ([|path| = round + 1]),
+   never from scheduler time, so validation is schedule-independent and
+   the set of messages ever sent is the same as in the rounds run. *)
+let async_protocol ~n ~f ~commanders ~default ~compare =
+  let base = protocol ~n ~f ~commanders ~default ~compare in
+  let relays st e =
+    let path' = e.path @ [ st.me ] in
+    List.filter_map
+      (fun dst ->
+        if dst <> st.me && not (List.mem dst path') then
+          Some (dst, { e with path = path' })
+        else None)
+      (List.init st.n (fun i -> i))
+  in
+  {
+    Protocol.init = base.Protocol.init;
+    on_start =
+      (fun st ->
+        List.concat_map
+          (fun (c, v) ->
+            List.filter_map
+              (fun dst ->
+                if dst = st.me then None
+                else Some (dst, { commander = c; path = [ c ]; value = v }))
+              (List.init st.n (fun i -> i)))
+          st.own);
+    on_tick = (fun _ ~time:_ -> []);
+    on_receive =
+      (fun st ~time:_ batch ->
+        List.concat_map
+          (fun (src, e) ->
+            let round = List.length e.path - 1 in
+            match validate_and_key st ~round ~src e with
+            | None -> []
+            | Some key ->
+                if Hashtbl.mem st.store key then []
+                else begin
+                  Hashtbl.add st.store key e.value;
+                  if round < st.f then relays st e else []
+                end)
+          batch);
+    output = base.Protocol.output;
+  }
+
 let adversary_of_corrupt corrupt =
   match corrupt with
   | None -> Adversary.honest

@@ -40,6 +40,22 @@ val protocol :
     any execution you want traced cleanly. Raises [Invalid_argument]
     unless [0 <= f < n] and the packed path keys fit an int. *)
 
+val async_protocol :
+  n:int ->
+  f:int ->
+  commanders:(int * 'v) list ->
+  default:'v ->
+  compare:('v -> 'v -> int) ->
+  ('v state, 'v entry, 'v array) Protocol.t
+(** Eager-relay OM(f) for step schedulers: commanders broadcast from
+    [on_start], and every valid new entry is relayed the moment it
+    arrives (messages carry one entry each; an entry's round is its path
+    length minus one, so validation never consults scheduler time). The
+    message set and the decision rule are identical to {!protocol}; only
+    the interleaving is freed — this is the OM instantiation that
+    {!Explore.check} model-checks. Same argument validation as
+    {!protocol}. *)
+
 val broadcast :
   n:int ->
   f:int ->

@@ -409,9 +409,16 @@ let run (inst : Problem.instance) ~validity ~rounds ?policy ?adversary
     ?max_steps ?fault () =
   let s = session inst ~validity ~rounds ?adversary () in
   let outcome =
-    Async.run ~n:inst.Problem.n ~actors:s.s_actors
-      ~faulty:inst.Problem.faulty ~adversary:s.s_adversary ?policy
-      ?max_steps ?fault ()
+    Async.outcome_of_engine
+      (Engine.run
+         ~faults:
+           (Fault.overlay ~faulty:inst.Problem.faulty s.s_adversary fault)
+         ~obs_prefix:"sim.async" ~err:"Algo_async.run" ~n:inst.Problem.n
+         ~states:s.s_actors
+         ~protocol:(Async.protocol_of_actors s.s_actors)
+         ~scheduler:
+           (Async.scheduler_of_policy (Option.value policy ~default:Async.Fifo))
+         ~limit:(Option.value max_steps ~default:200_000) ())
   in
   {
     outputs = session_outputs s;

@@ -73,7 +73,8 @@ val run :
   ?fault:Fault.spec ->
   unit ->
   report
-(** Full execution under {!Async.run}'s scheduler policies. [fault]
+(** Full execution on the {!Engine} under an {!Async.policy} scheduler
+    (mapped via {!Async.scheduler_of_policy}). [fault]
     overlays a crash / omission / delay {!Fault.spec} on the instance's
     faulty set, composed after the protocol-level [adversary]'s network
     strategy. *)

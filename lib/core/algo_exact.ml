@@ -65,6 +65,20 @@ let protocol (inst : Problem.instance) ~validity =
         choose_output ~validity ~f (Array.to_list (om.Protocol.output st)));
   }
 
+let async_protocol (inst : Problem.instance) ~validity =
+  let { Problem.n; f; d; inputs; _ } = inst in
+  let commanders = Array.to_list (Array.mapi (fun c v -> (c, v)) inputs) in
+  let om =
+    Om.async_protocol ~n ~f ~commanders ~default:(Vec.zero d)
+      ~compare:Vec.compare_lex
+  in
+  {
+    om with
+    Protocol.output =
+      (fun st ->
+        choose_output ~validity ~f (Array.to_list (om.Protocol.output st)));
+  }
+
 let run (inst : Problem.instance) ~validity ?corrupt ?fault () =
   let { Problem.n; f; d; inputs; faulty } = inst in
   (* Step 1: Byzantine broadcast of every input. *)

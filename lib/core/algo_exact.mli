@@ -56,6 +56,14 @@ val protocol :
     under {!Scheduler.Rounds} with [limit = f + 1], e.g. via
     {!Explore.run_protocol} to quantify over fault schedules. *)
 
+val async_protocol :
+  Problem.instance ->
+  validity:Problem.validity ->
+  (Vec.t Om.state, Vec.t Om.entry, (Vec.t * float) option) Protocol.t
+(** ALGO over the eager-relay {!Om.async_protocol}: same Step 2 output
+    hook as {!protocol}, but the relay phase runs under any step
+    scheduler — this is the form {!Explore.check} model-checks. *)
+
 val run :
   Problem.instance ->
   validity:Problem.validity ->

@@ -15,6 +15,80 @@ let spread values =
     arr;
   !m
 
+(* Asynchronous, step-scheduled form of the same iteration: values are
+   tagged with their round, and a process advances its round as soon as
+   n - f round-[r] values have arrived (it cannot wait for all n — under
+   asynchrony f processes may stay silent forever). Early messages from
+   processes that are rounds ahead are buffered until this process
+   catches up. The final value depends on *which* n - f values arrive
+   first, i.e. on the delivery schedule — exactly the nondeterminism
+   {!Explore.check} quantifies over. *)
+type proc = {
+  p_me : int;
+  p_n : int;
+  p_f : int;
+  p_d : int;
+  p_rounds : int;
+  mutable p_round : int;  (* rounds completed; p_rounds = done *)
+  mutable p_value : Vec.t;
+  p_inbox : (int * Vec.t) list array;  (* per round: (src, value), newest first *)
+}
+
+let protocol (inst : Problem.instance) ~rounds =
+  let { Problem.n; f; d; inputs; _ } = inst in
+  if rounds < 0 then invalid_arg "Algo_iterative.protocol: negative rounds";
+  if n < ((d + 1) * f) + 1 then
+    invalid_arg "Algo_iterative.protocol: requires n >= (d+1)f + 1";
+  let everyone = List.init n (fun i -> i) in
+  let broadcast p =
+    List.map (fun dst -> (dst, (p.p_round, Vec.copy p.p_value))) everyone
+  in
+  let quorum = n - f in
+  let rec drain p =
+    if p.p_round < p.p_rounds then begin
+      let arrived = p.p_inbox.(p.p_round) in
+      if List.length arrived >= quorum then begin
+        let received = List.map snd arrived in
+        (if List.length received >= ((p.p_d + 1) * p.p_f) + 1 then
+           match Tverberg.gamma_point ~f:p.p_f received with
+           | Some safe -> p.p_value <- Vec.lerp 0.5 p.p_value safe
+           | None -> ());
+        p.p_round <- p.p_round + 1;
+        if p.p_round < p.p_rounds then broadcast p @ drain p else []
+      end
+      else []
+    end
+    else []
+  in
+  {
+    Protocol.init =
+      (fun ~me ->
+        {
+          p_me = me;
+          p_n = n;
+          p_f = f;
+          p_d = d;
+          p_rounds = rounds;
+          p_round = 0;
+          p_value = Vec.copy inputs.(me);
+          p_inbox = Array.make (max rounds 1) [];
+        });
+    on_start = (fun p -> if p.p_rounds > 0 then broadcast p else []);
+    on_tick = (fun _ ~time:_ -> []);
+    on_receive =
+      (fun p ~time:_ batch ->
+        List.concat_map
+          (fun (src, (r, v)) ->
+            if r < 0 || r >= p.p_rounds then []
+            else if List.mem_assoc src p.p_inbox.(r) then []
+            else begin
+              p.p_inbox.(r) <- (src, v) :: p.p_inbox.(r);
+              drain p
+            end)
+          batch);
+    output = (fun p -> p.p_value);
+  }
+
 let run (inst : Problem.instance) ~rounds ?adversary ?fault () =
   let { Problem.n; f; d; inputs; faulty } = inst in
   if rounds < 0 then invalid_arg "Algo_iterative.run: negative rounds";
@@ -56,7 +130,18 @@ let run (inst : Problem.instance) ~rounds ?adversary ?fault () =
   (* run one round at a time so we can record the honest spread *)
   let run_round =
     match fault with
-    | None -> fun _r -> Sync.run ~n ~rounds:1 ~actors ~faulty ?adversary ()
+    | None ->
+        let protocol = Sync.protocol_of_actors actors in
+        let faults =
+          Fault.overlay ~faulty
+            (Option.value adversary ~default:Adversary.honest)
+            None
+        in
+        fun _r ->
+          (Engine.run ~faults ~obs_prefix:"sim.sync"
+             ~err:"Algo_iterative.run" ~states:actors ~n ~protocol
+             ~scheduler:Scheduler.Rounds ~limit:1 ())
+            .Engine.trace
     | Some spec ->
         (* The engine restarts its round counter at 0 for each 1-round
            execution, so the spec's adversary (crash times are global

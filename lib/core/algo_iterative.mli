@@ -29,6 +29,24 @@ type report = {
   trace : Trace.t;
 }
 
+type proc
+(** Per-process state of the asynchronous form. *)
+
+val protocol :
+  Problem.instance ->
+  rounds:int ->
+  (proc, int * Vec.t, Vec.t) Protocol.t
+(** The same iteration as an asynchronous engine protocol: values travel
+    as [(round, value)] messages, and a process moves to round [r + 1]
+    as soon as [n - f] round-[r] values have arrived (under asynchrony
+    it cannot wait for all [n]); messages from rounds it has not reached
+    are buffered. The output is the process's value after [rounds]
+    advances. Because the update uses whichever [n - f] values arrive
+    first, the outcome depends on the delivery schedule — the
+    nondeterminism {!Explore.check} and {!Explore.run_protocol} quantify
+    over. Raises [Invalid_argument] unless [rounds >= 0] and
+    [n >= (d+1)f + 1]. *)
+
 val run :
   Problem.instance ->
   rounds:int ->

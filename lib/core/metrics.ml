@@ -33,6 +33,9 @@ let to_json ?(timings = false) (snap : Obs.snapshot) =
       ( "counters",
         Persist.Obj
           (List.map (fun (k, v) -> (k, Persist.Int v)) snap.Obs.counters) );
+      ( "gauges",
+        Persist.Obj (List.map (fun (k, v) -> (k, Persist.Int v)) snap.Obs.gauges)
+      );
       ( "histograms",
         Persist.Obj (List.map (fun (k, h) -> (k, hist_to_json h)) snap.Obs.hists)
       );

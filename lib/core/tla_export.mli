@@ -1,0 +1,95 @@
+(** TLA+ export: abstract specifications and concrete trace behaviors
+    for the engine protocols, plus the in-process invariant evaluator
+    that checks what the abstraction elides.
+
+    Two artifacts are generated, both plain [.tla] text:
+
+    - {!spec} — a VectorConsensus-style module for one protocol
+      instance: concrete constants [N]/[F]/[D] (and the real-valued
+      [eps] as a comment — TLA+ values are abstract), [Init]/[Next]
+      with [Propose]/[Decide] actions, and [Validity]/[Agreement]
+      invariants. The module is self-contained and model-checkable by
+      TLC offline (bind the [Values] constant to any small finite set).
+      Over abstract values, hull membership degrades to "decided only
+      what some honest process proposed" and epsilon-agreement to exact
+      agreement; the concrete geometric conditions are checked
+      in-process by {!check_behavior} instead.
+    - {!behavior} — one recorded execution as a TLA+ behavior module:
+      the delivery trace as a [Sequences] constant plus a [TraceValid]
+      predicate ([ASSUME]d, so [tlc] validates it at parse time).
+
+    Both are byte-stable for a given input — golden tests pin the
+    output, and regenerated artifacts diff cleanly. *)
+
+type kind =
+  | Broadcast  (** commander-relay broadcast (Om, Bracha) *)
+  | Consensus  (** vector consensus (the algo_* family) *)
+
+type params = {
+  name : string;
+      (** TLA+ module name; must match [[A-Za-z][A-Za-z0-9_]*] *)
+  kind : kind;
+  n : int;
+  f : int;
+  d : int;
+  eps : float;  (** epsilon-agreement allowance; [0.] means exact *)
+  validity : Problem.validity;
+  faulty : int list;  (** actual faulty ids, each in [0 .. n-1] *)
+}
+
+val params :
+  name:string ->
+  kind:kind ->
+  n:int ->
+  f:int ->
+  ?d:int ->
+  ?eps:float ->
+  ?validity:Problem.validity ->
+  ?faulty:int list ->
+  unit ->
+  params
+(** Validating constructor: checks the module name shape, [n >= 1],
+    [0 <= f], [d >= 1] (default [1]), [eps >= 0.] (default [0.]),
+    [validity] (default {!Problem.Standard}) and the [faulty] ids
+    (default [[]]). [Input_dependent] validity is rejected — its
+    allowance depends on the runner's kappa bound, not on the instance
+    alone; export those runs under the [Delta_p] form the runner
+    reports. Raises [Invalid_argument] otherwise. *)
+
+val spec : params -> string
+(** The abstract instance specification (see module docs). *)
+
+val behavior : params -> Trace.event list -> string
+(** [behavior p events] renders one execution's delivery trace as a
+    module named [p.name] containing [Trace == << [step |-> ..,
+    src |-> .., dst |-> ..], .. >>] and [ASSUME TraceValid], where
+    [TraceValid] requires in-range processes and non-decreasing steps —
+    exactly what {!check_trace} evaluates in-process. *)
+
+val check_trace : n:int -> Trace.event list -> (unit, string) result
+(** The in-process evaluation of [TraceValid]: every event's [src] and
+    [dst] in [0 .. n-1] and [step]s non-decreasing. [Error] carries the
+    first violated conjunct. *)
+
+val check_behavior :
+  params ->
+  inputs:Vec.t array ->
+  outputs:Vec.t option array ->
+  (unit, string) result
+(** The concrete invariants the abstract spec cannot express, evaluated
+    on a finished consensus execution (honest processes only; faulty
+    outputs are ignored):
+
+    - {e Termination}: every honest process decided.
+    - {e Validity}: honest outputs satisfy [p.validity] against the
+      honest inputs ({!Validity.standard_validity} and friends).
+    - {e Agreement}: honest outputs within [p.eps] in L-inf
+      ({!Validity.eps_agreement}; exact {!Validity.agreement} when
+      [p.eps = 0.]).
+
+    [Error] names the first violated invariant with its margin. *)
+
+val validate : string -> (string, string) result
+(** Light structural validation of [.tla] text (no TLC needed): a
+    [---- MODULE <name> ----] header line, a terminating [====] line,
+    and no text after the terminator. [Ok] carries the module name. *)

@@ -21,6 +21,7 @@ type mspan = { mutable s_calls : int; mutable s_seconds : float }
 type sink = {
   id : int;  (* registration order, for a stable merge order *)
   counters : (string, int ref) Hashtbl.t;
+  gauges : (string, int ref) Hashtbl.t;  (* high-water marks, max-merged *)
   hists : (string, mhist) Hashtbl.t;
   spans : (string, mspan) Hashtbl.t;
 }
@@ -42,6 +43,7 @@ let fresh_sink () =
     {
       id = !next_id;
       counters = Hashtbl.create 32;
+      gauges = Hashtbl.create 16;
       hists = Hashtbl.create 32;
       spans = Hashtbl.create 16;
     }
@@ -75,6 +77,16 @@ let add name k =
   end
 
 let incr name = add name 1
+
+(* Max-merge, like counter addition, is commutative: a snapshot's gauge
+   values cannot depend on which domain saw the peak. *)
+let record_max name v =
+  if !enabled_flag then begin
+    let s = my_sink () in
+    match Hashtbl.find_opt s.gauges name with
+    | Some r -> if v > !r then r := v
+    | None -> Hashtbl.add s.gauges name (ref v)
+  end
 
 let observe name v =
   if !enabled_flag then begin
@@ -142,6 +154,7 @@ let reset () =
   List.iter
     (fun s ->
       Hashtbl.reset s.counters;
+      Hashtbl.reset s.gauges;
       Hashtbl.reset s.hists;
       Hashtbl.reset s.spans)
     !registry;
@@ -161,6 +174,7 @@ type span = { calls : int; seconds : float }
 
 type snapshot = {
   counters : (string * int) list;
+  gauges : (string * int) list;
   hists : (string * hist) list;
   spans : (string * span) list;
 }
@@ -181,6 +195,17 @@ let snapshot () =
               (function None -> Some !r | Some v -> Some (v + !r))
               acc)
           s.counters acc)
+      M.empty sinks
+  in
+  let gauges =
+    List.fold_left
+      (fun acc (s : sink) ->
+        Hashtbl.fold
+          (fun name r acc ->
+            M.update name
+              (function None -> Some !r | Some v -> Some (Stdlib.max v !r))
+              acc)
+          s.gauges acc)
       M.empty sinks
   in
   (* histogram accumulator: totals plus an int-keyed bucket map *)
@@ -248,6 +273,7 @@ let snapshot () =
   in
   {
     counters = M.bindings counters;
+    gauges = M.bindings gauges;
     hists = List.map (fun (name, h) -> (name, finish_hist h)) (M.bindings hists);
     spans = M.bindings spans;
   }

@@ -1,9 +1,9 @@
 (** Deterministic, zero-dependency metrics and tracing.
 
     A process-global registry of named {e counters} (monotone ints),
-    {e histograms} (integer samples bucketed by powers of two, with
-    count/sum/min/max), and {e span timers} (call counts plus accumulated
-    CPU seconds). Recording is {b disabled by default}: every recording
+    {e gauges} (high-water marks merged by max), {e histograms} (integer
+    samples bucketed by powers of two, with count/sum/min/max), and
+    {e span timers} (call counts plus accumulated CPU seconds). Recording is {b disabled by default}: every recording
     primitive first reads one mutable flag and returns immediately when
     metrics are off, so instrumented hot paths pay a single predictable
     branch.
@@ -44,6 +44,13 @@ val add : string -> int -> unit
 val incr : string -> unit
 (** [incr name] is [add name 1]. *)
 
+val record_max : string -> int -> unit
+(** [record_max name v] raises gauge [name] to [v] if [v] is larger
+    (created at [v]). Gauges are high-water marks: sinks merge by [max],
+    which is commutative, so peaks recorded from parallel workers (e.g.
+    {!Explore.check}'s frontier width) aggregate deterministically.
+    No-op when disabled. *)
+
 val observe : string -> int -> unit
 (** [observe name v] records sample [v] into histogram [name]:
     increments its count, adds [v] to its sum, updates min/max, and
@@ -79,6 +86,7 @@ type span = { calls : int; seconds : float }
 
 type snapshot = {
   counters : (string * int) list;  (** sorted by name *)
+  gauges : (string * int) list;  (** high-water marks, sorted by name *)
   hists : (string * hist) list;  (** sorted by name *)
   spans : (string * span) list;  (** sorted by name *)
 }

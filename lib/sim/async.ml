@@ -29,17 +29,5 @@ let scheduler_of_policy = function
   | Random_order seed -> Scheduler.Random seed
   | Delay { victims; slack } -> Scheduler.Delayed { victims; slack }
 
-let run ~n ~actors ?(faulty = []) ?(adversary = Adversary.honest)
-    ?(policy = Fifo) ?(max_steps = 200_000) ?record ?summarize ?fault () =
-  if Array.length actors <> n then invalid_arg "Async.run: need n actors";
-  let outcome =
-    Engine.run
-      ~faults:(Fault.overlay ~faulty adversary fault)
-      ?record ?summarize ~obs_prefix:"sim.async" ~err:"Async.run" ~n
-      ~protocol:(protocol_of_actors actors)
-      ~scheduler:(scheduler_of_policy policy) ~limit:max_steps ()
-  in
-  {
-    trace = outcome.Engine.trace;
-    quiescent = (outcome.Engine.stopped = `Quiescent);
-  }
+let outcome_of_engine (o : (_, _) Engine.outcome) =
+  { trace = o.Engine.trace; quiescent = o.Engine.stopped = `Quiescent }

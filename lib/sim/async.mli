@@ -1,6 +1,6 @@
-(** Asynchronous event executor — the system model of Theorems 4, 6 and
-    Section 10: reliable channels, arbitrary (but fair) message delays,
-    no common clock.
+(** Asynchronous event-driven actors — the system model of Theorems 4, 6
+    and Section 10: reliable channels, arbitrary (but fair) message
+    delays, no common clock.
 
     Execution is a sequence of delivery steps: the scheduler picks one
     pending message, delivers it, and enqueues the receiver's reactions.
@@ -9,10 +9,13 @@
     scheduler policies are all fair to non-faulty traffic: every pending
     message is eventually delivered.
 
-    This module is a compatibility shim over the unified {!Engine} (each
-    policy maps to the corresponding step {!Scheduler}) and is slated
-    for removal once callers migrate to {!Protocol} values; behavior,
-    traces and metrics are preserved byte-for-byte. *)
+    The legacy [Async.run] executor was removed once all callers moved
+    to the unified {!Engine}: run an actor array with
+    [Engine.run ~protocol:(Async.protocol_of_actors actors)
+    ~scheduler:(Async.scheduler_of_policy policy) ~limit:max_steps].
+    What remains here is the actor vocabulary, the scheduler-policy
+    names, and the {!outcome} report shape that higher layers
+    ({!Bracha}, [Algo_async]) still expose. *)
 
 type 'msg actor = {
   start : unit -> (int * 'msg) list;
@@ -35,33 +38,17 @@ type outcome = {
   quiescent : bool;  (** true if the run ended with no pending messages *)
 }
 
-val run :
-  n:int ->
-  actors:'msg actor array ->
-  ?faulty:int list ->
-  ?adversary:'msg Adversary.t ->
-  ?policy:policy ->
-  ?max_steps:int ->
-  ?record:(Trace.event -> unit) ->
-  ?summarize:('msg -> string) ->
-  ?fault:Fault.spec ->
-  unit ->
-  outcome
-(** Runs until quiescence or [max_steps] (default [200_000]) deliveries.
-    [record] receives one {!Trace.event} per delivery ([summarize]
-    renders the payload), so full executions can be logged in the same
-    structured format the {!Explore} engine uses for counterexamples.
-    [fault] overlays a crash / omission / delay {!Fault.spec} on the
-    [faulty] set, composed after [adversary] ({!Fault.overlay}); a
-    delayed message becomes deliverable only once the step counter
-    reaches its send step plus the delay. *)
+val outcome_of_engine : ('s, 'msg) Engine.outcome -> outcome
+(** Project an engine outcome onto the historical report shape:
+    [quiescent] iff the run stopped [`Quiescent]. *)
 
 val protocol_of_actors :
   'msg actor array -> ('msg actor, 'msg, unit) Protocol.t
-(** The shim's adapter, exposed for direct {!Engine.run} use: per-process
-    state is the actor itself, [start] is the [on_start] hook and
-    [on_message] handles each singleton [on_receive] batch (no output).
-    The array must have one actor per process. *)
+(** The adapter for direct {!Engine.run} use: per-process state is the
+    actor itself, [start] is the [on_start] hook and [on_message]
+    handles each singleton [on_receive] batch (no output). Pass the
+    array via [~states] (so the engine checks it has one actor per
+    process) or let [init] pick [actors.(me)]. *)
 
 val scheduler_of_policy : policy -> Scheduler.t
 (** [Fifo], [Random_order] and [Delay] map to {!Scheduler.Fifo},

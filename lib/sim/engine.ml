@@ -1,11 +1,18 @@
-(* The unified execution core. The rounds branch is the old [Sync.run]
-   body and the step branch fuses the old [Async.run] / [Explore.exec]
-   loops; both are kept instruction-level equivalent to their ancestors
-   (event order, counter order, flow ids, error strings) so the shim
-   modules inherit byte-identical traces and metrics. *)
+(* The unified execution core. The rounds branch descends from the
+   lock-step executor and the step branch fuses the policy-driven and
+   scripted delivery loops; both keep their ancestors' instruction-level
+   behavior (event order, counter order, flow ids, error strings) so
+   callers see byte-identical traces and metrics. *)
 
 type stopped = [ `Quiescent | `Limit | `Branch of int ]
-type 's outcome = { states : 's array; trace : Trace.t; stopped : stopped }
+type 'm pending = { sent : int; src : int; dst : int; msg : 'm }
+
+type ('s, 'm) outcome = {
+  states : 's array;
+  trace : Trace.t;
+  stopped : stopped;
+  pending : 'm pending list;
+}
 
 (* ---------- synchronous lock-step rounds ---------- *)
 
@@ -169,14 +176,14 @@ let run_rounds ~faults ~obs_prefix ~err ~states ~n ~protocol ~rounds =
     if tr then Obs.Tracer.emit ~lclock:round Obs.Tracer.End "round" []
   done;
   Option.iter (fun prefix -> Trace.publish ~prefix trace) obs_prefix;
-  { states; trace; stopped = `Limit }
+  { states; trace; stopped = `Limit; pending = [] }
 
 (* ---------- one-message-at-a-time delivery steps ---------- *)
 
 (* Pending messages. Two removal disciplines share one layout:
    - [Stable] (Fifo / Random / Delayed): removal leaves a hole so slot
-     order equals send order, with occasional compaction — the old
-     [Async.run] queue.
+     order equals send order, with occasional compaction — the legacy
+     async executor's queue.
    - [Dense] (Scripted): swap-with-last removal so live indices stay in
      [0, live) for decision wrapping — the old [Explore.Pool]. *)
 type 'm entry = {
@@ -486,7 +493,21 @@ let run_steps ~faults ~record ~summarize ~obs_prefix ~deliver_msg_args
       if Obs.enabled () then
         Obs.observe (prefix ^ ".steps_per_run") trace.Trace.steps)
     obs_prefix;
-  { states; trace; stopped = !stopped }
+  (* Undelivered messages in slot order. Under a dense (Scripted) pool
+     the live entries occupy slots [0, live), so list position i is
+     exactly the message a decision of i would deliver next — the
+     enabled-set view {!Explore.check} branches on. *)
+  let pending =
+    let acc = ref [] in
+    for i = pool.count - 1 downto 0 do
+      match pool.slots.(i) with
+      | Some e ->
+          acc := { sent = e.seq; src = e.src; dst = e.dst; msg = e.msg } :: !acc
+      | None -> ()
+    done;
+    !acc
+  in
+  { states; trace; stopped = !stopped; pending }
 
 let run ?(faults = Fault.none) ?record ?summarize ?obs_prefix
     ?(deliver_msg_args = false) ?(corrupt_instants = true)

@@ -2,13 +2,12 @@
     under a pluggable {!Scheduler} and {!Fault} model, with the
     {!Obs} metrics and tracer wiring done once for every protocol.
 
-    The legacy executors are thin instantiations of this engine:
-    {!Sync.run} is [~scheduler:Rounds], {!Async.run} maps its policy to
-    the corresponding step scheduler, and {!Explore} drives it with
-    [Scripted] decisions. Their observable behavior — traces, tracer
-    event streams, metrics, errors — is preserved exactly; the profile
-    knobs below ([obs_prefix], [deliver_msg_args], [corrupt_instants],
-    [err]) exist so each shim can keep its historical byte-level output.
+    Every executor is an instantiation of this engine: the rounds
+    rigs run [~scheduler:Rounds], {!Async.scheduler_of_policy} maps a
+    delivery policy to the corresponding step scheduler, and {!Explore}
+    drives it with [Scripted] decisions. The profile knobs below
+    ([obs_prefix], [deliver_msg_args], [corrupt_instants], [err]) let
+    each caller keep its historical byte-level output.
 
     {2 Execution models}
 
@@ -43,10 +42,24 @@ type stopped =
     (** a [Scripted] scheduler without FIFO fallback ran out of
         decisions with this many live messages pending *) ]
 
-type 's outcome = {
+type 'm pending = {
+  sent : int;  (** global send sequence number (the trace flow id) *)
+  src : int;
+  dst : int;
+  msg : 'm;
+}
+(** One undelivered message, as left in the pool when a run stops. *)
+
+type ('s, 'm) outcome = {
   states : 's array;  (** final per-process states, index = process id *)
   trace : Trace.t;
   stopped : stopped;
+  pending : 'm pending list;
+      (** undelivered messages in slot order; empty under [Rounds] and
+          on quiescent stops. Under a [Scripted] scheduler the pool is
+          dense, so the element at position [i] is exactly the message
+          that scheduler decision [i] would deliver next — this is the
+          enabled-set introspection {!Explore.check} branches on. *)
 }
 
 val run :
@@ -63,7 +76,7 @@ val run :
   scheduler:Scheduler.t ->
   limit:int ->
   unit ->
-  's outcome
+  ('s, 'm) outcome
 (** Executes the protocol on [n] processes until the scheduler stops:
     [limit] is the round count under [Rounds] and the delivery-step cap
     otherwise.

@@ -378,6 +378,324 @@ let protocol_subject ~make ~n ~check ?(faulty = [])
         check (Array.map protocol.Protocol.output !states));
   }
 
+(* ---------- stateless model checking: DPOR + sleep sets + dedup ----------
+
+   A breadth-first search over decision prefixes of the [Scripted]
+   scheduler. Protocol states are hidden mutable values, so the search
+   is replay-based like the DFS above: expanding a node replays its
+   prefix from scratch with no FIFO fallback, and the engine's
+   enabled-set introspection ([outcome.pending], in decision-index
+   order) tells us which deliveries branch from there.
+
+   Reduction, in three layers:
+
+   - {e Backtrack points / sleep sets} (Flanagan–Godefroid). Backtrack
+     sets are seeded conservatively — every enabled delivery is a
+     candidate — and the pruning is carried by sleep sets: after the
+     subtree delivering [t] has been explored, [t] is put to sleep for
+     the later siblings, and a sleeping transition is skipped until a
+     {e dependent} delivery wakes it. Two co-enabled deliveries commute
+     iff they target different processes ([dst]): a delivery mutates
+     only its destination's state and appends its reactions to the
+     pool, so either order reaches the same global state. Same-[dst]
+     pairs are the only dependent ones, and waking on them keeps the
+     reduction sound.
+   - {e State dedup}. A branch node is canonically hashed (per-process
+     state fingerprints + the pending-message multiset); reaching a
+     hash already expanded under a stored sleep set [Z_old] is pruned
+     iff [Z_old] is a subset of the current sleep set (everything we
+     would explore was explored); otherwise the node is re-expanded and
+     the stored set shrinks to the intersection, so re-expansion
+     terminates. This is also what merges same-[dst] deliveries with
+     commutative [on_receive] effects: both orders hash to the same
+     state and the second is deduped.
+   - {e Happens-before}. Each replayed prefix carries vector clocks:
+     a delivery's clock joins the destination's clock with the
+     message's send clock; reactions inherit the post-delivery clock.
+     Two deliveries to the same process whose clocks are incomparable
+     are a genuine race (neither caused the other) — counted in
+     [races], the number of orderings DPOR actually had to branch on.
+
+   Parallelism cannot change any of this: a layer's replays are pure
+   (fresh protocol + fault model each) and run under [Par.map], while
+   every search decision — dedup, sleep bookkeeping, counterexample
+   choice — happens sequentially in frontier order on the coordinator.
+   Stats are identical at any [jobs]. *)
+
+type check_stats = {
+  executed : int;
+  pruned_sleep : int;
+  pruned_dedup : int;
+  distinct_states : int;
+  distinct_finals : int;
+  races : int;
+  max_frontier : int;
+  max_depth : int;
+}
+
+type check_result = {
+  stats : check_stats;
+  finals : string list;
+  verdict : result;
+}
+
+let pp_check_stats ppf s =
+  Format.fprintf ppf
+    "@[<v>schedules executed:  %d@,pruned (sleep):      %d@,pruned (dedup):      \
+     %d@,distinct states:     %d@,distinct finals:     %d@,races:               \
+     %d@,max frontier:        %d@,max depth:           %d@]"
+    s.executed s.pruned_sleep s.pruned_dedup s.distinct_states s.distinct_finals
+    s.races s.max_frontier s.max_depth
+
+(* One search node: a decision prefix plus everything inherited along
+   the path — the sleep set, and the vector-clock bookkeeping (process
+   clocks, send clocks of known pending messages, delivered history). *)
+type cnode = {
+  cn_prefix : int list;  (* decisions, newest first *)
+  cn_depth : int;
+  cn_sleep : (string * int) list;  (* sleeping transition key, its dst *)
+  cn_pclocks : int array array;  (* row p = process p's vector clock *)
+  cn_msgclocks : (int * int array) list;  (* send clock per pending seq *)
+  cn_delivered : (int * int array) list;  (* (dst, delivery clock), newest first *)
+  cn_lastclock : int array option;  (* clock of the delivery into this node *)
+}
+
+type creplay =
+  | CDone of { ok : bool; final : string }
+  | CBranch of { skey : string; pending : (int * int * string) list }
+      (* pending: (seq, dst, transition key) in decision-index order *)
+
+let marshal_fp v = Digest.to_hex (Digest.string (Marshal.to_string v [ Marshal.Closures ]))
+
+let vc_le a b =
+  let ok = ref true in
+  Array.iteri (fun i x -> if x > b.(i) then ok := false) a;
+  !ok
+
+let vc_join a b = Array.mapi (fun i x -> max x b.(i)) a
+
+(* Replay one prefix; runs on a [Par] worker, so everything here must be
+   pure in the node (fresh protocol + fault model per call, no tracing). *)
+let check_replay ~n ~make ~faults ~fingerprint ~grade ~max_steps decisions =
+  Obs.Tracer.suppressed @@ fun () ->
+  let protocol = make () in
+  let outcome =
+    Engine.run ~faults:(faults ()) ~corrupt_instants:false ~err:"Explore.check"
+      ~n ~protocol
+      ~scheduler:
+        (Scheduler.Scripted
+           { decide = Scheduler.of_decisions decisions; fallback_fifo = false })
+      ~limit:max_steps ()
+  in
+  if Obs.enabled () then begin
+    Obs.incr "explore.execs";
+    Obs.observe "explore.steps_per_exec" outcome.Engine.trace.Trace.steps
+  end;
+  match outcome.Engine.stopped with
+  | `Quiescent | `Limit ->
+      let outputs = Array.map protocol.Protocol.output outcome.Engine.states in
+      CDone { ok = grade outputs; final = marshal_fp outputs }
+  | `Branch _ ->
+      let sfps = Array.map fingerprint outcome.Engine.states in
+      let pending =
+        List.map
+          (fun { Engine.sent; src; dst; msg } ->
+            (sent, dst, Printf.sprintf "%d>%d:%s" src dst (marshal_fp msg)))
+          outcome.Engine.pending
+      in
+      let skey =
+        Digest.to_hex
+          (Digest.string
+             (String.concat "|" (Array.to_list sfps)
+             ^ "#"
+             ^ String.concat ","
+                 (List.sort compare (List.map (fun (_, _, k) -> k) pending))))
+      in
+      CBranch { skey; pending }
+
+let check ~make ~n ~check:grade ?(faulty = []) ?(adversary = Adversary.honest)
+    ?fault ?(max_steps = 200) ?(budget = 10_000) ?(shrink = true) ?summarize
+    ?(jobs = 1) ?fingerprint () =
+  let faults () =
+    let base = Fault.byzantine ~faulty adversary in
+    match fault with
+    | None -> base
+    | Some spec ->
+        let m = Fault.model ~faulty spec in
+        {
+          m with
+          Fault.adversary = Adversary.compose adversary m.Fault.adversary;
+        }
+  in
+  let fingerprint =
+    match fingerprint with Some f -> f | None -> fun st -> marshal_fp st
+  in
+  let executed = ref 0
+  and pruned_sleep = ref 0
+  and pruned_dedup = ref 0
+  and distinct_states = ref 0
+  and races = ref 0
+  and max_frontier = ref 0
+  and max_depth = ref 0
+  and truncated = ref false
+  and counterexample = ref None
+  and budget_left = ref budget in
+  let module SS = Set.Make (String) in
+  let finals = ref SS.empty in
+  (* state hash -> sleep set it was (last) expanded under *)
+  let visited : (string, (string * int) list) Hashtbl.t =
+    Hashtbl.create 1024
+  in
+  let zero = Array.make n 0 in
+  let root =
+    {
+      cn_prefix = [];
+      cn_depth = 0;
+      cn_sleep = [];
+      cn_pclocks = Array.make n zero;
+      cn_msgclocks = [];
+      cn_delivered = [];
+      cn_lastclock = None;
+    }
+  in
+  let process node res next =
+    if node.cn_depth > !max_depth then max_depth := node.cn_depth;
+    match res with
+    | CDone { ok; final } ->
+        finals := SS.add final !finals;
+        if (not ok) && !counterexample = None then
+          counterexample := Some (List.rev node.cn_prefix)
+    | CBranch { skey; pending } ->
+        let last = Option.value node.cn_lastclock ~default:zero in
+        let clock_of seq =
+          match List.assoc_opt seq node.cn_msgclocks with
+          | Some c -> c
+          | None -> last
+        in
+        let sleep = node.cn_sleep in
+        let covered zs =
+          List.for_all (fun (k, _) -> List.mem_assoc k sleep) zs
+        in
+        (match Hashtbl.find_opt visited skey with
+        | Some zs when covered zs -> incr pruned_dedup
+        | stored ->
+            (match stored with
+            | None ->
+                Hashtbl.add visited skey sleep;
+                incr distinct_states
+            | Some zs ->
+                (* re-expansion: keep only what both visits slept on *)
+                Hashtbl.replace visited skey
+                  (List.filter (fun (k, _) -> List.mem_assoc k sleep) zs));
+            let pending_clocks =
+              List.map (fun (seq, _, _) -> (seq, clock_of seq)) pending
+            in
+            (* children, one per distinct transition key in decision-
+               index order; twin copies of an identical message are one
+               transition (delivering either is the same step) *)
+            let seen = Hashtbl.create 8 in
+            let sl = ref sleep in
+            List.iteri
+              (fun slot (seq, dst, key) ->
+                if Hashtbl.mem seen key then ()
+                else begin
+                  Hashtbl.add seen key ();
+                  if List.mem_assoc key !sl then incr pruned_sleep
+                  else begin
+                    let sc = clock_of seq in
+                    let dc = vc_join node.cn_pclocks.(dst) sc in
+                    dc.(dst) <- dc.(dst) + 1;
+                    List.iter
+                      (fun (d', c') ->
+                        if d' = dst && not (vc_le c' sc) then incr races)
+                      node.cn_delivered;
+                    let child =
+                      {
+                        cn_prefix = slot :: node.cn_prefix;
+                        cn_depth = node.cn_depth + 1;
+                        cn_sleep = List.filter (fun (_, d) -> d <> dst) !sl;
+                        cn_pclocks =
+                          Array.mapi
+                            (fun p row -> if p = dst then dc else row)
+                            node.cn_pclocks;
+                        cn_msgclocks = List.remove_assoc seq pending_clocks;
+                        cn_delivered = (dst, dc) :: node.cn_delivered;
+                        cn_lastclock = Some dc;
+                      }
+                    in
+                    next := child :: !next;
+                    sl := (key, dst) :: !sl
+                  end
+                end)
+              pending)
+  in
+  let frontier = ref [ root ] in
+  while !frontier <> [] && !counterexample = None do
+    let nodes = Array.of_list !frontier in
+    let total = Array.length nodes in
+    if total > !max_frontier then max_frontier := total;
+    let take = min total !budget_left in
+    if take < total then truncated := true;
+    if take = 0 then frontier := []
+    else begin
+      let batch = Array.sub nodes 0 take in
+      budget_left := !budget_left - take;
+      executed := !executed + take;
+      let replays =
+        Par.map ~jobs
+          (fun nd ->
+            check_replay ~n ~make ~faults ~fingerprint ~grade ~max_steps
+              (List.rev nd.cn_prefix))
+          batch
+      in
+      let next = ref [] in
+      Array.iteri (fun i res -> process batch.(i) res next) replays;
+      frontier := (if take < total then [] else List.rev !next)
+    end
+  done;
+  let witness =
+    Option.map
+      (fun first ->
+        let subj =
+          protocol_subject ~make ~n ~check:grade ~faulty ~adversary ?fault
+            ?summarize ()
+        in
+        witness_of_subject subj ~max_steps ~do_shrink:shrink first)
+      !counterexample
+  in
+  let stats =
+    {
+      executed = !executed;
+      pruned_sleep = !pruned_sleep;
+      pruned_dedup = !pruned_dedup;
+      distinct_states = !distinct_states;
+      distinct_finals = SS.cardinal !finals;
+      races = !races;
+      max_frontier = !max_frontier;
+      max_depth = !max_depth;
+    }
+  in
+  Obs.add "explore.check.executed" stats.executed;
+  Obs.add "explore.check.pruned_sleep" stats.pruned_sleep;
+  Obs.add "explore.check.pruned_dedup" stats.pruned_dedup;
+  Obs.add "explore.check.states" stats.distinct_states;
+  Obs.add "explore.check.finals" stats.distinct_finals;
+  Obs.add "explore.check.races" stats.races;
+  Obs.record_max "explore.check.max_frontier" stats.max_frontier;
+  Obs.record_max "explore.check.max_depth" stats.max_depth;
+  if !truncated then Obs.incr "explore.check.truncated";
+  {
+    stats;
+    finals = SS.elements !finals;
+    verdict =
+      {
+        explored = stats.executed;
+        truncated = !truncated;
+        counterexample = Option.map (fun w -> w.decisions) witness;
+        witness;
+      };
+  }
+
 let run_protocol ~make ~n ~check ?faulty ?adversary ?fault
     ?(max_steps = 200) ?(budget = 2000) ?(shrink = true) ?summarize () =
   let subj =

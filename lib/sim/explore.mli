@@ -179,6 +179,91 @@ val run_protocol :
   result
 (** {!run} (bounded DFS) over an engine protocol. *)
 
+(** {2 Stateless model checking}
+
+    {!check} replaces the DFS's brute enumeration with dynamic
+    partial-order reduction: a breadth-first search over decision
+    prefixes where
+
+    - {e sleep sets} (Flanagan–Godefroid) skip sibling orderings of
+      {e commuting} deliveries — two co-enabled deliveries commute iff
+      they target different processes, since a delivery mutates only
+      its destination's state;
+    - {e state dedup} hashes every branch node (per-process state
+      fingerprints + the pending-message multiset) and prunes revisits,
+      which also merges same-destination deliveries whose [on_receive]
+      effects happen to commute;
+    - {e vector clocks} over delivered envelopes expose the
+      happens-before relation; incomparable same-destination pairs are
+      counted as [races] — the orderings the checker genuinely had to
+      branch on.
+
+    The search visits every reachable final state the bounded DFS
+    visits (same [max_steps] cap), in far fewer replays; the QCheck
+    equivalence property in [test_check.ml] pins this against all six
+    engine protocols. *)
+
+type check_stats = {
+  executed : int;  (** scripted engine replays performed *)
+  pruned_sleep : int;  (** child transitions skipped asleep *)
+  pruned_dedup : int;  (** branch nodes merged into a visited state *)
+  distinct_states : int;  (** distinct interior state hashes expanded *)
+  distinct_finals : int;  (** distinct completed-run output fingerprints *)
+  races : int;  (** happens-before-incomparable same-dst delivery pairs *)
+  max_frontier : int;  (** widest BFS layer *)
+  max_depth : int;  (** deepest expanded prefix *)
+}
+
+type check_result = {
+  stats : check_stats;
+  finals : string list;
+      (** sorted distinct final-output fingerprints (hex digests) *)
+  verdict : result;
+      (** [explored] = replays executed; [truncated] is {e exact}: set
+          iff the replay budget denied some frontier node, including
+          when the budget trips right after a dedup hit *)
+}
+
+val pp_check_stats : Format.formatter -> check_stats -> unit
+
+val check :
+  make:(unit -> ('s, 'm, 'o) Protocol.t) ->
+  n:int ->
+  check:('o array -> bool) ->
+  ?faulty:int list ->
+  ?adversary:'m Adversary.t ->
+  ?fault:Fault.spec ->
+  ?max_steps:int ->
+  ?budget:int ->
+  ?shrink:bool ->
+  ?summarize:('m -> string) ->
+  ?jobs:int ->
+  ?fingerprint:('s -> string) ->
+  unit ->
+  check_result
+(** [check ~make ~n ~check ()] model-checks every delivery schedule of
+    the protocol up to [max_steps] (default 200) deliveries, spending at
+    most [budget] (default 10000) engine replays. [check] grades the
+    per-process outputs of each completed (quiescent or step-capped)
+    execution; the first counterexample (in frontier order) is shrunk
+    via ddmin exactly as {!run_protocol}'s and returned in the verdict.
+
+    [fingerprint] overrides the per-process state hash (default: digest
+    of the [Marshal] representation with closures allowed — sound, since
+    hash collisions are the only way to merge states that differ, and
+    16-byte digests make that negligible; representation-sensitive
+    hashing, e.g. of a [Hashtbl] whose layout depends on insertion
+    order, only costs missed merges, never wrong ones).
+
+    [jobs > 1] replays each BFS layer on the {!Par} pool; all search
+    decisions happen sequentially in frontier order on the coordinator,
+    so the entire result — stats included — is identical at any [jobs].
+    [make], [check] and the fault model are called on worker domains and
+    must be pure (fresh state per call).
+
+    Stats land in {!Obs} under ["explore.check.*"] (counters plus the
+    [max_frontier]/[max_depth] gauges). *)
+
 val fuzz_protocol :
   make:(unit -> ('s, 'm, 'o) Protocol.t) ->
   n:int ->

@@ -16,15 +16,3 @@ let protocol_of_actors actors =
         []);
     output = (fun _ -> ());
   }
-
-let run ~n ~rounds ~actors ?(faulty = []) ?(adversary = Adversary.honest)
-    ?fault () =
-  if Array.length actors <> n then invalid_arg "Sync.run: need n actors";
-  let outcome =
-    Engine.run
-      ~faults:(Fault.overlay ~faulty adversary fault)
-      ~obs_prefix:"sim.sync" ~err:"Sync.run" ~n
-      ~protocol:(protocol_of_actors actors) ~scheduler:Scheduler.Rounds
-      ~limit:rounds ()
-  in
-  outcome.Engine.trace

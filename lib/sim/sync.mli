@@ -1,16 +1,17 @@
-(** Synchronous lock-step round executor over a complete graph of [n]
-    processes with reliable point-to-point channels — the system model of
-    the paper's Sections 6, 7 and 9.
+(** Synchronous lock-step actors over a complete graph of [n] processes
+    with reliable point-to-point channels — the system model of the
+    paper's Sections 6, 7 and 9.
 
     Each round: every actor produces its outgoing messages, faulty
     actors' messages pass through the adversary (which may equivocate,
     fabricate or drop), then every actor receives the batch addressed to
-    it. The executor is deterministic given the actors and adversary.
+    it. Execution is deterministic given the actors and adversary.
 
-    This module is a compatibility shim over the unified {!Engine}
-    ([~scheduler:Rounds]) and is slated for removal once callers migrate
-    to {!Protocol} values; behavior, traces and metrics are preserved
-    byte-for-byte. *)
+    The legacy [Sync.run] executor was removed once all callers moved
+    to the unified {!Engine}: run an actor array with
+    [Engine.run ~protocol:(Sync.protocol_of_actors actors)
+    ~scheduler:Scheduler.Rounds ~limit:rounds]. What remains here is the
+    actor vocabulary and its {!Protocol} adapter. *)
 
 type 'msg actor = {
   send : round:int -> (int * 'msg) list;
@@ -23,28 +24,9 @@ type 'msg actor = {
           sends. *)
 }
 
-val run :
-  n:int ->
-  rounds:int ->
-  actors:'msg actor array ->
-  ?faulty:int list ->
-  ?adversary:'msg Adversary.t ->
-  ?fault:Fault.spec ->
-  unit ->
-  Trace.t
-(** Executes [rounds] lock-step rounds. [faulty] processes (default
-    none) have each outgoing edge filtered through [adversary] (default
-    {!Adversary.honest}); additionally the adversary may *fabricate*
-    messages on edges where the honest actor sent nothing (it is invoked
-    on every faulty-source edge each round, with [None] when the honest
-    protocol is quiet). [fault] overlays a crash / omission / delay
-    {!Fault.spec} on the [faulty] set, composed after [adversary]
-    ({!Fault.overlay}); delayed messages arrive in a later round, or are
-    lost if delayed past the last one. *)
-
 val protocol_of_actors :
   'msg actor array -> ('msg actor, 'msg, unit) Protocol.t
-(** The shim's adapter, exposed for direct {!Engine.run} use and for the
-    cross-engine equivalence tests: per-process state is the actor
-    itself, [send] is the [on_tick] hook, [recv] the [on_receive] hook
-    (no output). The array must have one actor per process. *)
+(** The adapter for direct {!Engine.run} use: per-process state is the
+    actor itself, [send] is the [on_tick] hook, [recv] the [on_receive]
+    hook (no output). Pass the array via [~states] (so the engine checks
+    it has one actor per process) or let [init] pick [actors.(me)]. *)

@@ -1,0 +1,239 @@
+open Helpers
+
+(* Same formula as the checker's final-output fingerprint. *)
+let fp v = Digest.to_hex (Digest.string (Marshal.to_string v [ Marshal.Closures ]))
+
+module SS = Set.Make (String)
+
+(* Reference instance: eager-relay OM(1), n = 4, one commander, explored
+   to depth 8 (the full run has 9 deliveries: 3 initial sends + 6
+   relays). *)
+let om_make () =
+  Om.async_protocol ~n:4 ~f:1 ~commanders:[ (0, 7) ] ~default:0
+    ~compare:Int.compare
+
+(* Honest-row agreement: every process decides commander 0's value. *)
+let om_agreement outs =
+  Array.for_all (fun (row : int array) -> row.(0) = 7) outs
+
+let acceptance_case =
+  case "Om n=4 f=1 depth 8: >=5x fewer schedules, same finals, same verdict"
+    (fun () ->
+      (* vanilla bounded DFS, grading wrapped to record final outputs *)
+      let seen = ref SS.empty in
+      let record outs =
+        seen := SS.add (fp outs) !seen;
+        om_agreement outs
+      in
+      let dfs =
+        Explore.run_protocol ~make:om_make ~n:4 ~check:record ~max_steps:8
+          ~budget:200_000 ~shrink:false ()
+      in
+      check_false "dfs not truncated" dfs.Explore.truncated;
+      check_true "dfs found no counterexample"
+        (dfs.Explore.counterexample = None);
+      let r =
+        Explore.check ~make:om_make ~n:4 ~check:om_agreement ~max_steps:8
+          ~budget:200_000 ()
+      in
+      let v = r.Explore.verdict and s = r.Explore.stats in
+      Printf.printf
+        "[check] dfs executions=%d check executed=%d sleep=%d dedup=%d \
+         states=%d finals=%d races=%d\n%!"
+        dfs.Explore.explored s.Explore.executed s.Explore.pruned_sleep
+        s.Explore.pruned_dedup s.Explore.distinct_states
+        s.Explore.distinct_finals s.Explore.races;
+      check_false "check not truncated" v.Explore.truncated;
+      check_true "same verdict (no counterexample)"
+        (v.Explore.counterexample = None);
+      check_int "same distinct final states" (SS.cardinal !seen)
+        s.Explore.distinct_finals;
+      check_true "nonzero sleep pruning" (s.Explore.pruned_sleep > 0);
+      check_true "nonzero dedup pruning" (s.Explore.pruned_dedup > 0);
+      check_true ">=5x fewer schedules than DFS"
+        (5 * s.Explore.executed <= dfs.Explore.explored))
+
+(* {2 Satellite: exact truncation}
+
+   [executed = min (budget, E)] and [truncated <=> budget < E], where
+   [E] is the replay count of the unbounded search — in particular the
+   flag is set when the budget trips mid-layer right after dedup hits
+   (which consume no budget), and clear when the budget is exactly
+   enough. *)
+
+(* A smaller quiescent instance (4 deliveries, 6 schedules) for
+   boundary pins. *)
+let om3_make () =
+  Om.async_protocol ~n:3 ~f:1 ~commanders:[ (0, 5) ] ~default:0
+    ~compare:Int.compare
+
+let truncation_exact_case =
+  case "check: truncated iff budget < full replays, executed = min"
+    (fun () ->
+      let run budget =
+        Explore.check ~make:om_make ~n:4
+          ~check:(fun _ -> true)
+          ~max_steps:8 ~budget ~shrink:false ()
+      in
+      let full = run 1_000_000 in
+      check_false "unbounded run completes"
+        full.Explore.verdict.Explore.truncated;
+      let e = full.Explore.stats.Explore.executed in
+      check_true "dedup hits present in the full search"
+        (full.Explore.stats.Explore.pruned_dedup > 0);
+      List.iter
+        (fun b ->
+          let r = run b in
+          check_int
+            (Printf.sprintf "executed with budget %d" b)
+            (min b e) r.Explore.stats.Explore.executed;
+          check_true
+            (Printf.sprintf "truncated iff a node was denied (budget %d)" b)
+            (r.Explore.verdict.Explore.truncated = (b < e)))
+        [ 1; 2; e / 2; e - 1; e; e + 7 ])
+
+let dfs_truncation_case =
+  case "DFS: budget exactly enough is complete, one fewer trips" (fun () ->
+      let run budget =
+        Explore.run_protocol ~make:om3_make ~n:3
+          ~check:(fun _ -> true)
+          ~max_steps:6 ~budget ~shrink:false ()
+      in
+      let full = run 1_000_000 in
+      check_false "full enumeration" full.Explore.truncated;
+      let e = full.Explore.explored in
+      check_true "more than one schedule" (e > 1);
+      let exact = run e in
+      check_false "budget = executions is not truncated" exact.Explore.truncated;
+      check_int "same executions" e exact.Explore.explored;
+      let clipped = run (e - 1) in
+      check_true "budget - 1 is truncated" clipped.Explore.truncated;
+      check_int "whole budget spent" (e - 1) clipped.Explore.explored)
+
+(* {2 Satellite: DPOR/DFS equivalence across the six engine protocols}
+
+   On instances small enough for vanilla bounded DFS to enumerate
+   completely, [Explore.check] must visit exactly the same set of final
+   output fingerprints and reach the same verdict — and its entire
+   result (stats included) must be identical at [~jobs:1] and
+   [~jobs:4]. *)
+
+let equiv ~make ~n ~grade ~max_steps =
+  let seen = ref SS.empty in
+  let record outs =
+    seen := SS.add (fp outs) !seen;
+    grade outs
+  in
+  let dfs =
+    Explore.run_protocol ~make ~n ~check:record ~max_steps ~budget:1_000_000
+      ~shrink:false ()
+  in
+  let chk jobs =
+    Explore.check ~make ~n ~check:grade ~max_steps ~budget:1_000_000 ~jobs ()
+  in
+  let c1 = chk 1 and c4 = chk 4 in
+  (not dfs.Explore.truncated)
+  && (not c1.Explore.verdict.Explore.truncated)
+  && c1 = c4
+  && SS.elements !seen = c1.Explore.finals
+  && dfs.Explore.counterexample = None
+     = (c1.Explore.verdict.Explore.counterexample = None)
+
+let inst4 faulty =
+  Problem.random_instance (Rng.create 7) ~n:4 ~f:1 ~d:1 ~faulty
+
+(* One closure per engine protocol, each monomorphizing [equiv]. *)
+let equiv_targets : (string * (int -> bool)) list =
+  [
+    ( "om",
+      fun depth ->
+        equiv ~make:om_make ~n:4 ~grade:(fun _ -> true) ~max_steps:depth );
+    ( "bracha",
+      fun depth ->
+        equiv
+          ~make:(fun () ->
+            Bracha.protocol ~n:4 ~f:1 ~inputs:[| 10; 20; 30; 40 |]
+              ~compare:Int.compare)
+          ~n:4
+          ~grade:(fun _ -> true)
+          ~max_steps:depth );
+    ( "algo-exact",
+      fun depth ->
+        equiv
+          ~make:(fun () ->
+            Algo_exact.async_protocol (inst4 [ 3 ]) ~validity:Problem.Standard)
+          ~n:4
+          ~grade:(fun _ -> true)
+          ~max_steps:depth );
+    ( "algo-async",
+      fun depth ->
+        equiv
+          ~make:(fun () ->
+            Algo_async.protocol (inst4 [ 3 ]) ~validity:Problem.Standard
+              ~rounds:1 ())
+          ~n:4
+          ~grade:(fun _ -> true)
+          ~max_steps:depth );
+    ( "algo-k1",
+      fun depth ->
+        equiv
+          ~make:(fun () -> Algo_k1_async.protocol (inst4 [ 3 ]) ~eps:0.1 ())
+          ~n:4
+          ~grade:(fun _ -> true)
+          ~max_steps:depth );
+    ( "algo-iterative",
+      fun depth ->
+        equiv
+          ~make:(fun () -> Algo_iterative.protocol (inst4 [ 3 ]) ~rounds:1)
+          ~n:4
+          ~grade:(fun _ -> true)
+          ~max_steps:depth );
+  ]
+
+let equiv_property =
+  qtest ~count:12 "check = DFS finals and verdict at jobs 1 and 4"
+    QCheck.(pair (int_range 0 5) (int_range 1 3))
+    (fun (i, depth) -> (snd (List.nth equiv_targets i)) depth)
+
+let equiv_all_protocols_case =
+  case "every protocol passes the equivalence at depth 2" (fun () ->
+      List.iter
+        (fun (name, go) -> check_true name (go 2))
+        equiv_targets)
+
+let equiv_quiescent_case =
+  case "fully quiescent instance: same finals with no depth cut" (fun () ->
+      check_true "om n=3 to quiescence"
+        (equiv ~make:om3_make ~n:3 ~grade:(fun _ -> true) ~max_steps:6))
+
+let counterexample_agreement_case =
+  case "failing grade: DFS and check shrink to the same counterexample"
+    (fun () ->
+      let dfs =
+        Explore.run_protocol ~make:om3_make ~n:3
+          ~check:(fun _ -> false)
+          ~max_steps:6 ~budget:1_000 ()
+      in
+      let c =
+        Explore.check ~make:om3_make ~n:3
+          ~check:(fun _ -> false)
+          ~max_steps:6 ~budget:1_000 ()
+      in
+      check_true "both searches found a counterexample"
+        (dfs.Explore.counterexample <> None
+        && c.Explore.verdict.Explore.counterexample <> None);
+      check_true "identical shrunk schedule"
+        (dfs.Explore.counterexample = c.Explore.verdict.Explore.counterexample);
+      check_true "witness events attached"
+        (c.Explore.verdict.Explore.witness <> None))
+
+let suite =
+  [
+    acceptance_case;
+    truncation_exact_case;
+    dfs_truncation_case;
+    equiv_property;
+    equiv_all_protocols_case;
+    equiv_quiescent_case;
+    counterexample_agreement_case;
+  ]

@@ -1,13 +1,11 @@
-(* Cross-engine equivalence: the unified Engine must reproduce the
-   legacy executors byte-for-byte (traces, delivery logs, metrics,
-   tracer streams), and the pluggable fault models must be
-   deterministic, schedule-independent and correctly composed.
-
-   These tests pin the acceptance criteria of the protocol-engine
-   refactor: Sync/Async are thin shims over Engine.run, every ported
-   protocol (Om, Bracha, Algo_async) behaves identically through
-   either entry point, and crash / omission / delay specs behave the
-   same under rounds and step scheduling. *)
+(* The unified Engine is now the only executor (the legacy Sync.run /
+   Async.run shims are deleted): these tests pin that the actor
+   adapters behave identically through every entry-point variation
+   (pre-built ~states vs protocol init, policy names vs raw
+   schedulers), that every ported protocol (Om, Bracha, Algo_async)
+   matches its historical entry point, and that crash / omission /
+   delay fault specs are deterministic, schedule-independent and
+   correctly composed under both rounds and step scheduling. *)
 
 open Helpers
 
@@ -66,66 +64,56 @@ let async_rig n =
   in
   (actors, fun () -> Array.map (fun l -> List.rev !l) logs)
 
-(* {2 Shim equivalence} *)
+(* {2 Actor-adapter equivalence} *)
 
-let sync_shim_case =
-  case "rounds engine matches the Sync shim byte-for-byte" (fun () ->
+let sync_adapter_case =
+  case "rounds engine: ~states and protocol init agree byte-for-byte"
+    (fun () ->
       let adv = Adversary.corrupt (fun ~round ~dst m -> m + (10 * round) + dst) in
-      let legacy =
-        observed (fun () ->
-            let actors, logs = sync_rig 4 in
-            let t =
-              Sync.run ~n:4 ~rounds:3 ~actors ~faulty:[ 1 ] ~adversary:adv ()
-            in
-            (t, logs ()))
-      in
-      let engined =
+      let run_with states =
         observed (fun () ->
             let actors, logs = sync_rig 4 in
             let o =
               Engine.run
                 ~faults:(Fault.byzantine ~faulty:[ 1 ] adv)
-                ~obs_prefix:"sim.sync" ~err:"Sync.run" ~n:4
+                ~obs_prefix:"sim.sync"
+                ?states:(if states then Some actors else None)
+                ~n:4
                 ~protocol:(Sync.protocol_of_actors actors)
                 ~scheduler:Scheduler.Rounds ~limit:3 ()
             in
-            (o.Engine.trace, logs ()))
+            (o.Engine.trace, o.Engine.pending = [], logs ()))
       in
+      let (_, no_pending, _), _, _, _ = run_with true in
+      check_true "rounds runs leave no pending pool" no_pending;
       check_true "trace, logs, metrics and tracer stream all equal"
-        (legacy = engined))
+        (run_with true = run_with false))
 
-let async_shim_case =
-  case "step engine matches the Async shim under every policy" (fun () ->
+let async_adapter_case =
+  case "step engine: policy names match the raw schedulers" (fun () ->
       let adv = Adversary.equivocate (fun ~dst m -> m + (100 * dst)) in
+      let run scheduler =
+        observed (fun () ->
+            let actors, logs = async_rig 3 in
+            let o =
+              Engine.run
+                ~faults:(Fault.byzantine ~faulty:[ 2 ] adv)
+                ~obs_prefix:"sim.async" ~states:actors ~n:3
+                ~protocol:(Async.protocol_of_actors actors)
+                ~scheduler ~limit:200_000 ()
+            in
+            ((Async.outcome_of_engine o).Async.quiescent, o.Engine.trace,
+             logs ()))
+      in
       List.iter
-        (fun policy ->
-          let legacy =
-            observed (fun () ->
-                let actors, logs = async_rig 3 in
-                let o =
-                  Async.run ~n:3 ~actors ~faulty:[ 2 ] ~adversary:adv ~policy ()
-                in
-                (o.Async.trace, o.Async.quiescent, logs ()))
-          in
-          let engined =
-            observed (fun () ->
-                let actors, logs = async_rig 3 in
-                let o =
-                  Engine.run
-                    ~faults:(Fault.byzantine ~faulty:[ 2 ] adv)
-                    ~obs_prefix:"sim.async" ~err:"Async.run" ~n:3
-                    ~protocol:(Async.protocol_of_actors actors)
-                    ~scheduler:(Async.scheduler_of_policy policy)
-                    ~limit:200_000 ()
-                in
-                (o.Engine.trace, o.Engine.stopped = `Quiescent, logs ()))
-          in
-          check_true "trace, logs, metrics and tracer stream all equal"
-            (legacy = engined))
+        (fun (policy, scheduler) ->
+          check_true "policy and raw scheduler runs equal"
+            (run (Async.scheduler_of_policy policy) = run scheduler))
         [
-          Async.Fifo;
-          Async.Random_order 11;
-          Async.Delay { victims = [ 0 ]; slack = 3 };
+          (Async.Fifo, Scheduler.Fifo);
+          (Async.Random_order 11, Scheduler.Random 11);
+          ( Async.Delay { victims = [ 0 ]; slack = 3 },
+            Scheduler.Delayed { victims = [ 0 ]; slack = 3 } );
         ])
 
 (* {2 Ported protocols: Engine.run vs the historical entry points} *)
@@ -212,12 +200,18 @@ let algo_async_port_case =
         (Array.for_all Option.is_some
            (Array.sub r.Algo_async.outputs 0 3)))
 
-(* {2 Fault specs on the shims} *)
+(* {2 Fault specs on the rounds engine} *)
 
-let run_sync_rig ?adversary ?fault () =
+let run_sync_rig ?(adversary = Adversary.honest) ?fault () =
   let actors, logs = sync_rig 4 in
-  let t = Sync.run ~n:4 ~rounds:4 ~actors ~faulty:[ 1; 3 ] ?adversary ?fault () in
-  (t, logs ())
+  let o =
+    Engine.run
+      ~faults:(Fault.overlay ~faulty:[ 1; 3 ] adversary fault)
+      ~obs_prefix:"sim.sync" ~states:actors ~n:4
+      ~protocol:(Sync.protocol_of_actors actors)
+      ~scheduler:Scheduler.Rounds ~limit:4 ()
+  in
+  (o.Engine.trace, logs ())
 
 let crash_spec_case =
   case "crash spec matches the crash_at adversary" (fun () ->
@@ -351,8 +345,17 @@ let delay_steps_case =
       check_true "quiescent" (stopped = `Quiescent);
       check_int "nothing lost" t.Trace.messages_sent t.Trace.messages_delivered;
       let actors, _ = async_rig 3 in
-      let o = Async.run ~n:3 ~actors ~fault:(Fault.Delay { seed = 2; max = 5 }) () in
-      check_true "delay spec on the shim reaches quiescence" o.Async.quiescent;
+      let o =
+        Async.outcome_of_engine
+          (Engine.run
+             ~faults:
+               (Fault.overlay ~faulty:[] Adversary.honest
+                  (Some (Fault.Delay { seed = 2; max = 5 })))
+             ~states:actors ~n:3
+             ~protocol:(Async.protocol_of_actors actors)
+             ~scheduler:Scheduler.Fifo ~limit:200_000 ())
+      in
+      check_true "delay spec run reaches quiescence" o.Async.quiescent;
       check_int "delay spec drops nothing" 0 o.Async.trace.Trace.messages_dropped)
 
 let scripted_delay_case =
@@ -377,7 +380,11 @@ let scripted_delay_case =
 let bad_faulty_case =
   raises_invalid "faulty ids out of range are rejected" (fun () ->
       let actors, _ = sync_rig 2 in
-      Sync.run ~n:2 ~rounds:1 ~actors ~faulty:[ 2 ] ())
+      Engine.run
+        ~faults:(Fault.byzantine ~faulty:[ 2 ] Adversary.honest)
+        ~n:2
+        ~protocol:(Sync.protocol_of_actors actors)
+        ~scheduler:Scheduler.Rounds ~limit:1 ())
 
 let bad_states_case =
   raises_invalid "a pre-built state array must have length n" (fun () ->
@@ -480,8 +487,8 @@ let explore_delay_case =
 
 let suite =
   [
-    sync_shim_case;
-    async_shim_case;
+    sync_adapter_case;
+    async_adapter_case;
     om_port_case;
     bracha_port_case;
     algo_async_port_case;

@@ -89,12 +89,39 @@ let unit_tests =
         with_obs (fun () ->
             Obs.incr "c";
             Obs.observe "h" 1;
+            Obs.record_max "g" 5;
             Obs.reset ();
             check_true "still enabled" (Obs.enabled ());
             let snap = Obs.snapshot () in
             check_true "empty"
               (snap.Obs.counters = [] && snap.Obs.hists = []
-             && snap.Obs.spans = [])));
+             && snap.Obs.spans = [] && snap.Obs.gauges = [])));
+    case "gauges max-merge and sort by name" (fun () ->
+        with_obs (fun () ->
+            Obs.record_max "z" 3;
+            Obs.record_max "a" 10;
+            Obs.record_max "z" 7;
+            Obs.record_max "z" 5;
+            (* a lower observation never lowers the high-water mark *)
+            Obs.record_max "a" 2;
+            let snap = Obs.snapshot () in
+            Alcotest.(check (list (pair string int)))
+              "gauges" [ ("a", 10); ("z", 7) ] snap.Obs.gauges));
+    case "disabled record_max is a no-op" (fun () ->
+        Obs.reset ();
+        check_false "off" (Obs.enabled ());
+        Obs.record_max "g" 99;
+        check_true "no gauges" ((Obs.snapshot ()).Obs.gauges = []));
+    case "gauges appear in the metrics JSON" (fun () ->
+        with_obs (fun () ->
+            Obs.record_max "explore.check.max_depth" 8;
+            let j = Metrics.to_json (Obs.snapshot ()) in
+            match Persist.member "gauges" j with
+            | Some (Persist.Obj fields) ->
+                check_true "value serialized"
+                  (List.assoc_opt "explore.check.max_depth" fields
+                  = Some (Persist.Int 8))
+            | _ -> Alcotest.fail "no gauges object in metrics JSON"));
   ]
 
 (* The acceptance criterion in miniature: the same deterministic
@@ -109,11 +136,12 @@ let parallel_workload ~jobs =
         Obs.incr "work.items";
         Obs.add "work.total" i;
         Obs.observe "work.size" (1 + (i mod 37));
+        Obs.record_max "work.peak" i;
         i)
       (List.init 200 Fun.id)
   in
   let snap = Obs.snapshot () in
-  (snap.Obs.counters, snap.Obs.hists)
+  (snap.Obs.counters, (snap.Obs.hists, snap.Obs.gauges))
 
 let merge_tests =
   [
@@ -122,9 +150,11 @@ let merge_tests =
             let seq = parallel_workload ~jobs:1 in
             let par = parallel_workload ~jobs:4 in
             check_true "counters equal" (fst seq = fst par);
-            check_true "histograms equal" (snd seq = snd par);
+            check_true "histograms equal" (fst (snd seq) = fst (snd par));
+            check_true "gauges equal" (snd (snd seq) = snd (snd par));
             (* sanity: the workload actually recorded something *)
-            check_int "items" 200 (List.assoc "work.items" (fst seq))));
+            check_int "items" 200 (List.assoc "work.items" (fst seq));
+            check_int "peak" 199 (List.assoc "work.peak" (snd (snd seq)))));
     case "metrics JSON is byte-identical across jobs" (fun () ->
         with_obs (fun () ->
             let run jobs =

@@ -1,5 +1,27 @@
 open Helpers
 
+(* The actor adapters, run directly on the unified engine (the legacy
+   [Sync.run] / [Async.run] executors are gone). [~states] hands the
+   actor array to the engine so it validates the arity. *)
+let sync_run ~n ~rounds ~actors ?(faulty = []) ?(adversary = Adversary.honest)
+    () =
+  (Engine.run
+     ~faults:(Fault.overlay ~faulty adversary None)
+     ~obs_prefix:"sim.sync" ~states:actors ~n
+     ~protocol:(Sync.protocol_of_actors actors)
+     ~scheduler:Scheduler.Rounds ~limit:rounds ())
+    .Engine.trace
+
+let async_run ~n ~actors ?(faulty = []) ?(adversary = Adversary.honest)
+    ?(policy = Async.Fifo) ?(max_steps = 200_000) () =
+  Async.outcome_of_engine
+    (Engine.run
+       ~faults:(Fault.overlay ~faulty adversary None)
+       ~obs_prefix:"sim.async" ~states:actors ~n
+       ~protocol:(Async.protocol_of_actors actors)
+       ~scheduler:(Async.scheduler_of_policy policy)
+       ~limit:max_steps ())
+
 (* A simple counting actor: broadcasts its id each round, records
    everything received. *)
 let counting_actor ~n ~me received =
@@ -21,7 +43,7 @@ let sync_tests =
         let n = 4 in
         let recs = Array.init n (fun _ -> ref []) in
         let actors = Array.init n (fun me -> counting_actor ~n ~me recs.(me)) in
-        let tr = Sync.run ~n ~rounds:3 ~actors () in
+        let tr = sync_run ~n ~rounds:3 ~actors () in
         check_int "rounds" 3 tr.Trace.rounds;
         check_int "sent" (3 * n * (n - 1)) tr.Trace.messages_sent;
         check_int "delivered" (3 * n * (n - 1)) tr.Trace.messages_delivered;
@@ -32,7 +54,7 @@ let sync_tests =
         let n = 4 in
         let recs = Array.init n (fun _ -> ref []) in
         let actors = Array.init n (fun me -> counting_actor ~n ~me recs.(me)) in
-        ignore (Sync.run ~n ~rounds:1 ~actors ());
+        ignore (sync_run ~n ~rounds:1 ~actors ());
         (* received list is reversed, so sources descend in it *)
         let srcs = List.map (fun (_, s, _) -> s) !(recs.(0)) in
         Alcotest.(check (list int)) "sorted desc" [ 3; 2; 1 ] srcs);
@@ -41,7 +63,7 @@ let sync_tests =
         let recs = Array.init n (fun _ -> ref []) in
         let actors = Array.init n (fun me -> counting_actor ~n ~me recs.(me)) in
         let tr =
-          Sync.run ~n ~rounds:2 ~actors ~faulty:[ 0 ] ~adversary:Adversary.silent
+          sync_run ~n ~rounds:2 ~actors ~faulty:[ 0 ] ~adversary:Adversary.silent
             ()
         in
         check_int "dropped" (2 * (n - 1)) tr.Trace.messages_dropped;
@@ -52,7 +74,7 @@ let sync_tests =
         let recs = Array.init n (fun _ -> ref []) in
         let actors = Array.init n (fun me -> counting_actor ~n ~me recs.(me)) in
         ignore
-          (Sync.run ~n ~rounds:4 ~actors ~faulty:[ 2 ]
+          (sync_run ~n ~rounds:4 ~actors ~faulty:[ 2 ]
              ~adversary:(Adversary.crash_at 2) ());
         let from2 =
           List.filter (fun (_, s, _) -> s = 2) !(recs.(0))
@@ -66,7 +88,7 @@ let sync_tests =
         let adversary =
           Adversary.corrupt (fun ~round:_ ~dst m -> m + (100 * (dst + 1)))
         in
-        let tr = Sync.run ~n ~rounds:1 ~actors ~faulty:[ 1 ] ~adversary () in
+        let tr = sync_run ~n ~rounds:1 ~actors ~faulty:[ 1 ] ~adversary () in
         check_int "corrupted" 2 tr.Trace.messages_corrupted;
         let from1 = List.filter (fun (_, s, _) -> s = 1) !(recs.(0)) in
         (match from1 with
@@ -77,7 +99,7 @@ let sync_tests =
         let recs = Array.init n (fun _ -> ref []) in
         let actors = Array.init n (fun me -> counting_actor ~n ~me recs.(me)) in
         ignore
-          (Sync.run ~n ~rounds:1 ~actors ~faulty:[ 0 ]
+          (sync_run ~n ~rounds:1 ~actors ~faulty:[ 0 ]
              ~adversary:(Adversary.drop_to [ 1 ]) ());
         check_true "1 got nothing from 0"
           (List.for_all (fun (_, s, _) -> s <> 0) !(recs.(1)));
@@ -105,7 +127,7 @@ let sync_tests =
         let adversary ~round:_ ~src:_ ~dst honest =
           match honest with None when dst = 1 -> Some 99 | h -> h
         in
-        let tr = Sync.run ~n ~rounds:1 ~actors ~faulty:[ 0 ] ~adversary () in
+        let tr = sync_run ~n ~rounds:1 ~actors ~faulty:[ 0 ] ~adversary () in
         Alcotest.(check (list (pair int int))) "fabricated" [ (0, 99) ] !got;
         check_int "counted as corrupted" 1 tr.Trace.messages_corrupted);
     case "compose applies both" (fun () ->
@@ -120,12 +142,12 @@ let sync_tests =
         check_true "pass" (Adversary.honest ~round:0 ~src:1 ~dst:2 (Some 3) = Some 3);
         check_true "none" (Adversary.honest ~round:0 ~src:1 ~dst:2 None = None));
     raises_invalid "wrong actor count" (fun () ->
-        Sync.run ~n:3 ~rounds:1
+        sync_run ~n:3 ~rounds:1
           ~actors:[| counting_actor ~n:3 ~me:0 (ref []) |]
           ());
     raises_invalid "faulty id out of range" (fun () ->
         let actors = Array.init 2 (fun me -> counting_actor ~n:2 ~me (ref [])) in
-        Sync.run ~n:2 ~rounds:1 ~actors ~faulty:[ 5 ] ());
+        sync_run ~n:2 ~rounds:1 ~actors ~faulty:[ 5 ] ());
   ]
 
 (* Async: a ping-counting actor that replies until a hop budget runs out. *)
@@ -145,14 +167,14 @@ let async_tests =
         let n = 3 in
         let logs = Array.init n (fun _ -> ref []) in
         let actors = Array.init n (fun me -> relay_actor ~n ~me logs.(me)) in
-        let out = Async.run ~n ~actors () in
+        let out = async_run ~n ~actors () in
         check_true "quiescent" out.Async.quiescent;
         check_int "deliveries" 4 out.Async.trace.Trace.messages_delivered);
     case "random policy same totals" (fun () ->
         let n = 3 in
         let logs = Array.init n (fun _ -> ref []) in
         let actors = Array.init n (fun me -> relay_actor ~n ~me logs.(me)) in
-        let out = Async.run ~n ~actors ~policy:(Async.Random_order 9) () in
+        let out = async_run ~n ~actors ~policy:(Async.Random_order 9) () in
         check_true "quiescent" out.Async.quiescent;
         check_int "deliveries" 4 out.Async.trace.Trace.messages_delivered);
     case "max_steps caps execution" (fun () ->
@@ -164,7 +186,7 @@ let async_tests =
                 on_message = (fun ~src _ -> [ (src, ()) ]);
               })
         in
-        let out = Async.run ~n:2 ~actors ~max_steps:50 () in
+        let out = async_run ~n:2 ~actors ~max_steps:50 () in
         check_false "not quiescent" out.Async.quiescent;
         check_int "steps" 50 out.Async.trace.Trace.steps);
     case "delay policy postpones victim traffic but stays fair" (fun () ->
@@ -180,7 +202,7 @@ let async_tests =
               })
         in
         let out =
-          Async.run ~n:2 ~actors
+          async_run ~n:2 ~actors
             ~policy:(Async.Delay { victims = [ 0 ]; slack = 10 })
             ()
         in
@@ -204,7 +226,7 @@ let async_tests =
           |]
         in
         let adversary ~round:_ ~src:_ ~dst:_ m = Option.map (fun x -> x * 2) m in
-        let out = Async.run ~n:2 ~actors ~faulty:[ 0 ] ~adversary () in
+        let out = async_run ~n:2 ~actors ~faulty:[ 0 ] ~adversary () in
         check_true "quiescent" out.Async.quiescent;
         Alcotest.(check (list (pair int int))) "doubled" [ (0, 14) ] !got);
   ]
