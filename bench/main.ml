@@ -13,6 +13,7 @@
    so successive changes can be compared mechanically.
 
    Usage: main.exe [--no-tables] [--quota SECONDS] [--json PATH | --no-json]
+          [--only SUBSTRING]
 
    Every workload generator draws from its own Rng stream derived from
    the benchmark's name, so adding, removing or reordering benchmarks
@@ -51,9 +52,19 @@ let bench_rng name = Rng.stream ~root:20_160_711 (Hashtbl.hash name)
    for timing with metrics disabled, then run once more with Obs
    enabled to harvest its iteration/message counters for BENCH.json. *)
 
-let bench_lp ~rows ~cols =
-  let name = Printf.sprintf "lp_solve %dx%d" rows cols in
-  let rng = bench_rng name in
+(* [?solver] forces a pivoting engine; the workload stream is always
+   derived from the base name, so a forced twin (e.g. the tableau run
+   of the 120x120 instance) times the exact same LP as its Auto
+   sibling. *)
+let bench_lp ?solver ~rows ~cols () =
+  let base = Printf.sprintf "lp_solve %dx%d" rows cols in
+  let name =
+    match solver with
+    | Some Lp.Tableau -> base ^ " (tableau)"
+    | Some Lp.Revised -> base ^ " (revised)"
+    | Some Lp.Auto | None -> base
+  in
+  let rng = bench_rng base in
   (* a bounded, feasible random LP *)
   let constraints =
     List.init rows (fun _ ->
@@ -66,7 +77,8 @@ let bench_lp ~rows ~cols =
   ( name,
     (fun () ->
          ignore
-           (Lp.solve ~maximize:true ~nvars:cols ~objective constraints)))
+           (Lp.solve ?solver ~maximize:true ~nvars:cols ~objective
+              constraints)))
 
 let bench_minnorm ~n ~d =
   let name = Printf.sprintf "minnorm n=%d d=%d" n d in
@@ -232,6 +244,84 @@ let bench_explore_fuzz ~trials =
            (Explore.fuzz ~make ~n:4 ~actors:Algo_async.session_actors ~check
               ~faulty:[ 3 ] ~adversary:net ~max_steps:2_000 ~seed:1 ~trials ())))
 
+(* {2 Engine scale benchmarks}
+
+   Raw envelope throughput of the unified engine at large [n], with a
+   protocol cheap enough that the pending pool dominates: these entries
+   are the gate on the pooled storage (historically the Fifo path paid
+   an O(pending) list append + scan per delivery, so the n=500 and
+   n=2000 entries were quadratic). The "(reference)" twins run the same
+   workload through [Engine.run_reference] — the retained list-based
+   executable spec — so BENCH.json always carries the before/after pair
+   the CI guard and EXPERIMENTS.md compare. *)
+
+(* k-neighbor gossip under lock-step rounds, with one pass-through
+   Byzantine broadcaster so the per-edge adversary plumbing is on the
+   measured path. The per-process send lists are precomputed -- the
+   engine only reads them -- so the entry times the engine's inbox
+   machinery (route, buffer, per-destination batch) rather than
+   workload construction, which both engines share. *)
+let engine_rounds_protocol ~n ~k =
+  let sends =
+    Array.init n (fun me ->
+        List.init k (fun j -> ((me + j + 1) mod n, me)))
+  in
+  {
+    Protocol.init = (fun ~me -> me);
+    on_start = (fun _ -> []);
+    on_tick = (fun me ~time:_ -> sends.(me));
+    on_receive = (fun _ ~time:_ _ -> []);
+    output = (fun _ -> ());
+  }
+
+let bench_engine_rounds ?(reference = false) ~n () =
+  let name =
+    Printf.sprintf "engine_run rounds n=%d%s" n
+      (if reference then " (reference)" else "")
+  in
+  let run = if reference then Engine.run_reference else Engine.run in
+  let protocol = engine_rounds_protocol ~n ~k:16 in
+  let passthrough ~round:_ ~src:_ ~dst:_ m = m in
+  ( name,
+    (fun () ->
+      ignore
+        (run
+           ~faults:(Fault.byzantine ~faulty:[ 0 ] passthrough)
+           ~obs_prefix:"engine" ~n ~protocol ~scheduler:Scheduler.Rounds
+           ~limit:3 ())))
+
+(* Token ring under the Fifo step scheduler: on_start launches one
+   token per process, each forwarded [hops] times, so the pool holds
+   ~n live envelopes while n*(hops+1) deliveries drain it — the
+   worst case for the historical O(pending) scan per delivery. *)
+let engine_ring_protocol ~n ~hops =
+  {
+    Protocol.init = (fun ~me -> me);
+    on_start = (fun me -> [ ((me + 1) mod n, hops) ]);
+    on_tick = (fun _ ~time:_ -> []);
+    on_receive =
+      (fun me ~time:_ batch ->
+        List.concat_map
+          (fun (_src, h) -> if h > 0 then [ ((me + 1) mod n, h - 1) ] else [])
+          batch);
+    output = (fun _ -> ());
+  }
+
+let bench_engine_fifo ?(reference = false) ~n () =
+  let name =
+    Printf.sprintf "engine_run fifo n=%d%s" n
+      (if reference then " (reference)" else "")
+  in
+  let run = if reference then Engine.run_reference else Engine.run in
+  let hops = 3 in
+  let protocol = engine_ring_protocol ~n ~hops in
+  let limit = n * (hops + 1) in
+  ( name,
+    (fun () ->
+      ignore
+        (run ~obs_prefix:"engine" ~n ~protocol ~scheduler:Scheduler.Fifo
+           ~limit ())))
+
 let bench_hull_consensus () =
   let name = "hull_consensus n=5 d=2" in
   let rng = bench_rng name in
@@ -241,15 +331,18 @@ let bench_hull_consensus () =
 
 let tests =
   [
-    bench_lp ~rows:20 ~cols:20;
-    bench_lp ~rows:60 ~cols:60;
-    bench_lp ~rows:120 ~cols:120;
+    bench_lp ~rows:20 ~cols:20 ();
+    bench_lp ~rows:60 ~cols:60 ();
+    bench_lp ~rows:120 ~cols:120 ();
+    bench_lp ~rows:80 ~cols:960 ();
+    bench_lp ~solver:Lp.Tableau ~rows:80 ~cols:960 ();
     bench_minnorm ~n:8 ~d:4;
     bench_minnorm ~n:32 ~d:8;
     bench_lp_project ~n:8 ~d:4 ~p:3.;
     bench_delta_star ~d:3;
     bench_delta_star ~d:6;
     bench_delta_star_iter ~n:4 ~d:4;
+    bench_delta_star_iter ~n:6 ~d:6;
     bench_psi ~d:3;
     bench_psi ~d:5;
     bench_tverberg ~n:5 ~d:2 ~f:1;
@@ -273,6 +366,14 @@ let tests =
     bench_exact_lp ();
     bench_iterative ~rounds:10;
     bench_hull_consensus ();
+    bench_engine_rounds ~n:100 ();
+    bench_engine_rounds ~n:500 ();
+    bench_engine_rounds ~n:500 ~reference:true ();
+    bench_engine_rounds ~n:2000 ();
+    bench_engine_fifo ~n:100 ();
+    bench_engine_fifo ~n:500 ();
+    bench_engine_fifo ~n:500 ~reference:true ();
+    bench_engine_fifo ~n:2000 ();
   ]
 
 type bench_result = {
@@ -282,7 +383,17 @@ type bench_result = {
   metrics : Persist.json;  (** one instrumented run of the same thunk *)
 }
 
-let run_benchmarks ~quota () =
+(* substring filter for quick iteration on one kernel family *)
+let contains ~sub s =
+  let ls = String.length sub and n = String.length s in
+  let rec at i =
+    if i + ls > n then false
+    else if String.sub s i ls = sub then true
+    else at (i + 1)
+  in
+  at 0
+
+let run_benchmarks ~quota ~only () =
   Format.printf "==================================================@.";
   Format.printf " Kernel micro-benchmarks (Bechamel)@.";
   Format.printf "==================================================@.";
@@ -295,6 +406,11 @@ let run_benchmarks ~quota () =
   in
   Format.printf "%-45s %15s %10s@." "benchmark" "time/run" "r^2";
   Format.printf "%s@." (String.make 72 '-');
+  let tests =
+    match only with
+    | None -> tests
+    | Some sub -> List.filter (fun (name, _) -> contains ~sub name) tests
+  in
   List.map
     (fun (name, fn) ->
       (* Timing happens with metrics off, so the numbers reflect the
@@ -364,10 +480,14 @@ let () =
   let tables = ref true in
   let quota = ref 0.25 in
   let json = ref (Some "BENCH.json") in
+  let only = ref None in
   let rec parse = function
     | [] -> ()
     | "--no-tables" :: rest ->
         tables := false;
+        parse rest
+    | "--only" :: sub :: rest ->
+        only := Some sub;
         parse rest
     | "--quota" :: q :: rest -> (
         match float_of_string_opt q with
@@ -385,10 +505,10 @@ let () =
         failwith
           (Printf.sprintf
              "bench: unknown argument %S (expected --no-tables, --quota S, \
-              --json PATH, --no-json)"
+              --json PATH, --no-json, --only SUBSTRING)"
              arg)
   in
   parse (List.tl (Array.to_list Sys.argv));
   if !tables then reproduce_tables ();
-  let results = run_benchmarks ~quota:!quota () in
+  let results = run_benchmarks ~quota:!quota ~only:!only () in
   match !json with None -> () | Some path -> write_json path results

@@ -1042,6 +1042,200 @@ let validate_cmd =
           gate on the very parsers replays and specs depend on.")
     Term.(const run $ path)
 
+(* ---------------- bench ---------------- *)
+
+(* Read an rbvc-bench/2 file into (name, (ns_per_run, counters)). *)
+let read_bench path =
+  match
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let contents = really_input_string ic len in
+    close_in ic;
+    contents
+  with
+  | exception Sys_error msg -> Error msg
+  | contents -> (
+      match Persist.of_string (String.trim contents) with
+      | Error e -> Error (Printf.sprintf "%s: invalid JSON: %s" path e)
+      | Ok j -> (
+          match Persist.member "schema" j with
+          | Some (Persist.String "rbvc-bench/2") -> (
+              match Persist.member "results" j with
+              | Some (Persist.List rs) ->
+                  Ok
+                    (List.filter_map
+                       (fun r ->
+                         match
+                           (Persist.member "name" r,
+                            Persist.member "ns_per_run" r)
+                         with
+                         | Some (Persist.String name), Some ns ->
+                             let ns =
+                               match ns with
+                               | Persist.Float f -> f
+                               | Persist.Int i -> float_of_int i
+                               | _ -> nan
+                             in
+                             let counters =
+                               match Persist.member "metrics" r with
+                               | Some m -> (
+                                   match Persist.member "counters" m with
+                                   | Some (Persist.Obj kv) ->
+                                       List.filter_map
+                                         (fun (k, v) ->
+                                           match v with
+                                           | Persist.Int i -> Some (k, i)
+                                           | _ -> None)
+                                         kv
+                                   | _ -> [])
+                               | None -> []
+                             in
+                             Some (name, (ns, counters))
+                         | _ -> None)
+                       rs)
+              | _ -> Error (path ^ ": no results array"))
+          | _ -> Error (path ^ ": not an rbvc-bench/2 file")))
+
+let contains ~sub s =
+  let ls = String.length sub and n = String.length s in
+  let rec at i =
+    if i + ls > n then false
+    else if String.sub s i ls = sub then true
+    else at (i + 1)
+  in
+  at 0
+
+let pretty_ns t =
+  if t >= 1e9 then Printf.sprintf "%.3f s" (t /. 1e9)
+  else if t >= 1e6 then Printf.sprintf "%.3f ms" (t /. 1e6)
+  else if t >= 1e3 then Printf.sprintf "%.3f us" (t /. 1e3)
+  else Printf.sprintf "%.1f ns" t
+
+let bench_guard_cmd =
+  let baseline =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BASELINE"
+          ~doc:"Committed rbvc-bench/2 baseline (BENCH.json).")
+  in
+  let current =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"CURRENT"
+          ~doc:"Freshly generated rbvc-bench/2 results to compare.")
+  in
+  let threshold =
+    Arg.(
+      value & opt float 25.
+      & info [ "threshold" ] ~docv:"PCT"
+          ~doc:"Regression tolerance in percent (default 25).")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "Treat timing regressions as failures instead of loud warnings \
+             (counter regressions always fail).")
+  in
+  let run baseline current threshold strict =
+    match (read_bench baseline, read_bench current) with
+    | Error e, _ | _, Error e ->
+        Format.eprintf "rbvc bench guard: %s@." e;
+        2
+    | Ok base, Ok cur ->
+        let fail = ref false and warn = ref false in
+        let pct b c = 100. *. ((c /. b) -. 1.) in
+        Format.printf "bench guard: %s vs %s (threshold %g%%)@." baseline
+          current threshold;
+        List.iter
+          (fun (name, (b_ns, b_counters)) ->
+            match List.assoc_opt name cur with
+            | None ->
+                (* a vanished entry silently un-guards itself: renames
+                   must update the committed baseline *)
+                Format.printf "  FAIL    %-42s missing from %s@." name current;
+                fail := true
+            | Some (c_ns, c_counters) ->
+                (* Timing: machine-dependent, so the engine_run n=500
+                   gate entries warn loudly (or fail under --strict). *)
+                if contains ~sub:"engine_run" name && contains ~sub:"n=500" name
+                then begin
+                  let p = pct b_ns c_ns in
+                  let regressed =
+                    Float.is_nan b_ns = false
+                    && Float.is_nan c_ns = false
+                    && p > threshold
+                  in
+                  if regressed then begin
+                    if strict then fail := true else warn := true;
+                    Format.printf "  %s  timing  %-42s %s -> %s (%+.1f%%)@."
+                      (if strict then "FAIL " else "WARN ")
+                      name (pretty_ns b_ns) (pretty_ns c_ns) p
+                  end
+                  else
+                    Format.printf "  ok     timing  %-42s %s -> %s (%+.1f%%)@."
+                      name (pretty_ns b_ns) (pretty_ns c_ns) p
+                end;
+                (* lp.pivots is a pure function of the workload, so any
+                   jump is a real algorithmic regression: hard failure. *)
+                (match
+                   (List.assoc_opt "lp.pivots" b_counters,
+                    List.assoc_opt "lp.pivots" c_counters)
+                 with
+                | Some b_p, Some c_p when b_p > 0 ->
+                    let p = pct (float_of_int b_p) (float_of_int c_p) in
+                    if p > threshold then begin
+                      fail := true;
+                      Format.printf "  FAIL   pivots  %-42s %d -> %d (%+.1f%%)@."
+                        name b_p c_p p
+                    end
+                    else
+                      Format.printf "  ok     pivots  %-42s %d -> %d (%+.1f%%)@."
+                        name b_p c_p p
+                | Some b_p, None ->
+                    fail := true;
+                    Format.printf
+                      "  FAIL   pivots  %-42s %d -> (counter gone)@." name b_p
+                | _ -> ()))
+          base;
+        if !fail then begin
+          Format.printf "bench guard: FAILED@.";
+          1
+        end
+        else if !warn then begin
+          Format.printf
+            "bench guard: WARNING — timing regressed past %g%% (see above); \
+             not failing the build (timing is machine-dependent; use \
+             --strict to fail)@."
+            threshold;
+          0
+        end
+        else begin
+          Format.printf "bench guard: ok@.";
+          0
+        end
+  in
+  Cmd.v
+    (Cmd.info "guard"
+       ~doc:
+         "Compare a fresh rbvc-bench/2 run against the committed baseline: \
+          warn loudly (or fail with --strict) when an engine_run n=500 \
+          entry's time regresses past the threshold, and fail when \
+          lp.pivots — deterministic in the workload — jumps, or when a \
+          guarded entry disappears. CI runs this after the bench smoke.")
+    Term.(const run $ baseline $ current $ threshold $ strict)
+
+let bench_cmd =
+  Cmd.group
+    (Cmd.info "bench"
+       ~doc:
+         "Benchmark-artifact tooling (the numbers themselves come from \
+          bench/main.exe).")
+    [ bench_guard_cmd ]
+
 (* ---------------- trace ---------------- *)
 
 let trace_file_pos ~doc p =
@@ -1207,6 +1401,7 @@ let main_cmd =
       save_cmd;
       replay_cmd;
       validate_cmd;
+      bench_cmd;
       trace_cmd;
     ]
 

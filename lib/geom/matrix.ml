@@ -37,23 +37,49 @@ let col m j = Array.init m.rows (fun i -> m.a.(i).(j))
 
 let transpose m = init m.cols m.rows (fun i j -> m.a.(j).(i))
 
+(* The multiply kernels are explicit loops with hoisted rows and unsafe
+   indexing (dimensions checked once on entry; row lengths are a type
+   invariant); the accumulation order matches the closure-based
+   originals, so results are bit-identical. *)
+
 let mul x y =
   if x.cols <> y.rows then invalid_arg "Matrix.mul: dimension mismatch";
-  init x.rows y.cols (fun i j ->
+  let r = create x.rows y.cols in
+  for i = 0 to x.rows - 1 do
+    let xi = Array.unsafe_get x.a i in
+    let ri = Array.unsafe_get r.a i in
+    for j = 0 to y.cols - 1 do
       let s = ref 0. in
       for k = 0 to x.cols - 1 do
-        s := !s +. (x.a.(i).(k) *. y.a.(k).(j))
+        s :=
+          !s
+          +. (Array.unsafe_get xi k
+              *. Array.unsafe_get (Array.unsafe_get y.a k) j)
       done;
-      !s)
+      Array.unsafe_set ri j !s
+    done
+  done;
+  r
+
+let mul_vec_into dst m v =
+  if m.cols <> Vec.dim v then
+    invalid_arg "Matrix.mul_vec_into: dimension mismatch";
+  if Vec.dim dst <> m.rows then
+    invalid_arg "Matrix.mul_vec_into: destination dimension mismatch";
+  for i = 0 to m.rows - 1 do
+    let mi = Array.unsafe_get m.a i in
+    let s = ref 0. in
+    for j = 0 to m.cols - 1 do
+      s := !s +. (Array.unsafe_get mi j *. Array.unsafe_get v j)
+    done;
+    Array.unsafe_set dst i !s
+  done
 
 let mul_vec m v =
   if m.cols <> Vec.dim v then invalid_arg "Matrix.mul_vec: dimension mismatch";
-  Array.init m.rows (fun i ->
-      let s = ref 0. in
-      for j = 0 to m.cols - 1 do
-        s := !s +. (m.a.(i).(j) *. v.(j))
-      done;
-      !s)
+  let dst = Array.make m.rows 0. in
+  mul_vec_into dst m v;
+  dst
 
 let map2 name f x y =
   if x.rows <> y.rows || x.cols <> y.cols then
@@ -118,16 +144,21 @@ let lu_solve (lu, perm, _sign) b =
   let x = Array.init n (fun i -> b.(perm.(i))) in
   (* forward substitution with unit lower triangle *)
   for i = 1 to n - 1 do
+    let li = Array.unsafe_get lu.a i in
+    let xi = ref (Array.unsafe_get x i) in
     for j = 0 to i - 1 do
-      x.(i) <- x.(i) -. (lu.a.(i).(j) *. x.(j))
-    done
+      xi := !xi -. (Array.unsafe_get li j *. Array.unsafe_get x j)
+    done;
+    Array.unsafe_set x i !xi
   done;
   (* back substitution *)
   for i = n - 1 downto 0 do
+    let li = Array.unsafe_get lu.a i in
+    let xi = ref (Array.unsafe_get x i) in
     for j = i + 1 to n - 1 do
-      x.(i) <- x.(i) -. (lu.a.(i).(j) *. x.(j))
+      xi := !xi -. (Array.unsafe_get li j *. Array.unsafe_get x j)
     done;
-    x.(i) <- x.(i) /. lu.a.(i).(i)
+    Array.unsafe_set x i (!xi /. Array.unsafe_get li i)
   done;
   x
 

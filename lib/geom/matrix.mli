@@ -20,6 +20,12 @@ val col : t -> int -> Vec.t
 val transpose : t -> t
 val mul : t -> t -> t
 val mul_vec : t -> Vec.t -> Vec.t
+
+val mul_vec_into : Vec.t -> t -> Vec.t -> unit
+(** [mul_vec_into dst m v] sets [dst := m v] without allocating; [dst]
+    must have dimension [m.rows] and must not alias [v]. Bit-identical
+    to [mul_vec]. *)
+
 val add : t -> t -> t
 val sub : t -> t -> t
 val scale : float -> t -> t

@@ -47,12 +47,15 @@ let map2 f u v =
   done;
   r
 
+(* Bounds are established once by [check_same_dim] (or the [Array.make]
+   of the result), so the inner loops index unsafely. *)
+
 let add u v =
   check_same_dim "add" u v;
   let n = dim u in
   let r = Array.make n 0. in
   for i = 0 to n - 1 do
-    r.(i) <- u.(i) +. v.(i)
+    Array.unsafe_set r i (Array.unsafe_get u i +. Array.unsafe_get v i)
   done;
   r
 
@@ -61,19 +64,33 @@ let sub u v =
   let n = dim u in
   let r = Array.make n 0. in
   for i = 0 to n - 1 do
-    r.(i) <- u.(i) -. v.(i)
+    Array.unsafe_set r i (Array.unsafe_get u i -. Array.unsafe_get v i)
   done;
   r
 
-let neg u = Array.map (fun x -> -.x) u
-let scale a u = Array.map (fun x -> a *. x) u
+let neg u =
+  let n = dim u in
+  let r = Array.make n 0. in
+  for i = 0 to n - 1 do
+    Array.unsafe_set r i (-.Array.unsafe_get u i)
+  done;
+  r
+
+let scale a u =
+  let n = dim u in
+  let r = Array.make n 0. in
+  for i = 0 to n - 1 do
+    Array.unsafe_set r i (a *. Array.unsafe_get u i)
+  done;
+  r
 
 let axpy a x y =
   check_same_dim "axpy" x y;
   let n = dim x in
   let r = Array.make n 0. in
   for i = 0 to n - 1 do
-    r.(i) <- (a *. x.(i)) +. y.(i)
+    Array.unsafe_set r i
+      ((a *. Array.unsafe_get x i) +. Array.unsafe_get y i)
   done;
   r
 
@@ -84,34 +101,35 @@ let add_into dst u v =
   check_same_dim "add_into" u v;
   check_same_dim "add_into" dst u;
   for i = 0 to dim u - 1 do
-    dst.(i) <- u.(i) +. v.(i)
+    Array.unsafe_set dst i (Array.unsafe_get u i +. Array.unsafe_get v i)
   done
 
 let sub_into dst u v =
   check_same_dim "sub_into" u v;
   check_same_dim "sub_into" dst u;
   for i = 0 to dim u - 1 do
-    dst.(i) <- u.(i) -. v.(i)
+    Array.unsafe_set dst i (Array.unsafe_get u i -. Array.unsafe_get v i)
   done
 
 let axpy_into dst a x y =
   check_same_dim "axpy_into" x y;
   check_same_dim "axpy_into" dst x;
   for i = 0 to dim x - 1 do
-    dst.(i) <- (a *. x.(i)) +. y.(i)
+    Array.unsafe_set dst i
+      ((a *. Array.unsafe_get x i) +. Array.unsafe_get y i)
   done
 
 let scale_into dst a u =
   check_same_dim "scale_into" dst u;
   for i = 0 to dim u - 1 do
-    dst.(i) <- a *. u.(i)
+    Array.unsafe_set dst i (a *. Array.unsafe_get u i)
   done
 
 let dot u v =
   check_same_dim "dot" u v;
   let s = ref 0. in
   for i = 0 to dim u - 1 do
-    s := !s +. (u.(i) *. v.(i))
+    s := !s +. (Array.unsafe_get u i *. Array.unsafe_get v i)
   done;
   !s
 
@@ -132,10 +150,28 @@ let combo = function
         (fun (w, v) ->
           check_same_dim "combo" acc v;
           for i = 0 to dim acc - 1 do
-            acc.(i) <- acc.(i) +. (w *. v.(i))
+            Array.unsafe_set acc i
+              (Array.unsafe_get acc i +. (w *. Array.unsafe_get v i))
           done)
         rest;
       acc
+
+(* [combo_arrays_into dst ws vs k] accumulates [sum_{j<k} ws.(j) * vs.(j)]
+   into [dst] — the allocation-free kernel behind convex-combination
+   reconstruction in inner loops. *)
+let combo_arrays_into dst ws vs k =
+  if k > Array.length ws || k > Array.length vs then
+    invalid_arg "Vec.combo_arrays_into: k out of range";
+  Array.fill dst 0 (dim dst) 0.;
+  for j = 0 to k - 1 do
+    let w = Array.unsafe_get ws j in
+    let v = vs.(j) in
+    check_same_dim "combo_arrays_into" dst v;
+    for i = 0 to dim dst - 1 do
+      Array.unsafe_set dst i
+        (Array.unsafe_get dst i +. (w *. Array.unsafe_get v i))
+    done
+  done
 
 let centroid = function
   | [] -> invalid_arg "Vec.centroid: empty list"
@@ -150,7 +186,8 @@ let norm1 v = Array.fold_left (fun s x -> s +. Float.abs x) 0. v
 let sq_norm2 v =
   let s = ref 0. in
   for i = 0 to dim v - 1 do
-    s := !s +. (v.(i) *. v.(i))
+    let x = Array.unsafe_get v i in
+    s := !s +. (x *. x)
   done;
   !s
 
@@ -172,9 +209,59 @@ let norm_p p v =
       m *. (s ** (1. /. p))
   end
 
-let dist_p p u v = norm_p p (sub u v)
-let dist2 u v = norm2 (sub u v)
-let dist_inf u v = norm_inf (sub u v)
+(* Distances stream over the coordinate differences without
+   materializing [sub u v]; the float-operation order matches the
+   allocating formulation, so results are bit-identical. *)
+
+let sq_dist2 u v =
+  check_same_dim "sq_dist2" u v;
+  let s = ref 0. in
+  for i = 0 to dim u - 1 do
+    let x = Array.unsafe_get u i -. Array.unsafe_get v i in
+    s := !s +. (x *. x)
+  done;
+  !s
+
+let dist2 u v = sqrt (sq_dist2 u v)
+
+let dist_inf u v =
+  check_same_dim "dist_inf" u v;
+  let m = ref 0. in
+  for i = 0 to dim u - 1 do
+    m :=
+      Float.max !m
+        (Float.abs (Array.unsafe_get u i -. Array.unsafe_get v i))
+  done;
+  !m
+
+let dist1 u v =
+  check_same_dim "dist1" u v;
+  let s = ref 0. in
+  for i = 0 to dim u - 1 do
+    s := !s +. Float.abs (Array.unsafe_get u i -. Array.unsafe_get v i)
+  done;
+  !s
+
+let dist_p p u v =
+  if p < 1. then invalid_arg "Vec.norm_p: p must be >= 1";
+  if p = 2. then dist2 u v
+  else if p = 1. then dist1 u v
+  else if p = Float.infinity then dist_inf u v
+  else begin
+    check_same_dim "dist_p" u v;
+    let m = dist_inf u v in
+    if m = 0. then 0.
+    else begin
+      let s = ref 0. in
+      for i = 0 to dim u - 1 do
+        s :=
+          !s
+          +. (Float.abs (Array.unsafe_get u i -. Array.unsafe_get v i) /. m)
+             ** p
+      done;
+      m *. (!s ** (1. /. p))
+    end
+  end
 
 let normalize v =
   let n = norm2 v in

@@ -70,6 +70,12 @@ val combo : (float * t) list -> t
 (** [combo [(w1,v1); ...]] is the linear combination [w1*v1 + ...].
     @raise Invalid_argument on empty list or dimension mismatch. *)
 
+val combo_arrays_into : t -> float array -> t array -> int -> unit
+(** [combo_arrays_into dst ws vs k] sets
+    [dst := sum_(j < k) ws.(j) * vs.(j)] — the allocation-free [combo]
+    for inner loops that keep weights and points in parallel arrays.
+    [dst] must not alias an element of [vs]. *)
+
 val centroid : t list -> t
 (** Arithmetic mean of a non-empty list of vectors. *)
 
@@ -87,6 +93,11 @@ val norm1 : t -> float
 val dist_p : float -> t -> t -> float
 val dist2 : t -> t -> float
 val dist_inf : t -> t -> float
+val dist1 : t -> t -> float
+val sq_dist2 : t -> t -> float
+(** Distances stream over coordinate differences without allocating the
+    difference vector; bit-identical to [norm_* (sub u v)]. *)
+
 val sq_norm2 : t -> float
 val normalize : t -> t
 (** [normalize v] is [v / ||v||_2]. @raise Invalid_argument on (near-)zero

@@ -36,31 +36,34 @@ let minimize_body ?(eps = 1e-8) ?(max_iters = 1_500) ~f ~grad points =
       let n = Array.length pts in
       let weights = Array.make n 0. in
       weights.(0) <- 1.;
-      let x = ref (Vec.copy p0) in
+      (* [x] is one buffer recomputed in place each step; [f]/[grad] see
+         it repeatedly and must not retain it (documented in the mli). *)
+      let x = Vec.copy p0 in
       let recompute_x () =
-        let acc = Vec.zero (Vec.dim p0) in
+        Array.fill x 0 (Vec.dim x) 0.;
         for i = 0 to n - 1 do
           if weights.(i) > 0. then
-            for j = 0 to Vec.dim acc - 1 do
-              acc.(j) <- acc.(j) +. (weights.(i) *. pts.(i).(j))
+            for j = 0 to Vec.dim x - 1 do
+              x.(j) <- x.(j) +. (weights.(i) *. pts.(i).(j))
             done
-        done;
-        x := acc
+        done
       in
-      let fx = ref (f !x) in
+      let fx = ref (f x) in
       let eps = eps *. Float.max 1e-3 (Float.abs !fx) in
-      (* scratch for line-search trial points: the search evaluates [f]
-         ~84 times per iteration and the trial vector never escapes *)
+      (* scratch for line-search trial points and step directions: the
+         search evaluates [f] ~84 times per iteration and neither vector
+         escapes *)
       let trial = Vec.zero (Vec.dim p0) in
+      let dir = Vec.zero (Vec.dim p0) in
       let eval_at dir t =
-        Vec.axpy_into trial t dir !x;
+        Vec.axpy_into trial t dir x;
         f trial
       in
       let iters = ref 0 in
       (try
          for _ = 1 to max_iters do
            incr iters;
-           let g = grad !x in
+           let g = grad x in
            (* FW vertex: global minimizer of the linearization *)
            let s = ref 0 in
            let s_v = ref (Vec.dot g pts.(0)) in
@@ -83,13 +86,13 @@ let minimize_body ?(eps = 1e-8) ?(max_iters = 1_500) ~f ~grad points =
                end
              end
            done;
-           let gx = Vec.dot g !x in
+           let gx = Vec.dot g x in
            let gap_fw = gx -. !s_v in
            if gap_fw <= eps then raise Exit;
            let gap_away = if !a >= 0 then !a_v -. gx else neg_infinity in
            if gap_fw >= gap_away || !a < 0 then begin
              (* FW step towards pts.(s) *)
-             let dir = Vec.sub pts.(!s) !x in
+             Vec.sub_into dir pts.(!s) x;
              let t = line_search ~hi:1. (eval_at dir) in
              if t > 0. then begin
                for i = 0 to n - 1 do
@@ -97,7 +100,7 @@ let minimize_body ?(eps = 1e-8) ?(max_iters = 1_500) ~f ~grad points =
                done;
                weights.(!s) <- weights.(!s) +. t;
                recompute_x ();
-               let fx' = f !x in
+               let fx' = f x in
                if fx' >= !fx -. 1e-18 && t < 1e-12 then raise Exit;
                fx := fx'
              end
@@ -108,7 +111,7 @@ let minimize_body ?(eps = 1e-8) ?(max_iters = 1_500) ~f ~grad points =
              let wa = weights.(!a) in
              let hi = wa /. Float.max 1e-300 (1. -. wa) in
              let hi = Float.min hi 1e6 in
-             let dir = Vec.sub !x pts.(!a) in
+             Vec.sub_into dir x pts.(!a);
              let t = line_search ~hi (eval_at dir) in
              if t > 0. then begin
                for i = 0 to n - 1 do
@@ -122,7 +125,7 @@ let minimize_body ?(eps = 1e-8) ?(max_iters = 1_500) ~f ~grad points =
                  weights.(i) <- weights.(i) /. total
                done;
                recompute_x ();
-               fx := f !x
+               fx := f x
              end
              else raise Exit
            end
@@ -131,7 +134,7 @@ let minimize_body ?(eps = 1e-8) ?(max_iters = 1_500) ~f ~grad points =
       if Obs.enabled () then Obs.observe "fw.iters" !iters;
       if Obs.Tracer.active () then
         Obs.Tracer.instant "fw.iters" [ ("iters", Obs.Tracer.Int !iters) ];
-      (!x, f !x)
+      (x, f x)
 
 (* Iteration span per solve; one [active] branch when tracing is off. *)
 let minimize ?eps ?max_iters ~f ~grad points =
@@ -142,11 +145,13 @@ let minimize ?eps ?max_iters ~f ~grad points =
       (fun () -> minimize_body ?eps ?max_iters ~f ~grad points)
   else minimize_body ?eps ?max_iters ~f ~grad points
 
-(* Euclidean projection of [w] onto the probability simplex
-   (Held-Wolfe-Crowder / Duchi et al.). *)
-let simplex_projection w =
-  let n = Array.length w in
-  let sorted = Array.copy w in
+(* Euclidean projection of [src] onto the probability simplex
+   (Held-Wolfe-Crowder / Duchi et al.), written into [dst] (which may
+   alias [src]); [sorted] is caller-supplied sort scratch of length n,
+   so the FISTA inner loop below projects without allocating. *)
+let simplex_projection_into ~sorted dst src =
+  let n = Array.length src in
+  Array.blit src 0 sorted 0 n;
   Array.sort (fun a b -> Float.compare b a) sorted;
   let cumsum = ref 0. in
   let theta = ref 0. in
@@ -157,7 +162,14 @@ let simplex_projection w =
        if sorted.(i) -. t <= 0. then raise Exit else theta := t
      done
    with Exit -> ());
-  Array.map (fun x -> Float.max 0. (x -. !theta)) w
+  for i = 0 to n - 1 do
+    dst.(i) <- Float.max 0. (src.(i) -. !theta)
+  done
+
+let simplex_projection w =
+  let dst = Array.make (Array.length w) 0. in
+  simplex_projection_into ~sorted:(Array.copy w) dst w;
+  dst
 
 (* Accelerated projected gradient (FISTA with backtracking and function
    restarts) over the convex-combination simplex — the workhorse for Lp
@@ -207,7 +219,13 @@ let lp_project_body ?(eps = 1e-12) ?(max_iters = 800) ~p pts q =
     g_buf
   in
   let lambda = ref (Array.make n (1. /. float_of_int n)) in
-  let momentum = ref (Array.copy !lambda) in
+  (* [momentum] and the backtracking candidate are fixed buffers
+     rewritten in place each iteration (with [sort_buf] as projection
+     scratch); only an accepted candidate is copied out, so a
+     backtracking retry costs no allocation. *)
+  let momentum = Array.copy !lambda in
+  let cand_buf = Array.make n 0. in
+  let sort_buf = Array.make n 0. in
   let t_k = ref 1. in
   let step = ref 1. in
   let f_best = ref (psi !lambda) in
@@ -221,26 +239,27 @@ let lp_project_body ?(eps = 1e-12) ?(max_iters = 800) ~p pts q =
   (try
      for _ = 1 to max_iters do
        incr iters;
-       let g = grad !momentum in
-       let f_m = psi !momentum in
+       let g = grad momentum in
+       let f_m = psi momentum in
        (* backtracking on the proximal step *)
        let rec attempt tries =
-         let candidate =
-           simplex_projection
-             (Array.init n (fun j -> !momentum.(j) -. (!step *. g.(j))))
-         in
-         let f_c = psi candidate in
+         for j = 0 to n - 1 do
+           cand_buf.(j) <- momentum.(j) -. (!step *. g.(j))
+         done;
+         simplex_projection_into ~sorted:sort_buf cand_buf cand_buf;
+         let f_c = psi cand_buf in
          (* sufficient-decrease test against the quadratic model *)
          let lin = ref 0. in
          let sq = ref 0. in
          for j = 0 to n - 1 do
-           let dj = candidate.(j) -. !momentum.(j) in
+           let dj = cand_buf.(j) -. momentum.(j) in
            lin := !lin +. (g.(j) *. dj);
            sq := !sq +. (dj *. dj)
          done;
          let lin = !lin in
          let quad = !sq /. (2. *. !step) in
-         if f_c <= f_m +. lin +. quad +. 1e-18 || tries > 40 then (candidate, f_c)
+         if f_c <= f_m +. lin +. quad +. 1e-18 || tries > 40 then
+           (Array.copy cand_buf, f_c)
          else begin
            step := !step /. 2.;
            attempt (tries + 1)
@@ -254,15 +273,15 @@ let lp_project_body ?(eps = 1e-12) ?(max_iters = 800) ~p pts q =
            Obs.Tracer.instant "fista.restart"
              [ ("iter", Obs.Tracer.Int !iters) ];
          t_k := 1.;
-         momentum := Array.copy !best
+         Array.blit !best 0 momentum 0 n
        end
        else begin
          let t_next = (1. +. sqrt (1. +. (4. *. !t_k *. !t_k))) /. 2. in
          let beta = (!t_k -. 1.) /. t_next in
-         momentum :=
-           Array.init n (fun j ->
-               next.(j) +. (beta *. (next.(j) -. !lambda.(j))));
-         momentum := simplex_projection !momentum;
+         for j = 0 to n - 1 do
+           momentum.(j) <- next.(j) +. (beta *. (next.(j) -. !lambda.(j)))
+         done;
+         simplex_projection_into ~sorted:sort_buf momentum momentum;
          t_k := t_next
        end;
        let improved = !f_best -. f_next in

@@ -13,9 +13,9 @@ val minimize :
   Vec.t * float
 (** [minimize ~f ~grad points] returns [(argmin, min)] of [f] over
     [H(points)], to duality-gap tolerance [eps] (default [1e-8]). Uses
-    exact line search by golden-section on each segment. The line search
-    passes [f] a scratch vector that is overwritten between calls, so
-    [f] must not retain its argument. *)
+    exact line search by golden-section on each segment. Both [f] and
+    [grad] are passed scratch vectors that are overwritten between
+    calls, so neither may retain its argument. *)
 
 val simplex_projection : float array -> float array
 (** Euclidean projection onto the probability simplex (Duchi et al.),

@@ -25,16 +25,17 @@ let affine_minimizer (s : Vec.t array) =
   | None -> None
   | Some sol -> Some (Array.sub sol 1 k)
 
-let point_of_coeffs (s : Vec.t array) alpha =
-  let d = Vec.dim s.(0) in
-  let x = Vec.zero d in
+(* Rebuild [x := sum_i alpha.(i) * s.(i)] in place; [x] is the solve's
+   single scratch-and-result buffer, so minor cycles do not allocate. *)
+let point_of_coeffs_into x (s : Vec.t array) alpha =
+  let d = Vec.dim x in
+  Array.fill x 0 d 0.;
   Array.iteri
     (fun i a ->
       for j = 0 to d - 1 do
         x.(j) <- x.(j) +. (a *. s.(i).(j))
       done)
-    alpha;
-  x
+    alpha
 
 let min_norm_point_body ?(eps = 1e-10) points =
   if points = [] then invalid_arg "Minnorm.min_norm_point: empty point set";
@@ -56,7 +57,7 @@ let min_norm_point_body ?(eps = 1e-10) points =
   in
   let corral = ref [| start |] in
   let lambda = ref [| 1. |] in
-  let x = ref (Vec.copy pts.(start)) in
+  let x = Vec.copy pts.(start) in
   let max_major = 16 * (n + Vec.dim pts.(0)) + 64 in
   let major = ref 0 in
   (try
@@ -64,11 +65,11 @@ let min_norm_point_body ?(eps = 1e-10) points =
        incr major;
        if !major > max_major then raise Exit;
        (* Major cycle: most violating vertex. *)
-       let xx = Vec.sq_norm2 !x in
+       let xx = Vec.sq_norm2 x in
        let best_j = ref (-1) in
        let best_v = ref (xx -. tol) in
        for j = 0 to n - 1 do
-         let v = Vec.dot !x pts.(j) in
+         let v = Vec.dot x pts.(j) in
          if v < !best_v then begin
            best_v := v;
            best_j := j
@@ -108,7 +109,7 @@ let min_norm_point_body ?(eps = 1e-10) points =
              | Some alpha ->
                  if Array.for_all (fun a -> a > eps) alpha then begin
                    lambda := alpha;
-                   x := point_of_coeffs s alpha;
+                   point_of_coeffs_into x s alpha;
                    continue_minor := false
                  end
                  else begin
@@ -141,10 +142,9 @@ let min_norm_point_body ?(eps = 1e-10) points =
                    (* renormalize for numerical safety *)
                    let s = Array.fold_left ( +. ) 0. !lambda in
                    lambda := Array.map (fun l -> l /. s) !lambda;
-                   x :=
-                     point_of_coeffs
-                       (Array.map (fun i -> pts.(i)) !corral)
-                       !lambda
+                   point_of_coeffs_into x
+                     (Array.map (fun i -> pts.(i)) !corral)
+                     !lambda
                  end
            done
          end
@@ -158,7 +158,7 @@ let min_norm_point_body ?(eps = 1e-10) points =
   let coeffs =
     List.combine (Array.to_list !corral) (Array.to_list !lambda)
   in
-  { nearest = !x; distance = Vec.norm2 !x; coeffs }
+  { nearest = x; distance = Vec.norm2 x; coeffs }
 
 (* Major-cycle span per call; one [active] branch when tracing is off. *)
 let min_norm_point ?eps points =

@@ -221,7 +221,482 @@ let extract_solution ~eps:_ ~nvars tab col_of_var neg_col_of_var =
       in
       pos -. neg)
 
-let solve_body ?(eps = 1e-9) ?free ?(maximize = false) ~nvars ~objective rows =
+(* ---------- revised simplex (explicit basis inverse) ---------- *)
+
+(* On large instances the full tableau rewrites all (m+1)(ncols+1)
+   entries per pivot; the revised method keeps only the m x m basis
+   inverse explicit and prices columns against the immutable constraint
+   matrix, so a pivot costs O(m^2) writes (product-form update) plus
+   pricing. Two structural facts keep pricing cheap: every slack,
+   surplus and artificial column is a signed unit vector (priced and
+   FTRAN'd in O(1)/O(m)), and between full Dantzig sweeps the entering
+   column is chosen from a small candidate list refreshed by the last
+   sweep (classical multiple pricing), so most pivots never touch the
+   whole column set. Anti-cycling is unchanged: after a stall the phase
+   switches to Bland's rule (lowest-index improving column, priced one
+   column at a time), which ignores the candidate list, and optimality
+   is only ever declared by a full sweep finding no improving column.
+   The tableau stays as the small-instance solver and reference
+   oracle. *)
+
+type revised = {
+  a : float array array;  (** m rows of length ncols: constraint matrix *)
+  at : float array array;  (** its transpose: ncols columns of length m *)
+  b : float array;  (** rhs as built (normalized >= 0) *)
+  r_m : int;
+  r_ncols : int;
+  r_nstruct : int;  (** columns >= r_nstruct are signed unit vectors *)
+  unit_row : int array;  (** unit column [nstruct + u] lives in this row *)
+  unit_sign : float array;  (** with this +-1 coefficient *)
+  binv : float array array;  (** explicit basis inverse *)
+  xb : float array;  (** binv . b — current basic values *)
+  r_basis : int array;  (** shared with the tableau's basis array *)
+  y : float array;  (** scratch: simplex multipliers *)
+  d : float array;  (** scratch: reduced costs *)
+  w : float array;  (** scratch: FTRAN'd entering column *)
+  cand : int array;  (** pricing candidates, most negative first *)
+  mutable ncand : int;
+  mutable since_reinvert : int;
+}
+
+(* Candidate-list width. Wide enough that a sweep's shortlist feeds
+   several minor iterations, narrow enough that a minor iteration's
+   re-pricing stays O(m * max_cand). *)
+let max_cand = 32
+
+let revised_of_tab tab =
+  let m = tab.m and ncols = tab.ncols in
+  let nstruct = tab.nstruct in
+  let nunit = ncols - nstruct in
+  let unit_row = Array.make (Stdlib.max 1 nunit) 0 in
+  let unit_sign = Array.make (Stdlib.max 1 nunit) 1. in
+  for u = 0 to nunit - 1 do
+    (* [build] gives every slack/surplus/artificial column exactly one
+       non-zero, +-1 *)
+    let j = nstruct + u in
+    let r = ref 0 in
+    while !r < m && Stdlib.( = ) tab.t.(!r).(j) 0. do
+      incr r
+    done;
+    if !r < m then begin
+      unit_row.(u) <- !r;
+      unit_sign.(u) <- tab.t.(!r).(j)
+    end
+  done;
+  {
+    a = Array.init m (fun i -> Array.sub tab.t.(i) 0 ncols);
+    at = Array.init ncols (fun j -> Array.init m (fun i -> tab.t.(i).(j)));
+    b = Array.init m (fun i -> tab.t.(i).(ncols));
+    r_m = m;
+    r_ncols = ncols;
+    r_nstruct = nstruct;
+    unit_row;
+    unit_sign;
+    binv =
+      Array.init m (fun i ->
+          let r = Array.make m 0. in
+          r.(i) <- 1.;
+          r);
+    xb = Array.init m (fun i -> tab.t.(i).(ncols));
+    r_basis = tab.basis;
+    y = Array.make m 0.;
+    d = Array.make ncols 0.;
+    w = Array.make m 0.;
+    cand = Array.make (Stdlib.max 1 (Stdlib.min max_cand ncols)) 0;
+    ncand = 0;
+    since_reinvert = 0;
+  }
+
+(* w := binv . (column j of a) *)
+let ftran rev j =
+  let m = rev.r_m in
+  if Stdlib.( >= ) j rev.r_nstruct then begin
+    (* unit column: a signed column of the inverse *)
+    let u = j - rev.r_nstruct in
+    let r = rev.unit_row.(u) and s = rev.unit_sign.(u) in
+    for i = 0 to m - 1 do
+      rev.w.(i) <- s *. rev.binv.(i).(r)
+    done
+  end
+  else begin
+    let aj = rev.at.(j) in
+    for i = 0 to m - 1 do
+      let bi = rev.binv.(i) in
+      let s = ref 0. in
+      for k = 0 to m - 1 do
+        s := !s +. (Array.unsafe_get bi k *. Array.unsafe_get aj k)
+      done;
+      rev.w.(i) <- !s
+    done
+  end
+
+(* Reduced cost of one column against the current multipliers. *)
+let price_col rev cost j =
+  if Stdlib.( >= ) j rev.r_nstruct then begin
+    let u = j - rev.r_nstruct in
+    cost.(j) -. (rev.unit_sign.(u) *. rev.y.(rev.unit_row.(u)))
+  end
+  else begin
+    let aj = rev.at.(j) in
+    let s = ref 0. in
+    for k = 0 to rev.r_m - 1 do
+      s := !s +. (Array.unsafe_get rev.y k *. Array.unsafe_get aj k)
+    done;
+    cost.(j) -. !s
+  end
+
+(* Full Dantzig sweep: recompute every reduced cost (structural block
+   row-streamed, unit columns O(1) each), refill the candidate list
+   with the most negative non-banned columns, and return the entering
+   column, or -1 when none improves (the only way a phase ends). *)
+let full_price rev ~banned ~cost ~eps =
+  let m = rev.r_m and ncols = rev.r_ncols and nstruct = rev.r_nstruct in
+  let d = rev.d in
+  Array.blit cost 0 d 0 ncols;
+  for i = 0 to m - 1 do
+    let yi = rev.y.(i) in
+    if Stdlib.( <> ) yi 0. then begin
+      let ai = rev.a.(i) in
+      for j = 0 to nstruct - 1 do
+        Array.unsafe_set d j
+          (Array.unsafe_get d j -. (yi *. Array.unsafe_get ai j))
+      done
+    end
+  done;
+  for u = 0 to ncols - nstruct - 1 do
+    d.(nstruct + u) <-
+      cost.(nstruct + u) -. (rev.unit_sign.(u) *. rev.y.(rev.unit_row.(u)))
+  done;
+  rev.ncand <- 0;
+  let cap = Array.length rev.cand in
+  for j = 0 to ncols - 1 do
+    if (not (banned j)) && d.(j) < -.eps then begin
+      let n = rev.ncand in
+      if Stdlib.( < ) n cap || d.(j) < d.(rev.cand.(cap - 1)) then begin
+        let i = ref (Stdlib.min n (cap - 1)) in
+        while Stdlib.( > ) !i 0 && d.(rev.cand.(!i - 1)) > d.(j) do
+          rev.cand.(!i) <- rev.cand.(!i - 1);
+          decr i
+        done;
+        rev.cand.(!i) <- j;
+        if Stdlib.( < ) n cap then rev.ncand <- n + 1
+      end
+    end
+  done;
+  if Stdlib.( = ) rev.ncand 0 then -1 else rev.cand.(0)
+
+(* Minor iteration: re-price only the candidates (their reduced costs
+   move every pivot) and take the most negative still-improving one;
+   -1 sends the caller back to a full sweep. *)
+let price_candidates rev ~banned ~cost ~eps =
+  let best = ref (-.eps) and entering = ref (-1) in
+  for k = 0 to rev.ncand - 1 do
+    let j = rev.cand.(k) in
+    if not (banned j) then begin
+      let dj = price_col rev cost j in
+      if dj < !best then begin
+        best := dj;
+        entering := j
+      end
+    end
+  done;
+  !entering
+
+(* Product-form basis change: column [col] enters, row [row] leaves.
+   Uses the FTRAN'd column already in [rev.w]. *)
+let basis_update rev ~row ~col =
+  let m = rev.r_m in
+  let pv = rev.w.(row) in
+  let br = rev.binv.(row) in
+  for k = 0 to m - 1 do
+    br.(k) <- br.(k) /. pv
+  done;
+  rev.xb.(row) <- rev.xb.(row) /. pv;
+  for i = 0 to m - 1 do
+    if Stdlib.( <> ) i row then begin
+      let f = rev.w.(i) in
+      if Stdlib.( <> ) f 0. then begin
+        let bi = rev.binv.(i) in
+        for k = 0 to m - 1 do
+          Array.unsafe_set bi k
+            (Array.unsafe_get bi k -. (f *. Array.unsafe_get br k))
+        done;
+        rev.xb.(i) <- rev.xb.(i) -. (f *. rev.xb.(row))
+      end
+    end
+  done;
+  rev.r_basis.(row) <- col;
+  rev.since_reinvert <- Stdlib.( + ) rev.since_reinvert 1
+
+(* Recompute binv from scratch (Gauss-Jordan with partial pivoting) to
+   shed accumulated product-form roundoff; refresh xb from it. Returns
+   false (leaving the pool untouched) if B looks singular — only
+   possible through roundoff, in which case the incremental inverse is
+   still the best estimate we have. *)
+let reinvert rev =
+  let m = rev.r_m in
+  let bmat =
+    Array.init m (fun i ->
+        Array.init m (fun k -> rev.a.(i).(rev.r_basis.(k))))
+  in
+  let inv =
+    Array.init m (fun i ->
+        let r = Array.make m 0. in
+        r.(i) <- 1.;
+        r)
+  in
+  let ok = ref true in
+  (try
+     for col = 0 to m - 1 do
+       let piv = ref col in
+       for i = col + 1 to m - 1 do
+         if Float.abs bmat.(i).(col) > Float.abs bmat.(!piv).(col) then
+           piv := i
+       done;
+       if Float.abs bmat.(!piv).(col) < 1e-12 then begin
+         ok := false;
+         raise Exit
+       end;
+       if Stdlib.( <> ) !piv col then begin
+         let t = bmat.(col) in
+         bmat.(col) <- bmat.(!piv);
+         bmat.(!piv) <- t;
+         let t = inv.(col) in
+         inv.(col) <- inv.(!piv);
+         inv.(!piv) <- t
+       end;
+       let p = bmat.(col).(col) in
+       for k = 0 to m - 1 do
+         bmat.(col).(k) <- bmat.(col).(k) /. p;
+         inv.(col).(k) <- inv.(col).(k) /. p
+       done;
+       for i = 0 to m - 1 do
+         if Stdlib.( <> ) i col then begin
+           let f = bmat.(i).(col) in
+           if Stdlib.( <> ) f 0. then begin
+             for k = 0 to m - 1 do
+               bmat.(i).(k) <- bmat.(i).(k) -. (f *. bmat.(col).(k));
+               inv.(i).(k) <- inv.(i).(k) -. (f *. inv.(col).(k))
+             done
+           end
+         end
+       done
+     done
+   with Exit -> ());
+  if !ok then begin
+    for i = 0 to m - 1 do
+      Array.blit inv.(i) 0 rev.binv.(i) 0 m;
+      let s = ref 0. in
+      for k = 0 to m - 1 do
+        s := !s +. (inv.(i).(k) *. rev.b.(k))
+      done;
+      rev.xb.(i) <- !s
+    done;
+    rev.since_reinvert <- 0
+  end;
+  !ok
+
+let reinvert_every = 64
+
+(* One revised-simplex phase minimizing [cost]; mirrors [run_phase]. *)
+let run_phase_revised ~eps rev ~banned ~cost =
+  let m = rev.r_m and ncols = rev.r_ncols in
+  let bland_after = 64 * (m + ncols) in
+  let hard_cap = Stdlib.max 100_000 (200 * bland_after) in
+  let pivots = ref 0 in
+  (* candidates from a previous phase priced a different cost vector *)
+  rev.ncand <- 0;
+  let rec loop iter =
+    if Stdlib.( > ) iter hard_cap then failwith "Lp: iteration limit exceeded";
+    let use_bland = Stdlib.( > ) iter bland_after in
+    (* BTRAN: y = cB^T binv, accumulated row-wise *)
+    Array.fill rev.y 0 m 0.;
+    for i = 0 to m - 1 do
+      let cb = cost.(rev.r_basis.(i)) in
+      if Stdlib.( <> ) cb 0. then begin
+        let bi = rev.binv.(i) in
+        for k = 0 to m - 1 do
+          Array.unsafe_set rev.y k
+            (Array.unsafe_get rev.y k +. (cb *. Array.unsafe_get bi k))
+        done
+      end
+    done;
+    (* entering column: candidate shortlist first, full Dantzig sweep
+       when it runs dry; Bland's rule bypasses both (first improving
+       column in index order terminates any cycle) *)
+    let entering =
+      if use_bland then begin
+        let e = ref (-1) in
+        (try
+           for j = 0 to ncols - 1 do
+             if (not (banned j)) && price_col rev cost j < -.eps then begin
+               e := j;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        !e
+      end
+      else begin
+        let e = price_candidates rev ~banned ~cost ~eps in
+        if Stdlib.( >= ) e 0 then e
+        else full_price rev ~banned ~cost ~eps
+      end
+    in
+    if Stdlib.( = ) entering (-1) then `Optimal
+    else begin
+      let col = entering in
+      ftran rev col;
+      (* ratio test; Bland tie-break on smallest basic column index *)
+      let leave = ref (-1) in
+      let best_ratio = ref infinity in
+      for i = 0 to m - 1 do
+        let a = rev.w.(i) in
+        if a > eps then begin
+          let ratio = rev.xb.(i) /. a in
+          if
+            ratio < !best_ratio -. eps
+            || (ratio < !best_ratio +. eps
+               && Stdlib.( >= ) !leave 0
+               && Stdlib.( < ) rev.r_basis.(i) rev.r_basis.(!leave))
+          then begin
+            best_ratio := ratio;
+            leave := i
+          end
+        end
+      done;
+      if Stdlib.( = ) !leave (-1) then `Unbounded
+      else begin
+        basis_update rev ~row:!leave ~col;
+        incr pivots;
+        if Stdlib.( >= ) rev.since_reinvert reinvert_every then
+          ignore (reinvert rev);
+        loop (Stdlib.( + ) iter 1)
+      end
+    end
+  in
+  let outcome = loop 0 in
+  if Obs.enabled () then begin
+    Obs.add "lp.pivots" !pivots;
+    Obs.add "lp.basis_updates" !pivots;
+    Obs.observe "lp.pivots_per_phase" !pivots
+  end;
+  if Obs.Tracer.active () then
+    Obs.Tracer.instant "lp.phase" [ ("pivots", Obs.Tracer.Int !pivots) ];
+  outcome
+
+let revised_objective rev cost =
+  let z = ref 0. in
+  for i = 0 to rev.r_m - 1 do
+    z := !z +. (cost.(rev.r_basis.(i)) *. rev.xb.(i))
+  done;
+  !z
+
+let extract_solution_revised ~nvars rev col_of_var neg_col_of_var =
+  let vals = Array.make rev.r_ncols 0. in
+  for i = 0 to rev.r_m - 1 do
+    vals.(rev.r_basis.(i)) <- rev.xb.(i)
+  done;
+  Array.init nvars (fun v ->
+      let pos = vals.(col_of_var.(v)) in
+      let neg =
+        if Stdlib.( >= ) neg_col_of_var.(v) 0 then vals.(neg_col_of_var.(v))
+        else 0.
+      in
+      pos -. neg)
+
+let solve_revised ~eps ~maximize ~nvars ~objective tab col_of_var
+    neg_col_of_var art_start =
+  let rev = revised_of_tab tab in
+  let infeasible = { status = Infeasible; solution = None; objective = None } in
+  let phase1_needed = Stdlib.( > ) tab.nart 0 in
+  let phase1_cost = Array.make tab.ncols 0. in
+  let phase1_ok =
+    if not phase1_needed then true
+    else begin
+      for j = art_start to tab.ncols - 1 do
+        phase1_cost.(j) <- 1.
+      done;
+      (match run_phase_revised ~eps rev ~banned:(fun _ -> false)
+               ~cost:phase1_cost
+       with
+      | `Unbounded | `Optimal ->
+          (* bounded below by 0: see the tableau path *)
+          ());
+      revised_objective rev phase1_cost < eps *. 10.
+    end
+  in
+  if not phase1_ok then infeasible
+  else begin
+    (* Drive basic artificials (at level 0) out of the basis. Row i of
+       the current tableau is (row i of binv) . A, computed in one
+       streaming sweep. *)
+    if phase1_needed then
+      for i = 0 to tab.m - 1 do
+        if Stdlib.( >= ) rev.r_basis.(i) art_start then begin
+          let u = rev.d (* reuse the pricing scratch *) in
+          Array.fill u 0 rev.r_ncols 0.;
+          let bi = rev.binv.(i) in
+          for k = 0 to rev.r_m - 1 do
+            let f = bi.(k) in
+            if Stdlib.( <> ) f 0. then begin
+              let ak = rev.a.(k) in
+              for j = 0 to rev.r_ncols - 1 do
+                Array.unsafe_set u j
+                  (Array.unsafe_get u j +. (f *. Array.unsafe_get ak j))
+              done
+            end
+          done;
+          let j = ref 0 in
+          (try
+             while Stdlib.( < ) !j art_start do
+               if Float.abs u.(!j) > eps then raise Exit;
+               incr j
+             done
+           with Exit -> ());
+          if Stdlib.( < ) !j art_start then begin
+            ftran rev !j;
+            basis_update rev ~row:i ~col:!j
+          end
+        end
+      done;
+    (* Phase 2: artificial columns may not re-enter. *)
+    let banned j = Stdlib.( >= ) j art_start in
+    let cost = Array.make tab.ncols 0. in
+    let sign = if maximize then -1. else 1. in
+    for v = 0 to nvars - 1 do
+      cost.(col_of_var.(v)) <- sign *. objective.(v);
+      if Stdlib.( >= ) neg_col_of_var.(v) 0 then
+        cost.(neg_col_of_var.(v)) <- -.sign *. objective.(v)
+    done;
+    match run_phase_revised ~eps rev ~banned ~cost with
+    | `Unbounded -> { status = Unbounded; solution = None; objective = None }
+    | `Optimal ->
+        let x =
+          extract_solution_revised ~nvars rev col_of_var neg_col_of_var
+        in
+        let z = revised_objective rev cost in
+        let z = if maximize then -.z else z in
+        { status = Optimal; solution = Some x; objective = Some z }
+  end
+
+type solver = Auto | Tableau | Revised
+
+(* The revised engine carries a fixed O(m^2) overhead per pivot (BTRAN,
+   FTRAN, inverse update, amortized reinversion) that a tableau pivot
+   does not, so it only wins where its pricing is much cheaper than the
+   tableau's full-matrix rewrite: column-rich instances, where the
+   candidate list prices a handful of columns against an m-vector
+   instead of touching all m * ncols entries. [Auto] therefore demands
+   both absolute size (the tableau rewrite has left cache territory)
+   and shape (structural columns well in excess of rows); square or
+   row-heavy dense instances keep the tableau, which is optimal for
+   them. *)
+let auto_threshold = 4096
+let auto_wide_factor = 3
+
+let solve_body ?(eps = 1e-9) ?free ?(maximize = false) ?(solver = Auto)
+    ~nvars ~objective rows =
   if Stdlib.( <> ) (Array.length objective) nvars then
     invalid_arg "Lp.solve: objective arity mismatch";
   (match free with
@@ -232,6 +707,18 @@ let solve_body ?(eps = 1e-9) ?free ?(maximize = false) ~nvars ~objective rows =
   let tab, col_of_var, neg_col_of_var, art_start =
     build ~nvars ~free rows
   in
+  let use_revised =
+    match solver with
+    | Revised -> true
+    | Tableau -> false
+    | Auto ->
+        Stdlib.( >= ) (tab.m * (tab.ncols + 1)) auto_threshold
+        && Stdlib.( >= ) tab.nstruct (auto_wide_factor * tab.m)
+  in
+  if use_revised then
+    solve_revised ~eps ~maximize ~nvars ~objective tab col_of_var
+      neg_col_of_var art_start
+  else begin
   (* Phase 1 *)
   let infeasible = { status = Infeasible; solution = None; objective = None } in
   let phase1_needed = Stdlib.( > ) tab.nart 0 in
@@ -292,10 +779,11 @@ let solve_body ?(eps = 1e-9) ?free ?(maximize = false) ~nvars ~objective rows =
         let z = if maximize then -.z else z in
         { status = Optimal; solution = Some x; objective = Some z }
   end
+  end
 
 (* A trace span per solve (the phase instants above land inside it);
    one [active] branch when tracing is off. *)
-let solve ?eps ?free ?maximize ~nvars ~objective rows =
+let solve ?eps ?free ?maximize ?solver ~nvars ~objective rows =
   if Obs.Tracer.active () then
     Obs.trace_span
       ~args:
@@ -304,14 +792,16 @@ let solve ?eps ?free ?maximize ~nvars ~objective rows =
           ("rows", Obs.Tracer.Int (List.length rows));
         ]
       "lp.solve"
-      (fun () -> solve_body ?eps ?free ?maximize ~nvars ~objective rows)
-  else solve_body ?eps ?free ?maximize ~nvars ~objective rows
+      (fun () -> solve_body ?eps ?free ?maximize ?solver ~nvars ~objective rows)
+  else solve_body ?eps ?free ?maximize ?solver ~nvars ~objective rows
 
-let feasible_point ?eps ?free ~nvars rows =
-  let r = solve ?eps ?free ~nvars ~objective:(Array.make nvars 0.) rows in
+let feasible_point ?eps ?free ?solver ~nvars rows =
+  let r =
+    solve ?eps ?free ?solver ~nvars ~objective:(Array.make nvars 0.) rows
+  in
   match r.status with
   | Optimal -> r.solution
   | Infeasible | Unbounded -> None
 
-let is_feasible ?eps ?free ~nvars rows =
-  Option.is_some (feasible_point ?eps ?free ~nvars rows)
+let is_feasible ?eps ?free ?solver ~nvars rows =
+  Option.is_some (feasible_point ?eps ?free ?solver ~nvars rows)

@@ -31,20 +31,54 @@ type result = {
   objective : float option;  (** objective value at the solution *)
 }
 
+type solver =
+  | Auto
+      (** revised simplex on large {e column-rich} instances (total
+          size past an internal threshold {e and} structural columns
+          well in excess of rows — the shape where candidate-list
+          pricing beats rewriting the tableau); the full tableau
+          everywhere else, including large square/row-heavy dense
+          instances, where it is the faster engine *)
+  | Tableau  (** force the dense two-phase tableau (reference oracle) *)
+  | Revised  (** force the revised simplex *)
+(** Pivoting engine. Both engines share the two-phase structure, the
+    Bland ratio tie-break and the stall switch to Bland's rule (so
+    neither can cycle), and must agree on status and optimum. The
+    revised engine keeps an explicit product-form basis inverse with
+    periodic reinversion — a pivot costs O(m^2) writes instead of
+    rewriting the whole tableau — and prices entering columns from a
+    small candidate list (multiple pricing) refreshed by full Dantzig
+    sweeps, exploiting that slack/artificial columns are unit vectors;
+    optimality is only declared by a full sweep. Each revised basis
+    change bumps the [lp.basis_updates] counter. *)
+
 val solve :
   ?eps:float ->
   ?free:bool array ->
   ?maximize:bool ->
+  ?solver:solver ->
   nvars:int ->
   objective:float array ->
   constr list ->
   result
 (** [solve ~nvars ~objective rows] minimizes (or maximizes) [objective . x]
     subject to [rows] and [x_i >= 0] for every non-free [i].
-    [eps] (default [1e-9]) is the feasibility/optimality tolerance. *)
+    [eps] (default [1e-9]) is the feasibility/optimality tolerance;
+    [solver] (default [Auto]) picks the pivoting engine. *)
 
 val feasible_point :
-  ?eps:float -> ?free:bool array -> nvars:int -> constr list -> float array option
+  ?eps:float ->
+  ?free:bool array ->
+  ?solver:solver ->
+  nvars:int ->
+  constr list ->
+  float array option
 (** Phase-1 only: a feasible point, or [None] if the system is infeasible. *)
 
-val is_feasible : ?eps:float -> ?free:bool array -> nvars:int -> constr list -> bool
+val is_feasible :
+  ?eps:float ->
+  ?free:bool array ->
+  ?solver:solver ->
+  nvars:int ->
+  constr list ->
+  bool

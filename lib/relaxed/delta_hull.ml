@@ -62,14 +62,14 @@ let subgradient ~p ~nearest x =
           else (a /. np) ** (p -. 1.) *. Float.of_int (compare z.(i) 0.))
 
 let descend ?eps ~p ~iters subsets x0 =
-  let x = ref (Vec.copy x0) in
+  let x = Vec.copy x0 in
   (* All subset distances and nearest points at [pt]. *)
   let eval_all pt =
     List.map (fun t -> Hull.nearest_p ?eps ~p t pt) subsets
   in
   let max_of entries = List.fold_left (fun a (_, d) -> Float.max a d) 0. entries in
-  let v0 = max_of (eval_all !x) in
-  let best_x = ref (Vec.copy !x) in
+  let v0 = max_of (eval_all x) in
+  let best_x = ref (Vec.copy x) in
   let best_v = ref v0 in
   let scale =
     List.fold_left
@@ -78,13 +78,17 @@ let descend ?eps ~p ~iters subsets x0 =
       1. subsets
   in
   let dim = Vec.dim x0 in
+  (* [g]/[dir] are per-call scratch: the descent runs hundreds of
+     iterations and neither vector escapes an iteration. *)
+  let g = Vec.zero dim in
+  let dir = Vec.zero dim in
   (try
      for k = 1 to iters do
-       let entries = eval_all !x in
+       let entries = eval_all x in
        let v = max_of entries in
        if v < !best_v then begin
          best_v := v;
-         best_x := Vec.copy !x
+         best_x := Vec.copy x
        end;
        if v <= 1e-12 then raise Exit;
        (* Steepest-descent-like direction: average the unit subgradients
@@ -93,13 +97,13 @@ let descend ?eps ~p ~iters subsets x0 =
           into the valley. The activity band tightens as iterations
           progress. *)
        let band = v *. Float.max 0.01 (0.3 /. (1. +. (float_of_int k /. 50.))) in
-       let g = Vec.zero dim in
+       Array.fill g 0 dim 0.;
        let active = ref 0 in
        List.iter
          (fun (nearest, dist) ->
            if dist >= v -. band && dist > 1e-12 then begin
              incr active;
-             let gi = subgradient ~p ~nearest !x in
+             let gi = subgradient ~p ~nearest x in
              let gin = Vec.norm2 gi in
              if gin > 1e-12 then
                for i = 0 to dim - 1 do
@@ -109,19 +113,19 @@ let descend ?eps ~p ~iters subsets x0 =
          entries;
        let gn = Vec.norm2 g in
        if gn <= 1e-12 then raise Exit;
-       let dir = Vec.scale (1. /. gn) g in
+       Vec.scale_into dir (1. /. gn) g;
        (* Polyak-style step on the averaged direction, with safeguard. *)
        let target = !best_v *. (1. -. (0.5 /. sqrt (float_of_int k))) in
        let step =
          Float.min (v -. target) (scale /. sqrt (float_of_int k))
        in
-       if step > 0. then x := Vec.axpy (-.step) dir !x
+       if step > 0. then Vec.axpy_into x (-.step) dir x
      done
    with Exit -> ());
-  let v_final = max_of (eval_all !x) in
+  let v_final = max_of (eval_all x) in
   if v_final < !best_v then begin
     best_v := v_final;
-    best_x := Vec.copy !x
+    best_x := Vec.copy x
   end;
   (!best_v, !best_x)
 

@@ -2,7 +2,14 @@
    lock-step executor and the step branch fuses the policy-driven and
    scripted delivery loops; both keep their ancestors' instruction-level
    behavior (event order, counter order, flow ids, error strings) so
-   callers see byte-identical traces and metrics. *)
+   callers see byte-identical traces and metrics.
+
+   Storage is flat: rounds traffic moves through growable (src, msg)
+   buffers and step traffic through {!Envelope_pool}, so enqueue,
+   delivery and fast-forward are O(1) amortized in the number of pending
+   messages. [run_reference] keeps the original list-based semantics as
+   an executable specification; the test suite checks the two engines
+   byte-identical across protocols, schedulers and fault models. *)
 
 type stopped = [ `Quiescent | `Limit | `Branch of int ]
 type 'm pending = { sent : int; src : int; dst : int; msg : 'm }
@@ -16,10 +23,93 @@ type ('s, 'm) outcome = {
 
 (* ---------- synchronous lock-step rounds ---------- *)
 
+(* Growable (src, msg) arrival buffer: one per destination, reused
+   across rounds. Arrival order is append order, which matches the
+   reference's [List.rev] of its cons-built inbox. *)
+type 'm buf = {
+  mutable b_src : int array;
+  mutable b_msg : 'm option array;
+  mutable b_len : int;
+}
+
+let buf_make () = { b_src = [||]; b_msg = [||]; b_len = 0 }
+
+let buf_push b src m =
+  if b.b_len = Array.length b.b_src then begin
+    let cap = max 8 (2 * b.b_len) in
+    let s' = Array.make cap 0 and m' = Array.make cap None in
+    Array.blit b.b_src 0 s' 0 b.b_len;
+    Array.blit b.b_msg 0 m' 0 b.b_len;
+    b.b_src <- s';
+    b.b_msg <- m'
+  end;
+  b.b_src.(b.b_len) <- src;
+  b.b_msg.(b.b_len) <- Some m;
+  b.b_len <- b.b_len + 1
+
+(* Consume the buffer into an (src, msg) list in arrival order. Without
+   fault-model delays every arrival in a round is appended in ascending
+   source order (the sender loop runs src = 0..n-1), so arrival order is
+   already the reference's stable-sort-by-source order. *)
+let buf_consume b =
+  let acc = ref [] in
+  for i = b.b_len - 1 downto 0 do
+    acc := (b.b_src.(i), Option.get b.b_msg.(i)) :: !acc;
+    b.b_msg.(i) <- None
+  done;
+  b.b_len <- 0;
+  !acc
+
+(* With delays a destination's buffer mixes arrivals from several send
+   rounds, so sort stably by source with a counting sort: [cnt] (length
+   n, all-zero on entry and exit) and the scratch output arrays are
+   shared across destinations. Stability makes this bit-for-bit the
+   reference's [List.stable_sort] by source. *)
+let buf_consume_sorted ~n ~cnt ~out b =
+  if b.b_len <= 1 then buf_consume b
+  else begin
+    let len = b.b_len in
+    for i = 0 to len - 1 do
+      let s = b.b_src.(i) in
+      cnt.(s) <- cnt.(s) + 1
+    done;
+    let run = ref 0 in
+    for s = 0 to n - 1 do
+      let c = cnt.(s) in
+      cnt.(s) <- !run;
+      run := !run + c
+    done;
+    let o_src, o_msg =
+      if Array.length (fst !out) >= len then !out
+      else begin
+        let fresh = (Array.make len 0, Array.make len None) in
+        out := fresh;
+        fresh
+      end
+    in
+    for i = 0 to len - 1 do
+      let s = b.b_src.(i) in
+      let p = cnt.(s) in
+      cnt.(s) <- p + 1;
+      o_src.(p) <- s;
+      o_msg.(p) <- b.b_msg.(i);
+      b.b_msg.(i) <- None
+    done;
+    Array.fill cnt 0 n 0;
+    b.b_len <- 0;
+    let acc = ref [] in
+    for i = len - 1 downto 0 do
+      acc := (o_src.(i), Option.get o_msg.(i)) :: !acc;
+      o_msg.(i) <- None
+    done;
+    !acc
+  end
+
 let run_rounds ~faults ~obs_prefix ~err ~states ~n ~protocol ~rounds =
   let { Fault.faulty; adversary; delay_of } = faults in
   let is_faulty = Array.make n false in
   List.iter (fun p -> is_faulty.(p) <- true) faulty;
+  let any_faulty = Array.exists Fun.id is_faulty in
   let trace = Trace.create () in
   (* hoisted: the tracing checks below cost one branch per site when no
      buffer is installed on this domain *)
@@ -37,12 +127,27 @@ let run_rounds ~faults ~obs_prefix ~err ~states ~n ~protocol ~rounds =
   let carry =
     Array.map (fun st -> protocol.Protocol.on_start st) states
   in
-  (* delayed-delivery buffer, allocated only when the fault model
+  (* delayed-delivery buffers, allocated only when the fault model
      delays channels: [future.(r).(dst)] holds round-[r] arrivals *)
   let future =
     match delay_of with
     | None -> [||]
-    | Some _ -> Array.init rounds (fun _ -> Array.make n [])
+    | Some _ -> Array.init rounds (fun _ -> Array.init n (fun _ -> buf_make ()))
+  in
+  (* without delays the same n buffers are drained and refilled each
+     round *)
+  let now_inboxes =
+    match delay_of with
+    | None -> Array.init n (fun _ -> buf_make ())
+    | Some _ -> [||]
+  in
+  (* counting-sort scratch, shared across destinations *)
+  let cnt = match delay_of with None -> [||] | Some _ -> Array.make n 0 in
+  let out = ref ([||], [||]) in
+  (* per-destination buckets of a faulty source's outbox, filled once
+     per source instead of filtering the whole outbox once per edge *)
+  let fbuckets =
+    if any_faulty then Array.init n (fun _ -> buf_make ()) else [||]
   in
   let edge_k : (int, int ref) Hashtbl.t = Hashtbl.create 16 in
   for round = 0 to rounds - 1 do
@@ -65,7 +170,7 @@ let run_rounds ~faults ~obs_prefix ~err ~states ~n ~protocol ~rounds =
           msgs)
     in
     let inboxes =
-      match delay_of with None -> Array.make n [] | Some _ -> future.(round)
+      match delay_of with None -> now_inboxes | Some _ -> future.(round)
     in
     (* [route] is the post-adversary channel: immediate delivery, or a
        push into the arrival buffer when the fault model delays it. *)
@@ -73,7 +178,7 @@ let run_rounds ~faults ~obs_prefix ~err ~states ~n ~protocol ~rounds =
       match delay_of with
       | None ->
           trace.Trace.messages_delivered <- trace.Trace.messages_delivered + 1;
-          inboxes.(dst) <- (src, m) :: inboxes.(dst)
+          buf_push inboxes.(dst) src m
       | Some df ->
           let key = (src lsl 20) lor dst in
           let k =
@@ -93,18 +198,17 @@ let run_rounds ~faults ~obs_prefix ~err ~states ~n ~protocol ~rounds =
           else begin
             trace.Trace.messages_delivered <-
               trace.Trace.messages_delivered + 1;
-            future.(arrive).(dst) <- (src, m) :: future.(arrive).(dst)
+            buf_push future.(arrive).(dst) src m
           end
     in
     (* Apply the adversary on faulty sources, edge by edge. *)
     for src = 0 to n - 1 do
-      if is_faulty.(src) then
+      if is_faulty.(src) then begin
+        (* bucket the outbox by destination once: O(|outbox| + n)
+           instead of the reference's O(n * |outbox|) filter per edge *)
+        List.iter (fun (d, m) -> buf_push fbuckets.(d) src m) outbox.(src);
         for dst = 0 to n - 1 do
-          let honest_msgs =
-            List.filter_map
-              (fun (d, m) -> if d = dst then Some m else None)
-              outbox.(src)
-          in
+          let bucket = fbuckets.(dst) in
           (* The adversary sees each honest message on this edge (or None
              when there is none) and answers with what actually flows. *)
           let adv_instant name =
@@ -128,19 +232,26 @@ let run_rounds ~faults ~obs_prefix ~err ~states ~n ~protocol ~rounds =
                 | _ -> ());
                 route ~src ~dst m
           in
-          (match honest_msgs with
-          | [] -> (
-              (* allow fabrication on a quiet edge *)
-              match adversary ~round ~src ~dst None with
-              | None -> ()
-              | Some m ->
-                  adv_instant "fabricate";
-                  trace.Trace.messages_sent <- trace.Trace.messages_sent + 1;
-                  trace.Trace.messages_corrupted <-
-                    trace.Trace.messages_corrupted + 1;
-                  route ~src ~dst m)
-          | msgs -> List.iter (fun m -> consider (Some m)) msgs)
+          if bucket.b_len = 0 then begin
+            (* allow fabrication on a quiet edge *)
+            match adversary ~round ~src ~dst None with
+            | None -> ()
+            | Some m ->
+                adv_instant "fabricate";
+                trace.Trace.messages_sent <- trace.Trace.messages_sent + 1;
+                trace.Trace.messages_corrupted <-
+                  trace.Trace.messages_corrupted + 1;
+                route ~src ~dst m
+          end
+          else begin
+            for i = 0 to bucket.b_len - 1 do
+              consider (Some (Option.get bucket.b_msg.(i)));
+              bucket.b_msg.(i) <- None
+            done;
+            bucket.b_len <- 0
+          end
         done
+      end
       else
         List.iter
           (fun (dst, m) ->
@@ -151,9 +262,9 @@ let run_rounds ~faults ~obs_prefix ~err ~states ~n ~protocol ~rounds =
     (* Deliver, sorted by source for determinism. *)
     for dst = 0 to n - 1 do
       let batch =
-        List.stable_sort
-          (fun (a, _) (b, _) -> compare a b)
-          (List.rev inboxes.(dst))
+        match delay_of with
+        | None -> buf_consume inboxes.(dst)
+        | Some _ -> buf_consume_sorted ~n ~cnt ~out inboxes.(dst)
       in
       if tr then begin
         Obs.Tracer.emit ~track:dst ~lclock:round Obs.Tracer.Begin "recv"
@@ -180,83 +291,34 @@ let run_rounds ~faults ~obs_prefix ~err ~states ~n ~protocol ~rounds =
 
 (* ---------- one-message-at-a-time delivery steps ---------- *)
 
-(* Pending messages. Two removal disciplines share one layout:
-   - [Stable] (Fifo / Random / Delayed): removal leaves a hole so slot
-     order equals send order, with occasional compaction — the legacy
-     async executor's queue.
-   - [Dense] (Scripted): swap-with-last removal so live indices stay in
-     [0, live) for decision wrapping — the old [Explore.Pool]. *)
-type 'm entry = {
-  seq : int;  (** global send order; doubles as the trace flow id *)
-  src : int;
-  dst : int;
-  msg : 'm;
-  born : int;  (** delivery step of the send (Delayed slack ages it) *)
-  ready : int;  (** earliest step at which delivery is allowed *)
-}
-
-type 'm pool = {
-  mutable slots : 'm entry option array;
-  mutable count : int;  (** stable: high-water mark; dense: live length *)
-  mutable live : int;
-  mutable next_seq : int;
-  dense : bool;
-}
-
-let pool_push pool e =
-  if pool.count = Array.length pool.slots then begin
-    let fresh = Array.make (2 * pool.count) None in
-    Array.blit pool.slots 0 fresh 0 pool.count;
-    pool.slots <- fresh
-  end;
-  pool.slots.(pool.count) <- Some e;
-  pool.count <- pool.count + 1;
-  pool.live <- pool.live + 1;
-  pool.next_seq <- pool.next_seq + 1
-
-let pool_remove pool i =
-  let e = Option.get pool.slots.(i) in
-  if pool.dense then begin
-    pool.count <- pool.count - 1;
-    pool.live <- pool.live - 1;
-    pool.slots.(i) <- pool.slots.(pool.count);
-    pool.slots.(pool.count) <- None
-  end
-  else begin
-    pool.slots.(i) <- None;
-    pool.live <- pool.live - 1;
-    (* compact occasionally *)
-    if pool.count > 1024 && 4 * pool.live < pool.count then begin
-      let fresh = Array.make (Array.length pool.slots) None in
-      let j = ref 0 in
-      for k = 0 to pool.count - 1 do
-        match pool.slots.(k) with
-        | Some _ as s ->
-            fresh.(!j) <- s;
-            incr j
-        | None -> ()
-      done;
-      pool.slots <- fresh;
-      pool.count <- !j
-    end
-  end;
-  e
-
 let run_steps ~faults ~record ~summarize ~obs_prefix ~deliver_msg_args
     ~corrupt_instants ~err ~states ~n ~protocol ~scheduler ~limit =
   let { Fault.faulty; adversary; delay_of } = faults in
   let is_faulty = Array.make n false in
   List.iter (fun p -> is_faulty.(p) <- true) faulty;
-  let dense =
-    match scheduler with Scheduler.Scripted _ -> true | _ -> false
-  in
   (match (scheduler, delay_of) with
   | Scheduler.Scripted _, Some _ ->
       invalid_arg (err ^ ": delay faults need a non-scripted scheduler")
   | _ -> ());
   let trace = Trace.create () in
+  let delays = delay_of <> None in
+  (* Scripted keeps the dense swap-with-last pool (decision indices
+     address [0, live)); every other scheduler gets the stable pool with
+     the order structures it needs. *)
   let pool =
-    { slots = Array.make 64 None; count = 0; live = 0; next_seq = 0; dense }
+    match scheduler with
+    | Scheduler.Scripted _ -> Envelope_pool.dense ()
+    | Scheduler.Random _ -> Envelope_pool.stable ~delays ~random:true ()
+    | Scheduler.Delayed _ -> Envelope_pool.stable ~delays ~classes:true ()
+    | _ -> Envelope_pool.stable ~delays ()
+  in
+  let is_victim =
+    match scheduler with
+    | Scheduler.Delayed { victims; _ } ->
+        let a = Array.make n false in
+        List.iter (fun v -> if v >= 0 && v < n then a.(v) <- true) victims;
+        fun src -> a.(src)
+    | _ -> fun _ -> false
   in
   let rng =
     match scheduler with
@@ -311,116 +373,75 @@ let run_steps ~faults ~record ~summarize ~obs_prefix ~deliver_msg_args
             (* the pool's send sequence number doubles as the flow id *)
             if tr then
               Obs.Tracer.flow_start ~track:src ~lclock:!step
-                ~id:pool.next_seq "msg";
-            pool_push pool
-              {
-                seq = pool.next_seq;
-                src;
-                dst;
-                msg = m';
-                born = !step;
-                ready = ready_at ~src ~dst;
-              })
+                ~id:(Envelope_pool.next_seq pool) "msg";
+            Envelope_pool.push pool ~now:!step ~victim:(is_victim src) ~src
+              ~dst ~born:!step
+              ~ready:(ready_at ~src ~dst)
+              m')
       msgs
   in
   Array.iteri
     (fun src st -> enqueue ~src (protocol.Protocol.on_start st))
     states;
-  let eligible e = e.ready <= !step in
-  (* Slot index of the next delivery under the scheduler; [`None] only
-     when every pending message is still in flight (delay faults). *)
+  (* Next delivery under the scheduler; [`None] only when every pending
+     message is still in flight (delay faults). In a stable pool seq
+     order is exactly the legacy slot order, so "first eligible in slot
+     order" becomes "smallest eligible seq" and so on. *)
   let pick () =
     match scheduler with
     | Scheduler.Rounds -> assert false
     | Scheduler.Fifo ->
-        let i = ref 0 and found = ref `None in
-        while !found = `None && !i < pool.count do
-          (match pool.slots.(!i) with
-          | Some e when eligible e -> found := `Deliver !i
-          | _ -> ());
-          incr i
-        done;
-        !found
+        if delays then begin
+          Envelope_pool.mature pool ~now:!step;
+          match Envelope_pool.first_eligible pool with
+          | -1 -> `None
+          | s -> `Seq s
+        end
+        else `Seq (Envelope_pool.first_live pool)
     | Scheduler.Random _ ->
         let rng = Option.get rng in
-        let elig =
-          match delay_of with
-          | None -> pool.live
-          | Some _ ->
-              let c = ref 0 in
-              for i = 0 to pool.count - 1 do
-                match pool.slots.(i) with
-                | Some e when eligible e -> incr c
-                | _ -> ()
-              done;
-              !c
-        in
-        if elig = 0 then `None
-        else begin
-          (* choose uniformly among live (eligible) entries *)
-          let target = Rng.int rng elig in
-          let seen = ref 0 and found = ref `None and i = ref 0 in
-          while !found = `None && !i < pool.count do
-            (match pool.slots.(!i) with
-            | Some e when eligible e ->
-                if !seen = target then found := `Deliver !i;
-                incr seen
-            | _ -> ());
-            incr i
-          done;
-          !found
+        if delays then begin
+          Envelope_pool.mature pool ~now:!step;
+          let elig = Envelope_pool.eligible_count pool in
+          if elig = 0 then `None
+          else
+            (* choose uniformly among eligible entries *)
+            `Seq (Envelope_pool.kth_eligible pool (Rng.int rng elig))
         end
-    | Scheduler.Delayed { victims; slack } ->
+        else
+          (* choose uniformly among live (all eligible) entries *)
+          `Seq
+            (Envelope_pool.kth_live pool
+               (Rng.int rng (Envelope_pool.live pool)))
+    | Scheduler.Delayed { slack; _ } -> (
         (* oldest non-victim message if any; otherwise a victim message
            old enough; otherwise the oldest victim message *)
-        let best_normal = ref None and best_victim = ref None in
-        for i = 0 to pool.count - 1 do
-          match pool.slots.(i) with
-          | Some e when eligible e ->
-              if List.mem e.src victims then begin
-                if !best_victim = None then best_victim := Some (i, e)
-              end
-              else if !best_normal = None then best_normal := Some (i, e)
-          | _ -> ()
-        done;
-        (match (!best_normal, !best_victim) with
-        | Some (i, _), Some (j, ev) ->
-            if !step - ev.born >= slack then `Deliver j else `Deliver i
-        | Some (i, _), None -> `Deliver i
-        | None, Some (j, _) -> `Deliver j
-        | None, None -> `None)
-    | Scheduler.Scripted { decide; fallback_fifo } -> (
-        match decide ~live:pool.live ~step:!step with
-        | Some d -> `Deliver (Scheduler.wrap ~decision:d ~live:pool.live)
-        | None ->
-            if fallback_fifo then begin
-              (* oldest pending entry in global send order *)
-              let best = ref 0 in
-              for i = 1 to pool.count - 1 do
-                if
-                  (Option.get pool.slots.(i)).seq
-                  < (Option.get pool.slots.(!best)).seq
-                then best := i
-              done;
-              `Deliver !best
-            end
-            else `Branch pool.live)
-  in
-  (* Fast-forward target when nothing has matured: earliest arrival,
-     ties broken by send order. *)
-  let min_ready_slot () =
-    let best = ref (-1) and best_key = ref (max_int, max_int) in
-    for i = 0 to pool.count - 1 do
-      match pool.slots.(i) with
-      | Some e ->
-          let key = (e.ready, e.seq) in
-          if !best < 0 || key < !best_key then begin
-            best := i;
-            best_key := key
+        let normal, victim =
+          if delays then begin
+            Envelope_pool.mature pool ~now:!step;
+            ( Envelope_pool.first_eligible_class pool ~victim:false,
+              Envelope_pool.first_eligible_class pool ~victim:true )
           end
-      | None -> ()
-    done;
-    !best
+          else
+            ( Envelope_pool.first_live_class pool ~victim:false,
+              Envelope_pool.first_live_class pool ~victim:true )
+        in
+        match (normal, victim) with
+        | -1, -1 -> `None
+        | s, -1 -> `Seq s
+        | -1, s -> `Seq s
+        | s, sv ->
+            if !step - Envelope_pool.born_of pool sv >= slack then `Seq sv
+            else `Seq s)
+    | Scheduler.Scripted { decide; fallback_fifo } -> (
+        let live = Envelope_pool.live pool in
+        match decide ~live ~step:!step with
+        | Some d -> `Pos (Scheduler.wrap ~decision:d ~live)
+        | None ->
+            if fallback_fifo then
+              (* oldest pending entry in global send order *)
+              `Pos (Envelope_pool.oldest_pos pool)
+            else `Branch live)
   in
   (* hoisted so the per-delivery pool-occupancy observation costs
      nothing when metrics are off *)
@@ -429,41 +450,46 @@ let run_steps ~faults ~record ~summarize ~obs_prefix ~deliver_msg_args
     | Some p when Obs.enabled () -> Some (p ^ ".pool")
     | _ -> None
   in
-  let deliver i =
+  let deliver target =
     (match obs_pool with
-    | Some name -> Obs.observe name pool.live
+    | Some name -> Obs.observe name (Envelope_pool.live pool)
     | None -> ());
-    let e = pool_remove pool i in
+    let seq, src, dst, msg =
+      match target with
+      | `Seq s ->
+          let src, dst, m = Envelope_pool.remove_seq pool s in
+          (s, src, dst, m)
+      | `Pos i -> Envelope_pool.remove_at pool i
+    in
     (match record with
     | None -> ()
     | Some f ->
-        let info = match summarize with None -> "" | Some s -> s e.msg in
-        f { Trace.step = !step; src = e.src; dst = e.dst; info });
+        let info = match summarize with None -> "" | Some s -> s msg in
+        f { Trace.step = !step; src; dst; info });
     let lclock = !step in
     if tr then begin
       Obs.Tracer.set_now lclock;
       let args =
-        ("src", Obs.Tracer.Int e.src)
+        ("src", Obs.Tracer.Int src)
         ::
         (if deliver_msg_args then
            match summarize with
            | None -> []
-           | Some s -> [ ("msg", Obs.Tracer.Str (s e.msg)) ]
+           | Some s -> [ ("msg", Obs.Tracer.Str (s msg)) ]
          else [])
       in
-      Obs.Tracer.emit ~track:e.dst ~lclock Obs.Tracer.Begin "deliver" args;
-      Obs.Tracer.flow_end ~track:e.dst ~lclock ~id:e.seq "msg"
+      Obs.Tracer.emit ~track:dst ~lclock Obs.Tracer.Begin "deliver" args;
+      Obs.Tracer.flow_end ~track:dst ~lclock ~id:seq "msg"
     end;
     incr step;
     trace.Trace.steps <- trace.Trace.steps + 1;
     trace.Trace.messages_delivered <- trace.Trace.messages_delivered + 1;
     let reactions =
-      protocol.Protocol.on_receive states.(e.dst) ~time:lclock
-        [ (e.src, e.msg) ]
+      protocol.Protocol.on_receive states.(dst) ~time:lclock [ (src, msg) ]
     in
-    enqueue ~src:e.dst reactions;
+    enqueue ~src:dst reactions;
     if tr then
-      Obs.Tracer.emit ~track:e.dst ~lclock Obs.Tracer.End "deliver" []
+      Obs.Tracer.emit ~track:dst ~lclock Obs.Tracer.End "deliver" []
   in
   let stopped = ref `Limit in
   (try
@@ -472,40 +498,41 @@ let run_steps ~faults ~record ~summarize ~obs_prefix ~deliver_msg_args
          stopped := `Limit;
          raise Exit
        end;
-       if pool.live = 0 then begin
+       if Envelope_pool.live pool = 0 then begin
          stopped := `Quiescent;
          raise Exit
        end;
        match pick () with
-       | `Deliver i -> deliver i
+       | `Seq _ as t -> deliver t
+       | `Pos _ as t -> deliver t
        | `Branch w ->
            stopped := `Branch w;
            raise Exit
        | `None ->
            (* every pending message is still in flight: skip ahead to
               the earliest arrival (delays stay fair, never deadlock) *)
-           deliver (min_ready_slot ())
+           deliver (`Seq (Envelope_pool.min_ready_pop pool))
      done
    with Exit -> ());
   Option.iter
     (fun prefix ->
       Trace.publish ~prefix trace;
-      if Obs.enabled () then
-        Obs.observe (prefix ^ ".steps_per_run") trace.Trace.steps)
+      if Obs.enabled () then begin
+        Obs.observe (prefix ^ ".steps_per_run") trace.Trace.steps;
+        Obs.record_max "engine.pool_capacity" (Envelope_pool.capacity pool);
+        Obs.record_max "engine.pool_occupancy" (Envelope_pool.max_live pool)
+      end)
     obs_prefix;
   (* Undelivered messages in slot order. Under a dense (Scripted) pool
      the live entries occupy slots [0, live), so list position i is
      exactly the message a decision of i would deliver next — the
      enabled-set view {!Explore.check} branches on. *)
   let pending =
-    let acc = ref [] in
-    for i = pool.count - 1 downto 0 do
-      match pool.slots.(i) with
-      | Some e ->
-          acc := { sent = e.seq; src = e.src; dst = e.dst; msg = e.msg } :: !acc
-      | None -> ()
-    done;
-    !acc
+    List.rev
+      (Envelope_pool.fold_pending pool
+         (fun acc ~seq ~src ~dst msg ->
+           { sent = seq; src; dst; msg } :: acc)
+         [])
   in
   { states; trace; stopped = !stopped; pending }
 
@@ -529,3 +556,436 @@ let run ?(faults = Fault.none) ?record ?summarize ?obs_prefix
   | _ ->
       run_steps ~faults ~record ~summarize ~obs_prefix ~deliver_msg_args
         ~corrupt_instants ~err ~states ~n ~protocol ~scheduler ~limit
+
+(* ---------- list-based reference implementation ---------- *)
+
+(* The pre-pool semantics, kept as an executable specification: pending
+   messages live in a plain list in send order, every scheduler question
+   is a linear scan, and the Scripted pool's swap-with-last discipline
+   is replayed on the list. O(pending) per operation — test-sized
+   instances only. *)
+
+let reference_rounds ~faults ~obs_prefix ~err ~states ~n ~protocol ~rounds =
+  let { Fault.faulty; adversary; delay_of } = faults in
+  let is_faulty = Array.make n false in
+  List.iter (fun p -> is_faulty.(p) <- true) faulty;
+  let trace = Trace.create () in
+  let tr = Obs.Tracer.active () in
+  let flow_ids = ref 0 in
+  let check_dsts msgs =
+    List.iter
+      (fun (dst, _) ->
+        if dst < 0 || dst >= n then
+          invalid_arg (err ^ ": destination out of range"))
+      msgs
+  in
+  let carry =
+    Array.map (fun st -> protocol.Protocol.on_start st) states
+  in
+  let future =
+    match delay_of with
+    | None -> [||]
+    | Some _ -> Array.init rounds (fun _ -> Array.make n [])
+  in
+  let edge_k : (int, int ref) Hashtbl.t = Hashtbl.create 16 in
+  for round = 0 to rounds - 1 do
+    trace.Trace.rounds <- trace.Trace.rounds + 1;
+    if tr then begin
+      Obs.Tracer.set_now round;
+      Obs.Tracer.emit ~lclock:round Obs.Tracer.Begin "round"
+        [ ("round", Obs.Tracer.Int round) ]
+    end;
+    let outbox =
+      Array.init n (fun src ->
+          let msgs =
+            match carry.(src) with
+            | [] -> protocol.Protocol.on_tick states.(src) ~time:round
+            | pending ->
+                pending @ protocol.Protocol.on_tick states.(src) ~time:round
+          in
+          check_dsts msgs;
+          msgs)
+    in
+    let inboxes =
+      match delay_of with None -> Array.make n [] | Some _ -> future.(round)
+    in
+    let route ~src ~dst m =
+      match delay_of with
+      | None ->
+          trace.Trace.messages_delivered <- trace.Trace.messages_delivered + 1;
+          inboxes.(dst) <- (src, m) :: inboxes.(dst)
+      | Some df ->
+          let key = (src lsl 20) lor dst in
+          let k =
+            match Hashtbl.find_opt edge_k key with
+            | Some r -> r
+            | None ->
+                let r = ref 0 in
+                Hashtbl.add edge_k key r;
+                r
+          in
+          let d = df ~src ~dst ~k:!k in
+          incr k;
+          let arrive = round + max 0 d in
+          if arrive >= rounds then
+            trace.Trace.messages_dropped <- trace.Trace.messages_dropped + 1
+          else begin
+            trace.Trace.messages_delivered <-
+              trace.Trace.messages_delivered + 1;
+            future.(arrive).(dst) <- (src, m) :: future.(arrive).(dst)
+          end
+    in
+    for src = 0 to n - 1 do
+      if is_faulty.(src) then
+        for dst = 0 to n - 1 do
+          let honest_msgs =
+            List.filter_map
+              (fun (d, m) -> if d = dst then Some m else None)
+              outbox.(src)
+          in
+          let adv_instant name =
+            if tr then
+              Obs.Tracer.instant ~track:src ~lclock:round ("adv." ^ name)
+                [ ("dst", Obs.Tracer.Int dst) ]
+          in
+          let consider honest_msg =
+            trace.Trace.messages_sent <- trace.Trace.messages_sent + 1;
+            match adversary ~round ~src ~dst honest_msg with
+            | None ->
+                adv_instant "drop";
+                trace.Trace.messages_dropped <-
+                  trace.Trace.messages_dropped + 1
+            | Some m ->
+                (match honest_msg with
+                | Some h when h != m ->
+                    adv_instant "corrupt";
+                    trace.Trace.messages_corrupted <-
+                      trace.Trace.messages_corrupted + 1
+                | _ -> ());
+                route ~src ~dst m
+          in
+          (match honest_msgs with
+          | [] -> (
+              match adversary ~round ~src ~dst None with
+              | None -> ()
+              | Some m ->
+                  adv_instant "fabricate";
+                  trace.Trace.messages_sent <- trace.Trace.messages_sent + 1;
+                  trace.Trace.messages_corrupted <-
+                    trace.Trace.messages_corrupted + 1;
+                  route ~src ~dst m)
+          | msgs -> List.iter (fun m -> consider (Some m)) msgs)
+        done
+      else
+        List.iter
+          (fun (dst, m) ->
+            trace.Trace.messages_sent <- trace.Trace.messages_sent + 1;
+            route ~src ~dst m)
+          outbox.(src)
+    done;
+    for dst = 0 to n - 1 do
+      let batch =
+        List.stable_sort
+          (fun (a, _) (b, _) -> compare a b)
+          (List.rev inboxes.(dst))
+      in
+      if tr then begin
+        Obs.Tracer.emit ~track:dst ~lclock:round Obs.Tracer.Begin "recv"
+          [ ("msgs", Obs.Tracer.Int (List.length batch)) ];
+        List.iter
+          (fun (src, _) ->
+            let id = !flow_ids in
+            incr flow_ids;
+            Obs.Tracer.flow_start ~track:src ~lclock:round ~id "msg";
+            Obs.Tracer.flow_end ~track:dst ~lclock:round ~id "msg")
+          batch
+      end;
+      carry.(dst) <- protocol.Protocol.on_receive states.(dst) ~time:round batch;
+      if tr then
+        Obs.Tracer.emit ~track:dst ~lclock:round Obs.Tracer.End "recv" []
+    done;
+    if tr then Obs.Tracer.emit ~lclock:round Obs.Tracer.End "round" []
+  done;
+  Option.iter (fun prefix -> Trace.publish ~prefix trace) obs_prefix;
+  { states; trace; stopped = `Limit; pending = [] }
+
+type 'm lentry = {
+  l_seq : int;
+  l_src : int;
+  l_dst : int;
+  l_msg : 'm;
+  l_born : int;
+  l_ready : int;
+}
+
+let reference_steps ~faults ~record ~summarize ~obs_prefix ~deliver_msg_args
+    ~corrupt_instants ~err ~states ~n ~protocol ~scheduler ~limit =
+  let { Fault.faulty; adversary; delay_of } = faults in
+  let is_faulty = Array.make n false in
+  List.iter (fun p -> is_faulty.(p) <- true) faulty;
+  let dense =
+    match scheduler with Scheduler.Scripted _ -> true | _ -> false
+  in
+  (match (scheduler, delay_of) with
+  | Scheduler.Scripted _, Some _ ->
+      invalid_arg (err ^ ": delay faults need a non-scripted scheduler")
+  | _ -> ());
+  let trace = Trace.create () in
+  (* the pool, as a list in slot order *)
+  let pending_q : 'm lentry list ref = ref [] in
+  let next_seq = ref 0 in
+  let live () = List.length !pending_q in
+  let rng =
+    match scheduler with
+    | Scheduler.Random seed -> Some (Rng.create seed)
+    | _ -> None
+  in
+  let step = ref 0 in
+  let tr = Obs.Tracer.active () in
+  let edge_k : (int, int ref) Hashtbl.t = Hashtbl.create 16 in
+  let ready_at ~src ~dst =
+    match delay_of with
+    | None -> !step
+    | Some df ->
+        let key = (src lsl 20) lor dst in
+        let k =
+          match Hashtbl.find_opt edge_k key with
+          | Some r -> r
+          | None ->
+              let r = ref 0 in
+              Hashtbl.add edge_k key r;
+              r
+        in
+        let d = df ~src ~dst ~k:!k in
+        incr k;
+        !step + max 0 d
+  in
+  let enqueue ~src msgs =
+    List.iter
+      (fun (dst, m) ->
+        if dst < 0 || dst >= n then
+          invalid_arg (err ^ ": destination out of range");
+        trace.Trace.messages_sent <- trace.Trace.messages_sent + 1;
+        let filtered =
+          if is_faulty.(src) then adversary ~round:!step ~src ~dst (Some m)
+          else Some m
+        in
+        match filtered with
+        | None ->
+            if tr then
+              Obs.Tracer.instant ~track:src ~lclock:!step "adv.drop"
+                [ ("dst", Obs.Tracer.Int dst) ];
+            trace.Trace.messages_dropped <- trace.Trace.messages_dropped + 1
+        | Some m' ->
+            if is_faulty.(src) && m' != m then begin
+              if corrupt_instants && tr then
+                Obs.Tracer.instant ~track:src ~lclock:!step "adv.corrupt"
+                  [ ("dst", Obs.Tracer.Int dst) ];
+              trace.Trace.messages_corrupted <-
+                trace.Trace.messages_corrupted + 1
+            end;
+            if tr then
+              Obs.Tracer.flow_start ~track:src ~lclock:!step ~id:!next_seq
+                "msg";
+            pending_q :=
+              !pending_q
+              @ [
+                  {
+                    l_seq = !next_seq;
+                    l_src = src;
+                    l_dst = dst;
+                    l_msg = m';
+                    l_born = !step;
+                    l_ready = ready_at ~src ~dst;
+                  };
+                ];
+            incr next_seq)
+      msgs
+  in
+  Array.iteri
+    (fun src st -> enqueue ~src (protocol.Protocol.on_start st))
+    states;
+  let eligible e = e.l_ready <= !step in
+  (* index (in current list order) of the i-th entry satisfying p *)
+  let index_of ?(nth = 0) p =
+    let rec go i seen = function
+      | [] -> -1
+      | e :: tl ->
+          if p e then
+            if seen = nth then i else go (i + 1) (seen + 1) tl
+          else go (i + 1) seen tl
+    in
+    go 0 0 !pending_q
+  in
+  let pick () =
+    match scheduler with
+    | Scheduler.Rounds -> assert false
+    | Scheduler.Fifo -> (
+        match index_of eligible with -1 -> `None | i -> `Deliver i)
+    | Scheduler.Random _ ->
+        let rng = Option.get rng in
+        let elig =
+          match delay_of with
+          | None -> live ()
+          | Some _ ->
+              List.fold_left
+                (fun c e -> if eligible e then c + 1 else c)
+                0 !pending_q
+        in
+        if elig = 0 then `None
+        else `Deliver (index_of ~nth:(Rng.int rng elig) eligible)
+    | Scheduler.Delayed { victims; slack } -> (
+        let normal =
+          index_of (fun e -> eligible e && not (List.mem e.l_src victims))
+        in
+        let victim =
+          index_of (fun e -> eligible e && List.mem e.l_src victims)
+        in
+        match (normal, victim) with
+        | -1, -1 -> `None
+        | i, -1 -> `Deliver i
+        | -1, j -> `Deliver j
+        | i, j ->
+            let ev = List.nth !pending_q j in
+            if !step - ev.l_born >= slack then `Deliver j else `Deliver i)
+    | Scheduler.Scripted { decide; fallback_fifo } -> (
+        match decide ~live:(live ()) ~step:!step with
+        | Some d -> `Deliver (Scheduler.wrap ~decision:d ~live:(live ()))
+        | None ->
+            if fallback_fifo then begin
+              let best = ref 0 and best_seq = ref max_int and i = ref 0 in
+              List.iter
+                (fun e ->
+                  if e.l_seq < !best_seq then begin
+                    best := !i;
+                    best_seq := e.l_seq
+                  end;
+                  incr i)
+                !pending_q;
+              `Deliver !best
+            end
+            else `Branch (live ()))
+  in
+  let min_ready_index () =
+    let best = ref (-1) and best_key = ref (max_int, max_int) and i = ref 0 in
+    List.iter
+      (fun e ->
+        let key = (e.l_ready, e.l_seq) in
+        if !best < 0 || key < !best_key then begin
+          best := !i;
+          best_key := key
+        end;
+        incr i)
+      !pending_q;
+    !best
+  in
+  (* removal: stable pools leave list order untouched; the dense pool
+     replays swap-with-last on the list *)
+  let remove_at i =
+    let arr = Array.of_list !pending_q in
+    let e = arr.(i) in
+    let last = Array.length arr - 1 in
+    if dense then begin
+      arr.(i) <- arr.(last);
+      pending_q := Array.to_list (Array.sub arr 0 last)
+    end
+    else
+      pending_q :=
+        List.filteri (fun j _ -> j <> i) !pending_q;
+    e
+  in
+  let obs_pool =
+    match obs_prefix with
+    | Some p when Obs.enabled () -> Some (p ^ ".pool")
+    | _ -> None
+  in
+  let deliver i =
+    (match obs_pool with
+    | Some name -> Obs.observe name (live ())
+    | None -> ());
+    let e = remove_at i in
+    (match record with
+    | None -> ()
+    | Some f ->
+        let info = match summarize with None -> "" | Some s -> s e.l_msg in
+        f { Trace.step = !step; src = e.l_src; dst = e.l_dst; info });
+    let lclock = !step in
+    if tr then begin
+      Obs.Tracer.set_now lclock;
+      let args =
+        ("src", Obs.Tracer.Int e.l_src)
+        ::
+        (if deliver_msg_args then
+           match summarize with
+           | None -> []
+           | Some s -> [ ("msg", Obs.Tracer.Str (s e.l_msg)) ]
+         else [])
+      in
+      Obs.Tracer.emit ~track:e.l_dst ~lclock Obs.Tracer.Begin "deliver" args;
+      Obs.Tracer.flow_end ~track:e.l_dst ~lclock ~id:e.l_seq "msg"
+    end;
+    incr step;
+    trace.Trace.steps <- trace.Trace.steps + 1;
+    trace.Trace.messages_delivered <- trace.Trace.messages_delivered + 1;
+    let reactions =
+      protocol.Protocol.on_receive states.(e.l_dst) ~time:lclock
+        [ (e.l_src, e.l_msg) ]
+    in
+    enqueue ~src:e.l_dst reactions;
+    if tr then
+      Obs.Tracer.emit ~track:e.l_dst ~lclock Obs.Tracer.End "deliver" []
+  in
+  let stopped = ref `Limit in
+  (try
+     while true do
+       if !step >= limit then begin
+         stopped := `Limit;
+         raise Exit
+       end;
+       if live () = 0 then begin
+         stopped := `Quiescent;
+         raise Exit
+       end;
+       match pick () with
+       | `Deliver i -> deliver i
+       | `Branch w ->
+           stopped := `Branch w;
+           raise Exit
+       | `None -> deliver (min_ready_index ())
+     done
+   with Exit -> ());
+  Option.iter
+    (fun prefix ->
+      Trace.publish ~prefix trace;
+      if Obs.enabled () then
+        Obs.observe (prefix ^ ".steps_per_run") trace.Trace.steps)
+    obs_prefix;
+  let pending =
+    List.map
+      (fun e -> { sent = e.l_seq; src = e.l_src; dst = e.l_dst; msg = e.l_msg })
+      !pending_q
+  in
+  { states; trace; stopped = !stopped; pending }
+
+let run_reference ?(faults = Fault.none) ?record ?summarize ?obs_prefix
+    ?(deliver_msg_args = false) ?(corrupt_instants = true)
+    ?(err = "Engine.run") ?states ~n ~protocol ~scheduler ~limit () =
+  List.iter
+    (fun p ->
+      if p < 0 || p >= n then invalid_arg (err ^ ": faulty id out of range"))
+    faults.Fault.faulty;
+  let states =
+    match states with
+    | Some s ->
+        if Array.length s <> n then invalid_arg (err ^ ": need n states");
+        s
+    | None -> Array.init n (fun me -> protocol.Protocol.init ~me)
+  in
+  match scheduler with
+  | Scheduler.Rounds ->
+      reference_rounds ~faults ~obs_prefix ~err ~states ~n ~protocol
+        ~rounds:limit
+  | _ ->
+      reference_steps ~faults ~record ~summarize ~obs_prefix
+        ~deliver_msg_args ~corrupt_instants ~err ~states ~n ~protocol
+        ~scheduler ~limit

@@ -101,4 +101,34 @@ val run :
       with per-round metrics, as [Algo_iterative] does).
 
     The engine never calls [protocol.output]; apply it to
-    [outcome.states] as needed. *)
+    [outcome.states] as needed.
+
+    Pending messages live in {!Envelope_pool}, so enqueue, delivery and
+    fast-forward are O(1) amortized (O(log pending) for the Random
+    scheduler and fault-model delays) instead of the historical
+    O(pending) scan per delivery. With [obs_prefix] set and metrics
+    enabled, the run records the [engine.pool_capacity] and
+    [engine.pool_occupancy] gauges (via {!Obs.record_max}). *)
+
+val run_reference :
+  ?faults:'m Fault.model ->
+  ?record:(Trace.event -> unit) ->
+  ?summarize:('m -> string) ->
+  ?obs_prefix:string ->
+  ?deliver_msg_args:bool ->
+  ?corrupt_instants:bool ->
+  ?err:string ->
+  ?states:'s array ->
+  n:int ->
+  protocol:('s, 'm, 'o) Protocol.t ->
+  scheduler:Scheduler.t ->
+  limit:int ->
+  unit ->
+  ('s, 'm) outcome
+(** The pre-pool list-based engine, kept as an executable specification:
+    pending messages sit in a plain list in send order and every
+    scheduler decision is a linear scan. [run] must produce byte-identical
+    outcomes, traces and metrics (gauges aside — the reference records
+    none); the test suite checks this across protocols, schedulers and
+    fault models. O(pending) per delivery — use for differential testing
+    only. *)

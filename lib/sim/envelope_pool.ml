@@ -1,0 +1,563 @@
+(* Dense envelope storage for the step engine.
+
+   The engine's unit of work is one in-flight message ("envelope"). The
+   pre-pool engine kept envelopes in an option array and re-scanned it on
+   every delivery, so a run's cost was O(steps * pending) — the wall
+   between n ~ 10 experiments and n in the thousands. This module makes
+   every envelope operation O(1) amortized (O(log pending) for the two
+   order-statistic queries) by splitting storage from ordering:
+
+   - The {e arena} holds envelope fields in parallel flat arrays indexed
+     by {e slot}. Slots are recycled through a free-list stack, so arena
+     memory is bounded by the peak number of simultaneously pending
+     messages, not by the total sent. The scheduling-relevant fields
+     (seq/src/dst/born/ready) are unboxed int arrays; only the payload
+     array is boxed.
+
+   - Ordering lives in seq-indexed side structures. Sequence numbers are
+     assigned monotonically at send time, and in the stable pool the
+     engine's historical "slot order" is exactly seq order, so every
+     scheduler question becomes a question about the set of live seqs:
+
+       Fifo               -> smallest live seq: a monotone cursor that
+                             skips delivered seqs (O(1) amortized).
+       Delayed            -> smallest live seq per victim class: one
+                             cursor per class.
+       Random             -> k-th smallest live seq: a Fenwick tree over
+                             the seq domain (O(log) add/remove/select).
+       fault-model delays -> immature envelopes wait in a binary min-heap
+                             keyed (ready, seq) and migrate into
+                             per-class eligibility Fenwick trees as the
+                             step clock passes their arrival time; each
+                             envelope migrates at most once.
+
+   - The dense pool (Scripted scheduler) keeps live envelopes contiguous
+     in [0, live) with swap-with-last removal — the layout decision
+     indices address and {!Explore} replays — plus a seq->position map so
+     the FIFO fallback finds the oldest envelope with a cursor instead of
+     a scan.
+
+   Pools are single-run, single-domain values; the engine creates one
+   per execution. *)
+
+(* ------------------------------------------------------------------ *)
+(* Fenwick tree over the seq domain: position [seq + 1] carries 0 or 1. *)
+
+module Fen = struct
+  type t = { mutable a : int array; mutable n : int; mutable total : int }
+
+  let create () = { a = Array.make 17 0; n = 16; total = 0 }
+
+  (* [n] stays a power of two, so on doubling every existing node keeps
+     its range and the only new node covering old positions is the root
+     [2n], whose range sum is the current total. *)
+  let rec ensure t pos =
+    if pos > t.n then begin
+      let n' = 2 * t.n in
+      let a' = Array.make (n' + 1) 0 in
+      Array.blit t.a 1 a' 1 t.n;
+      a'.(n') <- t.total;
+      t.a <- a';
+      t.n <- n';
+      ensure t pos
+    end
+
+  let add t seq delta =
+    let pos = seq + 1 in
+    ensure t pos;
+    let p = ref pos in
+    while !p <= t.n do
+      Array.unsafe_set t.a !p (Array.unsafe_get t.a !p + delta);
+      p := !p + (!p land - !p)
+    done;
+    t.total <- t.total + delta
+
+  (* Smallest seq whose prefix count reaches [k + 1]; requires
+     [k < total]. *)
+  let select t k =
+    let idx = ref 0 and rem = ref (k + 1) and bit = ref t.n in
+    while !bit > 0 do
+      let next = !idx + !bit in
+      if next <= t.n && Array.unsafe_get t.a next < !rem then begin
+        rem := !rem - Array.unsafe_get t.a next;
+        idx := next
+      end;
+      bit := !bit lsr 1
+    done;
+    !idx
+end
+
+(* ------------------------------------------------------------------ *)
+(* Binary min-heap of immature envelopes, keyed (ready, seq).           *)
+
+module Heap = struct
+  type t = { mutable r : int array; mutable s : int array; mutable len : int }
+
+  let create () = { r = Array.make 16 0; s = Array.make 16 0; len = 0 }
+
+  let less t i j =
+    let ri = Array.unsafe_get t.r i and rj = Array.unsafe_get t.r j in
+    ri < rj || (ri = rj && Array.unsafe_get t.s i < Array.unsafe_get t.s j)
+
+  let swap t i j =
+    let r = t.r.(i) and s = t.s.(i) in
+    t.r.(i) <- t.r.(j);
+    t.s.(i) <- t.s.(j);
+    t.r.(j) <- r;
+    t.s.(j) <- s
+
+  let push t ~ready ~seq =
+    if t.len = Array.length t.r then begin
+      let cap = 2 * t.len in
+      let r' = Array.make cap 0 and s' = Array.make cap 0 in
+      Array.blit t.r 0 r' 0 t.len;
+      Array.blit t.s 0 s' 0 t.len;
+      t.r <- r';
+      t.s <- s'
+    end;
+    t.r.(t.len) <- ready;
+    t.s.(t.len) <- seq;
+    t.len <- t.len + 1;
+    let i = ref (t.len - 1) in
+    while !i > 0 && less t !i ((!i - 1) / 2) do
+      swap t !i ((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done
+
+  let top_ready t = t.r.(0)
+
+  let pop t =
+    let seq = t.s.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.r.(0) <- t.r.(t.len);
+      t.s.(0) <- t.s.(t.len);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let m = ref !i in
+        if l < t.len && less t l !m then m := l;
+        if r < t.len && less t r !m then m := r;
+        if !m = !i then continue := false
+        else begin
+          swap t !i !m;
+          i := !m
+        end
+      done
+    end;
+    seq
+end
+
+(* ------------------------------------------------------------------ *)
+(* Stable pool: slot order == seq order (Fifo / Random / Delayed).      *)
+
+(* Eligibility state of a live seq under fault-model delays. *)
+let st_immature = '\000' (* waiting in the heap *)
+let st_eligible = '\001' (* counted in an eligibility Fenwick tree *)
+let st_detached = '\002' (* popped for fast-forward delivery *)
+
+type 'm stable = {
+  (* arena: parallel per-slot fields, recycled through [free] *)
+  mutable cap : int;
+  mutable a_seq : int array;
+  mutable a_src : int array;
+  mutable a_dst : int array;
+  mutable a_born : int array;
+  mutable a_msg : 'm option array;
+  mutable free : int array;  (** stack of recycled slots *)
+  mutable free_top : int;
+  mutable hi : int;  (** slots [>= hi] have never been used *)
+  (* seq-indexed order index *)
+  mutable slot_of_seq : int array;  (** -1 once delivered *)
+  mutable next_seq : int;
+  mutable live : int;
+  mutable max_live : int;
+  mutable head : int;  (** Fifo cursor: every seq below is dead *)
+  mutable head_v : int;  (** Delayed cursors, one per victim class *)
+  mutable head_n : int;
+  mutable klass : Bytes.t;  (** victim bit per seq (Delayed only) *)
+  (* optional order structures, chosen by the scheduler at creation *)
+  fen_live : Fen.t option;  (** live seqs (Random without delays) *)
+  heap : Heap.t option;  (** immature envelopes (delays) *)
+  elig : Fen.t option;  (** eligible seqs (Fifo/Random with delays) *)
+  elig_v : Fen.t option;  (** eligible victim seqs (Delayed + delays) *)
+  elig_n : Fen.t option;
+  mutable state : Bytes.t;  (** per-seq eligibility state (delays) *)
+  track_classes : bool;
+  delays : bool;
+}
+
+type 'm t = Stable of 'm stable | Dense of 'm dense
+
+and 'm dense = {
+  mutable d_cap : int;
+  mutable d_seq : int array;
+  mutable d_src : int array;
+  mutable d_dst : int array;
+  mutable d_msg : 'm option array;
+  mutable d_live : int;
+  mutable d_next_seq : int;
+  mutable pos_of_seq : int array;  (** -1 once delivered *)
+  mutable d_head : int;  (** oldest-live cursor for the FIFO fallback *)
+  mutable d_max_live : int;
+}
+
+let initial_cap = 16
+
+let stable ?(delays = false) ?(random = false) ?(classes = false) () =
+  Stable
+    {
+      cap = initial_cap;
+      a_seq = Array.make initial_cap 0;
+      a_src = Array.make initial_cap 0;
+      a_dst = Array.make initial_cap 0;
+      a_born = Array.make initial_cap 0;
+      a_msg = Array.make initial_cap None;
+      free = Array.make initial_cap 0;
+      free_top = 0;
+      hi = 0;
+      slot_of_seq = Array.make initial_cap (-1);
+      next_seq = 0;
+      live = 0;
+      max_live = 0;
+      head = 0;
+      head_v = 0;
+      head_n = 0;
+      klass = (if classes then Bytes.make initial_cap '\000' else Bytes.empty);
+      fen_live = (if random && not delays then Some (Fen.create ()) else None);
+      heap = (if delays then Some (Heap.create ()) else None);
+      elig =
+        (if delays && not classes then Some (Fen.create ()) else None);
+      elig_v = (if delays && classes then Some (Fen.create ()) else None);
+      elig_n = (if delays && classes then Some (Fen.create ()) else None);
+      state = (if delays then Bytes.make initial_cap st_immature else Bytes.empty);
+      track_classes = classes;
+      delays;
+    }
+
+let dense () =
+  Dense
+    {
+      d_cap = initial_cap;
+      d_seq = Array.make initial_cap 0;
+      d_src = Array.make initial_cap 0;
+      d_dst = Array.make initial_cap 0;
+      d_msg = Array.make initial_cap None;
+      d_live = 0;
+      d_next_seq = 0;
+      pos_of_seq = Array.make initial_cap (-1);
+      d_head = 0;
+      d_max_live = 0;
+    }
+
+let live = function Stable p -> p.live | Dense p -> p.d_live
+let next_seq = function Stable p -> p.next_seq | Dense p -> p.d_next_seq
+let capacity = function Stable p -> p.cap | Dense p -> p.d_cap
+let max_live = function Stable p -> p.max_live | Dense p -> p.d_max_live
+
+(* ---------- stable pool internals ---------- *)
+
+let grow_int a cap fill =
+  let a' = Array.make cap fill in
+  Array.blit a 0 a' 0 (Array.length a);
+  a'
+
+let grow_bytes b cap fill =
+  let b' = Bytes.make cap fill in
+  Bytes.blit b 0 b' 0 (Bytes.length b);
+  b'
+
+(* Make room for one more arena slot, doubling the parallel arrays. *)
+let stable_grow_arena p =
+  let cap = 2 * p.cap in
+  p.a_seq <- grow_int p.a_seq cap 0;
+  p.a_src <- grow_int p.a_src cap 0;
+  p.a_dst <- grow_int p.a_dst cap 0;
+  p.a_born <- grow_int p.a_born cap 0;
+  let m' = Array.make cap None in
+  Array.blit p.a_msg 0 m' 0 p.cap;
+  p.a_msg <- m';
+  p.free <- grow_int p.free cap 0;
+  p.cap <- cap
+
+let stable_alloc_slot p =
+  if p.free_top > 0 then begin
+    p.free_top <- p.free_top - 1;
+    p.free.(p.free_top)
+  end
+  else begin
+    if p.hi = p.cap then stable_grow_arena p;
+    let s = p.hi in
+    p.hi <- p.hi + 1;
+    s
+  end
+
+let stable_ensure_seq p seq =
+  if seq >= Array.length p.slot_of_seq then begin
+    let cap = 2 * Array.length p.slot_of_seq in
+    let cap = if cap > seq then cap else seq + 1 in
+    p.slot_of_seq <- grow_int p.slot_of_seq cap (-1)
+  end;
+  if p.track_classes && seq >= Bytes.length p.klass then
+    p.klass <- grow_bytes p.klass (2 * Bytes.length p.klass) '\000';
+  if p.delays && seq >= Bytes.length p.state then
+    p.state <- grow_bytes p.state (2 * Bytes.length p.state) st_immature
+
+let class_fen p victim =
+  if victim then Option.get p.elig_v else Option.get p.elig_n
+
+let stable_push p ~now ~victim ~src ~dst ~born ~ready msg =
+  let seq = p.next_seq in
+  stable_ensure_seq p seq;
+  let slot = stable_alloc_slot p in
+  p.a_seq.(slot) <- seq;
+  p.a_src.(slot) <- src;
+  p.a_dst.(slot) <- dst;
+  p.a_born.(slot) <- born;
+  p.a_msg.(slot) <- Some msg;
+  p.slot_of_seq.(seq) <- slot;
+  if p.track_classes then
+    Bytes.set p.klass seq (if victim then '\001' else '\000');
+  (match p.fen_live with Some f -> Fen.add f seq 1 | None -> ());
+  if p.delays then
+    if ready <= now then begin
+      Bytes.set p.state seq st_eligible;
+      let f =
+        if p.track_classes then class_fen p victim else Option.get p.elig
+      in
+      Fen.add f seq 1
+    end
+    else begin
+      Bytes.set p.state seq st_immature;
+      Heap.push (Option.get p.heap) ~ready ~seq
+    end;
+  p.next_seq <- seq + 1;
+  p.live <- p.live + 1;
+  if p.live > p.max_live then p.max_live <- p.live
+
+(* Migrate envelopes whose arrival time has passed from the immature
+   heap into the eligibility Fenwick trees; each migrates at most once. *)
+let stable_mature p ~now =
+  match p.heap with
+  | None -> ()
+  | Some h ->
+      while h.Heap.len > 0 && Heap.top_ready h <= now do
+        let seq = Heap.pop h in
+        Bytes.set p.state seq st_eligible;
+        let f =
+          if p.track_classes then
+            class_fen p (Bytes.get p.klass seq = '\001')
+          else Option.get p.elig
+        in
+        Fen.add f seq 1
+      done
+
+let stable_first_live p =
+  let lim = p.next_seq in
+  let h = ref p.head in
+  while !h < lim && p.slot_of_seq.(!h) < 0 do
+    incr h
+  done;
+  p.head <- !h;
+  if !h = lim then -1 else !h
+
+(* Per-class cursor: skips dead seqs and live seqs of the other class,
+   both permanently (class membership is fixed at send time). *)
+let stable_first_live_class p ~victim =
+  let lim = p.next_seq in
+  let want = if victim then '\001' else '\000' in
+  let h = ref (if victim then p.head_v else p.head_n) in
+  while
+    !h < lim
+    && (p.slot_of_seq.(!h) < 0 || Bytes.get p.klass !h <> want)
+  do
+    incr h
+  done;
+  if victim then p.head_v <- !h else p.head_n <- !h;
+  if !h = lim then -1 else !h
+
+let stable_kth_live p k = Fen.select (Option.get p.fen_live) k
+let stable_eligible_count p = (Option.get p.elig).Fen.total
+
+let stable_first_eligible p =
+  let f = Option.get p.elig in
+  if f.Fen.total = 0 then -1 else Fen.select f 0
+
+let stable_kth_eligible p k = Fen.select (Option.get p.elig) k
+
+let stable_first_eligible_class p ~victim =
+  let f = class_fen p victim in
+  if f.Fen.total = 0 then -1 else Fen.select f 0
+
+let stable_min_ready_pop p =
+  let seq = Heap.pop (Option.get p.heap) in
+  Bytes.set p.state seq st_detached;
+  seq
+
+let stable_born_of p seq = p.a_born.(p.slot_of_seq.(seq))
+
+let stable_remove p seq =
+  let slot = p.slot_of_seq.(seq) in
+  p.slot_of_seq.(seq) <- -1;
+  (match p.fen_live with Some f -> Fen.add f seq (-1) | None -> ());
+  if p.delays && Bytes.get p.state seq = st_eligible then begin
+    let f =
+      if p.track_classes then class_fen p (Bytes.get p.klass seq = '\001')
+      else Option.get p.elig
+    in
+    Fen.add f seq (-1)
+  end;
+  let src = p.a_src.(slot) and dst = p.a_dst.(slot) in
+  let msg = match p.a_msg.(slot) with Some m -> m | None -> assert false in
+  p.a_msg.(slot) <- None;
+  p.free.(p.free_top) <- slot;
+  p.free_top <- p.free_top + 1;
+  p.live <- p.live - 1;
+  (src, dst, msg)
+
+(* ---------- dense pool internals ---------- *)
+
+let dense_grow p =
+  let cap = 2 * p.d_cap in
+  p.d_seq <- grow_int p.d_seq cap 0;
+  p.d_src <- grow_int p.d_src cap 0;
+  p.d_dst <- grow_int p.d_dst cap 0;
+  let m' = Array.make cap None in
+  Array.blit p.d_msg 0 m' 0 p.d_cap;
+  p.d_msg <- m';
+  p.d_cap <- cap
+
+let dense_push p ~src ~dst msg =
+  let seq = p.d_next_seq in
+  if p.d_live = p.d_cap then dense_grow p;
+  if seq >= Array.length p.pos_of_seq then
+    p.pos_of_seq <- grow_int p.pos_of_seq (2 * Array.length p.pos_of_seq) (-1);
+  let i = p.d_live in
+  p.d_seq.(i) <- seq;
+  p.d_src.(i) <- src;
+  p.d_dst.(i) <- dst;
+  p.d_msg.(i) <- Some msg;
+  p.pos_of_seq.(seq) <- i;
+  p.d_next_seq <- seq + 1;
+  p.d_live <- i + 1;
+  if p.d_live > p.d_max_live then p.d_max_live <- p.d_live
+
+let dense_remove_at p i =
+  let last = p.d_live - 1 in
+  let seq = p.d_seq.(i) and src = p.d_src.(i) and dst = p.d_dst.(i) in
+  let msg = match p.d_msg.(i) with Some m -> m | None -> assert false in
+  if i <> last then begin
+    p.d_seq.(i) <- p.d_seq.(last);
+    p.d_src.(i) <- p.d_src.(last);
+    p.d_dst.(i) <- p.d_dst.(last);
+    p.d_msg.(i) <- p.d_msg.(last);
+    p.pos_of_seq.(p.d_seq.(i)) <- i
+  end;
+  p.d_msg.(last) <- None;
+  p.pos_of_seq.(seq) <- -1;
+  p.d_live <- last;
+  (seq, src, dst, msg)
+
+(* Dense position of the oldest (smallest-seq) live envelope. *)
+let dense_oldest_pos p =
+  let lim = p.d_next_seq in
+  let h = ref p.d_head in
+  while !h < lim && p.pos_of_seq.(!h) < 0 do
+    incr h
+  done;
+  p.d_head <- !h;
+  if !h = lim then -1 else p.pos_of_seq.(!h)
+
+(* ---------- facade ---------- *)
+
+let push t ~now ~victim ~src ~dst ~born ~ready msg =
+  match t with
+  | Stable p -> stable_push p ~now ~victim ~src ~dst ~born ~ready msg
+  | Dense p ->
+      ignore now;
+      ignore victim;
+      ignore born;
+      ignore ready;
+      dense_push p ~src ~dst msg
+
+let mature t ~now =
+  match t with Stable p -> stable_mature p ~now | Dense _ -> ()
+
+let first_live = function
+  | Stable p -> stable_first_live p
+  | Dense _ -> invalid_arg "Envelope_pool.first_live: dense pool"
+
+let first_live_class t ~victim =
+  match t with
+  | Stable p -> stable_first_live_class p ~victim
+  | Dense _ -> invalid_arg "Envelope_pool.first_live_class: dense pool"
+
+let kth_live t k =
+  match t with
+  | Stable p -> stable_kth_live p k
+  | Dense _ -> invalid_arg "Envelope_pool.kth_live: dense pool"
+
+let eligible_count = function
+  | Stable p -> stable_eligible_count p
+  | Dense _ -> invalid_arg "Envelope_pool.eligible_count: dense pool"
+
+let first_eligible = function
+  | Stable p -> stable_first_eligible p
+  | Dense _ -> invalid_arg "Envelope_pool.first_eligible: dense pool"
+
+let kth_eligible t k =
+  match t with
+  | Stable p -> stable_kth_eligible p k
+  | Dense _ -> invalid_arg "Envelope_pool.kth_eligible: dense pool"
+
+let first_eligible_class t ~victim =
+  match t with
+  | Stable p -> stable_first_eligible_class p ~victim
+  | Dense _ -> invalid_arg "Envelope_pool.first_eligible_class: dense pool"
+
+let min_ready_pop = function
+  | Stable p -> stable_min_ready_pop p
+  | Dense _ -> invalid_arg "Envelope_pool.min_ready_pop: dense pool"
+
+let born_of t seq =
+  match t with
+  | Stable p -> stable_born_of p seq
+  | Dense _ -> invalid_arg "Envelope_pool.born_of: dense pool"
+
+let remove_seq t seq =
+  match t with
+  | Stable p -> stable_remove p seq
+  | Dense _ -> invalid_arg "Envelope_pool.remove_seq: dense pool"
+
+let remove_at t i =
+  match t with
+  | Dense p -> dense_remove_at p i
+  | Stable _ -> invalid_arg "Envelope_pool.remove_at: stable pool"
+
+let oldest_pos = function
+  | Dense p -> dense_oldest_pos p
+  | Stable _ -> invalid_arg "Envelope_pool.oldest_pos: stable pool"
+
+(* Fold over the live envelopes in slot order: seq order for a stable
+   pool, dense-position order for a dense one. *)
+let fold_pending t f acc =
+  match t with
+  | Stable p ->
+      let acc = ref acc in
+      for seq = 0 to p.next_seq - 1 do
+        let slot = p.slot_of_seq.(seq) in
+        if slot >= 0 then
+          acc :=
+            f !acc ~seq ~src:p.a_src.(slot) ~dst:p.a_dst.(slot)
+              (match p.a_msg.(slot) with Some m -> m | None -> assert false)
+      done;
+      !acc
+  | Dense p ->
+      let acc = ref acc in
+      for i = 0 to p.d_live - 1 do
+        acc :=
+          f !acc ~seq:p.d_seq.(i) ~src:p.d_src.(i) ~dst:p.d_dst.(i)
+            (match p.d_msg.(i) with Some m -> m | None -> assert false)
+      done;
+      !acc

@@ -1,0 +1,130 @@
+(** Dense envelope storage for the step engine.
+
+    One pool holds a run's in-flight messages. Envelope fields live in
+    flat parallel arrays indexed by recycled slots (a free-list arena),
+    and scheduling order lives in seq-indexed side structures, so every
+    engine operation — enqueue, scheduler pick, delivery, fast-forward —
+    is O(1) amortized, or O(log pending) for the two order-statistic
+    queries (k-th live envelope, earliest arrival).
+
+    Two disciplines, chosen at creation:
+
+    - {e stable} ({!val:stable}): envelopes are addressed by their send
+      sequence number and slot order equals seq order, exactly the
+      legacy engine's hole-preserving slot order. Serves the Fifo,
+      Random and Delayed schedulers; creation flags pick which order
+      structures are maintained (a monotone cursor, per-victim-class
+      cursors, a Fenwick tree over live seqs, and — under fault-model
+      delays — a (ready, seq) min-heap of immature envelopes plus
+      eligibility Fenwick trees).
+
+    - {e dense} ({!val:dense}): live envelopes stay contiguous in
+      [0, live) with swap-with-last removal, the layout Scripted
+      decision indices address and {!Explore} replays.
+
+    Pools are single-run, single-domain values. Operations marked with a
+    discipline raise [Invalid_argument] on the other kind. *)
+
+type 'm t
+
+val stable :
+  ?delays:bool -> ?random:bool -> ?classes:bool -> unit -> 'm t
+(** Stable pool. [delays] maintains the immature-envelope heap and
+    eligibility sets (fault-model delays present); [random] the
+    live-seq Fenwick tree (Random scheduler); [classes] the per-class
+    cursors and victim bits (Delayed scheduler). All default false. *)
+
+val dense : unit -> 'm t
+(** Dense pool for the Scripted scheduler. *)
+
+val live : 'm t -> int
+(** Number of pending envelopes. *)
+
+val next_seq : 'm t -> int
+(** The seq the next {!push} will assign (doubles as the trace flow
+    id). *)
+
+val capacity : 'm t -> int
+(** Current arena capacity in slots (the [engine.pool_capacity]
+    gauge). *)
+
+val max_live : 'm t -> int
+(** High-water mark of {!live} (the [engine.pool_occupancy] gauge). *)
+
+val push :
+  'm t ->
+  now:int ->
+  victim:bool ->
+  src:int ->
+  dst:int ->
+  born:int ->
+  ready:int ->
+  'm ->
+  unit
+(** Append an envelope with the next seq. Under [delays], an envelope
+    with [ready <= now] is immediately eligible; otherwise it waits in
+    the heap until {!mature} passes its [ready]. [victim] is its class
+    under [classes]. The dense pool ignores [now]/[victim]/[born]/
+    [ready]. *)
+
+val mature : 'm t -> now:int -> unit
+(** Migrate every heap envelope with [ready <= now] into the eligible
+    sets. Call before the eligibility queries below; no-op without
+    [delays]. *)
+
+(** {2 Stable-pool order queries}
+
+    All return a seq, or [-1] when the requested set is empty. *)
+
+val first_live : 'm t -> int
+(** Smallest live seq (Fifo without delays). O(1) amortized. *)
+
+val first_live_class : 'm t -> victim:bool -> int
+(** Smallest live seq of the class (Delayed without delays). O(1)
+    amortized. *)
+
+val kth_live : 'm t -> int -> int
+(** [kth_live t k] is the (k+1)-smallest live seq, [0 <= k < live]
+    (Random without delays; requires [random]). O(log). *)
+
+val eligible_count : 'm t -> int
+(** Eligible envelopes (requires [delays], not [classes]). *)
+
+val first_eligible : 'm t -> int
+(** Smallest eligible seq (Fifo with delays). O(log). *)
+
+val kth_eligible : 'm t -> int -> int
+(** (k+1)-smallest eligible seq (Random with delays). O(log). *)
+
+val first_eligible_class : 'm t -> victim:bool -> int
+(** Smallest eligible seq of the class (Delayed with delays). O(log). *)
+
+val min_ready_pop : 'm t -> int
+(** Detach and return the immature envelope with the smallest
+    (ready, seq) — the fast-forward target when nothing is eligible.
+    The caller must deliver it with {!remove_seq}. *)
+
+val born_of : 'm t -> int -> int
+(** Send step of a live envelope (the Delayed slack test). *)
+
+val remove_seq : 'm t -> int -> int * int * 'm
+(** Deliver a live envelope by seq: [(src, dst, msg)]. Frees its slot
+    for reuse. *)
+
+(** {2 Dense-pool operations} *)
+
+val remove_at : 'm t -> int -> int * int * int * 'm
+(** Deliver the envelope at dense position [i] by swap-with-last:
+    [(seq, src, dst, msg)]. *)
+
+val oldest_pos : 'm t -> int
+(** Dense position of the smallest-seq live envelope (the Scripted
+    FIFO fallback), or [-1] when empty. O(1) amortized. *)
+
+val fold_pending :
+  'm t ->
+  ('a -> seq:int -> src:int -> dst:int -> 'm -> 'a) ->
+  'a ->
+  'a
+(** Fold over live envelopes in slot order: seq order for a stable
+    pool, dense-position order for a dense one. O(next_seq). *)

@@ -6,7 +6,6 @@ type 'payload envelope = {
 }
 
 let envelope ~src ~dst ~time payload = { src; dst; time; payload }
-let round e = e.time
 
 let log_src = Logs.Src.create "rbvc.sim" ~doc:"RBVC simulator deliveries"
 

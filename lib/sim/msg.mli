@@ -18,12 +18,6 @@ type 'payload envelope = {
 
 val envelope : src:int -> dst:int -> time:int -> 'p -> 'p envelope
 
-val round : 'p envelope -> int
-  [@@ocaml.deprecated "use the [time] field: [round] conflated sync \
-                       rounds with async delivery steps"]
-(** Deprecated alias for the {!type:envelope} [time] field, kept for
-    one release while callers migrate. *)
-
 val log_src : Logs.src
 (** The ["rbvc.sim"] log source. *)
 

@@ -1,0 +1,383 @@
+(* Differential tests for the pooled Engine.
+
+   [Engine.run] stores pending traffic in {!Envelope_pool} (flat arrays,
+   free-list recycling, order-statistic side structures);
+   [Engine.run_reference] is the pre-pool list engine kept as the
+   executable specification. The two must be byte-identical — outcomes,
+   traces, tracer streams and metrics (the pool gauges aside, which the
+   reference does not record) — across every protocol, scheduler and
+   fault model, and a parallel batch of pooled runs must be
+   jobs-invariant. The direct pool unit tests pin arena growth,
+   free-list reuse, maturation order and the dense discipline. *)
+
+open Helpers
+
+let with_obs f =
+  Obs.reset ();
+  Obs.set_enabled true;
+  Fun.protect f ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset ())
+
+(* counters + hists + tracer events; gauges are excluded because the
+   reference engine records none (the pool gauges are pooled-only). *)
+let observed f =
+  with_obs (fun () ->
+      let v, events = Obs.Tracer.collect f in
+      let snap = Obs.snapshot () in
+      (v, snap.Obs.counters, snap.Obs.hists, events))
+
+(* {2 Pooled vs reference across protocols, schedulers and faults} *)
+
+let inst4 faulty =
+  Problem.random_instance (Rng.create 11) ~n:4 ~f:1 ~d:1 ~faulty
+
+(* One existential entry per engine protocol. *)
+type target = T : string * (unit -> ('s, 'm, 'o) Protocol.t) -> target
+
+let targets =
+  [
+    T
+      ( "om",
+        fun () ->
+          Om.async_protocol ~n:4 ~f:1 ~commanders:[ (0, 7) ] ~default:0
+            ~compare:Int.compare );
+    T
+      ( "bracha",
+        fun () ->
+          Bracha.protocol ~n:4 ~f:1 ~inputs:[| 10; 20; 30; 40 |]
+            ~compare:Int.compare );
+    T
+      ( "algo-exact",
+        fun () ->
+          Algo_exact.async_protocol (inst4 [ 3 ]) ~validity:Problem.Standard
+      );
+    T
+      ( "algo-async",
+        fun () ->
+          Algo_async.protocol (inst4 [ 3 ]) ~validity:Problem.Standard
+            ~rounds:1 () );
+    T ("algo-k1", fun () -> Algo_k1_async.protocol (inst4 [ 3 ]) ~eps:0.1 ());
+    T
+      ( "algo-iterative",
+        fun () -> Algo_iterative.protocol (inst4 [ 3 ]) ~rounds:1 );
+  ]
+
+(* Schedulers are built fresh per run: a [Scripted] decide popper is
+   single-use. *)
+let scheduler_of = function
+  | 0 -> Scheduler.Fifo
+  | 1 -> Scheduler.Random 23
+  | 2 -> Scheduler.Delayed { victims = [ 1; 3 ]; slack = 4 }
+  | _ ->
+      Scheduler.Scripted
+        {
+          decide = Scheduler.of_decisions [ 3; 0; 5; 1; 2; 9; 4; 0; 8 ];
+          fallback_fifo = true;
+        }
+
+let fault_of = function
+  | 0 -> Fault.none
+  | 1 -> Fault.model ~faulty:[ 3 ] (Fault.Crash { at = 2 })
+  | 2 -> Fault.model ~faulty:[ 3 ] (Fault.Omit { seed = 5; prob = 0.5 })
+  | _ -> Fault.delay ~seed:2 ~max:3
+
+let equivalent (T (_name, make)) ~sched ~fault =
+  let go reference =
+    let engine = if reference then Engine.run_reference else Engine.run in
+    observed (fun () ->
+        let p = make () in
+        let events = ref [] in
+        let o =
+          engine
+            ~faults:(fault_of fault)
+            ~record:(fun e -> events := e :: !events)
+            ~obs_prefix:"engine.test" ~deliver_msg_args:true ~n:4 ~protocol:p
+            ~scheduler:(scheduler_of sched) ~limit:400 ()
+        in
+        ( Array.map p.Protocol.output o.Engine.states,
+          o.Engine.trace,
+          o.Engine.stopped,
+          o.Engine.pending,
+          List.rev !events ))
+  in
+  go false = go true
+
+let pool_vs_reference_property =
+  qtest ~count:48
+    "pooled engine = list reference (protocols x schedulers x faults)"
+    QCheck.(triple (int_range 0 5) (int_range 0 3) (int_range 0 3))
+    (fun (t, s, f) ->
+      (* the engine rejects delay models under Scripted in both
+         implementations; redirect that combination to Fifo *)
+      let s = if f = 3 && s = 3 then 0 else s in
+      equivalent (List.nth targets t) ~sched:s ~fault:f)
+
+let all_protocols_all_schedulers_case =
+  case "every protocol matches the reference on every scheduler" (fun () ->
+      List.iter
+        (fun (T (name, _) as t) ->
+          List.iter
+            (fun sched ->
+              check_true
+                (Printf.sprintf "%s / scheduler %d" name sched)
+                (equivalent t ~sched ~fault:0))
+            [ 0; 1; 2; 3 ])
+        targets)
+
+(* {2 Rounds mode: buffered inboxes vs list inboxes} *)
+
+(* The deterministic lock-step rig from the engine tests: everyone
+   sends its id everywhere, deliveries are logged. *)
+let sync_rig n =
+  let logs = Array.init n (fun _ -> ref []) in
+  let actors =
+    Array.init n (fun me ->
+        {
+          Sync.send =
+            (fun ~round:_ ->
+              List.filter_map
+                (fun dst -> if dst = me then None else Some (dst, me))
+                (List.init n Fun.id));
+          recv =
+            (fun ~round batch ->
+              List.iter
+                (fun (src, m) -> logs.(me) := (round, src, m) :: !(logs.(me)))
+                batch);
+        })
+  in
+  (actors, fun () -> Array.map (fun l -> List.rev !l) logs)
+
+(* An adversary that both rewrites deliveries and fabricates on quiet
+   edges, to drive the faulty-source bucketing through every branch. *)
+let fabricating_adv ~round ~src ~dst:_ = function
+  | Some m -> Some (m + (10 * round))
+  | None -> if round = 1 && src = 1 then Some 99 else None
+
+(* [faults] is a thunk: an [Omit] model carries per-edge counters, so
+   each engine run needs a freshly built model. *)
+let rounds_equiv ~faults () =
+  let go reference =
+    let engine = if reference then Engine.run_reference else Engine.run in
+    observed (fun () ->
+        let actors, logs = sync_rig 4 in
+        let o =
+          engine ~faults:(faults ()) ~obs_prefix:"sim.sync" ~states:actors
+            ~n:4
+            ~protocol:(Sync.protocol_of_actors actors)
+            ~scheduler:Scheduler.Rounds ~limit:4 ()
+        in
+        (o.Engine.trace, o.Engine.stopped, o.Engine.pending = [], logs ()))
+  in
+  go false = go true
+
+let rounds_reference_case =
+  case "rounds engine matches the reference under every fault model"
+    (fun () ->
+      List.iter
+        (fun (name, faults) ->
+          check_true name (rounds_equiv ~faults ()))
+        [
+          ("honest", fun () -> Fault.none);
+          ( "crash",
+            fun () -> Fault.model ~faulty:[ 1; 3 ] (Fault.Crash { at = 2 }) );
+          ( "omission",
+            fun () ->
+              Fault.model ~faulty:[ 1; 3 ]
+                (Fault.Omit { seed = 5; prob = 0.5 }) );
+          ("delay", fun () -> Fault.delay ~seed:3 ~max:2);
+          ( "fabricating byzantine",
+            fun () -> Fault.byzantine ~faulty:[ 1 ] fabricating_adv );
+          ( "byzantine + delay",
+            fun () ->
+              {
+                Fault.faulty = [ 1 ];
+                adversary = fabricating_adv;
+                delay_of = Some (fun ~src:_ ~dst ~k:_ -> dst mod 3);
+              } );
+        ])
+
+let horizon_drop_case =
+  case "rounds delays drop past-horizon sends with exact accounting"
+    (fun () ->
+      let actors, logs = sync_rig 2 in
+      let o =
+        Engine.run
+          ~faults:
+            {
+              Fault.faulty = [];
+              adversary = Adversary.honest;
+              delay_of = Some (fun ~src:_ ~dst:_ ~k:_ -> 10);
+            }
+          ~obs_prefix:"sim.sync" ~states:actors ~n:2
+          ~protocol:(Sync.protocol_of_actors actors)
+          ~scheduler:Scheduler.Rounds ~limit:3 ()
+      in
+      (* 3 rounds x 2 processes x 1 destination, all 10 rounds late:
+         every send falls past the horizon. *)
+      check_int "sent" 6 o.Engine.trace.Trace.messages_sent;
+      check_int "delivered" 0 o.Engine.trace.Trace.messages_delivered;
+      check_int "dropped" 6 o.Engine.trace.Trace.messages_dropped;
+      check_true "nothing was logged"
+        (Array.for_all (( = ) []) (logs ())))
+
+(* {2 Parallel batches: jobs-invariance, gauges included} *)
+
+let jobs_invariance_case =
+  case "a parallel batch of pooled runs is jobs-invariant (with gauges)"
+    (fun () ->
+      let batch jobs =
+        with_obs (fun () ->
+            let outs =
+              Par.map ~jobs
+                (fun seed ->
+                  let p =
+                    Om.async_protocol ~n:4 ~f:1 ~commanders:[ (0, 7) ]
+                      ~default:0 ~compare:Int.compare
+                  in
+                  let o =
+                    Engine.run
+                      ~faults:
+                        (Fault.model ~faulty:[ 3 ]
+                           (Fault.Omit { seed; prob = 0.5 }))
+                      ~obs_prefix:"engine.test" ~n:4 ~protocol:p
+                      ~scheduler:(Scheduler.Random seed) ~limit:400 ()
+                  in
+                  (Array.map p.Protocol.output o.Engine.states, o.Engine.trace))
+                (Array.init 8 Fun.id)
+            in
+            (outs, Obs.snapshot ()))
+      in
+      check_true "jobs 1 = jobs 4" (batch 1 = batch 4))
+
+(* {2 Envelope_pool unit tests} *)
+
+let pool_growth_case =
+  case "stable pool grows by doubling and drains in seq order" (fun () ->
+      let p = Envelope_pool.stable () in
+      check_int "initial capacity" 16 (Envelope_pool.capacity p);
+      for s = 0 to 99 do
+        Envelope_pool.push p ~now:0 ~victim:false ~src:s ~dst:(s + 1) ~born:0
+          ~ready:0 s
+      done;
+      check_int "live" 100 (Envelope_pool.live p);
+      check_int "next_seq" 100 (Envelope_pool.next_seq p);
+      check_true "capacity covers the load"
+        (Envelope_pool.capacity p >= 100);
+      check_int "occupancy high-water" 100 (Envelope_pool.max_live p);
+      for s = 0 to 99 do
+        check_int "first_live is the oldest seq" s (Envelope_pool.first_live p);
+        let src, dst, msg = Envelope_pool.remove_seq p s in
+        check_int "src" s src;
+        check_int "dst" (s + 1) dst;
+        check_int "msg" s msg
+      done;
+      check_int "drained" 0 (Envelope_pool.live p);
+      check_int "high-water survives draining" 100 (Envelope_pool.max_live p))
+
+let pool_reuse_case =
+  case "free list recycles slots: churn never grows the arena" (fun () ->
+      let p = Envelope_pool.stable () in
+      for s = 0 to 499 do
+        Envelope_pool.push p ~now:0 ~victim:false ~src:2 ~dst:3 ~born:0
+          ~ready:0 (s * s);
+        let _, _, msg = Envelope_pool.remove_seq p (Envelope_pool.first_live p) in
+        check_int "payload round-trips" (s * s) msg
+      done;
+      check_int "capacity never grew" 16 (Envelope_pool.capacity p);
+      check_int "seqs keep counting" 500 (Envelope_pool.next_seq p);
+      check_int "at most one live at a time" 1 (Envelope_pool.max_live p))
+
+let pool_kth_case =
+  case "kth_live ranks the surviving seqs" (fun () ->
+      let p = Envelope_pool.stable ~random:true () in
+      for s = 0 to 9 do
+        Envelope_pool.push p ~now:0 ~victim:false ~src:s ~dst:0 ~born:0
+          ~ready:0 s
+      done;
+      List.iter (fun s -> ignore (Envelope_pool.remove_seq p s)) [ 0; 4; 7 ];
+      let survivors = [ 1; 2; 3; 5; 6; 8; 9 ] in
+      check_int "live" (List.length survivors) (Envelope_pool.live p);
+      List.iteri
+        (fun k s -> check_int "k-th live seq" s (Envelope_pool.kth_live p k))
+        survivors)
+
+let pool_maturation_case =
+  case "immature envelopes mature in (ready, seq) order" (fun () ->
+      let p = Envelope_pool.stable ~delays:true () in
+      Envelope_pool.push p ~now:0 ~victim:false ~src:0 ~dst:1 ~born:0 ~ready:5
+        'a';
+      Envelope_pool.push p ~now:0 ~victim:false ~src:0 ~dst:1 ~born:0 ~ready:3
+        'b';
+      Envelope_pool.push p ~now:0 ~victim:false ~src:0 ~dst:1 ~born:0 ~ready:3
+        'c';
+      check_int "nothing eligible yet" 0 (Envelope_pool.eligible_count p);
+      (* fast-forward target: smallest (ready, seq) = (3, seq 1) *)
+      check_int "min-ready pop" 1 (Envelope_pool.min_ready_pop p);
+      let _, _, msg = Envelope_pool.remove_seq p 1 in
+      check_true "popped the right envelope" (msg = 'b');
+      Envelope_pool.mature p ~now:4;
+      check_int "ready-3 matured" 1 (Envelope_pool.eligible_count p);
+      check_int "first eligible" 2 (Envelope_pool.first_eligible p);
+      Envelope_pool.mature p ~now:5;
+      check_int "all matured" 2 (Envelope_pool.eligible_count p);
+      check_int "eligibility follows seq order" 0
+        (Envelope_pool.first_eligible p);
+      check_int "second eligible" 2 (Envelope_pool.kth_eligible p 1);
+      (* an already-ripe push is eligible immediately *)
+      Envelope_pool.push p ~now:5 ~victim:false ~src:0 ~dst:1 ~born:5 ~ready:5
+        'd';
+      check_int "ripe push skips the heap" 3 (Envelope_pool.eligible_count p))
+
+let pool_dense_case =
+  case "dense pool: swap-with-last removal and the oldest cursor" (fun () ->
+      let p = Envelope_pool.dense () in
+      List.iter
+        (fun s ->
+          Envelope_pool.push p ~now:0 ~victim:false ~src:s ~dst:0 ~born:0
+            ~ready:0 (10 * s))
+        [ 0; 1; 2; 3 ];
+      check_int "oldest at position 0" 0 (Envelope_pool.oldest_pos p);
+      let seq, src, _, msg = Envelope_pool.remove_at p 0 in
+      check_int "seq" 0 seq;
+      check_int "src" 0 src;
+      check_int "msg" 0 msg;
+      (* the last envelope moved into the hole *)
+      let order =
+        List.rev
+          (Envelope_pool.fold_pending p
+             (fun acc ~seq ~src:_ ~dst:_ _ -> seq :: acc)
+             [])
+      in
+      check_true "slot order after the swap" (order = [ 3; 1; 2 ]);
+      check_int "oldest is now seq 1 at position 1" 1
+        (Envelope_pool.oldest_pos p);
+      ignore (Envelope_pool.remove_at p 1);
+      check_int "oldest advances to seq 2" 1 (Envelope_pool.oldest_pos p);
+      check_int "live" 2 (Envelope_pool.live p))
+
+let pool_kind_mismatch_cases =
+  [
+    raises_invalid "stable order queries reject a dense pool" (fun () ->
+        Envelope_pool.first_live (Envelope_pool.dense ()));
+    raises_invalid "dense removal rejects a stable pool" (fun () ->
+        let p = Envelope_pool.stable () in
+        Envelope_pool.push p ~now:0 ~victim:false ~src:0 ~dst:0 ~born:0
+          ~ready:0 ();
+        Envelope_pool.remove_at p 0);
+  ]
+
+let suite =
+  [
+    pool_vs_reference_property;
+    all_protocols_all_schedulers_case;
+    rounds_reference_case;
+    horizon_drop_case;
+    jobs_invariance_case;
+    pool_growth_case;
+    pool_reuse_case;
+    pool_kth_case;
+    pool_maturation_case;
+    pool_dense_case;
+  ]
+  @ pool_kind_mismatch_cases

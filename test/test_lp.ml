@@ -143,4 +143,127 @@ let props =
         not (Lp.is_feasible ~nvars:3 rows));
   ]
 
-let suite = unit_tests @ props
+(* {2 Revised simplex vs the tableau oracle}
+
+   The engines pick entering columns differently (full Dantzig sweeps
+   vs candidate-list pricing), but both are exact simplex
+   implementations with the same two-phase structure and Bland
+   anti-cycling, so on any instance they must agree on status, and on
+   optimal instances on the (unique) optimal objective to numerical
+   tolerance; the tableau stays in the suite as the reference oracle
+   for its product-form sibling. *)
+
+let cross_gen =
+  QCheck.make
+    ~print:(fun (c, rows, maximize) ->
+      Printf.sprintf "c=%s rows=%d max=%b" (Vec.to_string c)
+        (List.length rows) maximize)
+    QCheck.Gen.(
+      let vec4 = array_size (return 4) (float_range (-3.) 3.) in
+      triple vec4
+        (list_size (int_range 2 8)
+           (triple vec4 (float_range (-2.) 5.) (int_range 0 2)))
+        bool)
+
+let row_of (a, b, k) =
+  match k with
+  | 0 -> Lp.( <= ) a b
+  | 1 -> Lp.( >= ) a b
+  | _ -> Lp.( = ) a b
+
+let satisfies x { Lp.coeffs; cmp; rhs } =
+  let lhs = Vec.dot coeffs x in
+  match cmp with
+  | Lp.Le -> lhs <= rhs +. 1e-6
+  | Lp.Ge -> lhs >= rhs -. 1e-6
+  | Lp.Eq -> Float.abs (lhs -. rhs) < 1e-6
+
+let cross_props =
+  [
+    qtest ~count:120 "revised simplex agrees with the tableau oracle"
+      cross_gen
+      (fun (c, raw, maximize) ->
+        let rows = List.map row_of raw in
+        let t = Lp.solve ~solver:Lp.Tableau ~maximize ~nvars:4 ~objective:c rows in
+        let r = Lp.solve ~solver:Lp.Revised ~maximize ~nvars:4 ~objective:c rows in
+        t.Lp.status = r.Lp.status
+        && (match (t.Lp.objective, r.Lp.objective) with
+           | Some a, Some b ->
+               Float.abs (a -. b) <= 1e-6 *. Float.max 1. (Float.abs a)
+           | None, None -> true
+           | _ -> false)
+        &&
+        match (r.Lp.status, r.Lp.solution) with
+        | Lp.Optimal, Some x ->
+            List.for_all (satisfies x) rows
+            && Array.for_all (fun v -> v >= -1e-7) x
+        | Lp.Optimal, None -> false
+        | _ -> true);
+  ]
+
+let revised_auto_case =
+  case "auto picks the revised engine on large wide instances and agrees"
+    (fun () ->
+      (* 240 variables packed into 16 disjoint group-capacity rows plus
+         one covering row: large (m * (ncols + 1) crosses the auto
+         threshold) and column-rich (nstruct >> m), so [Auto] must
+         route to the revised engine (visible through its
+         [lp.basis_updates] counter) and still land on the tableau's
+         optimum. *)
+      let n = 240 in
+      let groups = 16 in
+      let objective =
+        Array.init n (fun i -> 1. +. (float_of_int ((i * 7) mod 11) /. 10.))
+      in
+      let rows =
+        List.init groups (fun g ->
+            Lp.( <= )
+              (Array.init n (fun j -> if j mod groups = g then 1. else 0.))
+              1.)
+        @ [ Lp.( >= ) (Array.make n 1.) 4. ]
+      in
+      let with_counters solver =
+        Obs.reset ();
+        Obs.set_enabled true;
+        Fun.protect
+          (fun () ->
+            let r = Lp.solve ~solver ~nvars:n ~objective rows in
+            let snap = Obs.snapshot () in
+            ( r.Lp.status,
+              r.Lp.objective,
+              List.assoc_opt "lp.basis_updates" snap.Obs.counters ))
+          ~finally:(fun () ->
+            Obs.set_enabled false;
+            Obs.reset ())
+      in
+      let st_t, ob_t, bu_t = with_counters Lp.Tableau in
+      let st_a, ob_a, bu_a = with_counters Lp.Auto in
+      check_true "both optimal" (st_t = Lp.Optimal && st_a = Lp.Optimal);
+      check_float ~eps:1e-6 "same optimum" (Option.get ob_t) (Option.get ob_a);
+      check_true "tableau path records no basis updates" (bu_t = None);
+      check_true "auto routed to the revised engine"
+        (match bu_a with Some k -> k > 0 | None -> false))
+
+let forced_revised_small_case =
+  case "forced revised solves the textbook instances too" (fun () ->
+      let r =
+        solve ~solver:Lp.Revised ~maximize:true ~nvars:2
+          ~objective:[| 3.; 2. |]
+          Lp.[ [| 1.; 1. |] <= 4.; [| 1.; 3. |] <= 6. ]
+      in
+      check_true "optimal" (status r = Lp.Optimal);
+      check_float ~eps:1e-9 "obj" 12. (obj r);
+      let i =
+        solve ~solver:Lp.Revised ~nvars:1 ~objective:[| 0. |]
+          Lp.[ [| 1. |] >= 2.; [| 1. |] <= 1. ]
+      in
+      check_true "infeasible" (status i = Lp.Infeasible);
+      let u =
+        solve ~solver:Lp.Revised ~maximize:true ~nvars:1 ~objective:[| 1. |]
+          Lp.[ [| 1. |] >= 0. ]
+      in
+      check_true "unbounded" (status u = Lp.Unbounded))
+
+let suite =
+  unit_tests @ props @ cross_props
+  @ [ revised_auto_case; forced_revised_small_case ]

@@ -8,11 +8,11 @@ let unit_tests =
         check_int "dst" 2 e.Msg.dst;
         check_int "time" 3 e.Msg.time;
         Alcotest.(check string) "payload" "payload" e.Msg.payload);
-    case "deprecated round alias reads the time field" (fun () ->
+    case "time is one monotone clock across executors" (fun () ->
+        (* [time] is the only clock: sync round number or async delivery
+           step, depending on the executor (the [round] alias is gone). *)
         let e = Msg.envelope ~src:1 ~dst:2 ~time:9 () in
-        check_int "round alias"
-          9
-          ((Msg.round [@warning "-3"] [@alert "-deprecated"]) e));
+        check_int "time" 9 e.Msg.time);
     case "pp_envelope formats" (fun () ->
         let e = Msg.envelope ~src:0 ~dst:4 ~time:7 42 in
         let s =
