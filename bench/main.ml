@@ -329,6 +329,31 @@ let bench_hull_consensus () =
   ( name,
     (fun () -> ignore (Hull_consensus.run inst ())))
 
+let bench_wire_roundtrip ~msgs ~d () =
+  let name = Printf.sprintf "wire encode+decode msgs=%d d=%d" msgs d in
+  let rng = bench_rng name in
+  (* a representative round barrier: one batch frame of vector payloads,
+     through the full encode -> frame -> parse path both sides pay per
+     (round, edge) *)
+  let payload =
+    Persist.Obj
+      [
+        ("t", Persist.String "batch");
+        ("round", Persist.Int 3);
+        ( "msgs",
+          Persist.List
+            (List.init msgs (fun _ ->
+                 Persist.List
+                   (List.init d (fun _ ->
+                        Wire.float_to_json (Rng.float rng 1.))))) );
+      ]
+  in
+  ( name,
+    fun () ->
+      match Wire.decode (Wire.encode payload) with
+      | Ok _ -> ()
+      | Error _ -> assert false )
+
 let tests =
   [
     bench_lp ~rows:20 ~cols:20 ();
@@ -374,6 +399,8 @@ let tests =
     bench_engine_fifo ~n:500 ();
     bench_engine_fifo ~n:500 ~reference:true ();
     bench_engine_fifo ~n:2000 ();
+    bench_wire_roundtrip ~msgs:16 ~d:8 ();
+    bench_wire_roundtrip ~msgs:128 ~d:8 ();
   ]
 
 type bench_result = {

@@ -140,40 +140,75 @@ let experiments_cmd =
 
 (* ---------------- run ---------------- *)
 
+(* Custom Arg.conv parsers use the same strict decimal numerals as
+   Fault.spec_of_string: int_of_string_opt's OCaml-literal leniency
+   would accept "k:0x3" or "delta:1_0:2", forms every replay artifact
+   parser (Persist) rejects. Error messages follow the Fault.usage
+   style: "<field>: bad <what> (<usage>)". *)
+
+let validity_usage =
+  "expected standard, k:K, delta:DELTA:P or input-dep:P"
+
 let validity_conv =
   let parse s =
     match String.split_on_char ':' s with
     | [ "standard" ] -> Ok Problem.Standard
     | [ "k"; k ] -> (
-        match int_of_string_opt k with
+        match Fault.int_of_decimal k with
         | Some k when k >= 1 -> Ok (Problem.K_relaxed k)
-        | _ -> Error (`Msg "k must be a positive integer"))
+        | _ -> Error (`Msg ("k: bad relaxation count (" ^ validity_usage ^ ")")))
     | [ "delta"; d; p ] -> (
-        match (float_of_string_opt d, float_of_string_opt p) with
+        match (Fault.float_of_decimal d, Fault.float_of_decimal p) with
         | Some delta, Some p when delta >= 0. && p >= 1. ->
             Ok (Problem.Delta_p { delta; p })
-        | _ -> Error (`Msg "expected delta:<delta>:<p>"))
+        | _ -> Error (`Msg ("delta: bad delta or p (" ^ validity_usage ^ ")")))
     | [ "input-dep"; p ] -> (
-        match float_of_string_opt p with
+        match Fault.float_of_decimal p with
         | Some p when p >= 1. -> Ok (Problem.Input_dependent { p })
-        | _ -> Error (`Msg "expected input-dep:<p>"))
-    | _ ->
-        Error
-          (`Msg
-            "validity is one of: standard | k:<k> | delta:<delta>:<p> | \
-             input-dep:<p>")
+        | _ -> Error (`Msg ("input-dep: bad p (" ^ validity_usage ^ ")")))
+    | _ -> Error (`Msg validity_usage)
   in
   let print ppf v = Problem.pp_validity ppf v in
   Arg.conv (parse, print)
+
+(* Bounded-from-below int conv: the plain [Arg.int] run/serve parameters
+   (n, f, d, rounds, ...) accepted "0x3" and unvalidated negatives that
+   only surfaced as a library backtrace deep in Problem.make. *)
+let bounded_int_conv ~what ~min:lo =
+  let parse s =
+    match Fault.int_of_decimal s with
+    | Some v when v >= lo -> Ok v
+    | _ ->
+        Error
+          (`Msg
+            (Printf.sprintf "%s: bad value (expected a decimal integer >= %d)"
+               what lo))
+  in
+  Arg.conv (parse, Format.pp_print_int)
 
 let fault_conv =
   let parse s = Result.map_error (fun e -> `Msg e) (Fault.spec_of_string s) in
   Arg.conv (parse, Fault.pp_spec)
 
 let run_cmd =
-  let n = Arg.(value & opt int 5 & info [ "n" ] ~doc:"Number of processes.") in
-  let f = Arg.(value & opt int 1 & info [ "f" ] ~doc:"Fault bound.") in
-  let d = Arg.(value & opt int 3 & info [ "d" ] ~doc:"Input dimension.") in
+  let n =
+    Arg.(
+      value
+      & opt (bounded_int_conv ~what:"n" ~min:1) 5
+      & info [ "n" ] ~doc:"Number of processes.")
+  in
+  let f =
+    Arg.(
+      value
+      & opt (bounded_int_conv ~what:"f" ~min:0) 1
+      & info [ "f" ] ~doc:"Fault bound.")
+  in
+  let d =
+    Arg.(
+      value
+      & opt (bounded_int_conv ~what:"d" ~min:1) 3
+      & info [ "d" ] ~doc:"Input dimension.")
+  in
   let validity =
     Arg.(
       value
@@ -190,14 +225,23 @@ let run_cmd =
           ~doc:"Asynchronous system (approximate consensus) instead of \
                 synchronous (exact).")
   in
+  let eps_conv =
+    let parse s =
+      match Fault.float_of_decimal s with
+      | Some v when v > 0. -> Ok v
+      | _ -> Error (`Msg "eps: bad tolerance (expected a decimal float > 0)")
+    in
+    Arg.conv (parse, Format.pp_print_float)
+  in
   let eps =
     Arg.(
-      value & opt float 0.05
+      value & opt eps_conv 0.05
       & info [ "eps" ] ~doc:"Agreement tolerance for --async.")
   in
   let nfaulty =
     Arg.(
-      value & opt int 1
+      value
+      & opt (bounded_int_conv ~what:"faulty" ~min:0) 1
       & info [ "faulty" ] ~doc:"Number of actually-faulty processes (<= f).")
   in
   let fault =
@@ -214,6 +258,9 @@ let run_cmd =
              seeded uniform draw from 0..MAX rounds/steps).")
   in
   let run seed n f d validity async eps nfaulty fault =
+   (* remaining cross-parameter validation (e.g. n vs (d+2)f+1) lives in
+      the library; surface it as a clean CLI error, not a backtrace *)
+   try
     let rng = Rng.create seed in
     let faulty = List.init (Int.min nfaulty f) (fun i -> n - 1 - i) in
     let inst = Problem.random_instance rng ~n ~f ~d ~faulty in
@@ -243,6 +290,9 @@ let run_cmd =
       out.Runner.honest_outputs;
     Format.printf "%a@." Runner.pp out;
     if Runner.ok out then 0 else 1
+   with Invalid_argument msg ->
+     Format.eprintf "rbvc run: %s@." msg;
+     2
   in
   let term =
     Term.(
@@ -367,18 +417,19 @@ let adversary_conv =
     | [ "garbage" ] -> Ok `Garbage
     | [ "greedy" ] -> Ok `Greedy
     | [ "skew"; x ] -> (
-        match float_of_string_opt x with
+        match Fault.float_of_decimal x with
         | Some x -> Ok (`Skew x)
-        | None -> Error (`Msg "expected skew:<factor>"))
+        | None -> Error (`Msg "skew: bad factor (expected skew:FACTOR)"))
     | [ "equivocate"; x ] -> (
-        match float_of_string_opt x with
+        match Fault.float_of_decimal x with
         | Some x -> Ok (`Equivocate x)
-        | None -> Error (`Msg "expected equivocate:<factor>"))
+        | None ->
+            Error (`Msg "equivocate: bad factor (expected equivocate:FACTOR)"))
     | _ ->
         Error
           (`Msg
-            "adversary is one of: obedient | silent | garbage | greedy | \
-             skew:<s> | equivocate:<s>")
+            "expected obedient, silent, garbage, greedy, skew:FACTOR or \
+             equivocate:FACTOR")
   in
   let print ppf a = Format.pp_print_string ppf (adversary_to_string a) in
   Arg.conv (parse, print)
@@ -390,9 +441,14 @@ let schedule_conv =
         (String.map (function ',' -> ';' | c -> c) s)
       |> List.filter (fun x -> String.trim x <> "")
     in
-    let ints = List.map (fun x -> int_of_string_opt (String.trim x)) parts in
+    (* negative decisions are legitimate (Scheduler.wrap: -1 names the
+       last live slot), but the numerals themselves are strict decimal *)
+    let ints = List.map Fault.int_of_decimal parts in
     if List.exists Option.is_none ints then
-      Error (`Msg "schedule must be integers separated by ';' or ','")
+      Error
+        (`Msg
+          "schedule: bad decision (expected decimal integers separated by \
+           ';' or ',')")
     else Ok (List.map Option.get ints)
   in
   let print ppf ds =
@@ -1042,6 +1098,232 @@ let validate_cmd =
           gate on the very parsers replays and specs depend on.")
     Term.(const run $ path)
 
+(* ---------------- serve / submit ---------------- *)
+
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"Address to bind / connect to.")
+
+let serve_cmd =
+  let port =
+    Arg.(
+      value
+      & opt (bounded_int_conv ~what:"port" ~min:0) 0
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"TCP port (0 = ephemeral; the bound port is printed).")
+  in
+  let stats_port =
+    Arg.(
+      value
+      & opt (some (bounded_int_conv ~what:"stats-port" ~min:0)) None
+      & info [ "stats-port" ] ~docv:"PORT"
+          ~doc:
+            "Also serve live rbvc-metrics/1 JSON over HTTP on $(docv) (0 = \
+             ephemeral). Omit to disable the endpoint.")
+  in
+  let shards =
+    Arg.(
+      value
+      & opt (bounded_int_conv ~what:"shards" ~min:0) 0
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Worker domains; instance keys hash onto them (0 = the \
+             $(b,RBVC_JOBS) / core-count default, capped at 8).")
+  in
+  let queue_cap =
+    Arg.(
+      value
+      & opt (bounded_int_conv ~what:"queue-cap" ~min:1) 256
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:"Per-shard job-queue bound (connections block when full).")
+  in
+  let run host port stats_port shards queue_cap =
+    let config =
+      { Serve.default_config with host; port; stats_port; shards; queue_cap }
+    in
+    Serve.run
+      ~on_ready:(fun ~port ~stats_port ->
+        Format.printf "rbvc serve: listening on %s:%d@." host port;
+        (match stats_port with
+        | Some sp ->
+            Format.printf "rbvc serve: stats on http://%s:%d/@." host sp
+        | None -> ());
+        Format.print_flush ())
+      config;
+    Format.printf "rbvc serve: stopped@.";
+    0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Host many concurrent consensus instances over TCP: requests name \
+          an instance key and (proto, seed, n, f, d, rounds); responses \
+          carry the decision vector the deterministic engine produces for \
+          those parameters. Keys shard across worker domains; \
+          $(b,--stats-port) exposes live metrics; SIGINT/SIGTERM or a \
+          client shutdown request stop it gracefully.")
+    Term.(const run $ host_arg $ port $ stats_port $ shards $ queue_cap)
+
+let submit_cmd =
+  let port =
+    Arg.(
+      required
+      & opt (some (bounded_int_conv ~what:"port" ~min:1)) None
+      & info [ "port" ] ~docv:"PORT" ~doc:"Daemon port.")
+  in
+  let key =
+    Arg.(
+      value & opt string "cli"
+      & info [ "key" ] ~docv:"KEY"
+          ~doc:
+            "Instance key (the sharding unit); with --count N the keys are \
+             $(docv)-0 .. $(docv)-N-1.")
+  in
+  let proto =
+    Arg.(
+      value & opt string "om"
+      & info [ "proto" ] ~docv:"PROTO"
+          ~doc:
+            (Printf.sprintf "Protocol: %s." (String.concat ", " Codecs.names)))
+  in
+  let n =
+    Arg.(
+      value
+      & opt (bounded_int_conv ~what:"n" ~min:1) 4
+      & info [ "n" ] ~doc:"Number of processes.")
+  in
+  let f =
+    Arg.(
+      value
+      & opt (bounded_int_conv ~what:"f" ~min:0) 1
+      & info [ "f" ] ~doc:"Fault bound.")
+  in
+  let d =
+    Arg.(
+      value
+      & opt (bounded_int_conv ~what:"d" ~min:1) 1
+      & info [ "d" ] ~doc:"Input dimension (vector protocols).")
+  in
+  let rounds =
+    Arg.(
+      value
+      & opt (bounded_int_conv ~what:"rounds" ~min:0) 1
+      & info [ "rounds" ] ~doc:"Rounds (bracha / algo-iterative).")
+  in
+  let count =
+    Arg.(
+      value
+      & opt (bounded_int_conv ~what:"count" ~min:0) 1
+      & info [ "count" ] ~docv:"N"
+          ~doc:
+            "Submit $(docv) instances (seed+i, key-i) pipelined on one \
+             connection; 0 sends nothing (useful with --shutdown).")
+  in
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Re-run every instance through the local deterministic engine \
+             and fail unless the served decision vectors are byte-identical.")
+  in
+  let stop =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ] ~doc:"Ask the daemon to stop when done.")
+  in
+  let run host port key proto seed n f d rounds count verify stop =
+    let reqs =
+      List.init count (fun i ->
+          {
+            Serve.key = (if count = 1 then key else Printf.sprintf "%s-%d" key i);
+            proto;
+            seed = seed + i;
+            n;
+            f;
+            d;
+            rounds;
+          })
+    in
+    let code =
+      if reqs = [] then 0
+      else
+        match Serve.submit ~host ~port reqs with
+        | Error e ->
+            Format.eprintf "rbvc submit: %s@." e;
+            2
+        | Ok resps ->
+            let bad = ref 0 in
+            List.iter
+              (fun r ->
+                match r.Serve.decisions with
+                | Some dec when r.Serve.ok ->
+                    (if verify then
+                       let req = List.nth reqs r.Serve.id in
+                       let local =
+                         match
+                           Codecs.make_checked ~proto:req.Serve.proto
+                             ~seed:req.Serve.seed ~n:req.Serve.n ~f:req.Serve.f
+                             ~d:req.Serve.d ~rounds:req.Serve.rounds
+                         with
+                         | Error e -> Error e
+                         | Ok packed -> (
+                             match Codecs.engine_decisions packed with
+                             | dec -> Ok dec
+                             | exception e -> Error (Printexc.to_string e))
+                       in
+                       match local with
+                       | Error e ->
+                           incr bad;
+                           Format.eprintf "%s: local engine: %s@." r.Serve.r_key
+                             e
+                       | Ok local ->
+                           if Persist.to_string local <> Persist.to_string dec
+                           then begin
+                             incr bad;
+                             Format.eprintf
+                               "%s: MISMATCH between served and local engine \
+                                decisions@."
+                               r.Serve.r_key
+                           end);
+                    if count = 1 then
+                      Format.printf "%s@." (Persist.to_string dec)
+                | _ ->
+                    incr bad;
+                    Format.eprintf "%s: error: %s@." r.Serve.r_key
+                      (Option.value ~default:"(no error message)"
+                         r.Serve.error))
+              resps;
+            if count > 1 then
+              Format.printf "%d/%d ok%s@."
+                (List.length resps - !bad)
+                (List.length resps)
+                (if verify then ", verified against the local engine" else "");
+            if !bad > 0 then 1 else 0
+    in
+    if stop then (
+      match Serve.shutdown ~host ~port () with
+      | Ok () ->
+          Format.printf "rbvc submit: daemon stopped@.";
+          code
+      | Error e ->
+          Format.eprintf "rbvc submit: shutdown: %s@." e;
+          if code = 0 then 2 else code)
+    else code
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit consensus instances to a running $(b,rbvc serve) daemon \
+          and print the decision vectors; $(b,--verify) cross-checks every \
+          response against a local deterministic engine run at the same \
+          parameters, $(b,--count) pipelines many instances on one \
+          connection.")
+    Term.(
+      const run $ host_arg $ port $ key $ proto $ seed_arg $ n $ f $ d
+      $ rounds $ count $ verify $ stop)
+
 (* ---------------- bench ---------------- *)
 
 (* Read an rbvc-bench/2 file into (name, (ns_per_run, counters)). *)
@@ -1401,6 +1683,8 @@ let main_cmd =
       save_cmd;
       replay_cmd;
       validate_cmd;
+      serve_cmd;
+      submit_cmd;
       bench_cmd;
       trace_cmd;
     ]

@@ -34,14 +34,38 @@ let of_float x =
     else make (Bigint.of_int mantissa) (pow2 (-exp) Bigint.one)
   end
 
+(* Decimal digit count of |x| (0 for zero). *)
+let digits x =
+  let s = Bigint.to_string (Bigint.abs x) in
+  if s = "0" then 0 else String.length s
+
+let pow10 k =
+  let ten = Bigint.of_int 10 in
+  let rec go k acc = if k = 0 then acc else go (k - 1) (Bigint.mul acc ten) in
+  go k Bigint.one
+
 let to_float t =
-  (* good enough for reporting: go through strings only when the parts
-     exceed native range *)
   match (Bigint.to_int_opt t.n, Bigint.to_int_opt t.d) with
   | Some n, Some d -> float_of_int n /. float_of_int d
   | _ ->
-      float_of_string (Bigint.to_string t.n)
-      /. float_of_string (Bigint.to_string t.d)
+      (* Converting numerator and denominator separately overflows to
+         inf/inf = nan as soon as both exceed ~10^308, even when the
+         quotient itself is representable (10^400/10^399 must be 10, not
+         nan). Instead strip the matched decimal magnitude: scale so the
+         integer quotient q = (n * 10^max(0,e)) / (d * 10^max(0,-e))
+         keeps ~25 significant digits, then let strtod's
+         correctly-rounded decimal conversion place the exponent —
+         "<q>e<-e>" covers the whole double range, subnormals and
+         overflow to inf included. *)
+      let e = digits t.d - digits t.n + 25 in
+      let n' =
+        if e >= 0 then Bigint.mul t.n (pow10 e) else t.n
+      in
+      let d' =
+        if e >= 0 then t.d else Bigint.mul t.d (pow10 (-e))
+      in
+      let q, _ = Bigint.divmod n' d' in
+      float_of_string (Bigint.to_string q ^ "e" ^ string_of_int (-e))
 
 let sign t = Bigint.sign t.n
 let is_zero t = Bigint.is_zero t.n

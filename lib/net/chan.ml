@@ -1,0 +1,65 @@
+(* Bounded blocking queue shared by the node runner (per-peer frame
+   queues) and the serve daemon (per-shard job queues). Failure is
+   first-class: [fail] poisons the channel so every blocked or future
+   producer/consumer raises instead of deadlocking — how an IO error on
+   one thread surfaces in the thread that owns the protocol loop. *)
+
+type 'a t = {
+  q : 'a Queue.t;
+  cap : int;
+  m : Mutex.t;
+  nonempty : Condition.t;
+  nonfull : Condition.t;
+  mutable failed : string option;
+}
+
+let make cap =
+  if cap < 1 then invalid_arg "Chan.make: cap must be >= 1";
+  {
+    q = Queue.create ();
+    cap;
+    m = Mutex.create ();
+    nonempty = Condition.create ();
+    nonfull = Condition.create ();
+    failed = None;
+  }
+
+let fail t msg =
+  Mutex.lock t.m;
+  if t.failed = None then t.failed <- Some msg;
+  Condition.broadcast t.nonempty;
+  Condition.broadcast t.nonfull;
+  Mutex.unlock t.m
+
+let push t x =
+  Mutex.lock t.m;
+  while Queue.length t.q >= t.cap && t.failed = None do
+    Condition.wait t.nonfull t.m
+  done;
+  match t.failed with
+  | Some msg ->
+      Mutex.unlock t.m;
+      failwith msg
+  | None ->
+      Queue.push x t.q;
+      Condition.signal t.nonempty;
+      Mutex.unlock t.m
+
+(* Pending items drain before the failure is raised, so a consumer sees
+   everything produced before the poisoning. *)
+let pop t =
+  Mutex.lock t.m;
+  while Queue.is_empty t.q && t.failed = None do
+    Condition.wait t.nonempty t.m
+  done;
+  if Queue.is_empty t.q then begin
+    let msg = Option.get t.failed in
+    Mutex.unlock t.m;
+    failwith msg
+  end
+  else begin
+    let x = Queue.pop t.q in
+    Condition.signal t.nonfull;
+    Mutex.unlock t.m;
+    x
+  end

@@ -1,0 +1,20 @@
+(** Bounded blocking queue with first-class failure, shared by the
+    {!Node} runner (per-peer frame queues) and the {!Serve} daemon
+    (per-shard job queues). *)
+
+type 'a t
+
+val make : int -> 'a t
+(** [make cap]: blocks producers at [cap] queued items. *)
+
+val push : 'a t -> 'a -> unit
+(** Blocks while full. Raises [Failure] once the channel is
+    {!fail}ed. *)
+
+val pop : 'a t -> 'a
+(** Blocks while empty. Items queued before a {!fail} still drain;
+    raises [Failure] once the channel is failed {e and} empty. *)
+
+val fail : 'a t -> string -> unit
+(** Poison the channel: wake everyone, make blocked and future
+    operations raise [Failure msg] (first message wins). Idempotent. *)

@@ -1,0 +1,222 @@
+(* Wire codecs for the engine protocols that run under lock-step rounds,
+   packed with everything a host needs to run one: the protocol value,
+   its codec, the round count, and a renderer from final states to a
+   decision-vector JSON. One registry shared by the serve daemon, the
+   CLI and the equivalence tests, so all three agree on construction —
+   the same (proto, seed, n, f, d, rounds) names the same run
+   everywhere. *)
+
+open Persist
+
+let ( let* ) = Result.bind
+
+(* ---------------- om / algo-exact entries ---------------- *)
+
+let om_entry_to_json enc_v (e : _ Om.entry) =
+  Obj
+    [
+      ("c", Int e.Om.commander);
+      ("p", List (List.map (fun p -> Int p) e.Om.path));
+      ("v", enc_v e.Om.value);
+    ]
+
+let om_entry_of_json dec_v j =
+  let* commander = Wire.int_field "c" j in
+  let* path = Wire.list_field "p" j in
+  let* path = Wire.list_dec Wire.int_of_json path in
+  let* v = Wire.field "v" j in
+  let* value = dec_v v in
+  Ok { Om.commander; path; value }
+
+let om_msg_codec ~proto enc_v dec_v =
+  Wire.codec ~proto
+    ~enc:(fun entries -> List (List.map (om_entry_to_json enc_v) entries))
+    ~dec:(function
+      | List items -> Wire.list_dec (om_entry_of_json dec_v) items
+      | _ -> Error "om message must be an array of entries")
+
+(* ---------------- bracha messages ---------------- *)
+
+let bracha_msg_to_json = function
+  | Bracha.Initial { originator; value } ->
+      Obj [ ("k", String "initial"); ("o", Int originator); ("v", Int value) ]
+  | Bracha.Echo { originator; value } ->
+      Obj [ ("k", String "echo"); ("o", Int originator); ("v", Int value) ]
+  | Bracha.Ready { originator; value } ->
+      Obj [ ("k", String "ready"); ("o", Int originator); ("v", Int value) ]
+
+let bracha_msg_of_json j =
+  let* k = Wire.string_field "k" j in
+  let* originator = Wire.int_field "o" j in
+  let* value = Wire.int_field "v" j in
+  match k with
+  | "initial" -> Ok (Bracha.Initial { originator; value })
+  | "echo" -> Ok (Bracha.Echo { originator; value })
+  | "ready" -> Ok (Bracha.Ready { originator; value })
+  | _ -> Error (Printf.sprintf "unknown bracha message kind %S" k)
+
+(* ---------------- iterative messages ---------------- *)
+
+let iter_msg_to_json (round, x) =
+  Obj [ ("r", Int round); ("x", Wire.vec_to_json x) ]
+
+let iter_msg_of_json j =
+  let* round = Wire.int_field "r" j in
+  let* xj = Wire.field "x" j in
+  let* x = Wire.vec_of_json xj in
+  Ok (round, x)
+
+(* ---------------- the packed registry ---------------- *)
+
+type packed =
+  | P : {
+      name : string;
+      n : int;
+      rounds : int;
+      protocol : ('s, 'm, 'o) Protocol.t;
+      codec : 'm Wire.codec;
+      render : 's array -> Persist.json;
+    }
+      -> packed
+
+let names = [ "om"; "bracha"; "algo-exact"; "algo-iterative" ]
+
+(* Construction mirrors the CLI's model-checking targets (check_target
+   in bin/rbvc_cli.ml): the seed determines commander values / inputs /
+   the random instance the same way, so a served run is comparable with
+   the simulated and model-checked ones. *)
+let make ~proto ~seed ~n ~f ~d ~rounds =
+  (* Om.protocol itself only needs 0 <= f < n to run, but Byzantine
+     agreement is impossible below n = 3f + 1 — a service should reject
+     a doomed configuration up front, as Bracha.protocol already does. *)
+  if f > 0 && n < (3 * f) + 1 then
+    invalid_arg
+      (Printf.sprintf "infeasible: n = %d < 3f + 1 = %d" n ((3 * f) + 1));
+  match proto with
+  | "om" ->
+      let v = 7 + (seed mod 89) in
+      let protocol =
+        Om.protocol ~n ~f ~commanders:[ (0, v) ] ~default:0
+          ~compare:Int.compare
+      in
+      Ok
+        (P
+           {
+             name = proto;
+             n;
+             rounds = f + 1;
+             protocol;
+             codec =
+               om_msg_codec ~proto
+                 (fun v -> Int v)
+                 Wire.int_of_json;
+             render =
+               (fun states ->
+                 List
+                   (Array.to_list states
+                   |> List.map (fun st ->
+                          let row = protocol.Protocol.output st in
+                          List (Array.to_list row |> List.map (fun v -> Int v)))));
+           })
+  | "bracha" ->
+      let inputs = Array.init n (fun i -> seed + i) in
+      let protocol = Bracha.protocol ~n ~f ~inputs ~compare:Int.compare in
+      Ok
+        (P
+           {
+             name = proto;
+             n;
+             rounds = max 1 rounds;
+             protocol;
+             codec =
+               Wire.codec ~proto ~enc:bracha_msg_to_json
+                 ~dec:bracha_msg_of_json;
+             render =
+               (fun states ->
+                 List
+                   (Array.to_list states
+                   |> List.map (fun st ->
+                          let row = protocol.Protocol.output st in
+                          List
+                            (Array.to_list row
+                            |> List.map (function
+                                 | None -> Null
+                                 | Some v -> Int v)))));
+           })
+  | "algo-exact" ->
+      let inst = Problem.random_instance (Rng.create seed) ~n ~f ~d ~faulty:[] in
+      let protocol = Algo_exact.protocol inst ~validity:Problem.Standard in
+      Ok
+        (P
+           {
+             name = proto;
+             n;
+             rounds = f + 1;
+             protocol;
+             codec = om_msg_codec ~proto Wire.vec_to_json Wire.vec_of_json;
+             render =
+               (fun states ->
+                 List
+                   (Array.to_list states
+                   |> List.map (fun st ->
+                          match protocol.Protocol.output st with
+                          | None -> Null
+                          | Some (point, delta) ->
+                              Obj
+                                [
+                                  ("point", Wire.vec_to_json point);
+                                  ("delta", Wire.float_to_json delta);
+                                ])));
+           })
+  | "algo-iterative" ->
+      let inst = Problem.random_instance (Rng.create seed) ~n ~f ~d ~faulty:[] in
+      let rounds = max 1 rounds in
+      let protocol = Algo_iterative.protocol inst ~rounds in
+      Ok
+        (P
+           {
+             name = proto;
+             n;
+             (* under lock-step rounds every engine round completes one
+                iteration; one extra round lets the last advance land *)
+             rounds = rounds + 1;
+             protocol;
+             codec =
+               Wire.codec ~proto ~enc:iter_msg_to_json ~dec:iter_msg_of_json;
+             render =
+               (fun states ->
+                 List
+                   (Array.to_list states
+                   |> List.map (fun st ->
+                          Wire.vec_to_json (protocol.Protocol.output st))));
+           })
+  | other ->
+      Error
+        (Printf.sprintf "unknown protocol %S (expected %s)" other
+           (String.concat " | " names))
+
+let make_checked ~proto ~seed ~n ~f ~d ~rounds =
+  (* protocol constructors validate (n, f, d) with Invalid_argument;
+     a service turns that into an error response, not a crash *)
+  match make ~proto ~seed ~n ~f ~d ~rounds with
+  | exception Invalid_argument msg -> Error msg
+  | r -> r
+
+let engine_decisions (P p) =
+  let outcome =
+    Engine.run ~n:p.n ~protocol:p.protocol ~scheduler:Scheduler.Rounds
+      ~limit:p.rounds ()
+  in
+  p.render outcome.Engine.states
+
+let cluster_decisions ?queue_cap ?(transport = `Tcp) (P p) =
+  let states =
+    match transport with
+    | `Tcp ->
+        Node.cluster_tcp ?queue_cap ~protocol:p.protocol ~codec:p.codec
+          ~n:p.n ~rounds:p.rounds ()
+    | `Mem ->
+        Node.cluster_mem ?queue_cap ~protocol:p.protocol ~codec:p.codec
+          ~n:p.n ~rounds:p.rounds ()
+  in
+  p.render states

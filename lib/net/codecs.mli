@@ -1,0 +1,63 @@
+(** Wire codecs for the round-based engine protocols, packed with
+    everything a host needs to run one — the registry shared by the
+    {!Serve} daemon, the CLI and the equivalence tests, so all three
+    agree that the same [(proto, seed, n, f, d, rounds)] names the same
+    run.
+
+    Construction mirrors the CLI's model-checking targets: OM broadcasts
+    [7 + seed mod 89] from commander 0, Bracha's inputs are
+    [seed + i], the vector algorithms draw their instance from
+    [Rng.create seed] — so a served decision is directly comparable with
+    a simulated or model-checked one at the same parameters. *)
+
+type packed =
+  | P : {
+      name : string;
+      n : int;
+      rounds : int;
+          (** lock-step rounds to run — the engine [limit] and the
+              networked round count, by construction equal *)
+      protocol : ('s, 'm, 'o) Protocol.t;
+      codec : 'm Wire.codec;
+      render : 's array -> Persist.json;
+          (** decision vector of the final states, via the protocol's
+              output hook — the value the equivalence tests compare
+              byte-for-byte across hosts *)
+    }
+      -> packed
+
+val names : string list
+(** [["om"; "bracha"; "algo-exact"; "algo-iterative"]]. *)
+
+val make :
+  proto:string ->
+  seed:int ->
+  n:int ->
+  f:int ->
+  d:int ->
+  rounds:int ->
+  (packed, string) result
+(** [rounds] is the iteration / delivery-round budget for the protocols
+    parameterized by one (bracha, algo-iterative); the OM-phase
+    protocols always run their [f + 1] relay rounds. Propagates the
+    constructors' [Invalid_argument] on infeasible [(n, f, d)] — use
+    {!make_checked} where a clean [Error] is needed. *)
+
+val make_checked :
+  proto:string ->
+  seed:int ->
+  n:int ->
+  f:int ->
+  d:int ->
+  rounds:int ->
+  (packed, string) result
+(** {!make} with [Invalid_argument] converted to [Error]. *)
+
+val engine_decisions : packed -> Persist.json
+(** Run under [Engine.run ~scheduler:Rounds] and render the decision
+    vector — the simulation side of the equivalence. *)
+
+val cluster_decisions :
+  ?queue_cap:int -> ?transport:[ `Tcp | `Mem ] -> packed -> Persist.json
+(** Run the same protocol value over a loopback {!Node.cluster}
+    (default real TCP sockets) and render the decision vector. *)

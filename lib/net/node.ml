@@ -1,0 +1,278 @@
+(* Lock-step execution of an engine protocol over real transport links.
+
+   The runner replicates [Engine.run ~scheduler:Rounds] with [Fault.none]
+   exactly: carry is seeded by [on_start]; each round's outbox is
+   [carry @ on_tick ~time:round]; every destination receives its whole
+   round batch as [(source, payload)] pairs in ascending source order
+   (self-sends in place, a source's messages in outbox order); and
+   [on_receive ~time:round] runs unconditionally every round, empty
+   batch included. The round barrier is the wire itself: one frame per
+   (round, edge), sent even when the payload batch is empty, so a node
+   cannot start round [r + 1] before every peer has finished round [r].
+   Decision vectors are therefore byte-identical to the simulator's on
+   the same protocol value. *)
+
+let default_queue_cap = 64
+
+(* ---------------- frames ---------------- *)
+
+let hello_frame ~proto ~src ~rounds =
+  Persist.Obj
+    [
+      ("t", Persist.String "hello");
+      ("proto", Persist.String proto);
+      ("src", Persist.Int src);
+      ("rounds", Persist.Int rounds);
+    ]
+
+let batch_frame ~round payloads =
+  Persist.Obj
+    [
+      ("t", Persist.String "batch");
+      ("round", Persist.Int round);
+      ("msgs", Persist.List payloads);
+    ]
+
+let check_hello ~codec ~peer ~rounds json =
+  let ( let* ) = Result.bind in
+  let* t = Wire.string_field "t" json in
+  if t <> "hello" then Error (Printf.sprintf "expected hello, got %S" t)
+  else
+    let* proto = Wire.string_field "proto" json in
+    let* src = Wire.int_field "src" json in
+    let* r = Wire.int_field "rounds" json in
+    if proto <> codec.Wire.proto then
+      Error
+        (Printf.sprintf "protocol mismatch: peer runs %S, we run %S" proto
+           codec.Wire.proto)
+    else if src <> peer then
+      Error (Printf.sprintf "peer identity mismatch: expected %d, got %d" peer src)
+    else if r <> rounds then
+      Error
+        (Printf.sprintf "round-count mismatch: peer runs %d rounds, we run %d" r
+           rounds)
+    else Ok ()
+
+let parse_batch ~codec ~round json =
+  let ( let* ) = Result.bind in
+  let* t = Wire.string_field "t" json in
+  if t <> "batch" then Error (Printf.sprintf "expected batch, got %S" t)
+  else
+    let* r = Wire.int_field "round" json in
+    if r <> round then
+      Error (Printf.sprintf "round skew: expected round %d, got %d" round r)
+    else
+      let* payloads = Wire.list_field "msgs" json in
+      Wire.list_dec codec.Wire.dec payloads
+
+(* ---------------- per-node runner ---------------- *)
+
+let run ?(queue_cap = default_queue_cap) ~protocol ~codec ~links ~me ~rounds ()
+    =
+  let n = Array.length links in
+  if me < 0 || me >= n then invalid_arg "Node.run: me out of range";
+  if rounds < 0 then invalid_arg "Node.run: rounds must be >= 0";
+  Array.iteri
+    (fun j l ->
+      match (j = me, l) with
+      | true, Some _ -> invalid_arg "Node.run: link to self"
+      | false, None when rounds > 0 ->
+          invalid_arg (Printf.sprintf "Node.run: missing link to peer %d" j)
+      | _ -> ())
+    links;
+  let state = protocol.Protocol.init ~me in
+  (* Outgoing: one bounded queue + sender thread per peer, so a slow
+     peer backpressures only its own edge. [None] ends the sender. *)
+  let outq = Array.map (fun _ -> Chan.make queue_cap) links in
+  (* Incoming: one queue + receiver thread per peer. The receiver
+     validates the hello, then forwards each round's decoded batch. *)
+  let inq = Array.map (fun _ -> Chan.make queue_cap) links in
+  let sender j link =
+    Thread.create
+      (fun () ->
+        let rec loop () =
+          match Chan.pop outq.(j) with
+          | None -> ()
+          | Some frame ->
+              link.Transport.send frame;
+              loop ()
+        in
+        try loop ()
+        with e ->
+          (* surface the failure where the main loop blocks next:
+             both on its next push to this edge and on its next pop *)
+          let msg =
+            Printf.sprintf "Node.run: send to peer %d failed: %s" j
+              (Printexc.to_string e)
+          in
+          Chan.fail outq.(j) msg;
+          Chan.fail inq.(j) msg)
+      ()
+  in
+  let receiver j link =
+    Thread.create
+      (fun () ->
+        let fail msg =
+          Chan.fail inq.(j) (Printf.sprintf "Node.run: peer %d: %s" j msg)
+        in
+        let read_one k =
+          match link.Transport.recv () with
+          | Error e -> Error (Format.asprintf "%a" Wire.pp_read_error e)
+          | Ok json -> k json
+        in
+        match read_one (check_hello ~codec ~peer:j ~rounds) with
+        | Error msg -> fail msg
+        | Ok () -> (
+            try
+              for round = 0 to rounds - 1 do
+                match read_one (parse_batch ~codec ~round) with
+                | Error msg ->
+                    fail msg;
+                    raise Exit
+                | Ok msgs -> Chan.push inq.(j) msgs
+              done
+            with Exit -> ()))
+      ()
+  in
+  let senders = ref [] and receivers = ref [] in
+  Array.iteri
+    (fun j l ->
+      Option.iter
+        (fun link ->
+          senders := sender j link :: !senders;
+          receivers := receiver j link :: !receivers)
+        l)
+    links;
+  let finish () =
+    (* senders first (flush + terminate), then close the links, which
+       unblocks any receiver still parked in recv on an error path *)
+    Array.iteri
+      (fun j l -> if l <> None then try Chan.push outq.(j) None with _ -> ())
+      links;
+    List.iter Thread.join !senders;
+    Array.iter (Option.iter (fun l -> l.Transport.close ())) links;
+    List.iter Thread.join !receivers
+  in
+  Fun.protect ~finally:finish @@ fun () ->
+  Array.iteri
+    (fun j l ->
+      if l <> None then
+        Chan.push outq.(j) (Some (hello_frame ~proto:codec.Wire.proto ~src:me ~rounds)))
+    links;
+  let carry = ref (protocol.Protocol.on_start state) in
+  for round = 0 to rounds - 1 do
+    let outbox =
+      match !carry with
+      | [] -> protocol.Protocol.on_tick state ~time:round
+      | pending -> pending @ protocol.Protocol.on_tick state ~time:round
+    in
+    (* Partition by destination, preserving outbox order. *)
+    let per_dst = Array.make n [] in
+    List.iter
+      (fun (dst, m) ->
+        if dst < 0 || dst >= n then
+          invalid_arg "Node.run: destination out of range";
+        per_dst.(dst) <- m :: per_dst.(dst))
+      outbox;
+    let msgs_to dst = List.rev per_dst.(dst) in
+    (* One frame per edge per round — empty batches included; the frame
+       is the round barrier. *)
+    for dst = 0 to n - 1 do
+      if dst <> me then
+        Chan.push outq.(dst)
+          (Some (batch_frame ~round (List.map codec.Wire.enc (msgs_to dst))))
+    done;
+    (* Assemble this round's inbox in ascending source order, own
+       self-sends in place — exactly the engine's delivery order. *)
+    let batch =
+      List.concat_map
+        (fun src ->
+          let msgs = if src = me then msgs_to me else Chan.pop inq.(src) in
+          List.map (fun m -> (src, m)) msgs)
+        (List.init n Fun.id)
+    in
+    carry := protocol.Protocol.on_receive state ~time:round batch
+  done;
+  (* the final carry is dropped, as in the engine *)
+  state
+
+(* ---------------- loopback cluster harness ---------------- *)
+
+(* The first frame on a fresh connection identifies the dialing peer, so
+   the acceptor can place the link at the right index — TCP accept order
+   is not deterministic. *)
+let peer_frame i =
+  Persist.Obj [ ("t", Persist.String "peer"); ("src", Persist.Int i) ]
+
+let parse_peer ~n json =
+  let ( let* ) = Result.bind in
+  let* t = Wire.string_field "t" json in
+  if t <> "peer" then Error (Printf.sprintf "expected peer, got %S" t)
+  else
+    let* src = Wire.int_field "src" json in
+    if src < 0 || src >= n then Error "peer id out of range" else Ok src
+
+let cluster (type a l c) ?queue_cap
+    ~(transport : (module Transport.S with type address = a
+                                       and type listener = l
+                                       and type conn = c))
+    ~(bind : a) ~protocol ~codec ~n ~rounds () =
+  let module T = (val transport) in
+  if n < 1 then invalid_arg "Node.cluster: n must be >= 1";
+  (* All listeners exist before any node thread dials, so connects never
+     race an unbound address; the kernel backlog holds early dials. *)
+  let listeners = Array.init n (fun _ -> T.listen bind) in
+  let addrs = Array.map T.address listeners in
+  let states = Array.make n None in
+  let errors = Array.make n None in
+  let node i () =
+    try
+      let links = Array.make n None in
+      (* dial every lower peer, announce ourselves *)
+      for j = 0 to i - 1 do
+        let link = T.link (T.connect addrs.(j)) in
+        link.Transport.send (peer_frame i);
+        links.(j) <- Some link
+      done;
+      (* accept every higher peer, identified by its first frame *)
+      for _ = i + 1 to n - 1 do
+        let link = T.link (T.accept listeners.(i)) in
+        match link.Transport.recv () with
+        | Error e ->
+            failwith
+              (Format.asprintf "Node.cluster: bad peer greeting: %a"
+                 Wire.pp_read_error e)
+        | Ok json -> (
+            match parse_peer ~n json with
+            | Error msg -> failwith ("Node.cluster: " ^ msg)
+            | Ok src ->
+                if src <= i || links.(src) <> None then
+                  failwith "Node.cluster: duplicate peer greeting";
+                links.(src) <- Some link)
+      done;
+      T.close_listener listeners.(i);
+      states.(i) <- Some (run ?queue_cap ~protocol ~codec ~links ~me:i ~rounds ())
+    with e -> errors.(i) <- Some (Printexc.to_string e)
+  in
+  let threads = Array.init n (fun i -> Thread.create (node i) ()) in
+  Array.iter Thread.join threads;
+  Array.iter (fun l -> try T.close_listener l with _ -> ()) listeners;
+  (match
+     Array.to_list errors
+     |> List.mapi (fun i e -> (i, e))
+     |> List.filter_map (fun (i, e) ->
+            Option.map (fun m -> Printf.sprintf "node %d: %s" i m) e)
+   with
+  | [] -> ()
+  | errs -> failwith ("Node.cluster: " ^ String.concat "; " errs));
+  Array.map (fun s -> Option.get s) states
+
+let cluster_tcp ?queue_cap ~protocol ~codec ~n ~rounds () =
+  cluster ?queue_cap
+    ~transport:(module Transport.Tcp)
+    ~bind:("127.0.0.1", 0) ~protocol ~codec ~n ~rounds ()
+
+let cluster_mem ?queue_cap ~protocol ~codec ~n ~rounds () =
+  cluster ?queue_cap
+    ~transport:(module Transport.Mem)
+    ~bind:"" ~protocol ~codec ~n ~rounds ()

@@ -1,0 +1,76 @@
+(** Lock-step execution of an unmodified engine protocol over real
+    transport links — the networked twin of
+    [Engine.run ~scheduler:Rounds] with [Fault.none].
+
+    The same {!Protocol.t} value runs unchanged: carry seeded by
+    [on_start], outbox [carry @ on_tick] each round, delivery batches in
+    ascending source order with self-sends in place, [on_receive] called
+    unconditionally every round. The round barrier is the wire itself —
+    one frame per (round, edge), sent even when the batch is empty — so
+    decision vectors over loopback TCP are {e byte-identical} to the
+    simulator's on the same [(protocol, n, rounds)] (pinned by the
+    equivalence tests). *)
+
+val default_queue_cap : int
+(** Frames buffered per outgoing edge before the protocol loop blocks
+    (64) — backpressure per peer, not per node. *)
+
+val run :
+  ?queue_cap:int ->
+  protocol:('s, 'm, 'o) Protocol.t ->
+  codec:'m Wire.codec ->
+  links:Transport.link option array ->
+  me:int ->
+  rounds:int ->
+  unit ->
+  's
+(** Run process [me] of an [n = Array.length links] cluster for
+    [rounds] rounds and return its final state (apply
+    [protocol.output] to read the decision, as with engine outcomes).
+    [links.(j)] connects to peer [j]; the entry at [me] must be [None],
+    every other must be present. Each link gets a sender thread behind
+    a bounded queue and a receiver thread; the first frame each way is
+    a hello carrying (protocol name, peer id, round count), and any
+    mismatch — or a corrupt / truncated / closed channel — fails the
+    run with [Failure]. Links are closed on return, error included. *)
+
+val cluster :
+  ?queue_cap:int ->
+  transport:
+    (module Transport.S
+       with type address = 'a
+        and type listener = 'l
+        and type conn = 'c) ->
+  bind:'a ->
+  protocol:('s, 'm, 'o) Protocol.t ->
+  codec:'m Wire.codec ->
+  n:int ->
+  rounds:int ->
+  unit ->
+  's array
+(** Full-mesh loopback harness: [n] listeners on fresh addresses first
+    (so no dial races an unbound address), then one thread per node —
+    node [i] dials every [j < i] (announcing itself in its first frame)
+    and accepts every [j > i] — each running {!run}. Returns the final
+    states in process order; any node failure fails the whole cluster
+    with every node's error collected. *)
+
+val cluster_tcp :
+  ?queue_cap:int ->
+  protocol:('s, 'm, 'o) Protocol.t ->
+  codec:'m Wire.codec ->
+  n:int ->
+  rounds:int ->
+  unit ->
+  's array
+(** {!cluster} over real TCP sockets on 127.0.0.1, ephemeral ports. *)
+
+val cluster_mem :
+  ?queue_cap:int ->
+  protocol:('s, 'm, 'o) Protocol.t ->
+  codec:'m Wire.codec ->
+  n:int ->
+  rounds:int ->
+  unit ->
+  's array
+(** {!cluster} over the in-memory transport. *)

@@ -1,0 +1,576 @@
+(* The rbvc consensus service: a daemon hosting many concurrent
+   consensus instances over the {!Wire} frame protocol, sharded by
+   instance key across worker domains, with live metrics on an optional
+   HTTP stats endpoint and graceful shutdown.
+
+   Threading model: the main thread accepts; each client connection
+   gets a reader thread that parses and validates requests and pushes
+   jobs onto per-shard bounded queues; one worker *domain* per shard
+   pops, runs the engine, and writes the response back on the client's
+   link (frame-atomic sends). Per-key sharding means requests for the
+   same key serialize on one shard — per-instance ordering — while
+   distinct keys run genuinely in parallel. The shard count follows the
+   lib/par convention (RBVC_JOBS / recommended_domain_count) but the
+   workers are dedicated domains, not the Par pool: Par is built for
+   batch fan-out that joins, a server needs resident loops.
+
+   Stats: worker domains record into one mutex-protected registry (the
+   Obs per-domain sinks assume snapshotting only between batches, which
+   a live endpoint cannot guarantee); the endpoint synthesizes an
+   {!Obs.snapshot} from it and serves [Metrics.to_json], so the payload
+   validates against the rbvc-metrics/1 schema like any simulator
+   metrics file. *)
+
+open Persist
+
+let ( let* ) = Result.bind
+
+type config = {
+  host : string;
+  port : int;  (** 0 = ephemeral, reported via [on_ready] *)
+  stats_port : int option;  (** 0 = ephemeral *)
+  shards : int;
+  queue_cap : int;
+  max_frame : int;
+}
+
+let default_shards () = max 1 (min 8 (Par.default_jobs ()))
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    stats_port = None;
+    shards = 0 (* 0 = default_shards () at run time *);
+    queue_cap = 256;
+    max_frame = Wire.default_max_frame;
+  }
+
+(* Request caps: the service is a host for the paper's small-n regimes,
+   not a general job runner; reject anything that could wedge a shard. *)
+let max_n = 128
+let max_f = 8
+let max_d = 64
+let max_rounds = 4096
+let max_key_len = 256
+
+(* ---------------- stats registry ---------------- *)
+
+type hist_acc = {
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_min : int;
+  mutable h_max : int;
+  h_buckets : (int, int) Hashtbl.t;
+}
+
+type stats = {
+  sm : Mutex.t;
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, int ref) Hashtbl.t;
+  hists : (string, hist_acc) Hashtbl.t;
+  keys : (string, unit) Hashtbl.t;
+  mutable inflight : int;
+}
+
+let stats_make () =
+  {
+    sm = Mutex.create ();
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 16;
+    hists = Hashtbl.create 16;
+    keys = Hashtbl.create 64;
+    inflight = 0;
+  }
+
+let locked st f =
+  Mutex.lock st.sm;
+  Fun.protect ~finally:(fun () -> Mutex.unlock st.sm) f
+
+let counter_add st name k =
+  match Hashtbl.find_opt st.counters name with
+  | Some r -> r := !r + k
+  | None -> Hashtbl.replace st.counters name (ref k)
+
+let gauge_max st name v =
+  match Hashtbl.find_opt st.gauges name with
+  | Some r -> if v > !r then r := v
+  | None -> Hashtbl.replace st.gauges name (ref v)
+
+(* Obs's power-of-two bucketing: <= 0 -> 0, otherwise the highest power
+   of two not above the sample. *)
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let b = ref 1 in
+    while !b * 2 <= v && !b < max_int / 2 do
+      b := !b * 2
+    done;
+    !b
+  end
+
+let hist_observe st name v =
+  let h =
+    match Hashtbl.find_opt st.hists name with
+    | Some h -> h
+    | None ->
+        let h =
+          {
+            h_count = 0;
+            h_sum = 0;
+            h_min = max_int;
+            h_max = min_int;
+            h_buckets = Hashtbl.create 8;
+          }
+        in
+        Hashtbl.replace st.hists name h;
+        h
+  in
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum + v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v;
+  let b = bucket_of v in
+  Hashtbl.replace h.h_buckets b
+    (1 + Option.value ~default:0 (Hashtbl.find_opt h.h_buckets b))
+
+let snapshot st : Obs.snapshot =
+  locked st @@ fun () ->
+  let sorted tbl value =
+    Hashtbl.fold (fun k v acc -> (k, value v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  gauge_max st "serve.keys" (Hashtbl.length st.keys);
+  {
+    Obs.counters = sorted st.counters (fun r -> !r);
+    gauges = sorted st.gauges (fun r -> !r);
+    hists =
+      sorted st.hists (fun h ->
+          {
+            Obs.count = h.h_count;
+            sum = h.h_sum;
+            min = (if h.h_count = 0 then None else Some h.h_min);
+            max = (if h.h_count = 0 then None else Some h.h_max);
+            buckets =
+              Hashtbl.fold (fun b c acc -> (b, c) :: acc) h.h_buckets []
+              |> List.sort (fun (a, _) (b, _) -> compare a b);
+          });
+    spans = [];
+  }
+
+(* ---------------- protocol frames ---------------- *)
+
+type request = {
+  key : string;
+  proto : string;
+  seed : int;
+  n : int;
+  f : int;
+  d : int;
+  rounds : int;
+}
+
+type response = {
+  id : int;
+  r_key : string;
+  ok : bool;
+  shard : int;
+  decisions : Persist.json option;
+  error : string option;
+}
+
+let request_frame ~id (r : request) =
+  Obj
+    [
+      ("t", String "req");
+      ("id", Int id);
+      ("key", String r.key);
+      ("proto", String r.proto);
+      ("seed", Int r.seed);
+      ("n", Int r.n);
+      ("f", Int r.f);
+      ("d", Int r.d);
+      ("rounds", Int r.rounds);
+    ]
+
+let shutdown_frame = Obj [ ("t", String "shutdown") ]
+
+let ok_frame ~id ~key ~shard decisions =
+  Obj
+    [
+      ("t", String "resp");
+      ("id", Int id);
+      ("key", String key);
+      ("ok", Bool true);
+      ("shard", Int shard);
+      ("decisions", decisions);
+    ]
+
+let err_frame ~id msg =
+  Obj
+    [ ("t", String "resp"); ("id", Int id); ("ok", Bool false); ("error", String msg) ]
+
+let parse_request json =
+  let* id = Result.map_error (fun e -> (-1, e)) (Wire.int_field "id" json) in
+  let with_id r = Result.map_error (fun e -> (id, e)) r in
+  let opt_int name ~default =
+    match Persist.member name json with
+    | None -> Ok default
+    | Some j -> with_id (Wire.int_of_json j)
+  in
+  let* key = with_id (Wire.string_field "key" json) in
+  let* proto = with_id (Wire.string_field "proto" json) in
+  let* n = with_id (Wire.int_field "n" json) in
+  let* seed = opt_int "seed" ~default:0 in
+  let* f = opt_int "f" ~default:0 in
+  let* d = opt_int "d" ~default:1 in
+  let* rounds = opt_int "rounds" ~default:8 in
+  let reject msg = Error (id, msg) in
+  if String.length key = 0 || String.length key > max_key_len then
+    reject (Printf.sprintf "key must be 1..%d bytes" max_key_len)
+  else if n < 1 || n > max_n then reject (Printf.sprintf "n must be 1..%d" max_n)
+  else if f < 0 || f > max_f then reject (Printf.sprintf "f must be 0..%d" max_f)
+  else if d < 1 || d > max_d then reject (Printf.sprintf "d must be 1..%d" max_d)
+  else if rounds < 0 || rounds > max_rounds then
+    reject (Printf.sprintf "rounds must be 0..%d" max_rounds)
+  else Ok (id, { key; proto; seed; n; f; d; rounds })
+
+let parse_response json =
+  let* t = Wire.string_field "t" json in
+  if t <> "resp" then Error (Printf.sprintf "expected resp, got %S" t) else
+  let* id = Wire.int_field "id" json in
+  let* ok =
+    match Persist.member "ok" json with
+    | Some (Bool b) -> Ok b
+    | _ -> Error "missing bool field \"ok\""
+  in
+  let str name = match Persist.member name json with
+    | Some (String s) -> Some s
+    | _ -> None
+  in
+  let num name = match Persist.member name json with
+    | Some (Int i) -> i
+    | _ -> -1
+  in
+  Ok
+    {
+      id;
+      r_key = Option.value ~default:"" (str "key");
+      ok;
+      shard = num "shard";
+      decisions = Persist.member "decisions" json;
+      error = str "error";
+    }
+
+(* FNV-1a (32-bit variant): deterministic per-key shard placement
+   (Hashtbl.hash is not pinned across OCaml versions). *)
+let shard_of_key ~shards key =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0xffffffff)
+    key;
+  !h mod shards
+
+(* ---------------- the daemon ---------------- *)
+
+type client = { c_id : int; link : Transport.link }
+
+type job =
+  | Job of { client : client; id : int; req : request }
+  | Quit
+
+let ignore_sigpipe () =
+  match Sys.os_type with
+  | "Unix" -> ( try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ())
+  | _ -> ()
+
+let worker ~stats ~shard jobs =
+  let rec loop () =
+    match Chan.pop jobs with
+    | Quit -> ()
+    | Job { client; id; req } ->
+        let t0 = Unix.gettimeofday () in
+        locked stats (fun () ->
+            stats.inflight <- stats.inflight + 1;
+            gauge_max stats "serve.inflight" stats.inflight;
+            Hashtbl.replace stats.keys req.key ());
+        let result =
+          match
+            Codecs.make_checked ~proto:req.proto ~seed:req.seed ~n:req.n
+              ~f:req.f ~d:req.d ~rounds:req.rounds
+          with
+          | Error msg -> Error msg
+          | Ok (Codecs.P { rounds; _ } as packed) -> (
+              match Codecs.engine_decisions packed with
+              | decisions -> Ok (decisions, rounds)
+              | exception e -> Error (Printexc.to_string e))
+        in
+        let frame, rounds_run =
+          match result with
+          | Ok (decisions, rounds) ->
+              (ok_frame ~id ~key:req.key ~shard decisions, rounds)
+          | Error msg -> (err_frame ~id msg, 0)
+        in
+        let us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+        (* account BEFORE sending the response: a client that reads the
+           stats endpoint right after its last response must already see
+           that request counted *)
+        locked stats (fun () ->
+            stats.inflight <- stats.inflight - 1;
+            counter_add stats "serve.requests" 1;
+            counter_add stats
+              (Printf.sprintf "serve.shard%d.requests" shard)
+              1;
+            if Result.is_error result then counter_add stats "serve.errors" 1;
+            counter_add stats "serve.rounds_run" rounds_run;
+            hist_observe stats "serve.latency_us" us);
+        (match client.link.Transport.send frame with
+        | () -> ()
+        | exception _ ->
+            locked stats (fun () -> counter_add stats "serve.send_failures" 1));
+        loop ()
+  in
+  loop ()
+
+(* Minimal HTTP/1.0 server for the stats endpoint: every request gets
+   the current metrics JSON — enough for curl and rbvc validate. *)
+let stats_endpoint ~stats ~stopping listener =
+  let rec loop () =
+    match Transport.Tcp.accept listener with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+        if Atomic.get stopping then () else loop ()
+    | exception _ -> ()
+    | fd ->
+        (try
+           (* drain whatever request line arrived; content is ignored *)
+           let buf = Bytes.create 1024 in
+           (try ignore (Unix.read fd buf 0 1024) with _ -> ());
+           let body = Persist.to_string (Metrics.to_json (snapshot stats)) in
+           let head =
+             Printf.sprintf
+               "HTTP/1.0 200 OK\r\n\
+                Content-Type: application/json\r\n\
+                Content-Length: %d\r\n\
+                Connection: close\r\n\r\n"
+               (String.length body)
+           in
+           let out = head ^ body in
+           let b = Bytes.unsafe_of_string out in
+           let off = ref 0 in
+           while !off < Bytes.length b do
+             let k = Unix.write fd b !off (Bytes.length b - !off) in
+             if k = 0 then raise Exit;
+             off := !off + k
+           done
+         with _ -> ());
+        (try Unix.close fd with _ -> ());
+        loop ()
+  in
+  loop ()
+
+let run ?(signals = true) ?on_ready config =
+  ignore_sigpipe ();
+  let shards =
+    if config.shards > 0 then config.shards else default_shards ()
+  in
+  let stats = stats_make () in
+  locked stats (fun () -> gauge_max stats "serve.shards" shards);
+  let listener = Transport.Tcp.listen (config.host, config.port) in
+  let stats_listener =
+    Option.map
+      (fun p -> Transport.Tcp.listen (config.host, p))
+      config.stats_port
+  in
+  let stopping = Atomic.make false in
+  let initiate_stop () =
+    if Atomic.compare_and_set stopping false true then begin
+      Transport.Tcp.close_listener listener;
+      Option.iter Transport.Tcp.close_listener stats_listener
+    end
+  in
+  if signals then begin
+    let h = Sys.Signal_handle (fun _ -> initiate_stop ()) in
+    (try Sys.set_signal Sys.sigint h with _ -> ());
+    try Sys.set_signal Sys.sigterm h with _ -> ()
+  end;
+  let jobs = Array.init shards (fun _ -> Chan.make config.queue_cap) in
+  let workers =
+    Array.init shards (fun shard ->
+        Domain.spawn (fun () -> worker ~stats ~shard jobs.(shard)))
+  in
+  let stats_thread =
+    Option.map
+      (fun l -> Thread.create (fun () -> stats_endpoint ~stats ~stopping l) ())
+      stats_listener
+  in
+  (match on_ready with
+  | None -> ()
+  | Some f ->
+      let _, port = Transport.Tcp.address listener in
+      let stats_port =
+        Option.map (fun l -> snd (Transport.Tcp.address l)) stats_listener
+      in
+      f ~port ~stats_port);
+  let conns_m = Mutex.create () in
+  let conns = Hashtbl.create 64 in
+  let readers = ref [] in
+  let client_counter = ref 0 in
+  let reader client =
+    let bye reason =
+      client.link.Transport.close ();
+      Mutex.lock conns_m;
+      Hashtbl.remove conns client.c_id;
+      Mutex.unlock conns_m;
+      ignore reason
+    in
+    let rec loop () =
+      match client.link.Transport.recv () with
+      | Error `Eof -> bye "eof"
+      | Error (`Corrupt msg) ->
+          (try client.link.Transport.send (err_frame ~id:(-1) msg) with _ -> ());
+          locked stats (fun () -> counter_add stats "serve.corrupt_frames" 1);
+          bye "corrupt"
+      | Ok json -> (
+          match Wire.string_field "t" json with
+          | Ok "shutdown" ->
+              (try
+                 client.link.Transport.send
+                   (ok_frame ~id:(-1) ~key:"" ~shard:(-1) Null)
+               with _ -> ());
+              initiate_stop ();
+              bye "shutdown"
+          | Ok "req" when Atomic.get stopping ->
+              (try
+                 client.link.Transport.send
+                   (err_frame ~id:(-1) "daemon is shutting down")
+               with _ -> ());
+              loop ()
+          | Ok "req" -> (
+              match parse_request json with
+              | Error (id, msg) ->
+                  (try client.link.Transport.send (err_frame ~id msg)
+                   with _ -> ());
+                  locked stats (fun () ->
+                      counter_add stats "serve.rejected" 1);
+                  loop ()
+              | Ok (id, req) ->
+                  let shard = shard_of_key ~shards req.key in
+                  (try Chan.push jobs.(shard) (Job { client; id; req })
+                   with _ -> ());
+                  loop ())
+          | Ok other ->
+              (try
+                 client.link.Transport.send
+                   (err_frame ~id:(-1)
+                      (Printf.sprintf "unknown frame type %S" other))
+               with _ -> ());
+              loop ()
+          | Error msg ->
+              (try client.link.Transport.send (err_frame ~id:(-1) msg)
+               with _ -> ());
+              loop ())
+    in
+    loop ()
+  in
+  (* accept loop: ends when initiate_stop closes the listener *)
+  let rec accept_loop () =
+    match Transport.Tcp.accept listener with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+        if Atomic.get stopping then () else accept_loop ()
+    | exception _ -> ()
+    | fd ->
+        let link = Transport.Tcp.link ~max_frame:config.max_frame fd in
+        incr client_counter;
+        let client = { c_id = !client_counter; link } in
+        Mutex.lock conns_m;
+        Hashtbl.replace conns client.c_id client;
+        Mutex.unlock conns_m;
+        locked stats (fun () -> counter_add stats "serve.connections" 1);
+        readers := Thread.create reader client :: !readers;
+        accept_loop ()
+  in
+  accept_loop ();
+  (* graceful shutdown: drain queued jobs (their responses still go
+     out), then unhook the clients, then the stats endpoint *)
+  Array.iter (fun q -> try Chan.push q Quit with _ -> ()) jobs;
+  Array.iter Domain.join workers;
+  (* poison the queues so a reader mid-push can't block forever now
+     that no worker will ever drain them *)
+  Array.iter (fun q -> Chan.fail q "daemon stopped") jobs;
+  Mutex.lock conns_m;
+  let live = Hashtbl.fold (fun _ c acc -> c :: acc) conns [] in
+  Mutex.unlock conns_m;
+  List.iter (fun c -> c.link.Transport.close ()) live;
+  List.iter Thread.join !readers;
+  Option.iter Thread.join stats_thread
+
+(* ---------------- client side ---------------- *)
+
+let with_conn ?(host = "127.0.0.1") ~port f =
+  match Transport.Tcp.connect (host, port) with
+  | exception e -> Error (Printexc.to_string e)
+  | fd ->
+      let link = Transport.Tcp.link fd in
+      Fun.protect ~finally:(fun () -> link.Transport.close ()) (fun () -> f link)
+
+let submit ?host ~port requests =
+  ignore_sigpipe ();
+  with_conn ?host ~port @@ fun link ->
+  (* pipeline: all requests out, then collect; the daemon interleaves
+     shards, so responses return out of order and are matched by id *)
+  match
+    List.iteri (fun id r -> link.Transport.send (request_frame ~id r)) requests
+  with
+  | exception e -> Error (Printexc.to_string e)
+  | () ->
+      let rec collect acc = function
+        | 0 -> Ok acc
+        | k -> (
+            match link.Transport.recv () with
+            | Error e -> Error (Format.asprintf "%a" Wire.pp_read_error e)
+            | Ok json -> (
+                match parse_response json with
+                | Error msg -> Error msg
+                | Ok resp -> collect (resp :: acc) (k - 1)))
+      in
+      let* resps = collect [] (List.length requests) in
+      Ok (List.sort (fun a b -> compare a.id b.id) resps)
+
+let shutdown ?host ~port () =
+  ignore_sigpipe ();
+  with_conn ?host ~port @@ fun link ->
+  match link.Transport.send shutdown_frame with
+  | exception e -> Error (Printexc.to_string e)
+  | () -> (
+      match link.Transport.recv () with
+      | Error e -> Error (Format.asprintf "%a" Wire.pp_read_error e)
+      | Ok _ -> Ok ())
+
+let fetch_stats ?(host = "127.0.0.1") ~port () =
+  match Transport.Tcp.connect (host, port) with
+  | exception e -> Error (Printexc.to_string e)
+  | fd ->
+      Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ())
+      @@ fun () ->
+      let req = "GET /metrics HTTP/1.0\r\n\r\n" in
+      let b = Bytes.of_string req in
+      ignore (Unix.write fd b 0 (Bytes.length b));
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        let k = Unix.read fd chunk 0 4096 in
+        if k > 0 then begin
+          Buffer.add_subbytes buf chunk 0 k;
+          drain ()
+        end
+      in
+      (try drain () with _ -> ());
+      let all = Buffer.contents buf in
+      (* split headers from body *)
+      let body =
+        match String.index_opt all '{' with
+        | Some i -> String.sub all i (String.length all - i)
+        | None -> ""
+      in
+      if body = "" then Error "no HTTP body"
+      else Persist.of_string body

@@ -1,0 +1,82 @@
+(** The rbvc consensus service: [rbvc serve] hosts many concurrent
+    consensus instances behind the {!Wire} frame protocol, sharded by
+    instance key across worker domains, with a live metrics endpoint
+    and graceful shutdown; {!submit} / {!shutdown} are the matching
+    client calls ([rbvc submit]).
+
+    One TCP connection carries any number of pipelined requests; each
+    request names an instance key and a [(proto, seed, n, f, d, rounds)]
+    tuple from the {!Codecs} registry, and its response carries the
+    decision vector the deterministic engine produced — identical to a
+    local [Engine.run ~scheduler:Rounds] at the same parameters.
+    Requests for the same key serialize on one shard (per-instance
+    ordering); distinct keys run in parallel across shards.
+
+    The worker-domain count follows the lib/par convention
+    ([RBVC_JOBS] / recommended domains, capped at 8) but the workers
+    are dedicated domains, not the [Par] pool: [Par] is built for batch
+    fan-out that joins, a server needs resident loops. Worker domains
+    record into one mutex-protected registry (the [Obs] per-domain
+    sinks assume snapshotting only between joined batches, which a live
+    endpoint cannot guarantee); the stats endpoint synthesizes an
+    {!Obs.snapshot} from it and serves [Metrics.to_json] over minimal
+    HTTP, so [curl | rbvc validate] accepts the payload as an ordinary
+    rbvc-metrics/1 document. *)
+
+type config = {
+  host : string;
+  port : int;  (** 0 = ephemeral; read the real one via [on_ready] *)
+  stats_port : int option;  (** [None] = no stats endpoint; 0 = ephemeral *)
+  shards : int;  (** 0 = lib/par default, capped at 8 *)
+  queue_cap : int;  (** per-shard job-queue bound *)
+  max_frame : int;
+}
+
+val default_config : config
+(** 127.0.0.1, ephemeral port, no stats endpoint, default shards,
+    queue cap 256, {!Wire.default_max_frame}. *)
+
+val run :
+  ?signals:bool ->
+  ?on_ready:(port:int -> stats_port:int option -> unit) ->
+  config ->
+  unit
+(** Run the daemon; blocks until a shutdown request or (with [signals],
+    the default) SIGINT/SIGTERM, then drains queued jobs — their
+    responses still go out — before closing client connections.
+    [on_ready] fires once the sockets are bound, with the actual
+    ports. Tests pass [~signals:false] and stop it via {!shutdown}. *)
+
+(** {1 Client} *)
+
+type request = {
+  key : string;  (** instance key — the sharding unit *)
+  proto : string;  (** a {!Codecs.names} entry *)
+  seed : int;
+  n : int;
+  f : int;
+  d : int;
+  rounds : int;
+}
+
+type response = {
+  id : int;  (** matches the request's position in the submitted list *)
+  r_key : string;
+  ok : bool;
+  shard : int;  (** shard that ran it; [-1] on error responses *)
+  decisions : Persist.json option;
+  error : string option;
+}
+
+val submit :
+  ?host:string -> port:int -> request list -> (response list, string) result
+(** Pipeline every request on one connection and collect the responses
+    (the daemon interleaves shards, so they return out of order),
+    sorted back into request order. *)
+
+val shutdown : ?host:string -> port:int -> unit -> (unit, string) result
+(** Ask the daemon to stop gracefully. *)
+
+val fetch_stats :
+  ?host:string -> port:int -> unit -> (Persist.json, string) result
+(** HTTP-GET the stats endpoint and parse the metrics JSON body. *)

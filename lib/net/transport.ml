@@ -1,0 +1,253 @@
+(* Transport implementations behind one signature. A [link] is the
+   duplex frame channel the node runner and the serve daemon actually
+   program against — both implementations produce one, so everything
+   above this module is transport-agnostic. *)
+
+type link = {
+  send : Persist.json -> unit;
+  recv : unit -> (Persist.json, Wire.read_error) result;
+  close : unit -> unit;
+}
+
+module type S = sig
+  type address
+  type listener
+  type conn
+
+  val listen : address -> listener
+  val address : listener -> address
+  val accept : listener -> conn
+  val connect : address -> conn
+  val link : ?max_frame:int -> conn -> link
+  val close_listener : listener -> unit
+end
+
+(* ---------------- real TCP sockets ---------------- *)
+
+module Tcp = struct
+  type address = string * int
+  type listener = { fd : Unix.file_descr; mutable open_ : bool }
+  type conn = Unix.file_descr
+
+  let resolve host =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (
+      match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+      | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+      | _ -> failwith (Printf.sprintf "Transport.Tcp: cannot resolve %S" host))
+
+  let listen (host, port) =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    (try Unix.bind fd (Unix.ADDR_INET (resolve host, port))
+     with e ->
+       Unix.close fd;
+       raise e);
+    Unix.listen fd 128;
+    { fd; open_ = true }
+
+  let address l =
+    match Unix.getsockname l.fd with
+    | Unix.ADDR_INET (a, port) -> (Unix.string_of_inet_addr a, port)
+    | _ -> assert false
+
+  let accept l =
+    let fd, _ = Unix.accept l.fd in
+    Unix.setsockopt fd Unix.TCP_NODELAY true;
+    fd
+
+  let connect (host, port) =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_INET (resolve host, port))
+     with e ->
+       Unix.close fd;
+       raise e);
+    Unix.setsockopt fd Unix.TCP_NODELAY true;
+    fd
+
+  let link ?max_frame fd =
+    (* One mutex per direction: the node runner has a single sender
+       thread per link, but the serve daemon fans shard workers into one
+       connection, so sends must be atomic at the frame level. *)
+    let wm = Mutex.create () in
+    let closed = ref false in
+    let cm = Mutex.create () in
+    {
+      send =
+        (fun json ->
+          Mutex.lock wm;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock wm)
+            (fun () -> Wire.write_frame fd json));
+      recv = (fun () -> Wire.read_frame ?max_frame fd);
+      close =
+        (fun () ->
+          Mutex.lock cm;
+          let fresh = not !closed in
+          closed := true;
+          Mutex.unlock cm;
+          if fresh then begin
+            (try Unix.shutdown fd Unix.SHUTDOWN_ALL
+             with Unix.Unix_error _ -> ());
+            try Unix.close fd with Unix.Unix_error _ -> ()
+          end);
+    }
+
+  let close_listener l =
+    if l.open_ then begin
+      l.open_ <- false;
+      (* close() alone does NOT wake a thread blocked in accept();
+         shutdown() on the listening socket does (accept fails with
+         EINVAL) — required for the daemon's graceful stop *)
+      (try Unix.shutdown l.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+      try Unix.close l.fd with Unix.Unix_error _ -> ()
+    end
+end
+
+(* ---------------- in-process memory transport ----------------
+
+   Frames still pass through [Wire.encode]/[Wire.decode], so the codec
+   and framing layers are exercised exactly as over TCP; only the byte
+   channel is a queue instead of a socket. *)
+
+module Mem = struct
+  (* One direction of a duplex channel: a queue of encoded frames. *)
+  type pipe = {
+    q : string Queue.t;
+    m : Mutex.t;
+    c : Condition.t;
+    mutable closed : bool;
+  }
+
+  let pipe () =
+    { q = Queue.create (); m = Mutex.create (); c = Condition.create (); closed = false }
+
+  let pipe_close p =
+    Mutex.lock p.m;
+    p.closed <- true;
+    Condition.broadcast p.c;
+    Mutex.unlock p.m
+
+  let pipe_send p frame =
+    Mutex.lock p.m;
+    let ok = not p.closed in
+    if ok then begin
+      Queue.push frame p.q;
+      Condition.signal p.c
+    end;
+    Mutex.unlock p.m;
+    if not ok then failwith "Transport.Mem: send on closed channel"
+
+  let pipe_recv p =
+    Mutex.lock p.m;
+    while Queue.is_empty p.q && not p.closed do
+      Condition.wait p.c p.m
+    done;
+    let r = if Queue.is_empty p.q then None else Some (Queue.pop p.q) in
+    Mutex.unlock p.m;
+    r
+
+  type conn = { rx : pipe; tx : pipe }
+  type address = string
+
+  type listener = {
+    name : string;
+    pending : conn Queue.t;
+    m : Mutex.t;
+    c : Condition.t;
+    mutable open_ : bool;
+  }
+
+  let registry : (string, listener) Hashtbl.t = Hashtbl.create 16
+  let registry_m = Mutex.create ()
+  let fresh = ref 0
+
+  let listen name =
+    Mutex.lock registry_m;
+    let name =
+      if name <> "" then name
+      else begin
+        incr fresh;
+        Printf.sprintf "mem-%d" !fresh
+      end
+    in
+    if Hashtbl.mem registry name then begin
+      Mutex.unlock registry_m;
+      failwith (Printf.sprintf "Transport.Mem: address %S in use" name)
+    end;
+    let l =
+      {
+        name;
+        pending = Queue.create ();
+        m = Mutex.create ();
+        c = Condition.create ();
+        open_ = true;
+      }
+    in
+    Hashtbl.replace registry name l;
+    Mutex.unlock registry_m;
+    l
+
+  let address l = l.name
+
+  let connect name =
+    let l =
+      Mutex.lock registry_m;
+      let r = Hashtbl.find_opt registry name in
+      Mutex.unlock registry_m;
+      match r with
+      | Some l -> l
+      | None -> failwith (Printf.sprintf "Transport.Mem: no listener at %S" name)
+    in
+    let a = pipe () and b = pipe () in
+    let client = { rx = a; tx = b } and server = { rx = b; tx = a } in
+    Mutex.lock l.m;
+    let ok = l.open_ in
+    if ok then begin
+      Queue.push server l.pending;
+      Condition.signal l.c
+    end;
+    Mutex.unlock l.m;
+    if not ok then failwith (Printf.sprintf "Transport.Mem: listener %S closed" name);
+    client
+
+  let accept l =
+    Mutex.lock l.m;
+    while Queue.is_empty l.pending && l.open_ do
+      Condition.wait l.c l.m
+    done;
+    let r = if Queue.is_empty l.pending then None else Some (Queue.pop l.pending) in
+    Mutex.unlock l.m;
+    match r with
+    | Some conn -> conn
+    | None -> failwith (Printf.sprintf "Transport.Mem: listener %S closed" l.name)
+
+  let link ?max_frame conn =
+    {
+      send = (fun json -> pipe_send conn.tx (Wire.encode json));
+      recv =
+        (fun () ->
+          match pipe_recv conn.rx with
+          | None -> Error `Eof
+          | Some frame -> (
+              match Wire.decode ?max_frame frame with
+              | Ok (json, consumed) when consumed = String.length frame -> Ok json
+              | Ok _ -> Error (`Corrupt "trailing bytes after frame")
+              | Error _ as e -> e));
+      close =
+        (fun () ->
+          pipe_close conn.tx;
+          pipe_close conn.rx);
+    }
+
+  let close_listener l =
+    Mutex.lock l.m;
+    l.open_ <- false;
+    Condition.broadcast l.c;
+    Mutex.unlock l.m;
+    Mutex.lock registry_m;
+    (match Hashtbl.find_opt registry l.name with
+    | Some l' when l' == l -> Hashtbl.remove registry l.name
+    | _ -> ());
+    Mutex.unlock registry_m
+end

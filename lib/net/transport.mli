@@ -1,0 +1,50 @@
+(** Transport abstraction: the same framed-JSON channel over real Unix
+    TCP sockets ({!Tcp}) or in-process queues ({!Mem}).
+
+    Everything above this module — the lock-step {!Node} runner, the
+    {!Serve} daemon — programs against {!link}, a duplex frame channel,
+    so protocol code is byte-for-byte identical over loopback TCP and
+    the in-memory transport the unit tests use. {!Mem} still passes
+    every frame through {!Wire.encode}/{!Wire.decode}, so it exercises
+    the framing and codec layers exactly as TCP does; only the byte
+    channel differs. *)
+
+type link = {
+  send : Persist.json -> unit;
+      (** Write one frame. Atomic at the frame level (safe from multiple
+          threads). Raises on a closed or broken channel. *)
+  recv : unit -> (Persist.json, Wire.read_error) result;
+      (** Blocking read of one frame. [`Eof] on clean close at a frame
+          boundary. Single-reader: one thread per link. *)
+  close : unit -> unit;  (** Idempotent. *)
+}
+
+module type S = sig
+  type address
+  type listener
+  type conn
+
+  val listen : address -> listener
+  (** Bind and listen. TCP port 0 / Mem name [""] ask for a fresh
+      address — read it back with {!address}. *)
+
+  val address : listener -> address
+  val accept : listener -> conn
+  (** Blocks. Raises once the listener is closed. *)
+
+  val connect : address -> conn
+  val link : ?max_frame:int -> conn -> link
+  val close_listener : listener -> unit
+end
+
+module Tcp :
+  S with type address = string * int and type conn = Unix.file_descr
+(** Real sockets: [(host, port)] addresses, [TCP_NODELAY] set on every
+    connection (frames are latency-bound round barriers, not bulk).
+    [conn] is the raw descriptor — the serve daemon's plain-HTTP stats
+    endpoint reads it directly. *)
+
+module Mem : S with type address = string
+(** In-process: named rendezvous through a global registry, duplex
+    queues underneath. Listener names are process-global; [""] generates
+    a fresh one. *)

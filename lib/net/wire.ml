@@ -1,0 +1,191 @@
+(* Length-prefixed framing and the versioned wire codec, built on the
+   repo's own Persist JSON. One frame = a fixed 9-byte header (4-byte
+   magic "RBVC", 1 version byte, 4-byte big-endian payload length)
+   followed by the payload, the Persist serialization of one json value.
+   The binary header carries the version so incompatible peers fail fast
+   on the first frame, before any JSON is parsed. *)
+
+let magic = "RBVC"
+let version = 1
+let header_len = 9
+let default_max_frame = 16 * 1024 * 1024
+
+type read_error = [ `Eof | `Corrupt of string ]
+
+let pp_read_error ppf = function
+  | `Eof -> Format.pp_print_string ppf "connection closed"
+  | `Corrupt msg -> Format.pp_print_string ppf msg
+
+(* ---------------- pure encode / decode ---------------- *)
+
+let encode json =
+  let payload = Persist.to_string json in
+  let len = String.length payload in
+  let b = Bytes.create (header_len + len) in
+  Bytes.blit_string magic 0 b 0 4;
+  Bytes.set b 4 (Char.chr version);
+  Bytes.set b 5 (Char.chr ((len lsr 24) land 0xff));
+  Bytes.set b 6 (Char.chr ((len lsr 16) land 0xff));
+  Bytes.set b 7 (Char.chr ((len lsr 8) land 0xff));
+  Bytes.set b 8 (Char.chr (len land 0xff));
+  Bytes.blit_string payload 0 b header_len len;
+  Bytes.unsafe_to_string b
+
+let decode_header ?(max_frame = default_max_frame) h =
+  if String.length h < header_len then Error (`Corrupt "truncated frame header")
+  else if String.sub h 0 4 <> magic then Error (`Corrupt "bad frame magic")
+  else if Char.code h.[4] <> version then
+    Error
+      (`Corrupt
+        (Printf.sprintf "unsupported wire version %d (want %d)"
+           (Char.code h.[4]) version))
+  else
+    let len =
+      (Char.code h.[5] lsl 24)
+      lor (Char.code h.[6] lsl 16)
+      lor (Char.code h.[7] lsl 8)
+      lor Char.code h.[8]
+    in
+    if len > max_frame then
+      Error
+        (`Corrupt (Printf.sprintf "oversized frame (%d > %d bytes)" len max_frame))
+    else Ok len
+
+let decode ?max_frame s =
+  match decode_header ?max_frame s with
+  | Error _ as e -> e
+  | Ok len ->
+      if String.length s < header_len + len then
+        Error (`Corrupt "truncated frame payload")
+      else begin
+        match Persist.of_string (String.sub s header_len len) with
+        | Error e -> Error (`Corrupt ("bad frame payload: " ^ e))
+        | Ok json -> Ok (json, header_len + len)
+      end
+
+(* ---------------- file-descriptor IO ---------------- *)
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    let n = Unix.write fd b !off (len - !off) in
+    if n = 0 then failwith "Wire.write_frame: short write";
+    off := !off + n
+  done
+
+let write_frame fd json = write_all fd (encode json)
+
+(* Read exactly [want] bytes; [`Eof] only when the connection closes on
+   a frame boundary ([at_start]); mid-frame EOF is corruption. *)
+let read_exact fd want ~at_start =
+  let b = Bytes.create want in
+  let off = ref 0 in
+  let result = ref (Ok b) in
+  (try
+     while !off < want do
+       let n = Unix.read fd b !off (want - !off) in
+       if n = 0 then begin
+         result :=
+           if !off = 0 && at_start then Error `Eof
+           else Error (`Corrupt "truncated frame");
+         raise Exit
+       end;
+       off := !off + n
+     done
+   with Exit -> ());
+  !result
+
+let read_frame ?(max_frame = default_max_frame) fd =
+  match read_exact fd header_len ~at_start:true with
+  | Error _ as e -> e
+  | Ok header -> (
+      match decode_header ~max_frame (Bytes.unsafe_to_string header) with
+      | Error _ as e -> e
+      | Ok len -> (
+          match read_exact fd len ~at_start:false with
+          | Error _ as e -> e
+          | Ok payload -> (
+              match Persist.of_string (Bytes.unsafe_to_string payload) with
+              | Error e -> Error (`Corrupt ("bad frame payload: " ^ e))
+              | Ok json -> Ok json)))
+
+(* ---------------- payload helpers ---------------- *)
+
+(* Persist deliberately writes non-finite floats as null (JSON has no
+   representation); wire payloads must round-trip every float exactly,
+   so the values Persist cannot carry travel as tagged strings: the
+   non-finite three, and negative zero (Persist prints it "-0", which
+   reads back as [Int 0] — sign lost). *)
+let float_to_json x =
+  if Float.is_nan x then Persist.String "nan"
+  else if x = Float.infinity then Persist.String "inf"
+  else if x = Float.neg_infinity then Persist.String "-inf"
+  else if x = 0. && 1. /. x < 0. then Persist.String "-0"
+  else Persist.Float x
+
+let float_of_json = function
+  | Persist.Float x -> Ok x
+  | Persist.Int i -> Ok (float_of_int i)
+  | Persist.String "nan" -> Ok Float.nan
+  | Persist.String "inf" -> Ok Float.infinity
+  | Persist.String "-inf" -> Ok Float.neg_infinity
+  | Persist.String "-0" -> Ok (-0.)
+  | _ -> Error "expected a float"
+
+let vec_to_json v =
+  Persist.List (List.map float_to_json (Vec.to_list v))
+
+let vec_of_json = function
+  | Persist.List items ->
+      let rec go acc = function
+        | [] -> Ok (Vec.of_list (List.rev acc))
+        | x :: tl -> (
+            match float_of_json x with
+            | Ok f -> go (f :: acc) tl
+            | Error _ -> Error "vector entries must be floats")
+      in
+      go [] items
+  | _ -> Error "expected a vector (array of floats)"
+
+let int_of_json = function
+  | Persist.Int i -> Ok i
+  | _ -> Error "expected an int"
+
+let field name j =
+  match Persist.member name j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let int_field name j = Result.bind (field name j) int_of_json
+
+let string_field name j =
+  match Persist.member name j with
+  | Some (Persist.String s) -> Ok s
+  | _ -> Error (Printf.sprintf "missing string field %S" name)
+
+let list_field name j =
+  match Persist.member name j with
+  | Some (Persist.List l) -> Ok l
+  | _ -> Error (Printf.sprintf "missing array field %S" name)
+
+(* ---------------- message codecs ---------------- *)
+
+type 'm codec = {
+  proto : string;  (** protocol name, checked in the hello exchange *)
+  enc : 'm -> Persist.json;
+  dec : Persist.json -> ('m, string) result;
+}
+
+let codec ~proto ~enc ~dec = { proto; enc; dec }
+
+let map_result f = function Ok v -> Ok (f v) | Error _ as e -> e
+
+let list_dec dec items =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | x :: tl -> (
+        match dec x with Ok v -> go (v :: acc) tl | Error _ as e -> e)
+  in
+  go [] items

@@ -1,0 +1,88 @@
+(** Versioned length-prefixed framing over {!Persist} JSON — the wire
+    format every networked component (peer links, the serve daemon, the
+    stats endpoint's payload) speaks.
+
+    One frame is a 9-byte binary header — the 4-byte magic ["RBVC"], a
+    1-byte wire {!version}, a 4-byte big-endian payload length — followed
+    by the Persist serialization of a single JSON value. The version
+    lives in the binary header so incompatible peers fail on the first
+    frame, before any JSON is parsed; the length prefix bounds every
+    read, so a corrupt or hostile peer can neither stall a reader
+    mid-value nor balloon its memory ({!default_max_frame}). *)
+
+val magic : string
+val version : int
+val header_len : int
+
+val default_max_frame : int
+(** Frames whose declared payload exceeds this (16 MiB) are rejected as
+    corrupt without being read. *)
+
+type read_error = [ `Eof | `Corrupt of string ]
+(** [`Eof] is a clean close on a frame boundary; anything else —
+    mid-frame close, bad magic, version mismatch, oversized declaration,
+    unparseable payload — is [`Corrupt]. *)
+
+val pp_read_error : Format.formatter -> read_error -> unit
+
+(** {1 Pure encode / decode} *)
+
+val encode : Persist.json -> string
+(** Header + payload as one string. *)
+
+val decode :
+  ?max_frame:int -> string -> (Persist.json * int, read_error) result
+(** Decode one frame from the head of [s]; returns the value and the
+    number of bytes consumed. Truncated input (header or payload) is
+    [`Corrupt "truncated ..."], never a request for more bytes — the
+    stream readers below handle incremental arrival. *)
+
+(** {1 Blocking file-descriptor IO} *)
+
+val write_frame : Unix.file_descr -> Persist.json -> unit
+val read_frame :
+  ?max_frame:int -> Unix.file_descr -> (Persist.json, read_error) result
+
+(** {1 Payload helpers}
+
+    Persist deliberately writes non-finite floats as [null] (JSON has no
+    representation for them); wire payloads must round-trip every float
+    exactly, so non-finite values travel as the tagged strings ["nan"],
+    ["inf"], ["-inf"] — and negative zero as ["-0"], which Persist's
+    writer would otherwise fold into [Int 0]. *)
+
+val float_to_json : float -> Persist.json
+val float_of_json : Persist.json -> (float, string) result
+val vec_to_json : Vec.t -> Persist.json
+val vec_of_json : Persist.json -> (Vec.t, string) result
+
+val int_of_json : Persist.json -> (int, string) result
+val field : string -> Persist.json -> (Persist.json, string) result
+val int_field : string -> Persist.json -> (int, string) result
+val string_field : string -> Persist.json -> (string, string) result
+val list_field : string -> Persist.json -> (Persist.json list, string) result
+
+(** {1 Message codecs} *)
+
+type 'm codec = {
+  proto : string;  (** protocol name, checked in the hello exchange *)
+  enc : 'm -> Persist.json;
+  dec : Persist.json -> ('m, string) result;
+}
+(** How one protocol's message type crosses the wire. The law the test
+    suite pins with QCheck: [dec (enc m) = Ok m] for every message,
+    including payloads holding non-finite floats and arbitrary (UTF-8)
+    strings. *)
+
+val codec :
+  proto:string ->
+  enc:('m -> Persist.json) ->
+  dec:(Persist.json -> ('m, string) result) ->
+  'm codec
+
+val map_result : ('a -> 'b) -> ('a, 'e) result -> ('b, 'e) result
+val list_dec :
+  (Persist.json -> ('a, string) result) ->
+  Persist.json list ->
+  ('a list, string) result
+(** Decode a homogeneous array, first error wins. *)

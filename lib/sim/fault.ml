@@ -44,9 +44,39 @@ let overlay ~faulty adversary = function
 
 let usage = "expected crash:T, omit:P[:SEED] or delay:MAX[:SEED]"
 
+(* Strict decimal numerals only. [int_of_string_opt]/[float_of_string_opt]
+   inherit OCaml-literal leniency — "0x3", "0o7", "1_0" and "nan" all
+   parse — which is exactly the class of accidental inputs Persist's JSON
+   parser rejects; a CLI spec should be no looser than a replay file. An
+   optional sign and characters from the JSON number alphabet are
+   admitted, then the stdlib does the (now unambiguous) conversion, which
+   also keeps its overflow checks. *)
+let int_of_decimal s =
+  let s = String.trim s in
+  let body = if String.length s > 0 && s.[0] = '-' then String.sub s 1 (String.length s - 1) else s in
+  if body <> "" && String.for_all (fun c -> c >= '0' && c <= '9') body then
+    int_of_string_opt s
+  else None
+
+let float_of_decimal s =
+  let s = String.trim s in
+  let digit = ref false in
+  let ok =
+    s <> ""
+    && String.for_all
+         (fun c ->
+           if c >= '0' && c <= '9' then begin
+             digit := true;
+             true
+           end
+           else c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E')
+         s
+  in
+  if ok && !digit then float_of_string_opt s else None
+
 let spec_of_string s =
-  let int_of x = int_of_string_opt (String.trim x) in
-  let float_of x = float_of_string_opt (String.trim x) in
+  let int_of = int_of_decimal in
+  let float_of = float_of_decimal in
   match String.split_on_char ':' s with
   | [ "crash"; t ] -> (
       match int_of t with

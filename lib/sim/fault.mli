@@ -75,7 +75,23 @@ val overlay : faulty:int list -> 'msg Adversary.t -> spec option -> 'msg model
 
 val spec_of_string : string -> (spec, string) result
 (** Parse a CLI-style spec: ["crash:T"], ["omit:P"] or ["omit:P:SEED"],
-    ["delay:MAX"] or ["delay:MAX:SEED"] (seeds default to 0). [Error]
-    carries a usage message. *)
+    ["delay:MAX"] or ["delay:MAX:SEED"] (seeds default to 0). Numerals
+    are strict decimal ({!int_of_decimal} / {!float_of_decimal}):
+    ["omit:0.5:0x3"] and ["delay:1_0"] are rejected, matching the
+    leniency class Persist's JSON parser refuses. [Error] carries a
+    usage message. *)
+
+val int_of_decimal : string -> int option
+(** Strict decimal integer (optional leading ['-'], digits only, native
+    overflow checked). Rejects the OCaml-literal extensions
+    [int_of_string] accepts — hex/octal/binary prefixes and ['_']
+    separators — so CLI specs parse no more leniently than Persist JSON.
+    Surrounding whitespace is trimmed. *)
+
+val float_of_decimal : string -> float option
+(** Strict decimal float over the JSON number alphabet
+    ([0-9 + - . e E], at least one digit). Rejects hex floats, ['_']
+    separators, ["nan"]/["infinity"] words. Surrounding whitespace is
+    trimmed. *)
 
 val pp_spec : Format.formatter -> spec -> unit

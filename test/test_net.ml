@@ -1,0 +1,466 @@
+open Helpers
+
+(* ---------------- wire framing ---------------- *)
+
+let roundtrip json =
+  match Wire.decode (Wire.encode json) with
+  | Ok (j, consumed) -> (j, consumed)
+  | Error e -> Alcotest.failf "decode failed: %a" Wire.pp_read_error e
+
+let corrupt_of s =
+  match Wire.decode s with
+  | Error (`Corrupt msg) -> msg
+  | Error `Eof -> Alcotest.fail "expected Corrupt, got Eof"
+  | Ok _ -> Alcotest.fail "expected Corrupt, got Ok"
+
+let frame_tests =
+  [
+    case "frame round-trip" (fun () ->
+        let j =
+          Persist.Obj
+            [ ("a", Persist.Int 1); ("b", Persist.List [ Persist.Null ]) ]
+        in
+        let j', consumed = roundtrip j in
+        check_true "value" (j = j');
+        check_int "consumed" (String.length (Wire.encode j)) consumed);
+    case "bad magic rejected" (fun () ->
+        let s = Wire.encode (Persist.Int 1) in
+        let s = "XBVC" ^ String.sub s 4 (String.length s - 4) in
+        check_true "magic" (corrupt_of s = "bad frame magic"));
+    case "bad version rejected" (fun () ->
+        let s = Bytes.of_string (Wire.encode (Persist.Int 1)) in
+        Bytes.set s 4 '\xee';
+        let msg = corrupt_of (Bytes.to_string s) in
+        check_true "version"
+          (String.length msg >= 11
+          && String.sub msg 0 11 = "unsupported"));
+    case "truncated header rejected" (fun () ->
+        check_true "empty" (corrupt_of "" = "truncated frame header");
+        check_true "partial" (corrupt_of "RBVC" = "truncated frame header"));
+    case "truncated payload rejected" (fun () ->
+        let s = Wire.encode (Persist.String "hello world") in
+        let s = String.sub s 0 (String.length s - 3) in
+        check_true "payload" (corrupt_of s = "truncated frame payload"));
+    case "oversized frame rejected" (fun () ->
+        (* a header declaring a payload beyond the cap must be refused
+           from the length alone, before any payload is read *)
+        let b = Bytes.make Wire.header_len '\000' in
+        Bytes.blit_string Wire.magic 0 b 0 4;
+        Bytes.set b 4 (Char.chr Wire.version);
+        Bytes.set b 5 '\x7f';
+        let msg = corrupt_of (Bytes.to_string b) in
+        check_true "oversized"
+          (String.length msg >= 9 && String.sub msg 0 9 = "oversized");
+        (* and a tighter explicit cap *)
+        let s = Wire.encode (Persist.String (String.make 100 'x')) in
+        match Wire.decode ~max_frame:10 s with
+        | Error (`Corrupt _) -> ()
+        | _ -> Alcotest.fail "expected oversize rejection");
+    case "garbage payload rejected" (fun () ->
+        let payload = "not json" in
+        let len = String.length payload in
+        let b = Bytes.make (Wire.header_len + len) '\000' in
+        Bytes.blit_string Wire.magic 0 b 0 4;
+        Bytes.set b 4 (Char.chr Wire.version);
+        Bytes.set b 8 (Char.chr len);
+        Bytes.blit_string payload 0 b Wire.header_len len;
+        let msg = corrupt_of (Bytes.to_string b) in
+        check_true "json" (String.length msg >= 3 && String.sub msg 0 3 = "bad"));
+    case "fd framing: eof only on frame boundary" (fun () ->
+        let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Wire.write_frame a (Persist.Int 42);
+        (match Wire.read_frame b with
+        | Ok (Persist.Int 42) -> ()
+        | _ -> Alcotest.fail "expected Int 42");
+        (* half a header, then close: mid-frame EOF is corruption *)
+        ignore (Unix.write_substring a "RBV" 0 3);
+        Unix.close a;
+        (match Wire.read_frame b with
+        | Error (`Corrupt "truncated frame") -> ()
+        | _ -> Alcotest.fail "expected truncated frame");
+        Unix.close b;
+        (* clean close before any byte: Eof *)
+        let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.close a;
+        (match Wire.read_frame b with
+        | Error `Eof -> ()
+        | _ -> Alcotest.fail "expected Eof");
+        Unix.close b);
+  ]
+
+(* ---------------- codec round-trip properties ----------------
+
+   The envelope payload for the property: a message with a unicode
+   string tag and a float vector including every value class Persist
+   itself cannot carry (nan, +/-inf, -0.) — the codec must round-trip
+   them all bit-exactly. *)
+
+type envelope = { tag : string; xs : float array; k : int }
+
+let envelope_codec =
+  Wire.codec ~proto:"test-envelope"
+    ~enc:(fun e ->
+      Persist.Obj
+        [
+          ("tag", Persist.String e.tag);
+          ("xs", Persist.List (Array.to_list e.xs |> List.map Wire.float_to_json));
+          ("k", Persist.Int e.k);
+        ])
+    ~dec:(fun j ->
+      let ( let* ) = Result.bind in
+      let* tag = Wire.string_field "tag" j in
+      let* xs = Wire.list_field "xs" j in
+      let* xs = Wire.list_dec Wire.float_of_json xs in
+      let* k = Wire.int_field "k" j in
+      Ok { tag; xs = Array.of_list xs; k })
+
+let float_eq a b =
+  (Float.is_nan a && Float.is_nan b)
+  || Int64.bits_of_float a = Int64.bits_of_float b
+
+let envelope_eq a b =
+  a.tag = b.tag && a.k = b.k
+  && Array.length a.xs = Array.length b.xs
+  && Array.for_all2 float_eq a.xs b.xs
+
+let gen_wild_float =
+  QCheck.Gen.(
+    frequency
+      [
+        (6, float);
+        (1, return Float.nan);
+        (1, return Float.infinity);
+        (1, return Float.neg_infinity);
+        (1, return (-0.));
+        (1, return 0.);
+        (1, return 4.9e-324 (* subnormal *));
+        (1, return 1.7976931348623157e308);
+      ])
+
+(* unicode snippets: 2-, 3- and 4-byte UTF-8, mixed with ASCII *)
+let gen_tag =
+  QCheck.Gen.(
+    let snippet =
+      oneofl [ "\xc3\xa9"; "\xe2\x82\xac"; "\xf0\x9d\x84\x9e"; "ascii"; " "; "\"q\""; "\\" ]
+    in
+    map (String.concat "") (list_size (int_bound 6) snippet))
+
+let gen_envelope =
+  QCheck.Gen.(
+    map3
+      (fun tag xs k -> { tag; xs; k })
+      gen_tag
+      (array_size (int_bound 8) gen_wild_float)
+      int)
+
+let arb_envelope =
+  QCheck.make
+    ~print:(fun e ->
+      Printf.sprintf "{tag=%S; xs=[%s]; k=%d}" e.tag
+        (String.concat ";"
+           (Array.to_list e.xs |> List.map (Printf.sprintf "%h")))
+        e.k)
+    gen_envelope
+
+let codec_props =
+  [
+    qtest ~count:200 "wire codec round-trip (unicode + non-finite floats)"
+      arb_envelope (fun e ->
+        let frame = Wire.encode (envelope_codec.Wire.enc e) in
+        match Wire.decode frame with
+        | Error _ -> false
+        | Ok (j, consumed) -> (
+            consumed = String.length frame
+            &&
+            match envelope_codec.Wire.dec j with
+            | Ok e' -> envelope_eq e e'
+            | Error _ -> false));
+  ]
+
+(* ---------------- transports ---------------- *)
+
+let transport_tests =
+  [
+    case "mem transport: frames pass, close is eof" (fun () ->
+        let l = Transport.Mem.listen "" in
+        let addr = Transport.Mem.address l in
+        let client = Transport.Mem.link (Transport.Mem.connect addr) in
+        let server = Transport.Mem.link (Transport.Mem.accept l) in
+        client.Transport.send (Persist.String "ping");
+        (match server.Transport.recv () with
+        | Ok (Persist.String "ping") -> ()
+        | _ -> Alcotest.fail "expected ping");
+        server.Transport.send (Persist.String "pong");
+        (match client.Transport.recv () with
+        | Ok (Persist.String "pong") -> ()
+        | _ -> Alcotest.fail "expected pong");
+        client.Transport.close ();
+        (match server.Transport.recv () with
+        | Error `Eof -> ()
+        | _ -> Alcotest.fail "expected Eof");
+        Transport.Mem.close_listener l);
+    case "tcp transport: loopback echo" (fun () ->
+        let l = Transport.Tcp.listen ("127.0.0.1", 0) in
+        let addr = Transport.Tcp.address l in
+        let t =
+          Thread.create
+            (fun () ->
+              let s = Transport.Tcp.link (Transport.Tcp.accept l) in
+              (match s.Transport.recv () with
+              | Ok j -> s.Transport.send j
+              | Error _ -> ());
+              s.Transport.close ())
+            ()
+        in
+        let c = Transport.Tcp.link (Transport.Tcp.connect addr) in
+        let j = Persist.Obj [ ("x", Persist.Float 2.5) ] in
+        c.Transport.send j;
+        (match c.Transport.recv () with
+        | Ok j' -> check_true "echo" (j = j')
+        | Error e -> Alcotest.failf "recv: %a" Wire.pp_read_error e);
+        c.Transport.close ();
+        Thread.join t;
+        Transport.Tcp.close_listener l);
+    case "chan: fifo, bounded, poisoned" (fun () ->
+        let q = Chan.make 2 in
+        Chan.push q 1;
+        Chan.push q 2;
+        check_int "fifo" 1 (Chan.pop q);
+        check_int "fifo2" 2 (Chan.pop q);
+        Chan.push q 3;
+        Chan.fail q "poisoned";
+        (* queued items drain before the failure is raised *)
+        check_int "drain" 3 (Chan.pop q);
+        (match Chan.pop q with
+        | exception Failure m -> check_true "msg" (m = "poisoned")
+        | _ -> Alcotest.fail "expected Failure"));
+  ]
+
+(* ---------------- simulator/network equivalence ----------------
+
+   The tentpole's pin: the same protocol value, run over real TCP
+   sockets, must produce decision vectors byte-identical to
+   Engine.run ~scheduler:Rounds at the same (proto, seed, n, f, d). *)
+
+let equivalence ~proto ~seed ~n ~f ~d ~rounds transport =
+  let packed =
+    match Codecs.make ~proto ~seed ~n ~f ~d ~rounds with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "make %s: %s" proto e
+  in
+  let expect = Persist.to_string (Codecs.engine_decisions packed) in
+  let got = Persist.to_string (Codecs.cluster_decisions ~transport packed) in
+  Alcotest.(check string)
+    (Printf.sprintf "%s seed=%d n=%d f=%d d=%d" proto seed n f d)
+    expect got
+
+let equivalence_tests =
+  [
+    case "om: tcp loopback = engine" (fun () ->
+        equivalence ~proto:"om" ~seed:1 ~n:4 ~f:1 ~d:1 ~rounds:0 `Tcp;
+        equivalence ~proto:"om" ~seed:42 ~n:7 ~f:2 ~d:1 ~rounds:0 `Tcp);
+    case "bracha: tcp loopback = engine" (fun () ->
+        equivalence ~proto:"bracha" ~seed:5 ~n:4 ~f:1 ~d:1 ~rounds:5 `Tcp;
+        equivalence ~proto:"bracha" ~seed:9 ~n:7 ~f:2 ~d:1 ~rounds:6 `Tcp);
+    case "algo-exact: tcp loopback = engine" (fun () ->
+        equivalence ~proto:"algo-exact" ~seed:3 ~n:4 ~f:1 ~d:1 ~rounds:0 `Tcp;
+        equivalence ~proto:"algo-exact" ~seed:11 ~n:7 ~f:2 ~d:2 ~rounds:0 `Tcp);
+    case "algo-iterative: tcp loopback = engine" (fun () ->
+        equivalence ~proto:"algo-iterative" ~seed:7 ~n:4 ~f:1 ~d:1 ~rounds:3
+          `Tcp;
+        equivalence ~proto:"algo-iterative" ~seed:13 ~n:7 ~f:2 ~d:2 ~rounds:2
+          `Tcp);
+    case "mem transport agrees too" (fun () ->
+        equivalence ~proto:"om" ~seed:1 ~n:4 ~f:1 ~d:1 ~rounds:0 `Mem;
+        equivalence ~proto:"algo-exact" ~seed:3 ~n:4 ~f:1 ~d:1 ~rounds:0 `Mem);
+    case "hello rejects protocol mismatch" (fun () ->
+        (* om node on one end, bracha codec on the other: the hello
+           exchange must fail the run, not feed garbage to on_receive *)
+        let l = Transport.Mem.listen "" in
+        let addr = Transport.Mem.address l in
+        let t =
+          Thread.create
+            (fun () ->
+              let s = Transport.Mem.link (Transport.Mem.accept l) in
+              s.Transport.send
+                (Persist.Obj
+                   [
+                     ("t", Persist.String "hello");
+                     ("proto", Persist.String "bracha");
+                     ("src", Persist.Int 1);
+                     ("rounds", Persist.Int 1);
+                   ]);
+              (* swallow whatever the node sends, then close *)
+              let rec drain () =
+                match s.Transport.recv () with
+                | Ok _ -> drain ()
+                | Error _ -> ()
+              in
+              drain ();
+              s.Transport.close ())
+            ()
+        in
+        let link = Transport.Mem.link (Transport.Mem.connect addr) in
+        let links = [| None; Some link |] in
+        let packed =
+          match Codecs.make ~proto:"om" ~seed:1 ~n:2 ~f:0 ~d:1 ~rounds:0 with
+          | Ok p -> p
+          | Error e -> Alcotest.fail e
+        in
+        (match packed with
+        | Codecs.P { protocol; codec; _ } -> (
+            match Node.run ~protocol ~codec ~links ~me:0 ~rounds:1 () with
+            | exception Failure msg ->
+                check_true "mentions mismatch"
+                  (String.length msg > 0
+                  &&
+                  let lower = String.lowercase_ascii msg in
+                  let has needle =
+                    let ln = String.length needle
+                    and lm = String.length lower in
+                    let rec go i =
+                      i + ln <= lm
+                      && (String.sub lower i ln = needle || go (i + 1))
+                    in
+                    go 0
+                  in
+                  has "mismatch")
+            | _ -> Alcotest.fail "expected Failure on protocol mismatch"));
+        Thread.join t;
+        Transport.Mem.close_listener l);
+  ]
+
+(* ---------------- the serve daemon ---------------- *)
+
+let start_daemon ?(shards = 4) ?(stats = true) () =
+  let ready = Chan.make 1 in
+  let config =
+    {
+      Serve.default_config with
+      shards;
+      stats_port = (if stats then Some 0 else None);
+    }
+  in
+  let t =
+    Thread.create
+      (fun () ->
+        Serve.run ~signals:false
+          ~on_ready:(fun ~port ~stats_port -> Chan.push ready (port, stats_port))
+          config)
+      ()
+  in
+  let port, stats_port = Chan.pop ready in
+  (t, port, stats_port)
+
+let serve_tests =
+  [
+    case "serve: one request round-trips and matches the engine" (fun () ->
+        let t, port, _ = start_daemon ~stats:false () in
+        let req =
+          {
+            Serve.key = "k0";
+            proto = "om";
+            seed = 42;
+            n = 4;
+            f = 1;
+            d = 1;
+            rounds = 0;
+          }
+        in
+        (match Serve.submit ~port [ req ] with
+        | Error e -> Alcotest.failf "submit: %s" e
+        | Ok [ r ] ->
+            check_true "ok" r.Serve.ok;
+            let expect =
+              Codecs.engine_decisions
+                (Result.get_ok
+                   (Codecs.make ~proto:"om" ~seed:42 ~n:4 ~f:1 ~d:1 ~rounds:0))
+            in
+            check_true "decisions match engine"
+              (Option.map Persist.to_string r.Serve.decisions
+              = Some (Persist.to_string expect))
+        | Ok _ -> Alcotest.fail "expected one response");
+        (match Serve.shutdown ~port () with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "shutdown: %s" e);
+        Thread.join t);
+    case "serve: bad requests answered, not fatal" (fun () ->
+        let t, port, _ = start_daemon ~stats:false () in
+        let mk key proto n f =
+          { Serve.key; proto; seed = 0; n; f; d = 1; rounds = 1 }
+        in
+        (match
+           Serve.submit ~port
+             [
+               mk "a" "nonsense" 4 1;
+               (* infeasible: om needs n >= 3f+1 *)
+               mk "b" "om" 3 1;
+               (* out of caps *)
+               mk "c" "om" 100000 1;
+               (* and one good request after all the bad ones *)
+               mk "d" "om" 4 1;
+             ]
+         with
+        | Error e -> Alcotest.failf "submit: %s" e
+        | Ok [ r1; r2; r3; r4 ] ->
+            check_false "unknown proto" r1.Serve.ok;
+            check_false "infeasible" r2.Serve.ok;
+            check_false "capped" r3.Serve.ok;
+            check_true "good one still served" r4.Serve.ok
+        | Ok rs -> Alcotest.failf "expected 4 responses, got %d" (List.length rs));
+        ignore (Serve.shutdown ~port ());
+        Thread.join t);
+    case "serve: 100 concurrent instances + live stats" (fun () ->
+        let t, port, stats_port = start_daemon ~shards:4 () in
+        let stats_port = Option.get stats_port in
+        let reqs =
+          List.init 100 (fun i ->
+              {
+                Serve.key = Printf.sprintf "inst-%d" i;
+                proto = (if i mod 2 = 0 then "om" else "bracha");
+                seed = i;
+                n = 4;
+                f = 1;
+                d = 1;
+                rounds = 5;
+              })
+        in
+        (match Serve.submit ~port reqs with
+        | Error e -> Alcotest.failf "submit: %s" e
+        | Ok resps ->
+            check_int "all answered" 100 (List.length resps);
+            check_true "all ok" (List.for_all (fun r -> r.Serve.ok) resps);
+            (* per-key sharding: same key -> same shard, several shards used *)
+            let shards_used =
+              List.sort_uniq compare (List.map (fun r -> r.Serve.shard) resps)
+            in
+            check_true "sharded" (List.length shards_used > 1));
+        (* live stats endpoint, while the daemon is still up *)
+        (match Serve.fetch_stats ~port:stats_port () with
+        | Error e -> Alcotest.failf "stats: %s" e
+        | Ok json ->
+            (match Persist.member "schema" json with
+            | Some (Persist.String s) ->
+                Alcotest.(check string) "schema" "rbvc-metrics/1" s
+            | _ -> Alcotest.fail "missing schema");
+            (match Persist.member "counters" json with
+            | Some (Persist.Obj counters) -> (
+                match List.assoc_opt "serve.requests" counters with
+                | Some (Persist.Int k) ->
+                    check_true "requests >= 100" (k >= 100)
+                | _ -> Alcotest.fail "missing serve.requests")
+            | _ -> Alcotest.fail "missing counters");
+            match Persist.member "gauges" json with
+            | Some (Persist.Obj gauges) -> (
+                match List.assoc_opt "serve.keys" gauges with
+                | Some (Persist.Int k) -> check_true "keys >= 100" (k >= 100)
+                | _ -> Alcotest.fail "missing serve.keys")
+            | _ -> Alcotest.fail "missing gauges");
+        (match Serve.shutdown ~port () with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "shutdown: %s" e);
+        Thread.join t);
+  ]
+
+let suite =
+  frame_tests @ codec_props @ transport_tests @ equivalence_tests @ serve_tests

@@ -46,6 +46,26 @@ let unit_tests =
     case "sign and abs" (fun () ->
         check_int "sign" (-1) (Ratio.sign (r (-3) 4));
         check_true "abs" (Ratio.equal (Ratio.abs (r (-3) 4)) (r 3 4)));
+    case "to_float when numerator AND denominator overflow double" (fun () ->
+        (* regression: converting the limbs separately gave inf/inf = nan
+           for any ratio whose parts both exceed ~1.8e308, even though
+           10^400/10^399 is exactly 10 *)
+        let p k = Bigint.of_string ("1" ^ String.make k '0') in
+        let q num den = Ratio.to_float (Ratio.of_bigints num den) in
+        check_float ~eps:0. "10^400/10^399" 10. (q (p 400) (p 399));
+        check_float ~eps:0. "-10^400/10^399" (-10.)
+          (q (Bigint.neg (p 400)) (p 399));
+        check_float ~eps:0. "10^500/10^500" 1. (q (p 500) (p 500)));
+    case "to_float huge-limb overflow, underflow, subnormal" (fun () ->
+        let p k = Bigint.of_string ("1" ^ String.make k '0') in
+        let three = Bigint.of_int 3 in
+        let q num den = Ratio.to_float (Ratio.of_bigints num den) in
+        check_true "10^400/3 overflows to +inf" (q (p 400) three = infinity);
+        check_float ~eps:0. "3/10^400 underflows to zero" 0. (q three (p 400));
+        (* 3e-320 is deep in the subnormal range; the scaled-quotient
+           path must still land on strtod's correctly rounded value *)
+        check_float ~eps:0. "3/10^320 is the subnormal 3e-320" 3e-320
+          (q three (p 320)));
   ]
 
 let small_ratio =

@@ -231,4 +231,53 @@ let async_tests =
         Alcotest.(check (list (pair int int))) "doubled" [ (0, 14) ] !got);
   ]
 
-let suite = sync_tests @ async_tests
+let spec_tests =
+  let parses s expect =
+    match Fault.spec_of_string s with
+    | Ok spec -> check_true s (spec = expect)
+    | Error e -> Alcotest.failf "%s: unexpected reject: %s" s e
+  in
+  let rejects s =
+    check_true (s ^ " rejected") (Result.is_error (Fault.spec_of_string s))
+  in
+  [
+    case "spec_of_string accepts the documented forms" (fun () ->
+        parses "crash:3" (Fault.Crash { at = 3 });
+        parses "omit:0.5" (Fault.Omit { seed = 0; prob = 0.5 });
+        parses "omit:0.5:7" (Fault.Omit { seed = 7; prob = 0.5 });
+        parses "omit:1e-2" (Fault.Omit { seed = 0; prob = 0.01 });
+        parses "delay:2" (Fault.Delay { seed = 0; max = 2 });
+        parses "delay:2:9" (Fault.Delay { seed = 9; max = 2 }));
+    case "spec_of_string is strict decimal" (fun () ->
+        (* regression: int_of_string's OCaml-literal leniency let these
+           through — hex seeds, '_' separators, "nan" probabilities *)
+        rejects "omit:0.5:0x3";
+        rejects "delay:1_0";
+        rejects "delay:0x2";
+        rejects "crash:0b11";
+        rejects "omit:nan";
+        rejects "omit:infinity";
+        rejects "omit:0x1p-1";
+        rejects "crash:1_000");
+    case "spec_of_string rejects malformed and out-of-range" (fun () ->
+        rejects "";
+        rejects "crash";
+        rejects "crash:-1";
+        rejects "omit:1.5";
+        rejects "omit:-0.1";
+        rejects "delay:-2";
+        rejects "delay:1:2:3";
+        rejects "lose:0.5");
+    case "int_of_decimal / float_of_decimal corners" (fun () ->
+        check_true "negative int" (Fault.int_of_decimal "-12" = Some (-12));
+        check_true "trimmed" (Fault.int_of_decimal " 12 " = Some 12);
+        check_true "empty" (Fault.int_of_decimal "" = None);
+        check_true "bare minus" (Fault.int_of_decimal "-" = None);
+        check_true "overflow checked"
+          (Fault.int_of_decimal "99999999999999999999999999" = None);
+        check_true "float exp form" (Fault.float_of_decimal "2.5e-1" = Some 0.25);
+        check_true "float no digits" (Fault.float_of_decimal ".e" = None);
+        check_true "float underscore" (Fault.float_of_decimal "0.2_5" = None));
+  ]
+
+let suite = sync_tests @ async_tests @ spec_tests
