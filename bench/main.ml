@@ -290,6 +290,25 @@ let bench_engine_rounds ?(reference = false) ~n () =
            ~obs_prefix:"engine" ~n ~protocol ~scheduler:Scheduler.Rounds
            ~limit:3 ())))
 
+(* Same workload, but the entry's contract is what it asserts: both
+   observability layers — counters and the tracer — are off, so this
+   number IS the uninstrumented hot path. The guard timing-gates every
+   baseline entry matching engine_run/n=500, so growth of the tracing
+   layer cannot silently tax runs that never asked for it. *)
+let bench_engine_rounds_instr_off ~n () =
+  let name = Printf.sprintf "engine_run rounds n=%d (instr off)" n in
+  let protocol = engine_rounds_protocol ~n ~k:16 in
+  let passthrough ~round:_ ~src:_ ~dst:_ m = m in
+  assert (not (Obs.enabled ()));
+  assert (not (Obs.Tracer.active ()));
+  ( name,
+    (fun () ->
+      ignore
+        (Engine.run
+           ~faults:(Fault.byzantine ~faulty:[ 0 ] passthrough)
+           ~obs_prefix:"engine" ~n ~protocol ~scheduler:Scheduler.Rounds
+           ~limit:3 ())))
+
 (* Token ring under the Fifo step scheduler: on_start launches one
    token per process, each forwarded [hops] times, so the pool holds
    ~n live envelopes while n*(hops+1) deliveries drain it — the
@@ -394,6 +413,7 @@ let tests =
     bench_engine_rounds ~n:100 ();
     bench_engine_rounds ~n:500 ();
     bench_engine_rounds ~n:500 ~reference:true ();
+    bench_engine_rounds_instr_off ~n:500 ();
     bench_engine_rounds ~n:2000 ();
     bench_engine_fifo ~n:100 ();
     bench_engine_fifo ~n:500 ();

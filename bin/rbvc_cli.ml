@@ -1138,9 +1138,38 @@ let serve_cmd =
       & info [ "queue-cap" ] ~docv:"N"
           ~doc:"Per-shard job-queue bound (connections block when full).")
   in
-  let run host port stats_port shards queue_cap =
+  let slow_us =
+    Arg.(
+      value
+      & opt (bounded_int_conv ~what:"slow-us" ~min:0) 1000
+      & info [ "slow-us" ] ~docv:"US"
+          ~doc:
+            "Requests at or above $(docv) microseconds of latency enter \
+             the flight recorder (dumped at the stats endpoint's /slow).")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record a server-side request trace — ingress events, per-shard \
+             request spans, absorbed engine rounds, queue/response flow \
+             arrows — and write it to $(docv) as rbvc-trace/1 on shutdown. \
+             Stitch it with client dumps via $(b,rbvc trace merge).")
+  in
+  let run host port stats_port shards queue_cap slow_us trace =
     let config =
-      { Serve.default_config with host; port; stats_port; shards; queue_cap }
+      {
+        Serve.default_config with
+        host;
+        port;
+        stats_port;
+        shards;
+        queue_cap;
+        slow_us;
+        trace_path = trace;
+      }
     in
     Serve.run
       ~on_ready:(fun ~port ~stats_port ->
@@ -1151,6 +1180,9 @@ let serve_cmd =
         | None -> ());
         Format.print_flush ())
       config;
+    (match trace with
+    | Some path -> Format.printf "rbvc serve: wrote trace %s@." path
+    | None -> ());
     Format.printf "rbvc serve: stopped@.";
     0
   in
@@ -1161,9 +1193,13 @@ let serve_cmd =
           an instance key and (proto, seed, n, f, d, rounds); responses \
           carry the decision vector the deterministic engine produces for \
           those parameters. Keys shard across worker domains; \
-          $(b,--stats-port) exposes live metrics; SIGINT/SIGTERM or a \
-          client shutdown request stop it gracefully.")
-    Term.(const run $ host_arg $ port $ stats_port $ shards $ queue_cap)
+          $(b,--stats-port) exposes live metrics (JSON at /, Prometheus \
+          text at /metrics, readiness at /healthz, slow requests at \
+          /slow); SIGINT/SIGTERM or a client shutdown request stop it \
+          gracefully.")
+    Term.(
+      const run $ host_arg $ port $ stats_port $ shards $ queue_cap $ slow_us
+      $ trace)
 
 let submit_cmd =
   let port =
@@ -1233,7 +1269,8 @@ let submit_cmd =
       value & flag
       & info [ "shutdown" ] ~doc:"Ask the daemon to stop when done.")
   in
-  let run host port key proto seed n f d rounds count verify stop =
+  let run host port key proto seed n f d rounds count verify stop trace =
+    with_trace trace @@ fun () ->
     let reqs =
       List.init count (fun i ->
           {
@@ -1269,7 +1306,14 @@ let submit_cmd =
                          with
                          | Error e -> Error e
                          | Ok packed -> (
-                             match Codecs.engine_decisions packed with
+                             (* verification re-runs stay out of the
+                                client trace: the dump should show the
+                                submit/rpc/resp flow, not 100 local
+                                engine executions *)
+                             match
+                               Obs.Tracer.suppressed (fun () ->
+                                   Codecs.engine_decisions packed)
+                             with
                              | dec -> Ok dec
                              | exception e -> Error (Printexc.to_string e))
                        in
@@ -1319,10 +1363,158 @@ let submit_cmd =
           and print the decision vectors; $(b,--verify) cross-checks every \
           response against a local deterministic engine run at the same \
           parameters, $(b,--count) pipelines many instances on one \
-          connection.")
+          connection. With $(b,--trace) every request frame carries a \
+          trace context the daemon adopts, and the client-side dump \
+          stitches against a $(b,rbvc serve --trace) dump via $(b,rbvc \
+          trace merge).")
     Term.(
       const run $ host_arg $ port $ key $ proto $ seed_arg $ n $ f $ d
-      $ rounds $ count $ verify $ stop)
+      $ rounds $ count $ verify $ stop $ trace_arg)
+
+(* ---------------- top ----------------
+
+   A refreshing terminal dashboard over the serve stats endpoint:
+   fetch the rbvc-metrics JSON, diff counters against the previous
+   snapshot for rates, and render per-shard throughput, queue depths
+   and wall-latency quantiles. Pure client — everything it shows comes
+   from the same document `curl :port/` returns. *)
+
+let top_cmd =
+  let port =
+    Arg.(
+      required
+      & opt (some (bounded_int_conv ~what:"port" ~min:1)) None
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"Stats endpoint port (rbvc serve $(b,--stats-port)).")
+  in
+  let interval =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval" ] ~docv:"SECS" ~doc:"Refresh interval.")
+  in
+  let iterations =
+    Arg.(
+      value
+      & opt (bounded_int_conv ~what:"iterations" ~min:0) 0
+      & info [ "iterations" ] ~docv:"N"
+          ~doc:"Stop after $(docv) refreshes (0 = run until interrupted).")
+  in
+  let plain =
+    Arg.(
+      value & flag
+      & info [ "plain" ]
+          ~doc:
+            "Do not clear the screen between refreshes — append snapshots \
+             (for logs and CI).")
+  in
+  let num = function
+    | Persist.Int i -> float_of_int i
+    | Persist.Float f -> f
+    | _ -> Float.nan
+  in
+  let obj_fields name json =
+    match Persist.member name json with Some (Persist.Obj kvs) -> kvs | _ -> []
+  in
+  let fmt_dur s =
+    if Float.is_nan s then "-"
+    else if s < 1e-3 then Printf.sprintf "%.0fus" (s *. 1e6)
+    else if s < 1. then Printf.sprintf "%.2fms" (s *. 1e3)
+    else Printf.sprintf "%.2fs" s
+  in
+  let run host port interval iterations plain =
+    let prev = ref None in
+    let rec loop i =
+      match Serve.fetch_stats ~host ~port () with
+      | Error e ->
+          Format.eprintf "rbvc top: %s@." e;
+          2
+      | Ok json ->
+          let now = Unix.gettimeofday () in
+          let counters = obj_fields "counters" json in
+          let gauges = obj_fields "gauges" json in
+          let walls = obj_fields "wall_histograms" json in
+          let cget name =
+            match List.assoc_opt name counters with
+            | Some (Persist.Int k) -> k
+            | _ -> 0
+          in
+          let gget name =
+            match List.assoc_opt name gauges with
+            | Some (Persist.Int k) -> k
+            | _ -> 0
+          in
+          let rate name =
+            match !prev with
+            | Some (t0, prev_counters) when now > t0 ->
+                let before =
+                  match List.assoc_opt name prev_counters with
+                  | Some (Persist.Int k) -> k
+                  | _ -> 0
+                in
+                Printf.sprintf "%7.1f/s"
+                  (float_of_int (cget name - before) /. (now -. t0))
+            | _ -> "        -"
+          in
+          if not plain then print_string "\027[2J\027[H";
+          Format.printf "rbvc top — %s:%d — snapshot %d@." host port (i + 1);
+          Format.printf
+            "requests %d (%s)   errors %d   rejected %d   inflight(hw) %d   \
+             keys %d   conns %d@."
+            (cget "serve.requests")
+            (String.trim (rate "serve.requests"))
+            (cget "serve.errors") (cget "serve.rejected")
+            (gget "serve.inflight") (gget "serve.keys")
+            (cget "serve.connections");
+          (* per-shard table, as many shards as the gauges report *)
+          let shards = gget "serve.shards" in
+          if shards > 0 then begin
+            Format.printf "@.%5s %10s %10s %7s %9s@." "shard" "requests"
+              "rate" "queue" "queue-hw";
+            for s = 0 to shards - 1 do
+              let c = Printf.sprintf "serve.shard%d.requests" s in
+              Format.printf "%5d %10d %10s %7d %9d@." s (cget c)
+                (String.trim (rate c))
+                (gget (Printf.sprintf "serve.shard%d.queue_now" s))
+                (gget (Printf.sprintf "serve.shard%d.queue_depth" s))
+            done
+          end;
+          if walls <> [] then begin
+            Format.printf "@.%-28s %8s %9s %9s %9s %9s@." "latency (wall)"
+              "count" "p50" "p95" "p99" "max";
+            List.iter
+              (fun (name, w) ->
+                let f k =
+                  match Persist.member k w with Some v -> num v | None -> nan
+                in
+                let count =
+                  match Persist.member "count" w with
+                  | Some (Persist.Int k) -> k
+                  | _ -> 0
+                in
+                Format.printf "%-28s %8d %9s %9s %9s %9s@." name count
+                  (fmt_dur (f "p50")) (fmt_dur (f "p95")) (fmt_dur (f "p99"))
+                  (fmt_dur (f "max")))
+              walls
+          end;
+          Format.print_flush ();
+          prev := Some (now, counters);
+          if iterations > 0 && i + 1 >= iterations then 0
+          else begin
+            (try Unix.sleepf interval with _ -> ());
+            loop (i + 1)
+          end
+    in
+    loop 0
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live terminal dashboard over a running daemon's stats endpoint: \
+          per-shard throughput and queue depths, request/error rates \
+          computed from successive snapshots, and wall-clock latency \
+          quantiles (p50/p95/p99). $(b,--iterations) bounds the run for \
+          scripts; $(b,--plain) appends instead of clearing the screen.")
+    Term.(const run $ host_arg $ port $ interval $ iterations $ plain)
 
 (* ---------------- bench ---------------- *)
 
@@ -1659,14 +1851,76 @@ let trace_diff_cmd =
           to check --jobs independence.")
     Term.(const run $ a $ b)
 
+let trace_merge_cmd =
+  let out =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"OUT" ~doc:"Merged trace output path.")
+  in
+  let inputs =
+    Arg.(
+      non_empty
+      & pos_right 0 string []
+      & info [] ~docv:"IN"
+          ~doc:
+            "Per-process rbvc-trace/1 dumps (e.g. a serve --trace dump and \
+             a submit --trace dump).")
+  in
+  let run out inputs =
+    let parts, errs =
+      List.partition_map
+        (fun path ->
+          match Trace_export.read_labeled path with
+          | Error e -> Right (Printf.sprintf "%s: %s" path e)
+          | Ok (events, labels) ->
+              Left
+                ( Filename.remove_extension (Filename.basename path),
+                  events,
+                  labels ))
+        inputs
+    in
+    match errs with
+    | e :: _ ->
+        Format.eprintf "rbvc trace merge: %s@." e;
+        2
+    | [] -> (
+        let events, labels = Trace_export.merge parts in
+        Trace_export.write ~labels out events;
+        match Trace_export.check_spans events with
+        | Ok () ->
+            Format.printf "wrote %s (%d events from %d parts, spans balanced)@."
+              out (List.length events) (List.length parts);
+            0
+        | Error e ->
+            Format.eprintf "rbvc trace merge: %s: malformed spans: %s@." out e;
+            1)
+  in
+  Cmd.v
+    (Cmd.info "merge"
+       ~doc:
+         "Stitch per-process trace dumps into one Chrome trace: tracks are \
+          remapped into disjoint blocks named $(i,part/track), shared flow \
+          ids become cross-process arrows (client submit → serve ingress → \
+          shard → engine), and events are interleaved send-before-delivery \
+          so the merged file loads cleanly in Perfetto and passes the span \
+          checker.")
+    Term.(const run $ out $ inputs)
+
 let trace_cmd =
   Cmd.group
     (Cmd.info "trace"
        ~doc:
-         "Record, inspect and compare deterministic execution traces \
-          (rbvc-trace/1 Chrome trace-event JSON; load them at \
+         "Record, inspect, compare and stitch deterministic execution \
+          traces (rbvc-trace/1 Chrome trace-event JSON; load them at \
           ui.perfetto.dev).")
-    [ trace_record_cmd; trace_view_cmd; trace_stats_cmd; trace_diff_cmd ]
+    [
+      trace_record_cmd;
+      trace_view_cmd;
+      trace_stats_cmd;
+      trace_diff_cmd;
+      trace_merge_cmd;
+    ]
 
 let main_cmd =
   Cmd.group
@@ -1685,6 +1939,7 @@ let main_cmd =
       validate_cmd;
       serve_cmd;
       submit_cmd;
+      top_cmd;
       bench_cmd;
       trace_cmd;
     ]

@@ -20,6 +20,61 @@ let hist_to_json (h : Obs.hist) =
          ]
      | _ -> [ ("buckets", buckets) ]))
 
+(* Quantile estimate from an explicit-boundary histogram: find the
+   bucket where the cumulative count crosses [q * count] and
+   interpolate linearly inside it (overflow bucket capped at the
+   observed max). Clamped to the observed min/max. *)
+let quantile (w : Obs.wall_hist) q =
+  if w.Obs.w_count = 0 then 0.
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let target = q *. float_of_int w.Obs.w_count in
+    let counts = w.Obs.w_counts in
+    let nb = Array.length counts in
+    let i = ref 0 and cum = ref 0 in
+    while
+      !i < nb - 1 && float_of_int (!cum + counts.(!i)) < target
+    do
+      cum := !cum + counts.(!i);
+      incr i
+    done;
+    let c = counts.(!i) in
+    let lower = if !i = 0 then 0. else w.Obs.w_bounds.(!i - 1) in
+    let upper =
+      if !i < Array.length w.Obs.w_bounds then w.Obs.w_bounds.(!i)
+      else match w.Obs.w_max with Some m -> m | None -> lower
+    in
+    let frac =
+      if c = 0 then 1.
+      else Float.max 0. (Float.min 1. ((target -. float_of_int !cum) /. float_of_int c))
+    in
+    let v = lower +. ((upper -. lower) *. frac) in
+    let v = match w.Obs.w_min with Some m when v < m -> m | _ -> v in
+    let v = match w.Obs.w_max with Some m when v > m -> m | _ -> v in
+    v
+  end
+
+let wall_hist_to_json (w : Obs.wall_hist) =
+  let floats a = Persist.List (List.map (fun f -> Persist.Float f) a) in
+  Persist.Obj
+    (("count", Persist.Int w.Obs.w_count)
+     :: ("sum", Persist.Float w.Obs.w_sum)
+     ::
+     ((match (w.Obs.w_min, w.Obs.w_max) with
+      | Some mn, Some mx ->
+          [ ("min", Persist.Float mn); ("max", Persist.Float mx) ]
+      | _ -> [])
+     @ [
+         ("bounds", floats (Array.to_list w.Obs.w_bounds));
+         ( "counts",
+           Persist.List
+             (List.map (fun c -> Persist.Int c) (Array.to_list w.Obs.w_counts))
+         );
+         ("p50", Persist.Float (quantile w 0.5));
+         ("p95", Persist.Float (quantile w 0.95));
+         ("p99", Persist.Float (quantile w 0.99));
+       ]))
+
 let span_to_json ~timings (sp : Obs.span) =
   Persist.Obj
     (("calls", Persist.Int sp.Obs.calls)
@@ -28,7 +83,7 @@ let span_to_json ~timings (sp : Obs.span) =
 
 let to_json ?(timings = false) (snap : Obs.snapshot) =
   Persist.Obj
-    [
+    ([
       ("schema", Persist.String schema);
       ( "counters",
         Persist.Obj
@@ -39,14 +94,106 @@ let to_json ?(timings = false) (snap : Obs.snapshot) =
       ( "histograms",
         Persist.Obj (List.map (fun (k, h) -> (k, hist_to_json h)) snap.Obs.hists)
       );
+    ]
+    @ (if timings && snap.Obs.wall_hists <> [] then
+         [
+           ( "wall_histograms",
+             Persist.Obj
+               (List.map
+                  (fun (k, w) -> (k, wall_hist_to_json w))
+                  snap.Obs.wall_hists) );
+         ]
+       else [])
+    @ [
       ( "spans",
         Persist.Obj
           (List.map (fun (k, sp) -> (k, span_to_json ~timings sp)) snap.Obs.spans)
       );
-    ]
+    ])
 
 let write ?timings path snap =
   let oc = open_out path in
   output_string oc (Persist.to_string (to_json ?timings snap));
   output_char oc '\n';
   close_out oc
+
+(* ---------------- Prometheus text exposition ---------------- *)
+
+let mangle name =
+  let mapped =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> c
+        | _ -> '_')
+      name
+  in
+  "rbvc_" ^ mapped
+
+let prom_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let to_prometheus (snap : Obs.snapshot) =
+  let b = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  List.iter
+    (fun (name, v) ->
+      let m = mangle name ^ "_total" in
+      line "# TYPE %s counter" m;
+      line "%s %d" m v)
+    snap.Obs.counters;
+  List.iter
+    (fun (name, v) ->
+      let m = mangle name in
+      line "# TYPE %s gauge" m;
+      line "%s %d" m v)
+    snap.Obs.gauges;
+  (* power-of-two int histograms: bucket keyed by lower bound [lo]
+     covers [lo .. 2*lo-1], so the cumulative [le] edge is [2*lo-1]. *)
+  List.iter
+    (fun (name, (h : Obs.hist)) ->
+      let m = mangle name in
+      line "# TYPE %s histogram" m;
+      let cum = ref 0 in
+      List.iter
+        (fun (lo, c) ->
+          cum := !cum + c;
+          let le = if lo = 0 then 0 else (2 * lo) - 1 in
+          line "%s_bucket{le=\"%d\"} %d" m le !cum)
+        h.Obs.buckets;
+      line "%s_bucket{le=\"+Inf\"} %d" m h.Obs.count;
+      line "%s_sum %d" m h.Obs.sum;
+      line "%s_count %d" m h.Obs.count)
+    snap.Obs.hists;
+  List.iter
+    (fun (name, (w : Obs.wall_hist)) ->
+      let m = mangle name ^ "_seconds" in
+      line "# TYPE %s histogram" m;
+      let cum = ref 0 in
+      Array.iteri
+        (fun i bound ->
+          cum := !cum + w.Obs.w_counts.(i);
+          line "%s_bucket{le=\"%s\"} %d" m (prom_float bound) !cum)
+        w.Obs.w_bounds;
+      line "%s_bucket{le=\"+Inf\"} %d" m w.Obs.w_count;
+      line "%s_sum %s" m (prom_float w.Obs.w_sum);
+      line "%s_count %d" m w.Obs.w_count;
+      List.iter
+        (fun (suffix, q) ->
+          let g = m ^ suffix in
+          line "# TYPE %s gauge" g;
+          line "%s %s" g (prom_float (quantile w q)))
+        [ ("_p50", 0.5); ("_p95", 0.95); ("_p99", 0.99) ])
+    snap.Obs.wall_hists;
+  List.iter
+    (fun (name, (sp : Obs.span)) ->
+      let calls = mangle name ^ "_calls_total" in
+      line "# TYPE %s counter" calls;
+      line "%s %d" calls sp.Obs.calls;
+      let secs = mangle name ^ "_cpu_seconds_total" in
+      line "# TYPE %s counter" secs;
+      line "%s %s" secs (prom_float sp.Obs.seconds))
+    snap.Obs.spans;
+  Buffer.contents b

@@ -18,7 +18,28 @@ val to_json : ?timings:bool -> Obs.snapshot -> Persist.json
     [{ "count": n, "sum": s, "min": m, "max": M, "buckets": [[lo, c], ..] }]
     ([min]/[max] omitted when [count = 0]); each span is
     [{ "calls": n }], plus ["seconds"] when [timings] (default [false]
-    — seconds are nondeterministic and break byte-identical output). *)
+    — seconds are nondeterministic and break byte-identical output).
+    With [~timings:true] a non-empty [wall_hists] field additionally
+    serializes as ["wall_histograms"], each entry
+    [{ "count", "sum", "min", "max", "bounds", "counts", "p50", "p95",
+       "p99" }] — wall-clock latency data, segregated behind the same
+    flag as span seconds for the same reason. *)
+
+val quantile : Obs.wall_hist -> float -> float
+(** [quantile w q] estimates the [q]-quantile ([0..1], clamped) of a
+    wall-clock histogram by linear interpolation inside the bucket
+    where the cumulative count crosses [q * count] (the overflow
+    bucket is capped at the observed max). Result is clamped to the
+    observed min/max; [0.] when the histogram is empty. *)
+
+val to_prometheus : Obs.snapshot -> string
+(** Render a snapshot in Prometheus text exposition format (one
+    [# TYPE] line per family, names mangled [rbvc_<name>] with
+    non-alphanumerics as [_]): counters as [<name>_total], gauges
+    verbatim, int histograms with cumulative [le] buckets at the
+    power-of-two upper edges, wall histograms as [<name>_seconds] with
+    explicit-boundary [le] buckets plus [_p50]/[_p95]/[_p99] gauges,
+    and spans as [_calls_total] / [_cpu_seconds_total]. *)
 
 val write : ?timings:bool -> string -> Obs.snapshot -> unit
 (** [write path snap] writes [to_json snap] to [path], newline

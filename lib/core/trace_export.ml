@@ -48,25 +48,32 @@ let event_to_json ~ts (e : T.event) =
             :: List.map (fun (k, v) -> (k, arg_to_json v)) e.args) );
       ])
 
-let thread_metadata events =
+let thread_metadata ?(labels = []) events =
   let module S = Set.Make (Int) in
   let tracks =
-    List.fold_left (fun acc (e : T.event) -> S.add e.track acc) S.empty events
+    List.fold_left
+      (fun acc (e : T.event) -> S.add e.track acc)
+      (List.fold_left (fun acc (t, _) -> S.add t acc) S.empty labels)
+      events
   in
   List.map
     (fun track ->
+      let label =
+        match List.assoc_opt track labels with
+        | Some l -> l
+        | None -> track_label track
+      in
       Persist.Obj
         [
           ("name", Persist.String "thread_name");
           ("ph", Persist.String "M");
           ("pid", Persist.Int 0);
           ("tid", Persist.Int (tid_of_track track));
-          ( "args",
-            Persist.Obj [ ("name", Persist.String (track_label track)) ] );
+          ("args", Persist.Obj [ ("name", Persist.String label) ]);
         ])
     (S.elements tracks)
 
-let to_json ?(meta = []) events =
+let to_json ?(meta = []) ?labels events =
   Persist.Obj
     [
       ("schema", Persist.String schema);
@@ -74,8 +81,8 @@ let to_json ?(meta = []) events =
       ("meta", Persist.Obj meta);
       ( "traceEvents",
         Persist.List
-          (thread_metadata events @ List.mapi (fun ts e -> event_to_json ~ts e) events)
-      );
+          (thread_metadata ?labels events
+          @ List.mapi (fun ts e -> event_to_json ~ts e) events) );
     ]
 
 let event_of_json j =
@@ -120,32 +127,50 @@ let event_of_json j =
     in
     Ok (Some { T.lclock; track = track_of_tid tid; name; kind; args })
 
-let of_json j =
+(* Recover a track label from a ["thread_name"] metadata record, so a
+   labeled trace round-trips through {!read_labeled}/{!merge}. *)
+let label_of_json j =
+  match (Persist.member "ph" j, Persist.member "name" j) with
+  | Some (Persist.String "M"), Some (Persist.String "thread_name") -> (
+      match (Persist.member "tid" j, Persist.member "args" j) with
+      | Some (Persist.Int tid), Some args -> (
+          match Persist.member "name" args with
+          | Some (Persist.String l) -> Some (track_of_tid tid, l)
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+let of_json_labeled j =
   match Persist.member "schema" j with
   | Some (Persist.String s) when s = schema -> (
       match Persist.member "traceEvents" j with
       | Some (Persist.List items) ->
-          let rec go acc = function
-            | [] -> Ok (List.rev acc)
+          let rec go acc labels = function
+            | [] -> Ok (List.rev acc, List.rev labels)
             | item :: tl -> (
                 match event_of_json item with
-                | Ok (Some e) -> go (e :: acc) tl
-                | Ok None -> go acc tl
+                | Ok (Some e) -> go (e :: acc) labels tl
+                | Ok None -> (
+                    match label_of_json item with
+                    | Some l -> go acc (l :: labels) tl
+                    | None -> go acc labels tl)
                 | Error e -> Error e)
           in
-          go [] items
+          go [] [] items
       | _ -> Error "trace: missing traceEvents array")
   | Some (Persist.String s) ->
       Error (Printf.sprintf "trace: schema %S, expected %S" s schema)
   | _ -> Error "trace: missing schema field"
 
-let write ?meta path events =
+let of_json j = Result.map fst (of_json_labeled j)
+
+let write ?meta ?labels path events =
   let oc = open_out path in
-  output_string oc (Persist.to_string (to_json ?meta events));
+  output_string oc (Persist.to_string (to_json ?meta ?labels events));
   output_char oc '\n';
   close_out oc
 
-let read path =
+let read_file path =
   match
     let ic = open_in_bin path in
     let len = in_channel_length ic in
@@ -154,10 +179,121 @@ let read path =
     contents
   with
   | exception Sys_error msg -> Error msg
-  | contents -> (
-      match Persist.of_string (String.trim contents) with
-      | Error e -> Error e
-      | Ok j -> of_json j)
+  | contents -> Persist.of_string (String.trim contents)
+
+let read path = Result.bind (read_file path) of_json
+let read_labeled path = Result.bind (read_file path) of_json_labeled
+
+(* ---------------- multi-process stitching ----------------
+
+   [merge] takes per-process dumps — (part name, events, labels) — and
+   produces one trace: each part's tracks are remapped into a disjoint
+   block of the global track space (labels prefixed "part/"), and the
+   parts' event streams are interleaved so that every flow arrow whose
+   send and delivery live in different parts is emitted send-first —
+   the ordering Chrome's flow renderer (and our position-based [ts])
+   needs. Within a part, relative order is untouched, so per-track
+   span nesting and lclock monotonicity survive and the merged trace
+   passes {!check_spans} whenever the parts do. *)
+
+let merge parts =
+  (* disjoint track spaces: sorted per-part tracks pack left-to-right *)
+  let next = ref 0 in
+  let remapped =
+    List.map
+      (fun (pname, events, labels) ->
+        let module S = Set.Make (Int) in
+        let tracks =
+          List.fold_left
+            (fun acc (e : T.event) -> S.add e.track acc)
+            (List.fold_left (fun acc (t, _) -> S.add t acc) S.empty labels)
+            events
+        in
+        let map = Hashtbl.create 8 in
+        S.iter
+          (fun t ->
+            Hashtbl.replace map t !next;
+            incr next)
+          tracks;
+        let global t = Hashtbl.find map t in
+        let labels' =
+          List.map
+            (fun t ->
+              let l =
+                match List.assoc_opt t labels with
+                | Some l -> l
+                | None -> track_label t
+              in
+              (global t, pname ^ "/" ^ l))
+            (S.elements tracks)
+        in
+        let events' =
+          List.map (fun (e : T.event) -> { e with T.track = global e.track }) events
+        in
+        (events', labels'))
+      parts
+  in
+  let labels = List.concat_map snd remapped in
+  let queues = Array.of_list (List.map (fun (evs, _) -> ref evs) remapped) in
+  let n = Array.length queues in
+  (* which part holds each flow's send *)
+  let start_part = Hashtbl.create 64 in
+  Array.iteri
+    (fun p q ->
+      List.iter
+        (fun (e : T.event) ->
+          if e.kind = T.Flow_start then
+            let id = flow_id e.args in
+            if not (Hashtbl.mem start_part id) then Hashtbl.add start_part id p)
+        !q)
+    queues;
+  let started = Hashtbl.create 64 in
+  let out = ref [] in
+  let emit (e : T.event) =
+    if e.kind = T.Flow_start then Hashtbl.replace started (flow_id e.args) ();
+    out := e :: !out
+  in
+  (* a Flow_end blocks its part while its matching send sits unemitted
+     in a DIFFERENT part; everything else flows freely *)
+  let blocked p (e : T.event) =
+    e.kind = T.Flow_end
+    &&
+    let id = flow_id e.args in
+    match Hashtbl.find_opt start_part id with
+    | Some sp when sp <> p -> not (Hashtbl.mem started id)
+    | _ -> false
+  in
+  let remaining () = Array.exists (fun q -> !q <> []) queues in
+  while remaining () do
+    let progressed = ref false in
+    for p = 0 to n - 1 do
+      let q = queues.(p) in
+      let continue = ref true in
+      while !continue do
+        match !q with
+        | e :: tl when not (blocked p e) ->
+            q := tl;
+            emit e;
+            progressed := true
+        | _ -> continue := false
+      done
+    done;
+    if not !progressed then begin
+      (* cyclic (or dangling) cross-part flows: force the first blocked
+         head through rather than dropping events *)
+      let forced = ref false in
+      for p = 0 to n - 1 do
+        if not !forced then
+          match !(queues.(p)) with
+          | e :: tl ->
+              queues.(p) := tl;
+              emit e;
+              forced := true
+          | [] -> ()
+      done
+    end
+  done;
+  (List.rev !out, labels)
 
 (* ---------------- well-formedness ---------------- *)
 

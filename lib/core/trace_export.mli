@@ -19,21 +19,51 @@ val schema : string
 (** ["rbvc-trace/1"]. *)
 
 val to_json :
-  ?meta:(string * Persist.json) list -> Obs.Tracer.event list -> Persist.json
+  ?meta:(string * Persist.json) list ->
+  ?labels:(int * string) list ->
+  Obs.Tracer.event list ->
+  Persist.json
 (** [{ "schema": "rbvc-trace/1", "meta": {..}, "traceEvents": [..] }].
     [meta] is free-form run context (seed, parameters, dropped-event
-    count); keep it jobs-independent if byte-identical output matters. *)
+    count); keep it jobs-independent if byte-identical output matters.
+    [labels] overrides the default track naming (track id → thread
+    name) — the serve daemon names its tracks ["ingress"],
+    ["shard0"], ["shard0/engine"], … this way. *)
 
 val of_json : Persist.json -> (Obs.Tracer.event list, string) result
 (** Parse a trace back into events ({!to_json} round-trips exactly;
     thread-name metadata records are skipped). *)
 
 val write :
-  ?meta:(string * Persist.json) list -> string -> Obs.Tracer.event list -> unit
+  ?meta:(string * Persist.json) list ->
+  ?labels:(int * string) list ->
+  string ->
+  Obs.Tracer.event list ->
+  unit
 (** Write [to_json events] to a file path, newline terminated. *)
 
 val read : string -> (Obs.Tracer.event list, string) result
 (** Load a trace file written by {!write}. *)
+
+val read_labeled :
+  string -> (Obs.Tracer.event list * (int * string) list, string) result
+(** {!read}, also recovering the per-track labels from the trace's
+    thread-name metadata — the input shape {!merge} wants. *)
+
+val merge :
+  (string * Obs.Tracer.event list * (int * string) list) list ->
+  Obs.Tracer.event list * (int * string) list
+(** Stitch per-process dumps — [(part name, events, labels)] — into
+    one trace. Each part's tracks are remapped into a disjoint block
+    of the global track space with labels prefixed ["part/"]; flow ids
+    are shared verbatim, which is how cross-process arrows (a client's
+    rpc send landing on the server's ingress track) connect. The
+    streams are interleaved so every cross-part flow is emitted
+    send-before-delivery — the order the position-based [ts] and
+    Chrome's flow renderer need — while each part's internal order is
+    untouched, so the merged trace passes {!check_spans} whenever the
+    parts do. Dangling or cyclic cross-part flows are forced through
+    rather than dropped. *)
 
 val check_spans : Obs.Tracer.event list -> (unit, string) result
 (** Structural well-formedness: on every track, each [End] closes a

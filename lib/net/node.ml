@@ -67,8 +67,8 @@ let parse_batch ~codec ~round json =
 
 (* ---------------- per-node runner ---------------- *)
 
-let run ?(queue_cap = default_queue_cap) ~protocol ~codec ~links ~me ~rounds ()
-    =
+let run ?(queue_cap = default_queue_cap) ?trace_ctx ~protocol ~codec ~links ~me
+    ~rounds () =
   let n = Array.length links in
   if me < 0 || me >= n then invalid_arg "Node.run: me out of range";
   if rounds < 0 then invalid_arg "Node.run: rounds must be >= 0";
@@ -94,7 +94,7 @@ let run ?(queue_cap = default_queue_cap) ~protocol ~codec ~links ~me ~rounds ()
           match Chan.pop outq.(j) with
           | None -> ()
           | Some frame ->
-              link.Transport.send frame;
+              link.Transport.send ?ctx:trace_ctx frame;
               loop ()
         in
         try loop ()
@@ -118,18 +118,18 @@ let run ?(queue_cap = default_queue_cap) ~protocol ~codec ~links ~me ~rounds ()
         let read_one k =
           match link.Transport.recv () with
           | Error e -> Error (Format.asprintf "%a" Wire.pp_read_error e)
-          | Ok json -> k json
+          | Ok (json, ctx) -> Result.map (fun v -> (v, ctx)) (k json)
         in
         match read_one (check_hello ~codec ~peer:j ~rounds) with
         | Error msg -> fail msg
-        | Ok () -> (
+        | Ok ((), _) -> (
             try
               for round = 0 to rounds - 1 do
                 match read_one (parse_batch ~codec ~round) with
                 | Error msg ->
                     fail msg;
                     raise Exit
-                | Ok msgs -> Chan.push inq.(j) msgs
+                | Ok (msgs, ctx) -> Chan.push inq.(j) (msgs, ctx)
               done
             with Exit -> ()))
       ()
@@ -160,6 +160,23 @@ let run ?(queue_cap = default_queue_cap) ~protocol ~codec ~links ~me ~rounds ()
         Chan.push outq.(j) (Some (hello_frame ~proto:codec.Wire.proto ~src:me ~rounds)))
     links;
   let carry = ref (protocol.Protocol.on_start state) in
+  (* Trace-context adoption: the first peer context seen (and every
+     change thereafter) is recorded on the caller's tracer, stitching
+     this node's engine-round spans into the sender's distributed
+     trace. Emitted from the main loop only — receiver threads share
+     this domain's tracer slot and must not touch it. *)
+  let adopted = ref trace_ctx in
+  let adopt ~src ~round = function
+    | Some c when !adopted <> Some c ->
+        adopted := Some c;
+        Obs.Tracer.instant ~lclock:round "ctx.adopt"
+          [
+            ("trace", Obs.Tracer.Int c.Wire.trace_id);
+            ("span", Obs.Tracer.Int c.Wire.parent_span);
+            ("src", Obs.Tracer.Int src);
+          ]
+    | _ -> ()
+  in
   for round = 0 to rounds - 1 do
     let outbox =
       match !carry with
@@ -187,7 +204,14 @@ let run ?(queue_cap = default_queue_cap) ~protocol ~codec ~links ~me ~rounds ()
     let batch =
       List.concat_map
         (fun src ->
-          let msgs = if src = me then msgs_to me else Chan.pop inq.(src) in
+          let msgs =
+            if src = me then msgs_to me
+            else begin
+              let msgs, rctx = Chan.pop inq.(src) in
+              adopt ~src ~round rctx;
+              msgs
+            end
+          in
           List.map (fun m -> (src, m)) msgs)
         (List.init n Fun.id)
     in
@@ -242,7 +266,7 @@ let cluster (type a l c) ?queue_cap
             failwith
               (Format.asprintf "Node.cluster: bad peer greeting: %a"
                  Wire.pp_read_error e)
-        | Ok json -> (
+        | Ok (json, _) -> (
             match parse_peer ~n json with
             | Error msg -> failwith ("Node.cluster: " ^ msg)
             | Ok src ->

@@ -17,6 +17,7 @@ val default_queue_cap : int
 
 val run :
   ?queue_cap:int ->
+  ?trace_ctx:Wire.ctx ->
   protocol:('s, 'm, 'o) Protocol.t ->
   codec:'m Wire.codec ->
   links:Transport.link option array ->
@@ -32,7 +33,13 @@ val run :
     a bounded queue and a receiver thread; the first frame each way is
     a hello carrying (protocol name, peer id, round count), and any
     mismatch — or a corrupt / truncated / closed channel — fails the
-    run with [Failure]. Links are closed on return, error included. *)
+    run with [Failure]. Links are closed on return, error included.
+
+    [trace_ctx] stamps every outgoing frame with a distributed trace
+    context; a peer context arriving on an incoming batch is {e
+    adopted} — recorded as a ["ctx.adopt"] instant on the caller's
+    tracer (when one is installed) so this node's spans stitch into
+    the sender's trace via {!Trace_export.merge}. *)
 
 val cluster :
   ?queue_cap:int ->

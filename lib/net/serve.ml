@@ -17,9 +17,20 @@
    Stats: worker domains record into one mutex-protected registry (the
    Obs per-domain sinks assume snapshotting only between batches, which
    a live endpoint cannot guarantee); the endpoint synthesizes an
-   {!Obs.snapshot} from it and serves [Metrics.to_json], so the payload
-   validates against the rbvc-metrics/1 schema like any simulator
-   metrics file. *)
+   {!Obs.snapshot} from it and serves [Metrics.to_json] at [/] and the
+   Prometheus text rendering at [/metrics]. Wall-clock request latency
+   goes into explicit-boundary wall histograms — nondeterministic by
+   nature, and kept strictly apart from the deterministic simulator
+   metrics (rbvc-metrics JSON segregates them behind the same flag as
+   span timings).
+
+   Tracing: reader threads all live on the accepting domain and so
+   share its Obs.Tracer DLS slot — they must NOT touch the tracer.
+   Server-side trace recording therefore goes through an explicit
+   mutex-protected event buffer with one global logical clock; worker
+   domains (whose DLS is private) run the engine under a collected
+   tracer and absorb the events into the shared buffer with their
+   tracks, clocks and flow ids remapped per shard and request. *)
 
 open Persist
 
@@ -32,6 +43,9 @@ type config = {
   shards : int;
   queue_cap : int;
   max_frame : int;
+  slow_us : int;
+  flight_cap : int;
+  trace_path : string option;
 }
 
 let default_shards () = max 1 (min 8 (Par.default_jobs ()))
@@ -44,6 +58,9 @@ let default_config =
     shards = 0 (* 0 = default_shards () at run time *);
     queue_cap = 256;
     max_frame = Wire.default_max_frame;
+    slow_us = 1000;
+    flight_cap = 64;
+    trace_path = None;
   }
 
 (* Request caps: the service is a host for the paper's small-n regimes,
@@ -64,23 +81,57 @@ type hist_acc = {
   h_buckets : (int, int) Hashtbl.t;
 }
 
+(* Explicit-boundary wall-clock accumulator mirroring Obs's wall
+   histograms ({!Obs.default_wall_bounds}), merged into the synthesized
+   snapshot. *)
+type wall_acc = {
+  mutable wa_count : int;
+  mutable wa_sum : float;
+  mutable wa_min : float;
+  mutable wa_max : float;
+  wa_counts : int array;
+}
+
+(* One flight-recorder entry: a request that crossed the slow
+   threshold, kept in a bounded ring and dumped on demand at [/slow]. *)
+type flight = {
+  fl_seq : int;
+  fl_key : string;
+  fl_proto : string;
+  fl_shard : int;
+  fl_us : int;
+  fl_ok : bool;
+}
+
 type stats = {
   sm : Mutex.t;
   counters : (string, int ref) Hashtbl.t;
   gauges : (string, int ref) Hashtbl.t;
   hists : (string, hist_acc) Hashtbl.t;
+  walls : (string, wall_acc) Hashtbl.t;
   keys : (string, unit) Hashtbl.t;
   mutable inflight : int;
+  mutable seq : int;  (* requests enqueued, ever — the request seq *)
+  queue_now : int array;  (* current depth per shard *)
+  busy : bool array;  (* shard is mid-request *)
+  flights : flight option array;  (* ring, [flight_cap] slots *)
+  mutable fl_next : int;  (* total flights recorded, ever *)
 }
 
-let stats_make () =
+let stats_make ~shards ~flight_cap =
   {
     sm = Mutex.create ();
     counters = Hashtbl.create 16;
     gauges = Hashtbl.create 16;
     hists = Hashtbl.create 16;
+    walls = Hashtbl.create 8;
     keys = Hashtbl.create 64;
     inflight = 0;
+    seq = 0;
+    queue_now = Array.make shards 0;
+    busy = Array.make shards false;
+    flights = Array.make (max 1 flight_cap) None;
+    fl_next = 0;
   }
 
 let locked st f =
@@ -134,6 +185,46 @@ let hist_observe st name v =
   Hashtbl.replace h.h_buckets b
     (1 + Option.value ~default:0 (Hashtbl.find_opt h.h_buckets b))
 
+let wall_observe st name v =
+  let w =
+    match Hashtbl.find_opt st.walls name with
+    | Some w -> w
+    | None ->
+        let w =
+          {
+            wa_count = 0;
+            wa_sum = 0.;
+            wa_min = 0.;
+            wa_max = 0.;
+            wa_counts = Array.make (Array.length Obs.default_wall_bounds + 1) 0;
+          }
+        in
+        Hashtbl.replace st.walls name w;
+        w
+  in
+  if w.wa_count = 0 then begin
+    w.wa_min <- v;
+    w.wa_max <- v
+  end
+  else begin
+    if v < w.wa_min then w.wa_min <- v;
+    if v > w.wa_max then w.wa_max <- v
+  end;
+  w.wa_count <- w.wa_count + 1;
+  w.wa_sum <- w.wa_sum +. v;
+  let bounds = Obs.default_wall_bounds in
+  let n = Array.length bounds in
+  let i = ref 0 in
+  while !i < n && v > bounds.(!i) do
+    incr i
+  done;
+  w.wa_counts.(!i) <- w.wa_counts.(!i) + 1
+
+let flight_record st fl =
+  let cap = Array.length st.flights in
+  st.flights.(st.fl_next mod cap) <- Some fl;
+  st.fl_next <- st.fl_next + 1
+
 let snapshot st : Obs.snapshot =
   locked st @@ fun () ->
   let sorted tbl value =
@@ -141,9 +232,20 @@ let snapshot st : Obs.snapshot =
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
   gauge_max st "serve.keys" (Hashtbl.length st.keys);
+  (* live (non-high-water) readings, refreshed at snapshot time *)
+  let live =
+    let busy_now = Array.fold_left (fun a b -> if b then a + 1 else a) 0 st.busy in
+    ("serve.busy_now", busy_now)
+    :: List.concat
+         (List.init (Array.length st.queue_now) (fun i ->
+              [ (Printf.sprintf "serve.shard%d.queue_now" i, st.queue_now.(i)) ]))
+  in
   {
     Obs.counters = sorted st.counters (fun r -> !r);
-    gauges = sorted st.gauges (fun r -> !r);
+    gauges =
+      List.sort
+        (fun (a, _) (b, _) -> String.compare a b)
+        (live @ sorted st.gauges (fun r -> !r));
     hists =
       sorted st.hists (fun h ->
           {
@@ -155,8 +257,144 @@ let snapshot st : Obs.snapshot =
               Hashtbl.fold (fun b c acc -> (b, c) :: acc) h.h_buckets []
               |> List.sort (fun (a, _) (b, _) -> compare a b);
           });
+    wall_hists =
+      sorted st.walls (fun w ->
+          {
+            Obs.w_count = w.wa_count;
+            w_sum = w.wa_sum;
+            w_min = (if w.wa_count = 0 then None else Some w.wa_min);
+            w_max = (if w.wa_count = 0 then None else Some w.wa_max);
+            w_bounds = Obs.default_wall_bounds;
+            w_counts = Array.copy w.wa_counts;
+          });
     spans = [];
   }
+
+let flights_json st =
+  locked st @@ fun () ->
+  let cap = Array.length st.flights in
+  let first = max 0 (st.fl_next - cap) in
+  let entries = ref [] in
+  (* newest first *)
+  for k = first to st.fl_next - 1 do
+    match st.flights.(k mod cap) with
+    | None -> ()
+    | Some fl ->
+        entries :=
+          Obj
+            [
+              ("seq", Int fl.fl_seq);
+              ("key", String fl.fl_key);
+              ("proto", String fl.fl_proto);
+              ("shard", Int fl.fl_shard);
+              ("us", Int fl.fl_us);
+              ("ok", Bool fl.fl_ok);
+            ]
+          :: !entries
+  done;
+  Obj
+    [
+      ("schema", String "rbvc-flight/1");
+      ("recorded", Int st.fl_next);
+      ("slow", List !entries);
+    ]
+
+(* ---------------- server-side trace buffer ----------------
+
+   Reader threads share the accepting domain's DLS, so the per-domain
+   Obs.Tracer slot is off-limits to them; this explicit buffer under a
+   mutex is the server's trace. One global logical clock stamps events
+   in append order, which keeps every track's lclock monotone — the
+   invariant [Trace_export.check_spans] pins.
+
+   Track layout: shard request spans on tracks [0..shards-1], the
+   ingress (reader) events on track [shards], and each shard's absorbed
+   engine events on a disjoint block starting at [1000 + 256*shard]
+   (engine track [t] in [-1..n-1] lands at [1000 + 256*shard + t + 1]).
+   Flow ids derive from the request's trace context (client-chosen,
+   spaced by 4) or from a server-local base when the client sent none:
+   +0 client->ingress "rpc", +1 ingress->shard "queue", +2
+   shard->client "resp", +3 shard->engine "run". *)
+
+type tstate = {
+  tmx : Mutex.t;
+  mutable tev : Obs.Tracer.event list;  (* newest first *)
+  mutable tclock : int;
+  mutable tlabels : (int * string) list;
+}
+
+let tstate_make ~shards =
+  {
+    tmx = Mutex.create ();
+    tev = [];
+    tclock = 0;
+    tlabels =
+      (shards, "ingress")
+      :: List.init shards (fun s -> (s, Printf.sprintf "shard%d" s));
+  }
+
+let tlock tr f =
+  Mutex.lock tr.tmx;
+  Fun.protect ~finally:(fun () -> Mutex.unlock tr.tmx) f
+
+let temit tr ~track kind name args =
+  tlock tr @@ fun () ->
+  let lclock = tr.tclock in
+  tr.tclock <- lclock + 1;
+  tr.tev <- { Obs.Tracer.lclock; track; name; kind; args } :: tr.tev
+
+let engine_track ~shard t = 1000 + (256 * shard) + t + 1
+
+(* Absorb one engine run's collected events: remap tracks into the
+   shard's engine block, lclocks onto the global clock (per-track
+   monotonicity across requests), and flow ids into a per-request
+   space so arrows from different runs never alias. *)
+let tabsorb tr ~shard ~flow_run ~seq events =
+  tlock tr @@ fun () ->
+  let remap_args args =
+    List.map
+      (function
+        | (k, Obs.Tracer.Int id) when k = "flow" ->
+            (k, Obs.Tracer.Int ((1 lsl 40) + (seq lsl 20) + id))
+        | kv -> kv)
+      args
+  in
+  let sched = engine_track ~shard (-1) in
+  if not (List.mem_assoc sched tr.tlabels) then
+    tr.tlabels <- (sched, Printf.sprintf "shard%d/engine" shard) :: tr.tlabels;
+  (* close the shard->engine arrow on the engine's scheduler track *)
+  tr.tev <-
+    {
+      Obs.Tracer.lclock = tr.tclock;
+      track = sched;
+      name = "run";
+      kind = Obs.Tracer.Flow_end;
+      args = [ ("flow", Obs.Tracer.Int flow_run) ];
+    }
+    :: tr.tev;
+  tr.tclock <- tr.tclock + 1;
+  List.iter
+    (fun (e : Obs.Tracer.event) ->
+      let track = engine_track ~shard e.track in
+      if not (List.mem_assoc track tr.tlabels) then
+        tr.tlabels <-
+          (track, Printf.sprintf "shard%d/p%d" shard e.track) :: tr.tlabels;
+      tr.tev <-
+        {
+          e with
+          Obs.Tracer.lclock = tr.tclock;
+          track;
+          args = remap_args e.args;
+        }
+        :: tr.tev;
+      tr.tclock <- tr.tclock + 1)
+    events
+
+let twrite tr path =
+  let events, labels =
+    tlock tr (fun () -> (List.rev tr.tev, tr.tlabels))
+  in
+  Trace_export.write ~labels path events
 
 (* ---------------- protocol frames ---------------- *)
 
@@ -276,7 +514,15 @@ let shard_of_key ~shards key =
 type client = { c_id : int; link : Transport.link }
 
 type job =
-  | Job of { client : client; id : int; req : request }
+  | Job of {
+      client : client;
+      id : int;
+      req : request;
+      ctx : Wire.ctx option;
+      seq : int;
+      flow_base : int;  (* trace flow id base for this request *)
+      t_enq : float;  (* enqueue wall time *)
+    }
   | Quit
 
 let ignore_sigpipe () =
@@ -284,26 +530,60 @@ let ignore_sigpipe () =
   | "Unix" -> ( try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ())
   | _ -> ()
 
-let worker ~stats ~shard jobs =
+let known_proto p = List.mem p Codecs.names
+
+let worker ~stats ~config ~trace ~shard jobs =
   let rec loop () =
     match Chan.pop jobs with
     | Quit -> ()
-    | Job { client; id; req } ->
+    | Job { client; id; req; ctx; seq; flow_base; t_enq } ->
         let t0 = Unix.gettimeofday () in
         locked stats (fun () ->
+            stats.queue_now.(shard) <- stats.queue_now.(shard) - 1;
             stats.inflight <- stats.inflight + 1;
+            stats.busy.(shard) <- true;
             gauge_max stats "serve.inflight" stats.inflight;
+            gauge_max stats "serve.busy_shards"
+              (Array.fold_left (fun a b -> if b then a + 1 else a) 0 stats.busy);
+            wall_observe stats "serve.queue_wait" (t0 -. t_enq);
             Hashtbl.replace stats.keys req.key ());
+        (match trace with
+        | None -> ()
+        | Some tr ->
+            temit tr ~track:shard Obs.Tracer.Flow_end "queue"
+              [ ("flow", Obs.Tracer.Int (flow_base + 1)) ];
+            temit tr ~track:shard Obs.Tracer.Begin "request"
+              [
+                ("seq", Obs.Tracer.Int seq);
+                ("key", Obs.Tracer.Str req.key);
+                ("proto", Obs.Tracer.Str req.proto);
+              ]);
+        let run_engine packed =
+          match trace with
+          | None -> (
+              match Codecs.engine_decisions packed with
+              | decisions -> Ok decisions
+              | exception e -> Error (Printexc.to_string e))
+          | Some tr ->
+              temit tr ~track:shard Obs.Tracer.Flow_start "run"
+                [ ("flow", Obs.Tracer.Int (flow_base + 3)) ];
+              let result, events =
+                Obs.Tracer.collect (fun () ->
+                    match Codecs.engine_decisions packed with
+                    | decisions -> Ok decisions
+                    | exception e -> Error (Printexc.to_string e))
+              in
+              tabsorb tr ~shard ~flow_run:(flow_base + 3) ~seq events;
+              result
+        in
         let result =
           match
             Codecs.make_checked ~proto:req.proto ~seed:req.seed ~n:req.n
               ~f:req.f ~d:req.d ~rounds:req.rounds
           with
           | Error msg -> Error msg
-          | Ok (Codecs.P { rounds; _ } as packed) -> (
-              match Codecs.engine_decisions packed with
-              | decisions -> Ok (decisions, rounds)
-              | exception e -> Error (Printexc.to_string e))
+          | Ok (Codecs.P { rounds; _ } as packed) ->
+              Result.map (fun d -> (d, rounds)) (run_engine packed)
         in
         let frame, rounds_run =
           match result with
@@ -311,20 +591,44 @@ let worker ~stats ~shard jobs =
               (ok_frame ~id ~key:req.key ~shard decisions, rounds)
           | Error msg -> (err_frame ~id msg, 0)
         in
-        let us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+        let t1 = Unix.gettimeofday () in
+        let us = int_of_float ((t1 -. t_enq) *. 1e6) in
         (* account BEFORE sending the response: a client that reads the
            stats endpoint right after its last response must already see
            that request counted *)
         locked stats (fun () ->
             stats.inflight <- stats.inflight - 1;
+            stats.busy.(shard) <- false;
             counter_add stats "serve.requests" 1;
             counter_add stats
               (Printf.sprintf "serve.shard%d.requests" shard)
               1;
             if Result.is_error result then counter_add stats "serve.errors" 1;
             counter_add stats "serve.rounds_run" rounds_run;
-            hist_observe stats "serve.latency_us" us);
-        (match client.link.Transport.send frame with
+            hist_observe stats "serve.latency_us" us;
+            let lat = t1 -. t_enq in
+            wall_observe stats "serve.latency" lat;
+            wall_observe stats
+              (Printf.sprintf "serve.latency.%s"
+                 (if known_proto req.proto then req.proto else "other"))
+              lat;
+            if us >= config.slow_us then
+              flight_record stats
+                {
+                  fl_seq = seq;
+                  fl_key = req.key;
+                  fl_proto = req.proto;
+                  fl_shard = shard;
+                  fl_us = us;
+                  fl_ok = Result.is_ok result;
+                });
+        (match trace with
+        | None -> ()
+        | Some tr ->
+            temit tr ~track:shard Obs.Tracer.End "request" [];
+            temit tr ~track:shard Obs.Tracer.Flow_start "resp"
+              [ ("flow", Obs.Tracer.Int (flow_base + 2)) ]);
+        (match client.link.Transport.send ?ctx frame with
         | () -> ()
         | exception _ ->
             locked stats (fun () -> counter_add stats "serve.send_failures" 1));
@@ -332,36 +636,117 @@ let worker ~stats ~shard jobs =
   in
   loop ()
 
-(* Minimal HTTP/1.0 server for the stats endpoint: every request gets
-   the current metrics JSON — enough for curl and rbvc validate. *)
+(* ---------------- stats HTTP endpoint ----------------
+
+   Minimal but well-formed HTTP/1.0: the request head is read to its
+   blank line (bounded), only GET and HEAD are accepted, every response
+   carries Content-Type / Content-Length / Connection: close, and
+   unknown paths get a real 404. Routes:
+     /          the rbvc-metrics/1 JSON document (with wall histograms)
+     /metrics   Prometheus text exposition
+     /healthz   200 "ready" | 503 "draining" during graceful shutdown
+     /slow      the flight-recorder ring, newest first
+*)
+
+let http_read_head fd =
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 512 in
+  let rec go () =
+    if Buffer.length buf > 8192 then Buffer.contents buf
+    else
+      let seen = Buffer.contents buf in
+      let found =
+        let len = String.length seen in
+        len >= 4 && String.sub seen (len - 4) 4 = "\r\n\r\n"
+      in
+      if found then seen
+      else
+        match Unix.read fd chunk 0 512 with
+        | 0 -> Buffer.contents buf
+        | k ->
+            Buffer.add_subbytes buf chunk 0 k;
+            go ()
+        | exception _ -> Buffer.contents buf
+  in
+  go ()
+
+let http_write fd s =
+  let b = Bytes.unsafe_of_string s in
+  let off = ref 0 in
+  while !off < Bytes.length b do
+    let k = Unix.write fd b !off (Bytes.length b - !off) in
+    if k = 0 then raise Exit;
+    off := !off + k
+  done
+
+let http_respond fd ~head_only ~status ~ctype body =
+  let head =
+    Printf.sprintf
+      "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+       close\r\n\r\n"
+      status ctype (String.length body)
+  in
+  http_write fd (if head_only then head else head ^ body)
+
 let stats_endpoint ~stats ~stopping listener =
   let rec loop () =
     match Transport.Tcp.accept listener with
-    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
-        if Atomic.get stopping then () else loop ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
     | exception _ -> ()
     | fd ->
         (try
-           (* drain whatever request line arrived; content is ignored *)
-           let buf = Bytes.create 1024 in
-           (try ignore (Unix.read fd buf 0 1024) with _ -> ());
-           let body = Persist.to_string (Metrics.to_json (snapshot stats)) in
-           let head =
-             Printf.sprintf
-               "HTTP/1.0 200 OK\r\n\
-                Content-Type: application/json\r\n\
-                Content-Length: %d\r\n\
-                Connection: close\r\n\r\n"
-               (String.length body)
+           let head = http_read_head fd in
+           let request_line =
+             match String.index_opt head '\r' with
+             | Some i -> String.sub head 0 i
+             | None -> head
            in
-           let out = head ^ body in
-           let b = Bytes.unsafe_of_string out in
-           let off = ref 0 in
-           while !off < Bytes.length b do
-             let k = Unix.write fd b !off (Bytes.length b - !off) in
-             if k = 0 then raise Exit;
-             off := !off + k
-           done
+           let meth, path =
+             match String.split_on_char ' ' request_line with
+             | m :: p :: _ ->
+                 let p =
+                   match String.index_opt p '?' with
+                   | Some q -> String.sub p 0 q
+                   | None -> p
+                 in
+                 (m, p)
+             | _ -> ("", "")
+           in
+           locked stats (fun () -> counter_add stats "serve.http.requests" 1);
+           let head_only = meth = "HEAD" in
+           if meth <> "GET" && meth <> "HEAD" then
+             http_respond fd ~head_only:false ~status:"405 Method Not Allowed"
+               ~ctype:"text/plain" "method not allowed\n"
+           else begin
+             match path with
+             | "/" | "/stats.json" ->
+                 let body =
+                   Persist.to_string
+                     (Metrics.to_json ~timings:true (snapshot stats))
+                 in
+                 http_respond fd ~head_only ~status:"200 OK"
+                   ~ctype:"application/json" body
+             | "/metrics" ->
+                 http_respond fd ~head_only ~status:"200 OK"
+                   ~ctype:"text/plain; version=0.0.4"
+                   (Metrics.to_prometheus (snapshot stats))
+             | "/healthz" ->
+                 if Atomic.get stopping then
+                   http_respond fd ~head_only ~status:"503 Service Unavailable"
+                     ~ctype:"text/plain" "draining\n"
+                 else
+                   http_respond fd ~head_only ~status:"200 OK"
+                     ~ctype:"text/plain" "ready\n"
+             | "/slow" ->
+                 http_respond fd ~head_only ~status:"200 OK"
+                   ~ctype:"application/json"
+                   (Persist.to_string (flights_json stats))
+             | _ ->
+                 locked stats (fun () ->
+                     counter_add stats "serve.http.not_found" 1);
+                 http_respond fd ~head_only ~status:"404 Not Found"
+                   ~ctype:"text/plain" "not found\n"
+           end
          with _ -> ());
         (try Unix.close fd with _ -> ());
         loop ()
@@ -373,7 +758,8 @@ let run ?(signals = true) ?on_ready config =
   let shards =
     if config.shards > 0 then config.shards else default_shards ()
   in
-  let stats = stats_make () in
+  let stats = stats_make ~shards ~flight_cap:config.flight_cap in
+  let trace = Option.map (fun _ -> tstate_make ~shards) config.trace_path in
   locked stats (fun () -> gauge_max stats "serve.shards" shards);
   let listener = Transport.Tcp.listen (config.host, config.port) in
   let stats_listener =
@@ -383,10 +769,10 @@ let run ?(signals = true) ?on_ready config =
   in
   let stopping = Atomic.make false in
   let initiate_stop () =
-    if Atomic.compare_and_set stopping false true then begin
-      Transport.Tcp.close_listener listener;
-      Option.iter Transport.Tcp.close_listener stats_listener
-    end
+    if Atomic.compare_and_set stopping false true then
+      (* only the request listener: the stats endpoint stays up through
+         the drain so /healthz reports "draining" while it happens *)
+      Transport.Tcp.close_listener listener
   in
   if signals then begin
     let h = Sys.Signal_handle (fun _ -> initiate_stop ()) in
@@ -396,7 +782,8 @@ let run ?(signals = true) ?on_ready config =
   let jobs = Array.init shards (fun _ -> Chan.make config.queue_cap) in
   let workers =
     Array.init shards (fun shard ->
-        Domain.spawn (fun () -> worker ~stats ~shard jobs.(shard)))
+        Domain.spawn (fun () ->
+            worker ~stats ~config ~trace ~shard jobs.(shard)))
   in
   let stats_thread =
     Option.map
@@ -415,6 +802,7 @@ let run ?(signals = true) ?on_ready config =
   let conns = Hashtbl.create 64 in
   let readers = ref [] in
   let client_counter = ref 0 in
+  let ingress = shards in
   let reader client =
     let bye reason =
       client.link.Transport.close ();
@@ -430,7 +818,7 @@ let run ?(signals = true) ?on_ready config =
           (try client.link.Transport.send (err_frame ~id:(-1) msg) with _ -> ());
           locked stats (fun () -> counter_add stats "serve.corrupt_frames" 1);
           bye "corrupt"
-      | Ok json -> (
+      | Ok (json, ctx) -> (
           match Wire.string_field "t" json with
           | Ok "shutdown" ->
               (try
@@ -444,6 +832,8 @@ let run ?(signals = true) ?on_ready config =
                  client.link.Transport.send
                    (err_frame ~id:(-1) "daemon is shutting down")
                with _ -> ());
+              locked stats (fun () ->
+                  counter_add stats "serve.rejected_draining" 1);
               loop ()
           | Ok "req" -> (
               match parse_request json with
@@ -455,8 +845,59 @@ let run ?(signals = true) ?on_ready config =
                   loop ()
               | Ok (id, req) ->
                   let shard = shard_of_key ~shards req.key in
-                  (try Chan.push jobs.(shard) (Job { client; id; req })
-                   with _ -> ());
+                  let seq, depth =
+                    locked stats (fun () ->
+                        let seq = stats.seq in
+                        stats.seq <- seq + 1;
+                        stats.queue_now.(shard) <- stats.queue_now.(shard) + 1;
+                        let d = stats.queue_now.(shard) in
+                        gauge_max stats
+                          (Printf.sprintf "serve.shard%d.queue_depth" shard)
+                          d;
+                        (seq, d))
+                  in
+                  ignore depth;
+                  let flow_base =
+                    match ctx with
+                    | Some c -> c.Wire.trace_id
+                    | None -> (1 lsl 30) + (seq * 4)
+                  in
+                  (match trace with
+                  | None -> ()
+                  | Some tr ->
+                      (match ctx with
+                      | Some c ->
+                          (* close the client's rpc arrow on ingress *)
+                          temit tr ~track:ingress Obs.Tracer.Flow_end "rpc"
+                            [ ("flow", Obs.Tracer.Int c.Wire.trace_id) ]
+                      | None -> ());
+                      temit tr ~track:ingress Obs.Tracer.Instant "req.enqueue"
+                        [
+                          ("seq", Obs.Tracer.Int seq);
+                          ("key", Obs.Tracer.Str req.key);
+                          ("shard", Obs.Tracer.Int shard);
+                        ];
+                      temit tr ~track:ingress Obs.Tracer.Flow_start "queue"
+                        [ ("flow", Obs.Tracer.Int (flow_base + 1)) ]);
+                  (match
+                     Chan.push jobs.(shard)
+                       (Job
+                          {
+                            client;
+                            id;
+                            req;
+                            ctx;
+                            seq;
+                            flow_base;
+                            t_enq = Unix.gettimeofday ();
+                          })
+                   with
+                  | () -> ()
+                  | exception _ ->
+                      locked stats (fun () ->
+                          stats.queue_now.(shard) <-
+                            stats.queue_now.(shard) - 1;
+                          counter_add stats "serve.dropped_jobs" 1));
                   loop ())
           | Ok other ->
               (try
@@ -491,7 +932,8 @@ let run ?(signals = true) ?on_ready config =
   in
   accept_loop ();
   (* graceful shutdown: drain queued jobs (their responses still go
-     out), then unhook the clients, then the stats endpoint *)
+     out), then unhook the clients; the stats endpoint answers
+     "draining" on /healthz until the very end *)
   Array.iter (fun q -> try Chan.push q Quit with _ -> ()) jobs;
   Array.iter Domain.join workers;
   (* poison the queues so a reader mid-push can't block forever now
@@ -502,7 +944,11 @@ let run ?(signals = true) ?on_ready config =
   Mutex.unlock conns_m;
   List.iter (fun c -> c.link.Transport.close ()) live;
   List.iter Thread.join !readers;
-  Option.iter Thread.join stats_thread
+  Option.iter Transport.Tcp.close_listener stats_listener;
+  Option.iter Thread.join stats_thread;
+  match (trace, config.trace_path) with
+  | Some tr, Some path -> twrite tr path
+  | _ -> ()
 
 (* ---------------- client side ---------------- *)
 
@@ -513,13 +959,37 @@ let with_conn ?(host = "127.0.0.1") ~port f =
       let link = Transport.Tcp.link fd in
       Fun.protect ~finally:(fun () -> link.Transport.close ()) (fun () -> f link)
 
+(* Client-chosen flow-id base: spaced by 4 to leave room for the
+   server's +1 queue / +2 resp / +3 run arrows. *)
+let trace_id_base = 1024
+
 let submit ?host ~port requests =
   ignore_sigpipe ();
   with_conn ?host ~port @@ fun link ->
   (* pipeline: all requests out, then collect; the daemon interleaves
      shards, so responses return out of order and are matched by id *)
+  let traced = Obs.Tracer.active () in
+  let nreq = List.length requests in
   match
-    List.iteri (fun id r -> link.Transport.send (request_frame ~id r)) requests
+    List.iteri
+      (fun id r ->
+        let ctx =
+          if traced then
+            Some { Wire.trace_id = trace_id_base + (4 * id); parent_span = id }
+          else None
+        in
+        (match ctx with
+        | Some c when traced ->
+            Obs.Tracer.instant ~lclock:id "submit"
+              [
+                ("id", Obs.Tracer.Int id);
+                ("key", Obs.Tracer.Str r.key);
+                ("trace", Obs.Tracer.Int c.Wire.trace_id);
+              ];
+            Obs.Tracer.flow_start ~lclock:id ~id:c.Wire.trace_id "rpc"
+        | _ -> ());
+        link.Transport.send ?ctx (request_frame ~id r))
+      requests
   with
   | exception e -> Error (Printexc.to_string e)
   | () ->
@@ -528,12 +998,22 @@ let submit ?host ~port requests =
         | k -> (
             match link.Transport.recv () with
             | Error e -> Error (Format.asprintf "%a" Wire.pp_read_error e)
-            | Ok json -> (
+            | Ok (json, rctx) -> (
                 match parse_response json with
                 | Error msg -> Error msg
-                | Ok resp -> collect (resp :: acc) (k - 1)))
+                | Ok resp ->
+                    (match rctx with
+                    | Some c when traced ->
+                        (* responses arrive out of order; stamp arrival
+                           order so the client track's clock stays
+                           monotone *)
+                        Obs.Tracer.flow_end
+                          ~lclock:(nreq + (List.length acc))
+                          ~id:(c.Wire.trace_id + 2) "resp"
+                    | _ -> ());
+                    collect (resp :: acc) (k - 1)))
       in
-      let* resps = collect [] (List.length requests) in
+      let* resps = collect [] nreq in
       Ok (List.sort (fun a b -> compare a.id b.id) resps)
 
 let shutdown ?host ~port () =
@@ -546,31 +1026,116 @@ let shutdown ?host ~port () =
       | Error e -> Error (Format.asprintf "%a" Wire.pp_read_error e)
       | Ok _ -> Ok ())
 
-let fetch_stats ?(host = "127.0.0.1") ~port () =
+(* ---------------- stats client ---------------- *)
+
+(* A deliberately skeptical HTTP/1.0 GET: every way the response can be
+   malformed — no status line, unparsable code, missing blank line,
+   body shorter than Content-Length — comes back as [Error] with
+   context, never an exception. *)
+let fetch ?(host = "127.0.0.1") ~port path =
   match Transport.Tcp.connect (host, port) with
   | exception e -> Error (Printexc.to_string e)
-  | fd ->
+  | fd -> (
       Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ())
       @@ fun () ->
-      let req = "GET /metrics HTTP/1.0\r\n\r\n" in
-      let b = Bytes.of_string req in
-      ignore (Unix.write fd b 0 (Bytes.length b));
-      let buf = Buffer.create 4096 in
-      let chunk = Bytes.create 4096 in
-      let rec drain () =
-        let k = Unix.read fd chunk 0 4096 in
-        if k > 0 then begin
-          Buffer.add_subbytes buf chunk 0 k;
-          drain ()
-        end
+      match
+        let req = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path in
+        let b = Bytes.of_string req in
+        ignore (Unix.write fd b 0 (Bytes.length b));
+        let buf = Buffer.create 4096 in
+        let chunk = Bytes.create 4096 in
+        let rec drain () =
+          let k = Unix.read fd chunk 0 4096 in
+          if k > 0 then begin
+            Buffer.add_subbytes buf chunk 0 k;
+            drain ()
+          end
+        in
+        (try drain () with _ -> ());
+        Buffer.contents buf
+      with
+      | exception e ->
+          Error (Printf.sprintf "GET %s: %s" path (Printexc.to_string e))
+      | all ->
+      let preview s =
+        let s = if String.length s > 80 then String.sub s 0 80 ^ "..." else s in
+        String.map (fun c -> if c = '\r' || c = '\n' then ' ' else c) s
       in
-      (try drain () with _ -> ());
-      let all = Buffer.contents buf in
-      (* split headers from body *)
-      let body =
-        match String.index_opt all '{' with
-        | Some i -> String.sub all i (String.length all - i)
-        | None -> ""
-      in
-      if body = "" then Error "no HTTP body"
-      else Persist.of_string body
+      if all = "" then Error (Printf.sprintf "GET %s: empty HTTP response" path)
+      else
+        let header_end =
+          let rec find i =
+            if i + 4 > String.length all then None
+            else if String.sub all i 4 = "\r\n\r\n" then Some i
+            else find (i + 1)
+          in
+          find 0
+        in
+        match header_end with
+        | None ->
+            Error
+              (Printf.sprintf
+                 "GET %s: malformed HTTP response (no header terminator): %S"
+                 path (preview all))
+        | Some he -> (
+            let head = String.sub all 0 he in
+            let body =
+              String.sub all (he + 4) (String.length all - he - 4)
+            in
+            let status_line =
+              match String.index_opt head '\r' with
+              | Some i -> String.sub head 0 i
+              | None -> head
+            in
+            match String.split_on_char ' ' status_line with
+            | http :: code :: _
+              when String.length http >= 5 && String.sub http 0 5 = "HTTP/" -> (
+                match int_of_string_opt code with
+                | None ->
+                    Error
+                      (Printf.sprintf
+                         "GET %s: malformed HTTP status line: %S" path
+                         (preview status_line))
+                | Some 200 -> (
+                    (* honor Content-Length when present: a truncated
+                       body must surface as an error, not parse noise *)
+                    let content_length =
+                      List.find_map
+                        (fun line ->
+                          match String.index_opt line ':' with
+                          | Some i
+                            when String.lowercase_ascii (String.sub line 0 i)
+                                 = "content-length" ->
+                              int_of_string_opt
+                                (String.trim
+                                   (String.sub line (i + 1)
+                                      (String.length line - i - 1)))
+                          | _ -> None)
+                        (String.split_on_char '\n'
+                           (String.map
+                              (fun c -> if c = '\r' then '\n' else c)
+                              head))
+                    in
+                    match content_length with
+                    | Some want when String.length body < want ->
+                        Error
+                          (Printf.sprintf
+                             "GET %s: truncated HTTP response (%d of %d body \
+                              bytes)"
+                             path (String.length body) want)
+                    | _ -> Ok body)
+                | Some code ->
+                    Error
+                      (Printf.sprintf "GET %s: HTTP %d: %s" path code
+                         (preview body)))
+            | _ ->
+                Error
+                  (Printf.sprintf "GET %s: malformed HTTP status line: %S" path
+                     (preview status_line))))
+
+let fetch_stats ?host ~port () =
+  let* body = fetch ?host ~port "/" in
+  match Persist.of_string body with
+  | Ok json -> Ok json
+  | Error e ->
+      Error (Printf.sprintf "GET /: unparsable metrics body (%s)" e)

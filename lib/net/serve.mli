@@ -15,13 +15,44 @@
     The worker-domain count follows the lib/par convention
     ([RBVC_JOBS] / recommended domains, capped at 8) but the workers
     are dedicated domains, not the [Par] pool: [Par] is built for batch
-    fan-out that joins, a server needs resident loops. Worker domains
-    record into one mutex-protected registry (the [Obs] per-domain
-    sinks assume snapshotting only between joined batches, which a live
-    endpoint cannot guarantee); the stats endpoint synthesizes an
-    {!Obs.snapshot} from it and serves [Metrics.to_json] over minimal
-    HTTP, so [curl | rbvc validate] accepts the payload as an ordinary
-    rbvc-metrics/1 document. *)
+    fan-out that joins, a server needs resident loops.
+
+    {2 Telemetry}
+
+    Worker domains record into one mutex-protected registry (the [Obs]
+    per-domain sinks assume snapshotting only between joined batches,
+    which a live endpoint cannot guarantee). Beyond the original
+    counters and power-of-two histograms, the registry keeps wall-clock
+    request-latency histograms with {!Obs.default_wall_bounds}
+    boundaries — overall ([serve.latency]), per protocol
+    ([serve.latency.<proto>]) and queue wait ([serve.queue_wait]) —
+    plus per-shard queue-depth and busy-shard gauges sampled on every
+    enqueue/dequeue, and a bounded flight recorder of the last slow
+    requests. Wall-clock series are nondeterministic by nature and
+    stay segregated from the deterministic simulator metrics exactly
+    as span durations are.
+
+    The stats endpoint speaks minimal but well-formed HTTP/1.0 (GET and
+    HEAD; Content-Type / Content-Length / Connection: close on every
+    response; real 404s) with four routes: [/] serves the
+    rbvc-metrics/1 JSON document (so [curl | rbvc validate] still
+    accepts it), [/metrics] the Prometheus text exposition
+    ([Metrics.to_prometheus]), [/healthz] returns [200 ready] or
+    [503 draining] during graceful shutdown (the endpoint stays up
+    through the drain), and [/slow] dumps the flight-recorder ring.
+
+    {2 Tracing}
+
+    With [trace_path] set, the daemon records a server-side trace:
+    reader threads share the accepting domain's tracer slot, so events
+    go through an explicit mutex-protected buffer instead — ingress
+    events on their own track, one request span per shard track, and
+    each request's engine events collected on the worker domain and
+    absorbed with remapped tracks, clocks and flow ids. A {!submit}
+    call made under an installed {!Obs.Tracer} stamps every request
+    frame with a {!Wire.ctx} whose flow ids the server reuses, so the
+    client dump and the server dump stitch into one Chrome trace with
+    client→ingress→shard→engine arrows via [Trace_export.merge]. *)
 
 type config = {
   host : string;
@@ -30,11 +61,18 @@ type config = {
   shards : int;  (** 0 = lib/par default, capped at 8 *)
   queue_cap : int;  (** per-shard job-queue bound *)
   max_frame : int;
+  slow_us : int;
+      (** requests at or above this latency (µs) enter the flight
+          recorder *)
+  flight_cap : int;  (** flight-recorder ring size *)
+  trace_path : string option;
+      (** write the server-side trace here on shutdown *)
 }
 
 val default_config : config
 (** 127.0.0.1, ephemeral port, no stats endpoint, default shards,
-    queue cap 256, {!Wire.default_max_frame}. *)
+    queue cap 256, {!Wire.default_max_frame}, slow threshold 1000µs,
+    flight ring 64, no trace. *)
 
 val run :
   ?signals:bool ->
@@ -43,9 +81,11 @@ val run :
   unit
 (** Run the daemon; blocks until a shutdown request or (with [signals],
     the default) SIGINT/SIGTERM, then drains queued jobs — their
-    responses still go out — before closing client connections.
-    [on_ready] fires once the sockets are bound, with the actual
-    ports. Tests pass [~signals:false] and stop it via {!shutdown}. *)
+    responses still go out — before closing client connections. The
+    stats endpoint keeps answering through the drain ([/healthz] says
+    [draining]) and closes last. [on_ready] fires once the sockets are
+    bound, with the actual ports. Tests pass [~signals:false] and stop
+    it via {!shutdown}. *)
 
 (** {1 Client} *)
 
@@ -72,11 +112,23 @@ val submit :
   ?host:string -> port:int -> request list -> (response list, string) result
 (** Pipeline every request on one connection and collect the responses
     (the daemon interleaves shards, so they return out of order),
-    sorted back into request order. *)
+    sorted back into request order. When a tracer is installed on the
+    calling domain ({!Obs.Tracer.with_tracer}), each request frame
+    carries a {!Wire.ctx} ([trace_id = 1024 + 4*id]) and the client
+    emits submit instants plus rpc/resp flow events that stitch
+    against a server trace recorded with [trace_path]. *)
 
 val shutdown : ?host:string -> port:int -> unit -> (unit, string) result
 (** Ask the daemon to stop gracefully. *)
 
+val fetch :
+  ?host:string -> port:int -> string -> (string, string) result
+(** [fetch ~port path] HTTP-GETs [path] from the stats endpoint and
+    returns the response body. Every malformed shape — no status line,
+    unparsable code, missing header terminator, body shorter than
+    Content-Length, non-200 status — comes back as [Error] with
+    context, never as an exception. *)
+
 val fetch_stats :
   ?host:string -> port:int -> unit -> (Persist.json, string) result
-(** HTTP-GET the stats endpoint and parse the metrics JSON body. *)
+(** {!fetch} [/] and parse the metrics JSON body. *)

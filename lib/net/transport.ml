@@ -4,8 +4,8 @@
    above this module is transport-agnostic. *)
 
 type link = {
-  send : Persist.json -> unit;
-  recv : unit -> (Persist.json, Wire.read_error) result;
+  send : ?ctx:Wire.ctx -> Persist.json -> unit;
+  recv : unit -> (Persist.json * Wire.ctx option, Wire.read_error) result;
   close : unit -> unit;
 }
 
@@ -74,11 +74,11 @@ module Tcp = struct
     let cm = Mutex.create () in
     {
       send =
-        (fun json ->
+        (fun ?ctx json ->
           Mutex.lock wm;
           Fun.protect
             ~finally:(fun () -> Mutex.unlock wm)
-            (fun () -> Wire.write_frame fd json));
+            (fun () -> Wire.write_frame ?ctx fd json));
       recv = (fun () -> Wire.read_frame ?max_frame fd);
       close =
         (fun () ->
@@ -224,14 +224,15 @@ module Mem = struct
 
   let link ?max_frame conn =
     {
-      send = (fun json -> pipe_send conn.tx (Wire.encode json));
+      send = (fun ?ctx json -> pipe_send conn.tx (Wire.encode ?ctx json));
       recv =
         (fun () ->
           match pipe_recv conn.rx with
           | None -> Error `Eof
           | Some frame -> (
               match Wire.decode ?max_frame frame with
-              | Ok (json, consumed) when consumed = String.length frame -> Ok json
+              | Ok (json, ctx, consumed) when consumed = String.length frame ->
+                  Ok (json, ctx)
               | Ok _ -> Error (`Corrupt "trailing bytes after frame")
               | Error _ as e -> e));
       close =

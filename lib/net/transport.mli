@@ -10,11 +10,13 @@
     channel differs. *)
 
 type link = {
-  send : Persist.json -> unit;
-      (** Write one frame. Atomic at the frame level (safe from multiple
+  send : ?ctx:Wire.ctx -> Persist.json -> unit;
+      (** Write one frame, optionally stamped with a trace context the
+          peer can adopt. Atomic at the frame level (safe from multiple
           threads). Raises on a closed or broken channel. *)
-  recv : unit -> (Persist.json, Wire.read_error) result;
-      (** Blocking read of one frame. [`Eof] on clean close at a frame
+  recv : unit -> (Persist.json * Wire.ctx option, Wire.read_error) result;
+      (** Blocking read of one frame and its trace context, if the
+          sender attached one. [`Eof] on clean close at a frame
           boundary. Single-reader: one thread per link. *)
   close : unit -> unit;  (** Idempotent. *)
 }

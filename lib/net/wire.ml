@@ -1,14 +1,22 @@
 (* Length-prefixed framing and the versioned wire codec, built on the
-   repo's own Persist JSON. One frame = a fixed 9-byte header (4-byte
-   magic "RBVC", 1 version byte, 4-byte big-endian payload length)
-   followed by the payload, the Persist serialization of one json value.
-   The binary header carries the version so incompatible peers fail fast
-   on the first frame, before any JSON is parsed. *)
+   repo's own Persist JSON. One frame = a fixed 10-byte header (4-byte
+   magic "RBVC", 1 version byte, 1 flags byte, 4-byte big-endian body
+   length) followed by the body: an optional 16-byte trace context
+   (flags bit 0) and then the payload, the Persist serialization of one
+   json value. The binary header carries the version so incompatible
+   peers fail fast on the first frame, before any JSON is parsed; the
+   trace context lives in the binary body prefix, not the JSON, so
+   propagation costs nothing on untraced frames and never perturbs
+   payload encodings. *)
 
 let magic = "RBVC"
-let version = 1
-let header_len = 9
+let version = 2
+let header_len = 10
+let ctx_len = 16
+let flag_ctx = 0x01
 let default_max_frame = 16 * 1024 * 1024
+
+type ctx = { trace_id : int; parent_span : int }
 
 type read_error = [ `Eof | `Corrupt of string ]
 
@@ -18,19 +26,42 @@ let pp_read_error ppf = function
 
 (* ---------------- pure encode / decode ---------------- *)
 
-let encode json =
+let put_i64 b off v =
+  let v = Int64.of_int v in
+  for i = 0 to 7 do
+    Bytes.set b (off + i)
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v ((7 - i) * 8)) 0xFFL)))
+  done
+
+let get_i64 s off =
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code s.[off + i]))
+  done;
+  Int64.to_int !v
+
+let encode ?ctx json =
   let payload = Persist.to_string json in
-  let len = String.length payload in
+  let plen = String.length payload in
+  let clen = match ctx with Some _ -> ctx_len | None -> 0 in
+  let len = clen + plen in
   let b = Bytes.create (header_len + len) in
   Bytes.blit_string magic 0 b 0 4;
   Bytes.set b 4 (Char.chr version);
-  Bytes.set b 5 (Char.chr ((len lsr 24) land 0xff));
-  Bytes.set b 6 (Char.chr ((len lsr 16) land 0xff));
-  Bytes.set b 7 (Char.chr ((len lsr 8) land 0xff));
-  Bytes.set b 8 (Char.chr (len land 0xff));
-  Bytes.blit_string payload 0 b header_len len;
+  Bytes.set b 5 (Char.chr (match ctx with Some _ -> flag_ctx | None -> 0));
+  Bytes.set b 6 (Char.chr ((len lsr 24) land 0xff));
+  Bytes.set b 7 (Char.chr ((len lsr 16) land 0xff));
+  Bytes.set b 8 (Char.chr ((len lsr 8) land 0xff));
+  Bytes.set b 9 (Char.chr (len land 0xff));
+  (match ctx with
+  | Some c ->
+      put_i64 b header_len c.trace_id;
+      put_i64 b (header_len + 8) c.parent_span
+  | None -> ());
+  Bytes.blit_string payload 0 b (header_len + clen) plen;
   Bytes.unsafe_to_string b
 
+(* Returns (flags, body length). *)
 let decode_header ?(max_frame = default_max_frame) h =
   if String.length h < header_len then Error (`Corrupt "truncated frame header")
   else if String.sub h 0 4 <> magic then Error (`Corrupt "bad frame magic")
@@ -40,27 +71,44 @@ let decode_header ?(max_frame = default_max_frame) h =
         (Printf.sprintf "unsupported wire version %d (want %d)"
            (Char.code h.[4]) version))
   else
-    let len =
-      (Char.code h.[5] lsl 24)
-      lor (Char.code h.[6] lsl 16)
-      lor (Char.code h.[7] lsl 8)
-      lor Char.code h.[8]
+    let flags = Char.code h.[5] in
+    if flags land lnot flag_ctx <> 0 then
+      Error (`Corrupt (Printf.sprintf "unknown frame flags 0x%02x" flags))
+    else
+      let len =
+        (Char.code h.[6] lsl 24)
+        lor (Char.code h.[7] lsl 16)
+        lor (Char.code h.[8] lsl 8)
+        lor Char.code h.[9]
+      in
+      if len > max_frame then
+        Error
+          (`Corrupt
+            (Printf.sprintf "oversized frame (%d > %d bytes)" len max_frame))
+      else if flags land flag_ctx <> 0 && len < ctx_len then
+        Error (`Corrupt "frame too short for trace context")
+      else Ok (flags, len)
+
+(* Split an already-read body into (ctx, payload view offset/len). *)
+let decode_body flags body off len =
+  if flags land flag_ctx <> 0 then
+    let ctx =
+      { trace_id = get_i64 body off; parent_span = get_i64 body (off + 8) }
     in
-    if len > max_frame then
-      Error
-        (`Corrupt (Printf.sprintf "oversized frame (%d > %d bytes)" len max_frame))
-    else Ok len
+    (Some ctx, off + ctx_len, len - ctx_len)
+  else (None, off, len)
 
 let decode ?max_frame s =
   match decode_header ?max_frame s with
   | Error _ as e -> e
-  | Ok len ->
+  | Ok (flags, len) ->
       if String.length s < header_len + len then
         Error (`Corrupt "truncated frame payload")
       else begin
-        match Persist.of_string (String.sub s header_len len) with
+        let ctx, poff, plen = decode_body flags s header_len len in
+        match Persist.of_string (String.sub s poff plen) with
         | Error e -> Error (`Corrupt ("bad frame payload: " ^ e))
-        | Ok json -> Ok (json, header_len + len)
+        | Ok json -> Ok (json, ctx, header_len + len)
       end
 
 (* ---------------- file-descriptor IO ---------------- *)
@@ -75,7 +123,7 @@ let write_all fd s =
     off := !off + n
   done
 
-let write_frame fd json = write_all fd (encode json)
+let write_frame ?ctx fd json = write_all fd (encode ?ctx json)
 
 (* Read exactly [want] bytes; [`Eof] only when the connection closes on
    a frame boundary ([at_start]); mid-frame EOF is corruption. *)
@@ -103,13 +151,15 @@ let read_frame ?(max_frame = default_max_frame) fd =
   | Ok header -> (
       match decode_header ~max_frame (Bytes.unsafe_to_string header) with
       | Error _ as e -> e
-      | Ok len -> (
+      | Ok (flags, len) -> (
           match read_exact fd len ~at_start:false with
           | Error _ as e -> e
-          | Ok payload -> (
-              match Persist.of_string (Bytes.unsafe_to_string payload) with
+          | Ok body -> (
+              let body = Bytes.unsafe_to_string body in
+              let ctx, poff, plen = decode_body flags body 0 len in
+              match Persist.of_string (String.sub body poff plen) with
               | Error e -> Error (`Corrupt ("bad frame payload: " ^ e))
-              | Ok json -> Ok json)))
+              | Ok json -> Ok (json, ctx))))
 
 (* ---------------- payload helpers ---------------- *)
 

@@ -2,17 +2,33 @@
     format every networked component (peer links, the serve daemon, the
     stats endpoint's payload) speaks.
 
-    One frame is a 9-byte binary header — the 4-byte magic ["RBVC"], a
-    1-byte wire {!version}, a 4-byte big-endian payload length — followed
-    by the Persist serialization of a single JSON value. The version
-    lives in the binary header so incompatible peers fail on the first
-    frame, before any JSON is parsed; the length prefix bounds every
-    read, so a corrupt or hostile peer can neither stall a reader
-    mid-value nor balloon its memory ({!default_max_frame}). *)
+    One frame is a 10-byte binary header — the 4-byte magic ["RBVC"], a
+    1-byte wire {!version}, a 1-byte flags field, a 4-byte big-endian
+    body length — followed by the body: an optional 16-byte trace
+    context (flags bit 0: two 8-byte big-endian ints, trace id then
+    parent span) and the Persist serialization of a single JSON value.
+    The version lives in the binary header so incompatible peers fail on
+    the first frame, before any JSON is parsed; the length prefix bounds
+    every read, so a corrupt or hostile peer can neither stall a reader
+    mid-value nor balloon its memory ({!default_max_frame}). The trace
+    context rides in the binary body prefix rather than the JSON, so
+    cross-process trace propagation costs zero bytes on untraced frames
+    and never perturbs payload encodings. Unknown flag bits are rejected
+    as corrupt (a later version that needs them must bump {!version}). *)
 
 val magic : string
+
 val version : int
+(** 2 — version 1 frames (no flags byte) are rejected on the first
+    frame with a clear [`Corrupt] error naming both versions. *)
+
 val header_len : int
+
+type ctx = { trace_id : int; parent_span : int }
+(** Trace context propagated across process boundaries: which
+    distributed trace this frame belongs to and the span it is causally
+    under. Values round-trip as 64-bit big-endian (OCaml's 63-bit ints
+    are preserved exactly). *)
 
 val default_max_frame : int
 (** Frames whose declared payload exceeds this (16 MiB) are rejected as
@@ -27,21 +43,27 @@ val pp_read_error : Format.formatter -> read_error -> unit
 
 (** {1 Pure encode / decode} *)
 
-val encode : Persist.json -> string
-(** Header + payload as one string. *)
+val encode : ?ctx:ctx -> Persist.json -> string
+(** Header + optional trace context + payload as one string. *)
 
 val decode :
-  ?max_frame:int -> string -> (Persist.json * int, read_error) result
-(** Decode one frame from the head of [s]; returns the value and the
-    number of bytes consumed. Truncated input (header or payload) is
-    [`Corrupt "truncated ..."], never a request for more bytes — the
-    stream readers below handle incremental arrival. *)
+  ?max_frame:int ->
+  string ->
+  (Persist.json * ctx option * int, read_error) result
+(** Decode one frame from the head of [s]; returns the value, its trace
+    context if the frame carried one, and the number of bytes consumed.
+    Truncated input (header or payload) is [`Corrupt "truncated ..."],
+    never a request for more bytes — the stream readers below handle
+    incremental arrival. *)
 
 (** {1 Blocking file-descriptor IO} *)
 
-val write_frame : Unix.file_descr -> Persist.json -> unit
+val write_frame : ?ctx:ctx -> Unix.file_descr -> Persist.json -> unit
+
 val read_frame :
-  ?max_frame:int -> Unix.file_descr -> (Persist.json, read_error) result
+  ?max_frame:int ->
+  Unix.file_descr ->
+  (Persist.json * ctx option, read_error) result
 
 (** {1 Payload helpers}
 

@@ -18,11 +18,26 @@ type mhist = {
 
 type mspan = { mutable s_calls : int; mutable s_seconds : float }
 
+(* Explicit-boundary wall-time histogram: float samples (seconds) land
+   in the first bucket whose upper bound is >= the sample, or in the
+   trailing overflow slot. Unlike the power-of-two int histograms these
+   carry wall-clock data, so they are segregated in serialized output
+   exactly as span durations are (see [Metrics.to_json ~timings]). *)
+type mwall = {
+  mutable w_count : int;
+  mutable w_sum : float;  (* seconds *)
+  mutable w_min : float;
+  mutable w_max : float;
+  w_bounds : float array;  (* strictly ascending upper bounds *)
+  w_counts : int array;  (* length = Array.length w_bounds + 1 (overflow) *)
+}
+
 type sink = {
   id : int;  (* registration order, for a stable merge order *)
   counters : (string, int ref) Hashtbl.t;
   gauges : (string, int ref) Hashtbl.t;  (* high-water marks, max-merged *)
   hists : (string, mhist) Hashtbl.t;
+  walls : (string, mwall) Hashtbl.t;
   spans : (string, mspan) Hashtbl.t;
 }
 
@@ -45,6 +60,7 @@ let fresh_sink () =
       counters = Hashtbl.create 32;
       gauges = Hashtbl.create 16;
       hists = Hashtbl.create 32;
+      walls = Hashtbl.create 8;
       spans = Hashtbl.create 16;
     }
   in
@@ -123,6 +139,65 @@ let observe name v =
     | None -> Hashtbl.add h.h_buckets lo (ref 1)
   end
 
+(* Latency-shaped default boundaries: 10µs .. 5s in a 1-2-5 series. *)
+let default_wall_bounds =
+  [|
+    1e-5; 2e-5; 5e-5; 1e-4; 2e-4; 5e-4; 1e-3; 2e-3; 5e-3; 1e-2; 2e-2; 5e-2;
+    0.1; 0.2; 0.5; 1.; 2.; 5.;
+  |]
+
+let wall_bucket_index bounds v =
+  (* first bucket whose upper bound holds v; past the last = overflow *)
+  let n = Array.length bounds in
+  let i = ref 0 in
+  while !i < n && v > bounds.(!i) do
+    Stdlib.incr i
+  done;
+  !i
+
+let check_wall_bounds bounds =
+  let n = Array.length bounds in
+  if n = 0 then invalid_arg "Obs.observe_wall: empty bounds";
+  for i = 0 to n - 2 do
+    if not (bounds.(i) < bounds.(i + 1)) then
+      invalid_arg "Obs.observe_wall: bounds must be strictly ascending"
+  done
+
+let observe_wall ?(bounds = default_wall_bounds) name v =
+  if !enabled_flag then begin
+    let s = my_sink () in
+    let w =
+      match Hashtbl.find_opt s.walls name with
+      | Some w -> w
+      | None ->
+          check_wall_bounds bounds;
+          let w =
+            {
+              w_count = 0;
+              w_sum = 0.;
+              w_min = 0.;
+              w_max = 0.;
+              w_bounds = bounds;
+              w_counts = Array.make (Array.length bounds + 1) 0;
+            }
+          in
+          Hashtbl.add s.walls name w;
+          w
+    in
+    if w.w_count = 0 then begin
+      w.w_min <- v;
+      w.w_max <- v
+    end
+    else begin
+      if v < w.w_min then w.w_min <- v;
+      if v > w.w_max then w.w_max <- v
+    end;
+    w.w_count <- w.w_count + 1;
+    w.w_sum <- w.w_sum +. v;
+    let i = wall_bucket_index w.w_bounds v in
+    w.w_counts.(i) <- w.w_counts.(i) + 1
+  end
+
 let record_span name dt =
   let s = my_sink () in
   match Hashtbl.find_opt s.spans name with
@@ -156,6 +231,7 @@ let reset () =
       Hashtbl.reset s.counters;
       Hashtbl.reset s.gauges;
       Hashtbl.reset s.hists;
+      Hashtbl.reset s.walls;
       Hashtbl.reset s.spans)
     !registry;
   Mutex.unlock registry_lock
@@ -170,12 +246,22 @@ type hist = {
   buckets : (int * int) list;
 }
 
+type wall_hist = {
+  w_count : int;
+  w_sum : float;
+  w_min : float option;
+  w_max : float option;
+  w_bounds : float array;
+  w_counts : int array;
+}
+
 type span = { calls : int; seconds : float }
 
 type snapshot = {
   counters : (string * int) list;
   gauges : (string * int) list;
   hists : (string * hist) list;
+  wall_hists : (string * wall_hist) list;
   spans : (string * span) list;
 }
 
@@ -253,6 +339,54 @@ let snapshot () =
       buckets = B.bindings buckets;
     }
   in
+  (* wall histograms: a name must keep one bounds set process-wide; a
+     conflicting re-registration is a programming error surfaced here
+     rather than silently mis-merged. *)
+  let merge_wall name prev (w : mwall) =
+    match prev with
+    | None ->
+        {
+          w_count = w.w_count;
+          w_sum = w.w_sum;
+          w_min = (if w.w_count = 0 then None else Some w.w_min);
+          w_max = (if w.w_count = 0 then None else Some w.w_max);
+          w_bounds = Array.copy w.w_bounds;
+          w_counts = Array.copy w.w_counts;
+        }
+    | Some p ->
+        if p.w_bounds <> w.w_bounds then
+          invalid_arg
+            (Printf.sprintf
+               "Obs.snapshot: wall histogram %S recorded with conflicting \
+                bounds"
+               name);
+        let counts = Array.copy p.w_counts in
+        Array.iteri (fun i c -> counts.(i) <- counts.(i) + c) w.w_counts;
+        let opt_merge f a b =
+          match (a, w.w_count) with
+          | None, 0 -> None
+          | None, _ -> Some b
+          | Some x, 0 -> Some x
+          | Some x, _ -> Some (f x b)
+        in
+        {
+          w_count = p.w_count + w.w_count;
+          w_sum = p.w_sum +. w.w_sum;
+          w_min = opt_merge Stdlib.min p.w_min w.w_min;
+          w_max = opt_merge Stdlib.max p.w_max w.w_max;
+          w_bounds = p.w_bounds;
+          w_counts = counts;
+        }
+  in
+  let wall_hists =
+    List.fold_left
+      (fun acc (s : sink) ->
+        Hashtbl.fold
+          (fun name w acc ->
+            M.update name (fun prev -> Some (merge_wall name prev w)) acc)
+          s.walls acc)
+      M.empty sinks
+  in
   let spans =
     List.fold_left
       (fun acc (s : sink) ->
@@ -275,6 +409,7 @@ let snapshot () =
     counters = M.bindings counters;
     gauges = M.bindings gauges;
     hists = List.map (fun (name, h) -> (name, finish_hist h)) (M.bindings hists);
+    wall_hists = M.bindings wall_hists;
     spans = M.bindings spans;
   }
 

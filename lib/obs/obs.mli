@@ -59,6 +59,23 @@ val observe : string -> int -> unit
     4, ... — buckets are keyed by their lower bound). No-op when
     disabled. *)
 
+val default_wall_bounds : float array
+(** Latency-shaped bucket upper bounds in seconds: 10µs..5s in a 1-2-5
+    series. *)
+
+val observe_wall : ?bounds:float array -> string -> float -> unit
+(** [observe_wall name seconds] records a wall-clock sample into the
+    explicit-boundary histogram [name]: the sample lands in the first
+    bucket whose upper bound is [>= seconds], or in the trailing
+    overflow bucket. [bounds] (strictly ascending upper bounds,
+    default {!default_wall_bounds}) is fixed by the first observation
+    per sink; a name must use one bounds set process-wide or
+    {!snapshot} raises [Invalid_argument]. Wall-time series are
+    inherently nondeterministic, so they are segregated from the
+    deterministic metrics in serialized output exactly as span
+    durations are (excluded from [Metrics.to_json] unless
+    [~timings:true]). No-op when disabled. *)
+
 val time : string -> (unit -> 'a) -> 'a
 (** [time name f] runs [f ()]; when enabled, also increments span
     [name]'s call count and accumulates the elapsed processor time.
@@ -82,12 +99,26 @@ type hist = {
       (** (bucket lower bound, samples) — ascending, no empty buckets *)
 }
 
+type wall_hist = {
+  w_count : int;
+  w_sum : float;  (** seconds *)
+  w_min : float option;  (** [None] iff [w_count = 0] *)
+  w_max : float option;
+  w_bounds : float array;  (** bucket upper bounds, strictly ascending *)
+  w_counts : int array;
+      (** per-bucket sample counts; length is [Array.length w_bounds + 1],
+          the last slot holding samples above every bound *)
+}
+
 type span = { calls : int; seconds : float }
 
 type snapshot = {
   counters : (string * int) list;  (** sorted by name *)
   gauges : (string * int) list;  (** high-water marks, sorted by name *)
   hists : (string * hist) list;  (** sorted by name *)
+  wall_hists : (string * wall_hist) list;
+      (** wall-clock latency histograms, sorted by name — nondeterministic
+          by nature, serialized only on request (see {!observe_wall}) *)
   spans : (string * span) list;  (** sorted by name *)
 }
 

@@ -4,7 +4,7 @@ open Helpers
 
 let roundtrip json =
   match Wire.decode (Wire.encode json) with
-  | Ok (j, consumed) -> (j, consumed)
+  | Ok (j, _ctx, consumed) -> (j, consumed)
   | Error e -> Alcotest.failf "decode failed: %a" Wire.pp_read_error e
 
 let corrupt_of s =
@@ -47,7 +47,7 @@ let frame_tests =
         let b = Bytes.make Wire.header_len '\000' in
         Bytes.blit_string Wire.magic 0 b 0 4;
         Bytes.set b 4 (Char.chr Wire.version);
-        Bytes.set b 5 '\x7f';
+        Bytes.set b 6 '\x7f';
         let msg = corrupt_of (Bytes.to_string b) in
         check_true "oversized"
           (String.length msg >= 9 && String.sub msg 0 9 = "oversized");
@@ -62,7 +62,7 @@ let frame_tests =
         let b = Bytes.make (Wire.header_len + len) '\000' in
         Bytes.blit_string Wire.magic 0 b 0 4;
         Bytes.set b 4 (Char.chr Wire.version);
-        Bytes.set b 8 (Char.chr len);
+        Bytes.set b 9 (Char.chr len);
         Bytes.blit_string payload 0 b Wire.header_len len;
         let msg = corrupt_of (Bytes.to_string b) in
         check_true "json" (String.length msg >= 3 && String.sub msg 0 3 = "bad"));
@@ -70,7 +70,7 @@ let frame_tests =
         let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
         Wire.write_frame a (Persist.Int 42);
         (match Wire.read_frame b with
-        | Ok (Persist.Int 42) -> ()
+        | Ok (Persist.Int 42, None) -> ()
         | _ -> Alcotest.fail "expected Int 42");
         (* half a header, then close: mid-frame EOF is corruption *)
         ignore (Unix.write_substring a "RBV" 0 3);
@@ -169,7 +169,7 @@ let codec_props =
         let frame = Wire.encode (envelope_codec.Wire.enc e) in
         match Wire.decode frame with
         | Error _ -> false
-        | Ok (j, consumed) -> (
+        | Ok (j, _, consumed) -> (
             consumed = String.length frame
             &&
             match envelope_codec.Wire.dec j with
@@ -188,11 +188,11 @@ let transport_tests =
         let server = Transport.Mem.link (Transport.Mem.accept l) in
         client.Transport.send (Persist.String "ping");
         (match server.Transport.recv () with
-        | Ok (Persist.String "ping") -> ()
+        | Ok (Persist.String "ping", None) -> ()
         | _ -> Alcotest.fail "expected ping");
         server.Transport.send (Persist.String "pong");
         (match client.Transport.recv () with
-        | Ok (Persist.String "pong") -> ()
+        | Ok (Persist.String "pong", None) -> ()
         | _ -> Alcotest.fail "expected pong");
         client.Transport.close ();
         (match server.Transport.recv () with
@@ -207,7 +207,7 @@ let transport_tests =
             (fun () ->
               let s = Transport.Tcp.link (Transport.Tcp.accept l) in
               (match s.Transport.recv () with
-              | Ok j -> s.Transport.send j
+              | Ok (j, _) -> s.Transport.send j
               | Error _ -> ());
               s.Transport.close ())
             ()
@@ -216,7 +216,7 @@ let transport_tests =
         let j = Persist.Obj [ ("x", Persist.Float 2.5) ] in
         c.Transport.send j;
         (match c.Transport.recv () with
-        | Ok j' -> check_true "echo" (j = j')
+        | Ok (j', _) -> check_true "echo" (j = j')
         | Error e -> Alcotest.failf "recv: %a" Wire.pp_read_error e);
         c.Transport.close ();
         Thread.join t;
@@ -462,5 +462,355 @@ let serve_tests =
         Thread.join t);
   ]
 
+(* ---------------- wire v2 trace context ---------------- *)
+
+let ctx_tests =
+  [
+    case "v1 peer rejected on frame one with a clear error" (fun () ->
+        (* a frame stamped with the previous wire version must be
+           refused from the header alone, naming both versions *)
+        let s = Bytes.of_string (Wire.encode (Persist.Int 1)) in
+        Bytes.set s 4 '\001';
+        let msg = corrupt_of (Bytes.to_string s) in
+        check_true "names the peer version"
+          (msg = Printf.sprintf "unsupported wire version 1 (want %d)"
+                   Wire.version);
+        (* and over a link: the daemon-side recv surfaces it as Corrupt *)
+        let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        let n = Bytes.length s in
+        check_int "frame written" n (Unix.write a s 0 n);
+        let link = Transport.Tcp.link b in
+        (match link.Transport.recv () with
+        | Error (`Corrupt m) -> check_true "same error" (m = msg)
+        | _ -> Alcotest.fail "expected Corrupt");
+        Unix.close a;
+        link.Transport.close ());
+    case "unknown flag bits rejected" (fun () ->
+        let s = Bytes.of_string (Wire.encode (Persist.Int 1)) in
+        Bytes.set s 5 '\x82';
+        let msg = corrupt_of (Bytes.to_string s) in
+        check_true "mentions flags"
+          (String.length msg >= 7 && String.sub msg 0 7 = "unknown"));
+    case "mixed context-present and context-absent frames on one connection"
+      (fun () ->
+        let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        let out = Transport.Tcp.link a and inn = Transport.Tcp.link b in
+        let c1 = { Wire.trace_id = 1024; parent_span = 0 } in
+        let c2 = { Wire.trace_id = 99; parent_span = 7 } in
+        out.Transport.send ~ctx:c1 (Persist.Int 1);
+        out.Transport.send (Persist.Int 2);
+        out.Transport.send ~ctx:c2 (Persist.Int 3);
+        let expect want_json want_ctx =
+          match inn.Transport.recv () with
+          | Ok (j, ctx) ->
+              check_true "payload" (j = want_json);
+              check_true "ctx" (ctx = want_ctx)
+          | Error e -> Alcotest.failf "recv: %a" Wire.pp_read_error e
+        in
+        expect (Persist.Int 1) (Some c1);
+        expect (Persist.Int 2) None;
+        expect (Persist.Int 3) (Some c2);
+        out.Transport.close ();
+        inn.Transport.close ());
+  ]
+
+let ctx_props =
+  [
+    qtest ~count:200 "trace context round-trips bit-exactly"
+      (QCheck.make
+         ~print:(fun (t, p) -> Printf.sprintf "trace=%d span=%d" t p)
+         QCheck.Gen.(pair int int))
+      (fun (trace_id, parent_span) ->
+        let ctx = { Wire.trace_id; parent_span } in
+        let json = Persist.Obj [ ("x", Persist.Int 5) ] in
+        let frame = Wire.encode ~ctx json in
+        match Wire.decode frame with
+        | Ok (j, Some ctx', consumed) ->
+            j = json && ctx' = ctx && consumed = String.length frame
+        | _ -> false);
+  ]
+
+(* ---------------- stats endpoint HTTP + telemetry ---------------- *)
+
+let contains hay needle =
+  let ln = String.length needle and lh = String.length hay in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let http_tests =
+  [
+    case "stats endpoint: routes, 404, HEAD, headers" (fun () ->
+        let t, port, stats_port = start_daemon ~shards:2 () in
+        let sp = Option.get stats_port in
+        (* run one request so telemetry is non-trivial *)
+        (match
+           Serve.submit ~port
+             [
+               {
+                 Serve.key = "k";
+                 proto = "om";
+                 seed = 1;
+                 n = 4;
+                 f = 1;
+                 d = 1;
+                 rounds = 0;
+               };
+             ]
+         with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "submit: %s" e);
+        (* /healthz while running *)
+        (match Serve.fetch ~port:sp "/healthz" with
+        | Ok body -> check_true "ready" (body = "ready\n")
+        | Error e -> Alcotest.failf "healthz: %s" e);
+        (* /metrics Prometheus exposition with non-zero p95 *)
+        (match Serve.fetch ~port:sp "/metrics" with
+        | Ok body ->
+            check_true "type line"
+              (contains body "# TYPE rbvc_serve_requests_total counter");
+            check_true "latency histogram"
+              (contains body "rbvc_serve_latency_seconds_bucket");
+            check_true "per-proto histogram"
+              (contains body "rbvc_serve_latency_om_seconds_count 1");
+            let p95_pos =
+              String.split_on_char '\n' body
+              |> List.exists (fun line ->
+                     match
+                       String.index_opt line ' '
+                       |> Option.map (fun i ->
+                              ( String.sub line 0 i,
+                                String.sub line (i + 1)
+                                  (String.length line - i - 1) ))
+                     with
+                     | Some ("rbvc_serve_latency_seconds_p95", v) ->
+                         float_of_string v > 0.
+                     | _ -> false)
+            in
+            check_true "p95 > 0" p95_pos
+        | Error e -> Alcotest.failf "metrics: %s" e);
+        (* /slow flight recorder parses *)
+        (match Serve.fetch ~port:sp "/slow" with
+        | Ok body -> (
+            match Persist.of_string body with
+            | Ok j ->
+                check_true "flight schema"
+                  (Persist.member "schema" j
+                  = Some (Persist.String "rbvc-flight/1"))
+            | Error e -> Alcotest.failf "slow body: %s" e)
+        | Error e -> Alcotest.failf "slow: %s" e);
+        (* unknown path is a real 404 surfaced as Error *)
+        (match Serve.fetch ~port:sp "/nope" with
+        | Error msg -> check_true "404 in error" (contains msg "HTTP 404")
+        | Ok _ -> Alcotest.fail "expected 404");
+        (* HEAD: status + headers, no body *)
+        let fd = Transport.Tcp.connect ("127.0.0.1", sp) in
+        let req = "HEAD / HTTP/1.0\r\n\r\n" in
+        ignore (Unix.write_substring fd req 0 (String.length req));
+        let buf = Buffer.create 512 in
+        let chunk = Bytes.create 512 in
+        let rec drain () =
+          match Unix.read fd chunk 0 512 with
+          | 0 -> ()
+          | k ->
+              Buffer.add_subbytes buf chunk 0 k;
+              drain ()
+          | exception _ -> ()
+        in
+        drain ();
+        Unix.close fd;
+        let resp = Buffer.contents buf in
+        check_true "200" (contains resp "HTTP/1.0 200 OK");
+        check_true "content-type" (contains resp "Content-Type:");
+        check_true "content-length" (contains resp "Content-Length:");
+        check_true "connection close" (contains resp "Connection: close");
+        (let he =
+           let rec find i =
+             if i + 4 > String.length resp then String.length resp
+             else if String.sub resp i 4 = "\r\n\r\n" then i + 4
+             else find (i + 1)
+           in
+           find 0
+         in
+         check_int "no body after headers" he (String.length resp));
+        (* queue/occupancy gauges present in the JSON document *)
+        (match Serve.fetch_stats ~port:sp () with
+        | Ok json -> (
+            match Persist.member "gauges" json with
+            | Some (Persist.Obj gauges) ->
+                check_true "queue_now gauge"
+                  (List.mem_assoc "serve.shard0.queue_now" gauges);
+                check_true "busy gauge"
+                  (List.mem_assoc "serve.busy_now" gauges)
+            | _ -> Alcotest.fail "missing gauges")
+        | Error e -> Alcotest.failf "stats: %s" e);
+        ignore (Serve.shutdown ~port ());
+        Thread.join t);
+    case "fetch surfaces malformed HTTP responses as errors" (fun () ->
+        (* a fake endpoint speaking various broken dialects *)
+        let serve_body body =
+          let l = Transport.Tcp.listen ("127.0.0.1", 0) in
+          let _, port = Transport.Tcp.address l in
+          let t =
+            Thread.create
+              (fun () ->
+                match Transport.Tcp.accept l with
+                | fd ->
+                    ignore
+                      (Unix.write_substring fd body 0 (String.length body));
+                    (try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ());
+                    Unix.close fd
+                | exception _ -> ())
+              ()
+          in
+          let r = Serve.fetch ~port "/" in
+          Thread.join t;
+          Transport.Tcp.close_listener l;
+          r
+        in
+        (match serve_body "" with
+        | Error msg -> check_true "empty" (contains msg "empty")
+        | Ok _ -> Alcotest.fail "empty response must error");
+        (match serve_body "not http at all" with
+        | Error msg ->
+            check_true "no terminator" (contains msg "header terminator")
+        | Ok _ -> Alcotest.fail "garbage must error");
+        (match serve_body "HTTP/1.0 abc xyz\r\n\r\nbody" with
+        | Error msg -> check_true "bad status" (contains msg "status line")
+        | Ok _ -> Alcotest.fail "bad status code must error");
+        (match serve_body "HTTP/1.0 200 OK\r\nContent-Length: 100\r\n\r\nshort" with
+        | Error msg -> check_true "truncated" (contains msg "truncated")
+        | Ok _ -> Alcotest.fail "truncated body must error");
+        (match serve_body "HTTP/1.0 500 Boom\r\n\r\nkaput" with
+        | Error msg -> check_true "status surfaced" (contains msg "HTTP 500")
+        | Ok _ -> Alcotest.fail "500 must error");
+        match serve_body "HTTP/1.0 200 OK\r\nContent-Length: 2\r\n\r\nok" with
+        | Ok body -> check_true "well-formed passes" (body = "ok")
+        | Error e -> Alcotest.failf "well-formed response rejected: %s" e);
+  ]
+
+(* ---------------- distributed trace stitching ---------------- *)
+
+let trace_tests =
+  [
+    case "traced serve + submit stitch into one well-formed trace" (fun () ->
+        let trace_path = Filename.temp_file "rbvc-serve" "-trace.json" in
+        Fun.protect
+          ~finally:(fun () -> try Sys.remove trace_path with _ -> ())
+          (fun () ->
+            let ready = Chan.make 1 in
+            let config =
+              {
+                Serve.default_config with
+                shards = 2;
+                trace_path = Some trace_path;
+              }
+            in
+            let t =
+              Thread.create
+                (fun () ->
+                  Serve.run ~signals:false
+                    ~on_ready:(fun ~port ~stats_port:_ -> Chan.push ready port)
+                    config)
+                ()
+            in
+            let port = Chan.pop ready in
+            let reqs =
+              List.init 10 (fun i ->
+                  {
+                    Serve.key = Printf.sprintf "t-%d" i;
+                    proto = "om";
+                    seed = i;
+                    n = 4;
+                    f = 1;
+                    d = 1;
+                    rounds = 0;
+                  })
+            in
+            (* client side under a tracer: requests carry trace contexts *)
+            let buf = Obs.Tracer.create () in
+            (match
+               Obs.Tracer.with_tracer buf (fun () -> Serve.submit ~port reqs)
+             with
+            | Ok resps -> check_int "all served" 10 (List.length resps)
+            | Error e -> Alcotest.failf "submit: %s" e);
+            (match Serve.shutdown ~port () with
+            | Ok () -> ()
+            | Error e -> Alcotest.failf "shutdown: %s" e);
+            Thread.join t;
+            let client_events = Obs.Tracer.events buf in
+            let server_events, server_labels =
+              match Trace_export.read_labeled trace_path with
+              | Ok r -> r
+              | Error e -> Alcotest.failf "server trace: %s" e
+            in
+            check_true "client emitted rpc flows"
+              (List.exists
+                 (fun (e : Obs.Tracer.event) ->
+                   e.kind = Obs.Tracer.Flow_start && e.name = "rpc")
+                 client_events);
+            check_true "server labeled its tracks"
+              (List.mem "ingress" (List.map snd server_labels));
+            let merged, labels =
+              Trace_export.merge
+                [
+                  ("server", server_events, server_labels);
+                  ("client", client_events, []);
+                ]
+            in
+            check_true "merged spans balanced"
+              (Trace_export.check_spans merged = Ok ());
+            check_true "merged track labels prefixed"
+              (List.mem "server/ingress" (List.map snd labels));
+            (* the acceptance arrows: for every request, the client's
+               rpc send precedes the server's ingress delivery, and the
+               server's resp send precedes the client's delivery *)
+            let pos pred =
+              let rec go i = function
+                | [] -> None
+                | e :: tl -> if pred e then Some i else go (i + 1) tl
+              in
+              go 0 merged
+            in
+            let flow_of (e : Obs.Tracer.event) =
+              match List.assoc_opt "flow" e.args with
+              | Some (Obs.Tracer.Int id) -> id
+              | _ -> -1
+            in
+            List.iter
+              (fun i ->
+                let id = 1024 + (4 * i) in
+                let check_arrow name fid =
+                  let s =
+                    pos (fun e ->
+                        e.Obs.Tracer.kind = Obs.Tracer.Flow_start
+                        && e.name = name && flow_of e = fid)
+                  and f =
+                    pos (fun e ->
+                        e.Obs.Tracer.kind = Obs.Tracer.Flow_end
+                        && e.name = name && flow_of e = fid)
+                  in
+                  match (s, f) with
+                  | Some s, Some f ->
+                      check_true
+                        (Printf.sprintf "%s %d send before delivery" name fid)
+                        (s < f)
+                  | _ ->
+                      Alcotest.failf "missing %s flow %d in merged trace" name
+                        fid
+                in
+                check_arrow "rpc" id;
+                check_arrow "queue" (id + 1);
+                check_arrow "resp" (id + 2);
+                check_arrow "run" (id + 3))
+              (List.init 10 Fun.id);
+            (* engine events were absorbed onto server engine tracks *)
+            check_true "engine rounds present"
+              (List.exists
+                 (fun (e : Obs.Tracer.event) ->
+                   e.name = "round" && e.kind = Obs.Tracer.Begin)
+                 merged)));
+  ]
+
 let suite =
-  frame_tests @ codec_props @ transport_tests @ equivalence_tests @ serve_tests
+  frame_tests @ codec_props @ ctx_tests @ ctx_props @ transport_tests
+  @ equivalence_tests @ serve_tests @ http_tests @ trace_tests

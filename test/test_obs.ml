@@ -283,4 +283,144 @@ let tracer_tests =
           (List.mem_assoc "err" last.Obs.Tracer.args));
   ]
 
-let suite = unit_tests @ merge_tests @ tracer_tests
+(* ---------------- wall-clock histograms ----------------
+
+   Explicit-boundary float histograms for request latency: bucketing
+   against the 1-2-5 default bounds, cross-domain merge, quantile
+   estimation, and the JSON/Prometheus segregation rules. *)
+
+let find_wall snap name = List.assoc_opt name snap.Obs.wall_hists
+
+let wall_tests =
+  [
+    case "wall samples land in the right explicit buckets" (fun () ->
+        with_obs (fun () ->
+            (* 1e-5 is the first bound (inclusive); 1.1e-5 crosses it;
+               9. is beyond every bound -> overflow slot *)
+            List.iter (Obs.observe_wall "w") [ 1e-5; 1.1e-5; 0.003; 9. ];
+            let w = Option.get (find_wall (Obs.snapshot ()) "w") in
+            check_int "count" 4 w.Obs.w_count;
+            check_float "sum" (1e-5 +. 1.1e-5 +. 0.003 +. 9.) w.Obs.w_sum;
+            check_true "min" (w.Obs.w_min = Some 1e-5);
+            check_true "max" (w.Obs.w_max = Some 9.);
+            let nb = Array.length w.Obs.w_bounds in
+            check_int "slots = bounds + overflow" (nb + 1)
+              (Array.length w.Obs.w_counts);
+            check_int "bucket 0 (<= 1e-5)" 1 w.Obs.w_counts.(0);
+            check_int "bucket 1 (1e-5..2e-5)" 1 w.Obs.w_counts.(1);
+            check_int "overflow" 1 w.Obs.w_counts.(nb);
+            check_int "total samples" 4
+              (Array.fold_left ( + ) 0 w.Obs.w_counts)));
+    case "wall histograms merge across domains like int ones" (fun () ->
+        with_obs (fun () ->
+            let _ =
+              Par.map_list ~jobs:4
+                (fun i ->
+                  Obs.observe_wall "lat" (0.001 *. float_of_int (1 + (i mod 7))))
+                (List.init 100 Fun.id)
+            in
+            let w = Option.get (find_wall (Obs.snapshot ()) "lat") in
+            check_int "all samples merged" 100 w.Obs.w_count;
+            check_int "bucket totals merged" 100
+              (Array.fold_left ( + ) 0 w.Obs.w_counts)));
+    case "conflicting bounds for one name raise at snapshot" (fun () ->
+        with_obs (fun () ->
+            let _ =
+              Par.map_list ~jobs:2
+                (fun i ->
+                  (* different explicit bounds per worker domain *)
+                  let bounds =
+                    if i = 0 then [| 0.1; 1.0 |] else [| 0.5; 2.0 |]
+                  in
+                  Obs.observe_wall ~bounds "clash" 0.2)
+                [ 0; 1 ]
+            in
+            match Obs.snapshot () with
+            | exception Invalid_argument _ -> ()
+            | snap ->
+                (* both samples may have landed on one domain: only a
+                   genuine bounds conflict must raise *)
+                let w = Option.get (find_wall snap "clash") in
+                check_int "both recorded" 2 w.Obs.w_count));
+    case "quantiles: p95 > 0 whenever count > 0, clamped to min/max"
+      (fun () ->
+        with_obs (fun () ->
+            Obs.observe_wall "q" 0.004;
+            let w = Option.get (find_wall (Obs.snapshot ()) "q") in
+            let p50 = Metrics.quantile w 0.5
+            and p95 = Metrics.quantile w 0.95 in
+            check_true "p95 positive" (p95 > 0.);
+            check_true "p50 <= p95" (p50 <= p95);
+            check_true "p95 <= max" (p95 <= 0.004 +. 1e-12);
+            (* many samples across buckets: quantiles are ordered and
+               inside the observed range *)
+            Obs.reset ();
+            List.iter (Obs.observe_wall "q2")
+              (List.init 100 (fun i -> 1e-4 *. float_of_int (i + 1)));
+            let w = Option.get (find_wall (Obs.snapshot ()) "q2") in
+            let q50 = Metrics.quantile w 0.5
+            and q99 = Metrics.quantile w 0.99 in
+            check_true "ordered" (q50 <= q99);
+            check_true "within range" (q50 >= 1e-4 && q99 <= 1e-2 +. 1e-12)));
+    case "empty histogram quantile is 0" (fun () ->
+        let w =
+          {
+            Obs.w_count = 0;
+            w_sum = 0.;
+            w_min = None;
+            w_max = None;
+            w_bounds = Obs.default_wall_bounds;
+            w_counts =
+              Array.make (Array.length Obs.default_wall_bounds + 1) 0;
+          }
+        in
+        check_float "empty" 0. (Metrics.quantile w 0.95));
+    case "wall histograms segregated from deterministic JSON" (fun () ->
+        with_obs (fun () ->
+            Obs.incr "c";
+            Obs.observe_wall "lat" 0.002;
+            let plain = Metrics.to_json (Obs.snapshot ()) in
+            let timed = Metrics.to_json ~timings:true (Obs.snapshot ()) in
+            check_true "excluded by default"
+              (Persist.member "wall_histograms" plain = None);
+            match Persist.member "wall_histograms" timed with
+            | Some (Persist.Obj fields) -> (
+                match List.assoc_opt "lat" fields with
+                | Some lat ->
+                    check_true "count serialized"
+                      (Persist.member "count" lat = Some (Persist.Int 1));
+                    check_true "p95 serialized"
+                      (match Persist.member "p95" lat with
+                      | Some (Persist.Float f) -> f > 0.
+                      | _ -> false)
+                | None -> Alcotest.fail "lat missing")
+            | _ -> Alcotest.fail "wall_histograms missing under ~timings"));
+    case "prometheus exposition: types, counters, quantile gauges" (fun () ->
+        with_obs (fun () ->
+            Obs.add "serve.requests" 10;
+            Obs.record_max "serve.inflight" 3;
+            Obs.observe "serve.latency_us" 900;
+            Obs.observe_wall "serve.latency" 0.002;
+            ignore (Obs.time "solver" (fun () -> ()));
+            let text = Metrics.to_prometheus (Obs.snapshot ()) in
+            let has needle =
+              let ln = String.length needle and lt = String.length text in
+              let rec go i =
+                i + ln <= lt && (String.sub text i ln = needle || go (i + 1))
+              in
+              go 0
+            in
+            check_true "counter type line"
+              (has "# TYPE rbvc_serve_requests_total counter");
+            check_true "counter sample" (has "rbvc_serve_requests_total 10");
+            check_true "gauge" (has "rbvc_serve_inflight 3");
+            check_true "int histogram bucket"
+              (has "rbvc_serve_latency_us_bucket");
+            check_true "+Inf bucket" (has "le=\"+Inf\"");
+            check_true "wall histogram seconds"
+              (has "# TYPE rbvc_serve_latency_seconds histogram");
+            check_true "p95 gauge" (has "rbvc_serve_latency_seconds_p95");
+            check_true "span counter" (has "rbvc_solver_calls_total 1")));
+  ]
+
+let suite = unit_tests @ merge_tests @ tracer_tests @ wall_tests

@@ -181,4 +181,123 @@ let prop_tests =
         Trace_export.check_spans (Obs.Tracer.events buf) = Ok ());
   ]
 
-let suite = unit_tests @ acceptance_tests @ prop_tests
+(* ---------------- multi-process stitching ---------------- *)
+
+let merge_tests =
+  [
+    case "merge: disjoint tracks, prefixed labels, flows connect" (fun () ->
+        (* client part: a flow sent from its only track *)
+        let client =
+          [
+            mk Obs.Tracer.Instant "submit";
+            mk ~args:[ ("flow", Obs.Tracer.Int 7) ] Obs.Tracer.Flow_start
+              "rpc";
+          ]
+        in
+        (* server part: delivery of that flow inside a request span —
+           note the server's event list starts with the Flow_end, so
+           only topological interleaving can order it after the start *)
+        let server =
+          [
+            mk ~track:0 ~args:[ ("flow", Obs.Tracer.Int 7) ]
+              Obs.Tracer.Flow_end "rpc";
+            mk ~track:1 ~lclock:1 Obs.Tracer.Begin "request";
+            mk ~track:1 ~lclock:2 Obs.Tracer.End "request";
+          ]
+        in
+        let events, labels =
+          Trace_export.merge
+            [
+              ("srv", server, [ (0, "ingress"); (1, "shard0") ]);
+              ("cli", client, [ (-1, "scheduler") ]);
+            ]
+        in
+        check_int "all events kept"
+          (List.length client + List.length server)
+          (List.length events);
+        (* labels: every part track present, prefixed *)
+        let label_names = List.map snd labels in
+        check_true "srv/ingress" (List.mem "srv/ingress" label_names);
+        check_true "srv/shard0" (List.mem "srv/shard0" label_names);
+        check_true "cli/scheduler" (List.mem "cli/scheduler" label_names);
+        (* tracks are disjoint: as many distinct tracks as labels *)
+        let tracks =
+          List.sort_uniq compare
+            (List.map (fun (e : Obs.Tracer.event) -> e.track) events)
+        in
+        check_int "disjoint tracks" 3 (List.length tracks);
+        (* the flow start precedes its end in the merged stream *)
+        let idx kind =
+          let rec go i = function
+            | [] -> -1
+            | (e : Obs.Tracer.event) :: tl ->
+                if e.kind = kind && e.name = "rpc" then i else go (i + 1) tl
+          in
+          go 0 events
+        in
+        check_true "send before delivery"
+          (idx Obs.Tracer.Flow_start < idx Obs.Tracer.Flow_end);
+        check_true "spans still balanced"
+          (Trace_export.check_spans events = Ok ()));
+    case "merge: cyclic cross-part flows forced through, nothing dropped"
+      (fun () ->
+        (* a waits for b's flow, b waits for a's: no topological order
+           exists, the merger must force progress rather than drop *)
+        let part name send_id recv_id =
+          ( name,
+            [
+              mk ~args:[ ("flow", Obs.Tracer.Int recv_id) ]
+                Obs.Tracer.Flow_end "m";
+              mk ~lclock:1 ~args:[ ("flow", Obs.Tracer.Int send_id) ]
+                Obs.Tracer.Flow_start "m";
+            ],
+            [] )
+        in
+        let events, _ =
+          Trace_export.merge [ part "a" 1 2; part "b" 2 1 ]
+        in
+        check_int "all four events survive" 4 (List.length events));
+    case "merge round-trips through write/read_labeled" (fun () ->
+        let part_a =
+          [
+            mk Obs.Tracer.Begin "outer";
+            mk ~lclock:1 ~args:[ ("flow", Obs.Tracer.Int 42) ]
+              Obs.Tracer.Flow_start "msg";
+            mk ~lclock:2 Obs.Tracer.End "outer";
+          ]
+        in
+        let part_b =
+          [
+            mk ~track:3 ~args:[ ("flow", Obs.Tracer.Int 42) ]
+              Obs.Tracer.Flow_end "msg";
+          ]
+        in
+        let tmp suffix = Filename.temp_file "rbvc-merge" suffix in
+        let fa = tmp "-a.json" and fb = tmp "-b.json" and fm = tmp "-m.json" in
+        Fun.protect
+          ~finally:(fun () ->
+            List.iter (fun f -> try Sys.remove f with _ -> ()) [ fa; fb; fm ])
+          (fun () ->
+            Trace_export.write ~labels:[ (-1, "alpha") ] fa part_a;
+            Trace_export.write ~labels:[ (3, "beta") ] fb part_b;
+            let read_part name path =
+              match Trace_export.read_labeled path with
+              | Ok (evs, labels) -> (name, evs, labels)
+              | Error e -> Alcotest.failf "read_labeled %s: %s" path e
+            in
+            let events, labels =
+              Trace_export.merge [ read_part "a" fa; read_part "b" fb ]
+            in
+            check_true "labels recovered and prefixed"
+              (List.mem "a/alpha" (List.map snd labels)
+              && List.mem "b/beta" (List.map snd labels));
+            Trace_export.write ~labels fm events;
+            match Trace_export.read_labeled fm with
+            | Error e -> Alcotest.failf "re-read: %s" e
+            | Ok (events', labels') ->
+                check_true "events survive the file" (events = events');
+                check_true "labels survive the file"
+                  (List.sort compare labels = List.sort compare labels')));
+  ]
+
+let suite = unit_tests @ acceptance_tests @ prop_tests @ merge_tests
