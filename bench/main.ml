@@ -341,6 +341,36 @@ let bench_engine_fifo ?(reference = false) ~n () =
         (run ~obs_prefix:"engine" ~n ~protocol ~scheduler:Scheduler.Fifo
            ~limit ())))
 
+(* Broadcast-to-all under an incomplete graph: the engine's edge filter
+   turns the O(n^2) send pattern into O(n*d) deliveries (the rest are
+   counted drops), so these entries price the filter itself plus the
+   delivery savings against the complete-graph n=500 entries above.
+   The delivered/dropped counters in the attached metrics carry the
+   asymptotic claim; ns_per_run carries the constant factor. *)
+let bench_engine_topology ~spec ~n () =
+  let topology =
+    match Topology.instantiate spec ~n with
+    | Ok t -> t
+    | Error e -> failwith ("bench: " ^ e)
+  in
+  let name =
+    Printf.sprintf "engine_run rounds n=%d %s" n (Topology.spec_to_string spec)
+  in
+  let protocol =
+    {
+      Protocol.init = (fun ~me -> me);
+      on_start = (fun _ -> []);
+      on_tick = (fun me ~time:_ -> List.init n (fun dst -> (dst, me)));
+      on_receive = (fun _ ~time:_ _ -> []);
+      output = (fun _ -> ());
+    }
+  in
+  ( name,
+    (fun () ->
+      ignore
+        (Engine.run ~topology ~obs_prefix:"engine" ~n ~protocol
+           ~scheduler:Scheduler.Rounds ~limit:3 ())) )
+
 let bench_hull_consensus () =
   let name = "hull_consensus n=5 d=2" in
   let rng = bench_rng name in
@@ -415,6 +445,8 @@ let tests =
     bench_engine_rounds ~n:500 ~reference:true ();
     bench_engine_rounds_instr_off ~n:500 ();
     bench_engine_rounds ~n:2000 ();
+    bench_engine_topology ~spec:(Topology.Ring { k = 8 }) ~n:500 ();
+    bench_engine_topology ~spec:(Topology.Regular { degree = 16; seed = 1 }) ~n:500 ();
     bench_engine_fifo ~n:100 ();
     bench_engine_fifo ~n:500 ();
     bench_engine_fifo ~n:500 ~reference:true ();

@@ -77,6 +77,44 @@ let with_trace trace run =
         | d -> Printf.sprintf ", %d oldest dropped" d);
       code
 
+let topology_conv =
+  let parse s =
+    Result.map_error (fun e -> `Msg e) (Topology.spec_of_string s)
+  in
+  Arg.conv (parse, Topology.pp_spec)
+
+let topology_arg =
+  Arg.(
+    value
+    & opt topology_conv Topology.Complete
+    & info [ "topology" ] ~docv:"SPEC"
+        ~doc:
+          "Communication graph: $(b,complete) (the default full mesh), \
+           $(b,ring:K) (each process linked to the K nearest on each side), \
+           $(b,regular:D) or $(b,regular:D:SEED) (seeded random D-regular), \
+           or $(b,edges:FILE) (explicit edge list, one $(i,I-J) pair per \
+           line). Sends on absent edges are silently dropped; see \
+           DESIGN.md.")
+
+(* Instantiate a --topology spec at a concrete n, normalising the
+   complete graph to [None] so default runs take the pre-topology code
+   paths byte-for-byte. Infeasible specs become a structured message
+   and a usage-style failure, never a backtrace. *)
+let topology_at spec ~n =
+  match spec with
+  | Topology.Complete -> Ok None
+  | spec -> (
+      match Topology.instantiate spec ~n with
+      | Ok t -> Ok (Some t)
+      | Error msg ->
+          Error (Printf.sprintf "infeasible --topology at n = %d: %s" n msg))
+
+let topology_exit = function
+  | Ok t -> t
+  | Error msg ->
+      Format.eprintf "rbvc: %s@." msg;
+      exit 2
+
 (* ---------------- experiments ---------------- *)
 
 let experiments_cmd =
@@ -85,7 +123,7 @@ let experiments_cmd =
       value & opt_all string []
       & info [ "only" ] ~docv:"ID"
           ~doc:
-            "Run only the given experiment id (repeatable). Known ids: E0-E19 \
+            "Run only the given experiment id (repeatable). Known ids: E0-E24 \
              and table1.")
   in
   let csv_dir =
@@ -95,11 +133,16 @@ let experiments_cmd =
       & info [ "csv" ] ~docv:"DIR"
           ~doc:"Also write each experiment's table as DIR/<id>.csv.")
   in
-  let run seed jobs only csv_dir metrics trace =
+  let run seed jobs only topo_spec csv_dir metrics trace =
    with_metrics metrics @@ fun () ->
    with_trace trace @@ fun () ->
     let ids = if only = [] then Experiments.ids else only in
-    let tables = Experiments.run_many ~seed ~jobs:(effective_jobs jobs) ids in
+    let topology =
+      match topo_spec with Topology.Complete -> None | s -> Some s
+    in
+    let tables =
+      Experiments.run_many ~seed ~jobs:(effective_jobs jobs) ?topology ids
+    in
     List.iter (Experiments.print Format.std_formatter) tables;
     (match csv_dir with
     | None -> ()
@@ -128,8 +171,8 @@ let experiments_cmd =
   in
   let term =
     Term.(
-      const run $ seed_arg $ jobs_arg $ only $ csv_dir $ metrics_arg
-      $ trace_arg)
+      const run $ seed_arg $ jobs_arg $ only $ topology_arg $ csv_dir
+      $ metrics_arg $ trace_arg)
   in
   Cmd.v
     (Cmd.info "experiments"
@@ -682,14 +725,15 @@ let check_protocol_arg =
              ("algo-async", `Algo_async);
              ("algo-k1", `Algo_k1);
              ("algo-iterative", `Algo_iterative);
+             ("algo-bcc", `Algo_bcc);
            ])
         `Om
     & info [ "protocol" ] ~docv:"P"
         ~doc:
           "Engine protocol to model-check: om | bracha | algo-exact | \
-           algo-async | algo-k1 | algo-iterative.")
+           algo-async | algo-k1 | algo-iterative | algo-bcc.")
 
-let check_target ~seed ~n ~f ~d ~rounds = function
+let check_target ~seed ~n ~f ~d ~rounds ~topology = function
   | `Om ->
       let v = 7 + (seed mod 89) in
       CT
@@ -729,7 +773,8 @@ let check_target ~seed ~n ~f ~d ~rounds = function
           tname = "Bracha";
           eps = 0.;
         }
-  | (`Algo_exact | `Algo_async | `Algo_k1 | `Algo_iterative) as which ->
+  | (`Algo_exact | `Algo_async | `Algo_k1 | `Algo_iterative | `Algo_bcc) as
+    which ->
       let inst = Problem.random_instance (Rng.create seed) ~n ~f ~d ~faulty:[] in
       let hi = Problem.honest_inputs inst in
       let valid outs =
@@ -800,11 +845,35 @@ let check_target ~seed ~n ~f ~d ~rounds = function
       | `Algo_iterative ->
           CT
             {
-              make = (fun () -> Algo_iterative.protocol inst ~rounds);
+              make = (fun () -> Algo_iterative.protocol ?topology inst ~rounds);
               grade =
                 (fun outs -> valid (Array.to_list outs));
               kind = Tla_export.Consensus;
               tname = "AlgoIterative";
+              eps = 0.;
+            }
+      | `Algo_bcc ->
+          (* Algo_bcc, like algo-exact, decides at every prefix by
+             padding unheard commanders with the zero default — the
+             inductive safety property under a depth cap is that every
+             decided polytope (vertices and representative point) stays
+             inside hull(inputs + default). *)
+          let padded = Vec.zero d :: hi in
+          CT
+            {
+              make = (fun () -> Algo_bcc.async_protocol inst);
+              grade =
+                (fun outs ->
+                  List.for_all
+                    (fun p ->
+                      match outs.(p) with
+                      | None -> true
+                      | Some dec ->
+                          Hull.mem padded dec.Algo_bcc.point
+                          && List.for_all (Hull.mem padded) dec.Algo_bcc.verts)
+                    (List.init n Fun.id));
+              kind = Tla_export.Consensus;
+              tname = "AlgoBcc";
               eps = 0.;
             })
 
@@ -849,16 +918,20 @@ let explore_check_cmd =
              the FIFO schedule otherwise) as a TLA+ behavior module with \
              an ASSUMEd TraceValid predicate.")
   in
-  let run seed jobs proto n f d rounds depth budget tla tla_trace metrics
-      trace =
+  let run seed jobs proto n f d rounds topo_spec depth budget tla tla_trace
+      metrics trace =
     try
       with_metrics metrics @@ fun () ->
       with_trace trace @@ fun () ->
       let d = Option.value d ~default:1 in
-      let (CT t) = check_target ~seed ~n ~f ~d ~rounds proto in
+      let topology = topology_exit (topology_at topo_spec ~n) in
+      let tla_topology =
+        match topo_spec with Topology.Complete -> None | s -> Some s
+      in
+      let (CT t) = check_target ~seed ~n ~f ~d ~rounds ~topology proto in
       let r =
-        Explore.check ~make:t.make ~n ~check:t.grade ~max_steps:depth ~budget
-          ~jobs:(effective_jobs jobs) ()
+        Explore.check ?topology ~make:t.make ~n ~check:t.grade
+          ~max_steps:depth ~budget ~jobs:(effective_jobs jobs) ()
       in
       Format.printf "%a@." Explore.pp_check_stats r.Explore.stats;
       if r.Explore.verdict.Explore.truncated then
@@ -867,7 +940,8 @@ let explore_check_cmd =
       | None -> ()
       | Some path ->
           let p =
-            Tla_export.params ~name:t.tname ~kind:t.kind ~n ~f ~d ~eps:t.eps ()
+            Tla_export.params ~name:t.tname ~kind:t.kind ~n ~f ~d ~eps:t.eps
+              ?topology:tla_topology ()
           in
           write_text path (Tla_export.spec p));
       (match tla_trace with
@@ -878,7 +952,7 @@ let explore_check_cmd =
           in
           let events = ref [] in
           ignore
-            (Engine.run
+            (Engine.run ?topology
                ~record:(fun e -> events := e :: !events)
                ~n ~protocol:(t.make ())
                ~scheduler:
@@ -891,7 +965,7 @@ let explore_check_cmd =
           let p =
             Tla_export.params
               ~name:(t.tname ^ "Trace")
-              ~kind:t.kind ~n ~f ~d ~eps:t.eps ()
+              ~kind:t.kind ~n ~f ~d ~eps:t.eps ?topology:tla_topology ()
           in
           write_text path (Tla_export.behavior p (List.rev !events)));
       match r.Explore.verdict.Explore.witness with
@@ -910,8 +984,8 @@ let explore_check_cmd =
   let term =
     Term.(
       const run $ seed_arg $ jobs_arg $ check_protocol_arg $ explore_n_arg
-      $ explore_f_arg $ explore_d_arg $ rounds $ depth $ budget $ tla
-      $ tla_trace $ metrics_arg $ trace_arg)
+      $ explore_f_arg $ explore_d_arg $ rounds $ topology_arg $ depth
+      $ budget $ tla $ tla_trace $ metrics_arg $ trace_arg)
   in
   Cmd.v
     (Cmd.info "check"
@@ -1269,8 +1343,10 @@ let submit_cmd =
       value & flag
       & info [ "shutdown" ] ~doc:"Ask the daemon to stop when done.")
   in
-  let run host port key proto seed n f d rounds count verify stop trace =
+  let run host port key proto seed n f d rounds topology count verify stop
+      trace =
     with_trace trace @@ fun () ->
+    let topology = Topology.spec_to_string topology in
     let reqs =
       List.init count (fun i ->
           {
@@ -1281,6 +1357,7 @@ let submit_cmd =
             f;
             d;
             rounds;
+            topology;
           })
     in
     let code =
@@ -1299,10 +1376,14 @@ let submit_cmd =
                     (if verify then
                        let req = List.nth reqs r.Serve.id in
                        let local =
+                         match Serve.topology_of req with
+                         | Error e -> Error e
+                         | Ok topology -> (
                          match
-                           Codecs.make_checked ~proto:req.Serve.proto
-                             ~seed:req.Serve.seed ~n:req.Serve.n ~f:req.Serve.f
-                             ~d:req.Serve.d ~rounds:req.Serve.rounds
+                           Codecs.make_checked ?topology
+                             ~proto:req.Serve.proto ~seed:req.Serve.seed
+                             ~n:req.Serve.n ~f:req.Serve.f ~d:req.Serve.d
+                             ~rounds:req.Serve.rounds ()
                          with
                          | Error e -> Error e
                          | Ok packed -> (
@@ -1315,7 +1396,7 @@ let submit_cmd =
                                    Codecs.engine_decisions packed)
                              with
                              | dec -> Ok dec
-                             | exception e -> Error (Printexc.to_string e))
+                             | exception e -> Error (Printexc.to_string e)))
                        in
                        match local with
                        | Error e ->
@@ -1369,7 +1450,7 @@ let submit_cmd =
           trace merge).")
     Term.(
       const run $ host_arg $ port $ key $ proto $ seed_arg $ n $ f $ d
-      $ rounds $ count $ verify $ stop $ trace_arg)
+      $ rounds $ topology_arg $ count $ verify $ stop $ trace_arg)
 
 (* ---------------- top ----------------
 

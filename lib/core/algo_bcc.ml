@@ -1,0 +1,170 @@
+type decision = {
+  verts : Vec.t list;
+  point : Vec.t;
+  exact : bool;
+}
+
+type report = {
+  outputs : decision option array;
+  views : Vec.t array array;
+  trace : Trace.t;
+}
+
+(* ---------------- the deterministic polytope computation ----------------
+
+   Gamma(S) = the intersection of the hulls of all (|S|-f)-subsets of S.
+   Three routes, chosen by dimension and instance size only (so every
+   process with the same view makes the same choice):
+
+   - d = 1: order statistics. hull(S \ F) = [min, max] of the survivors,
+     and the tightest interval over all f-removals is obtained by
+     removing the f smallest (resp. largest) points — Gamma is exactly
+     [x_(f+1), x_(m-f)] of the sorted projections.
+   - d = 2, few subsets: {!Hull_consensus.gamma_polygon}, the literal
+     intersection of subset-hull polygons.
+   - d = 2, many subsets: trimmed half-plane clipping. A half-plane
+     [{x | u.x <= c}] contains hull(S \ F) iff [c >= max over survivors]
+     of the projections, and the tightest valid offset over all F is the
+     (f+1)-th largest projection. Every facet of Gamma lies on a facet
+     of some subset hull, whose supporting line passes through two input
+     points — so clipping by the trimmed half-planes of every pair
+     direction (and its rotation, which covers collinear inputs) is
+     exact in O(m^2) clips instead of C(m, f) hull constructions.
+   - d >= 3: no exact vertex enumeration here; an inner approximation by
+     certified Gamma-points ({!Tverberg.gamma_point} plus every input
+     that {!Tverberg.in_gamma} admits), flagged [exact = false]. *)
+
+let binom_capped ~cap n k =
+  let k = min k (n - k) in
+  if k < 0 then 0
+  else begin
+    let acc = ref 1 in
+    (try
+       for i = 1 to k do
+         acc := !acc * (n - k + i) / i;
+         if !acc > cap then raise Exit
+       done
+     with Exit -> acc := cap + 1);
+    !acc
+  end
+
+let subset_cap = 2000
+
+let nth_largest k xs =
+  List.nth (List.sort (fun a b -> compare (b : float) a) xs) (k - 1)
+
+let gamma_interval ~f s =
+  let xs = List.sort compare (List.map (fun v -> v.(0)) s) in
+  let m = List.length xs in
+  if m < (2 * f) + 1 then None
+  else begin
+    let lo = List.nth xs f and hi = List.nth xs (m - 1 - f) in
+    let verts =
+      if lo = hi then [ [| lo |] ] else [ [| lo |]; [| hi |] ]
+    in
+    Some { verts; point = [| (lo +. hi) /. 2. |]; exact = true }
+  end
+
+let trimmed_polygon ~f s =
+  let m = List.length s in
+  let arr = Array.of_list s in
+  let clip poly ~normal =
+    if Polygon.is_empty poly then poly
+    else begin
+      let nx = normal.(0) and ny = normal.(1) in
+      let len = Float.hypot nx ny in
+      if len < 1e-12 then poly
+      else begin
+        let u = [| nx /. len; ny /. len |] in
+        let projections =
+          List.map (fun v -> (u.(0) *. v.(0)) +. (u.(1) *. v.(1))) s
+        in
+        let offset = nth_largest (f + 1) projections in
+        Polygon.clip_halfplane poly ~normal:u ~offset
+      end
+    end
+  in
+  let poly = ref (Polygon.of_points s) in
+  poly := clip !poly ~normal:[| 1.; 0. |];
+  poly := clip !poly ~normal:[| -1.; 0. |];
+  poly := clip !poly ~normal:[| 0.; 1. |];
+  poly := clip !poly ~normal:[| 0.; -1. |];
+  for i = 0 to m - 1 do
+    for j = i + 1 to m - 1 do
+      let dx = arr.(j).(0) -. arr.(i).(0)
+      and dy = arr.(j).(1) -. arr.(i).(1) in
+      (* the pair's edge normals, both orientations, plus the pair
+         direction itself (covers inputs collinear along the pair) *)
+      poly := clip !poly ~normal:[| -.dy; dx |];
+      poly := clip !poly ~normal:[| dy; -.dx |];
+      poly := clip !poly ~normal:[| dx; dy |];
+      poly := clip !poly ~normal:[| -.dx; -.dy |]
+    done
+  done;
+  !poly
+
+let gamma_polygon_scalable ~f s =
+  if binom_capped ~cap:subset_cap (List.length s) f <= subset_cap then
+    Hull_consensus.gamma_polygon ~f s
+  else trimmed_polygon ~f s
+
+let choose_polytope ~f s =
+  match s with
+  | [] -> None
+  | v :: _ -> (
+      match Vec.dim v with
+      | 1 -> gamma_interval ~f s
+      | 2 ->
+          let poly = gamma_polygon_scalable ~f s in
+          if Polygon.is_empty poly then None
+          else
+            Option.map
+              (fun point ->
+                { verts = Polygon.vertices poly; point; exact = true })
+              (Polygon.centroid poly)
+      | _ -> (
+          match Tverberg.gamma_point ~f s with
+          | None -> None
+          | Some pt ->
+              let certified = List.filter (Tverberg.in_gamma ~f s) s in
+              let verts = Hull.extreme_points (pt :: certified) in
+              Some { verts; point = pt; exact = false }))
+
+(* ---------------- the engine protocol ---------------- *)
+
+let protocol (inst : Problem.instance) =
+  let { Problem.n; f; d; inputs; _ } = inst in
+  let commanders = Array.to_list (Array.mapi (fun c v -> (c, v)) inputs) in
+  let om =
+    Om.protocol ~n ~f ~commanders ~default:(Vec.zero d)
+      ~compare:Vec.compare_lex
+  in
+  {
+    om with
+    Protocol.output =
+      (fun st -> choose_polytope ~f (Array.to_list (om.Protocol.output st)));
+  }
+
+let async_protocol (inst : Problem.instance) =
+  let { Problem.n; f; d; inputs; _ } = inst in
+  let commanders = Array.to_list (Array.mapi (fun c v -> (c, v)) inputs) in
+  let om =
+    Om.async_protocol ~n ~f ~commanders ~default:(Vec.zero d)
+      ~compare:Vec.compare_lex
+  in
+  {
+    om with
+    Protocol.output =
+      (fun st -> choose_polytope ~f (Array.to_list (om.Protocol.output st)));
+  }
+
+let run (inst : Problem.instance) ?corrupt ?fault () =
+  let { Problem.n; f; d; inputs; faulty } = inst in
+  let views, trace =
+    Om.broadcast_all ~n ~f ~inputs ~faulty ?corrupt ?fault
+      ~default:(Vec.zero d) ~compare:Vec.compare_lex ()
+  in
+  let outputs =
+    Array.map (fun view -> choose_polytope ~f (Array.to_list view)) views
+  in
+  { outputs; views; trace }

@@ -1,0 +1,81 @@
+(** Byzantine convex consensus (Tseng & Vaidya, "Byzantine Convex
+    Consensus: An Optimal Algorithm", arXiv:1307.1332 — the paper's
+    references [15, 16]) as an engine protocol: non-faulty processes
+    agree on an identical convex {e polytope} inside the hull of the
+    non-faulty inputs, as large as the fault pattern allows — namely
+    [Gamma(S)], the intersection of the hulls of all (n-f)-subsets of
+    the broadcast multiset [S].
+
+    Structure is exactly {!Algo_exact}'s: Step 1 Byzantine-broadcasts
+    every input over {!Om} (so all honest views agree), Step 2 is a
+    deterministic per-process computation — here the whole optimal
+    polytope instead of a single point, which is what makes the output
+    the largest any algorithm can promise (their Theorem 4).
+
+    The polytope representation depends on the dimension:
+    - [d = 1]: the exact trimmed interval [[x_(f+1), x_(m-f)]] of the
+      sorted view.
+    - [d = 2]: the exact polygon, via subset-hull intersection
+      ({!Hull_consensus.gamma_polygon}) when [C(m, f)] is small and via
+      trimmed half-plane clipping (every pair direction's half-plane at
+      the (f+1)-th largest projection — O(m^2) clips, same polygon)
+      when it is not.
+    - [d >= 3]: an inner approximation by certified [Gamma]-points
+      (marked [exact = false]): {!Tverberg.gamma_point} plus every
+      input {!Tverberg.in_gamma} admits, reduced to its extreme points.
+
+    Requires [n >= max(3f+1, (d+1)f+1)] for a guaranteed non-empty
+    output (3f+1 for the broadcast, (d+1)f+1 for [Gamma] by a Helly
+    argument); below that threshold processes may output [None].
+    Agreement is structural: honest views are identical after Step 1
+    and Step 2 is deterministic. *)
+
+type decision = {
+  verts : Vec.t list;
+      (** the polytope's vertices (CCW for [d = 2]); for [d >= 3] the
+          extreme points of the certified inner approximation *)
+  point : Vec.t;
+      (** a deterministic representative point of the polytope
+          (interval midpoint, polygon centroid, or the certified
+          [Gamma]-point) — what a point-valued consumer should use *)
+  exact : bool;  (** whether [verts] enumerates [Gamma(S)] exactly *)
+}
+
+type report = {
+  outputs : decision option array;
+      (** per process; [None] only when [Gamma] is empty (possible
+          below the process-count threshold) *)
+  views : Vec.t array array;
+      (** [views.(p).(c)]: process [p]'s decision for commander [c] *)
+  trace : Trace.t;
+}
+
+val choose_polytope : f:int -> Vec.t list -> decision option
+(** Step 2 alone: the deterministic polytope of one (agreed) view.
+    Exposed for tests and for re-deriving a decision from a recorded
+    view. *)
+
+val protocol :
+  Problem.instance ->
+  (Vec.t Om.state, Vec.t Om.entry list, decision option) Protocol.t
+(** {!Om.protocol} (lock-step rounds, run with [limit = f + 1]) with the
+    output hook replaced by the polytope computation. Raises
+    [Invalid_argument] exactly when {!Om.protocol} does. *)
+
+val async_protocol :
+  Problem.instance ->
+  (Vec.t Om.state, Vec.t Om.entry, decision option) Protocol.t
+(** The eager-relay form for step schedulers — the instantiation
+    {!Explore.check} model-checks ([rbvc explore check
+    --protocol algo-bcc]). *)
+
+val run :
+  Problem.instance ->
+  ?corrupt:(int -> Vec.t Om.corruption) ->
+  ?fault:Fault.spec ->
+  unit ->
+  report
+(** Full synchronous execution: {!Om.broadcast_all} then the identical
+    deterministic choice at every process. [corrupt] lets faulty
+    relayers equivocate; [fault] overlays a crash / omission / delay
+    spec on the faulty set. *)

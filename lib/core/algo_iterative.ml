@@ -32,22 +32,60 @@ type proc = {
   mutable p_round : int;  (* rounds completed; p_rounds = done *)
   mutable p_value : Vec.t;
   p_inbox : (int * Vec.t) list array;  (* per round: (src, value), newest first *)
+  p_targets : int list;  (* closed neighborhood (everyone when complete) *)
+  p_quorum : int;  (* round-r values needed to advance *)
 }
 
-let protocol (inst : Problem.instance) ~rounds =
+(* Incomplete graphs change two constants and nothing else: a process
+   broadcasts only over its (closed) neighborhood, and its round-advance
+   quorum shrinks from [n - f] to [deg(i) + 1 - f] — everything its
+   closed neighborhood can deliver when its [f] potentially-faulty
+   members stay silent. The sufficient condition checked at
+   construction ({!Topology.iterative_feasible}) keeps that quorum at
+   least [(d+1)f + 1], so the safe point still exists. A [None] or
+   complete topology reproduces the historical constants exactly. *)
+let topology_check ~err ~n ~f ~d topology =
+  (match topology with
+  | Some t when Topology.n t <> n ->
+      invalid_arg
+        (Printf.sprintf "%s: topology is over %d processes, instance has %d" err
+           (Topology.n t) n)
+  | _ -> ());
+  match topology with
+  | Some t when not (Topology.is_complete t) ->
+      (match Topology.iterative_feasible t ~f ~d with
+      | Ok () -> ()
+      | Error msg ->
+          invalid_arg (Printf.sprintf "%s: infeasible topology: %s" err msg));
+      Some t
+  | _ -> None
+
+let closed_neighborhood t me =
+  let nbrs = Array.to_list (Topology.neighbors t me) in
+  List.sort compare (me :: nbrs)
+
+let protocol ?topology (inst : Problem.instance) ~rounds =
   let { Problem.n; f; d; inputs; _ } = inst in
   if rounds < 0 then invalid_arg "Algo_iterative.protocol: negative rounds";
   if n < ((d + 1) * f) + 1 then
     invalid_arg "Algo_iterative.protocol: requires n >= (d+1)f + 1";
+  let topo = topology_check ~err:"Algo_iterative.protocol" ~n ~f ~d topology in
   let everyone = List.init n (fun i -> i) in
-  let broadcast p =
-    List.map (fun dst -> (dst, (p.p_round, Vec.copy p.p_value))) everyone
+  let targets_of me =
+    match topo with
+    | None -> everyone
+    | Some t -> closed_neighborhood t me
   in
-  let quorum = n - f in
+  let quorum_of me =
+    match topo with None -> n - f | Some t -> Topology.degree t me + 1 - f
+  in
+  let broadcast p =
+    List.map (fun dst -> (dst, (p.p_round, Vec.copy p.p_value))) p.p_targets
+  in
   let rec drain p =
     if p.p_round < p.p_rounds then begin
       let arrived = p.p_inbox.(p.p_round) in
-      if List.length arrived >= quorum then begin
+      if List.length arrived >= p.p_quorum then begin
         let received = List.map snd arrived in
         (if List.length received >= ((p.p_d + 1) * p.p_f) + 1 then
            match Tverberg.gamma_point ~f:p.p_f received with
@@ -72,6 +110,8 @@ let protocol (inst : Problem.instance) ~rounds =
           p_round = 0;
           p_value = Vec.copy inputs.(me);
           p_inbox = Array.make (max rounds 1) [];
+          p_targets = targets_of me;
+          p_quorum = quorum_of me;
         });
     on_start = (fun p -> if p.p_rounds > 0 then broadcast p else []);
     on_tick = (fun _ ~time:_ -> []);
@@ -89,11 +129,12 @@ let protocol (inst : Problem.instance) ~rounds =
     output = (fun p -> p.p_value);
   }
 
-let run (inst : Problem.instance) ~rounds ?adversary ?fault () =
+let run ?topology (inst : Problem.instance) ~rounds ?adversary ?fault () =
   let { Problem.n; f; d; inputs; faulty } = inst in
   if rounds < 0 then invalid_arg "Algo_iterative.run: negative rounds";
   if n < ((d + 1) * f) + 1 then
     invalid_arg "Algo_iterative.run: requires n >= (d+1)f + 1";
+  let topo = topology_check ~err:"Algo_iterative.run" ~n ~f ~d topology in
   let values = Array.map Vec.copy inputs in
   let honest p = not (List.mem p faulty) in
   let honest_values () =
@@ -103,12 +144,18 @@ let run (inst : Problem.instance) ~rounds ?adversary ?fault () =
   in
   let history = ref [ spread (honest_values ()) ] in
   let everyone = List.init n (fun i -> i) in
+  let targets_of me =
+    match topo with
+    | None -> everyone
+    | Some t -> closed_neighborhood t me
+  in
   let actors =
     Array.init n (fun me ->
+        let targets = targets_of me in
         {
           Sync.send =
             (fun ~round:_ ->
-              List.map (fun dst -> (dst, Vec.copy values.(me))) everyone);
+              List.map (fun dst -> (dst, Vec.copy values.(me))) targets);
           recv =
             (fun ~round:_ batch ->
               (* Use exactly what arrived (>= n - f values when faulty
@@ -138,7 +185,7 @@ let run (inst : Problem.instance) ~rounds ?adversary ?fault () =
             None
         in
         fun _r ->
-          (Engine.run ~faults ~obs_prefix:"sim.sync"
+          (Engine.run ?topology:topo ~faults ~obs_prefix:"sim.sync"
              ~err:"Algo_iterative.run" ~states:actors ~n ~protocol
              ~scheduler:Scheduler.Rounds ~limit:1 ())
             .Engine.trace
@@ -165,7 +212,7 @@ let run (inst : Problem.instance) ~rounds ?adversary ?fault () =
                     (base ~round ~src ~dst msg));
             }
           in
-          (Engine.run ~faults ~obs_prefix:"sim.sync"
+          (Engine.run ?topology:topo ~faults ~obs_prefix:"sim.sync"
              ~err:"Algo_iterative.run" ~states:actors ~n ~protocol
              ~scheduler:Scheduler.Rounds ~limit:1 ())
             .Engine.trace

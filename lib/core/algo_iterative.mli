@@ -1,8 +1,17 @@
 (** Iterative Byzantine vector consensus (the algorithm family of the
-    paper's reference [18], Vaidya 2014, specialized to complete
-    graphs): no Byzantine broadcast, no message relaying — each round
-    every process sends its current value directly to everyone and moves
-    toward a *safe point* of what it received.
+    paper's reference [18], Vaidya 2014): no Byzantine broadcast, no
+    message relaying — each round every process sends its current value
+    directly to its neighbors and moves toward a *safe point* of what
+    it received. On the default complete graph "its neighbors" is
+    everyone; with [?topology] set the algorithm runs on an incomplete
+    graph in the style of Vaidya-Garg (arXiv:1307.2483): broadcasts
+    cover only the closed neighborhood, the asynchronous round-advance
+    quorum shrinks to [deg(i) + 1 - f], and the checkable sufficient
+    condition {!Topology.iterative_feasible} (every closed neighborhood
+    at least [(d+2)f + 1] strong, connectivity surviving any [f]
+    removals) is enforced at construction — an infeasible graph fails
+    loudly with [Invalid_argument] instead of silently failing to
+    converge.
 
     The safe point is a point of [Gamma(received)] — the intersection of
     the hulls of all (n-f)-subsets — which is guaranteed to lie in the
@@ -33,28 +42,35 @@ type proc
 (** Per-process state of the asynchronous form. *)
 
 val protocol :
+  ?topology:Topology.t ->
   Problem.instance ->
   rounds:int ->
   (proc, int * Vec.t, Vec.t) Protocol.t
 (** The same iteration as an asynchronous engine protocol: values travel
     as [(round, value)] messages, and a process moves to round [r + 1]
-    as soon as [n - f] round-[r] values have arrived (under asynchrony
-    it cannot wait for all [n]); messages from rounds it has not reached
-    are buffered. The output is the process's value after [rounds]
-    advances. Because the update uses whichever [n - f] values arrive
-    first, the outcome depends on the delivery schedule — the
-    nondeterminism {!Explore.check} and {!Explore.run_protocol} quantify
-    over. Raises [Invalid_argument] unless [rounds >= 0] and
-    [n >= (d+1)f + 1]. *)
+    as soon as a quorum of round-[r] values has arrived — [n - f] on the
+    complete graph (under asynchrony it cannot wait for all [n]),
+    [deg(i) + 1 - f] under an incomplete [?topology]; messages from
+    rounds it has not reached are buffered. The output is the process's
+    value after [rounds] advances. Because the update uses whichever
+    quorum arrives first, the outcome depends on the delivery schedule —
+    the nondeterminism {!Explore.check} and {!Explore.run_protocol}
+    quantify over. Raises [Invalid_argument] unless [rounds >= 0],
+    [n >= (d+1)f + 1], and any non-complete [topology] is over exactly
+    [n] processes and passes {!Topology.iterative_feasible}. *)
 
 val run :
+  ?topology:Topology.t ->
   Problem.instance ->
   rounds:int ->
   ?adversary:Vec.t Adversary.t ->
   ?fault:Fault.spec ->
   unit ->
   report
-(** Executes [rounds] iterations over the synchronous simulator.
+(** Executes [rounds] iterations over the synchronous simulator, on the
+    complete graph or, with [?topology], an incomplete one (validated
+    exactly as {!protocol}; the per-round engine executions also filter
+    by the graph, so an adversary cannot fabricate on absent edges).
     The adversary intercepts the faulty processes' value messages
     (equivocation per destination allowed, as in iterative algorithms'
     threat model). [fault] overlays a crash / omission / delay

@@ -18,17 +18,23 @@ type table = {
 val ids : string list
 (** All experiment ids in execution order. *)
 
-val run : ?seed:int -> string -> table
-(** Run one experiment by id. @raise Invalid_argument on unknown ids. *)
+val run : ?seed:int -> ?topology:Topology.spec -> string -> table
+(** Run one experiment by id. [topology] is the CLI's [--topology]
+    spec: the E23 topology sweep appends it (instantiated at its own
+    [n]) as an extra informational row; every other experiment ignores
+    it. @raise Invalid_argument on unknown ids. *)
 
-val run_many : ?seed:int -> ?jobs:int -> string list -> table list
+val run_many :
+  ?seed:int -> ?jobs:int -> ?topology:Topology.spec -> string list ->
+  table list
 (** Run a list of experiments, optionally in parallel on the {!Par}
     pool ([jobs] domains; default 1 = sequential). Every experiment
     seeds its own generators from [seed], so the returned tables are
     identical at any [jobs] and come back in request order.
     @raise Invalid_argument on unknown ids. *)
 
-val run_all : ?seed:int -> ?jobs:int -> unit -> table list
+val run_all :
+  ?seed:int -> ?jobs:int -> ?topology:Topology.spec -> unit -> table list
 (** [run_many] over {!ids}. *)
 
 val print : Format.formatter -> table -> unit

@@ -35,6 +35,10 @@ type params = {
   eps : float;  (** epsilon-agreement allowance; [0.] means exact *)
   validity : Problem.validity;
   faulty : int list;  (** actual faulty ids, each in [0 .. n-1] *)
+  topology : Topology.spec option;
+      (** communication graph, when not complete; rendered as a header
+          comment in both artifacts (the abstract actions stay
+          topology-oblivious — the engine filters absent edges) *)
 }
 
 val params :
@@ -46,6 +50,7 @@ val params :
   ?eps:float ->
   ?validity:Problem.validity ->
   ?faulty:int list ->
+  ?topology:Topology.spec ->
   unit ->
   params
 (** Validating constructor: checks the module name shape, [n >= 1],
@@ -54,7 +59,8 @@ val params :
     (default [[]]). [Input_dependent] validity is rejected — its
     allowance depends on the runner's kappa bound, not on the instance
     alone; export those runs under the [Delta_p] form the runner
-    reports. Raises [Invalid_argument] otherwise. *)
+    reports. [topology] (default absent = complete) must instantiate at
+    this [n]. Raises [Invalid_argument] otherwise. *)
 
 val spec : params -> string
 (** The abstract instance specification (see module docs). *)

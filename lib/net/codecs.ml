@@ -73,25 +73,41 @@ type packed =
       name : string;
       n : int;
       rounds : int;
+      topology : Topology.t option;
       protocol : ('s, 'm, 'o) Protocol.t;
       codec : 'm Wire.codec;
       render : 's array -> Persist.json;
     }
       -> packed
 
-let names = [ "om"; "bracha"; "algo-exact"; "algo-iterative" ]
+let names = [ "om"; "bracha"; "algo-exact"; "algo-iterative"; "algo-bcc" ]
 
 (* Construction mirrors the CLI's model-checking targets (check_target
    in bin/rbvc_cli.ml): the seed determines commander values / inputs /
    the random instance the same way, so a served run is comparable with
    the simulated and model-checked ones. *)
-let make ~proto ~seed ~n ~f ~d ~rounds =
+let make ?topology ~proto ~seed ~n ~f ~d ~rounds () =
   (* Om.protocol itself only needs 0 <= f < n to run, but Byzantine
      agreement is impossible below n = 3f + 1 — a service should reject
      a doomed configuration up front, as Bracha.protocol already does. *)
   if f > 0 && n < (3 * f) + 1 then
     invalid_arg
       (Printf.sprintf "infeasible: n = %d < 3f + 1 = %d" n ((3 * f) + 1));
+  let topology =
+    match topology with
+    | Some t when not (Topology.is_complete t) -> Some t
+    | _ -> None
+  in
+  (* The broadcast-based protocols relay through every process and are
+     only correct on the complete graph; the iterative family is the one
+     designed for incomplete graphs (its constructor checks the
+     arXiv:1307.2483 feasibility condition). *)
+  if topology <> None && proto <> "algo-iterative" then
+    invalid_arg
+      (Printf.sprintf
+         "infeasible: protocol %S requires the complete communication graph \
+          (only algo-iterative runs on an incomplete topology)"
+         proto);
   match proto with
   | "om" ->
       let v = 7 + (seed mod 89) in
@@ -104,6 +120,7 @@ let make ~proto ~seed ~n ~f ~d ~rounds =
            {
              name = proto;
              n;
+             topology;
              rounds = f + 1;
              protocol;
              codec =
@@ -126,6 +143,7 @@ let make ~proto ~seed ~n ~f ~d ~rounds =
            {
              name = proto;
              n;
+             topology;
              rounds = max 1 rounds;
              protocol;
              codec =
@@ -151,6 +169,7 @@ let make ~proto ~seed ~n ~f ~d ~rounds =
            {
              name = proto;
              n;
+             topology;
              rounds = f + 1;
              protocol;
              codec = om_msg_codec ~proto Wire.vec_to_json Wire.vec_of_json;
@@ -171,12 +190,13 @@ let make ~proto ~seed ~n ~f ~d ~rounds =
   | "algo-iterative" ->
       let inst = Problem.random_instance (Rng.create seed) ~n ~f ~d ~faulty:[] in
       let rounds = max 1 rounds in
-      let protocol = Algo_iterative.protocol inst ~rounds in
+      let protocol = Algo_iterative.protocol ?topology inst ~rounds in
       Ok
         (P
            {
              name = proto;
              n;
+             topology;
              (* under lock-step rounds every engine round completes one
                 iteration; one extra round lets the last advance land *)
              rounds = rounds + 1;
@@ -190,22 +210,52 @@ let make ~proto ~seed ~n ~f ~d ~rounds =
                    |> List.map (fun st ->
                           Wire.vec_to_json (protocol.Protocol.output st))));
            })
+  | "algo-bcc" ->
+      let inst = Problem.random_instance (Rng.create seed) ~n ~f ~d ~faulty:[] in
+      let protocol = Algo_bcc.protocol inst in
+      Ok
+        (P
+           {
+             name = proto;
+             n;
+             topology;
+             rounds = f + 1;
+             protocol;
+             codec = om_msg_codec ~proto Wire.vec_to_json Wire.vec_of_json;
+             render =
+               (fun states ->
+                 List
+                   (Array.to_list states
+                   |> List.map (fun st ->
+                          match protocol.Protocol.output st with
+                          | None -> Null
+                          | Some dec ->
+                              Obj
+                                [
+                                  ( "verts",
+                                    List
+                                      (List.map Wire.vec_to_json
+                                         dec.Algo_bcc.verts) );
+                                  ("point", Wire.vec_to_json dec.Algo_bcc.point);
+                                  ("exact", Bool dec.Algo_bcc.exact);
+                                ])));
+           })
   | other ->
       Error
         (Printf.sprintf "unknown protocol %S (expected %s)" other
            (String.concat " | " names))
 
-let make_checked ~proto ~seed ~n ~f ~d ~rounds =
+let make_checked ?topology ~proto ~seed ~n ~f ~d ~rounds () =
   (* protocol constructors validate (n, f, d) with Invalid_argument;
      a service turns that into an error response, not a crash *)
-  match make ~proto ~seed ~n ~f ~d ~rounds with
+  match make ?topology ~proto ~seed ~n ~f ~d ~rounds () with
   | exception Invalid_argument msg -> Error msg
   | r -> r
 
 let engine_decisions (P p) =
   let outcome =
-    Engine.run ~n:p.n ~protocol:p.protocol ~scheduler:Scheduler.Rounds
-      ~limit:p.rounds ()
+    Engine.run ?topology:p.topology ~n:p.n ~protocol:p.protocol
+      ~scheduler:Scheduler.Rounds ~limit:p.rounds ()
   in
   p.render outcome.Engine.states
 
@@ -213,10 +263,10 @@ let cluster_decisions ?queue_cap ?(transport = `Tcp) (P p) =
   let states =
     match transport with
     | `Tcp ->
-        Node.cluster_tcp ?queue_cap ~protocol:p.protocol ~codec:p.codec
-          ~n:p.n ~rounds:p.rounds ()
+        Node.cluster_tcp ?queue_cap ?topology:p.topology ~protocol:p.protocol
+          ~codec:p.codec ~n:p.n ~rounds:p.rounds ()
     | `Mem ->
-        Node.cluster_mem ?queue_cap ~protocol:p.protocol ~codec:p.codec
-          ~n:p.n ~rounds:p.rounds ()
+        Node.cluster_mem ?queue_cap ?topology:p.topology ~protocol:p.protocol
+          ~codec:p.codec ~n:p.n ~rounds:p.rounds ()
   in
   p.render states

@@ -17,6 +17,10 @@ type packed =
       rounds : int;
           (** lock-step rounds to run — the engine [limit] and the
               networked round count, by construction equal *)
+      topology : Topology.t option;
+          (** the communication graph when not complete; threaded into
+              {!engine_decisions} and {!cluster_decisions} so both hosts
+              run the same graph *)
       protocol : ('s, 'm, 'o) Protocol.t;
       codec : 'm Wire.codec;
       render : 's array -> Persist.json;
@@ -27,29 +31,38 @@ type packed =
       -> packed
 
 val names : string list
-(** [["om"; "bracha"; "algo-exact"; "algo-iterative"]]. *)
+(** [["om"; "bracha"; "algo-exact"; "algo-iterative"; "algo-bcc"]]. *)
 
 val make :
+  ?topology:Topology.t ->
   proto:string ->
   seed:int ->
   n:int ->
   f:int ->
   d:int ->
   rounds:int ->
+  unit ->
   (packed, string) result
 (** [rounds] is the iteration / delivery-round budget for the protocols
     parameterized by one (bracha, algo-iterative); the OM-phase
-    protocols always run their [f + 1] relay rounds. Propagates the
-    constructors' [Invalid_argument] on infeasible [(n, f, d)] — use
-    {!make_checked} where a clean [Error] is needed. *)
+    protocols always run their [f + 1] relay rounds. A non-complete
+    [topology] is accepted for ["algo-iterative"] only (whose
+    constructor checks the arXiv:1307.2483 feasibility condition) — the
+    broadcast-based protocols relay through every process and raise
+    ["infeasible: ..."] on an incomplete graph, as they do on
+    [n < 3f + 1]. Propagates the constructors' [Invalid_argument] on
+    infeasible parameters — use {!make_checked} where a clean [Error]
+    is needed. *)
 
 val make_checked :
+  ?topology:Topology.t ->
   proto:string ->
   seed:int ->
   n:int ->
   f:int ->
   d:int ->
   rounds:int ->
+  unit ->
   (packed, string) result
 (** {!make} with [Invalid_argument] converted to [Error]. *)
 

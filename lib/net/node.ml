@@ -16,14 +16,21 @@ let default_queue_cap = 64
 
 (* ---------------- frames ---------------- *)
 
-let hello_frame ~proto ~src ~rounds =
+(* The topology rides the hello as its canonical hash — absent on the
+   complete graph, so complete-graph frames are byte-identical to the
+   pre-topology wire format and old peers interoperate. *)
+let hello_frame ~proto ~src ~rounds ~topo_hash =
   Persist.Obj
-    [
-      ("t", Persist.String "hello");
-      ("proto", Persist.String proto);
-      ("src", Persist.Int src);
-      ("rounds", Persist.Int rounds);
-    ]
+    ([
+       ("t", Persist.String "hello");
+       ("proto", Persist.String proto);
+       ("src", Persist.Int src);
+       ("rounds", Persist.Int rounds);
+     ]
+    @
+    match topo_hash with
+    | None -> []
+    | Some h -> [ ("topo", Persist.Int h) ])
 
 let batch_frame ~round payloads =
   Persist.Obj
@@ -33,7 +40,7 @@ let batch_frame ~round payloads =
       ("msgs", Persist.List payloads);
     ]
 
-let check_hello ~codec ~peer ~rounds json =
+let check_hello ~codec ~peer ~rounds ~topo_hash json =
   let ( let* ) = Result.bind in
   let* t = Wire.string_field "t" json in
   if t <> "hello" then Error (Printf.sprintf "expected hello, got %S" t)
@@ -41,6 +48,11 @@ let check_hello ~codec ~peer ~rounds json =
     let* proto = Wire.string_field "proto" json in
     let* src = Wire.int_field "src" json in
     let* r = Wire.int_field "rounds" json in
+    let peer_topo =
+      match Persist.member "topo" json with
+      | Some (Persist.Int h) -> Some h
+      | _ -> None
+    in
     if proto <> codec.Wire.proto then
       Error
         (Printf.sprintf "protocol mismatch: peer runs %S, we run %S" proto
@@ -51,6 +63,11 @@ let check_hello ~codec ~peer ~rounds json =
       Error
         (Printf.sprintf "round-count mismatch: peer runs %d rounds, we run %d" r
            rounds)
+    else if peer_topo <> topo_hash then
+      let pp = function None -> "complete" | Some h -> Printf.sprintf "%#x" h in
+      Error
+        (Printf.sprintf "topology mismatch: peer graph %s, ours %s"
+           (pp peer_topo) (pp topo_hash))
     else Ok ()
 
 let parse_batch ~codec ~round json =
@@ -67,17 +84,37 @@ let parse_batch ~codec ~round json =
 
 (* ---------------- per-node runner ---------------- *)
 
-let run ?(queue_cap = default_queue_cap) ?trace_ctx ~protocol ~codec ~links ~me
-    ~rounds () =
+let run ?(queue_cap = default_queue_cap) ?trace_ctx ?topology ~protocol ~codec
+    ~links ~me ~rounds () =
   let n = Array.length links in
   if me < 0 || me >= n then invalid_arg "Node.run: me out of range";
   if rounds < 0 then invalid_arg "Node.run: rounds must be >= 0";
+  let topo =
+    match topology with
+    | Some t when not (Topology.is_complete t) ->
+        if Topology.n t <> n then
+          invalid_arg
+            (Printf.sprintf
+               "Node.run: topology is over %d processes, cluster has %d"
+               (Topology.n t) n);
+        Some t
+    | _ -> None
+  in
+  let adjacent j =
+    j <> me && match topo with None -> true | Some t -> Topology.adjacent t me j
+  in
+  let topo_hash = Option.map Topology.hash topo in
+  (* Links exist exactly for the real edges: a node neither holds a
+     socket to a peer it cannot talk to nor misses one it can. *)
   Array.iteri
     (fun j l ->
-      match (j = me, l) with
-      | true, Some _ -> invalid_arg "Node.run: link to self"
-      | false, None when rounds > 0 ->
+      match (adjacent j, l) with
+      | _, Some _ when j = me -> invalid_arg "Node.run: link to self"
+      | true, None when rounds > 0 ->
           invalid_arg (Printf.sprintf "Node.run: missing link to peer %d" j)
+      | false, Some _ when j <> me ->
+          invalid_arg
+            (Printf.sprintf "Node.run: link to non-adjacent peer %d" j)
       | _ -> ())
     links;
   let state = protocol.Protocol.init ~me in
@@ -120,7 +157,7 @@ let run ?(queue_cap = default_queue_cap) ?trace_ctx ~protocol ~codec ~links ~me
           | Error e -> Error (Format.asprintf "%a" Wire.pp_read_error e)
           | Ok (json, ctx) -> Result.map (fun v -> (v, ctx)) (k json)
         in
-        match read_one (check_hello ~codec ~peer:j ~rounds) with
+        match read_one (check_hello ~codec ~peer:j ~rounds ~topo_hash) with
         | Error msg -> fail msg
         | Ok ((), _) -> (
             try
@@ -157,7 +194,8 @@ let run ?(queue_cap = default_queue_cap) ?trace_ctx ~protocol ~codec ~links ~me
   Array.iteri
     (fun j l ->
       if l <> None then
-        Chan.push outq.(j) (Some (hello_frame ~proto:codec.Wire.proto ~src:me ~rounds)))
+        Chan.push outq.(j)
+          (Some (hello_frame ~proto:codec.Wire.proto ~src:me ~rounds ~topo_hash)))
     links;
   let carry = ref (protocol.Protocol.on_start state) in
   (* Trace-context adoption: the first peer context seen (and every
@@ -193,19 +231,22 @@ let run ?(queue_cap = default_queue_cap) ?trace_ctx ~protocol ~codec ~links ~me
       outbox;
     let msgs_to dst = List.rev per_dst.(dst) in
     (* One frame per edge per round — empty batches included; the frame
-       is the round barrier. *)
+       is the round barrier. Sends addressed to a non-adjacent peer are
+       silently filtered here, exactly as the engine filters them. *)
     for dst = 0 to n - 1 do
-      if dst <> me then
+      if links.(dst) <> None then
         Chan.push outq.(dst)
           (Some (batch_frame ~round (List.map codec.Wire.enc (msgs_to dst))))
     done;
     (* Assemble this round's inbox in ascending source order, own
-       self-sends in place — exactly the engine's delivery order. *)
+       self-sends in place — exactly the engine's delivery order.
+       Non-adjacent sources have no link and contribute nothing. *)
     let batch =
       List.concat_map
         (fun src ->
           let msgs =
             if src = me then msgs_to me
+            else if links.(src) = None then []
             else begin
               let msgs, rctx = Chan.pop inq.(src) in
               adopt ~src ~round rctx;
@@ -236,13 +277,27 @@ let parse_peer ~n json =
     let* src = Wire.int_field "src" json in
     if src < 0 || src >= n then Error "peer id out of range" else Ok src
 
-let cluster (type a l c) ?queue_cap
+let cluster (type a l c) ?queue_cap ?topology
     ~(transport : (module Transport.S with type address = a
                                        and type listener = l
                                        and type conn = c))
     ~(bind : a) ~protocol ~codec ~n ~rounds () =
   let module T = (val transport) in
   if n < 1 then invalid_arg "Node.cluster: n must be >= 1";
+  let topo =
+    match topology with
+    | Some t when not (Topology.is_complete t) ->
+        if Topology.n t <> n then
+          invalid_arg
+            (Printf.sprintf
+               "Node.cluster: topology is over %d processes, cluster has %d"
+               (Topology.n t) n);
+        Some t
+    | _ -> None
+  in
+  let adjacent i j =
+    i <> j && match topo with None -> true | Some t -> Topology.adjacent t i j
+  in
   (* All listeners exist before any node thread dials, so connects never
      race an unbound address; the kernel backlog holds early dials. *)
   let listeners = Array.init n (fun _ -> T.listen bind) in
@@ -252,14 +307,21 @@ let cluster (type a l c) ?queue_cap
   let node i () =
     try
       let links = Array.make n None in
-      (* dial every lower peer, announce ourselves *)
+      (* dial every adjacent lower peer, announce ourselves *)
       for j = 0 to i - 1 do
-        let link = T.link (T.connect addrs.(j)) in
-        link.Transport.send (peer_frame i);
-        links.(j) <- Some link
+        if adjacent i j then begin
+          let link = T.link (T.connect addrs.(j)) in
+          link.Transport.send (peer_frame i);
+          links.(j) <- Some link
+        end
       done;
-      (* accept every higher peer, identified by its first frame *)
-      for _ = i + 1 to n - 1 do
+      (* accept every adjacent higher peer, identified by its first
+         frame — the graph fixes how many dials to expect *)
+      let expected = ref 0 in
+      for j = i + 1 to n - 1 do
+        if adjacent i j then incr expected
+      done;
+      for _ = 1 to !expected do
         let link = T.link (T.accept listeners.(i)) in
         match link.Transport.recv () with
         | Error e ->
@@ -270,12 +332,15 @@ let cluster (type a l c) ?queue_cap
             match parse_peer ~n json with
             | Error msg -> failwith ("Node.cluster: " ^ msg)
             | Ok src ->
-                if src <= i || links.(src) <> None then
-                  failwith "Node.cluster: duplicate peer greeting";
+                if src <= i || links.(src) <> None || not (adjacent i src)
+                then failwith "Node.cluster: duplicate peer greeting";
                 links.(src) <- Some link)
       done;
       T.close_listener listeners.(i);
-      states.(i) <- Some (run ?queue_cap ~protocol ~codec ~links ~me:i ~rounds ())
+      states.(i) <-
+        Some
+          (run ?queue_cap ?topology:topo ~protocol ~codec ~links ~me:i ~rounds
+             ())
     with e -> errors.(i) <- Some (Printexc.to_string e)
   in
   let threads = Array.init n (fun i -> Thread.create (node i) ()) in
@@ -291,12 +356,12 @@ let cluster (type a l c) ?queue_cap
   | errs -> failwith ("Node.cluster: " ^ String.concat "; " errs));
   Array.map (fun s -> Option.get s) states
 
-let cluster_tcp ?queue_cap ~protocol ~codec ~n ~rounds () =
-  cluster ?queue_cap
+let cluster_tcp ?queue_cap ?topology ~protocol ~codec ~n ~rounds () =
+  cluster ?queue_cap ?topology
     ~transport:(module Transport.Tcp)
     ~bind:("127.0.0.1", 0) ~protocol ~codec ~n ~rounds ()
 
-let cluster_mem ?queue_cap ~protocol ~codec ~n ~rounds () =
-  cluster ?queue_cap
+let cluster_mem ?queue_cap ?topology ~protocol ~codec ~n ~rounds () =
+  cluster ?queue_cap ?topology
     ~transport:(module Transport.Mem)
     ~bind:"" ~protocol ~codec ~n ~rounds ()

@@ -18,6 +18,7 @@ val default_queue_cap : int
 val run :
   ?queue_cap:int ->
   ?trace_ctx:Wire.ctx ->
+  ?topology:Topology.t ->
   protocol:('s, 'm, 'o) Protocol.t ->
   codec:'m Wire.codec ->
   links:Transport.link option array ->
@@ -29,11 +30,18 @@ val run :
     [rounds] rounds and return its final state (apply
     [protocol.output] to read the decision, as with engine outcomes).
     [links.(j)] connects to peer [j]; the entry at [me] must be [None],
-    every other must be present. Each link gets a sender thread behind
-    a bounded queue and a receiver thread; the first frame each way is
-    a hello carrying (protocol name, peer id, round count), and any
-    mismatch — or a corrupt / truncated / closed channel — fails the
-    run with [Failure]. Links are closed on return, error included.
+    every other adjacent entry must be present. With [topology] set
+    (default complete), links exist {e exactly} for the graph's edges —
+    a link to a non-adjacent peer, like a missing link to an adjacent
+    one, is [Invalid_argument] — sends addressed to a non-adjacent peer
+    are silently filtered (the engine's semantics), and non-adjacent
+    sources contribute nothing to a round's batch. Each link gets a
+    sender thread behind a bounded queue and a receiver thread; the
+    first frame each way is a hello carrying (protocol name, peer id,
+    round count, and on incomplete graphs the {!Topology.hash} of the
+    graph), and any mismatch — or a corrupt / truncated / closed
+    channel — fails the run with [Failure]. Links are closed on return,
+    error included.
 
     [trace_ctx] stamps every outgoing frame with a distributed trace
     context; a peer context arriving on an incoming batch is {e
@@ -43,6 +51,7 @@ val run :
 
 val cluster :
   ?queue_cap:int ->
+  ?topology:Topology.t ->
   transport:
     (module Transport.S
        with type address = 'a
@@ -55,15 +64,18 @@ val cluster :
   rounds:int ->
   unit ->
   's array
-(** Full-mesh loopback harness: [n] listeners on fresh addresses first
-    (so no dial races an unbound address), then one thread per node —
-    node [i] dials every [j < i] (announcing itself in its first frame)
-    and accepts every [j > i] — each running {!run}. Returns the final
-    states in process order; any node failure fails the whole cluster
-    with every node's error collected. *)
+(** Loopback harness over the [topology]'s edges (default complete —
+    full mesh): [n] listeners on fresh addresses first (so no dial
+    races an unbound address), then one thread per node — node [i]
+    dials every adjacent [j < i] (announcing itself in its first frame)
+    and accepts every adjacent [j > i]; only real edges get sockets —
+    each running {!run} with the same graph. Returns the final states
+    in process order; any node failure fails the whole cluster with
+    every node's error collected. *)
 
 val cluster_tcp :
   ?queue_cap:int ->
+  ?topology:Topology.t ->
   protocol:('s, 'm, 'o) Protocol.t ->
   codec:'m Wire.codec ->
   n:int ->
@@ -74,6 +86,7 @@ val cluster_tcp :
 
 val cluster_mem :
   ?queue_cap:int ->
+  ?topology:Topology.t ->
   protocol:('s, 'm, 'o) Protocol.t ->
   codec:'m Wire.codec ->
   n:int ->

@@ -406,6 +406,7 @@ type request = {
   f : int;
   d : int;
   rounds : int;
+  topology : string;
 }
 
 type response = {
@@ -419,17 +420,22 @@ type response = {
 
 let request_frame ~id (r : request) =
   Obj
-    [
-      ("t", String "req");
-      ("id", Int id);
-      ("key", String r.key);
-      ("proto", String r.proto);
-      ("seed", Int r.seed);
-      ("n", Int r.n);
-      ("f", Int r.f);
-      ("d", Int r.d);
-      ("rounds", Int r.rounds);
-    ]
+    ([
+       ("t", String "req");
+       ("id", Int id);
+       ("key", String r.key);
+       ("proto", String r.proto);
+       ("seed", Int r.seed);
+       ("n", Int r.n);
+       ("f", Int r.f);
+       ("d", Int r.d);
+       ("rounds", Int r.rounds);
+     ]
+    @
+    (* complete stays implicit, keeping the frame byte-identical to the
+       pre-topology wire format *)
+    if r.topology = "complete" then []
+    else [ ("topology", String r.topology) ])
 
 let shutdown_frame = Obj [ ("t", String "shutdown") ]
 
@@ -448,6 +454,21 @@ let err_frame ~id msg =
   Obj
     [ ("t", String "resp"); ("id", Int id); ("ok", Bool false); ("error", String msg) ]
 
+(* The topology a request names, instantiated at its [n]: [Ok None] for
+   the (default) complete graph. Both failure shapes — an unparsable
+   spec and a spec infeasible at this size — come back as [Error msg],
+   so the daemon answers with a structured error response, never a
+   backtrace. *)
+let topology_of (r : request) =
+  match Topology.spec_of_string r.topology with
+  | Error msg -> Error (Printf.sprintf "bad topology: %s" msg)
+  | Ok Topology.Complete -> Ok None
+  | Ok spec -> (
+      match Topology.instantiate spec ~n:r.n with
+      | Ok t -> Ok (Some t)
+      | Error msg ->
+          Error (Printf.sprintf "infeasible topology at n = %d: %s" r.n msg))
+
 let parse_request json =
   let* id = Result.map_error (fun e -> (-1, e)) (Wire.int_field "id" json) in
   let with_id r = Result.map_error (fun e -> (id, e)) r in
@@ -463,6 +484,12 @@ let parse_request json =
   let* f = opt_int "f" ~default:0 in
   let* d = opt_int "d" ~default:1 in
   let* rounds = opt_int "rounds" ~default:8 in
+  let* topology =
+    match Persist.member "topology" json with
+    | None -> Ok "complete"
+    | Some (String s) -> Ok s
+    | Some _ -> Error (id, "field \"topology\" must be a string")
+  in
   let reject msg = Error (id, msg) in
   if String.length key = 0 || String.length key > max_key_len then
     reject (Printf.sprintf "key must be 1..%d bytes" max_key_len)
@@ -471,7 +498,13 @@ let parse_request json =
   else if d < 1 || d > max_d then reject (Printf.sprintf "d must be 1..%d" max_d)
   else if rounds < 0 || rounds > max_rounds then
     reject (Printf.sprintf "rounds must be 0..%d" max_rounds)
-  else Ok (id, { key; proto; seed; n; f; d; rounds })
+  else
+    let req = { key; proto; seed; n; f; d; rounds; topology } in
+    (* reject malformed / infeasible topologies at ingress, before the
+       job ever reaches a shard *)
+    match topology_of req with
+    | Error msg -> reject msg
+    | Ok _ -> Ok (id, req)
 
 let parse_response json =
   let* t = Wire.string_field "t" json in
@@ -577,13 +610,16 @@ let worker ~stats ~config ~trace ~shard jobs =
               result
         in
         let result =
-          match
-            Codecs.make_checked ~proto:req.proto ~seed:req.seed ~n:req.n
-              ~f:req.f ~d:req.d ~rounds:req.rounds
-          with
+          match topology_of req with
           | Error msg -> Error msg
-          | Ok (Codecs.P { rounds; _ } as packed) ->
-              Result.map (fun d -> (d, rounds)) (run_engine packed)
+          | Ok topology -> (
+              match
+                Codecs.make_checked ?topology ~proto:req.proto ~seed:req.seed
+                  ~n:req.n ~f:req.f ~d:req.d ~rounds:req.rounds ()
+              with
+              | Error msg -> Error msg
+              | Ok (Codecs.P { rounds; _ } as packed) ->
+                  Result.map (fun d -> (d, rounds)) (run_engine packed))
         in
         let frame, rounds_run =
           match result with

@@ -97,7 +97,23 @@ type request = {
   f : int;
   d : int;
   rounds : int;
+  topology : string;
+      (** a {!Topology.spec_of_string} spec, ["complete"] for the
+          default graph (left off the wire frame, keeping it
+          byte-identical to the pre-topology format). Malformed specs
+          and specs infeasible at this [n] — including the
+          arXiv:1307.2483 condition checked by algo-iterative, and any
+          non-complete graph on a broadcast-based protocol — are
+          rejected with a structured error response, never a
+          backtrace. *)
 }
+
+val topology_of : request -> (Topology.t option, string) result
+(** Parse and instantiate the request's topology spec at its [n] —
+    the validation the daemon applies at ingress and again in the
+    worker. [Ok None] means the complete graph (including an explicit
+    ["complete"] spec), so callers hand the result straight to
+    {!Codecs.make_checked}'s [?topology]. *)
 
 type response = {
   id : int;  (** matches the request's position in the submitted list *)

@@ -12,6 +12,24 @@
    byte-identical across protocols, schedulers and fault models. *)
 
 type stopped = [ `Quiescent | `Limit | `Branch of int ]
+
+(* Topology filtering. A send on an absent edge is silently filtered:
+   counted as sent and dropped, but invisible to the adversary, the
+   delay model and the tracer — so a fault on a non-edge is a no-op,
+   schedulers only ever see envelopes on real edges, and the complete
+   graph (or no topology at all, the default) takes the exact
+   pre-topology code path. Self-sends are always allowed. [normalize]
+   maps the complete graph to [None] so the filter costs one branch per
+   message when it cannot fire. *)
+
+let normalize_topology = function
+  | Some t when not (Topology.is_complete t) -> Some t
+  | _ -> None
+
+let blocked_edge topo ~src ~dst =
+  match topo with
+  | None -> false
+  | Some t -> dst <> src && not (Topology.adjacent t src dst)
 type 'm pending = { sent : int; src : int; dst : int; msg : 'm }
 
 type ('s, 'm) outcome = {
@@ -105,7 +123,7 @@ let buf_consume_sorted ~n ~cnt ~out b =
     !acc
   end
 
-let run_rounds ~faults ~obs_prefix ~err ~states ~n ~protocol ~rounds =
+let run_rounds ~topo ~faults ~obs_prefix ~err ~states ~n ~protocol ~rounds =
   let { Fault.faulty; adversary; delay_of } = faults in
   let is_faulty = Array.make n false in
   List.iter (fun p -> is_faulty.(p) <- true) faulty;
@@ -209,6 +227,20 @@ let run_rounds ~faults ~obs_prefix ~err ~states ~n ~protocol ~rounds =
         List.iter (fun (d, m) -> buf_push fbuckets.(d) src m) outbox.(src);
         for dst = 0 to n - 1 do
           let bucket = fbuckets.(dst) in
+          if blocked_edge topo ~src ~dst then begin
+            (* the topology eats the whole edge before the adversary:
+               no fabrication, no corruption — a fault on a non-edge is
+               a no-op *)
+            trace.Trace.messages_sent <-
+              trace.Trace.messages_sent + bucket.b_len;
+            trace.Trace.messages_dropped <-
+              trace.Trace.messages_dropped + bucket.b_len;
+            for i = 0 to bucket.b_len - 1 do
+              bucket.b_msg.(i) <- None
+            done;
+            bucket.b_len <- 0
+          end
+          else begin
           (* The adversary sees each honest message on this edge (or None
              when there is none) and answers with what actually flows. *)
           let adv_instant name =
@@ -250,13 +282,17 @@ let run_rounds ~faults ~obs_prefix ~err ~states ~n ~protocol ~rounds =
             done;
             bucket.b_len <- 0
           end
+          end
         done
       end
       else
         List.iter
           (fun (dst, m) ->
             trace.Trace.messages_sent <- trace.Trace.messages_sent + 1;
-            route ~src ~dst m)
+            if blocked_edge topo ~src ~dst then
+              trace.Trace.messages_dropped <-
+                trace.Trace.messages_dropped + 1
+            else route ~src ~dst m)
           outbox.(src)
     done;
     (* Deliver, sorted by source for determinism. *)
@@ -291,7 +327,7 @@ let run_rounds ~faults ~obs_prefix ~err ~states ~n ~protocol ~rounds =
 
 (* ---------- one-message-at-a-time delivery steps ---------- *)
 
-let run_steps ~faults ~record ~summarize ~obs_prefix ~deliver_msg_args
+let run_steps ~topo ~faults ~record ~summarize ~obs_prefix ~deliver_msg_args
     ~corrupt_instants ~err ~states ~n ~protocol ~scheduler ~limit =
   let { Fault.faulty; adversary; delay_of } = faults in
   let is_faulty = Array.make n false in
@@ -352,6 +388,9 @@ let run_steps ~faults ~record ~summarize ~obs_prefix ~deliver_msg_args
         if dst < 0 || dst >= n then
           invalid_arg (err ^ ": destination out of range");
         trace.Trace.messages_sent <- trace.Trace.messages_sent + 1;
+        if blocked_edge topo ~src ~dst then
+          trace.Trace.messages_dropped <- trace.Trace.messages_dropped + 1
+        else
         let filtered =
           if is_faulty.(src) then adversary ~round:!step ~src ~dst (Some m)
           else Some m
@@ -536,13 +575,20 @@ let run_steps ~faults ~record ~summarize ~obs_prefix ~deliver_msg_args
   in
   { states; trace; stopped = !stopped; pending }
 
-let run ?(faults = Fault.none) ?record ?summarize ?obs_prefix
+let run ?topology ?(faults = Fault.none) ?record ?summarize ?obs_prefix
     ?(deliver_msg_args = false) ?(corrupt_instants = true)
     ?(err = "Engine.run") ?states ~n ~protocol ~scheduler ~limit () =
   List.iter
     (fun p ->
       if p < 0 || p >= n then invalid_arg (err ^ ": faulty id out of range"))
     faults.Fault.faulty;
+  (match topology with
+  | Some t when Topology.n t <> n ->
+      invalid_arg
+        (Printf.sprintf "%s: topology is over %d processes, engine runs %d"
+           err (Topology.n t) n)
+  | _ -> ());
+  let topo = normalize_topology topology in
   let states =
     match states with
     | Some s ->
@@ -552,10 +598,12 @@ let run ?(faults = Fault.none) ?record ?summarize ?obs_prefix
   in
   match scheduler with
   | Scheduler.Rounds ->
-      run_rounds ~faults ~obs_prefix ~err ~states ~n ~protocol ~rounds:limit
+      run_rounds ~topo ~faults ~obs_prefix ~err ~states ~n ~protocol
+        ~rounds:limit
   | _ ->
-      run_steps ~faults ~record ~summarize ~obs_prefix ~deliver_msg_args
-        ~corrupt_instants ~err ~states ~n ~protocol ~scheduler ~limit
+      run_steps ~topo ~faults ~record ~summarize ~obs_prefix
+        ~deliver_msg_args ~corrupt_instants ~err ~states ~n ~protocol
+        ~scheduler ~limit
 
 (* ---------- list-based reference implementation ---------- *)
 
@@ -565,7 +613,8 @@ let run ?(faults = Fault.none) ?record ?summarize ?obs_prefix
    is replayed on the list. O(pending) per operation — test-sized
    instances only. *)
 
-let reference_rounds ~faults ~obs_prefix ~err ~states ~n ~protocol ~rounds =
+let reference_rounds ~topo ~faults ~obs_prefix ~err ~states ~n ~protocol
+    ~rounds =
   let { Fault.faulty; adversary; delay_of } = faults in
   let is_faulty = Array.make n false in
   List.iter (fun p -> is_faulty.(p) <- true) faulty;
@@ -643,6 +692,14 @@ let reference_rounds ~faults ~obs_prefix ~err ~states ~n ~protocol ~rounds =
               (fun (d, m) -> if d = dst then Some m else None)
               outbox.(src)
           in
+          if blocked_edge topo ~src ~dst then
+            List.iter
+              (fun _ ->
+                trace.Trace.messages_sent <- trace.Trace.messages_sent + 1;
+                trace.Trace.messages_dropped <-
+                  trace.Trace.messages_dropped + 1)
+              honest_msgs
+          else begin
           let adv_instant name =
             if tr then
               Obs.Tracer.instant ~track:src ~lclock:round ("adv." ^ name)
@@ -675,12 +732,16 @@ let reference_rounds ~faults ~obs_prefix ~err ~states ~n ~protocol ~rounds =
                     trace.Trace.messages_corrupted + 1;
                   route ~src ~dst m)
           | msgs -> List.iter (fun m -> consider (Some m)) msgs)
+          end
         done
       else
         List.iter
           (fun (dst, m) ->
             trace.Trace.messages_sent <- trace.Trace.messages_sent + 1;
-            route ~src ~dst m)
+            if blocked_edge topo ~src ~dst then
+              trace.Trace.messages_dropped <-
+                trace.Trace.messages_dropped + 1
+            else route ~src ~dst m)
           outbox.(src)
     done;
     for dst = 0 to n - 1 do
@@ -718,8 +779,9 @@ type 'm lentry = {
   l_ready : int;
 }
 
-let reference_steps ~faults ~record ~summarize ~obs_prefix ~deliver_msg_args
-    ~corrupt_instants ~err ~states ~n ~protocol ~scheduler ~limit =
+let reference_steps ~topo ~faults ~record ~summarize ~obs_prefix
+    ~deliver_msg_args ~corrupt_instants ~err ~states ~n ~protocol ~scheduler
+    ~limit =
   let { Fault.faulty; adversary; delay_of } = faults in
   let is_faulty = Array.make n false in
   List.iter (fun p -> is_faulty.(p) <- true) faulty;
@@ -766,6 +828,9 @@ let reference_steps ~faults ~record ~summarize ~obs_prefix ~deliver_msg_args
         if dst < 0 || dst >= n then
           invalid_arg (err ^ ": destination out of range");
         trace.Trace.messages_sent <- trace.Trace.messages_sent + 1;
+        if blocked_edge topo ~src ~dst then
+          trace.Trace.messages_dropped <- trace.Trace.messages_dropped + 1
+        else
         let filtered =
           if is_faulty.(src) then adversary ~round:!step ~src ~dst (Some m)
           else Some m
@@ -967,13 +1032,20 @@ let reference_steps ~faults ~record ~summarize ~obs_prefix ~deliver_msg_args
   in
   { states; trace; stopped = !stopped; pending }
 
-let run_reference ?(faults = Fault.none) ?record ?summarize ?obs_prefix
-    ?(deliver_msg_args = false) ?(corrupt_instants = true)
+let run_reference ?topology ?(faults = Fault.none) ?record ?summarize
+    ?obs_prefix ?(deliver_msg_args = false) ?(corrupt_instants = true)
     ?(err = "Engine.run") ?states ~n ~protocol ~scheduler ~limit () =
   List.iter
     (fun p ->
       if p < 0 || p >= n then invalid_arg (err ^ ": faulty id out of range"))
     faults.Fault.faulty;
+  (match topology with
+  | Some t when Topology.n t <> n ->
+      invalid_arg
+        (Printf.sprintf "%s: topology is over %d processes, engine runs %d"
+           err (Topology.n t) n)
+  | _ -> ());
+  let topo = normalize_topology topology in
   let states =
     match states with
     | Some s ->
@@ -983,9 +1055,9 @@ let run_reference ?(faults = Fault.none) ?record ?summarize ?obs_prefix
   in
   match scheduler with
   | Scheduler.Rounds ->
-      reference_rounds ~faults ~obs_prefix ~err ~states ~n ~protocol
+      reference_rounds ~topo ~faults ~obs_prefix ~err ~states ~n ~protocol
         ~rounds:limit
   | _ ->
-      reference_steps ~faults ~record ~summarize ~obs_prefix
+      reference_steps ~topo ~faults ~record ~summarize ~obs_prefix
         ~deliver_msg_args ~corrupt_instants ~err ~states ~n ~protocol
         ~scheduler ~limit

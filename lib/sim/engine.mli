@@ -23,6 +23,23 @@
     it ([on_receive] with a singleton batch), and the receiver's
     reactions are enqueued. [on_tick] is never called.
 
+    {2 Topology}
+
+    The communication graph defaults to complete. With [?topology] set,
+    a send whose edge is absent is {e silently filtered}: it is counted
+    in [messages_sent] and [messages_dropped], but the adversary never
+    sees it (a fault on a non-edge is a no-op), the delay model never
+    prices it, no tracer event mentions it, and it never enters an
+    arrival buffer or the envelope pool — so [Rounds] batches and every
+    step scheduler's eligible set only ever contain real edges. Silent
+    filtering (rather than loud rejection) is the one semantics for all
+    protocols: the stock protocols are topology-oblivious broadcasters,
+    and filtering makes an incomplete graph a property of the run, not
+    of the protocol. Self-sends ([dst = src]) are always delivered
+    regardless of topology. Passing [Topology.complete n] (or nothing)
+    takes the exact pre-topology code path, byte-identical outcomes,
+    traces and metrics included.
+
     {2 Fault-model delays}
 
     With {!Fault.model}[.delay_of] set, a message's arrival is pushed
@@ -63,6 +80,7 @@ type ('s, 'm) outcome = {
 }
 
 val run :
+  ?topology:Topology.t ->
   ?faults:'m Fault.model ->
   ?record:(Trace.event -> unit) ->
   ?summarize:('m -> string) ->
@@ -81,6 +99,9 @@ val run :
     [limit] is the round count under [Rounds] and the delivery-step cap
     otherwise.
 
+    - [topology] (default complete): the communication graph; must be
+      over exactly [n] processes ([Invalid_argument] otherwise). Sends
+      on absent edges are silently filtered — see {e Topology} above.
     - [faults] (default {!Fault.none}): who misbehaves and how.
     - [record]: one {!Trace.event} per delivery step ([summarize]
       renders payloads). Step schedulers only.
@@ -111,6 +132,7 @@ val run :
     [engine.pool_occupancy] gauges (via {!Obs.record_max}). *)
 
 val run_reference :
+  ?topology:Topology.t ->
   ?faults:'m Fault.model ->
   ?record:(Trace.event -> unit) ->
   ?summarize:('m -> string) ->

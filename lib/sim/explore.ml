@@ -34,10 +34,10 @@ let pp_witness ppf w =
 (* One scripted engine execution. Returns [`Done] when the run
    completed (quiescent or step cap) and [`Branch width] when decisions
    ran out with [width] messages pending and no FIFO fallback. *)
-let exec_engine ~fallback_fifo ~record ~summarize ~n ~protocol ~faults
-    ~max_steps decide =
+let exec_engine ?topology ~fallback_fifo ~record ~summarize ~n ~protocol
+    ~faults ~max_steps decide =
   let outcome =
-    Engine.run ~faults ?record ?summarize ~deliver_msg_args:true
+    Engine.run ?topology ~faults ?record ?summarize ~deliver_msg_args:true
       ~corrupt_instants:false ~err:"Explore" ~n ~protocol
       ~scheduler:(Scheduler.Scripted { decide; fallback_fifo })
       ~limit:max_steps ()
@@ -346,7 +346,7 @@ let fuzz ~make ~n ~actors ~check ?(faulty = [])
 
 (* ---------- engine-protocol API ---------- *)
 
-let protocol_subject ~make ~n ~check ?(faulty = [])
+let protocol_subject ?topology ~make ~n ~check ?(faulty = [])
     ?(adversary = Adversary.honest) ?fault ?summarize () =
   (* A fresh fault model per boot: [Fault.Omit] carries per-edge
      counters, so sharing one across executions (or parallel fuzz
@@ -368,8 +368,8 @@ let protocol_subject ~make ~n ~check ?(faulty = [])
       (fun (protocol, faults, states) ~fallback_fifo ~record ~max_steps
            decide ->
         let final, outcome =
-          exec_engine ~fallback_fifo ~record ~summarize ~n ~protocol
-            ~faults ~max_steps decide
+          exec_engine ?topology ~fallback_fifo ~record ~summarize ~n
+            ~protocol ~faults ~max_steps decide
         in
         states := final;
         outcome);
@@ -476,11 +476,13 @@ let vc_join a b = Array.mapi (fun i x -> max x b.(i)) a
 
 (* Replay one prefix; runs on a [Par] worker, so everything here must be
    pure in the node (fresh protocol + fault model per call, no tracing). *)
-let check_replay ~n ~make ~faults ~fingerprint ~grade ~max_steps decisions =
+let check_replay ?topology ~n ~make ~faults ~fingerprint ~grade ~max_steps
+    decisions =
   Obs.Tracer.suppressed @@ fun () ->
   let protocol = make () in
   let outcome =
-    Engine.run ~faults:(faults ()) ~corrupt_instants:false ~err:"Explore.check"
+    Engine.run ?topology ~faults:(faults ()) ~corrupt_instants:false
+      ~err:"Explore.check"
       ~n ~protocol
       ~scheduler:
         (Scheduler.Scripted
@@ -513,9 +515,10 @@ let check_replay ~n ~make ~faults ~fingerprint ~grade ~max_steps decisions =
       in
       CBranch { skey; pending }
 
-let check ~make ~n ~check:grade ?(faulty = []) ?(adversary = Adversary.honest)
-    ?fault ?(max_steps = 200) ?(budget = 10_000) ?(shrink = true) ?summarize
-    ?(jobs = 1) ?fingerprint () =
+let check ?topology ~make ~n ~check:grade ?(faulty = [])
+    ?(adversary = Adversary.honest) ?fault ?(max_steps = 200)
+    ?(budget = 10_000) ?(shrink = true) ?summarize ?(jobs = 1) ?fingerprint
+    () =
   let faults () =
     let base = Fault.byzantine ~faulty adversary in
     match fault with
@@ -644,8 +647,8 @@ let check ~make ~n ~check:grade ?(faulty = []) ?(adversary = Adversary.honest)
       let replays =
         Par.map ~jobs
           (fun nd ->
-            check_replay ~n ~make ~faults ~fingerprint ~grade ~max_steps
-              (List.rev nd.cn_prefix))
+            check_replay ?topology ~n ~make ~faults ~fingerprint ~grade
+              ~max_steps (List.rev nd.cn_prefix))
           batch
       in
       let next = ref [] in
@@ -657,8 +660,8 @@ let check ~make ~n ~check:grade ?(faulty = []) ?(adversary = Adversary.honest)
     Option.map
       (fun first ->
         let subj =
-          protocol_subject ~make ~n ~check:grade ~faulty ~adversary ?fault
-            ?summarize ()
+          protocol_subject ?topology ~make ~n ~check:grade ~faulty ~adversary
+            ?fault ?summarize ()
         in
         witness_of_subject subj ~max_steps ~do_shrink:shrink first)
       !counterexample
@@ -696,17 +699,19 @@ let check ~make ~n ~check:grade ?(faulty = []) ?(adversary = Adversary.honest)
       };
   }
 
-let run_protocol ~make ~n ~check ?faulty ?adversary ?fault
+let run_protocol ?topology ~make ~n ~check ?faulty ?adversary ?fault
     ?(max_steps = 200) ?(budget = 2000) ?(shrink = true) ?summarize () =
   let subj =
-    protocol_subject ~make ~n ~check ?faulty ?adversary ?fault ?summarize ()
+    protocol_subject ?topology ~make ~n ~check ?faulty ?adversary ?fault
+      ?summarize ()
   in
   run_subject subj ~max_steps ~budget ~do_shrink:shrink
 
-let fuzz_protocol ~make ~n ~check ?faulty ?adversary ?fault
+let fuzz_protocol ?topology ~make ~n ~check ?faulty ?adversary ?fault
     ?(max_steps = 200) ?(shrink = true) ?summarize ?(jobs = 1) ~seed
     ~trials () =
   let subj =
-    protocol_subject ~make ~n ~check ?faulty ?adversary ?fault ?summarize ()
+    protocol_subject ?topology ~make ~n ~check ?faulty ?adversary ?fault
+      ?summarize ()
   in
   fuzz_subject subj ~max_steps ~do_shrink:shrink ~jobs ~seed ~trials

@@ -162,9 +162,16 @@ val replay :
     Fault models beyond the Byzantine [?faulty]/[?adversary] pair are
     named by a {!Fault.spec} — instantiated freshly per execution, so
     omission streams never leak across trials. [Fault.Delay] specs are
-    rejected (delays need a non-scripted scheduler). *)
+    rejected (delays need a non-scripted scheduler).
+
+    [?topology] restricts the communication graph exactly as on
+    {!Engine.run}: sends on absent edges are filtered before they enter
+    the pool, so the explored enabled sets — and the DPOR dependence
+    relation, which only ever relates {e pending} deliveries — see real
+    edges only; fewer edges just means fewer envelopes. *)
 
 val run_protocol :
+  ?topology:Topology.t ->
   make:(unit -> ('s, 'm, 'o) Protocol.t) ->
   n:int ->
   check:('o array -> bool) ->
@@ -227,6 +234,7 @@ type check_result = {
 val pp_check_stats : Format.formatter -> check_stats -> unit
 
 val check :
+  ?topology:Topology.t ->
   make:(unit -> ('s, 'm, 'o) Protocol.t) ->
   n:int ->
   check:('o array -> bool) ->
@@ -265,6 +273,7 @@ val check :
     [max_frontier]/[max_depth] gauges). *)
 
 val fuzz_protocol :
+  ?topology:Topology.t ->
   make:(unit -> ('s, 'm, 'o) Protocol.t) ->
   n:int ->
   check:('o array -> bool) ->

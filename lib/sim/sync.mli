@@ -1,6 +1,9 @@
-(** Synchronous lock-step actors over a complete graph of [n] processes
-    with reliable point-to-point channels — the system model of the
-    paper's Sections 6, 7 and 9.
+(** Synchronous lock-step actors over [n] processes with reliable
+    point-to-point channels — the system model of the paper's Sections
+    6, 7 and 9. The communication graph is the engine's
+    [?topology] parameter (default: complete); on an incomplete graph
+    sends along absent edges are filtered and counted, exactly as in
+    the asynchronous modes (see {!Engine.run}).
 
     Each round: every actor produces its outgoing messages, faulty
     actors' messages pass through the adversary (which may equivocate,

@@ -1,0 +1,119 @@
+(** First-class communication graphs for the {!Engine}.
+
+    A topology is an immutable, canonical adjacency value: undirected,
+    no self-loops, neighbor lists sorted ascending. Canonicality makes
+    [encode] byte-stable across runs and platforms, so [hash] can be
+    exchanged in wire hellos to pin that two peers run the same graph.
+
+    Topology does {e not} govern self-delivery: the engine always
+    allows [dst = src] (a process may talk to itself), so adjacency is
+    strict — [adjacent t i i = false] for every [i]. The engine's
+    semantics for sends on absent edges — silent filtering, counted as
+    sent and dropped — is documented on {!Engine.run}. *)
+
+type t
+
+(** {2 Constructors}
+
+    All constructors raise [Invalid_argument] on out-of-range
+    parameters; [instantiate] is the [result]-typed front door. *)
+
+val complete : int -> t
+(** Every pair of distinct processes adjacent — today's default. *)
+
+val ring : ?k:int -> int -> t
+(** [ring ~k n]: process [i] adjacent to [i +/- 1 .. i +/- k] (mod
+    [n]). [k] defaults to 1 (the plain cycle); [2k + 1 >= n] degrades
+    gracefully to the complete graph. *)
+
+val random_regular : seed:int -> degree:int -> int -> t
+(** A random [degree]-regular simple graph, a pure function of
+    [(seed, degree, n)]: a deterministic circulant rewired by
+    [10 * n * degree] seeded double-edge swaps (swaps creating
+    self-loops or parallel edges are rejected, so regularity and
+    simplicity are invariants, not probabilistic outcomes). Requires
+    [0 <= degree < n] and [n * degree] even. *)
+
+val expander : int -> t
+(** The chordal-ring expander family: the cycle plus [+/- floor(sqrt n)]
+    chords — degree at most 4, diameter [O(sqrt n)], deterministic in
+    [n] alone. Degenerates to {!complete} below 5 processes. *)
+
+val of_edges : n:int -> (int * int) list -> t
+(** Explicit undirected edge list over processes [0 .. n-1]. Duplicate
+    edges and orientation are normalized away; self-loops and
+    out-of-range endpoints raise [Invalid_argument]. *)
+
+(** {2 Queries} *)
+
+val n : t -> int
+val adjacent : t -> int -> int -> bool
+(** Strict adjacency: [adjacent t i i = false]. Out-of-range ids raise
+    [Invalid_argument]. *)
+
+val neighbors : t -> int -> int array
+(** Sorted ascending, never including [i] itself. The returned array is
+    the topology's own — do not mutate. *)
+
+val degree : t -> int -> int
+val edge_count : t -> int
+val edges : t -> (int * int) list
+(** Canonical edge list: [(i, j)] with [i < j], lexicographic. *)
+
+val is_complete : t -> bool
+val is_connected : t -> bool
+
+val connected_after_removals : t -> k:int -> bool
+(** Does every removal of at most [k] vertices leave the remaining
+    graph connected? Exact — enumerates subsets, so exponential in
+    [k]; intended for the small instances the model checker and the
+    feasibility checks handle. *)
+
+val iterative_feasible : t -> f:int -> d:int -> (unit, string) result
+(** The checkable sufficient condition (in the family of Vaidya's
+    iterative Byzantine vector consensus in incomplete graphs,
+    arXiv:1307.2483) under which {!Algo_iterative} converges on this
+    graph in dimension [d] with [f] Byzantine processes: every closed
+    neighborhood holds at least [(d+2)f + 1] processes, and no [f]
+    removals disconnect the graph. [Error] carries the violated clause;
+    instances whose subset enumeration exceeds the exact-check cap are
+    rejected as uncheckable rather than silently approved. *)
+
+val equal : t -> t -> bool
+
+val encode : t -> string
+(** Canonical byte-stable encoding:
+    ["rbvc-topology/1 n=N:i-j,i-j,..."] with the {!edges} order. *)
+
+val hash : t -> int
+(** FNV-1a (32-bit variant) of {!encode} — stable across OCaml versions
+    and platforms, exchanged in {!Node.run} hellos. *)
+
+(** {2 Specs}
+
+    A {!spec} names a topology without fixing [n], so one CLI flag
+    serves experiments at every scale — mirroring {!Fault.spec}. *)
+
+type spec =
+  | Complete
+  | Ring of { k : int }
+  | Regular of { degree : int; seed : int }
+  | Edges of { path : string }
+
+val spec_of_string : string -> (spec, string) result
+(** Parse a CLI-style spec: ["complete"], ["ring:K"], ["regular:D"] or
+    ["regular:D:SEED"] (seed defaults to 0), ["edges:FILE"]. Numerals
+    are strict decimal ({!Fault.int_of_decimal}); [Error] carries a
+    usage message. *)
+
+val pp_spec : Format.formatter -> spec -> unit
+(** Round-trips through {!spec_of_string}. *)
+
+val spec_to_string : spec -> string
+val usage : string
+
+val instantiate : spec -> n:int -> (t, string) result
+(** Build the graph at size [n]. [Edges] reads its file here (I/O
+    errors and malformed lines become [Error]); constructor
+    [Invalid_argument]s become [Error] too, so services can reject bad
+    requests without catching exceptions. *)

@@ -1,0 +1,157 @@
+(* Byzantine convex consensus (arXiv:1307.1332 family): the Step 2
+   polytope choice against brute-force subset-hull intersection, and the
+   full protocol's agreement/validity under an equivocating relayer. *)
+
+open Helpers
+
+let vec xs = Vec.of_list xs
+
+(* Brute-force Gamma(S) on the line: intersect [min, max] over every
+   (m-f)-subset — equivalently the trimmed interval of the order
+   statistics. *)
+let gamma_interval_brute ~f xs =
+  let sorted = List.sort compare xs in
+  let arr = Array.of_list sorted in
+  let m = Array.length arr in
+  if m - f <= f then None
+  else
+    let lo = arr.(f) and hi = arr.(m - f - 1) in
+    if lo > hi then None else Some (lo, hi)
+
+let choose_tests =
+  [
+    case "d=1: trimmed interval matches brute force" (fun () ->
+        let rng = Rng.create 31 in
+        for _ = 1 to 50 do
+          let m = 3 + Rng.int rng 6 in
+          let f = Rng.int rng 3 in
+          let xs = List.init m (fun _ -> Rng.uniform rng ~lo:(-5.) ~hi:5.) in
+          let s = List.map (fun x -> vec [ x ]) xs in
+          match (Algo_bcc.choose_polytope ~f s, gamma_interval_brute ~f xs) with
+          | None, None -> ()
+          | Some dec, Some (lo, hi) ->
+              check_true "exact" dec.Algo_bcc.exact;
+              let vs =
+                List.sort compare
+                  (List.map (fun (v : Vec.t) -> v.(0)) dec.Algo_bcc.verts)
+              in
+              (match vs with
+              | [ a; b ] ->
+                  check_float "lo" lo a;
+                  check_float "hi" hi b
+              | [ a ] ->
+                  check_float "degenerate lo" lo a;
+                  check_float "degenerate hi" hi a
+              | _ -> Alcotest.failf "expected <= 2 vertices");
+              let p = dec.Algo_bcc.point.(0) in
+              check_true "point inside" (p >= lo -. 1e-9 && p <= hi +. 1e-9)
+          | Some _, None -> Alcotest.fail "brute force says empty"
+          | None, Some _ -> Alcotest.fail "brute force says non-empty"
+        done);
+    case "d=2: polygon equals Hull_consensus.gamma_polygon" (fun () ->
+        let rng = Rng.create 32 in
+        for _ = 1 to 25 do
+          let m = 4 + Rng.int rng 4 in
+          let f = 1 in
+          let s = Rng.cloud rng ~n:m ~dim:2 ~lo:(-1.) ~hi:1. in
+          let reference = Hull_consensus.gamma_polygon ~f s in
+          match Algo_bcc.choose_polytope ~f s with
+          | None -> check_true "both empty" (Polygon.is_empty reference)
+          | Some dec ->
+              check_true "exact" dec.Algo_bcc.exact;
+              let got = Polygon.of_points dec.Algo_bcc.verts in
+              check_true "same polygon" (Polygon.equal got reference);
+              check_true "point inside polygon"
+                (Polygon.contains reference dec.Algo_bcc.point)
+        done);
+    case "d=2: affinely independent triangle at f=1 has empty Gamma"
+      (fun () ->
+        let s = [ vec [ 0.; 0. ]; vec [ 1.; 0. ]; vec [ 0.; 1. ] ] in
+        check_true "empty" (Algo_bcc.choose_polytope ~f:1 s = None));
+    case "d=3: inner approximation is certified and inexact" (fun () ->
+        let rng = Rng.create 33 in
+        let s = Rng.cloud rng ~n:9 ~dim:3 ~lo:0. ~hi:1. in
+        match Algo_bcc.choose_polytope ~f:1 s with
+        | None -> Alcotest.fail "n=9 >= (d+1)f+1: Gamma non-empty"
+        | Some dec ->
+            check_false "marked inexact" dec.Algo_bcc.exact;
+            check_true "point certified"
+              (Tverberg.in_gamma ~f:1 s dec.Algo_bcc.point);
+            List.iter
+              (fun v ->
+                check_true "vertex certified" (Tverberg.in_gamma ~f:1 s v))
+              dec.Algo_bcc.verts);
+  ]
+
+let run_tests =
+  [
+    case "agreement + validity under an equivocating commander" (fun () ->
+        let corrupt _src ~dst ~commander:_ ~path:_ v =
+          Vec.axpy (0.2 *. float_of_int ((dst mod 3) + 1)) (Vec.ones (Vec.dim v)) v
+        in
+        List.iter
+          (fun (n, f, d, seed) ->
+            let inst =
+              Problem.random_instance (Rng.create seed) ~n ~f ~d
+                ~faulty:[ n - 1 ]
+            in
+            let r = Algo_bcc.run inst ~corrupt () in
+            let honest = Problem.honest_ids inst in
+            let hi = Problem.honest_inputs inst in
+            let decisions =
+              List.map (fun p -> r.Algo_bcc.outputs.(p)) honest
+            in
+            match decisions with
+            | [] -> Alcotest.fail "no honest processes"
+            | dec0 :: rest ->
+                check_true "decided" (dec0 <> None);
+                List.iter
+                  (fun dec -> check_true "agreement" (dec = dec0))
+                  rest;
+                List.iter
+                  (function
+                    | None -> ()
+                    | Some (dec : Algo_bcc.decision) ->
+                        check_true "point in honest hull"
+                          (Hull.mem hi dec.Algo_bcc.point);
+                        List.iter
+                          (fun v ->
+                            check_true "vertex in honest hull" (Hull.mem hi v))
+                          dec.Algo_bcc.verts)
+                  decisions)
+          [ (4, 1, 1, 41); (5, 1, 2, 42); (7, 2, 1, 43) ]);
+    case "engine protocol reproduces run's decisions" (fun () ->
+        let inst =
+          Problem.random_instance (Rng.create 44) ~n:5 ~f:1 ~d:2 ~faulty:[]
+        in
+        let r = Algo_bcc.run inst () in
+        let out =
+          Engine.run ~n:5
+            ~protocol:(Algo_bcc.protocol inst)
+            ~scheduler:Scheduler.Rounds ~limit:2 ()
+        in
+        let proto = Algo_bcc.protocol inst in
+        Array.iteri
+          (fun p st ->
+            check_true "same decision"
+              (proto.Protocol.output st = r.Algo_bcc.outputs.(p)))
+          out.Engine.states);
+    case "async protocol decides the same polytope under FIFO" (fun () ->
+        let inst =
+          Problem.random_instance (Rng.create 45) ~n:4 ~f:1 ~d:1 ~faulty:[]
+        in
+        let r = Algo_bcc.run inst () in
+        let proto = Algo_bcc.async_protocol inst in
+        let out =
+          Engine.run ~n:4 ~protocol:proto ~scheduler:Scheduler.Fifo
+            ~limit:100_000 ()
+        in
+        check_true "quiescent" (out.Engine.stopped = `Quiescent);
+        Array.iteri
+          (fun p st ->
+            check_true "same decision"
+              (proto.Protocol.output st = r.Algo_bcc.outputs.(p)))
+          out.Engine.states);
+  ]
+
+let suite = choose_tests @ run_tests

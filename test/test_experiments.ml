@@ -8,7 +8,7 @@ let fast_ids = [ "E0"; "E1"; "E2"; "E4"; "E6"; "E7"; "E15"; "E16"; "E17"; "E18" 
 let unit_tests =
   [
     case "ids contain all experiments and table1" (fun () ->
-        check_int "count" 24 (List.length Experiments.ids);
+        check_int "count" 26 (List.length Experiments.ids);
         check_true "table1" (List.mem "table1" Experiments.ids);
         List.iter
           (fun id -> check_true id (List.mem id Experiments.ids))

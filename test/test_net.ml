@@ -244,7 +244,7 @@ let transport_tests =
 
 let equivalence ~proto ~seed ~n ~f ~d ~rounds transport =
   let packed =
-    match Codecs.make ~proto ~seed ~n ~f ~d ~rounds with
+    match Codecs.make ~proto ~seed ~n ~f ~d ~rounds () with
     | Ok p -> p
     | Error e -> Alcotest.failf "make %s: %s" proto e
   in
@@ -303,7 +303,7 @@ let equivalence_tests =
         let link = Transport.Mem.link (Transport.Mem.connect addr) in
         let links = [| None; Some link |] in
         let packed =
-          match Codecs.make ~proto:"om" ~seed:1 ~n:2 ~f:0 ~d:1 ~rounds:0 with
+          match Codecs.make ~proto:"om" ~seed:1 ~n:2 ~f:0 ~d:1 ~rounds:0 () with
           | Ok p -> p
           | Error e -> Alcotest.fail e
         in
@@ -365,6 +365,7 @@ let serve_tests =
             f = 1;
             d = 1;
             rounds = 0;
+            topology = "complete";
           }
         in
         (match Serve.submit ~port [ req ] with
@@ -374,7 +375,7 @@ let serve_tests =
             let expect =
               Codecs.engine_decisions
                 (Result.get_ok
-                   (Codecs.make ~proto:"om" ~seed:42 ~n:4 ~f:1 ~d:1 ~rounds:0))
+                   (Codecs.make ~proto:"om" ~seed:42 ~n:4 ~f:1 ~d:1 ~rounds:0 ()))
             in
             check_true "decisions match engine"
               (Option.map Persist.to_string r.Serve.decisions
@@ -387,7 +388,7 @@ let serve_tests =
     case "serve: bad requests answered, not fatal" (fun () ->
         let t, port, _ = start_daemon ~stats:false () in
         let mk key proto n f =
-          { Serve.key; proto; seed = 0; n; f; d = 1; rounds = 1 }
+          { Serve.key; proto; seed = 0; n; f; d = 1; rounds = 1; topology = "complete" }
         in
         (match
            Serve.submit ~port
@@ -423,6 +424,7 @@ let serve_tests =
                 f = 1;
                 d = 1;
                 rounds = 5;
+                topology = "complete";
               })
         in
         (match Serve.submit ~port reqs with
@@ -554,6 +556,7 @@ let http_tests =
                  f = 1;
                  d = 1;
                  rounds = 0;
+                 topology = "complete";
                };
              ]
          with
@@ -724,6 +727,7 @@ let trace_tests =
                     f = 1;
                     d = 1;
                     rounds = 0;
+                    topology = "complete";
                   })
             in
             (* client side under a tracer: requests carry trace contexts *)
@@ -811,6 +815,165 @@ let trace_tests =
                  merged)));
   ]
 
+(* ---------------- topology over the wire ---------------- *)
+
+let topology_tests =
+  [
+    case "cluster on a ring: links only on edges, matches the engine"
+      (fun () ->
+        (* ring:2 at n = 6 is genuinely incomplete (degree 4); the
+           cluster opens sockets for real edges only and the hellos
+           carry the topology hash *)
+        let topology = Topology.ring ~k:2 6 in
+        let packed =
+          match
+            Codecs.make ~topology ~proto:"algo-iterative" ~seed:9 ~n:6 ~f:1
+              ~d:1 ~rounds:2 ()
+          with
+          | Ok p -> p
+          | Error e -> Alcotest.fail e
+        in
+        let expect = Persist.to_string (Codecs.engine_decisions packed) in
+        let got =
+          Persist.to_string (Codecs.cluster_decisions ~transport:`Mem packed)
+        in
+        Alcotest.(check string) "ring cluster = engine" expect got);
+    case "Codecs.make rejects incomplete graphs for broadcast protocols"
+      (fun () ->
+        match
+          Codecs.make_checked
+            ~topology:(Topology.ring ~k:2 6)
+            ~proto:"om" ~seed:1 ~n:6 ~f:1 ~d:1 ~rounds:0 ()
+        with
+        | Error msg ->
+            check_true "structured infeasible error"
+              (String.length msg >= 10 && String.sub msg 0 10 = "infeasible")
+        | Ok _ -> Alcotest.fail "om on a ring should be rejected");
+    raises_invalid "Node.run: missing link to an adjacent peer" (fun () ->
+        match
+          Codecs.make ~proto:"om" ~seed:1 ~n:4 ~f:1 ~d:1 ~rounds:0 ()
+        with
+        | Error e -> Alcotest.fail e
+        | Ok (Codecs.P { protocol; codec; _ }) ->
+            ignore
+              (Node.run
+                 ~topology:(Topology.ring ~k:1 4)
+                 ~protocol ~codec
+                 ~links:[| None; None; None; None |]
+                 ~me:0 ~rounds:1 ()));
+    raises_invalid "Node.run: link to a non-adjacent peer" (fun () ->
+        let l = Transport.Mem.listen "" in
+        let addr = Transport.Mem.address l in
+        let t = Thread.create (fun () -> ignore (Transport.Mem.accept l)) () in
+        let link = Transport.Mem.link (Transport.Mem.connect addr) in
+        Thread.join t;
+        Fun.protect
+          ~finally:(fun () -> Transport.Mem.close_listener l)
+          (fun () ->
+            match
+              Codecs.make ~proto:"om" ~seed:1 ~n:4 ~f:1 ~d:1 ~rounds:0 ()
+            with
+            | Error e -> Alcotest.fail e
+            | Ok (Codecs.P { protocol; codec; _ }) ->
+                (* adjacent slots 1 and 3 present, plus a link on the
+                   ring's absent chord 0-2 — rejected before any frame
+                   moves, so one dummy link can fill all three slots *)
+                ignore
+                  (Node.run
+                     ~topology:(Topology.ring ~k:1 4)
+                     ~protocol ~codec
+                     ~links:[| None; Some link; Some link; Some link |]
+                     ~me:0 ~rounds:1 ())));
+    case "serve: ring request round-trips and matches the engine" (fun () ->
+        let t, port, _ = start_daemon ~stats:false () in
+        let req =
+          {
+            Serve.key = "topo";
+            proto = "algo-iterative";
+            seed = 7;
+            n = 6;
+            f = 1;
+            d = 1;
+            rounds = 2;
+            topology = "ring:2";
+          }
+        in
+        (match Serve.submit ~port [ req ] with
+        | Error e -> Alcotest.failf "submit: %s" e
+        | Ok [ r ] ->
+            check_true "ok" r.Serve.ok;
+            let expect =
+              Codecs.engine_decisions
+                (Result.get_ok
+                   (Codecs.make
+                      ~topology:(Topology.ring ~k:2 6)
+                      ~proto:"algo-iterative" ~seed:7 ~n:6 ~f:1 ~d:1 ~rounds:2
+                      ()))
+            in
+            check_true "decisions match engine with the same graph"
+              (Option.map Persist.to_string r.Serve.decisions
+              = Some (Persist.to_string expect))
+        | Ok _ -> Alcotest.fail "expected one response");
+        ignore (Serve.shutdown ~port ());
+        Thread.join t);
+    case "serve: malformed and infeasible topologies are structured errors"
+      (fun () ->
+        let t, port, _ = start_daemon ~stats:false () in
+        let mk key proto topology =
+          {
+            Serve.key;
+            proto;
+            seed = 0;
+            n = 6;
+            f = 1;
+            d = 1;
+            rounds = 1;
+            topology;
+          }
+        in
+        let has needle msg =
+          let lower = String.lowercase_ascii msg in
+          let ln = String.length needle and lm = String.length lower in
+          let rec go i =
+            i + ln <= lm && (String.sub lower i ln = needle || go (i + 1))
+          in
+          go 0
+        in
+        (match
+           Serve.submit ~port
+             [
+               (* malformed spec: parse error at ingress *)
+               mk "a" "algo-iterative" "torus:3";
+               (* feasibility: ring:1 violates the closed-neighborhood
+                  clause at (f, d) = (1, 1) *)
+               mk "b" "algo-iterative" "ring:1";
+               (* broadcast protocol on an incomplete graph *)
+               mk "c" "om" "ring:2";
+               (* and a good one after all the bad ones *)
+               mk "d" "algo-iterative" "ring:2";
+             ]
+         with
+        | Error e -> Alcotest.failf "submit: %s" e
+        | Ok [ r1; r2; r3; r4 ] ->
+            check_false "malformed rejected" r1.Serve.ok;
+            check_true "malformed: structured message"
+              (match r1.Serve.error with
+              | Some m -> has "bad topology" m
+              | None -> false);
+            check_false "infeasible rejected" r2.Serve.ok;
+            check_true "infeasible: structured message"
+              (match r2.Serve.error with
+              | Some m -> has "infeasible" m
+              | None -> false);
+            check_false "om on a ring rejected" r3.Serve.ok;
+            check_true "good request still served" r4.Serve.ok
+        | Ok rs ->
+            Alcotest.failf "expected 4 responses, got %d" (List.length rs));
+        ignore (Serve.shutdown ~port ());
+        Thread.join t);
+  ]
+
 let suite =
   frame_tests @ codec_props @ ctx_tests @ ctx_props @ transport_tests
   @ equivalence_tests @ serve_tests @ http_tests @ trace_tests
+  @ topology_tests

@@ -1,0 +1,365 @@
+(* First-class communication graphs: canonical adjacency values, spec
+   parsing, the arXiv:1307.2483 feasibility condition, and the engine's
+   absent-edge semantics — including the refactor's safety net, a QCheck
+   property pinning ~topology:(Topology.complete n) byte-identical to
+   the pre-topology engine under every scheduler. *)
+
+open Helpers
+
+(* ---------------- graph values ---------------- *)
+
+let constructor_tests =
+  [
+    case "complete: all pairs adjacent, canonical count" (fun () ->
+        let t = Topology.complete 6 in
+        check_int "n" 6 (Topology.n t);
+        check_int "edges" 15 (Topology.edge_count t);
+        check_true "is_complete" (Topology.is_complete t);
+        check_true "connected" (Topology.is_connected t);
+        for i = 0 to 5 do
+          check_false "no self-loop" (Topology.adjacent t i i);
+          check_int "degree" 5 (Topology.degree t i)
+        done);
+    case "ring: k neighbors each side, sorted" (fun () ->
+        let t = Topology.ring ~k:2 8 in
+        check_int "degree" 4 (Topology.degree t 0);
+        check_true "adj +1" (Topology.adjacent t 0 1);
+        check_true "adj +2 (wrap)" (Topology.adjacent t 7 1);
+        check_false "not +3" (Topology.adjacent t 0 3);
+        let nbrs = Topology.neighbors t 0 in
+        check_true "sorted ascending"
+          (nbrs = Array.of_list (List.sort compare (Array.to_list nbrs))));
+    case "ring degrades to complete when 2k+1 >= n" (fun () ->
+        check_true "k=3 n=6"
+          (Topology.equal (Topology.ring ~k:3 6) (Topology.complete 6)));
+    case "random_regular: regular, simple, seed-deterministic" (fun () ->
+        let t = Topology.random_regular ~seed:7 ~degree:4 10 in
+        for i = 0 to 9 do
+          check_int "regular" 4 (Topology.degree t i);
+          check_false "simple" (Topology.adjacent t i i)
+        done;
+        check_true "same seed, same graph"
+          (Topology.equal t (Topology.random_regular ~seed:7 ~degree:4 10));
+        check_false "different seed, different graph"
+          (Topology.equal t (Topology.random_regular ~seed:8 ~degree:4 10)));
+    case "expander: cycle plus sqrt chords, connected" (fun () ->
+        let t = Topology.expander 25 in
+        check_true "connected" (Topology.is_connected t);
+        check_true "cycle edge" (Topology.adjacent t 0 1);
+        check_true "degree <= 4"
+          (List.for_all
+             (fun i -> Topology.degree t i <= 4)
+             (List.init 25 Fun.id)));
+    case "of_edges: duplicates and orientation normalized" (fun () ->
+        let t = Topology.of_edges ~n:4 [ (1, 0); (0, 1); (2, 3); (1, 0) ] in
+        check_int "two edges" 2 (Topology.edge_count t);
+        check_true "canonical list" (Topology.edges t = [ (0, 1); (2, 3) ]));
+    raises_invalid "of_edges: self-loop rejected" (fun () ->
+        Topology.of_edges ~n:3 [ (1, 1) ]);
+    raises_invalid "of_edges: out-of-range endpoint rejected" (fun () ->
+        Topology.of_edges ~n:3 [ (0, 3) ]);
+    raises_invalid "adjacent: out-of-range id rejected" (fun () ->
+        Topology.adjacent (Topology.complete 3) 0 3);
+    case "encode is canonical; hash agrees on equal graphs" (fun () ->
+        let a = Topology.ring ~k:1 5 in
+        let b = Topology.of_edges ~n:5 (List.rev (Topology.edges a)) in
+        check_true "equal" (Topology.equal a b);
+        check_true "same encoding" (Topology.encode a = Topology.encode b);
+        check_int "same hash" (Topology.hash a) (Topology.hash b);
+        check_true "versioned prefix"
+          (String.length (Topology.encode a) >= 15
+          && String.sub (Topology.encode a) 0 15 = "rbvc-topology/1"));
+  ]
+
+(* ---------------- specs ---------------- *)
+
+let spec_tests =
+  [
+    case "spec_of_string round-trips through pp_spec" (fun () ->
+        List.iter
+          (fun s ->
+            match Topology.spec_of_string s with
+            | Error e -> Alcotest.failf "%s: %s" s e
+            | Ok spec -> (
+                let printed = Topology.spec_to_string spec in
+                match Topology.spec_of_string printed with
+                | Error e -> Alcotest.failf "re-parse %s: %s" printed e
+                | Ok spec' ->
+                    check_true (s ^ " round-trips") (spec = spec')))
+          [
+            "complete"; "ring:1"; "ring:3"; "regular:4"; "regular:4:9";
+            "edges:/tmp/some-file";
+          ]);
+    case "malformed specs are structured errors" (fun () ->
+        List.iter
+          (fun s ->
+            match Topology.spec_of_string s with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.failf "%s: expected Error" s)
+          [ ""; "ring"; "ring:"; "ring:x"; "ring:-1"; "regular:"; "regular:2:zz";
+            "torus:3"; "complete:4"; "edges:" ]);
+    case "instantiate: ring at n; infeasible regular is Error" (fun () ->
+        (match Topology.instantiate (Topology.Ring { k = 2 }) ~n:7 with
+        | Ok t -> check_int "degree" 4 (Topology.degree t 0)
+        | Error e -> Alcotest.fail e);
+        match
+          Topology.instantiate
+            (Topology.Regular { degree = 3; seed = 0 })
+            ~n:5 (* n * degree odd *)
+        with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "odd n*degree should be Error");
+    case "instantiate: edges file read, missing file is Error" (fun () ->
+        let path = Filename.temp_file "rbvc-topo" ".edges" in
+        let oc = open_out path in
+        output_string oc "0-1\n1-2\n2-0\n";
+        close_out oc;
+        (match Topology.instantiate (Topology.Edges { path }) ~n:3 with
+        | Ok t -> check_int "triangle" 3 (Topology.edge_count t)
+        | Error e -> Alcotest.fail e);
+        Sys.remove path;
+        match Topology.instantiate (Topology.Edges { path }) ~n:3 with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "missing file should be Error");
+  ]
+
+(* ---------------- feasibility ---------------- *)
+
+let feasibility_tests =
+  [
+    case "iterative_feasible: ring:2 at n=8, f=1, d=1 passes" (fun () ->
+        match Topology.iterative_feasible (Topology.ring ~k:2 8) ~f:1 ~d:1 with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e);
+    case "neighborhood clause: ring:1 at f=1, d=1 fails" (fun () ->
+        match Topology.iterative_feasible (Topology.ring ~k:1 8) ~f:1 ~d:1 with
+        | Error msg ->
+            let contains hay needle =
+              let nh = String.length hay and nn = String.length needle in
+              let rec go i =
+                i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+              in
+              go 0
+            in
+            check_true "names the clause" (contains msg "neighborhood")
+        | Ok () -> Alcotest.fail "expected neighborhood violation");
+    case "connectivity clause: barbell through one cut vertex fails"
+      (fun () ->
+        (* two K5s joined only through vertex 5: every closed
+           neighborhood is large, but removing the cut vertex
+           disconnects the graph *)
+        let clique lo =
+          List.concat_map
+            (fun i ->
+              List.filter_map
+                (fun j -> if i < j then Some (lo + i, lo + j) else None)
+                (List.init 5 Fun.id))
+            (List.init 5 Fun.id)
+        in
+        let spokes = List.init 5 (fun i -> (5, i)) @ List.init 5 (fun i -> (5, 6 + i)) in
+        let t = Topology.of_edges ~n:11 (clique 0 @ clique 6 @ spokes) in
+        check_true "connected as built" (Topology.is_connected t);
+        check_false "1-removal disconnects"
+          (Topology.connected_after_removals t ~k:1);
+        match Topology.iterative_feasible t ~f:1 ~d:1 with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "expected connectivity violation");
+  ]
+
+(* ---------------- engine semantics on absent edges ---------------- *)
+
+(* Every process broadcasts one message to everyone (self included) from
+   on_start and stays silent afterwards — the simplest
+   topology-oblivious protocol, so the filtering accounting is exact. *)
+let broadcast_protocol n =
+  {
+    Protocol.init = (fun ~me -> me);
+    on_start = (fun me -> List.init n (fun dst -> (dst, me)));
+    on_receive = (fun _ ~time:_ _ -> []);
+    on_tick = (fun _ ~time:_ -> []);
+    output = (fun me -> me);
+  }
+
+let engine_semantics_tests =
+  [
+    case "absent-edge sends: counted sent and dropped, never delivered"
+      (fun () ->
+        let n = 8 in
+        let t = Topology.ring ~k:1 n in
+        let out =
+          Engine.run ~topology:t ~n ~protocol:(broadcast_protocol n)
+            ~scheduler:Scheduler.Fifo ~limit:1000 ()
+        in
+        let tr = out.Engine.trace in
+        check_int "sent: every addressed message" (n * n)
+          tr.Trace.messages_sent;
+        (* delivered: 2 ring neighbors + the self-send, per process *)
+        check_int "delivered: edges + self-sends" (n * 3)
+          tr.Trace.messages_delivered;
+        check_int "dropped: the filtered rest" (n * (n - 3))
+          tr.Trace.messages_dropped;
+        check_true "quiescent" (out.Engine.stopped = `Quiescent));
+    case "self-sends always delivered, even on the empty graph" (fun () ->
+        let n = 4 in
+        let t = Topology.of_edges ~n [] in
+        let out =
+          Engine.run ~topology:t ~n ~protocol:(broadcast_protocol n)
+            ~scheduler:Scheduler.Fifo ~limit:100 ()
+        in
+        check_int "only self-sends arrive" n
+          out.Engine.trace.Trace.messages_delivered);
+    raises_invalid "topology over the wrong n is rejected" (fun () ->
+        Engine.run
+          ~topology:(Topology.complete 5)
+          ~n:4
+          ~protocol:(broadcast_protocol 4)
+          ~scheduler:Scheduler.Fifo ~limit:10 ());
+  ]
+
+(* ---------------- the refactor's safety net ---------------- *)
+
+(* ~topology:(Topology.complete n) must reproduce the pre-topology
+   engine byte-for-byte: outcomes, trace counters, stop reason and
+   leftover pool, under every scheduler, for every registry protocol. *)
+
+let pending_sig p =
+  List.map (fun e -> (e.Engine.sent, e.Engine.src, e.Engine.dst)) p
+
+let complete_equivalence ~proto ~seed ~n ~f ~d ~rounds ~scheduler ~limit =
+  match Codecs.make ~proto ~seed ~n ~f ~d ~rounds () with
+  | Error _ | (exception Invalid_argument _) ->
+      true (* infeasible parameter draw: nothing to compare *)
+  | Ok (Codecs.P { n; protocol; render; _ }) ->
+      let go ?topology () =
+        Engine.run ?topology ~n ~protocol ~scheduler ~limit ()
+      in
+      let a = go () in
+      let b = go ~topology:(Topology.complete n) () in
+      Persist.to_string (render a.Engine.states)
+      = Persist.to_string (render b.Engine.states)
+      && a.Engine.trace = b.Engine.trace
+      && a.Engine.stopped = b.Engine.stopped
+      && pending_sig a.Engine.pending = pending_sig b.Engine.pending
+
+let complete_equivalence_prop =
+  QCheck.Test.make ~count:60
+    ~name:"complete topology = no topology (all protocols, all schedulers)"
+    QCheck.(
+      make
+        Gen.(
+          let* proto = oneofl Codecs.names in
+          let* seed = int_range 0 1000 in
+          let* f = int_range 0 1 in
+          let* d = int_range 1 3 in
+          let* n = int_range (max (3 * f) 2 + 1) 7 in
+          let* rounds = int_range 0 3 in
+          let* sched = int_range 0 3 in
+          return (proto, seed, n, f, d, rounds, sched)))
+    (fun (proto, seed, n, f, d, rounds, sched) ->
+      let scheduler, limit =
+        match sched with
+        | 0 -> (Scheduler.Rounds, max 1 (rounds + f + 1))
+        | 1 -> (Scheduler.Fifo, 400)
+        | 2 -> (Scheduler.Random seed, 400)
+        | _ -> (Scheduler.Delayed { victims = [ 0 ]; slack = 2 }, 400)
+      in
+      complete_equivalence ~proto ~seed ~n ~f ~d ~rounds ~scheduler ~limit)
+
+let jobs_tests =
+  [
+    case "Explore.check on random-regular: identical at jobs 1 and 4"
+      (fun () ->
+        let n = 5 in
+        let t = Topology.random_regular ~seed:3 ~degree:4 n in
+        let inst =
+          Problem.random_instance (Rng.create 11) ~n ~f:1 ~d:1 ~faulty:[]
+        in
+        let go jobs =
+          Explore.check ~topology:t
+            ~make:(fun () -> Algo_iterative.protocol ~topology:t inst ~rounds:1)
+            ~n
+            ~check:(fun _ -> true)
+            ~max_steps:5 ~budget:2000 ~jobs ()
+        in
+        let a = go 1 and b = go 4 in
+        check_true "stats equal" (a.Explore.stats = b.Explore.stats);
+        check_true "finals equal" (a.Explore.finals = b.Explore.finals));
+    case "Explore.check: explicit complete topology changes nothing"
+      (fun () ->
+        let n = 4 in
+        let inst =
+          Problem.random_instance (Rng.create 5) ~n ~f:1 ~d:1 ~faulty:[]
+        in
+        let go ?topology () =
+          Explore.check ?topology
+            ~make:(fun () -> Algo_iterative.protocol inst ~rounds:1)
+            ~n
+            ~check:(fun _ -> true)
+            ~max_steps:4 ~budget:2000 ~jobs:1 ()
+        in
+        let a = go () and b = go ~topology:(Topology.complete n) () in
+        check_true "stats equal" (a.Explore.stats = b.Explore.stats);
+        check_true "finals equal" (a.Explore.finals = b.Explore.finals));
+  ]
+
+(* ---------------- iterative BVC on incomplete graphs ---------------- *)
+
+let iterative_tests =
+  [
+    case "converges on a feasible ring (n=8, f=1, d=1, ring:2)" (fun () ->
+        let n = 8 in
+        let t = Topology.ring ~k:2 n in
+        let inst =
+          Problem.random_instance (Rng.create 21) ~n ~f:1 ~d:1 ~faulty:[ 7 ]
+        in
+        let adversary =
+          Adversary.corrupt (fun ~round ~dst v ->
+              Vec.axpy (0.2 *. float_of_int ((round + dst) mod 3)) (Vec.ones 1)
+                v)
+        in
+        let r = Algo_iterative.run ~topology:t inst ~rounds:25 ~adversary () in
+        let hist = Array.of_list r.Algo_iterative.spread_history in
+        let final = hist.(Array.length hist - 1) in
+        check_true "contracted" (final < hist.(0) /. 10.);
+        let hi = Problem.honest_inputs inst in
+        List.iter
+          (fun p ->
+            check_true "validity"
+              (Hull.dist_p ~p:2. hi r.Algo_iterative.outputs.(p) < 1e-6))
+          (Problem.honest_ids inst));
+    raises_invalid "run refuses an infeasible graph loudly" (fun () ->
+        let n = 8 in
+        let inst =
+          Problem.random_instance (Rng.create 22) ~n ~f:1 ~d:1 ~faulty:[]
+        in
+        Algo_iterative.run ~topology:(Topology.ring ~k:1 n) inst ~rounds:3 ());
+    raises_invalid "protocol refuses an infeasible graph loudly" (fun () ->
+        let n = 8 in
+        let inst =
+          Problem.random_instance (Rng.create 23) ~n ~f:1 ~d:1 ~faulty:[]
+        in
+        Algo_iterative.protocol ~topology:(Topology.ring ~k:1 n) inst ~rounds:3);
+    raises_invalid "protocol refuses a graph over the wrong n" (fun () ->
+        let inst =
+          Problem.random_instance (Rng.create 24) ~n:5 ~f:1 ~d:1 ~faulty:[]
+        in
+        Algo_iterative.protocol ~topology:(Topology.complete 6) inst ~rounds:2);
+    case "complete topology reproduces the default run exactly" (fun () ->
+        let inst =
+          Problem.random_instance (Rng.create 25) ~n:5 ~f:1 ~d:2 ~faulty:[ 4 ]
+        in
+        let a = Algo_iterative.run inst ~rounds:6 () in
+        let b =
+          Algo_iterative.run ~topology:(Topology.complete 5) inst ~rounds:6 ()
+        in
+        Array.iteri
+          (fun p v -> check_vec "same output" v b.Algo_iterative.outputs.(p))
+          a.Algo_iterative.outputs;
+        check_true "same spread history"
+          (a.Algo_iterative.spread_history = b.Algo_iterative.spread_history));
+  ]
+
+let suite =
+  constructor_tests @ spec_tests @ feasibility_tests @ engine_semantics_tests
+  @ [ QCheck_alcotest.to_alcotest complete_equivalence_prop ]
+  @ jobs_tests @ iterative_tests
